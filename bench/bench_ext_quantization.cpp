@@ -1,0 +1,86 @@
+// Extension: does the defense survive int8 deployment?
+//
+// The paper's Table IV prices the pipeline on an int8 NPU but evaluates
+// robustness in float. This bench closes the loop: both the SESR upscaler
+// and the classifier are post-training fake-quantised (per-tensor int8, the
+// Ethos-U55's numeric format) and Table II's protocol is re-run, plus an
+// int4 row to show where quantisation starts to bite.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace sesr;
+
+namespace {
+
+// Upscaler around a fake-quantised copy of a trained SR network.
+std::shared_ptr<core::DefensePipeline> quantized_defense(
+    const std::shared_ptr<nn::Module>& trained, int bits) {
+  auto copy_holder = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                    models::Sesr::Form::kInference);
+  copy_holder->load_parameters_from(*trained);
+  struct Shared final : nn::Module {
+    explicit Shared(std::shared_ptr<nn::Module> m) : inner(std::move(m)) {}
+    Tensor forward(const Tensor& x) override { return inner->forward(x); }
+    Tensor backward(const Tensor& g) override { return inner->backward(g); }
+    std::vector<nn::Parameter*> parameters() override { return inner->parameters(); }
+    [[nodiscard]] std::string name() const override { return inner->name(); }
+    Shape trace(const Shape& in, std::vector<nn::LayerInfo>* out) const override {
+      return inner->trace(in, out);
+    }
+    std::shared_ptr<nn::Module> inner;
+  };
+  auto quantized = std::make_shared<nn::QuantizedInference>(
+      std::make_unique<Shared>(copy_holder),
+      nn::QuantizationSpec{.bits = bits, .symmetric = true},
+      nn::QuantizationSpec{.bits = bits, .symmetric = false});
+  return std::make_shared<core::DefensePipeline>(std::make_shared<models::NetworkUpscaler>(
+      "SESR-M2 int" + std::to_string(bits), quantized));
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig config = bench::BenchConfig::from_env();
+  bench::print_header("EXTENSION: defense robustness under int8/int4 quantisation (PGD)",
+                      config);
+
+  const data::ShapesTexDataset dataset = bench::make_shapes_dataset(config);
+  auto classifier = bench::trained_classifier("ResNet-50", config);
+  core::GrayBoxEvaluator evaluator(classifier, 32);
+  const std::vector<int64_t> indices = bench::evaluation_indices(*classifier, config);
+  const std::vector<int64_t> labels = dataset.labels_at(indices);
+  std::printf("%zu evaluation images\n\n", indices.size());
+
+  attacks::Pgd pgd;
+  const Tensor adversarial = evaluator.craft_adversarial(dataset, indices, pgd);
+  const Tensor clean = dataset.images_at(indices);
+
+  auto sesr_float = bench::trained_sr_network("SESR-M2", config);
+  auto defense_float = bench::make_defense("SESR-M2", config);
+
+  struct Row {
+    const char* name;
+    std::shared_ptr<core::DefensePipeline> defense;
+  };
+  const Row rows[] = {
+      {"float32 (Table II)", defense_float},
+      {"int8 weights+acts", quantized_defense(sesr_float, 8)},
+      {"int4 weights+acts", quantized_defense(sesr_float, 4)},
+  };
+
+  std::printf("%-20s %-12s %-12s\n", "SESR-M2 numerics", "clean-acc%", "robust-acc%");
+  std::printf("----------------------------------------------\n");
+  for (const Row& row : rows) {
+    const float clean_acc = evaluator.accuracy_on(clean, labels, row.defense.get());
+    const float robust_acc = evaluator.accuracy_on(adversarial, labels, row.defense.get());
+    std::printf("%-20s %-12s %-12s\n", row.name, bench::fixed(clean_acc).c_str(),
+                bench::fixed(robust_acc).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nShape check: int8 matches float32 within noise (Table IV's latency numbers\n");
+  std::printf("therefore price the *same* defense quality); int4 begins to degrade the SR\n");
+  std::printf("output and with it the recovered accuracy.\n");
+  return 0;
+}

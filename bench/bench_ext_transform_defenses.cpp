@@ -1,0 +1,84 @@
+// Extension: SR-based defense vs the classical input-transformation defenses
+// the paper's Related Work (§II) positions itself against.
+//
+// Bit-depth reduction / JPEG (Das et al.), pixel deflection (Prakash et al.),
+// total-variation minimisation (Guo et al.), random resize-and-pad (Xie et
+// al.), wavelet denoising (Mustafa et al.) — each evaluated standalone and
+// the paper's full pipeline (JPEG + wavelet + SESR-M2) alongside, under PGD
+// in the same gray-box protocol as Table II. Also reports clean accuracy
+// through each transform, the §II criticism that motivates SR: many
+// transforms buy robustness by destroying clean accuracy.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "data/metrics.h"
+
+using namespace sesr;
+
+int main() {
+  const bench::BenchConfig config = bench::BenchConfig::from_env();
+  bench::print_header(
+      "EXTENSION: transformation defenses vs the SR pipeline (PGD, ResNet-50 analogue)",
+      config);
+
+  const data::ShapesTexDataset dataset = bench::make_shapes_dataset(config);
+  auto classifier = bench::trained_classifier("ResNet-50", config);
+  core::GrayBoxEvaluator evaluator(classifier, 32);
+  const std::vector<int64_t> indices = bench::evaluation_indices(*classifier, config);
+  const std::vector<int64_t> labels = dataset.labels_at(indices);
+  std::printf("%zu evaluation images\n\n", indices.size());
+
+  attacks::Pgd pgd;
+  const Tensor adversarial = evaluator.craft_adversarial(dataset, indices, pgd);
+  const Tensor clean = dataset.images_at(indices);
+
+  // Standalone transforms (no upscaling): the classifier consumes the
+  // transformed image at its native resolution.
+  struct TransformRow {
+    const char* name;
+    std::function<Tensor(const Tensor&)> apply;
+  };
+  const preprocess::JpegCompressor jpeg({.quality = 75});
+  const preprocess::WaveletDenoiser wavelet;
+  const preprocess::PixelDeflector deflector({.count = 60, .window = 4, .seed = 23});
+  const preprocess::TvDenoiser tv({.weight = 0.08f, .iterations = 30});
+  const preprocess::RandomResizePad resize_pad({.min_scale = 0.85f, .seed = 29});
+
+  const TransformRow rows[] = {
+      {"(none)", [](const Tensor& x) { return x; }},
+      {"bit-depth 4", [](const Tensor& x) { return preprocess::bit_depth_reduce(x, 4); }},
+      {"bit-depth 2", [](const Tensor& x) { return preprocess::bit_depth_reduce(x, 2); }},
+      {"JPEG q75", [&](const Tensor& x) { return jpeg.apply(x); }},
+      {"wavelet denoise", [&](const Tensor& x) { return wavelet.apply(x); }},
+      {"pixel deflection", [&](const Tensor& x) { return deflector.apply(x); }},
+      {"TV minimisation", [&](const Tensor& x) { return tv.apply(x); }},
+      {"resize-and-pad", [&](const Tensor& x) { return resize_pad.apply(x); }},
+  };
+
+  auto accuracy = [&](const Tensor& images) {
+    return data::accuracy_percent(nn::argmax_rows(classifier->forward(images)), labels);
+  };
+
+  std::printf("%-20s %-12s %-12s\n", "transform", "clean-acc%", "robust-acc%");
+  std::printf("----------------------------------------------\n");
+  for (const TransformRow& row : rows) {
+    const float clean_acc = accuracy(row.apply(clean));
+    const float robust_acc = accuracy(row.apply(adversarial));
+    std::printf("%-20s %-12s %-12s\n", row.name, bench::fixed(clean_acc).c_str(),
+                bench::fixed(robust_acc).c_str());
+    std::fflush(stdout);
+  }
+
+  // The paper's pipeline for comparison.
+  auto defense = bench::make_defense("SESR-M2", config);
+  const float pipeline_clean = evaluator.accuracy_on(clean, labels, defense.get());
+  const float pipeline_robust = evaluator.accuracy_on(adversarial, labels, defense.get());
+  std::printf("%-20s %-12s %-12s   <- the paper's defense\n", "JPEG+wavelet+SESR",
+              bench::fixed(pipeline_clean).c_str(), bench::fixed(pipeline_robust).c_str());
+
+  std::printf("\nShape check (paper §II): single transforms trade clean accuracy for\n");
+  std::printf("robustness; the SR pipeline recovers robustness while keeping clean\n");
+  std::printf("accuracy usable — the property that makes it deployable.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: GEMM-backed
+// convolution, the SESR forward/backward passes, JPEG's DCT pipeline, the
+// wavelet transform, and one attack step. These quantify where the CPU
+// reproduction spends its time and guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "attacks/attacks.h"
+#include "models/models.h"
+#include "preprocess/preprocess.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace sesr;
+
+void BM_GemmSquare(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_accumulate(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t ch = state.range(0);
+  nn::Conv2d conv({.in_channels = ch, .out_channels = ch, .kernel = 3});
+  Rng rng(2);
+  for (float& v : conv.weight().value.flat()) v = rng.normal();
+  const Tensor x = Tensor::randn({4, ch, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 32 * 32 * ch * ch * 9);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int64_t ch = state.range(0);
+  nn::Conv2d conv({.in_channels = ch, .out_channels = ch, .kernel = 3});
+  Rng rng(3);
+  for (float& v : conv.weight().value.flat()) v = rng.normal();
+  const Tensor x = Tensor::randn({4, ch, 32, 32}, rng);
+  const Tensor g = Tensor::randn({4, ch, 32, 32}, rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    conv.forward(x);
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(64);
+
+void BM_SesrInferenceForward(benchmark::State& state) {
+  models::Sesr net(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  Rng rng(4);
+  net.init(rng);
+  const Tensor x = Tensor::rand({1, 3, 64, 64}, rng);
+  for (auto _ : state) {
+    Tensor y = net.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SesrInferenceForward);
+
+void BM_SesrCollapse(benchmark::State& state) {
+  models::Sesr train(models::SesrConfig::m2(), models::Sesr::Form::kTraining);
+  Rng rng(5);
+  train.init(rng);
+  for (auto _ : state) {
+    auto collapsed = models::Sesr::collapse_from(train);
+    benchmark::DoNotOptimize(collapsed.get());
+  }
+}
+BENCHMARK(BM_SesrCollapse);
+
+void BM_JpegRoundTrip(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(6);
+  const Tensor x = Tensor::rand({1, 3, s, s}, rng);
+  const preprocess::JpegCompressor jpeg({.quality = 75});
+  for (auto _ : state) {
+    Tensor y = jpeg.apply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_JpegRoundTrip)->Arg(32)->Arg(128);
+
+void BM_WaveletDenoise(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(7);
+  const Tensor x = Tensor::rand({1, 3, s, s}, rng);
+  const preprocess::WaveletDenoiser denoiser;
+  for (auto _ : state) {
+    Tensor y = denoiser.apply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_WaveletDenoise)->Arg(32)->Arg(128);
+
+void BM_BicubicUpscale(benchmark::State& state) {
+  Rng rng(8);
+  const Tensor x = Tensor::rand({1, 3, 64, 64}, rng);
+  for (auto _ : state) {
+    Tensor y = preprocess::upscale(x, 2, preprocess::InterpolationKind::kBicubic);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BicubicUpscale);
+
+void BM_FgsmStep(benchmark::State& state) {
+  auto net = std::make_unique<nn::Sequential>("bench_net");
+  net->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 16, .kernel = 3,
+                                         .stride = 2});
+  net->add<nn::ReLU>();
+  net->add<nn::GlobalAvgPool>();
+  net->add<nn::Linear>(16, 10);
+  Rng rng(9);
+  nn::init_he_normal(*net, rng);
+  const Tensor x = Tensor::rand({8, 3, 16, 16}, rng);
+  const std::vector<int64_t> labels = {0, 1, 2, 3, 4, 5, 6, 7};
+  attacks::Fgsm fgsm;
+  for (auto _ : state) {
+    Tensor adv = fgsm.perturb(*net, x, labels);
+    benchmark::DoNotOptimize(adv.data());
+  }
+}
+BENCHMARK(BM_FgsmStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Table II — robust accuracy of three classifiers under four gray-box
+// attacks, for nine defense rows (no defense, nearest-neighbour upscaling,
+// and seven deep SR networks).
+//
+// Protocol (paper section IV-A): for each classifier, select evaluation
+// images the undefended classifier classifies correctly; craft FGSM / PGD /
+// APGD / DI2FGSM at eps = 8/255 with the *undefended* classifier's gradients;
+// report top-1 accuracy through each defense (JPEG -> wavelet -> x2 SR).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace sesr;
+
+namespace {
+
+// Paper Table II reference values (robust accuracy %), for side-by-side
+// printing: [classifier][defense][attack].
+struct PaperRow {
+  const char* defense;
+  double fgsm, pgd, apgd, difgsm;
+};
+
+const std::map<std::string, std::vector<PaperRow>>& paper_reference() {
+  static const std::map<std::string, std::vector<PaperRow>> ref = {
+      {"MobileNet-V2",
+       {{"No Defense", 3.42, 6.01, 30.8, 0.02},
+        {"Nearest Neighbor", 10.07, 15.91, 21.06, 6.47},
+        {"EDSR-base", 17.46, 33.37, 41.77, 13.14},
+        {"EDSR", 17.00, 32.49, 40.27, 13.14},
+        {"FSRCNN", 19.83, 35.02, 43.98, 13.66},
+        {"SESR-M2", 19.61, 34.72, 43.84, 13.8},
+        {"SESR-M3", 19.33, 34.54, 43.44, 13.94},
+        {"SESR-M5", 19.15, 34.76, 43.3, 13.94},
+        {"SESR-XL", 18.36, 33.65, 42.39, 13.46}}},
+      {"ResNet-50",
+       {{"No Defense", 8.52, 17.07, 22.85, 0.22},
+        {"Nearest Neighbor", 19.96, 31.48, 32.65, 20.68},
+        {"EDSR-base", 31.66, 48.66, 50.56, 30.48},
+        {"EDSR", 31.06, 46.43, 49.08, 30.5},
+        {"FSRCNN", 32.65, 49.8, 51.76, 31.24},
+        {"SESR-M2", 32.34, 49.66, 51.82, 31.24},
+        {"SESR-M3", 31.96, 49.46, 51.74, 31.38},
+        {"SESR-M5", 32.2, 49.64, 51.82, 31.2},
+        {"SESR-XL", 31.92, 48.96, 51.24, 30.48}}},
+      {"Inception-V3",
+       {{"No Defense", 25.89, 10.24, 11.42, 0.52},
+        {"Nearest Neighbor", 58.22, 69.15, 71.75, 51.6},
+        {"EDSR-base", 60.22, 69.55, 72.17, 54.92},
+        {"EDSR", 60.12, 69.57, 72.49, 55.38},
+        {"FSRCNN", 60.12, 69.93, 71.97, 54.24},
+        {"SESR-M2", 60.1, 69.49, 72.35, 54.56},
+        {"SESR-M3", 60.08, 69.57, 72.15, 54.6},
+        {"SESR-M5", 60.26, 69.83, 72.33, 54.84},
+        {"SESR-XL", 60.16, 69.47, 72.35, 55.04}}},
+  };
+  return ref;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig config = bench::BenchConfig::from_env();
+  bench::print_header(
+      "TABLE II: robust accuracy (%) for classifiers x SR defenses x gray-box attacks "
+      "(eps = 8/255)",
+      config);
+
+  const data::ShapesTexDataset dataset = bench::make_shapes_dataset(config);
+  const std::vector<std::string> defense_rows = {
+      "No Defense", "Nearest Neighbor", "EDSR-base", "EDSR", "FSRCNN",
+      "SESR-M2",    "SESR-M3",          "SESR-M5",   "SESR-XL"};
+
+  for (const auto& clf_spec : models::classifier_zoo()) {
+    auto classifier = bench::trained_classifier(clf_spec.label, config);
+    core::GrayBoxEvaluator evaluator(classifier, 32);
+    const std::vector<int64_t> indices = bench::evaluation_indices(*classifier, config);
+    std::printf("\n--- %s: %zu evaluation images (100%% clean top-1 by construction) ---\n",
+                clf_spec.label.c_str(), indices.size());
+    std::printf("%-17s | %-15s %-15s %-15s %-15s\n", "SR method", "FGSM (paper)",
+                "PGD (paper)", "APGD (paper)", "DI2FGSM (paper)");
+    std::printf(
+        "---------------------------------------------------------------------------------\n");
+
+    auto attacks_suite = attacks::standard_suite();
+    const auto& paper_rows = paper_reference().at(clf_spec.label);
+    const std::vector<int64_t> labels = dataset.labels_at(indices);
+
+    // Gray-box: adversarial images are independent of the defense, so craft
+    // once per attack and reuse across all nine defense rows.
+    std::vector<Tensor> crafted;
+    for (auto& attack : attacks_suite) {
+      std::printf("  [attack] crafting %s...\n", attack->name().c_str());
+      std::fflush(stdout);
+      crafted.push_back(evaluator.craft_adversarial(dataset, indices, *attack));
+    }
+
+    for (size_t row = 0; row < defense_rows.size(); ++row) {
+      const std::string& defense_label = defense_rows[row];
+      std::shared_ptr<core::DefensePipeline> defense;
+      if (defense_label != "No Defense") defense = bench::make_defense(defense_label, config);
+
+      std::printf("%-17s |", defense_label.c_str());
+      const PaperRow& paper = paper_rows[row];
+      const double paper_vals[4] = {paper.fgsm, paper.pgd, paper.apgd, paper.difgsm};
+      for (size_t a = 0; a < attacks_suite.size(); ++a) {
+        const float acc = evaluator.accuracy_on(crafted[a], labels, defense.get());
+        std::printf(" %-6s (%5.2f) ", bench::fixed(acc).c_str(), paper_vals[a]);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nShape checks (paper Table II):\n");
+  std::printf("  1. tiny SESR networks defend about as well as EDSR/EDSR-base\n");
+  std::printf("  2. the compact MobileNet-V2 family is the least robust classifier\n");
+  std::printf("  3. deep SR > nearest-neighbour upscaling for the compact classifiers\n");
+  std::printf("  4. every defense row beats the No-Defense row on iterative attacks\n");
+  return 0;
+}

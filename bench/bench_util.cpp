@@ -1,0 +1,207 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sesr::bench {
+namespace {
+
+bool fast_mode() {
+  const char* env = std::getenv("SESR_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+// Cache keys encode everything that affects the trained weights, so stale
+// checkpoints can never be loaded into a differently-configured run.
+std::string clf_key(const std::string& label, const BenchConfig& c) {
+  std::ostringstream os;
+  os << "clf_" << label << "_s" << c.image_size << "_c" << c.num_classes << "_n"
+     << c.clf_train_size << "_e" << c.clf_epochs << "_seed" << c.data_seed << "_v1";
+  std::string key = os.str();
+  for (char& ch : key)
+    if (ch == ' ' || ch == '-') ch = '_';
+  return key;
+}
+
+std::string sr_key(const std::string& label, const BenchConfig& c) {
+  std::ostringstream os;
+  os << "sr_" << label << "_hr" << c.sr_hr_size << "_n" << c.sr_train_size << "_e"
+     << c.sr_epochs << "_seed" << c.div2k_seed << "_v1";
+  std::string key = os.str();
+  for (char& ch : key)
+    if (ch == ' ' || ch == '-') ch = '_';
+  return key;
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig config;
+  if (fast_mode()) {
+    config.eval_count = 64;
+    config.clf_train_size = 512;
+    config.clf_epochs = 8;
+    config.sr_train_size = 384;
+    config.sr_epochs = 4;
+    config.sr_val_count = 32;
+  }
+  return config;
+}
+
+data::ShapesTexDataset make_shapes_dataset(const BenchConfig& config) {
+  return data::ShapesTexDataset({.image_size = config.image_size,
+                                 .num_classes = config.num_classes,
+                                 .seed = config.data_seed,
+                                 .noise_stddev = 0.02f});
+}
+
+data::SyntheticDiv2k make_div2k_dataset(const BenchConfig& config) {
+  return data::SyntheticDiv2k(
+      {.hr_size = config.sr_hr_size, .scale = 2, .seed = config.div2k_seed});
+}
+
+std::shared_ptr<models::Classifier> trained_classifier(const std::string& label,
+                                                       const BenchConfig& config) {
+  for (const auto& spec : models::classifier_zoo()) {
+    if (spec.label != label) continue;
+    auto classifier = spec.make(config.num_classes);
+    const std::string key = clf_key(label, config);
+    if (core::load_checkpoint(*classifier, key)) return classifier;
+
+    std::printf("  [train] %s (%lld samples x %d epochs)...\n", label.c_str(),
+                static_cast<long long>(config.clf_train_size), config.clf_epochs);
+    std::fflush(stdout);
+    const data::ShapesTexDataset dataset = make_shapes_dataset(config);
+    core::ClassifierTrainingOptions opts;
+    opts.train_size = config.clf_train_size;
+    opts.batch_size = 32;
+    opts.epochs = config.clf_epochs;
+    opts.learning_rate = config.clf_lr;
+    opts.upscaled_batch_prob = 0.35f;
+    const core::TrainingSummary summary = core::train_classifier(*classifier, dataset, opts);
+    std::printf("  [train] %s done: train-acc %.1f%%\n", label.c_str(), summary.final_accuracy);
+    core::save_checkpoint(*classifier, key);
+    return classifier;
+  }
+  throw std::out_of_range("trained_classifier: unknown label " + label);
+}
+
+std::shared_ptr<nn::Module> trained_sr_network(const std::string& label,
+                                               const BenchConfig& config) {
+  const models::SrModelSpec& spec = models::sr_model(label);
+  const std::string key = sr_key(label, config);
+  const data::SyntheticDiv2k dataset = make_div2k_dataset(config);
+
+  core::SrTrainingOptions opts;
+  opts.train_size = config.sr_train_size;
+  opts.batch_size = 16;
+  opts.epochs = config.sr_epochs;
+  opts.learning_rate = config.sr_lr;
+  opts.loss = (label == "FSRCNN") ? core::SrLoss::kMse : core::SrLoss::kMae;
+
+  const bool is_sesr = label.rfind("SESR", 0) == 0;
+  if (is_sesr) {
+    // Train the overparameterised form, deploy the collapsed form.
+    auto inference = spec.make_repo_scale();
+    if (core::load_checkpoint(*inference, key)) return inference;
+
+    const auto* proto = dynamic_cast<const models::Sesr*>(inference.get());
+    models::Sesr training_form(proto->config(), models::Sesr::Form::kTraining);
+    std::printf("  [train] %s (collapsible form, %lld x %d epochs)...\n", label.c_str(),
+                static_cast<long long>(opts.train_size), opts.epochs);
+    std::fflush(stdout);
+    core::train_sr(training_form, dataset, opts);
+    auto collapsed = models::Sesr::collapse_from(training_form);
+    inference->load_parameters_from(*collapsed);
+    core::save_checkpoint(*inference, key);
+    return inference;
+  }
+
+  // FSRCNN / EDSR have no built-in input residual; train them in the
+  // VDSR-style global-residual formulation (see models/global_residual.h) so
+  // the repo-scale compute budget goes into learning detail, not upscaling.
+  auto body = spec.make_repo_scale();
+  struct SharedBodyAdapter final : nn::Module {
+    // GlobalResidualSr owns its body via unique_ptr; adapt the shared_ptr
+    // from the zoo factory without double ownership.
+    explicit SharedBodyAdapter(std::shared_ptr<nn::Module> m) : inner(std::move(m)) {}
+    Tensor forward(const Tensor& x) override { return inner->forward(x); }
+    Tensor backward(const Tensor& g) override { return inner->backward(g); }
+    std::vector<nn::Parameter*> parameters() override { return inner->parameters(); }
+    void init_weights(Rng& rng) override { inner->init_weights(rng); }
+    [[nodiscard]] std::string name() const override { return inner->name(); }
+    Shape trace(const Shape& in, std::vector<nn::LayerInfo>* out) const override {
+      return inner->trace(in, out);
+    }
+    std::shared_ptr<nn::Module> inner;
+  };
+  auto wrapped = std::make_shared<models::GlobalResidualSr>(
+      std::make_unique<SharedBodyAdapter>(body), /*scale=*/2);
+  if (core::load_checkpoint(*wrapped, key)) return wrapped;
+  std::printf("  [train] %s (global-residual form, %lld x %d epochs)...\n", label.c_str(),
+              static_cast<long long>(opts.train_size), opts.epochs);
+  std::fflush(stdout);
+  core::train_sr(*wrapped, dataset, opts);
+  core::save_checkpoint(*wrapped, key);
+  return wrapped;
+}
+
+std::shared_ptr<core::DefensePipeline> make_defense(const std::string& sr_label,
+                                                    const BenchConfig& config,
+                                                    const core::DefenseOptions& opts) {
+  std::shared_ptr<models::Upscaler> upscaler;
+  if (sr_label == "Nearest Neighbor") {
+    upscaler = std::make_shared<models::InterpolationUpscaler>(
+        preprocess::InterpolationKind::kNearest);
+  } else if (sr_label == "Bilinear") {
+    upscaler = std::make_shared<models::InterpolationUpscaler>(
+        preprocess::InterpolationKind::kBilinear);
+  } else if (sr_label == "Bicubic") {
+    upscaler = std::make_shared<models::InterpolationUpscaler>(
+        preprocess::InterpolationKind::kBicubic);
+  } else {
+    upscaler =
+        std::make_shared<models::NetworkUpscaler>(sr_label, trained_sr_network(sr_label, config));
+  }
+  return std::make_shared<core::DefensePipeline>(std::move(upscaler), opts);
+}
+
+std::vector<int64_t> evaluation_indices(models::Classifier& classifier,
+                                        const BenchConfig& config) {
+  const data::ShapesTexDataset dataset = make_shapes_dataset(config);
+  std::vector<int64_t> selected;
+  const int64_t start = config.clf_train_size;  // never evaluate on training images
+  for (int64_t first = start;
+       first < start + config.selection_pool &&
+       static_cast<int64_t>(selected.size()) < config.eval_count;
+       first += 64) {
+    const Tensor images = dataset.images(first, 64);
+    const std::vector<int64_t> labels = dataset.labels(first, 64);
+    const std::vector<int64_t> preds = nn::argmax_rows(classifier.forward(images));
+    for (int64_t i = 0; i < 64 && static_cast<int64_t>(selected.size()) < config.eval_count; ++i)
+      if (preds[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)])
+        selected.push_back(first + i);
+  }
+  return selected;
+}
+
+void print_header(const std::string& title, const BenchConfig& config) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale: %lldx%lld images, %lld classes, %lld eval images (paper: 299x299, 1000 "
+              "classes, 5000 images)\n",
+              static_cast<long long>(config.image_size), static_cast<long long>(config.image_size),
+              static_cast<long long>(config.num_classes),
+              static_cast<long long>(config.eval_count));
+  std::printf("================================================================================\n");
+}
+
+std::string fixed(double value, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace sesr::bench

@@ -1,0 +1,77 @@
+// Shared infrastructure for the table/figure benches.
+//
+// Every bench trains (or loads from the checkpoint cache) the same
+// classifiers and SR networks, evaluates on the same seeded datasets, and
+// prints paper-reference values next to measured ones. Delete ./sesr_cache
+// (or point SESR_CACHE_DIR elsewhere) to force retraining.
+//
+// Scale knobs: set SESR_BENCH_FAST=1 for a quick smoke-scale run (smaller
+// training sets and evaluation pools; the qualitative shapes still hold).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "models/models.h"
+#include "attacks/attacks.h"
+
+namespace sesr::bench {
+
+/// Experiment scale shared by all benches.
+struct BenchConfig {
+  int64_t image_size = 16;      ///< LR classification resolution (paper: 299)
+  int64_t num_classes = 10;
+  int64_t eval_count = 192;     ///< evaluation images per classifier (paper: 5000)
+  int64_t selection_pool = 4096;
+
+  int64_t clf_train_size = 2048;
+  int clf_epochs = 15;
+  float clf_lr = 5e-3f;
+
+  int64_t sr_hr_size = 32;      ///< HR patch size for SR training (LR = 16)
+  int64_t sr_train_size = 1536;
+  int sr_epochs = 8;
+  float sr_lr = 1e-3f;
+  int64_t sr_val_first = 8000;
+  int64_t sr_val_count = 64;
+
+  uint64_t data_seed = 1;
+  uint64_t div2k_seed = 2;
+
+  /// Defaults scaled down when SESR_BENCH_FAST=1.
+  static BenchConfig from_env();
+};
+
+/// Classifier trained on ShapesTex (checkpoint-cached). `label` must be one
+/// of the classifier_zoo labels.
+std::shared_ptr<models::Classifier> trained_classifier(const std::string& label,
+                                                       const BenchConfig& config);
+
+/// SR network trained on SyntheticDiv2k at repo scale (checkpoint-cached).
+/// SESR labels train the overparameterised form and return the collapsed
+/// inference network, exactly as deployed in the paper.
+std::shared_ptr<nn::Module> trained_sr_network(const std::string& label,
+                                               const BenchConfig& config);
+
+/// Defense pipeline around a trained SR network or interpolation.
+/// `sr_label` is a zoo label, or "Nearest Neighbor" / "Bilinear" / "Bicubic".
+std::shared_ptr<core::DefensePipeline> make_defense(const std::string& sr_label,
+                                                    const BenchConfig& config,
+                                                    const core::DefenseOptions& opts = {});
+
+/// The evaluation indices for a classifier: correctly-classified images from
+/// beyond the training range (the paper's 100%-top-1 selection protocol).
+std::vector<int64_t> evaluation_indices(models::Classifier& classifier,
+                                        const BenchConfig& config);
+
+/// Dataset instances for the configured scale.
+data::ShapesTexDataset make_shapes_dataset(const BenchConfig& config);
+data::SyntheticDiv2k make_div2k_dataset(const BenchConfig& config);
+
+/// Table formatting helpers.
+void print_header(const std::string& title, const BenchConfig& config);
+std::string fixed(double value, int precision = 2);
+
+}  // namespace sesr::bench

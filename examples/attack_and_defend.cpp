@@ -1,0 +1,81 @@
+// Attack-and-defend walkthrough: all four attacks against one classifier,
+// with and without the defense, plus a look at what each pipeline stage does
+// to the adversarial perturbation.
+//
+// This is the scenario the paper's introduction motivates: a deployed,
+// third-party classifier that cannot be retrained, wrapped by a training-free
+// preprocessing defense.
+#include <cstdio>
+
+#include "attacks/attacks.h"
+#include "core/core.h"
+#include "data/metrics.h"
+#include "models/models.h"
+
+using namespace sesr;
+
+int main() {
+  std::printf("== gray-box attack & defense walkthrough ==\n\n");
+
+  // A "deployed" classifier: we train it here, but the defense never touches
+  // its weights — the training-free property the paper emphasises.
+  data::ShapesTexDataset dataset({.image_size = 16, .num_classes = 4, .seed = 31});
+  auto classifier = std::make_shared<models::TinyInception>(4);
+  core::ClassifierTrainingOptions clf_opts;
+  clf_opts.train_size = 512;
+  clf_opts.epochs = 10;
+  clf_opts.learning_rate = 5e-3f;
+  std::printf("[deploy] training the Inception-family classifier...\n");
+  core::train_classifier(*classifier, dataset, clf_opts);
+
+  core::GrayBoxEvaluator evaluator(classifier, 32);
+  const std::vector<int64_t> eval_set = evaluator.correctly_classified(dataset, 2048, 64);
+  std::printf("[deploy] evaluation set: %zu images at 100%% clean top-1\n\n", eval_set.size());
+
+  // The defense: JPEG + wavelet + a tiny trained SESR-M2.
+  std::printf("[defense] training SESR-M2 and collapsing for deployment...\n");
+  data::SyntheticDiv2k div2k({.hr_size = 32, .scale = 2, .seed = 32});
+  models::SesrConfig cfg = models::SesrConfig::m2();
+  cfg.expansion = 64;
+  models::Sesr training_form(cfg, models::Sesr::Form::kTraining);
+  core::SrTrainingOptions sr_opts;
+  sr_opts.train_size = 512;
+  sr_opts.epochs = 4;
+  core::train_sr(training_form, div2k, sr_opts);
+  core::DefensePipeline defense(std::make_shared<models::NetworkUpscaler>(
+      "SESR-M2", std::shared_ptr<nn::Module>(models::Sesr::collapse_from(training_form))));
+
+  // All four attacks of the paper, undefended vs defended.
+  std::printf("\n%-10s | %-12s %-12s\n", "attack", "no defense", "defended");
+  std::printf("--------------------------------------\n");
+  for (auto& attack : attacks::standard_suite()) {
+    const float undefended = evaluator.robust_accuracy(dataset, eval_set, *attack, nullptr);
+    const float defended = evaluator.robust_accuracy(dataset, eval_set, *attack, &defense);
+    std::printf("%-10s | %-12.1f %-12.1f\n", attack->name().c_str(), undefended, defended);
+  }
+
+  // Stage-by-stage look at one adversarial image: how much perturbation
+  // energy does each stage remove?
+  std::printf("\n[anatomy] per-stage perturbation energy on one PGD image:\n");
+  const Tensor clean = dataset.images_at({eval_set[0]});
+  attacks::Pgd pgd;
+  const Tensor adv = pgd.perturb(*classifier, clean, dataset.labels_at({eval_set[0]}));
+
+  const preprocess::JpegCompressor jpeg({.quality = 75});
+  const preprocess::WaveletDenoiser wavelet;
+  const Tensor after_jpeg = jpeg.apply(adv);
+  const Tensor after_wavelet = wavelet.apply(after_jpeg);
+  const Tensor clean_jpeg = jpeg.apply(clean);
+  const Tensor clean_wavelet = wavelet.apply(clean_jpeg);
+
+  std::printf("  raw adversarial     : |delta| = %.4f (PSNR to clean %.1f dB)\n",
+              adv.max_abs_diff(clean), data::psnr(adv, clean));
+  std::printf("  after JPEG          : PSNR to clean-through-JPEG   %.1f dB\n",
+              data::psnr(after_jpeg, clean_jpeg));
+  std::printf("  after JPEG+wavelet  : PSNR to clean-through-both   %.1f dB\n",
+              data::psnr(after_wavelet, clean_wavelet));
+  std::printf("\nEach stage moves the attacked image back toward its clean counterpart's\n");
+  std::printf("trajectory; SR then re-synthesises the high-frequency detail on the natural\n");
+  std::printf("image manifold (Fig. 1a of the paper).\n");
+  return 0;
+}

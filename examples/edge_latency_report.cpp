@@ -1,0 +1,66 @@
+// Edge deployment report: per-layer Ethos-U55 latency breakdown.
+//
+// Reproduces the engineering view behind Table IV: for each SR network and
+// the enlarged MobileNet-V2 classifier, where do the cycles go — MAC-array
+// compute or memory traffic? This is the analysis a deployment engineer runs
+// before committing to an SR model for an edge defense pipeline.
+#include <cstdio>
+
+#include "hw/cost_model.h"
+#include "hw/ethos_u55.h"
+#include "models/models.h"
+
+using namespace sesr;
+
+namespace {
+
+void report(const char* title, const nn::Module& model, const Shape& input,
+            const hw::EthosU55Model& npu, bool per_layer) {
+  const auto layers = model.layers(input);
+  const auto latency = npu.estimate(layers);
+  std::printf("\n--- %s @ %s: %.2f ms (%.1f FPS standalone) ---\n", title,
+              input.to_string().c_str(), latency.total_ms, latency.fps);
+  if (!per_layer) return;
+  std::printf("  %-24s %-12s %-12s %-10s\n", "layer", "compute(us)", "dma(us)", "bound");
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const auto& lat = latency.layers[i];
+    if (lat.cycles() == 0) continue;
+    std::printf("  %-24s %-12.1f %-12.1f %-10s\n", lat.name.c_str(),
+                static_cast<double>(lat.compute_cycles) / 1e3,
+                static_cast<double>(lat.dma_cycles) / 1e3,
+                lat.compute_cycles >= lat.dma_cycles ? "compute" : "memory");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Arm Ethos-U55 deployment report (U55-256 @ 1 GHz, int8) ==\n");
+  const hw::EthosU55Model npu;
+
+  // The defense's classification stage: enlarged MobileNet-V2 (summary only —
+  // 53 layers).
+  models::MobileNetV2Paper mv2(1000);
+  report("MobileNet-V2 (enlarged)", mv2, {1, 3, 598, 598}, npu, /*per_layer=*/false);
+
+  // SR stage candidates, per-layer.
+  for (const char* label : {"SESR-M2", "FSRCNN"}) {
+    auto net = models::sr_model(label).make_paper_scale();
+    report(label, *net, {1, 3, 299, 299}, npu, /*per_layer=*/true);
+  }
+
+  // End-to-end summary across the whole zoo.
+  const double cls_ms = npu.estimate(mv2, {1, 3, 598, 598}).total_ms;
+  std::printf("\n--- end-to-end defense pipeline (classification %.2f ms + SR) ---\n", cls_ms);
+  std::printf("%-12s %-10s %-12s %-8s\n", "SR model", "SR (ms)", "total (ms)", "FPS");
+  for (const auto& spec : models::sr_model_zoo()) {
+    auto net = spec.make_paper_scale();
+    const double sr_ms = npu.estimate(*net, {1, 3, 299, 299}).total_ms;
+    std::printf("%-12s %-10.2f %-12.2f %-8.2f\n", spec.label.c_str(), sr_ms, cls_ms + sr_ms,
+                1e3 / (cls_ms + sr_ms));
+  }
+  std::printf("\nReading: the 9x9 stride-2 deconvolution dominates FSRCNN (compute-bound at\n");
+  std::printf("full output resolution), while SESR's narrow 3x3 stack is memory-bound —\n");
+  std::printf("which is why collapsing SESR to 16 channels translates directly into FPS.\n");
+  return 0;
+}

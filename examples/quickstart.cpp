@@ -1,0 +1,86 @@
+// Quickstart: the complete SESR defense pipeline in one file.
+//
+// 1. Train a SESR-M2 network (overparameterised collapsible form) on the
+//    synthetic DIV2K substitute.
+// 2. Collapse it analytically into the tiny inference network.
+// 3. Assemble the paper's defense pipeline: JPEG -> wavelet -> x2 SESR.
+// 4. Defend one attacked image and show the effect.
+//
+// Runs in about a minute on a laptop-class CPU.
+#include <cstdio>
+
+#include "attacks/attacks.h"
+#include "core/core.h"
+#include "data/metrics.h"
+#include "models/models.h"
+
+using namespace sesr;
+
+int main() {
+  std::printf("== SESR adversarial defense quickstart ==\n\n");
+
+  // --- 1. train SESR-M2 (training form: collapsible linear blocks) --------
+  data::SyntheticDiv2k div2k({.hr_size = 32, .scale = 2, .seed = 2});
+  models::SesrConfig config = models::SesrConfig::m2();
+  config.expansion = 64;  // reduced expansion keeps the quickstart quick
+  models::Sesr training_form(config, models::Sesr::Form::kTraining);
+
+  core::SrTrainingOptions sr_opts;
+  sr_opts.train_size = 512;
+  sr_opts.epochs = 4;
+  sr_opts.verbose = true;
+  std::printf("[1] training SESR-M2 (collapsible form, %lld params)...\n",
+              static_cast<long long>(training_form.num_params()));
+  core::train_sr(training_form, div2k, sr_opts);
+
+  // --- 2. analytic collapse ------------------------------------------------
+  auto inference_form = models::Sesr::collapse_from(training_form);
+  std::printf("\n[2] collapsed: %lld params -> %lld params (%.1fx smaller), same function\n",
+              static_cast<long long>(training_form.num_params()),
+              static_cast<long long>(inference_form->num_params()),
+              static_cast<double>(training_form.num_params()) /
+                  static_cast<double>(inference_form->num_params()));
+
+  Rng rng(7);
+  const Tensor probe = Tensor::rand({1, 3, 16, 16}, rng);
+  const float collapse_err = training_form.forward(probe).max_abs_diff(
+      inference_form->forward(probe));
+  std::printf("    max |train_form - inference_form| on a probe image: %.2e\n", collapse_err);
+
+  const float psnr_sesr = core::evaluate_sr_psnr(*inference_form, div2k, 4000, 32);
+  const float psnr_nn = core::evaluate_interpolation_psnr(
+      preprocess::InterpolationKind::kNearest, div2k, 4000, 32);
+  std::printf("    x2 SR quality: SESR-M2 %.2f dB vs nearest-neighbour %.2f dB\n", psnr_sesr,
+              psnr_nn);
+
+  // --- 3. assemble the defense pipeline ------------------------------------
+  std::printf("\n[3] defense pipeline: JPEG(q75) -> wavelet denoise -> x2 SESR\n");
+  core::DefensePipeline defense(std::make_shared<models::NetworkUpscaler>(
+      "SESR-M2", std::shared_ptr<nn::Module>(std::move(inference_form))));
+
+  // --- 4. attack an image and defend it -------------------------------------
+  data::ShapesTexDataset shapes({.image_size = 16, .num_classes = 4, .seed = 21});
+  auto classifier = std::make_shared<models::TinyResNet>(4);
+  core::ClassifierTrainingOptions clf_opts;
+  clf_opts.train_size = 512;
+  clf_opts.epochs = 10;
+  clf_opts.learning_rate = 5e-3f;
+  std::printf("\n[4] training a ResNet classifier on the synthetic shapes dataset...\n");
+  const core::TrainingSummary summary = core::train_classifier(*classifier, shapes, clf_opts);
+  std::printf("    train accuracy %.1f%%\n", summary.final_accuracy);
+
+  core::GrayBoxEvaluator evaluator(classifier, 32);
+  const std::vector<int64_t> eval_set = evaluator.correctly_classified(shapes, 2048, 64);
+  std::printf("    evaluation set: %zu correctly-classified images\n", eval_set.size());
+
+  attacks::Pgd pgd;  // eps = 8/255, the paper's budget
+  const float undefended = evaluator.robust_accuracy(shapes, eval_set, pgd, nullptr);
+  const float defended = evaluator.robust_accuracy(shapes, eval_set, pgd, &defense);
+  std::printf("\n== results (PGD, eps = 8/255, gray-box) ==\n");
+  std::printf("   clean accuracy       : 100.0%% (by construction)\n");
+  std::printf("   attacked, no defense : %.1f%%\n", undefended);
+  std::printf("   attacked, defended   : %.1f%%\n", defended);
+  std::printf("\nThe tiny collapsed SESR network recovers a large share of the accuracy an\n");
+  std::printf("attacker destroys — at ~1/6 the MACs of FSRCNN (see bench_table4_latency).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "attacks/apgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sesr::attacks {
+namespace {
+
+// Checkpoint schedule of Croce & Hein: p_0 = 0, p_1 = 0.22,
+// p_{j+1} = p_j + max(p_j - p_{j-1} - 0.03, 0.06), scaled by n_iter.
+std::vector<int> checkpoints(int n_iter) {
+  std::vector<double> p = {0.0, 0.22};
+  while (p.back() < 1.0) p.push_back(p.back() + std::max(p.back() - p[p.size() - 2] - 0.03, 0.06));
+  std::vector<int> w;
+  for (double pj : p) {
+    const int iter = static_cast<int>(std::ceil(pj * n_iter));
+    if (w.empty() || iter > w.back()) w.push_back(std::min(iter, n_iter));
+  }
+  return w;
+}
+
+}  // namespace
+
+Tensor Apgd::perturb(nn::Module& model, const Tensor& images,
+                     const std::vector<int64_t>& labels) {
+  const int64_t n = images.dim(0);
+  const int64_t sample_sz = images.numel() / n;
+  float eta = 2.0f * epsilon_;  // initial step size
+
+  // Random start.
+  Rng rng(opts_.seed);
+  Tensor x = images;
+  for (int64_t i = 0; i < x.numel(); ++i) x[i] += rng.uniform(-epsilon_, epsilon_);
+  project_linf_(x, images, epsilon_);
+
+  LossGradient lg = input_gradient(model, x, labels);
+  Tensor x_best = x;
+  std::vector<float> f_best = lg.per_sample_loss;
+  float f_best_sum_at_last_checkpoint = 0.0f;
+  float eta_at_last_checkpoint = eta;
+
+  // First plain-PGD step.
+  Tensor x_prev = x;
+  {
+    Tensor step = lg.grad;
+    x.axpy_(eta, step.sign_());
+    project_linf_(x, images, epsilon_);
+  }
+
+  const std::vector<int> ckpts = checkpoints(opts_.steps);
+  size_t next_ckpt = 1;  // ckpts[0] == 0
+  int successes_since_ckpt = 0;
+  int last_ckpt_iter = 0;
+
+  for (int k = 1; k < opts_.steps; ++k) {
+    lg = input_gradient(model, x, labels);
+
+    // Track per-sample best.
+    int improved = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (lg.per_sample_loss[static_cast<size_t>(i)] > f_best[static_cast<size_t>(i)]) {
+        f_best[static_cast<size_t>(i)] = lg.per_sample_loss[static_cast<size_t>(i)];
+        std::copy(x.data() + i * sample_sz, x.data() + (i + 1) * sample_sz,
+                  x_best.data() + i * sample_sz);
+        ++improved;
+      }
+    }
+    if (improved * 2 > n) ++successes_since_ckpt;  // batch-majority success
+
+    // Momentum update: z = proj(x + eta sign(g));
+    // x_next = proj(x + a (z - x) + (1 - a)(x - x_prev)).
+    Tensor z = x;
+    {
+      Tensor step = lg.grad;
+      z.axpy_(eta, step.sign_());
+      project_linf_(z, images, epsilon_);
+    }
+    Tensor x_next = x;
+    for (int64_t i = 0; i < x.numel(); ++i)
+      x_next[i] = x[i] + opts_.momentum * (z[i] - x[i]) + (1.0f - opts_.momentum) * (x[i] - x_prev[i]);
+    project_linf_(x_next, images, epsilon_);
+    x_prev = x;
+    x = std::move(x_next);
+
+    // Checkpoint: halve the step size and restart from the best point if
+    // progress stalled.
+    if (next_ckpt < ckpts.size() && k == ckpts[next_ckpt]) {
+      const int interval = k - last_ckpt_iter;
+      float f_best_sum = 0.0f;
+      for (float f : f_best) f_best_sum += f;
+      const bool cond1 =
+          successes_since_ckpt < static_cast<int>(opts_.rho * static_cast<float>(interval));
+      const bool cond2 = eta == eta_at_last_checkpoint &&
+                         f_best_sum <= f_best_sum_at_last_checkpoint;
+      if (cond1 || cond2) {
+        eta *= 0.5f;
+        x = x_best;
+        x_prev = x_best;
+      }
+      eta_at_last_checkpoint = eta;
+      f_best_sum_at_last_checkpoint = f_best_sum;
+      successes_since_ckpt = 0;
+      last_ckpt_iter = k;
+      ++next_ckpt;
+    }
+  }
+
+  // Final evaluation so the very last iterate can win.
+  lg = input_gradient(model, x, labels);
+  for (int64_t i = 0; i < n; ++i)
+    if (lg.per_sample_loss[static_cast<size_t>(i)] > f_best[static_cast<size_t>(i)])
+      std::copy(x.data() + i * sample_sz, x.data() + (i + 1) * sample_sz,
+                x_best.data() + i * sample_sz);
+  return x_best;
+}
+
+}  // namespace sesr::attacks

@@ -1,0 +1,37 @@
+// Auto-PGD (Croce & Hein, ICML 2020) with the cross-entropy objective.
+//
+// Parameter-free PGD variant: momentum step, per-sample best-point tracking,
+// and a checkpoint schedule at which the step size is halved and the iterate
+// restarted from the best point whenever progress stalls (condition 1: fewer
+// than rho * interval successful steps; condition 2: step size and best loss
+// both unchanged). This implementation follows Algorithm 1 of the paper with
+// one simplification: the halving decision is made per batch (using the
+// majority of per-sample conditions) rather than per sample, which keeps the
+// batched forward/backward simple and does not change the attack's character.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace sesr::attacks {
+
+struct ApgdOptions {
+  float epsilon = kDefaultEpsilon;
+  int steps = 20;
+  float rho = 0.75f;       ///< progress fraction required between checkpoints
+  float momentum = 0.75f;  ///< alpha in the extrapolation step
+  uint64_t seed = 13;
+};
+
+class Apgd final : public Attack {
+ public:
+  explicit Apgd(ApgdOptions opts = {}) : Attack(opts.epsilon), opts_(opts) {}
+
+  Tensor perturb(nn::Module& model, const Tensor& images,
+                 const std::vector<int64_t>& labels) override;
+  [[nodiscard]] std::string name() const override { return "APGD"; }
+
+ private:
+  ApgdOptions opts_;
+};
+
+}  // namespace sesr::attacks

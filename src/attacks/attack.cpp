@@ -1,0 +1,34 @@
+#include "attacks/attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sesr::attacks {
+
+LossGradient input_gradient(nn::Module& model, const Tensor& images,
+                            const std::vector<int64_t>& labels) {
+  model.zero_grad();
+  const Tensor logits = model.forward(images);
+  nn::LossResult ce = nn::cross_entropy_loss(logits, labels);
+
+  // Per-sample CE (for APGD's objective bookkeeping): -log softmax[y].
+  const Tensor probs = nn::softmax(logits);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  std::vector<float> per_sample(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i)
+    per_sample[static_cast<size_t>(i)] =
+        -std::log(std::max(probs[i * k + labels[static_cast<size_t>(i)]], 1e-12f));
+
+  LossGradient out{ce.value, std::move(per_sample), model.backward(ce.grad)};
+  return out;
+}
+
+void project_linf_(Tensor& x, const Tensor& reference, float epsilon) {
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float lo = std::max(reference[i] - epsilon, 0.0f);
+    const float hi = std::min(reference[i] + epsilon, 1.0f);
+    x[i] = std::clamp(x[i], lo, hi);
+  }
+}
+
+}  // namespace sesr::attacks

@@ -1,0 +1,61 @@
+// Adversarial attack interface (gray-box setting).
+//
+// All four attacks of the paper's Table II perturb images within an L-inf
+// ball of radius epsilon around the clean input, using gradients of the
+// *undefended* classifier (the attacker knows the classification network but
+// not the JPEG/wavelet/SR defense — the paper's gray-box threat model).
+// Epsilon is 8/255 in [0,1] pixel space throughout, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/nn.h"
+#include "tensor/tensor.h"
+
+namespace sesr::attacks {
+
+/// Default attack budget used across the paper's experiments.
+inline constexpr float kDefaultEpsilon = 8.0f / 255.0f;
+
+/// Crafts adversarial examples against a classifier.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+
+  /// Perturb `images` ([N, C, H, W] in [0,1]) so `model` misclassifies them
+  /// away from `labels`. Returns adversarial images, clamped to [0,1] and to
+  /// the epsilon ball around the input.
+  virtual Tensor perturb(nn::Module& model, const Tensor& images,
+                         const std::vector<int64_t>& labels) = 0;
+
+  /// Table-row name, matching the paper's column headers.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] float epsilon() const { return epsilon_; }
+
+ protected:
+  explicit Attack(float epsilon) : epsilon_(epsilon) {}
+
+  float epsilon_;
+};
+
+/// Cross-entropy loss value and its gradient w.r.t. the input batch.
+struct LossGradient {
+  float loss = 0.0f;
+  std::vector<float> per_sample_loss;  ///< CE of each sample (for APGD bookkeeping)
+  Tensor grad;
+};
+
+/// One forward/backward pass: d CE(model(x), labels) / dx.
+LossGradient input_gradient(nn::Module& model, const Tensor& images,
+                            const std::vector<int64_t>& labels);
+
+/// Project `x` onto the L-inf epsilon ball around `reference`, then into [0,1].
+void project_linf_(Tensor& x, const Tensor& reference, float epsilon);
+
+}  // namespace sesr::attacks

@@ -1,0 +1,25 @@
+// Umbrella header for the attack suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attacks/apgd.h"
+#include "attacks/attack.h"
+#include "attacks/difgsm.h"
+#include "attacks/fgsm.h"
+#include "attacks/pgd.h"
+
+namespace sesr::attacks {
+
+/// The paper's four attacks, in Table II column order, at the given epsilon.
+inline std::vector<std::unique_ptr<Attack>> standard_suite(float epsilon = kDefaultEpsilon) {
+  std::vector<std::unique_ptr<Attack>> suite;
+  suite.push_back(std::make_unique<Fgsm>(epsilon));
+  suite.push_back(std::make_unique<Pgd>(PgdOptions{.epsilon = epsilon}));
+  suite.push_back(std::make_unique<Apgd>(ApgdOptions{.epsilon = epsilon}));
+  suite.push_back(std::make_unique<DiFgsm>(DiFgsmOptions{.epsilon = epsilon}));
+  return suite;
+}
+
+}  // namespace sesr::attacks

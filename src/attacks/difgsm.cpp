@@ -1,0 +1,99 @@
+#include "attacks/difgsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sesr::attacks {
+namespace {
+
+// Differentiable input-diversity transform: nearest-resize the batch to
+// (rh, rw), then place it at offset (oy, ox) on a zero canvas of the original
+// size. Backward crops the canvas gradient and scatter-adds through the
+// nearest-neighbour map.
+struct DiverseTransform {
+  int64_t h, w;    // original size
+  int64_t rh, rw;  // resized size
+  int64_t oy, ox;  // pad offsets
+
+  Tensor forward(const Tensor& x) const {
+    const int64_t n = x.dim(0), c = x.dim(1);
+    Tensor out({n, c, h, w});
+    for (int64_t img = 0; img < n * c; ++img) {
+      const float* src = x.data() + img * h * w;
+      float* dst = out.data() + img * h * w;
+      for (int64_t y = 0; y < rh; ++y) {
+        const int64_t sy = std::min(y * h / rh, h - 1);
+        for (int64_t xx = 0; xx < rw; ++xx) {
+          const int64_t sx = std::min(xx * w / rw, w - 1);
+          dst[(oy + y) * w + ox + xx] = src[sy * w + sx];
+        }
+      }
+    }
+    return out;
+  }
+
+  Tensor backward(const Tensor& grad_out, const Shape& in_shape) const {
+    const int64_t n = in_shape[0], c = in_shape[1];
+    Tensor grad_in(in_shape);
+    for (int64_t img = 0; img < n * c; ++img) {
+      const float* g = grad_out.data() + img * h * w;
+      float* dst = grad_in.data() + img * h * w;
+      for (int64_t y = 0; y < rh; ++y) {
+        const int64_t sy = std::min(y * h / rh, h - 1);
+        for (int64_t xx = 0; xx < rw; ++xx) {
+          const int64_t sx = std::min(xx * w / rw, w - 1);
+          dst[sy * w + sx] += g[(oy + y) * w + ox + xx];
+        }
+      }
+    }
+    return grad_in;
+  }
+};
+
+}  // namespace
+
+Tensor DiFgsm::perturb(nn::Module& model, const Tensor& images,
+                       const std::vector<int64_t>& labels) {
+  Rng rng(opts_.seed);
+  const int64_t h = images.dim(2), w = images.dim(3);
+  const int64_t n = images.dim(0);
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  Tensor adv = images;
+  Tensor momentum(images.shape());
+
+  for (int step = 0; step < opts_.steps; ++step) {
+    Tensor grad(images.shape());
+    if (rng.bernoulli(opts_.diversity_prob)) {
+      const int64_t min_h = static_cast<int64_t>(std::round(opts_.resize_rate * static_cast<float>(h)));
+      const int64_t min_w = static_cast<int64_t>(std::round(opts_.resize_rate * static_cast<float>(w)));
+      DiverseTransform tf;
+      tf.h = h;
+      tf.w = w;
+      tf.rh = rng.randint(min_h, h);
+      tf.rw = rng.randint(min_w, w);
+      tf.oy = rng.randint(0, h - tf.rh);
+      tf.ox = rng.randint(0, w - tf.rw);
+      const Tensor transformed = tf.forward(adv);
+      LossGradient lg = input_gradient(model, transformed, labels);
+      grad = tf.backward(lg.grad, images.shape());
+    } else {
+      grad = input_gradient(model, adv, labels).grad;
+    }
+
+    // Momentum accumulation with L1 normalisation (MI-FGSM), applied over the
+    // whole batch gradient as in the reference implementation.
+    double l1 = 0.0;
+    for (int64_t i = 0; i < grad.numel(); ++i) l1 += std::abs(grad[i]);
+    const float inv_l1 = l1 > 1e-12 ? static_cast<float>(static_cast<double>(grad.numel()) * inv_n / l1) : 0.0f;
+    for (int64_t i = 0; i < grad.numel(); ++i)
+      momentum[i] = opts_.decay * momentum[i] + grad[i] * inv_l1;
+
+    Tensor step_dir = momentum;
+    adv.axpy_(opts_.alpha, step_dir.sign_());
+    project_linf_(adv, images, epsilon_);
+  }
+  return adv;
+}
+
+}  // namespace sesr::attacks

@@ -1,0 +1,37 @@
+// DI2-FGSM: Diverse Input Iterative FGSM (Xie et al., CVPR 2019).
+//
+// Momentum-iterative FGSM where, with probability `diversity_prob`, each
+// iteration computes the gradient on a randomly resized-and-padded copy of
+// the current iterate (the "input diversity" transform). The transform is
+// differentiable (nearest-neighbour resize + zero pad), so gradients flow
+// back through it to the original resolution.
+#pragma once
+
+#include "attacks/attack.h"
+#include "tensor/rng.h"
+
+namespace sesr::attacks {
+
+struct DiFgsmOptions {
+  float epsilon = kDefaultEpsilon;
+  float alpha = 2.0f / 255.0f;
+  int steps = 10;
+  float decay = 1.0f;           ///< momentum decay factor (mu)
+  float resize_rate = 0.9f;     ///< minimum fraction of the original size
+  float diversity_prob = 0.5f;  ///< probability of applying the transform
+  uint64_t seed = 17;
+};
+
+class DiFgsm final : public Attack {
+ public:
+  explicit DiFgsm(DiFgsmOptions opts = {}) : Attack(opts.epsilon), opts_(opts) {}
+
+  Tensor perturb(nn::Module& model, const Tensor& images,
+                 const std::vector<int64_t>& labels) override;
+  [[nodiscard]] std::string name() const override { return "DI2FGSM"; }
+
+ private:
+  DiFgsmOptions opts_;
+};
+
+}  // namespace sesr::attacks

@@ -1,0 +1,14 @@
+#include "attacks/fgsm.h"
+
+namespace sesr::attacks {
+
+Tensor Fgsm::perturb(nn::Module& model, const Tensor& images,
+                     const std::vector<int64_t>& labels) {
+  LossGradient lg = input_gradient(model, images, labels);
+  Tensor adv = images;
+  adv.axpy_(epsilon_, lg.grad.sign_());
+  adv.clamp_(0.0f, 1.0f);
+  return adv;
+}
+
+}  // namespace sesr::attacks

@@ -1,0 +1,19 @@
+// Fast Gradient Sign Method (Goodfellow et al., 2014).
+//
+// Single-step: x_adv = clip(x + epsilon * sign(grad_x CE(f(x), y))).
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace sesr::attacks {
+
+class Fgsm final : public Attack {
+ public:
+  explicit Fgsm(float epsilon = kDefaultEpsilon) : Attack(epsilon) {}
+
+  Tensor perturb(nn::Module& model, const Tensor& images,
+                 const std::vector<int64_t>& labels) override;
+  [[nodiscard]] std::string name() const override { return "FGSM"; }
+};
+
+}  // namespace sesr::attacks

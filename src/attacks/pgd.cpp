@@ -1,0 +1,21 @@
+#include "attacks/pgd.h"
+
+namespace sesr::attacks {
+
+Tensor Pgd::perturb(nn::Module& model, const Tensor& images,
+                    const std::vector<int64_t>& labels) {
+  Tensor adv = images;
+  if (opts_.random_start) {
+    Rng rng(opts_.seed);
+    for (int64_t i = 0; i < adv.numel(); ++i) adv[i] += rng.uniform(-epsilon_, epsilon_);
+    project_linf_(adv, images, epsilon_);
+  }
+  for (int step = 0; step < opts_.steps; ++step) {
+    LossGradient lg = input_gradient(model, adv, labels);
+    adv.axpy_(opts_.alpha, lg.grad.sign_());
+    project_linf_(adv, images, epsilon_);
+  }
+  return adv;
+}
+
+}  // namespace sesr::attacks

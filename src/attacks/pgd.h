@@ -1,0 +1,34 @@
+// Projected Gradient Descent (Madry et al., 2017).
+//
+// Random start in the epsilon ball, then `steps` iterations of
+// x <- proj( x + alpha * sign(grad) ). The standard ImageNet evaluation
+// setting (and torchattacks default used by the paper) is alpha = 2/255,
+// steps = 10.
+#pragma once
+
+#include "attacks/attack.h"
+#include "tensor/rng.h"
+
+namespace sesr::attacks {
+
+struct PgdOptions {
+  float epsilon = kDefaultEpsilon;
+  float alpha = 2.0f / 255.0f;
+  int steps = 10;
+  bool random_start = true;
+  uint64_t seed = 11;
+};
+
+class Pgd final : public Attack {
+ public:
+  explicit Pgd(PgdOptions opts = {}) : Attack(opts.epsilon), opts_(opts) {}
+
+  Tensor perturb(nn::Module& model, const Tensor& images,
+                 const std::vector<int64_t>& labels) override;
+  [[nodiscard]] std::string name() const override { return "PGD"; }
+
+ private:
+  PgdOptions opts_;
+};
+
+}  // namespace sesr::attacks

@@ -1,0 +1,37 @@
+#include "core/checkpoint.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "tensor/serialize.h"
+
+namespace sesr::core {
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("SESR_CACHE_DIR")) return env;
+  return "sesr_cache";
+}
+
+namespace {
+
+std::string path_for(const std::string& key) { return cache_dir() + "/" + key + ".sesr"; }
+
+}  // namespace
+
+bool load_checkpoint(nn::Module& model, const std::string& key) {
+  const std::string path = path_for(key);
+  if (!std::filesystem::exists(path)) return false;
+  try {
+    model.set_parameter_values(load_tensors(path));
+    return true;
+  } catch (const std::exception&) {
+    return false;  // stale or mismatched checkpoint: caller retrains
+  }
+}
+
+void save_checkpoint(nn::Module& model, const std::string& key) {
+  std::filesystem::create_directories(cache_dir());
+  save_tensors(path_for(key), model.parameter_values());
+}
+
+}  // namespace sesr::core

@@ -1,0 +1,27 @@
+// Weight checkpointing for benches and examples.
+//
+// Benches train several networks; caching trained weights under a content key
+// (model name + dataset/training configuration) makes repeated bench runs and
+// the example programs fast. The cache directory defaults to
+// "sesr_cache/" under the current working directory and can be moved with the
+// SESR_CACHE_DIR environment variable. Delete the directory to force
+// retraining.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace sesr::core {
+
+/// Directory used by save/load_checkpoint (created on first save).
+std::string cache_dir();
+
+/// True if a checkpoint named `key` exists and its parameter shapes match
+/// `model`, in which case the parameters are loaded into `model`.
+bool load_checkpoint(nn::Module& model, const std::string& key);
+
+/// Persist `model`'s parameters under `key`.
+void save_checkpoint(nn::Module& model, const std::string& key);
+
+}  // namespace sesr::core

@@ -1,0 +1,7 @@
+// Umbrella header for the defense core.
+#pragma once
+
+#include "core/checkpoint.h"
+#include "core/defense.h"
+#include "core/evaluator.h"
+#include "core/trainer.h"

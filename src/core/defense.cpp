@@ -1,0 +1,19 @@
+#include "core/defense.h"
+
+#include <stdexcept>
+
+namespace sesr::core {
+
+DefensePipeline::DefensePipeline(std::shared_ptr<models::Upscaler> upscaler, DefenseOptions opts)
+    : upscaler_(std::move(upscaler)), opts_(opts), jpeg_(opts_.jpeg), wavelet_(opts_.wavelet) {
+  if (!upscaler_) throw std::invalid_argument("DefensePipeline: null upscaler");
+}
+
+Tensor DefensePipeline::apply(const Tensor& images) const {
+  Tensor x = images;
+  if (opts_.use_jpeg) x = jpeg_.apply(x);
+  if (opts_.use_wavelet) x = wavelet_.apply(x);
+  return upscaler_->upscale(x);
+}
+
+}  // namespace sesr::core

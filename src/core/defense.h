@@ -1,0 +1,51 @@
+// The paper's defense pipeline (Fig. 1b):
+//
+//   adversarial image -> JPEG compression -> wavelet denoising -> x2 super
+//   resolution -> classifier
+//
+// Training-free and model-agnostic: neither the SR network nor the classifier
+// is adversarially trained, and the pipeline wraps any classifier unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "models/upscaler.h"
+#include "preprocess/preprocess.h"
+
+namespace sesr::core {
+
+struct DefenseOptions {
+  bool use_jpeg = true;  ///< Table III ablates this stage
+  preprocess::JpegOptions jpeg{.quality = 75, .chroma_subsample = true};
+  bool use_wavelet = true;
+  preprocess::WaveletOptions wavelet{.family = preprocess::WaveletFamily::kDaubechies4,
+                                     .levels = 2,
+                                     .threshold_scale = 1.0f};
+};
+
+/// Preprocessing defense: denoise then upscale. The classifier itself stays
+/// outside (see GrayBoxEvaluator) so one pipeline instance can defend any
+/// model — the paper's model-agnostic property.
+class DefensePipeline {
+ public:
+  DefensePipeline(std::shared_ptr<models::Upscaler> upscaler, DefenseOptions opts = {});
+
+  /// Apply the full pipeline to an [N, 3, H, W] batch in [0,1]; returns the
+  /// defended [N, 3, 2H, 2W] batch.
+  [[nodiscard]] Tensor apply(const Tensor& images) const;
+
+  /// Row label for result tables (the upscaler's label).
+  [[nodiscard]] std::string label() const { return upscaler_->label(); }
+
+  [[nodiscard]] const DefenseOptions& options() const { return opts_; }
+  [[nodiscard]] models::Upscaler& upscaler() { return *upscaler_; }
+
+ private:
+  std::shared_ptr<models::Upscaler> upscaler_;
+  DefenseOptions opts_;
+  preprocess::JpegCompressor jpeg_;
+  preprocess::WaveletDenoiser wavelet_;
+};
+
+}  // namespace sesr::core

@@ -1,0 +1,91 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "data/metrics.h"
+#include "nn/loss.h"
+
+namespace sesr::core {
+
+std::vector<int64_t> GrayBoxEvaluator::correctly_classified(
+    const data::ShapesTexDataset& dataset, int64_t pool, int64_t max_count) {
+  std::vector<int64_t> selected;
+  for (int64_t first = 0; first < pool && static_cast<int64_t>(selected.size()) < max_count;
+       first += batch_size_) {
+    const int64_t count = std::min(batch_size_, pool - first);
+    const Tensor images = dataset.images(first, count);
+    const std::vector<int64_t> labels = dataset.labels(first, count);
+    const std::vector<int64_t> preds = nn::argmax_rows(classifier_->forward(images));
+    for (int64_t i = 0; i < count; ++i) {
+      if (preds[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)]) {
+        selected.push_back(first + i);
+        if (static_cast<int64_t>(selected.size()) >= max_count) break;
+      }
+    }
+  }
+  return selected;
+}
+
+float GrayBoxEvaluator::clean_accuracy(const data::ShapesTexDataset& dataset,
+                                       const std::vector<int64_t>& indices,
+                                       const DefensePipeline* defense) {
+  std::vector<int64_t> preds, labels;
+  for (size_t first = 0; first < indices.size(); first += static_cast<size_t>(batch_size_)) {
+    const size_t count = std::min(static_cast<size_t>(batch_size_), indices.size() - first);
+    const std::vector<int64_t> batch_idx(indices.begin() + static_cast<std::ptrdiff_t>(first),
+                                         indices.begin() + static_cast<std::ptrdiff_t>(first + count));
+    Tensor images = dataset.images_at(batch_idx);
+    if (defense) images = defense->apply(images);
+    const std::vector<int64_t> batch_preds = nn::argmax_rows(classifier_->forward(images));
+    preds.insert(preds.end(), batch_preds.begin(), batch_preds.end());
+    const std::vector<int64_t> batch_labels = dataset.labels_at(batch_idx);
+    labels.insert(labels.end(), batch_labels.begin(), batch_labels.end());
+  }
+  return data::accuracy_percent(preds, labels);
+}
+
+float GrayBoxEvaluator::robust_accuracy(const data::ShapesTexDataset& dataset,
+                                        const std::vector<int64_t>& indices,
+                                        attacks::Attack& attack,
+                                        const DefensePipeline* defense) {
+  const Tensor adversarial = craft_adversarial(dataset, indices, attack);
+  return accuracy_on(adversarial, dataset.labels_at(indices), defense);
+}
+
+Tensor GrayBoxEvaluator::craft_adversarial(const data::ShapesTexDataset& dataset,
+                                           const std::vector<int64_t>& indices,
+                                           attacks::Attack& attack) {
+  const int64_t s = dataset.options().image_size;
+  Tensor adversarial({static_cast<int64_t>(indices.size()), 3, s, s});
+  const int64_t sample_sz = 3 * s * s;
+  for (size_t first = 0; first < indices.size(); first += static_cast<size_t>(batch_size_)) {
+    const size_t count = std::min(static_cast<size_t>(batch_size_), indices.size() - first);
+    const std::vector<int64_t> batch_idx(indices.begin() + static_cast<std::ptrdiff_t>(first),
+                                         indices.begin() + static_cast<std::ptrdiff_t>(first + count));
+    const Tensor images = dataset.images_at(batch_idx);
+    // Gray-box: the attack sees only the undefended classifier.
+    const Tensor adv = attack.perturb(*classifier_, images, dataset.labels_at(batch_idx));
+    std::copy(adv.data(), adv.data() + adv.numel(),
+              adversarial.data() + static_cast<int64_t>(first) * sample_sz);
+  }
+  return adversarial;
+}
+
+float GrayBoxEvaluator::accuracy_on(const Tensor& images, const std::vector<int64_t>& labels,
+                                    const DefensePipeline* defense) {
+  const int64_t n = images.dim(0);
+  const int64_t sample_sz = images.numel() / n;
+  std::vector<int64_t> preds;
+  for (int64_t first = 0; first < n; first += batch_size_) {
+    const int64_t count = std::min(batch_size_, n - first);
+    Tensor batch({count, images.dim(1), images.dim(2), images.dim(3)});
+    std::copy(images.data() + first * sample_sz, images.data() + (first + count) * sample_sz,
+              batch.data());
+    if (defense) batch = defense->apply(batch);
+    const std::vector<int64_t> batch_preds = nn::argmax_rows(classifier_->forward(batch));
+    preds.insert(preds.end(), batch_preds.begin(), batch_preds.end());
+  }
+  return data::accuracy_percent(preds, labels);
+}
+
+}  // namespace sesr::core

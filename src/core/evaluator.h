@@ -1,0 +1,67 @@
+// Gray-box robustness evaluation (the paper's Table II protocol).
+//
+// 1. Select an evaluation set on which the *undefended* classifier is 100%
+//    correct (the paper picks 5000 such ImageNet images per classifier).
+// 2. Craft adversarial examples with gradients of the undefended classifier
+//    at the raw input resolution — the attacker knows the classifier but not
+//    the defense (gray-box).
+// 3. Report robust accuracy = top-1 accuracy of the classifier on the
+//    defended (JPEG + wavelet + x2 SR) adversarial images. Without a defense,
+//    the classifier sees the raw adversarial images.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "core/defense.h"
+#include "data/shapes_tex.h"
+#include "models/classifiers.h"
+
+namespace sesr::core {
+
+class GrayBoxEvaluator {
+ public:
+  explicit GrayBoxEvaluator(std::shared_ptr<models::Classifier> classifier,
+                            int64_t batch_size = 32)
+      : classifier_(std::move(classifier)), batch_size_(batch_size) {}
+
+  /// Scan dataset indices [0, pool) and return up to `max_count` indices that
+  /// the undefended classifier classifies correctly (the paper's protocol of
+  /// evaluating only on initially-correct images).
+  [[nodiscard]] std::vector<int64_t> correctly_classified(const data::ShapesTexDataset& dataset,
+                                                          int64_t pool, int64_t max_count);
+
+  /// Clean accuracy (%) of the classifier on the given indices, optionally
+  /// through a defense.
+  [[nodiscard]] float clean_accuracy(const data::ShapesTexDataset& dataset,
+                                     const std::vector<int64_t>& indices,
+                                     const DefensePipeline* defense = nullptr);
+
+  /// Robust accuracy (%) under `attack`, evaluated through `defense`
+  /// (nullptr = the paper's "No Defense" row: the classifier consumes the raw
+  /// adversarial images).
+  [[nodiscard]] float robust_accuracy(const data::ShapesTexDataset& dataset,
+                                      const std::vector<int64_t>& indices,
+                                      attacks::Attack& attack,
+                                      const DefensePipeline* defense = nullptr);
+
+  /// Craft the adversarial images once. Gray-box attacks are independent of
+  /// the defense, so one crafted set serves every defense row of Table II.
+  [[nodiscard]] Tensor craft_adversarial(const data::ShapesTexDataset& dataset,
+                                         const std::vector<int64_t>& indices,
+                                         attacks::Attack& attack);
+
+  /// Accuracy (%) of the classifier on pre-crafted images, optionally
+  /// through a defense. Pairs with craft_adversarial.
+  [[nodiscard]] float accuracy_on(const Tensor& images, const std::vector<int64_t>& labels,
+                                  const DefensePipeline* defense = nullptr);
+
+  [[nodiscard]] models::Classifier& classifier() { return *classifier_; }
+
+ private:
+  std::shared_ptr<models::Classifier> classifier_;
+  int64_t batch_size_;
+};
+
+}  // namespace sesr::core

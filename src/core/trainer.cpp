@@ -1,0 +1,193 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "data/metrics.h"
+#include "models/luma_sr.h"
+#include "preprocess/interpolation.h"
+
+namespace sesr::core {
+
+TrainingSummary train_classifier(models::Classifier& classifier,
+                                 const data::ShapesTexDataset& dataset,
+                                 const ClassifierTrainingOptions& opts) {
+  Rng rng(opts.seed);
+  classifier.init_weights(rng);
+  nn::Adam optimizer(classifier.parameters(), opts.learning_rate);
+
+  std::vector<int64_t> order(static_cast<size_t>(opts.train_size));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainingSummary summary;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double loss_sum = 0.0;
+    int64_t correct = 0, seen = 0, batches = 0;
+    for (size_t first = 0; first + 1 < order.size(); first += static_cast<size_t>(opts.batch_size)) {
+      const size_t count = std::min(static_cast<size_t>(opts.batch_size), order.size() - first);
+      const std::vector<int64_t> batch_idx(order.begin() + static_cast<std::ptrdiff_t>(first),
+                                           order.begin() + static_cast<std::ptrdiff_t>(first + count));
+      Tensor images = dataset.images_at(batch_idx);
+      const std::vector<int64_t> labels = dataset.labels_at(batch_idx);
+      if (opts.upscaled_batch_prob > 0.0f && rng.bernoulli(opts.upscaled_batch_prob))
+        images = preprocess::upscale(images, 2, preprocess::InterpolationKind::kBicubic);
+
+      classifier.zero_grad();
+      const Tensor logits = classifier.forward(images);
+      nn::LossResult ce = nn::cross_entropy_loss(logits, labels);
+      classifier.backward(ce.grad);
+      optimizer.step();
+
+      const std::vector<int64_t> preds = nn::argmax_rows(logits);
+      for (size_t i = 0; i < labels.size(); ++i)
+        if (preds[i] == labels[i]) ++correct;
+      seen += static_cast<int64_t>(labels.size());
+      loss_sum += ce.value;
+      ++batches;
+      ++summary.steps;
+    }
+    summary.final_loss = static_cast<float>(loss_sum / std::max<int64_t>(batches, 1));
+    summary.final_accuracy =
+        100.0f * static_cast<float>(correct) / static_cast<float>(std::max<int64_t>(seen, 1));
+    if (opts.verbose)
+      std::printf("  [%s] epoch %d/%d  loss %.4f  train-acc %.2f%%\n",
+                  classifier.name().c_str(), epoch + 1, opts.epochs, summary.final_loss,
+                  summary.final_accuracy);
+  }
+  return summary;
+}
+
+TrainingSummary train_sr(nn::Module& network, const data::SyntheticDiv2k& dataset,
+                         const SrTrainingOptions& opts) {
+  Rng rng(opts.seed);
+  network.init_weights(rng);  // honours model-specific schemes (e.g. SESR's)
+  nn::Adam optimizer(network.parameters(), opts.learning_rate);
+
+  std::vector<int64_t> order(static_cast<size_t>(opts.train_size));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainingSummary summary;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t first = 0; first + 1 < order.size(); first += static_cast<size_t>(opts.batch_size)) {
+      const size_t count = std::min(static_cast<size_t>(opts.batch_size), order.size() - first);
+      // Contiguous ranges of the shuffled order, materialised as one batch.
+      Tensor lr_batch, hr_batch;
+      {
+        const int64_t hs = dataset.options().hr_size;
+        const int64_t ls = hs / dataset.options().scale;
+        lr_batch = Tensor({static_cast<int64_t>(count), 3, ls, ls});
+        hr_batch = Tensor({static_cast<int64_t>(count), 3, hs, hs});
+        for (size_t i = 0; i < count; ++i) {
+          const data::SrPair pair = dataset.get(order[first + i]);
+          std::copy(pair.lr.data(), pair.lr.data() + 3 * ls * ls,
+                    lr_batch.data() + static_cast<int64_t>(i) * 3 * ls * ls);
+          std::copy(pair.hr.data(), pair.hr.data() + 3 * hs * hs,
+                    hr_batch.data() + static_cast<int64_t>(i) * 3 * hs * hs);
+        }
+      }
+
+      network.zero_grad();
+      const Tensor prediction = network.forward(lr_batch);
+      nn::LossResult loss = (opts.loss == SrLoss::kMae) ? nn::mae_loss(prediction, hr_batch)
+                                                        : nn::mse_loss(prediction, hr_batch);
+      network.backward(loss.grad);
+      optimizer.step();
+
+      loss_sum += loss.value;
+      ++batches;
+      ++summary.steps;
+    }
+    summary.final_loss = static_cast<float>(loss_sum / std::max<int64_t>(batches, 1));
+    if (opts.verbose)
+      std::printf("  [%s] epoch %d/%d  loss %.5f\n", network.name().c_str(), epoch + 1,
+                  opts.epochs, summary.final_loss);
+  }
+  return summary;
+}
+
+TrainingSummary train_sr_luma(nn::Module& network, const data::SyntheticDiv2k& dataset,
+                              const SrTrainingOptions& opts) {
+  Rng rng(opts.seed);
+  network.init_weights(rng);
+  nn::Adam optimizer(network.parameters(), opts.learning_rate);
+
+  std::vector<int64_t> order(static_cast<size_t>(opts.train_size));
+  std::iota(order.begin(), order.end(), 0);
+
+  const int64_t hs = dataset.options().hr_size;
+  const int64_t ls = hs / dataset.options().scale;
+
+  TrainingSummary summary;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (size_t first = 0; first + 1 < order.size(); first += static_cast<size_t>(opts.batch_size)) {
+      const size_t count = std::min(static_cast<size_t>(opts.batch_size), order.size() - first);
+      Tensor lr_rgb({static_cast<int64_t>(count), 3, ls, ls});
+      Tensor hr_rgb({static_cast<int64_t>(count), 3, hs, hs});
+      for (size_t i = 0; i < count; ++i) {
+        const data::SrPair pair = dataset.get(order[first + i]);
+        std::copy(pair.lr.data(), pair.lr.data() + 3 * ls * ls,
+                  lr_rgb.data() + static_cast<int64_t>(i) * 3 * ls * ls);
+        std::copy(pair.hr.data(), pair.hr.data() + 3 * hs * hs,
+                  hr_rgb.data() + static_cast<int64_t>(i) * 3 * hs * hs);
+      }
+      const Tensor lr_y = models::luma_of(lr_rgb);
+      const Tensor hr_y = models::luma_of(hr_rgb);
+
+      network.zero_grad();
+      const Tensor prediction = network.forward(lr_y);
+      nn::LossResult loss = (opts.loss == SrLoss::kMae) ? nn::mae_loss(prediction, hr_y)
+                                                        : nn::mse_loss(prediction, hr_y);
+      network.backward(loss.grad);
+      optimizer.step();
+
+      loss_sum += loss.value;
+      ++batches;
+      ++summary.steps;
+    }
+    summary.final_loss = static_cast<float>(loss_sum / std::max<int64_t>(batches, 1));
+    if (opts.verbose)
+      std::printf("  [%s/luma] epoch %d/%d  loss %.5f\n", network.name().c_str(), epoch + 1,
+                  opts.epochs, summary.final_loss);
+  }
+  return summary;
+}
+
+float evaluate_sr_psnr(nn::Module& network, const data::SyntheticDiv2k& dataset, int64_t first,
+                       int64_t count) {
+  double psnr_sum = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    const data::SrPair pair = dataset.get(first + i);
+    const int64_t ls = dataset.options().hr_size / dataset.options().scale;
+    Tensor out = network.forward(pair.lr.reshaped({1, 3, ls, ls}));
+    out.clamp_(0.0f, 1.0f);
+    psnr_sum += data::psnr(out, pair.hr.reshaped({1, 3, dataset.options().hr_size,
+                                                  dataset.options().hr_size}));
+  }
+  return static_cast<float>(psnr_sum / static_cast<double>(count));
+}
+
+float evaluate_interpolation_psnr(preprocess::InterpolationKind kind,
+                                  const data::SyntheticDiv2k& dataset, int64_t first,
+                                  int64_t count) {
+  double psnr_sum = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    const data::SrPair pair = dataset.get(first + i);
+    const int64_t ls = dataset.options().hr_size / dataset.options().scale;
+    const Tensor up =
+        preprocess::upscale(pair.lr.reshaped({1, 3, ls, ls}), dataset.options().scale, kind);
+    psnr_sum += data::psnr(up, pair.hr.reshaped({1, 3, dataset.options().hr_size,
+                                                 dataset.options().hr_size}));
+  }
+  return static_cast<float>(psnr_sum / static_cast<double>(count));
+}
+
+}  // namespace sesr::core

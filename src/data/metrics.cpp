@@ -1,0 +1,30 @@
+#include "data/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::data {
+
+float psnr(const Tensor& a, const Tensor& b, float peak) {
+  if (a.shape() != b.shape()) throw std::invalid_argument("psnr: shape mismatch");
+  double mse = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.numel());
+  if (mse <= 1e-20) return 99.0f;
+  return static_cast<float>(10.0 * std::log10(static_cast<double>(peak) * peak / mse));
+}
+
+float accuracy_percent(const std::vector<int64_t>& predictions,
+                       const std::vector<int64_t>& labels) {
+  if (predictions.size() != labels.size() || predictions.empty())
+    throw std::invalid_argument("accuracy_percent: size mismatch or empty");
+  int64_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i] == labels[i]) ++correct;
+  return 100.0f * static_cast<float>(correct) / static_cast<float>(predictions.size());
+}
+
+}  // namespace sesr::data

@@ -1,0 +1,21 @@
+// Evaluation metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sesr::data {
+
+/// Peak signal-to-noise ratio in dB between two same-shape tensors with
+/// values in [0, 1] (peak = 1). Returns +inf-like large value (99 dB cap)
+/// for identical inputs. Computed over all channels jointly, i.e. RGB PSNR —
+/// the colourspace convention of the paper's Table I.
+float psnr(const Tensor& a, const Tensor& b, float peak = 1.0f);
+
+/// Fraction of positions where prediction == label, in percent.
+float accuracy_percent(const std::vector<int64_t>& predictions,
+                       const std::vector<int64_t>& labels);
+
+}  // namespace sesr::data

@@ -1,0 +1,128 @@
+#include "data/synthetic_div2k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "preprocess/interpolation.h"
+
+namespace sesr::data {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+uint64_t mix_seed(uint64_t seed, int64_t index) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(index) * 0xD6E8FEB86659FD93ull + 0x2545F491ull);
+  x ^= x >> 31;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 29;
+  return x;
+}
+
+}  // namespace
+
+SyntheticDiv2k::SyntheticDiv2k(SyntheticDiv2kOptions opts) : opts_(opts) {
+  if (opts_.hr_size % opts_.scale != 0)
+    throw std::invalid_argument("SyntheticDiv2k: hr_size must be divisible by scale");
+  if (opts_.hr_size < 8) throw std::invalid_argument("SyntheticDiv2k: patch too small");
+}
+
+Tensor SyntheticDiv2k::render_hr(int64_t index) const {
+  Rng rng(mix_seed(opts_.seed, index));
+  const int64_t s = opts_.hr_size;
+  Tensor hr({3, s, s});
+
+  // Base: oriented colour gradient.
+  float c0[3], c1[3];
+  for (int c = 0; c < 3; ++c) {
+    c0[c] = rng.uniform(0.1f, 0.9f);
+    c1[c] = rng.uniform(0.1f, 0.9f);
+  }
+  const float grad_angle = rng.uniform(0.0f, 2.0f * kPi);
+
+  // 2-4 soft-edged ellipses (objects).
+  struct Ellipse {
+    float cx, cy, rx, ry, rot, color[3], softness;
+  };
+  const int n_ellipses = static_cast<int>(rng.randint(2, 4));
+  std::vector<Ellipse> ellipses(static_cast<size_t>(n_ellipses));
+  for (auto& e : ellipses) {
+    e.cx = rng.uniform(0.1f, 0.9f);
+    e.cy = rng.uniform(0.1f, 0.9f);
+    e.rx = rng.uniform(0.08f, 0.35f);
+    e.ry = rng.uniform(0.08f, 0.35f);
+    e.rot = rng.uniform(0.0f, kPi);
+    e.softness = rng.uniform(0.02f, 0.15f);
+    for (int c = 0; c < 3; ++c) e.color[c] = rng.uniform(0.05f, 0.95f);
+  }
+
+  // 2 oriented sinusoid textures at different scales + 1 hard edge.
+  const float tex1_freq = rng.uniform(2.0f, 5.0f), tex1_angle = rng.uniform(0.0f, kPi);
+  const float tex1_amp = rng.uniform(0.02f, 0.08f), tex1_phase = rng.uniform(0.0f, 2 * kPi);
+  const float tex2_freq = rng.uniform(6.0f, 12.0f), tex2_angle = rng.uniform(0.0f, kPi);
+  const float tex2_amp = rng.uniform(0.03f, 0.10f), tex2_phase = rng.uniform(0.0f, 2 * kPi);
+  const bool has_edge = rng.bernoulli(0.7);
+  const float edge_pos = rng.uniform(0.2f, 0.8f), edge_angle = rng.uniform(0.0f, kPi);
+  const float edge_contrast = rng.uniform(0.1f, 0.3f);
+
+  for (int64_t y = 0; y < s; ++y) {
+    for (int64_t x = 0; x < s; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) / static_cast<float>(s);
+      const float fy = (static_cast<float>(y) + 0.5f) / static_cast<float>(s);
+      const float t = std::clamp(
+          0.5f + (fx - 0.5f) * std::cos(grad_angle) + (fy - 0.5f) * std::sin(grad_angle), 0.0f,
+          1.0f);
+
+      float rgb[3];
+      for (int c = 0; c < 3; ++c) rgb[c] = c0[c] * (1.0f - t) + c1[c] * t;
+
+      // Composite ellipses with soft alpha.
+      for (const auto& e : ellipses) {
+        const float dx = fx - e.cx, dy = fy - e.cy;
+        const float u = (std::cos(e.rot) * dx + std::sin(e.rot) * dy) / e.rx;
+        const float v = (-std::sin(e.rot) * dx + std::cos(e.rot) * dy) / e.ry;
+        const float d = u * u + v * v;
+        const float alpha = std::clamp((1.0f - d) / e.softness, 0.0f, 1.0f);
+        if (alpha > 0.0f)
+          for (int c = 0; c < 3; ++c) rgb[c] = rgb[c] * (1.0f - alpha) + e.color[c] * alpha;
+      }
+
+      // Textures (luminance-coupled, like natural surface detail).
+      const float w1 = tex1_amp * std::sin(2 * kPi * tex1_freq *
+                                               (fx * std::cos(tex1_angle) + fy * std::sin(tex1_angle)) +
+                                           tex1_phase);
+      const float w2 = tex2_amp * std::sin(2 * kPi * tex2_freq *
+                                               (fx * std::cos(tex2_angle) + fy * std::sin(tex2_angle)) +
+                                           tex2_phase);
+      float edge = 0.0f;
+      if (has_edge) {
+        const float proj = fx * std::cos(edge_angle) + fy * std::sin(edge_angle);
+        edge = proj > edge_pos ? edge_contrast : -edge_contrast;
+      }
+      for (int c = 0; c < 3; ++c)
+        hr[(c * s + y) * s + x] = std::clamp(rgb[c] + w1 + w2 + edge * 0.5f, 0.0f, 1.0f);
+    }
+  }
+  return hr;
+}
+
+SrPair SyntheticDiv2k::get(int64_t index) const {
+  Tensor hr = render_hr(index);
+  Tensor hr_batched = hr.reshaped({1, 3, opts_.hr_size, opts_.hr_size});
+  Tensor lr = preprocess::downscale(hr_batched, opts_.scale);
+  const int64_t lr_size = opts_.hr_size / opts_.scale;
+  return {std::move(lr).reshaped({3, lr_size, lr_size}), std::move(hr)};
+}
+
+SyntheticDiv2k::Batch SyntheticDiv2k::batch(int64_t first, int64_t count) const {
+  const int64_t hs = opts_.hr_size, ls = hs / opts_.scale;
+  Batch out{Tensor({count, 3, ls, ls}), Tensor({count, 3, hs, hs})};
+  for (int64_t i = 0; i < count; ++i) {
+    SrPair pair = get(first + i);
+    std::copy(pair.lr.data(), pair.lr.data() + 3 * ls * ls, out.lr.data() + i * 3 * ls * ls);
+    std::copy(pair.hr.data(), pair.hr.data() + 3 * hs * hs, out.hr.data() + i * 3 * hs * hs);
+  }
+  return out;
+}
+
+}  // namespace sesr::data

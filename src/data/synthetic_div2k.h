@@ -1,0 +1,51 @@
+// SyntheticDiv2k — procedural SR training corpus (DIV2K substitute).
+//
+// Generates high-resolution patches with natural-image statistics (piecewise
+// smooth regions, soft and hard edges, oriented textures at several scales)
+// and derives the low-resolution input by bicubic downsampling — the exact
+// protocol used to create DIV2K LR/HR training pairs. What SR training needs
+// from DIV2K is spatial correlation plus high-frequency detail whose
+// statistics the network can learn; this generator supplies both,
+// deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace sesr::data {
+
+struct SrPair {
+  Tensor lr;  ///< [3, H/scale, W/scale]
+  Tensor hr;  ///< [3, H, W]
+};
+
+struct SyntheticDiv2kOptions {
+  int64_t hr_size = 32;  ///< HR patch edge (must be divisible by scale)
+  int64_t scale = 2;
+  uint64_t seed = 2;
+};
+
+/// Deterministic, index-addressable SR patch source.
+class SyntheticDiv2k {
+ public:
+  explicit SyntheticDiv2k(SyntheticDiv2kOptions opts = {});
+
+  [[nodiscard]] SrPair get(int64_t index) const;
+
+  /// Stacked batches for training: returns {lr batch, hr batch}.
+  struct Batch {
+    Tensor lr;
+    Tensor hr;
+  };
+  [[nodiscard]] Batch batch(int64_t first, int64_t count) const;
+
+  [[nodiscard]] const SyntheticDiv2kOptions& options() const { return opts_; }
+
+ private:
+  [[nodiscard]] Tensor render_hr(int64_t index) const;
+
+  SyntheticDiv2kOptions opts_;
+};
+
+}  // namespace sesr::data

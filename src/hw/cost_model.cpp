@@ -1,0 +1,34 @@
+#include "hw/cost_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace sesr::hw {
+
+NetworkCost summarize(const nn::Module& model, const Shape& input) {
+  NetworkCost cost;
+  cost.layers = model.layers(input);
+  for (const nn::LayerInfo& info : cost.layers) {
+    cost.params += info.params;
+    cost.macs += info.macs;
+  }
+  return cost;
+}
+
+std::string human_count(double value) {
+  char buf[32];
+  if (value >= 1e12)
+    std::snprintf(buf, sizeof(buf), "%.3gT", value / 1e12);
+  else if (value >= 1e9)
+    std::snprintf(buf, sizeof(buf), "%.3gB", value / 1e9);
+  else if (value >= 1e6)
+    std::snprintf(buf, sizeof(buf), "%.3gM", value / 1e6);
+  else if (value >= 1e3)
+    std::snprintf(buf, sizeof(buf), "%.4gK", value / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace sesr::hw

@@ -1,0 +1,31 @@
+// Analytic network cost accounting (parameters, MACs).
+//
+// Works on the structural trace (nn::LayerInfo) that every Module emits, so
+// costs can be computed for paper-scale architectures without ever allocating
+// or running them at paper-scale resolutions. MAC conventions follow the
+// paper's Table I: one MAC per (output element x input tap) for convolutions,
+// gather-form accounting for transposed convolutions, zero for activations,
+// reshapes and elementwise adds. Validated against Table I in the test suite
+// (SESR-M2 = 0.948 GMAC, FSRCNN = 5.82 GMAC at 299x299 -> 598x598 RGB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sesr::hw {
+
+struct NetworkCost {
+  int64_t params = 0;
+  int64_t macs = 0;  ///< per single input sample
+  std::vector<nn::LayerInfo> layers;
+};
+
+/// Trace `model` at `input` (NCHW, batch of 1 recommended) and total up costs.
+NetworkCost summarize(const nn::Module& model, const Shape& input);
+
+/// Pretty-print helpers for table rows ("10.6K", "0.948B").
+std::string human_count(double value);
+
+}  // namespace sesr::hw

@@ -1,0 +1,170 @@
+#include "models/classifiers.h"
+
+namespace sesr::models {
+namespace {
+
+nn::Conv2dOptions conv(int64_t in_c, int64_t out_c, int64_t k, int64_t stride = 1) {
+  return {.in_channels = in_c, .out_channels = out_c, .kernel = k, .stride = stride,
+          .padding = -1, .bias = true};
+}
+
+nn::Conv2dOptions conv1x1(int64_t in_c, int64_t out_c, int64_t stride = 1) {
+  return {.in_channels = in_c, .out_channels = out_c, .kernel = 1, .stride = stride,
+          .padding = 0, .bias = true};
+}
+
+int64_t groups_for(int64_t channels) { return channels % 8 == 0 ? 8 : (channels % 4 == 0 ? 4 : 1); }
+
+// MobileNet-V2 inverted residual: 1x1 expand -> norm/ReLU6 -> 3x3 depthwise
+// -> norm/ReLU6 -> 1x1 linear project; identity residual when geometry
+// allows. `with_norm` selects the trainable repo-scale variant (GroupNorm in
+// place of the original's BatchNorm — see classifiers.h); the paper-scale
+// cost-accounting variant omits norms, matching deployment folding.
+std::unique_ptr<nn::Module> inverted_residual(int64_t in_c, int64_t out_c, int64_t expand,
+                                              int64_t stride, bool with_norm = false) {
+  auto body = std::make_unique<nn::Sequential>("inverted_residual");
+  const int64_t mid = in_c * expand;
+  if (expand != 1) {  // t = 1 blocks have no expansion conv (MobileNet-V2 paper)
+    body->add<nn::Conv2d>(conv1x1(in_c, mid));
+    if (with_norm) body->add<nn::GroupNorm>(mid, groups_for(mid));
+    body->add<nn::ReLU6>();
+  }
+  body->add<nn::DepthwiseConv2d>(nn::DepthwiseConv2dOptions{
+      .channels = mid, .kernel = 3, .stride = stride, .padding = -1, .bias = true});
+  if (with_norm) body->add<nn::GroupNorm>(mid, groups_for(mid));
+  body->add<nn::ReLU6>();
+  body->add<nn::Conv2d>(conv1x1(mid, out_c));  // linear bottleneck: no activation
+  if (with_norm) body->add<nn::GroupNorm>(out_c, groups_for(out_c));
+  if (stride == 1 && in_c == out_c)
+    return std::make_unique<nn::Residual>(std::move(body));
+  return body;
+}
+
+// ResNet basic block: conv3x3(stride)-norm-ReLU-conv3x3-norm + shortcut,
+// post-ReLU (GroupNorm standing in for the original's BatchNorm).
+std::unique_ptr<nn::Module> basic_block(int64_t in_c, int64_t out_c, int64_t stride) {
+  auto body = std::make_unique<nn::Sequential>("basic_block");
+  body->add<nn::Conv2d>(conv(in_c, out_c, 3, stride));
+  body->add<nn::GroupNorm>(out_c, groups_for(out_c));
+  body->add<nn::ReLU>();
+  body->add<nn::Conv2d>(conv(out_c, out_c, 3));
+  // Zero-init gamma: the block starts as an identity mapping.
+  body->add<nn::GroupNorm>(out_c, groups_for(out_c), 1e-5f, 0.0f);
+
+  std::unique_ptr<nn::Module> shortcut;
+  if (stride != 1 || in_c != out_c) {
+    auto proj = std::make_unique<nn::Sequential>("projection");
+    proj->add<nn::Conv2d>(conv1x1(in_c, out_c, stride));
+    shortcut = std::move(proj);
+  }
+
+  auto wrapped = std::make_unique<nn::Sequential>("res_block");
+  wrapped->add_module(std::make_unique<nn::Residual>(std::move(body), std::move(shortcut)));
+  wrapped->add<nn::ReLU>();
+  return wrapped;
+}
+
+// Inception block: 1x1 / 1x1-3x3 / 1x1-5x5 / avgpool-1x1 branches.
+std::unique_ptr<nn::Module> inception_block(int64_t in_c, int64_t b1, int64_t b3_red,
+                                            int64_t b3, int64_t b5_red, int64_t b5,
+                                            int64_t pool_proj) {
+  auto block = std::make_unique<nn::Concat>();
+
+  auto branch1 = std::make_unique<nn::Sequential>("b1x1");
+  branch1->add<nn::Conv2d>(conv1x1(in_c, b1));
+  branch1->add<nn::GroupNorm>(b1, groups_for(b1));
+  branch1->add<nn::ReLU>();
+  block->add_branch_module(std::move(branch1));
+
+  auto branch3 = std::make_unique<nn::Sequential>("b3x3");
+  branch3->add<nn::Conv2d>(conv1x1(in_c, b3_red));
+  branch3->add<nn::ReLU>();
+  branch3->add<nn::Conv2d>(conv(b3_red, b3, 3));
+  branch3->add<nn::GroupNorm>(b3, groups_for(b3));
+  branch3->add<nn::ReLU>();
+  block->add_branch_module(std::move(branch3));
+
+  auto branch5 = std::make_unique<nn::Sequential>("b5x5");
+  branch5->add<nn::Conv2d>(conv1x1(in_c, b5_red));
+  branch5->add<nn::ReLU>();
+  branch5->add<nn::Conv2d>(conv(b5_red, b5, 5));
+  branch5->add<nn::GroupNorm>(b5, groups_for(b5));
+  branch5->add<nn::ReLU>();
+  block->add_branch_module(std::move(branch5));
+
+  auto branch_pool = std::make_unique<nn::Sequential>("bpool");
+  branch_pool->add<nn::AvgPool2d>(3, 1, 1);
+  branch_pool->add<nn::Conv2d>(conv1x1(in_c, pool_proj));
+  branch_pool->add<nn::GroupNorm>(pool_proj, groups_for(pool_proj));
+  branch_pool->add<nn::ReLU>();
+  block->add_branch_module(std::move(branch_pool));
+
+  return block;
+}
+
+}  // namespace
+
+TinyMobileNetV2::TinyMobileNetV2(int64_t num_classes) : Classifier(num_classes) {
+  net_.add<nn::Conv2d>(conv(3, 16, 3));
+  net_.add<nn::GroupNorm>(16, 8);
+  net_.add<nn::ReLU6>();
+  net_.add_module(inverted_residual(16, 24, 4, 2, /*with_norm=*/true));
+  net_.add_module(inverted_residual(24, 24, 4, 1, true));
+  net_.add_module(inverted_residual(24, 32, 4, 2, true));
+  net_.add_module(inverted_residual(32, 32, 4, 1, true));
+  net_.add_module(inverted_residual(32, 64, 4, 1, true));
+  net_.add<nn::Conv2d>(conv1x1(64, 128));
+  net_.add<nn::GroupNorm>(128, 8);
+  net_.add<nn::ReLU6>();
+  net_.add<nn::GlobalAvgPool>();
+  net_.add<nn::Linear>(128, num_classes);
+}
+
+TinyResNet::TinyResNet(int64_t num_classes) : Classifier(num_classes) {
+  net_.add<nn::Conv2d>(conv(3, 32, 3));
+  net_.add<nn::GroupNorm>(32, 8);
+  net_.add<nn::ReLU>();
+  net_.add_module(basic_block(32, 32, 1));
+  net_.add_module(basic_block(32, 32, 1));
+  net_.add_module(basic_block(32, 64, 2));
+  net_.add_module(basic_block(64, 64, 1));
+  net_.add_module(basic_block(64, 128, 2));
+  net_.add_module(basic_block(128, 128, 1));
+  net_.add<nn::GlobalAvgPool>();
+  net_.add<nn::Linear>(128, num_classes);
+}
+
+MobileNetV2Paper::MobileNetV2Paper(int64_t num_classes) : Classifier(num_classes) {
+  net_.add<nn::Conv2d>(conv(3, 32, 3, 2));
+  net_.add<nn::ReLU6>();
+  struct Stage {
+    int64_t t, c, n, s;
+  };
+  const Stage schedule[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2}, {6, 64, 4, 2},
+                            {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1}};
+  int64_t in_c = 32;
+  for (const Stage& st : schedule) {
+    for (int64_t i = 0; i < st.n; ++i) {
+      net_.add_module(inverted_residual(in_c, st.c, st.t, i == 0 ? st.s : 1));
+      in_c = st.c;
+    }
+  }
+  net_.add<nn::Conv2d>(conv1x1(in_c, 1280));
+  net_.add<nn::ReLU6>();
+  net_.add<nn::GlobalAvgPool>();
+  net_.add<nn::Linear>(1280, num_classes);
+}
+
+TinyInception::TinyInception(int64_t num_classes) : Classifier(num_classes) {
+  net_.add<nn::Conv2d>(conv(3, 32, 3));
+  net_.add<nn::GroupNorm>(32, 8);
+  net_.add<nn::ReLU>();
+  net_.add<nn::MaxPool2d>(2, 2);
+  net_.add_module(inception_block(32, 16, 12, 16, 8, 16, 16));   // -> 64 channels
+  net_.add<nn::MaxPool2d>(2, 2);
+  net_.add_module(inception_block(64, 32, 24, 32, 12, 32, 32));  // -> 128 channels
+  net_.add<nn::GlobalAvgPool>();
+  net_.add<nn::Linear>(128, num_classes);
+}
+
+}  // namespace sesr::models

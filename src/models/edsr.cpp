@@ -1,0 +1,77 @@
+#include "models/edsr.h"
+
+namespace sesr::models {
+namespace {
+
+nn::Conv2dOptions conv3(int64_t in_c, int64_t out_c) {
+  return {.in_channels = in_c, .out_channels = out_c, .kernel = 3, .stride = 1, .padding = -1,
+          .bias = true};
+}
+
+std::unique_ptr<nn::Module> make_res_block(int64_t channels, float res_scale) {
+  auto body = std::make_unique<nn::Sequential>("edsr_block");
+  body->add<nn::Conv2d>(conv3(channels, channels));
+  body->add<nn::ReLU>();
+  body->add<nn::Conv2d>(conv3(channels, channels));
+  return std::make_unique<nn::Residual>(std::move(body), nullptr, res_scale);
+}
+
+}  // namespace
+
+Edsr::Edsr(EdsrConfig config)
+    : config_(config),
+      head_(conv3(config.image_channels, config.channels)),
+      body_("edsr_body"),
+      upsampler_("edsr_tail") {
+  for (int64_t b = 0; b < config_.blocks; ++b)
+    body_.add_module(make_res_block(config_.channels, config_.res_scale));
+  body_.add<nn::Conv2d>(conv3(config_.channels, config_.channels));
+
+  const int64_t r2 = config_.scale * config_.scale;
+  upsampler_.add<nn::Conv2d>(conv3(config_.channels, config_.channels * r2));
+  upsampler_.add<nn::DepthToSpace>(config_.scale);
+  final_conv_ = &upsampler_.add<nn::Conv2d>(conv3(config_.channels, config_.image_channels));
+}
+
+void Edsr::init_weights(Rng& rng) {
+  nn::init_he_normal(*this, rng);
+  final_conv_->weight().value.mul_scalar(0.01f);
+}
+
+Tensor Edsr::forward(const Tensor& input) {
+  Tensor features = head_.forward(input);
+  Tensor body_out = body_.forward(features);
+  body_out.add_(features);  // long skip over the whole body
+  return upsampler_.forward(body_out);
+}
+
+Tensor Edsr::backward(const Tensor& grad_output) {
+  Tensor g = upsampler_.backward(grad_output);
+  Tensor g_skip = g;
+  g = body_.backward(g);
+  g.add_(g_skip);
+  return head_.backward(g);
+}
+
+std::vector<nn::Parameter*> Edsr::parameters() {
+  std::vector<nn::Parameter*> params = head_.parameters();
+  for (nn::Parameter* p : body_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : upsampler_.parameters()) params.push_back(p);
+  return params;
+}
+
+Shape Edsr::trace(const Shape& input, std::vector<nn::LayerInfo>* out) const {
+  Shape features = head_.trace(input, out);
+  Shape body_out = body_.trace(features, out);
+  if (out) {
+    nn::LayerInfo info;
+    info.kind = nn::LayerKind::kElementwise;
+    info.name = "long_skip_add";
+    info.input = body_out;
+    info.output = body_out;
+    out->push_back(std::move(info));
+  }
+  return upsampler_.trace(body_out, out);
+}
+
+}  // namespace sesr::models

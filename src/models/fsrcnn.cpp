@@ -1,0 +1,46 @@
+#include "models/fsrcnn.h"
+
+namespace sesr::models {
+
+Fsrcnn::Fsrcnn(FsrcnnConfig config) : config_(config), net_("fsrcnn") {
+  const int64_t c = config_.image_channels;
+
+  // Feature extraction.
+  net_.add<nn::Conv2d>(nn::Conv2dOptions{
+      .in_channels = c, .out_channels = config_.d, .kernel = 5, .stride = 1, .padding = -1,
+      .bias = true});
+  net_.add<nn::PReLU>(config_.d);
+
+  // Shrink.
+  net_.add<nn::Conv2d>(nn::Conv2dOptions{
+      .in_channels = config_.d, .out_channels = config_.s, .kernel = 1, .stride = 1,
+      .padding = 0, .bias = true});
+  net_.add<nn::PReLU>(config_.s);
+
+  // Mapping.
+  for (int64_t i = 0; i < config_.m; ++i) {
+    net_.add<nn::Conv2d>(nn::Conv2dOptions{
+        .in_channels = config_.s, .out_channels = config_.s, .kernel = 3, .stride = 1,
+        .padding = -1, .bias = true});
+    net_.add<nn::PReLU>(config_.s);
+  }
+
+  // Expand.
+  net_.add<nn::Conv2d>(nn::Conv2dOptions{
+      .in_channels = config_.s, .out_channels = config_.d, .kernel = 1, .stride = 1,
+      .padding = 0, .bias = true});
+  net_.add<nn::PReLU>(config_.d);
+
+  // Deconvolution upsampler: 9x9, stride = scale, geometry chosen so the
+  // output is exactly scale * input (pad 4, output_padding scale - 1).
+  deconv_ = &net_.add<nn::ConvTranspose2d>(nn::ConvTranspose2dOptions{
+      .in_channels = config_.d, .out_channels = c, .kernel = 9, .stride = config_.scale,
+      .padding = 4, .output_padding = config_.scale - 1, .bias = true});
+}
+
+void Fsrcnn::init_weights(Rng& rng) {
+  nn::init_he_normal(*this, rng);
+  deconv_->weight().value.mul_scalar(0.01f);
+}
+
+}  // namespace sesr::models

@@ -1,0 +1,53 @@
+// FSRCNN (Dong et al., ECCV 2016) — the tiny-SR baseline of Table I/II.
+//
+// VGG-style (no residuals): 5x5 feature extraction (3 -> d), 1x1 shrink
+// (d -> s), m mapping 3x3 convs (s -> s), 1x1 expand (s -> d), and a 9x9
+// stride-2 transposed-convolution upsampler (d -> 3). PReLU after every conv
+// except the deconvolution. Trained with MSE, following the original paper.
+// As in the DATE-2022 paper we operate directly in RGB (3 input channels),
+// which is why parameter/MAC counts differ from the luma-only original.
+#pragma once
+
+#include <memory>
+
+#include "nn/nn.h"
+
+namespace sesr::models {
+
+struct FsrcnnConfig {
+  int64_t d = 56;  ///< feature dimension
+  int64_t s = 12;  ///< shrunk mapping dimension
+  int64_t m = 4;   ///< number of mapping layers
+  int64_t scale = 2;
+  int64_t image_channels = 3;
+
+  static FsrcnnConfig paper() { return {}; }
+};
+
+/// FSRCNN as a single Module (a Sequential under the hood).
+class Fsrcnn final : public nn::Module {
+ public:
+  explicit Fsrcnn(FsrcnnConfig config = {});
+
+  Tensor forward(const Tensor& input) override { return net_.forward(input); }
+  Tensor backward(const Tensor& grad_output) override { return net_.backward(grad_output); }
+  std::vector<nn::Parameter*> parameters() override { return net_.parameters(); }
+  [[nodiscard]] std::string name() const override { return "fsrcnn"; }
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override {
+    return net_.trace(input, out);
+  }
+
+  [[nodiscard]] const FsrcnnConfig& config() const { return config_; }
+
+  /// He-normal, with the deconvolution scaled near zero so that, wrapped in
+  /// GlobalResidualSr, the fresh network starts as a bicubic upscaler.
+  void init_weights(Rng& rng) override;
+  void init(Rng& rng) { init_weights(rng); }
+
+ private:
+  FsrcnnConfig config_;
+  nn::Sequential net_;
+  nn::ConvTranspose2d* deconv_ = nullptr;  // owned by net_
+};
+
+}  // namespace sesr::models

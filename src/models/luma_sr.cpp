@@ -1,0 +1,61 @@
+#include "models/luma_sr.h"
+
+#include <stdexcept>
+
+#include "preprocess/colorspace.h"
+#include "preprocess/interpolation.h"
+
+namespace sesr::models {
+
+Tensor luma_of(const Tensor& rgb) {
+  const Tensor ycbcr = preprocess::rgb_to_ycbcr(rgb);
+  const int64_t n = rgb.dim(0), plane = rgb.dim(2) * rgb.dim(3);
+  Tensor y({n, 1, rgb.dim(2), rgb.dim(3)});
+  for (int64_t i = 0; i < n; ++i)
+    std::copy(ycbcr.data() + i * 3 * plane, ycbcr.data() + i * 3 * plane + plane,
+              y.data() + i * plane);
+  return y;
+}
+
+LumaSrUpscaler::LumaSrUpscaler(std::string label, std::shared_ptr<nn::Module> luma_network)
+    : label_(std::move(label)), network_(std::move(luma_network)) {
+  if (!network_) throw std::invalid_argument("LumaSrUpscaler: null network");
+}
+
+Tensor LumaSrUpscaler::upscale(const Tensor& rgb) {
+  if (rgb.ndim() != 4 || rgb.dim(1) != 3)
+    throw std::invalid_argument("LumaSrUpscaler::upscale: expected [N, 3, H, W]");
+  const int64_t n = rgb.dim(0), h = rgb.dim(2), w = rgb.dim(3);
+
+  const Tensor ycbcr = preprocess::rgb_to_ycbcr(rgb);
+
+  // Luma through the SR network.
+  Tensor y_lr({n, 1, h, w});
+  for (int64_t i = 0; i < n; ++i)
+    std::copy(ycbcr.data() + i * 3 * h * w, ycbcr.data() + i * 3 * h * w + h * w,
+              y_lr.data() + i * h * w);
+  Tensor y_hr = network_->forward(y_lr);
+  y_hr.clamp_(0.0f, 1.0f);
+  const int64_t oh = y_hr.dim(2), ow = y_hr.dim(3);
+
+  // Chroma bicubically (standard practice in luma-domain SR).
+  const Tensor cbcr_hr = preprocess::resize(ycbcr, oh, ow, preprocess::InterpolationKind::kBicubic);
+
+  Tensor out({n, 3, oh, ow});
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(y_hr.data() + i * oh * ow, y_hr.data() + (i + 1) * oh * ow,
+              out.data() + i * 3 * oh * ow);
+    std::copy(cbcr_hr.data() + (i * 3 + 1) * oh * ow, cbcr_hr.data() + (i * 3 + 3) * oh * ow,
+              out.data() + i * 3 * oh * ow + oh * ow);
+  }
+  return preprocess::ycbcr_to_rgb(out);
+}
+
+int64_t LumaSrUpscaler::macs_for(const Shape& single_image_chw) {
+  const Shape luma_input{1, 1, single_image_chw[1], single_image_chw[2]};
+  int64_t total = 0;
+  for (const nn::LayerInfo& info : network_->layers(luma_input)) total += info.macs;
+  return total;
+}
+
+}  // namespace sesr::models

@@ -1,0 +1,41 @@
+// Luma-channel super resolution (the paper's footnote 2).
+//
+// The original SESR and FSRCNN papers run SR on the Y channel of YCbCr only,
+// upscaling chroma with a cheap interpolator — that is why their published
+// parameter/MAC counts are smaller than the DATE-2022 paper's RGB numbers.
+// This module makes the trade-off executable: a 1-channel SR network handles
+// luma, bicubic handles Cb/Cr, and the result converts back to RGB. The
+// bench_ext_luma_vs_rgb harness compares both formulations on quality, cost
+// and robustness.
+#pragma once
+
+#include <memory>
+
+#include "models/upscaler.h"
+
+namespace sesr::models {
+
+/// Extract the Y (luma) plane of an [N, 3, H, W] RGB batch as [N, 1, H, W].
+Tensor luma_of(const Tensor& rgb);
+
+/// x2 upscaler combining a 1-channel SR network (luma) with bicubic chroma.
+class LumaSrUpscaler final : public Upscaler {
+ public:
+  /// `luma_network` must map [N, 1, H, W] -> [N, 1, 2H, 2W].
+  LumaSrUpscaler(std::string label, std::shared_ptr<nn::Module> luma_network);
+
+  Tensor upscale(const Tensor& rgb) override;
+  [[nodiscard]] std::string label() const override { return label_; }
+  [[nodiscard]] int64_t num_params() override { return network_->num_params(); }
+  /// MACs of the luma network on the Y plane of the given CHW image (chroma
+  /// interpolation is counted as zero, matching Table I's conventions).
+  [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) override;
+
+  [[nodiscard]] nn::Module& network() { return *network_; }
+
+ private:
+  std::string label_;
+  std::shared_ptr<nn::Module> network_;
+};
+
+}  // namespace sesr::models

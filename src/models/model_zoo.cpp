@@ -1,0 +1,72 @@
+#include "models/model_zoo.h"
+
+#include <stdexcept>
+
+namespace sesr::models {
+namespace {
+
+std::shared_ptr<nn::Module> make_sesr(SesrConfig cfg) {
+  return std::make_shared<Sesr>(cfg, Sesr::Form::kInference);
+}
+
+std::vector<SrModelSpec> build_zoo() {
+  std::vector<SrModelSpec> zoo;
+
+  zoo.push_back({"FSRCNN", true,
+                 [] { return std::make_shared<Fsrcnn>(FsrcnnConfig::paper()); },
+                 [] { return std::make_shared<Fsrcnn>(FsrcnnConfig::paper()); },
+                 PaperReference{24.336e3, 5.82e9, 32.92}});
+
+  zoo.push_back({"EDSR-base", false,
+                 [] { return std::make_shared<Edsr>(EdsrConfig::base_paper()); },
+                 [] { return std::make_shared<Edsr>(EdsrConfig::base_repo()); },
+                 PaperReference{1.19e6, 106e9, 34.62}});
+
+  zoo.push_back({"EDSR", false,
+                 [] { return std::make_shared<Edsr>(EdsrConfig::full_paper()); },
+                 [] { return std::make_shared<Edsr>(EdsrConfig::full_repo()); },
+                 PaperReference{42e6, 3400e9, 35.03}});
+
+  zoo.push_back({"SESR-M2", true, [] { return make_sesr(SesrConfig::m2()); },
+                 [] { return make_sesr(SesrConfig::m2()); },
+                 PaperReference{10.608e3, 0.948e9, 33.26}});
+
+  zoo.push_back({"SESR-M3", true, [] { return make_sesr(SesrConfig::m3()); },
+                 [] { return make_sesr(SesrConfig::m3()); },
+                 PaperReference{12.912e3, 1.154e9, 33.44}});
+
+  zoo.push_back({"SESR-M5", true, [] { return make_sesr(SesrConfig::m5()); },
+                 [] { return make_sesr(SesrConfig::m5()); },
+                 PaperReference{17.520e3, 1.566e9, 33.64}});
+
+  zoo.push_back({"SESR-XL", true, [] { return make_sesr(SesrConfig::xl()); },
+                 [] { return make_sesr(SesrConfig::xl()); },
+                 PaperReference{113.3e3, 10.13e9, 34.14}});
+
+  return zoo;
+}
+
+}  // namespace
+
+const std::vector<SrModelSpec>& sr_model_zoo() {
+  static const std::vector<SrModelSpec> zoo = build_zoo();
+  return zoo;
+}
+
+const SrModelSpec& sr_model(const std::string& label) {
+  for (const SrModelSpec& spec : sr_model_zoo())
+    if (spec.label == label) return spec;
+  throw std::out_of_range("sr_model: unknown label " + label);
+}
+
+const std::vector<ClassifierSpec>& classifier_zoo() {
+  static const std::vector<ClassifierSpec> zoo = {
+      {"MobileNet-V2",
+       [](int64_t k) { return std::make_shared<TinyMobileNetV2>(k); }},
+      {"ResNet-50", [](int64_t k) { return std::make_shared<TinyResNet>(k); }},
+      {"Inception-V3", [](int64_t k) { return std::make_shared<TinyInception>(k); }},
+  };
+  return zoo;
+}
+
+}  // namespace sesr::models

@@ -1,0 +1,55 @@
+// Named model configurations and the paper's reference numbers.
+//
+// Two scales exist for every SR network:
+//  - "paper scale": exactly the architectures of Table I, used for analytic
+//    parameter / MAC / Ethos-U55-latency accounting (never trained here);
+//  - "repo scale": identical topology (reduced only where training a 42M
+//    network is infeasible — i.e. EDSR), used for the measured PSNR and
+//    robustness experiments. SESR and FSRCNN are tiny, so their repo scale
+//    IS the paper scale.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/classifiers.h"
+#include "models/edsr.h"
+#include "models/fsrcnn.h"
+#include "models/sesr.h"
+#include "models/upscaler.h"
+
+namespace sesr::models {
+
+/// Reference values from the paper for side-by-side printing in benches.
+struct PaperReference {
+  double params = 0.0;      ///< parameter count as printed in Table I
+  double macs = 0.0;        ///< MACs for 299x299 -> 598x598, Table I
+  double psnr_div2k = 0.0;  ///< PSNR (RGB, x2, DIV2K), Table I; 0 = not listed
+};
+
+/// One SR model entry: how to build it and what the paper reports for it.
+struct SrModelSpec {
+  std::string label;                ///< Table row name ("SESR-M2", ...)
+  bool trainable_at_repo_scale;     ///< false only for paper-scale EDSR variants
+  std::function<std::shared_ptr<nn::Module>()> make_paper_scale;
+  std::function<std::shared_ptr<nn::Module>()> make_repo_scale;
+  std::optional<PaperReference> reference;
+};
+
+/// All SR models of Table I, in the paper's row order.
+const std::vector<SrModelSpec>& sr_model_zoo();
+
+/// Find a spec by label; throws std::out_of_range if absent.
+const SrModelSpec& sr_model(const std::string& label);
+
+/// The three classifier families of Table II, in the paper's order.
+struct ClassifierSpec {
+  std::string label;
+  std::function<std::shared_ptr<Classifier>(int64_t num_classes)> make;
+};
+const std::vector<ClassifierSpec>& classifier_zoo();
+
+}  // namespace sesr::models

@@ -1,0 +1,11 @@
+// Umbrella header for the model zoo.
+#pragma once
+
+#include "models/classifiers.h"
+#include "models/edsr.h"
+#include "models/fsrcnn.h"
+#include "models/global_residual.h"
+#include "models/luma_sr.h"
+#include "models/model_zoo.h"
+#include "models/sesr.h"
+#include "models/upscaler.h"

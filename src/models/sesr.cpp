@@ -1,0 +1,241 @@
+#include "models/sesr.h"
+
+#include <stdexcept>
+
+namespace sesr::models {
+
+// ---- CollapsibleLinearBlock -----------------------------------------------------
+
+CollapsibleLinearBlock::CollapsibleLinearBlock(int64_t in_channels, int64_t out_channels,
+                                               int64_t expanded_channels, int64_t kernel)
+    : kernel_(kernel),
+      short_residual_(in_channels == out_channels),
+      expand_({.in_channels = in_channels,
+               .out_channels = expanded_channels,
+               .kernel = kernel,
+               .stride = 1,
+               .padding = -1,
+               .bias = true}),
+      project_({.in_channels = expanded_channels,
+                .out_channels = out_channels,
+                .kernel = 1,
+                .stride = 1,
+                .padding = 0,
+                .bias = true}) {
+  if (expanded_channels < in_channels || expanded_channels < out_channels)
+    throw std::invalid_argument(
+        "CollapsibleLinearBlock: expansion must be >= channel widths (p >> f)");
+}
+
+std::string CollapsibleLinearBlock::name() const {
+  return "clb" + std::to_string(kernel_) + "x" + std::to_string(kernel_);
+}
+
+std::vector<nn::Parameter*> CollapsibleLinearBlock::parameters() {
+  std::vector<nn::Parameter*> params = expand_.parameters();
+  for (nn::Parameter* p : project_.parameters()) params.push_back(p);
+  return params;
+}
+
+Tensor CollapsibleLinearBlock::forward(const Tensor& input) {
+  Tensor out = project_.forward(expand_.forward(input));
+  if (short_residual_) out.add_(input);
+  return out;
+}
+
+Tensor CollapsibleLinearBlock::backward(const Tensor& grad_output) {
+  Tensor grad = expand_.backward(project_.backward(grad_output));
+  if (short_residual_) grad.add_(grad_output);
+  return grad;
+}
+
+Shape CollapsibleLinearBlock::trace(const Shape& input, std::vector<nn::LayerInfo>* out) const {
+  Shape shape = project_.trace(expand_.trace(input, out), out);
+  if (out && short_residual_) {
+    nn::LayerInfo info;
+    info.kind = nn::LayerKind::kElementwise;
+    info.name = "short_residual";
+    info.input = shape;
+    info.output = shape;
+    out->push_back(std::move(info));
+  }
+  return shape;
+}
+
+std::unique_ptr<nn::Conv2d> CollapsibleLinearBlock::collapse() const {
+  const auto& exp_opts = expand_.options();
+  const auto& proj_opts = project_.options();
+  const int64_t in_c = exp_opts.in_channels, mid = exp_opts.out_channels;
+  const int64_t out_c = proj_opts.out_channels, k = kernel_;
+
+  auto collapsed = std::make_unique<nn::Conv2d>(nn::Conv2dOptions{
+      .in_channels = in_c, .out_channels = out_c, .kernel = k, .stride = 1, .padding = -1,
+      .bias = true});
+
+  const Tensor& w1 = const_cast<CollapsibleLinearBlock*>(this)->expand_.weight().value;
+  const Tensor& b1 = const_cast<CollapsibleLinearBlock*>(this)->expand_.bias().value;
+  const Tensor& w2 = const_cast<CollapsibleLinearBlock*>(this)->project_.weight().value;
+  const Tensor& b2 = const_cast<CollapsibleLinearBlock*>(this)->project_.bias().value;
+
+  Tensor& w_eff = collapsed->weight().value;
+  Tensor& b_eff = collapsed->bias().value;
+
+  // W_eff[o, i, kh, kw] = sum_p W2[o, p] * W1[p, i, kh, kw]
+  for (int64_t o = 0; o < out_c; ++o) {
+    for (int64_t p = 0; p < mid; ++p) {
+      const float w2_op = w2[o * mid + p];
+      if (w2_op == 0.0f) continue;
+      const float* w1_p = w1.data() + p * in_c * k * k;
+      float* w_eff_o = w_eff.data() + o * in_c * k * k;
+      for (int64_t j = 0; j < in_c * k * k; ++j) w_eff_o[j] += w2_op * w1_p[j];
+    }
+    // b_eff[o] = W2[o, :] . b1 + b2[o]
+    float acc = b2[o];
+    for (int64_t p = 0; p < mid; ++p) acc += w2[o * mid + p] * b1[p];
+    b_eff[o] = acc;
+  }
+
+  // Short residual folds into an identity tap at the spatial centre.
+  if (short_residual_) {
+    const int64_t centre = (k / 2) * k + (k / 2);
+    for (int64_t o = 0; o < out_c; ++o)
+      w_eff[(o * in_c + o) * k * k + centre] += 1.0f;
+  }
+  return collapsed;
+}
+
+// ---- Sesr ---------------------------------------------------------------------
+
+Sesr::Sesr(SesrConfig config, Form form)
+    : config_(config),
+      form_(form),
+      tile_(config.scale * config.scale),
+      shuffle_(config.scale) {
+  const int64_t f = config_.channels;
+  const int64_t out_c = config_.image_channels * config_.scale * config_.scale;
+
+  auto make_conv = [&](int64_t in_c, int64_t oc, int64_t k) -> std::unique_ptr<nn::Module> {
+    if (form_ == Form::kTraining)
+      return std::make_unique<CollapsibleLinearBlock>(in_c, oc, config_.expansion, k);
+    return std::make_unique<nn::Conv2d>(nn::Conv2dOptions{
+        .in_channels = in_c, .out_channels = oc, .kernel = k, .stride = 1, .padding = -1,
+        .bias = true});
+  };
+
+  stages_.push_back({make_conv(config_.image_channels, f, 5), std::make_unique<nn::PReLU>(f)});
+  for (int64_t i = 0; i < config_.m; ++i)
+    stages_.push_back({make_conv(f, f, 3), std::make_unique<nn::PReLU>(f)});
+  stages_.push_back({make_conv(f, out_c, 5), nullptr});
+}
+
+std::string Sesr::name() const {
+  const std::string base =
+      config_.channels == 32 && config_.m == 11 ? "sesr_xl" : "sesr_m" + std::to_string(config_.m);
+  return base + (form_ == Form::kTraining ? "_train" : "");
+}
+
+std::vector<nn::Parameter*> Sesr::parameters() {
+  std::vector<nn::Parameter*> params;
+  for (auto& stage : stages_) {
+    for (nn::Parameter* p : stage.conv->parameters()) params.push_back(p);
+    if (stage.act)
+      for (nn::Parameter* p : stage.act->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sesr::init_weights(Rng& rng) {
+  nn::init_he_normal(*this, rng);
+  // Residual-friendly scaling: shrink the final stage so the freshly
+  // initialised network starts out as (almost) the tiled-input residual,
+  // i.e. a nearest-neighbour upscaler. Training then learns the *correction*
+  // on top, which converges far faster than unlearning a random upscale —
+  // the optimisation benefit linear overparameterisation is meant to exploit.
+  Stage& last = stages_.back();
+  if (auto* clb = dynamic_cast<CollapsibleLinearBlock*>(last.conv.get())) {
+    for (nn::Parameter* p : clb->parameters())
+      if (p->value.ndim() >= 2) p->value.mul_scalar(0.1f);  // 0.1 x 0.1 composed
+  } else if (auto* conv = dynamic_cast<nn::Conv2d*>(last.conv.get())) {
+    conv->weight().value.mul_scalar(0.01f);
+  }
+}
+
+Tensor Sesr::forward(const Tensor& input) {
+  // Stage 0: 5x5 feature extraction.
+  Tensor x = stages_[0].act->forward(stages_[0].conv->forward(input));
+  const Tensor first_out = x;
+
+  // Inner 3x3 stages with the long feature residual.
+  for (size_t i = 1; i + 1 < stages_.size(); ++i)
+    x = stages_[i].act->forward(stages_[i].conv->forward(x));
+  x.add_(first_out);
+
+  // Final 5x5 to s^2 * C channels, plus the tiled-input residual, then shuffle.
+  x = stages_.back().conv->forward(x);
+  x.add_(tile_.forward(input));
+  return shuffle_.forward(x);
+}
+
+Tensor Sesr::backward(const Tensor& grad_output) {
+  Tensor g = shuffle_.backward(grad_output);
+  Tensor grad_input = tile_.backward(g);  // input residual path
+  g = stages_.back().conv->backward(g);
+
+  Tensor g_long = g;  // long residual: gradient flows directly to stage-0 output
+  for (size_t i = stages_.size() - 2; i >= 1; --i)
+    g = stages_[i].conv->backward(stages_[i].act->backward(g));
+  g.add_(g_long);
+
+  grad_input.add_(stages_[0].conv->backward(stages_[0].act->backward(g)));
+  return grad_input;
+}
+
+Shape Sesr::trace(const Shape& input, std::vector<nn::LayerInfo>* out) const {
+  Shape x = stages_[0].act->trace(stages_[0].conv->trace(input, out), out);
+  const Shape first = x;
+  for (size_t i = 1; i + 1 < stages_.size(); ++i)
+    x = stages_[i].act->trace(stages_[i].conv->trace(x, out), out);
+  if (out) {
+    nn::LayerInfo info;
+    info.kind = nn::LayerKind::kElementwise;
+    info.name = "long_residual_add";
+    info.input = first;
+    info.output = x;
+    out->push_back(std::move(info));
+  }
+  x = stages_.back().conv->trace(x, out);
+  const Shape tiled = tile_.trace(input, out);
+  if (tiled != x)
+    throw std::logic_error("Sesr::trace: input-residual shape mismatch");
+  if (out) {
+    nn::LayerInfo info;
+    info.kind = nn::LayerKind::kElementwise;
+    info.name = "input_residual_add";
+    info.input = x;
+    info.output = x;
+    out->push_back(std::move(info));
+  }
+  return shuffle_.trace(x, out);
+}
+
+std::unique_ptr<Sesr> Sesr::collapse_from(const Sesr& trained) {
+  if (trained.form_ != Form::kTraining)
+    throw std::invalid_argument("Sesr::collapse_from: source must be a training-form network");
+
+  auto inference = std::make_unique<Sesr>(trained.config_, Form::kInference);
+  for (size_t i = 0; i < trained.stages_.size(); ++i) {
+    const auto* clb = dynamic_cast<const CollapsibleLinearBlock*>(trained.stages_[i].conv.get());
+    if (clb == nullptr) throw std::logic_error("Sesr::collapse_from: stage is not a CLB");
+    inference->stages_[i].conv = clb->collapse();
+    if (trained.stages_[i].act) {
+      // PReLU slopes transfer unchanged (the activation sits outside the
+      // linear block, so it is untouched by the collapse).
+      auto src = const_cast<Sesr&>(trained).stages_[i].act->parameters();
+      auto dst = inference->stages_[i].act->parameters();
+      dst[0]->value = src[0]->value;
+    }
+  }
+  return inference;
+}
+
+}  // namespace sesr::models

@@ -1,0 +1,114 @@
+// Super-Efficient Super Resolution (SESR) — the paper's core SR family.
+//
+// SESR (Bhardwaj et al., arXiv:2103.09404) trains a *linearly
+// overparameterised* network built from Collapsible Linear Blocks: a k x k
+// convolution expanding f_i channels to p >> f_i, followed by a 1 x 1
+// projection back to f_o, with a short residual when f_i == f_o and no
+// non-linearity in between. Because the block is linear, it collapses
+// analytically into a single k x k convolution for inference — the deployed
+// network is a plain VGG-style stack with two long residuals (Fig. 2 of the
+// DATE-2022 paper), orders of magnitude cheaper than EDSR.
+//
+// Architecture (scale s, f channels, m inner blocks):
+//   CLB5x5(3 -> f) . PReLU . [ CLB3x3(f -> f) . PReLU ] x m
+//     + long residual (first-conv output added after the inner blocks)
+//   CLB5x5(f -> 3 s^2) + input tiled s^2 across channels . DepthToSpace(s)
+#pragma once
+
+#include <memory>
+
+#include "nn/nn.h"
+
+namespace sesr::models {
+
+/// One collapsible linear block (training form): expand conv (k x k,
+/// f_i -> p), project conv (1 x 1, p -> f_o), optional short residual.
+class CollapsibleLinearBlock final : public nn::Module {
+ public:
+  CollapsibleLinearBlock(int64_t in_channels, int64_t out_channels, int64_t expanded_channels,
+                         int64_t kernel);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override;
+
+  /// Analytically collapse into a single equivalent Conv2d:
+  ///   W_eff[o,i,:,:] = sum_p W_proj[o,p] * W_exp[p,i,:,:]
+  ///   b_eff[o]       = sum_p W_proj[o,p] * b_exp[p] + b_proj[o]
+  /// plus an identity kernel at the spatial centre when the block carries a
+  /// short residual. The returned layer computes the *same function* (up to
+  /// float round-off); the collapse-equivalence property tests pin this.
+  [[nodiscard]] std::unique_ptr<nn::Conv2d> collapse() const;
+
+  [[nodiscard]] bool has_short_residual() const { return short_residual_; }
+
+ private:
+  int64_t kernel_;
+  bool short_residual_;
+  nn::Conv2d expand_;
+  nn::Conv2d project_;
+};
+
+/// SESR configuration. Paper configs (Table I): M2/M3/M5 use f = 16,
+/// XL uses f = 32 with m = 11. Training-time expansion p = 256 (M) / 64 (XL
+/// per the SESR paper's large variants; we default to 256 everywhere, which
+/// only affects training cost, not the collapsed network).
+struct SesrConfig {
+  int64_t m = 2;            ///< number of 3x3 inner layers
+  int64_t channels = 16;    ///< f: intermediate feature width
+  int64_t expansion = 256;  ///< p: linear overparameterisation width (training only)
+  int64_t scale = 2;        ///< super-resolution factor
+  int64_t image_channels = 3;
+
+  static SesrConfig m2() { return {2, 16, 256, 2, 3}; }
+  static SesrConfig m3() { return {3, 16, 256, 2, 3}; }
+  static SesrConfig m5() { return {5, 16, 256, 2, 3}; }
+  static SesrConfig xl() { return {11, 32, 256, 2, 3}; }
+};
+
+/// SESR network. `Form::kTraining` builds collapsible blocks (expanded);
+/// `Form::kInference` builds the collapsed single-conv-per-block network.
+/// A trained training-form network converts via collapse_from().
+class Sesr final : public nn::Module {
+ public:
+  enum class Form { kTraining, kInference };
+
+  Sesr(SesrConfig config, Form form);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override;
+
+  [[nodiscard]] const SesrConfig& config() const { return config_; }
+  [[nodiscard]] Form form() const { return form_; }
+
+  /// He-normal weights with a shrunken final stage, so the fresh network
+  /// starts as (nearly) the tiled-input residual — see the implementation.
+  void init_weights(Rng& rng) override;
+
+  /// Convenience alias for init_weights.
+  void init(Rng& rng) { init_weights(rng); }
+
+  /// Build the inference-form network that computes the same function as a
+  /// trained training-form network (analytic collapse of every block).
+  static std::unique_ptr<Sesr> collapse_from(const Sesr& trained);
+
+ private:
+  // Conv stage i of the inference form; CLB stage i of the training form.
+  struct Stage {
+    std::unique_ptr<nn::Module> conv;   // CollapsibleLinearBlock or Conv2d
+    std::unique_ptr<nn::PReLU> act;     // nullptr for the final stage
+  };
+
+  SesrConfig config_;
+  Form form_;
+  std::vector<Stage> stages_;           // first5x5, m x inner3x3, last5x5
+  nn::TileChannels tile_;
+  nn::DepthToSpace shuffle_;
+};
+
+}  // namespace sesr::models

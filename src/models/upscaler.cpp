@@ -1,0 +1,12 @@
+#include "models/upscaler.h"
+
+namespace sesr::models {
+
+int64_t NetworkUpscaler::macs_for(const Shape& single_image_chw) {
+  const Shape batched{1, single_image_chw[0], single_image_chw[1], single_image_chw[2]};
+  int64_t total = 0;
+  for (const nn::LayerInfo& info : network_->layers(batched)) total += info.macs;
+  return total;
+}
+
+}  // namespace sesr::models

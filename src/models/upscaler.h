@@ -1,0 +1,89 @@
+// Common interface for the x2 upscaling stage of the defense pipeline.
+//
+// Table II compares deep-learning SR networks against classical
+// interpolation; both kinds plug into core::DefensePipeline through this
+// interface. MAC/parameter figures are per single image at the given input
+// size and use the same accounting conventions as the paper's Table I
+// (interpolation reports zero — the paper lists "-" for it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+#include "preprocess/interpolation.h"
+#include "tensor/tensor.h"
+
+namespace sesr::models {
+
+/// Anything that maps an [N, C, H, W] batch to [N, C, 2H, 2W].
+class Upscaler {
+ public:
+  virtual ~Upscaler() = default;
+
+  Upscaler(const Upscaler&) = delete;
+  Upscaler& operator=(const Upscaler&) = delete;
+
+  /// Upscale a batch by the configured factor (x2 throughout the paper).
+  virtual Tensor upscale(const Tensor& low_res) = 0;
+
+  /// Row label for result tables (e.g. "SESR-M2", "Nearest Neighbor").
+  [[nodiscard]] virtual std::string label() const = 0;
+
+  /// Learnable parameter count (0 for interpolation).
+  [[nodiscard]] virtual int64_t num_params() = 0;
+
+  /// MACs to upscale one image of the given CHW size (0 for interpolation).
+  [[nodiscard]] virtual int64_t macs_for(const Shape& single_image_chw) = 0;
+
+ protected:
+  Upscaler() = default;
+};
+
+/// Wraps an SR network (any nn::Module mapping NCHW -> upscaled NCHW).
+/// Output is clamped to [0, 1] as classification inputs must stay in range.
+class NetworkUpscaler final : public Upscaler {
+ public:
+  NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network)
+      : label_(std::move(label)), network_(std::move(network)) {}
+
+  Tensor upscale(const Tensor& low_res) override {
+    Tensor out = network_->forward(low_res);
+    out.clamp_(0.0f, 1.0f);
+    return out;
+  }
+
+  [[nodiscard]] std::string label() const override { return label_; }
+  [[nodiscard]] int64_t num_params() override { return network_->num_params(); }
+  [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) override;
+
+  [[nodiscard]] nn::Module& network() { return *network_; }
+
+ private:
+  std::string label_;
+  std::shared_ptr<nn::Module> network_;
+};
+
+/// Classical interpolation as an Upscaler (the paper's Nearest Neighbor row).
+class InterpolationUpscaler final : public Upscaler {
+ public:
+  explicit InterpolationUpscaler(preprocess::InterpolationKind kind, int64_t factor = 2)
+      : kind_(kind), factor_(factor) {}
+
+  Tensor upscale(const Tensor& low_res) override {
+    return preprocess::upscale(low_res, factor_, kind_);
+  }
+
+  [[nodiscard]] std::string label() const override {
+    return preprocess::interpolation_name(kind_);
+  }
+  [[nodiscard]] int64_t num_params() override { return 0; }
+  [[nodiscard]] int64_t macs_for(const Shape&) override { return 0; }
+
+ private:
+  preprocess::InterpolationKind kind_;
+  int64_t factor_;
+};
+
+}  // namespace sesr::models

@@ -1,0 +1,146 @@
+#include "nn/activations.h"
+
+#include <stdexcept>
+
+namespace sesr::nn {
+namespace {
+
+LayerInfo activation_info(const std::string& name, const Shape& shape) {
+  LayerInfo info;
+  info.kind = LayerKind::kActivation;
+  info.name = name;
+  info.input = shape;
+  info.output = shape;
+  return info;
+}
+
+}  // namespace
+
+// ---- ReLU -------------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (float& v : out.flat())
+    if (v < 0.0f) v = 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const auto in = cached_input_.flat();
+  auto g = grad.flat();
+  for (size_t i = 0; i < g.size(); ++i)
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  return grad;
+}
+
+Shape ReLU::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (out) out->push_back(activation_info(name(), input));
+  return input;
+}
+
+// ---- ReLU6 ------------------------------------------------------------------
+
+Tensor ReLU6::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  out.clamp_(0.0f, 6.0f);
+  return out;
+}
+
+Tensor ReLU6::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const auto in = cached_input_.flat();
+  auto g = grad.flat();
+  for (size_t i = 0; i < g.size(); ++i)
+    if (in[i] <= 0.0f || in[i] >= 6.0f) g[i] = 0.0f;
+  return grad;
+}
+
+Shape ReLU6::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (out) out->push_back(activation_info(name(), input));
+  return input;
+}
+
+// ---- LeakyReLU --------------------------------------------------------------
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (float& v : out.flat())
+    if (v < 0.0f) v *= slope_;
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const auto in = cached_input_.flat();
+  auto g = grad.flat();
+  for (size_t i = 0; i < g.size(); ++i)
+    if (in[i] < 0.0f) g[i] *= slope_;
+  return grad;
+}
+
+Shape LeakyReLU::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (out) out->push_back(activation_info(name(), input));
+  return input;
+}
+
+// ---- PReLU ------------------------------------------------------------------
+
+PReLU::PReLU(int64_t channels, float init_slope)
+    : channels_(channels), slope_("prelu_slope", Tensor({channels}, init_slope)) {
+  if (channels <= 0) throw std::invalid_argument("PReLU: channels must be positive");
+}
+
+Tensor PReLU::forward(const Tensor& input) {
+  if (input.ndim() != 4 || input.dim(1) != channels_)
+    throw std::invalid_argument("PReLU::forward: expected NCHW input with " +
+                                std::to_string(channels_) + " channels, got " +
+                                input.shape().to_string());
+  cached_input_ = input;
+  Tensor out = input;
+  const int64_t n = input.dim(0), hw = input.dim(2) * input.dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float a = slope_.value[c];
+      float* plane = out.data() + (i * channels_ + c) * hw;
+      for (int64_t j = 0; j < hw; ++j)
+        if (plane[j] < 0.0f) plane[j] *= a;
+    }
+  }
+  return out;
+}
+
+Tensor PReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  const int64_t n = cached_input_.dim(0), hw = cached_input_.dim(2) * cached_input_.dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float a = slope_.value[c];
+      const float* in_plane = cached_input_.data() + (i * channels_ + c) * hw;
+      float* g_plane = grad.data() + (i * channels_ + c) * hw;
+      float slope_grad = 0.0f;
+      for (int64_t j = 0; j < hw; ++j) {
+        if (in_plane[j] < 0.0f) {
+          slope_grad += g_plane[j] * in_plane[j];
+          g_plane[j] *= a;
+        }
+      }
+      slope_.grad[c] += slope_grad;
+    }
+  }
+  return grad;
+}
+
+Shape PReLU::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (out) {
+    LayerInfo info = activation_info(name(), input);
+    info.params = channels_;
+    out->push_back(std::move(info));
+  }
+  return input;
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,68 @@
+// Pointwise activation layers.
+//
+// ReLU / ReLU6 for the classifiers, PReLU for FSRCNN and SESR, LeakyReLU as a
+// generic option. All are stateless except PReLU, whose per-channel slopes
+// are learnable parameters.
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+/// max(x, 0).
+class ReLU final : public Module {
+ public:
+  ReLU() = default;
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// min(max(x, 0), 6) — the MobileNet activation.
+class ReLU6 final : public Module {
+ public:
+  ReLU6() = default;
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "relu6"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// x >= 0 ? x : slope * x with a fixed slope.
+class LeakyReLU final : public Module {
+ public:
+  explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// x >= 0 ? x : a_c * x with one learnable slope per channel (NCHW dim 1).
+class PReLU final : public Module {
+ public:
+  explicit PReLU(int64_t channels, float init_slope = 0.25f);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&slope_}; }
+  [[nodiscard]] std::string name() const override { return "prelu"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  int64_t channels_;
+  Parameter slope_;
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,160 @@
+#include "nn/container.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+// ---- Sequential ---------------------------------------------------------------
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& child : children_)
+    for (Parameter* p : child->parameters()) params.push_back(p);
+  return params;
+}
+
+Shape Sequential::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  Shape shape = input;
+  for (const auto& child : children_) shape = child->trace(shape, out);
+  return shape;
+}
+
+// ---- Residual -----------------------------------------------------------------
+
+Tensor Residual::forward(const Tensor& input) {
+  Tensor out = body_->forward(input);
+  if (scale_ != 1.0f) out.mul_scalar(scale_);
+  if (shortcut_) {
+    out.add_(shortcut_->forward(input));
+  } else {
+    out.add_(input);
+  }
+  return out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor body_grad = grad_output;
+  if (scale_ != 1.0f) body_grad.mul_scalar(scale_);
+  Tensor grad_input = body_->backward(body_grad);
+  if (shortcut_) {
+    grad_input.add_(shortcut_->backward(grad_output));
+  } else {
+    grad_input.add_(grad_output);
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Residual::parameters() {
+  std::vector<Parameter*> params = body_->parameters();
+  if (shortcut_)
+    for (Parameter* p : shortcut_->parameters()) params.push_back(p);
+  return params;
+}
+
+Shape Residual::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  const Shape body_out = body_->trace(input, out);
+  const Shape short_out = shortcut_ ? shortcut_->trace(input, out) : input;
+  if (body_out != short_out)
+    throw std::invalid_argument("Residual::trace: body " + body_out.to_string() +
+                                " vs shortcut " + short_out.to_string());
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kElementwise;
+    info.name = "residual_add";
+    info.input = body_out;
+    info.output = body_out;
+    out->push_back(std::move(info));
+  }
+  return body_out;
+}
+
+// ---- Concat -------------------------------------------------------------------
+
+Tensor Concat::forward(const Tensor& input) {
+  if (branches_.empty()) throw std::logic_error("Concat: no branches");
+  cached_input_shape_ = input.shape();
+  std::vector<Tensor> outs;
+  outs.reserve(branches_.size());
+  branch_channels_.clear();
+  int64_t total_c = 0;
+  for (auto& b : branches_) {
+    outs.push_back(b->forward(input));
+    branch_channels_.push_back(outs.back().dim(1));
+    total_c += outs.back().dim(1);
+  }
+  const int64_t n = outs[0].dim(0), h = outs[0].dim(2), w = outs[0].dim(3);
+  Tensor output({n, total_c, h, w});
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t c_off = 0;
+    for (const Tensor& o : outs) {
+      const int64_t c = o.dim(1);
+      std::copy(o.data() + i * c * h * w, o.data() + (i + 1) * c * h * w,
+                output.data() + (i * total_c + c_off) * h * w);
+      c_off += c;
+    }
+  }
+  return output;
+}
+
+Tensor Concat::backward(const Tensor& grad_output) {
+  const int64_t n = grad_output.dim(0), h = grad_output.dim(2), w = grad_output.dim(3);
+  const int64_t total_c = grad_output.dim(1);
+  Tensor grad_input(cached_input_shape_);
+  int64_t c_off = 0;
+  for (size_t bi = 0; bi < branches_.size(); ++bi) {
+    const int64_t c = branch_channels_[bi];
+    Tensor g({n, c, h, w});
+    for (int64_t i = 0; i < n; ++i)
+      std::copy(grad_output.data() + (i * total_c + c_off) * h * w,
+                grad_output.data() + (i * total_c + c_off + c) * h * w,
+                g.data() + i * c * h * w);
+    grad_input.add_(branches_[bi]->backward(g));
+    c_off += c;
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Concat::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& b : branches_)
+    for (Parameter* p : b->parameters()) params.push_back(p);
+  return params;
+}
+
+Shape Concat::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (branches_.empty()) throw std::logic_error("Concat::trace: no branches");
+  int64_t total_c = 0;
+  Shape first;
+  for (const auto& b : branches_) {
+    const Shape s = b->trace(input, out);
+    if (total_c == 0) first = s;
+    else if (s[0] != first[0] || s[2] != first[2] || s[3] != first[3])
+      throw std::invalid_argument("Concat::trace: branch spatial mismatch");
+    total_c += s[1];
+  }
+  const Shape output{first[0], total_c, first[2], first[3]};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kConcat;
+    info.name = "concat";
+    info.input = input;
+    info.output = output;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+}  // namespace sesr::nn

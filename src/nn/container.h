@@ -1,0 +1,92 @@
+// Composite modules: sequential chains, residual blocks, channel concat.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+/// Runs child modules in order; backward replays them in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string display_name) : display_name_(std::move(display_name)) {}
+
+  /// Append a child (builder style): seq.add<Conv2d>(opts).
+  template <typename M, typename... Args>
+  M& add(Args&&... args) {
+    auto child = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *child;
+    children_.push_back(std::move(child));
+    return ref;
+  }
+
+  void add_module(ModulePtr child) { children_.push_back(std::move(child)); }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override {
+    return display_name_.empty() ? "sequential" : display_name_;
+  }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+  [[nodiscard]] size_t size() const { return children_.size(); }
+  [[nodiscard]] Module& child(size_t i) { return *children_[i]; }
+
+ private:
+  std::string display_name_;
+  std::vector<ModulePtr> children_;
+};
+
+/// output = body(x) * scale + shortcut(x); shortcut defaults to identity.
+/// EDSR's residual blocks use scale = 0.1 for the full model, 1.0 for -base.
+class Residual : public Module {
+ public:
+  explicit Residual(ModulePtr body, ModulePtr shortcut = nullptr, float scale = 1.0f)
+      : body_(std::move(body)), shortcut_(std::move(shortcut)), scale_(scale) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "residual"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  ModulePtr body_;
+  ModulePtr shortcut_;  // nullptr = identity
+  float scale_;
+};
+
+/// Runs each branch on the same input and concatenates outputs along the
+/// channel axis (Inception-style).
+class Concat : public Module {
+ public:
+  Concat() = default;
+
+  template <typename M, typename... Args>
+  M& add_branch(Args&&... args) {
+    auto child = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *child;
+    branches_.push_back(std::move(child));
+    return ref;
+  }
+
+  void add_branch_module(ModulePtr branch) { branches_.push_back(std::move(branch)); }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "concat"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  std::vector<ModulePtr> branches_;
+  std::vector<int64_t> branch_channels_;  // cached by forward for backward split
+  Shape cached_input_shape_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,207 @@
+#include "nn/conv2d.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+
+namespace sesr::nn {
+namespace {
+
+// Expand one sample's input patch matrix: col[(c*kh*kw + ki), (oh*out_w + ow)]
+// = input[c, oh*stride - pad + ki_h, ow*stride - pad + ki_w] (0 outside).
+void im2col(const float* in, int64_t channels, int64_t h, int64_t w,
+            int64_t kernel, int64_t stride, int64_t pad,
+            int64_t out_h, int64_t out_w, float* col) {
+  const int64_t out_hw = out_h * out_w;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        float* col_row = col + ((c * kernel + kh) * kernel + kw) * out_hw;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          float* dst = col_row + oh * out_w;
+          if (ih < 0 || ih >= h) {
+            for (int64_t ow = 0; ow < out_w; ++ow) dst[ow] = 0.0f;
+            continue;
+          }
+          const float* src_row = in + (c * h + ih) * w;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * stride - pad + kw;
+            dst[ow] = (iw >= 0 && iw < w) ? src_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Inverse of im2col: scatter-add columns back into the (zeroed) input image.
+void col2im(const float* col, int64_t channels, int64_t h, int64_t w,
+            int64_t kernel, int64_t stride, int64_t pad,
+            int64_t out_h, int64_t out_w, float* in) {
+  const int64_t out_hw = out_h * out_w;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        const float* col_row = col + ((c * kernel + kh) * kernel + kw) * out_hw;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= h) continue;
+          float* dst_row = in + (c * h + ih) * w;
+          const float* src = col_row + oh * out_w;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < w) dst_row[iw] += src[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(Conv2dOptions opts)
+    : opts_(opts),
+      weight_("weight",
+              Tensor({opts.out_channels, opts.in_channels, opts.kernel, opts.kernel})),
+      bias_("bias", Tensor({opts.bias ? opts.out_channels : 0})) {
+  if (opts_.in_channels <= 0 || opts_.out_channels <= 0 || opts_.kernel <= 0 || opts_.stride <= 0)
+    throw std::invalid_argument("Conv2d: non-positive dimension in options");
+}
+
+std::string Conv2d::name() const {
+  return "conv" + std::to_string(opts_.kernel) + "x" + std::to_string(opts_.kernel) + "_" +
+         std::to_string(opts_.in_channels) + "_" + std::to_string(opts_.out_channels) +
+         (opts_.stride != 1 ? "_s" + std::to_string(opts_.stride) : "");
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (opts_.bias) params.push_back(&bias_);
+  return params;
+}
+
+Shape Conv2d::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4 || input[1] != opts_.in_channels)
+    throw std::invalid_argument("Conv2d::trace: bad input shape " + input.to_string() +
+                                " for " + name());
+  const Shape output{input[0], opts_.out_channels, out_extent(input[2]), out_extent(input[3])};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kConv2d;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    info.kernel_h = info.kernel_w = opts_.kernel;
+    info.stride = opts_.stride;
+    info.params = weight_.value.numel() + (opts_.bias ? opts_.out_channels : 0);
+    // Per-sample MACs: one multiply per (output element, input-channel tap).
+    info.macs = output[2] * output[3] * opts_.out_channels * opts_.in_channels *
+                opts_.kernel * opts_.kernel;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_ = input;
+
+  const int64_t n = input.dim(0), c_in = opts_.in_channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t c_out = opts_.out_channels, k = opts_.kernel;
+  const int64_t out_h = out_shape[2], out_w = out_shape[3], out_hw = out_h * out_w;
+  const int64_t col_rows = c_in * k * k;
+  const int64_t pad = opts_.effective_padding();
+
+  Tensor output(out_shape);
+  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    std::vector<float> col(static_cast<size_t>(col_rows * out_hw));
+    for (int64_t i = lo; i < hi; ++i) {
+      im2col(input.data() + i * c_in * h * w, c_in, h, w, k, opts_.stride, pad,
+             out_h, out_w, col.data());
+      float* out_ptr = output.data() + i * c_out * out_hw;
+      // out[c_out, out_hw] = W[c_out, col_rows] * col[col_rows, out_hw]
+      gemm_accumulate(c_out, out_hw, col_rows, weight_.value.data(), col_rows,
+                      col.data(), out_hw, out_ptr, out_hw);
+      if (opts_.bias) {
+        for (int64_t oc = 0; oc < c_out; ++oc) {
+          const float b = bias_.value[oc];
+          float* row = out_ptr + oc * out_hw;
+          for (int64_t j = 0; j < out_hw; ++j) row[j] += b;
+        }
+      }
+    }
+  });
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const int64_t n = input.dim(0), c_in = opts_.in_channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t c_out = opts_.out_channels, k = opts_.kernel;
+  const int64_t out_h = grad_output.dim(2), out_w = grad_output.dim(3);
+  const int64_t out_hw = out_h * out_w;
+  const int64_t col_rows = c_in * k * k;
+  const int64_t pad = opts_.effective_padding();
+
+  Tensor grad_input(input.shape());
+
+  // Per-thread weight/bias gradient accumulators, reduced at the end: keeps
+  // the batch loop embarrassingly parallel without atomics.
+  const int threads = num_threads();
+  std::vector<Tensor> wgrads(static_cast<size_t>(threads), Tensor(weight_.value.shape()));
+  std::vector<Tensor> bgrads(static_cast<size_t>(threads),
+                             Tensor({opts_.bias ? c_out : 0}));
+  std::atomic<int> next_slot{0};
+
+  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    const int slot = next_slot.fetch_add(1);
+    Tensor& wgrad = wgrads[static_cast<size_t>(slot)];
+    Tensor& bgrad = bgrads[static_cast<size_t>(slot)];
+    std::vector<float> col(static_cast<size_t>(col_rows * out_hw));
+    std::vector<float> col_grad(static_cast<size_t>(col_rows * out_hw));
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* g_out = grad_output.data() + i * c_out * out_hw;
+      // dW += g_out[c_out, out_hw] * col^T  -> use A*B^T via explicit loop:
+      im2col(input.data() + i * c_in * h * w, c_in, h, w, k, opts_.stride, pad,
+             out_h, out_w, col.data());
+      for (int64_t oc = 0; oc < c_out; ++oc) {
+        const float* grow = g_out + oc * out_hw;
+        float* wrow = wgrad.data() + oc * col_rows;
+        for (int64_t r = 0; r < col_rows; ++r) {
+          const float* crow = col.data() + r * out_hw;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < out_hw; ++j) acc += grow[j] * crow[j];
+          wrow[r] += acc;
+        }
+        if (opts_.bias) {
+          float acc = 0.0f;
+          for (int64_t j = 0; j < out_hw; ++j) acc += grow[j];
+          bgrad[oc] += acc;
+        }
+      }
+      // d(col) = W^T[col_rows, c_out] * g_out[c_out, out_hw]
+      std::fill(col_grad.begin(), col_grad.end(), 0.0f);
+      gemm_at_b_accumulate(col_rows, out_hw, c_out, weight_.value.data(), col_rows,
+                           g_out, out_hw, col_grad.data(), out_hw);
+      col2im(col_grad.data(), c_in, h, w, k, opts_.stride, pad, out_h, out_w,
+             grad_input.data() + i * c_in * h * w);
+    }
+  });
+
+  const int used = next_slot.load();
+  for (int t = 0; t < used; ++t) {
+    weight_.grad.add_(wgrads[static_cast<size_t>(t)]);
+    if (opts_.bias) bias_.grad.add_(bgrads[static_cast<size_t>(t)]);
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,53 @@
+// Dense 2-D convolution (im2col + GEMM).
+//
+// The workhorse layer of every SR network and classifier in the model zoo.
+// Weight layout: [out_channels, in_channels, kernel_h, kernel_w].
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+/// Convolution hyper-parameters shared by Conv2d construction helpers.
+struct Conv2dOptions {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t padding = -1;  ///< -1 selects "same" padding (kernel / 2)
+  bool bias = true;
+
+  [[nodiscard]] int64_t effective_padding() const { return padding < 0 ? kernel / 2 : padding; }
+};
+
+/// 2-D convolution over NCHW batches.
+class Conv2d final : public Module {
+ public:
+  /// Weights are zero until initialised (see nn/init.h or set_weights).
+  explicit Conv2d(Conv2dOptions opts);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+  [[nodiscard]] const Conv2dOptions& options() const { return opts_; }
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  /// Valid only when constructed with bias = true.
+  [[nodiscard]] Parameter& bias() { return bias_; }
+  [[nodiscard]] bool has_bias() const { return opts_.bias; }
+
+  /// Output spatial extent for an input extent (shared by trace/forward).
+  [[nodiscard]] int64_t out_extent(int64_t in_extent) const {
+    return (in_extent + 2 * opts_.effective_padding() - opts_.kernel) / opts_.stride + 1;
+  }
+
+ private:
+  Conv2dOptions opts_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;  // saved by forward for backward
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,173 @@
+#include "nn/conv_transpose2d.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+namespace sesr::nn {
+
+ConvTranspose2d::ConvTranspose2d(ConvTranspose2dOptions opts)
+    : opts_(opts),
+      weight_("weight",
+              Tensor({opts.in_channels, opts.out_channels, opts.kernel, opts.kernel})),
+      bias_("bias", Tensor({opts.bias ? opts.out_channels : 0})) {
+  if (opts_.in_channels <= 0 || opts_.out_channels <= 0 || opts_.kernel <= 0 || opts_.stride <= 0)
+    throw std::invalid_argument("ConvTranspose2d: non-positive dimension in options");
+}
+
+std::string ConvTranspose2d::name() const {
+  return "deconv" + std::to_string(opts_.kernel) + "x" + std::to_string(opts_.kernel) + "_" +
+         std::to_string(opts_.in_channels) + "_" + std::to_string(opts_.out_channels) + "_s" +
+         std::to_string(opts_.stride);
+}
+
+std::vector<Parameter*> ConvTranspose2d::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (opts_.bias) params.push_back(&bias_);
+  return params;
+}
+
+Shape ConvTranspose2d::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4 || input[1] != opts_.in_channels)
+    throw std::invalid_argument("ConvTranspose2d::trace: bad input shape " + input.to_string());
+  const Shape output{input[0], opts_.out_channels, out_extent(input[2]), out_extent(input[3])};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kConvTranspose2d;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    info.kernel_h = info.kernel_w = opts_.kernel;
+    info.stride = opts_.stride;
+    info.params = weight_.value.numel() + (opts_.bias ? opts_.out_channels : 0);
+    // Gather-form accounting: k*k taps per output element, matching the MAC
+    // convention of the paper's Table I (FSRCNN = 5.82B at 299x299 RGB).
+    info.macs = output[2] * output[3] * opts_.out_channels * opts_.in_channels *
+                opts_.kernel * opts_.kernel;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_ = input;
+
+  const int64_t n = input.dim(0), c_in = opts_.in_channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t c_out = opts_.out_channels, k = opts_.kernel;
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+
+  Tensor output(out_shape);
+  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* in_ptr = input.data() + i * c_in * h * w;
+      float* out_ptr = output.data() + i * c_out * out_h * out_w;
+      if (opts_.bias) {
+        for (int64_t oc = 0; oc < c_out; ++oc) {
+          const float b = bias_.value[oc];
+          float* plane = out_ptr + oc * out_h * out_w;
+          for (int64_t j = 0; j < out_h * out_w; ++j) plane[j] = b;
+        }
+      }
+      for (int64_t ic = 0; ic < c_in; ++ic) {
+        const float* in_plane = in_ptr + ic * h * w;
+        for (int64_t ih = 0; ih < h; ++ih) {
+          for (int64_t iw = 0; iw < w; ++iw) {
+            const float v = in_plane[ih * w + iw];
+            if (v == 0.0f) continue;
+            const int64_t oh0 = ih * opts_.stride - opts_.padding;
+            const int64_t ow0 = iw * opts_.stride - opts_.padding;
+            for (int64_t oc = 0; oc < c_out; ++oc) {
+              const float* w_plane = weight_.value.data() + (ic * c_out + oc) * k * k;
+              float* out_plane = out_ptr + oc * out_h * out_w;
+              for (int64_t kh = 0; kh < k; ++kh) {
+                const int64_t oh = oh0 + kh;
+                if (oh < 0 || oh >= out_h) continue;
+                for (int64_t kw = 0; kw < k; ++kw) {
+                  const int64_t ow = ow0 + kw;
+                  if (ow < 0 || ow >= out_w) continue;
+                  out_plane[oh * out_w + ow] += v * w_plane[kh * k + kw];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return output;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const int64_t n = input.dim(0), c_in = opts_.in_channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t c_out = opts_.out_channels, k = opts_.kernel;
+  const int64_t out_h = grad_output.dim(2), out_w = grad_output.dim(3);
+
+  Tensor grad_input(input.shape());
+  const int threads = num_threads();
+  std::vector<Tensor> wgrads(static_cast<size_t>(threads), Tensor(weight_.value.shape()));
+  std::vector<Tensor> bgrads(static_cast<size_t>(threads), Tensor({opts_.bias ? c_out : 0}));
+  std::atomic<int> next_slot{0};
+
+  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    const int slot = next_slot.fetch_add(1);
+    Tensor& wgrad = wgrads[static_cast<size_t>(slot)];
+    Tensor& bgrad = bgrads[static_cast<size_t>(slot)];
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* in_ptr = input.data() + i * c_in * h * w;
+      const float* g_ptr = grad_output.data() + i * c_out * out_h * out_w;
+      float* gin_ptr = grad_input.data() + i * c_in * h * w;
+      if (opts_.bias) {
+        for (int64_t oc = 0; oc < c_out; ++oc) {
+          const float* g_plane = g_ptr + oc * out_h * out_w;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < out_h * out_w; ++j) acc += g_plane[j];
+          bgrad[oc] += acc;
+        }
+      }
+      for (int64_t ic = 0; ic < c_in; ++ic) {
+        const float* in_plane = in_ptr + ic * h * w;
+        float* gin_plane = gin_ptr + ic * h * w;
+        for (int64_t ih = 0; ih < h; ++ih) {
+          for (int64_t iw = 0; iw < w; ++iw) {
+            const float v = in_plane[ih * w + iw];
+            const int64_t oh0 = ih * opts_.stride - opts_.padding;
+            const int64_t ow0 = iw * opts_.stride - opts_.padding;
+            float gin_acc = 0.0f;
+            for (int64_t oc = 0; oc < c_out; ++oc) {
+              const float* g_plane = g_ptr + oc * out_h * out_w;
+              const float* w_plane = weight_.value.data() + (ic * c_out + oc) * k * k;
+              float* wg_plane = wgrad.data() + (ic * c_out + oc) * k * k;
+              for (int64_t kh = 0; kh < k; ++kh) {
+                const int64_t oh = oh0 + kh;
+                if (oh < 0 || oh >= out_h) continue;
+                for (int64_t kw = 0; kw < k; ++kw) {
+                  const int64_t ow = ow0 + kw;
+                  if (ow < 0 || ow >= out_w) continue;
+                  const float g = g_plane[oh * out_w + ow];
+                  gin_acc += g * w_plane[kh * k + kw];
+                  wg_plane[kh * k + kw] += g * v;
+                }
+              }
+            }
+            gin_plane[ih * w + iw] = gin_acc;
+          }
+        }
+      }
+    }
+  });
+
+  const int used = next_slot.load();
+  for (int t = 0; t < used; ++t) {
+    weight_.grad.add_(wgrads[static_cast<size_t>(t)]);
+    if (opts_.bias) bias_.grad.add_(bgrads[static_cast<size_t>(t)]);
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

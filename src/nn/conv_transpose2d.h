@@ -1,0 +1,50 @@
+// Transposed (fractionally-strided) 2-D convolution.
+//
+// Used by FSRCNN's 9x9 stride-2 deconvolution upsampler. Weight layout
+// follows the PyTorch convention: [in_channels, out_channels, kh, kw].
+// Output extent: (in - 1) * stride - 2 * padding + kernel + output_padding.
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+struct ConvTranspose2dOptions {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 9;
+  int64_t stride = 2;
+  int64_t padding = 4;
+  int64_t output_padding = 1;
+  bool bias = true;
+};
+
+/// Transposed convolution over NCHW batches (direct scatter implementation —
+/// the FSRCNN deconv is small enough that a GEMM lowering is not warranted).
+class ConvTranspose2d final : public Module {
+ public:
+  explicit ConvTranspose2d(ConvTranspose2dOptions opts);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter& bias() { return bias_; }
+  [[nodiscard]] const ConvTranspose2dOptions& options() const { return opts_; }
+
+  [[nodiscard]] int64_t out_extent(int64_t in_extent) const {
+    return (in_extent - 1) * opts_.stride - 2 * opts_.padding + opts_.kernel +
+           opts_.output_padding;
+  }
+
+ private:
+  ConvTranspose2dOptions opts_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,141 @@
+#include "nn/depthwise_conv2d.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+namespace sesr::nn {
+
+DepthwiseConv2d::DepthwiseConv2d(DepthwiseConv2dOptions opts)
+    : opts_(opts),
+      weight_("weight", Tensor({opts.channels, 1, opts.kernel, opts.kernel})),
+      bias_("bias", Tensor({opts.bias ? opts.channels : 0})) {
+  if (opts_.channels <= 0 || opts_.kernel <= 0 || opts_.stride <= 0)
+    throw std::invalid_argument("DepthwiseConv2d: non-positive dimension in options");
+}
+
+std::string DepthwiseConv2d::name() const {
+  return "dwconv" + std::to_string(opts_.kernel) + "x" + std::to_string(opts_.kernel) + "_" +
+         std::to_string(opts_.channels) +
+         (opts_.stride != 1 ? "_s" + std::to_string(opts_.stride) : "");
+}
+
+std::vector<Parameter*> DepthwiseConv2d::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (opts_.bias) params.push_back(&bias_);
+  return params;
+}
+
+Shape DepthwiseConv2d::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4 || input[1] != opts_.channels)
+    throw std::invalid_argument("DepthwiseConv2d::trace: bad input shape " + input.to_string());
+  const Shape output{input[0], opts_.channels, out_extent(input[2]), out_extent(input[3])};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kDepthwiseConv2d;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    info.kernel_h = info.kernel_w = opts_.kernel;
+    info.stride = opts_.stride;
+    info.params = weight_.value.numel() + (opts_.bias ? opts_.channels : 0);
+    info.macs = output[2] * output[3] * opts_.channels * opts_.kernel * opts_.kernel;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_ = input;
+
+  const int64_t n = input.dim(0), c = opts_.channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t k = opts_.kernel, pad = opts_.effective_padding(), stride = opts_.stride;
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+
+  Tensor output(out_shape);
+  parallel_for(0, n * c, [&](int64_t lo, int64_t hi) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t ch = idx % c;
+      const float* in_plane = input.data() + idx * h * w;
+      const float* w_plane = weight_.value.data() + ch * k * k;
+      const float b = opts_.bias ? bias_.value[ch] : 0.0f;
+      float* out_plane = output.data() + idx * out_h * out_w;
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          float acc = b;
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t ih = oh * stride - pad + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t iw = ow * stride - pad + kw;
+              if (iw < 0 || iw >= w) continue;
+              acc += in_plane[ih * w + iw] * w_plane[kh * k + kw];
+            }
+          }
+          out_plane[oh * out_w + ow] = acc;
+        }
+      }
+    }
+  });
+  return output;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const int64_t n = input.dim(0), c = opts_.channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t k = opts_.kernel, pad = opts_.effective_padding(), stride = opts_.stride;
+  const int64_t out_h = grad_output.dim(2), out_w = grad_output.dim(3);
+
+  Tensor grad_input(input.shape());
+  const int threads = num_threads();
+  std::vector<Tensor> wgrads(static_cast<size_t>(threads), Tensor(weight_.value.shape()));
+  std::vector<Tensor> bgrads(static_cast<size_t>(threads), Tensor({opts_.bias ? c : 0}));
+  std::atomic<int> next_slot{0};
+
+  parallel_for(0, n * c, [&](int64_t lo, int64_t hi) {
+    const int slot = next_slot.fetch_add(1);
+    Tensor& wgrad = wgrads[static_cast<size_t>(slot)];
+    Tensor& bgrad = bgrads[static_cast<size_t>(slot)];
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t ch = idx % c;
+      const float* in_plane = input.data() + idx * h * w;
+      const float* g_plane = grad_output.data() + idx * out_h * out_w;
+      const float* w_plane = weight_.value.data() + ch * k * k;
+      float* gin_plane = grad_input.data() + idx * h * w;
+      float* wg_plane = wgrad.data() + ch * k * k;
+      float bias_acc = 0.0f;
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const float g = g_plane[oh * out_w + ow];
+          bias_acc += g;
+          if (g == 0.0f) continue;
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t ih = oh * stride - pad + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t iw = ow * stride - pad + kw;
+              if (iw < 0 || iw >= w) continue;
+              gin_plane[ih * w + iw] += g * w_plane[kh * k + kw];
+              wg_plane[kh * k + kw] += g * in_plane[ih * w + iw];
+            }
+          }
+        }
+      }
+      if (opts_.bias) bgrad[ch] += bias_acc;
+    }
+  });
+
+  const int used = next_slot.load();
+  for (int t = 0; t < used; ++t) {
+    weight_.grad.add_(wgrads[static_cast<size_t>(t)]);
+    if (opts_.bias) bias_.grad.add_(bgrads[static_cast<size_t>(t)]);
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,46 @@
+// Depthwise 2-D convolution (one filter per channel).
+//
+// Building block of the MobileNet-V2-style classifier's inverted residual
+// blocks. Weight layout: [channels, 1, kh, kw].
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+struct DepthwiseConv2dOptions {
+  int64_t channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t padding = -1;  ///< -1 selects "same" padding (kernel / 2)
+  bool bias = true;
+
+  [[nodiscard]] int64_t effective_padding() const { return padding < 0 ? kernel / 2 : padding; }
+};
+
+/// Depthwise convolution over NCHW batches (direct implementation).
+class DepthwiseConv2d final : public Module {
+ public:
+  explicit DepthwiseConv2d(DepthwiseConv2dOptions opts);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter& bias() { return bias_; }
+
+  [[nodiscard]] int64_t out_extent(int64_t in_extent) const {
+    return (in_extent + 2 * opts_.effective_padding() - opts_.kernel) / opts_.stride + 1;
+  }
+
+ private:
+  DepthwiseConv2dOptions opts_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

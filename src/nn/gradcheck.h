@@ -1,0 +1,56 @@
+// Numerical gradient verification.
+//
+// Central-difference checks used by the test suite to pin every layer's
+// backward pass against its forward pass. Kept in the library (not the tests)
+// so examples and downstream users can validate custom modules too.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sesr::nn {
+
+struct GradCheckResult {
+  bool passed = false;
+  float max_rel_error = 0.0f;  ///< worst relative error across checked coordinates
+  std::string detail;          ///< human-readable description of the worst mismatch
+};
+
+struct GradCheckOptions {
+  float epsilon = 1e-2f;        ///< central-difference step (float32 needs a coarse step)
+  float tolerance = 5e-2f;      ///< max allowed relative error
+  int max_coords = 24;          ///< coordinates sampled per tensor (full check is O(n) forwards)
+  /// Compare the sampled coordinates as vectors (relative L2 error) instead
+  /// of worst-coordinate relative error. Use for deep piecewise-linear
+  /// models, where individual near-kink or near-zero-gradient coordinates
+  /// produce outliers that say nothing about gradient correctness.
+  bool aggregate_l2 = false;
+  uint64_t seed = 7;
+};
+
+/// Check d(sum(module(x) * r))/dx against the analytic input gradient for a
+/// random projection vector r, sampling coordinates of x.
+GradCheckResult check_input_gradient(Module& module, const Tensor& input,
+                                     const GradCheckOptions& opts = {});
+
+/// Check parameter gradients of `module` at `input` the same way.
+GradCheckResult check_parameter_gradients(Module& module, const Tensor& input,
+                                          const GradCheckOptions& opts = {});
+
+/// Directional-derivative check for deep composite models: compares
+/// (f(x + eps d) - f(x - eps d)) / (2 eps) against grad . d for several
+/// random directions d. Piecewise-linear kinks (ReLU/PReLU) contribute only
+/// an O(eps)-measure error to the projection, so this check stays stable
+/// where the per-coordinate check produces false alarms in hidden layers.
+GradCheckResult check_input_gradient_directional(Module& module, const Tensor& input,
+                                                 const GradCheckOptions& opts = {},
+                                                 int num_directions = 6);
+
+/// Push every coordinate of `t` at least `margin` away from zero (in place).
+/// Used to keep layer-level central differences away from ReLU-family kinks.
+void bias_away_from_zero_(Tensor& t, float margin);
+
+}  // namespace sesr::nn

@@ -1,0 +1,127 @@
+#include "nn/groupnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+GroupNorm::GroupNorm(int64_t channels, int64_t groups, float eps, float init_gamma)
+    : channels_(channels),
+      groups_(groups),
+      eps_(eps),
+      gamma_("gn_gamma", Tensor({channels}, init_gamma)),
+      beta_("gn_beta", Tensor({channels}, 0.0f)) {
+  if (channels <= 0 || groups <= 0 || channels % groups != 0)
+    throw std::invalid_argument("GroupNorm: channels must be divisible by groups");
+}
+
+std::string GroupNorm::name() const {
+  return "groupnorm_" + std::to_string(channels_) + "_g" + std::to_string(groups_);
+}
+
+Shape GroupNorm::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4 || input[1] != channels_)
+    throw std::invalid_argument("GroupNorm::trace: bad input " + input.to_string());
+  if (out) {
+    LayerInfo info;
+    // Folds into the preceding convolution at deployment: free on the NPU.
+    info.kind = LayerKind::kActivation;
+    info.name = name();
+    info.input = input;
+    info.output = input;
+    info.params = 2 * channels_;
+    out->push_back(std::move(info));
+  }
+  return input;
+}
+
+Tensor GroupNorm::forward(const Tensor& input) {
+  trace(input.shape(), nullptr);
+  cached_input_ = input;
+  const int64_t n = input.dim(0), hw = input.dim(2) * input.dim(3);
+  const int64_t cpg = channels_ / groups_;      // channels per group
+  const int64_t group_sz = cpg * hw;
+
+  cached_mean_.assign(static_cast<size_t>(n * groups_), 0.0f);
+  cached_inv_std_.assign(static_cast<size_t>(n * groups_), 0.0f);
+
+  Tensor out(input.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < groups_; ++g) {
+      const float* src = input.data() + (i * channels_ + g * cpg) * hw;
+      double sum = 0.0, sum_sq = 0.0;
+      for (int64_t j = 0; j < group_sz; ++j) {
+        sum += src[j];
+        sum_sq += static_cast<double>(src[j]) * src[j];
+      }
+      const float mean = static_cast<float>(sum / static_cast<double>(group_sz));
+      const float var =
+          static_cast<float>(sum_sq / static_cast<double>(group_sz)) - mean * mean;
+      const float inv_std = 1.0f / std::sqrt(std::max(var, 0.0f) + eps_);
+      cached_mean_[static_cast<size_t>(i * groups_ + g)] = mean;
+      cached_inv_std_[static_cast<size_t>(i * groups_ + g)] = inv_std;
+
+      float* dst = out.data() + (i * channels_ + g * cpg) * hw;
+      for (int64_t c = 0; c < cpg; ++c) {
+        const float gm = gamma_.value[g * cpg + c];
+        const float bt = beta_.value[g * cpg + c];
+        for (int64_t j = 0; j < hw; ++j)
+          dst[c * hw + j] = gm * (src[c * hw + j] - mean) * inv_std + bt;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GroupNorm::backward(const Tensor& grad_output) {
+  const Tensor& x = cached_input_;
+  const int64_t n = x.dim(0), hw = x.dim(2) * x.dim(3);
+  const int64_t cpg = channels_ / groups_;
+  const int64_t group_sz = cpg * hw;
+
+  Tensor grad_input(x.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < groups_; ++g) {
+      const float mean = cached_mean_[static_cast<size_t>(i * groups_ + g)];
+      const float inv_std = cached_inv_std_[static_cast<size_t>(i * groups_ + g)];
+      const float* xs = x.data() + (i * channels_ + g * cpg) * hw;
+      const float* gs = grad_output.data() + (i * channels_ + g * cpg) * hw;
+      float* gx = grad_input.data() + (i * channels_ + g * cpg) * hw;
+
+      // Accumulate per-channel parameter grads and the two group reductions
+      // needed for dx: mean(dy_hat) and mean(dy_hat * xhat), where
+      // dy_hat = dy * gamma.
+      double sum_dyg = 0.0, sum_dyg_xhat = 0.0;
+      for (int64_t c = 0; c < cpg; ++c) {
+        const float gm = gamma_.value[g * cpg + c];
+        double dgamma = 0.0, dbeta = 0.0;
+        for (int64_t j = 0; j < hw; ++j) {
+          const float xhat = (xs[c * hw + j] - mean) * inv_std;
+          const float dy = gs[c * hw + j];
+          dgamma += static_cast<double>(dy) * xhat;
+          dbeta += dy;
+          const float dyg = dy * gm;
+          sum_dyg += dyg;
+          sum_dyg_xhat += static_cast<double>(dyg) * xhat;
+        }
+        gamma_.grad[g * cpg + c] += static_cast<float>(dgamma);
+        beta_.grad[g * cpg + c] += static_cast<float>(dbeta);
+      }
+      const float mean_dyg = static_cast<float>(sum_dyg / static_cast<double>(group_sz));
+      const float mean_dyg_xhat =
+          static_cast<float>(sum_dyg_xhat / static_cast<double>(group_sz));
+
+      for (int64_t c = 0; c < cpg; ++c) {
+        const float gm = gamma_.value[g * cpg + c];
+        for (int64_t j = 0; j < hw; ++j) {
+          const float xhat = (xs[c * hw + j] - mean) * inv_std;
+          const float dyg = gs[c * hw + j] * gm;
+          gx[c * hw + j] = inv_std * (dyg - mean_dyg - xhat * mean_dyg_xhat);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

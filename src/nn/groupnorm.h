@@ -1,0 +1,42 @@
+// Group normalisation (Wu & He, ECCV 2018).
+//
+// Normalises each sample over channel groups: y = gamma * (x - mu) / sigma +
+// beta, with statistics over (C/G, H, W) per group. Chosen over batch norm
+// for the classifier families because it has no train/eval mode split and no
+// running statistics — the whole library stays deterministic and mode-free,
+// which matters when the same forward pass serves training, attack crafting
+// and defended inference. At deployment normalisation layers fold into the
+// preceding convolution, so the hardware cost model prices them at zero
+// (matching how Vela compiles BN for the Ethos-U55).
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+class GroupNorm final : public Module {
+ public:
+  /// `channels` must be divisible by `groups`. `init_gamma` sets the initial
+  /// scale; passing 0 on the last norm of a residual branch makes the block
+  /// start as an identity mapping (the standard "zero-init residual" trick),
+  /// which markedly improves trainability of deeper stacks. init_weights
+  /// preserves whatever the constructor set.
+  GroupNorm(int64_t channels, int64_t groups = 8, float eps = 1e-5f, float init_gamma = 1.0f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  int64_t channels_, groups_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  // Cached by forward for backward.
+  Tensor cached_input_;
+  std::vector<float> cached_mean_, cached_inv_std_;  // per (sample, group)
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,35 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace sesr::nn {
+
+void he_normal_(Tensor& weight, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& v : weight.flat()) v = rng.normal(0.0f, stddev);
+}
+
+void xavier_uniform_(Tensor& weight, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : weight.flat()) v = rng.uniform(-a, a);
+}
+
+void init_he_normal(Module& module, Rng& rng) {
+  for (Parameter* p : module.parameters()) {
+    // Keep constructor defaults for parameters with meaningful non-zero
+    // initial values (PReLU slopes, GroupNorm scale).
+    if (p->name == "prelu_slope" || p->name == "gn_gamma") continue;
+    if (p->value.ndim() >= 2) {
+      // fan_in = product of all dims except dim 0 (out channels / features).
+      // ConvTranspose2d stores [in, out, kh, kw]; using dim-0 product there
+      // still yields a reasonable scale, and SR nets re-init heads anyway.
+      int64_t fan_in = 1;
+      for (int d = 1; d < p->value.ndim(); ++d) fan_in *= p->value.dim(d);
+      he_normal_(p->value, fan_in, rng);
+    } else {
+      p->value.fill(0.0f);
+    }
+  }
+}
+
+}  // namespace sesr::nn

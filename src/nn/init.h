@@ -1,0 +1,22 @@
+// Weight initialisation.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace sesr::nn {
+
+/// He (Kaiming) normal initialisation for a conv/linear weight tensor:
+/// N(0, sqrt(2 / fan_in)). `fan_in` = in_channels * kernel_h * kernel_w for
+/// convolutions, in_features for linear layers.
+void he_normal_(Tensor& weight, int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform initialisation: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform_(Tensor& weight, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Initialise every parameter of `module` with sensible defaults:
+/// He-normal for weights (fan-in inferred from shape), zero for biases.
+/// Recognises weight tensors by rank (>= 2) and name.
+void init_he_normal(Module& module, Rng& rng);
+
+}  // namespace sesr::nn

@@ -1,0 +1,85 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+namespace sesr::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("weight", Tensor({out_features, in_features})),
+      bias_("bias", Tensor({bias ? out_features : 0})) {
+  if (in_features <= 0 || out_features <= 0)
+    throw std::invalid_argument("Linear: non-positive feature count");
+}
+
+std::string Linear::name() const {
+  return "linear_" + std::to_string(in_features_) + "_" + std::to_string(out_features_);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (has_bias_) params.push_back(&bias_);
+  return params;
+}
+
+Shape Linear::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 2 || input[1] != in_features_)
+    throw std::invalid_argument("Linear::trace: expected [N, " + std::to_string(in_features_) +
+                                "], got " + input.to_string());
+  const Shape output{input[0], out_features_};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kLinear;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    info.params = weight_.value.numel() + (has_bias_ ? out_features_ : 0);
+    info.macs = in_features_ * out_features_;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_ = input;
+  const int64_t n = input.dim(0);
+
+  Tensor output(out_shape);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = input.data() + i * in_features_;
+    float* y = output.data() + i * out_features_;
+    for (int64_t o = 0; o < out_features_; ++o) {
+      const float* w = weight_.value.data() + o * in_features_;
+      float acc = has_bias_ ? bias_.value[o] : 0.0f;
+      for (int64_t j = 0; j < in_features_; ++j) acc += w[j] * x[j];
+      y[o] = acc;
+    }
+  }
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const int64_t n = cached_input_.dim(0);
+  Tensor grad_input(cached_input_.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = cached_input_.data() + i * in_features_;
+    const float* g = grad_output.data() + i * out_features_;
+    float* gx = grad_input.data() + i * in_features_;
+    for (int64_t o = 0; o < out_features_; ++o) {
+      const float go = g[o];
+      const float* w = weight_.value.data() + o * in_features_;
+      float* gw = weight_.grad.data() + o * in_features_;
+      for (int64_t j = 0; j < in_features_; ++j) {
+        gx[j] += go * w[j];
+        gw[j] += go * x[j];
+      }
+      if (has_bias_) bias_.grad[o] += go;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

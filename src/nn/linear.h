@@ -1,0 +1,32 @@
+// Fully connected layer.
+//
+// Classifier heads: consumes the [N, C] output of GlobalAvgPool and produces
+// [N, num_classes] logits. Weight layout: [out_features, in_features].
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+class Linear final : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter& bias() { return bias_; }
+
+ private:
+  int64_t in_features_, out_features_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace sesr::nn

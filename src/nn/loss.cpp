@@ -1,0 +1,96 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+LossResult mae_loss(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape())
+    throw std::invalid_argument("mae_loss: shape mismatch");
+  LossResult result{0.0f, Tensor(prediction.shape())};
+  const int64_t n = prediction.numel();
+  const float inv = 1.0f / static_cast<float>(n);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = prediction[i] - target[i];
+    acc += std::abs(d);
+    result.grad[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv;
+  }
+  result.value = static_cast<float>(acc * inv);
+  return result;
+}
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape())
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  LossResult result{0.0f, Tensor(prediction.shape())};
+  const int64_t n = prediction.numel();
+  const float inv = 1.0f / static_cast<float>(n);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = prediction[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    result.grad[i] = 2.0f * d * inv;
+  }
+  result.value = static_cast<float>(acc * inv);
+  return result;
+}
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("softmax: expected [N, K]");
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* orow = out.data() + i * k;
+    float mx = row[0];
+    for (int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < k; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+LossResult cross_entropy_loss(const Tensor& logits, const std::vector<int64_t>& labels) {
+  if (logits.ndim() != 2) throw std::invalid_argument("cross_entropy_loss: expected [N, K]");
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n)
+    throw std::invalid_argument("cross_entropy_loss: label count mismatch");
+
+  LossResult result{0.0f, softmax(logits)};
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= k) throw std::invalid_argument("cross_entropy_loss: label out of range");
+    float* grow = result.grad.data() + i * k;
+    // -log p_y, with p already softmax-normalised; clamp avoids -inf.
+    acc -= std::log(std::max(grow[y], 1e-12f));
+    grow[y] -= 1.0f;
+    for (int64_t j = 0; j < k; ++j) grow[j] *= inv_n;
+  }
+  result.value = static_cast<float>(acc * inv_n);
+  return result;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("argmax_rows: expected [N, K]");
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    int64_t best = 0;
+    for (int64_t j = 1; j < k; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace sesr::nn

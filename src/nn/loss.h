@@ -1,0 +1,38 @@
+// Loss functions.
+//
+// Each loss returns the scalar loss value and the gradient with respect to
+// the prediction, ready to feed into Module::backward. Losses are mean-
+// reduced over all elements (MAE/MSE) or over the batch (cross-entropy),
+// matching the conventions of the SR literature and of classification
+// training respectively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sesr::nn {
+
+struct LossResult {
+  float value = 0.0f;
+  Tensor grad;  ///< d(loss)/d(prediction), same shape as the prediction
+};
+
+/// Mean absolute error — the EDSR/SESR training loss.
+LossResult mae_loss(const Tensor& prediction, const Tensor& target);
+
+/// Mean squared error — the FSRCNN training loss.
+LossResult mse_loss(const Tensor& prediction, const Tensor& target);
+
+/// Row-wise softmax of logits [N, K].
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of logits [N, K] against integer labels (size N).
+/// Computed via a numerically stable log-sum-exp.
+LossResult cross_entropy_loss(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Top-1 predictions from logits [N, K].
+std::vector<int64_t> argmax_rows(const Tensor& logits);
+
+}  // namespace sesr::nn

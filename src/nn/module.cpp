@@ -1,0 +1,42 @@
+#include "nn/module.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+
+namespace sesr::nn {
+
+void Module::init_weights(Rng& rng) { init_he_normal(*this, rng); }
+
+void Module::load_parameters_from(Module& other) {
+  auto dst = parameters();
+  auto src = other.parameters();
+  if (dst.size() != src.size())
+    throw std::invalid_argument("load_parameters_from: parameter count mismatch (" +
+                                std::to_string(dst.size()) + " vs " + std::to_string(src.size()) + ")");
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->value.shape() != src[i]->value.shape())
+      throw std::invalid_argument("load_parameters_from: shape mismatch at parameter " +
+                                  dst[i]->name);
+    dst[i]->value = src[i]->value;
+  }
+}
+
+std::vector<Tensor> Module::parameter_values() {
+  std::vector<Tensor> values;
+  for (Parameter* p : parameters()) values.push_back(p->value);
+  return values;
+}
+
+void Module::set_parameter_values(const std::vector<Tensor>& values) {
+  auto params = parameters();
+  if (params.size() != values.size())
+    throw std::invalid_argument("set_parameter_values: count mismatch");
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->value.shape() != values[i].shape())
+      throw std::invalid_argument("set_parameter_values: shape mismatch at " + params[i]->name);
+    params[i]->value = values[i];
+  }
+}
+
+}  // namespace sesr::nn

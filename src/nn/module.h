@@ -1,0 +1,130 @@
+// Layer abstraction for the neural-network substrate.
+//
+// Every network component (convolutions, activations, composite blocks, full
+// models) implements Module: a forward pass, a backward pass that produces
+// gradients with respect to both parameters and the input, and a structural
+// trace used by the hardware cost model (src/hw) for MAC/parameter/latency
+// accounting.
+//
+// Gradient contract: backward(grad_out) must be called after forward(x) with
+// a grad_out shaped like forward's output, and consumes state cached by that
+// forward call. Parameter gradients *accumulate* into Parameter::grad; call
+// zero_grad() between optimisation steps. Returning the input gradient makes
+// gradient-based adversarial attacks (src/attacks) fall out of the same API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sesr::nn {
+
+/// A learnable tensor and its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)), value(std::move(initial)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Structural classification of a layer, consumed by the hardware cost model.
+enum class LayerKind {
+  kConv2d,
+  kConvTranspose2d,
+  kDepthwiseConv2d,
+  kLinear,
+  kActivation,
+  kElementwise,   // residual adds, scales
+  kPool,
+  kGlobalPool,
+  kDepthToSpace,
+  kConcat,
+  kIdentity,
+};
+
+/// One record of a model's structural trace: enough geometry for the
+/// analytic cost model to price the layer on the Ethos-U55.
+struct LayerInfo {
+  LayerKind kind = LayerKind::kIdentity;
+  std::string name;
+  Shape input;       ///< NCHW input shape (batch dimension included)
+  Shape output;      ///< NCHW output shape
+  int64_t kernel_h = 0;
+  int64_t kernel_w = 0;
+  int64_t stride = 1;
+  int64_t params = 0;  ///< learnable parameter count
+  int64_t macs = 0;    ///< multiply-accumulates per *single* input sample
+};
+
+/// Base class for all layers and models.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Compute the layer output; caches whatever backward() needs.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagate `grad_output` (shaped like the last forward's output) back:
+  /// accumulates into parameter grads and returns the input gradient.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All learnable parameters, including those of sub-modules.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Short human-readable identifier (e.g. "conv3x3_16_16").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Shape-propagate a (batched NCHW) input through this module, appending a
+  /// LayerInfo per primitive layer when `out` is non-null. Returns the output
+  /// shape. Must agree with forward()'s actual shapes.
+  virtual Shape trace(const Shape& input, std::vector<LayerInfo>* out) const = 0;
+
+  /// Zero the gradients of every parameter.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  /// Total learnable parameter count.
+  [[nodiscard]] int64_t num_params() {
+    int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+
+  /// Convenience: full structural trace for a given input shape.
+  [[nodiscard]] std::vector<LayerInfo> layers(const Shape& input) const {
+    std::vector<LayerInfo> infos;
+    trace(input, &infos);
+    return infos;
+  }
+
+  /// Initialise all parameters for training. The default is He-normal
+  /// weights with zero biases; models with architecture-specific schemes
+  /// (e.g. SESR's residual-friendly scaling) override this, and the trainers
+  /// call it so those schemes are honoured.
+  virtual void init_weights(Rng& rng);
+
+  /// Copy all parameter values from `other` (shapes must match pairwise).
+  void load_parameters_from(Module& other);
+
+  /// Flatten parameter values for checkpointing (pairs with set_parameter_values).
+  [[nodiscard]] std::vector<Tensor> parameter_values();
+  void set_parameter_values(const std::vector<Tensor>& values);
+
+ protected:
+  Module() = default;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace sesr::nn

@@ -1,0 +1,18 @@
+// Umbrella header for the neural-network substrate.
+#pragma once
+
+#include "nn/activations.h"
+#include "nn/container.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/gradcheck.h"
+#include "nn/groupnorm.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/pixel_ops.h"
+#include "nn/pooling.h"
+#include "nn/quantize.h"

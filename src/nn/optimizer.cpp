@@ -1,0 +1,63 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace sesr::nn {
+
+SGD::SGD(std::vector<Parameter*> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& vel = velocity_[i];
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p.value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j] + weight_decay_ * p.value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p.value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace sesr::nn

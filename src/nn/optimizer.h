@@ -1,0 +1,57 @@
+// Gradient-descent optimisers.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+/// Interface: step() applies accumulated gradients to the registered
+/// parameters; callers zero gradients between steps (Module::zero_grad).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  [[nodiscard]] float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the optimiser used to train all SR networks and
+/// classifiers in the benches.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,132 @@
+#include "nn/pixel_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+// ---- DepthToSpace -------------------------------------------------------------
+
+DepthToSpace::DepthToSpace(int64_t block) : block_(block) {
+  if (block <= 0) throw std::invalid_argument("DepthToSpace: block must be positive");
+}
+
+std::string DepthToSpace::name() const { return "depth2space_x" + std::to_string(block_); }
+
+Shape DepthToSpace::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  const int64_t r2 = block_ * block_;
+  if (input.ndim() != 4 || input[1] % r2 != 0)
+    throw std::invalid_argument("DepthToSpace::trace: channels of " + input.to_string() +
+                                " not divisible by block^2");
+  const Shape output{input[0], input[1] / r2, input[2] * block_, input[3] * block_};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kDepthToSpace;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor DepthToSpace::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_shape_ = input.shape();
+  const int64_t n = input.dim(0), c_out = out_shape[1];
+  const int64_t h = input.dim(2), w = input.dim(3), r = block_;
+
+  Tensor output(out_shape);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t c = 0; c < c_out; ++c)
+      for (int64_t dy = 0; dy < r; ++dy)
+        for (int64_t dx = 0; dx < r; ++dx) {
+          const float* in_plane = input.data() + ((i * input.dim(1)) + c * r * r + dy * r + dx) * h * w;
+          for (int64_t y = 0; y < h; ++y) {
+            float* out_row = output.data() +
+                             ((i * c_out + c) * h * r + (y * r + dy)) * w * r + dx;
+            const float* in_row = in_plane + y * w;
+            for (int64_t x = 0; x < w; ++x) out_row[x * r] = in_row[x];
+          }
+        }
+  return output;
+}
+
+Tensor DepthToSpace::backward(const Tensor& grad_output) {
+  const Shape& in_shape = cached_input_shape_;
+  const int64_t n = in_shape[0], c_in = in_shape[1], h = in_shape[2], w = in_shape[3];
+  const int64_t r = block_, c_out = c_in / (r * r);
+
+  Tensor grad_input(in_shape);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t c = 0; c < c_out; ++c)
+      for (int64_t dy = 0; dy < r; ++dy)
+        for (int64_t dx = 0; dx < r; ++dx) {
+          float* gin_plane = grad_input.data() + ((i * c_in) + c * r * r + dy * r + dx) * h * w;
+          for (int64_t y = 0; y < h; ++y) {
+            const float* g_row = grad_output.data() +
+                                 ((i * c_out + c) * h * r + (y * r + dy)) * w * r + dx;
+            float* gin_row = gin_plane + y * w;
+            for (int64_t x = 0; x < w; ++x) gin_row[x] = g_row[x * r];
+          }
+        }
+  return grad_input;
+}
+
+// ---- TileChannels ---------------------------------------------------------------
+
+TileChannels::TileChannels(int64_t times) : times_(times) {
+  if (times <= 0) throw std::invalid_argument("TileChannels: times must be positive");
+}
+
+std::string TileChannels::name() const { return "tile_channels_x" + std::to_string(times_); }
+
+Shape TileChannels::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4)
+    throw std::invalid_argument("TileChannels::trace: expected NCHW, got " + input.to_string());
+  const Shape output{input[0], input[1] * times_, input[2], input[3]};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kIdentity;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor TileChannels::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_shape_ = input.shape();
+  const int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
+
+  Tensor output(out_shape);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = input.data() + (i * c + ch) * plane;
+      for (int64_t t = 0; t < times_; ++t) {
+        float* dst = output.data() + ((i * c + ch) * times_ + t) * plane;
+        std::copy(src, src + plane, dst);
+      }
+    }
+  return output;
+}
+
+Tensor TileChannels::backward(const Tensor& grad_output) {
+  const Shape& in_shape = cached_input_shape_;
+  const int64_t n = in_shape[0], c = in_shape[1], plane = in_shape[2] * in_shape[3];
+
+  Tensor grad_input(in_shape);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* dst = grad_input.data() + (i * c + ch) * plane;
+      for (int64_t t = 0; t < times_; ++t) {
+        const float* src = grad_output.data() + ((i * c + ch) * times_ + t) * plane;
+        for (int64_t j = 0; j < plane; ++j) dst[j] += src[j];
+      }
+    }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

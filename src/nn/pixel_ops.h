@@ -1,0 +1,53 @@
+// Pixel rearrangement layers for super resolution.
+//
+// DepthToSpace ("pixel shuffle") converts [N, C*r^2, H, W] into [N, C, H*r, W*r]
+// and is the upsampling head of SESR and EDSR. TileChannels replicates the
+// input r^2 times along the channel axis, which — followed by DepthToSpace —
+// is how SESR injects its long input residual (each upscaled pixel receives
+// its source LR pixel).
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+/// Rearranges channel blocks into spatial blocks: output(n, c, h*r+dy, w*r+dx)
+/// = input(n, c*r^2 + dy*r + dx, h, w). Matches TensorFlow/PyTorch NCHW
+/// depth-to-space semantics.
+class DepthToSpace final : public Module {
+ public:
+  explicit DepthToSpace(int64_t block);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+  [[nodiscard]] int64_t block() const { return block_; }
+
+ private:
+  int64_t block_;
+  Shape cached_input_shape_;
+};
+
+/// Repeats each input channel `times` consecutively along the channel axis:
+/// output(n, c*times + t, h, w) = input(n, c, h, w).
+///
+/// With times = r^2 this matches DepthToSpace's NCHW channel grouping, so
+/// TileChannels(r^2) -> add -> DepthToSpace(r) delivers each low-resolution
+/// pixel to all r^2 of its upscaled positions (SESR's input residual).
+class TileChannels final : public Module {
+ public:
+  explicit TileChannels(int64_t times);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  int64_t times_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace sesr::nn

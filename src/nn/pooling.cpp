@@ -1,0 +1,221 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sesr::nn {
+namespace {
+
+int64_t pool_out_extent(int64_t in, int64_t kernel, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+LayerInfo pool_info(const std::string& name, const Shape& in, const Shape& out,
+                    int64_t kernel, int64_t stride) {
+  LayerInfo info;
+  info.kind = LayerKind::kPool;
+  info.name = name;
+  info.input = in;
+  info.output = out;
+  info.kernel_h = info.kernel_w = kernel;
+  info.stride = stride;
+  return info;
+}
+
+}  // namespace
+
+// ---- MaxPool2d ---------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride, int64_t padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  if (kernel <= 0 || stride <= 0 || padding < 0)
+    throw std::invalid_argument("MaxPool2d: invalid geometry");
+}
+
+std::string MaxPool2d::name() const {
+  return "maxpool" + std::to_string(kernel_) + "_s" + std::to_string(stride_);
+}
+
+Shape MaxPool2d::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4)
+    throw std::invalid_argument("MaxPool2d::trace: expected NCHW, got " + input.to_string());
+  const Shape output{input[0], input[1],
+                     pool_out_extent(input[2], kernel_, stride_, padding_),
+                     pool_out_extent(input[3], kernel_, stride_, padding_)};
+  if (out) out->push_back(pool_info(name(), input, output, kernel_, stride_));
+  return output;
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_shape_ = input.shape();
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+
+  Tensor output(out_shape);
+  argmax_.assign(static_cast<size_t>(output.numel()), -1);
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      for (int64_t oh = 0; oh < out_h; ++oh)
+        for (int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t ih = oh * stride_ - padding_ + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t iw = ow * stride_ - padding_ + kw;
+              if (iw < 0 || iw >= w) continue;
+              const float v = plane[ih * w + iw];
+              if (v > best) {
+                best = v;
+                best_idx = (i * c + ch) * h * w + ih * w + iw;
+              }
+            }
+          }
+          output[out_idx] = best_idx >= 0 ? best : 0.0f;
+          argmax_[static_cast<size_t>(out_idx)] = best_idx;
+        }
+    }
+  return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_shape_);
+  for (int64_t j = 0; j < grad_output.numel(); ++j) {
+    const int64_t src = argmax_[static_cast<size_t>(j)];
+    if (src >= 0) grad_input[src] += grad_output[j];
+  }
+  return grad_input;
+}
+
+// ---- AvgPool2d ---------------------------------------------------------------
+
+AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride, int64_t padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  if (kernel <= 0 || stride <= 0 || padding < 0)
+    throw std::invalid_argument("AvgPool2d: invalid geometry");
+}
+
+std::string AvgPool2d::name() const {
+  return "avgpool" + std::to_string(kernel_) + "_s" + std::to_string(stride_);
+}
+
+Shape AvgPool2d::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4)
+    throw std::invalid_argument("AvgPool2d::trace: expected NCHW, got " + input.to_string());
+  const Shape output{input[0], input[1],
+                     pool_out_extent(input[2], kernel_, stride_, padding_),
+                     pool_out_extent(input[3], kernel_, stride_, padding_)};
+  if (out) out->push_back(pool_info(name(), input, output, kernel_, stride_));
+  return output;
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_shape_ = input.shape();
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+  const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  Tensor output(out_shape);
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      for (int64_t oh = 0; oh < out_h; ++oh)
+        for (int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+          float acc = 0.0f;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t ih = oh * stride_ - padding_ + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t iw = ow * stride_ - padding_ + kw;
+              if (iw < 0 || iw >= w) continue;
+              acc += plane[ih * w + iw];
+            }
+          }
+          output[out_idx] = acc * inv_area;
+        }
+    }
+  return output;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  const Shape& in_shape = cached_input_shape_;
+  const int64_t n = in_shape[0], c = in_shape[1], h = in_shape[2], w = in_shape[3];
+  const int64_t out_h = grad_output.dim(2), out_w = grad_output.dim(3);
+  const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  Tensor grad_input(in_shape);
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = grad_input.data() + (i * c + ch) * h * w;
+      for (int64_t oh = 0; oh < out_h; ++oh)
+        for (int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+          const float g = grad_output[out_idx] * inv_area;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t ih = oh * stride_ - padding_ + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t iw = ow * stride_ - padding_ + kw;
+              if (iw < 0 || iw >= w) continue;
+              plane[ih * w + iw] += g;
+            }
+          }
+        }
+    }
+  return grad_input;
+}
+
+// ---- GlobalAvgPool --------------------------------------------------------------
+
+Shape GlobalAvgPool::trace(const Shape& input, std::vector<LayerInfo>* out) const {
+  if (input.ndim() != 4)
+    throw std::invalid_argument("GlobalAvgPool::trace: expected NCHW, got " + input.to_string());
+  const Shape output{input[0], input[1]};
+  if (out) {
+    LayerInfo info;
+    info.kind = LayerKind::kGlobalPool;
+    info.name = name();
+    info.input = input;
+    info.output = output;
+    out->push_back(std::move(info));
+  }
+  return output;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  const Shape out_shape = trace(input.shape(), nullptr);
+  cached_input_shape_ = input.shape();
+  const int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
+  const float inv = 1.0f / static_cast<float>(plane);
+
+  Tensor output(out_shape);
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* src = input.data() + i * plane;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < plane; ++j) acc += src[j];
+    output[i] = acc * inv;
+  }
+  return output;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const Shape& in_shape = cached_input_shape_;
+  const int64_t plane = in_shape[2] * in_shape[3];
+  const float inv = 1.0f / static_cast<float>(plane);
+
+  Tensor grad_input(in_shape);
+  for (int64_t i = 0; i < in_shape[0] * in_shape[1]; ++i) {
+    const float g = grad_output[i] * inv;
+    float* dst = grad_input.data() + i * plane;
+    for (int64_t j = 0; j < plane; ++j) dst[j] = g;
+  }
+  return grad_input;
+}
+
+}  // namespace sesr::nn

@@ -1,0 +1,57 @@
+// Spatial pooling layers.
+#pragma once
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+/// Non-overlapping-capable max pooling (kernel, stride, zero padding).
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride, int64_t padding = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  int64_t kernel_, stride_, padding_;
+  Shape cached_input_shape_;
+  std::vector<int64_t> argmax_;  // flat input index of each output's max
+};
+
+/// Average pooling (zero padding counts toward the divisor, i.e.
+/// count_include_pad semantics).
+class AvgPool2d final : public Module {
+ public:
+  AvgPool2d(int64_t kernel, int64_t stride, int64_t padding = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  int64_t kernel_, stride_, padding_;
+  Shape cached_input_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C]. Makes the classifiers
+/// fully convolutional, so one set of weights serves both the raw input
+/// resolution (attack crafting) and the x2-upscaled resolution (defended
+/// inference), mirroring the paper's 299 -> 598 flow.
+class GlobalAvgPool final : public Module {
+ public:
+  GlobalAvgPool() = default;
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "global_avg_pool"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,48 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::nn {
+
+float fake_quantize_(Tensor& values, const QuantizationSpec& spec) {
+  if (spec.bits < 2 || spec.bits > 16)
+    throw std::invalid_argument("fake_quantize_: bits in [2, 16]");
+  float lo = values.min(), hi = values.max();
+  if (spec.symmetric) {
+    const float bound = std::max(std::abs(lo), std::abs(hi));
+    lo = -bound;
+    hi = bound;
+  }
+  if (hi - lo < 1e-12f) return 0.0f;  // constant tensor: representable exactly
+
+  const int64_t qmax = (int64_t{1} << spec.bits) - 1;
+  const float scale = (hi - lo) / static_cast<float>(qmax);
+  for (float& v : values.flat()) {
+    const float q = std::round((v - lo) / scale);
+    v = std::clamp(q, 0.0f, static_cast<float>(qmax)) * scale + lo;
+  }
+  return scale;
+}
+
+void quantize_weights_(Module& module, const QuantizationSpec& spec) {
+  for (Parameter* p : module.parameters()) fake_quantize_(p->value, spec);
+}
+
+QuantizedInference::QuantizedInference(ModulePtr body, QuantizationSpec weight_spec,
+                                       QuantizationSpec activation_spec)
+    : body_(std::move(body)), activation_spec_(activation_spec) {
+  if (!body_) throw std::invalid_argument("QuantizedInference: null body");
+  quantize_weights_(*body_, weight_spec);
+}
+
+Tensor QuantizedInference::forward(const Tensor& input) {
+  Tensor x = input;
+  fake_quantize_(x, activation_spec_);
+  Tensor y = body_->forward(x);
+  fake_quantize_(y, activation_spec_);
+  return y;
+}
+
+}  // namespace sesr::nn

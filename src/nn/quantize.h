@@ -1,0 +1,52 @@
+// Post-training fake quantisation.
+//
+// The Ethos-U55 deployment the paper targets runs int8; this module lets the
+// repo answer the fidelity question "does the defense survive int8?" without
+// a full integer kernel stack: weights (and optionally activations at module
+// boundaries) are rounded through an affine int-N grid and back to float
+// ("fake quant"), which reproduces exactly the representational error of an
+// integer deployment while reusing the float kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/module.h"
+
+namespace sesr::nn {
+
+struct QuantizationSpec {
+  int bits = 8;
+  bool symmetric = true;  ///< symmetric (weights) vs asymmetric (activations)
+};
+
+/// Round `values` through the int-`bits` grid implied by its min/max and
+/// back to float, in place. Returns the scale used (0 for all-zero input).
+float fake_quantize_(Tensor& values, const QuantizationSpec& spec = {});
+
+/// Fake-quantise every parameter of `module` in place (per-tensor scales,
+/// symmetric), emulating post-training weight quantisation.
+void quantize_weights_(Module& module, const QuantizationSpec& spec = {});
+
+/// Wraps a module so its input and output pass through activation fake
+/// quantisation (asymmetric), emulating int8 tensors at layer boundaries.
+/// Forward-only (backward passes gradients straight through), which is all
+/// the defense pipeline needs at inference time.
+class QuantizedInference final : public Module {
+ public:
+  QuantizedInference(ModulePtr body, QuantizationSpec weight_spec = {},
+                     QuantizationSpec activation_spec = {.bits = 8, .symmetric = false});
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override { return body_->backward(grad_output); }
+  std::vector<Parameter*> parameters() override { return body_->parameters(); }
+  [[nodiscard]] std::string name() const override { return body_->name() + "_int8"; }
+  Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override {
+    return body_->trace(input, out);
+  }
+
+ private:
+  ModulePtr body_;
+  QuantizationSpec activation_spec_;
+};
+
+}  // namespace sesr::nn

@@ -1,0 +1,58 @@
+#include "preprocess/colorspace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::preprocess {
+namespace {
+
+void check_rgb_shape(const Tensor& t, const char* fn) {
+  if (t.ndim() != 4 || t.dim(1) != 3)
+    throw std::invalid_argument(std::string(fn) + ": expected [N, 3, H, W], got " +
+                                t.shape().to_string());
+}
+
+}  // namespace
+
+Tensor rgb_to_ycbcr(const Tensor& rgb) {
+  check_rgb_shape(rgb, "rgb_to_ycbcr");
+  const int64_t n = rgb.dim(0), plane = rgb.dim(2) * rgb.dim(3);
+  Tensor out(rgb.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* r = rgb.data() + (i * 3 + 0) * plane;
+    const float* g = rgb.data() + (i * 3 + 1) * plane;
+    const float* b = rgb.data() + (i * 3 + 2) * plane;
+    float* y = out.data() + (i * 3 + 0) * plane;
+    float* cb = out.data() + (i * 3 + 1) * plane;
+    float* cr = out.data() + (i * 3 + 2) * plane;
+    for (int64_t j = 0; j < plane; ++j) {
+      y[j] = 0.299f * r[j] + 0.587f * g[j] + 0.114f * b[j];
+      cb[j] = -0.168736f * r[j] - 0.331264f * g[j] + 0.5f * b[j] + 0.5f;
+      cr[j] = 0.5f * r[j] - 0.418688f * g[j] - 0.081312f * b[j] + 0.5f;
+    }
+  }
+  return out;
+}
+
+Tensor ycbcr_to_rgb(const Tensor& ycbcr) {
+  check_rgb_shape(ycbcr, "ycbcr_to_rgb");
+  const int64_t n = ycbcr.dim(0), plane = ycbcr.dim(2) * ycbcr.dim(3);
+  Tensor out(ycbcr.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* y = ycbcr.data() + (i * 3 + 0) * plane;
+    const float* cb = ycbcr.data() + (i * 3 + 1) * plane;
+    const float* cr = ycbcr.data() + (i * 3 + 2) * plane;
+    float* r = out.data() + (i * 3 + 0) * plane;
+    float* g = out.data() + (i * 3 + 1) * plane;
+    float* b = out.data() + (i * 3 + 2) * plane;
+    for (int64_t j = 0; j < plane; ++j) {
+      const float cbj = cb[j] - 0.5f, crj = cr[j] - 0.5f;
+      r[j] = std::clamp(y[j] + 1.402f * crj, 0.0f, 1.0f);
+      g[j] = std::clamp(y[j] - 0.344136f * cbj - 0.714136f * crj, 0.0f, 1.0f);
+      b[j] = std::clamp(y[j] + 1.772f * cbj, 0.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace sesr::preprocess

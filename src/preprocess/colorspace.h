@@ -1,0 +1,18 @@
+// RGB <-> YCbCr colorspace conversion (JPEG / ITU-R BT.601 convention).
+//
+// Tensors are NCHW with 3 channels and values in [0, 1]. YCbCr output keeps
+// the same [0, 1] scaling (Cb/Cr centered at 0.5), matching what the JPEG
+// compressor and chroma-aware denoisers expect.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sesr::preprocess {
+
+/// Convert an [N, 3, H, W] RGB tensor in [0,1] to YCbCr in [0,1].
+Tensor rgb_to_ycbcr(const Tensor& rgb);
+
+/// Inverse of rgb_to_ycbcr (values clamped back to [0,1]).
+Tensor ycbcr_to_rgb(const Tensor& ycbcr);
+
+}  // namespace sesr::preprocess

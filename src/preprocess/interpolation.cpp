@@ -1,0 +1,110 @@
+#include "preprocess/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr::preprocess {
+namespace {
+
+// Catmull-Rom cubic kernel (a = -0.5), the common "bicubic" choice.
+float cubic_weight(float x) {
+  constexpr float a = -0.5f;
+  x = std::abs(x);
+  if (x < 1.0f) return ((a + 2.0f) * x - (a + 3.0f)) * x * x + 1.0f;
+  if (x < 2.0f) return (((x - 5.0f) * x + 8.0f) * x - 4.0f) * a;
+  return 0.0f;
+}
+
+int64_t clamp_index(int64_t i, int64_t n) { return std::clamp<int64_t>(i, 0, n - 1); }
+
+}  // namespace
+
+const char* interpolation_name(InterpolationKind kind) {
+  switch (kind) {
+    case InterpolationKind::kNearest: return "Nearest Neighbor";
+    case InterpolationKind::kBilinear: return "Bilinear";
+    case InterpolationKind::kBicubic: return "Bicubic";
+  }
+  return "?";
+}
+
+Tensor resize(const Tensor& input, int64_t out_h, int64_t out_w, InterpolationKind kind) {
+  if (input.ndim() != 4)
+    throw std::invalid_argument("resize: expected NCHW, got " + input.shape().to_string());
+  if (out_h <= 0 || out_w <= 0) throw std::invalid_argument("resize: non-positive output size");
+
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  Tensor output({n, c, out_h, out_w});
+  // Align-corners=false convention (pixel centers at half-integers), matching
+  // OpenCV / PIL behaviour used by SR dataset pipelines.
+  const float scale_y = static_cast<float>(h) / static_cast<float>(out_h);
+  const float scale_x = static_cast<float>(w) / static_cast<float>(out_w);
+
+  for (int64_t img = 0; img < n * c; ++img) {
+    const float* src = input.data() + img * h * w;
+    float* dst = output.data() + img * out_h * out_w;
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      const float sy = (static_cast<float>(oy) + 0.5f) * scale_y - 0.5f;
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        const float sx = (static_cast<float>(ox) + 0.5f) * scale_x - 0.5f;
+        float value = 0.0f;
+        switch (kind) {
+          case InterpolationKind::kNearest: {
+            const int64_t iy = clamp_index(static_cast<int64_t>(std::lround(sy)), h);
+            const int64_t ix = clamp_index(static_cast<int64_t>(std::lround(sx)), w);
+            value = src[iy * w + ix];
+            break;
+          }
+          case InterpolationKind::kBilinear: {
+            const int64_t y0 = static_cast<int64_t>(std::floor(sy));
+            const int64_t x0 = static_cast<int64_t>(std::floor(sx));
+            const float fy = sy - static_cast<float>(y0);
+            const float fx = sx - static_cast<float>(x0);
+            const float v00 = src[clamp_index(y0, h) * w + clamp_index(x0, w)];
+            const float v01 = src[clamp_index(y0, h) * w + clamp_index(x0 + 1, w)];
+            const float v10 = src[clamp_index(y0 + 1, h) * w + clamp_index(x0, w)];
+            const float v11 = src[clamp_index(y0 + 1, h) * w + clamp_index(x0 + 1, w)];
+            value = v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx + v10 * fy * (1 - fx) +
+                    v11 * fy * fx;
+            break;
+          }
+          case InterpolationKind::kBicubic: {
+            const int64_t y0 = static_cast<int64_t>(std::floor(sy));
+            const int64_t x0 = static_cast<int64_t>(std::floor(sx));
+            float acc = 0.0f, wsum = 0.0f;
+            for (int64_t dy = -1; dy <= 2; ++dy) {
+              const float wy = cubic_weight(sy - static_cast<float>(y0 + dy));
+              if (wy == 0.0f) continue;
+              const int64_t iy = clamp_index(y0 + dy, h);
+              for (int64_t dx = -1; dx <= 2; ++dx) {
+                const float wx = cubic_weight(sx - static_cast<float>(x0 + dx));
+                if (wx == 0.0f) continue;
+                const float wgt = wy * wx;
+                acc += wgt * src[iy * w + clamp_index(x0 + dx, w)];
+                wsum += wgt;
+              }
+            }
+            value = wsum != 0.0f ? acc / wsum : 0.0f;
+            break;
+          }
+        }
+        dst[oy * out_w + ox] = value;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor upscale(const Tensor& input, int64_t factor, InterpolationKind kind) {
+  if (factor <= 0) throw std::invalid_argument("upscale: factor must be positive");
+  return resize(input, input.dim(2) * factor, input.dim(3) * factor, kind);
+}
+
+Tensor downscale(const Tensor& input, int64_t factor, InterpolationKind kind) {
+  if (factor <= 0 || input.dim(2) % factor != 0 || input.dim(3) % factor != 0)
+    throw std::invalid_argument("downscale: size not divisible by factor");
+  return resize(input, input.dim(2) / factor, input.dim(3) / factor, kind);
+}
+
+}  // namespace sesr::preprocess

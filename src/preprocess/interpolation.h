@@ -1,0 +1,29 @@
+// Classical image interpolation.
+//
+// Provides the interpolation-based upscaling baselines of the paper's
+// Table II (nearest neighbour, plus bilinear/bicubic for the extended sweep)
+// and the bicubic downsampler used to derive LR training pairs from HR
+// patches (the standard SR-dataset protocol used for DIV2K).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sesr::preprocess {
+
+enum class InterpolationKind { kNearest, kBilinear, kBicubic };
+
+/// Name suitable for table rows ("Nearest Neighbor", "Bilinear", "Bicubic").
+const char* interpolation_name(InterpolationKind kind);
+
+/// Resize an NCHW batch to the given spatial size.
+/// Bicubic uses the Catmull-Rom kernel (a = -0.5), edges clamped.
+Tensor resize(const Tensor& input, int64_t out_h, int64_t out_w, InterpolationKind kind);
+
+/// Integer-factor upscale convenience wrapper.
+Tensor upscale(const Tensor& input, int64_t factor, InterpolationKind kind);
+
+/// Integer-factor downscale (bicubic by default — the DIV2K LR protocol).
+Tensor downscale(const Tensor& input, int64_t factor,
+                 InterpolationKind kind = InterpolationKind::kBicubic);
+
+}  // namespace sesr::preprocess

@@ -1,0 +1,185 @@
+#include "preprocess/jpeg.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "preprocess/colorspace.h"
+#include "tensor/parallel.h"
+
+namespace sesr::preprocess {
+namespace {
+
+// ITU-T T.81 Annex K.1 example quantisation tables.
+constexpr std::array<int, 64> kLumaBase = {
+    16, 11, 10, 16, 24,  40,  51,  61,
+    12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,
+    14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,
+    24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kChromaBase = {
+    17, 18, 24, 47, 99, 99, 99, 99,
+    18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99};
+
+// IJG quality scaling (libjpeg jpeg_quality_scaling).
+std::array<float, 64> scale_table(const std::array<int, 64>& base, int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int s = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<float, 64> out{};
+  for (int i = 0; i < 64; ++i)
+    out[static_cast<size_t>(i)] =
+        static_cast<float>(std::clamp((base[static_cast<size_t>(i)] * s + 50) / 100, 1, 255));
+  return out;
+}
+
+// 1-D 8-point DCT-II / DCT-III (orthonormal), applied separably.
+void dct8(const float* in, float* out, int64_t stride) {
+  constexpr float kPi = 3.14159265358979323846f;
+  for (int k = 0; k < 8; ++k) {
+    float acc = 0.0f;
+    for (int t = 0; t < 8; ++t)
+      acc += in[t * stride] * std::cos(kPi * (2 * t + 1) * k / 16.0f);
+    const float ck = (k == 0) ? std::sqrt(1.0f / 8.0f) : std::sqrt(2.0f / 8.0f);
+    out[k * stride] = ck * acc;
+  }
+}
+
+void idct8(const float* in, float* out, int64_t stride) {
+  constexpr float kPi = 3.14159265358979323846f;
+  for (int t = 0; t < 8; ++t) {
+    float acc = 0.0f;
+    for (int k = 0; k < 8; ++k) {
+      const float ck = (k == 0) ? std::sqrt(1.0f / 8.0f) : std::sqrt(2.0f / 8.0f);
+      acc += ck * in[k * stride] * std::cos(kPi * (2 * t + 1) * k / 16.0f);
+    }
+    out[t * stride] = acc;
+  }
+}
+
+// Process one padded plane (values in [0,255]-like scale, level-shifted by
+// 128) through DCT -> quantise -> dequantise -> IDCT, in place.
+void jpeg_roundtrip_plane(std::vector<float>& plane, int64_t h, int64_t w,
+                          const std::array<float, 64>& qtable) {
+  std::array<float, 64> block{}, tmp{};
+  for (int64_t by = 0; by < h; by += 8) {
+    for (int64_t bx = 0; bx < w; bx += 8) {
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          block[static_cast<size_t>(y * 8 + x)] =
+              plane[static_cast<size_t>((by + y) * w + bx + x)] - 128.0f;
+      // Separable 2-D DCT: rows then columns.
+      for (int y = 0; y < 8; ++y) dct8(&block[static_cast<size_t>(y * 8)], &tmp[static_cast<size_t>(y * 8)], 1);
+      for (int x = 0; x < 8; ++x) dct8(&tmp[static_cast<size_t>(x)], &block[static_cast<size_t>(x)], 8);
+      // Quantise / dequantise — the lossy step.
+      for (int i = 0; i < 64; ++i) {
+        const float q = qtable[static_cast<size_t>(i)];
+        block[static_cast<size_t>(i)] = std::round(block[static_cast<size_t>(i)] / q) * q;
+      }
+      for (int x = 0; x < 8; ++x) idct8(&block[static_cast<size_t>(x)], &tmp[static_cast<size_t>(x)], 8);
+      for (int y = 0; y < 8; ++y) idct8(&tmp[static_cast<size_t>(y * 8)], &block[static_cast<size_t>(y * 8)], 1);
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          plane[static_cast<size_t>((by + y) * w + bx + x)] =
+              block[static_cast<size_t>(y * 8 + x)] + 128.0f;
+    }
+  }
+}
+
+// Copy a channel into a zero-shift padded buffer (edge replication).
+std::vector<float> pad_plane(const float* src, int64_t h, int64_t w, int64_t ph, int64_t pw,
+                             float scale) {
+  std::vector<float> out(static_cast<size_t>(ph * pw));
+  for (int64_t y = 0; y < ph; ++y) {
+    const int64_t sy = std::min(y, h - 1);
+    for (int64_t x = 0; x < pw; ++x) {
+      const int64_t sx = std::min(x, w - 1);
+      out[static_cast<size_t>(y * pw + x)] = src[sy * w + sx] * scale;
+    }
+  }
+  return out;
+}
+
+int64_t round_up(int64_t v, int64_t m) { return (v + m - 1) / m * m; }
+
+}  // namespace
+
+JpegCompressor::JpegCompressor(JpegOptions opts) : opts_(opts) {
+  if (opts_.quality < 1 || opts_.quality > 100)
+    throw std::invalid_argument("JpegCompressor: quality must be in [1, 100]");
+  luma_q_ = scale_table(kLumaBase, opts_.quality);
+  chroma_q_ = scale_table(kChromaBase, opts_.quality);
+}
+
+Tensor JpegCompressor::apply(const Tensor& rgb) const {
+  if (rgb.ndim() != 4 || rgb.dim(1) != 3)
+    throw std::invalid_argument("JpegCompressor::apply: expected [N, 3, H, W]");
+  const int64_t n = rgb.dim(0), h = rgb.dim(2), w = rgb.dim(3);
+  const int64_t align = opts_.chroma_subsample ? 16 : 8;
+  const int64_t ph = round_up(h, align), pw = round_up(w, align);
+
+  Tensor ycbcr = rgb_to_ycbcr(rgb);
+  Tensor out(rgb.shape());
+
+  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t plane_sz = h * w;
+      // --- luma ---
+      std::vector<float> y =
+          pad_plane(ycbcr.data() + (i * 3 + 0) * plane_sz, h, w, ph, pw, 255.0f);
+      jpeg_roundtrip_plane(y, ph, pw, luma_q_);
+
+      // --- chroma ---
+      std::array<std::vector<float>, 2> chroma;
+      for (int c = 0; c < 2; ++c) {
+        std::vector<float> plane =
+            pad_plane(ycbcr.data() + (i * 3 + 1 + c) * plane_sz, h, w, ph, pw, 255.0f);
+        if (opts_.chroma_subsample) {
+          // 4:2:0 — average 2x2, roundtrip at half resolution, upsample back.
+          const int64_t sh = ph / 2, sw = pw / 2;
+          std::vector<float> sub(static_cast<size_t>(sh * sw));
+          for (int64_t sy = 0; sy < sh; ++sy)
+            for (int64_t sx = 0; sx < sw; ++sx)
+              sub[static_cast<size_t>(sy * sw + sx)] =
+                  0.25f * (plane[static_cast<size_t>(2 * sy * pw + 2 * sx)] +
+                           plane[static_cast<size_t>(2 * sy * pw + 2 * sx + 1)] +
+                           plane[static_cast<size_t>((2 * sy + 1) * pw + 2 * sx)] +
+                           plane[static_cast<size_t>((2 * sy + 1) * pw + 2 * sx + 1)]);
+          jpeg_roundtrip_plane(sub, sh, sw, chroma_q_);
+          for (int64_t yy = 0; yy < ph; ++yy)
+            for (int64_t xx = 0; xx < pw; ++xx)
+              plane[static_cast<size_t>(yy * pw + xx)] =
+                  sub[static_cast<size_t>((yy / 2) * sw + xx / 2)];
+        } else {
+          jpeg_roundtrip_plane(plane, ph, pw, chroma_q_);
+        }
+        chroma[static_cast<size_t>(c)] = std::move(plane);
+      }
+
+      // Crop back and rescale to [0,1].
+      Tensor img({1, 3, h, w});
+      for (int64_t yy = 0; yy < h; ++yy)
+        for (int64_t xx = 0; xx < w; ++xx) {
+          img.at(0, 0, yy, xx) = y[static_cast<size_t>(yy * pw + xx)] / 255.0f;
+          img.at(0, 1, yy, xx) = chroma[0][static_cast<size_t>(yy * pw + xx)] / 255.0f;
+          img.at(0, 2, yy, xx) = chroma[1][static_cast<size_t>(yy * pw + xx)] / 255.0f;
+        }
+      Tensor back = ycbcr_to_rgb(img);
+      std::copy(back.data(), back.data() + 3 * plane_sz, out.data() + i * 3 * plane_sz);
+    }
+  });
+  return out;
+}
+
+}  // namespace sesr::preprocess

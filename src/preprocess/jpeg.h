@@ -1,0 +1,46 @@
+// JPEG compression as a defensive input transformation.
+//
+// Implements the lossy core of baseline JPEG (ITU-T T.81): RGB -> YCbCr,
+// optional 4:2:0 chroma subsampling, 8x8 block DCT-II, quantisation with the
+// Annex-K example tables scaled by the IJG quality factor, dequantisation and
+// reconstruction. Entropy coding is omitted — it is lossless and therefore
+// irrelevant to the defense, which only needs the quantisation-induced
+// suppression of high-frequency (adversarial) detail. This mirrors the role
+// JPEG plays in Das et al. (arXiv:1705.02900) and in the paper's Fig. 1(b).
+#pragma once
+
+#include <array>
+
+#include "tensor/tensor.h"
+
+namespace sesr::preprocess {
+
+struct JpegOptions {
+  int quality = 75;            ///< IJG quality in [1, 100]
+  bool chroma_subsample = true;  ///< 4:2:0 subsampling of Cb/Cr
+};
+
+/// Round-trips images through JPEG's lossy transform.
+class JpegCompressor {
+ public:
+  explicit JpegCompressor(JpegOptions opts = {});
+
+  /// Compress-decompress an [N, 3, H, W] RGB batch in [0,1].
+  /// H and W may be arbitrary; blocks are edge-replicated to multiples of 8
+  /// (and of 16 for subsampled chroma) internally.
+  [[nodiscard]] Tensor apply(const Tensor& rgb) const;
+
+  [[nodiscard]] const JpegOptions& options() const { return opts_; }
+
+  /// The quality-scaled luma/chroma quantisation tables (row-major 8x8),
+  /// exposed for tests.
+  [[nodiscard]] const std::array<float, 64>& luma_table() const { return luma_q_; }
+  [[nodiscard]] const std::array<float, 64>& chroma_table() const { return chroma_q_; }
+
+ private:
+  JpegOptions opts_;
+  std::array<float, 64> luma_q_{};
+  std::array<float, 64> chroma_q_{};
+};
+
+}  // namespace sesr::preprocess

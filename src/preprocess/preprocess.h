@@ -1,0 +1,8 @@
+// Umbrella header for defensive input transformations.
+#pragma once
+
+#include "preprocess/colorspace.h"
+#include "preprocess/interpolation.h"
+#include "preprocess/jpeg.h"
+#include "preprocess/transforms.h"
+#include "preprocess/wavelet.h"

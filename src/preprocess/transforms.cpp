@@ -1,0 +1,131 @@
+#include "preprocess/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "preprocess/interpolation.h"
+#include "tensor/parallel.h"
+
+namespace sesr::preprocess {
+
+// ---- bit-depth reduction --------------------------------------------------------
+
+Tensor bit_depth_reduce(const Tensor& images, int bits) {
+  if (bits < 1 || bits > 8) throw std::invalid_argument("bit_depth_reduce: bits in [1, 8]");
+  const float levels = static_cast<float>((1 << bits) - 1);
+  Tensor out = images;
+  for (float& v : out.flat()) v = std::round(std::clamp(v, 0.0f, 1.0f) * levels) / levels;
+  return out;
+}
+
+// ---- pixel deflection --------------------------------------------------------------
+
+PixelDeflector::PixelDeflector(PixelDeflectionOptions opts) : opts_(opts) {
+  if (opts_.count < 0 || opts_.window < 1)
+    throw std::invalid_argument("PixelDeflector: invalid options");
+}
+
+Tensor PixelDeflector::apply(const Tensor& images) const {
+  if (images.ndim() != 4) throw std::invalid_argument("PixelDeflector::apply: expected NCHW");
+  const int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  Tensor out = images;
+  for (int64_t i = 0; i < n; ++i) {
+    Rng rng(opts_.seed ^ (static_cast<uint64_t>(i) * 0x9E3779B9ull));
+    for (int64_t k = 0; k < opts_.count; ++k) {
+      const int64_t y = rng.randint(0, h - 1);
+      const int64_t x = rng.randint(0, w - 1);
+      const int64_t dy = std::clamp(y + rng.randint(-opts_.window, opts_.window), int64_t{0}, h - 1);
+      const int64_t dx = std::clamp(x + rng.randint(-opts_.window, opts_.window), int64_t{0}, w - 1);
+      for (int64_t ch = 0; ch < c; ++ch) out.at(i, ch, y, x) = images.at(i, ch, dy, dx);
+    }
+  }
+  return out;
+}
+
+// ---- total-variation denoising -------------------------------------------------------
+
+TvDenoiser::TvDenoiser(TvDenoiseOptions opts) : opts_(opts) {
+  if (opts_.iterations < 1 || opts_.weight < 0.0f || opts_.step_size <= 0.0f)
+    throw std::invalid_argument("TvDenoiser: invalid options");
+}
+
+Tensor TvDenoiser::apply(const Tensor& images) const {
+  if (images.ndim() != 4) throw std::invalid_argument("TvDenoiser::apply: expected NCHW");
+  const int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  Tensor x = images;
+  const float eps2 = opts_.epsilon * opts_.epsilon;
+  // Gradient-descent stability: the charbonnier-TV gradient has Lipschitz
+  // constant ~ 1 + 8 * weight / epsilon (4 incident edges, slope w/eps each
+  // way); clamp the step below 2/L or the iteration oscillates and *adds*
+  // energy instead of removing it.
+  const float lipschitz = 1.0f + 8.0f * opts_.weight / opts_.epsilon;
+  const float step = std::min(opts_.step_size, 1.8f / lipschitz);
+
+  parallel_for(0, n * c, [&](int64_t lo, int64_t hi) {
+    std::vector<float> grad(static_cast<size_t>(h * w));
+    for (int64_t plane_idx = lo; plane_idx < hi; ++plane_idx) {
+      float* xp = x.data() + plane_idx * h * w;
+      const float* yp = images.data() + plane_idx * h * w;
+      for (int it = 0; it < opts_.iterations; ++it) {
+        // d/dx [ 0.5 (x - y)^2 + weight * sum charbonnier(dx) + charbonnier(dy) ].
+        std::fill(grad.begin(), grad.end(), 0.0f);
+        for (int64_t yy = 0; yy < h; ++yy) {
+          for (int64_t xx = 0; xx < w; ++xx) {
+            const int64_t idx = yy * w + xx;
+            grad[static_cast<size_t>(idx)] += xp[idx] - yp[idx];
+            if (xx + 1 < w) {
+              const float d = xp[idx + 1] - xp[idx];
+              const float g = opts_.weight * d / std::sqrt(d * d + eps2);
+              grad[static_cast<size_t>(idx)] -= g;
+              grad[static_cast<size_t>(idx + 1)] += g;
+            }
+            if (yy + 1 < h) {
+              const float d = xp[idx + w] - xp[idx];
+              const float g = opts_.weight * d / std::sqrt(d * d + eps2);
+              grad[static_cast<size_t>(idx)] -= g;
+              grad[static_cast<size_t>(idx + w)] += g;
+            }
+          }
+        }
+        for (int64_t idx = 0; idx < h * w; ++idx)
+          xp[idx] = std::clamp(xp[idx] - step * grad[static_cast<size_t>(idx)], 0.0f, 1.0f);
+      }
+    }
+  });
+  return x;
+}
+
+// ---- random resize-and-pad -----------------------------------------------------------
+
+RandomResizePad::RandomResizePad(RandomResizePadOptions opts) : opts_(opts) {
+  if (opts_.min_scale <= 0.0f || opts_.min_scale > 1.0f)
+    throw std::invalid_argument("RandomResizePad: min_scale in (0, 1]");
+}
+
+Tensor RandomResizePad::apply(const Tensor& images) const {
+  if (images.ndim() != 4) throw std::invalid_argument("RandomResizePad::apply: expected NCHW");
+  const int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  Tensor out({n, c, h, w});
+  for (int64_t i = 0; i < n; ++i) {
+    Rng rng(opts_.seed ^ (static_cast<uint64_t>(i) * 0xC2B2AE35ull));
+    const int64_t rh = std::max<int64_t>(1, static_cast<int64_t>(
+        std::round(static_cast<float>(h) * rng.uniform(opts_.min_scale, 1.0f))));
+    const int64_t rw = std::max<int64_t>(1, static_cast<int64_t>(
+        std::round(static_cast<float>(w) * rng.uniform(opts_.min_scale, 1.0f))));
+    const int64_t oy = rng.randint(0, h - rh);
+    const int64_t ox = rng.randint(0, w - rw);
+
+    Tensor img({1, c, h, w});
+    std::copy(images.data() + i * c * h * w, images.data() + (i + 1) * c * h * w, img.data());
+    const Tensor resized = resize(img, rh, rw, InterpolationKind::kBilinear);
+    for (int64_t ch = 0; ch < c; ++ch)
+      for (int64_t y = 0; y < rh; ++y)
+        for (int64_t x = 0; x < rw; ++x)
+          out.at(i, ch, oy + y, ox + x) = resized.at(0, ch, y, x);
+  }
+  return out;
+}
+
+}  // namespace sesr::preprocess

@@ -1,0 +1,78 @@
+// Classical input-transformation defenses (the paper's Related Work, §II).
+//
+// The paper positions SR-based defense against the family of model-agnostic
+// input transformations: bit-depth reduction and JPEG (Das et al.), pixel
+// deflection (Prakash et al.), total-variation minimisation and quilting
+// (Guo et al.), and random resize-and-pad ensembles (Xie et al.). These
+// implementations make that comparison executable
+// (bench_ext_transform_defenses) and serve as additional pipeline stages for
+// ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace sesr::preprocess {
+
+/// Re-quantise pixel values to `bits` bits per channel (Das et al. 2017's
+/// colour-depth reduction; 8 = identity for already-8-bit content).
+Tensor bit_depth_reduce(const Tensor& images, int bits);
+
+/// Pixel deflection (Prakash et al., CVPR 2018): replace `count` randomly
+/// chosen pixels per image with another pixel sampled uniformly from a
+/// surrounding window, corrupting adversarial pixel patterns while barely
+/// affecting perception. Deterministic given the seed.
+struct PixelDeflectionOptions {
+  int64_t count = 100;   ///< deflections per image
+  int64_t window = 5;    ///< neighbourhood half-width to sample the donor from
+  uint64_t seed = 23;
+};
+class PixelDeflector {
+ public:
+  explicit PixelDeflector(PixelDeflectionOptions opts = {});
+  [[nodiscard]] Tensor apply(const Tensor& images) const;
+  [[nodiscard]] const PixelDeflectionOptions& options() const { return opts_; }
+
+ private:
+  PixelDeflectionOptions opts_;
+};
+
+/// Total-variation denoising (the core of Guo et al. 2018's TVM defense):
+/// minimises 0.5 ||x - y||^2 + weight * TV_smooth(x) by gradient descent,
+/// with TV_smooth the charbonnier-smoothed anisotropic total variation.
+struct TvDenoiseOptions {
+  float weight = 0.1f;
+  int iterations = 60;
+  float step_size = 0.25f;  ///< upper bound; clamped below 2/L internally
+  float epsilon = 0.02f;    ///< charbonnier smoothing of |.|
+};
+class TvDenoiser {
+ public:
+  explicit TvDenoiser(TvDenoiseOptions opts = {});
+  [[nodiscard]] Tensor apply(const Tensor& images) const;
+  [[nodiscard]] const TvDenoiseOptions& options() const { return opts_; }
+
+ private:
+  TvDenoiseOptions opts_;
+};
+
+/// Random resize-and-pad (Xie et al., ICLR 2018): shrink each image to a
+/// random fraction of its size and place it at a random offset on a zero
+/// canvas of the original size. Deterministic given the seed.
+struct RandomResizePadOptions {
+  float min_scale = 0.85f;
+  uint64_t seed = 29;
+};
+class RandomResizePad {
+ public:
+  explicit RandomResizePad(RandomResizePadOptions opts = {});
+  [[nodiscard]] Tensor apply(const Tensor& images) const;
+  [[nodiscard]] const RandomResizePadOptions& options() const { return opts_; }
+
+ private:
+  RandomResizePadOptions opts_;
+};
+
+}  // namespace sesr::preprocess

@@ -1,0 +1,223 @@
+#include "preprocess/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+namespace sesr::preprocess {
+namespace {
+
+struct FilterPair {
+  std::vector<float> lo;  // decomposition low-pass
+  std::vector<float> hi;  // decomposition high-pass, g[k] = (-1)^k lo[taps-1-k]
+};
+
+FilterPair filters_for(WaveletFamily family) {
+  switch (family) {
+    case WaveletFamily::kHaar: {
+      const float s = 1.0f / std::sqrt(2.0f);
+      return {{s, s}, {s, -s}};
+    }
+    case WaveletFamily::kDaubechies4: {
+      const float r3 = std::sqrt(3.0f);
+      const float denom = 4.0f * std::sqrt(2.0f);
+      const std::vector<float> lo = {(1 + r3) / denom, (3 + r3) / denom, (3 - r3) / denom,
+                                     (1 - r3) / denom};
+      std::vector<float> hi(lo.size());
+      for (size_t k = 0; k < lo.size(); ++k)
+        hi[k] = ((k % 2 == 0) ? 1.0f : -1.0f) * lo[lo.size() - 1 - k];
+      return {lo, hi};
+    }
+  }
+  throw std::logic_error("filters_for: unknown family");
+}
+
+// 1-D analysis with periodic extension: first half approx, second half detail.
+void dwt1d(const float* in, float* out, int64_t n, int64_t stride, const FilterPair& f) {
+  const int64_t half = n / 2;
+  const int64_t taps = static_cast<int64_t>(f.lo.size());
+  for (int64_t k = 0; k < half; ++k) {
+    float a = 0.0f, d = 0.0f;
+    for (int64_t j = 0; j < taps; ++j) {
+      const float x = in[((2 * k + j) % n) * stride];
+      a += f.lo[static_cast<size_t>(j)] * x;
+      d += f.hi[static_cast<size_t>(j)] * x;
+    }
+    out[k * stride] = a;
+    out[(half + k) * stride] = d;
+  }
+}
+
+// 1-D synthesis (inverse of dwt1d).
+void idwt1d(const float* in, float* out, int64_t n, int64_t stride, const FilterPair& f) {
+  const int64_t half = n / 2;
+  const int64_t taps = static_cast<int64_t>(f.lo.size());
+  for (int64_t m = 0; m < n; ++m) out[m * stride] = 0.0f;
+  for (int64_t k = 0; k < half; ++k) {
+    const float a = in[k * stride];
+    const float d = in[(half + k) * stride];
+    for (int64_t j = 0; j < taps; ++j) {
+      const int64_t m = (2 * k + j) % n;
+      out[m * stride] += f.lo[static_cast<size_t>(j)] * a + f.hi[static_cast<size_t>(j)] * d;
+    }
+  }
+}
+
+float median_abs(std::vector<float> values) {
+  for (float& v : values) v = std::abs(v);
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid), values.end());
+  return values[mid];
+}
+
+// Collect a rectangular subband into a scratch vector.
+std::vector<float> gather(const std::vector<float>& plane, int64_t w, int64_t y0, int64_t x0,
+                          int64_t sh, int64_t sw) {
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(sh * sw));
+  for (int64_t y = 0; y < sh; ++y)
+    for (int64_t x = 0; x < sw; ++x)
+      out.push_back(plane[static_cast<size_t>((y0 + y) * w + x0 + x)]);
+  return out;
+}
+
+void soft_threshold(std::vector<float>& plane, int64_t w, int64_t y0, int64_t x0, int64_t sh,
+                    int64_t sw, float threshold) {
+  for (int64_t y = 0; y < sh; ++y)
+    for (int64_t x = 0; x < sw; ++x) {
+      float& c = plane[static_cast<size_t>((y0 + y) * w + x0 + x)];
+      const float mag = std::abs(c) - threshold;
+      c = mag > 0.0f ? std::copysign(mag, c) : 0.0f;
+    }
+}
+
+}  // namespace
+
+void dwt2d_level(std::vector<float>& plane, int64_t h, int64_t w, WaveletFamily family) {
+  const FilterPair f = filters_for(family);
+  std::vector<float> tmp(static_cast<size_t>(std::max(h, w)));
+  std::vector<float> col(static_cast<size_t>(h));
+  // Rows.
+  for (int64_t y = 0; y < h; ++y) {
+    dwt1d(&plane[static_cast<size_t>(y * w)], tmp.data(), w, 1, f);
+    std::copy(tmp.begin(), tmp.begin() + w, plane.begin() + static_cast<std::ptrdiff_t>(y * w));
+  }
+  // Columns (gathered into a contiguous buffer, transformed, scattered back).
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) col[static_cast<size_t>(y)] = plane[static_cast<size_t>(y * w + x)];
+    dwt1d(col.data(), tmp.data(), h, 1, f);
+    for (int64_t y = 0; y < h; ++y) plane[static_cast<size_t>(y * w + x)] = tmp[static_cast<size_t>(y)];
+  }
+}
+
+void idwt2d_level(std::vector<float>& plane, int64_t h, int64_t w, WaveletFamily family) {
+  const FilterPair f = filters_for(family);
+  std::vector<float> tmp(static_cast<size_t>(std::max(h, w)));
+  std::vector<float> col(static_cast<size_t>(h));
+  // Columns first (inverse order of the forward transform).
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) col[static_cast<size_t>(y)] = plane[static_cast<size_t>(y * w + x)];
+    idwt1d(col.data(), tmp.data(), h, 1, f);
+    for (int64_t y = 0; y < h; ++y) plane[static_cast<size_t>(y * w + x)] = tmp[static_cast<size_t>(y)];
+  }
+  for (int64_t y = 0; y < h; ++y) {
+    idwt1d(&plane[static_cast<size_t>(y * w)], tmp.data(), w, 1, f);
+    std::copy(tmp.begin(), tmp.begin() + w, plane.begin() + static_cast<std::ptrdiff_t>(y * w));
+  }
+}
+
+WaveletDenoiser::WaveletDenoiser(WaveletOptions opts) : opts_(opts) {
+  if (opts_.levels < 1) throw std::invalid_argument("WaveletDenoiser: levels must be >= 1");
+  if (opts_.threshold_scale < 0.0f)
+    throw std::invalid_argument("WaveletDenoiser: negative threshold scale");
+}
+
+Tensor WaveletDenoiser::apply(const Tensor& images) const {
+  if (images.ndim() != 4)
+    throw std::invalid_argument("WaveletDenoiser::apply: expected NCHW");
+  const int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const int64_t div = int64_t{1} << opts_.levels;
+  if (h % div != 0 || w % div != 0)
+    throw std::invalid_argument("WaveletDenoiser::apply: H and W must be divisible by 2^levels");
+
+  Tensor out(images.shape());
+  parallel_for(0, n * c, [&](int64_t lo, int64_t hi) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const float* src = images.data() + idx * h * w;
+
+      // Forward multi-level DWT. Each level runs on a compacted copy of the
+      // previous level's LL quadrant so dwt2d_level always sees a contiguous
+      // (rh, rw) plane.
+      std::vector<std::vector<float>> levels_store;
+      std::vector<float> region(src, src + h * w);
+      int64_t rh = h, rw = w;
+      for (int l = 0; l < opts_.levels; ++l) {
+        dwt2d_level(region, rh, rw, opts_.family);
+        levels_store.push_back(region);
+        // Extract LL quadrant for the next level.
+        std::vector<float> ll;
+        ll.reserve(static_cast<size_t>((rh / 2) * (rw / 2)));
+        for (int64_t y = 0; y < rh / 2; ++y)
+          for (int64_t x = 0; x < rw / 2; ++x)
+            ll.push_back(region[static_cast<size_t>(y * rw + x)]);
+        region = std::move(ll);
+        rh /= 2;
+        rw /= 2;
+      }
+
+      // Noise estimate from the finest HH subband (level 1).
+      const std::vector<float>& finest = levels_store.front();
+      const float sigma_n =
+          median_abs(gather(finest, w, h / 2, w / 2, h / 2, w / 2)) / 0.6745f;
+      const float sigma_n2 = sigma_n * sigma_n;
+
+      // Threshold detail subbands level by level (BayesShrink).
+      for (int l = 0; l < opts_.levels; ++l) {
+        std::vector<float>& lvl = levels_store[static_cast<size_t>(l)];
+        const int64_t lh = h >> l, lw = w >> l;
+        const int64_t sh = lh / 2, sw = lw / 2;
+        const struct { int64_t y0, x0; } bands[3] = {{0, sw}, {sh, 0}, {sh, sw}};
+        for (const auto& band : bands) {
+          const std::vector<float> coeffs = gather(lvl, lw, band.y0, band.x0, sh, sw);
+          double e2 = 0.0;
+          float max_abs = 0.0f;
+          for (float v : coeffs) {
+            e2 += static_cast<double>(v) * v;
+            max_abs = std::max(max_abs, std::abs(v));
+          }
+          const float sigma_y2 = static_cast<float>(e2 / static_cast<double>(coeffs.size()));
+          const float sigma_x = std::sqrt(std::max(sigma_y2 - sigma_n2, 0.0f));
+          const float t = (sigma_x > 1e-12f) ? sigma_n2 / sigma_x : max_abs;
+          soft_threshold(lvl, lw, band.y0, band.x0, sh, sw, t * opts_.threshold_scale);
+        }
+      }
+
+      // Reconstruct from the coarsest level back up.
+      for (int l = opts_.levels - 1; l >= 0; --l) {
+        std::vector<float>& lvl = levels_store[static_cast<size_t>(l)];
+        const int64_t lh = h >> l, lw = w >> l;
+        // Insert the reconstructed LL from the coarser level.
+        if (l < opts_.levels - 1) {
+          const std::vector<float>& ll = levels_store[static_cast<size_t>(l + 1)];
+          for (int64_t y = 0; y < lh / 2; ++y)
+            for (int64_t x = 0; x < lw / 2; ++x)
+              lvl[static_cast<size_t>(y * lw + x)] = ll[static_cast<size_t>(y * (lw / 2) + x)];
+        } else {
+          for (int64_t y = 0; y < rh; ++y)
+            for (int64_t x = 0; x < rw; ++x)
+              lvl[static_cast<size_t>(y * lw + x)] = region[static_cast<size_t>(y * rw + x)];
+        }
+        idwt2d_level(lvl, lh, lw, opts_.family);
+      }
+
+      float* dst = out.data() + idx * h * w;
+      std::copy(levels_store.front().begin(), levels_store.front().end(), dst);
+    }
+  });
+  return out;
+}
+
+}  // namespace sesr::preprocess

@@ -1,0 +1,49 @@
+// Wavelet-domain denoising (BayesShrink soft thresholding).
+//
+// The second stage of the paper's defense pipeline (Fig. 1b), following
+// Mustafa et al. and Prakash et al.: decompose each channel with a 2-D
+// multi-level discrete wavelet transform, soft-threshold the detail subbands
+// with a per-subband BayesShrink threshold, and reconstruct. Adversarial
+// perturbations are broadband low-amplitude noise, which this suppresses
+// while keeping image structure.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sesr::preprocess {
+
+enum class WaveletFamily {
+  kHaar,        ///< 2-tap Haar (db1)
+  kDaubechies4  ///< 4-tap Daubechies (db2) — smoother, used by default
+};
+
+struct WaveletOptions {
+  WaveletFamily family = WaveletFamily::kDaubechies4;
+  int levels = 2;               ///< decomposition depth
+  float threshold_scale = 1.0f; ///< multiplier on the BayesShrink threshold
+};
+
+/// Multi-level 2-D DWT denoiser with BayesShrink thresholds.
+class WaveletDenoiser {
+ public:
+  explicit WaveletDenoiser(WaveletOptions opts = {});
+
+  /// Denoise an [N, C, H, W] batch (each channel independently).
+  /// H and W must be divisible by 2^levels.
+  [[nodiscard]] Tensor apply(const Tensor& images) const;
+
+  [[nodiscard]] const WaveletOptions& options() const { return opts_; }
+
+ private:
+  WaveletOptions opts_;
+};
+
+/// One-level 2-D forward DWT of a plane (periodic extension). Outputs the
+/// four half-resolution subbands packed in-place: LL | HL over LH | HH.
+/// Exposed for tests and for the perfect-reconstruction property checks.
+void dwt2d_level(std::vector<float>& plane, int64_t h, int64_t w, WaveletFamily family);
+
+/// Inverse of dwt2d_level.
+void idwt2d_level(std::vector<float>& plane, int64_t h, int64_t w, WaveletFamily family);
+
+}  // namespace sesr::preprocess

@@ -1,0 +1,28 @@
+// Blocked single-precision matrix multiply.
+//
+// The convolution layers lower to GEMM via im2col, so this kernel dominates
+// training and inference runtime. The implementation is cache-blocked and
+// parallelised over row panels; it is deliberately plain C++ (compiler
+// auto-vectorisation only) to stay portable.
+#pragma once
+
+#include <cstdint>
+
+namespace sesr {
+
+/// C[M,N] += A[M,K] * B[K,N]; all matrices dense row-major with the given
+/// leading dimensions (lda/ldb/ldc are row strides in elements).
+/// The caller owns initialisation of C (pass a zeroed C for plain product).
+void gemm_accumulate(int64_t m, int64_t n, int64_t k,
+                     const float* a, int64_t lda,
+                     const float* b, int64_t ldb,
+                     float* c, int64_t ldc);
+
+/// C[M,N] += A^T[M,K] * B[K,N] where A is stored as [K,M] row-major.
+/// Used by convolution weight-gradient and input-gradient computations.
+void gemm_at_b_accumulate(int64_t m, int64_t n, int64_t k,
+                          const float* a, int64_t lda,
+                          const float* b, int64_t ldb,
+                          float* c, int64_t ldc);
+
+}  // namespace sesr

@@ -1,0 +1,57 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace sesr {
+
+int num_threads() {
+  static const int n = [] {
+    if (const char* env = std::getenv("SESR_NUM_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return n;
+}
+
+namespace {
+// Nested parallel_for calls (e.g. GEMM inside a batch-parallel convolution)
+// run inline on the calling worker instead of spawning threads recursively.
+thread_local bool tl_inside_worker = false;
+}  // namespace
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  const int threads = num_threads();
+  if (threads == 1 || total < 2 * grain || tl_inside_worker) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t max_chunks = std::max<int64_t>(1, total / std::max<int64_t>(1, grain));
+  const int64_t n_workers = std::min<int64_t>(threads, max_chunks);
+  const int64_t chunk = (total + n_workers - 1) / n_workers;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n_workers));
+  for (int64_t w = 0; w < n_workers; ++w) {
+    const int64_t lo = begin + w * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&fn, lo, hi] {
+      tl_inside_worker = true;
+      fn(lo, hi);
+      tl_inside_worker = false;
+    });
+  }
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace sesr

@@ -1,0 +1,26 @@
+// Minimal data-parallel loop utility.
+//
+// Convolution, GEMM and per-image pipeline stages parallelise over coarse
+// outer ranges (output rows, batch images). Work items are milliseconds-scale,
+// so a spawn-per-call strategy is simpler than a persistent pool and costs a
+// negligible fraction of runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sesr {
+
+/// Number of worker threads parallel_for will use (hardware concurrency,
+/// overridable through the SESR_NUM_THREADS environment variable; minimum 1).
+int num_threads();
+
+/// Run `fn(begin, end)` over disjoint sub-ranges of [begin, end) on up to
+/// num_threads() threads. Falls back to a direct call when the range is small
+/// (< 2 * grain) or only one thread is available. Blocks until all sub-ranges
+/// complete. `fn` must be safe to invoke concurrently on disjoint ranges.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain = 1);
+
+}  // namespace sesr

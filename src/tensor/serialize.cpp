@@ -1,0 +1,66 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace sesr {
+namespace {
+
+constexpr uint32_t kMagic = 0x52534553u;  // "SESR" little-endian
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("load_tensors: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path, const std::vector<Tensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_tensors: cannot open " + path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint64_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    write_pod(os, static_cast<uint32_t>(t.ndim()));
+    for (int i = 0; i < t.ndim(); ++i) write_pod(os, static_cast<int64_t>(t.dim(i)));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_tensors: write failed for " + path);
+}
+
+std::vector<Tensor> load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_tensors: cannot open " + path);
+  if (read_pod<uint32_t>(is) != kMagic) throw std::runtime_error("load_tensors: bad magic in " + path);
+  if (read_pod<uint32_t>(is) != kVersion)
+    throw std::runtime_error("load_tensors: unsupported version in " + path);
+  const uint64_t count = read_pod<uint64_t>(is);
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t rank = read_pod<uint32_t>(is);
+    if (rank > 8) throw std::runtime_error("load_tensors: implausible rank");
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) dims[d] = read_pod<int64_t>(is);
+    Tensor t{Shape(dims)};
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_tensors: truncated payload");
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
+
+}  // namespace sesr

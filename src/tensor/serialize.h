@@ -1,0 +1,22 @@
+// Tensor (de)serialization.
+//
+// A minimal binary container ("SESR" magic + version + per-tensor shape and
+// raw float32 payload) used to checkpoint trained weights so example programs
+// and benches can share models without retraining.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sesr {
+
+/// Write `tensors` to `path`. Throws std::runtime_error on I/O failure.
+void save_tensors(const std::string& path, const std::vector<Tensor>& tensors);
+
+/// Read the tensor list previously written by save_tensors.
+/// Throws std::runtime_error on I/O failure or malformed content.
+std::vector<Tensor> load_tensors(const std::string& path);
+
+}  // namespace sesr

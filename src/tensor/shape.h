@@ -1,0 +1,76 @@
+// Shape algebra for dense tensors.
+//
+// A Shape is an ordered list of dimension extents. Tensors in this library
+// are dense, row-major (C-contiguous) and use the NCHW convention for image
+// batches: shape = {batch, channels, height, width}.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sesr {
+
+/// Ordered list of dimension extents of a dense row-major tensor.
+///
+/// Invariant: every extent is >= 0. A Shape with zero dimensions denotes a
+/// scalar (numel() == 1); a Shape containing a 0 extent denotes an empty
+/// tensor (numel() == 0).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  /// Number of dimensions (rank).
+  [[nodiscard]] int ndim() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `i`; negative `i` counts from the back (Python-style).
+  [[nodiscard]] int64_t operator[](int i) const {
+    const int n = ndim();
+    if (i < 0) i += n;
+    if (i < 0 || i >= n) throw std::out_of_range("Shape: dimension index " + std::to_string(i));
+    return dims_[static_cast<size_t>(i)];
+  }
+
+  /// Total number of elements (product of extents; 1 for a scalar shape).
+  [[nodiscard]] int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1}, std::multiplies<>());
+  }
+
+  [[nodiscard]] const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides (in elements) for this shape.
+  [[nodiscard]] std::vector<int64_t> strides() const {
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int i = ndim() - 2; i >= 0; --i)
+      s[static_cast<size_t>(i)] = s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+    return s;
+  }
+
+  /// Human-readable form, e.g. "[2, 3, 32, 32]".
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void validate() const {
+    for (int64_t d : dims_)
+      if (d < 0) throw std::invalid_argument("Shape: negative extent in " + to_string());
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace sesr

@@ -1,0 +1,156 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesr {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<int64_t>(data_.size()) != shape_.numel())
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const& {
+  Tensor copy = *this;
+  return std::move(copy).reshaped(std::move(new_shape));
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+  if (new_shape.numel() != numel())
+    throw std::invalid_argument("Tensor::reshaped: cannot reshape " + shape_.to_string() +
+                                " to " + new_shape.to_string());
+  shape_ = std::move(new_shape);
+  return std::move(*this);
+}
+
+float& Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) {
+  assert(ndim() == 4);
+  const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+  assert(n >= 0 && n < shape_[0] && c >= 0 && c < C && h >= 0 && h < H && w >= 0 && w < W);
+  return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_)
+    throw std::invalid_argument(std::string("Tensor::") + op + ": shape mismatch " +
+                                shape_.to_string() + " vs " + other.shape_.to_string());
+}
+
+Tensor& Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  check_same_shape(other, "add_");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  check_same_shape(other, "sub_");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  check_same_shape(other, "mul_");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scalar(float s) {
+  for (float& v : data_) v += s;
+  return *this;
+}
+
+Tensor& Tensor::mul_scalar(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
+  check_same_shape(x, "axpy_");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (float& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+Tensor& Tensor::sign_() {
+  for (float& v : data_) v = (v > 0.0f) ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  Tensor out = *this;
+  out.sub_(other);
+  return out;
+}
+
+Tensor Tensor::operator*(const Tensor& other) const {
+  Tensor out = *this;
+  out.mul_(other);
+  return out;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;  // double accumulator: float error grows linearly over large tensors
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const { return numel() > 0 ? sum() / static_cast<float>(numel()) : 0.0f; }
+
+float Tensor::min() const { return *std::min_element(data_.begin(), data_.end()); }
+
+float Tensor::max() const { return *std::max_element(data_.begin(), data_.end()); }
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  check_same_shape(other, "max_abs_diff");
+  float m = 0.0f;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  return m;
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+int64_t Tensor::argmax() const {
+  return std::distance(data_.begin(), std::max_element(data_.begin(), data_.end()));
+}
+
+}  // namespace sesr

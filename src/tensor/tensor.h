@@ -1,0 +1,110 @@
+// Dense float32 tensor with value semantics.
+//
+// This is the single numeric container shared by every layer, model, attack
+// and preprocessing stage in the library. Data is stored contiguously in
+// row-major order; image batches use NCHW. Copies are deep (value semantics,
+// per C++ Core Guidelines "regular type" advice); moves are O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+
+namespace sesr {
+
+/// Dense, contiguous, row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, one element, value 0).
+  Tensor() : shape_({}), data_(1, 0.0f) {}
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value)
+      : shape_(std::move(shape)), data_(static_cast<size_t>(shape_.numel()), value) {}
+
+  /// Tensor adopting existing data; `data.size()` must equal `shape.numel()`.
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ---- factories -----------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+  /// I.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  // ---- shape ---------------------------------------------------------------
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  [[nodiscard]] int ndim() const { return shape_.ndim(); }
+  /// Extent of dimension `i` (negative counts from the back).
+  [[nodiscard]] int64_t dim(int i) const { return shape_[i]; }
+
+  /// Same data, new shape; `new_shape.numel()` must equal numel().
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const&;
+  [[nodiscard]] Tensor reshaped(Shape new_shape) &&;
+
+  // ---- element access ------------------------------------------------------
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// NCHW element access (rank-4 tensors). Bounds are the caller's contract;
+  /// checked in debug builds via assert.
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w);
+  [[nodiscard]] float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  // ---- elementwise mutation (in place; return *this for chaining) ----------
+
+  Tensor& fill(float value);
+  Tensor& add_(const Tensor& other);        ///< this += other (same shape)
+  Tensor& sub_(const Tensor& other);        ///< this -= other (same shape)
+  Tensor& mul_(const Tensor& other);        ///< this *= other, elementwise
+  Tensor& add_scalar(float s);
+  Tensor& mul_scalar(float s);
+  Tensor& axpy_(float alpha, const Tensor& x);  ///< this += alpha * x
+  Tensor& clamp_(float lo, float hi);
+  /// Elementwise sign (-1, 0, +1), in place.
+  Tensor& sign_();
+
+  // ---- elementwise producers -----------------------------------------------
+
+  [[nodiscard]] Tensor operator+(const Tensor& other) const;
+  [[nodiscard]] Tensor operator-(const Tensor& other) const;
+  [[nodiscard]] Tensor operator*(const Tensor& other) const;
+
+  // ---- reductions ----------------------------------------------------------
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+  /// Maximum absolute elementwise difference to `other` (same shape).
+  [[nodiscard]] float max_abs_diff(const Tensor& other) const;
+  /// Euclidean norm of the flattened tensor.
+  [[nodiscard]] float l2_norm() const;
+  /// Index of the maximum element in the flattened tensor.
+  [[nodiscard]] int64_t argmax() const;
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sesr

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "attacks/apgd.h"
+#include "attacks/pgd.h"
+#include "nn/loss.h"
+#include "tests/attacks/attack_test_util.h"
+
+namespace sesr::attacks {
+namespace {
+
+using testutil::make_channel_mean_classifier;
+using testutil::make_class0_batch;
+using testutil::within_linf_ball;
+
+TEST(ApgdTest, StaysInsideEpsilonBall) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(3, 8, 0.02f);
+  Apgd attack;
+  const Tensor adv = attack.perturb(*model, clean, {0, 0, 0});
+  EXPECT_TRUE(within_linf_ball(adv, clean, attack.epsilon()));
+}
+
+TEST(ApgdTest, FlipsNarrowMarginSamples) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(4, 8, 0.02f);
+  Apgd attack;
+  const auto preds =
+      nn::argmax_rows(model->forward(attack.perturb(*model, clean, {0, 0, 0, 0})));
+  for (int64_t p : preds) EXPECT_EQ(p, 1);
+}
+
+TEST(ApgdTest, DeterministicForFixedSeed) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(2, 8, 0.05f);
+  Apgd a, b;
+  EXPECT_EQ(a.perturb(*model, clean, {0, 0}).max_abs_diff(b.perturb(*model, clean, {0, 0})),
+            0.0f);
+}
+
+TEST(ApgdTest, AtLeastAsStrongAsPgdOnNonlinearModel) {
+  auto net = std::make_unique<nn::Sequential>("kinked");
+  auto& conv = net->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 4,
+                                                      .kernel = 3});
+  net->add<nn::ReLU>();
+  net->add<nn::GlobalAvgPool>();
+  auto& fc = net->add<nn::Linear>(4, 2, false);
+  Rng rng(33);
+  for (float& v : conv.weight().value.flat()) v = rng.normal(0.0f, 0.4f);
+  for (float& v : fc.weight().value.flat()) v = rng.normal(0.0f, 1.0f);
+
+  const Tensor clean = make_class0_batch(4, 8, 0.05f);
+  const std::vector<int64_t> labels = {0, 0, 0, 0};
+  auto loss_of = [&](const Tensor& x) {
+    return nn::cross_entropy_loss(net->forward(x), labels).value;
+  };
+
+  PgdOptions popts;
+  popts.steps = 10;
+  Pgd pgd(popts);
+  ApgdOptions aopts;
+  aopts.steps = 20;
+  Apgd apgd(aopts);
+  // APGD's budget-adaptive schedule should do at least comparably; allow a
+  // small slack since the objectives are stochastic (random starts).
+  EXPECT_GE(loss_of(apgd.perturb(*net, clean, labels)),
+            0.9f * loss_of(pgd.perturb(*net, clean, labels)));
+}
+
+TEST(ApgdTest, BestIterateIsReturnedNotLast) {
+  // On the linear model the per-sample best tracking must never return a
+  // point with lower loss than the plain one-step projection.
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(1, 4, 0.1f);
+  Apgd attack;
+  const Tensor adv = attack.perturb(*model, clean, {0});
+  const float adv_loss = nn::cross_entropy_loss(model->forward(adv), {0}).value;
+  const float clean_loss = nn::cross_entropy_loss(model->forward(clean), {0}).value;
+  EXPECT_GT(adv_loss, clean_loss);
+}
+
+TEST(ApgdTest, NameMatchesTableHeader) { EXPECT_EQ(Apgd().name(), "APGD"); }
+
+}  // namespace
+}  // namespace sesr::attacks

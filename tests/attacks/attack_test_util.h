@@ -1,0 +1,45 @@
+// Shared fixture for attack tests: a tiny, analytically understood
+// classifier. Logits are linear in the channel means:
+//   logit_0 = mean(red), logit_1 = mean(green)
+// so the decision boundary, margins, and the optimal L-inf perturbation are
+// all known in closed form.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/nn.h"
+
+namespace sesr::attacks::testutil {
+
+inline std::unique_ptr<nn::Sequential> make_channel_mean_classifier() {
+  auto net = std::make_unique<nn::Sequential>("channel_mean");
+  net->add<nn::GlobalAvgPool>();
+  auto& fc = net->add<nn::Linear>(3, 2, /*bias=*/false);
+  fc.weight().value = Tensor(Shape{2, 3}, std::vector<float>{1, 0, 0,   // logit 0 = red mean
+                                                             0, 1, 0}); // logit 1 = green mean
+  return net;
+}
+
+/// Batch of n images labelled 0 whose red mean exceeds green mean by `margin`.
+inline Tensor make_class0_batch(int64_t n, int64_t size, float margin) {
+  Tensor x({n, 3, size, size}, 0.5f);
+  const int64_t plane = size * size;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < plane; ++j) {
+      x[i * 3 * plane + j] = 0.5f + margin / 2;          // red
+      x[i * 3 * plane + plane + j] = 0.5f - margin / 2;  // green
+    }
+  return x;
+}
+
+/// True iff every element of `adv` is within eps of `clean` and in [0, 1].
+inline bool within_linf_ball(const Tensor& adv, const Tensor& clean, float eps) {
+  for (int64_t i = 0; i < adv.numel(); ++i) {
+    if (std::abs(adv[i] - clean[i]) > eps + 1e-5f) return false;
+    if (adv[i] < -1e-6f || adv[i] > 1.0f + 1e-6f) return false;
+  }
+  return true;
+}
+
+}  // namespace sesr::attacks::testutil

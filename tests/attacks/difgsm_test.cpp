@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "attacks/difgsm.h"
+#include "nn/loss.h"
+#include "tests/attacks/attack_test_util.h"
+
+namespace sesr::attacks {
+namespace {
+
+using testutil::make_channel_mean_classifier;
+using testutil::make_class0_batch;
+using testutil::within_linf_ball;
+
+TEST(DiFgsmTest, StaysInsideEpsilonBall) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(3, 8, 0.02f);
+  DiFgsm attack;
+  const Tensor adv = attack.perturb(*model, clean, {0, 0, 0});
+  EXPECT_TRUE(within_linf_ball(adv, clean, attack.epsilon()));
+}
+
+TEST(DiFgsmTest, FlipsNarrowMarginSamples) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(4, 8, 0.02f);
+  DiFgsm attack;
+  const auto preds =
+      nn::argmax_rows(model->forward(attack.perturb(*model, clean, {0, 0, 0, 0})));
+  for (int64_t p : preds) EXPECT_EQ(p, 1);
+}
+
+TEST(DiFgsmTest, DeterministicForFixedSeed) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(2, 8, 0.05f);
+  DiFgsm a, b;
+  EXPECT_EQ(a.perturb(*model, clean, {0, 0}).max_abs_diff(b.perturb(*model, clean, {0, 0})),
+            0.0f);
+}
+
+TEST(DiFgsmTest, DiversityProbabilityZeroEqualsMomentumIfgsm) {
+  // With diversity off, two instances with different seeds must agree —
+  // proving the only stochastic element is the input transform.
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(2, 8, 0.05f);
+  DiFgsmOptions o1;
+  o1.diversity_prob = 0.0f;
+  o1.seed = 1;
+  DiFgsmOptions o2 = o1;
+  o2.seed = 999;
+  DiFgsm a(o1), b(o2);
+  EXPECT_EQ(a.perturb(*model, clean, {0, 0}).max_abs_diff(b.perturb(*model, clean, {0, 0})),
+            0.0f);
+}
+
+TEST(DiFgsmTest, AlwaysDiverseStillWorks) {
+  // diversity_prob = 1: every step goes through the resize-pad transform; the
+  // attack must still move the prediction on narrow margins.
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(4, 10, 0.01f);
+  DiFgsmOptions opts;
+  opts.diversity_prob = 1.0f;
+  DiFgsm attack(opts);
+  const Tensor adv = attack.perturb(*model, clean, {0, 0, 0, 0});
+  const float adv_loss = nn::cross_entropy_loss(model->forward(adv), {0, 0, 0, 0}).value;
+  const float clean_loss = nn::cross_entropy_loss(model->forward(clean), {0, 0, 0, 0}).value;
+  EXPECT_GT(adv_loss, clean_loss);
+  EXPECT_TRUE(within_linf_ball(adv, clean, attack.epsilon()));
+}
+
+TEST(DiFgsmTest, NameMatchesTableHeader) { EXPECT_EQ(DiFgsm().name(), "DI2FGSM"); }
+
+}  // namespace
+}  // namespace sesr::attacks

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "attacks/fgsm.h"
+#include "nn/loss.h"
+#include "tests/attacks/attack_test_util.h"
+
+namespace sesr::attacks {
+namespace {
+
+using testutil::make_channel_mean_classifier;
+using testutil::make_class0_batch;
+using testutil::within_linf_ball;
+
+TEST(FgsmTest, StaysInsideEpsilonBall) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(4, 8, 0.02f);
+  Fgsm attack(8.0f / 255.0f);
+  const Tensor adv = attack.perturb(*model, clean, {0, 0, 0, 0});
+  EXPECT_TRUE(within_linf_ball(adv, clean, attack.epsilon()));
+}
+
+TEST(FgsmTest, FlipsNarrowMarginSamples) {
+  // Margin 0.02 < 2 * eps: FGSM pushes red down and green up by eps each,
+  // flipping the prediction.
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(4, 8, 0.02f);
+  const std::vector<int64_t> labels = {0, 0, 0, 0};
+  EXPECT_EQ(nn::argmax_rows(model->forward(clean)), labels);
+
+  Fgsm attack(8.0f / 255.0f);
+  const Tensor adv = attack.perturb(*model, clean, labels);
+  const auto preds = nn::argmax_rows(model->forward(adv));
+  for (int64_t p : preds) EXPECT_EQ(p, 1);
+}
+
+TEST(FgsmTest, CannotFlipWideMarginSamples) {
+  // Margin 0.5 >> 2 * eps: the attack must fail (robustness lower bound).
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(2, 8, 0.5f);
+  Fgsm attack(8.0f / 255.0f);
+  const Tensor adv = attack.perturb(*model, clean, {0, 0});
+  const auto preds = nn::argmax_rows(model->forward(adv));
+  for (int64_t p : preds) EXPECT_EQ(p, 0);
+}
+
+TEST(FgsmTest, PerturbationFollowsGradientSign) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(1, 4, 0.1f);
+  Fgsm attack(0.01f);
+  const Tensor adv = attack.perturb(*model, clean, {0});
+  // CE gradient for label 0: red channel gradient negative-loss direction ->
+  // adv red decreases, green increases, blue moves by the softmax asymmetry.
+  EXPECT_LT(adv[0], clean[0]);              // red decreased
+  const int64_t plane = 16;
+  EXPECT_GT(adv[plane], clean[plane]);      // green increased
+}
+
+TEST(FgsmTest, ZeroEpsilonIsIdentity) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(2, 4, 0.1f);
+  Fgsm attack(0.0f);
+  EXPECT_EQ(attack.perturb(*model, clean, {0, 0}).max_abs_diff(clean), 0.0f);
+}
+
+TEST(FgsmTest, NameMatchesTableHeader) { EXPECT_EQ(Fgsm().name(), "FGSM"); }
+
+}  // namespace
+}  // namespace sesr::attacks

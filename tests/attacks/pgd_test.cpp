@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "attacks/fgsm.h"
+#include "attacks/pgd.h"
+#include "nn/loss.h"
+#include "tests/attacks/attack_test_util.h"
+
+namespace sesr::attacks {
+namespace {
+
+using testutil::make_channel_mean_classifier;
+using testutil::make_class0_batch;
+using testutil::within_linf_ball;
+
+TEST(PgdTest, StaysInsideEpsilonBall) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(3, 8, 0.02f);
+  Pgd attack;
+  const Tensor adv = attack.perturb(*model, clean, {0, 0, 0});
+  EXPECT_TRUE(within_linf_ball(adv, clean, attack.epsilon()));
+}
+
+TEST(PgdTest, ReachesBallBoundaryOnLinearModel) {
+  // On a linear model the loss is monotone in the perturbation, so iterated
+  // PGD with enough steps must saturate the red channel at -eps.
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(1, 4, 0.1f);
+  PgdOptions opts;
+  opts.steps = 20;
+  opts.random_start = false;
+  Pgd attack(opts);
+  const Tensor adv = attack.perturb(*model, clean, {0});
+  EXPECT_NEAR(adv[0], clean[0] - opts.epsilon, 1e-4f);
+}
+
+TEST(PgdTest, FlipsNarrowMarginAndNotWideMargin) {
+  auto model = make_channel_mean_classifier();
+  Pgd attack;
+  {
+    const Tensor clean = make_class0_batch(2, 8, 0.02f);
+    const auto preds = nn::argmax_rows(model->forward(attack.perturb(*model, clean, {0, 0})));
+    for (int64_t p : preds) EXPECT_EQ(p, 1);
+  }
+  {
+    const Tensor clean = make_class0_batch(2, 8, 0.5f);
+    const auto preds = nn::argmax_rows(model->forward(attack.perturb(*model, clean, {0, 0})));
+    for (int64_t p : preds) EXPECT_EQ(p, 0);
+  }
+}
+
+TEST(PgdTest, RandomStartIsSeededDeterministic) {
+  auto model = make_channel_mean_classifier();
+  const Tensor clean = make_class0_batch(2, 8, 0.05f);
+  Pgd a, b;
+  const Tensor adv_a = a.perturb(*model, clean, {0, 0});
+  const Tensor adv_b = b.perturb(*model, clean, {0, 0});
+  EXPECT_EQ(adv_a.max_abs_diff(adv_b), 0.0f);
+}
+
+TEST(PgdTest, StrongerThanFgsmOnNonlinearModel) {
+  // Build a model with a ReLU kink so one-step FGSM is suboptimal: iterated
+  // PGD must achieve at least the same loss.
+  auto net = std::make_unique<nn::Sequential>("kinked");
+  auto& conv = net->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 3,
+                                                      .kernel = 3});
+  net->add<nn::ReLU>();
+  net->add<nn::GlobalAvgPool>();
+  auto& fc = net->add<nn::Linear>(3, 2, false);
+  Rng rng(21);
+  for (float& v : conv.weight().value.flat()) v = rng.normal(0.0f, 0.4f);
+  for (float& v : fc.weight().value.flat()) v = rng.normal(0.0f, 1.0f);
+
+  const Tensor clean = make_class0_batch(4, 8, 0.05f);
+  const std::vector<int64_t> labels = {0, 0, 0, 0};
+
+  auto loss_of = [&](const Tensor& x) {
+    return nn::cross_entropy_loss(net->forward(x), labels).value;
+  };
+
+  Fgsm fgsm;
+  PgdOptions opts;
+  opts.steps = 20;
+  Pgd pgd(opts);
+  const float fgsm_loss = loss_of(fgsm.perturb(*net, clean, labels));
+  const float pgd_loss = loss_of(pgd.perturb(*net, clean, labels));
+  EXPECT_GE(pgd_loss, fgsm_loss - 1e-3f);
+}
+
+}  // namespace
+}  // namespace sesr::attacks

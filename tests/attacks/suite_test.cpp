@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.h"
+
+namespace sesr::attacks {
+namespace {
+
+TEST(StandardSuiteTest, ContainsPaperAttacksInTableOrder) {
+  const auto suite = standard_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0]->name(), "FGSM");
+  EXPECT_EQ(suite[1]->name(), "PGD");
+  EXPECT_EQ(suite[2]->name(), "APGD");
+  EXPECT_EQ(suite[3]->name(), "DI2FGSM");
+}
+
+TEST(StandardSuiteTest, EpsilonPropagates) {
+  const float eps = 4.0f / 255.0f;
+  for (const auto& attack : standard_suite(eps)) EXPECT_FLOAT_EQ(attack->epsilon(), eps);
+}
+
+TEST(StandardSuiteTest, DefaultEpsilonIsPaperBudget) {
+  for (const auto& attack : standard_suite())
+    EXPECT_FLOAT_EQ(attack->epsilon(), 8.0f / 255.0f);
+}
+
+TEST(ProjectLinfTest, ClampsToBallAndUnitRange) {
+  Tensor reference(Shape{4}, std::vector<float>{0.0f, 0.5f, 1.0f, 0.98f});
+  Tensor x(Shape{4}, std::vector<float>{0.5f, 0.4f, 0.5f, 1.5f});
+  project_linf_(x, reference, 0.1f);
+  EXPECT_FLOAT_EQ(x[0], 0.1f);   // clipped to ball upper edge
+  EXPECT_FLOAT_EQ(x[1], 0.4f);   // inside the ball: untouched
+  EXPECT_FLOAT_EQ(x[2], 0.9f);   // ball lower edge
+  EXPECT_FLOAT_EQ(x[3], 1.0f);   // [0,1] range wins over ball edge 1.08
+}
+
+TEST(InputGradientTest, PerSampleLossesMatchBatchMean) {
+  nn::Sequential net("probe");
+  net.add<nn::GlobalAvgPool>();
+  auto& fc = net.add<nn::Linear>(3, 2, false);
+  Rng rng(3);
+  for (float& v : fc.weight().value.flat()) v = rng.normal();
+
+  const Tensor x = Tensor::rand({4, 3, 4, 4}, rng);
+  const std::vector<int64_t> labels = {0, 1, 0, 1};
+  const LossGradient lg = input_gradient(net, x, labels);
+  ASSERT_EQ(lg.per_sample_loss.size(), 4u);
+  float mean = 0.0f;
+  for (float v : lg.per_sample_loss) mean += v;
+  mean /= 4.0f;
+  EXPECT_NEAR(mean, lg.loss, 1e-5f);
+  EXPECT_EQ(lg.grad.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace sesr::attacks

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/checkpoint.h"
+#include "nn/nn.h"
+
+namespace sesr::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "sesr_ckpt_test").string();
+    setenv("SESR_CACHE_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    unsetenv("SESR_CACHE_DIR");
+  }
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, SaveAndLoadRoundTrips) {
+  nn::Conv2d a({.in_channels = 2, .out_channels = 3, .kernel = 3});
+  Rng rng(1);
+  for (float& v : a.weight().value.flat()) v = rng.normal();
+  save_checkpoint(a, "conv_test");
+
+  nn::Conv2d b({.in_channels = 2, .out_channels = 3, .kernel = 3});
+  ASSERT_TRUE(load_checkpoint(b, "conv_test"));
+  EXPECT_EQ(b.weight().value.max_abs_diff(a.weight().value), 0.0f);
+}
+
+TEST_F(CheckpointTest, MissingKeyReturnsFalse) {
+  nn::Conv2d m({.in_channels = 1, .out_channels = 1, .kernel = 3});
+  EXPECT_FALSE(load_checkpoint(m, "never_saved"));
+}
+
+TEST_F(CheckpointTest, ShapeMismatchReturnsFalseInsteadOfThrowing) {
+  nn::Conv2d a({.in_channels = 2, .out_channels = 3, .kernel = 3});
+  save_checkpoint(a, "shape_test");
+  nn::Conv2d b({.in_channels = 2, .out_channels = 4, .kernel = 3});
+  EXPECT_FALSE(load_checkpoint(b, "shape_test"));
+}
+
+TEST_F(CheckpointTest, CacheDirHonoursEnvironment) {
+  EXPECT_EQ(cache_dir(), dir_);
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/defense.h"
+#include "data/metrics.h"
+
+namespace sesr::core {
+namespace {
+
+std::shared_ptr<models::Upscaler> nearest_upscaler() {
+  return std::make_shared<models::InterpolationUpscaler>(
+      preprocess::InterpolationKind::kNearest);
+}
+
+TEST(DefensePipelineTest, DoublesResolution) {
+  DefensePipeline defense(nearest_upscaler());
+  Rng rng(1);
+  const Tensor x = Tensor::rand({2, 3, 32, 32}, rng);
+  const Tensor y = defense.apply(x);
+  EXPECT_EQ(y.shape(), Shape({2, 3, 64, 64}));
+}
+
+TEST(DefensePipelineTest, OutputStaysInUnitRange) {
+  DefensePipeline defense(nearest_upscaler());
+  Rng rng(2);
+  const Tensor x = Tensor::rand({1, 3, 32, 32}, rng);
+  const Tensor y = defense.apply(x);
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_LE(y.max(), 1.0f);
+}
+
+TEST(DefensePipelineTest, JpegStageCanBeDisabled) {
+  DefenseOptions with_jpeg;
+  DefenseOptions without_jpeg;
+  without_jpeg.use_jpeg = false;
+  Rng rng(3);
+  const Tensor x = Tensor::rand({1, 3, 32, 32}, rng);
+  const Tensor y_with = DefensePipeline(nearest_upscaler(), with_jpeg).apply(x);
+  const Tensor y_without = DefensePipeline(nearest_upscaler(), without_jpeg).apply(x);
+  EXPECT_GT(y_with.max_abs_diff(y_without), 1e-4f);  // JPEG does something
+}
+
+TEST(DefensePipelineTest, DenoisingSuppressesAdversarialScaleNoise) {
+  // A clean smooth image plus eps-scale uniform noise: after JPEG + wavelet
+  // (before upscaling), the defended image must be closer to the defended
+  // clean image than the raw noise level.
+  Tensor clean({1, 3, 32, 32});
+  for (int64_t c = 0; c < 3; ++c)
+    for (int64_t y = 0; y < 32; ++y)
+      for (int64_t x = 0; x < 32; ++x)
+        clean.at(0, c, y, x) = 0.3f + 0.4f * static_cast<float>(y) / 31.0f;
+
+  Rng rng(4);
+  Tensor noisy = clean;
+  const float eps = 8.0f / 255.0f;
+  for (int64_t i = 0; i < noisy.numel(); ++i)
+    noisy[i] += rng.bernoulli(0.5) ? eps : -eps;  // sign-noise like FGSM
+  noisy.clamp_(0.0f, 1.0f);
+
+  DefensePipeline defense(nearest_upscaler());
+  const Tensor defended_noisy = defense.apply(noisy);
+  const Tensor defended_clean = defense.apply(clean);
+  const Tensor upscaled_noisy = preprocess::upscale(noisy, 2, preprocess::InterpolationKind::kNearest);
+  const Tensor upscaled_clean = preprocess::upscale(clean, 2, preprocess::InterpolationKind::kNearest);
+
+  EXPECT_GT(data::psnr(defended_noisy, upscaled_clean),
+            data::psnr(upscaled_noisy, upscaled_clean));
+}
+
+TEST(DefensePipelineTest, LabelComesFromUpscaler) {
+  DefensePipeline defense(nearest_upscaler());
+  EXPECT_EQ(defense.label(), "Nearest Neighbor");
+}
+
+TEST(DefensePipelineTest, NullUpscalerRejected) {
+  EXPECT_THROW(DefensePipeline(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::core

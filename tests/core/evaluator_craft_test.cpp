@@ -1,0 +1,81 @@
+// Craft-once / evaluate-many evaluator APIs (the Table II protocol split).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/attacks.h"
+#include "core/evaluator.h"
+
+namespace sesr::core {
+namespace {
+
+class ChannelMeanClassifier final : public models::Classifier {
+ public:
+  ChannelMeanClassifier() : Classifier(2) {
+    net_.add<nn::GlobalAvgPool>();
+    auto& fc = net_.add<nn::Linear>(3, 2, false);
+    fc.weight().value = Tensor(Shape{2, 3}, std::vector<float>{1, 0, 0, 0, 1, 0});
+  }
+  [[nodiscard]] std::string name() const override { return "channel_mean"; }
+};
+
+class CraftFixture : public ::testing::Test {
+ protected:
+  CraftFixture()
+      : dataset_({.image_size = 16, .num_classes = 2, .seed = 41}),
+        classifier_(std::make_shared<ChannelMeanClassifier>()),
+        evaluator_(classifier_, 16) {
+    indices_ = evaluator_.correctly_classified(dataset_, 512, 32);
+  }
+
+  data::ShapesTexDataset dataset_;
+  std::shared_ptr<models::Classifier> classifier_;
+  GrayBoxEvaluator evaluator_;
+  std::vector<int64_t> indices_;
+};
+
+TEST_F(CraftFixture, CraftedBatchHasRawResolutionAndEpsBound) {
+  if (indices_.empty()) GTEST_SKIP() << "threshold classifier correct on nothing";
+  attacks::Fgsm fgsm;
+  const Tensor adv = evaluator_.craft_adversarial(dataset_, indices_, fgsm);
+  EXPECT_EQ(adv.shape(),
+            Shape({static_cast<int64_t>(indices_.size()), 3, 16, 16}));
+  const Tensor clean = dataset_.images_at(indices_);
+  EXPECT_LE(adv.max_abs_diff(clean), fgsm.epsilon() + 1e-5f);
+}
+
+TEST_F(CraftFixture, RobustAccuracyEqualsCraftThenEvaluate) {
+  if (indices_.empty()) GTEST_SKIP();
+  attacks::Fgsm fgsm;
+  const float combined = evaluator_.robust_accuracy(dataset_, indices_, fgsm, nullptr);
+  const Tensor adv = evaluator_.craft_adversarial(dataset_, indices_, fgsm);
+  const float split = evaluator_.accuracy_on(adv, dataset_.labels_at(indices_), nullptr);
+  EXPECT_FLOAT_EQ(combined, split);
+}
+
+TEST_F(CraftFixture, AccuracyOnCleanSelectedIndicesIsHundred) {
+  if (indices_.empty()) GTEST_SKIP();
+  const Tensor clean = dataset_.images_at(indices_);
+  EXPECT_FLOAT_EQ(evaluator_.accuracy_on(clean, dataset_.labels_at(indices_), nullptr), 100.0f);
+}
+
+TEST_F(CraftFixture, SameCraftedSetServesMultipleDefenses) {
+  if (indices_.empty()) GTEST_SKIP();
+  attacks::Fgsm fgsm;
+  const Tensor adv = evaluator_.craft_adversarial(dataset_, indices_, fgsm);
+  const std::vector<int64_t> labels = dataset_.labels_at(indices_);
+
+  DefensePipeline nn_defense(std::make_shared<models::InterpolationUpscaler>(
+      preprocess::InterpolationKind::kNearest));
+  DefensePipeline bicubic_defense(std::make_shared<models::InterpolationUpscaler>(
+      preprocess::InterpolationKind::kBicubic));
+  // Both evaluations run off one crafted tensor without interference.
+  const float acc_a1 = evaluator_.accuracy_on(adv, labels, &nn_defense);
+  const float acc_b = evaluator_.accuracy_on(adv, labels, &bicubic_defense);
+  const float acc_a2 = evaluator_.accuracy_on(adv, labels, &nn_defense);
+  EXPECT_FLOAT_EQ(acc_a1, acc_a2);
+  (void)acc_b;
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -1,0 +1,135 @@
+// End-to-end integration: train a small classifier and a small SESR on the
+// synthetic datasets, attack, defend, and check the qualitative shape of the
+// paper's Table II on a miniature scale:
+//   clean accuracy high -> attack destroys it -> SR defense recovers part.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.h"
+#include "models/models.h"
+#include "attacks/attacks.h"
+
+namespace sesr::core {
+namespace {
+
+class MiniClassifier final : public models::Classifier {
+ public:
+  explicit MiniClassifier(int64_t num_classes) : Classifier(num_classes) {
+    net_.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 16, .kernel = 3});
+    net_.add<nn::GroupNorm>(16, 4);
+    net_.add<nn::ReLU>();
+    net_.add<nn::MaxPool2d>(2, 2);
+    net_.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 16, .out_channels = 32, .kernel = 3});
+    net_.add<nn::GroupNorm>(32, 4);
+    net_.add<nn::ReLU>();
+    net_.add<nn::MaxPool2d>(2, 2);
+    net_.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 32, .out_channels = 32, .kernel = 3});
+    net_.add<nn::GroupNorm>(32, 4);
+    net_.add<nn::ReLU>();
+    net_.add<nn::GlobalAvgPool>();
+    net_.add<nn::Linear>(32, num_classes);
+  }
+  [[nodiscard]] std::string name() const override { return "mini"; }
+};
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ShapesTexDataset({.image_size = 16, .num_classes = 4, .seed = 21});
+    classifier_ = new std::shared_ptr<models::Classifier>(std::make_shared<MiniClassifier>(4));
+
+    ClassifierTrainingOptions opts;
+    opts.train_size = 512;
+    opts.batch_size = 32;
+    opts.epochs = 25;
+    opts.learning_rate = 1e-2f;
+    const TrainingSummary summary = train_classifier(**classifier_, *dataset_, opts);
+    ASSERT_GT(summary.final_accuracy, 55.0f) << "mini classifier failed to train";
+
+    // Evaluation set from beyond the training range, classifier-correct only.
+    GrayBoxEvaluator eval(*classifier_, 32);
+    eval_indices_ = new std::vector<int64_t>();
+    for (int64_t i = 512; i < 1536 && eval_indices_->size() < 48; ++i) {
+      const data::Sample s = dataset_->get(i);
+      const Tensor logits =
+          (*classifier_)->forward(s.image.reshaped({1, 3, 16, 16}));
+      if (nn::argmax_rows(logits)[0] == s.label) eval_indices_->push_back(i);
+    }
+    ASSERT_GE(eval_indices_->size(), 24u);
+
+    // A small trained SESR as the deep-SR defense.
+    data::SyntheticDiv2k div2k({.hr_size = 16, .scale = 2, .seed = 22});
+    models::SesrConfig cfg = models::SesrConfig::m2();
+    cfg.expansion = 48;
+    models::Sesr train_form(cfg, models::Sesr::Form::kTraining);
+    SrTrainingOptions sr_opts;
+    sr_opts.train_size = 384;
+    sr_opts.epochs = 4;
+    train_sr(train_form, div2k, sr_opts);
+    sesr_ = new std::shared_ptr<nn::Module>(models::Sesr::collapse_from(train_form).release());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete classifier_;
+    delete eval_indices_;
+    delete sesr_;
+  }
+
+  static data::ShapesTexDataset* dataset_;
+  static std::shared_ptr<models::Classifier>* classifier_;
+  static std::vector<int64_t>* eval_indices_;
+  static std::shared_ptr<nn::Module>* sesr_;
+};
+
+data::ShapesTexDataset* IntegrationFixture::dataset_ = nullptr;
+std::shared_ptr<models::Classifier>* IntegrationFixture::classifier_ = nullptr;
+std::vector<int64_t>* IntegrationFixture::eval_indices_ = nullptr;
+std::shared_ptr<nn::Module>* IntegrationFixture::sesr_ = nullptr;
+
+TEST_F(IntegrationFixture, CleanAccuracyIsHundredOnSelectedSubset) {
+  GrayBoxEvaluator eval(*classifier_, 32);
+  EXPECT_FLOAT_EQ(eval.clean_accuracy(*dataset_, *eval_indices_), 100.0f);
+}
+
+TEST_F(IntegrationFixture, AttackDestroysUndefendedAccuracy) {
+  GrayBoxEvaluator eval(*classifier_, 32);
+  attacks::Pgd pgd;
+  const float robust = eval.robust_accuracy(*dataset_, *eval_indices_, pgd, nullptr);
+  EXPECT_LT(robust, 60.0f);  // on 100%-clean subsets PGD must do real damage
+}
+
+TEST_F(IntegrationFixture, SrDefenseRecoversAccuracy) {
+  GrayBoxEvaluator eval(*classifier_, 32);
+  attacks::Pgd pgd;
+  const float undefended = eval.robust_accuracy(*dataset_, *eval_indices_, pgd, nullptr);
+
+  DefensePipeline sesr_defense(
+      std::make_shared<models::NetworkUpscaler>("SESR-mini", *sesr_));
+  const float defended = eval.robust_accuracy(*dataset_, *eval_indices_, pgd, &sesr_defense);
+  EXPECT_GT(defended, undefended);
+}
+
+TEST_F(IntegrationFixture, DefenseKeepsCleanAccuracyUsable) {
+  // Transformation defenses must not wreck clean inputs (the paper's point
+  // about SR preserving critical image content).
+  GrayBoxEvaluator eval(*classifier_, 32);
+  DefensePipeline sesr_defense(
+      std::make_shared<models::NetworkUpscaler>("SESR-mini", *sesr_));
+  const float clean_defended = eval.clean_accuracy(*dataset_, *eval_indices_, &sesr_defense);
+  EXPECT_GT(clean_defended, 55.0f);
+}
+
+TEST_F(IntegrationFixture, GrayBoxAttackIsCraftedAtRawResolution) {
+  // Structural property of the protocol: the attack tensor has the raw
+  // resolution even when evaluation is defended (the attacker never sees SR).
+  attacks::Fgsm fgsm;
+  const Tensor images = dataset_->images_at({(*eval_indices_)[0]});
+  const Tensor adv =
+      fgsm.perturb(**classifier_, images, dataset_->labels_at({(*eval_indices_)[0]}));
+  EXPECT_EQ(adv.shape(), images.shape());
+}
+
+}  // namespace
+}  // namespace sesr::core

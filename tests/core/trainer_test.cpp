@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "models/sesr.h"
+
+namespace sesr::core {
+namespace {
+
+// A deliberately small classifier so the test trains in seconds.
+class MicroClassifier final : public models::Classifier {
+ public:
+  explicit MicroClassifier(int64_t num_classes) : Classifier(num_classes) {
+    net_.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 16, .kernel = 3});
+    net_.add<nn::GroupNorm>(16, 4);
+    net_.add<nn::ReLU>();
+    net_.add<nn::MaxPool2d>(2, 2);
+    net_.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 16, .out_channels = 32, .kernel = 3});
+    net_.add<nn::GroupNorm>(32, 4);
+    net_.add<nn::ReLU>();
+    net_.add<nn::MaxPool2d>(2, 2);
+    net_.add<nn::GlobalAvgPool>();
+    net_.add<nn::Linear>(32, num_classes);
+  }
+  [[nodiscard]] std::string name() const override { return "micro"; }
+};
+
+TEST(TrainerTest, ClassifierLossDecreasesAndAccuracyRises) {
+  data::ShapesTexDataset ds({.image_size = 16, .num_classes = 4, .seed = 1});
+  MicroClassifier clf(4);
+  ClassifierTrainingOptions opts;
+  opts.train_size = 512;
+  opts.batch_size = 32;
+  opts.epochs = 20;
+  opts.learning_rate = 1e-2f;
+  opts.upscaled_batch_prob = 0.0f;
+  const TrainingSummary summary = train_classifier(clf, ds, opts);
+  EXPECT_LT(summary.final_loss, 1.0f);          // well below log(4) = 1.386
+  EXPECT_GT(summary.final_accuracy, 60.0f);     // far above 25% chance
+  EXPECT_EQ(summary.steps, 20 * (512 / 32));
+}
+
+TEST(TrainerTest, ClassifierTrainingIsSeedDeterministic) {
+  data::ShapesTexDataset ds({.image_size = 16, .num_classes = 4, .seed = 1});
+  MicroClassifier a(4), b(4);
+  ClassifierTrainingOptions opts;
+  opts.train_size = 64;
+  opts.epochs = 2;
+  const TrainingSummary sa = train_classifier(a, ds, opts);
+  const TrainingSummary sb = train_classifier(b, ds, opts);
+  EXPECT_EQ(sa.final_loss, sb.final_loss);
+}
+
+TEST(TrainerTest, SrLossDecreases) {
+  data::SyntheticDiv2k ds({.hr_size = 16, .scale = 2, .seed = 2});
+  models::SesrConfig cfg = models::SesrConfig::m2();
+  cfg.expansion = 32;  // keep the test fast
+  models::Sesr net(cfg, models::Sesr::Form::kTraining);
+
+  SrTrainingOptions first_epoch;
+  first_epoch.train_size = 128;
+  first_epoch.epochs = 1;
+  models::Sesr probe(cfg, models::Sesr::Form::kTraining);
+  const float loss_after_1 = train_sr(probe, ds, first_epoch).final_loss;
+
+  SrTrainingOptions more_epochs = first_epoch;
+  more_epochs.epochs = 6;
+  const float loss_after_6 = train_sr(net, ds, more_epochs).final_loss;
+  EXPECT_LT(loss_after_6, loss_after_1);
+}
+
+TEST(TrainerTest, TrainedSesrBeatsNearestNeighborPsnr) {
+  data::SyntheticDiv2k ds({.hr_size = 16, .scale = 2, .seed = 3});
+  models::SesrConfig cfg = models::SesrConfig::m2();
+  cfg.expansion = 32;
+  models::Sesr net(cfg, models::Sesr::Form::kTraining);
+  SrTrainingOptions opts;
+  opts.train_size = 256;
+  opts.epochs = 6;
+  train_sr(net, ds, opts);
+
+  auto collapsed = models::Sesr::collapse_from(net);
+  const float net_psnr = evaluate_sr_psnr(*collapsed, ds, 5000, 20);
+  const float nn_psnr = evaluate_interpolation_psnr(preprocess::InterpolationKind::kNearest,
+                                                    ds, 5000, 20);
+  EXPECT_GT(net_psnr, nn_psnr);
+}
+
+TEST(TrainerTest, MseAndMaeLossesBothTrain) {
+  data::SyntheticDiv2k ds({.hr_size = 16, .scale = 2, .seed = 4});
+  for (SrLoss loss : {SrLoss::kMae, SrLoss::kMse}) {
+    models::SesrConfig cfg = models::SesrConfig::m2();
+    cfg.expansion = 32;
+    models::Sesr net(cfg, models::Sesr::Form::kTraining);
+    SrTrainingOptions opts;
+    opts.train_size = 64;
+    opts.epochs = 2;
+    opts.loss = loss;
+    const TrainingSummary summary = train_sr(net, ds, opts);
+    EXPECT_GT(summary.steps, 0);
+    EXPECT_GE(summary.final_loss, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/metrics.h"
+
+namespace sesr::data {
+namespace {
+
+TEST(MetricsTest, PsnrOfIdenticalImagesIsCapped) {
+  const Tensor a(Shape{3, 4, 4}, 0.5f);
+  EXPECT_FLOAT_EQ(psnr(a, a), 99.0f);
+}
+
+TEST(MetricsTest, PsnrKnownValue) {
+  // Uniform error of 0.1 -> MSE = 0.01 -> PSNR = 20 dB for peak 1.
+  Tensor a(Shape{100}, 0.5f);
+  Tensor b(Shape{100}, 0.6f);
+  EXPECT_NEAR(psnr(a, b), 20.0f, 1e-3f);
+}
+
+TEST(MetricsTest, PsnrScalesWithPeak) {
+  Tensor a(Shape{10}, 0.0f);
+  Tensor b(Shape{10}, 25.5f);
+  // With peak 255 an error of 25.5 is also exactly 20 dB.
+  EXPECT_NEAR(psnr(a, b, 255.0f), 20.0f, 1e-3f);
+}
+
+TEST(MetricsTest, PsnrRejectsShapeMismatch) {
+  EXPECT_THROW((void)psnr(Tensor({3}), Tensor({4})), std::invalid_argument);
+}
+
+TEST(MetricsTest, AccuracyPercent) {
+  EXPECT_FLOAT_EQ(accuracy_percent({1, 2, 3, 4}, {1, 2, 0, 4}), 75.0f);
+  EXPECT_FLOAT_EQ(accuracy_percent({0}, {0}), 100.0f);
+  EXPECT_FLOAT_EQ(accuracy_percent({0}, {1}), 0.0f);
+}
+
+TEST(MetricsTest, AccuracyRejectsBadInput) {
+  EXPECT_THROW(accuracy_percent({}, {}), std::invalid_argument);
+  EXPECT_THROW(accuracy_percent({1, 2}, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::data

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "data/shapes_tex.h"
+
+namespace sesr::data {
+namespace {
+
+TEST(ShapesTexTest, SamplesAreDeterministic) {
+  ShapesTexDataset a({.image_size = 32, .seed = 7});
+  ShapesTexDataset b({.image_size = 32, .seed = 7});
+  const Sample sa = a.get(123);
+  const Sample sb = b.get(123);
+  EXPECT_EQ(sa.label, sb.label);
+  EXPECT_EQ(sa.image.max_abs_diff(sb.image), 0.0f);
+}
+
+TEST(ShapesTexTest, DifferentSeedsDiffer) {
+  ShapesTexDataset a({.seed = 1});
+  ShapesTexDataset b({.seed = 2});
+  EXPECT_GT(a.get(0).image.max_abs_diff(b.get(0).image), 0.01f);
+}
+
+TEST(ShapesTexTest, LabelsAreBalancedRoundRobin) {
+  ShapesTexDataset ds({.num_classes = 10});
+  for (int64_t i = 0; i < 30; ++i) EXPECT_EQ(ds.get(i).label, i % 10);
+}
+
+TEST(ShapesTexTest, PixelsInUnitRange) {
+  ShapesTexDataset ds({.image_size = 32});
+  for (int64_t i = 0; i < 20; ++i) {
+    const Sample s = ds.get(i);
+    EXPECT_GE(s.image.min(), 0.0f);
+    EXPECT_LE(s.image.max(), 1.0f);
+  }
+}
+
+TEST(ShapesTexTest, ImagesHaveForegroundBackgroundContrast) {
+  // Every image must have meaningful variance — a degenerate generator would
+  // produce flat images that nothing can learn from.
+  ShapesTexDataset ds({.image_size = 32});
+  for (int64_t i = 0; i < 20; ++i) {
+    const Sample s = ds.get(i);
+    const float mean = s.image.mean();
+    float var = 0.0f;
+    for (int64_t j = 0; j < s.image.numel(); ++j) {
+      const float d = s.image[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(s.image.numel());
+    EXPECT_GT(var, 1e-3f) << "sample " << i;
+  }
+}
+
+TEST(ShapesTexTest, SameIndexDifferentSamplesWithinClassVary) {
+  // Index i and i + num_classes share a label but must differ (jitter).
+  ShapesTexDataset ds({.num_classes = 10});
+  const Sample a = ds.get(3);
+  const Sample b = ds.get(13);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_GT(a.image.max_abs_diff(b.image), 0.05f);
+}
+
+TEST(ShapesTexTest, BatchingMatchesSingleSamples) {
+  ShapesTexDataset ds({.image_size = 16});
+  const Tensor batch = ds.images(5, 3);
+  ASSERT_EQ(batch.shape(), Shape({3, 3, 16, 16}));
+  const Sample s6 = ds.get(6);
+  for (int64_t i = 0; i < s6.image.numel(); ++i)
+    EXPECT_EQ(batch[s6.image.numel() + i], s6.image[i]);
+
+  const auto labels = ds.labels(5, 3);
+  EXPECT_EQ(labels, (std::vector<int64_t>{5, 6, 7}));
+}
+
+TEST(ShapesTexTest, IndexedBatching) {
+  ShapesTexDataset ds({.image_size = 16});
+  const std::vector<int64_t> idx = {11, 2, 7};
+  const Tensor batch = ds.images_at(idx);
+  EXPECT_EQ(batch.dim(0), 3);
+  EXPECT_EQ(ds.labels_at(idx), (std::vector<int64_t>{1, 2, 7}));
+}
+
+TEST(ShapesTexTest, InvalidOptionsRejected) {
+  EXPECT_THROW(ShapesTexDataset({.image_size = 4}), std::invalid_argument);
+  EXPECT_THROW(ShapesTexDataset({.num_classes = 1}), std::invalid_argument);
+  EXPECT_THROW(ShapesTexDataset({.num_classes = 11}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::data

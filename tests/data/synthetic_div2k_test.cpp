@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "data/synthetic_div2k.h"
+#include "preprocess/interpolation.h"
+
+namespace sesr::data {
+namespace {
+
+TEST(SyntheticDiv2kTest, PairsHaveConsistentShapes) {
+  SyntheticDiv2k ds({.hr_size = 32, .scale = 2});
+  const SrPair pair = ds.get(0);
+  EXPECT_EQ(pair.hr.shape(), Shape({3, 32, 32}));
+  EXPECT_EQ(pair.lr.shape(), Shape({3, 16, 16}));
+}
+
+TEST(SyntheticDiv2kTest, Deterministic) {
+  SyntheticDiv2k a({.seed = 9}), b({.seed = 9});
+  EXPECT_EQ(a.get(42).hr.max_abs_diff(b.get(42).hr), 0.0f);
+}
+
+TEST(SyntheticDiv2kTest, LrIsBicubicDownscaleOfHr) {
+  SyntheticDiv2k ds({.hr_size = 32, .scale = 2});
+  const SrPair pair = ds.get(5);
+  const Tensor expected = preprocess::downscale(
+      pair.hr.reshaped({1, 3, 32, 32}), 2, preprocess::InterpolationKind::kBicubic);
+  EXPECT_EQ(pair.lr.reshaped({1, 3, 16, 16}).max_abs_diff(expected), 0.0f);
+}
+
+TEST(SyntheticDiv2kTest, PatchesContainHighFrequencyDetail) {
+  // The point of the dataset: bicubic upscale of LR must NOT perfectly
+  // reconstruct HR (there is detail for an SR model to learn).
+  SyntheticDiv2k ds({.hr_size = 32, .scale = 2});
+  double mean_psnr = 0.0;
+  for (int64_t i = 0; i < 10; ++i) {
+    const SrPair pair = ds.get(i);
+    const Tensor up = preprocess::upscale(pair.lr.reshaped({1, 3, 16, 16}), 2,
+                                          preprocess::InterpolationKind::kBicubic);
+    mean_psnr += psnr(up, pair.hr.reshaped({1, 3, 32, 32}));
+  }
+  mean_psnr /= 10.0;
+  EXPECT_LT(mean_psnr, 40.0);  // not trivially reconstructible
+  EXPECT_GT(mean_psnr, 15.0);  // but correlated (natural-image-like)
+}
+
+TEST(SyntheticDiv2kTest, PixelsInUnitRange) {
+  SyntheticDiv2k ds({.hr_size = 32});
+  for (int64_t i = 0; i < 10; ++i) {
+    const SrPair pair = ds.get(i);
+    EXPECT_GE(pair.hr.min(), 0.0f);
+    EXPECT_LE(pair.hr.max(), 1.0f);
+  }
+}
+
+TEST(SyntheticDiv2kTest, BatchStacksPairs) {
+  SyntheticDiv2k ds({.hr_size = 16, .scale = 2});
+  const auto batch = ds.batch(3, 4);
+  EXPECT_EQ(batch.lr.shape(), Shape({4, 3, 8, 8}));
+  EXPECT_EQ(batch.hr.shape(), Shape({4, 3, 16, 16}));
+  const SrPair p4 = ds.get(4);
+  for (int64_t i = 0; i < p4.hr.numel(); ++i)
+    EXPECT_EQ(batch.hr[p4.hr.numel() + i], p4.hr[i]);
+}
+
+TEST(SyntheticDiv2kTest, InvalidOptionsRejected) {
+  EXPECT_THROW(SyntheticDiv2k({.hr_size = 33, .scale = 2}), std::invalid_argument);
+  EXPECT_THROW(SyntheticDiv2k({.hr_size = 4, .scale = 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::data

@@ -1,0 +1,66 @@
+// Cascading behaviour of the Ethos-U55 model (the Vela block-streaming
+// approximation that separates the classifier estimate from the SR one).
+#include <gtest/gtest.h>
+
+#include "hw/ethos_u55.h"
+#include "models/classifiers.h"
+#include "models/model_zoo.h"
+
+namespace sesr::hw {
+namespace {
+
+TEST(EthosCascadingTest, CascadingOnlyAffectsBottleneckTopologies) {
+  // Plain-conv SR networks contain no 1x1 expansion/projection pairs or
+  // depthwise stages: toggling cascading must not change their latency.
+  EthosU55Config with;
+  EthosU55Config without;
+  without.model_cascading = false;
+  auto sesr_net = models::sr_model("SESR-M2").make_paper_scale();
+  const auto layers = sesr_net->layers({1, 3, 64, 64});
+  EXPECT_EQ(EthosU55Model(with).estimate(layers).total_cycles,
+            EthosU55Model(without).estimate(layers).total_cycles);
+}
+
+TEST(EthosCascadingTest, CascadingSpeedsUpMobileNet) {
+  EthosU55Config with;
+  EthosU55Config without;
+  without.model_cascading = false;
+  models::MobileNetV2Paper mv2(1000);
+  const auto layers = mv2.layers({1, 3, 224, 224});
+  EXPECT_LT(EthosU55Model(with).estimate(layers).total_cycles,
+            EthosU55Model(without).estimate(layers).total_cycles);
+}
+
+TEST(EthosCascadingTest, DepthwiseChargesWeightsEvenWhenCascaded) {
+  EthosU55Model npu;  // cascading on
+  nn::LayerInfo dw;
+  dw.kind = nn::LayerKind::kDepthwiseConv2d;
+  dw.name = "dw";
+  dw.input = Shape{1, 16, 8, 8};
+  dw.output = Shape{1, 16, 8, 8};
+  dw.kernel_h = dw.kernel_w = 3;
+  dw.params = 16 * 9 + 16;
+  const auto report = npu.estimate(std::vector<nn::LayerInfo>{dw});
+  ASSERT_EQ(report.layers.size(), 1u);
+  EXPECT_EQ(report.layers[0].dma_cycles, dw.params);  // weights only, 1 B each
+  EXPECT_GT(report.layers[0].compute_cycles, 0);
+}
+
+TEST(EthosCascadingTest, BandwidthScalesDmaCycles) {
+  EthosU55Config slow;   // 1 B/cycle default
+  EthosU55Config fast;
+  fast.bytes_per_cycle = 4.0;
+  nn::LayerInfo d2s;
+  d2s.kind = nn::LayerKind::kDepthToSpace;
+  d2s.name = "d2s";
+  d2s.input = Shape{1, 12, 16, 16};
+  d2s.output = Shape{1, 3, 32, 32};
+  const auto slow_report = EthosU55Model(slow).estimate(std::vector<nn::LayerInfo>{d2s});
+  const auto fast_report = EthosU55Model(fast).estimate(std::vector<nn::LayerInfo>{d2s});
+  EXPECT_NEAR(static_cast<double>(slow_report.total_cycles) /
+                  static_cast<double>(fast_report.total_cycles),
+              4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace sesr::hw

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/cost_model.h"
+#include "models/classifiers.h"
+#include "nn/gradcheck.h"
+
+namespace sesr::models {
+namespace {
+
+struct ClassifierCase {
+  const char* name;
+  std::function<std::unique_ptr<Classifier>()> make;
+};
+
+class ClassifierSweep : public ::testing::TestWithParam<ClassifierCase> {};
+
+TEST_P(ClassifierSweep, ProducesLogitsForTenClasses) {
+  auto clf = GetParam().make();
+  Rng rng(1);
+  clf->init(rng);
+  const Tensor y = clf->forward(Tensor::rand({2, 3, 32, 32}, rng));
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST_P(ClassifierSweep, AcceptsBothRawAndUpscaledResolutions) {
+  // The defense property: the same weights classify 32x32 (attack crafting)
+  // and 64x64 (defended, x2-upscaled) inputs.
+  auto clf = GetParam().make();
+  Rng rng(2);
+  clf->init(rng);
+  EXPECT_EQ(clf->forward(Tensor::rand({1, 3, 32, 32}, rng)).shape(), Shape({1, 10}));
+  EXPECT_EQ(clf->forward(Tensor::rand({1, 3, 64, 64}, rng)).shape(), Shape({1, 10}));
+}
+
+TEST_P(ClassifierSweep, TraceAgreesWithForward) {
+  auto clf = GetParam().make();
+  Rng rng(3);
+  clf->init(rng);
+  EXPECT_EQ(clf->trace({1, 3, 32, 32}, nullptr), Shape({1, 10}));
+  std::vector<nn::LayerInfo> infos;
+  clf->trace({1, 3, 32, 32}, &infos);
+  EXPECT_GT(infos.size(), 5u);
+}
+
+TEST_P(ClassifierSweep, InputGradientCorrect) {
+  auto clf = GetParam().make();
+  Rng rng(4);
+  clf->init(rng);
+  const nn::GradCheckResult r =
+      nn::check_input_gradient(*clf, Tensor::rand({1, 3, 16, 16}, rng), {.epsilon = 1e-3f, .tolerance = 0.10f, .max_coords = 16, .aggregate_l2 = true});
+  EXPECT_TRUE(r.passed) << GetParam().name << ": " << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ClassifierSweep,
+    ::testing::Values(
+        ClassifierCase{"mobilenet", [] { return std::make_unique<TinyMobileNetV2>(10); }},
+        ClassifierCase{"resnet", [] { return std::make_unique<TinyResNet>(10); }},
+        ClassifierCase{"inception", [] { return std::make_unique<TinyInception>(10); }}),
+    [](const ::testing::TestParamInfo<ClassifierCase>& info) { return info.param.name; });
+
+TEST(MobileNetV2PaperTest, MatchesPublishedCostEnvelope) {
+  MobileNetV2Paper mv2(1000);
+  const auto c224 = hw::summarize(mv2, {1, 3, 224, 224});
+  // Published: ~3.4M params, ~300M MACs at 224x224.
+  EXPECT_NEAR(static_cast<double>(c224.params) / 3.4e6, 1.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(c224.macs) / 300e6, 1.0, 0.1);
+
+  // The paper's Table IV premise: ~2.1B MACs at 598x598.
+  const auto c598 = hw::summarize(mv2, {1, 3, 598, 598});
+  EXPECT_NEAR(static_cast<double>(c598.macs) / 2.1e9, 1.0, 0.1);
+}
+
+TEST(ClassifiersTest, CompactModelIsSmallest) {
+  TinyMobileNetV2 mobile(10);
+  TinyResNet resnet(10);
+  EXPECT_LT(mobile.num_params(), resnet.num_params());
+}
+
+}  // namespace
+}  // namespace sesr::models

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+#include "models/edsr.h"
+#include "nn/gradcheck.h"
+
+namespace sesr::models {
+namespace {
+
+TEST(EdsrTest, UpscalesByTwo) {
+  Edsr net(EdsrConfig::base_repo());
+  Rng rng(1);
+  net.init(rng);
+  const Tensor y = net.forward(Tensor::rand({1, 3, 8, 8}, rng));
+  EXPECT_EQ(y.shape(), Shape({1, 3, 16, 16}));
+}
+
+TEST(EdsrTest, PaperScaleParamsInExpectedRange) {
+  // EDSR-base: paper reports 1.19M (our accounting includes the tail convs
+  // the paper apparently excluded; the order of magnitude is what matters).
+  Edsr base(EdsrConfig::base_paper());
+  EXPECT_GT(base.num_params(), 1.0e6);
+  EXPECT_LT(base.num_params(), 1.6e6);
+
+  // EDSR: 42M in the paper.
+  Edsr full(EdsrConfig::full_paper());
+  EXPECT_GT(full.num_params(), 35e6);
+  EXPECT_LT(full.num_params(), 46e6);
+}
+
+TEST(EdsrTest, PaperScaleMacOrderingMatchesTableOne) {
+  const auto base = hw::summarize(Edsr(EdsrConfig::base_paper()), {1, 3, 299, 299});
+  const auto full = hw::summarize(Edsr(EdsrConfig::full_paper()), {1, 3, 299, 299});
+  // Table I: 106B and 3400B. Body-only accounting explains the small gap; the
+  // 30x ratio between the two models is the structural fact to preserve.
+  EXPECT_NEAR(static_cast<double>(base.macs) / 106e9, 1.0, 0.25);
+  EXPECT_NEAR(static_cast<double>(full.macs) / 3400e9, 1.0, 0.25);
+  EXPECT_NEAR(static_cast<double>(full.macs) / static_cast<double>(base.macs), 32.0, 4.0);
+}
+
+TEST(EdsrTest, ResidualScaleAppearsInFullConfigOnly) {
+  EXPECT_FLOAT_EQ(EdsrConfig::base_paper().res_scale, 1.0f);
+  EXPECT_FLOAT_EQ(EdsrConfig::full_paper().res_scale, 0.1f);
+}
+
+TEST(EdsrTest, InputGradientCorrect) {
+  EdsrConfig tiny;
+  tiny.blocks = 2;
+  tiny.channels = 6;
+  tiny.res_scale = 0.5f;
+  Edsr net(tiny);
+  Rng rng(2);
+  net.init(rng);
+  const nn::GradCheckResult r = nn::check_input_gradient(net, Tensor::randn({1, 3, 6, 6}, rng), {.epsilon = 1e-3f, .tolerance = 0.10f, .max_coords = 16, .aggregate_l2 = true});
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(EdsrTest, RepoScaleIsTrainableSized) {
+  Edsr base(EdsrConfig::base_repo());
+  Edsr full(EdsrConfig::full_repo());
+  EXPECT_LT(base.num_params(), 200e3);
+  EXPECT_LT(full.num_params(), 2e6);
+  EXPECT_GT(full.num_params(), base.num_params());  // capacity ordering preserved
+}
+
+}  // namespace
+}  // namespace sesr::models

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+#include "models/fsrcnn.h"
+#include "nn/gradcheck.h"
+
+namespace sesr::models {
+namespace {
+
+TEST(FsrcnnTest, UpscalesByTwo) {
+  Fsrcnn net;
+  Rng rng(1);
+  net.init(rng);
+  const Tensor y = net.forward(Tensor::rand({2, 3, 8, 8}, rng));
+  EXPECT_EQ(y.shape(), Shape({2, 3, 16, 16}));
+}
+
+TEST(FsrcnnTest, PaperScaleCostsMatchTableOne) {
+  Fsrcnn net(FsrcnnConfig::paper());
+  const auto cost = hw::summarize(net, {1, 3, 299, 299});
+  // Table I: 24.336K params, 5.82B MACs (RGB, 299 -> 598). Our param count
+  // additionally includes PReLU slopes; allow 2%.
+  EXPECT_NEAR(static_cast<double>(cost.params) / 24336.0, 1.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(cost.macs) / 5.82e9, 1.0, 0.01);
+}
+
+TEST(FsrcnnTest, InputGradientCorrect) {
+  FsrcnnConfig small;
+  small.d = 8;
+  small.s = 4;
+  small.m = 2;
+  Fsrcnn net(small);
+  Rng rng(2);
+  net.init(rng);
+  const nn::GradCheckResult r = nn::check_input_gradient(net, Tensor::randn({1, 3, 6, 6}, rng), {.epsilon = 1e-3f, .tolerance = 0.10f, .max_coords = 16, .aggregate_l2 = true});
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(FsrcnnTest, ConfigurableMappingDepth) {
+  FsrcnnConfig cfg;
+  cfg.m = 6;
+  Fsrcnn net(cfg);
+  int conv3x3 = 0;
+  for (const auto& info : net.layers({1, 3, 8, 8}))
+    if (info.kind == nn::LayerKind::kConv2d && info.kernel_h == 3) ++conv3x3;
+  EXPECT_EQ(conv3x3, 6);
+}
+
+}  // namespace
+}  // namespace sesr::models

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "models/global_residual.h"
+#include "models/fsrcnn.h"
+#include "preprocess/interpolation.h"
+
+namespace sesr::models {
+namespace {
+
+TEST(GlobalResidualTest, ZeroBodyReducesToBicubic) {
+  auto body = std::make_unique<Fsrcnn>(FsrcnnConfig{.d = 8, .s = 4, .m = 1});
+  for (auto* p : body->parameters()) p->value.fill(0.0f);
+  GlobalResidualSr net(std::move(body), 2);
+
+  Rng rng(1);
+  const Tensor x = Tensor::rand({1, 3, 8, 8}, rng);
+  const Tensor expected = preprocess::upscale(x, 2, preprocess::InterpolationKind::kBicubic);
+  EXPECT_LT(net.forward(x).max_abs_diff(expected), 1e-6f);
+}
+
+TEST(GlobalResidualTest, FreshInitStartsNearBicubic) {
+  // Fsrcnn::init_weights shrinks the deconv, so the wrapped network's output
+  // must sit within a fraction of a dB of plain bicubic.
+  auto body = std::make_unique<Fsrcnn>(FsrcnnConfig{.d = 8, .s = 4, .m = 1});
+  GlobalResidualSr net(std::move(body), 2);
+  Rng rng(2);
+  net.init_weights(rng);
+
+  const Tensor x = Tensor::rand({1, 3, 8, 8}, rng);
+  const Tensor bicubic = preprocess::upscale(x, 2, preprocess::InterpolationKind::kBicubic);
+  EXPECT_GT(data::psnr(net.forward(x), bicubic), 30.0f);
+}
+
+TEST(GlobalResidualTest, ParametersAreTheBodyParameters) {
+  auto body = std::make_unique<Fsrcnn>(FsrcnnConfig{.d = 8, .s = 4, .m = 1});
+  nn::Module* raw = body.get();
+  GlobalResidualSr net(std::move(body), 2);
+  EXPECT_EQ(net.parameters().size(), raw->parameters().size());
+  EXPECT_EQ(net.num_params(), raw->num_params());
+}
+
+TEST(GlobalResidualTest, TraceAddsOneElementwiseRecord) {
+  auto body = std::make_unique<Fsrcnn>(FsrcnnConfig{.d = 8, .s = 4, .m = 1});
+  const size_t body_layers = body->layers({1, 3, 8, 8}).size();
+  GlobalResidualSr net(std::move(body), 2);
+  EXPECT_EQ(net.layers({1, 3, 8, 8}).size(), body_layers + 1);
+  EXPECT_EQ(net.trace({1, 3, 8, 8}, nullptr), Shape({1, 3, 16, 16}));
+}
+
+TEST(GlobalResidualTest, BodyGradientsFlow) {
+  auto body = std::make_unique<Fsrcnn>(FsrcnnConfig{.d = 8, .s = 4, .m = 1});
+  GlobalResidualSr net(std::move(body), 2);
+  Rng rng(3);
+  net.init_weights(rng);
+  net.zero_grad();
+  const Tensor x = Tensor::rand({1, 3, 8, 8}, rng);
+  const Tensor y = net.forward(x);
+  net.backward(Tensor(y.shape(), 1.0f));
+  float grad_norm = 0.0f;
+  for (auto* p : net.parameters()) grad_norm += p->grad.l2_norm();
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace sesr::models

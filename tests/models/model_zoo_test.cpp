@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+#include "models/model_zoo.h"
+
+namespace sesr::models {
+namespace {
+
+TEST(ModelZooTest, ContainsAllTableOneRows) {
+  const auto& zoo = sr_model_zoo();
+  ASSERT_EQ(zoo.size(), 7u);
+  EXPECT_EQ(zoo[0].label, "FSRCNN");
+  EXPECT_EQ(zoo[1].label, "EDSR-base");
+  EXPECT_EQ(zoo[2].label, "EDSR");
+  EXPECT_EQ(zoo[3].label, "SESR-M2");
+  EXPECT_EQ(zoo[6].label, "SESR-XL");
+}
+
+TEST(ModelZooTest, LookupByLabel) {
+  EXPECT_EQ(sr_model("SESR-M5").label, "SESR-M5");
+  EXPECT_THROW(sr_model("SESR-M7"), std::out_of_range);
+}
+
+TEST(ModelZooTest, PaperScaleMacsMatchTableOneWithinOnePercentForTinyNets) {
+  // The SESR and FSRCNN rows are exactly reproducible; EDSR rows differ by
+  // the paper's body-only accounting (checked separately in edsr_test).
+  for (const char* label : {"FSRCNN", "SESR-M2", "SESR-M3", "SESR-M5", "SESR-XL"}) {
+    const auto& spec = sr_model(label);
+    auto net = spec.make_paper_scale();
+    const auto cost = hw::summarize(*net, {1, 3, 299, 299});
+    ASSERT_TRUE(spec.reference.has_value());
+    EXPECT_NEAR(static_cast<double>(cost.macs) / spec.reference->macs, 1.0, 0.01) << label;
+  }
+}
+
+TEST(ModelZooTest, EveryModelBuildsAtBothScales) {
+  for (const auto& spec : sr_model_zoo()) {
+    auto paper = spec.make_paper_scale();
+    auto repo = spec.make_repo_scale();
+    ASSERT_NE(paper, nullptr) << spec.label;
+    ASSERT_NE(repo, nullptr) << spec.label;
+    if (!spec.trainable_at_repo_scale)
+      EXPECT_LT(repo->num_params(), paper->num_params()) << spec.label;
+  }
+}
+
+TEST(ModelZooTest, MacOrderingMatchesPaper) {
+  // SESR-M2 < SESR-M3 < SESR-M5 < FSRCNN < SESR-XL < EDSR-base < EDSR.
+  std::vector<int64_t> macs;
+  for (const char* label :
+       {"SESR-M2", "SESR-M3", "SESR-M5", "FSRCNN", "SESR-XL", "EDSR-base", "EDSR"}) {
+    auto net = sr_model(label).make_paper_scale();
+    macs.push_back(hw::summarize(*net, {1, 3, 64, 64}).macs);
+  }
+  for (size_t i = 1; i < macs.size(); ++i) EXPECT_LT(macs[i - 1], macs[i]) << "position " << i;
+}
+
+TEST(ModelZooTest, ClassifierZooHasThreeFamilies) {
+  const auto& zoo = classifier_zoo();
+  ASSERT_EQ(zoo.size(), 3u);
+  for (const auto& spec : zoo) {
+    auto clf = spec.make(10);
+    EXPECT_EQ(clf->num_classes(), 10) << spec.label;
+  }
+}
+
+}  // namespace
+}  // namespace sesr::models

@@ -1,0 +1,111 @@
+// Fig. 2 of the paper as executable property tests: the training-time
+// overparameterised network and its analytically collapsed inference network
+// compute the same function.
+#include <gtest/gtest.h>
+
+#include "models/sesr.h"
+
+namespace sesr::models {
+namespace {
+
+TEST(CollapseTest, SingleBlockWithResidualMatches) {
+  CollapsibleLinearBlock block(4, 4, 32, 3);
+  Rng rng(11);
+  for (auto* p : block.parameters())
+    for (float& v : p->value.flat()) v = rng.normal(0.0f, 0.4f);
+
+  auto collapsed = block.collapse();
+  const Tensor x = Tensor::randn({2, 4, 7, 7}, rng);
+  const Tensor a = block.forward(x);
+  const Tensor b = collapsed->forward(x);
+  EXPECT_LT(a.max_abs_diff(b), 1e-4f);
+}
+
+TEST(CollapseTest, SingleBlockWithoutResidualMatches) {
+  CollapsibleLinearBlock block(3, 8, 64, 5);  // 3 != 8: no short residual
+  EXPECT_FALSE(block.has_short_residual());
+  Rng rng(12);
+  for (auto* p : block.parameters())
+    for (float& v : p->value.flat()) v = rng.normal(0.0f, 0.3f);
+
+  auto collapsed = block.collapse();
+  const Tensor x = Tensor::randn({1, 3, 9, 9}, rng);
+  EXPECT_LT(block.forward(x).max_abs_diff(collapsed->forward(x)), 1e-4f);
+}
+
+TEST(CollapseTest, CollapsedBiasFoldsBothStages) {
+  CollapsibleLinearBlock block(1, 1, 4, 1);
+  // Zero weights: output = W2 b1 + b2 everywhere.
+  for (auto* p : block.parameters()) p->value.fill(0.0f);
+  block.parameters()[1]->value.fill(2.0f);  // expand bias b1
+  block.parameters()[2]->value.fill(3.0f);  // project weight W2
+  block.parameters()[3]->value.fill(1.0f);  // project bias b2
+  auto collapsed = block.collapse();
+  const Tensor y = collapsed->forward(Tensor({1, 1, 2, 2}));
+  // centre tap of residual contributes input (=0); bias = 4 * 3 * 2 + 1 = 25.
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 25.0f);
+}
+
+struct CollapseCase {
+  const char* name;
+  SesrConfig cfg;
+};
+
+class FullNetworkCollapse : public ::testing::TestWithParam<CollapseCase> {};
+
+TEST_P(FullNetworkCollapse, TrainAndInferenceFormsAgree) {
+  Sesr train(GetParam().cfg, Sesr::Form::kTraining);
+  Rng rng(13);
+  train.init(rng);
+
+  auto inference = Sesr::collapse_from(train);
+  const Tensor x = Tensor::rand({2, 3, 8, 8}, rng);
+  const Tensor a = train.forward(x);
+  const Tensor b = inference->forward(x);
+  // The collapse reassociates float sums over the expansion dimension; allow
+  // accumulated round-off proportional to the activation magnitude, but
+  // nothing structural.
+  const float scale = std::max(1.0f, std::max(std::abs(a.min()), a.max()));
+  EXPECT_LT(a.max_abs_diff(b), 2e-3f * scale) << GetParam().name;
+}
+
+TEST_P(FullNetworkCollapse, CollapseReducesParamsByOrdersOfMagnitude) {
+  // M-variants (f = 16, p = 256) collapse ~20x; XL (f = 32) ~8x.
+  Sesr train(GetParam().cfg, Sesr::Form::kTraining);
+  auto inference = Sesr::collapse_from(train);
+  EXPECT_GT(train.num_params(), 7 * inference->num_params()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, FullNetworkCollapse,
+                         ::testing::Values(CollapseCase{"m2", SesrConfig::m2()},
+                                           CollapseCase{"m3", SesrConfig::m3()},
+                                           CollapseCase{"m5", SesrConfig::m5()},
+                                           CollapseCase{"xl", SesrConfig::xl()}),
+                         [](const ::testing::TestParamInfo<CollapseCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(CollapseTest, CollapseFromRejectsInferenceForm) {
+  Sesr infer(SesrConfig::m2(), Sesr::Form::kInference);
+  EXPECT_THROW(Sesr::collapse_from(infer), std::invalid_argument);
+}
+
+TEST(CollapseTest, PreluSlopesSurviveCollapse) {
+  Sesr train(SesrConfig::m2(), Sesr::Form::kTraining);
+  Rng rng(14);
+  train.init(rng);
+  // Give the slopes a recognisable value.
+  for (auto* p : train.parameters())
+    if (p->name == "prelu_slope") p->value.fill(0.123f);
+  auto inference = Sesr::collapse_from(train);
+  int checked = 0;
+  for (auto* p : inference->parameters())
+    if (p->name == "prelu_slope") {
+      for (float v : p->value.flat()) EXPECT_FLOAT_EQ(v, 0.123f);
+      ++checked;
+    }
+  EXPECT_EQ(checked, 3);  // first stage + two inner stages for M2
+}
+
+}  // namespace
+}  // namespace sesr::models

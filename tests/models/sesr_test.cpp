@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "models/sesr.h"
+#include "nn/gradcheck.h"
+
+namespace sesr::models {
+namespace {
+
+TEST(SesrTest, InferenceFormUpscalesByScale) {
+  Sesr net(SesrConfig::m2(), Sesr::Form::kInference);
+  Rng rng(1);
+  net.init(rng);
+  const Tensor y = net.forward(Tensor::rand({2, 3, 8, 8}, rng));
+  EXPECT_EQ(y.shape(), Shape({2, 3, 16, 16}));
+}
+
+TEST(SesrTest, TrainingFormMatchesInferenceShape) {
+  Sesr net(SesrConfig::m2(), Sesr::Form::kTraining);
+  Rng rng(2);
+  net.init(rng);
+  const Tensor y = net.forward(Tensor::rand({1, 3, 6, 6}, rng));
+  EXPECT_EQ(y.shape(), Shape({1, 3, 12, 12}));
+}
+
+TEST(SesrTest, TraceAgreesWithForward) {
+  for (auto cfg : {SesrConfig::m2(), SesrConfig::m5(), SesrConfig::xl()}) {
+    Sesr net(cfg, Sesr::Form::kInference);
+    Rng rng(3);
+    net.init(rng);
+    const Shape traced = net.trace({1, 3, 7, 7}, nullptr);
+    const Tensor y = net.forward(Tensor::rand({1, 3, 7, 7}, rng));
+    EXPECT_EQ(y.shape(), traced);
+  }
+}
+
+TEST(SesrTest, ZeroWeightsReduceToNearestNeighborUpsample) {
+  // With all conv weights zero, only the tiled-input residual survives:
+  // the network must reproduce nearest-neighbour x2 upscaling exactly.
+  Sesr net(SesrConfig::m2(), Sesr::Form::kInference);
+  for (auto* p : net.parameters()) p->value.fill(0.0f);
+  Rng rng(4);
+  const Tensor x = Tensor::rand({1, 3, 4, 4}, rng);
+  const Tensor y = net.forward(x);
+  for (int64_t c = 0; c < 3; ++c)
+    for (int64_t i = 0; i < 8; ++i)
+      for (int64_t j = 0; j < 8; ++j)
+        EXPECT_FLOAT_EQ(y.at(0, c, i, j), x.at(0, c, i / 2, j / 2));
+}
+
+TEST(SesrTest, InferenceParamCountsMatchPaperScale) {
+  // Paper Table I reports 10.6K / 12.9K / 17.5K / 113.3K; our accounting
+  // includes PReLU slopes and all biases, so allow a ~2% envelope.
+  const struct {
+    SesrConfig cfg;
+    double paper;
+  } rows[] = {{SesrConfig::m2(), 10608}, {SesrConfig::m3(), 12912},
+              {SesrConfig::m5(), 17520}, {SesrConfig::xl(), 113300}};
+  for (const auto& row : rows) {
+    Sesr net(row.cfg, Sesr::Form::kInference);
+    const double mine = static_cast<double>(net.num_params());
+    EXPECT_NEAR(mine / row.paper, 1.0, 0.02) << "m=" << row.cfg.m;
+  }
+}
+
+TEST(SesrTest, TrainingFormIsHeavilyOverparameterised) {
+  Sesr train(SesrConfig::m2(), Sesr::Form::kTraining);
+  Sesr infer(SesrConfig::m2(), Sesr::Form::kInference);
+  EXPECT_GT(train.num_params(), 15 * infer.num_params());
+}
+
+TEST(SesrTest, InputGradientFlowsThroughAllPaths) {
+  Sesr net(SesrConfig::m2(), Sesr::Form::kInference);
+  Rng rng(5);
+  for (auto* p : net.parameters())
+    for (float& v : p->value.flat()) v = rng.normal(0.0f, 0.3f);
+  const Tensor x = Tensor::randn({1, 3, 6, 6}, rng);
+  const nn::GradCheckResult r = nn::check_input_gradient(net, x, {.epsilon = 1e-3f, .tolerance = 0.10f, .max_coords = 16, .aggregate_l2 = true});
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(SesrTest, CollapsibleBlockRequiresExpansion) {
+  EXPECT_THROW(CollapsibleLinearBlock(16, 16, 8, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::models

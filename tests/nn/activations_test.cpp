@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(ActivationsTest, ReluClampsNegatives) {
+  ReLU relu;
+  const Tensor y = relu.forward(Tensor(Shape{1, 1, 1, 4}, std::vector<float>{-2, -0.5f, 0, 3}));
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(ActivationsTest, ReluBackwardMasksNegatives) {
+  ReLU relu;
+  relu.forward(Tensor(Shape{1, 1, 1, 3}, std::vector<float>{-1, 2, -3}));
+  const Tensor g = relu.backward(Tensor(Shape{1, 1, 1, 3}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(ActivationsTest, Relu6SaturatesAtSix) {
+  ReLU6 relu6;
+  const Tensor y = relu6.forward(Tensor(Shape{1, 1, 1, 3}, std::vector<float>{-1, 3, 9}));
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 6.0f);
+  const Tensor g = relu6.backward(Tensor(Shape{1, 1, 1, 3}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);  // saturated region also blocks gradient
+}
+
+TEST(ActivationsTest, LeakyReluScalesNegatives) {
+  LeakyReLU leaky(0.1f);
+  const Tensor y = leaky.forward(Tensor(Shape{1, 1, 1, 2}, std::vector<float>{-10, 5}));
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+}
+
+TEST(ActivationsTest, PReluUsesPerChannelSlopes) {
+  PReLU prelu(2, 0.0f);
+  prelu.parameters()[0]->value[0] = 0.5f;
+  prelu.parameters()[0]->value[1] = -1.0f;
+  Tensor x(Shape{1, 2, 1, 2}, std::vector<float>{-2, 4, -2, 4});
+  const Tensor y = prelu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);  // channel 0 slope 0.5
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);   // channel 1 slope -1
+  EXPECT_FLOAT_EQ(y[3], 4.0f);
+}
+
+TEST(ActivationsTest, PReluSlopeGradAccumulates) {
+  PReLU prelu(1, 0.25f);
+  prelu.forward(Tensor(Shape{1, 1, 1, 2}, std::vector<float>{-3, 2}));
+  prelu.backward(Tensor(Shape{1, 1, 1, 2}, 1.0f));
+  // d/da sum(prelu) over the negative input only: grad = x = -3.
+  EXPECT_FLOAT_EQ(prelu.parameters()[0]->grad[0], -3.0f);
+}
+
+TEST(ActivationsTest, PReluRejectsChannelMismatch) {
+  PReLU prelu(3);
+  EXPECT_THROW(prelu.forward(Tensor({1, 4, 2, 2})), std::invalid_argument);
+}
+
+TEST(ActivationsTest, TracePreservesShape) {
+  ReLU relu;
+  PReLU prelu(3);
+  std::vector<LayerInfo> infos;
+  EXPECT_EQ(relu.trace({2, 3, 4, 4}, &infos), Shape({2, 3, 4, 4}));
+  EXPECT_EQ(prelu.trace({2, 3, 4, 4}, &infos), Shape({2, 3, 4, 4}));
+  EXPECT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[1].params, 3);
+}
+
+}  // namespace
+}  // namespace sesr::nn

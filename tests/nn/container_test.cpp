@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "nn/nn.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(SequentialTest, ChainsChildrenInOrder) {
+  Sequential seq("test");
+  seq.add<ReLU>();
+  auto& conv = seq.add<Conv2d>(Conv2dOptions{.in_channels = 1, .out_channels = 1, .kernel = 1,
+                                             .padding = 0});
+  conv.weight().value.fill(2.0f);
+  const Tensor y = seq.forward(Tensor(Shape{1, 1, 1, 2}, std::vector<float>{-3, 5}));
+  EXPECT_FLOAT_EQ(y[0], 0.0f);   // relu then x2
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(SequentialTest, CollectsParametersFromChildren) {
+  Sequential seq;
+  seq.add<Conv2d>(Conv2dOptions{.in_channels = 1, .out_channels = 2, .kernel = 3});
+  seq.add<PReLU>(2);
+  seq.add<Conv2d>(Conv2dOptions{.in_channels = 2, .out_channels = 1, .kernel = 3});
+  EXPECT_EQ(seq.parameters().size(), 5u);  // 2x(weight+bias) + prelu slope
+}
+
+TEST(ResidualTest, IdentityShortcutAdds) {
+  auto body = std::make_unique<Sequential>("b");
+  body->add<ReLU>();
+  Residual res(std::move(body));
+  const Tensor y = res.forward(Tensor(Shape{1, 1, 1, 2}, std::vector<float>{-2, 3}));
+  EXPECT_FLOAT_EQ(y[0], -2.0f);  // relu(-2) + (-2)
+  EXPECT_FLOAT_EQ(y[1], 6.0f);   // relu(3) + 3
+}
+
+TEST(ResidualTest, ScaleAppliesToBodyOnly) {
+  auto body = std::make_unique<Sequential>("b");
+  body->add<ReLU>();
+  Residual res(std::move(body), nullptr, 0.1f);
+  const Tensor y = res.forward(Tensor(Shape{1, 1, 1, 1}, 10.0f));
+  EXPECT_FLOAT_EQ(y[0], 11.0f);  // 0.1 * 10 + 10
+}
+
+TEST(ResidualTest, TraceRejectsShapeMismatch) {
+  auto body = std::make_unique<Sequential>("b");
+  body->add<Conv2d>(Conv2dOptions{.in_channels = 2, .out_channels = 3, .kernel = 3});
+  Residual res(std::move(body));  // identity shortcut cannot match 2 -> 3
+  EXPECT_THROW(res.trace({1, 2, 4, 4}, nullptr), std::invalid_argument);
+}
+
+TEST(ConcatTest, StacksChannelsInBranchOrder) {
+  Concat cat;
+  auto& c1 = cat.add_branch<Conv2d>(Conv2dOptions{.in_channels = 1, .out_channels = 1,
+                                                  .kernel = 1, .padding = 0, .bias = false});
+  auto& c2 = cat.add_branch<Conv2d>(Conv2dOptions{.in_channels = 1, .out_channels = 2,
+                                                  .kernel = 1, .padding = 0, .bias = false});
+  c1.weight().value.fill(1.0f);
+  c2.weight().value.fill(2.0f);
+  const Tensor y = cat.forward(Tensor(Shape{1, 1, 1, 1}, 3.0f));
+  ASSERT_EQ(y.shape(), Shape({1, 3, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+  EXPECT_FLOAT_EQ(y[2], 6.0f);
+}
+
+TEST(ConcatTest, BackwardSplitsByChannel) {
+  Concat cat;
+  cat.add_branch<ReLU>();
+  cat.add_branch<ReLU>();
+  const Tensor x(Shape{1, 1, 1, 1}, 1.0f);
+  cat.forward(x);
+  const Tensor gin = cat.backward(Tensor(Shape{1, 2, 1, 1}, std::vector<float>{3, 4}));
+  EXPECT_FLOAT_EQ(gin[0], 7.0f);  // both branches feed the same input
+}
+
+TEST(ConcatTest, EmptyConcatThrows) {
+  Concat cat;
+  EXPECT_THROW(cat.forward(Tensor({1, 1, 1, 1})), std::logic_error);
+  EXPECT_THROW(cat.trace({1, 1, 1, 1}, nullptr), std::logic_error);
+}
+
+TEST(ModuleTest, LoadParametersFromCopiesValues) {
+  Conv2d a({.in_channels = 1, .out_channels = 1, .kernel = 3});
+  Conv2d b({.in_channels = 1, .out_channels = 1, .kernel = 3});
+  Rng rng(3);
+  for (float& v : a.weight().value.flat()) v = rng.normal();
+  b.load_parameters_from(a);
+  EXPECT_EQ(b.weight().value.max_abs_diff(a.weight().value), 0.0f);
+
+  Conv2d c({.in_channels = 2, .out_channels = 1, .kernel = 3});
+  EXPECT_THROW(c.load_parameters_from(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::nn

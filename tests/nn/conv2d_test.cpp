@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  Conv2d conv({.in_channels = 1, .out_channels = 1, .kernel = 3, .bias = true});
+  conv.weight().value.fill(0.0f);
+  conv.weight().value[4] = 1.0f;  // centre tap
+  Rng rng(3);
+  const Tensor x = Tensor::rand({1, 1, 5, 5}, rng);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_LT(y.max_abs_diff(x), 1e-6f);
+}
+
+TEST(Conv2dTest, KnownAveragingKernel) {
+  Conv2d conv({.in_channels = 1, .out_channels = 1, .kernel = 3, .padding = 0});
+  conv.weight().value.fill(1.0f / 9.0f);
+  Tensor x({1, 1, 3, 3}, 1.0f);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_NEAR(y[0], 1.0f, 1e-6f);
+}
+
+TEST(Conv2dTest, BiasIsAdded) {
+  Conv2d conv({.in_channels = 1, .out_channels = 2, .kernel = 1, .padding = 0});
+  conv.bias().value[0] = 0.5f;
+  conv.bias().value[1] = -1.5f;
+  const Tensor y = conv.forward(Tensor({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_FLOAT_EQ(y[4], -1.5f);
+}
+
+TEST(Conv2dTest, StrideHalvesSpatialExtent) {
+  Conv2d conv({.in_channels = 3, .out_channels = 4, .kernel = 3, .stride = 2});
+  const Shape out = conv.trace({2, 3, 32, 32}, nullptr);
+  EXPECT_EQ(out, Shape({2, 4, 16, 16}));
+}
+
+TEST(Conv2dTest, SamePaddingKeepsExtentOddKernels) {
+  for (int64_t k : {1, 3, 5, 7, 9}) {
+    Conv2d conv({.in_channels = 1, .out_channels = 1, .kernel = k});
+    EXPECT_EQ(conv.trace({1, 1, 17, 17}, nullptr), Shape({1, 1, 17, 17})) << "k=" << k;
+  }
+}
+
+TEST(Conv2dTest, TraceReportsMacsAndParams) {
+  Conv2d conv({.in_channels = 3, .out_channels = 16, .kernel = 5});
+  std::vector<LayerInfo> infos;
+  conv.trace({1, 3, 299, 299}, &infos);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].macs, 299LL * 299 * 16 * 3 * 5 * 5);
+  EXPECT_EQ(infos[0].params, 5LL * 5 * 3 * 16 + 16);
+  EXPECT_EQ(infos[0].kind, LayerKind::kConv2d);
+}
+
+TEST(Conv2dTest, TraceRejectsWrongChannelCount) {
+  Conv2d conv({.in_channels = 3, .out_channels = 4, .kernel = 3});
+  EXPECT_THROW(conv.trace({1, 4, 8, 8}, nullptr), std::invalid_argument);
+}
+
+TEST(Conv2dTest, InvalidOptionsRejected) {
+  EXPECT_THROW(Conv2d({.in_channels = 0, .out_channels = 4, .kernel = 3}), std::invalid_argument);
+  EXPECT_THROW(Conv2d({.in_channels = 3, .out_channels = 4, .kernel = 3, .stride = 0}),
+               std::invalid_argument);
+}
+
+TEST(Conv2dTest, NoBiasHasSingleParameter) {
+  Conv2d conv({.in_channels = 2, .out_channels = 2, .kernel = 3, .bias = false});
+  EXPECT_EQ(conv.parameters().size(), 1u);
+  EXPECT_EQ(conv.num_params(), 2LL * 2 * 3 * 3);
+}
+
+TEST(Conv2dTest, BatchSamplesAreIndependent) {
+  Conv2d conv({.in_channels = 2, .out_channels = 3, .kernel = 3});
+  Rng rng(9);
+  for (float& v : conv.weight().value.flat()) v = rng.normal();
+  const Tensor x0 = Tensor::randn({1, 2, 6, 6}, rng);
+  Tensor x1 = Tensor::randn({1, 2, 6, 6}, rng);
+
+  Tensor both({2, 2, 6, 6});
+  std::copy(x0.data(), x0.data() + x0.numel(), both.data());
+  std::copy(x1.data(), x1.data() + x1.numel(), both.data() + x0.numel());
+
+  const Tensor y_both = conv.forward(both);
+  const Tensor y0 = conv.forward(x0);
+  for (int64_t i = 0; i < y0.numel(); ++i) EXPECT_NEAR(y_both[i], y0[i], 1e-5f);
+}
+
+}  // namespace
+}  // namespace sesr::nn

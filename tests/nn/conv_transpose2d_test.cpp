@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv_transpose2d.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(ConvTranspose2dTest, FsrcnnGeometryDoublesExtent) {
+  // 9x9, stride 2, pad 4, output_padding 1: the FSRCNN upsampler.
+  ConvTranspose2d deconv({.in_channels = 56, .out_channels = 3, .kernel = 9, .stride = 2,
+                          .padding = 4, .output_padding = 1});
+  EXPECT_EQ(deconv.trace({1, 56, 299, 299}, nullptr), Shape({1, 3, 598, 598}));
+  EXPECT_EQ(deconv.trace({1, 56, 16, 16}, nullptr), Shape({1, 3, 32, 32}));
+}
+
+TEST(ConvTranspose2dTest, SinglePixelSpreadsKernel) {
+  // One input pixel with a no-pad stride-1 deconv paints the kernel.
+  ConvTranspose2d deconv({.in_channels = 1, .out_channels = 1, .kernel = 3, .stride = 1,
+                          .padding = 0, .output_padding = 0, .bias = false});
+  for (int64_t i = 0; i < 9; ++i) deconv.weight().value[i] = static_cast<float>(i);
+  Tensor x({1, 1, 1, 1}, 2.0f);
+  const Tensor y = deconv.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 3, 3}));
+  for (int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y[i], 2.0f * static_cast<float>(i));
+}
+
+TEST(ConvTranspose2dTest, StrideTwoInterleavesContributions) {
+  // 2x2 kernel of ones, stride 2, no pad: each input pixel owns a 2x2 block.
+  ConvTranspose2d deconv({.in_channels = 1, .out_channels = 1, .kernel = 2, .stride = 2,
+                          .padding = 0, .output_padding = 0, .bias = false});
+  deconv.weight().value.fill(1.0f);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor y = deconv.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 3, 3), 4.0f);
+}
+
+TEST(ConvTranspose2dTest, TraceUsesGatherFormMacs) {
+  ConvTranspose2d deconv({.in_channels = 56, .out_channels = 3, .kernel = 9, .stride = 2,
+                          .padding = 4, .output_padding = 1});
+  std::vector<LayerInfo> infos;
+  deconv.trace({1, 56, 299, 299}, &infos);
+  ASSERT_EQ(infos.size(), 1u);
+  // Gather-form: k^2 * Cin * Cout * H_out * W_out (Table I convention).
+  EXPECT_EQ(infos[0].macs, 598LL * 598 * 3 * 56 * 9 * 9);
+}
+
+TEST(ConvTranspose2dTest, BiasFillsOutput) {
+  ConvTranspose2d deconv({.in_channels = 1, .out_channels = 1, .kernel = 3, .stride = 1,
+                          .padding = 1, .output_padding = 0});
+  deconv.bias().value[0] = 7.0f;
+  const Tensor y = deconv.forward(Tensor({1, 1, 4, 4}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 7.0f);
+}
+
+TEST(ConvTranspose2dTest, InvalidOptionsRejected) {
+  EXPECT_THROW(ConvTranspose2d({.in_channels = 0, .out_channels = 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::nn

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "nn/depthwise_conv2d.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(DepthwiseConv2dTest, ChannelsDoNotMix) {
+  DepthwiseConv2d dw({.channels = 2, .kernel = 3, .bias = false});
+  // Channel 0: identity; channel 1: zero kernel.
+  dw.weight().value.fill(0.0f);
+  dw.weight().value[4] = 1.0f;
+  Rng rng(1);
+  const Tensor x = Tensor::rand({1, 2, 5, 5}, rng);
+  const Tensor y = dw.forward(x);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-6f);       // channel 0 preserved
+    EXPECT_FLOAT_EQ(y[25 + i], 0.0f);     // channel 1 zeroed
+  }
+}
+
+TEST(DepthwiseConv2dTest, StrideGeometry) {
+  DepthwiseConv2d dw({.channels = 4, .kernel = 3, .stride = 2});
+  EXPECT_EQ(dw.trace({1, 4, 32, 32}, nullptr), Shape({1, 4, 16, 16}));
+  EXPECT_EQ(dw.trace({1, 4, 33, 33}, nullptr), Shape({1, 4, 17, 17}));
+}
+
+TEST(DepthwiseConv2dTest, TraceMacsScaleWithChannelsNotSquared) {
+  DepthwiseConv2d dw({.channels = 8, .kernel = 3});
+  std::vector<LayerInfo> infos;
+  dw.trace({1, 8, 10, 10}, &infos);
+  EXPECT_EQ(infos[0].macs, 10LL * 10 * 8 * 9);  // no in_c * out_c product
+  EXPECT_EQ(infos[0].kind, LayerKind::kDepthwiseConv2d);
+}
+
+TEST(DepthwiseConv2dTest, BiasPerChannel) {
+  DepthwiseConv2d dw({.channels = 2, .kernel = 1, .padding = 0});
+  dw.weight().value.fill(0.0f);
+  dw.bias().value[0] = 1.0f;
+  dw.bias().value[1] = 2.0f;
+  const Tensor y = dw.forward(Tensor({1, 2, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[4], 2.0f);
+}
+
+TEST(DepthwiseConv2dTest, RejectsWrongChannels) {
+  DepthwiseConv2d dw({.channels = 3, .kernel = 3});
+  EXPECT_THROW(dw.trace({1, 4, 8, 8}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::nn

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.h"
+#include "nn/groupnorm.h"
+#include "nn/init.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(GroupNormTest, NormalisesToZeroMeanUnitVariancePerGroup) {
+  GroupNorm gn(4, 2);
+  Rng rng(1);
+  const Tensor x = Tensor::randn({2, 4, 6, 6}, rng, 3.0f, 2.5f);  // shifted, scaled
+  const Tensor y = gn.forward(x);
+
+  const int64_t hw = 36, cpg = 2;
+  for (int64_t i = 0; i < 2; ++i)
+    for (int64_t g = 0; g < 2; ++g) {
+      double sum = 0.0, sum_sq = 0.0;
+      for (int64_t c = 0; c < cpg; ++c)
+        for (int64_t j = 0; j < hw; ++j) {
+          const float v = y.at(i, g * cpg + c, j / 6, j % 6);
+          sum += v;
+          sum_sq += static_cast<double>(v) * v;
+        }
+      const double n = cpg * hw;
+      EXPECT_NEAR(sum / n, 0.0, 1e-4);
+      EXPECT_NEAR(sum_sq / n, 1.0, 1e-2);
+    }
+}
+
+TEST(GroupNormTest, GammaBetaAffineApplied) {
+  GroupNorm gn(2, 1);
+  gn.parameters()[0]->value.fill(3.0f);   // gamma
+  gn.parameters()[1]->value.fill(-1.0f);  // beta
+  Rng rng(2);
+  const Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  const Tensor y = gn.forward(x);
+  // mean(y) = beta, since mean(xhat) = 0.
+  EXPECT_NEAR(y.mean(), -1.0f, 1e-4f);
+}
+
+TEST(GroupNormTest, ScaleInvarianceOfInput) {
+  // GN output is invariant to a positive rescaling of its input.
+  GroupNorm gn(4, 2);
+  Rng rng(3);
+  const Tensor x = Tensor::randn({1, 4, 5, 5}, rng);
+  Tensor x2 = x;
+  x2.mul_scalar(7.5f);
+  EXPECT_LT(gn.forward(x).max_abs_diff(gn.forward(x2)), 1e-3f);
+}
+
+TEST(GroupNormTest, InputGradientMatchesNumeric) {
+  GroupNorm gn(4, 2);
+  Rng rng(4);
+  const Tensor x = Tensor::randn({2, 4, 4, 4}, rng);
+  const GradCheckResult r = check_input_gradient(gn, x);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(GroupNormTest, ParameterGradientsMatchNumeric) {
+  GroupNorm gn(4, 4);
+  Rng rng(5);
+  const Tensor x = Tensor::randn({2, 4, 4, 4}, rng);
+  const GradCheckResult r = check_parameter_gradients(gn, x);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(GroupNormTest, TraceIsShapePreservingAndDeploymentFree) {
+  GroupNorm gn(8, 4);
+  std::vector<LayerInfo> infos;
+  EXPECT_EQ(gn.trace({1, 8, 16, 16}, &infos), Shape({1, 8, 16, 16}));
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].kind, LayerKind::kActivation);  // folds away on the NPU
+  EXPECT_EQ(infos[0].params, 16);
+  EXPECT_EQ(infos[0].macs, 0);
+}
+
+TEST(GroupNormTest, RejectsInvalidGrouping) {
+  EXPECT_THROW(GroupNorm(6, 4), std::invalid_argument);
+  EXPECT_THROW(GroupNorm(0, 1), std::invalid_argument);
+}
+
+TEST(GroupNormTest, InitWeightsPreservesGammaOne) {
+  // init_he_normal must not clobber the unit gamma (rank-1 but named gn_*).
+  GroupNorm gn(4, 2);
+  Rng rng(6);
+  init_he_normal(gn, rng);
+  for (float v : gn.parameters()[0]->value.flat()) EXPECT_FLOAT_EQ(v, 1.0f);
+  for (float v : gn.parameters()[1]->value.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace sesr::nn

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(LinearTest, ComputesAffineMap) {
+  Linear fc(2, 2);
+  fc.weight().value = Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  fc.bias().value = Tensor(Shape{2}, std::vector<float>{10, 20});
+  const Tensor y = fc.forward(Tensor(Shape{1, 2}, std::vector<float>{1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 13.0f);
+  EXPECT_FLOAT_EQ(y[1], 27.0f);
+}
+
+TEST(LinearTest, BatchRowsIndependent) {
+  Linear fc(3, 2);
+  Rng rng(2);
+  for (float& v : fc.weight().value.flat()) v = rng.normal();
+  const Tensor x = Tensor::randn({4, 3}, rng);
+  const Tensor y = fc.forward(x);
+
+  Tensor row0({1, 3});
+  std::copy(x.data(), x.data() + 3, row0.data());
+  const Tensor y0 = fc.forward(row0);
+  EXPECT_NEAR(y[0], y0[0], 1e-6f);
+  EXPECT_NEAR(y[1], y0[1], 1e-6f);
+}
+
+TEST(LinearTest, TraceShapeAndCost) {
+  Linear fc(128, 10);
+  std::vector<LayerInfo> infos;
+  EXPECT_EQ(fc.trace({5, 128}, &infos), Shape({5, 10}));
+  EXPECT_EQ(infos[0].macs, 1280);
+  EXPECT_EQ(infos[0].params, 128 * 10 + 10);
+}
+
+TEST(LinearTest, RejectsWrongInputWidth) {
+  Linear fc(8, 4);
+  EXPECT_THROW(fc.trace({2, 7}, nullptr), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 4), std::invalid_argument);
+}
+
+TEST(LinearTest, BackwardAccumulatesWeightGrad) {
+  Linear fc(2, 1, /*bias=*/true);
+  fc.weight().value.fill(1.0f);
+  fc.zero_grad();
+  fc.forward(Tensor(Shape{1, 2}, std::vector<float>{3, 4}));
+  fc.backward(Tensor(Shape{1, 1}, 1.0f));
+  EXPECT_FLOAT_EQ(fc.weight().grad[0], 3.0f);
+  EXPECT_FLOAT_EQ(fc.weight().grad[1], 4.0f);
+  EXPECT_FLOAT_EQ(fc.bias().grad[0], 1.0f);
+  // Second backward without zero_grad accumulates.
+  fc.forward(Tensor(Shape{1, 2}, std::vector<float>{3, 4}));
+  fc.backward(Tensor(Shape{1, 1}, 1.0f));
+  EXPECT_FLOAT_EQ(fc.weight().grad[0], 6.0f);
+}
+
+}  // namespace
+}  // namespace sesr::nn

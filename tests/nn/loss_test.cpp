@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(LossTest, MaeValueAndGrad) {
+  const Tensor pred(Shape{4}, std::vector<float>{1, 2, 3, 4});
+  const Tensor target(Shape{4}, std::vector<float>{1, 0, 5, 4});
+  const LossResult r = mae_loss(pred, target);
+  EXPECT_FLOAT_EQ(r.value, (0 + 2 + 2 + 0) / 4.0f);
+  EXPECT_FLOAT_EQ(r.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(r.grad[1], 0.25f);
+  EXPECT_FLOAT_EQ(r.grad[2], -0.25f);
+}
+
+TEST(LossTest, MseValueAndGrad) {
+  const Tensor pred(Shape{2}, std::vector<float>{3, 1});
+  const Tensor target(Shape{2}, std::vector<float>{1, 1});
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_FLOAT_EQ(r.value, 2.0f);  // (4 + 0) / 2
+  EXPECT_FLOAT_EQ(r.grad[0], 2.0f);  // 2 * 2 / 2
+  EXPECT_FLOAT_EQ(r.grad[1], 0.0f);
+}
+
+TEST(LossTest, LossesRejectShapeMismatch) {
+  EXPECT_THROW(mae_loss(Tensor({2}), Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(mse_loss(Tensor({2}), Tensor({3})), std::invalid_argument);
+}
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  Rng rng(10);
+  const Tensor logits = Tensor::randn({5, 7}, rng, 0.0f, 3.0f);
+  const Tensor p = softmax(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) {
+      sum += p[i * 7 + j];
+      EXPECT_GE(p[i * 7 + j], 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(LossTest, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a(Shape{1, 3}, std::vector<float>{1000.0f, 1001.0f, 1002.0f});
+  const Tensor p = softmax(a);
+  EXPECT_FALSE(std::isnan(p[0]));
+  Tensor b(Shape{1, 3}, std::vector<float>{0.0f, 1.0f, 2.0f});
+  const Tensor q = softmax(b);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(p[j], q[j], 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyOfUniformLogitsIsLogK) {
+  const Tensor logits(Shape{2, 10}, 0.0f);
+  const LossResult r = cross_entropy_loss(logits, {0, 9});
+  EXPECT_NEAR(r.value, std::log(10.0f), 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyGradIsSoftmaxMinusOneHotOverN) {
+  Tensor logits(Shape{1, 3}, std::vector<float>{1.0f, 2.0f, 0.5f});
+  const Tensor p = softmax(logits);
+  const LossResult r = cross_entropy_loss(logits, {1});
+  EXPECT_NEAR(r.grad[0], p[0], 1e-5f);
+  EXPECT_NEAR(r.grad[1], p[1] - 1.0f, 1e-5f);
+  EXPECT_NEAR(r.grad[2], p[2], 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyValidatesLabels) {
+  const Tensor logits(Shape{2, 3}, 0.0f);
+  EXPECT_THROW(cross_entropy_loss(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy_loss(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy_loss(logits, {0, -1}), std::invalid_argument);
+}
+
+TEST(LossTest, ArgmaxRowsPicksMaxPerRow) {
+  Tensor logits(Shape{2, 3}, std::vector<float>{1, 5, 2, 7, 0, 3});
+  const auto preds = argmax_rows(logits);
+  EXPECT_EQ(preds[0], 1);
+  EXPECT_EQ(preds[1], 0);
+}
+
+}  // namespace
+}  // namespace sesr::nn

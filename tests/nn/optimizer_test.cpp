@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "nn/nn.h"
+
+namespace sesr::nn {
+namespace {
+
+// Minimise f(w) = sum(w^2) with gradients fed manually; any sane optimiser
+// must reach ~0 from any start.
+class QuadraticFixture {
+ public:
+  QuadraticFixture() : param_("w", Tensor(Shape{4}, std::vector<float>{1, -2, 3, -4})) {}
+
+  void fill_grad() {
+    for (int64_t i = 0; i < 4; ++i) param_.grad[i] = 2.0f * param_.value[i];
+  }
+
+  float loss() const {
+    float acc = 0.0f;
+    for (int64_t i = 0; i < 4; ++i) acc += param_.value[i] * param_.value[i];
+    return acc;
+  }
+
+  Parameter param_;
+};
+
+TEST(OptimizerTest, SgdDescendsQuadratic) {
+  QuadraticFixture fx;
+  SGD opt({&fx.param_}, 0.1f, 0.0f);
+  const float initial = fx.loss();
+  for (int i = 0; i < 50; ++i) {
+    fx.param_.zero_grad();
+    fx.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(fx.loss(), 1e-4f * initial);
+}
+
+TEST(OptimizerTest, SgdMomentumAcceleratesButConverges) {
+  QuadraticFixture fx;
+  SGD opt({&fx.param_}, 0.05f, 0.9f);
+  for (int i = 0; i < 200; ++i) {
+    fx.param_.zero_grad();
+    fx.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(fx.loss(), 1e-4f);
+}
+
+TEST(OptimizerTest, SgdWeightDecayShrinksWeightsWithZeroGrad) {
+  Parameter p("w", Tensor(Shape{1}, 1.0f));
+  SGD opt({&p}, 0.1f, 0.0f, 0.5f);
+  p.zero_grad();
+  opt.step();  // w -= lr * (0 + wd * w) = 1 - 0.1 * 0.5
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+}
+
+TEST(OptimizerTest, AdamDescendsQuadratic) {
+  QuadraticFixture fx;
+  Adam opt({&fx.param_}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    fx.param_.zero_grad();
+    fx.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(fx.loss(), 1e-4f);
+}
+
+TEST(OptimizerTest, AdamFirstStepIsLearningRateSized) {
+  // With bias correction, |first update| ~ lr regardless of gradient scale.
+  Parameter p("w", Tensor(Shape{1}, 0.0f));
+  p.grad[0] = 1e-3f;
+  Adam opt({&p}, 0.01f);
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4f);
+}
+
+TEST(OptimizerTest, LearningRateIsMutable) {
+  QuadraticFixture fx;
+  SGD opt({&fx.param_}, 1.0f, 0.0f);
+  opt.set_learning_rate(0.0f);
+  fx.fill_grad();
+  const Tensor before = fx.param_.value;
+  opt.step();
+  EXPECT_EQ(fx.param_.value.max_abs_diff(before), 0.0f);
+}
+
+}  // namespace
+}  // namespace sesr::nn

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "nn/pixel_ops.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(DepthToSpaceTest, KnownPermutation) {
+  // 4 channels, 1x1 spatial, block 2 -> 1 channel, 2x2 spatial.
+  DepthToSpace d2s(2);
+  Tensor x(Shape{1, 4, 1, 1}, std::vector<float>{1, 2, 3, 4});
+  const Tensor y = d2s.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  // Channel c*r^2 + dy*r + dx lands at (dy, dx).
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 4.0f);
+}
+
+TEST(DepthToSpaceTest, BackwardIsExactInverse) {
+  DepthToSpace d2s(2);
+  Rng rng(4);
+  const Tensor x = Tensor::randn({2, 12, 3, 3}, rng);
+  const Tensor y = d2s.forward(x);
+  const Tensor back = d2s.backward(y);  // adjoint of a permutation = inverse
+  EXPECT_EQ(back.max_abs_diff(x), 0.0f);
+}
+
+TEST(DepthToSpaceTest, ShapePropagation) {
+  DepthToSpace d2s(2);
+  EXPECT_EQ(d2s.trace({1, 12, 16, 16}, nullptr), Shape({1, 3, 32, 32}));
+  EXPECT_THROW(d2s.trace({1, 10, 16, 16}, nullptr), std::invalid_argument);
+}
+
+TEST(TileChannelsTest, InterleavesConsecutively) {
+  TileChannels tile(2);
+  Tensor x(Shape{1, 2, 1, 1}, std::vector<float>{5, 7});
+  const Tensor y = tile.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 4, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+  EXPECT_FLOAT_EQ(y[2], 7.0f);
+  EXPECT_FLOAT_EQ(y[3], 7.0f);
+}
+
+TEST(TileChannelsTest, BackwardSumsReplicas) {
+  TileChannels tile(3);
+  tile.forward(Tensor({1, 2, 1, 1}));
+  Tensor g(Shape{1, 6, 1, 1}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor gin = tile.backward(g);
+  EXPECT_FLOAT_EQ(gin[0], 6.0f);
+  EXPECT_FLOAT_EQ(gin[1], 15.0f);
+}
+
+TEST(TileChannelsTest, ComposesWithDepthToSpaceAsNearestUpsample) {
+  // TileChannels(4) + DepthToSpace(2) must deliver each LR pixel to all four
+  // of its HR positions — SESR's input residual path.
+  TileChannels tile(4);
+  DepthToSpace d2s(2);
+  Rng rng(8);
+  const Tensor x = Tensor::rand({1, 3, 4, 4}, rng);
+  const Tensor up = d2s.forward(tile.forward(x));
+  ASSERT_EQ(up.shape(), Shape({1, 3, 8, 8}));
+  for (int64_t c = 0; c < 3; ++c)
+    for (int64_t y = 0; y < 8; ++y)
+      for (int64_t xx = 0; xx < 8; ++xx)
+        EXPECT_FLOAT_EQ(up.at(0, c, y, xx), x.at(0, c, y / 2, xx / 2));
+}
+
+}  // namespace
+}  // namespace sesr::nn

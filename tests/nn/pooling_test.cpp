@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "nn/pooling.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(MaxPool2dTest, PicksBlockMaxima) {
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 4}, std::vector<float>{1, 5, 2, 0,
+                                                 3, 4, -1, 7});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 9, 2, 3});
+  pool.forward(x);
+  const Tensor g = pool.backward(Tensor(Shape{1, 1, 1, 1}, 5.0f));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 5.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(AvgPool2dTest, AveragesBlocks) {
+  AvgPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPool2dTest, PaddingCountsTowardDivisor) {
+  // 3x3 kernel, stride 1, pad 1 at a corner: 4 valid values / 9.
+  AvgPool2d pool(3, 1, 1);
+  Tensor x(Shape{1, 1, 2, 2}, 9.0f);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 4.0f);  // 4 * 9 / 9
+}
+
+TEST(GlobalAvgPoolTest, ReducesToChannelMeans) {
+  GlobalAvgPool gap;
+  Tensor x(Shape{1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor y = gap.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(GlobalAvgPoolTest, WorksAtAnyResolution) {
+  // The property the defense relies on: one classifier, two input sizes.
+  GlobalAvgPool gap;
+  EXPECT_EQ(gap.trace({1, 8, 32, 32}, nullptr), Shape({1, 8}));
+  EXPECT_EQ(gap.trace({1, 8, 64, 64}, nullptr), Shape({1, 8}));
+}
+
+TEST(GlobalAvgPoolTest, BackwardSpreadsUniformly) {
+  GlobalAvgPool gap;
+  gap.forward(Tensor({1, 1, 2, 2}));
+  const Tensor g = gap.backward(Tensor(Shape{1, 1}, 8.0f));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 2.0f);
+}
+
+TEST(PoolingTest, InvalidGeometryRejected) {
+  EXPECT_THROW(MaxPool2d(0, 1), std::invalid_argument);
+  EXPECT_THROW(AvgPool2d(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::nn

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "nn/nn.h"
+
+namespace sesr::nn {
+namespace {
+
+TEST(FakeQuantizeTest, ErrorBoundedByHalfStep) {
+  Rng rng(1);
+  Tensor values = Tensor::randn({256}, rng);
+  Tensor original = values;
+  const float scale = fake_quantize_(values, {.bits = 8, .symmetric = true});
+  ASSERT_GT(scale, 0.0f);
+  EXPECT_LE(values.max_abs_diff(original), 0.5f * scale + 1e-6f);
+}
+
+TEST(FakeQuantizeTest, IdempotentOnQuantizedValues) {
+  Rng rng(2);
+  Tensor values = Tensor::randn({64}, rng);
+  fake_quantize_(values, {.bits = 6});
+  Tensor again = values;
+  fake_quantize_(again, {.bits = 6});
+  EXPECT_LT(again.max_abs_diff(values), 1e-6f);
+}
+
+TEST(FakeQuantizeTest, ConstantTensorUnchanged) {
+  Tensor values(Shape{16}, 0.37f);
+  const float scale = fake_quantize_(values, {.bits = 8, .symmetric = false});
+  EXPECT_EQ(scale, 0.0f);
+  for (float v : values.flat()) EXPECT_FLOAT_EQ(v, 0.37f);
+}
+
+TEST(FakeQuantizeTest, MoreBitsLessError) {
+  Rng rng(3);
+  const Tensor original = Tensor::randn({512}, rng);
+  Tensor q4 = original, q8 = original;
+  fake_quantize_(q4, {.bits = 4});
+  fake_quantize_(q8, {.bits = 8});
+  EXPECT_GT(q4.max_abs_diff(original), q8.max_abs_diff(original));
+}
+
+TEST(FakeQuantizeTest, SymmetricGridIsSignBalanced) {
+  // Symmetric quantisation must map x and -x to values of equal magnitude.
+  Tensor values(Shape{2}, std::vector<float>{0.73f, -0.73f});
+  fake_quantize_(values, {.bits = 8, .symmetric = true});
+  EXPECT_FLOAT_EQ(values[0], -values[1]);
+}
+
+TEST(QuantizeWeightsTest, AllParametersQuantized) {
+  Conv2d conv({.in_channels = 2, .out_channels = 3, .kernel = 3});
+  Rng rng(4);
+  init_he_normal(conv, rng);
+  const Tensor before = conv.weight().value;
+  quantize_weights_(conv, {.bits = 4});
+  EXPECT_GT(conv.weight().value.max_abs_diff(before), 0.0f);
+}
+
+TEST(QuantizedInferenceTest, Int8OutputStaysCloseToFloat) {
+  auto body = std::make_unique<Sequential>("body");
+  body->add<Conv2d>(Conv2dOptions{.in_channels = 3, .out_channels = 8, .kernel = 3});
+  body->add<ReLU>();
+  body->add<Conv2d>(Conv2dOptions{.in_channels = 8, .out_channels = 3, .kernel = 3});
+  Rng rng(5);
+  init_he_normal(*body, rng);
+
+  // Reference float output.
+  const Tensor x = Tensor::rand({1, 3, 12, 12}, rng);
+  const Tensor y_float = body->forward(x);
+
+  QuantizedInference quantized(std::move(body));
+  const Tensor y_int8 = quantized.forward(x);
+  ASSERT_EQ(y_int8.shape(), y_float.shape());
+  // int8 keeps per-element error well under typical activation magnitudes.
+  const float range = std::max(1.0f, y_float.max() - y_float.min());
+  EXPECT_LT(y_int8.max_abs_diff(y_float) / range, 0.05f);
+}
+
+TEST(QuantizedInferenceTest, SharesBodyParameters) {
+  auto body = std::make_unique<Conv2d>(Conv2dOptions{.in_channels = 1, .out_channels = 1,
+                                                     .kernel = 3});
+  Conv2d* raw = body.get();
+  QuantizedInference quantized(std::move(body));
+  EXPECT_EQ(quantized.parameters().size(), raw->parameters().size());
+  EXPECT_EQ(quantized.trace({1, 1, 8, 8}, nullptr), Shape({1, 1, 8, 8}));
+}
+
+TEST(QuantizedInferenceTest, RejectsNullBody) {
+  EXPECT_THROW(QuantizedInference(nullptr), std::invalid_argument);
+}
+
+TEST(FakeQuantizeTest, RejectsInvalidBits) {
+  Tensor t({4});
+  EXPECT_THROW(fake_quantize_(t, {.bits = 1}), std::invalid_argument);
+  EXPECT_THROW(fake_quantize_(t, {.bits = 17}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::nn

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "preprocess/colorspace.h"
+
+namespace sesr::preprocess {
+namespace {
+
+TEST(ColorspaceTest, GrayIsPureLuma) {
+  Tensor rgb({1, 3, 1, 1}, 0.5f);
+  const Tensor ycbcr = rgb_to_ycbcr(rgb);
+  EXPECT_NEAR(ycbcr[0], 0.5f, 1e-5f);  // Y
+  EXPECT_NEAR(ycbcr[1], 0.5f, 1e-5f);  // Cb centred
+  EXPECT_NEAR(ycbcr[2], 0.5f, 1e-5f);  // Cr centred
+}
+
+TEST(ColorspaceTest, LumaWeightsSumToOne) {
+  // White must map to Y = 1.
+  Tensor white({1, 3, 1, 1}, 1.0f);
+  EXPECT_NEAR(rgb_to_ycbcr(white)[0], 1.0f, 1e-5f);
+}
+
+TEST(ColorspaceTest, RoundTripIsNearIdentity) {
+  Rng rng(3);
+  const Tensor rgb = Tensor::rand({2, 3, 8, 8}, rng);
+  const Tensor back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+  EXPECT_LT(back.max_abs_diff(rgb), 1e-4f);
+}
+
+TEST(ColorspaceTest, PureRedHasHighCr) {
+  Tensor red({1, 3, 1, 1});
+  red[0] = 1.0f;
+  const Tensor ycbcr = rgb_to_ycbcr(red);
+  EXPECT_NEAR(ycbcr[0], 0.299f, 1e-4f);
+  EXPECT_GT(ycbcr[2], 0.9f);  // Cr ~ 1.0 for pure red
+}
+
+TEST(ColorspaceTest, OutputIsClampedToUnitRange) {
+  // Extreme chroma values must not escape [0,1] after conversion.
+  Tensor ycbcr({1, 3, 1, 1});
+  ycbcr[0] = 1.0f;
+  ycbcr[1] = 1.0f;
+  ycbcr[2] = 1.0f;
+  const Tensor rgb = ycbcr_to_rgb(ycbcr);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GE(rgb[i], 0.0f);
+    EXPECT_LE(rgb[i], 1.0f);
+  }
+}
+
+TEST(ColorspaceTest, RejectsNonRgbShapes) {
+  EXPECT_THROW(rgb_to_ycbcr(Tensor({1, 4, 2, 2})), std::invalid_argument);
+  EXPECT_THROW(ycbcr_to_rgb(Tensor({3, 2, 2})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::preprocess

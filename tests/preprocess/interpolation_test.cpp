@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "preprocess/interpolation.h"
+
+namespace sesr::preprocess {
+namespace {
+
+TEST(InterpolationTest, NearestX2ReplicatesPixels) {
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor y = upscale(x, 2, InterpolationKind::kNearest);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 3), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 3, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 3, 3), 4.0f);
+}
+
+struct KindCase {
+  InterpolationKind kind;
+  const char* name;
+};
+
+class InterpolationSweep : public ::testing::TestWithParam<KindCase> {};
+
+TEST_P(InterpolationSweep, ConstantImageIsExactlyPreserved) {
+  // All interpolation kernels are partitions of unity: flat fields upscale
+  // to flat fields.
+  Tensor x(Shape{1, 3, 5, 5}, 0.37f);
+  const Tensor y = upscale(x, 2, GetParam().kind);
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.37f, 1e-5f);
+}
+
+TEST_P(InterpolationSweep, DownThenUpApproximatesIdentityOnSmooth) {
+  // A smooth gradient must survive a x2 round trip closely.
+  Tensor x({1, 1, 8, 8});
+  for (int64_t i = 0; i < 8; ++i)
+    for (int64_t j = 0; j < 8; ++j)
+      x.at(0, 0, i, j) = static_cast<float>(i + j) / 14.0f;
+  const Tensor down = downscale(x, 2, GetParam().kind);
+  const Tensor up = resize(down, 8, 8, GetParam().kind);
+  // Nearest loses up to a full pixel step on a gradient; smooth kernels less.
+  const float tolerance = GetParam().kind == InterpolationKind::kNearest ? 0.2f : 0.12f;
+  EXPECT_LT(up.max_abs_diff(x), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, InterpolationSweep,
+                         ::testing::Values(KindCase{InterpolationKind::kNearest, "nearest"},
+                                           KindCase{InterpolationKind::kBilinear, "bilinear"},
+                                           KindCase{InterpolationKind::kBicubic, "bicubic"}),
+                         [](const ::testing::TestParamInfo<KindCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(InterpolationTest, BicubicSharperThanBilinearOnEdge) {
+  // Step edge: bicubic should retain more contrast than bilinear after x2.
+  Tensor x({1, 1, 8, 8});
+  for (int64_t i = 0; i < 8; ++i)
+    for (int64_t j = 4; j < 8; ++j) x.at(0, 0, i, j) = 1.0f;
+  const Tensor bil = upscale(x, 2, InterpolationKind::kBilinear);
+  const Tensor bic = upscale(x, 2, InterpolationKind::kBicubic);
+  // At the transition column, bicubic overshoots / stays closer to the edge.
+  float bil_contrast = std::abs(bil.at(0, 0, 8, 8) - bil.at(0, 0, 8, 7));
+  float bic_contrast = std::abs(bic.at(0, 0, 8, 8) - bic.at(0, 0, 8, 7));
+  EXPECT_GE(bic_contrast, bil_contrast);
+}
+
+TEST(InterpolationTest, ArbitraryTargetSizes) {
+  Rng rng(5);
+  const Tensor x = Tensor::rand({1, 3, 7, 9}, rng);
+  const Tensor y = resize(x, 13, 5, InterpolationKind::kBilinear);
+  EXPECT_EQ(y.shape(), Shape({1, 3, 13, 5}));
+}
+
+TEST(InterpolationTest, InvalidArgumentsRejected) {
+  Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(resize(x, 0, 4, InterpolationKind::kNearest), std::invalid_argument);
+  EXPECT_THROW(downscale(x, 3), std::invalid_argument);  // 4 % 3 != 0
+  EXPECT_THROW(upscale(x, 0, InterpolationKind::kNearest), std::invalid_argument);
+}
+
+TEST(InterpolationTest, NamesMatchTableRows) {
+  EXPECT_STREQ(interpolation_name(InterpolationKind::kNearest), "Nearest Neighbor");
+  EXPECT_STREQ(interpolation_name(InterpolationKind::kBicubic), "Bicubic");
+}
+
+}  // namespace
+}  // namespace sesr::preprocess

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "preprocess/jpeg.h"
+
+namespace sesr::preprocess {
+namespace {
+
+Tensor smooth_image(int64_t n, int64_t h, int64_t w) {
+  Tensor x({n, 3, h, w});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t c = 0; c < 3; ++c)
+      for (int64_t y = 0; y < h; ++y)
+        for (int64_t xx = 0; xx < w; ++xx)
+          x.at(i, c, y, xx) = 0.25f + 0.5f * static_cast<float>(y + xx) /
+                                          static_cast<float>(h + w - 2);
+  return x;
+}
+
+TEST(JpegTest, PreservesShapeAndRange) {
+  Rng rng(1);
+  const Tensor x = Tensor::rand({2, 3, 20, 28}, rng);  // non-multiple-of-16 sizes
+  const Tensor y = JpegCompressor({.quality = 75}).apply(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_LE(y.max(), 1.0f);
+}
+
+TEST(JpegTest, HighQualityNearlyLosslessOnSmoothContent) {
+  const Tensor x = smooth_image(1, 32, 32);
+  const Tensor y = JpegCompressor({.quality = 98, .chroma_subsample = false}).apply(x);
+  EXPECT_GT(data::psnr(y, x), 38.0f);
+}
+
+TEST(JpegTest, QualityKnobMonotonicallyDegrades) {
+  Rng rng(2);
+  Tensor x = Tensor::rand({1, 3, 32, 32}, rng);  // noise = worst case for JPEG
+  const float psnr95 = data::psnr(JpegCompressor({.quality = 95}).apply(x), x);
+  const float psnr50 = data::psnr(JpegCompressor({.quality = 50}).apply(x), x);
+  const float psnr10 = data::psnr(JpegCompressor({.quality = 10}).apply(x), x);
+  EXPECT_GT(psnr95, psnr50);
+  EXPECT_GT(psnr50, psnr10);
+}
+
+TEST(JpegTest, SuppressesHighFrequencyNoise) {
+  // The defensive property: adding low-amplitude noise to a smooth image and
+  // compressing must move the result back toward the clean image.
+  const Tensor clean = smooth_image(1, 32, 32);
+  Rng rng(3);
+  Tensor noisy = clean;
+  for (int64_t i = 0; i < noisy.numel(); ++i) noisy[i] += rng.uniform(-0.03f, 0.03f);
+  noisy.clamp_(0.0f, 1.0f);
+
+  const Tensor compressed = JpegCompressor({.quality = 50}).apply(noisy);
+  EXPECT_GT(data::psnr(compressed, clean), data::psnr(noisy, clean) - 0.5f);
+  // And the compressed image must differ from the noisy input (it did work).
+  EXPECT_GT(noisy.max_abs_diff(compressed), 1e-3f);
+}
+
+TEST(JpegTest, QuantTablesScaleWithQuality) {
+  const JpegCompressor q10({.quality = 10});
+  const JpegCompressor q90({.quality = 90});
+  // Lower quality = larger quantisation steps, elementwise.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_GE(q10.luma_table()[static_cast<size_t>(i)],
+              q90.luma_table()[static_cast<size_t>(i)]);
+  }
+  // DC term of the Annex-K luma table at quality 50 is the table value itself.
+  const JpegCompressor q50({.quality = 50});
+  EXPECT_FLOAT_EQ(q50.luma_table()[0], 16.0f);
+}
+
+TEST(JpegTest, ChromaSubsamplingChangesChromaOnly) {
+  // On a gray image (zero chroma), 4:2:0 and 4:4:4 must agree closely.
+  const Tensor gray = smooth_image(1, 32, 32);
+  const Tensor sub = JpegCompressor({.quality = 80, .chroma_subsample = true}).apply(gray);
+  const Tensor full = JpegCompressor({.quality = 80, .chroma_subsample = false}).apply(gray);
+  EXPECT_LT(sub.max_abs_diff(full), 0.02f);
+}
+
+TEST(JpegTest, InvalidQualityRejected) {
+  EXPECT_THROW(JpegCompressor({.quality = 0}), std::invalid_argument);
+  EXPECT_THROW(JpegCompressor({.quality = 101}), std::invalid_argument);
+}
+
+TEST(JpegTest, RejectsNonRgbInput) {
+  EXPECT_THROW(JpegCompressor().apply(Tensor({1, 1, 8, 8})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::preprocess

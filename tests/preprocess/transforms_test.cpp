@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "preprocess/transforms.h"
+
+namespace sesr::preprocess {
+namespace {
+
+Tensor gradient_image(int64_t s) {
+  Tensor x({1, 3, s, s});
+  for (int64_t c = 0; c < 3; ++c)
+    for (int64_t y = 0; y < s; ++y)
+      for (int64_t xx = 0; xx < s; ++xx)
+        x.at(0, c, y, xx) = 0.2f + 0.6f * static_cast<float>(y + xx) /
+                                       static_cast<float>(2 * s - 2);
+  return x;
+}
+
+// ---- bit-depth reduction ----------------------------------------------------
+
+TEST(BitDepthTest, ValuesSnapToGrid) {
+  Tensor x(Shape{1, 1, 1, 3}, std::vector<float>{0.1f, 0.5f, 0.9f});
+  const Tensor y = bit_depth_reduce(x, 1);  // grid {0, 1}
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(BitDepthTest, EightBitsNearIdentity) {
+  Rng rng(1);
+  const Tensor x = Tensor::rand({1, 3, 8, 8}, rng);
+  EXPECT_LT(bit_depth_reduce(x, 8).max_abs_diff(x), 1.0f / 255.0f);
+}
+
+TEST(BitDepthTest, FewerBitsMoreError) {
+  Rng rng(2);
+  const Tensor x = Tensor::rand({1, 3, 16, 16}, rng);
+  EXPECT_GT(bit_depth_reduce(x, 2).max_abs_diff(x), bit_depth_reduce(x, 5).max_abs_diff(x));
+}
+
+TEST(BitDepthTest, RejectsInvalidBits) {
+  EXPECT_THROW(bit_depth_reduce(Tensor({1, 1, 2, 2}), 0), std::invalid_argument);
+  EXPECT_THROW(bit_depth_reduce(Tensor({1, 1, 2, 2}), 9), std::invalid_argument);
+}
+
+// ---- pixel deflection --------------------------------------------------------
+
+TEST(PixelDeflectionTest, ChangesBoundedNumberOfPixels) {
+  Rng rng(3);
+  const Tensor x = Tensor::rand({1, 3, 16, 16}, rng);
+  PixelDeflector deflector({.count = 20, .window = 3, .seed = 5});
+  const Tensor y = deflector.apply(x);
+  int64_t changed = 0;
+  for (int64_t yy = 0; yy < 16; ++yy)
+    for (int64_t xx = 0; xx < 16; ++xx)
+      if (std::abs(y.at(0, 0, yy, xx) - x.at(0, 0, yy, xx)) > 0.0f) ++changed;
+  EXPECT_LE(changed, 20);
+  EXPECT_GT(changed, 0);
+}
+
+TEST(PixelDeflectionTest, DeterministicPerSeed) {
+  Rng rng(4);
+  const Tensor x = Tensor::rand({2, 3, 12, 12}, rng);
+  PixelDeflector a({.count = 30, .window = 4, .seed = 7});
+  PixelDeflector b({.count = 30, .window = 4, .seed = 7});
+  EXPECT_EQ(a.apply(x).max_abs_diff(b.apply(x)), 0.0f);
+}
+
+TEST(PixelDeflectionTest, OnlyCopiesExistingValues) {
+  // Every output pixel value must come from somewhere in the input image.
+  Tensor x(Shape{1, 1, 4, 4}, std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                                 14, 15});
+  PixelDeflector deflector({.count = 50, .window = 2, .seed = 11});
+  const Tensor y = deflector.apply(x);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y[i];
+    EXPECT_EQ(v, std::round(v));
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 15.0f);
+  }
+}
+
+// ---- TV denoising -------------------------------------------------------------
+
+TEST(TvDenoiseTest, RemovesNoiseFromSmoothImage) {
+  const Tensor clean = gradient_image(16);
+  Rng rng(6);
+  Tensor noisy = clean;
+  for (int64_t i = 0; i < noisy.numel(); ++i) noisy[i] += rng.uniform(-0.04f, 0.04f);
+  noisy.clamp_(0.0f, 1.0f);
+
+  const Tensor denoised = TvDenoiser({.weight = 0.05f, .iterations = 60}).apply(noisy);
+  EXPECT_GT(data::psnr(denoised, clean), data::psnr(noisy, clean) + 1.0f);
+}
+
+TEST(TvDenoiseTest, ZeroWeightConvergesToInput) {
+  Rng rng(7);
+  const Tensor x = Tensor::rand({1, 3, 8, 8}, rng);
+  const Tensor y = TvDenoiser({.weight = 0.0f, .iterations = 10}).apply(x);
+  EXPECT_LT(y.max_abs_diff(x), 1e-4f);
+}
+
+TEST(TvDenoiseTest, StrongerWeightFlattensMore) {
+  Rng rng(8);
+  const Tensor x = Tensor::rand({1, 1, 16, 16}, rng);
+  auto tv_energy = [](const Tensor& t) {
+    double e = 0.0;
+    for (int64_t y = 0; y < 16; ++y)
+      for (int64_t xx = 0; xx + 1 < 16; ++xx)
+        e += std::abs(t.at(0, 0, y, xx + 1) - t.at(0, 0, y, xx));
+    return e;
+  };
+  const Tensor mild = TvDenoiser({.weight = 0.02f, .iterations = 30}).apply(x);
+  const Tensor strong = TvDenoiser({.weight = 0.3f, .iterations = 30}).apply(x);
+  EXPECT_LT(tv_energy(strong), tv_energy(mild));
+}
+
+// ---- random resize-and-pad -----------------------------------------------------
+
+TEST(RandomResizePadTest, PreservesShapeAndRange) {
+  Rng rng(9);
+  const Tensor x = Tensor::rand({2, 3, 16, 16}, rng);
+  const Tensor y = RandomResizePad({.min_scale = 0.8f, .seed = 13}).apply(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_LE(y.max(), 1.0f);
+}
+
+TEST(RandomResizePadTest, DeterministicPerSeed) {
+  Rng rng(10);
+  const Tensor x = Tensor::rand({1, 3, 12, 12}, rng);
+  RandomResizePad a({.min_scale = 0.8f, .seed = 17});
+  RandomResizePad b({.min_scale = 0.8f, .seed = 17});
+  EXPECT_EQ(a.apply(x).max_abs_diff(b.apply(x)), 0.0f);
+}
+
+TEST(RandomResizePadTest, ScaleOneIsNearIdentityUpToPlacement) {
+  // min_scale = 1 forces rh = rw = full size and zero offsets.
+  Rng rng(11);
+  const Tensor x = Tensor::rand({1, 3, 8, 8}, rng);
+  const Tensor y = RandomResizePad({.min_scale = 1.0f, .seed = 19}).apply(x);
+  EXPECT_LT(y.max_abs_diff(x), 1e-5f);
+}
+
+}  // namespace
+}  // namespace sesr::preprocess

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/metrics.h"
+#include "preprocess/wavelet.h"
+#include "tensor/rng.h"
+
+namespace sesr::preprocess {
+namespace {
+
+struct FamilyCase {
+  WaveletFamily family;
+  const char* name;
+};
+
+class WaveletSweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(WaveletSweep, SingleLevelPerfectReconstruction) {
+  Rng rng(1);
+  const int64_t h = 16, w = 16;
+  std::vector<float> plane(static_cast<size_t>(h * w));
+  for (float& v : plane) v = rng.normal();
+  const std::vector<float> original = plane;
+
+  dwt2d_level(plane, h, w, GetParam().family);
+  idwt2d_level(plane, h, w, GetParam().family);
+  for (size_t i = 0; i < plane.size(); ++i) EXPECT_NEAR(plane[i], original[i], 1e-4f);
+}
+
+TEST_P(WaveletSweep, HaarEnergyIsPreserved) {
+  // Orthogonal transforms preserve the L2 norm.
+  Rng rng(2);
+  const int64_t h = 8, w = 8;
+  std::vector<float> plane(static_cast<size_t>(h * w));
+  for (float& v : plane) v = rng.normal();
+  double e_before = 0.0;
+  for (float v : plane) e_before += static_cast<double>(v) * v;
+  dwt2d_level(plane, h, w, GetParam().family);
+  double e_after = 0.0;
+  for (float v : plane) e_after += static_cast<double>(v) * v;
+  EXPECT_NEAR(e_after / e_before, 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, WaveletSweep,
+                         ::testing::Values(FamilyCase{WaveletFamily::kHaar, "haar"},
+                                           FamilyCase{WaveletFamily::kDaubechies4, "db4"}),
+                         [](const ::testing::TestParamInfo<FamilyCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(WaveletTest, ConstantImagePassesThroughUnchanged) {
+  // A flat image has zero detail coefficients; thresholding cannot touch it.
+  Tensor x(Shape{1, 3, 16, 16}, 0.6f);
+  const Tensor y = WaveletDenoiser({.levels = 2}).apply(x);
+  EXPECT_LT(y.max_abs_diff(x), 1e-4f);
+}
+
+TEST(WaveletTest, DenoisingImprovesNoisyStructuredImage) {
+  // Structured image + noise: BayesShrink must increase PSNR to the clean.
+  const int64_t s = 32;
+  Tensor clean({1, 1, s, s});
+  for (int64_t y = 0; y < s; ++y)
+    for (int64_t x = 0; x < s; ++x)
+      clean.at(0, 0, y, x) = 0.5f + 0.4f * std::sin(static_cast<float>(y) * 0.3f) *
+                                        std::cos(static_cast<float>(x) * 0.25f);
+  Rng rng(4);
+  Tensor noisy = clean;
+  for (int64_t i = 0; i < noisy.numel(); ++i) noisy[i] += rng.normal(0.0f, 0.05f);
+
+  const Tensor denoised = WaveletDenoiser({.levels = 2}).apply(noisy);
+  EXPECT_GT(data::psnr(denoised, clean), data::psnr(noisy, clean) + 1.0f);
+}
+
+TEST(WaveletTest, ThresholdScaleZeroIsReconstructionOnly) {
+  Rng rng(5);
+  const Tensor x = Tensor::rand({1, 3, 16, 16}, rng);
+  const Tensor y =
+      WaveletDenoiser({.levels = 2, .threshold_scale = 0.0f}).apply(x);
+  EXPECT_LT(y.max_abs_diff(x), 1e-4f);  // DWT + IDWT with no thresholding
+}
+
+TEST(WaveletTest, StrongerThresholdRemovesMoreEnergy) {
+  Rng rng(6);
+  const Tensor x = Tensor::rand({1, 1, 32, 32}, rng);
+  const Tensor mild = WaveletDenoiser({.threshold_scale = 0.5f}).apply(x);
+  const Tensor strong = WaveletDenoiser({.threshold_scale = 2.0f}).apply(x);
+  EXPECT_GT(strong.max_abs_diff(x), mild.max_abs_diff(x) * 0.9f);
+}
+
+TEST(WaveletTest, RejectsIndivisibleSizes) {
+  EXPECT_THROW(WaveletDenoiser({.levels = 3}).apply(Tensor({1, 3, 20, 20})),
+               std::invalid_argument);
+  EXPECT_THROW(WaveletDenoiser({.levels = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::preprocess

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+
+namespace sesr {
+namespace {
+
+// Reference O(n^3) triple loop.
+std::vector<float> naive_gemm(int64_t m, int64_t n, int64_t k, const std::vector<float>& a,
+                              const std::vector<float>& b) {
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t p = 0; p < k; ++p)
+      for (int64_t j = 0; j < n; ++j)
+        c[static_cast<size_t>(i * n + j)] +=
+            a[static_cast<size_t>(i * k + p)] * b[static_cast<size_t>(p * n + j)];
+  return c;
+}
+
+struct GemmDims {
+  int64_t m, n, k;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + n * 10 + k));
+  std::vector<float> a(static_cast<size_t>(m * k)), b(static_cast<size_t>(k * n));
+  for (float& v : a) v = rng.normal();
+  for (float& v : b) v = rng.normal();
+
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  gemm_accumulate(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  const std::vector<float> ref = naive_gemm(m, n, k, a, b);
+  for (size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], ref[i], 1e-3f * (1.0f + std::abs(ref[i]))) << "at " << i;
+}
+
+TEST_P(GemmSweep, TransposedVariantMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(m + n + k));
+  // A stored as [k, m]; compute C += A^T B.
+  std::vector<float> a(static_cast<size_t>(k * m)), b(static_cast<size_t>(k * n));
+  for (float& v : a) v = rng.normal();
+  for (float& v : b) v = rng.normal();
+
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  gemm_at_b_accumulate(m, n, k, a.data(), m, b.data(), n, c.data(), n);
+
+  std::vector<float> a_t(static_cast<size_t>(m * k));
+  for (int64_t p = 0; p < k; ++p)
+    for (int64_t i = 0; i < m; ++i)
+      a_t[static_cast<size_t>(i * k + p)] = a[static_cast<size_t>(p * m + i)];
+  const std::vector<float> ref = naive_gemm(m, n, k, a_t, b);
+  for (size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], ref[i], 1e-3f * (1.0f + std::abs(ref[i]))) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSweep,
+                         ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
+                                           GemmDims{16, 16, 16}, GemmDims{65, 70, 33},
+                                           GemmDims{128, 300, 27}, GemmDims{256, 64, 512}),
+                         [](const ::testing::TestParamInfo<GemmDims>& info) {
+                           return "m" + std::to_string(info.param.m) + "n" +
+                                  std::to_string(info.param.n) + "k" +
+                                  std::to_string(info.param.k);
+                         });
+
+TEST(GemmTest, AccumulatesIntoExistingC) {
+  const float a = 2.0f, b = 3.0f;
+  float c = 10.0f;
+  gemm_accumulate(1, 1, 1, &a, 1, &b, 1, &c, 1);
+  EXPECT_FLOAT_EQ(c, 16.0f);
+}
+
+TEST(GemmTest, DegenerateDimensionsAreNoOps) {
+  float c = 5.0f;
+  gemm_accumulate(0, 1, 1, nullptr, 1, nullptr, 1, &c, 1);
+  gemm_accumulate(1, 0, 1, nullptr, 1, nullptr, 1, &c, 1);
+  gemm_accumulate(1, 1, 0, nullptr, 1, nullptr, 1, &c, 1);
+  EXPECT_FLOAT_EQ(c, 5.0f);
+}
+
+}  // namespace
+}  // namespace sesr

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+namespace sesr {
+namespace {
+
+TEST(ParallelTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, EmptyRangeDoesNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  parallel_for(7, 3, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelTest, GrainForcesInlineExecutionForSmallRanges) {
+  // With a grain >= range the callback must run exactly once, inline.
+  std::atomic<int> calls{0};
+  parallel_for(0, 10, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+    calls.fetch_add(1);
+  }, /*grain=*/10);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelTest, NestedCallsRunInline) {
+  // A parallel_for inside a worker must not deadlock or over-partition; the
+  // inner loop runs inline on the worker thread.
+  std::atomic<int64_t> total{0};
+  parallel_for(0, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      parallel_for(0, 100, [&](int64_t ilo, int64_t ihi) { total.fetch_add(ihi - ilo); });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelTest, NumThreadsIsPositive) { EXPECT_GE(num_threads(), 1); }
+
+}  // namespace
+}  // namespace sesr

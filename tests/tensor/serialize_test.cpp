@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/serialize.h"
+
+namespace sesr {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTripsTensors) {
+  Rng rng(5);
+  std::vector<Tensor> tensors;
+  tensors.push_back(Tensor::randn({3, 4}, rng));
+  tensors.push_back(Tensor::randn({2, 3, 5, 5}, rng));
+  tensors.push_back(Tensor(Shape{}, 42.0f));
+
+  const std::string path = temp_path("sesr_serialize_roundtrip.bin");
+  save_tensors(path, tensors);
+  const std::vector<Tensor> loaded = load_tensors(path);
+
+  ASSERT_EQ(loaded.size(), tensors.size());
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    EXPECT_EQ(loaded[i].shape(), tensors[i].shape());
+    EXPECT_EQ(loaded[i].max_abs_diff(tensors[i]), 0.0f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, EmptyListRoundTrips) {
+  const std::string path = temp_path("sesr_serialize_empty.bin");
+  save_tensors(path, {});
+  EXPECT_TRUE(load_tensors(path).empty());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/nonexistent/sesr.bin"), std::runtime_error);
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  const std::string path = temp_path("sesr_serialize_bad.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a tensor file at all";
+  }
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows) {
+  const std::string path = temp_path("sesr_serialize_trunc.bin");
+  Rng rng(6);
+  save_tensors(path, {Tensor::randn({64}, rng)});
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 16);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sesr

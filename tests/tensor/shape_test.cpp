@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/shape.h"
+
+namespace sesr {
+namespace {
+
+TEST(ShapeTest, DefaultIsScalar) {
+  const Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, NumelIsProductOfExtents) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.ndim(), 4);
+  EXPECT_EQ(s.numel(), 120);
+}
+
+TEST(ShapeTest, ZeroExtentGivesEmptyTensor) {
+  const Shape s{2, 0, 4};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, NegativeIndexCountsFromBack) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s[-3], 2);
+}
+
+TEST(ShapeTest, OutOfRangeIndexThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+  EXPECT_THROW(s[-3], std::out_of_range);
+}
+
+TEST(ShapeTest, NegativeExtentRejected) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, EqualityComparesDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, StridesAreRowMajor) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, ToStringFormatsBrackets) {
+  EXPECT_EQ(Shape({1, 3, 32, 32}).to_string(), "[1, 3, 32, 32]");
+}
+
+}  // namespace
+}  // namespace sesr

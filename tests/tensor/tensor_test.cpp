@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace sesr {
+namespace {
+
+TEST(TensorTest, ZeroInitialisedByDefault) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  const Tensor t(Shape{4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, AdoptingDataChecksSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  Rng rng_a(7), rng_b(7);
+  const Tensor a = Tensor::randn({16}, rng_a);
+  const Tensor b = Tensor::randn({16}, rng_b);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0f);
+}
+
+TEST(TensorTest, ReshapePreservesDataAndChecksNumel) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, NchwAtIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[t.numel() - 1], 9.0f);
+  EXPECT_EQ(t.at(1, 2, 3, 4), 9.0f);
+}
+
+TEST(TensorTest, ElementwiseInPlaceOps) {
+  Tensor a(Shape{3}, std::vector<float>{1, -2, 3});
+  const Tensor b(Shape{3}, std::vector<float>{2, 2, 2});
+  a.add_(b);
+  EXPECT_EQ(a[0], 3.0f);
+  a.sub_(b);
+  a.mul_(b);
+  EXPECT_EQ(a[1], -4.0f);
+  a.mul_scalar(0.5f);
+  EXPECT_EQ(a[2], 3.0f);
+  a.add_scalar(1.0f);
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.mul_(b), std::invalid_argument);
+  EXPECT_THROW((void)a.max_abs_diff(b), std::invalid_argument);
+}
+
+TEST(TensorTest, AxpyAccumulates) {
+  Tensor a(Shape{2}, std::vector<float>{1, 1});
+  const Tensor x(Shape{2}, std::vector<float>{2, -2});
+  a.axpy_(0.5f, x);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 0.0f);
+}
+
+TEST(TensorTest, ClampBoundsValues) {
+  Tensor a(Shape{3}, std::vector<float>{-1.0f, 0.5f, 2.0f});
+  a.clamp_(0.0f, 1.0f);
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_EQ(a[1], 0.5f);
+  EXPECT_EQ(a[2], 1.0f);
+}
+
+TEST(TensorTest, SignIsTernary) {
+  Tensor a(Shape{3}, std::vector<float>{-3.0f, 0.0f, 0.2f});
+  a.sign_();
+  EXPECT_EQ(a[0], -1.0f);
+  EXPECT_EQ(a[1], 0.0f);
+  EXPECT_EQ(a[2], 1.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  const Tensor a(Shape{4}, std::vector<float>{1, 2, 3, -6});
+  EXPECT_FLOAT_EQ(a.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(a.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(a.min(), -6.0f);
+  EXPECT_FLOAT_EQ(a.max(), 3.0f);
+  EXPECT_EQ(a.argmax(), 2);
+  EXPECT_FLOAT_EQ(a.l2_norm(), std::sqrt(1.0f + 4 + 9 + 36));
+}
+
+TEST(TensorTest, BinaryOperatorsProduceNewTensor) {
+  const Tensor a(Shape{2}, std::vector<float>{1, 2});
+  const Tensor b(Shape{2}, std::vector<float>{3, 4});
+  const Tensor sum = a + b;
+  const Tensor diff = b - a;
+  const Tensor prod = a * b;
+  EXPECT_EQ(sum[1], 6.0f);
+  EXPECT_EQ(diff[0], 2.0f);
+  EXPECT_EQ(prod[1], 8.0f);
+  EXPECT_EQ(a[0], 1.0f);  // operands untouched
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a(Shape{2}, 1.0f);
+  Tensor b = a;
+  b[0] = 5.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace sesr
