@@ -1,0 +1,45 @@
+# Resolve GoogleTest without assuming network access.
+#
+# Resolution order:
+#   1. An installed package (find_package(GTest)) — Debian/Ubuntu ship static
+#      libs via `libgtest-dev`, many distros ship a full CMake config.
+#   2. The distro source package at /usr/src/googletest (Debian installs the
+#      sources there so projects can build gtest with their own flags).
+#   3. FetchContent from GitHub — only reached when the machine has neither
+#      of the above and presumably does have network access.
+#
+# Defines the imported targets GTest::gtest and GTest::gtest_main and sets
+# SESR_GTEST_PROVIDER to "system", "source-package", or "fetchcontent".
+
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(TARGET GTest::gtest AND TARGET GTest::gtest_main)
+  set(SESR_GTEST_PROVIDER "system")
+elseif(EXISTS "/usr/src/googletest/CMakeLists.txt")
+  set(SESR_GTEST_PROVIDER "source-package")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/googletest"
+    EXCLUDE_FROM_ALL)
+  # find_package may have defined one target but not the other (e.g. a manual
+  # install of libgtest without libgtest_main) — guard each alias on its own.
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+else()
+  set(SESR_GTEST_PROVIDER "fetchcontent")
+  include(FetchContent)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+message(STATUS "GoogleTest provider: ${SESR_GTEST_PROVIDER}")

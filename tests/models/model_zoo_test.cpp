@@ -39,8 +39,9 @@ TEST(ModelZooTest, EveryModelBuildsAtBothScales) {
     auto repo = spec.make_repo_scale();
     ASSERT_NE(paper, nullptr) << spec.label;
     ASSERT_NE(repo, nullptr) << spec.label;
-    if (!spec.trainable_at_repo_scale)
+    if (!spec.trainable_at_repo_scale) {
       EXPECT_LT(repo->num_params(), paper->num_params()) << spec.label;
+    }
   }
 }
 

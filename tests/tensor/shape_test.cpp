@@ -32,8 +32,8 @@ TEST(ShapeTest, NegativeIndexCountsFromBack) {
 
 TEST(ShapeTest, OutOfRangeIndexThrows) {
   const Shape s{2, 3};
-  EXPECT_THROW(s[2], std::out_of_range);
-  EXPECT_THROW(s[-3], std::out_of_range);
+  EXPECT_THROW(static_cast<void>(s[2]), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(s[-3]), std::out_of_range);
 }
 
 TEST(ShapeTest, NegativeExtentRejected) {
