@@ -2,7 +2,8 @@
 //
 // 1. Train a SESR-M2 network (overparameterised collapsible form) on the
 //    synthetic DIV2K substitute.
-// 2. Collapse it analytically into the tiny inference network.
+// 2. Collapse it analytically into the tiny inference network and compile it
+//    into a serving plan (runtime::Session) — the deployed execution form.
 // 3. Assemble the paper's defense pipeline: JPEG -> wavelet -> x2 SESR.
 // 4. Defend one attacked image and show the effect.
 //
@@ -13,6 +14,7 @@
 #include "core/core.h"
 #include "data/metrics.h"
 #include "models/models.h"
+#include "runtime/runtime.h"
 
 using namespace sesr;
 
@@ -46,6 +48,15 @@ int main() {
   const float collapse_err = training_form.forward(probe).max_abs_diff(
       inference_form->forward(probe));
   std::printf("    max |train_form - inference_form| on a probe image: %.2e\n", collapse_err);
+
+  // The deployed execution form: compile the collapsed network once, then
+  // serve through stateless sessions (bit-identical to forward, no per-call
+  // allocation, concurrency-safe over the shared plan).
+  const auto plan = runtime::InferencePlan::compile(*inference_form, probe.shape());
+  runtime::Session session(plan);
+  const float session_err = session.run(probe).max_abs_diff(inference_form->forward(probe));
+  std::printf("    compiled runtime::Session vs forward on the probe: max diff %.1e\n",
+              session_err);
 
   const float psnr_sesr = core::evaluate_sr_psnr(*inference_form, div2k, 4000, 32);
   const float psnr_nn = core::evaluate_interpolation_psnr(

@@ -27,6 +27,13 @@ struct DefenseOptions {
 /// Preprocessing defense: denoise then upscale. The classifier itself stays
 /// outside (see GrayBoxEvaluator) so one pipeline instance can defend any
 /// model — the paper's model-agnostic property.
+///
+/// Serving note: when the upscaler is a NetworkUpscaler wrapping a network
+/// that supports compiled inference (every SR model in the zoo), its SR
+/// stage runs through the runtime (runtime::Session) rather than the
+/// training API, so apply() is allocation-light there and safe to call
+/// concurrently from multiple serving threads. A non-compilable network
+/// falls back to Module::forward, which is NOT concurrency-safe.
 class DefensePipeline {
  public:
   DefensePipeline(std::shared_ptr<models::Upscaler> upscaler, DefenseOptions opts = {});
@@ -40,6 +47,7 @@ class DefensePipeline {
 
   [[nodiscard]] const DefenseOptions& options() const { return opts_; }
   [[nodiscard]] models::Upscaler& upscaler() { return *upscaler_; }
+  [[nodiscard]] const models::Upscaler& upscaler() const { return *upscaler_; }
 
  private:
   std::shared_ptr<models::Upscaler> upscaler_;

@@ -58,6 +58,7 @@ class GrayBoxEvaluator {
                                   const DefensePipeline* defense = nullptr);
 
   [[nodiscard]] models::Classifier& classifier() { return *classifier_; }
+  [[nodiscard]] const models::Classifier& classifier() const { return *classifier_; }
 
  private:
   std::shared_ptr<models::Classifier> classifier_;

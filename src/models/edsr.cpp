@@ -1,5 +1,7 @@
 #include "models/edsr.h"
 
+#include "nn/inference.h"
+
 namespace sesr::models {
 namespace {
 
@@ -58,6 +60,14 @@ std::vector<nn::Parameter*> Edsr::parameters() {
   for (nn::Parameter* p : body_.parameters()) params.push_back(p);
   for (nn::Parameter* p : upsampler_.parameters()) params.push_back(p);
   return params;
+}
+
+int Edsr::compile_inference(nn::InferenceBuilder& builder, int input) const {
+  const int features = head_.compile_inference(builder, input);
+  builder.pin(features);  // re-read by the long skip after the body compiles
+  const int body = body_.compile_inference(builder, features);
+  builder.emit_add(body, features);
+  return upsampler_.compile_inference(builder, body);
 }
 
 Shape Edsr::trace(const Shape& input, std::vector<nn::LayerInfo>* out) const {

@@ -42,6 +42,11 @@ class Edsr final : public nn::Module {
   std::vector<nn::Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return config_.label; }
   Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override {
+    return head_.supports_compiled_inference() && body_.supports_compiled_inference() &&
+           upsampler_.supports_compiled_inference();
+  }
+  int compile_inference(nn::InferenceBuilder& builder, int input) const override;
 
   [[nodiscard]] const EdsrConfig& config() const { return config_; }
 

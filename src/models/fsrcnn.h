@@ -36,6 +36,12 @@ class Fsrcnn final : public nn::Module {
   Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override {
     return net_.trace(input, out);
   }
+  [[nodiscard]] bool supports_compiled_inference() const override {
+    return net_.supports_compiled_inference();
+  }
+  int compile_inference(nn::InferenceBuilder& builder, int input) const override {
+    return net_.compile_inference(builder, input);
+  }
 
   [[nodiscard]] const FsrcnnConfig& config() const { return config_; }
 

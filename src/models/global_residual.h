@@ -21,21 +21,65 @@
 // the bicubic path's input-gradient is never needed.
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "nn/nn.h"
 #include "preprocess/interpolation.h"
 
 namespace sesr::models {
 
+/// Bicubic x`scale` upscaling as an (unlearnable) Module, so the global
+/// residual path participates in both forward() and the compiled inference
+/// runtime. Never trained through — backward throws. Not part of any
+/// structural trace (GlobalResidualSr prices the residual as a free add, see
+/// the cost-model note above), so trace() appends nothing.
+class BicubicUpscale final : public nn::Module {
+ public:
+  explicit BicubicUpscale(int64_t scale) : scale_(scale) {}
+
+  Tensor forward(const Tensor& input) override {
+    return preprocess::upscale(input, scale_, preprocess::InterpolationKind::kBicubic);
+  }
+
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("BicubicUpscale: no backward (see global_residual.h)");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "bicubic_up_x" + std::to_string(scale_);
+  }
+
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>*) const override {
+    if (input.ndim() != 4)
+      throw std::invalid_argument("BicubicUpscale::trace: expected NCHW, got " +
+                                  input.to_string());
+    return {input[0], input[1], input[2] * scale_, input[3] * scale_};
+  }
+
+  void infer_into(const Tensor& input, Tensor& output, Workspace&) const override {
+    // preprocess::upscale has no destination-passing form; one interpolation
+    // temporary per call is acceptable off the SESR serving path (this layer
+    // only appears in the FSRCNN/EDSR training-aid wrapper).
+    const Tensor up = preprocess::upscale(input, scale_, preprocess::InterpolationKind::kBicubic);
+    std::copy(up.data(), up.data() + up.numel(), output.data());
+  }
+
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+
+ private:
+  int64_t scale_;
+};
+
 class GlobalResidualSr final : public nn::Module {
  public:
   GlobalResidualSr(nn::ModulePtr body, int64_t scale)
-      : body_(std::move(body)), scale_(scale) {}
+      : body_(std::move(body)), upscale_(scale) {}
 
   Tensor forward(const Tensor& input) override {
     Tensor out = body_->forward(input);
-    out.add_(preprocess::upscale(input, scale_, preprocess::InterpolationKind::kBicubic));
+    out.add_(upscale_.forward(input));
     return out;
   }
 
@@ -60,11 +104,23 @@ class GlobalResidualSr final : public nn::Module {
     return body_out;
   }
 
+  [[nodiscard]] bool supports_compiled_inference() const override {
+    return body_->supports_compiled_inference();
+  }
+
+  int compile_inference(nn::InferenceBuilder& builder, int input) const override {
+    builder.pin(input);  // re-read by the bicubic path after the body compiles
+    const int body = body_->compile_inference(builder, input);
+    const int up = builder.emit_layer(upscale_, input);
+    builder.emit_add(body, up);
+    return body;
+  }
+
   [[nodiscard]] nn::Module& body() { return *body_; }
 
  private:
   nn::ModulePtr body_;
-  int64_t scale_;
+  BicubicUpscale upscale_;
 };
 
 }  // namespace sesr::models

@@ -51,7 +51,7 @@ Tensor LumaSrUpscaler::upscale(const Tensor& rgb) {
   return preprocess::ycbcr_to_rgb(out);
 }
 
-int64_t LumaSrUpscaler::macs_for(const Shape& single_image_chw) {
+int64_t LumaSrUpscaler::macs_for(const Shape& single_image_chw) const {
   const Shape luma_input{1, 1, single_image_chw[1], single_image_chw[2]};
   int64_t total = 0;
   for (const nn::LayerInfo& info : network_->layers(luma_input)) total += info.macs;

@@ -26,12 +26,13 @@ class LumaSrUpscaler final : public Upscaler {
 
   Tensor upscale(const Tensor& rgb) override;
   [[nodiscard]] std::string label() const override { return label_; }
-  [[nodiscard]] int64_t num_params() override { return network_->num_params(); }
+  [[nodiscard]] int64_t num_params() const override { return network_->num_params(); }
   /// MACs of the luma network on the Y plane of the given CHW image (chroma
   /// interpolation is counted as zero, matching Table I's conventions).
-  [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) override;
+  [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) const override;
 
   [[nodiscard]] nn::Module& network() { return *network_; }
+  [[nodiscard]] const nn::Module& network() const { return *network_; }
 
  private:
   std::string label_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/inference.h"
+
 namespace sesr::models {
 
 // ---- CollapsibleLinearBlock -----------------------------------------------------
@@ -60,6 +62,14 @@ Shape CollapsibleLinearBlock::trace(const Shape& input, std::vector<nn::LayerInf
     out->push_back(std::move(info));
   }
   return shape;
+}
+
+int CollapsibleLinearBlock::compile_inference(nn::InferenceBuilder& builder, int input) const {
+  if (short_residual_) builder.pin(input);  // re-read after expand/project
+  const int mid = expand_.compile_inference(builder, input);
+  const int out = project_.compile_inference(builder, mid);
+  if (short_residual_) builder.emit_add(out, input);
+  return out;
 }
 
 std::unique_ptr<nn::Conv2d> CollapsibleLinearBlock::collapse() const {
@@ -216,6 +226,23 @@ Shape Sesr::trace(const Shape& input, std::vector<nn::LayerInfo>* out) const {
     out->push_back(std::move(info));
   }
   return shuffle_.trace(x, out);
+}
+
+// Mirrors forward() step for step: stage-0 features, inner stages, the long
+// feature residual, the final conv, the tiled-input residual, pixel shuffle.
+int Sesr::compile_inference(nn::InferenceBuilder& builder, int input) const {
+  builder.pin(input);  // re-read by the tiled-input residual at the end
+  int x = stages_[0].act->compile_inference(
+      builder, stages_[0].conv->compile_inference(builder, input));
+  const int first = x;
+  builder.pin(first);  // re-read by the long feature residual
+  for (size_t i = 1; i + 1 < stages_.size(); ++i)
+    x = stages_[i].act->compile_inference(builder,
+                                          stages_[i].conv->compile_inference(builder, x));
+  builder.emit_add(x, first);
+  x = stages_.back().conv->compile_inference(builder, x);
+  builder.emit_add(x, tile_.compile_inference(builder, input));
+  return shuffle_.compile_inference(builder, x);
 }
 
 std::unique_ptr<Sesr> Sesr::collapse_from(const Sesr& trained) {

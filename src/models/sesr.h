@@ -33,6 +33,8 @@ class CollapsibleLinearBlock final : public nn::Module {
   std::vector<nn::Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  int compile_inference(nn::InferenceBuilder& builder, int input) const override;
 
   /// Analytically collapse into a single equivalent Conv2d:
   ///   W_eff[o,i,:,:] = sum_p W_proj[o,p] * W_exp[p,i,:,:]
@@ -82,6 +84,11 @@ class Sesr final : public nn::Module {
   std::vector<nn::Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override;
+  /// m = 0 is structurally valid but has no inner stage, so the long feature
+  /// residual would have to double the (pinned) stage-0 buffer in place —
+  /// unsupported by the plan IR; such degenerate nets use forward() instead.
+  [[nodiscard]] bool supports_compiled_inference() const override { return config_.m >= 1; }
+  int compile_inference(nn::InferenceBuilder& builder, int input) const override;
 
   [[nodiscard]] const SesrConfig& config() const { return config_; }
   [[nodiscard]] Form form() const { return form_; }

@@ -1,12 +1,85 @@
 #include "models/upscaler.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
 namespace sesr::models {
 
-int64_t NetworkUpscaler::macs_for(const Shape& single_image_chw) {
+NetworkUpscaler::NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network)
+    : label_(std::move(label)),
+      network_(std::move(network)),
+      compilable_(network_ != nullptr && network_->supports_compiled_inference()) {
+  if (!network_) throw std::invalid_argument("NetworkUpscaler: null network");
+}
+
+int64_t NetworkUpscaler::macs_for(const Shape& single_image_chw) const {
   const Shape batched{1, single_image_chw[0], single_image_chw[1], single_image_chw[2]};
   int64_t total = 0;
   for (const nn::LayerInfo& info : network_->layers(batched)) total += info.macs;
   return total;
+}
+
+std::shared_ptr<const runtime::InferencePlan> NetworkUpscaler::plan_for(const Shape& input) {
+  if (!compilable_) return nullptr;
+  const std::string key = input.to_string();
+  // Compiling under the lock serialises only each shape's first-ever call
+  // (steady-state lookups are a map find); correctness first, and plans for
+  // repeated shapes are exactly what the cache is for.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(key);
+  if (it == plans_.end())
+    it = plans_.emplace(key, runtime::InferencePlan::compile(*network_, input)).first;
+  return it->second;
+}
+
+std::unique_ptr<runtime::Session> NetworkUpscaler::checkout_session(const Shape& input) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SessionPool& pool = session_pools_[input.to_string()];
+    ++pool.live;
+    pool.peak = std::max(pool.peak, pool.live);
+    if (!pool.idle.empty()) {
+      auto session = std::move(pool.idle.back());
+      pool.idle.pop_back();
+      return session;
+    }
+  }
+  // No idle session: build one (buffer allocation happens outside the lock).
+  return std::make_unique<runtime::Session>(plan_for(input));
+}
+
+void NetworkUpscaler::return_session(const Shape& input,
+                                     std::unique_ptr<runtime::Session> session) {
+  // Sessions own full activation arenas, so cap how many idle ones a shape
+  // retains at the observed serving parallelism (`peak`) — retaining more
+  // than were ever simultaneously checked out buys nothing. (Plans are
+  // retained per shape unboundedly, but hold only the step list and shape
+  // table — no activation memory.) Beyond the cap the session is destroyed.
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionPool& pool = session_pools_[input.to_string()];
+  --pool.live;
+  if (session != nullptr && static_cast<int64_t>(pool.idle.size()) < pool.peak)
+    pool.idle.push_back(std::move(session));
+}
+
+Tensor NetworkUpscaler::upscale(const Tensor& low_res) {
+  if (!compilable_) {
+    Tensor out = network_->forward(low_res);
+    out.clamp_(0.0f, 1.0f);
+    return out;
+  }
+  auto session = checkout_session(low_res.shape());
+  Tensor out;
+  try {
+    out = session->run(low_res);
+  } catch (...) {
+    return_session(low_res.shape(), nullptr);
+    throw;
+  }
+  return_session(low_res.shape(), std::move(session));
+  out.clamp_(0.0f, 1.0f);
+  return out;
 }
 
 }  // namespace sesr::models

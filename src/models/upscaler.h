@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 #include "preprocess/interpolation.h"
+#include "runtime/runtime.h"
 #include "tensor/tensor.h"
 
 namespace sesr::models {
@@ -32,10 +36,10 @@ class Upscaler {
   [[nodiscard]] virtual std::string label() const = 0;
 
   /// Learnable parameter count (0 for interpolation).
-  [[nodiscard]] virtual int64_t num_params() = 0;
+  [[nodiscard]] virtual int64_t num_params() const = 0;
 
   /// MACs to upscale one image of the given CHW size (0 for interpolation).
-  [[nodiscard]] virtual int64_t macs_for(const Shape& single_image_chw) = 0;
+  [[nodiscard]] virtual int64_t macs_for(const Shape& single_image_chw) const = 0;
 
  protected:
   Upscaler() = default;
@@ -43,26 +47,54 @@ class Upscaler {
 
 /// Wraps an SR network (any nn::Module mapping NCHW -> upscaled NCHW).
 /// Output is clamped to [0, 1] as classification inputs must stay in range.
+///
+/// Serving path: when the network supports compiled inference (every SR
+/// model in the zoo does, including collapsed-form SESR), upscale() routes
+/// through a runtime::Session instead of the training API. Plans are
+/// compiled once per batched input shape and shared; sessions are checked
+/// out of a small pool under a lock and run outside it, so concurrent
+/// upscale() calls serve in parallel with zero steady-state allocation in
+/// the network itself. Networks that cannot compile (e.g. containing layers
+/// without infer_into) transparently fall back to Module::forward.
 class NetworkUpscaler final : public Upscaler {
  public:
-  NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network)
-      : label_(std::move(label)), network_(std::move(network)) {}
+  NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network);
 
-  Tensor upscale(const Tensor& low_res) override {
-    Tensor out = network_->forward(low_res);
-    out.clamp_(0.0f, 1.0f);
-    return out;
-  }
+  Tensor upscale(const Tensor& low_res) override;
 
   [[nodiscard]] std::string label() const override { return label_; }
-  [[nodiscard]] int64_t num_params() override { return network_->num_params(); }
-  [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) override;
+  [[nodiscard]] int64_t num_params() const override { return network_->num_params(); }
+  [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) const override;
 
   [[nodiscard]] nn::Module& network() { return *network_; }
+  [[nodiscard]] const nn::Module& network() const { return *network_; }
+
+  /// Compiled plan for the given batched NCHW input shape (cached; compiles
+  /// on first use). Returns nullptr when the network does not support
+  /// compiled inference. Useful for building extra sessions externally.
+  [[nodiscard]] std::shared_ptr<const runtime::InferencePlan> plan_for(const Shape& input);
 
  private:
+  /// Per-shape session pool. `live` counts checked-out sessions; `peak` is
+  /// the high-water of concurrent checkouts — the observed serving
+  /// parallelism — and caps how many idle sessions the shape retains.
+  struct SessionPool {
+    std::vector<std::unique_ptr<runtime::Session>> idle;
+    int64_t live = 0;
+    int64_t peak = 0;
+  };
+
+  std::unique_ptr<runtime::Session> checkout_session(const Shape& input);
+  /// Return a checked-out session (nullptr = it died with an exception).
+  void return_session(const Shape& input, std::unique_ptr<runtime::Session> session);
+
   std::string label_;
   std::shared_ptr<nn::Module> network_;
+  bool compilable_;
+
+  std::mutex mutex_;  // guards the two maps below
+  std::map<std::string, std::shared_ptr<const runtime::InferencePlan>> plans_;
+  std::map<std::string, SessionPool> session_pools_;
 };
 
 /// Classical interpolation as an Upscaler (the paper's Nearest Neighbor row).
@@ -78,8 +110,8 @@ class InterpolationUpscaler final : public Upscaler {
   [[nodiscard]] std::string label() const override {
     return preprocess::interpolation_name(kind_);
   }
-  [[nodiscard]] int64_t num_params() override { return 0; }
-  [[nodiscard]] int64_t macs_for(const Shape&) override { return 0; }
+  [[nodiscard]] int64_t num_params() const override { return 0; }
+  [[nodiscard]] int64_t macs_for(const Shape&) const override { return 0; }
 
  private:
   preprocess::InterpolationKind kind_;

@@ -1,6 +1,9 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "nn/inference.h"
 
 namespace sesr::nn {
 namespace {
@@ -40,6 +43,16 @@ Shape ReLU::trace(const Shape& input, std::vector<LayerInfo>* out) const {
   return input;
 }
 
+void ReLU::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const auto in = input.flat();
+  auto out = output.flat();
+  for (size_t i = 0; i < in.size(); ++i) out[i] = in[i] < 0.0f ? 0.0f : in[i];
+}
+
+int ReLU::compile_inference(InferenceBuilder& builder, int input) const {
+  return builder.emit_pointwise(*this, input);
+}
+
 // ---- ReLU6 ------------------------------------------------------------------
 
 Tensor ReLU6::forward(const Tensor& input) {
@@ -61,6 +74,16 @@ Tensor ReLU6::backward(const Tensor& grad_output) {
 Shape ReLU6::trace(const Shape& input, std::vector<LayerInfo>* out) const {
   if (out) out->push_back(activation_info(name(), input));
   return input;
+}
+
+void ReLU6::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const auto in = input.flat();
+  auto out = output.flat();
+  for (size_t i = 0; i < in.size(); ++i) out[i] = std::clamp(in[i], 0.0f, 6.0f);
+}
+
+int ReLU6::compile_inference(InferenceBuilder& builder, int input) const {
+  return builder.emit_pointwise(*this, input);
 }
 
 // ---- LeakyReLU --------------------------------------------------------------
@@ -85,6 +108,16 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
 Shape LeakyReLU::trace(const Shape& input, std::vector<LayerInfo>* out) const {
   if (out) out->push_back(activation_info(name(), input));
   return input;
+}
+
+void LeakyReLU::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const auto in = input.flat();
+  auto out = output.flat();
+  for (size_t i = 0; i < in.size(); ++i) out[i] = in[i] < 0.0f ? in[i] * slope_ : in[i];
+}
+
+int LeakyReLU::compile_inference(InferenceBuilder& builder, int input) const {
+  return builder.emit_pointwise(*this, input);
 }
 
 // ---- PReLU ------------------------------------------------------------------
@@ -141,6 +174,23 @@ Shape PReLU::trace(const Shape& input, std::vector<LayerInfo>* out) const {
     out->push_back(std::move(info));
   }
   return input;
+}
+
+void PReLU::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const int64_t n = input.dim(0), hw = input.dim(2) * input.dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float a = slope_.value[c];
+      const float* in_plane = input.data() + (i * channels_ + c) * hw;
+      float* out_plane = output.data() + (i * channels_ + c) * hw;
+      for (int64_t j = 0; j < hw; ++j)
+        out_plane[j] = in_plane[j] < 0.0f ? in_plane[j] * a : in_plane[j];
+    }
+  }
+}
+
+int PReLU::compile_inference(InferenceBuilder& builder, int input) const {
+  return builder.emit_pointwise(*this, input);
 }
 
 }  // namespace sesr::nn

@@ -2,7 +2,9 @@
 //
 // ReLU / ReLU6 for the classifiers, PReLU for FSRCNN and SESR, LeakyReLU as a
 // generic option. All are stateless except PReLU, whose per-channel slopes
-// are learnable parameters.
+// are learnable parameters. Every activation supports the compiled inference
+// runtime and registers itself through InferenceBuilder::emit_pointwise, so
+// plans run it in place on its producer's buffer where the dataflow allows.
 #pragma once
 
 #include "nn/module.h"
@@ -17,6 +19,9 @@ class ReLU final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "relu"; }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
  private:
   Tensor cached_input_;
@@ -30,6 +35,9 @@ class ReLU6 final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "relu6"; }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
  private:
   Tensor cached_input_;
@@ -43,6 +51,9 @@ class LeakyReLU final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "leaky_relu"; }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
  private:
   float slope_;
@@ -58,6 +69,9 @@ class PReLU final : public Module {
   std::vector<Parameter*> parameters() override { return {&slope_}; }
   [[nodiscard]] std::string name() const override { return "prelu"; }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
  private:
   int64_t channels_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/inference.h"
+
 namespace sesr::nn {
 
 // ---- Sequential ---------------------------------------------------------------
@@ -30,6 +32,17 @@ Shape Sequential::trace(const Shape& input, std::vector<LayerInfo>* out) const {
   Shape shape = input;
   for (const auto& child : children_) shape = child->trace(shape, out);
   return shape;
+}
+
+bool Sequential::supports_compiled_inference() const {
+  return std::all_of(children_.begin(), children_.end(),
+                     [](const ModulePtr& c) { return c->supports_compiled_inference(); });
+}
+
+int Sequential::compile_inference(InferenceBuilder& builder, int input) const {
+  int buffer = input;
+  for (const auto& child : children_) buffer = child->compile_inference(builder, buffer);
+  return buffer;
 }
 
 // ---- Residual -----------------------------------------------------------------
@@ -62,6 +75,20 @@ std::vector<Parameter*> Residual::parameters() {
   if (shortcut_)
     for (Parameter* p : shortcut_->parameters()) params.push_back(p);
   return params;
+}
+
+bool Residual::supports_compiled_inference() const {
+  return body_->supports_compiled_inference() &&
+         (!shortcut_ || shortcut_->supports_compiled_inference());
+}
+
+int Residual::compile_inference(InferenceBuilder& builder, int input) const {
+  builder.pin(input);  // re-read by the shortcut path after the body compiles
+  const int body = body_->compile_inference(builder, input);
+  if (scale_ != 1.0f) builder.emit_scale(body, scale_);
+  const int shortcut = shortcut_ ? shortcut_->compile_inference(builder, input) : input;
+  builder.emit_add(body, shortcut);
+  return body;
 }
 
 Shape Residual::trace(const Shape& input, std::vector<LayerInfo>* out) const {
@@ -132,6 +159,21 @@ std::vector<Parameter*> Concat::parameters() {
   for (auto& b : branches_)
     for (Parameter* p : b->parameters()) params.push_back(p);
   return params;
+}
+
+bool Concat::supports_compiled_inference() const {
+  return !branches_.empty() &&
+         std::all_of(branches_.begin(), branches_.end(),
+                     [](const ModulePtr& b) { return b->supports_compiled_inference(); });
+}
+
+int Concat::compile_inference(InferenceBuilder& builder, int input) const {
+  if (branches_.empty()) throw std::logic_error("Concat::compile_inference: no branches");
+  builder.pin(input);  // every branch reads the same input
+  std::vector<int> outs;
+  outs.reserve(branches_.size());
+  for (const auto& branch : branches_) outs.push_back(branch->compile_inference(builder, input));
+  return builder.emit_concat(outs);
 }
 
 Shape Concat::trace(const Shape& input, std::vector<LayerInfo>* out) const {

@@ -33,6 +33,8 @@ class Sequential : public Module {
     return display_name_.empty() ? "sequential" : display_name_;
   }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override;
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
   [[nodiscard]] size_t size() const { return children_.size(); }
   [[nodiscard]] Module& child(size_t i) { return *children_[i]; }
@@ -54,6 +56,8 @@ class Residual : public Module {
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "residual"; }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override;
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
  private:
   ModulePtr body_;
@@ -82,6 +86,8 @@ class Concat : public Module {
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override { return "concat"; }
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override;
+  int compile_inference(InferenceBuilder& builder, int input) const override;
 
  private:
   std::vector<ModulePtr> branches_;

@@ -141,6 +141,124 @@ Tensor Conv2d::forward(const Tensor& input) {
   return output;
 }
 
+namespace {
+
+constexpr int kRegBlock = 16;  // output columns per register-accumulated block
+
+// Output-stationary microkernel: dst[0..block) = sum_p w_row[p] * slab[p][0..block),
+// accumulating in registers. The per-element addition sequence — ascending p
+// from a 0.0f accumulator, zero weights skipped — is exactly the sequence
+// gemm_accumulate produces into a zeroed C, so results are bit-identical.
+template <int kBlock>
+inline void conv_out_block(const float* __restrict w_row, const float* __restrict slab,
+                           int64_t col_rows, int64_t slab_stride, float* __restrict dst) {
+  float acc[kBlock] = {};
+  for (int64_t p = 0; p < col_rows; ++p) {
+    const float wv = w_row[p];
+    if (wv == 0.0f) continue;  // matches gemm's zero-operand skip
+    const float* r = slab + p * slab_stride;
+    for (int b = 0; b < kBlock; ++b) acc[b] += wv * r[b];
+  }
+  for (int b = 0; b < kBlock; ++b) dst[b] = acc[b];
+}
+
+inline void conv_out_block_tail(const float* __restrict w_row, const float* __restrict slab,
+                                int64_t col_rows, int64_t slab_stride, int64_t block,
+                                float* __restrict dst) {
+  float acc[kRegBlock] = {};
+  for (int64_t p = 0; p < col_rows; ++p) {
+    const float wv = w_row[p];
+    if (wv == 0.0f) continue;
+    const float* r = slab + p * slab_stride;
+    for (int64_t b = 0; b < block; ++b) acc[b] += wv * r[b];
+  }
+  for (int64_t b = 0; b < block; ++b) dst[b] = acc[b];
+}
+
+}  // namespace
+
+// Serving-path convolution: implicit im2col one output row at a time (a
+// col_rows x out_w slab that stays cache-resident) feeding the register-
+// blocked microkernel above, so the full column matrix is never built and
+// the output is written exactly once. Padding taps enter the slab as 0.0f —
+// the same values im2col materialises — keeping every per-element addition
+// identical to forward()'s im2col + GEMM + bias pipeline. Work fans out over
+// (image, output row) pairs so a single-image request still uses every core;
+// each parallel chunk claims a private slab carved from the workspace before
+// the fan-out (per-element results are thread-placement independent).
+void Conv2d::infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const {
+  const int64_t n = input.dim(0), c_in = opts_.in_channels;
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t c_out = opts_.out_channels, k = opts_.kernel, stride = opts_.stride;
+  const int64_t out_h = output.dim(2), out_w = output.dim(3), out_hw = out_h * out_w;
+  const int64_t pad = opts_.effective_padding();
+  const int64_t col_rows = c_in * k * k;
+
+  const int64_t slab_floats = col_rows * out_w;
+  const int64_t max_slots = std::min<int64_t>(num_threads(), std::max<int64_t>(1, n * out_h));
+  std::span<float> slabs = workspace.floats(max_slots * slab_floats);
+  std::atomic<int64_t> next_slot{0};
+  parallel_for(0, n * out_h, [&](int64_t lo, int64_t hi) {
+    const int64_t slot = next_slot.fetch_add(1);
+    // parallel_for invokes fn once per chunk and creates at most
+    // min(num_threads(), range) chunks; guard that coupling explicitly so a
+    // future chunk-policy change cannot silently overrun the slab pool.
+    if (slot >= max_slots)
+      throw std::logic_error("Conv2d::infer_into: parallel_for issued more chunks than slabs");
+    float* slab = slabs.data() + slot * slab_floats;
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t i = idx / out_h, oh = idx % out_h;
+      const float* in_ptr = input.data() + i * c_in * h * w;
+      float* out_ptr = output.data() + i * c_out * out_hw;
+      // im2col restricted to this output row: slab[p][ow], p = (ic, kh, kw).
+      float* srow = slab;
+      for (int64_t ic = 0; ic < c_in; ++ic) {
+        for (int64_t kh = 0; kh < k; ++kh) {
+          const int64_t ih = oh * stride - pad + kh;
+          const float* src_row = (ih >= 0 && ih < h) ? in_ptr + (ic * h + ih) * w : nullptr;
+          for (int64_t kw = 0; kw < k; ++kw, srow += out_w) {
+            if (src_row == nullptr) {
+              for (int64_t ow = 0; ow < out_w; ++ow) srow[ow] = 0.0f;
+              continue;
+            }
+            if (stride == 1) {
+              // iw = ow + (kw - pad): a shifted contiguous copy with zero
+              // fringes, instead of a per-element bounds-checked gather.
+              const int64_t shift = kw - pad;
+              const int64_t valid_lo = std::max<int64_t>(0, -shift);
+              const int64_t valid_hi = std::min(out_w, w - shift);
+              for (int64_t ow = 0; ow < valid_lo; ++ow) srow[ow] = 0.0f;
+              if (valid_hi > valid_lo)
+                std::copy(src_row + valid_lo + shift, src_row + valid_hi + shift,
+                          srow + valid_lo);
+              for (int64_t ow = std::max(valid_lo, valid_hi); ow < out_w; ++ow)
+                srow[ow] = 0.0f;
+              continue;
+            }
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+              const int64_t iw = ow * stride - pad + kw;
+              srow[ow] = (iw >= 0 && iw < w) ? src_row[iw] : 0.0f;
+            }
+          }
+        }
+      }
+      for (int64_t oc = 0; oc < c_out; ++oc) {
+        const float* w_row = weight_.value.data() + oc * col_rows;
+        float* out_row = out_ptr + oc * out_hw + oh * out_w;
+        int64_t ow = 0;
+        for (; ow + kRegBlock <= out_w; ow += kRegBlock)
+          conv_out_block<kRegBlock>(w_row, slab + ow, col_rows, out_w, out_row + ow);
+        if (ow < out_w)
+          conv_out_block_tail(w_row, slab + ow, col_rows, out_w, out_w - ow, out_row + ow);
+        if (opts_.bias) {
+          const float b = bias_.value[oc];
+          for (int64_t j = 0; j < out_w; ++j) out_row[j] += b;
+        }
+      }
+    }
+  });
+}
+
 Tensor Conv2d::backward(const Tensor& grad_output) {
   const Tensor& input = cached_input_;
   const int64_t n = input.dim(0), c_in = opts_.in_channels;

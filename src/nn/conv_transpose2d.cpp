@@ -1,5 +1,6 @@
 #include "nn/conv_transpose2d.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <vector>
@@ -53,14 +54,22 @@ Shape ConvTranspose2d::trace(const Shape& input, std::vector<LayerInfo>* out) co
 
 Tensor ConvTranspose2d::forward(const Tensor& input) {
   const Shape out_shape = trace(input.shape(), nullptr);
-  cached_input_ = input;
+  cached_input_ = input;  // backward needs the full input
+  Tensor output(out_shape);
+  Workspace unused;  // the scatter kernel needs no scratch
+  infer_into(input, output, unused);
+  return output;
+}
 
+// The one scatter kernel, shared by forward() (which adds caching on top)
+// and the compiled runtime. The output region is seeded with the bias (or
+// zero) before the scatter-accumulation.
+void ConvTranspose2d::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
   const int64_t n = input.dim(0), c_in = opts_.in_channels;
   const int64_t h = input.dim(2), w = input.dim(3);
   const int64_t c_out = opts_.out_channels, k = opts_.kernel;
-  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+  const int64_t out_h = output.dim(2), out_w = output.dim(3);
 
-  Tensor output(out_shape);
   parallel_for(0, n, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* in_ptr = input.data() + i * c_in * h * w;
@@ -71,6 +80,8 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
           float* plane = out_ptr + oc * out_h * out_w;
           for (int64_t j = 0; j < out_h * out_w; ++j) plane[j] = b;
         }
+      } else {
+        std::fill(out_ptr, out_ptr + c_out * out_h * out_w, 0.0f);
       }
       for (int64_t ic = 0; ic < c_in; ++ic) {
         const float* in_plane = in_ptr + ic * h * w;
@@ -98,7 +109,6 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
       }
     }
   });
-  return output;
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {

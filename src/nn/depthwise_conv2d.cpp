@@ -49,14 +49,22 @@ Shape DepthwiseConv2d::trace(const Shape& input, std::vector<LayerInfo>* out) co
 
 Tensor DepthwiseConv2d::forward(const Tensor& input) {
   const Shape out_shape = trace(input.shape(), nullptr);
-  cached_input_ = input;
+  cached_input_ = input;  // backward needs the full input
+  Tensor output(out_shape);
+  Workspace unused;  // the direct kernel needs no scratch
+  infer_into(input, output, unused);
+  return output;
+}
 
+// The one direct-convolution kernel, shared by forward() (which adds caching
+// on top) and the compiled runtime. Every output element is written, so no
+// pre-zeroing is needed.
+void DepthwiseConv2d::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
   const int64_t n = input.dim(0), c = opts_.channels;
   const int64_t h = input.dim(2), w = input.dim(3);
   const int64_t k = opts_.kernel, pad = opts_.effective_padding(), stride = opts_.stride;
-  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+  const int64_t out_h = output.dim(2), out_w = output.dim(3);
 
-  Tensor output(out_shape);
   parallel_for(0, n * c, [&](int64_t lo, int64_t hi) {
     for (int64_t idx = lo; idx < hi; ++idx) {
       const int64_t ch = idx % c;
@@ -81,7 +89,6 @@ Tensor DepthwiseConv2d::forward(const Tensor& input) {
       }
     }
   });
-  return output;
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {

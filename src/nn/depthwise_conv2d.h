@@ -28,6 +28,8 @@ class DepthwiseConv2d final : public Module {
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
   [[nodiscard]] Parameter& weight() { return weight_; }
   [[nodiscard]] Parameter& bias() { return bias_; }

@@ -1,5 +1,6 @@
 #include "nn/groupnorm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -71,6 +72,37 @@ Tensor GroupNorm::forward(const Tensor& input) {
     }
   }
   return out;
+}
+
+// Same statistics and normalisation arithmetic as forward(), with the per-
+// group moments kept on the stack instead of in member caches.
+void GroupNorm::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const int64_t n = input.dim(0), hw = input.dim(2) * input.dim(3);
+  const int64_t cpg = channels_ / groups_;
+  const int64_t group_sz = cpg * hw;
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < groups_; ++g) {
+      const float* src = input.data() + (i * channels_ + g * cpg) * hw;
+      double sum = 0.0, sum_sq = 0.0;
+      for (int64_t j = 0; j < group_sz; ++j) {
+        sum += src[j];
+        sum_sq += static_cast<double>(src[j]) * src[j];
+      }
+      const float mean = static_cast<float>(sum / static_cast<double>(group_sz));
+      const float var =
+          static_cast<float>(sum_sq / static_cast<double>(group_sz)) - mean * mean;
+      const float inv_std = 1.0f / std::sqrt(std::max(var, 0.0f) + eps_);
+
+      float* dst = output.data() + (i * channels_ + g * cpg) * hw;
+      for (int64_t c = 0; c < cpg; ++c) {
+        const float gm = gamma_.value[g * cpg + c];
+        const float bt = beta_.value[g * cpg + c];
+        for (int64_t j = 0; j < hw; ++j)
+          dst[c * hw + j] = gm * (src[c * hw + j] - mean) * inv_std + bt;
+      }
+    }
+  }
 }
 
 Tensor GroupNorm::backward(const Tensor& grad_output) {

@@ -28,6 +28,8 @@ class GroupNorm final : public Module {
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
  private:
   int64_t channels_, groups_;

@@ -1,0 +1,62 @@
+// Compilation interface for the inference runtime.
+//
+// runtime::InferencePlan (src/runtime) compiles a Module tree into a flat
+// list of steps over preallocated activation buffers. Modules describe their
+// inference dataflow to an InferenceBuilder: primitives emit themselves as a
+// single layer step (executed through Module::infer_into), composites recurse
+// into their children and stitch the results with elementwise steps. Keeping
+// the builder interface here lets every layer stay ignorant of the runtime
+// subsystem while the runtime stays ignorant of concrete layer types.
+//
+// Buffers are identified by dense integer ids; id 0 is always the plan input
+// (read-only — it aliases the caller's tensor at execution time). emit_layer
+// / emit_pointwise / emit_concat mint new ids; emit_add / emit_scale mutate
+// an existing buffer in place, mirroring the Tensor::add_ / mul_scalar calls
+// the training-path forward() implementations make.
+//
+// In-place execution and pinning: emit_pointwise may alias its output onto
+// the input buffer (eliding a copy) unless that buffer is pinned. A composite
+// that reads a buffer again *after* compiling intermediate children (residual
+// shortcuts, concat fan-out, long skips) must pin(buffer) first; the builder
+// then guarantees no later step overwrites it.
+#pragma once
+
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace sesr::nn {
+
+class Module;
+
+class InferenceBuilder {
+ public:
+  virtual ~InferenceBuilder() = default;
+
+  /// Append "run `layer` reading buffer `input`"; returns the fresh output
+  /// buffer id. `layer` must outlive the compiled plan and implement
+  /// infer_into. The output shape comes from layer.trace().
+  virtual int emit_layer(const Module& layer, int input) = 0;
+
+  /// Like emit_layer for a shape-preserving pointwise layer; the builder may
+  /// alias output onto `input` (returning `input`) when it is not pinned.
+  /// The layer's infer_into must tolerate output.data() == input.data().
+  virtual int emit_pointwise(const Module& layer, int input) = 0;
+
+  /// buffers[dst] += buffers[src] (Tensor::add_ semantics; same shapes).
+  virtual void emit_add(int dst, int src) = 0;
+
+  /// buffers[dst] *= alpha (Tensor::mul_scalar semantics).
+  virtual void emit_scale(int dst, float alpha) = 0;
+
+  /// Channel-axis concat of `srcs` (all [N, C_i, H, W]) into a fresh buffer.
+  virtual int emit_concat(const std::vector<int>& srcs) = 0;
+
+  /// Forbid later steps from overwriting `buffer` (it will be read again).
+  virtual void pin(int buffer) = 0;
+
+  /// Shape of an existing buffer.
+  [[nodiscard]] virtual const Shape& buffer_shape(int buffer) const = 0;
+};
+
+}  // namespace sesr::nn

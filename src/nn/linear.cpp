@@ -44,10 +44,17 @@ Shape Linear::trace(const Shape& input, std::vector<LayerInfo>* out) const {
 
 Tensor Linear::forward(const Tensor& input) {
   const Shape out_shape = trace(input.shape(), nullptr);
-  cached_input_ = input;
-  const int64_t n = input.dim(0);
-
+  cached_input_ = input;  // backward needs the full input
   Tensor output(out_shape);
+  Workspace unused;  // the matvec needs no scratch
+  infer_into(input, output, unused);
+  return output;
+}
+
+// The one matvec kernel, shared by forward() (which adds caching on top) and
+// the compiled runtime.
+void Linear::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const int64_t n = input.dim(0);
   for (int64_t i = 0; i < n; ++i) {
     const float* x = input.data() + i * in_features_;
     float* y = output.data() + i * out_features_;
@@ -58,7 +65,6 @@ Tensor Linear::forward(const Tensor& input) {
       y[o] = acc;
     }
   }
-  return output;
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {

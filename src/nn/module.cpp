@@ -2,11 +2,20 @@
 
 #include <stdexcept>
 
+#include "nn/inference.h"
 #include "nn/init.h"
 
 namespace sesr::nn {
 
 void Module::init_weights(Rng& rng) { init_he_normal(*this, rng); }
+
+void Module::infer_into(const Tensor&, Tensor&, Workspace&) const {
+  throw std::logic_error(name() + ": infer_into not implemented");
+}
+
+int Module::compile_inference(InferenceBuilder& builder, int input) const {
+  return builder.emit_layer(*this, input);
+}
 
 void Module::load_parameters_from(Module& other) {
   auto dst = parameters();

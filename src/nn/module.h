@@ -11,6 +11,13 @@
 // forward call. Parameter gradients *accumulate* into Parameter::grad; call
 // zero_grad() between optimisation steps. Returning the input gradient makes
 // gradient-based adversarial attacks (src/attacks) fall out of the same API.
+//
+// Inference contract: infer_into(in, out, ws) is the serving-path sibling of
+// forward(): it writes forward's result (bit-identically) into a caller-owned
+// output tensor, takes scratch from a Workspace instead of allocating, and
+// caches nothing — so it is const and safe to run concurrently on the same
+// layer from multiple runtime::Sessions. compile_inference() flattens a
+// module tree into the step list runtime::InferencePlan executes.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +26,11 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace sesr::nn {
+
+class InferenceBuilder;
 
 /// A learnable tensor and its accumulated gradient.
 struct Parameter {
@@ -89,15 +99,35 @@ class Module {
   /// shape. Must agree with forward()'s actual shapes.
   virtual Shape trace(const Shape& input, std::vector<LayerInfo>* out) const = 0;
 
+  /// Compute forward(input) into `output` (pre-shaped to trace()'s result)
+  /// without allocating or caching backward state; `workspace` supplies
+  /// scratch. Must be bit-identical to forward() and safe to call
+  /// concurrently with distinct (output, workspace). Layers participating in
+  /// the compiled runtime override this; the default throws.
+  virtual void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const;
+
+  /// Whether compile_inference() produces a runnable program for this module
+  /// (i.e. every primitive it flattens to implements infer_into). Queried by
+  /// runtime::InferencePlan::compile before building.
+  [[nodiscard]] virtual bool supports_compiled_inference() const { return false; }
+
+  /// Flatten this module into `builder`'s step list, reading buffer `input`;
+  /// returns the output buffer id. The default emits the module as one
+  /// opaque layer step (executed via infer_into); composites override to
+  /// recurse into children. See nn/inference.h for the builder contract.
+  virtual int compile_inference(InferenceBuilder& builder, int input) const;
+
   /// Zero the gradients of every parameter.
   void zero_grad() {
     for (Parameter* p : parameters()) p->zero_grad();
   }
 
-  /// Total learnable parameter count.
-  [[nodiscard]] int64_t num_params() {
+  /// Total learnable parameter count. parameters() is logically const (pure
+  /// enumeration; the mutable pointers it returns exist for the optimisers),
+  /// so this query is const without duplicating every override.
+  [[nodiscard]] int64_t num_params() const {
     int64_t n = 0;
-    for (Parameter* p : parameters()) n += p->value.numel();
+    for (const Parameter* p : const_cast<Module*>(this)->parameters()) n += p->value.numel();
     return n;
   }
 

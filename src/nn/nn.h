@@ -8,6 +8,7 @@
 #include "nn/depthwise_conv2d.h"
 #include "nn/gradcheck.h"
 #include "nn/groupnorm.h"
+#include "nn/inference.h"
 #include "nn/init.h"
 #include "nn/linear.h"
 #include "nn/loss.h"

@@ -33,15 +33,21 @@ Shape DepthToSpace::trace(const Shape& input, std::vector<LayerInfo>* out) const
 Tensor DepthToSpace::forward(const Tensor& input) {
   const Shape out_shape = trace(input.shape(), nullptr);
   cached_input_shape_ = input.shape();
-  const int64_t n = input.dim(0), c_out = out_shape[1];
-  const int64_t h = input.dim(2), w = input.dim(3), r = block_;
-
   Tensor output(out_shape);
+  Workspace unused;  // the rearrangement needs no scratch
+  infer_into(input, output, unused);
+  return output;
+}
+
+void DepthToSpace::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const int64_t n = input.dim(0), c_out = output.dim(1);
+  const int64_t h = input.dim(2), w = input.dim(3), r = block_;
   for (int64_t i = 0; i < n; ++i)
     for (int64_t c = 0; c < c_out; ++c)
       for (int64_t dy = 0; dy < r; ++dy)
         for (int64_t dx = 0; dx < r; ++dx) {
-          const float* in_plane = input.data() + ((i * input.dim(1)) + c * r * r + dy * r + dx) * h * w;
+          const float* in_plane =
+              input.data() + ((i * input.dim(1)) + c * r * r + dy * r + dx) * h * w;
           for (int64_t y = 0; y < h; ++y) {
             float* out_row = output.data() +
                              ((i * c_out + c) * h * r + (y * r + dy)) * w * r + dx;
@@ -49,7 +55,6 @@ Tensor DepthToSpace::forward(const Tensor& input) {
             for (int64_t x = 0; x < w; ++x) out_row[x * r] = in_row[x];
           }
         }
-  return output;
 }
 
 Tensor DepthToSpace::backward(const Tensor& grad_output) {
@@ -99,9 +104,14 @@ Shape TileChannels::trace(const Shape& input, std::vector<LayerInfo>* out) const
 Tensor TileChannels::forward(const Tensor& input) {
   const Shape out_shape = trace(input.shape(), nullptr);
   cached_input_shape_ = input.shape();
-  const int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
-
   Tensor output(out_shape);
+  Workspace unused;  // the replication needs no scratch
+  infer_into(input, output, unused);
+  return output;
+}
+
+void TileChannels::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
+  const int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
   for (int64_t i = 0; i < n; ++i)
     for (int64_t ch = 0; ch < c; ++ch) {
       const float* src = input.data() + (i * c + ch) * plane;
@@ -110,7 +120,6 @@ Tensor TileChannels::forward(const Tensor& input) {
         std::copy(src, src + plane, dst);
       }
     }
-  return output;
 }
 
 Tensor TileChannels::backward(const Tensor& grad_output) {

@@ -22,6 +22,8 @@ class DepthToSpace final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
   [[nodiscard]] int64_t block() const { return block_; }
 
@@ -44,6 +46,8 @@ class TileChannels final : public Module {
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
+  void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
  private:
   int64_t times_;

@@ -1,0 +1,118 @@
+#include "runtime/plan.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "nn/inference.h"
+
+namespace sesr::runtime {
+
+/// The nn::InferenceBuilder implementation behind InferencePlan::compile.
+/// Enforces the buffer discipline the executor relies on: the input buffer
+/// and pinned buffers are never written, and in-place pointwise execution is
+/// granted only when the producer buffer has no later readers (signalled by
+/// composites through pin()).
+class PlanBuilder final : public nn::InferenceBuilder {
+ public:
+  explicit PlanBuilder(InferencePlan& plan, const Shape& input) : plan_(plan) {
+    plan_.buffer_shapes_.push_back(input);
+    pinned_.insert(0);  // the plan input aliases the caller's (const) tensor
+  }
+
+  int emit_layer(const nn::Module& layer, int input) override {
+    const int output = add_buffer(layer.trace(shape_of(input), nullptr));
+    plan_.steps_.push_back({PlanStep::Kind::kLayer, &layer, input, output, 1.0f, {}});
+    return output;
+  }
+
+  int emit_pointwise(const nn::Module& layer, int input) override {
+    const Shape out_shape = layer.trace(shape_of(input), nullptr);
+    if (pinned_.count(input) != 0 || out_shape != shape_of(input))
+      return emit_layer(layer, input);
+    plan_.steps_.push_back({PlanStep::Kind::kLayer, &layer, input, input, 1.0f, {}});
+    return input;
+  }
+
+  void emit_add(int dst, int src) override {
+    check_writable(dst, "emit_add");
+    if (shape_of(dst) != shape_of(src))
+      throw std::logic_error("PlanBuilder::emit_add: shape mismatch " +
+                             shape_of(dst).to_string() + " vs " + shape_of(src).to_string());
+    plan_.steps_.push_back({PlanStep::Kind::kAdd, nullptr, src, dst, 1.0f, {}});
+  }
+
+  void emit_scale(int dst, float alpha) override {
+    check_writable(dst, "emit_scale");
+    plan_.steps_.push_back({PlanStep::Kind::kScale, nullptr, -1, dst, alpha, {}});
+  }
+
+  int emit_concat(const std::vector<int>& srcs) override {
+    if (srcs.empty()) throw std::logic_error("PlanBuilder::emit_concat: no sources");
+    const Shape& first = shape_of(srcs.front());
+    int64_t total_c = 0;
+    for (int src : srcs) {
+      const Shape& s = shape_of(src);
+      if (s.ndim() != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3])
+        throw std::logic_error("PlanBuilder::emit_concat: incompatible source " + s.to_string());
+      total_c += s[1];
+    }
+    const int output = add_buffer({first[0], total_c, first[2], first[3]});
+    plan_.steps_.push_back({PlanStep::Kind::kConcat, nullptr, -1, output, 1.0f, srcs});
+    return output;
+  }
+
+  void pin(int buffer) override { pinned_.insert(buffer); }
+
+  [[nodiscard]] const Shape& buffer_shape(int buffer) const override { return shape_of(buffer); }
+
+ private:
+  int add_buffer(Shape shape) {
+    plan_.buffer_shapes_.push_back(std::move(shape));
+    return static_cast<int>(plan_.buffer_shapes_.size()) - 1;
+  }
+
+  [[nodiscard]] const Shape& shape_of(int buffer) const {
+    if (buffer < 0 || buffer >= static_cast<int>(plan_.buffer_shapes_.size()))
+      throw std::logic_error("PlanBuilder: unknown buffer id " + std::to_string(buffer));
+    return plan_.buffer_shapes_[static_cast<size_t>(buffer)];
+  }
+
+  void check_writable(int buffer, const char* op) const {
+    static_cast<void>(shape_of(buffer));  // bounds check
+    if (pinned_.count(buffer) != 0)
+      throw std::logic_error(std::string("PlanBuilder::") + op +
+                             ": buffer " + std::to_string(buffer) +
+                             " is pinned (or the plan input) and cannot be written");
+  }
+
+  InferencePlan& plan_;
+  std::unordered_set<int> pinned_;
+};
+
+std::shared_ptr<const InferencePlan> InferencePlan::compile(const nn::Module& module,
+                                                            const Shape& input) {
+  if (!module.supports_compiled_inference())
+    throw std::invalid_argument("InferencePlan::compile: " + module.name() +
+                                " does not support compiled inference");
+  const Shape expected = module.trace(input, nullptr);  // validates the shape up front
+
+  std::shared_ptr<InferencePlan> plan(new InferencePlan());
+  PlanBuilder builder(*plan, input);
+  plan->output_ = module.compile_inference(builder, 0);
+  if (plan->output_shape() != expected)
+    throw std::logic_error("InferencePlan::compile: " + module.name() +
+                           " compiled to output " + plan->output_shape().to_string() +
+                           " but trace() promises " + expected.to_string());
+  return plan;
+}
+
+int64_t InferencePlan::activation_floats() const {
+  int64_t total = 0;
+  // Buffer 0 aliases the caller's input and the output buffer aliases the
+  // caller's output; everything else is session-owned.
+  for (size_t i = 1; i < buffer_shapes_.size(); ++i)
+    if (static_cast<int>(i) != output_) total += buffer_shapes_[i].numel();
+  return total;
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,71 @@
+// Compiled inference plan: the serving-side twin of nn::Module::forward.
+//
+// InferencePlan::compile flattens a module tree (via Module::compile_inference
+// and the trace() shape machinery) into a linear program over shape-fixed
+// activation buffers: layer steps executed through Module::infer_into plus
+// the elementwise glue (residual adds, scales, channel concat) composites
+// emit. A plan is compiled once per (model, batched input shape), is
+// immutable afterwards, and is shared by any number of runtime::Sessions —
+// the paper's collapsed SESR networks are deployed exactly this way, as a
+// fixed execution schedule rather than a trainable graph.
+//
+// Lifetime: the plan stores non-owning pointers into the compiled module; the
+// module must outlive every plan (and session) compiled from it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sesr::runtime {
+
+/// One step of a compiled program. Buffer ids index InferencePlan's buffer
+/// table; id 0 is the plan input (read-only, aliased to the caller's tensor).
+struct PlanStep {
+  enum class Kind {
+    kLayer,   ///< buffers[output] = layer->infer_into(buffers[input]); in
+              ///< place when output == input (pointwise layers only)
+    kAdd,     ///< buffers[output] += buffers[input]
+    kScale,   ///< buffers[output] *= alpha
+    kConcat,  ///< buffers[output] = channel-concat of buffers[sources]
+  };
+
+  Kind kind = Kind::kLayer;
+  const nn::Module* layer = nullptr;
+  int input = -1;
+  int output = -1;
+  float alpha = 1.0f;
+  std::vector<int> sources;
+};
+
+class InferencePlan {
+ public:
+  /// Compile `module` for a fixed batched NCHW input shape. Throws
+  /// std::invalid_argument when the module (or a child) does not support
+  /// compiled inference or the shape does not trace. `module` must outlive
+  /// the returned plan.
+  static std::shared_ptr<const InferencePlan> compile(const nn::Module& module,
+                                                      const Shape& input);
+
+  [[nodiscard]] const Shape& input_shape() const { return buffer_shapes_.front(); }
+  [[nodiscard]] const Shape& output_shape() const {
+    return buffer_shapes_[static_cast<size_t>(output_)];
+  }
+  [[nodiscard]] int output_buffer() const { return output_; }
+  [[nodiscard]] const std::vector<PlanStep>& steps() const { return steps_; }
+  [[nodiscard]] const std::vector<Shape>& buffer_shapes() const { return buffer_shapes_; }
+
+  /// Total floats a session preallocates for intermediate activations.
+  [[nodiscard]] int64_t activation_floats() const;
+
+ private:
+  friend class PlanBuilder;
+  InferencePlan() = default;
+
+  std::vector<PlanStep> steps_;
+  std::vector<Shape> buffer_shapes_;
+  int output_ = 0;
+};
+
+}  // namespace sesr::runtime

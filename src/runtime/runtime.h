@@ -1,0 +1,5 @@
+// Umbrella header for the compiled inference runtime.
+#pragma once
+
+#include "runtime/plan.h"
+#include "runtime/session.h"

@@ -1,0 +1,81 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::runtime {
+
+Session::Session(std::shared_ptr<const InferencePlan> plan) : plan_(std::move(plan)) {
+  if (!plan_) throw std::invalid_argument("Session: null plan");
+  const auto& shapes = plan_->buffer_shapes();
+  buffers_.reserve(shapes.size());
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    // Slot 0 aliases the caller's input and the output slot aliases the
+    // caller's output at run time; keep their session-side tensors empty.
+    const bool external = i == 0 || static_cast<int>(i) == plan_->output_buffer();
+    buffers_.emplace_back(external ? Shape{} : shapes[i]);
+  }
+  bound_.resize(buffers_.size());
+}
+
+Tensor Session::run(const Tensor& input) {
+  Tensor output(plan_->output_shape());
+  run_into(input, output);
+  return output;
+}
+
+void Session::run_into(const Tensor& input, Tensor& output) {
+  if (input.shape() != plan_->input_shape())
+    throw std::invalid_argument("Session::run_into: input " + input.shape().to_string() +
+                                " but plan expects " + plan_->input_shape().to_string());
+  if (input.data() == output.data())
+    throw std::invalid_argument("Session::run_into: output must not alias input");
+  if (output.shape() != plan_->output_shape()) output = Tensor(plan_->output_shape());
+
+  const int out_idx = plan_->output_buffer();
+  for (size_t i = 0; i < buffers_.size(); ++i) bound_[i] = &buffers_[i];
+  // The builder guarantees no step ever writes buffer 0, so aliasing the
+  // caller's (const) input there is safe.
+  bound_[0] = const_cast<Tensor*>(&input);
+  if (out_idx != 0) bound_[static_cast<size_t>(out_idx)] = &output;
+
+  for (const PlanStep& step : plan_->steps()) {
+    switch (step.kind) {
+      case PlanStep::Kind::kLayer: {
+        workspace_.reset();
+        step.layer->infer_into(*bound_[static_cast<size_t>(step.input)],
+                               *bound_[static_cast<size_t>(step.output)], workspace_);
+        break;
+      }
+      case PlanStep::Kind::kAdd:
+        bound_[static_cast<size_t>(step.output)]->add_(
+            *bound_[static_cast<size_t>(step.input)]);
+        break;
+      case PlanStep::Kind::kScale:
+        bound_[static_cast<size_t>(step.output)]->mul_scalar(step.alpha);
+        break;
+      case PlanStep::Kind::kConcat: {
+        // Mirrors nn::Concat::forward's per-sample interleaving exactly.
+        Tensor& dst = *bound_[static_cast<size_t>(step.output)];
+        const int64_t n = dst.dim(0), total_c = dst.dim(1);
+        const int64_t hw = dst.dim(2) * dst.dim(3);
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t c_off = 0;
+          for (int src : step.sources) {
+            const Tensor& o = *bound_[static_cast<size_t>(src)];
+            const int64_t c = o.dim(1);
+            std::copy(o.data() + i * c * hw, o.data() + (i + 1) * c * hw,
+                      dst.data() + (i * total_c + c_off) * hw);
+            c_off += c;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Degenerate identity program: the "result" is the input buffer itself.
+  if (out_idx == 0) output = input;
+}
+
+}  // namespace sesr::runtime

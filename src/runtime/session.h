@@ -1,0 +1,49 @@
+// Execution context for a compiled InferencePlan.
+//
+// A Session owns everything mutable about inference — the arena of
+// preallocated activation buffers and the scratch Workspace — while the plan
+// and the model weights stay shared and read-only. run()/run_into() are
+// therefore stateless per call: after the first (warm-up) run a session
+// performs zero heap allocations, and N sessions over one shared plan serve
+// N requests concurrently from a thread pool without any locking.
+//
+// A single Session is NOT thread-safe; give each serving thread its own.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/plan.h"
+#include "tensor/workspace.h"
+
+namespace sesr::runtime {
+
+class Session {
+ public:
+  explicit Session(std::shared_ptr<const InferencePlan> plan);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Run the plan on `input` (shape must equal plan().input_shape()) and
+  /// return the freshly-allocated result. Bit-identical to the compiled
+  /// module's forward().
+  [[nodiscard]] Tensor run(const Tensor& input);
+
+  /// Allocation-free variant: writes the result into `output` (reshaped if
+  /// needed). `output` must not alias `input`.
+  void run_into(const Tensor& input, Tensor& output);
+
+  [[nodiscard]] const InferencePlan& plan() const { return *plan_; }
+
+  /// Scratch high-water mark (floats); stabilises after the first run.
+  [[nodiscard]] int64_t workspace_capacity() const { return workspace_.capacity(); }
+
+ private:
+  std::shared_ptr<const InferencePlan> plan_;
+  std::vector<Tensor> buffers_;      // session-owned activations, sized once
+  std::vector<Tensor*> bound_;       // per-run buffer table (input/output rebound)
+  Workspace workspace_;
+};
+
+}  // namespace sesr::runtime

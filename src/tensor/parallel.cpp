@@ -1,7 +1,11 @@
 #include "tensor/parallel.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
 #include <cstdlib>
+#include <deque>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -20,9 +24,134 @@ int num_threads() {
 }
 
 namespace {
+
 // Nested parallel_for calls (e.g. GEMM inside a batch-parallel convolution)
-// run inline on the calling worker instead of spawning threads recursively.
+// run inline on the calling worker instead of re-entering the pool.
 thread_local bool tl_inside_worker = false;
+
+// One parallel_for invocation. Lives on the caller's stack for the duration
+// of ThreadPool::run; all fields are guarded by the pool mutex.
+struct Job {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 0;
+  int64_t n_chunks = 0;
+  int64_t next = 0;       // next chunk index to hand out
+  int64_t executing = 0;  // chunks currently running on some thread
+  std::exception_ptr error;
+  std::condition_variable done_cv;
+};
+
+/// Persistent worker pool. Jobs queue FIFO; each worker repeatedly claims the
+/// next chunk of the front job. The submitting thread claims chunks of its
+/// own job too, so a job always makes progress even when every worker is
+/// occupied by other callers' jobs. The first exception a chunk throws is
+/// captured, remaining unclaimed chunks are abandoned, and the exception is
+/// rethrown to the submitter once in-flight chunks drain — so the stack Job
+/// never outlives a thread that references it.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void run(int64_t begin, int64_t end, int64_t chunk, int64_t n_chunks,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    Job job;
+    job.fn = &fn;
+    job.begin = begin;
+    job.end = end;
+    job.chunk = chunk;
+    job.n_chunks = n_chunks;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobs_.push_back(&job);
+    work_cv_.notify_all();
+    // Help with our own job until every chunk is claimed (or one failed).
+    for (;;) {
+      const int64_t idx = claim(job);
+      if (idx < 0) break;
+      execute(lock, job, idx);
+    }
+    job.done_cv.wait(lock, [&] { return drained(job); });
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  // A job is finished when no chunk is running and none will be claimed.
+  static bool drained(const Job& job) {
+    return job.executing == 0 && (job.error != nullptr || job.next >= job.n_chunks);
+  }
+
+  // Claim a chunk of `job`, dequeuing it once no further chunks should run.
+  // Returns -1 when there is nothing left to claim. Caller holds mutex_.
+  int64_t claim(Job& job) {
+    const bool exhausted = job.error != nullptr || job.next >= job.n_chunks;
+    const int64_t idx = exhausted ? -1 : job.next++;
+    if (job.error != nullptr || job.next >= job.n_chunks) {
+      const auto it = std::find(jobs_.begin(), jobs_.end(), &job);
+      if (it != jobs_.end()) jobs_.erase(it);
+    }
+    if (idx >= 0) ++job.executing;
+    return idx;
+  }
+
+  // Run chunk `idx` with the lock released; on return the lock is re-held,
+  // the chunk is accounted for, and any exception is parked on the job.
+  void execute(std::unique_lock<std::mutex>& lock, Job& job, int64_t idx) {
+    lock.unlock();
+    const int64_t lo = job.begin + idx * job.chunk;
+    const int64_t hi = std::min(job.end, lo + job.chunk);
+    const bool was_inside = tl_inside_worker;
+    tl_inside_worker = true;
+    std::exception_ptr error;
+    try {
+      (*job.fn)(lo, hi);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    tl_inside_worker = was_inside;
+    lock.lock();
+    if (error && job.error == nullptr) job.error = error;
+    --job.executing;
+    if (drained(job)) job.done_cv.notify_all();
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      Job& job = *jobs_.front();
+      const int64_t idx = claim(job);
+      if (idx < 0) continue;  // raced: another thread took the last chunk
+      execute(lock, job, idx);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Job*> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+ThreadPool& pool() {
+  static ThreadPool p(num_threads());
+  return p;
+}
+
 }  // namespace
 
 void parallel_for(int64_t begin, int64_t end,
@@ -38,20 +167,12 @@ void parallel_for(int64_t begin, int64_t end,
   const int64_t max_chunks = std::max<int64_t>(1, total / std::max<int64_t>(1, grain));
   const int64_t n_workers = std::min<int64_t>(threads, max_chunks);
   const int64_t chunk = (total + n_workers - 1) / n_workers;
-
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(n_workers));
-  for (int64_t w = 0; w < n_workers; ++w) {
-    const int64_t lo = begin + w * chunk;
-    const int64_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&fn, lo, hi] {
-      tl_inside_worker = true;
-      fn(lo, hi);
-      tl_inside_worker = false;
-    });
+  const int64_t n_chunks = (total + chunk - 1) / chunk;
+  if (n_chunks <= 1) {
+    fn(begin, end);
+    return;
   }
-  for (auto& t : workers) t.join();
+  pool().run(begin, end, chunk, n_chunks, fn);
 }
 
 }  // namespace sesr

@@ -1,9 +1,13 @@
 // Minimal data-parallel loop utility.
 //
 // Convolution, GEMM and per-image pipeline stages parallelise over coarse
-// outer ranges (output rows, batch images). Work items are milliseconds-scale,
-// so a spawn-per-call strategy is simpler than a persistent pool and costs a
-// negligible fraction of runtime.
+// outer ranges (output rows, batch images). Work runs on a lazily-initialised
+// persistent thread pool shared by the whole process: under serving load
+// parallel_for fires per layer per request, so spawn-per-call thread creation
+// would dominate small-kernel runtime. The calling thread participates in its
+// own loop, which keeps concurrent parallel_for calls from independent
+// threads (e.g. several runtime::Sessions) deadlock-free even when every pool
+// worker is busy.
 #pragma once
 
 #include <cstdint>
@@ -11,14 +15,17 @@
 
 namespace sesr {
 
-/// Number of worker threads parallel_for will use (hardware concurrency,
+/// Number of pool worker threads parallel_for will use (hardware concurrency,
 /// overridable through the SESR_NUM_THREADS environment variable; minimum 1).
 int num_threads();
 
 /// Run `fn(begin, end)` over disjoint sub-ranges of [begin, end) on up to
-/// num_threads() threads. Falls back to a direct call when the range is small
-/// (< 2 * grain) or only one thread is available. Blocks until all sub-ranges
-/// complete. `fn` must be safe to invoke concurrently on disjoint ranges.
+/// num_threads() pool workers (plus the calling thread, which helps). Falls
+/// back to a direct call when the range is small (< 2 * grain) or only one
+/// thread is configured. Blocks until all sub-ranges complete. Nested calls
+/// from inside a worker run inline. `fn` must be safe to invoke concurrently
+/// on disjoint ranges. If `fn` throws, unclaimed sub-ranges are abandoned and
+/// the first exception is rethrown here once in-flight sub-ranges drain.
 void parallel_for(int64_t begin, int64_t end,
                   const std::function<void(int64_t, int64_t)>& fn,
                   int64_t grain = 1);

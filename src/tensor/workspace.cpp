@@ -1,0 +1,47 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr {
+
+namespace {
+constexpr int64_t kMinChunkFloats = 4096;  // 16 KiB floor keeps tiny asks cheap
+}  // namespace
+
+std::span<float> Workspace::floats(int64_t numel) {
+  if (numel < 0) throw std::invalid_argument("Workspace::floats: negative size");
+  if (numel == 0) return {};
+  for (; cursor_ < chunks_.size(); ++cursor_) {
+    Chunk& chunk = chunks_[cursor_];
+    const int64_t room = static_cast<int64_t>(chunk.data.size()) - chunk.used;
+    if (room >= numel) {
+      float* base = chunk.data.data() + chunk.used;
+      chunk.used += numel;
+      return {base, static_cast<size_t>(numel)};
+    }
+    // A partially-used chunk that cannot fit the request is left as-is (its
+    // spans must stay valid); move on and allocate past it.
+  }
+  const int64_t last_cap =
+      chunks_.empty() ? 0 : static_cast<int64_t>(chunks_.back().data.size());
+  Chunk chunk;
+  chunk.data.resize(static_cast<size_t>(std::max({numel, 2 * last_cap, kMinChunkFloats})));
+  chunk.used = numel;
+  chunks_.push_back(std::move(chunk));
+  cursor_ = chunks_.size() - 1;
+  return {chunks_.back().data.data(), static_cast<size_t>(numel)};
+}
+
+void Workspace::reset() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  cursor_ = 0;
+}
+
+int64_t Workspace::capacity() const {
+  int64_t total = 0;
+  for (const Chunk& chunk : chunks_) total += static_cast<int64_t>(chunk.data.size());
+  return total;
+}
+
+}  // namespace sesr

@@ -1,0 +1,48 @@
+// Scratch-memory arena for the compiled inference runtime.
+//
+// Layers executing through runtime::Session need per-call scratch (im2col
+// rows, padded line buffers) without touching the allocator on the hot path.
+// Workspace is a chunked bump arena: floats() hands out uninitialised spans,
+// reset() recycles everything while keeping the chunks, so after the first
+// run through a network a session performs zero heap allocations.
+//
+// Spans are STABLE until reset(): growing the arena appends a new chunk
+// instead of reallocating, so earlier spans stay valid within one layer call.
+// A Workspace is single-threaded; concurrent inference uses one Workspace per
+// runtime::Session. Layers that parallelise internally must carve disjoint
+// sub-spans *before* fanning out (see Conv2d::infer_into).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sesr {
+
+class Workspace {
+ public:
+  Workspace() = default;
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Uninitialised scratch of `numel` floats, valid until the next reset().
+  std::span<float> floats(int64_t numel);
+
+  /// Invalidate every span handed out so far; retains capacity for reuse.
+  void reset();
+
+  /// Total floats held across all chunks (diagnostic).
+  [[nodiscard]] int64_t capacity() const;
+
+ private:
+  struct Chunk {
+    std::vector<float> data;
+    int64_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t cursor_ = 0;  // first chunk that may still have room
+};
+
+}  // namespace sesr

@@ -1,0 +1,194 @@
+// The compiled inference runtime's core guarantee: a Session executes the
+// exact same arithmetic as Module::forward — bit-identical outputs — while
+// allocating nothing per call and sharing one immutable plan across
+// concurrently-running sessions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/models.h"
+#include "nn/nn.h"
+#include "runtime/runtime.h"
+
+namespace sesr::runtime {
+namespace {
+
+Tensor seeded_input(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand(shape, rng, 0.0f, 1.0f);
+}
+
+// forward() the module and run it through a fresh session twice (the second
+// run exercises buffer reuse); every output must match bit for bit.
+void expect_session_matches_forward(nn::Module& module, const Shape& in_shape,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  module.init_weights(rng);
+  const Tensor x = seeded_input(in_shape, seed + 1);
+  const Tensor reference = module.forward(x);
+
+  ASSERT_TRUE(module.supports_compiled_inference()) << module.name();
+  const auto plan = InferencePlan::compile(module, in_shape);
+  EXPECT_TRUE(plan->input_shape() == in_shape);
+  EXPECT_TRUE(plan->output_shape() == reference.shape());
+
+  Session session(plan);
+  const Tensor first = session.run(x);
+  ASSERT_TRUE(first.shape() == reference.shape()) << module.name();
+  EXPECT_EQ(reference.max_abs_diff(first), 0.0f) << module.name();
+
+  Tensor second(plan->output_shape());
+  session.run_into(x, second);
+  EXPECT_EQ(reference.max_abs_diff(second), 0.0f) << module.name() << " (buffer reuse)";
+}
+
+// ---- every model-zoo SR network, deployed (repo-scale) form -----------------
+
+TEST(SessionTest, BitExactForEveryZooNetwork) {
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    SCOPED_TRACE(spec.label);
+    const auto network = spec.make_repo_scale();
+    expect_session_matches_forward(*network, {2, 3, 12, 12}, 7);
+  }
+}
+
+// ---- SESR: overparameterised training form and collapsed inference form ----
+
+TEST(SessionTest, BitExactForSesrTrainingAndCollapsedForms) {
+  for (const models::SesrConfig& config :
+       {models::SesrConfig::m2(), models::SesrConfig::m5(), models::SesrConfig::xl()}) {
+    models::Sesr training(config, models::Sesr::Form::kTraining);
+    expect_session_matches_forward(training, {1, 3, 10, 10}, 11);
+
+    const auto collapsed = models::Sesr::collapse_from(training);
+    expect_session_matches_forward(*collapsed, {1, 3, 10, 10}, 13);
+  }
+}
+
+// ---- composite coverage: global residual, residual scale, concat ------------
+
+TEST(SessionTest, BitExactForGlobalResidualWrapper) {
+  models::GlobalResidualSr wrapped(
+      std::make_unique<models::Fsrcnn>(models::FsrcnnConfig::paper()), /*scale=*/2);
+  expect_session_matches_forward(wrapped, {2, 3, 8, 8}, 17);
+}
+
+TEST(SessionTest, BitExactForScaledResidualBlock) {
+  auto body = std::make_unique<nn::Sequential>();
+  body->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 3, .kernel = 3});
+  body->add<nn::ReLU>();
+  body->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 3, .kernel = 3});
+  nn::Residual residual(std::move(body), nullptr, 0.1f);
+  expect_session_matches_forward(residual, {2, 3, 6, 6}, 19);
+}
+
+TEST(SessionTest, BitExactForConcatBranches) {
+  nn::Concat concat;
+  auto& conv_branch = concat.add_branch<nn::Sequential>();
+  conv_branch.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 4, .kernel = 3});
+  auto& pointwise_branch = concat.add_branch<nn::Sequential>();
+  // A pointwise-only branch reads the pinned plan input, covering the
+  // emit_pointwise copy fallback.
+  pointwise_branch.add<nn::ReLU>();
+  expect_session_matches_forward(concat, {2, 3, 6, 6}, 23);
+}
+
+// ---- primitive hooks with no SR-network user: Linear, GroupNorm -------------
+
+TEST(SessionTest, BitExactForLinear) {
+  nn::Linear linear(8, 5);
+  expect_session_matches_forward(linear, {4, 8}, 43);
+}
+
+TEST(SessionTest, BitExactForGroupNormChain) {
+  nn::Sequential net;
+  net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 8, .kernel = 3});
+  net.add<nn::GroupNorm>(8, 4);
+  net.add<nn::ReLU6>();
+  expect_session_matches_forward(net, {2, 3, 6, 6}, 47);
+}
+
+// ---- degenerate configs fall back instead of mis-compiling ------------------
+
+TEST(SessionTest, ZeroInnerStageSesrReportsUnsupported) {
+  // m = 0 would need the long residual to double a pinned buffer in place;
+  // it must advertise itself as non-compilable so callers use forward().
+  models::Sesr degenerate({0, 16, 256, 2, 3}, models::Sesr::Form::kInference);
+  EXPECT_FALSE(degenerate.supports_compiled_inference());
+  EXPECT_THROW(static_cast<void>(runtime::InferencePlan::compile(degenerate, {1, 3, 8, 8})),
+               std::invalid_argument);
+}
+
+// ---- pinning: in-place activations must not corrupt residual sources --------
+
+TEST(SessionTest, InPlaceActivationsPreserveResidualSources) {
+  // SESR's long feature residual reads the stage-0 activation output many
+  // steps later; if an inner activation ran in place on that pinned buffer
+  // the result would silently diverge from forward().
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  expect_session_matches_forward(sesr, {1, 3, 16, 16}, 29);
+}
+
+// ---- concurrency: N sessions over one shared plan ---------------------------
+
+TEST(SessionTest, ConcurrentSessionsOverSharedPlanAreDeterministic) {
+  models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  Rng rng(31);
+  sesr.init_weights(rng);
+  const Shape in_shape{1, 3, 12, 12};
+  const Tensor x = seeded_input(in_shape, 37);
+  const Tensor reference = sesr.forward(x);
+
+  const auto plan = InferencePlan::compile(sesr, in_shape);
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 8;
+  std::vector<float> worst(kThreads, -1.0f);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session(plan);
+      float w = 0.0f;
+      Tensor out(plan->output_shape());
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        session.run_into(x, out);
+        w = std::max(w, reference.max_abs_diff(out));
+      }
+      worst[static_cast<size_t>(t)] = w;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(worst[static_cast<size_t>(t)], 0.0f);
+}
+
+// ---- plan/session contract ---------------------------------------------------
+
+TEST(SessionTest, CompileRejectsUnsupportedModules) {
+  nn::Sequential net;
+  net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 4, .kernel = 3});
+  net.add<nn::MaxPool2d>(2, 2);  // no infer_into -> the chain cannot compile
+  EXPECT_FALSE(net.supports_compiled_inference());
+  EXPECT_THROW(static_cast<void>(InferencePlan::compile(net, {1, 3, 8, 8})),
+               std::invalid_argument);
+}
+
+TEST(SessionTest, RunRejectsWrongInputShape) {
+  models::Fsrcnn fsrcnn;
+  Rng rng(41);
+  fsrcnn.init_weights(rng);
+  const auto plan = InferencePlan::compile(fsrcnn, {1, 3, 8, 8});
+  Session session(plan);
+  EXPECT_THROW(static_cast<void>(session.run(Tensor({1, 3, 9, 9}))), std::invalid_argument);
+}
+
+TEST(SessionTest, PlanReportsActivationFootprint) {
+  models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  const auto plan = InferencePlan::compile(sesr, {1, 3, 16, 16});
+  EXPECT_GT(plan->activation_floats(), 0);
+  EXPECT_FALSE(plan->steps().empty());
+}
+
+}  // namespace
+}  // namespace sesr::runtime

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "tensor/parallel.h"
@@ -48,6 +49,41 @@ TEST(ParallelTest, NestedCallsRunInline) {
 }
 
 TEST(ParallelTest, NumThreadsIsPositive) { EXPECT_GE(num_threads(), 1); }
+
+TEST(ParallelTest, ExceptionsPropagateToCallerAndPoolSurvives) {
+  EXPECT_THROW(
+      parallel_for(0, 1000, [](int64_t, int64_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must stay serviceable after a failed job.
+  std::atomic<int64_t> total{0};
+  parallel_for(0, 100, [&](int64_t lo, int64_t hi) { total.fetch_add(hi - lo); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelTest, ConcurrentCallersShareThePoolSafely) {
+  // Several independent threads issuing parallel_for at once (the serving
+  // pattern: one runtime::Session per thread) must each see their own range
+  // covered exactly once, with no deadlock even when the pool is saturated.
+  constexpr int kCallers = 6;
+  constexpr int64_t kRange = 500;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kRange);
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        parallel_for(0, kRange, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(c)][static_cast<size_t>(i)].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c)
+    for (const auto& h : hits[static_cast<size_t>(c)]) EXPECT_EQ(h.load(), 20);
+}
 
 }  // namespace
 }  // namespace sesr

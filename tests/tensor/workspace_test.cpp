@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tensor/workspace.h"
+
+namespace sesr {
+namespace {
+
+TEST(WorkspaceTest, SpansAreDisjointAndStableAcrossGrowth) {
+  Workspace ws;
+  std::span<float> a = ws.floats(100);
+  std::iota(a.begin(), a.end(), 0.0f);
+  // A request far beyond the first chunk forces a new chunk; `a` must keep
+  // its storage (chunked arena, no realloc).
+  std::span<float> b = ws.floats(1 << 20);
+  b[0] = -1.0f;
+  b[b.size() - 1] = -2.0f;
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], static_cast<float>(i));
+}
+
+TEST(WorkspaceTest, ResetRetainsCapacityAndReusesMemory) {
+  Workspace ws;
+  std::span<float> first = ws.floats(512);
+  float* base = first.data();
+  const int64_t cap = ws.capacity();
+  EXPECT_GE(cap, 512);
+
+  ws.reset();
+  EXPECT_EQ(ws.capacity(), cap);
+  std::span<float> again = ws.floats(512);
+  EXPECT_EQ(again.data(), base);  // same chunk, no new allocation
+}
+
+TEST(WorkspaceTest, ZeroSizeSpanIsEmpty) {
+  Workspace ws;
+  EXPECT_TRUE(ws.floats(0).empty());
+  EXPECT_THROW(static_cast<void>(ws.floats(-1)), std::invalid_argument);
+}
+
+TEST(WorkspaceTest, ManySmallAsksStayWithinOneChunkAfterWarmup) {
+  Workspace ws;
+  for (int round = 0; round < 3; ++round) {
+    ws.reset();
+    for (int i = 0; i < 16; ++i) static_cast<void>(ws.floats(64));
+  }
+  // 16 * 64 floats fit the minimum chunk; warm-up must not keep growing.
+  EXPECT_LE(ws.capacity(), 4096);
+}
+
+}  // namespace
+}  // namespace sesr
