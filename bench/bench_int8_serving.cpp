@@ -1,0 +1,165 @@
+// Quantised serving: the int8 runtime backend vs fp32, single thread.
+//
+// The paper deploys collapsed SESR as int8 on an Ethos-U55; this bench
+// measures the repo's executed-integer-arithmetic version of that story on
+// the host CPU: for each SR network, calibrate an int8 artifact from
+// representative batches, compile fp32 and int8 plans of the same module,
+// verify fidelity (PSNR vs the fp32 output, max deviation from the
+// fake-quant gold model in output LSBs), then measure back-to-back
+// single-image inference throughput through both plans on one serving
+// thread (SESR_NUM_THREADS=1: kernel arithmetic is the variable, not the
+// pool).
+//
+// Full mode gates on the acceptance target: >= 1.5x int8-over-fp32
+// throughput for collapsed SESR-M5. SESR_BENCH_FAST=1 shrinks the image and
+// the timing windows and gates on fidelity only (CI smoke). Emits
+// BENCH_int8_serving.json (images/sec, PSNR) either way.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/metrics.h"
+#include "models/models.h"
+#include "quant/quant.h"
+#include "runtime/runtime.h"
+
+using namespace sesr;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double measure_imgs_per_sec(double seconds, const std::function<void()>& work) {
+  work();  // warm up buffers and the workspace arena
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+  int64_t count = 0;
+  while (Clock::now() < deadline) {
+    work();
+    ++count;
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(count) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  // Pin the kernel pool to one worker *before* any parallel_for call: this
+  // bench compares kernel arithmetic, not thread scaling.
+  setenv("SESR_NUM_THREADS", "1", 1);
+
+  const char* fast_env = std::getenv("SESR_BENCH_FAST");
+  const bool fast = fast_env != nullptr && fast_env[0] == '1';
+  const int64_t size = fast ? 32 : 64;
+  const double seconds = fast ? 0.25 : 1.5;
+
+  std::printf("\n================================================================================\n");
+  std::printf("INT8 SERVING: quantised runtime backend vs fp32, single thread\n");
+  std::printf("single-image x2 requests, input [1, 3, %lld, %lld], %s timing windows\n",
+              static_cast<long long>(size), static_cast<long long>(size),
+              fast ? "smoke-scale" : "full");
+  std::printf("================================================================================\n\n");
+
+  struct Row {
+    std::string label;
+    std::unique_ptr<nn::Module> net;
+    bool gates = false;  ///< carries the full-mode >= 1.5x throughput gate
+  };
+  std::vector<Row> rows;
+  {
+    auto m5 = std::make_unique<models::Sesr>(models::SesrConfig::m5(),
+                                             models::Sesr::Form::kInference);
+    Rng rng(5);
+    m5->init_weights(rng);
+    rows.push_back({"SESR-M5", std::move(m5), true});
+  }
+  {
+    auto xl = std::make_unique<models::Sesr>(models::SesrConfig::xl(),
+                                             models::Sesr::Form::kInference);
+    Rng rng(6);
+    xl->init_weights(rng);
+    rows.push_back({"SESR-XL", std::move(xl), false});
+  }
+  {
+    auto fsrcnn = std::make_unique<models::Fsrcnn>(models::FsrcnnConfig::paper());
+    Rng rng(7);
+    fsrcnn->init_weights(rng);
+    rows.push_back({"FSRCNN", std::move(fsrcnn), false});
+  }
+  {
+    auto edsr = std::make_unique<models::Edsr>(models::EdsrConfig::base_repo());
+    Rng rng(8);
+    edsr->init_weights(rng);
+    rows.push_back({"EDSR-base", std::move(edsr), false});
+  }
+
+  const Shape shape{1, 3, size, size};
+  std::vector<Tensor> calibration;
+  {
+    Rng rng(9);
+    for (int i = 0; i < 4; ++i) calibration.push_back(Tensor::rand(shape, rng));
+  }
+  Rng probe_rng(10);
+  const Tensor probe = Tensor::rand(shape, probe_rng);
+
+  bench::BenchJson json("int8_serving");
+  std::printf("%-10s | %-14s %-14s %-9s | %-10s %-10s\n", "model", "fp32 img/s",
+              "int8 img/s", "speedup", "PSNR (dB)", "ref (LSB)");
+  std::printf("--------------------------------------------------------------------------------\n");
+
+  bool fidelity_ok = true;
+  double gate_speedup = 0.0;
+  for (Row& row : rows) {
+    const auto artifact = quant::QuantizedModel::calibrate(*row.net, shape, calibration);
+    const auto fp32_plan = runtime::InferencePlan::compile(*row.net, shape);
+    const auto int8_plan = runtime::InferencePlan::compile_int8(*row.net, shape, artifact);
+    runtime::Session fp32_session(fp32_plan), int8_session(int8_plan);
+
+    const Tensor fp32_out = fp32_session.run(probe);
+    const Tensor int8_out = int8_session.run(probe);
+    const Tensor reference = quant::simulate_fake_quant(*row.net, artifact, probe);
+    const double psnr = data::psnr(fp32_out, int8_out);
+    const double lsb = static_cast<double>(int8_out.max_abs_diff(reference)) /
+                       artifact.steps().back().out.scale;
+    if (lsb > 1.001) fidelity_ok = false;
+
+    Tensor fp32_dst(fp32_plan->output_shape()), int8_dst(int8_plan->output_shape());
+    const double fp32_rate =
+        measure_imgs_per_sec(seconds, [&] { fp32_session.run_into(probe, fp32_dst); });
+    const double int8_rate =
+        measure_imgs_per_sec(seconds, [&] { int8_session.run_into(probe, int8_dst); });
+    const double speedup = int8_rate / fp32_rate;
+    if (row.gates) gate_speedup = speedup;
+
+    std::printf("%-10s | %-14.1f %-14.1f %-9s | %-10.2f %-10.2f\n", row.label.c_str(),
+                fp32_rate, int8_rate, (bench::fixed(speedup) + "x").c_str(), psnr, lsb);
+    std::fflush(stdout);
+
+    const std::string key = bench::json_key(row.label);
+    json.set(key + ".fp32_imgs_per_sec", fp32_rate);
+    json.set(key + ".int8_imgs_per_sec", int8_rate);
+    json.set(key + ".speedup", speedup);
+    json.set(key + ".psnr_int8_vs_fp32_db", psnr);
+    json.set(key + ".max_ref_deviation_lsb", lsb);
+  }
+
+  json.set("gate.speedup_sesr_m5", gate_speedup);
+  json.set("gate.threshold", 1.5);
+  json.write();
+
+  std::printf("\n-> fidelity: every net within 1 LSB of the fake-quant gold model [%s]\n",
+              fidelity_ok ? "PASS" : "FAIL");
+  std::printf("-> SESR-M5 int8-over-fp32 single-thread speedup: %.2fx (target >= 1.5x) [%s]\n",
+              gate_speedup, gate_speedup >= 1.5 ? "PASS" : "FAIL");
+  if (!fidelity_ok) return 1;
+  // Smoke mode gates on fidelity only: sub-second windows on shared CI
+  // runners are too noisy for a hard throughput ratio.
+  if (fast) return 0;
+  return gate_speedup >= 1.5 ? 0 : 1;
+}

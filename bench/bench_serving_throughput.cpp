@@ -16,9 +16,11 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "models/models.h"
 #include "runtime/runtime.h"
 
@@ -90,6 +92,7 @@ int main() {
               "speedup");
   std::printf("--------------------------------------------------------------------------------\n");
 
+  bench::BenchJson json("serving_throughput");
   double speedup_at_4 = 0.0;
   for (const int n_threads : thread_counts) {
     // Training-API server: one model replica per thread (forward() caches
@@ -122,7 +125,15 @@ int main() {
     if (n_threads == 4) speedup_at_4 = speedup;
     std::printf("%-9d %-22.1f %-22.1f %.2fx\n", n_threads, module_rate, session_rate, speedup);
     std::fflush(stdout);
+
+    const std::string key = "threads_" + std::to_string(n_threads);
+    json.set(key + ".module_imgs_per_sec", module_rate);
+    json.set(key + ".session_imgs_per_sec", session_rate);
+    json.set(key + ".speedup", speedup);
   }
+  json.set("gate.speedup_at_4_threads", speedup_at_4);
+  json.set("gate.threshold", 1.5);
+  json.write();
 
   std::printf("\n-> Session path speedup at 4 threads: %.2fx (target >= 1.5x) [%s]\n",
               speedup_at_4, speedup_at_4 >= 1.5 ? "PASS" : "FAIL");

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -202,6 +203,45 @@ std::string fixed(double value, int precision) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
+}
+
+std::string json_key(std::string label) {
+  for (char& c : label) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c == '-' || c == ' ') c = '_';
+  }
+  return label;
+}
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+void BenchJson::set(const std::string& metric, double value) {
+  for (auto& [name, stored] : metrics_) {
+    if (name == metric) {
+      stored = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(metric, value);
+}
+
+std::string BenchJson::write() const {
+  const char* dir = std::getenv("SESR_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("BenchJson::write: cannot open " + path);
+  os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {\n";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.8g", metrics_[i].second);
+    os << "    \"" << metrics_[i].first << "\": " << value
+       << (i + 1 < metrics_.size() ? ",\n" : "\n");
+  }
+  os << "  }\n}\n";
+  if (!os) throw std::runtime_error("BenchJson::write: write failed for " + path);
+  std::printf("[bench-json] wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace sesr::bench

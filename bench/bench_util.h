@@ -74,4 +74,27 @@ data::SyntheticDiv2k make_div2k_dataset(const BenchConfig& config);
 void print_header(const std::string& title, const BenchConfig& config);
 std::string fixed(double value, int precision = 2);
 
+/// Lowercased, underscore-separated form of a table label ("SESR-M5" ->
+/// "sesr_m5") for use as a BenchJson metric key prefix.
+std::string json_key(std::string label);
+
+/// Machine-readable bench output. Benches record flat metrics
+/// ("sesr_m5.int8_imgs_per_sec") and write() emits BENCH_<name>.json into
+/// SESR_BENCH_JSON_DIR (default: the working directory), so CI and tooling
+/// can track the performance trajectory across commits without parsing
+/// stdout tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  void set(const std::string& metric, double value);
+
+  /// Write BENCH_<name>.json (insertion order preserved); returns the path.
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace sesr::bench

@@ -1,6 +1,8 @@
 #include "core/defense.h"
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace sesr::core {
 
@@ -14,6 +16,46 @@ Tensor DefensePipeline::apply(const Tensor& images) const {
   if (opts_.use_jpeg) x = jpeg_.apply(x);
   if (opts_.use_wavelet) x = wavelet_.apply(x);
   return upscaler_->upscale(x);
+}
+
+namespace {
+
+models::NetworkUpscaler& require_network_upscaler(models::Upscaler& upscaler,
+                                                  const char* who) {
+  auto* network = dynamic_cast<models::NetworkUpscaler*>(&upscaler);
+  if (network == nullptr)
+    throw std::invalid_argument(std::string(who) +
+                                ": the SR stage is not a NetworkUpscaler");
+  return *network;
+}
+
+}  // namespace
+
+void DefensePipeline::calibrate_int8(std::span<const Tensor> low_res_batches,
+                                     const quant::CalibrationOptions& opts) {
+  models::NetworkUpscaler& network =
+      require_network_upscaler(*upscaler_, "DefensePipeline::calibrate_int8");
+  // Calibrate on what the SR network actually consumes: the batches after
+  // the pipeline's own JPEG / wavelet stages.
+  std::vector<Tensor> transformed;
+  transformed.reserve(low_res_batches.size());
+  for (const Tensor& batch : low_res_batches) {
+    Tensor x = batch;
+    if (opts_.use_jpeg) x = jpeg_.apply(x);
+    if (opts_.use_wavelet) x = wavelet_.apply(x);
+    transformed.push_back(std::move(x));
+  }
+  network.calibrate_int8(transformed, opts);
+}
+
+void DefensePipeline::set_precision(runtime::Precision precision) {
+  require_network_upscaler(*upscaler_, "DefensePipeline::set_precision")
+      .set_precision(precision);
+}
+
+runtime::Precision DefensePipeline::precision() const {
+  auto* network = dynamic_cast<const models::NetworkUpscaler*>(upscaler_.get());
+  return network != nullptr ? network->precision() : runtime::Precision::kFloat32;
 }
 
 }  // namespace sesr::core

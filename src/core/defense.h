@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "models/upscaler.h"
@@ -34,6 +35,11 @@ struct DefenseOptions {
 /// training API, so apply() is allocation-light there and safe to call
 /// concurrently from multiple serving threads. A non-compilable network
 /// falls back to Module::forward, which is NOT concurrency-safe.
+///
+/// Precision knob: calibrate_int8() quantises the SR stage (genuine integer
+/// kernels, the paper's Ethos-U55 deployment arithmetic) so the gray-box
+/// evaluator can score robustness under the int8 the hardware actually runs;
+/// set_precision() flips between fp32 and int8 serving afterwards.
 class DefensePipeline {
  public:
   DefensePipeline(std::shared_ptr<models::Upscaler> upscaler, DefenseOptions opts = {});
@@ -41,6 +47,18 @@ class DefensePipeline {
   /// Apply the full pipeline to an [N, 3, H, W] batch in [0,1]; returns the
   /// defended [N, 3, 2H, 2W] batch.
   [[nodiscard]] Tensor apply(const Tensor& images) const;
+
+  /// Calibrate the SR stage's int8 artifact from representative *raw* LR
+  /// batches (the pipeline applies its JPEG/wavelet stages first, so the
+  /// observers see exactly the distribution the SR network serves) and
+  /// switch SR serving to int8. Requires a NetworkUpscaler SR stage.
+  void calibrate_int8(std::span<const Tensor> low_res_batches,
+                      const quant::CalibrationOptions& opts = {});
+
+  /// Serving precision of the SR stage (kFloat32 for interpolation
+  /// upscalers). set_precision(kInt8) requires a prior calibrate_int8.
+  void set_precision(runtime::Precision precision);
+  [[nodiscard]] runtime::Precision precision() const;
 
   /// Row label for result tables (the upscaler's label).
   [[nodiscard]] std::string label() const { return upscaler_->label(); }

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+
+#include "tensor/int8_kernels.h"
 
 namespace sesr::hw {
 
@@ -13,6 +16,171 @@ NetworkCost summarize(const nn::Module& model, const Shape& input) {
     cost.params += info.params;
     cost.macs += info.macs;
   }
+  return cost;
+}
+
+namespace {
+
+nn::LayerInfo step_info(nn::LayerKind kind, std::string name, const Shape& in,
+                        const Shape& out) {
+  nn::LayerInfo info;
+  info.kind = kind;
+  info.name = std::move(name);
+  info.input = in;
+  info.output = out;
+  return info;
+}
+
+}  // namespace
+
+std::vector<nn::LayerInfo> int8_plan_layers(const runtime::InferencePlan& plan) {
+  using Kind = runtime::PlanStep::Kind;
+  if (plan.precision() != runtime::Precision::kInt8)
+    throw std::invalid_argument("int8_plan_layers: int8 plans only");
+  if (plan.input_shape().ndim() >= 1 && plan.input_shape()[0] != 1)
+    throw std::invalid_argument("int8_plan_layers: compile the plan at batch size 1");
+
+  const auto& shapes = plan.buffer_shapes();
+  const auto shape_of = [&](int id) -> const Shape& {
+    return shapes[static_cast<size_t>(id)];
+  };
+
+  std::vector<nn::LayerInfo> infos;
+  for (const runtime::PlanStep& step : plan.steps()) {
+    const runtime::QStepData* q =
+        step.qdata >= 0 ? &plan.qstep_data()[static_cast<size_t>(step.qdata)] : nullptr;
+    const Shape& out = shape_of(step.output);
+    switch (step.kind) {
+      case Kind::kLayer: {
+        // Float fallback: the layer's own trace (macs, params) carries over.
+        step.layer->trace(shape_of(step.input), &infos);
+        break;
+      }
+      case Kind::kQConv: {
+        nn::LayerInfo info = step_info(nn::LayerKind::kConv2d, step.layer->name(),
+                                       shape_of(step.input), out);
+        info.kernel_h = info.kernel_w = q->kernel;
+        info.stride = q->stride;
+        // Geometry, not q->weights.size(): the packed rows carry alignment
+        // padding that never leaves the host.
+        info.params = q->out_c * q->in_c * q->kernel * q->kernel +
+                      static_cast<int64_t>(q->bias.size());
+        Int8ConvSpec spec;
+        spec.in_c = q->in_c;
+        spec.out_c = q->out_c;
+        spec.kernel = q->kernel;
+        info.macs = int8_conv2d_macs(spec, out[2], out[3]);
+        infos.push_back(std::move(info));
+        break;
+      }
+      case Kind::kQDepthwise: {
+        nn::LayerInfo info = step_info(nn::LayerKind::kDepthwiseConv2d, step.layer->name(),
+                                       shape_of(step.input), out);
+        info.kernel_h = info.kernel_w = q->kernel;
+        info.stride = q->stride;
+        info.params = static_cast<int64_t>(q->weights.size() + q->bias.size());
+        Int8DepthwiseSpec spec;
+        spec.channels = q->in_c;
+        spec.kernel = q->kernel;
+        info.macs = int8_depthwise_macs(spec, out[2], out[3]);
+        infos.push_back(std::move(info));
+        break;
+      }
+      case Kind::kQLinear: {
+        nn::LayerInfo info = step_info(nn::LayerKind::kLinear, step.layer->name(),
+                                       shape_of(step.input), out);
+        info.params = static_cast<int64_t>(q->weights.size() + q->bias.size());
+        Int8LinearSpec spec;
+        spec.in_features = q->in_c;
+        spec.out_features = q->out_c;
+        info.macs = int8_linear_macs(spec);
+        infos.push_back(std::move(info));
+        break;
+      }
+      case Kind::kQActivation:
+        infos.push_back(step_info(nn::LayerKind::kActivation, "int8_" + step.layer->name(),
+                                  shape_of(step.input), out));
+        break;
+      case Kind::kQAdd:
+        infos.push_back(
+            step_info(nn::LayerKind::kElementwise, "int8_add", out, out));
+        break;
+      case Kind::kQScale:
+        infos.push_back(
+            step_info(nn::LayerKind::kElementwise, "int8_scale", out, out));
+        break;
+      case Kind::kQConcat:
+        infos.push_back(step_info(nn::LayerKind::kConcat, "int8_concat", out, out));
+        break;
+      case Kind::kQDepthToSpace:
+        infos.push_back(step_info(nn::LayerKind::kDepthToSpace, "int8_depth2space",
+                                  shape_of(step.input), out));
+        break;
+      case Kind::kQTileChannels:
+        infos.push_back(step_info(nn::LayerKind::kIdentity, "int8_tile_channels",
+                                  shape_of(step.input), out));
+        break;
+      case Kind::kQuantize:
+        infos.push_back(step_info(nn::LayerKind::kIdentity, "quantize",
+                                  shape_of(step.input), out));
+        break;
+      case Kind::kDequantize:
+        infos.push_back(step_info(nn::LayerKind::kIdentity, "dequantize",
+                                  shape_of(step.input), out));
+        break;
+      case Kind::kFakeQuant:
+        infos.push_back(step_info(nn::LayerKind::kIdentity, "fake_quant", out, out));
+        break;
+      case Kind::kAdd:
+        infos.push_back(step_info(nn::LayerKind::kElementwise, "add", out, out));
+        break;
+      case Kind::kScale:
+        infos.push_back(step_info(nn::LayerKind::kElementwise, "scale", out, out));
+        break;
+      case Kind::kConcat:
+        infos.push_back(step_info(nn::LayerKind::kConcat, "concat", out, out));
+        break;
+    }
+  }
+  return infos;
+}
+
+Int8PlanCost summarize_int8(const runtime::InferencePlan& plan) {
+  using Kind = runtime::PlanStep::Kind;
+  Int8PlanCost cost;
+  for (const nn::LayerInfo& info : int8_plan_layers(plan)) cost.fallback_macs += info.macs;
+  // Split integer-kernel MACs out of the total: tally them directly from the
+  // plan's lowered steps (the same int8_*_macs the trace above used).
+  for (const runtime::PlanStep& step : plan.steps()) {
+    if (step.qdata < 0) continue;
+    const runtime::QStepData& q = plan.qstep_data()[static_cast<size_t>(step.qdata)];
+    const Shape& out = plan.buffer_shapes()[static_cast<size_t>(step.output)];
+    int64_t macs = 0;
+    int64_t device_weights = static_cast<int64_t>(q.weights.size());
+    if (step.kind == Kind::kQConv) {
+      Int8ConvSpec spec;
+      spec.in_c = q.in_c;
+      spec.out_c = q.out_c;
+      spec.kernel = q.kernel;
+      macs = int8_conv2d_macs(spec, out[2], out[3]);
+      device_weights = q.out_c * q.in_c * q.kernel * q.kernel;  // minus host padding
+    } else if (step.kind == Kind::kQDepthwise) {
+      Int8DepthwiseSpec spec;
+      spec.channels = q.in_c;
+      spec.kernel = q.kernel;
+      macs = int8_depthwise_macs(spec, out[2], out[3]);
+    } else if (step.kind == Kind::kQLinear) {
+      Int8LinearSpec spec;
+      spec.in_features = q.in_c;
+      spec.out_features = q.out_c;
+      macs = int8_linear_macs(spec);
+    } else {
+      continue;
+    }
+    cost.integer_macs += macs;
+    cost.weight_bytes += device_weights;  // int8 on device
+  }
+  cost.fallback_macs -= cost.integer_macs;
   return cost;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "runtime/plan.h"
 
 namespace sesr::hw {
 
@@ -24,6 +25,27 @@ struct NetworkCost {
 
 /// Trace `model` at `input` (NCHW, batch of 1 recommended) and total up costs.
 NetworkCost summarize(const nn::Module& model, const Shape& input);
+
+/// Cost summary of a lowered int8 plan. integer_macs is exactly the number
+/// of integer multiply-accumulates the int8 kernels execute per sample
+/// (int8_conv2d_macs and friends — the quantity the Ethos-U55 model prices);
+/// fallback_macs covers layers still on the float path; weight_bytes is the
+/// int8 weight payload resident on the accelerator.
+struct Int8PlanCost {
+  int64_t integer_macs = 0;
+  int64_t fallback_macs = 0;
+  int64_t weight_bytes = 0;
+};
+
+/// Tally a compiled int8 plan (batch size 1; throws otherwise).
+Int8PlanCost summarize_int8(const runtime::InferencePlan& plan);
+
+/// Synthesize the LayerInfo trace of a lowered int8 plan — one record per
+/// executed step, with int8-kernel MAC counts — so the analytic NPU model
+/// prices the *compiled* integer program rather than the float module
+/// structure. Quantise/dequantise boundary steps appear as pure data
+/// movement; float-fallback layer steps expand to their module's own trace.
+std::vector<nn::LayerInfo> int8_plan_layers(const runtime::InferencePlan& plan);
 
 /// Pretty-print helpers for table rows ("10.6K", "0.948B").
 std::string human_count(double value);

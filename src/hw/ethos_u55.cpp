@@ -117,4 +117,8 @@ LatencyReport EthosU55Model::estimate(const nn::Module& model, const Shape& inpu
   return estimate(model.layers(input));
 }
 
+LatencyReport EthosU55Model::estimate_int8(const runtime::InferencePlan& plan) const {
+  return estimate(int8_plan_layers(plan));
+}
+
 }  // namespace sesr::hw

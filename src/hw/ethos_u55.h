@@ -79,6 +79,14 @@ class EthosU55Model {
   /// Convenience: trace `model` at `input` and estimate.
   [[nodiscard]] LatencyReport estimate(const nn::Module& model, const Shape& input) const;
 
+  /// Estimate a *compiled int8 plan* (batch size 1): each lowered step is
+  /// priced from the integer kernels' actual op counts (hw::int8_plan_layers)
+  /// — conv/depthwise/linear steps on the MAC array, quantise/dequantise
+  /// boundaries and pixel ops as pure data movement, activations fused. This
+  /// is the latency of the program the runtime executes, not of the float
+  /// module structure.
+  [[nodiscard]] LatencyReport estimate_int8(const runtime::InferencePlan& plan) const;
+
   [[nodiscard]] const EthosU55Config& config() const { return config_; }
 
  private:

@@ -1,10 +1,31 @@
 #include "models/upscaler.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace sesr::models {
+namespace {
+
+/// Hard ceiling on idle sessions retained per shape, from SESR_SESSION_CAP
+/// (sessions own full activation arenas, so memory-constrained deployments
+/// want a small cap; 0 disables retention entirely). Unset or unparsable:
+/// no extra cap — the observed serving parallelism bounds retention on its
+/// own. Read per call (once per session return) so the knob can change at
+/// run time.
+int64_t idle_session_cap() {
+  if (const char* env = std::getenv("SESR_SESSION_CAP")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    // A typo ("unlimited", "4k") must not silently become cap 0.
+    if (end != env && *end == '\0' && parsed >= 0) return static_cast<int64_t>(parsed);
+  }
+  return std::numeric_limits<int64_t>::max();
+}
+
+}  // namespace
 
 NetworkUpscaler::NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network)
     : label_(std::move(label)),
@@ -28,9 +49,72 @@ std::shared_ptr<const runtime::InferencePlan> NetworkUpscaler::plan_for(const Sh
   // repeated shapes are exactly what the cache is for.
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = plans_.find(key);
-  if (it == plans_.end())
-    it = plans_.emplace(key, runtime::InferencePlan::compile(*network_, input)).first;
+  if (it == plans_.end()) {
+    auto plan = precision_ == runtime::Precision::kInt8
+                    ? runtime::InferencePlan::compile_int8(*network_, input, *artifact_)
+                    : runtime::InferencePlan::compile(*network_, input);
+    it = plans_.emplace(key, std::move(plan)).first;
+  }
   return it->second;
+}
+
+void NetworkUpscaler::reset_serving_state_locked() {
+  plans_.clear();
+  session_pools_.clear();
+}
+
+void NetworkUpscaler::set_precision(runtime::Precision precision) {
+  if (!compilable_ && precision == runtime::Precision::kInt8)
+    throw std::invalid_argument("NetworkUpscaler::set_precision: " + label_ +
+                                " does not support compiled inference");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (precision == runtime::Precision::kInt8 && artifact_ == nullptr)
+    throw std::invalid_argument(
+        "NetworkUpscaler::set_precision: no quantised artifact — calibrate_int8 first");
+  if (precision_ == precision) return;
+  precision_ = precision;
+  reset_serving_state_locked();
+}
+
+runtime::Precision NetworkUpscaler::precision() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return precision_;
+}
+
+void NetworkUpscaler::calibrate_int8(std::span<const Tensor> batches,
+                                     const quant::CalibrationOptions& opts) {
+  if (batches.empty())
+    throw std::invalid_argument("NetworkUpscaler::calibrate_int8: no batches");
+  if (!compilable_)
+    throw std::invalid_argument("NetworkUpscaler::calibrate_int8: " + label_ +
+                                " does not support compiled inference");
+  auto artifact = std::make_shared<quant::QuantizedModel>(
+      quant::QuantizedModel::calibrate(*network_, batches.front().shape(), batches, opts));
+  set_quantized_model(std::move(artifact));
+}
+
+void NetworkUpscaler::set_quantized_model(
+    std::shared_ptr<const quant::QuantizedModel> artifact) {
+  if (artifact == nullptr)
+    throw std::invalid_argument("NetworkUpscaler::set_quantized_model: null artifact");
+  if (!compilable_)
+    throw std::invalid_argument("NetworkUpscaler::set_quantized_model: " + label_ +
+                                " does not support compiled inference");
+  std::lock_guard<std::mutex> lock(mutex_);
+  artifact_ = std::move(artifact);
+  precision_ = runtime::Precision::kInt8;
+  reset_serving_state_locked();
+}
+
+std::shared_ptr<const quant::QuantizedModel> NetworkUpscaler::quantized_model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return artifact_;
+}
+
+int64_t NetworkUpscaler::idle_session_count(const Shape& input) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = session_pools_.find(input.to_string());
+  return it == session_pools_.end() ? 0 : static_cast<int64_t>(it->second.idle.size());
 }
 
 std::unique_ptr<runtime::Session> NetworkUpscaler::checkout_session(const Shape& input) {
@@ -53,13 +137,18 @@ void NetworkUpscaler::return_session(const Shape& input,
                                      std::unique_ptr<runtime::Session> session) {
   // Sessions own full activation arenas, so cap how many idle ones a shape
   // retains at the observed serving parallelism (`peak`) — retaining more
-  // than were ever simultaneously checked out buys nothing. (Plans are
-  // retained per shape unboundedly, but hold only the step list and shape
-  // table — no activation memory.) Beyond the cap the session is destroyed.
+  // than were ever simultaneously checked out buys nothing — further capped
+  // by SESR_SESSION_CAP for memory-constrained deployments. (Plans are
+  // retained per shape unboundedly, but hold only the step list, shape table
+  // and packed weights — no activation memory.) Beyond the cap the session
+  // is destroyed. A session compiled for another precision (the pools were
+  // reset while it was checked out) is likewise dropped.
   std::lock_guard<std::mutex> lock(mutex_);
   SessionPool& pool = session_pools_[input.to_string()];
   --pool.live;
-  if (session != nullptr && static_cast<int64_t>(pool.idle.size()) < pool.peak)
+  const int64_t cap = std::min(pool.peak, idle_session_cap());
+  if (session != nullptr && static_cast<int64_t>(pool.idle.size()) < cap &&
+      session->plan().precision() == precision_)
     pool.idle.push_back(std::move(session));
 }
 

@@ -11,11 +11,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "nn/module.h"
 #include "preprocess/interpolation.h"
+#include "quant/quantized_model.h"
 #include "runtime/runtime.h"
 #include "tensor/tensor.h"
 
@@ -56,6 +58,14 @@ class Upscaler {
 /// upscale() calls serve in parallel with zero steady-state allocation in
 /// the network itself. Networks that cannot compile (e.g. containing layers
 /// without infer_into) transparently fall back to Module::forward.
+///
+/// Precision knob: after calibrate_int8 (or set_quantized_model with a
+/// pre-built artifact) the upscaler serves through int8 plans — genuine
+/// integer kernels, the deployment arithmetic of the paper's Ethos-U55
+/// target — and set_precision switches between fp32 and int8 serving at any
+/// time. The idle-session retention per shape is additionally capped by the
+/// SESR_SESSION_CAP environment variable (default: the observed serving
+/// parallelism).
 class NetworkUpscaler final : public Upscaler {
  public:
   NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network);
@@ -69,15 +79,36 @@ class NetworkUpscaler final : public Upscaler {
   [[nodiscard]] nn::Module& network() { return *network_; }
   [[nodiscard]] const nn::Module& network() const { return *network_; }
 
-  /// Compiled plan for the given batched NCHW input shape (cached; compiles
-  /// on first use). Returns nullptr when the network does not support
-  /// compiled inference. Useful for building extra sessions externally.
+  /// Compiled plan (at the current serving precision) for the given batched
+  /// NCHW input shape (cached; compiles on first use). Returns nullptr when
+  /// the network does not support compiled inference. Useful for building
+  /// extra sessions externally.
   [[nodiscard]] std::shared_ptr<const runtime::InferencePlan> plan_for(const Shape& input);
+
+  /// Serving precision. kInt8 requires an artifact (calibrate_int8 /
+  /// set_quantized_model); switching drops cached plans and pooled sessions.
+  void set_precision(runtime::Precision precision);
+  [[nodiscard]] runtime::Precision precision() const;
+
+  /// Calibrate an int8 artifact from representative LR batches (all shaped
+  /// like batches.front()) and switch serving to int8.
+  void calibrate_int8(std::span<const Tensor> batches,
+                      const quant::CalibrationOptions& opts = {});
+
+  /// Install a pre-calibrated artifact (e.g. loaded from disk) and switch
+  /// serving to int8.
+  void set_quantized_model(std::shared_ptr<const quant::QuantizedModel> artifact);
+  [[nodiscard]] std::shared_ptr<const quant::QuantizedModel> quantized_model() const;
+
+  /// Idle sessions currently pooled for a shape (ops/testing introspection;
+  /// bounded by the observed serving parallelism and SESR_SESSION_CAP).
+  [[nodiscard]] int64_t idle_session_count(const Shape& input) const;
 
  private:
   /// Per-shape session pool. `live` counts checked-out sessions; `peak` is
   /// the high-water of concurrent checkouts — the observed serving
-  /// parallelism — and caps how many idle sessions the shape retains.
+  /// parallelism — and (together with SESR_SESSION_CAP) caps how many idle
+  /// sessions the shape retains.
   struct SessionPool {
     std::vector<std::unique_ptr<runtime::Session>> idle;
     int64_t live = 0;
@@ -87,12 +118,15 @@ class NetworkUpscaler final : public Upscaler {
   std::unique_ptr<runtime::Session> checkout_session(const Shape& input);
   /// Return a checked-out session (nullptr = it died with an exception).
   void return_session(const Shape& input, std::unique_ptr<runtime::Session> session);
+  void reset_serving_state_locked();
 
   std::string label_;
   std::shared_ptr<nn::Module> network_;
   bool compilable_;
 
-  std::mutex mutex_;  // guards the two maps below
+  mutable std::mutex mutex_;  // guards precision/artifact and the two maps
+  runtime::Precision precision_ = runtime::Precision::kFloat32;
+  std::shared_ptr<const quant::QuantizedModel> artifact_;
   std::map<std::string, std::shared_ptr<const runtime::InferencePlan>> plans_;
   std::map<std::string, SessionPool> session_pools_;
 };

@@ -55,6 +55,8 @@ class LeakyReLU final : public Module {
   [[nodiscard]] bool supports_compiled_inference() const override { return true; }
   int compile_inference(InferenceBuilder& builder, int input) const override;
 
+  [[nodiscard]] float slope() const { return slope_; }
+
  private:
   float slope_;
   Tensor cached_input_;

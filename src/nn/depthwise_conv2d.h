@@ -31,6 +31,7 @@ class DepthwiseConv2d final : public Module {
   void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
   [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
+  [[nodiscard]] const DepthwiseConv2dOptions& options() const { return opts_; }
   [[nodiscard]] Parameter& weight() { return weight_; }
   [[nodiscard]] Parameter& bias() { return bias_; }
 

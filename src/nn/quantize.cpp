@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace sesr::nn {
@@ -9,19 +10,37 @@ namespace sesr::nn {
 float fake_quantize_(Tensor& values, const QuantizationSpec& spec) {
   if (spec.bits < 2 || spec.bits > 16)
     throw std::invalid_argument("fake_quantize_: bits in [2, 16]");
-  float lo = values.min(), hi = values.max();
-  if (spec.symmetric) {
-    const float bound = std::max(std::abs(lo), std::abs(hi));
-    lo = -bound;
-    hi = bound;
-  }
-  if (hi - lo < 1e-12f) return 0.0f;  // constant tensor: representable exactly
+  const float lo = values.min(), hi = values.max();
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("fake_quantize_: non-finite values");
 
-  const int64_t qmax = (int64_t{1} << spec.bits) - 1;
-  const float scale = (hi - lo) / static_cast<float>(qmax);
+  if (spec.symmetric) {
+    // Symmetric grid: q in [-qmax, qmax], zero at the centre — exactly the
+    // int-N weight convention. A constant tensor (including all-zero) still
+    // gets a positive scale: its magnitude (or 1) becomes the range bound, so
+    // downstream consumers never divide by a zero scale.
+    float bound = std::max(std::abs(lo), std::abs(hi));
+    if (bound <= 0.0f) bound = 1.0f;
+    const float qmax = static_cast<float>((int64_t{1} << (spec.bits - 1)) - 1);
+    const float scale = std::max(bound / qmax, std::numeric_limits<float>::min());
+    for (float& v : values.flat())
+      v = std::clamp(std::round(v / scale), -qmax, qmax) * scale;
+    return scale;
+  }
+
+  // Asymmetric grid: q in [0, qmax] over [range_lo, range_hi], widened to
+  // contain 0 and anchored so that 0 is exactly representable (zero_point is
+  // an integer grid index). Degenerate ranges — constant tensors, min == max,
+  // all zeros — widen to a positive width instead of collapsing to scale 0.
+  float range_lo = std::min(lo, 0.0f), range_hi = std::max(hi, 0.0f);
+  if (range_hi - range_lo <= 0.0f) range_hi = range_lo + 1.0f;
+  const float qmax = static_cast<float>((int64_t{1} << spec.bits) - 1);
+  const float scale =
+      std::max((range_hi - range_lo) / qmax, std::numeric_limits<float>::min());
+  const float zero_point = std::clamp(std::round(-range_lo / scale), 0.0f, qmax);
   for (float& v : values.flat()) {
-    const float q = std::round((v - lo) / scale);
-    v = std::clamp(q, 0.0f, static_cast<float>(qmax)) * scale + lo;
+    const float q = std::clamp(std::round(v / scale) + zero_point, 0.0f, qmax);
+    v = (q - zero_point) * scale;
   }
   return scale;
 }

@@ -6,6 +6,12 @@
 // boundaries) are rounded through an affine int-N grid and back to float
 // ("fake quant"), which reproduces exactly the representational error of an
 // integer deployment while reusing the float kernels.
+//
+// The *executed*-integer-arithmetic path lives in src/quant (calibration
+// observers, per-channel QParams, QuantizedModel artifacts) and src/runtime
+// (int8 plan compilation); this header remains the lightweight float-only
+// emulation used for arbitrary bit widths and for layers without integer
+// kernels.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +25,13 @@ struct QuantizationSpec {
   bool symmetric = true;  ///< symmetric (weights) vs asymmetric (activations)
 };
 
-/// Round `values` through the int-`bits` grid implied by its min/max and
-/// back to float, in place. Returns the scale used (0 for all-zero input).
+/// Round `values` through the int-`bits` grid implied by its min/max and back
+/// to float, in place. Symmetric grids span [-qmax, qmax] with zero at the
+/// centre; asymmetric grids are widened to contain 0 and anchored so 0 is
+/// exactly representable. Degenerate ranges (constant tensors, min == max,
+/// all zeros) are hardened to a positive width: the returned scale is always
+/// positive and finite, and no input produces NaN. Throws on non-finite
+/// values or bits outside [2, 16].
 float fake_quantize_(Tensor& values, const QuantizationSpec& spec = {});
 
 /// Fake-quantise every parameter of `module` in place (per-tensor scales,

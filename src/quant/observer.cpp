@@ -1,0 +1,47 @@
+#include "quant/observer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::quant {
+
+void MinMaxObserver::observe(const Tensor& values) {
+  const float lo = values.min(), hi = values.max();
+  if (!seen_) {
+    lo_ = lo;
+    hi_ = hi;
+    seen_ = true;
+    return;
+  }
+  lo_ = std::min(lo_, lo);
+  hi_ = std::max(hi_, hi);
+}
+
+MovingAverageObserver::MovingAverageObserver(float momentum) : momentum_(momentum) {
+  if (!(momentum >= 0.0f && momentum < 1.0f))
+    throw std::invalid_argument("MovingAverageObserver: momentum must be in [0, 1)");
+}
+
+void MovingAverageObserver::observe(const Tensor& values) {
+  const float lo = values.min(), hi = values.max();
+  if (!seen_) {
+    lo_ = lo;
+    hi_ = hi;
+    seen_ = true;
+    return;
+  }
+  lo_ = momentum_ * lo_ + (1.0f - momentum_) * lo;
+  hi_ = momentum_ * hi_ + (1.0f - momentum_) * hi;
+}
+
+std::unique_ptr<Observer> make_observer(ObserverKind kind) {
+  switch (kind) {
+    case ObserverKind::kMinMax:
+      return std::make_unique<MinMaxObserver>();
+    case ObserverKind::kMovingAverage:
+      return std::make_unique<MovingAverageObserver>();
+  }
+  throw std::invalid_argument("make_observer: unknown kind");
+}
+
+}  // namespace sesr::quant

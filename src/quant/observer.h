@@ -1,0 +1,73 @@
+// Calibration observers: estimate activation ranges from representative data.
+//
+// Post-training quantisation picks each tensor's int8 grid from statistics of
+// real activations. An Observer accumulates those statistics over calibration
+// batches; qparams() converts them into the affine grid the runtime uses.
+// Two estimators are provided, mirroring the standard PTQ toolbox:
+//
+//  - MinMaxObserver: the absolute min/max ever seen. Safest (no clipping),
+//    but a single outlier batch can stretch the grid and waste resolution.
+//  - MovingAverageObserver: an exponential moving average of per-batch
+//    min/max. Smooths outliers at the cost of possible slight clipping —
+//    the usual choice when many calibration batches are available.
+#pragma once
+
+#include <memory>
+
+#include "quant/qparams.h"
+#include "tensor/tensor.h"
+
+namespace sesr::quant {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// Fold one calibration batch into the range estimate.
+  virtual void observe(const Tensor& values) = 0;
+
+  /// True once at least one batch has been observed.
+  [[nodiscard]] bool seen() const { return seen_; }
+  [[nodiscard]] float min() const { return lo_; }
+  [[nodiscard]] float max() const { return hi_; }
+
+  /// Asymmetric activation grid for the observed range. Valid (and hardened
+  /// against degenerate ranges) even before any observation.
+  [[nodiscard]] QParams qparams() const {
+    return choose_activation_qparams(seen_ ? lo_ : 0.0f, seen_ ? hi_ : 0.0f);
+  }
+
+ protected:
+  bool seen_ = false;
+  float lo_ = 0.0f;
+  float hi_ = 0.0f;
+};
+
+/// Running absolute min/max over all observed batches.
+class MinMaxObserver final : public Observer {
+ public:
+  void observe(const Tensor& values) override;
+};
+
+/// Exponential moving average of per-batch min/max:
+///   range <- momentum * range + (1 - momentum) * batch_range
+/// (first batch initialises the range directly).
+class MovingAverageObserver final : public Observer {
+ public:
+  explicit MovingAverageObserver(float momentum = 0.9f);
+  void observe(const Tensor& values) override;
+
+  [[nodiscard]] float momentum() const { return momentum_; }
+
+ private:
+  float momentum_;
+};
+
+enum class ObserverKind {
+  kMinMax,
+  kMovingAverage,
+};
+
+[[nodiscard]] std::unique_ptr<Observer> make_observer(ObserverKind kind);
+
+}  // namespace sesr::quant

@@ -1,0 +1,68 @@
+#include "quant/qparams.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/int8_kernels.h"
+
+namespace sesr::quant {
+
+int32_t QParams::quantize(float v) const {
+  // round_half_up in double: the runtime's single rounding convention (see
+  // tensor/int8_kernels.h) — the quantise step and the gold model must agree.
+  const int32_t q =
+      round_half_up(static_cast<double>(v) / static_cast<double>(scale)) + zero_point;
+  return std::clamp(q, kActQMin, kActQMax);
+}
+
+QParams choose_activation_qparams(float lo, float hi) {
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("choose_activation_qparams: non-finite range");
+  // The encoded range must contain 0 so that zero (padding, ReLU floors,
+  // residual identities) is exactly representable.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  if (hi - lo <= 0.0f) hi = 1.0f;  // all-zero calibration: any positive width works
+
+  const double levels = static_cast<double>(kActQMax) - static_cast<double>(kActQMin);
+  double scale = (static_cast<double>(hi) - static_cast<double>(lo)) / levels;
+  // Guard against denormal/underflowed widths (hi and lo adjacent floats).
+  scale = std::max(scale, static_cast<double>(std::numeric_limits<float>::min()));
+
+  // zero_point: the integer that dequantises to exactly 0.
+  const double zp = static_cast<double>(kActQMin) - static_cast<double>(lo) / scale;
+  QParams qp;
+  qp.scale = static_cast<float>(scale);
+  qp.zero_point = static_cast<int32_t>(std::clamp(
+      std::round(zp), static_cast<double>(kActQMin), static_cast<double>(kActQMax)));
+  return qp;
+}
+
+float choose_weight_scale(float max_abs) {
+  if (!std::isfinite(max_abs))
+    throw std::invalid_argument("choose_weight_scale: non-finite bound");
+  max_abs = std::abs(max_abs);
+  if (max_abs <= 0.0f) return 1.0f / static_cast<float>(kWeightQMax);  // all-zero channel
+  const double scale = std::max(static_cast<double>(max_abs) / kWeightQMax,
+                                static_cast<double>(std::numeric_limits<float>::min()));
+  return static_cast<float>(scale);
+}
+
+void quantize_activations(std::span<const float> values, const QParams& qp,
+                          std::span<int8_t> out) {
+  for (size_t i = 0; i < values.size(); ++i)
+    out[i] = static_cast<int8_t>(qp.quantize(values[i]));
+}
+
+void dequantize_activations(std::span<const int8_t> values, const QParams& qp,
+                            std::span<float> out) {
+  for (size_t i = 0; i < values.size(); ++i) out[i] = qp.dequantize(values[i]);
+}
+
+void fake_quantize_with(Tensor& values, const QParams& qp) {
+  for (float& v : values.flat()) v = qp.dequantize(qp.quantize(v));
+}
+
+}  // namespace sesr::quant

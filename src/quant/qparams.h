@@ -1,0 +1,67 @@
+// Affine quantisation parameters for the int8 serving path.
+//
+// A float tensor x is represented on an integer grid as q = round(x / scale)
+// + zero_point, clamped to [qmin, qmax]; dequantisation is x ~= scale *
+// (q - zero_point). Activations use the full asymmetric int8 range
+// [-128, 127]; weights use the symmetric range [-127, 127] with zero_point 0
+// (per tensor or per output channel), which keeps integer convolution free of
+// weight-offset correction terms — the Ethos-U55's native convention.
+//
+// choose_qparams is hardened against the degenerate ranges calibration can
+// produce (constant activations, all-zero tensors): the encoded range always
+// contains 0, always has positive width, and the returned scale is always a
+// positive finite float — downstream integer kernels never see a zero or NaN
+// scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sesr::quant {
+
+/// Activation grid: asymmetric int8.
+inline constexpr int32_t kActQMin = -128;
+inline constexpr int32_t kActQMax = 127;
+/// Weight grid: symmetric int8 (−128 unused so that |q| <= 127).
+inline constexpr int32_t kWeightQMax = 127;
+
+/// Per-tensor affine quantisation parameters.
+struct QParams {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+
+  [[nodiscard]] int32_t quantize(float v) const;
+  [[nodiscard]] float dequantize(int32_t q) const {
+    return scale * static_cast<float>(q - zero_point);
+  }
+
+  bool operator==(const QParams& other) const {
+    return scale == other.scale && zero_point == other.zero_point;
+  }
+  bool operator!=(const QParams& other) const { return !(*this == other); }
+};
+
+/// Asymmetric activation parameters covering [lo, hi] (widened to include 0;
+/// degenerate ranges get a positive width). Throws on non-finite bounds.
+[[nodiscard]] QParams choose_activation_qparams(float lo, float hi);
+
+/// Symmetric per-tensor weight scale for values in [-bound, bound]; always
+/// positive and finite. zero_point is 0 by construction.
+[[nodiscard]] float choose_weight_scale(float max_abs);
+
+/// Quantise `values` onto the asymmetric activation grid described by `qp`.
+void quantize_activations(std::span<const float> values, const QParams& qp,
+                          std::span<int8_t> out);
+
+/// Dequantise int8 activations back to float.
+void dequantize_activations(std::span<const int8_t> values, const QParams& qp,
+                            std::span<float> out);
+
+/// Round `values` through the grid of `qp` and back to float, in place — the
+/// float-kernel emulation of an int8 tensor ("fake quant").
+void fake_quantize_with(Tensor& values, const QParams& qp);
+
+}  // namespace sesr::quant

@@ -1,0 +1,14 @@
+// Umbrella header for the quantisation subsystem.
+//
+// src/quant is the post-training-quantisation layer between nn (float
+// modules) and runtime (compiled plans): calibration observers estimate
+// activation ranges over representative batches, QParams describe the affine
+// int8 grids, and QuantizedModel freezes a calibrated module into the
+// serving artifact (int8 weights, int32 biases, requantisation scales) that
+// runtime::InferencePlan::compile_int8 lowers onto the integer kernels in
+// tensor/int8_kernels.h.
+#pragma once
+
+#include "quant/observer.h"
+#include "quant/qparams.h"
+#include "quant/quantized_model.h"

@@ -1,0 +1,599 @@
+#include "quant/quantized_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/linear.h"
+#include "nn/pixel_ops.h"
+#include "runtime/plan.h"
+#include "runtime/session.h"
+
+namespace sesr::quant {
+namespace {
+
+/// Which int8 backend op a float-plan step lowers to. Layers without integer
+/// kernels (transposed conv, normalisation, pooling, ...) are kFallback.
+StepOp classify(const runtime::PlanStep& step) {
+  using Kind = runtime::PlanStep::Kind;
+  switch (step.kind) {
+    case Kind::kAdd:
+      return StepOp::kAdd;
+    case Kind::kScale:
+      return StepOp::kScale;
+    case Kind::kConcat:
+      return StepOp::kConcat;
+    case Kind::kLayer:
+      break;
+    default:
+      throw std::logic_error("QuantizedModel: float-plan steps only");
+  }
+  const nn::Module* layer = step.layer;
+  if (dynamic_cast<const nn::Conv2d*>(layer) != nullptr) return StepOp::kConv2d;
+  if (dynamic_cast<const nn::DepthwiseConv2d*>(layer) != nullptr) return StepOp::kDepthwise;
+  if (dynamic_cast<const nn::Linear*>(layer) != nullptr) return StepOp::kLinear;
+  if (dynamic_cast<const nn::ReLU*>(layer) != nullptr ||
+      dynamic_cast<const nn::ReLU6*>(layer) != nullptr ||
+      dynamic_cast<const nn::LeakyReLU*>(layer) != nullptr ||
+      dynamic_cast<const nn::PReLU*>(layer) != nullptr)
+    return StepOp::kActivation;
+  if (dynamic_cast<const nn::DepthToSpace*>(layer) != nullptr) return StepOp::kDepthToSpace;
+  if (dynamic_cast<const nn::TileChannels*>(layer) != nullptr) return StepOp::kTileChannels;
+  return StepOp::kFallback;
+}
+
+/// Symmetric int8 quantisation of a weight tensor seen as `rows` equal rows
+/// (out channels). Per-channel: one scale per row; per-tensor: a single
+/// scale entry applied to every row.
+void quantize_weight_rows(const Tensor& weight, int64_t rows, bool per_channel,
+                          std::vector<int8_t>& q, std::vector<float>& scales) {
+  const int64_t numel = weight.numel();
+  const int64_t row_len = numel / rows;
+  q.resize(static_cast<size_t>(numel));
+  const auto quantize_row = [&](int64_t r, float scale) {
+    const float* src = weight.data() + r * row_len;
+    for (int64_t j = 0; j < row_len; ++j) {
+      const auto v = static_cast<int32_t>(std::lround(src[j] / scale));
+      q[static_cast<size_t>(r * row_len + j)] =
+          static_cast<int8_t>(std::clamp(v, -kWeightQMax, kWeightQMax));
+    }
+  };
+  if (per_channel) {
+    scales.resize(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      float max_abs = 0.0f;
+      const float* src = weight.data() + r * row_len;
+      for (int64_t j = 0; j < row_len; ++j) max_abs = std::max(max_abs, std::abs(src[j]));
+      scales[static_cast<size_t>(r)] = choose_weight_scale(max_abs);
+      quantize_row(r, scales[static_cast<size_t>(r)]);
+    }
+  } else {
+    float max_abs = 0.0f;
+    for (const float v : weight.flat()) max_abs = std::max(max_abs, std::abs(v));
+    scales.assign(1, choose_weight_scale(max_abs));
+    for (int64_t r = 0; r < rows; ++r) quantize_row(r, scales[0]);
+  }
+}
+
+float scale_of_row(const StepQuant& rec, int64_t row) {
+  return rec.weight_scales.size() == 1 ? rec.weight_scales[0]
+                                       : rec.weight_scales[static_cast<size_t>(row)];
+}
+
+/// Bias on the int32 accumulator grid: b / (s_in * s_w[row]).
+void quantize_bias(const Tensor& bias, const StepQuant& rec, std::vector<int32_t>& out) {
+  out.resize(static_cast<size_t>(bias.numel()));
+  for (int64_t r = 0; r < bias.numel(); ++r) {
+    const double acc_scale =
+        static_cast<double>(rec.in.scale) * static_cast<double>(scale_of_row(rec, r));
+    const double q = std::round(static_cast<double>(bias[r]) / acc_scale);
+    out[static_cast<size_t>(r)] = static_cast<int32_t>(
+        std::clamp(q, static_cast<double>(std::numeric_limits<int32_t>::min()),
+                   static_cast<double>(std::numeric_limits<int32_t>::max())));
+  }
+}
+
+/// Weight and (optional) bias parameters of a layer, via the logically-const
+/// parameters() enumeration (see Module::num_params for the convention).
+struct WeightView {
+  const Tensor* weight = nullptr;
+  const Tensor* bias = nullptr;
+  int64_t rows = 0;  ///< out channels / features
+};
+
+WeightView weight_view(const nn::Module* layer, StepOp op) {
+  WeightView view;
+  auto* mutable_layer = const_cast<nn::Module*>(layer);
+  if (op == StepOp::kConv2d) {
+    auto& conv = dynamic_cast<nn::Conv2d&>(*mutable_layer);
+    view.weight = &conv.weight().value;
+    view.bias = &conv.bias().value;
+    view.rows = conv.options().out_channels;
+  } else if (op == StepOp::kDepthwise) {
+    auto& dw = dynamic_cast<nn::DepthwiseConv2d&>(*mutable_layer);
+    view.weight = &dw.weight().value;
+    view.bias = &dw.bias().value;
+    view.rows = dw.options().channels;
+  } else {
+    auto& linear = dynamic_cast<nn::Linear&>(*mutable_layer);
+    view.weight = &linear.weight().value;
+    view.bias = &linear.bias().value;
+    view.rows = linear.weight().value.dim(0);
+  }
+  return view;
+}
+
+void validate_records(const std::vector<StepQuant>& records,
+                      const std::vector<runtime::PlanStep>& steps, const char* who) {
+  if (records.size() != steps.size())
+    throw std::invalid_argument(std::string(who) + ": artifact holds " +
+                                std::to_string(records.size()) +
+                                " step records but the plan has " +
+                                std::to_string(steps.size()) + " steps");
+  for (size_t k = 0; k < steps.size(); ++k)
+    if (records[k].name != runtime::step_identity(steps[k]))
+      throw std::invalid_argument(std::string(who) + ": step " + std::to_string(k) +
+                                  " is '" + runtime::step_identity(steps[k]) +
+                                  "' but the artifact recorded '" + records[k].name + "'");
+}
+
+}  // namespace
+
+QuantizedModel QuantizedModel::calibrate(const nn::Module& module, const Shape& input,
+                                         std::span<const Tensor> batches,
+                                         const CalibrationOptions& opts) {
+  if (batches.empty())
+    throw std::invalid_argument("QuantizedModel::calibrate: no calibration batches");
+  const auto plan = runtime::InferencePlan::compile(module, input);
+  runtime::Session session(plan);
+
+  auto input_observer = make_observer(opts.observer);
+  std::vector<std::unique_ptr<Observer>> observers;
+  observers.reserve(plan->steps().size());
+  for (size_t k = 0; k < plan->steps().size(); ++k)
+    observers.push_back(make_observer(opts.observer));
+
+  Tensor output(plan->output_shape());
+  for (const Tensor& batch : batches) {
+    if (batch.shape() != input)
+      throw std::invalid_argument("QuantizedModel::calibrate: batch " +
+                                  batch.shape().to_string() + " but plan expects " +
+                                  input.to_string());
+    input_observer->observe(batch);
+    session.run_hooked(batch, output, [&](int k, Tensor& step_out) {
+      observers[static_cast<size_t>(k)]->observe(step_out);
+    });
+  }
+
+  QuantizedModel artifact;
+  artifact.per_channel_ = opts.per_channel_weights;
+  artifact.input_ = input_observer->qparams();
+
+  // Walk the plan tracking each buffer's grid, exactly as the runtime
+  // lowering will: a step's input grid is whatever its producer wrote.
+  std::vector<QParams> grid(plan->buffer_shapes().size());
+  grid[0] = artifact.input_;
+  for (size_t k = 0; k < plan->steps().size(); ++k) {
+    const runtime::PlanStep& step = plan->steps()[k];
+    StepQuant rec;
+    rec.op = classify(step);
+    rec.name = runtime::step_identity(step);
+    if (step.input >= 0) rec.in = grid[static_cast<size_t>(step.input)];
+    switch (rec.op) {
+      case StepOp::kConv2d:
+      case StepOp::kDepthwise:
+      case StepOp::kLinear: {
+        rec.out = observers[k]->qparams();
+        const WeightView view = weight_view(step.layer, rec.op);
+        quantize_weight_rows(*view.weight, view.rows, opts.per_channel_weights,
+                             rec.weights, rec.weight_scales);
+        if (view.bias->numel() > 0) quantize_bias(*view.bias, rec, rec.bias);
+        break;
+      }
+      case StepOp::kDepthToSpace:
+      case StepOp::kTileChannels:
+        rec.out = rec.in;  // pure data movement: the grid travels unchanged
+        break;
+      case StepOp::kAdd:
+        // In-place on step.output: record the destination's pre-add grid as
+        // `in` (diagnostic; the lowering tracks both operand grids itself).
+        rec.in = grid[static_cast<size_t>(step.output)];
+        rec.out = observers[k]->qparams();
+        break;
+      case StepOp::kScale:
+        rec.in = grid[static_cast<size_t>(step.output)];
+        rec.out = observers[k]->qparams();
+        break;
+      case StepOp::kActivation:
+      case StepOp::kConcat:
+      case StepOp::kFallback:
+        rec.out = observers[k]->qparams();
+        break;
+    }
+    grid[static_cast<size_t>(step.output)] = rec.out;
+    artifact.steps_.push_back(std::move(rec));
+  }
+  return artifact;
+}
+
+int64_t QuantizedModel::weight_bytes() const {
+  int64_t total = 0;
+  for (const StepQuant& rec : steps_) total += static_cast<int64_t>(rec.weights.size());
+  return total;
+}
+
+// ---- serialisation ---------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kMagic = 0x51534553u;  // "SESQ" little-endian
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("QuantizedModel::load: truncated file");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& values) {
+  write_pod(os, static_cast<uint64_t>(values.size()));
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is) {
+  const uint64_t count = read_pod<uint64_t>(is);
+  if (count > (uint64_t{1} << 32))
+    throw std::runtime_error("QuantizedModel::load: implausible payload size");
+  std::vector<T> values(static_cast<size_t>(count));
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(T)));
+  if (!is) throw std::runtime_error("QuantizedModel::load: truncated payload");
+  return values;
+}
+
+void write_qparams(std::ostream& os, const QParams& qp) {
+  write_pod(os, qp.scale);
+  write_pod(os, qp.zero_point);
+}
+
+QParams read_qparams(std::istream& is) {
+  QParams qp;
+  qp.scale = read_pod<float>(is);
+  qp.zero_point = read_pod<int32_t>(is);
+  return qp;
+}
+
+}  // namespace
+
+void QuantizedModel::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("QuantizedModel::save: cannot open " + path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint8_t>(per_channel_ ? 1 : 0));
+  write_qparams(os, input_);
+  write_pod(os, static_cast<uint64_t>(steps_.size()));
+  for (const StepQuant& rec : steps_) {
+    write_pod(os, static_cast<uint8_t>(rec.op));
+    write_pod(os, static_cast<uint32_t>(rec.name.size()));
+    os.write(rec.name.data(), static_cast<std::streamsize>(rec.name.size()));
+    write_qparams(os, rec.in);
+    write_qparams(os, rec.out);
+    write_vector(os, rec.weights);
+    write_vector(os, rec.bias);
+    write_vector(os, rec.weight_scales);
+  }
+  if (!os) throw std::runtime_error("QuantizedModel::save: write failed for " + path);
+}
+
+QuantizedModel QuantizedModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("QuantizedModel::load: cannot open " + path);
+  if (read_pod<uint32_t>(is) != kMagic)
+    throw std::runtime_error("QuantizedModel::load: bad magic in " + path);
+  if (read_pod<uint32_t>(is) != kVersion)
+    throw std::runtime_error("QuantizedModel::load: unsupported version in " + path);
+  QuantizedModel artifact;
+  artifact.per_channel_ = read_pod<uint8_t>(is) != 0;
+  artifact.input_ = read_qparams(is);
+  const uint64_t count = read_pod<uint64_t>(is);
+  if (count > (uint64_t{1} << 24))
+    throw std::runtime_error("QuantizedModel::load: implausible step count");
+  artifact.steps_.reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    StepQuant rec;
+    const uint8_t op = read_pod<uint8_t>(is);
+    if (op > static_cast<uint8_t>(StepOp::kFallback))
+      throw std::runtime_error("QuantizedModel::load: unknown step op in " + path);
+    rec.op = static_cast<StepOp>(op);
+    const uint32_t name_len = read_pod<uint32_t>(is);
+    if (name_len > 4096) throw std::runtime_error("QuantizedModel::load: implausible name");
+    rec.name.resize(name_len);
+    is.read(rec.name.data(), static_cast<std::streamsize>(name_len));
+    if (!is) throw std::runtime_error("QuantizedModel::load: truncated name");
+    rec.in = read_qparams(is);
+    rec.out = read_qparams(is);
+    rec.weights = read_vector<int8_t>(is);
+    rec.bias = read_vector<int32_t>(is);
+    rec.weight_scales = read_vector<float>(is);
+    artifact.steps_.push_back(std::move(rec));
+  }
+  return artifact;
+}
+
+// ---- fake-quant reference executor -----------------------------------------
+//
+// A gold-model interpreter of the float plan: every integer-covered op
+// (conv / depthwise / linear / activations / pixel ops / add / scale /
+// concat) is evaluated in double precision over dequantised artifact weights,
+// and every step output is rounded onto its calibrated grid — the exact real
+// arithmetic the int8 kernels approximate, free of float32 kernel noise.
+// Layers without integer kernels run their float infer_into on the same
+// fake-quantised inputs the int8 fallback path sees, so the two executors
+// stay step-for-step comparable on every compilable network.
+
+namespace {
+
+void fake_quant_doubles(std::vector<double>& values, const QParams& qp) {
+  const double scale = static_cast<double>(qp.scale);
+  for (double& v : values) {
+    // round_half_up: the runtime's single rounding convention.
+    const int32_t q = std::clamp(round_half_up(v / scale) + qp.zero_point,
+                                 kActQMin, kActQMax);
+    v = static_cast<double>(q - qp.zero_point) * scale;
+  }
+}
+
+/// Dequantised weight row value in double: q_w * s_w[row], exact.
+double dequant_weight(const StepQuant& rec, int64_t j, int64_t row_len) {
+  return static_cast<double>(rec.weights[static_cast<size_t>(j)]) *
+         static_cast<double>(scale_of_row(rec, j / row_len));
+}
+
+double dequant_bias(const StepQuant& rec, int64_t row) {
+  if (rec.bias.empty()) return 0.0;
+  return static_cast<double>(rec.bias[static_cast<size_t>(row)]) *
+         static_cast<double>(rec.in.scale) * static_cast<double>(scale_of_row(rec, row));
+}
+
+void reference_conv2d(const std::vector<double>& in, const Shape& in_shape,
+                      const nn::Conv2dOptions& o, const StepQuant& rec,
+                      std::vector<double>& out, const Shape& out_shape) {
+  const int64_t n = in_shape[0], h = in_shape[2], w = in_shape[3];
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+  const int64_t k = o.kernel, pad = o.effective_padding();
+  const int64_t row_len = o.in_channels * k * k;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t oc = 0; oc < o.out_channels; ++oc)
+      for (int64_t oh = 0; oh < out_h; ++oh)
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = dequant_bias(rec, oc);
+          for (int64_t ic = 0; ic < o.in_channels; ++ic)
+            for (int64_t kh = 0; kh < k; ++kh)
+              for (int64_t kw = 0; kw < k; ++kw) {
+                const int64_t ih = oh * o.stride - pad + kh;
+                const int64_t iw = ow * o.stride - pad + kw;
+                if (ih < 0 || ih >= h || iw < 0 || iw >= w) continue;
+                const int64_t widx = oc * row_len + (ic * k + kh) * k + kw;
+                acc += dequant_weight(rec, widx, row_len) *
+                       in[static_cast<size_t>(((i * in_shape[1] + ic) * h + ih) * w + iw)];
+              }
+          out[static_cast<size_t>(((i * out_shape[1] + oc) * out_h + oh) * out_w + ow)] =
+              acc;
+        }
+}
+
+void reference_depthwise(const std::vector<double>& in, const Shape& in_shape,
+                         const nn::DepthwiseConv2dOptions& o, const StepQuant& rec,
+                         std::vector<double>& out, const Shape& out_shape) {
+  const int64_t n = in_shape[0], h = in_shape[2], w = in_shape[3];
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+  const int64_t k = o.kernel, pad = o.effective_padding();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t c = 0; c < o.channels; ++c)
+      for (int64_t oh = 0; oh < out_h; ++oh)
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = dequant_bias(rec, c);
+          for (int64_t kh = 0; kh < k; ++kh)
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t ih = oh * o.stride - pad + kh;
+              const int64_t iw = ow * o.stride - pad + kw;
+              if (ih < 0 || ih >= h || iw < 0 || iw >= w) continue;
+              acc += dequant_weight(rec, c * k * k + kh * k + kw, k * k) *
+                     in[static_cast<size_t>(((i * o.channels + c) * h + ih) * w + iw)];
+            }
+          out[static_cast<size_t>(((i * o.channels + c) * out_h + oh) * out_w + ow)] = acc;
+        }
+}
+
+void reference_linear(const std::vector<double>& in, const Shape& in_shape,
+                      const StepQuant& rec, std::vector<double>& out,
+                      const Shape& out_shape) {
+  const int64_t n = in_shape[0], in_f = in_shape[1], out_f = out_shape[1];
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t o = 0; o < out_f; ++o) {
+      double acc = dequant_bias(rec, o);
+      for (int64_t j = 0; j < in_f; ++j)
+        acc += dequant_weight(rec, o * in_f + j, in_f) *
+               in[static_cast<size_t>(i * in_f + j)];
+      out[static_cast<size_t>(i * out_f + o)] = acc;
+    }
+}
+
+void reference_activation(const nn::Module* layer, const std::vector<double>& in,
+                          const Shape& shape, std::vector<double>& out) {
+  const auto pointwise = [&](auto&& fn) {
+    for (size_t j = 0; j < in.size(); ++j) out[j] = fn(in[j]);
+  };
+  if (dynamic_cast<const nn::ReLU*>(layer) != nullptr) {
+    pointwise([](double v) { return v < 0.0 ? 0.0 : v; });
+  } else if (dynamic_cast<const nn::ReLU6*>(layer) != nullptr) {
+    pointwise([](double v) { return std::clamp(v, 0.0, 6.0); });
+  } else if (const auto* leaky = dynamic_cast<const nn::LeakyReLU*>(layer)) {
+    const double slope = leaky->slope();
+    pointwise([slope](double v) { return v < 0.0 ? slope * v : v; });
+  } else if (const auto* prelu = dynamic_cast<const nn::PReLU*>(layer)) {
+    const Tensor& slopes = const_cast<nn::PReLU*>(prelu)->parameters().front()->value;
+    const int64_t n = shape[0], channels = shape[1], plane = shape[2] * shape[3];
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t c = 0; c < channels; ++c) {
+        const double slope = slopes[c];
+        const size_t base = static_cast<size_t>((i * channels + c) * plane);
+        for (int64_t j = 0; j < plane; ++j) {
+          const double v = in[base + static_cast<size_t>(j)];
+          out[base + static_cast<size_t>(j)] = v < 0.0 ? slope * v : v;
+        }
+      }
+  } else {
+    throw std::logic_error("simulate_fake_quant: unsupported activation " + layer->name());
+  }
+}
+
+/// Run a fallback layer's float kernel on the (on-grid) double buffer.
+void reference_fallback(const nn::Module* layer, const std::vector<double>& in,
+                        const Shape& in_shape, std::vector<double>& out,
+                        const Shape& out_shape) {
+  Tensor fin(in_shape);
+  for (int64_t j = 0; j < fin.numel(); ++j)
+    fin[j] = static_cast<float>(in[static_cast<size_t>(j)]);
+  Tensor fout(out_shape);
+  Workspace workspace;
+  layer->infer_into(fin, fout, workspace);
+  for (int64_t j = 0; j < fout.numel(); ++j) out[static_cast<size_t>(j)] = fout[j];
+}
+
+}  // namespace
+
+Tensor simulate_fake_quant(const nn::Module& module, const QuantizedModel& artifact,
+                           const Tensor& input) {
+  const auto plan = runtime::InferencePlan::compile(module, input.shape());
+  const auto& records = artifact.steps();
+  validate_records(records, plan->steps(), "simulate_fake_quant");
+  const auto& shapes = plan->buffer_shapes();
+
+  std::vector<std::vector<double>> buffers(shapes.size());
+  for (size_t i = 0; i < shapes.size(); ++i)
+    buffers[i].resize(static_cast<size_t>(shapes[i].numel()));
+  for (int64_t j = 0; j < input.numel(); ++j) buffers[0][static_cast<size_t>(j)] = input[j];
+  fake_quant_doubles(buffers[0], artifact.input_qparams());
+
+  for (size_t k = 0; k < plan->steps().size(); ++k) {
+    const runtime::PlanStep& step = plan->steps()[k];
+    const StepQuant& rec = records[k];
+    std::vector<double>& out = buffers[static_cast<size_t>(step.output)];
+    const Shape& out_shape = shapes[static_cast<size_t>(step.output)];
+    switch (rec.op) {
+      case StepOp::kConv2d: {
+        const auto& conv = dynamic_cast<const nn::Conv2d&>(*step.layer);
+        reference_conv2d(buffers[static_cast<size_t>(step.input)],
+                         shapes[static_cast<size_t>(step.input)], conv.options(), rec,
+                         out, out_shape);
+        break;
+      }
+      case StepOp::kDepthwise: {
+        const auto& dw = dynamic_cast<const nn::DepthwiseConv2d&>(*step.layer);
+        reference_depthwise(buffers[static_cast<size_t>(step.input)],
+                            shapes[static_cast<size_t>(step.input)], dw.options(), rec,
+                            out, out_shape);
+        break;
+      }
+      case StepOp::kLinear:
+        reference_linear(buffers[static_cast<size_t>(step.input)],
+                         shapes[static_cast<size_t>(step.input)], rec, out, out_shape);
+        break;
+      case StepOp::kActivation: {
+        // May run in place (out aliases in); the pointwise loops tolerate it.
+        const auto& in = buffers[static_cast<size_t>(step.input)];
+        reference_activation(step.layer, in, shapes[static_cast<size_t>(step.input)], out);
+        break;
+      }
+      case StepOp::kDepthToSpace: {
+        const Shape& in_shape = shapes[static_cast<size_t>(step.input)];
+        const std::vector<double>& in = buffers[static_cast<size_t>(step.input)];
+        const int64_t n = in_shape[0], c_in = in_shape[1];
+        const int64_t h = in_shape[2], w = in_shape[3];
+        const int64_t r = out_shape[2] / h, c_out = out_shape[1];
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t c = 0; c < c_out; ++c)
+            for (int64_t dy = 0; dy < r; ++dy)
+              for (int64_t dx = 0; dx < r; ++dx)
+                for (int64_t y = 0; y < h; ++y)
+                  for (int64_t x = 0; x < w; ++x)
+                    out[static_cast<size_t>(
+                        ((i * c_out + c) * h * r + (y * r + dy)) * w * r + x * r + dx)] =
+                        in[static_cast<size_t>(
+                            ((i * c_in + c * r * r + dy * r + dx) * h + y) * w + x)];
+        break;
+      }
+      case StepOp::kTileChannels: {
+        const Shape& in_shape = shapes[static_cast<size_t>(step.input)];
+        const std::vector<double>& in = buffers[static_cast<size_t>(step.input)];
+        const int64_t n = in_shape[0], c = in_shape[1];
+        const int64_t plane = in_shape[2] * in_shape[3];
+        const int64_t times = out_shape[1] / c;
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t ch = 0; ch < c; ++ch)
+            for (int64_t t = 0; t < times; ++t)
+              for (int64_t j = 0; j < plane; ++j)
+                out[static_cast<size_t>((((i * c + ch) * times + t)) * plane + j)] =
+                    in[static_cast<size_t>((i * c + ch) * plane + j)];
+        break;
+      }
+      case StepOp::kAdd: {
+        const std::vector<double>& src = buffers[static_cast<size_t>(step.input)];
+        for (size_t j = 0; j < out.size(); ++j) out[j] += src[j];
+        break;
+      }
+      case StepOp::kScale: {
+        const double alpha = step.alpha;
+        for (double& v : out) v *= alpha;
+        break;
+      }
+      case StepOp::kConcat: {
+        const int64_t n = out_shape[0], total_c = out_shape[1];
+        const int64_t hw = out_shape[2] * out_shape[3];
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t c_off = 0;
+          for (int src : step.sources) {
+            const std::vector<double>& o = buffers[static_cast<size_t>(src)];
+            const int64_t c = shapes[static_cast<size_t>(src)][1];
+            for (int64_t j = 0; j < c * hw; ++j)
+              out[static_cast<size_t>((i * total_c + c_off) * hw + j)] =
+                  o[static_cast<size_t>(i * c * hw + j)];
+            c_off += c;
+          }
+        }
+        break;
+      }
+      case StepOp::kFallback:
+        reference_fallback(step.layer, buffers[static_cast<size_t>(step.input)],
+                           shapes[static_cast<size_t>(step.input)], out, out_shape);
+        break;
+    }
+    fake_quant_doubles(out, rec.out);
+  }
+
+  const std::vector<double>& result = buffers[static_cast<size_t>(plan->output_buffer())];
+  Tensor output(plan->output_shape());
+  for (int64_t j = 0; j < output.numel(); ++j)
+    output[j] = static_cast<float>(result[static_cast<size_t>(j)]);
+  return output;
+}
+
+}  // namespace sesr::quant

@@ -1,0 +1,105 @@
+// The quantised serving artifact: everything the int8 runtime backend needs
+// beyond the float module itself.
+//
+// QuantizedModel::calibrate compiles a module's float inference plan, runs
+// representative batches through it with per-step range observers, and
+// freezes the result into one record per plan step: the calibrated output
+// grid (QParams), and — for layers with integer kernels — int8 weights
+// (symmetric, per-tensor or per-output-channel), int32 biases on the
+// accumulator grid (scale s_in * s_w[oc]), and the per-channel weight scales
+// from which the runtime derives its fixed-point requantisation multipliers.
+// The record sequence mirrors the plan's step sequence, which is a function
+// of the module's structure alone (not the input shape), so one calibrated
+// artifact serves int8 plans at any input resolution.
+//
+// The artifact serialises to a standalone binary (save/load) and round-trips
+// bit-identically — deploy-once, serve-anywhere. simulate_fake_quant() is the
+// float-kernel twin of the int8 backend (dequantised weights, per-step
+// activation fake-quant): the reference the integer kernels are validated
+// against, and the fallback semantics for layers without integer kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "quant/observer.h"
+#include "quant/qparams.h"
+
+namespace sesr::quant {
+
+struct CalibrationOptions {
+  ObserverKind observer = ObserverKind::kMinMax;
+  /// Per-output-channel weight scales (sharper grids for convs whose filters
+  /// differ in magnitude — the Ethos-U55 convention). Per-tensor otherwise.
+  bool per_channel_weights = true;
+};
+
+/// How one plan step executes under the int8 backend.
+enum class StepOp : uint8_t {
+  kConv2d = 0,        ///< integer conv kernel (packed weights)
+  kDepthwise = 1,     ///< integer depthwise kernel
+  kLinear = 2,        ///< integer fully-connected kernel
+  kActivation = 3,    ///< integer pointwise activation
+  kDepthToSpace = 4,  ///< data movement, grid unchanged
+  kTileChannels = 5,  ///< data movement, grid unchanged
+  kAdd = 6,           ///< saturating integer residual add
+  kScale = 7,         ///< integer rescale
+  kConcat = 8,        ///< per-source integer rescale into the concat buffer
+  kFallback = 9,      ///< float kernel bracketed by (de)quantisation
+};
+
+/// Quantisation record for one plan step.
+struct StepQuant {
+  StepOp op = StepOp::kFallback;
+  std::string name;  ///< plan-step identity ("conv3x3_16_16", "add", ...)
+  QParams in;        ///< input grid (weight layers; consistency-checked at lowering)
+  QParams out;       ///< calibrated output grid
+
+  // Weight payloads — kConv2d / kDepthwise / kLinear only.
+  std::vector<int8_t> weights;       ///< layer layout, row-major
+  std::vector<int32_t> bias;         ///< accumulator grid; empty = no bias
+  std::vector<float> weight_scales;  ///< per out channel, or a single entry
+};
+
+class QuantizedModel {
+ public:
+  /// Calibrate `module` (which must support compiled inference) over
+  /// representative `batches`, all shaped `input`. Throws when the module
+  /// cannot compile, no batches are given, or a batch shape mismatches.
+  static QuantizedModel calibrate(const nn::Module& module, const Shape& input,
+                                  std::span<const Tensor> batches,
+                                  const CalibrationOptions& opts = {});
+
+  [[nodiscard]] const QParams& input_qparams() const { return input_; }
+  [[nodiscard]] const std::vector<StepQuant>& steps() const { return steps_; }
+  [[nodiscard]] bool per_channel() const { return per_channel_; }
+
+  /// Total int8 weight bytes held by the artifact (diagnostics).
+  [[nodiscard]] int64_t weight_bytes() const;
+
+  /// Binary (de)serialisation; round-trips bit-identically.
+  void save(const std::string& path) const;
+  static QuantizedModel load(const std::string& path);
+
+ private:
+  QuantizedModel() = default;
+
+  QParams input_;
+  std::vector<StepQuant> steps_;
+  bool per_channel_ = true;
+};
+
+/// The fake-quant gold model the int8 backend is validated against: an
+/// interpreter of `module`'s float plan that evaluates every integer-covered
+/// op in double precision over the artifact's dequantised weights and rounds
+/// each step output onto its calibrated grid (layers without integer kernels
+/// run their float kernel, exactly as the int8 fallback path does). The int8
+/// session agrees with this reference to within one LSB of the output grid.
+[[nodiscard]] Tensor simulate_fake_quant(const nn::Module& module,
+                                         const QuantizedModel& artifact,
+                                         const Tensor& input);
+
+}  // namespace sesr::quant

@@ -1,9 +1,18 @@
 #include "runtime/plan.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise_conv2d.h"
 #include "nn/inference.h"
+#include "nn/linear.h"
+#include "nn/pixel_ops.h"
+#include "quant/quantized_model.h"
 
 namespace sesr::runtime {
 
@@ -21,7 +30,7 @@ class PlanBuilder final : public nn::InferenceBuilder {
 
   int emit_layer(const nn::Module& layer, int input) override {
     const int output = add_buffer(layer.trace(shape_of(input), nullptr));
-    plan_.steps_.push_back({PlanStep::Kind::kLayer, &layer, input, output, 1.0f, {}});
+    plan_.steps_.push_back({PlanStep::Kind::kLayer, &layer, input, output, 1.0f, {}, -1});
     return output;
   }
 
@@ -29,7 +38,7 @@ class PlanBuilder final : public nn::InferenceBuilder {
     const Shape out_shape = layer.trace(shape_of(input), nullptr);
     if (pinned_.count(input) != 0 || out_shape != shape_of(input))
       return emit_layer(layer, input);
-    plan_.steps_.push_back({PlanStep::Kind::kLayer, &layer, input, input, 1.0f, {}});
+    plan_.steps_.push_back({PlanStep::Kind::kLayer, &layer, input, input, 1.0f, {}, -1});
     return input;
   }
 
@@ -38,12 +47,12 @@ class PlanBuilder final : public nn::InferenceBuilder {
     if (shape_of(dst) != shape_of(src))
       throw std::logic_error("PlanBuilder::emit_add: shape mismatch " +
                              shape_of(dst).to_string() + " vs " + shape_of(src).to_string());
-    plan_.steps_.push_back({PlanStep::Kind::kAdd, nullptr, src, dst, 1.0f, {}});
+    plan_.steps_.push_back({PlanStep::Kind::kAdd, nullptr, src, dst, 1.0f, {}, -1});
   }
 
   void emit_scale(int dst, float alpha) override {
     check_writable(dst, "emit_scale");
-    plan_.steps_.push_back({PlanStep::Kind::kScale, nullptr, -1, dst, alpha, {}});
+    plan_.steps_.push_back({PlanStep::Kind::kScale, nullptr, -1, dst, alpha, {}, -1});
   }
 
   int emit_concat(const std::vector<int>& srcs) override {
@@ -57,7 +66,7 @@ class PlanBuilder final : public nn::InferenceBuilder {
       total_c += s[1];
     }
     const int output = add_buffer({first[0], total_c, first[2], first[3]});
-    plan_.steps_.push_back({PlanStep::Kind::kConcat, nullptr, -1, output, 1.0f, srcs});
+    plan_.steps_.push_back({PlanStep::Kind::kConcat, nullptr, -1, output, 1.0f, srcs, -1});
     return output;
   }
 
@@ -89,6 +98,21 @@ class PlanBuilder final : public nn::InferenceBuilder {
   std::unordered_set<int> pinned_;
 };
 
+std::string step_identity(const PlanStep& step) {
+  switch (step.kind) {
+    case PlanStep::Kind::kLayer:
+      return step.layer->name();
+    case PlanStep::Kind::kAdd:
+      return "add";
+    case PlanStep::Kind::kScale:
+      return "scale";
+    case PlanStep::Kind::kConcat:
+      return "concat";
+    default:
+      throw std::logic_error("step_identity: float-plan steps only");
+  }
+}
+
 std::shared_ptr<const InferencePlan> InferencePlan::compile(const nn::Module& module,
                                                             const Shape& input) {
   if (!module.supports_compiled_inference())
@@ -106,13 +130,383 @@ std::shared_ptr<const InferencePlan> InferencePlan::compile(const nn::Module& mo
   return plan;
 }
 
+// ---- int8 lowering ---------------------------------------------------------
+
+/// Lowers a compiled float program onto the int8 backend, one step at a time.
+/// Each buffer id carries a domain state — float content, int8 content, and
+/// the grid (QParams) of that content — and conversions (quantize /
+/// dequantize) are emitted lazily where a consumer needs the other domain.
+/// Every float-executed step is followed by an explicit fake-quant of its
+/// output, so the float fallback is numerically the activation-fake-quant
+/// emulation of an int8 tensor and a later re-quantisation is lossless.
+class Int8Lowering {
+ public:
+  Int8Lowering(const InferencePlan& src, const quant::QuantizedModel& artifact,
+               InferencePlan& dst)
+      : src_(src), artifact_(artifact), dst_(dst) {
+    dst_.precision_ = Precision::kInt8;
+    dst_.buffer_shapes_ = src_.buffer_shapes_;
+    dst_.output_ = src_.output_;
+    const size_t n = src_.buffer_shapes_.size();
+    dst_.float_needed_.assign(n, 0);
+    dst_.int8_needed_.assign(n, 0);
+    states_.resize(n);
+    states_[0] = {true, false, artifact_.input_qparams()};
+    dst_.float_needed_[0] = 1;
+  }
+
+  void run() {
+    const auto& records = artifact_.steps();
+    if (records.size() != src_.steps_.size())
+      throw std::invalid_argument(
+          "compile_int8: artifact holds " + std::to_string(records.size()) +
+          " step records but the plan has " + std::to_string(src_.steps_.size()) +
+          " steps — calibrated from a different module?");
+    for (size_t k = 0; k < src_.steps_.size(); ++k) {
+      const PlanStep& step = src_.steps_[k];
+      const quant::StepQuant& rec = records[k];
+      if (rec.name != step_identity(step))
+        throw std::invalid_argument("compile_int8: step " + std::to_string(k) +
+                                    " is '" + step_identity(step) +
+                                    "' but the artifact recorded '" + rec.name + "'");
+      lower_step(step, rec);
+    }
+    ensure_float(dst_.output_);  // sessions hand the caller a float tensor
+  }
+
+ private:
+  struct BufferState {
+    bool has_float = false;
+    bool has_int8 = false;
+    quant::QParams qp;  ///< grid of the buffer's current logical content
+  };
+
+  BufferState& state(int id) { return states_[static_cast<size_t>(id)]; }
+
+  int add_qdata(QStepData data) {
+    dst_.qstep_data_.push_back(std::move(data));
+    return static_cast<int>(dst_.qstep_data_.size()) - 1;
+  }
+
+  void push(PlanStep step) { dst_.steps_.push_back(std::move(step)); }
+
+  void mark_float(int id) { dst_.float_needed_[static_cast<size_t>(id)] = 1; }
+  void mark_int8(int id) { dst_.int8_needed_[static_cast<size_t>(id)] = 1; }
+
+  void set_content(int id, const quant::QParams& qp, bool int8_domain) {
+    state(id) = {!int8_domain, int8_domain, qp};
+  }
+
+  /// Make the int8 twin of `id` valid (emitting a quantize if needed).
+  void ensure_int8(int id) {
+    BufferState& s = state(id);
+    if (s.has_int8) return;
+    if (!s.has_float)
+      throw std::logic_error("Int8Lowering: buffer " + std::to_string(id) +
+                             " read before it was written");
+    QStepData qd;
+    qd.out = s.qp;
+    push({PlanStep::Kind::kQuantize, nullptr, id, id, 1.0f, {}, add_qdata(std::move(qd))});
+    mark_float(id);
+    mark_int8(id);
+    s.has_int8 = true;
+  }
+
+  /// Make the float side of `id` valid (emitting a dequantize if needed).
+  void ensure_float(int id) {
+    BufferState& s = state(id);
+    if (s.has_float) return;
+    if (!s.has_int8)
+      throw std::logic_error("Int8Lowering: buffer " + std::to_string(id) +
+                             " read before it was written");
+    QStepData qd;
+    qd.in_a = s.qp;
+    push({PlanStep::Kind::kDequantize, nullptr, id, id, 1.0f, {}, add_qdata(std::move(qd))});
+    mark_float(id);
+    mark_int8(id);
+    s.has_float = true;
+  }
+
+  /// Float content of `id` that is *on the int8 grid*. For every buffer but
+  /// the plan input that is what ensure_float yields (all float writers
+  /// fake-quantise); buffer 0 holds the caller's raw tensor and is read-only,
+  /// so its on-grid float view lives in a shadow buffer fed by
+  /// quantize -> dequantize. Without this, a float-fallback layer reading the
+  /// plan input would see values the int8 boundary never transmits.
+  int on_grid_float(int id) {
+    if (id != 0) {
+      ensure_float(id);
+      return id;
+    }
+    if (input_shadow_ < 0) {
+      ensure_int8(0);
+      input_shadow_ = static_cast<int>(dst_.buffer_shapes_.size());
+      dst_.buffer_shapes_.push_back(dst_.buffer_shapes_.front());
+      dst_.float_needed_.push_back(1);
+      dst_.int8_needed_.push_back(0);
+      states_.push_back({true, false, states_[0].qp});
+      QStepData qd;
+      qd.in_a = states_[0].qp;
+      push({PlanStep::Kind::kDequantize, nullptr, 0, input_shadow_, 1.0f, {},
+            add_qdata(std::move(qd))});
+    }
+    return input_shadow_;
+  }
+
+  /// The artifact computed its biases against the input grid it recorded; the
+  /// lowering must agree with it or the accumulator arithmetic is silently
+  /// wrong. Both walks are deterministic over the same plan, so a mismatch
+  /// means artifact/module confusion.
+  void check_input_grid(int id, const quant::StepQuant& rec) const {
+    if (states_[static_cast<size_t>(id)].qp != rec.in)
+      throw std::logic_error("Int8Lowering: input grid of '" + rec.name +
+                             "' disagrees with the artifact record");
+  }
+
+  [[nodiscard]] float weight_scale(const quant::StepQuant& rec, int64_t oc) const {
+    return rec.weight_scales.size() == 1 ? rec.weight_scales[0]
+                                         : rec.weight_scales[static_cast<size_t>(oc)];
+  }
+
+  void pack_weights(const quant::StepQuant& rec, int64_t out_channels, QStepData& qd) const {
+    qd.weights.assign(rec.weights.begin(), rec.weights.end());  // widen int8 -> int16
+    qd.bias = rec.bias;
+    qd.requant.resize(static_cast<size_t>(out_channels));
+    for (int64_t oc = 0; oc < out_channels; ++oc) {
+      const double m = static_cast<double>(rec.in.scale) *
+                       static_cast<double>(weight_scale(rec, oc)) /
+                       static_cast<double>(rec.out.scale);
+      qd.requant[static_cast<size_t>(oc)] = FixedPointMultiplier::from_double(m);
+    }
+  }
+
+  /// Conv weights additionally re-pack onto the kernel's aligned row stride
+  /// (zero-padded rows; see Int8ConvSpec::weights).
+  void pack_conv_weights(const quant::StepQuant& rec, int64_t out_channels,
+                         QStepData& qd) const {
+    pack_weights(rec, out_channels, qd);
+    const int64_t row = static_cast<int64_t>(rec.weights.size()) / out_channels;
+    const int64_t stride = int8_packed_stride(row);
+    std::vector<int16_t> packed(static_cast<size_t>(out_channels * stride), 0);
+    for (int64_t oc = 0; oc < out_channels; ++oc)
+      for (int64_t j = 0; j < row; ++j)
+        packed[static_cast<size_t>(oc * stride + j)] =
+            qd.weights[static_cast<size_t>(oc * row + j)];
+    qd.weights = std::move(packed);
+  }
+
+  void emit_qstep(PlanStep::Kind kind, const PlanStep& step, const quant::StepQuant& rec,
+                  QStepData qd) {
+    push({kind, step.layer, step.input, step.output, step.alpha, step.sources,
+          add_qdata(std::move(qd))});
+    if (step.input >= 0) mark_int8(step.input);
+    mark_int8(step.output);
+    set_content(step.output, rec.out, /*int8_domain=*/true);
+  }
+
+  void lower_step(const PlanStep& step, const quant::StepQuant& rec) {
+    using Op = quant::StepOp;
+    switch (rec.op) {
+      case Op::kConv2d: {
+        const auto* conv = dynamic_cast<const nn::Conv2d*>(step.layer);
+        if (conv == nullptr)
+          throw std::logic_error("Int8Lowering: '" + rec.name + "' is not a Conv2d");
+        ensure_int8(step.input);
+        check_input_grid(step.input, rec);
+        QStepData qd;
+        qd.in_a = rec.in;
+        qd.out = rec.out;
+        const auto& o = conv->options();
+        qd.in_c = o.in_channels;
+        qd.out_c = o.out_channels;
+        qd.kernel = o.kernel;
+        qd.stride = o.stride;
+        qd.pad = o.effective_padding();
+        pack_conv_weights(rec, o.out_channels, qd);
+        emit_qstep(PlanStep::Kind::kQConv, step, rec, std::move(qd));
+        break;
+      }
+      case Op::kDepthwise: {
+        const auto* dw = dynamic_cast<const nn::DepthwiseConv2d*>(step.layer);
+        if (dw == nullptr)
+          throw std::logic_error("Int8Lowering: '" + rec.name + "' is not a DepthwiseConv2d");
+        ensure_int8(step.input);
+        check_input_grid(step.input, rec);
+        QStepData qd;
+        qd.in_a = rec.in;
+        qd.out = rec.out;
+        const auto& o = dw->options();
+        qd.in_c = o.channels;
+        qd.out_c = o.channels;
+        qd.kernel = o.kernel;
+        qd.stride = o.stride;
+        qd.pad = o.effective_padding();
+        pack_weights(rec, o.channels, qd);
+        emit_qstep(PlanStep::Kind::kQDepthwise, step, rec, std::move(qd));
+        break;
+      }
+      case Op::kLinear: {
+        if (dynamic_cast<const nn::Linear*>(step.layer) == nullptr)
+          throw std::logic_error("Int8Lowering: '" + rec.name + "' is not a Linear");
+        ensure_int8(step.input);
+        check_input_grid(step.input, rec);
+        QStepData qd;
+        qd.in_a = rec.in;
+        qd.out = rec.out;
+        qd.in_c = shape_of(step.input)[1];   // [N, in_features]
+        qd.out_c = shape_of(step.output)[1];  // [N, out_features]
+        pack_weights(rec, qd.out_c, qd);
+        emit_qstep(PlanStep::Kind::kQLinear, step, rec, std::move(qd));
+        break;
+      }
+      case Op::kActivation: {
+        ensure_int8(step.input);
+        check_input_grid(step.input, rec);
+        emit_qstep(PlanStep::Kind::kQActivation, step, rec,
+                   activation_qdata(step, rec));
+        break;
+      }
+      case Op::kDepthToSpace: {
+        ensure_int8(step.input);
+        QStepData qd;
+        qd.in_a = state(step.input).qp;
+        qd.out = rec.out;
+        qd.block = shape_of(step.output)[2] / shape_of(step.input)[2];
+        emit_qstep(PlanStep::Kind::kQDepthToSpace, step, rec, std::move(qd));
+        break;
+      }
+      case Op::kTileChannels: {
+        ensure_int8(step.input);
+        QStepData qd;
+        qd.in_a = state(step.input).qp;
+        qd.out = rec.out;
+        qd.times = shape_of(step.output)[1] / shape_of(step.input)[1];
+        emit_qstep(PlanStep::Kind::kQTileChannels, step, rec, std::move(qd));
+        break;
+      }
+      case Op::kAdd: {
+        // dst (step.output) += src (step.input), requantised onto rec.out.
+        ensure_int8(step.output);
+        ensure_int8(step.input);
+        QStepData qd;
+        qd.in_a = state(step.output).qp;
+        qd.in_b = state(step.input).qp;
+        qd.out = rec.out;
+        qd.m_a = static_cast<double>(qd.in_a.scale) / rec.out.scale;
+        qd.m_b = static_cast<double>(qd.in_b.scale) / rec.out.scale;
+        emit_qstep(PlanStep::Kind::kQAdd, step, rec, std::move(qd));
+        break;
+      }
+      case Op::kScale: {
+        ensure_int8(step.output);
+        QStepData qd;
+        qd.in_a = state(step.output).qp;
+        qd.out = rec.out;
+        qd.m_a = static_cast<double>(step.alpha) * qd.in_a.scale / rec.out.scale;
+        push({PlanStep::Kind::kQScale, nullptr, -1, step.output, step.alpha, {},
+              add_qdata(std::move(qd))});
+        mark_int8(step.output);
+        set_content(step.output, rec.out, /*int8_domain=*/true);
+        break;
+      }
+      case Op::kConcat: {
+        QStepData qd;
+        qd.out = rec.out;
+        for (int src : step.sources) {
+          ensure_int8(src);
+          qd.src_qp.push_back(state(src).qp);
+          mark_int8(src);
+        }
+        push({PlanStep::Kind::kQConcat, nullptr, -1, step.output, 1.0f, step.sources,
+              add_qdata(std::move(qd))});
+        mark_int8(step.output);
+        set_content(step.output, rec.out, /*int8_domain=*/true);
+        break;
+      }
+      case Op::kFallback: {
+        // No integer kernel: run the float kernel on dequantised activations
+        // and round the result onto its calibrated grid — fake-quant-on-float.
+        const int in = on_grid_float(step.input);
+        mark_float(in);
+        mark_float(step.output);
+        push({PlanStep::Kind::kLayer, step.layer, in, step.output, step.alpha,
+              step.sources, -1});
+        QStepData qd;
+        qd.out = rec.out;
+        push({PlanStep::Kind::kFakeQuant, nullptr, -1, step.output, 1.0f, {},
+              add_qdata(std::move(qd))});
+        set_content(step.output, rec.out, /*int8_domain=*/false);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] QStepData activation_qdata(const PlanStep& step,
+                                           const quant::StepQuant& rec) const {
+    QStepData qd;
+    qd.in_a = rec.in;
+    qd.out = rec.out;
+    const double s_ratio =
+        static_cast<double>(rec.in.scale) / static_cast<double>(rec.out.scale);
+    qd.pos = s_ratio;
+    if (dynamic_cast<const nn::ReLU*>(step.layer) != nullptr) {
+      qd.neg = 0.0;
+    } else if (dynamic_cast<const nn::ReLU6*>(step.layer) != nullptr) {
+      qd.neg = 0.0;
+      const auto cap = static_cast<int32_t>(
+          std::lround(6.0 / rec.out.scale) + rec.out.zero_point);
+      qd.out_cap = std::min<int32_t>(127, cap);
+    } else if (const auto* leaky = dynamic_cast<const nn::LeakyReLU*>(step.layer)) {
+      qd.neg = static_cast<double>(leaky->slope()) * s_ratio;
+    } else if (const auto* prelu = dynamic_cast<const nn::PReLU*>(step.layer)) {
+      // parameters() is logically const (see Module::num_params).
+      const Tensor& slopes =
+          const_cast<nn::PReLU*>(prelu)->parameters().front()->value;
+      qd.neg_per_channel.resize(static_cast<size_t>(slopes.numel()));
+      for (int64_t c = 0; c < slopes.numel(); ++c)
+        qd.neg_per_channel[static_cast<size_t>(c)] =
+            static_cast<double>(slopes[c]) * s_ratio;
+    } else {
+      throw std::logic_error("Int8Lowering: unsupported activation '" + rec.name + "'");
+    }
+    return qd;
+  }
+
+  [[nodiscard]] const Shape& shape_of(int id) const {
+    return src_.buffer_shapes_[static_cast<size_t>(id)];
+  }
+
+  const InferencePlan& src_;
+  const quant::QuantizedModel& artifact_;
+  InferencePlan& dst_;
+  std::vector<BufferState> states_;
+  int input_shadow_ = -1;  // on-grid float view of the (read-only) plan input
+};
+
+std::shared_ptr<const InferencePlan> InferencePlan::compile_int8(
+    const nn::Module& module, const Shape& input, const quant::QuantizedModel& artifact) {
+  const auto float_plan = compile(module, input);
+  std::shared_ptr<InferencePlan> plan(new InferencePlan());
+  Int8Lowering lowering(*float_plan, artifact, *plan);
+  lowering.run();
+  return plan;
+}
+
 int64_t InferencePlan::activation_floats() const {
   int64_t total = 0;
   // Buffer 0 aliases the caller's input and the output buffer aliases the
   // caller's output; everything else is session-owned.
   for (size_t i = 1; i < buffer_shapes_.size(); ++i)
-    if (static_cast<int>(i) != output_) total += buffer_shapes_[i].numel();
+    if (static_cast<int>(i) != output_ && buffer_needs_float(static_cast<int>(i)))
+      total += buffer_shapes_[i].numel();
   return total;
+}
+
+int64_t InferencePlan::activation_bytes() const {
+  int64_t bytes = activation_floats() * static_cast<int64_t>(sizeof(float));
+  for (size_t i = 0; i < buffer_shapes_.size(); ++i)
+    if (buffer_needs_int8(static_cast<int>(i))) bytes += buffer_shapes_[i].numel();
+  return bytes;
 }
 
 }  // namespace sesr::runtime

@@ -9,26 +9,95 @@
 // the paper's collapsed SESR networks are deployed exactly this way, as a
 // fixed execution schedule rather than a trainable graph.
 //
+// compile_int8 is a second backend over the same IR: the float program is
+// compiled first, then lowered step by step onto int8 buffers — conv /
+// depthwise / linear / activation / pixel-op steps become integer-kernel
+// steps (tensor/int8_kernels.h) parameterised from a calibrated
+// quant::QuantizedModel, residual adds and scales become saturating integer
+// rescales, and layers without integer kernels fall back to their float
+// kernel bracketed by (de)quantisation plus an explicit fake-quant of the
+// result, so every compilable network still compiles at int8. Buffer ids are
+// shared between domains: a float buffer may have an int8 twin, and
+// quantize/dequantize steps move content between them.
+//
 // Lifetime: the plan stores non-owning pointers into the compiled module; the
 // module must outlive every plan (and session) compiled from it.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "nn/module.h"
+#include "quant/qparams.h"
+#include "tensor/int8_kernels.h"
+
+namespace sesr::quant {
+class QuantizedModel;
+}
 
 namespace sesr::runtime {
 
+enum class Precision {
+  kFloat32,
+  kInt8,
+};
+
+/// Parameters of one lowered int8 step (grids, packed integer weights,
+/// fixed-point requantisation, per-op geometry). One flat struct serves every
+/// step kind; each kind reads only its documented fields.
+struct QStepData {
+  quant::QParams in_a;   ///< first-operand grid (conversions: the buffer grid)
+  quant::QParams in_b;   ///< second-operand grid (kQAdd)
+  quant::QParams out;    ///< output grid
+  std::vector<quant::QParams> src_qp;  ///< kQConcat: per-source grids
+
+  // kQConv / kQDepthwise / kQLinear: packed weights and requantisation.
+  std::vector<int16_t> weights;
+  std::vector<int32_t> bias;
+  std::vector<FixedPointMultiplier> requant;
+  int64_t in_c = 0, out_c = 0, kernel = 1, stride = 1, pad = 0;
+
+  // kQActivation.
+  double pos = 1.0, neg = 0.0;
+  std::vector<double> neg_per_channel;
+  int32_t out_cap = 127;
+
+  // kQDepthToSpace / kQTileChannels.
+  int64_t block = 1, times = 1;
+
+  // kQAdd (operand-to-output scale ratios) / kQScale (alpha * s_in / s_out).
+  double m_a = 1.0, m_b = 1.0;
+};
+
 /// One step of a compiled program. Buffer ids index InferencePlan's buffer
 /// table; id 0 is the plan input (read-only, aliased to the caller's tensor).
+/// Int8 steps address the int8 twin of a buffer id; quantize / dequantize /
+/// fake-quant steps bridge the two domains.
 struct PlanStep {
   enum class Kind {
+    // Float domain (both precisions; the only kinds in fp32 plans).
     kLayer,   ///< buffers[output] = layer->infer_into(buffers[input]); in
               ///< place when output == input (pointwise layers only)
     kAdd,     ///< buffers[output] += buffers[input]
     kScale,   ///< buffers[output] *= alpha
     kConcat,  ///< buffers[output] = channel-concat of buffers[sources]
+
+    // Domain bridges (int8 plans only).
+    kQuantize,    ///< qbuf[output] = quantize(buffers[input]) onto q.out
+    kDequantize,  ///< buffers[output] = dequantize(qbuf[input]) from q.in_a
+    kFakeQuant,   ///< buffers[output] round-tripped through q.out, in place
+
+    // Integer domain (int8 plans only; operate on int8 twins).
+    kQConv,          ///< int8 implicit-im2col convolution
+    kQDepthwise,     ///< int8 depthwise convolution
+    kQLinear,        ///< int8 fully connected
+    kQActivation,    ///< int8 pointwise activation (in place when output == input)
+    kQAdd,           ///< qbuf[output] = saturating add(qbuf[output], qbuf[input])
+    kQScale,         ///< in-place integer rescale of qbuf[output]
+    kQConcat,        ///< channel concat with per-source rescale
+    kQDepthToSpace,  ///< pixel shuffle (pure data movement)
+    kQTileChannels,  ///< channel tiling (pure data movement)
   };
 
   Kind kind = Kind::kLayer;
@@ -37,7 +106,13 @@ struct PlanStep {
   int output = -1;
   float alpha = 1.0f;
   std::vector<int> sources;
+  int qdata = -1;  ///< index into InferencePlan::qstep_data(); -1 for float steps
 };
+
+/// Stable identity of a float-plan step, used to validate that a calibrated
+/// artifact and a plan came from the same module ("conv3x3_16_16", "add",
+/// "scale", "concat"). Throws for lowered int8 step kinds.
+[[nodiscard]] std::string step_identity(const PlanStep& step);
 
 class InferencePlan {
  public:
@@ -48,6 +123,15 @@ class InferencePlan {
   static std::shared_ptr<const InferencePlan> compile(const nn::Module& module,
                                                       const Shape& input);
 
+  /// Compile the int8 backend: the float program lowered onto integer
+  /// kernels, parameterised by a calibrated artifact (which must have been
+  /// calibrated from this module — step names are validated). The module
+  /// must outlive the plan; the artifact is only read during compilation.
+  static std::shared_ptr<const InferencePlan> compile_int8(
+      const nn::Module& module, const Shape& input,
+      const quant::QuantizedModel& artifact);
+
+  [[nodiscard]] Precision precision() const { return precision_; }
   [[nodiscard]] const Shape& input_shape() const { return buffer_shapes_.front(); }
   [[nodiscard]] const Shape& output_shape() const {
     return buffer_shapes_[static_cast<size_t>(output_)];
@@ -55,16 +139,34 @@ class InferencePlan {
   [[nodiscard]] int output_buffer() const { return output_; }
   [[nodiscard]] const std::vector<PlanStep>& steps() const { return steps_; }
   [[nodiscard]] const std::vector<Shape>& buffer_shapes() const { return buffer_shapes_; }
+  [[nodiscard]] const std::vector<QStepData>& qstep_data() const { return qstep_data_; }
+
+  /// Which buffer ids a session must back with float storage / int8 storage.
+  /// (Float plans: every id float, no int8 twins. The plan input and output
+  /// are bound to caller tensors regardless.)
+  [[nodiscard]] bool buffer_needs_float(int id) const {
+    return float_needed_.empty() || float_needed_[static_cast<size_t>(id)] != 0;
+  }
+  [[nodiscard]] bool buffer_needs_int8(int id) const {
+    return !int8_needed_.empty() && int8_needed_[static_cast<size_t>(id)] != 0;
+  }
 
   /// Total floats a session preallocates for intermediate activations.
   [[nodiscard]] int64_t activation_floats() const;
+  /// Total activation bytes a session preallocates (float + int8 twins).
+  [[nodiscard]] int64_t activation_bytes() const;
 
  private:
   friend class PlanBuilder;
+  friend class Int8Lowering;
   InferencePlan() = default;
 
+  Precision precision_ = Precision::kFloat32;
   std::vector<PlanStep> steps_;
   std::vector<Shape> buffer_shapes_;
+  std::vector<QStepData> qstep_data_;
+  std::vector<uint8_t> float_needed_;  // empty = all (fp32 plans)
+  std::vector<uint8_t> int8_needed_;   // empty = none (fp32 plans)
   int output_ = 0;
 };
 

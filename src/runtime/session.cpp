@@ -3,17 +3,26 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "quant/qparams.h"
+#include "tensor/int8_kernels.h"
+
 namespace sesr::runtime {
 
 Session::Session(std::shared_ptr<const InferencePlan> plan) : plan_(std::move(plan)) {
   if (!plan_) throw std::invalid_argument("Session: null plan");
   const auto& shapes = plan_->buffer_shapes();
   buffers_.reserve(shapes.size());
+  qbuffers_.resize(shapes.size());
   for (size_t i = 0; i < shapes.size(); ++i) {
     // Slot 0 aliases the caller's input and the output slot aliases the
     // caller's output at run time; keep their session-side tensors empty.
+    // Quantised plans also skip float storage for buffers that only ever
+    // live on the int8 side.
     const bool external = i == 0 || static_cast<int>(i) == plan_->output_buffer();
-    buffers_.emplace_back(external ? Shape{} : shapes[i]);
+    const bool wants_float = plan_->buffer_needs_float(static_cast<int>(i));
+    buffers_.emplace_back(external || !wants_float ? Shape{} : shapes[i]);
+    if (plan_->buffer_needs_int8(static_cast<int>(i)))
+      qbuffers_[i].resize(static_cast<size_t>(shapes[i].numel()));
   }
   bound_.resize(buffers_.size());
 }
@@ -25,6 +34,17 @@ Tensor Session::run(const Tensor& input) {
 }
 
 void Session::run_into(const Tensor& input, Tensor& output) {
+  execute(input, output, nullptr);
+}
+
+void Session::run_hooked(const Tensor& input, Tensor& output, const StepHook& hook) {
+  if (plan_->precision() != Precision::kFloat32)
+    throw std::invalid_argument("Session::run_hooked: float-precision plans only");
+  if (!hook) throw std::invalid_argument("Session::run_hooked: null hook");
+  execute(input, output, &hook);
+}
+
+void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook) {
   if (input.shape() != plan_->input_shape())
     throw std::invalid_argument("Session::run_into: input " + input.shape().to_string() +
                                 " but plan expects " + plan_->input_shape().to_string());
@@ -39,7 +59,17 @@ void Session::run_into(const Tensor& input, Tensor& output) {
   bound_[0] = const_cast<Tensor*>(&input);
   if (out_idx != 0) bound_[static_cast<size_t>(out_idx)] = &output;
 
+  const auto& shapes = plan_->buffer_shapes();
+  const auto& qdata = plan_->qstep_data();
+  const auto shape_of = [&](int id) -> const Shape& {
+    return shapes[static_cast<size_t>(id)];
+  };
+  const auto qbuf = [&](int id) -> int8_t* { return qbuffers_[static_cast<size_t>(id)].data(); };
+
+  int step_index = -1;
   for (const PlanStep& step : plan_->steps()) {
+    ++step_index;
+    const QStepData* q = step.qdata >= 0 ? &qdata[static_cast<size_t>(step.qdata)] : nullptr;
     switch (step.kind) {
       case PlanStep::Kind::kLayer: {
         workspace_.reset();
@@ -71,7 +101,130 @@ void Session::run_into(const Tensor& input, Tensor& output) {
         }
         break;
       }
+      case PlanStep::Kind::kQuantize: {
+        const Tensor& src = *bound_[static_cast<size_t>(step.input)];
+        quant::quantize_activations(src.flat(), q->out,
+                                    {qbuf(step.output), static_cast<size_t>(src.numel())});
+        break;
+      }
+      case PlanStep::Kind::kDequantize: {
+        Tensor& dst = *bound_[static_cast<size_t>(step.output)];
+        quant::dequantize_activations(
+            {qbuf(step.input), static_cast<size_t>(dst.numel())}, q->in_a, dst.flat());
+        break;
+      }
+      case PlanStep::Kind::kFakeQuant:
+        quant::fake_quantize_with(*bound_[static_cast<size_t>(step.output)], q->out);
+        break;
+      case PlanStep::Kind::kQConv: {
+        workspace_.reset();
+        const Shape& in = shape_of(step.input);
+        const Shape& out = shape_of(step.output);
+        Int8ConvSpec spec;
+        spec.in_c = q->in_c;
+        spec.out_c = q->out_c;
+        spec.kernel = q->kernel;
+        spec.stride = q->stride;
+        spec.pad = q->pad;
+        spec.in_zero = q->in_a.zero_point;
+        spec.out_zero = q->out.zero_point;
+        spec.weights = q->weights.data();
+        spec.bias = q->bias.empty() ? nullptr : q->bias.data();
+        spec.requant = q->requant.data();
+        int8_conv2d_nchw(qbuf(step.input), in[0], in[2], in[3], out[2], out[3], spec,
+                         qbuf(step.output), workspace_);
+        break;
+      }
+      case PlanStep::Kind::kQDepthwise: {
+        const Shape& in = shape_of(step.input);
+        const Shape& out = shape_of(step.output);
+        Int8DepthwiseSpec spec;
+        spec.channels = q->in_c;
+        spec.kernel = q->kernel;
+        spec.stride = q->stride;
+        spec.pad = q->pad;
+        spec.in_zero = q->in_a.zero_point;
+        spec.out_zero = q->out.zero_point;
+        spec.weights = q->weights.data();
+        spec.bias = q->bias.empty() ? nullptr : q->bias.data();
+        spec.requant = q->requant.data();
+        int8_depthwise_nchw(qbuf(step.input), in[0], in[2], in[3], out[2], out[3], spec,
+                            qbuf(step.output));
+        break;
+      }
+      case PlanStep::Kind::kQLinear: {
+        const Shape& in = shape_of(step.input);
+        Int8LinearSpec spec;
+        spec.in_features = q->in_c;
+        spec.out_features = q->out_c;
+        spec.in_zero = q->in_a.zero_point;
+        spec.out_zero = q->out.zero_point;
+        spec.weights = q->weights.data();
+        spec.bias = q->bias.empty() ? nullptr : q->bias.data();
+        spec.requant = q->requant.data();
+        int8_linear(qbuf(step.input), in[0], spec, qbuf(step.output));
+        break;
+      }
+      case PlanStep::Kind::kQActivation: {
+        const Shape& in = shape_of(step.input);
+        Int8ActivationSpec spec;
+        spec.in_zero = q->in_a.zero_point;
+        spec.out_zero = q->out.zero_point;
+        spec.pos = q->pos;
+        spec.neg = q->neg;
+        spec.neg_per_channel =
+            q->neg_per_channel.empty() ? nullptr : q->neg_per_channel.data();
+        spec.out_cap = q->out_cap;
+        const bool nchw = in.ndim() == 4;
+        int8_activation_nchw(qbuf(step.input), nchw ? in[0] : 1, nchw ? in[1] : 1,
+                             nchw ? in[2] * in[3] : in.numel(), spec, qbuf(step.output));
+        break;
+      }
+      case PlanStep::Kind::kQAdd: {
+        const int64_t numel = shape_of(step.output).numel();
+        int8_add(qbuf(step.output), q->in_a.zero_point, q->m_a, qbuf(step.input),
+                 q->in_b.zero_point, q->m_b, q->out.zero_point, numel, qbuf(step.output));
+        break;
+      }
+      case PlanStep::Kind::kQScale: {
+        const int64_t numel = shape_of(step.output).numel();
+        int8_rescale(qbuf(step.output), q->in_a.zero_point, q->m_a, q->out.zero_point,
+                     numel, qbuf(step.output));
+        break;
+      }
+      case PlanStep::Kind::kQConcat: {
+        const Shape& dst = shape_of(step.output);
+        const int64_t n = dst[0], total_c = dst[1], hw = dst[2] * dst[3];
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t c_off = 0;
+          for (size_t s = 0; s < step.sources.size(); ++s) {
+            const int src = step.sources[s];
+            const Shape& src_shape = shape_of(src);
+            const int64_t c = src_shape[1];
+            const quant::QParams& sp = q->src_qp[s];
+            int8_rescale(qbuf(src) + i * c * hw, sp.zero_point,
+                         static_cast<double>(sp.scale) / q->out.scale, q->out.zero_point,
+                         c * hw, qbuf(step.output) + (i * total_c + c_off) * hw);
+            c_off += c;
+          }
+        }
+        break;
+      }
+      case PlanStep::Kind::kQDepthToSpace: {
+        const Shape& in = shape_of(step.input);
+        int8_depth_to_space(qbuf(step.input), in[0], in[1], in[2], in[3], q->block,
+                            qbuf(step.output));
+        break;
+      }
+      case PlanStep::Kind::kQTileChannels: {
+        const Shape& in = shape_of(step.input);
+        int8_tile_channels(qbuf(step.input), in[0], in[1], in[2] * in[3], q->times,
+                           qbuf(step.output));
+        break;
+      }
     }
+    if (hook != nullptr && step.output >= 0)
+      (*hook)(step_index, *bound_[static_cast<size_t>(step.output)]);
   }
 
   // Degenerate identity program: the "result" is the input buffer itself.

@@ -1,15 +1,20 @@
 // Execution context for a compiled InferencePlan.
 //
 // A Session owns everything mutable about inference — the arena of
-// preallocated activation buffers and the scratch Workspace — while the plan
-// and the model weights stay shared and read-only. run()/run_into() are
-// therefore stateless per call: after the first (warm-up) run a session
-// performs zero heap allocations, and N sessions over one shared plan serve
-// N requests concurrently from a thread pool without any locking.
+// preallocated activation buffers (float, plus int8 twins for quantised
+// plans) and the scratch Workspace — while the plan and the model weights
+// stay shared and read-only. run()/run_into() are therefore stateless per
+// call: after the first (warm-up) run a session performs zero heap
+// allocations, and N sessions over one shared plan serve N requests
+// concurrently from a thread pool without any locking. The same Session API
+// executes both precisions; int8 plans consume and produce float tensors at
+// the boundary (quantise-in / dequantise-out steps are part of the plan).
 //
 // A single Session is NOT thread-safe; give each serving thread its own.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,12 +32,20 @@ class Session {
 
   /// Run the plan on `input` (shape must equal plan().input_shape()) and
   /// return the freshly-allocated result. Bit-identical to the compiled
-  /// module's forward().
+  /// module's forward() for float plans.
   [[nodiscard]] Tensor run(const Tensor& input);
 
   /// Allocation-free variant: writes the result into `output` (reshaped if
   /// needed). `output` must not alias `input`.
   void run_into(const Tensor& input, Tensor& output);
+
+  /// Per-step hook: invoked after each plan step with the step index and a
+  /// mutable view of that step's output buffer. The quant subsystem uses it
+  /// for calibration (range observation) and for the fake-quant reference
+  /// executor (rounding each activation onto its int8 grid). Float plans
+  /// only.
+  using StepHook = std::function<void(int step, Tensor& output)>;
+  void run_hooked(const Tensor& input, Tensor& output, const StepHook& hook);
 
   [[nodiscard]] const InferencePlan& plan() const { return *plan_; }
 
@@ -40,9 +53,12 @@ class Session {
   [[nodiscard]] int64_t workspace_capacity() const { return workspace_.capacity(); }
 
  private:
+  void execute(const Tensor& input, Tensor& output, const StepHook* hook);
+
   std::shared_ptr<const InferencePlan> plan_;
   std::vector<Tensor> buffers_;      // session-owned activations, sized once
   std::vector<Tensor*> bound_;       // per-run buffer table (input/output rebound)
+  std::vector<std::vector<int8_t>> qbuffers_;  // int8 twins (quantised plans)
   Workspace workspace_;
 };
 

@@ -1,0 +1,367 @@
+#include "tensor/int8_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/parallel.h"
+
+namespace sesr {
+
+FixedPointMultiplier FixedPointMultiplier::from_double(double m) {
+  if (!std::isfinite(m) || m < 0.0 || m >= std::ldexp(1.0, 31))
+    throw std::invalid_argument("FixedPointMultiplier: need finite m in [0, 2^31)");
+  FixedPointMultiplier fp;
+  if (m == 0.0) return fp;
+  int exponent = 0;
+  const double fraction = std::frexp(m, &exponent);  // m = fraction * 2^exponent
+  int64_t q = static_cast<int64_t>(std::round(fraction * std::ldexp(1.0, 31)));
+  if (q == (int64_t{1} << 31)) {  // fraction rounded up to 1.0
+    q >>= 1;
+    ++exponent;
+  }
+  if (exponent > 31)
+    throw std::invalid_argument("FixedPointMultiplier: multiplier too large");
+  // m < 2^-31: m * x < 0.5 for every int32 x, so the product always rounds
+  // to 0 — encode as the zero multiplier instead of a shift apply() cannot
+  // represent (31 - shift must stay within a 64-bit shift).
+  if (exponent < -31) return fp;
+  fp.multiplier = static_cast<int32_t>(q);
+  fp.shift = exponent;
+  return fp;
+}
+
+double FixedPointMultiplier::as_double() const {
+  return static_cast<double>(multiplier) * std::ldexp(1.0, shift - 31);
+}
+
+// ---- convolution -----------------------------------------------------------
+
+namespace {
+
+/// Patch slack: every patch row is over-allocated by this many int16 slots so
+/// group copies may write 8-byte chunks past a tap group's end. The slack is
+/// never read (dots run over col_rows exact), so its content is irrelevant.
+constexpr int64_t kPatchSlack = 4;
+
+// Widen one image to a physically padded, zero-point-corrected int16 copy:
+// prow[ic][ih][x] = q_in(ic, ih, x - pad) - z_in, 0 in the padding. Padding
+// taps thereby contribute literal 0 to the accumulation, and the patch
+// builder below needs no bounds checks at all — its 8-byte group reads stay
+// inside [0, prow_w) for every (ow, tap) combination.
+inline void widen_padded_image(const int8_t* in_img, int64_t in_c, int64_t h, int64_t w,
+                               int64_t pad, int32_t in_zero, int64_t prow_w,
+                               int16_t* padded) {
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int64_t ih = 0; ih < h; ++ih) {
+      const int8_t* src = in_img + (ic * h + ih) * w;
+      int16_t* dst = padded + (ic * h + ih) * prow_w;
+      for (int64_t x = 0; x < pad; ++x) dst[x] = 0;
+      for (int64_t x = 0; x < w; ++x)
+        dst[pad + x] = static_cast<int16_t>(static_cast<int16_t>(src[x]) - in_zero);
+      for (int64_t x = pad + w; x < prow_w; ++x) dst[x] = 0;
+    }
+  }
+}
+
+// Patch-major row slab over the padded image: slab[ow][(ic, kh, kw)] =
+// padded(ic, ih, ow * stride + kw). Tap groups are copied four int16 at a
+// time with unaligned 8-byte moves; a group's overhang lands either in the
+// next group's slots (rewritten by a later, higher-base store) or in the
+// patch slack.
+inline void build_row_slab(const int16_t* padded, int64_t in_c, int64_t h,
+                           int64_t prow_w, int64_t kernel, int64_t stride, int64_t pad,
+                           int64_t oh, int64_t out_w, int64_t col_stride, int16_t* slab) {
+  const int64_t k = kernel;
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int64_t kh = 0; kh < k; ++kh) {
+      const int64_t ih = oh * stride - pad + kh;
+      int16_t* base = slab + (ic * k + kh) * k;  // + ow * col_stride per patch
+      if (ih < 0 || ih >= h) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          int16_t* d = base + ow * col_stride;
+          for (int64_t g = 0; g < k; g += 4) std::memset(d + g, 0, 8);
+        }
+        continue;
+      }
+      const int16_t* row = padded + (ic * h + ih) * prow_w;
+      // Specialised copy widths: a constant-trip inner loop lets the ow loop
+      // unroll and schedule — the generic version costs ~2.5x in practice.
+      if (k <= 4) {
+        for (int64_t ow = 0; ow < out_w; ++ow)
+          std::memcpy(base + ow * col_stride, row + ow * stride, 8);
+      } else if (k <= 8) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const int16_t* s = row + ow * stride;
+          int16_t* d = base + ow * col_stride;
+          std::memcpy(d, s, 8);
+          std::memcpy(d + 4, s + 4, 8);
+        }
+      } else {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const int16_t* s = row + ow * stride;
+          int16_t* d = base + ow * col_stride;
+          for (int64_t g = 0; g < k; g += 4) std::memcpy(d + g, s + g, 8);
+        }
+      }
+    }
+  }
+}
+
+// Contiguous int16 dot product — the shape GCC vectorises to 16x16->32
+// multiply-accumulate (pmaddwd on x86, smlal on Arm).
+inline int32_t dot_i16(const int16_t* __restrict a, const int16_t* __restrict b,
+                       int64_t count) {
+  int32_t acc = 0;
+  for (int64_t i = 0; i < count; ++i)
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  return acc;
+}
+
+// Four output channels share one patch stream: every vector load of the
+// patch feeds four multiply-accumulates against four weight rows, which
+// roughly doubles throughput over independent dots.
+inline void dot4_i16(const int16_t* __restrict w0, const int16_t* __restrict w1,
+                     const int16_t* __restrict w2, const int16_t* __restrict w3,
+                     const int16_t* __restrict patch, int64_t count,
+                     int32_t* __restrict acc) {
+  int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    const int32_t v = patch[i];
+    a0 += static_cast<int32_t>(w0[i]) * v;
+    a1 += static_cast<int32_t>(w1[i]) * v;
+    a2 += static_cast<int32_t>(w2[i]) * v;
+    a3 += static_cast<int32_t>(w3[i]) * v;
+  }
+  acc[0] = a0;
+  acc[1] = a1;
+  acc[2] = a2;
+  acc[3] = a3;
+}
+
+// One parallel chunk of conv output rows. `spec` is taken by value and every
+// pointer is a local: stores through int8_t* alias anything under TBAA, so
+// reading the spec through a reference would force reloads of weights /
+// requant pointers after every output store.
+void conv_rows(const Int8ConvSpec spec, int64_t prow_w, int64_t h, int64_t out_h,
+               int64_t out_w, int64_t col_stride, int16_t* __restrict slab,
+               const int16_t* __restrict padded_img_base, int8_t* __restrict out_base,
+               int64_t lo, int64_t hi) {
+  const int64_t out_hw = out_h * out_w;
+  const int16_t* const weights = spec.weights;
+  const int32_t* const bias = spec.bias;
+  const FixedPointMultiplier* const requant = spec.requant;
+  const int32_t out_zero = spec.out_zero;
+  const int64_t out_c = spec.out_c;
+  // Weight rows share the patch stride, so the dots below run the full
+  // (aligned, tail-free) stride: the weight rows' zero padding nulls the
+  // patch slack out of the accumulation.
+  for (int64_t idx = lo; idx < hi; ++idx) {
+    const int64_t i = idx / out_h, oh = idx % out_h;
+    const int16_t* padded_img = padded_img_base + i * spec.in_c * h * prow_w;
+    int8_t* out_img = out_base + i * out_c * out_hw;
+    build_row_slab(padded_img, spec.in_c, h, prow_w, spec.kernel, spec.stride,
+                   spec.pad, oh, out_w, col_stride, slab);
+    for (int64_t ow = 0; ow < out_w; ++ow) {
+      const int16_t* patch = slab + ow * col_stride;
+      int8_t* out_px = out_img + oh * out_w + ow;
+      int64_t oc = 0;
+      for (; oc + 4 <= out_c; oc += 4) {
+        const int16_t* wrow = weights + oc * col_stride;
+        int32_t acc[4];
+        dot4_i16(wrow, wrow + col_stride, wrow + 2 * col_stride, wrow + 3 * col_stride,
+                 patch, col_stride, acc);
+        for (int64_t j = 0; j < 4; ++j) {
+          const int32_t a = acc[j] + (bias != nullptr ? bias[oc + j] : 0);
+          out_px[(oc + j) * out_hw] = saturate_int8(requant[oc + j].apply(a) + out_zero);
+        }
+      }
+      for (; oc < out_c; ++oc) {
+        int32_t acc = bias != nullptr ? bias[oc] : 0;
+        acc += dot_i16(weights + oc * col_stride, patch, col_stride);
+        out_px[oc * out_hw] = saturate_int8(requant[oc].apply(acc) + out_zero);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
+                      int64_t out_h, int64_t out_w, const Int8ConvSpec& spec,
+                      int8_t* out, Workspace& workspace) {
+  // Shared packed stride (16-byte aligned, slack for 8-byte group copies) for
+  // patches and weight rows — aligned vector loads in the dot kernels are
+  // worth ~1.7x throughput over split loads.
+  const int64_t col_stride = int8_packed_stride(spec.in_c * spec.kernel * spec.kernel);
+
+  // Padded, widened input copy shared (read-only) by every parallel chunk.
+  const int64_t prow_w = w + 2 * spec.pad + kPatchSlack;
+  std::span<int16_t> padded =
+      workspace.scratch<int16_t>(n * spec.in_c * h * prow_w);
+  for (int64_t i = 0; i < n; ++i)
+    widen_padded_image(in + i * spec.in_c * h * w, spec.in_c, h, w, spec.pad,
+                       spec.in_zero, prow_w, padded.data() + i * spec.in_c * h * prow_w);
+
+  // One patch-major slab (out_w patches of col_rows taps) per parallel chunk,
+  // carved before the fan-out; same slot discipline as Conv2d::infer_into.
+  // Over-allocate by one stride so the base can be rounded up to 16 bytes
+  // (the workspace only guarantees float alignment).
+  const int64_t slab_elems = out_w * col_stride;
+  const int64_t max_slots = std::min<int64_t>(num_threads(), std::max<int64_t>(1, n * out_h));
+  std::span<int16_t> slab_raw = workspace.scratch<int16_t>(max_slots * slab_elems + 8);
+  int16_t* slab_base = slab_raw.data();
+  while (reinterpret_cast<uintptr_t>(slab_base) % 16 != 0) ++slab_base;
+  std::atomic<int64_t> next_slot{0};
+
+  parallel_for(0, n * out_h, [&](int64_t lo, int64_t hi) {
+    const int64_t slot = next_slot.fetch_add(1);
+    if (slot >= max_slots)
+      throw std::logic_error("int8_conv2d_nchw: parallel_for issued more chunks than slabs");
+    conv_rows(spec, prow_w, h, out_h, out_w, col_stride,
+              slab_base + slot * slab_elems, padded.data(), out, lo, hi);
+  });
+}
+
+int64_t int8_conv2d_macs(const Int8ConvSpec& spec, int64_t out_h, int64_t out_w) {
+  return out_h * out_w * spec.out_c * spec.in_c * spec.kernel * spec.kernel;
+}
+
+// ---- depthwise convolution -------------------------------------------------
+
+void int8_depthwise_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
+                         int64_t out_h, int64_t out_w, const Int8DepthwiseSpec& spec,
+                         int8_t* out) {
+  const int64_t k = spec.kernel, stride = spec.stride, pad = spec.pad;
+  const int64_t out_hw = out_h * out_w;
+  parallel_for(0, n * spec.channels, [&](int64_t lo, int64_t hi) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t i = idx / spec.channels, c = idx % spec.channels;
+      const int8_t* plane = in + (i * spec.channels + c) * h * w;
+      const int16_t* wrow = spec.weights + c * k * k;
+      int8_t* out_plane = out + (i * spec.channels + c) * out_hw;
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          int32_t acc = spec.bias != nullptr ? spec.bias[c] : 0;
+          for (int64_t kh = 0; kh < k; ++kh) {
+            const int64_t ih = oh * stride - pad + kh;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t iw = ow * stride - pad + kw;
+              if (iw < 0 || iw >= w) continue;
+              acc += static_cast<int32_t>(wrow[kh * k + kw]) *
+                     (static_cast<int32_t>(plane[ih * w + iw]) - spec.in_zero);
+            }
+          }
+          const int32_t q = spec.requant[c].apply(acc) + spec.out_zero;
+          out_plane[oh * out_w + ow] = saturate_int8(q);
+        }
+      }
+    }
+  });
+}
+
+int64_t int8_depthwise_macs(const Int8DepthwiseSpec& spec, int64_t out_h, int64_t out_w) {
+  return out_h * out_w * spec.channels * spec.kernel * spec.kernel;
+}
+
+// ---- fully connected -------------------------------------------------------
+
+void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, int8_t* out) {
+  const int64_t in_f = spec.in_features, out_f = spec.out_features;
+  for (int64_t i = 0; i < batch; ++i) {
+    const int8_t* row = in + i * in_f;
+    for (int64_t o = 0; o < out_f; ++o) {
+      int32_t acc = spec.bias != nullptr ? spec.bias[o] : 0;
+      const int16_t* wrow = spec.weights + o * in_f;
+      for (int64_t j = 0; j < in_f; ++j)
+        acc += static_cast<int32_t>(wrow[j]) * (static_cast<int32_t>(row[j]) - spec.in_zero);
+      const int32_t q = spec.requant[o].apply(acc) + spec.out_zero;
+      out[i * out_f + o] = saturate_int8(q);
+    }
+  }
+}
+
+int64_t int8_linear_macs(const Int8LinearSpec& spec) {
+  return spec.in_features * spec.out_features;
+}
+
+// ---- elementwise -----------------------------------------------------------
+
+void int8_add(const int8_t* a, int32_t za, double ma, const int8_t* b, int32_t zb,
+              double mb, int32_t z_out, int64_t numel, int8_t* out) {
+  for (int64_t i = 0; i < numel; ++i) {
+    const double v = ma * (static_cast<int32_t>(a[i]) - za) +
+                     mb * (static_cast<int32_t>(b[i]) - zb);
+    out[i] = saturate_int8(round_half_up(v) + z_out);
+  }
+}
+
+void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
+                  int8_t* out) {
+  for (int64_t i = 0; i < numel; ++i) {
+    const double v = m * (static_cast<int32_t>(in[i]) - z_in);
+    out[i] = saturate_int8(round_half_up(v) + z_out);
+  }
+}
+
+void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t plane,
+                          const Int8ActivationSpec& spec, int8_t* out) {
+  // The map is pointwise int8 -> int8 with (at most per-channel) parameters:
+  // build the 256-entry table and stream lookups — the table amortises the
+  // double-precision requant over plane elements. With a scalar negative
+  // slope (ReLU/ReLU6/LeakyReLU) one table serves every channel.
+  int8_t lut[256];
+  const int32_t lo = -128;
+  const auto build_lut = [&](double neg) {
+    for (int32_t q = -128; q <= 127; ++q) {
+      const int32_t centred = q - spec.in_zero;
+      const double m = centred >= 0 ? spec.pos : neg;
+      const int32_t mapped =
+          std::clamp(round_half_up(m * centred) + spec.out_zero, lo, spec.out_cap);
+      lut[static_cast<size_t>(q + 128)] = static_cast<int8_t>(mapped);
+    }
+  };
+  if (spec.neg_per_channel == nullptr) build_lut(spec.neg);
+  for (int64_t c = 0; c < channels; ++c) {
+    if (spec.neg_per_channel != nullptr) build_lut(spec.neg_per_channel[c]);
+    for (int64_t i = 0; i < n; ++i) {
+      const int8_t* src = in + (i * channels + c) * plane;
+      int8_t* dst = out + (i * channels + c) * plane;
+      for (int64_t j = 0; j < plane; ++j)
+        dst[j] = lut[static_cast<size_t>(static_cast<int32_t>(src[j]) + 128)];
+    }
+  }
+}
+
+// ---- pixel ops -------------------------------------------------------------
+
+void int8_depth_to_space(const int8_t* in, int64_t n, int64_t c_in, int64_t h, int64_t w,
+                         int64_t block, int8_t* out) {
+  const int64_t r = block, c_out = c_in / (r * r);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t c = 0; c < c_out; ++c)
+      for (int64_t dy = 0; dy < r; ++dy)
+        for (int64_t dx = 0; dx < r; ++dx) {
+          const int8_t* in_plane = in + ((i * c_in) + c * r * r + dy * r + dx) * h * w;
+          for (int64_t y = 0; y < h; ++y) {
+            int8_t* out_row = out + ((i * c_out + c) * h * r + (y * r + dy)) * w * r + dx;
+            const int8_t* in_row = in_plane + y * w;
+            for (int64_t x = 0; x < w; ++x) out_row[x * r] = in_row[x];
+          }
+        }
+}
+
+void int8_tile_channels(const int8_t* in, int64_t n, int64_t c, int64_t plane,
+                        int64_t times, int8_t* out) {
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const int8_t* src = in + (i * c + ch) * plane;
+      for (int64_t t = 0; t < times; ++t)
+        std::copy(src, src + plane, out + ((i * c + ch) * times + t) * plane);
+    }
+}
+
+}  // namespace sesr

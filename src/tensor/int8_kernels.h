@@ -1,0 +1,175 @@
+// Integer serving kernels for the int8 compiled-inference backend.
+//
+// These are the arithmetic core of the quantised runtime (src/quant builds
+// the parameters, src/runtime schedules the calls): NCHW convolution by
+// implicit im2col into a patch-major int16 row slab with int32 accumulation,
+// depthwise convolution, a fully-connected kernel, fixed-point
+// requantisation of int32 accumulators onto the next layer's int8 grid,
+// saturating residual adds, pointwise activations on the integer grid, and
+// the pure-data-movement pixel ops.
+//
+// Conventions shared by every kernel:
+//  - activations are asymmetric int8 (q = round(x / s) + z, clamped to
+//    [-128, 127]); weights are symmetric int8 widened to int16 at pack time
+//    so the dot products vectorise as 16x16->32 multiply-accumulates;
+//  - the input zero point is subtracted while building patches, so padding
+//    taps enter the accumulation as literal 0 and weight rows need no
+//    offset-correction term;
+//  - biases are int32 on the accumulator grid (scale s_in * s_w[oc]);
+//  - accumulators requantise through FixedPointMultiplier — an integer-only
+//    round(m * x) — then add the output zero point and saturate to int8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/workspace.h"
+
+namespace sesr {
+
+/// Rounding convention of the integer runtime: half up, i.e. floor(v + 0.5).
+/// Branch-free and a single truncating convert on the double path (the bias
+/// makes the operand positive, so truncation equals floor), and a plain
+/// arithmetic shift on the fixed-point path — unlike round-half-away, which
+/// costs a data-dependent branch (or a libm call) per element. The fake-quant
+/// gold model uses the same function, so kernel and reference round
+/// identically by construction. Valid for |v| < 2^51.
+[[nodiscard]] inline int32_t round_half_up(double v) {
+  constexpr double kBias = 4294967296.0;  // 2^32
+  return static_cast<int32_t>(static_cast<int64_t>(v + 0.5 + kBias) - (int64_t{1} << 32));
+}
+
+/// A non-negative real multiplier m encoded as multiplier * 2^(shift - 31)
+/// with multiplier in [2^30, 2^31) — fixed-point requantisation in the
+/// gemmlowp/TFLite style. apply(x) computes round(m * x) on the runtime's
+/// half-up convention using one 32x32 integer multiply and a rounding shift.
+struct FixedPointMultiplier {
+  int32_t multiplier = 0;  ///< 0 encodes m == 0 (apply() returns 0)
+  int shift = 0;           ///< exponent: m = multiplier * 2^(shift - 31)
+
+  /// Encode a finite multiplier with m >= 0 and m < 2^31. Throws otherwise.
+  static FixedPointMultiplier from_double(double m);
+
+  /// round_half_up(m * x) in integer arithmetic: (p + 2^(t-1)) >> t is
+  /// exactly floor(m * x + 0.5) (C++20 arithmetic right shift).
+  [[nodiscard]] int32_t apply(int32_t x) const {
+    if (multiplier == 0) return 0;
+    const int total = 31 - shift;  // in [0, 62] by construction
+    const int64_t p = static_cast<int64_t>(x) * multiplier;
+    if (total == 0) return static_cast<int32_t>(p);
+    const int64_t nudge = int64_t{1} << (total - 1);
+    return static_cast<int32_t>((p + nudge) >> total);
+  }
+
+  /// The encoded real value (diagnostics / tests).
+  [[nodiscard]] double as_double() const;
+};
+
+/// Saturate an int32 to the int8 range.
+[[nodiscard]] inline int8_t saturate_int8(int32_t v) {
+  return static_cast<int8_t>(v < -128 ? -128 : (v > 127 ? 127 : v));
+}
+
+// ---- convolution -----------------------------------------------------------
+
+/// Packed row stride, in int16 elements, shared by conv weight rows and the
+/// kernel's internal patch buffers: `taps` rounded up so every row starts
+/// 16-byte aligned and carries at least 4 slack slots for 8-byte group
+/// copies. Weight slack must be zero (patch slack may hold garbage — the
+/// zero weights null it out of the accumulation).
+[[nodiscard]] inline int64_t int8_packed_stride(int64_t taps) {
+  return (taps + 4 + 7) & ~int64_t{7};
+}
+
+struct Int8ConvSpec {
+  int64_t in_c = 0, out_c = 0, kernel = 1, stride = 1, pad = 0;
+  int32_t in_zero = 0, out_zero = 0;
+  /// [out_c][int8_packed_stride(in_c * k * k)]: widened int8 weight rows,
+  /// zero-padded to the packed stride.
+  const int16_t* weights = nullptr;
+  const int32_t* bias = nullptr;  ///< [out_c] on the accumulator grid; may be null
+  const FixedPointMultiplier* requant = nullptr;  ///< [out_c]: s_in * s_w[oc] / s_out
+};
+
+/// NCHW int8 convolution. Work fans out over (image, output row) pairs via
+/// parallel_for, with one patch-major int16 slab per parallel chunk carved
+/// from `workspace` (mirroring the float serving conv's slab discipline).
+void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
+                      int64_t out_h, int64_t out_w, const Int8ConvSpec& spec,
+                      int8_t* out, Workspace& workspace);
+
+/// Integer multiply-accumulates one invocation performs for a single sample
+/// (the number the hw cost model validates against).
+[[nodiscard]] int64_t int8_conv2d_macs(const Int8ConvSpec& spec, int64_t out_h, int64_t out_w);
+
+// ---- depthwise convolution -------------------------------------------------
+
+struct Int8DepthwiseSpec {
+  int64_t channels = 0, kernel = 1, stride = 1, pad = 0;
+  int32_t in_zero = 0, out_zero = 0;
+  const int16_t* weights = nullptr;  ///< [channels][k * k]
+  const int32_t* bias = nullptr;     ///< [channels]; may be null
+  const FixedPointMultiplier* requant = nullptr;  ///< [channels]
+};
+
+void int8_depthwise_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
+                         int64_t out_h, int64_t out_w, const Int8DepthwiseSpec& spec,
+                         int8_t* out);
+
+[[nodiscard]] int64_t int8_depthwise_macs(const Int8DepthwiseSpec& spec, int64_t out_h,
+                                          int64_t out_w);
+
+// ---- fully connected -------------------------------------------------------
+
+struct Int8LinearSpec {
+  int64_t in_features = 0, out_features = 0;
+  int32_t in_zero = 0, out_zero = 0;
+  const int16_t* weights = nullptr;  ///< [out_features][in_features]
+  const int32_t* bias = nullptr;     ///< [out_features]; may be null
+  const FixedPointMultiplier* requant = nullptr;  ///< [out_features]
+};
+
+void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, int8_t* out);
+
+[[nodiscard]] int64_t int8_linear_macs(const Int8LinearSpec& spec);
+
+// ---- elementwise -----------------------------------------------------------
+
+/// Saturating residual add: out = sat(round(ma * (a - za) + mb * (b - zb)) +
+/// z_out). ma/mb are the operand-to-output scale ratios (s_a / s_out etc.);
+/// `out` may alias `a` or `b`.
+void int8_add(const int8_t* a, int32_t za, double ma, const int8_t* b, int32_t zb,
+              double mb, int32_t z_out, int64_t numel, int8_t* out);
+
+/// Pure rescale onto another grid: out = sat(round(m * (in - z_in)) + z_out).
+/// Implements scale steps, concat source alignment and grid changes; `out`
+/// may alias `in`.
+void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
+                  int8_t* out);
+
+/// Pointwise activation on the integer grid. For q >= z_in the positive
+/// multiplier applies (s_in / s_out); below it the (optionally per-channel)
+/// negative multiplier (slope * s_in / s_out — 0 for ReLU). `out_cap` caps
+/// the result in output units (ReLU6); leave at 127 otherwise.
+struct Int8ActivationSpec {
+  int32_t in_zero = 0, out_zero = 0;
+  double pos = 1.0;
+  double neg = 0.0;
+  const double* neg_per_channel = nullptr;  ///< [channels]; overrides `neg`
+  int32_t out_cap = 127;
+};
+
+void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t plane,
+                          const Int8ActivationSpec& spec, int8_t* out);
+
+// ---- pixel ops (pure data movement; grid unchanged) ------------------------
+
+/// NCHW depth-to-space, matching nn::DepthToSpace::infer_into element order.
+void int8_depth_to_space(const int8_t* in, int64_t n, int64_t c_in, int64_t h, int64_t w,
+                         int64_t block, int8_t* out);
+
+/// Channel tiling, matching nn::TileChannels::infer_into element order.
+void int8_tile_channels(const int8_t* in, int64_t n, int64_t c, int64_t plane,
+                        int64_t times, int8_t* out);
+
+}  // namespace sesr

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace sesr {
@@ -28,6 +29,20 @@ class Workspace {
 
   /// Uninitialised scratch of `numel` floats, valid until the next reset().
   std::span<float> floats(int64_t numel);
+
+  /// Uninitialised scratch of `count` elements of a trivially-copyable type
+  /// no more aligned than float (int8/int16/int32 for the integer kernels),
+  /// carved from the same arena as floats().
+  template <typename T>
+  std::span<T> scratch(int64_t count) {
+    static_assert(std::is_trivially_copyable_v<T> && alignof(T) <= alignof(float),
+                  "Workspace::scratch: T must fit the float arena's alignment");
+    const int64_t needed =
+        (count * static_cast<int64_t>(sizeof(T)) + static_cast<int64_t>(sizeof(float)) - 1) /
+        static_cast<int64_t>(sizeof(float));
+    std::span<float> raw = floats(needed);
+    return {reinterpret_cast<T*>(raw.data()), static_cast<size_t>(count)};
+  }
 
   /// Invalidate every span handed out so far; retains capacity for reuse.
   void reset();

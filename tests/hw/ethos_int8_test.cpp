@@ -1,0 +1,114 @@
+// Int8-plan cost accounting: the Ethos-U55 model prices the *compiled*
+// integer program, and its MAC counts are validated against the op counts
+// the int8 kernels actually execute (int8_conv2d_macs and friends).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/ethos_u55.h"
+#include "models/models.h"
+#include "quant/quant.h"
+#include "runtime/runtime.h"
+
+namespace sesr::hw {
+namespace {
+
+std::vector<Tensor> calibration_batches(const Shape& shape, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> out;
+  for (int i = 0; i < count; ++i) out.push_back(Tensor::rand(shape, rng));
+  return out;
+}
+
+std::shared_ptr<const runtime::InferencePlan> int8_plan_for(nn::Module& net,
+                                                            const Shape& shape) {
+  const auto artifact = quant::QuantizedModel::calibrate(
+      net, shape, calibration_batches(shape, 2, 7));
+  return runtime::InferencePlan::compile_int8(net, shape, artifact);
+}
+
+TEST(Int8CostTest, CollapsedSesrIntegerMacsMatchTheTrace) {
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  Rng rng(1);
+  sesr.init_weights(rng);
+  const Shape shape{1, 3, 16, 16};
+  const auto plan = int8_plan_for(sesr, shape);
+
+  const Int8PlanCost cost = summarize_int8(*plan);
+  // Collapsed SESR is fully integer: every trace MAC is executed by an int8
+  // kernel, nothing falls back to float.
+  EXPECT_EQ(cost.integer_macs, summarize(sesr, shape).macs);
+  EXPECT_EQ(cost.fallback_macs, 0);
+  // Weight payload: int8 weights of every conv (= parameter count less biases).
+  int64_t conv_weights = 0;
+  for (const nn::LayerInfo& info : sesr.layers(shape))
+    if (info.kind == nn::LayerKind::kConv2d)
+      conv_weights += info.params - info.output[1];  // minus per-channel bias
+  EXPECT_EQ(cost.weight_bytes, conv_weights);
+}
+
+TEST(Int8CostTest, FsrcnnDeconvStaysOnTheFallbackPath) {
+  models::Fsrcnn fsrcnn(models::FsrcnnConfig::paper());
+  Rng rng(2);
+  fsrcnn.init_weights(rng);
+  const Shape shape{1, 3, 12, 12};
+  const auto plan = int8_plan_for(fsrcnn, shape);
+
+  const Int8PlanCost cost = summarize_int8(*plan);
+  int64_t deconv_macs = 0;
+  for (const nn::LayerInfo& info : fsrcnn.layers(shape))
+    if (info.kind == nn::LayerKind::kConvTranspose2d) deconv_macs += info.macs;
+  ASSERT_GT(deconv_macs, 0);
+  EXPECT_EQ(cost.fallback_macs, deconv_macs);
+  EXPECT_EQ(cost.integer_macs + cost.fallback_macs, summarize(fsrcnn, shape).macs);
+}
+
+TEST(Int8CostTest, PlanLayersCarryKernelOpCounts) {
+  models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  Rng rng(3);
+  sesr.init_weights(rng);
+  const Shape shape{1, 3, 8, 8};
+  const auto plan = int8_plan_for(sesr, shape);
+
+  int64_t conv_macs = 0;
+  for (const nn::LayerInfo& info : int8_plan_layers(*plan))
+    if (info.kind == nn::LayerKind::kConv2d) conv_macs += info.macs;
+  EXPECT_EQ(conv_macs, summarize_int8(*plan).integer_macs);
+}
+
+TEST(Int8CostTest, EstimateInt8PricesTheCompiledProgram) {
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  Rng rng(4);
+  sesr.init_weights(rng);
+  const Shape shape{1, 3, 32, 32};
+  const auto plan = int8_plan_for(sesr, shape);
+
+  const EthosU55Model npu;
+  const LatencyReport int8_report = npu.estimate_int8(*plan);
+  const LatencyReport float_report = npu.estimate(sesr, shape);
+  EXPECT_GT(int8_report.total_ms, 0.0);
+  // Same MAC-array work plus explicit quantise/dequantise DMA passes: the
+  // int8 program cannot be cheaper than the structural estimate, and the
+  // boundary overhead stays small.
+  EXPECT_GE(int8_report.total_cycles, float_report.total_cycles);
+  EXPECT_LT(int8_report.total_ms, float_report.total_ms * 1.5);
+}
+
+TEST(Int8CostTest, RejectsFloatPlansAndBatches) {
+  models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  Rng rng(5);
+  sesr.init_weights(rng);
+  const auto float_plan = runtime::InferencePlan::compile(sesr, {1, 3, 8, 8});
+  EXPECT_THROW(static_cast<void>(summarize_int8(*float_plan)), std::invalid_argument);
+
+  const Shape batched{2, 3, 8, 8};
+  const auto artifact = quant::QuantizedModel::calibrate(
+      sesr, batched, calibration_batches(batched, 2, 6));
+  const auto batched_plan = runtime::InferencePlan::compile_int8(sesr, batched, artifact);
+  EXPECT_THROW(static_cast<void>(summarize_int8(*batched_plan)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::hw

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "nn/nn.h"
 
 namespace sesr::nn {
@@ -23,11 +26,62 @@ TEST(FakeQuantizeTest, IdempotentOnQuantizedValues) {
   EXPECT_LT(again.max_abs_diff(values), 1e-6f);
 }
 
-TEST(FakeQuantizeTest, ConstantTensorUnchanged) {
+TEST(FakeQuantizeTest, ConstantTensorKeepsValueAndPositiveScale) {
+  // A constant activation (min == max != 0) is what calibration sees for a
+  // saturated channel; the grid must still have a positive scale and keep
+  // the value within half a step.
   Tensor values(Shape{16}, 0.37f);
   const float scale = fake_quantize_(values, {.bits = 8, .symmetric = false});
-  EXPECT_EQ(scale, 0.0f);
-  for (float v : values.flat()) EXPECT_FLOAT_EQ(v, 0.37f);
+  EXPECT_GT(scale, 0.0f);
+  for (float v : values.flat()) EXPECT_NEAR(v, 0.37f, 0.5f * scale + 1e-6f);
+}
+
+TEST(FakeQuantizeTest, ConstantNegativeTensorSurvives) {
+  Tensor values(Shape{8}, -1.25f);
+  const float scale = fake_quantize_(values, {.bits = 8, .symmetric = false});
+  EXPECT_GT(scale, 0.0f);
+  for (float v : values.flat()) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_NEAR(v, -1.25f, 0.5f * scale + 1e-6f);
+  }
+}
+
+TEST(FakeQuantizeTest, AllZeroTensorStaysZeroWithPositiveScale) {
+  for (const bool symmetric : {true, false}) {
+    Tensor values(Shape{32}, 0.0f);
+    const float scale = fake_quantize_(values, {.bits = 8, .symmetric = symmetric});
+    EXPECT_GT(scale, 0.0f) << "symmetric=" << symmetric;
+    for (float v : values.flat()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(FakeQuantizeTest, ConstantSymmetricTensorSurvives) {
+  Tensor values(Shape{4}, 2.5f);
+  const float scale = fake_quantize_(values, {.bits = 8, .symmetric = true});
+  EXPECT_GT(scale, 0.0f);
+  // 2.5 is the range bound, so it sits exactly on the top grid point.
+  for (float v : values.flat()) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(FakeQuantizeTest, TinyRangeProducesFiniteGrid) {
+  // min != max but separated by float dust: must not underflow to scale 0.
+  Tensor values(Shape{2}, std::vector<float>{1.0f, 1.0f + 1e-7f});
+  const float scale = fake_quantize_(values, {.bits = 8, .symmetric = false});
+  EXPECT_GT(scale, 0.0f);
+  for (float v : values.flat()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(FakeQuantizeTest, ZeroIsExactlyRepresentable) {
+  // Asymmetric grids are zero-anchored: a tensor containing 0 keeps it bit-exact
+  // (padding and ReLU floors must survive quantisation).
+  Tensor values(Shape{3}, std::vector<float>{0.0f, 0.31f, 0.97f});
+  fake_quantize_(values, {.bits = 8, .symmetric = false});
+  EXPECT_EQ(values[0], 0.0f);
+}
+
+TEST(FakeQuantizeTest, RejectsNonFiniteValues) {
+  Tensor values(Shape{2}, std::vector<float>{1.0f, std::numeric_limits<float>::infinity()});
+  EXPECT_THROW(fake_quantize_(values, {.bits = 8}), std::invalid_argument);
 }
 
 TEST(FakeQuantizeTest, MoreBitsLessError) {

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "quant/observer.h"
+#include "tensor/rng.h"
+
+namespace sesr::quant {
+namespace {
+
+TEST(MinMaxObserverTest, TracksAbsoluteExtremes) {
+  MinMaxObserver observer;
+  EXPECT_FALSE(observer.seen());
+  observer.observe(Tensor(Shape{3}, std::vector<float>{-1.0f, 0.0f, 2.0f}));
+  observer.observe(Tensor(Shape{3}, std::vector<float>{-0.5f, 3.0f, 1.0f}));
+  observer.observe(Tensor(Shape{3}, std::vector<float>{-4.0f, 0.1f, 0.2f}));
+  EXPECT_TRUE(observer.seen());
+  EXPECT_FLOAT_EQ(observer.min(), -4.0f);
+  EXPECT_FLOAT_EQ(observer.max(), 3.0f);
+}
+
+TEST(MovingAverageObserverTest, FirstBatchInitialisesThenEma) {
+  MovingAverageObserver observer(0.5f);
+  observer.observe(Tensor(Shape{2}, std::vector<float>{0.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(observer.min(), 0.0f);
+  EXPECT_FLOAT_EQ(observer.max(), 4.0f);
+  observer.observe(Tensor(Shape{2}, std::vector<float>{-2.0f, 0.0f}));
+  // 0.5 * old + 0.5 * new.
+  EXPECT_FLOAT_EQ(observer.min(), -1.0f);
+  EXPECT_FLOAT_EQ(observer.max(), 2.0f);
+}
+
+TEST(MovingAverageObserverTest, SmoothsOutlierBatches) {
+  MovingAverageObserver smooth(0.9f);
+  MinMaxObserver absolute;
+  Rng rng(11);
+  for (int b = 0; b < 20; ++b) {
+    Tensor batch = Tensor::rand({128}, rng, -1.0f, 1.0f);
+    if (b == 10) batch[0] = 50.0f;  // one outlier batch
+    smooth.observe(batch);
+    absolute.observe(batch);
+  }
+  EXPECT_FLOAT_EQ(absolute.max(), 50.0f);
+  EXPECT_LT(smooth.max(), 25.0f);  // the EMA decays the outlier
+}
+
+TEST(MovingAverageObserverTest, RejectsBadMomentum) {
+  EXPECT_THROW(MovingAverageObserver(1.0f), std::invalid_argument);
+  EXPECT_THROW(MovingAverageObserver(-0.1f), std::invalid_argument);
+}
+
+TEST(ObserverTest, QParamsBeforeObservationAreUsable) {
+  MinMaxObserver observer;
+  const QParams qp = observer.qparams();
+  EXPECT_GT(qp.scale, 0.0f);
+}
+
+TEST(ObserverTest, FactoryProducesBothKinds) {
+  EXPECT_NE(dynamic_cast<MinMaxObserver*>(make_observer(ObserverKind::kMinMax).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<MovingAverageObserver*>(
+                make_observer(ObserverKind::kMovingAverage).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace sesr::quant

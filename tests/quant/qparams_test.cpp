@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "quant/qparams.h"
+#include "tensor/rng.h"
+
+namespace sesr::quant {
+namespace {
+
+TEST(ChooseActivationQParamsTest, ZeroIsExactlyRepresentable) {
+  const std::pair<float, float> ranges[] = {
+      {-1.3f, 2.7f}, {0.0f, 6.0f}, {-0.5f, 0.0f}, {0.2f, 0.9f}, {-4.0f, -1.0f}};
+  for (const auto& [lo, hi] : ranges) {
+    const QParams qp = choose_activation_qparams(lo, hi);
+    EXPECT_GT(qp.scale, 0.0f);
+    EXPECT_GE(qp.zero_point, kActQMin);
+    EXPECT_LE(qp.zero_point, kActQMax);
+    EXPECT_EQ(qp.dequantize(qp.quantize(0.0f)), 0.0f) << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(ChooseActivationQParamsTest, CoversTheRange) {
+  const QParams qp = choose_activation_qparams(-1.0f, 3.0f);
+  // Both endpoints must quantise without saturating more than half a step.
+  EXPECT_NEAR(qp.dequantize(qp.quantize(-1.0f)), -1.0f, 0.5f * qp.scale + 1e-6f);
+  EXPECT_NEAR(qp.dequantize(qp.quantize(3.0f)), 3.0f, 0.5f * qp.scale + 1e-6f);
+}
+
+TEST(ChooseActivationQParamsTest, DegenerateRangesGetPositiveScale) {
+  const std::pair<float, float> ranges[] = {
+      {0.0f, 0.0f}, {0.37f, 0.37f}, {-2.0f, -2.0f}, {1.0f, 1.0f + 1e-7f}};
+  for (const auto& [lo, hi] : ranges) {
+    const QParams qp = choose_activation_qparams(lo, hi);
+    EXPECT_GT(qp.scale, 0.0f) << "[" << lo << ", " << hi << "]";
+    EXPECT_TRUE(std::isfinite(qp.scale));
+  }
+}
+
+TEST(ChooseActivationQParamsTest, RejectsNonFinite) {
+  EXPECT_THROW(static_cast<void>(choose_activation_qparams(
+                   0.0f, std::numeric_limits<float>::infinity())),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(choose_activation_qparams(
+                   std::numeric_limits<float>::quiet_NaN(), 1.0f)),
+               std::invalid_argument);
+}
+
+TEST(ChooseWeightScaleTest, PositiveForAllInputs) {
+  EXPECT_GT(choose_weight_scale(0.0f), 0.0f);
+  EXPECT_GT(choose_weight_scale(1e-30f), 0.0f);
+  EXPECT_FLOAT_EQ(choose_weight_scale(127.0f), 1.0f);
+  EXPECT_THROW(static_cast<void>(choose_weight_scale(std::numeric_limits<float>::infinity())),
+               std::invalid_argument);
+}
+
+TEST(QParamsTest, QuantizeSaturatesToInt8Range) {
+  const QParams qp = choose_activation_qparams(0.0f, 1.0f);
+  EXPECT_EQ(qp.quantize(100.0f), kActQMax);
+  EXPECT_EQ(qp.quantize(-100.0f), kActQMin);
+}
+
+TEST(QParamsTest, RoundTripWithinHalfStep) {
+  Rng rng(7);
+  const QParams qp = choose_activation_qparams(-2.0f, 5.0f);
+  for (int i = 0; i < 256; ++i) {
+    const float v = rng.uniform(-2.0f, 5.0f);
+    EXPECT_NEAR(qp.dequantize(qp.quantize(v)), v, 0.5f * qp.scale + 1e-6f);
+  }
+}
+
+TEST(QuantizeDequantizeSpansTest, RoundTripOnGridIsExact) {
+  const QParams qp = choose_activation_qparams(-1.0f, 1.0f);
+  std::vector<float> values = {-1.0f, -0.25f, 0.0f, 0.5f, 1.0f};
+  std::vector<int8_t> q(values.size());
+  quantize_activations(values, qp, q);
+  std::vector<float> back(values.size());
+  dequantize_activations(q, qp, back);
+  std::vector<int8_t> q2(values.size());
+  quantize_activations(back, qp, q2);
+  EXPECT_EQ(q, q2);  // already-on-grid values re-quantise to the same codes
+}
+
+TEST(FakeQuantizeWithTest, MatchesQuantizeDequantize) {
+  Rng rng(9);
+  const QParams qp = choose_activation_qparams(-0.7f, 1.9f);
+  Tensor values = Tensor::rand({64}, rng, -1.0f, 2.5f);
+  Tensor fake = values;
+  fake_quantize_with(fake, qp);
+  for (int64_t i = 0; i < values.numel(); ++i)
+    EXPECT_EQ(fake[i], qp.dequantize(qp.quantize(values[i])));
+}
+
+}  // namespace
+}  // namespace sesr::quant

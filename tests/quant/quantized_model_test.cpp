@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/models.h"
+#include "nn/nn.h"
+#include "quant/quant.h"
+#include "runtime/runtime.h"
+
+namespace sesr::quant {
+namespace {
+
+std::unique_ptr<nn::Sequential> small_net(uint64_t seed) {
+  auto net = std::make_unique<nn::Sequential>("small");
+  net->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 8, .kernel = 3});
+  net->add<nn::ReLU>();
+  net->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 8, .out_channels = 3, .kernel = 3});
+  Rng rng(seed);
+  nn::init_he_normal(*net, rng);
+  return net;
+}
+
+std::vector<Tensor> batches(const Shape& shape, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> out;
+  for (int i = 0; i < count; ++i) out.push_back(Tensor::rand(shape, rng));
+  return out;
+}
+
+TEST(QuantizedModelTest, RecordsMirrorThePlanSteps) {
+  auto net = small_net(1);
+  const Shape input{2, 3, 8, 8};
+  const auto artifact =
+      QuantizedModel::calibrate(*net, input, batches(input, 3, 2));
+
+  const auto plan = runtime::InferencePlan::compile(*net, input);
+  ASSERT_EQ(artifact.steps().size(), plan->steps().size());
+  for (size_t k = 0; k < plan->steps().size(); ++k)
+    EXPECT_EQ(artifact.steps()[k].name, runtime::step_identity(plan->steps()[k]));
+
+  // conv -> relu -> conv: two weight records bracketing one activation.
+  EXPECT_EQ(artifact.steps()[0].op, StepOp::kConv2d);
+  EXPECT_EQ(artifact.steps()[1].op, StepOp::kActivation);
+  EXPECT_EQ(artifact.steps()[2].op, StepOp::kConv2d);
+  EXPECT_FALSE(artifact.steps()[0].weights.empty());
+  EXPECT_FALSE(artifact.steps()[0].bias.empty());
+  EXPECT_EQ(artifact.steps()[0].weight_scales.size(), 8u);  // per out channel
+  EXPECT_GT(artifact.weight_bytes(), 0);
+}
+
+TEST(QuantizedModelTest, PerTensorOptionYieldsOneScale) {
+  auto net = small_net(3);
+  const Shape input{1, 3, 8, 8};
+  CalibrationOptions opts;
+  opts.per_channel_weights = false;
+  const auto artifact = QuantizedModel::calibrate(*net, input, batches(input, 2, 4), opts);
+  EXPECT_EQ(artifact.steps()[0].weight_scales.size(), 1u);
+  EXPECT_FALSE(artifact.per_channel());
+}
+
+TEST(QuantizedModelTest, WeightCodesStayInSymmetricRange) {
+  auto net = small_net(5);
+  const Shape input{1, 3, 8, 8};
+  const auto artifact = QuantizedModel::calibrate(*net, input, batches(input, 2, 6));
+  for (const StepQuant& rec : artifact.steps())
+    for (const int8_t q : rec.weights) {
+      EXPECT_GE(q, -127);
+      EXPECT_LE(q, 127);
+    }
+}
+
+TEST(QuantizedModelTest, MovingAverageObserverIsAccepted) {
+  auto net = small_net(7);
+  const Shape input{1, 3, 8, 8};
+  CalibrationOptions opts;
+  opts.observer = ObserverKind::kMovingAverage;
+  const auto artifact = QuantizedModel::calibrate(*net, input, batches(input, 4, 8), opts);
+  EXPECT_GT(artifact.input_qparams().scale, 0.0f);
+}
+
+TEST(QuantizedModelTest, RejectsEmptyAndMismatchedBatches) {
+  auto net = small_net(9);
+  const Shape input{1, 3, 8, 8};
+  EXPECT_THROW(QuantizedModel::calibrate(*net, input, {}), std::invalid_argument);
+  const auto wrong = batches({1, 3, 6, 6}, 1, 10);
+  EXPECT_THROW(QuantizedModel::calibrate(*net, input, wrong), std::invalid_argument);
+}
+
+TEST(QuantizedModelTest, SimulateRejectsForeignArtifact) {
+  auto net = small_net(11);
+  auto other = std::make_unique<nn::Sequential>("other");
+  other->add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 3, .kernel = 3});
+  Rng rng(12);
+  nn::init_he_normal(*other, rng);
+  const Shape input{1, 3, 8, 8};
+  const auto artifact = QuantizedModel::calibrate(*net, input, batches(input, 2, 13));
+  EXPECT_THROW(static_cast<void>(simulate_fake_quant(*other, artifact, Tensor(input))),
+               std::invalid_argument);
+}
+
+TEST(QuantizedModelTest, SimulateStaysNearTheFloatForward) {
+  // The fake-quant gold model is the float network plus per-step rounding
+  // noise: it must track forward() to within a few quantisation steps, and
+  // leave the module's parameters untouched.
+  auto net = small_net(15);
+  const Shape input{1, 3, 8, 8};
+  const auto artifact = QuantizedModel::calibrate(*net, input, batches(input, 2, 16));
+  const std::vector<Tensor> before = net->parameter_values();
+  Rng rng(17);
+  const Tensor probe = Tensor::rand(input, rng);
+  const Tensor reference = simulate_fake_quant(*net, artifact, probe);
+  const Tensor exact = net->forward(probe);
+  ASSERT_EQ(reference.shape(), exact.shape());
+  EXPECT_LT(reference.max_abs_diff(exact), 16.0f * artifact.steps().back().out.scale);
+  const std::vector<Tensor> after = net->parameter_values();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i].max_abs_diff(after[i]), 0.0f) << "parameter " << i;
+}
+
+// Satellite: calibrated artifacts round-trip bit-identically across the full
+// SR zoo — int8 weights, requant scales, grids, everything.
+TEST(QuantizedModelRoundTripTest, FullSrZooBitIdentical) {
+  const Shape input{1, 3, 8, 8};
+  const auto calibration = batches(input, 2, 42);
+  int exercised = 0;
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    const auto net = spec.make_repo_scale();
+    Rng rng(99);
+    net->init_weights(rng);
+    if (!net->supports_compiled_inference()) continue;
+    const auto artifact = QuantizedModel::calibrate(*net, input, calibration);
+
+    const std::string path =
+        testing::TempDir() + "/artifact_" + std::to_string(exercised) + ".sesq";
+    artifact.save(path);
+    const QuantizedModel loaded = QuantizedModel::load(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.per_channel(), artifact.per_channel());
+    EXPECT_EQ(loaded.input_qparams(), artifact.input_qparams());
+    ASSERT_EQ(loaded.steps().size(), artifact.steps().size()) << spec.label;
+    for (size_t k = 0; k < artifact.steps().size(); ++k) {
+      const StepQuant& a = artifact.steps()[k];
+      const StepQuant& b = loaded.steps()[k];
+      EXPECT_EQ(a.op, b.op) << spec.label << " step " << k;
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.in, b.in);
+      EXPECT_EQ(a.out, b.out);
+      EXPECT_EQ(a.weights, b.weights) << spec.label << " step " << k;
+      EXPECT_EQ(a.bias, b.bias);
+      ASSERT_EQ(a.weight_scales.size(), b.weight_scales.size());
+      for (size_t j = 0; j < a.weight_scales.size(); ++j)
+        EXPECT_EQ(a.weight_scales[j], b.weight_scales[j]);  // bit-identical floats
+    }
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 4);  // the zoo's SESR/FSRCNN/EDSR families all round-trip
+}
+
+TEST(QuantizedModelTest, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/garbage.sesq";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an artifact", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(static_cast<void>(QuantizedModel::load(path)), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(static_cast<void>(QuantizedModel::load(path)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sesr::quant

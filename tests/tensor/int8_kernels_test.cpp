@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tensor/int8_kernels.h"
+#include "tensor/rng.h"
+#include "tensor/workspace.h"
+
+namespace sesr {
+namespace {
+
+TEST(FixedPointMultiplierTest, MatchesDoubleRounding) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double m = std::pow(10.0, rng.uniform(-6.0f, 2.0f));
+    const FixedPointMultiplier fp = FixedPointMultiplier::from_double(m);
+    EXPECT_NEAR(fp.as_double(), m, m * 1e-8);
+    for (int i = 0; i < 50; ++i) {
+      const auto x = static_cast<int32_t>(rng.uniform(-2e6f, 2e6f));
+      // The runtime rounds half up (floor(v + 0.5)) everywhere.
+      const auto expected = static_cast<int32_t>(std::floor(fp.as_double() * x + 0.5));
+      EXPECT_EQ(fp.apply(x), expected) << "m=" << m << " x=" << x;
+    }
+  }
+}
+
+TEST(FixedPointMultiplierTest, ZeroAndIdentity) {
+  EXPECT_EQ(FixedPointMultiplier::from_double(0.0).apply(12345), 0);
+  const FixedPointMultiplier one = FixedPointMultiplier::from_double(1.0);
+  EXPECT_EQ(one.apply(7), 7);
+  EXPECT_EQ(one.apply(-123456), -123456);
+}
+
+TEST(FixedPointMultiplierTest, RejectsInvalid) {
+  EXPECT_THROW(FixedPointMultiplier::from_double(-0.5), std::invalid_argument);
+  EXPECT_THROW(FixedPointMultiplier::from_double(std::ldexp(1.0, 32)),
+               std::invalid_argument);
+}
+
+TEST(FixedPointMultiplierTest, TinyMultipliersRoundToZero) {
+  // m < 2^-31 cannot push any int32 product past 0.5: encoded as the zero
+  // multiplier rather than a shift apply() cannot represent.
+  for (const double m : {1e-12, std::ldexp(1.0, -40), std::ldexp(1.0, -32)}) {
+    const FixedPointMultiplier fp = FixedPointMultiplier::from_double(m);
+    EXPECT_EQ(fp.apply(1000000), 0) << m;
+    EXPECT_EQ(fp.apply(-2000000000), 0) << m;
+  }
+  // The boundary that still fits: m = 2^-31 rounds 2^31-ish products to 1.
+  const FixedPointMultiplier edge = FixedPointMultiplier::from_double(std::ldexp(1.0, -31));
+  EXPECT_EQ(edge.apply(std::numeric_limits<int32_t>::max()), 1);
+}
+
+TEST(SaturateInt8Test, ClampsBothEnds) {
+  EXPECT_EQ(saturate_int8(300), 127);
+  EXPECT_EQ(saturate_int8(-300), -128);
+  EXPECT_EQ(saturate_int8(5), 5);
+}
+
+// Random weight rows laid out on the kernel's packed (zero-padded) stride.
+std::vector<int16_t> random_packed_weights(int64_t out_c, int64_t taps, Rng& rng,
+                                           float bound) {
+  const int64_t stride = int8_packed_stride(taps);
+  std::vector<int16_t> weights(static_cast<size_t>(out_c * stride), 0);
+  for (int64_t oc = 0; oc < out_c; ++oc)
+    for (int64_t j = 0; j < taps; ++j)
+      weights[static_cast<size_t>(oc * stride + j)] =
+          static_cast<int16_t>(rng.uniform(-bound, bound + 1.0f));
+  return weights;
+}
+
+// Double-precision reference for the int8 conv: zero-point-corrected integer
+// accumulation followed by round_half_up(m * acc) + z_out, saturated.
+void reference_conv(const std::vector<int8_t>& in, int64_t in_c, int64_t h, int64_t w,
+                    const Int8ConvSpec& spec, std::vector<int8_t>& out, int64_t out_h,
+                    int64_t out_w) {
+  const int64_t k = spec.kernel;
+  const int64_t wstride = int8_packed_stride(in_c * k * k);
+  for (int64_t oc = 0; oc < spec.out_c; ++oc) {
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        int64_t acc = spec.bias != nullptr ? spec.bias[oc] : 0;
+        for (int64_t ic = 0; ic < in_c; ++ic)
+          for (int64_t kh = 0; kh < k; ++kh)
+            for (int64_t kw = 0; kw < k; ++kw) {
+              const int64_t ih = oh * spec.stride - spec.pad + kh;
+              const int64_t iw = ow * spec.stride - spec.pad + kw;
+              if (ih < 0 || ih >= h || iw < 0 || iw >= w) continue;
+              const int32_t v = in[static_cast<size_t>((ic * h + ih) * w + iw)] -
+                                spec.in_zero;
+              acc += static_cast<int64_t>(
+                         spec.weights[(oc * wstride + (ic * k + kh) * k + kw)]) *
+                     v;
+            }
+        const int32_t q =
+            spec.requant[oc].apply(static_cast<int32_t>(acc)) + spec.out_zero;
+        out[static_cast<size_t>((oc * out_h + oh) * out_w + ow)] = saturate_int8(q);
+      }
+    }
+  }
+}
+
+TEST(Int8ConvTest, MatchesDirectReference) {
+  Rng rng(2);
+  const int64_t in_c = 3, out_c = 5, k = 3, h = 9, w = 7;
+  const int64_t pad = 1, stride = 1;
+  const int64_t out_h = h, out_w = w;
+
+  std::vector<int8_t> in(static_cast<size_t>(in_c * h * w));
+  for (auto& v : in) v = static_cast<int8_t>(rng.uniform(-128.0f, 128.0f));
+  const std::vector<int16_t> weights = random_packed_weights(out_c, in_c * k * k, rng, 127.0f);
+  std::vector<int32_t> bias(static_cast<size_t>(out_c));
+  for (auto& v : bias) v = static_cast<int32_t>(rng.uniform(-5000.0f, 5000.0f));
+  std::vector<FixedPointMultiplier> requant;
+  for (int64_t oc = 0; oc < out_c; ++oc)
+    requant.push_back(FixedPointMultiplier::from_double(
+        std::pow(10.0, rng.uniform(-4.0f, -2.0f))));
+
+  Int8ConvSpec spec;
+  spec.in_c = in_c;
+  spec.out_c = out_c;
+  spec.kernel = k;
+  spec.stride = stride;
+  spec.pad = pad;
+  spec.in_zero = -13;
+  spec.out_zero = 4;
+  spec.weights = weights.data();
+  spec.bias = bias.data();
+  spec.requant = requant.data();
+
+  std::vector<int8_t> expected(static_cast<size_t>(out_c * out_h * out_w));
+  reference_conv(in, in_c, h, w, spec, expected, out_h, out_w);
+
+  std::vector<int8_t> actual(expected.size());
+  Workspace workspace;
+  int8_conv2d_nchw(in.data(), 1, h, w, out_h, out_w, spec, actual.data(), workspace);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(int8_conv2d_macs(spec, out_h, out_w), out_h * out_w * out_c * in_c * k * k);
+}
+
+TEST(Int8ConvTest, StridedAndBatched) {
+  Rng rng(3);
+  const int64_t in_c = 2, out_c = 3, k = 3, h = 8, w = 8, stride = 2, pad = 1;
+  const int64_t out_h = (h + 2 * pad - k) / stride + 1;
+  const int64_t out_w = out_h;
+  const int64_t n = 2;
+
+  std::vector<int8_t> in(static_cast<size_t>(n * in_c * h * w));
+  for (auto& v : in) v = static_cast<int8_t>(rng.uniform(-100.0f, 100.0f));
+  const std::vector<int16_t> weights = random_packed_weights(out_c, in_c * k * k, rng, 50.0f);
+  std::vector<FixedPointMultiplier> requant(
+      static_cast<size_t>(out_c), FixedPointMultiplier::from_double(1e-3));
+
+  Int8ConvSpec spec;
+  spec.in_c = in_c;
+  spec.out_c = out_c;
+  spec.kernel = k;
+  spec.stride = stride;
+  spec.pad = pad;
+  spec.in_zero = 7;
+  spec.weights = weights.data();
+  spec.requant = requant.data();
+
+  std::vector<int8_t> actual(static_cast<size_t>(n * out_c * out_h * out_w));
+  Workspace workspace;
+  int8_conv2d_nchw(in.data(), n, h, w, out_h, out_w, spec, actual.data(), workspace);
+
+  // Per-image reference over the batch.
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int8_t> img(in.begin() + i * in_c * h * w,
+                            in.begin() + (i + 1) * in_c * h * w);
+    std::vector<int8_t> expected(static_cast<size_t>(out_c * out_h * out_w));
+    reference_conv(img, in_c, h, w, spec, expected, out_h, out_w);
+    for (size_t j = 0; j < expected.size(); ++j)
+      ASSERT_EQ(actual[static_cast<size_t>(i * out_c * out_h * out_w) + j], expected[j])
+          << "image " << i << " element " << j;
+  }
+}
+
+TEST(Int8AddTest, SaturatesAndRescales) {
+  const std::vector<int8_t> a = {127, -128, 10, 0};
+  const std::vector<int8_t> b = {127, -128, -10, 0};
+  std::vector<int8_t> out(4);
+  // Same grid in and out (m = 1, zero points 0): plain saturating add.
+  int8_add(a.data(), 0, 1.0, b.data(), 0, 1.0, 0, 4, out.data());
+  EXPECT_EQ(out[0], 127);   // 254 saturates
+  EXPECT_EQ(out[1], -128);  // -256 saturates
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST(Int8AddTest, AliasingDestinationIsSafe) {
+  std::vector<int8_t> a = {1, 2, 3};
+  const std::vector<int8_t> b = {10, 20, 30};
+  int8_add(a.data(), 0, 1.0, b.data(), 0, 1.0, 0, 3, a.data());
+  EXPECT_EQ(a, (std::vector<int8_t>{11, 22, 33}));
+}
+
+TEST(Int8RescaleTest, IdentityAndHalving) {
+  const std::vector<int8_t> in = {-128, -3, 0, 5, 127};
+  std::vector<int8_t> out(in.size());
+  int8_rescale(in.data(), 0, 1.0, 0, static_cast<int64_t>(in.size()), out.data());
+  EXPECT_EQ(out, in);
+  int8_rescale(in.data(), 0, 0.5, 0, static_cast<int64_t>(in.size()), out.data());
+  EXPECT_EQ(out, (std::vector<int8_t>{-64, -1, 0, 3, 64}));  // half up: -1.5 -> -1, 2.5 -> 3
+}
+
+TEST(RoundHalfUpTest, MatchesFloorPlusHalf) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-500.0f, 500.0f);
+    EXPECT_EQ(round_half_up(v), static_cast<int32_t>(std::floor(v + 0.5))) << v;
+  }
+  EXPECT_EQ(round_half_up(2.5), 3);
+  EXPECT_EQ(round_half_up(-2.5), -2);  // half up, not half away
+  EXPECT_EQ(round_half_up(-2.51), -3);
+}
+
+TEST(Int8ActivationTest, ReluSemantics) {
+  // z_in = 5: inputs below 5 are "negative" and map to z_out.
+  Int8ActivationSpec spec;
+  spec.in_zero = 5;
+  spec.out_zero = -20;
+  spec.pos = 1.0;
+  spec.neg = 0.0;
+  const std::vector<int8_t> in = {4, 5, 6, 100};
+  std::vector<int8_t> out(in.size());
+  int8_activation_nchw(in.data(), 1, 1, static_cast<int64_t>(in.size()), spec, out.data());
+  EXPECT_EQ(out, (std::vector<int8_t>{-20, -20, -19, 75}));
+}
+
+TEST(Int8ActivationTest, PerChannelNegativeSlopes) {
+  Int8ActivationSpec spec;
+  spec.pos = 1.0;
+  const std::vector<double> slopes = {0.5, -1.0};
+  spec.neg_per_channel = slopes.data();
+  const std::vector<int8_t> in = {-10, 10, -10, 10};  // 2 channels x 2 pixels
+  std::vector<int8_t> out(in.size());
+  int8_activation_nchw(in.data(), 1, 2, 2, spec, out.data());
+  EXPECT_EQ(out, (std::vector<int8_t>{-5, 10, 10, 10}));
+}
+
+TEST(Int8ActivationTest, CapImplementsRelu6) {
+  Int8ActivationSpec spec;
+  spec.out_cap = 60;
+  const std::vector<int8_t> in = {-5, 30, 90};
+  std::vector<int8_t> out(in.size());
+  int8_activation_nchw(in.data(), 1, 1, 3, spec, out.data());
+  EXPECT_EQ(out, (std::vector<int8_t>{0, 30, 60}));
+}
+
+TEST(Int8PixelOpsTest, DepthToSpaceMatchesDefinition) {
+  // [1, 4, 1, 2] -> r=2 -> [1, 1, 2, 4]: out(y*2+dy, x*2+dx) = in(dy*2+dx, y, x).
+  const std::vector<int8_t> in = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int8_t> out(8);
+  int8_depth_to_space(in.data(), 1, 4, 1, 2, 2, out.data());
+  EXPECT_EQ(out, (std::vector<int8_t>{1, 3, 2, 4, 5, 7, 6, 8}));
+}
+
+TEST(Int8PixelOpsTest, TileChannelsReplicates) {
+  const std::vector<int8_t> in = {1, 2, 3, 4};  // [1, 2, 1, 2]
+  std::vector<int8_t> out(8);
+  int8_tile_channels(in.data(), 1, 2, 2, 2, out.data());
+  EXPECT_EQ(out, (std::vector<int8_t>{1, 2, 1, 2, 3, 4, 3, 4}));
+}
+
+TEST(Int8LinearTest, MatchesReference) {
+  Int8LinearSpec spec;
+  spec.in_features = 3;
+  spec.out_features = 2;
+  spec.in_zero = 1;
+  spec.out_zero = -2;
+  const std::vector<int16_t> weights = {1, 2, 3, -1, 0, 5};
+  const std::vector<int32_t> bias = {10, -10};
+  const std::vector<FixedPointMultiplier> requant = {
+      FixedPointMultiplier::from_double(0.5), FixedPointMultiplier::from_double(0.25)};
+  spec.weights = weights.data();
+  spec.bias = bias.data();
+  spec.requant = requant.data();
+
+  const std::vector<int8_t> in = {2, 3, 5};  // centred: 1, 2, 4
+  std::vector<int8_t> out(2);
+  int8_linear(in.data(), 1, spec, out.data());
+  // Row 0: 10 + 1*1 + 2*2 + 3*4 = 27 -> round(13.5) = 14 -> 12.
+  // Row 1: -10 + -1*1 + 0 + 5*4 = 9 -> round(2.25) = 2 -> 0.
+  EXPECT_EQ(out[0], 12);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(int8_linear_macs(spec), 6);
+}
+
+TEST(Int8DepthwiseTest, MatchesScalarReference) {
+  Rng rng(4);
+  const int64_t c = 3, k = 3, h = 6, w = 5, pad = 1, stride = 1;
+  std::vector<int8_t> in(static_cast<size_t>(c * h * w));
+  for (auto& v : in) v = static_cast<int8_t>(rng.uniform(-100.0f, 100.0f));
+  std::vector<int16_t> weights(static_cast<size_t>(c * k * k));
+  for (auto& v : weights) v = static_cast<int16_t>(rng.uniform(-60.0f, 60.0f));
+  std::vector<FixedPointMultiplier> requant(
+      static_cast<size_t>(c), FixedPointMultiplier::from_double(2e-3));
+
+  Int8DepthwiseSpec spec;
+  spec.channels = c;
+  spec.kernel = k;
+  spec.stride = stride;
+  spec.pad = pad;
+  spec.in_zero = -3;
+  spec.out_zero = 1;
+  spec.weights = weights.data();
+  spec.requant = requant.data();
+
+  std::vector<int8_t> actual(static_cast<size_t>(c * h * w));
+  int8_depthwise_nchw(in.data(), 1, h, w, h, w, spec, actual.data());
+
+  for (int64_t ch = 0; ch < c; ++ch)
+    for (int64_t oh = 0; oh < h; ++oh)
+      for (int64_t ow = 0; ow < w; ++ow) {
+        int32_t acc = 0;
+        for (int64_t kh = 0; kh < k; ++kh)
+          for (int64_t kw = 0; kw < k; ++kw) {
+            const int64_t ih = oh - pad + kh, iw = ow - pad + kw;
+            if (ih < 0 || ih >= h || iw < 0 || iw >= w) continue;
+            acc += weights[static_cast<size_t>(ch * k * k + kh * k + kw)] *
+                   (in[static_cast<size_t>((ch * h + ih) * w + iw)] - spec.in_zero);
+          }
+        const int8_t expected =
+            saturate_int8(requant[static_cast<size_t>(ch)].apply(acc) + spec.out_zero);
+        ASSERT_EQ(actual[static_cast<size_t>((ch * h + oh) * w + ow)], expected);
+      }
+}
+
+TEST(WorkspaceScratchTest, TypedScratchSharesArena) {
+  Workspace workspace;
+  auto a = workspace.scratch<int16_t>(10);
+  auto b = workspace.scratch<int32_t>(4);
+  ASSERT_EQ(a.size(), 10u);
+  ASSERT_EQ(b.size(), 4u);
+  for (auto& v : a) v = 7;
+  for (auto& v : b) v = -9;
+  for (auto v : a) EXPECT_EQ(v, 7);
+  for (auto v : b) EXPECT_EQ(v, -9);
+  workspace.reset();
+  EXPECT_GT(workspace.capacity(), 0);
+}
+
+}  // namespace
+}  // namespace sesr
