@@ -114,11 +114,12 @@ int main() {
   std::printf("--------------------------------------------------------------------------------\n");
 
   bool fidelity_ok = true;
+  bool arena_ok = true;
   double gate_speedup = 0.0;
   for (Row& row : rows) {
     const auto artifact = quant::QuantizedModel::calibrate(*row.net, shape, calibration);
-    const auto fp32_plan = runtime::InferencePlan::compile(*row.net, shape);
-    const auto int8_plan = runtime::InferencePlan::compile_int8(*row.net, shape, artifact);
+    const auto fp32_plan = runtime::Program::compile(*row.net, shape);
+    const auto int8_plan = runtime::Program::compile_int8(*row.net, shape, artifact);
     runtime::Session fp32_session(fp32_plan), int8_session(int8_plan);
 
     const Tensor fp32_out = fp32_session.run(probe);
@@ -147,17 +148,33 @@ int main() {
     json.set(key + ".speedup", speedup);
     json.set(key + ".psnr_int8_vs_fp32_db", psnr);
     json.set(key + ".max_ref_deviation_lsb", lsb);
+    // Memory-planner metrics: the int8 program's planned arena peak, its
+    // one-buffer-per-tensor baseline, and what the pass pipeline fused.
+    if (int8_plan->peak_arena_bytes() > int8_plan->sum_buffer_bytes() ||
+        fp32_plan->peak_arena_bytes() > fp32_plan->sum_buffer_bytes())
+      arena_ok = false;
+    json.set(key + ".peak_arena_bytes", static_cast<double>(int8_plan->peak_arena_bytes()));
+    json.set(key + ".sum_buffer_bytes", static_cast<double>(int8_plan->sum_buffer_bytes()));
+    json.set(key + ".fp32_peak_arena_bytes",
+             static_cast<double>(fp32_plan->peak_arena_bytes()));
+    json.set(key + ".fused_activations",
+             static_cast<double>(int8_plan->stats().fused_activations));
+    json.set(key + ".in_place_elected",
+             static_cast<double>(int8_plan->stats().in_place_elected));
   }
 
   json.set("gate.speedup_sesr_m5", gate_speedup);
   json.set("gate.threshold", 1.5);
+  json.set("gate.arena_peak_le_sum", arena_ok ? 1.0 : 0.0);
   json.write();
 
   std::printf("\n-> fidelity: every net within 1 LSB of the fake-quant gold model [%s]\n",
               fidelity_ok ? "PASS" : "FAIL");
+  std::printf("-> arena peak <= sum-of-buffers for every program [%s]\n",
+              arena_ok ? "PASS" : "FAIL");
   std::printf("-> SESR-M5 int8-over-fp32 single-thread speedup: %.2fx (target >= 1.5x) [%s]\n",
               gate_speedup, gate_speedup >= 1.5 ? "PASS" : "FAIL");
-  if (!fidelity_ok) return 1;
+  if (!fidelity_ok || !arena_ok) return 1;
   // Smoke mode gates on fidelity only: sub-second windows on shared CI
   // runners are too noisy for a hard throughput ratio.
   if (fast) return 0;

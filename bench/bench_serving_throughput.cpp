@@ -6,7 +6,7 @@
 // single-image inferences, once through nn::Module::forward (per-thread
 // model replicas — forward() caches backward state, so replicas are the
 // best a training-API server can do) and once through runtime::Session
-// (N sessions sharing one compiled InferencePlan). Outputs are verified
+// (N sessions sharing one compiled runtime::Program). Outputs are verified
 // bit-identical before timing.
 //
 // SESR_BENCH_FAST=1 shrinks the image and the timing window (CI smoke).
@@ -78,7 +78,7 @@ int main() {
               input.shape().to_string().c_str(), fast ? "smoke-scale" : "full");
   std::printf("================================================================================\n");
 
-  const auto plan = runtime::InferencePlan::compile(reference, input.shape());
+  const auto plan = runtime::Program::compile(reference, input.shape());
   {
     runtime::Session session(plan);
     const float diff = reference.forward(input).max_abs_diff(session.run(input));
@@ -133,16 +133,32 @@ int main() {
   }
   json.set("gate.speedup_at_4_threads", speedup_at_4);
   json.set("gate.threshold", 1.5);
+
+  // Memory-planner metrics and gate: the liveness-based arena must never
+  // need more bytes than the one-buffer-per-tensor baseline.
+  const int64_t peak = plan->peak_arena_bytes();
+  const int64_t sum = plan->sum_buffer_bytes();
+  const bool arena_ok = peak <= sum;
+  json.set("arena.peak_arena_bytes", static_cast<double>(peak));
+  json.set("arena.sum_buffer_bytes", static_cast<double>(sum));
+  json.set("passes.fused_activations", static_cast<double>(plan->stats().fused_activations));
+  json.set("passes.in_place_elected", static_cast<double>(plan->stats().in_place_elected));
   json.write();
 
   std::printf("\n-> Session path speedup at 4 threads: %.2fx (target >= 1.5x) [%s]\n",
               speedup_at_4, speedup_at_4 >= 1.5 ? "PASS" : "FAIL");
-  std::printf("   One immutable plan serves every session; each session owns only its\n");
-  std::printf("   activation arena (%lld floats) and scratch workspace.\n",
-              static_cast<long long>(plan->activation_floats()));
-  // Fast (smoke) mode gates only on the bit-exactness check above: its 0.3 s
-  // windows on a tiny input are too noisy for a hard throughput ratio on
-  // shared CI runners. Full mode enforces the >= 1.5x acceptance target.
+  std::printf("   One immutable program serves every session; each session owns a single\n");
+  std::printf("   %.1f KiB activation arena (one-buffer-per-tensor baseline: %.1f KiB;\n",
+              static_cast<double>(peak) / 1024.0, static_cast<double>(sum) / 1024.0);
+  std::printf("   %lld conv+act pairs fused, %lld ops in place) plus a scratch workspace.\n",
+              static_cast<long long>(plan->stats().fused_activations),
+              static_cast<long long>(plan->stats().in_place_elected));
+  std::printf("-> arena peak <= sum-of-buffers: [%s]\n", arena_ok ? "PASS" : "FAIL");
+  if (!arena_ok) return 1;  // deterministic planner gate, enforced in every mode
+  // Fast (smoke) mode gates only on the bit-exactness and planner checks
+  // above: its 0.3 s windows on a tiny input are too noisy for a hard
+  // throughput ratio on shared CI runners. Full mode enforces the >= 1.5x
+  // acceptance target.
   if (fast) return 0;
   return speedup_at_4 >= 1.5 ? 0 : 1;
 }

@@ -33,7 +33,7 @@ double int8_plan_ms(const hw::EthosU55Model& npu, nn::Module& net) {
   Rng data_rng(18);
   for (int i = 0; i < 2; ++i) batches.push_back(Tensor::rand(calib_shape, data_rng));
   const auto artifact = quant::QuantizedModel::calibrate(net, calib_shape, batches);
-  const auto plan = runtime::InferencePlan::compile_int8(net, {1, 3, 299, 299}, artifact);
+  const auto plan = runtime::Program::compile_int8(net, {1, 3, 299, 299}, artifact);
   return npu.estimate_int8(*plan).total_ms;
 }
 

@@ -2,12 +2,14 @@
 //
 // Builds every SESR variant in its overparameterised training form, collapses
 // it analytically, and reports: parameter reduction, numerical equivalence,
-// per-stage structure, and the MAC counts of the deployed network at the
-// paper's 299x299 -> 598x598 operating point.
+// the compiled runtime program of the deployed network (via Program::dump —
+// buffer table, pass results, arena plan), and the MAC counts at the paper's
+// 299x299 -> 598x598 operating point.
 #include <cstdio>
 
 #include "hw/cost_model.h"
 #include "models/models.h"
+#include "runtime/runtime.h"
 
 using namespace sesr;
 
@@ -49,14 +51,11 @@ int main() {
                 diff, hw::human_count(static_cast<double>(cost.macs)).c_str());
   }
 
-  // Per-stage view of one collapse.
-  std::printf("\nPer-layer structure of the deployed SESR-M2 at 299x299:\n");
+  // The deployed execution form, through the runtime's one debug printer:
+  // op list after the pass pipeline, typed buffer table, and the arena plan.
+  std::printf("\nCompiled runtime program of the deployed SESR-M2 at 299x299:\n\n");
   models::Sesr m2(models::SesrConfig::m2(), models::Sesr::Form::kInference);
-  for (const auto& info : m2.layers({1, 3, 299, 299})) {
-    std::printf("  %-22s %-18s -> %-18s params %-7lld macs %s\n", info.name.c_str(),
-                info.input.to_string().c_str(), info.output.to_string().c_str(),
-                static_cast<long long>(info.params),
-                hw::human_count(static_cast<double>(info.macs)).c_str());
-  }
+  const auto program = runtime::Program::compile(m2, {1, 3, 299, 299});
+  std::printf("%s", program->dump().c_str());
   return 0;
 }

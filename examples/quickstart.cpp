@@ -52,7 +52,7 @@ int main() {
   // The deployed execution form: compile the collapsed network once, then
   // serve through stateless sessions (bit-identical to forward, no per-call
   // allocation, concurrency-safe over the shared plan).
-  const auto plan = runtime::InferencePlan::compile(*inference_form, probe.shape());
+  const auto plan = runtime::Program::compile(*inference_form, probe.shape());
   runtime::Session session(plan);
   const float session_err = session.run(probe).max_abs_diff(inference_form->forward(probe));
   std::printf("    compiled runtime::Session vs forward on the probe: max diff %.1e\n",

@@ -33,22 +33,22 @@ nn::LayerInfo step_info(nn::LayerKind kind, std::string name, const Shape& in,
 
 }  // namespace
 
-std::vector<nn::LayerInfo> int8_plan_layers(const runtime::InferencePlan& plan) {
-  using Kind = runtime::PlanStep::Kind;
+std::vector<nn::LayerInfo> int8_plan_layers(const runtime::Program& plan) {
+  using Kind = runtime::Op::Kind;
   if (plan.precision() != runtime::Precision::kInt8)
     throw std::invalid_argument("int8_plan_layers: int8 plans only");
   if (plan.input_shape().ndim() >= 1 && plan.input_shape()[0] != 1)
     throw std::invalid_argument("int8_plan_layers: compile the plan at batch size 1");
 
-  const auto& shapes = plan.buffer_shapes();
+  const auto& buffers = plan.buffers();
   const auto shape_of = [&](int id) -> const Shape& {
-    return shapes[static_cast<size_t>(id)];
+    return buffers[static_cast<size_t>(id)].shape;
   };
 
   std::vector<nn::LayerInfo> infos;
-  for (const runtime::PlanStep& step : plan.steps()) {
+  for (const runtime::Op& step : plan.ops()) {
     const runtime::QStepData* q =
-        step.qdata >= 0 ? &plan.qstep_data()[static_cast<size_t>(step.qdata)] : nullptr;
+        step.qdata >= 0 ? &plan.qdata()[static_cast<size_t>(step.qdata)] : nullptr;
     const Shape& out = shape_of(step.output);
     switch (step.kind) {
       case Kind::kLayer: {
@@ -145,16 +145,16 @@ std::vector<nn::LayerInfo> int8_plan_layers(const runtime::InferencePlan& plan) 
   return infos;
 }
 
-Int8PlanCost summarize_int8(const runtime::InferencePlan& plan) {
-  using Kind = runtime::PlanStep::Kind;
+Int8PlanCost summarize_int8(const runtime::Program& plan) {
+  using Kind = runtime::Op::Kind;
   Int8PlanCost cost;
   for (const nn::LayerInfo& info : int8_plan_layers(plan)) cost.fallback_macs += info.macs;
   // Split integer-kernel MACs out of the total: tally them directly from the
   // plan's lowered steps (the same int8_*_macs the trace above used).
-  for (const runtime::PlanStep& step : plan.steps()) {
+  for (const runtime::Op& step : plan.ops()) {
     if (step.qdata < 0) continue;
-    const runtime::QStepData& q = plan.qstep_data()[static_cast<size_t>(step.qdata)];
-    const Shape& out = plan.buffer_shapes()[static_cast<size_t>(step.output)];
+    const runtime::QStepData& q = plan.qdata()[static_cast<size_t>(step.qdata)];
+    const Shape& out = plan.buffers()[static_cast<size_t>(step.output)].shape;
     int64_t macs = 0;
     int64_t device_weights = static_cast<int64_t>(q.weights.size());
     if (step.kind == Kind::kQConv) {
@@ -182,6 +182,24 @@ Int8PlanCost summarize_int8(const runtime::InferencePlan& plan) {
   }
   cost.fallback_macs -= cost.integer_macs;
   return cost;
+}
+
+SramEstimate estimate_sram(const runtime::Program& plan) {
+  using Kind = runtime::Op::Kind;
+  SramEstimate est;
+  est.peak_arena_bytes = plan.peak_arena_bytes();
+  est.sum_buffer_bytes = plan.sum_buffer_bytes();
+  // Same device-resident weight accounting as summarize_int8, but without
+  // its batch-1 restriction (SRAM sizing is legitimate for any batch).
+  for (const runtime::Op& op : plan.ops()) {
+    if (op.qdata < 0) continue;
+    const runtime::QStepData& q = plan.qdata()[static_cast<size_t>(op.qdata)];
+    if (op.kind == Kind::kQConv)
+      est.weight_bytes += q.out_c * q.in_c * q.kernel * q.kernel;  // minus host padding
+    else if (op.kind == Kind::kQDepthwise || op.kind == Kind::kQLinear)
+      est.weight_bytes += static_cast<int64_t>(q.weights.size());
+  }
+  return est;
 }
 
 std::string human_count(double value) {

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "nn/module.h"
-#include "runtime/plan.h"
+#include "runtime/program.h"
 
 namespace sesr::hw {
 
@@ -37,15 +37,38 @@ struct Int8PlanCost {
   int64_t weight_bytes = 0;
 };
 
-/// Tally a compiled int8 plan (batch size 1; throws otherwise).
-Int8PlanCost summarize_int8(const runtime::InferencePlan& plan);
+/// Tally a compiled int8 program (batch size 1; throws otherwise).
+Int8PlanCost summarize_int8(const runtime::Program& plan);
 
 /// Synthesize the LayerInfo trace of a lowered int8 plan — one record per
 /// executed step, with int8-kernel MAC counts — so the analytic NPU model
 /// prices the *compiled* integer program rather than the float module
 /// structure. Quantise/dequantise boundary steps appear as pure data
 /// movement; float-fallback layer steps expand to their module's own trace.
-std::vector<nn::LayerInfo> int8_plan_layers(const runtime::InferencePlan& plan);
+std::vector<nn::LayerInfo> int8_plan_layers(const runtime::Program& plan);
+
+/// On-chip activation memory of a compiled program, as the Ethos-U55 SRAM
+/// sizing question is actually answered by the arena planner: the deployment
+/// needs `peak_arena_bytes` of SRAM for activations, not the
+/// one-dedicated-buffer-per-intermediate `sum_buffer_bytes` a structural
+/// estimate sums up. `weight_bytes` is the int8 weight payload resident
+/// alongside (0 for fp32 programs).
+struct SramEstimate {
+  int64_t peak_arena_bytes = 0;
+  int64_t sum_buffer_bytes = 0;
+  int64_t weight_bytes = 0;
+
+  /// Fraction of the sum-of-buffers estimate the planner saves.
+  [[nodiscard]] double savings() const {
+    return sum_buffer_bytes > 0
+               ? 1.0 - static_cast<double>(peak_arena_bytes) /
+                           static_cast<double>(sum_buffer_bytes)
+               : 0.0;
+  }
+};
+
+/// SRAM estimate of a compiled program (either precision).
+SramEstimate estimate_sram(const runtime::Program& plan);
 
 /// Pretty-print helpers for table rows ("10.6K", "0.948B").
 std::string human_count(double value);

@@ -117,7 +117,7 @@ LatencyReport EthosU55Model::estimate(const nn::Module& model, const Shape& inpu
   return estimate(model.layers(input));
 }
 
-LatencyReport EthosU55Model::estimate_int8(const runtime::InferencePlan& plan) const {
+LatencyReport EthosU55Model::estimate_int8(const runtime::Program& plan) const {
   return estimate(int8_plan_layers(plan));
 }
 

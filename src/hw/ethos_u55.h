@@ -85,7 +85,7 @@ class EthosU55Model {
   /// boundaries and pixel ops as pure data movement, activations fused. This
   /// is the latency of the program the runtime executes, not of the float
   /// module structure.
-  [[nodiscard]] LatencyReport estimate_int8(const runtime::InferencePlan& plan) const;
+  [[nodiscard]] LatencyReport estimate_int8(const runtime::Program& plan) const;
 
   [[nodiscard]] const EthosU55Config& config() const { return config_; }
 

@@ -41,7 +41,7 @@ int64_t NetworkUpscaler::macs_for(const Shape& single_image_chw) const {
   return total;
 }
 
-std::shared_ptr<const runtime::InferencePlan> NetworkUpscaler::plan_for(const Shape& input) {
+std::shared_ptr<const runtime::Program> NetworkUpscaler::plan_for(const Shape& input) {
   if (!compilable_) return nullptr;
   const std::string key = input.to_string();
   // Compiling under the lock serialises only each shape's first-ever call
@@ -51,8 +51,8 @@ std::shared_ptr<const runtime::InferencePlan> NetworkUpscaler::plan_for(const Sh
   auto it = plans_.find(key);
   if (it == plans_.end()) {
     auto plan = precision_ == runtime::Precision::kInt8
-                    ? runtime::InferencePlan::compile_int8(*network_, input, *artifact_)
-                    : runtime::InferencePlan::compile(*network_, input);
+                    ? runtime::Program::compile_int8(*network_, input, *artifact_)
+                    : runtime::Program::compile(*network_, input);
     it = plans_.emplace(key, std::move(plan)).first;
   }
   return it->second;

@@ -83,7 +83,7 @@ class NetworkUpscaler final : public Upscaler {
   /// NCHW input shape (cached; compiles on first use). Returns nullptr when
   /// the network does not support compiled inference. Useful for building
   /// extra sessions externally.
-  [[nodiscard]] std::shared_ptr<const runtime::InferencePlan> plan_for(const Shape& input);
+  [[nodiscard]] std::shared_ptr<const runtime::Program> plan_for(const Shape& input);
 
   /// Serving precision. kInt8 requires an artifact (calibrate_int8 /
   /// set_quantized_model); switching drops cached plans and pooled sessions.
@@ -127,7 +127,7 @@ class NetworkUpscaler final : public Upscaler {
   mutable std::mutex mutex_;  // guards precision/artifact and the two maps
   runtime::Precision precision_ = runtime::Precision::kFloat32;
   std::shared_ptr<const quant::QuantizedModel> artifact_;
-  std::map<std::string, std::shared_ptr<const runtime::InferencePlan>> plans_;
+  std::map<std::string, std::shared_ptr<const runtime::Program>> plans_;
   std::map<std::string, SessionPool> session_pools_;
 };
 

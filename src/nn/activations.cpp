@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/fused_activation.h"
 #include "nn/inference.h"
 
 namespace sesr::nn {
@@ -191,6 +192,26 @@ void PReLU::infer_into(const Tensor& input, Tensor& output, Workspace&) const {
 
 int PReLU::compile_inference(InferenceBuilder& builder, int input) const {
   return builder.emit_pointwise(*this, input);
+}
+
+// ---- fusion classification --------------------------------------------------
+
+FusedActivation FusedActivation::from(const Module& layer) {
+  FusedActivation act;
+  if (dynamic_cast<const ReLU*>(&layer) != nullptr) {
+    act.kind = Kind::kReLU;
+  } else if (dynamic_cast<const ReLU6*>(&layer) != nullptr) {
+    act.kind = Kind::kReLU6;
+  } else if (const auto* leaky = dynamic_cast<const LeakyReLU*>(&layer)) {
+    act.kind = Kind::kLeakyReLU;
+    act.slope = leaky->slope();
+  } else if (const auto* prelu = dynamic_cast<const PReLU*>(&layer)) {
+    act.kind = Kind::kPReLU;
+    // parameters() is logically const (see Module::num_params).
+    act.channel_slopes =
+        const_cast<PReLU*>(prelu)->parameters().front()->value.data();
+  }
+  return act;
 }
 
 }  // namespace sesr::nn

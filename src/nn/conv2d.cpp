@@ -187,6 +187,11 @@ inline void conv_out_block_tail(const float* __restrict w_row, const float* __re
 // each parallel chunk claims a private slab carved from the workspace before
 // the fan-out (per-element results are thread-placement independent).
 void Conv2d::infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const {
+  infer_into_fused(input, output, workspace, FusedActivation{});
+}
+
+void Conv2d::infer_into_fused(const Tensor& input, Tensor& output, Workspace& workspace,
+                              const FusedActivation& act) const {
   const int64_t n = input.dim(0), c_in = opts_.in_channels;
   const int64_t h = input.dim(2), w = input.dim(3);
   const int64_t c_out = opts_.out_channels, k = opts_.kernel, stride = opts_.stride;
@@ -254,6 +259,7 @@ void Conv2d::infer_into(const Tensor& input, Tensor& output, Workspace& workspac
           const float b = bias_.value[oc];
           for (int64_t j = 0; j < out_w; ++j) out_row[j] += b;
         }
+        act.apply(out_row, out_w, oc);
       }
     }
   });

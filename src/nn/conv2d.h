@@ -4,6 +4,7 @@
 // Weight layout: [out_channels, in_channels, kernel_h, kernel_w].
 #pragma once
 
+#include "nn/fused_activation.h"
 #include "nn/module.h"
 
 namespace sesr::nn {
@@ -32,6 +33,11 @@ class Conv2d final : public Module {
   [[nodiscard]] std::string name() const override;
   Shape trace(const Shape& input, std::vector<LayerInfo>* out) const override;
   void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
+  /// infer_into with a pointwise activation applied inside the write-back
+  /// loop (the runtime's conv -> activation fusion). Bit-identical to
+  /// infer_into followed by the activation's own infer_into.
+  void infer_into_fused(const Tensor& input, Tensor& output, Workspace& workspace,
+                        const FusedActivation& act) const;
   [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
   [[nodiscard]] const Conv2dOptions& options() const { return opts_; }

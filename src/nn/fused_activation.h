@@ -1,0 +1,55 @@
+// Pointwise activations folded into a producing convolution.
+//
+// The runtime's fusion pass (src/runtime/passes) rewrites a conv -> pointwise
+// activation pair into a single op; the conv microkernel then applies the
+// activation inside its write-back loop, saving one full pass over the output
+// buffer per pair. apply() uses the exact scalar expressions of the
+// activations' own infer_into implementations — same operations, same float
+// precision, same order — so fusion is bit-exact by construction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sesr::nn {
+
+class Module;
+
+struct FusedActivation {
+  enum class Kind : uint8_t { kNone, kReLU, kReLU6, kLeakyReLU, kPReLU };
+
+  Kind kind = Kind::kNone;
+  float slope = 0.0f;                     ///< kLeakyReLU
+  const float* channel_slopes = nullptr;  ///< kPReLU: [out_channels], owned by the module
+
+  /// Classify `layer` as a fusable activation (kNone when it is not one).
+  /// For PReLU the returned slopes pointer aliases the module's parameter
+  /// tensor, so the module must outlive any program holding the result.
+  [[nodiscard]] static FusedActivation from(const Module& layer);
+
+  /// Apply to a contiguous row of values produced for output channel `oc`.
+  inline void apply(float* row, int64_t count, int64_t oc) const {
+    switch (kind) {
+      case Kind::kNone:
+        return;
+      case Kind::kReLU:
+        for (int64_t j = 0; j < count; ++j) row[j] = row[j] < 0.0f ? 0.0f : row[j];
+        return;
+      case Kind::kReLU6:
+        for (int64_t j = 0; j < count; ++j) row[j] = std::clamp(row[j], 0.0f, 6.0f);
+        return;
+      case Kind::kLeakyReLU: {
+        const float a = slope;
+        for (int64_t j = 0; j < count; ++j) row[j] = row[j] < 0.0f ? row[j] * a : row[j];
+        return;
+      }
+      case Kind::kPReLU: {
+        const float a = channel_slopes[oc];
+        for (int64_t j = 0; j < count; ++j) row[j] = row[j] < 0.0f ? row[j] * a : row[j];
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace sesr::nn

@@ -1,7 +1,7 @@
 // Compilation interface for the inference runtime.
 //
-// runtime::InferencePlan (src/runtime) compiles a Module tree into a flat
-// list of steps over preallocated activation buffers. Modules describe their
+// runtime::Program (src/runtime) compiles a Module tree into a flat
+// list of ops over typed, arena-planned activation buffers. Modules describe their
 // inference dataflow to an InferenceBuilder: primitives emit themselves as a
 // single layer step (executed through Module::infer_into), composites recurse
 // into their children and stitch the results with elementwise steps. Keeping
@@ -14,11 +14,14 @@
 // an existing buffer in place, mirroring the Tensor::add_ / mul_scalar calls
 // the training-path forward() implementations make.
 //
-// In-place execution and pinning: emit_pointwise may alias its output onto
-// the input buffer (eliding a copy) unless that buffer is pinned. A composite
-// that reads a buffer again *after* compiling intermediate children (residual
-// shortcuts, concat fan-out, long skips) must pin(buffer) first; the builder
-// then guarantees no later step overwrites it.
+// In-place execution and pinning: the builder emits pointwise ops into fresh
+// buffers and merely marks them alias-safe — whether an op runs in place is
+// decided by the runtime's liveness-based in-place election pass, which sees
+// the whole program instead of the builder's single-pass view. pin(buffer)
+// remains as a write guard: a composite that reads a buffer again *after*
+// compiling intermediate children (residual shortcuts, concat fan-out, long
+// skips) must pin it first, and emit_add / emit_scale refuse to mutate a
+// pinned buffer (or the read-only plan input).
 #pragma once
 
 #include <vector>
@@ -38,9 +41,9 @@ class InferenceBuilder {
   /// infer_into. The output shape comes from layer.trace().
   virtual int emit_layer(const Module& layer, int input) = 0;
 
-  /// Like emit_layer for a shape-preserving pointwise layer; the builder may
-  /// alias output onto `input` (returning `input`) when it is not pinned.
-  /// The layer's infer_into must tolerate output.data() == input.data().
+  /// Like emit_layer for a shape-preserving pointwise layer whose infer_into
+  /// tolerates output.data() == input.data(); the runtime's in-place election
+  /// pass may later alias the output onto `input` when liveness allows.
   virtual int emit_pointwise(const Module& layer, int input) = 0;
 
   /// buffers[dst] += buffers[src] (Tensor::add_ semantics; same shapes).

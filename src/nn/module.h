@@ -17,7 +17,7 @@
 // output tensor, takes scratch from a Workspace instead of allocating, and
 // caches nothing — so it is const and safe to run concurrently on the same
 // layer from multiple runtime::Sessions. compile_inference() flattens a
-// module tree into the step list runtime::InferencePlan executes.
+// module tree into the op list runtime::Program executes.
 #pragma once
 
 #include <cstdint>
@@ -108,7 +108,7 @@ class Module {
 
   /// Whether compile_inference() produces a runnable program for this module
   /// (i.e. every primitive it flattens to implements infer_into). Queried by
-  /// runtime::InferencePlan::compile before building.
+  /// runtime::Program::compile before building.
   [[nodiscard]] virtual bool supports_compiled_inference() const { return false; }
 
   /// Flatten this module into `builder`'s step list, reading buffer `input`;

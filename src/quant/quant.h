@@ -5,7 +5,7 @@
 // activation ranges over representative batches, QParams describe the affine
 // int8 grids, and QuantizedModel freezes a calibrated module into the
 // serving artifact (int8 weights, int32 biases, requantisation scales) that
-// runtime::InferencePlan::compile_int8 lowers onto the integer kernels in
+// runtime::Program::compile_int8 lowers onto the integer kernels in
 // tensor/int8_kernels.h.
 #pragma once
 

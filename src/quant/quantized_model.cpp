@@ -12,7 +12,7 @@
 #include "nn/depthwise_conv2d.h"
 #include "nn/linear.h"
 #include "nn/pixel_ops.h"
-#include "runtime/plan.h"
+#include "runtime/program.h"
 #include "runtime/session.h"
 
 namespace sesr::quant {
@@ -20,8 +20,8 @@ namespace {
 
 /// Which int8 backend op a float-plan step lowers to. Layers without integer
 /// kernels (transposed conv, normalisation, pooling, ...) are kFallback.
-StepOp classify(const runtime::PlanStep& step) {
-  using Kind = runtime::PlanStep::Kind;
+StepOp classify(const runtime::Op& step) {
+  using Kind = runtime::Op::Kind;
   switch (step.kind) {
     case Kind::kAdd:
       return StepOp::kAdd;
@@ -130,7 +130,7 @@ WeightView weight_view(const nn::Module* layer, StepOp op) {
 }
 
 void validate_records(const std::vector<StepQuant>& records,
-                      const std::vector<runtime::PlanStep>& steps, const char* who) {
+                      const std::vector<runtime::Op>& steps, const char* who) {
   if (records.size() != steps.size())
     throw std::invalid_argument(std::string(who) + ": artifact holds " +
                                 std::to_string(records.size()) +
@@ -150,13 +150,15 @@ QuantizedModel QuantizedModel::calibrate(const nn::Module& module, const Shape& 
                                          const CalibrationOptions& opts) {
   if (batches.empty())
     throw std::invalid_argument("QuantizedModel::calibrate: no calibration batches");
-  const auto plan = runtime::InferencePlan::compile(module, input);
+  // Raw (pass-free) program: one op per module step, so observer index k,
+  // artifact record k, and the lowering's op k all describe the same step.
+  const auto plan = runtime::Program::compile(module, input, runtime::PassConfig::none());
   runtime::Session session(plan);
 
   auto input_observer = make_observer(opts.observer);
   std::vector<std::unique_ptr<Observer>> observers;
-  observers.reserve(plan->steps().size());
-  for (size_t k = 0; k < plan->steps().size(); ++k)
+  observers.reserve(plan->ops().size());
+  for (size_t k = 0; k < plan->ops().size(); ++k)
     observers.push_back(make_observer(opts.observer));
 
   Tensor output(plan->output_shape());
@@ -175,12 +177,12 @@ QuantizedModel QuantizedModel::calibrate(const nn::Module& module, const Shape& 
   artifact.per_channel_ = opts.per_channel_weights;
   artifact.input_ = input_observer->qparams();
 
-  // Walk the plan tracking each buffer's grid, exactly as the runtime
+  // Walk the program tracking each buffer's grid, exactly as the runtime
   // lowering will: a step's input grid is whatever its producer wrote.
-  std::vector<QParams> grid(plan->buffer_shapes().size());
+  std::vector<QParams> grid(plan->buffers().size());
   grid[0] = artifact.input_;
-  for (size_t k = 0; k < plan->steps().size(); ++k) {
-    const runtime::PlanStep& step = plan->steps()[k];
+  for (size_t k = 0; k < plan->ops().size(); ++k) {
+    const runtime::Op& step = plan->ops()[k];
     StepQuant rec;
     rec.op = classify(step);
     rec.name = runtime::step_identity(step);
@@ -482,10 +484,15 @@ void reference_fallback(const nn::Module* layer, const std::vector<double>& in,
 
 Tensor simulate_fake_quant(const nn::Module& module, const QuantizedModel& artifact,
                            const Tensor& input) {
-  const auto plan = runtime::InferencePlan::compile(module, input.shape());
+  // Raw program: the gold model interprets one op per artifact record.
+  const auto plan =
+      runtime::Program::compile(module, input.shape(), runtime::PassConfig::none());
   const auto& records = artifact.steps();
-  validate_records(records, plan->steps(), "simulate_fake_quant");
-  const auto& shapes = plan->buffer_shapes();
+  validate_records(records, plan->ops(), "simulate_fake_quant");
+
+  std::vector<Shape> shapes;
+  shapes.reserve(plan->buffers().size());
+  for (const runtime::BufferInfo& info : plan->buffers()) shapes.push_back(info.shape);
 
   std::vector<std::vector<double>> buffers(shapes.size());
   for (size_t i = 0; i < shapes.size(); ++i)
@@ -493,8 +500,8 @@ Tensor simulate_fake_quant(const nn::Module& module, const QuantizedModel& artif
   for (int64_t j = 0; j < input.numel(); ++j) buffers[0][static_cast<size_t>(j)] = input[j];
   fake_quant_doubles(buffers[0], artifact.input_qparams());
 
-  for (size_t k = 0; k < plan->steps().size(); ++k) {
-    const runtime::PlanStep& step = plan->steps()[k];
+  for (size_t k = 0; k < plan->ops().size(); ++k) {
+    const runtime::Op& step = plan->ops()[k];
     const StepQuant& rec = records[k];
     std::vector<double>& out = buffers[static_cast<size_t>(step.output)];
     const Shape& out_shape = shapes[static_cast<size_t>(step.output)];

@@ -1,0 +1,413 @@
+// Int8 lowering: the raw float program rewritten onto integer kernels.
+//
+// Lowers one float op at a time, liric-style, tracking for each logical
+// value which typed buffers currently hold it — a float buffer (the id
+// inherited from the float program), an int8 buffer (minted on demand with
+// the value's grid), or both — and emitting quantize / dequantize bridges
+// lazily where a consumer needs the other domain. Conv / depthwise / linear
+// / activation / pixel-op steps become integer-kernel ops parameterised from
+// the calibrated artifact; residual adds and scales become saturating
+// integer rescales; layers without integer kernels run their float kernel
+// followed by an explicit fake-quant of the result, so the fallback is
+// numerically the fake-quant emulation of an int8 tensor and a later
+// re-quantisation is lossless.
+#include <stdexcept>
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/linear.h"
+#include "quant/quantized_model.h"
+#include "runtime/passes/passes.h"
+#include "runtime/program.h"
+
+namespace sesr::runtime {
+
+class Int8Lowering {
+ public:
+  Int8Lowering(const Program& src, const quant::QuantizedModel& artifact, Program& dst)
+      : src_(src), artifact_(artifact), dst_(dst) {
+    dst_.precision_ = Precision::kInt8;
+    dst_.buffers_ = src_.buffers_;  // float ids carry over 1:1
+    dst_.output_ = src_.output_;
+    states_.resize(src_.buffers_.size());
+    for (size_t i = 0; i < states_.size(); ++i)
+      states_[i].float_id = static_cast<int>(i);
+    states_[0].has_float = true;
+    states_[0].qp = artifact_.input_qparams();
+  }
+
+  void run() {
+    const auto& records = artifact_.steps();
+    if (records.size() != src_.ops_.size())
+      throw std::invalid_argument(
+          "compile_int8: artifact holds " + std::to_string(records.size()) +
+          " step records but the program has " + std::to_string(src_.ops_.size()) +
+          " ops — calibrated from a different module?");
+    for (size_t k = 0; k < src_.ops_.size(); ++k) {
+      const Op& op = src_.ops_[k];
+      const quant::StepQuant& rec = records[k];
+      if (rec.name != step_identity(op))
+        throw std::invalid_argument("compile_int8: step " + std::to_string(k) + " is '" +
+                                    step_identity(op) + "' but the artifact recorded '" +
+                                    rec.name + "'");
+      lower_op(op, rec);
+    }
+    ensure_float(dst_.output_);  // sessions hand the caller a float tensor
+  }
+
+ private:
+  /// Domain state of one logical (float-program) buffer.
+  struct BufferState {
+    int float_id = -1;  ///< dst buffer holding the float content
+    int int8_id = -1;   ///< dst buffer holding the int8 content (minted lazily)
+    bool has_float = false;
+    bool has_int8 = false;
+    quant::QParams qp;  ///< grid of the buffer's current logical content
+  };
+
+  BufferState& state(int id) { return states_[static_cast<size_t>(id)]; }
+
+  int add_qdata(QStepData data) {
+    dst_.qdata_.push_back(std::move(data));
+    return static_cast<int>(dst_.qdata_.size()) - 1;
+  }
+
+  void push(Op op) { dst_.ops_.push_back(std::move(op)); }
+
+  static Op make_op(Op::Kind kind, int input, int output, int qdata) {
+    Op op;
+    op.kind = kind;
+    op.input = input;
+    op.output = output;
+    op.qdata = qdata;
+    return op;
+  }
+
+  /// The int8 twin of logical buffer `id`, minting the typed dst buffer on
+  /// first use.
+  int int8_id(int id) {
+    BufferState& s = state(id);
+    if (s.int8_id < 0) {
+      s.int8_id = static_cast<int>(dst_.buffers_.size());
+      dst_.buffers_.push_back({shape_of(id), DType::kInt8, s.qp, -1});
+    }
+    return s.int8_id;
+  }
+
+  /// Make the int8 side of `id` valid (emitting a quantize if needed).
+  void ensure_int8(int id) {
+    BufferState& s = state(id);
+    if (s.has_int8) return;
+    if (!s.has_float)
+      throw std::logic_error("Int8Lowering: buffer " + std::to_string(id) +
+                             " read before it was written");
+    QStepData qd;
+    qd.out = s.qp;
+    push(make_op(Op::Kind::kQuantize, s.float_id, int8_id(id), add_qdata(std::move(qd))));
+    dst_.buffers_[static_cast<size_t>(s.int8_id)].grid = s.qp;
+    s.has_int8 = true;
+  }
+
+  /// Make the float side of `id` valid (emitting a dequantize if needed).
+  void ensure_float(int id) {
+    BufferState& s = state(id);
+    if (s.has_float) return;
+    if (!s.has_int8)
+      throw std::logic_error("Int8Lowering: buffer " + std::to_string(id) +
+                             " read before it was written");
+    QStepData qd;
+    qd.in_a = s.qp;
+    push(make_op(Op::Kind::kDequantize, s.int8_id, s.float_id, add_qdata(std::move(qd))));
+    s.has_float = true;
+  }
+
+  /// Float content of `id` that is *on the int8 grid*. For every buffer but
+  /// the program input that is what ensure_float yields (all float writers
+  /// fake-quantise); buffer 0 holds the caller's raw tensor and is
+  /// read-only, so its on-grid float view lives in a shadow buffer fed by
+  /// quantize -> dequantize. Without this, a float-fallback layer reading
+  /// the program input would see values the int8 boundary never transmits.
+  int on_grid_float(int id) {
+    if (id != 0) {
+      ensure_float(id);
+      return state(id).float_id;
+    }
+    if (input_shadow_ < 0) {
+      ensure_int8(0);
+      input_shadow_ = static_cast<int>(dst_.buffers_.size());
+      dst_.buffers_.push_back({shape_of(0), DType::kFloat32, {}, -1});
+      QStepData qd;
+      qd.in_a = states_[0].qp;
+      push(make_op(Op::Kind::kDequantize, states_[0].int8_id, input_shadow_,
+                   add_qdata(std::move(qd))));
+    }
+    return input_shadow_;
+  }
+
+  /// Mark logical buffer `id` as holding content on grid `qp`, in the given
+  /// domain only (the other side goes stale).
+  void set_content(int id, const quant::QParams& qp, bool int8_domain) {
+    BufferState& s = state(id);
+    s.has_float = !int8_domain;
+    s.has_int8 = int8_domain;
+    s.qp = qp;
+    if (int8_domain) dst_.buffers_[static_cast<size_t>(s.int8_id)].grid = qp;
+  }
+
+  /// The artifact computed its biases against the input grid it recorded;
+  /// the lowering must agree with it or the accumulator arithmetic is
+  /// silently wrong. Both walks are deterministic over the same program, so
+  /// a mismatch means artifact/module confusion.
+  void check_input_grid(int id, const quant::StepQuant& rec) const {
+    if (states_[static_cast<size_t>(id)].qp != rec.in)
+      throw std::logic_error("Int8Lowering: input grid of '" + rec.name +
+                             "' disagrees with the artifact record");
+  }
+
+  [[nodiscard]] float weight_scale(const quant::StepQuant& rec, int64_t oc) const {
+    return rec.weight_scales.size() == 1 ? rec.weight_scales[0]
+                                         : rec.weight_scales[static_cast<size_t>(oc)];
+  }
+
+  void pack_weights(const quant::StepQuant& rec, int64_t out_channels, QStepData& qd) const {
+    qd.weights.assign(rec.weights.begin(), rec.weights.end());  // widen int8 -> int16
+    qd.bias = rec.bias;
+    qd.requant.resize(static_cast<size_t>(out_channels));
+    for (int64_t oc = 0; oc < out_channels; ++oc) {
+      const double m = static_cast<double>(rec.in.scale) *
+                       static_cast<double>(weight_scale(rec, oc)) /
+                       static_cast<double>(rec.out.scale);
+      qd.requant[static_cast<size_t>(oc)] = FixedPointMultiplier::from_double(m);
+    }
+  }
+
+  /// Conv weights additionally re-pack onto the kernel's aligned row stride
+  /// (zero-padded rows; see Int8ConvSpec::weights).
+  void pack_conv_weights(const quant::StepQuant& rec, int64_t out_channels,
+                         QStepData& qd) const {
+    pack_weights(rec, out_channels, qd);
+    const int64_t row = static_cast<int64_t>(rec.weights.size()) / out_channels;
+    const int64_t stride = int8_packed_stride(row);
+    std::vector<int16_t> packed(static_cast<size_t>(out_channels * stride), 0);
+    for (int64_t oc = 0; oc < out_channels; ++oc)
+      for (int64_t j = 0; j < row; ++j)
+        packed[static_cast<size_t>(oc * stride + j)] =
+            qd.weights[static_cast<size_t>(oc * row + j)];
+    qd.weights = std::move(packed);
+  }
+
+  /// Emit an integer op reading the int8 twin of op.input and writing the
+  /// int8 twin of op.output.
+  void emit_qop(Op::Kind kind, const Op& op, const quant::StepQuant& rec, QStepData qd,
+                bool alias_safe = false) {
+    Op lowered = make_op(kind, int8_id(op.input), int8_id(op.output),
+                         add_qdata(std::move(qd)));
+    lowered.layer = op.layer;
+    lowered.alpha = op.alpha;
+    lowered.alias_safe = alias_safe;
+    push(std::move(lowered));
+    set_content(op.output, rec.out, /*int8_domain=*/true);
+  }
+
+  void lower_op(const Op& op, const quant::StepQuant& rec) {
+    using StepOp = quant::StepOp;
+    switch (rec.op) {
+      case StepOp::kConv2d: {
+        const auto* conv = dynamic_cast<const nn::Conv2d*>(op.layer);
+        if (conv == nullptr)
+          throw std::logic_error("Int8Lowering: '" + rec.name + "' is not a Conv2d");
+        ensure_int8(op.input);
+        check_input_grid(op.input, rec);
+        QStepData qd;
+        qd.in_a = rec.in;
+        qd.out = rec.out;
+        const auto& o = conv->options();
+        qd.in_c = o.in_channels;
+        qd.out_c = o.out_channels;
+        qd.kernel = o.kernel;
+        qd.stride = o.stride;
+        qd.pad = o.effective_padding();
+        pack_conv_weights(rec, o.out_channels, qd);
+        emit_qop(Op::Kind::kQConv, op, rec, std::move(qd));
+        break;
+      }
+      case StepOp::kDepthwise: {
+        const auto* dw = dynamic_cast<const nn::DepthwiseConv2d*>(op.layer);
+        if (dw == nullptr)
+          throw std::logic_error("Int8Lowering: '" + rec.name + "' is not a DepthwiseConv2d");
+        ensure_int8(op.input);
+        check_input_grid(op.input, rec);
+        QStepData qd;
+        qd.in_a = rec.in;
+        qd.out = rec.out;
+        const auto& o = dw->options();
+        qd.in_c = o.channels;
+        qd.out_c = o.channels;
+        qd.kernel = o.kernel;
+        qd.stride = o.stride;
+        qd.pad = o.effective_padding();
+        pack_weights(rec, o.channels, qd);
+        emit_qop(Op::Kind::kQDepthwise, op, rec, std::move(qd));
+        break;
+      }
+      case StepOp::kLinear: {
+        if (dynamic_cast<const nn::Linear*>(op.layer) == nullptr)
+          throw std::logic_error("Int8Lowering: '" + rec.name + "' is not a Linear");
+        ensure_int8(op.input);
+        check_input_grid(op.input, rec);
+        QStepData qd;
+        qd.in_a = rec.in;
+        qd.out = rec.out;
+        qd.in_c = shape_of(op.input)[1];    // [N, in_features]
+        qd.out_c = shape_of(op.output)[1];  // [N, out_features]
+        pack_weights(rec, qd.out_c, qd);
+        emit_qop(Op::Kind::kQLinear, op, rec, std::move(qd));
+        break;
+      }
+      case StepOp::kActivation: {
+        ensure_int8(op.input);
+        check_input_grid(op.input, rec);
+        emit_qop(Op::Kind::kQActivation, op, rec, activation_qdata(op, rec),
+                 /*alias_safe=*/true);
+        break;
+      }
+      case StepOp::kDepthToSpace: {
+        ensure_int8(op.input);
+        QStepData qd;
+        qd.in_a = state(op.input).qp;
+        qd.out = rec.out;
+        qd.block = shape_of(op.output)[2] / shape_of(op.input)[2];
+        emit_qop(Op::Kind::kQDepthToSpace, op, rec, std::move(qd));
+        break;
+      }
+      case StepOp::kTileChannels: {
+        ensure_int8(op.input);
+        QStepData qd;
+        qd.in_a = state(op.input).qp;
+        qd.out = rec.out;
+        qd.times = shape_of(op.output)[1] / shape_of(op.input)[1];
+        emit_qop(Op::Kind::kQTileChannels, op, rec, std::move(qd));
+        break;
+      }
+      case StepOp::kAdd: {
+        // dst (op.output) += src (op.input), requantised onto rec.out.
+        ensure_int8(op.output);
+        ensure_int8(op.input);
+        QStepData qd;
+        qd.in_a = state(op.output).qp;
+        qd.in_b = state(op.input).qp;
+        qd.out = rec.out;
+        qd.m_a = static_cast<double>(qd.in_a.scale) / rec.out.scale;
+        qd.m_b = static_cast<double>(qd.in_b.scale) / rec.out.scale;
+        push(make_op(Op::Kind::kQAdd, int8_id(op.input), int8_id(op.output),
+                     add_qdata(std::move(qd))));
+        set_content(op.output, rec.out, /*int8_domain=*/true);
+        break;
+      }
+      case StepOp::kScale: {
+        ensure_int8(op.output);
+        QStepData qd;
+        qd.in_a = state(op.output).qp;
+        qd.out = rec.out;
+        qd.m_a = static_cast<double>(op.alpha) * qd.in_a.scale / rec.out.scale;
+        Op lowered = make_op(Op::Kind::kQScale, -1, int8_id(op.output),
+                             add_qdata(std::move(qd)));
+        lowered.alpha = op.alpha;
+        push(std::move(lowered));
+        set_content(op.output, rec.out, /*int8_domain=*/true);
+        break;
+      }
+      case StepOp::kConcat: {
+        QStepData qd;
+        qd.out = rec.out;
+        Op lowered = make_op(Op::Kind::kQConcat, -1, -1, -1);
+        for (int src : op.sources) {
+          ensure_int8(src);
+          qd.src_qp.push_back(state(src).qp);
+          lowered.sources.push_back(int8_id(src));
+        }
+        lowered.output = int8_id(op.output);
+        lowered.qdata = add_qdata(std::move(qd));
+        push(std::move(lowered));
+        set_content(op.output, rec.out, /*int8_domain=*/true);
+        break;
+      }
+      case StepOp::kFallback: {
+        // No integer kernel: run the float kernel on dequantised activations
+        // and round the result onto its calibrated grid — fake-quant-on-float.
+        const int in = on_grid_float(op.input);
+        const int out = state(op.output).float_id;
+        Op fallback = make_op(Op::Kind::kLayer, in, out, -1);
+        fallback.layer = op.layer;
+        fallback.alpha = op.alpha;
+        // Not alias-safe even for pointwise layers: `in` may be the shared
+        // input shadow, which other fallback readers of buffer 0 reuse.
+        push(std::move(fallback));
+        QStepData qd;
+        qd.out = rec.out;
+        push(make_op(Op::Kind::kFakeQuant, -1, out, add_qdata(std::move(qd))));
+        set_content(op.output, rec.out, /*int8_domain=*/false);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] QStepData activation_qdata(const Op& op, const quant::StepQuant& rec) const {
+    QStepData qd;
+    qd.in_a = rec.in;
+    qd.out = rec.out;
+    const double s_ratio =
+        static_cast<double>(rec.in.scale) / static_cast<double>(rec.out.scale);
+    qd.pos = s_ratio;
+    if (dynamic_cast<const nn::ReLU*>(op.layer) != nullptr) {
+      qd.neg = 0.0;
+    } else if (dynamic_cast<const nn::ReLU6*>(op.layer) != nullptr) {
+      qd.neg = 0.0;
+      const auto cap = static_cast<int32_t>(
+          std::lround(6.0 / rec.out.scale) + rec.out.zero_point);
+      qd.out_cap = std::min<int32_t>(127, cap);
+    } else if (const auto* leaky = dynamic_cast<const nn::LeakyReLU*>(op.layer)) {
+      qd.neg = static_cast<double>(leaky->slope()) * s_ratio;
+    } else if (const auto* prelu = dynamic_cast<const nn::PReLU*>(op.layer)) {
+      // parameters() is logically const (see Module::num_params).
+      const Tensor& slopes =
+          const_cast<nn::PReLU*>(prelu)->parameters().front()->value;
+      qd.neg_per_channel.resize(static_cast<size_t>(slopes.numel()));
+      for (int64_t c = 0; c < slopes.numel(); ++c)
+        qd.neg_per_channel[static_cast<size_t>(c)] =
+            static_cast<double>(slopes[c]) * s_ratio;
+    } else {
+      throw std::logic_error("Int8Lowering: unsupported activation '" + rec.name + "'");
+    }
+    return qd;
+  }
+
+  [[nodiscard]] const Shape& shape_of(int id) const {
+    return src_.buffers_[static_cast<size_t>(id)].shape;
+  }
+
+  const Program& src_;
+  const quant::QuantizedModel& artifact_;
+  Program& dst_;
+  std::vector<BufferState> states_;
+  int input_shadow_ = -1;  // on-grid float view of the (read-only) program input
+};
+
+std::shared_ptr<const Program> Program::compile_int8(const nn::Module& module,
+                                                     const Shape& input,
+                                                     const quant::QuantizedModel& artifact,
+                                                     const PassConfig& passes) {
+  // The lowering consumes the RAW float program: its one-op-per-record
+  // mapping against the artifact is the contract. Passes run on the lowered
+  // int8 program instead.
+  const auto float_program = compile(module, input, PassConfig::none());
+  std::shared_ptr<Program> program(new Program());
+  Int8Lowering lowering(*float_program, artifact, *program);
+  lowering.run();
+  run_passes(*program, passes);
+  return program;
+}
+
+}  // namespace sesr::runtime

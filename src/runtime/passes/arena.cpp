@@ -1,0 +1,77 @@
+// Liveness-based arena planning, TFLite-Micro greedy-by-size style.
+//
+// Every surviving intermediate buffer (not the externally-bound program
+// input/output) gets a byte offset into one contiguous slab such that no two
+// buffers whose live intervals overlap share any byte. Buffers are placed
+// largest-first; each one takes the lowest 64-byte-aligned offset that fits
+// in a gap between the already-placed buffers it temporally overlaps.
+// Greedy-by-size is the classic near-optimal heuristic for this interval
+// scheduling problem — big tensors claim the low offsets, small ones fill
+// the holes their disjoint lifetimes open up.
+#include <algorithm>
+#include <vector>
+
+#include "runtime/passes/passes.h"
+
+namespace sesr::runtime {
+namespace {
+
+constexpr int64_t kAlign = 64;  // cache-line alignment for every buffer start
+
+int64_t align_up(int64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+void plan_arena(Program& program) {
+  ProgramEditor edit(program);
+  const std::vector<LiveInterval> intervals = compute_live_intervals(program);
+  std::vector<BufferInfo>& buffers = edit.buffers();
+
+  struct Item {
+    int id = 0;
+    int64_t size = 0;  // aligned
+  };
+  std::vector<Item> items;
+  int64_t sum = 0;  // one-buffer-per-tensor baseline, in the same aligned units
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    buffers[i].arena_offset = -1;
+    const int id = static_cast<int>(i);
+    if (program.is_external(id) || !intervals[i].used()) continue;
+    items.push_back({id, align_up(buffers[i].size_bytes())});
+    sum += items.back().size;
+  }
+  edit.sum_buffer_bytes() = sum;
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.size != b.size ? a.size > b.size : a.id < b.id;
+  });
+
+  struct Placed {
+    int64_t offset = 0;
+    int64_t size = 0;
+    int id = 0;
+  };
+  std::vector<Placed> placed;
+  int64_t peak = 0;
+  for (const Item& item : items) {
+    // Only buffers alive at the same time constrain the placement.
+    std::vector<Placed> conflicts;
+    for (const Placed& p : placed)
+      if (intervals[static_cast<size_t>(p.id)].overlaps(
+              intervals[static_cast<size_t>(item.id)]))
+        conflicts.push_back(p);
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const Placed& a, const Placed& b) { return a.offset < b.offset; });
+
+    int64_t offset = 0;
+    for (const Placed& c : conflicts) {
+      if (offset + item.size <= c.offset) break;  // fits in the gap below c
+      offset = std::max(offset, align_up(c.offset + c.size));
+    }
+    buffers[static_cast<size_t>(item.id)].arena_offset = offset;
+    placed.push_back({offset, item.size, item.id});
+    peak = std::max(peak, offset + item.size);
+  }
+  edit.arena_bytes() = peak;
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,40 @@
+// Dead-op elimination: a backward liveness sweep from the program output.
+//
+// All ops are pure writes into their output buffer (read-modify-write kinds
+// read it too, but still only produce that one buffer), so an op whose
+// output is not live below it cannot influence the result and is dropped.
+// The raw builder and the int8 lowering emit near-SSA programs, which makes
+// the single backward sweep exact: once an op defines a live buffer, the
+// buffer's liveness above that op comes only from the op's own reads.
+#include <algorithm>
+#include <vector>
+
+#include "runtime/passes/passes.h"
+
+namespace sesr::runtime {
+
+void eliminate_dead_ops(Program& program) {
+  ProgramEditor edit(program);
+  std::vector<Op>& ops = edit.ops();
+  std::vector<uint8_t> live(program.buffers().size(), 0);
+  live[static_cast<size_t>(program.output_buffer())] = 1;
+
+  std::vector<Op> kept_reversed;
+  kept_reversed.reserve(ops.size());
+  for (size_t i = ops.size(); i-- > 0;) {
+    Op& op = ops[i];
+    if (live[static_cast<size_t>(op.output)] == 0) {
+      ++edit.stats().dead_ops_removed;
+      continue;
+    }
+    if (!op_reads_output(op.kind))
+      live[static_cast<size_t>(op.output)] = 0;  // defined here; dead above
+    if (op.input >= 0) live[static_cast<size_t>(op.input)] = 1;
+    for (int src : op.sources) live[static_cast<size_t>(src)] = 1;
+    kept_reversed.push_back(std::move(op));
+  }
+  ops.assign(std::make_move_iterator(kept_reversed.rbegin()),
+             std::make_move_iterator(kept_reversed.rend()));
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,115 @@
+// Conv -> pointwise-activation fusion.
+//
+// A convolution immediately followed by a fusable activation whose only
+// reader is that activation collapses into one op: the float conv microkernel
+// applies the activation's exact scalar expressions in its write-back loop
+// (nn::FusedActivation::apply), and the int8 conv maps each requantised
+// output byte through the exact 256-entry table the standalone
+// int8_activation_nchw kernel would have used (int8_activation_build_lut).
+// Either way the fused op computes the standalone pair's composition value
+// for value, so fusion is bit-exact; what it saves is one full read+write
+// pass over the intermediate tensor — and, after arena planning, the
+// intermediate buffer itself.
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "runtime/passes/passes.h"
+
+namespace sesr::runtime {
+namespace {
+
+/// Readers per buffer (op.input, op.sources, and RMW outputs all count).
+std::vector<int> reader_counts(const Program& program) {
+  std::vector<int> readers(program.buffers().size(), 0);
+  for (const Op& op : program.ops()) {
+    if (op.input >= 0) ++readers[static_cast<size_t>(op.input)];
+    for (int src : op.sources) ++readers[static_cast<size_t>(src)];
+    if (op_reads_output(op.kind)) ++readers[static_cast<size_t>(op.output)];
+  }
+  return readers;
+}
+
+/// The intermediate buffer may vanish only if the activation is its sole
+/// consumer and it is not the program output.
+bool sole_consumer(const Program& program, const std::vector<int>& readers,
+                   const Op& producer, const Op& consumer) {
+  return consumer.input == producer.output &&
+         readers[static_cast<size_t>(producer.output)] == 1 &&
+         !program.is_external(producer.output);
+}
+
+bool fuse_float(Program& program, const std::vector<int>& readers, Op& conv_op,
+                const Op& act_op) {
+  if (conv_op.kind != Op::Kind::kLayer || act_op.kind != Op::Kind::kLayer) return false;
+  if (conv_op.fused.kind != nn::FusedActivation::Kind::kNone) return false;
+  if (dynamic_cast<const nn::Conv2d*>(conv_op.layer) == nullptr) return false;
+  if (!sole_consumer(program, readers, conv_op, act_op)) return false;
+  const nn::FusedActivation act = nn::FusedActivation::from(*act_op.layer);
+  if (act.kind == nn::FusedActivation::Kind::kNone) return false;
+  conv_op.fused = act;
+  conv_op.fused_layer = act_op.layer;
+  conv_op.output = act_op.output;
+  conv_op.alias_safe = false;  // a conv reads its input while writing
+  return true;
+}
+
+bool fuse_int8(Program& program, const std::vector<int>& readers, Op& conv_op,
+               const Op& act_op) {
+  if (conv_op.kind != Op::Kind::kQConv || act_op.kind != Op::Kind::kQActivation)
+    return false;
+  ProgramEditor edit(program);
+  QStepData& conv_q = edit.qdata()[static_cast<size_t>(conv_op.qdata)];
+  if (conv_q.act_lut_channels != 0) return false;
+  if (!sole_consumer(program, readers, conv_op, act_op)) return false;
+
+  // The lowering validated that the activation's input grid is the conv's
+  // output grid, so chaining conv requant -> activation LUT is exactly the
+  // standalone kernel sequence.
+  const QStepData& act_q = edit.qdata()[static_cast<size_t>(act_op.qdata)];
+  Int8ActivationSpec spec;
+  spec.in_zero = act_q.in_a.zero_point;
+  spec.out_zero = act_q.out.zero_point;
+  spec.pos = act_q.pos;
+  spec.out_cap = act_q.out_cap;
+  const int64_t channels =
+      act_q.neg_per_channel.empty() ? 1 : static_cast<int64_t>(act_q.neg_per_channel.size());
+  conv_q.act_lut.resize(static_cast<size_t>(channels) * 256);
+  for (int64_t c = 0; c < channels; ++c)
+    int8_activation_build_lut(
+        spec, act_q.neg_per_channel.empty() ? act_q.neg : act_q.neg_per_channel[c],
+        conv_q.act_lut.data() + c * 256);
+  conv_q.act_lut_channels = channels;
+
+  conv_op.fused_layer = act_op.layer;
+  conv_op.output = act_op.output;
+  // The fused op writes the activation's buffer on the activation's grid.
+  edit.buffers()[static_cast<size_t>(conv_op.output)].grid = act_q.out;
+  return true;
+}
+
+}  // namespace
+
+void fuse_pointwise_activations(Program& program) {
+  ProgramEditor edit(program);
+  const std::vector<int> readers = reader_counts(program);
+  std::vector<Op>& ops = edit.ops();
+  std::vector<Op> fused;
+  fused.reserve(ops.size());
+  for (size_t k = 0; k < ops.size(); ++k) {
+    if (k + 1 < ops.size()) {
+      Op& conv_op = ops[k];
+      const Op& act_op = ops[k + 1];
+      if (fuse_float(program, readers, conv_op, act_op) ||
+          fuse_int8(program, readers, conv_op, act_op)) {
+        fused.push_back(std::move(conv_op));
+        ++edit.stats().fused_activations;
+        ++k;  // the activation op is consumed
+        continue;
+      }
+    }
+    fused.push_back(std::move(ops[k]));
+  }
+  ops = std::move(fused);
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,52 @@
+// In-place election: alias pointwise outputs onto dying inputs.
+//
+// Replaces PR 2's builder-time pinning heuristic with a whole-program
+// liveness analysis: an alias-safe op (shape-preserving, kernel tolerates
+// output == input) may write straight into its input buffer exactly when no
+// later op reads that buffer. Composite pins are no longer involved in the
+// decision — a residual source stays un-aliased simply because its later
+// kAdd read keeps it live. Merging the two buffer ids halves the op's
+// traffic and lets the arena planner drop the output buffer entirely.
+#include <vector>
+
+#include "runtime/passes/passes.h"
+
+namespace sesr::runtime {
+
+void elect_in_place(Program& program) {
+  ProgramEditor edit(program);
+  std::vector<Op>& ops = edit.ops();
+  std::vector<LiveInterval> intervals = compute_live_intervals(program);
+
+  for (size_t k = 0; k < ops.size(); ++k) {
+    Op& op = ops[k];
+    if (!op.alias_safe) continue;
+    const int a = op.input, b = op.output;
+    if (a < 0 || a == b) continue;
+    // The program input is read-only, and an already-produced program output
+    // must not be overwritten by reuse. (b itself may be the output: merging
+    // simply makes `a` the externally-bound result buffer.)
+    if (program.is_external(a)) continue;
+    const BufferInfo& ba = edit.buffers()[static_cast<size_t>(a)];
+    const BufferInfo& bb = edit.buffers()[static_cast<size_t>(b)];
+    if (ba.dtype != bb.dtype || ba.shape != bb.shape) continue;
+    if (intervals[static_cast<size_t>(a)].last != static_cast<int>(k)) continue;
+    if (intervals[static_cast<size_t>(b)].def != static_cast<int>(k)) continue;
+
+    // Merge b into a: rewrite every later reference and retire b.
+    for (size_t j = k; j < ops.size(); ++j) {
+      Op& later = ops[j];
+      if (later.input == b) later.input = a;
+      if (later.output == b) later.output = a;
+      for (int& src : later.sources)
+        if (src == b) src = a;
+    }
+    if (edit.output() == b) edit.output() = a;
+    edit.buffers()[static_cast<size_t>(a)].grid = bb.grid;
+    intervals[static_cast<size_t>(a)].last = intervals[static_cast<size_t>(b)].last;
+    intervals[static_cast<size_t>(b)] = {};
+    ++edit.stats().in_place_elected;
+  }
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,76 @@
+// The optimisation pass pipeline over runtime::Program.
+//
+// Passes are plain functions Program& -> void, written once against the
+// typed IR and therefore shared by the fp32 and int8 backends. Every pass
+// preserves bit-exactness: fusion replays the standalone kernels' exact
+// arithmetic inside the producer's write-back loop, DCE only removes ops
+// whose results cannot reach the output, and in-place election only aliases
+// a pointwise output onto an input whose last use is that op. run_passes
+// applies the configured passes in the canonical order (fuse, DCE, in-place)
+// and always finishes with the arena planner.
+#pragma once
+
+#include <vector>
+
+#include "runtime/program.h"
+
+namespace sesr::runtime {
+
+/// Live interval of a buffer over a program's op list (op indices,
+/// inclusive). def is the first write, last the final read or write; a
+/// buffer no op touches has def == last == -1. The program input (id 0) is
+/// never written, so its def stays -1 while last tracks its final read.
+struct LiveInterval {
+  int def = -1;
+  int last = -1;
+
+  [[nodiscard]] bool used() const { return last >= 0; }
+  [[nodiscard]] bool overlaps(const LiveInterval& other) const {
+    return used() && other.used() && def <= other.last && other.def <= last;
+  }
+};
+
+/// One interval per buffer id, from a single walk of the op list. Reads
+/// cover op.input, op.sources, and — for read-modify-write kinds
+/// (op_reads_output) — op.output.
+[[nodiscard]] std::vector<LiveInterval> compute_live_intervals(const Program& program);
+
+/// Fold conv -> pointwise-activation pairs (fp32 kLayer Conv2d + fusable
+/// activation; int8 kQConv + kQActivation) into the conv op when the
+/// intermediate buffer has no other reader.
+void fuse_pointwise_activations(Program& program);
+
+/// Drop ops whose outputs can never reach the program output (backward
+/// liveness sweep).
+void eliminate_dead_ops(Program& program);
+
+/// Alias the output of alias-safe pointwise ops onto their input when the
+/// input's live range ends at that op, merging the two buffers.
+void elect_in_place(Program& program);
+
+/// Liveness-based greedy-by-size offset assignment: every surviving
+/// intermediate buffer gets a 64-byte-aligned offset into one contiguous
+/// slab such that no two buffers with overlapping live intervals share
+/// bytes. Sets BufferInfo::arena_offset and the program's
+/// peak_arena_bytes(). Always runs, for every PassConfig.
+void plan_arena(Program& program);
+
+/// The pipeline: configured passes in canonical order, then plan_arena.
+void run_passes(Program& program, const PassConfig& config);
+
+/// Mutable access to a Program for the pass implementations (and only them).
+struct ProgramEditor {
+  explicit ProgramEditor(Program& p) : program(p) {}
+
+  [[nodiscard]] std::vector<Op>& ops() { return program.ops_; }
+  [[nodiscard]] std::vector<BufferInfo>& buffers() { return program.buffers_; }
+  [[nodiscard]] std::vector<QStepData>& qdata() { return program.qdata_; }
+  [[nodiscard]] int& output() { return program.output_; }
+  [[nodiscard]] int64_t& arena_bytes() { return program.arena_bytes_; }
+  [[nodiscard]] int64_t& sum_buffer_bytes() { return program.sum_buffer_bytes_; }
+  [[nodiscard]] PassStats& stats() { return program.stats_; }
+
+  Program& program;
+};
+
+}  // namespace sesr::runtime

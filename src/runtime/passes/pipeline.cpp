@@ -1,0 +1,35 @@
+#include "runtime/passes/passes.h"
+
+namespace sesr::runtime {
+
+std::vector<LiveInterval> compute_live_intervals(const Program& program) {
+  std::vector<LiveInterval> intervals(program.buffers().size());
+  const auto read = [&](int id, int k) {
+    if (id < 0) return;
+    intervals[static_cast<size_t>(id)].last = k;
+  };
+  const auto write = [&](int id, int k) {
+    LiveInterval& iv = intervals[static_cast<size_t>(id)];
+    if (iv.def < 0) iv.def = k;
+    iv.last = k;
+  };
+  const auto& ops = program.ops();
+  for (size_t k = 0; k < ops.size(); ++k) {
+    const Op& op = ops[k];
+    const int idx = static_cast<int>(k);
+    read(op.input, idx);
+    for (int src : op.sources) read(src, idx);
+    if (op_reads_output(op.kind)) read(op.output, idx);
+    write(op.output, idx);
+  }
+  return intervals;
+}
+
+void run_passes(Program& program, const PassConfig& config) {
+  if (config.fuse_activations) fuse_pointwise_activations(program);
+  if (config.eliminate_dead_ops) eliminate_dead_ops(program);
+  if (config.elect_in_place) elect_in_place(program);
+  plan_arena(program);
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,283 @@
+#include "runtime/program.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "nn/inference.h"
+#include "runtime/passes/passes.h"
+
+namespace sesr::runtime {
+
+/// The nn::InferenceBuilder implementation behind Program::compile. Emits the
+/// raw one-op-per-module-step program: every pointwise op gets a fresh
+/// (alias-safe) output buffer — aliasing decisions belong to the in-place
+/// election pass, which has whole-program liveness instead of the builder's
+/// single-pass view. pin() survives purely as a write guard: composites still
+/// declare buffers they re-read, and emit_add / emit_scale refuse to mutate
+/// them (or the read-only program input).
+class ProgramBuilder final : public nn::InferenceBuilder {
+ public:
+  explicit ProgramBuilder(Program& program, const Shape& input) : program_(program) {
+    program_.buffers_.push_back({input, DType::kFloat32, {}, -1});
+    pinned_.insert(0);  // the program input aliases the caller's (const) tensor
+  }
+
+  int emit_layer(const nn::Module& layer, int input) override {
+    const int output = add_buffer(layer.trace(shape_of(input), nullptr));
+    push_layer(layer, input, output, /*alias_safe=*/false);
+    return output;
+  }
+
+  int emit_pointwise(const nn::Module& layer, int input) override {
+    const Shape out_shape = layer.trace(shape_of(input), nullptr);
+    const bool alias_safe = out_shape == shape_of(input);
+    const int output = add_buffer(out_shape);
+    push_layer(layer, input, output, alias_safe);
+    return output;
+  }
+
+  void emit_add(int dst, int src) override {
+    check_writable(dst, "emit_add");
+    if (shape_of(dst) != shape_of(src))
+      throw std::logic_error("ProgramBuilder::emit_add: shape mismatch " +
+                             shape_of(dst).to_string() + " vs " + shape_of(src).to_string());
+    Op op;
+    op.kind = Op::Kind::kAdd;
+    op.input = src;
+    op.output = dst;
+    program_.ops_.push_back(std::move(op));
+  }
+
+  void emit_scale(int dst, float alpha) override {
+    check_writable(dst, "emit_scale");
+    Op op;
+    op.kind = Op::Kind::kScale;
+    op.output = dst;
+    op.alpha = alpha;
+    program_.ops_.push_back(std::move(op));
+  }
+
+  int emit_concat(const std::vector<int>& srcs) override {
+    if (srcs.empty()) throw std::logic_error("ProgramBuilder::emit_concat: no sources");
+    const Shape& first = shape_of(srcs.front());
+    int64_t total_c = 0;
+    for (int src : srcs) {
+      const Shape& s = shape_of(src);
+      if (s.ndim() != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3])
+        throw std::logic_error("ProgramBuilder::emit_concat: incompatible source " +
+                               s.to_string());
+      total_c += s[1];
+    }
+    const int output = add_buffer({first[0], total_c, first[2], first[3]});
+    Op op;
+    op.kind = Op::Kind::kConcat;
+    op.output = output;
+    op.sources = srcs;
+    program_.ops_.push_back(std::move(op));
+    return output;
+  }
+
+  void pin(int buffer) override { pinned_.insert(buffer); }
+
+  [[nodiscard]] const Shape& buffer_shape(int buffer) const override { return shape_of(buffer); }
+
+ private:
+  void push_layer(const nn::Module& layer, int input, int output, bool alias_safe) {
+    Op op;
+    op.kind = Op::Kind::kLayer;
+    op.layer = &layer;
+    op.input = input;
+    op.output = output;
+    op.alias_safe = alias_safe;
+    program_.ops_.push_back(std::move(op));
+  }
+
+  int add_buffer(Shape shape) {
+    program_.buffers_.push_back({std::move(shape), DType::kFloat32, {}, -1});
+    return static_cast<int>(program_.buffers_.size()) - 1;
+  }
+
+  [[nodiscard]] const Shape& shape_of(int buffer) const {
+    if (buffer < 0 || buffer >= static_cast<int>(program_.buffers_.size()))
+      throw std::logic_error("ProgramBuilder: unknown buffer id " + std::to_string(buffer));
+    return program_.buffers_[static_cast<size_t>(buffer)].shape;
+  }
+
+  void check_writable(int buffer, const char* op) const {
+    static_cast<void>(shape_of(buffer));  // bounds check
+    if (pinned_.count(buffer) != 0)
+      throw std::logic_error(std::string("ProgramBuilder::") + op + ": buffer " +
+                             std::to_string(buffer) +
+                             " is pinned (or the program input) and cannot be written");
+  }
+
+  Program& program_;
+  std::unordered_set<int> pinned_;
+};
+
+bool op_reads_output(Op::Kind kind) {
+  switch (kind) {
+    case Op::Kind::kAdd:
+    case Op::Kind::kScale:
+    case Op::Kind::kFakeQuant:
+    case Op::Kind::kQAdd:
+    case Op::Kind::kQScale:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_kind_name(Op::Kind kind) {
+  switch (kind) {
+    case Op::Kind::kLayer: return "layer";
+    case Op::Kind::kAdd: return "add";
+    case Op::Kind::kScale: return "scale";
+    case Op::Kind::kConcat: return "concat";
+    case Op::Kind::kQuantize: return "quantize";
+    case Op::Kind::kDequantize: return "dequantize";
+    case Op::Kind::kFakeQuant: return "fake_quant";
+    case Op::Kind::kQConv: return "qconv";
+    case Op::Kind::kQDepthwise: return "qdepthwise";
+    case Op::Kind::kQLinear: return "qlinear";
+    case Op::Kind::kQActivation: return "qactivation";
+    case Op::Kind::kQAdd: return "qadd";
+    case Op::Kind::kQScale: return "qscale";
+    case Op::Kind::kQConcat: return "qconcat";
+    case Op::Kind::kQDepthToSpace: return "qdepth2space";
+    case Op::Kind::kQTileChannels: return "qtile";
+  }
+  return "?";
+}
+
+std::string step_identity(const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kLayer:
+      return op.layer->name();
+    case Op::Kind::kAdd:
+      return "add";
+    case Op::Kind::kScale:
+      return "scale";
+    case Op::Kind::kConcat:
+      return "concat";
+    default:
+      throw std::logic_error("step_identity: float-program ops only");
+  }
+}
+
+std::shared_ptr<const Program> Program::compile(const nn::Module& module, const Shape& input,
+                                                const PassConfig& passes) {
+  if (!module.supports_compiled_inference())
+    throw std::invalid_argument("Program::compile: " + module.name() +
+                                " does not support compiled inference");
+  const Shape expected = module.trace(input, nullptr);  // validates the shape up front
+
+  std::shared_ptr<Program> program(new Program());
+  ProgramBuilder builder(*program, input);
+  program->output_ = module.compile_inference(builder, 0);
+  if (program->output_shape() != expected)
+    throw std::logic_error("Program::compile: " + module.name() + " compiled to output " +
+                           program->output_shape().to_string() + " but trace() promises " +
+                           expected.to_string());
+  run_passes(*program, passes);
+  return program;
+}
+
+// ---- dump ------------------------------------------------------------------
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string human_bytes(int64_t bytes) {
+  char buf[32];
+  if (bytes >= 1 << 20)
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", static_cast<double>(bytes) / (1 << 20));
+  else if (bytes >= 1 << 10)
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bytes) / (1 << 10));
+  else
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  return buf;
+}
+
+}  // namespace
+
+std::string Program::dump() const {
+  std::string out;
+  appendf(out, "program: %s, %zu ops, %zu buffers, input %s -> output %s (b%d)\n",
+          precision_ == Precision::kInt8 ? "int8" : "fp32", ops_.size(), buffers_.size(),
+          input_shape().to_string().c_str(), output_shape().to_string().c_str(), output_);
+  appendf(out, "passes: %lld conv+act fused, %lld dead ops removed, %lld in-place elected\n",
+          static_cast<long long>(stats_.fused_activations),
+          static_cast<long long>(stats_.dead_ops_removed),
+          static_cast<long long>(stats_.in_place_elected));
+  const int64_t sum = sum_buffer_bytes();
+  appendf(out, "arena: peak %s of %s one-buffer-per-tensor (%.0f%% saved)\n",
+          human_bytes(arena_bytes_).c_str(), human_bytes(sum).c_str(),
+          sum > 0 ? 100.0 * (1.0 - static_cast<double>(arena_bytes_) /
+                                       static_cast<double>(sum))
+                  : 0.0);
+
+  out += "buffers:\n";
+  for (size_t i = 0; i < buffers_.size(); ++i) {
+    const BufferInfo& b = buffers_[i];
+    appendf(out, "  b%-3zu %-4s %-18s", i, b.dtype == DType::kInt8 ? "i8" : "f32",
+            b.shape.to_string().c_str());
+    if (b.dtype == DType::kInt8)
+      appendf(out, " grid(s=%.3g z=%d)", static_cast<double>(b.grid.scale),
+              b.grid.zero_point);
+    if (is_external(static_cast<int>(i)))
+      appendf(out, "  external (%s)", i == 0 ? "input" : "output");
+    else if (b.arena_offset >= 0)
+      appendf(out, "  arena @%-8lld %s", static_cast<long long>(b.arena_offset),
+              human_bytes(b.size_bytes()).c_str());
+    else
+      out += "  unused";
+    out += "\n";
+  }
+
+  out += "ops:\n";
+  for (size_t k = 0; k < ops_.size(); ++k) {
+    const Op& op = ops_[k];
+    appendf(out, "  %3zu: %-12s", k, op_kind_name(op.kind));
+    if (op.layer != nullptr) appendf(out, " %-18s", op.layer->name().c_str());
+    if (!op.sources.empty()) {
+      out += " [";
+      for (size_t s = 0; s < op.sources.size(); ++s)
+        appendf(out, "%sb%d", s == 0 ? "" : ", ", op.sources[s]);
+      appendf(out, "] -> b%d", op.output);
+    } else if (op.input >= 0 && op.input != op.output) {
+      appendf(out, " b%d -> b%d", op.input, op.output);
+    } else {
+      appendf(out, " b%d in place", op.output);
+    }
+    if (op.kind == Op::Kind::kScale) appendf(out, " (x %g)", static_cast<double>(op.alpha));
+    if (op.fused_layer != nullptr)
+      appendf(out, "  + fused %s", op.fused_layer->name().c_str());
+    if (op.qdata >= 0) {
+      const QStepData& q = qdata_[static_cast<size_t>(op.qdata)];
+      if (op.kind == Op::Kind::kQConv || op.kind == Op::Kind::kQDepthwise)
+        appendf(out, "  k=%lld s=%lld p=%lld", static_cast<long long>(q.kernel),
+                static_cast<long long>(q.stride), static_cast<long long>(q.pad));
+      if (!q.act_lut.empty()) appendf(out, "  + fused lut x%lld",
+                                      static_cast<long long>(q.act_lut_channels));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sesr::runtime

@@ -1,0 +1,259 @@
+// The runtime's program IR: one typed step graph for both precisions.
+//
+// A Program is the compiled execution form of an nn::Module at a fixed
+// batched input shape: an explicit buffer table (dtype, shape, and — for int8
+// buffers — the quantisation grid of their content) plus a single flat op
+// list. Both compile() (fp32) and compile_int8() (integer kernels,
+// parameterised from a calibrated quant::QuantizedModel) lower into this one
+// IR and then run the same pass pipeline (src/runtime/passes):
+//
+//   1. conv -> pointwise-activation fusion — the conv microkernels apply
+//      ReLU/PReLU/... in their write-back loop (fp32: scalar epilogue, int8:
+//      a 256-entry LUT), eliding one full pass over the tensor per pair;
+//   2. dead-op elimination — ops whose results never reach the output;
+//   3. in-place election — a liveness analysis aliases pointwise outputs onto
+//      inputs that die at that op (subsuming the old builder-time pinning);
+//   4. arena planning — a liveness-based greedy-by-size planner assigns every
+//      surviving intermediate an offset into one contiguous slab, so a
+//      Session owns a single allocation of peak_arena_bytes() instead of one
+//      buffer per tensor (sum_buffer_bytes()).
+//
+// Every pass is bit-exactness-preserving by construction; PassConfig::none()
+// disables the three optimising passes (the planner always runs) and is used
+// where the raw one-op-per-module-step structure is the contract — artifact
+// calibration and the fake-quant gold model walk raw programs so their
+// one-record-per-step mapping stays valid.
+//
+// Buffer ids are dense indices into buffers(); id 0 is the program input and
+// output_buffer() the output — both external (bound to caller tensors by the
+// Session, never arena-planned). Int8 programs mint separate int8 buffers and
+// bridge domains with explicit quantize / dequantize ops.
+//
+// Lifetime: the program stores non-owning pointers into the compiled module;
+// the module must outlive every program (and session) compiled from it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/fused_activation.h"
+#include "nn/module.h"
+#include "quant/qparams.h"
+#include "tensor/int8_kernels.h"
+
+namespace sesr::quant {
+class QuantizedModel;
+}
+
+namespace sesr::runtime {
+
+enum class Precision {
+  kFloat32,
+  kInt8,
+};
+
+enum class DType : uint8_t {
+  kFloat32,
+  kInt8,
+};
+
+[[nodiscard]] constexpr int64_t dtype_bytes(DType t) {
+  return t == DType::kFloat32 ? 4 : 1;
+}
+
+/// One entry of the program's buffer table.
+struct BufferInfo {
+  Shape shape;
+  DType dtype = DType::kFloat32;
+  /// Int8 buffers: the grid of the buffer's (final) content. Informational —
+  /// executing ops carry their own grids in QStepData.
+  quant::QParams grid;
+  /// Byte offset into the session's activation arena, assigned by the
+  /// planner. -1 for external buffers (program input / output, bound to
+  /// caller tensors) and for buffers no surviving op touches.
+  int64_t arena_offset = -1;
+
+  [[nodiscard]] int64_t size_bytes() const { return shape.numel() * dtype_bytes(dtype); }
+};
+
+/// Parameters of one lowered int8 op (grids, packed integer weights,
+/// fixed-point requantisation, per-op geometry). One flat struct serves every
+/// op kind; each kind reads only its documented fields.
+struct QStepData {
+  quant::QParams in_a;   ///< first-operand grid (conversions: the buffer grid)
+  quant::QParams in_b;   ///< second-operand grid (kQAdd)
+  quant::QParams out;    ///< output grid
+  std::vector<quant::QParams> src_qp;  ///< kQConcat: per-source grids
+
+  // kQConv / kQDepthwise / kQLinear: packed weights and requantisation.
+  std::vector<int16_t> weights;
+  std::vector<int32_t> bias;
+  std::vector<FixedPointMultiplier> requant;
+  int64_t in_c = 0, out_c = 0, kernel = 1, stride = 1, pad = 0;
+
+  // kQActivation.
+  double pos = 1.0, neg = 0.0;
+  std::vector<double> neg_per_channel;
+  int32_t out_cap = 127;
+
+  // kQDepthToSpace / kQTileChannels.
+  int64_t block = 1, times = 1;
+
+  // kQAdd (operand-to-output scale ratios) / kQScale (alpha * s_in / s_out).
+  double m_a = 1.0, m_b = 1.0;
+
+  // kQConv with a fused activation: act_lut_channels 256-entry tables mapping
+  // the conv's output grid onto the activation's (1 shared table, or out_c
+  // per-channel tables for PReLU). Empty = no fusion.
+  std::vector<int8_t> act_lut;
+  int64_t act_lut_channels = 0;
+};
+
+/// One op of a compiled program. Buffer ids index Program::buffers(); every
+/// operand is typed by its buffer's dtype (int8 ops reference int8 buffers,
+/// float ops float buffers; quantize / dequantize bridge the two).
+struct Op {
+  enum class Kind {
+    // Float domain (both precisions; the only kinds in fp32 programs).
+    kLayer,   ///< buffers[output] = layer->infer_into(buffers[input]); in
+              ///< place when output == input (alias-safe pointwise ops only)
+    kAdd,     ///< buffers[output] += buffers[input]
+    kScale,   ///< buffers[output] *= alpha
+    kConcat,  ///< buffers[output] = channel-concat of buffers[sources]
+
+    // Domain bridges (int8 programs only).
+    kQuantize,    ///< buffers[output] (int8) = quantize(buffers[input]) onto q.out
+    kDequantize,  ///< buffers[output] (float) = dequantize(buffers[input]) from q.in_a
+    kFakeQuant,   ///< buffers[output] round-tripped through q.out, in place
+
+    // Integer domain (int8 programs only).
+    kQConv,          ///< int8 implicit-im2col convolution (optionally fused act)
+    kQDepthwise,     ///< int8 depthwise convolution
+    kQLinear,        ///< int8 fully connected
+    kQActivation,    ///< int8 pointwise activation (in place when output == input)
+    kQAdd,           ///< buffers[output] = saturating add(buffers[output], buffers[input])
+    kQScale,         ///< in-place integer rescale of buffers[output]
+    kQConcat,        ///< channel concat with per-source rescale
+    kQDepthToSpace,  ///< pixel shuffle (pure data movement)
+    kQTileChannels,  ///< channel tiling (pure data movement)
+  };
+
+  Kind kind = Kind::kLayer;
+  const nn::Module* layer = nullptr;
+  int input = -1;
+  int output = -1;
+  float alpha = 1.0f;
+  std::vector<int> sources;
+  int qdata = -1;  ///< index into Program::qdata(); -1 for float ops
+
+  /// Shape-preserving pointwise op whose kernel tolerates output == input;
+  /// the in-place election pass may alias its output onto its input.
+  bool alias_safe = false;
+
+  /// Float conv fusion: activation applied in the conv's write-back loop.
+  nn::FusedActivation fused;
+  const nn::Module* fused_layer = nullptr;  ///< the folded activation (diagnostics)
+};
+
+/// Does this op kind read its output buffer before writing it
+/// (read-modify-write)? Liveness analysis must keep such outputs live.
+[[nodiscard]] bool op_reads_output(Op::Kind kind);
+
+/// Short mnemonic for an op kind ("layer", "qconv", ...).
+[[nodiscard]] const char* op_kind_name(Op::Kind kind);
+
+/// Stable identity of a raw float-program op, used to validate that a
+/// calibrated artifact and a program came from the same module
+/// ("conv3x3_16_16", "add", "scale", "concat"). Throws for lowered int8 op
+/// kinds.
+[[nodiscard]] std::string step_identity(const Op& op);
+
+/// Which optimising passes run after lowering. The arena planner is not
+/// optional — it always runs, since sessions execute out of the arena.
+struct PassConfig {
+  bool fuse_activations = true;
+  bool eliminate_dead_ops = true;
+  bool elect_in_place = true;
+
+  [[nodiscard]] static PassConfig optimized() { return {}; }
+  /// Raw structure: one op per module step, no fusion / DCE / aliasing.
+  /// Calibration and the fake-quant reference walk programs compiled this
+  /// way (their one-record-per-step mapping is the contract).
+  [[nodiscard]] static PassConfig none() { return {false, false, false}; }
+};
+
+/// What the pass pipeline did to this program (diagnostics and bench
+/// metrics).
+struct PassStats {
+  int64_t fused_activations = 0;  ///< conv+activation pairs folded
+  int64_t dead_ops_removed = 0;
+  int64_t in_place_elected = 0;   ///< pointwise outputs aliased onto dying inputs
+};
+
+class Program {
+ public:
+  /// Compile `module` for a fixed batched NCHW input shape. Throws
+  /// std::invalid_argument when the module (or a child) does not support
+  /// compiled inference or the shape does not trace. `module` must outlive
+  /// the returned program.
+  static std::shared_ptr<const Program> compile(const nn::Module& module, const Shape& input,
+                                                const PassConfig& passes = {});
+
+  /// Compile the int8 backend: the raw float program lowered onto integer
+  /// kernels, parameterised by a calibrated artifact (which must have been
+  /// calibrated from this module — step names are validated), then optimised
+  /// by the same pass pipeline. The module must outlive the program; the
+  /// artifact is only read during compilation.
+  static std::shared_ptr<const Program> compile_int8(const nn::Module& module,
+                                                     const Shape& input,
+                                                     const quant::QuantizedModel& artifact,
+                                                     const PassConfig& passes = {});
+
+  [[nodiscard]] Precision precision() const { return precision_; }
+  [[nodiscard]] const Shape& input_shape() const { return buffers_.front().shape; }
+  [[nodiscard]] const Shape& output_shape() const {
+    return buffers_[static_cast<size_t>(output_)].shape;
+  }
+  [[nodiscard]] int output_buffer() const { return output_; }
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<BufferInfo>& buffers() const { return buffers_; }
+  [[nodiscard]] const std::vector<QStepData>& qdata() const { return qdata_; }
+  [[nodiscard]] const PassStats& stats() const { return stats_; }
+
+  /// External buffers are bound to caller tensors at run time and never
+  /// arena-planned: the program input (id 0) and the program output.
+  [[nodiscard]] bool is_external(int id) const { return id == 0 || id == output_; }
+
+  /// Size of the single activation slab a Session allocates — the planner's
+  /// peak across all live intermediate buffers.
+  [[nodiscard]] int64_t peak_arena_bytes() const { return arena_bytes_; }
+
+  /// The one-buffer-per-tensor baseline: total bytes of every live
+  /// intermediate buffer, in the planner's own (64-byte-aligned) accounting
+  /// so that peak_arena_bytes() <= sum_buffer_bytes() holds by construction;
+  /// the gap is what liveness-based planning saves.
+  [[nodiscard]] int64_t sum_buffer_bytes() const { return sum_buffer_bytes_; }
+
+  /// One debug printer for both precisions: pass stats, the buffer table
+  /// with grids and arena offsets, the arena summary, and the op list.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  friend class ProgramBuilder;
+  friend class Int8Lowering;
+  friend struct ProgramEditor;
+  Program() = default;
+
+  Precision precision_ = Precision::kFloat32;
+  std::vector<Op> ops_;
+  std::vector<BufferInfo> buffers_;
+  std::vector<QStepData> qdata_;
+  PassStats stats_;
+  int64_t arena_bytes_ = 0;
+  int64_t sum_buffer_bytes_ = 0;
+  int output_ = 0;
+};
+
+}  // namespace sesr::runtime

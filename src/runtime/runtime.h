@@ -1,5 +1,6 @@
 // Umbrella header for the compiled inference runtime.
 #pragma once
 
-#include "runtime/plan.h"
+#include "runtime/passes/passes.h"
+#include "runtime/program.h"
 #include "runtime/session.h"

@@ -1,34 +1,47 @@
 #include "runtime/session.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "nn/conv2d.h"
 #include "quant/qparams.h"
 #include "tensor/int8_kernels.h"
 
 namespace sesr::runtime {
 
-Session::Session(std::shared_ptr<const InferencePlan> plan) : plan_(std::move(plan)) {
-  if (!plan_) throw std::invalid_argument("Session: null plan");
-  const auto& shapes = plan_->buffer_shapes();
-  buffers_.reserve(shapes.size());
-  qbuffers_.resize(shapes.size());
-  for (size_t i = 0; i < shapes.size(); ++i) {
-    // Slot 0 aliases the caller's input and the output slot aliases the
-    // caller's output at run time; keep their session-side tensors empty.
-    // Quantised plans also skip float storage for buffers that only ever
-    // live on the int8 side.
-    const bool external = i == 0 || static_cast<int>(i) == plan_->output_buffer();
-    const bool wants_float = plan_->buffer_needs_float(static_cast<int>(i));
-    buffers_.emplace_back(external || !wants_float ? Shape{} : shapes[i]);
-    if (plan_->buffer_needs_int8(static_cast<int>(i)))
-      qbuffers_[i].resize(static_cast<size_t>(shapes[i].numel()));
+Session::Session(std::shared_ptr<const Program> program) : program_(std::move(program)) {
+  if (!program_) throw std::invalid_argument("Session: null program");
+  const auto& buffers = program_->buffers();
+
+  // One slab for every arena-planned buffer. The planner aligns offsets to
+  // 64 bytes; align the base the same way so every window is cache-line
+  // aligned (and safely float-aligned).
+  const int64_t arena_bytes = program_->peak_arena_bytes();
+  std::byte* base = nullptr;
+  if (arena_bytes > 0) {
+    arena_ = std::make_unique_for_overwrite<std::byte[]>(static_cast<size_t>(arena_bytes) + 63);
+    base = arena_.get();
+    while (reinterpret_cast<uintptr_t>(base) % 64 != 0) ++base;
+    std::memset(base, 0, static_cast<size_t>(arena_bytes));
   }
-  bound_.resize(buffers_.size());
+
+  views_.resize(buffers.size());
+  int8_.assign(buffers.size(), nullptr);
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    const BufferInfo& info = buffers[i];
+    if (info.arena_offset < 0) continue;  // external (bound per run) or unused
+    std::byte* p = base + info.arena_offset;
+    if (info.dtype == DType::kFloat32)
+      views_[i] = Tensor::view(info.shape, reinterpret_cast<float*>(p));
+    else
+      int8_[i] = reinterpret_cast<int8_t*>(p);
+  }
+  bound_.resize(buffers.size());
 }
 
 Tensor Session::run(const Tensor& input) {
-  Tensor output(plan_->output_shape());
+  Tensor output(program_->output_shape());
   run_into(input, output);
   return output;
 }
@@ -38,60 +51,68 @@ void Session::run_into(const Tensor& input, Tensor& output) {
 }
 
 void Session::run_hooked(const Tensor& input, Tensor& output, const StepHook& hook) {
-  if (plan_->precision() != Precision::kFloat32)
-    throw std::invalid_argument("Session::run_hooked: float-precision plans only");
+  if (program_->precision() != Precision::kFloat32)
+    throw std::invalid_argument("Session::run_hooked: float-precision programs only");
   if (!hook) throw std::invalid_argument("Session::run_hooked: null hook");
   execute(input, output, &hook);
 }
 
 void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook) {
-  if (input.shape() != plan_->input_shape())
+  if (input.shape() != program_->input_shape())
     throw std::invalid_argument("Session::run_into: input " + input.shape().to_string() +
-                                " but plan expects " + plan_->input_shape().to_string());
+                                " but program expects " +
+                                program_->input_shape().to_string());
   if (input.data() == output.data())
     throw std::invalid_argument("Session::run_into: output must not alias input");
-  if (output.shape() != plan_->output_shape()) output = Tensor(plan_->output_shape());
+  if (output.shape() != program_->output_shape()) output = Tensor(program_->output_shape());
 
-  const int out_idx = plan_->output_buffer();
-  for (size_t i = 0; i < buffers_.size(); ++i) bound_[i] = &buffers_[i];
-  // The builder guarantees no step ever writes buffer 0, so aliasing the
+  const int out_idx = program_->output_buffer();
+  for (size_t i = 0; i < views_.size(); ++i) bound_[i] = &views_[i];
+  // The builder guarantees no op ever writes buffer 0, so aliasing the
   // caller's (const) input there is safe.
   bound_[0] = const_cast<Tensor*>(&input);
   if (out_idx != 0) bound_[static_cast<size_t>(out_idx)] = &output;
 
-  const auto& shapes = plan_->buffer_shapes();
-  const auto& qdata = plan_->qstep_data();
+  const auto& buffers = program_->buffers();
+  const auto& qdata = program_->qdata();
   const auto shape_of = [&](int id) -> const Shape& {
-    return shapes[static_cast<size_t>(id)];
+    return buffers[static_cast<size_t>(id)].shape;
   };
-  const auto qbuf = [&](int id) -> int8_t* { return qbuffers_[static_cast<size_t>(id)].data(); };
+  const auto qbuf = [&](int id) -> int8_t* { return int8_[static_cast<size_t>(id)]; };
 
-  int step_index = -1;
-  for (const PlanStep& step : plan_->steps()) {
-    ++step_index;
-    const QStepData* q = step.qdata >= 0 ? &qdata[static_cast<size_t>(step.qdata)] : nullptr;
-    switch (step.kind) {
-      case PlanStep::Kind::kLayer: {
+  int op_index = -1;
+  for (const Op& op : program_->ops()) {
+    ++op_index;
+    const QStepData* q = op.qdata >= 0 ? &qdata[static_cast<size_t>(op.qdata)] : nullptr;
+    switch (op.kind) {
+      case Op::Kind::kLayer: {
         workspace_.reset();
-        step.layer->infer_into(*bound_[static_cast<size_t>(step.input)],
-                               *bound_[static_cast<size_t>(step.output)], workspace_);
+        const Tensor& in = *bound_[static_cast<size_t>(op.input)];
+        Tensor& out = *bound_[static_cast<size_t>(op.output)];
+        if (op.fused.kind != nn::FusedActivation::Kind::kNone) {
+          const auto* conv = dynamic_cast<const nn::Conv2d*>(op.layer);
+          if (conv == nullptr)
+            throw std::logic_error("Session: fused activation on a non-Conv2d op");
+          conv->infer_into_fused(in, out, workspace_, op.fused);
+        } else {
+          op.layer->infer_into(in, out, workspace_);
+        }
         break;
       }
-      case PlanStep::Kind::kAdd:
-        bound_[static_cast<size_t>(step.output)]->add_(
-            *bound_[static_cast<size_t>(step.input)]);
+      case Op::Kind::kAdd:
+        bound_[static_cast<size_t>(op.output)]->add_(*bound_[static_cast<size_t>(op.input)]);
         break;
-      case PlanStep::Kind::kScale:
-        bound_[static_cast<size_t>(step.output)]->mul_scalar(step.alpha);
+      case Op::Kind::kScale:
+        bound_[static_cast<size_t>(op.output)]->mul_scalar(op.alpha);
         break;
-      case PlanStep::Kind::kConcat: {
+      case Op::Kind::kConcat: {
         // Mirrors nn::Concat::forward's per-sample interleaving exactly.
-        Tensor& dst = *bound_[static_cast<size_t>(step.output)];
+        Tensor& dst = *bound_[static_cast<size_t>(op.output)];
         const int64_t n = dst.dim(0), total_c = dst.dim(1);
         const int64_t hw = dst.dim(2) * dst.dim(3);
         for (int64_t i = 0; i < n; ++i) {
           int64_t c_off = 0;
-          for (int src : step.sources) {
+          for (int src : op.sources) {
             const Tensor& o = *bound_[static_cast<size_t>(src)];
             const int64_t c = o.dim(1);
             std::copy(o.data() + i * c * hw, o.data() + (i + 1) * c * hw,
@@ -101,25 +122,25 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         }
         break;
       }
-      case PlanStep::Kind::kQuantize: {
-        const Tensor& src = *bound_[static_cast<size_t>(step.input)];
+      case Op::Kind::kQuantize: {
+        const Tensor& src = *bound_[static_cast<size_t>(op.input)];
         quant::quantize_activations(src.flat(), q->out,
-                                    {qbuf(step.output), static_cast<size_t>(src.numel())});
+                                    {qbuf(op.output), static_cast<size_t>(src.numel())});
         break;
       }
-      case PlanStep::Kind::kDequantize: {
-        Tensor& dst = *bound_[static_cast<size_t>(step.output)];
+      case Op::Kind::kDequantize: {
+        Tensor& dst = *bound_[static_cast<size_t>(op.output)];
         quant::dequantize_activations(
-            {qbuf(step.input), static_cast<size_t>(dst.numel())}, q->in_a, dst.flat());
+            {qbuf(op.input), static_cast<size_t>(dst.numel())}, q->in_a, dst.flat());
         break;
       }
-      case PlanStep::Kind::kFakeQuant:
-        quant::fake_quantize_with(*bound_[static_cast<size_t>(step.output)], q->out);
+      case Op::Kind::kFakeQuant:
+        quant::fake_quantize_with(*bound_[static_cast<size_t>(op.output)], q->out);
         break;
-      case PlanStep::Kind::kQConv: {
+      case Op::Kind::kQConv: {
         workspace_.reset();
-        const Shape& in = shape_of(step.input);
-        const Shape& out = shape_of(step.output);
+        const Shape& in = shape_of(op.input);
+        const Shape& out = shape_of(op.output);
         Int8ConvSpec spec;
         spec.in_c = q->in_c;
         spec.out_c = q->out_c;
@@ -131,13 +152,15 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.weights = q->weights.data();
         spec.bias = q->bias.empty() ? nullptr : q->bias.data();
         spec.requant = q->requant.data();
-        int8_conv2d_nchw(qbuf(step.input), in[0], in[2], in[3], out[2], out[3], spec,
-                         qbuf(step.output), workspace_);
+        spec.act_lut = q->act_lut.empty() ? nullptr : q->act_lut.data();
+        spec.act_lut_channels = q->act_lut_channels;
+        int8_conv2d_nchw(qbuf(op.input), in[0], in[2], in[3], out[2], out[3], spec,
+                         qbuf(op.output), workspace_);
         break;
       }
-      case PlanStep::Kind::kQDepthwise: {
-        const Shape& in = shape_of(step.input);
-        const Shape& out = shape_of(step.output);
+      case Op::Kind::kQDepthwise: {
+        const Shape& in = shape_of(op.input);
+        const Shape& out = shape_of(op.output);
         Int8DepthwiseSpec spec;
         spec.channels = q->in_c;
         spec.kernel = q->kernel;
@@ -148,12 +171,12 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.weights = q->weights.data();
         spec.bias = q->bias.empty() ? nullptr : q->bias.data();
         spec.requant = q->requant.data();
-        int8_depthwise_nchw(qbuf(step.input), in[0], in[2], in[3], out[2], out[3], spec,
-                            qbuf(step.output));
+        int8_depthwise_nchw(qbuf(op.input), in[0], in[2], in[3], out[2], out[3], spec,
+                            qbuf(op.output));
         break;
       }
-      case PlanStep::Kind::kQLinear: {
-        const Shape& in = shape_of(step.input);
+      case Op::Kind::kQLinear: {
+        const Shape& in = shape_of(op.input);
         Int8LinearSpec spec;
         spec.in_features = q->in_c;
         spec.out_features = q->out_c;
@@ -162,11 +185,11 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.weights = q->weights.data();
         spec.bias = q->bias.empty() ? nullptr : q->bias.data();
         spec.requant = q->requant.data();
-        int8_linear(qbuf(step.input), in[0], spec, qbuf(step.output));
+        int8_linear(qbuf(op.input), in[0], spec, qbuf(op.output));
         break;
       }
-      case PlanStep::Kind::kQActivation: {
-        const Shape& in = shape_of(step.input);
+      case Op::Kind::kQActivation: {
+        const Shape& in = shape_of(op.input);
         Int8ActivationSpec spec;
         spec.in_zero = q->in_a.zero_point;
         spec.out_zero = q->out.zero_point;
@@ -176,55 +199,55 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
             q->neg_per_channel.empty() ? nullptr : q->neg_per_channel.data();
         spec.out_cap = q->out_cap;
         const bool nchw = in.ndim() == 4;
-        int8_activation_nchw(qbuf(step.input), nchw ? in[0] : 1, nchw ? in[1] : 1,
-                             nchw ? in[2] * in[3] : in.numel(), spec, qbuf(step.output));
+        int8_activation_nchw(qbuf(op.input), nchw ? in[0] : 1, nchw ? in[1] : 1,
+                             nchw ? in[2] * in[3] : in.numel(), spec, qbuf(op.output));
         break;
       }
-      case PlanStep::Kind::kQAdd: {
-        const int64_t numel = shape_of(step.output).numel();
-        int8_add(qbuf(step.output), q->in_a.zero_point, q->m_a, qbuf(step.input),
-                 q->in_b.zero_point, q->m_b, q->out.zero_point, numel, qbuf(step.output));
+      case Op::Kind::kQAdd: {
+        const int64_t numel = shape_of(op.output).numel();
+        int8_add(qbuf(op.output), q->in_a.zero_point, q->m_a, qbuf(op.input),
+                 q->in_b.zero_point, q->m_b, q->out.zero_point, numel, qbuf(op.output));
         break;
       }
-      case PlanStep::Kind::kQScale: {
-        const int64_t numel = shape_of(step.output).numel();
-        int8_rescale(qbuf(step.output), q->in_a.zero_point, q->m_a, q->out.zero_point,
-                     numel, qbuf(step.output));
+      case Op::Kind::kQScale: {
+        const int64_t numel = shape_of(op.output).numel();
+        int8_rescale(qbuf(op.output), q->in_a.zero_point, q->m_a, q->out.zero_point,
+                     numel, qbuf(op.output));
         break;
       }
-      case PlanStep::Kind::kQConcat: {
-        const Shape& dst = shape_of(step.output);
+      case Op::Kind::kQConcat: {
+        const Shape& dst = shape_of(op.output);
         const int64_t n = dst[0], total_c = dst[1], hw = dst[2] * dst[3];
         for (int64_t i = 0; i < n; ++i) {
           int64_t c_off = 0;
-          for (size_t s = 0; s < step.sources.size(); ++s) {
-            const int src = step.sources[s];
+          for (size_t s = 0; s < op.sources.size(); ++s) {
+            const int src = op.sources[s];
             const Shape& src_shape = shape_of(src);
             const int64_t c = src_shape[1];
             const quant::QParams& sp = q->src_qp[s];
             int8_rescale(qbuf(src) + i * c * hw, sp.zero_point,
                          static_cast<double>(sp.scale) / q->out.scale, q->out.zero_point,
-                         c * hw, qbuf(step.output) + (i * total_c + c_off) * hw);
+                         c * hw, qbuf(op.output) + (i * total_c + c_off) * hw);
             c_off += c;
           }
         }
         break;
       }
-      case PlanStep::Kind::kQDepthToSpace: {
-        const Shape& in = shape_of(step.input);
-        int8_depth_to_space(qbuf(step.input), in[0], in[1], in[2], in[3], q->block,
-                            qbuf(step.output));
+      case Op::Kind::kQDepthToSpace: {
+        const Shape& in = shape_of(op.input);
+        int8_depth_to_space(qbuf(op.input), in[0], in[1], in[2], in[3], q->block,
+                            qbuf(op.output));
         break;
       }
-      case PlanStep::Kind::kQTileChannels: {
-        const Shape& in = shape_of(step.input);
-        int8_tile_channels(qbuf(step.input), in[0], in[1], in[2] * in[3], q->times,
-                           qbuf(step.output));
+      case Op::Kind::kQTileChannels: {
+        const Shape& in = shape_of(op.input);
+        int8_tile_channels(qbuf(op.input), in[0], in[1], in[2] * in[3], q->times,
+                           qbuf(op.output));
         break;
       }
     }
-    if (hook != nullptr && step.output >= 0)
-      (*hook)(step_index, *bound_[static_cast<size_t>(step.output)]);
+    if (hook != nullptr && op.output >= 0)
+      (*hook)(op_index, *bound_[static_cast<size_t>(op.output)]);
   }
 
   // Degenerate identity program: the "result" is the input buffer itself.

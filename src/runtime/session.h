@@ -1,53 +1,54 @@
-// Execution context for a compiled InferencePlan.
+// Execution context for a compiled runtime::Program.
 //
-// A Session owns everything mutable about inference — the arena of
-// preallocated activation buffers (float, plus int8 twins for quantised
-// plans) and the scratch Workspace — while the plan and the model weights
-// stay shared and read-only. run()/run_into() are therefore stateless per
-// call: after the first (warm-up) run a session performs zero heap
-// allocations, and N sessions over one shared plan serve N requests
-// concurrently from a thread pool without any locking. The same Session API
-// executes both precisions; int8 plans consume and produce float tensors at
-// the boundary (quantise-in / dequantise-out steps are part of the plan).
+// A Session owns everything mutable about inference — one contiguous
+// activation arena of program.peak_arena_bytes() (every intermediate buffer
+// is a dtype-typed window at its planner-assigned offset) and the scratch
+// Workspace — while the program and the model weights stay shared and
+// read-only. run()/run_into() are therefore stateless per call: after the
+// first (warm-up) run a session performs zero heap allocations, and N
+// sessions over one shared program serve N requests concurrently from a
+// thread pool without any locking. The same Session API executes both
+// precisions; int8 programs consume and produce float tensors at the
+// boundary (quantise-in / dequantise-out ops are part of the program).
 //
 // A single Session is NOT thread-safe; give each serving thread its own.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
-#include "runtime/plan.h"
+#include "runtime/program.h"
 #include "tensor/workspace.h"
 
 namespace sesr::runtime {
 
 class Session {
  public:
-  explicit Session(std::shared_ptr<const InferencePlan> plan);
+  explicit Session(std::shared_ptr<const Program> program);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Run the plan on `input` (shape must equal plan().input_shape()) and
-  /// return the freshly-allocated result. Bit-identical to the compiled
-  /// module's forward() for float plans.
+  /// Run the program on `input` (shape must equal program().input_shape())
+  /// and return the freshly-allocated result. Bit-identical to the compiled
+  /// module's forward() for float programs.
   [[nodiscard]] Tensor run(const Tensor& input);
 
   /// Allocation-free variant: writes the result into `output` (reshaped if
   /// needed). `output` must not alias `input`.
   void run_into(const Tensor& input, Tensor& output);
 
-  /// Per-step hook: invoked after each plan step with the step index and a
-  /// mutable view of that step's output buffer. The quant subsystem uses it
-  /// for calibration (range observation) and for the fake-quant reference
-  /// executor (rounding each activation onto its int8 grid). Float plans
-  /// only.
+  /// Per-op hook: invoked after each op with the op index and a mutable view
+  /// of that op's output buffer. The quant subsystem uses it for calibration
+  /// (range observation) over raw (PassConfig::none) float programs, whose
+  /// op order mirrors the artifact's record order. Float programs only.
   using StepHook = std::function<void(int step, Tensor& output)>;
   void run_hooked(const Tensor& input, Tensor& output, const StepHook& hook);
 
-  [[nodiscard]] const InferencePlan& plan() const { return *plan_; }
+  [[nodiscard]] const Program& plan() const { return *program_; }
 
   /// Scratch high-water mark (floats); stabilises after the first run.
   [[nodiscard]] int64_t workspace_capacity() const { return workspace_.capacity(); }
@@ -55,10 +56,11 @@ class Session {
  private:
   void execute(const Tensor& input, Tensor& output, const StepHook* hook);
 
-  std::shared_ptr<const InferencePlan> plan_;
-  std::vector<Tensor> buffers_;      // session-owned activations, sized once
-  std::vector<Tensor*> bound_;       // per-run buffer table (input/output rebound)
-  std::vector<std::vector<int8_t>> qbuffers_;  // int8 twins (quantised plans)
+  std::shared_ptr<const Program> program_;
+  std::unique_ptr<std::byte[]> arena_;   // one slab; 64-byte-aligned base
+  std::vector<Tensor> views_;            // float windows into the arena, per buffer id
+  std::vector<int8_t*> int8_;            // int8 windows into the arena, per buffer id
+  std::vector<Tensor*> bound_;           // per-run float binding (input/output rebound)
   Workspace workspace_;
 };
 

@@ -155,6 +155,10 @@ void conv_rows(const Int8ConvSpec spec, int64_t prow_w, int64_t h, int64_t out_h
   const FixedPointMultiplier* const requant = spec.requant;
   const int32_t out_zero = spec.out_zero;
   const int64_t out_c = spec.out_c;
+  const int8_t* const act_lut = spec.act_lut;
+  // Per-channel table stride: 256 when each output channel has its own LUT
+  // (fused PReLU), 0 when one table serves every channel.
+  const int64_t lut_stride = spec.act_lut_channels > 1 ? 256 : 0;
   // Weight rows share the patch stride, so the dots below run the full
   // (aligned, tail-free) stride: the weight rows' zero padding nulls the
   // patch slack out of the accumulation.
@@ -175,13 +179,20 @@ void conv_rows(const Int8ConvSpec spec, int64_t prow_w, int64_t h, int64_t out_h
                  patch, col_stride, acc);
         for (int64_t j = 0; j < 4; ++j) {
           const int32_t a = acc[j] + (bias != nullptr ? bias[oc + j] : 0);
-          out_px[(oc + j) * out_hw] = saturate_int8(requant[oc + j].apply(a) + out_zero);
+          const int8_t q = saturate_int8(requant[oc + j].apply(a) + out_zero);
+          out_px[(oc + j) * out_hw] =
+              act_lut == nullptr
+                  ? q
+                  : act_lut[(oc + j) * lut_stride + static_cast<int32_t>(q) + 128];
         }
       }
       for (; oc < out_c; ++oc) {
         int32_t acc = bias != nullptr ? bias[oc] : 0;
         acc += dot_i16(weights + oc * col_stride, patch, col_stride);
-        out_px[oc * out_hw] = saturate_int8(requant[oc].apply(acc) + out_zero);
+        const int8_t q = saturate_int8(requant[oc].apply(acc) + out_zero);
+        out_px[oc * out_hw] =
+            act_lut == nullptr ? q
+                               : act_lut[oc * lut_stride + static_cast<int32_t>(q) + 128];
       }
     }
   }
@@ -307,6 +318,17 @@ void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64
   }
 }
 
+void int8_activation_build_lut(const Int8ActivationSpec& spec, double neg, int8_t lut[256]) {
+  constexpr int32_t lo = -128;
+  for (int32_t q = -128; q <= 127; ++q) {
+    const int32_t centred = q - spec.in_zero;
+    const double m = centred >= 0 ? spec.pos : neg;
+    const int32_t mapped =
+        std::clamp(round_half_up(m * centred) + spec.out_zero, lo, spec.out_cap);
+    lut[static_cast<size_t>(q + 128)] = static_cast<int8_t>(mapped);
+  }
+}
+
 void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t plane,
                           const Int8ActivationSpec& spec, int8_t* out) {
   // The map is pointwise int8 -> int8 with (at most per-channel) parameters:
@@ -314,19 +336,10 @@ void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t
   // double-precision requant over plane elements. With a scalar negative
   // slope (ReLU/ReLU6/LeakyReLU) one table serves every channel.
   int8_t lut[256];
-  const int32_t lo = -128;
-  const auto build_lut = [&](double neg) {
-    for (int32_t q = -128; q <= 127; ++q) {
-      const int32_t centred = q - spec.in_zero;
-      const double m = centred >= 0 ? spec.pos : neg;
-      const int32_t mapped =
-          std::clamp(round_half_up(m * centred) + spec.out_zero, lo, spec.out_cap);
-      lut[static_cast<size_t>(q + 128)] = static_cast<int8_t>(mapped);
-    }
-  };
-  if (spec.neg_per_channel == nullptr) build_lut(spec.neg);
+  if (spec.neg_per_channel == nullptr) int8_activation_build_lut(spec, spec.neg, lut);
   for (int64_t c = 0; c < channels; ++c) {
-    if (spec.neg_per_channel != nullptr) build_lut(spec.neg_per_channel[c]);
+    if (spec.neg_per_channel != nullptr)
+      int8_activation_build_lut(spec, spec.neg_per_channel[c], lut);
     for (int64_t i = 0; i < n; ++i) {
       const int8_t* src = in + (i * channels + c) * plane;
       int8_t* dst = out + (i * channels + c) * plane;

@@ -89,6 +89,13 @@ struct Int8ConvSpec {
   const int16_t* weights = nullptr;
   const int32_t* bias = nullptr;  ///< [out_c] on the accumulator grid; may be null
   const FixedPointMultiplier* requant = nullptr;  ///< [out_c]: s_in * s_w[oc] / s_out
+  /// Fused pointwise activation applied in the write-back loop: per-channel
+  /// 256-entry tables mapping the conv's own output grid onto the
+  /// activation's (built by int8_activation_build_lut, so fusion composes the
+  /// standalone kernels bit-exactly). Null = no fusion; act_lut_channels is 1
+  /// (one shared table) or out_c (per-channel PReLU slopes).
+  const int8_t* act_lut = nullptr;
+  int64_t act_lut_channels = 0;
 };
 
 /// NCHW int8 convolution. Work fans out over (image, output row) pairs via
@@ -161,6 +168,12 @@ struct Int8ActivationSpec {
 
 void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t plane,
                           const Int8ActivationSpec& spec, int8_t* out);
+
+/// Build the 256-entry int8 -> int8 table int8_activation_nchw streams, for
+/// negative-side multiplier `neg` (ignores spec.neg / spec.neg_per_channel).
+/// Shared with the runtime's conv -> activation fusion pass so a fused conv's
+/// write-back maps through the exact same table as the standalone kernel.
+void int8_activation_build_lut(const Int8ActivationSpec& spec, double neg, int8_t lut[256]);
 
 // ---- pixel ops (pure data movement; grid unchanged) ------------------------
 

@@ -8,21 +8,65 @@
 namespace sesr {
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  if (static_cast<int64_t>(data_.size()) != shape_.numel())
-    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+    : shape_(std::move(shape)), storage_(std::move(data)) {
+  if (static_cast<int64_t>(storage_.size()) != shape_.numel())
+    throw std::invalid_argument("Tensor: data size " + std::to_string(storage_.size()) +
                                 " does not match shape " + shape_.to_string());
+  attach();
+}
+
+Tensor::Tensor(ViewTag, Shape shape, float* data)
+    : shape_(std::move(shape)), data_(data), size_(static_cast<size_t>(shape_.numel())) {}
+
+Tensor Tensor::view(Shape shape, float* data) {
+  if (data == nullptr) throw std::invalid_argument("Tensor::view: null storage");
+  return Tensor(ViewTag{}, std::move(shape), data);
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  storage_.assign(other.data_, other.data_ + other.size_);
+  attach();
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      storage_(std::move(other.storage_)),
+      data_(other.data_),
+      size_(other.size_) {
+  // Moving a vector keeps its heap block, so data_ stays valid for owners;
+  // views carry their external pointer unchanged.
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  storage_.assign(other.data_, other.data_ + other.size_);
+  attach();
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  storage_ = std::move(other.storage_);
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
   Tensor t(std::move(shape));
-  for (float& v : t.data_) v = rng.normal(mean, stddev);
+  for (float& v : t.flat()) v = rng.normal(mean, stddev);
   return t;
 }
 
 Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (float& v : t.data_) v = rng.uniform(lo, hi);
+  for (float& v : t.flat()) v = rng.uniform(lo, hi);
   return t;
 }
 
@@ -57,51 +101,51 @@ void Tensor::check_same_shape(const Tensor& other, const char* op) const {
 }
 
 Tensor& Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_, data_ + size_, value);
   return *this;
 }
 
 Tensor& Tensor::add_(const Tensor& other) {
   check_same_shape(other, "add_");
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (size_t i = 0; i < size_; ++i) data_[i] += other.data_[i];
   return *this;
 }
 
 Tensor& Tensor::sub_(const Tensor& other) {
   check_same_shape(other, "sub_");
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  for (size_t i = 0; i < size_; ++i) data_[i] -= other.data_[i];
   return *this;
 }
 
 Tensor& Tensor::mul_(const Tensor& other) {
   check_same_shape(other, "mul_");
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  for (size_t i = 0; i < size_; ++i) data_[i] *= other.data_[i];
   return *this;
 }
 
 Tensor& Tensor::add_scalar(float s) {
-  for (float& v : data_) v += s;
+  for (float& v : flat()) v += s;
   return *this;
 }
 
 Tensor& Tensor::mul_scalar(float s) {
-  for (float& v : data_) v *= s;
+  for (float& v : flat()) v *= s;
   return *this;
 }
 
 Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
   check_same_shape(x, "axpy_");
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+  for (size_t i = 0; i < size_; ++i) data_[i] += alpha * x.data_[i];
   return *this;
 }
 
 Tensor& Tensor::clamp_(float lo, float hi) {
-  for (float& v : data_) v = std::clamp(v, lo, hi);
+  for (float& v : flat()) v = std::clamp(v, lo, hi);
   return *this;
 }
 
 Tensor& Tensor::sign_() {
-  for (float& v : data_) v = (v > 0.0f) ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+  for (float& v : flat()) v = (v > 0.0f) ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
   return *this;
 }
 
@@ -125,32 +169,32 @@ Tensor Tensor::operator*(const Tensor& other) const {
 
 float Tensor::sum() const {
   double acc = 0.0;  // double accumulator: float error grows linearly over large tensors
-  for (float v : data_) acc += v;
+  for (float v : flat()) acc += v;
   return static_cast<float>(acc);
 }
 
 float Tensor::mean() const { return numel() > 0 ? sum() / static_cast<float>(numel()) : 0.0f; }
 
-float Tensor::min() const { return *std::min_element(data_.begin(), data_.end()); }
+float Tensor::min() const { return *std::min_element(data_, data_ + size_); }
 
-float Tensor::max() const { return *std::max_element(data_.begin(), data_.end()); }
+float Tensor::max() const { return *std::max_element(data_, data_ + size_); }
 
 float Tensor::max_abs_diff(const Tensor& other) const {
   check_same_shape(other, "max_abs_diff");
   float m = 0.0f;
-  for (size_t i = 0; i < data_.size(); ++i)
+  for (size_t i = 0; i < size_; ++i)
     m = std::max(m, std::abs(data_[i] - other.data_[i]));
   return m;
 }
 
 float Tensor::l2_norm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  for (float v : flat()) acc += static_cast<double>(v) * v;
   return static_cast<float>(std::sqrt(acc));
 }
 
 int64_t Tensor::argmax() const {
-  return std::distance(data_.begin(), std::max_element(data_.begin(), data_.end()));
+  return std::distance(data_, std::max_element(data_, data_ + size_));
 }
 
 }  // namespace sesr

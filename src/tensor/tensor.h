@@ -4,6 +4,12 @@
 // and preprocessing stage in the library. Data is stored contiguously in
 // row-major order; image batches use NCHW. Copies are deep (value semantics,
 // per C++ Core Guidelines "regular type" advice); moves are O(1).
+//
+// Borrowed storage: Tensor::view wraps caller-owned memory (the compiled
+// runtime's arena-planned activation buffers) in the same API without
+// allocating. A view reads and writes the external storage in place; copying
+// a view deep-copies into a fresh owning tensor, so value semantics are
+// preserved everywhere else.
 #pragma once
 
 #include <cstdint>
@@ -19,18 +25,34 @@ namespace sesr {
 class Tensor {
  public:
   /// Empty tensor (rank 0, one element, value 0).
-  Tensor() : shape_({}), data_(1, 0.0f) {}
+  Tensor() : shape_({}), storage_(1, 0.0f) { attach(); }
 
   /// Zero-initialised tensor of the given shape.
   explicit Tensor(Shape shape)
-      : shape_(std::move(shape)), data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+      : shape_(std::move(shape)), storage_(static_cast<size_t>(shape_.numel()), 0.0f) {
+    attach();
+  }
 
   /// Tensor of the given shape filled with `value`.
   Tensor(Shape shape, float value)
-      : shape_(std::move(shape)), data_(static_cast<size_t>(shape_.numel()), value) {}
+      : shape_(std::move(shape)), storage_(static_cast<size_t>(shape_.numel()), value) {
+    attach();
+  }
 
   /// Tensor adopting existing data; `data.size()` must equal `shape.numel()`.
   Tensor(Shape shape, std::vector<float> data);
+
+  /// Non-owning view over `shape.numel()` floats of caller-owned storage,
+  /// which must stay alive (and fixed) for the view's lifetime. Used by
+  /// runtime::Session to expose arena-planned activation buffers through the
+  /// layer API without copies.
+  static Tensor view(Shape shape, float* data);
+
+  Tensor(const Tensor& other);                 ///< deep copy (views copy into owners)
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
 
   // ---- factories -----------------------------------------------------------
 
@@ -44,7 +66,7 @@ class Tensor {
   // ---- shape ---------------------------------------------------------------
 
   [[nodiscard]] const Shape& shape() const { return shape_; }
-  [[nodiscard]] int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  [[nodiscard]] int64_t numel() const { return static_cast<int64_t>(size_); }
   [[nodiscard]] int ndim() const { return shape_.ndim(); }
   /// Extent of dimension `i` (negative counts from the back).
   [[nodiscard]] int64_t dim(int i) const { return shape_[i]; }
@@ -55,10 +77,10 @@ class Tensor {
 
   // ---- element access ------------------------------------------------------
 
-  [[nodiscard]] float* data() { return data_.data(); }
-  [[nodiscard]] const float* data() const { return data_.data(); }
-  [[nodiscard]] std::span<float> flat() { return {data_.data(), data_.size()}; }
-  [[nodiscard]] std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+  [[nodiscard]] float* data() { return data_; }
+  [[nodiscard]] const float* data() const { return data_; }
+  [[nodiscard]] std::span<float> flat() { return {data_, size_}; }
+  [[nodiscard]] std::span<const float> flat() const { return {data_, size_}; }
 
   float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
   float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
@@ -101,10 +123,19 @@ class Tensor {
   [[nodiscard]] int64_t argmax() const;
 
  private:
+  struct ViewTag {};
+  Tensor(ViewTag, Shape shape, float* data);
+
+  void attach() {
+    data_ = storage_.data();
+    size_ = storage_.size();
+  }
   void check_same_shape(const Tensor& other, const char* op) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float> storage_;  ///< owning storage; empty for views
+  float* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 }  // namespace sesr

@@ -22,11 +22,11 @@ std::vector<Tensor> calibration_batches(const Shape& shape, int count, uint64_t 
   return out;
 }
 
-std::shared_ptr<const runtime::InferencePlan> int8_plan_for(nn::Module& net,
-                                                            const Shape& shape) {
+std::shared_ptr<const runtime::Program> int8_plan_for(nn::Module& net,
+                                                      const Shape& shape) {
   const auto artifact = quant::QuantizedModel::calibrate(
       net, shape, calibration_batches(shape, 2, 7));
-  return runtime::InferencePlan::compile_int8(net, shape, artifact);
+  return runtime::Program::compile_int8(net, shape, artifact);
 }
 
 TEST(Int8CostTest, CollapsedSesrIntegerMacsMatchTheTrace) {
@@ -100,13 +100,13 @@ TEST(Int8CostTest, RejectsFloatPlansAndBatches) {
   models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
   Rng rng(5);
   sesr.init_weights(rng);
-  const auto float_plan = runtime::InferencePlan::compile(sesr, {1, 3, 8, 8});
+  const auto float_plan = runtime::Program::compile(sesr, {1, 3, 8, 8});
   EXPECT_THROW(static_cast<void>(summarize_int8(*float_plan)), std::invalid_argument);
 
   const Shape batched{2, 3, 8, 8};
   const auto artifact = quant::QuantizedModel::calibrate(
       sesr, batched, calibration_batches(batched, 2, 6));
-  const auto batched_plan = runtime::InferencePlan::compile_int8(sesr, batched, artifact);
+  const auto batched_plan = runtime::Program::compile_int8(sesr, batched, artifact);
   EXPECT_THROW(static_cast<void>(summarize_int8(*batched_plan)), std::invalid_argument);
 }
 

@@ -30,13 +30,12 @@ std::vector<Tensor> calibration_batches(const Shape& shape, int count, uint64_t 
 /// output grid.
 float lsb_distance(nn::Module& module, const QuantizedModel& artifact,
                    const Tensor& input) {
-  const auto plan =
-      runtime::InferencePlan::compile_int8(module, input.shape(), artifact);
+  const auto plan = runtime::Program::compile_int8(module, input.shape(), artifact);
   EXPECT_EQ(plan->precision(), runtime::Precision::kInt8);
   runtime::Session session(plan);
   const Tensor int8_out = session.run(input);
   const Tensor reference = simulate_fake_quant(module, artifact, input);
-  EXPECT_EQ(int8_out.shape(), reference.shape());
+  EXPECT_EQ(int8_out.shape(), reference.shape()) << plan->dump();
   const float out_scale = artifact.steps().back().out.scale;
   EXPECT_GT(out_scale, 0.0f);
   return int8_out.max_abs_diff(reference) / out_scale;
@@ -109,8 +108,8 @@ TEST(Int8PlanTest, StaysCloseToFloatOutput) {
   const Tensor probe = Tensor::rand(shape, rng);
   for (auto& [label, net] : acceptance_nets()) {
     const auto artifact = QuantizedModel::calibrate(*net, shape, batches);
-    const auto fp32_plan = runtime::InferencePlan::compile(*net, shape);
-    const auto int8_plan = runtime::InferencePlan::compile_int8(*net, shape, artifact);
+    const auto fp32_plan = runtime::Program::compile(*net, shape);
+    const auto int8_plan = runtime::Program::compile_int8(*net, shape, artifact);
     runtime::Session fp32(fp32_plan), int8(int8_plan);
     const float psnr = psnr_between(fp32.run(probe), int8.run(probe));
     EXPECT_GT(psnr, 30.0f) << label;  // int8 noise, not wrong arithmetic
@@ -144,14 +143,14 @@ TEST(Int8PlanTest, FallbackLayersKeepNonIntegerNetsCompilable) {
   const auto artifact = QuantizedModel::calibrate(
       *net, shape, calibration_batches(shape, 3, 62));
 
-  const auto plan = runtime::InferencePlan::compile_int8(*net, shape, artifact);
+  const auto plan = runtime::Program::compile_int8(*net, shape, artifact);
   bool has_integer = false, has_fallback = false;
-  for (const runtime::PlanStep& step : plan->steps()) {
-    if (step.kind == runtime::PlanStep::Kind::kQConv) has_integer = true;
-    if (step.kind == runtime::PlanStep::Kind::kLayer) has_fallback = true;
+  for (const runtime::Op& op : plan->ops()) {
+    if (op.kind == runtime::Op::Kind::kQConv) has_integer = true;
+    if (op.kind == runtime::Op::Kind::kLayer) has_fallback = true;
   }
-  EXPECT_TRUE(has_integer);
-  EXPECT_TRUE(has_fallback);  // bicubic branch and the transposed conv
+  EXPECT_TRUE(has_integer) << plan->dump();
+  EXPECT_TRUE(has_fallback) << plan->dump();  // bicubic branch and the transposed conv
 
   const Tensor probe = Tensor::rand(shape, rng);
   const float lsb = lsb_distance(*net, artifact, probe);
@@ -166,7 +165,7 @@ TEST(Int8PlanTest, SessionsShareOnePlanConcurrently) {
   const Shape shape{1, 3, 16, 16};
   const auto artifact = QuantizedModel::calibrate(
       *sesr, shape, calibration_batches(shape, 3, 72));
-  const auto plan = runtime::InferencePlan::compile_int8(*sesr, shape, artifact);
+  const auto plan = runtime::Program::compile_int8(*sesr, shape, artifact);
 
   runtime::Session reference_session(plan);
   const Tensor probe = Tensor::rand(shape, rng);
@@ -192,11 +191,11 @@ TEST(Int8PlanTest, Int8BuffersShrinkTheArena) {
   const Shape shape{1, 3, 16, 16};
   const auto artifact = QuantizedModel::calibrate(
       *sesr, shape, calibration_batches(shape, 2, 82));
-  const auto fp32 = runtime::InferencePlan::compile(*sesr, shape);
-  const auto int8 = runtime::InferencePlan::compile_int8(*sesr, shape, artifact);
-  // Fully-integer network: activations live on int8 twins, so the byte
-  // footprint drops well below the fp32 arena.
-  EXPECT_LT(int8->activation_bytes(), fp32->activation_bytes() / 2);
+  const auto fp32 = runtime::Program::compile(*sesr, shape);
+  const auto int8 = runtime::Program::compile_int8(*sesr, shape, artifact);
+  // Fully-integer network: activations live in int8 buffers (1 byte vs 4),
+  // so the planned arena peak drops well below the fp32 one.
+  EXPECT_LT(int8->peak_arena_bytes(), fp32->peak_arena_bytes() / 2);
 }
 
 TEST(Int8PlanTest, RejectsForeignArtifact) {
@@ -211,7 +210,7 @@ TEST(Int8PlanTest, RejectsForeignArtifact) {
   const auto artifact = QuantizedModel::calibrate(
       *m5, shape, calibration_batches(shape, 2, 92));
   EXPECT_THROW(
-      static_cast<void>(runtime::InferencePlan::compile_int8(*m3, shape, artifact)),
+      static_cast<void>(runtime::Program::compile_int8(*m3, shape, artifact)),
       std::invalid_argument);
 }
 

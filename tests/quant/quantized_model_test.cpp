@@ -36,10 +36,11 @@ TEST(QuantizedModelTest, RecordsMirrorThePlanSteps) {
   const auto artifact =
       QuantizedModel::calibrate(*net, input, batches(input, 3, 2));
 
-  const auto plan = runtime::InferencePlan::compile(*net, input);
-  ASSERT_EQ(artifact.steps().size(), plan->steps().size());
-  for (size_t k = 0; k < plan->steps().size(); ++k)
-    EXPECT_EQ(artifact.steps()[k].name, runtime::step_identity(plan->steps()[k]));
+  // Raw program: the artifact's one-record-per-op mapping is the contract.
+  const auto plan = runtime::Program::compile(*net, input, runtime::PassConfig::none());
+  ASSERT_EQ(artifact.steps().size(), plan->ops().size());
+  for (size_t k = 0; k < plan->ops().size(); ++k)
+    EXPECT_EQ(artifact.steps()[k].name, runtime::step_identity(plan->ops()[k]));
 
   // conv -> relu -> conv: two weight records bracketing one activation.
   EXPECT_EQ(artifact.steps()[0].op, StepOp::kConv2d);

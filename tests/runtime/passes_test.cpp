@@ -1,0 +1,281 @@
+// The pass pipeline's contract: every optimisation is invisible in the
+// numbers. Zoo-wide, fp32 and int8 programs must produce bit-identical
+// outputs with passes on and off, and the arena planner must never let two
+// buffers that are live at the same time share a byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "models/models.h"
+#include "nn/nn.h"
+#include "quant/quant.h"
+#include "runtime/runtime.h"
+
+namespace sesr::runtime {
+namespace {
+
+Tensor seeded_input(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand(shape, rng, 0.0f, 1.0f);
+}
+
+std::vector<Tensor> calibration_batches(const Shape& shape, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> out;
+  for (int i = 0; i < count; ++i) out.push_back(Tensor::rand(shape, rng));
+  return out;
+}
+
+// ---- the arena planner property: overlapping lifetimes, disjoint bytes ------
+
+void expect_arena_sound(const Program& program, const std::string& context) {
+  const std::vector<LiveInterval> intervals = compute_live_intervals(program);
+  const auto& buffers = program.buffers();
+  int64_t max_extent = 0;
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    const BufferInfo& a = buffers[i];
+    if (program.is_external(static_cast<int>(i))) {
+      EXPECT_EQ(a.arena_offset, -1) << context << ": external buffer planned\n"
+                                    << program.dump();
+    }
+    if (a.arena_offset < 0) continue;
+    EXPECT_TRUE(intervals[i].used()) << context << ": planned but unused buffer " << i;
+    EXPECT_EQ(a.arena_offset % 64, 0) << context << ": misaligned buffer " << i;
+    EXPECT_LE(a.arena_offset + a.size_bytes(), program.peak_arena_bytes())
+        << context << ": buffer " << i << " overruns the arena\n"
+        << program.dump();
+    max_extent = std::max(max_extent, a.arena_offset + a.size_bytes());
+    for (size_t j = i + 1; j < buffers.size(); ++j) {
+      const BufferInfo& b = buffers[j];
+      if (b.arena_offset < 0) continue;
+      if (!intervals[i].overlaps(intervals[j])) continue;
+      const bool disjoint = a.arena_offset + a.size_bytes() <= b.arena_offset ||
+                            b.arena_offset + b.size_bytes() <= a.arena_offset;
+      EXPECT_TRUE(disjoint) << context << ": live-overlapping buffers " << i << " and "
+                            << j << " share bytes\n"
+                            << program.dump();
+    }
+  }
+  EXPECT_LE(program.peak_arena_bytes(), program.sum_buffer_bytes()) << context;
+  EXPECT_GE(program.peak_arena_bytes(), max_extent) << context;
+}
+
+TEST(ArenaPlannerTest, NoLiveOverlappingBuffersShareBytes) {
+  const Shape shape{2, 3, 12, 12};
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    SCOPED_TRACE(spec.label);
+    const auto network = spec.make_repo_scale();
+    Rng rng(7);
+    network->init_weights(rng);
+    for (const PassConfig& config : {PassConfig::optimized(), PassConfig::none()}) {
+      expect_arena_sound(*Program::compile(*network, shape, config),
+                         spec.label + (config.fuse_activations ? " (opt)" : " (raw)"));
+    }
+  }
+}
+
+TEST(ArenaPlannerTest, Int8ProgramsSatisfyThePropertyToo) {
+  const Shape shape{1, 3, 16, 16};
+  auto sesr = std::make_unique<models::Sesr>(models::SesrConfig::m5(),
+                                             models::Sesr::Form::kInference);
+  auto wrapped = std::make_unique<models::GlobalResidualSr>(
+      std::make_unique<models::Fsrcnn>(models::FsrcnnConfig::paper()), 2);
+  Rng rng(11);
+  sesr->init_weights(rng);
+  wrapped->init_weights(rng);
+  for (nn::Module* net : {static_cast<nn::Module*>(sesr.get()),
+                          static_cast<nn::Module*>(wrapped.get())}) {
+    const auto artifact =
+        quant::QuantizedModel::calibrate(*net, shape, calibration_batches(shape, 2, 12));
+    for (const PassConfig& config : {PassConfig::optimized(), PassConfig::none()})
+      expect_arena_sound(*Program::compile_int8(*net, shape, artifact, config),
+                         net->name() + " int8");
+  }
+}
+
+// ---- acceptance: collapsed SESR-M5 peak drops >= 30% vs one-buffer-each ----
+
+TEST(ArenaPlannerTest, CollapsedSesrM5PeakDropsAtLeast30Percent) {
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  Rng rng(13);
+  sesr.init_weights(rng);
+  const auto program = Program::compile(sesr, {1, 3, 64, 64});
+  EXPECT_LE(static_cast<double>(program->peak_arena_bytes()),
+            0.7 * static_cast<double>(program->sum_buffer_bytes()))
+      << program->dump();
+
+  const Shape shape{1, 3, 16, 16};
+  const auto artifact =
+      quant::QuantizedModel::calibrate(sesr, shape, calibration_batches(shape, 2, 14));
+  const auto int8 = Program::compile_int8(sesr, {1, 3, 64, 64}, artifact);
+  EXPECT_LE(static_cast<double>(int8->peak_arena_bytes()),
+            0.7 * static_cast<double>(int8->sum_buffer_bytes()))
+      << int8->dump();
+}
+
+// ---- bit-exactness: passes on vs off, fp32 and int8, across the zoo --------
+
+TEST(PassPipelineTest, Fp32PassesPreserveBitExactnessZooWide) {
+  const Shape shape{2, 3, 12, 12};
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    SCOPED_TRACE(spec.label);
+    const auto network = spec.make_repo_scale();
+    Rng rng(17);
+    network->init_weights(rng);
+    const Tensor x = seeded_input(shape, 18);
+    const Tensor reference = network->forward(x);
+
+    const auto optimized = Program::compile(*network, shape);
+    const auto raw = Program::compile(*network, shape, PassConfig::none());
+    Session opt_session(optimized), raw_session(raw);
+    EXPECT_EQ(reference.max_abs_diff(opt_session.run(x)), 0.0f)
+        << "passes on\n" << optimized->dump();
+    EXPECT_EQ(reference.max_abs_diff(raw_session.run(x)), 0.0f)
+        << "passes off\n" << raw->dump();
+  }
+}
+
+TEST(PassPipelineTest, Int8PassesPreserveBitExactness) {
+  const Shape shape{1, 3, 16, 16};
+  struct Net {
+    std::string label;
+    std::unique_ptr<nn::Module> net;
+  };
+  std::vector<Net> nets;
+  {
+    auto sesr = std::make_unique<models::Sesr>(models::SesrConfig::m5(),
+                                               models::Sesr::Form::kInference);
+    Rng rng(21);
+    sesr->init_weights(rng);
+    nets.push_back({"SESR-M5", std::move(sesr)});
+  }
+  {
+    auto fsrcnn = std::make_unique<models::Fsrcnn>(models::FsrcnnConfig::paper());
+    Rng rng(22);
+    fsrcnn->init_weights(rng);
+    nets.push_back({"FSRCNN", std::move(fsrcnn)});
+  }
+  {
+    auto edsr = std::make_unique<models::Edsr>(models::EdsrConfig::full_repo());
+    Rng rng(23);
+    edsr->init_weights(rng);
+    nets.push_back({"EDSR", std::move(edsr)});
+  }
+  for (auto& [label, net] : nets) {
+    SCOPED_TRACE(label);
+    const auto artifact =
+        quant::QuantizedModel::calibrate(*net, shape, calibration_batches(shape, 3, 24));
+    const Tensor probe = seeded_input(shape, 25);
+    const auto optimized = Program::compile_int8(*net, shape, artifact);
+    const auto raw = Program::compile_int8(*net, shape, artifact, PassConfig::none());
+    Session opt_session(optimized), raw_session(raw);
+    // Fused LUT convs and in-place ops replay the standalone kernels' exact
+    // integer arithmetic, so the two programs agree bit for bit.
+    EXPECT_EQ(opt_session.run(probe).max_abs_diff(raw_session.run(probe)), 0.0f)
+        << optimized->dump();
+  }
+}
+
+// ---- the individual passes observably fire ---------------------------------
+
+TEST(PassPipelineTest, ConvActivationPairsFuse) {
+  nn::Sequential net;
+  net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 8, .kernel = 3});
+  net.add<nn::ReLU>();
+  net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 8, .out_channels = 3, .kernel = 3});
+  net.add<nn::PReLU>(3);
+  const Shape shape{1, 3, 8, 8};
+  const auto optimized = Program::compile(net, shape);
+  const auto raw = Program::compile(net, shape, PassConfig::none());
+  EXPECT_EQ(optimized->stats().fused_activations, 2) << optimized->dump();
+  EXPECT_EQ(raw->stats().fused_activations, 0);
+  EXPECT_EQ(optimized->ops().size(), raw->ops().size() - 2);
+}
+
+TEST(PassPipelineTest, CollapsedSesrFusesEveryStagePrelu) {
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  const auto program = Program::compile(sesr, {1, 3, 16, 16});
+  // Collapsed SESR-M5: head conv + 5 stage convs, each followed by PReLU.
+  EXPECT_GE(program->stats().fused_activations, 5) << program->dump();
+}
+
+TEST(PassPipelineTest, PointwiseAfterNonConvRunsInPlace) {
+  // GroupNorm is not fusable into a conv, so the ReLU6 behind it stays a
+  // separate op — and the in-place pass aliases it onto the norm's buffer.
+  nn::Sequential net;
+  net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 8, .kernel = 3});
+  net.add<nn::GroupNorm>(8, 4);
+  net.add<nn::ReLU6>();
+  net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 8, .out_channels = 3, .kernel = 3});
+  const auto program = Program::compile(net, {1, 3, 8, 8});
+  EXPECT_GE(program->stats().in_place_elected, 1) << program->dump();
+  bool saw_in_place = false;
+  for (const Op& op : program->ops())
+    if (op.kind == Op::Kind::kLayer && op.input == op.output) saw_in_place = true;
+  EXPECT_TRUE(saw_in_place) << program->dump();
+}
+
+/// A module that emits an op nobody consumes: compile_inference runs its conv
+/// twice but only returns the second result. Dead-op elimination must drop
+/// the first without changing the output.
+class DeadBranchNet final : public nn::Module {
+ public:
+  DeadBranchNet()
+      : conv_(nn::Conv2dOptions{.in_channels = 3, .out_channels = 3, .kernel = 3}) {}
+
+  Tensor forward(const Tensor& input) override { return conv_.forward(input); }
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("DeadBranchNet: inference only");
+  }
+  std::vector<nn::Parameter*> parameters() override { return conv_.parameters(); }
+  [[nodiscard]] std::string name() const override { return "dead_branch"; }
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>* out) const override {
+    return conv_.trace(input, out);
+  }
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  int compile_inference(nn::InferenceBuilder& builder, int input) const override {
+    static_cast<void>(builder.emit_layer(conv_, input));  // result never read
+    return builder.emit_layer(conv_, input);
+  }
+
+ private:
+  nn::Conv2d conv_;
+};
+
+TEST(PassPipelineTest, DeadOpsAreEliminated) {
+  DeadBranchNet net;
+  Rng rng(31);
+  net.init_weights(rng);
+  const Shape shape{1, 3, 8, 8};
+  const auto optimized = Program::compile(net, shape);
+  const auto raw = Program::compile(net, shape, PassConfig::none());
+  EXPECT_EQ(raw->ops().size(), 2u);
+  EXPECT_EQ(optimized->ops().size(), 1u) << optimized->dump();
+  EXPECT_EQ(optimized->stats().dead_ops_removed, 1);
+
+  const Tensor x = seeded_input(shape, 32);
+  Session session(optimized);
+  EXPECT_EQ(net.forward(x).max_abs_diff(session.run(x)), 0.0f);
+}
+
+TEST(PassPipelineTest, DumpDescribesBothPrecisions) {
+  models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  Rng rng(41);
+  sesr.init_weights(rng);
+  const Shape shape{1, 3, 12, 12};
+  const std::string fp32 = Program::compile(sesr, shape)->dump();
+  EXPECT_NE(fp32.find("fp32"), std::string::npos);
+  EXPECT_NE(fp32.find("arena"), std::string::npos);
+  EXPECT_NE(fp32.find("conv"), std::string::npos);
+
+  const auto artifact =
+      quant::QuantizedModel::calibrate(sesr, shape, calibration_batches(shape, 2, 42));
+  const std::string int8 = Program::compile_int8(sesr, shape, artifact)->dump();
+  EXPECT_NE(int8.find("int8"), std::string::npos);
+  EXPECT_NE(int8.find("qconv"), std::string::npos);
+  EXPECT_NE(int8.find("grid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sesr::runtime

@@ -30,18 +30,21 @@ void expect_session_matches_forward(nn::Module& module, const Shape& in_shape,
   const Tensor reference = module.forward(x);
 
   ASSERT_TRUE(module.supports_compiled_inference()) << module.name();
-  const auto plan = InferencePlan::compile(module, in_shape);
+  const auto plan = Program::compile(module, in_shape);
   EXPECT_TRUE(plan->input_shape() == in_shape);
   EXPECT_TRUE(plan->output_shape() == reference.shape());
 
   Session session(plan);
   const Tensor first = session.run(x);
   ASSERT_TRUE(first.shape() == reference.shape()) << module.name();
-  EXPECT_EQ(reference.max_abs_diff(first), 0.0f) << module.name();
+  // On mismatch, Program::dump shows the op list, buffer table and arena
+  // plan the session executed — the one debug printer for both precisions.
+  EXPECT_EQ(reference.max_abs_diff(first), 0.0f) << module.name() << "\n" << plan->dump();
 
   Tensor second(plan->output_shape());
   session.run_into(x, second);
-  EXPECT_EQ(reference.max_abs_diff(second), 0.0f) << module.name() << " (buffer reuse)";
+  EXPECT_EQ(reference.max_abs_diff(second), 0.0f)
+      << module.name() << " (buffer reuse)\n" << plan->dump();
 }
 
 // ---- every model-zoo SR network, deployed (repo-scale) form -----------------
@@ -117,7 +120,7 @@ TEST(SessionTest, ZeroInnerStageSesrReportsUnsupported) {
   // it must advertise itself as non-compilable so callers use forward().
   models::Sesr degenerate({0, 16, 256, 2, 3}, models::Sesr::Form::kInference);
   EXPECT_FALSE(degenerate.supports_compiled_inference());
-  EXPECT_THROW(static_cast<void>(runtime::InferencePlan::compile(degenerate, {1, 3, 8, 8})),
+  EXPECT_THROW(static_cast<void>(runtime::Program::compile(degenerate, {1, 3, 8, 8})),
                std::invalid_argument);
 }
 
@@ -141,7 +144,7 @@ TEST(SessionTest, ConcurrentSessionsOverSharedPlanAreDeterministic) {
   const Tensor x = seeded_input(in_shape, 37);
   const Tensor reference = sesr.forward(x);
 
-  const auto plan = InferencePlan::compile(sesr, in_shape);
+  const auto plan = Program::compile(sesr, in_shape);
   constexpr int kThreads = 4;
   constexpr int kRunsPerThread = 8;
   std::vector<float> worst(kThreads, -1.0f);
@@ -170,7 +173,7 @@ TEST(SessionTest, CompileRejectsUnsupportedModules) {
   net.add<nn::Conv2d>(nn::Conv2dOptions{.in_channels = 3, .out_channels = 4, .kernel = 3});
   net.add<nn::MaxPool2d>(2, 2);  // no infer_into -> the chain cannot compile
   EXPECT_FALSE(net.supports_compiled_inference());
-  EXPECT_THROW(static_cast<void>(InferencePlan::compile(net, {1, 3, 8, 8})),
+  EXPECT_THROW(static_cast<void>(Program::compile(net, {1, 3, 8, 8})),
                std::invalid_argument);
 }
 
@@ -178,16 +181,18 @@ TEST(SessionTest, RunRejectsWrongInputShape) {
   models::Fsrcnn fsrcnn;
   Rng rng(41);
   fsrcnn.init_weights(rng);
-  const auto plan = InferencePlan::compile(fsrcnn, {1, 3, 8, 8});
+  const auto plan = Program::compile(fsrcnn, {1, 3, 8, 8});
   Session session(plan);
   EXPECT_THROW(static_cast<void>(session.run(Tensor({1, 3, 9, 9}))), std::invalid_argument);
 }
 
-TEST(SessionTest, PlanReportsActivationFootprint) {
+TEST(SessionTest, ProgramReportsActivationFootprint) {
   models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
-  const auto plan = InferencePlan::compile(sesr, {1, 3, 16, 16});
-  EXPECT_GT(plan->activation_floats(), 0);
-  EXPECT_FALSE(plan->steps().empty());
+  const auto plan = Program::compile(sesr, {1, 3, 16, 16});
+  EXPECT_GT(plan->peak_arena_bytes(), 0);
+  EXPECT_LE(plan->peak_arena_bytes(), plan->sum_buffer_bytes());
+  EXPECT_FALSE(plan->ops().empty());
+  EXPECT_FALSE(plan->dump().empty());
 }
 
 }  // namespace

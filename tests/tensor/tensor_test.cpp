@@ -120,5 +120,31 @@ TEST(TensorTest, CopyIsDeep) {
   EXPECT_EQ(a[0], 1.0f);
 }
 
+// Views: the runtime's arena-backed buffers. Reads and writes go straight to
+// the external storage; copying a view detaches into an owning tensor.
+TEST(TensorTest, ViewWrapsExternalStorageInPlace) {
+  std::vector<float> storage{1.0f, 2.0f, 3.0f, 4.0f};
+  Tensor v = Tensor::view(Shape{2, 2}, storage.data());
+  EXPECT_EQ(v.numel(), 4);
+  EXPECT_EQ(v[2], 3.0f);
+  v.mul_scalar(2.0f);
+  EXPECT_EQ(storage[3], 8.0f);  // writes land in the caller's storage
+  storage[0] = 7.0f;
+  EXPECT_EQ(v[0], 7.0f);  // and reads see the caller's writes
+}
+
+TEST(TensorTest, CopyOfViewDetachesIntoOwner) {
+  std::vector<float> storage{1.0f, 2.0f};
+  Tensor v = Tensor::view(Shape{2}, storage.data());
+  Tensor copy = v;
+  copy[0] = 9.0f;
+  EXPECT_EQ(storage[0], 1.0f);  // deep copy: the view's storage is untouched
+  EXPECT_EQ(v[0], 1.0f);
+}
+
+TEST(TensorTest, ViewRejectsNullStorage) {
+  EXPECT_THROW(static_cast<void>(Tensor::view(Shape{2}, nullptr)), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sesr
