@@ -33,14 +33,21 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
-double measure_imgs_per_sec(double seconds, const std::function<void()>& work) {
+double measure_imgs_per_sec(double seconds, const std::function<void()>& work,
+                            std::vector<double>& latencies_ms) {
   work();  // warm up buffers and the workspace arena
+  latencies_ms.clear();
+  latencies_ms.reserve(4096);
   const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
   int64_t count = 0;
-  while (Clock::now() < deadline) {
+  for (;;) {
+    const Clock::time_point begin = Clock::now();
+    if (begin >= deadline) break;
     work();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - begin).count());
     ++count;
   }
   const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
@@ -131,10 +138,13 @@ int main() {
     if (lsb > 1.001) fidelity_ok = false;
 
     Tensor fp32_dst(fp32_plan->output_shape()), int8_dst(int8_plan->output_shape());
-    const double fp32_rate =
-        measure_imgs_per_sec(seconds, [&] { fp32_session.run_into(probe, fp32_dst); });
-    const double int8_rate =
-        measure_imgs_per_sec(seconds, [&] { int8_session.run_into(probe, int8_dst); });
+    std::vector<double> fp32_latencies, int8_latencies;
+    const double fp32_rate = measure_imgs_per_sec(
+        seconds, [&] { fp32_session.run_into(probe, fp32_dst); }, fp32_latencies);
+    const double int8_rate = measure_imgs_per_sec(
+        seconds, [&] { int8_session.run_into(probe, int8_dst); }, int8_latencies);
+    const bench::LatencySummary fp32_summary = bench::summarize_latency(fp32_latencies);
+    const bench::LatencySummary int8_summary = bench::summarize_latency(int8_latencies);
     const double speedup = int8_rate / fp32_rate;
     if (row.gates) gate_speedup = speedup;
 
@@ -148,6 +158,8 @@ int main() {
     json.set(key + ".speedup", speedup);
     json.set(key + ".psnr_int8_vs_fp32_db", psnr);
     json.set(key + ".max_ref_deviation_lsb", lsb);
+    bench::set_latency_metrics(json, key + ".fp32", fp32_summary);
+    bench::set_latency_metrics(json, key + ".int8", int8_summary);
     // Memory-planner metrics: the int8 program's planned arena peak, its
     // one-buffer-per-tensor baseline, and what the pass pipeline fused.
     if (int8_plan->peak_arena_bytes() > int8_plan->sum_buffer_bytes() ||

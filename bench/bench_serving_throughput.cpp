@@ -29,10 +29,13 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
-// Count how many times `work` runs across `n_threads` threads in `seconds`.
+// Count how many times `work` runs across `n_threads` threads in `seconds`,
+// recording every request's latency into `latencies_ms` (merged across
+// threads) so the tail is reportable alongside the mean rate.
 double measure_imgs_per_sec(int n_threads, double seconds,
-                            const std::function<void(int)>& work) {
-  std::vector<int64_t> counts(static_cast<size_t>(n_threads), 0);
+                            const std::function<void(int)>& work,
+                            std::vector<double>& latencies_ms) {
+  std::vector<std::vector<double>> samples(static_cast<size_t>(n_threads));
   const Clock::time_point deadline =
       Clock::now() + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
   std::vector<std::thread> threads;
@@ -40,19 +43,25 @@ double measure_imgs_per_sec(int n_threads, double seconds,
   const Clock::time_point start = Clock::now();
   for (int t = 0; t < n_threads; ++t) {
     threads.emplace_back([&, t] {
-      int64_t n = 0;
-      while (Clock::now() < deadline) {
+      std::vector<double>& mine = samples[static_cast<size_t>(t)];
+      mine.reserve(4096);
+      for (;;) {
+        const Clock::time_point begin = Clock::now();
+        if (begin >= deadline) break;
         work(t);
-        ++n;
+        mine.push_back(std::chrono::duration<double, std::milli>(Clock::now() - begin).count());
       }
-      counts[static_cast<size_t>(t)] = n;
     });
   }
   for (std::thread& t : threads) t.join();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
   int64_t total = 0;
-  for (int64_t c : counts) total += c;
+  latencies_ms.clear();
+  for (const std::vector<double>& mine : samples) {
+    total += static_cast<int64_t>(mine.size());
+    latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+  }
   return static_cast<double>(total) / elapsed;
 }
 
@@ -88,8 +97,8 @@ int main() {
   }
 
   const std::vector<int> thread_counts = {1, 2, 4};
-  std::printf("%-9s %-22s %-22s %s\n", "threads", "Module::forward img/s", "Session img/s",
-              "speedup");
+  std::printf("%-9s %-22s %-22s %-9s %s\n", "threads", "Module::forward img/s",
+              "Session img/s", "speedup", "Session p50/p99 ms");
   std::printf("--------------------------------------------------------------------------------\n");
 
   bench::BenchJson json("serving_throughput");
@@ -103,11 +112,14 @@ int main() {
                                                         models::Sesr::Form::kInference));
       replicas.back()->load_parameters_from(reference);
     }
+    std::vector<double> module_latencies;
     const double module_rate = measure_imgs_per_sec(
-        n_threads, seconds, [&](int t) {
+        n_threads, seconds,
+        [&](int t) {
           const Tensor out = replicas[static_cast<size_t>(t)]->forward(input);
           if (out[0] == 12345.678f) std::abort();  // defeat dead-code elimination
-        });
+        },
+        module_latencies);
 
     // Serving runtime: N sessions over the one shared plan.
     std::vector<std::unique_ptr<runtime::Session>> sessions;
@@ -116,20 +128,30 @@ int main() {
       sessions.push_back(std::make_unique<runtime::Session>(plan));
       outputs.emplace_back(plan->output_shape());
     }
+    std::vector<double> session_latencies;
     const double session_rate = measure_imgs_per_sec(
-        n_threads, seconds, [&](int t) {
+        n_threads, seconds,
+        [&](int t) {
           sessions[static_cast<size_t>(t)]->run_into(input, outputs[static_cast<size_t>(t)]);
-        });
+        },
+        session_latencies);
 
+    const bench::LatencySummary module_summary = bench::summarize_latency(module_latencies);
+    const bench::LatencySummary session_summary =
+        bench::summarize_latency(session_latencies);
     const double speedup = session_rate / module_rate;
     if (n_threads == 4) speedup_at_4 = speedup;
-    std::printf("%-9d %-22.1f %-22.1f %.2fx\n", n_threads, module_rate, session_rate, speedup);
+    std::printf("%-9d %-22.1f %-22.1f %-9s %.2f / %.2f\n", n_threads, module_rate,
+                session_rate, (bench::fixed(speedup) + "x").c_str(), session_summary.p50_ms,
+                session_summary.p99_ms);
     std::fflush(stdout);
 
     const std::string key = "threads_" + std::to_string(n_threads);
     json.set(key + ".module_imgs_per_sec", module_rate);
     json.set(key + ".session_imgs_per_sec", session_rate);
     json.set(key + ".speedup", speedup);
+    bench::set_latency_metrics(json, key + ".module", module_summary);
+    bench::set_latency_metrics(json, key + ".session", session_summary);
   }
   json.set("gate.speedup_at_4_threads", speedup_at_4);
   json.set("gate.threshold", 1.5);

@@ -1,5 +1,7 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -211,6 +213,35 @@ std::string json_key(std::string label) {
     if (c == '-' || c == ' ') c = '_';
   }
   return label;
+}
+
+LatencySummary summarize_latency(std::vector<double> samples_ms) {
+  LatencySummary summary;
+  if (samples_ms.empty()) return summary;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  summary.count = static_cast<int64_t>(samples_ms.size());
+  double sum = 0.0;
+  for (const double v : samples_ms) sum += v;
+  summary.mean_ms = sum / static_cast<double>(summary.count);
+  summary.max_ms = samples_ms.back();
+  // Nearest-rank: percentile p is the ceil(p * count)-th smallest sample.
+  const auto rank = [&](double p) {
+    const auto idx = static_cast<size_t>(std::ceil(p * static_cast<double>(summary.count)));
+    return samples_ms[std::min(samples_ms.size() - 1, std::max<size_t>(idx, 1) - 1)];
+  };
+  summary.p50_ms = rank(0.50);
+  summary.p95_ms = rank(0.95);
+  summary.p99_ms = rank(0.99);
+  return summary;
+}
+
+void set_latency_metrics(BenchJson& json, const std::string& prefix,
+                         const LatencySummary& summary) {
+  json.set(prefix + ".p50_ms", summary.p50_ms);
+  json.set(prefix + ".p95_ms", summary.p95_ms);
+  json.set(prefix + ".p99_ms", summary.p99_ms);
+  json.set(prefix + ".mean_ms", summary.mean_ms);
+  json.set(prefix + ".max_ms", summary.max_ms);
 }
 
 BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}

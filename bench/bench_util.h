@@ -97,4 +97,26 @@ class BenchJson {
   std::vector<std::pair<std::string, double>> metrics_;
 };
 
+/// Exact order statistics over a set of per-request latency samples. The
+/// serving benches record one sample per inference and report the tail, not
+/// just mean throughput — mean-only numbers hide exactly the latency spikes
+/// an SLO cares about.
+struct LatencySummary {
+  int64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Summarize samples (milliseconds; taken by value — summarizing sorts).
+/// Percentiles use the nearest-rank convention; all zeros when empty.
+LatencySummary summarize_latency(std::vector<double> samples_ms);
+
+/// Record a summary into `json` as <prefix>.p50_ms / .p95_ms / .p99_ms /
+/// .mean_ms / .max_ms.
+void set_latency_metrics(BenchJson& json, const std::string& prefix,
+                         const LatencySummary& summary);
+
 }  // namespace sesr::bench

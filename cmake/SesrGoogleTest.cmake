@@ -13,7 +13,14 @@
 
 include_guard(GLOBAL)
 
-find_package(GTest QUIET)
+# Sanitizer builds must not link a prebuilt (uninstrumented) gtest into
+# instrumented binaries — mixing the two yields false positives and hides
+# races on gtest-internal state. Skip the installed package and build gtest
+# from source with the tree's own flags (the Debian/Ubuntu libgtest-dev
+# package ships /usr/src/googletest precisely for this).
+if(NOT SESR_SANITIZE)
+  find_package(GTest QUIET)
+endif()
 if(TARGET GTest::gtest AND TARGET GTest::gtest_main)
   set(SESR_GTEST_PROVIDER "system")
 elseif(EXISTS "/usr/src/googletest/CMakeLists.txt")

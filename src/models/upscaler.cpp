@@ -27,6 +27,23 @@ int64_t idle_session_cap() {
 
 }  // namespace
 
+void Upscaler::upscale_batch(const Tensor& low_res, std::span<Tensor> per_image) {
+  if (low_res.ndim() != 4 || low_res.dim(0) != static_cast<int64_t>(per_image.size()))
+    throw std::invalid_argument("Upscaler::upscale_batch: batch " +
+                                low_res.shape().to_string() + " but " +
+                                std::to_string(per_image.size()) + " outputs");
+  Tensor batched = upscale(low_res);
+  const Shape sample{1, batched.dim(1), batched.dim(2), batched.dim(3)};
+  const int64_t stride = sample.numel();
+  for (size_t i = 0; i < per_image.size(); ++i) {
+    // Copy-assign from a named view so the sample is deep-copied out of the
+    // batched temporary (a moved view would dangle once `batched` dies).
+    const Tensor row =
+        Tensor::view(sample, batched.data() + static_cast<int64_t>(i) * stride);
+    per_image[i] = row;
+  }
+}
+
 NetworkUpscaler::NetworkUpscaler(std::string label, std::shared_ptr<nn::Module> network)
     : label_(std::move(label)),
       network_(std::move(network)),
@@ -53,6 +70,7 @@ std::shared_ptr<const runtime::Program> NetworkUpscaler::plan_for(const Shape& i
     auto plan = precision_ == runtime::Precision::kInt8
                     ? runtime::Program::compile_int8(*network_, input, *artifact_)
                     : runtime::Program::compile(*network_, input);
+    plan_compiles_.fetch_add(1, std::memory_order_relaxed);
     it = plans_.emplace(key, std::move(plan)).first;
   }
   return it->second;
@@ -117,6 +135,45 @@ int64_t NetworkUpscaler::idle_session_count(const Shape& input) const {
   return it == session_pools_.end() ? 0 : static_cast<int64_t>(it->second.idle.size());
 }
 
+int64_t NetworkUpscaler::live_session_count(const Shape& input) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = session_pools_.find(input.to_string());
+  return it == session_pools_.end() ? 0 : it->second.live;
+}
+
+void NetworkUpscaler::warmup(const Shape& input, int sessions) {
+  if (!compilable_) return;
+  const auto plan = plan_for(input);  // compiles (and caches) at most once
+  const int64_t target = std::min<int64_t>(std::max(sessions, 0), idle_session_cap());
+  const std::string key = input.to_string();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SessionPool& pool = session_pools_[key];
+      if (static_cast<int64_t>(pool.idle.size()) >= target) return;
+      // Prefilled sessions are declared parallelism: raise the pool's
+      // high-water so return_session retains them instead of destroying
+      // the warm state we just paid for.
+      pool.peak = std::max(pool.peak, target);
+    }
+    // Build and warm outside the lock: the first run sizes the scratch
+    // workspace, so no request pays a cold start. A concurrent precision
+    // switch or artifact swap empties the pool and drops this plan from the
+    // cache; the identity check below keeps us from stuffing sessions of a
+    // superseded plan back in.
+    auto session = std::make_unique<runtime::Session>(plan);
+    Tensor probe(input);
+    Tensor out(plan->output_shape());
+    session->run_into(probe, out);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(key);
+    if (it == plans_.end() || it->second != plan) return;  // superseded mid-warmup
+    SessionPool& pool = session_pools_[key];
+    if (static_cast<int64_t>(pool.idle.size()) < target)
+      pool.idle.push_back(std::move(session));
+  }
+}
+
 std::unique_ptr<runtime::Session> NetworkUpscaler::checkout_session(const Shape& input) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -129,8 +186,15 @@ std::unique_ptr<runtime::Session> NetworkUpscaler::checkout_session(const Shape&
       return session;
     }
   }
-  // No idle session: build one (buffer allocation happens outside the lock).
-  return std::make_unique<runtime::Session>(plan_for(input));
+  // No idle session: build one (compilation and buffer allocation happen
+  // outside the lock). On failure the checkout must be unwound, or the
+  // pool's live count — and with it the idle-retention high-water — leaks.
+  try {
+    return std::make_unique<runtime::Session>(plan_for(input));
+  } catch (...) {
+    return_session(input, nullptr);
+    throw;
+  }
 }
 
 void NetworkUpscaler::return_session(const Shape& input,
@@ -141,15 +205,41 @@ void NetworkUpscaler::return_session(const Shape& input,
   // by SESR_SESSION_CAP for memory-constrained deployments. (Plans are
   // retained per shape unboundedly, but hold only the step list, shape table
   // and packed weights — no activation memory.) Beyond the cap the session
-  // is destroyed. A session compiled for another precision (the pools were
-  // reset while it was checked out) is likewise dropped.
+  // is destroyed. A session whose plan is no longer the cached one for this
+  // shape (the serving state was reset — precision switch or artifact swap —
+  // while it was checked out) is likewise dropped: precision alone cannot
+  // tell a stale int8 artifact's session from the current one.
+  const std::string key = input.to_string();
   std::lock_guard<std::mutex> lock(mutex_);
-  SessionPool& pool = session_pools_[input.to_string()];
+  SessionPool& pool = session_pools_[key];
   --pool.live;
   const int64_t cap = std::min(pool.peak, idle_session_cap());
-  if (session != nullptr && static_cast<int64_t>(pool.idle.size()) < cap &&
-      session->plan().precision() == precision_)
+  if (session == nullptr || static_cast<int64_t>(pool.idle.size()) >= cap) return;
+  const auto it = plans_.find(key);
+  if (it != plans_.end() && it->second.get() == &session->plan())
     pool.idle.push_back(std::move(session));
+}
+
+void NetworkUpscaler::upscale_batch(const Tensor& low_res, std::span<Tensor> per_image) {
+  if (!compilable_) {
+    Upscaler::upscale_batch(low_res, per_image);
+    return;
+  }
+  if (low_res.ndim() != 4 || low_res.dim(0) != static_cast<int64_t>(per_image.size()))
+    throw std::invalid_argument("NetworkUpscaler::upscale_batch: batch " +
+                                low_res.shape().to_string() + " but " +
+                                std::to_string(per_image.size()) + " outputs");
+  auto session = checkout_session(low_res.shape());
+  try {
+    session->run_scatter(low_res, per_image);
+  } catch (...) {
+    return_session(low_res.shape(), nullptr);
+    throw;
+  }
+  return_session(low_res.shape(), std::move(session));
+  // Per-sample clamp is elementwise, so the results stay bit-identical to
+  // upscale()'s clamp of the whole batched output.
+  for (Tensor& image : per_image) image.clamp_(0.0f, 1.0f);
 }
 
 Tensor NetworkUpscaler::upscale(const Tensor& low_res) {

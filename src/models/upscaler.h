@@ -7,6 +7,7 @@
 // (interpolation reports zero — the paper lists "-" for it).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,6 +34,14 @@ class Upscaler {
 
   /// Upscale a batch by the configured factor (x2 throughout the paper).
   virtual Tensor upscale(const Tensor& low_res) = 0;
+
+  /// Batch dispatch for the serving engine: upscale the [N, C, H, W] batch
+  /// in one dispatch and scatter sample i into per_image[i] (shaped
+  /// [1, C, 2H, 2W]; existing contents replaced). per_image.size() must
+  /// equal N. Bit-identical to N separate upscale() calls on the rows. The
+  /// base implementation routes through upscale() and splits; subclasses may
+  /// override with an allocation-leaner path.
+  virtual void upscale_batch(const Tensor& low_res, std::span<Tensor> per_image);
 
   /// Row label for result tables (e.g. "SESR-M2", "Nearest Neighbor").
   [[nodiscard]] virtual std::string label() const = 0;
@@ -72,6 +81,20 @@ class NetworkUpscaler final : public Upscaler {
 
   Tensor upscale(const Tensor& low_res) override;
 
+  /// Serving-engine batch dispatch: one session checkout and one compiled
+  /// run for the whole batch, scattered into per-image outputs through the
+  /// session's reusable staging buffer (Session::run_scatter) — no batched
+  /// output tensor is allocated per dispatch.
+  void upscale_batch(const Tensor& low_res, std::span<Tensor> per_image) override;
+
+  /// Precompile the plan for `input` and prefill its session pool with up to
+  /// `sessions` warmed idle sessions (each pays its first-run workspace
+  /// sizing here, not on a request), so the serving path never compiles or
+  /// cold-starts after warmup. The prefill counts toward the pool's observed
+  /// parallelism and is capped by SESR_SESSION_CAP. No-op for networks
+  /// without compiled inference.
+  void warmup(const Shape& input, int sessions);
+
   [[nodiscard]] std::string label() const override { return label_; }
   [[nodiscard]] int64_t num_params() const override { return network_->num_params(); }
   [[nodiscard]] int64_t macs_for(const Shape& single_image_chw) const override;
@@ -104,6 +127,16 @@ class NetworkUpscaler final : public Upscaler {
   /// bounded by the observed serving parallelism and SESR_SESSION_CAP).
   [[nodiscard]] int64_t idle_session_count(const Shape& input) const;
 
+  /// Sessions currently checked out for a shape (ops/testing introspection;
+  /// 0 when the upscaler is quiescent — anything else is a leak).
+  [[nodiscard]] int64_t live_session_count(const Shape& input) const;
+
+  /// Plans compiled so far, across all shapes and precision switches. A
+  /// warmed serving path must not move this counter.
+  [[nodiscard]] int64_t plan_compile_count() const {
+    return plan_compiles_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-shape session pool. `live` counts checked-out sessions; `peak` is
   /// the high-water of concurrent checkouts — the observed serving
@@ -125,6 +158,7 @@ class NetworkUpscaler final : public Upscaler {
   bool compilable_;
 
   mutable std::mutex mutex_;  // guards precision/artifact and the two maps
+  std::atomic<int64_t> plan_compiles_{0};
   runtime::Precision precision_ = runtime::Precision::kFloat32;
   std::shared_ptr<const quant::QuantizedModel> artifact_;
   std::map<std::string, std::shared_ptr<const runtime::Program>> plans_;

@@ -50,6 +50,29 @@ void Session::run_into(const Tensor& input, Tensor& output) {
   execute(input, output, nullptr);
 }
 
+void Session::run_scatter(const Tensor& input, std::span<Tensor> per_sample) {
+  const Shape& out_shape = program_->output_shape();
+  if (out_shape.ndim() != 4)
+    throw std::invalid_argument("Session::run_scatter: NCHW programs only, output is " +
+                                out_shape.to_string());
+  if (out_shape[0] != static_cast<int64_t>(per_sample.size()))
+    throw std::invalid_argument("Session::run_scatter: program batch " +
+                                std::to_string(out_shape[0]) + " but " +
+                                std::to_string(per_sample.size()) + " outputs");
+  if (staging_.shape() != out_shape) staging_ = Tensor(out_shape);
+  execute(input, staging_, nullptr);
+  const Shape sample{1, out_shape[1], out_shape[2], out_shape[3]};
+  const int64_t stride = sample.numel();
+  for (size_t i = 0; i < per_sample.size(); ++i) {
+    // Copy-assign from a named view: per_sample[i] deep-copies its rows out
+    // of the staging buffer (move-assigning the view itself would leave the
+    // caller aliased into state the next dispatch overwrites).
+    const Tensor row =
+        Tensor::view(sample, staging_.data() + static_cast<int64_t>(i) * stride);
+    per_sample[i] = row;
+  }
+}
+
 void Session::run_hooked(const Tensor& input, Tensor& output, const StepHook& hook) {
   if (program_->precision() != Precision::kFloat32)
     throw std::invalid_argument("Session::run_hooked: float-precision programs only");

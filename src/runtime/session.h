@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "runtime/program.h"
@@ -41,6 +42,15 @@ class Session {
   /// needed). `output` must not alias `input`.
   void run_into(const Tensor& input, Tensor& output);
 
+  /// Batch dispatch hook for the serving engine: run the program on a
+  /// batched [N, ...] input and scatter sample i into per_sample[i] (shaped
+  /// [1, ...]; existing contents replaced). The batched result lands in a
+  /// staging tensor the session reuses across calls, so a steady-state
+  /// batched dispatch allocates nothing beyond the per-sample outputs.
+  /// per_sample.size() must equal the program's batch extent; 4-D (NCHW)
+  /// programs only.
+  void run_scatter(const Tensor& input, std::span<Tensor> per_sample);
+
   /// Per-op hook: invoked after each op with the op index and a mutable view
   /// of that op's output buffer. The quant subsystem uses it for calibration
   /// (range observation) over raw (PassConfig::none) float programs, whose
@@ -61,6 +71,7 @@ class Session {
   std::vector<Tensor> views_;            // float windows into the arena, per buffer id
   std::vector<int8_t*> int8_;            // int8 windows into the arena, per buffer id
   std::vector<Tensor*> bound_;           // per-run float binding (input/output rebound)
+  Tensor staging_;                       // batched output reused by run_scatter
   Workspace workspace_;
 };
 

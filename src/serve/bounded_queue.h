@@ -1,0 +1,159 @@
+// Bounded MPMC queue — the admission-control primitive of the serving engine.
+//
+// A fixed-capacity FIFO shared by any number of producers (request submitters)
+// and consumers (batch workers). Capacity is the backpressure mechanism:
+// push() blocks while the queue is full, try_push() refuses instead, so an
+// overloaded server either slows its clients down or sheds at the door —
+// memory stays bounded either way. close() starts shutdown: producers are
+// turned away immediately, consumers drain what was already admitted and then
+// see end-of-stream.
+//
+// pop_batch() is the micro-batcher's pop: it takes the front item, then
+// greedily takes further front items while a caller-supplied compatibility
+// predicate accepts them against the first (same input shape, in the serving
+// engine), optionally lingering a bounded time for more compatible arrivals
+// when the batch is still short. FIFO order is never violated — a batch is
+// always a contiguous prefix of the queue, so an incompatible head request is
+// never overtaken by compatible ones behind it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sesr::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int64_t capacity) : capacity_(capacity) {
+    if (capacity <= 0) throw std::invalid_argument("BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room, then enqueue. Returns false (item untouched
+  /// by the move only on success) when the queue is or becomes closed.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || size_ok(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    peak_size_ = std::max(peak_size_, static_cast<int64_t>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false — leaving `item` intact — when the
+  /// queue is full or closed.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || !size_ok()) return false;
+      items_.push_back(std::move(item));
+      peak_size_ = std::max(peak_size_, static_cast<int64_t>(items_.size()));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available; nullopt when closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Micro-batching pop: block for the front item, then extend the batch with
+  /// further front items while `compatible(candidate, out.front())` holds, up
+  /// to `max` items. While the batch is shorter than `max` and the queue is
+  /// empty, wait up to `linger` (measured from the first item) for more
+  /// arrivals; an incompatible head ends the batch immediately, so requests
+  /// are never reordered. Appends to `out` and returns true; returns false —
+  /// with `out` untouched — only when the queue is closed and drained.
+  template <typename Compatible>
+  bool pop_batch(std::vector<T>& out, int64_t max, Compatible&& compatible,
+                 std::chrono::microseconds linger = std::chrono::microseconds{0}) {
+    if (max <= 0) throw std::invalid_argument("BoundedQueue::pop_batch: max must be positive");
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    const size_t base = out.size();
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+    const auto deadline = std::chrono::steady_clock::now() + linger;
+    while (static_cast<int64_t>(out.size() - base) < max) {
+      if (!items_.empty()) {
+        if (!compatible(items_.front(), out[base])) break;
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        continue;
+      }
+      if (closed_ || linger <= std::chrono::microseconds{0}) break;
+      // Queue empty: linger for more compatible arrivals (bounded latency cost).
+      if (!not_empty_.wait_until(lock, deadline,
+                                 [&] { return closed_ || !items_.empty(); }))
+        break;  // lingered the full budget; dispatch what we have
+    }
+    lock.unlock();
+    // Several producers may now fit; wake them all.
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Turn new producers away; consumers drain the remaining items and then
+  /// get end-of-stream. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] int64_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  /// High-water mark of the queue depth since construction (SLO metric).
+  [[nodiscard]] int64_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_size_;
+  }
+
+  [[nodiscard]] int64_t capacity() const { return capacity_; }
+
+ private:
+  [[nodiscard]] bool size_ok() const {
+    return static_cast<int64_t>(items_.size()) < capacity_;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const int64_t capacity_;
+  int64_t peak_size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sesr::serve

@@ -1,0 +1,7 @@
+// Umbrella header for the serving engine: bounded request queue,
+// micro-batcher + worker pool (Server), and the latency SLO metrics.
+#pragma once
+
+#include "serve/bounded_queue.h"     // IWYU pragma: export
+#include "serve/latency_histogram.h" // IWYU pragma: export
+#include "serve/server.h"            // IWYU pragma: export

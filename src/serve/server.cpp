@@ -1,0 +1,298 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace sesr::serve {
+
+using Clock = std::chrono::steady_clock;
+
+const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+namespace detail {
+
+/// Shared completion slot behind a ServeFuture or a callback submission.
+struct ResultState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  ServeReply reply;
+  ServeCallback callback;  ///< set at submission; invoked instead of storing
+};
+
+}  // namespace detail
+
+bool ServeFuture::ready() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->ready;
+}
+
+bool ServeFuture::wait_for(std::chrono::milliseconds timeout) const {
+  if (!state_) return false;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock, timeout, [&] { return state_->ready; });
+}
+
+ServeReply ServeFuture::get() {
+  if (!state_) throw std::logic_error("ServeFuture::get: empty future");
+  std::shared_ptr<detail::ResultState> state = std::move(state_);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->ready; });
+  return std::move(state->reply);
+}
+
+/// One admitted request, queued until a worker dispatches (or sheds) it.
+struct Server::Request {
+  Tensor input;  ///< normalized to [1, C, H, W]
+  std::shared_ptr<detail::ResultState> state;
+  Clock::time_point enqueued;
+  Clock::time_point deadline;  ///< time_point::max() = none
+};
+
+Server::Server(std::shared_ptr<models::Upscaler> upscaler, const Options& options)
+    : upscaler_(std::move(upscaler)),
+      options_(options),
+      batch_size_counts_(static_cast<size_t>(std::max<int64_t>(options.max_batch, 1)) + 1) {
+  if (!upscaler_) throw std::invalid_argument("Server: null upscaler");
+  if (options_.workers < 1) throw std::invalid_argument("Server: workers must be >= 1");
+  if (options_.max_batch < 1) throw std::invalid_argument("Server: max_batch must be >= 1");
+  queue_ = std::make_unique<BoundedQueue<Request>>(options_.queue_capacity);
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  try {
+    for (int i = 0; i < options_.workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    // A failed spawn (e.g. EAGAIN on a thread-limited host) must unwind the
+    // workers already running, or their joinable destructors terminate.
+    queue_->close();
+    for (std::thread& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  std::call_once(stop_once_, [&] {
+    queue_->close();  // workers drain what was admitted, then exit
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+namespace {
+
+/// Accept [C, H, W] or [1, C, H, W]; hand back the batchable [1, C, H, W]
+/// form (pure metadata change — the storage moves through).
+Tensor normalize_single_image(Tensor image) {
+  const Shape& shape = image.shape();
+  if (shape.ndim() == 3) return std::move(image).reshaped({1, shape[0], shape[1], shape[2]});
+  if (shape.ndim() == 4 && shape[0] == 1) return image;
+  throw std::invalid_argument("Server: expected a single [C, H, W] or [1, C, H, W] image, got " +
+                              shape.to_string());
+}
+
+Clock::time_point deadline_for(std::chrono::milliseconds requested,
+                               std::chrono::milliseconds fallback) {
+  const std::chrono::milliseconds effective =
+      requested.count() > 0 ? requested : fallback;
+  if (effective.count() <= 0) return Clock::time_point::max();
+  return Clock::now() + effective;
+}
+
+}  // namespace
+
+void Server::complete(Request& request, ServeReply reply) {
+  detail::ResultState& state = *request.state;
+  if (state.callback) {
+    // Callback submissions have no waiter; deliver on this worker thread.
+    // A throwing callback must not take the server down — swallow it (the
+    // contract is "callbacks do not throw").
+    try {
+      state.callback(std::move(reply));
+    } catch (...) {
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.reply = std::move(reply);
+    state.ready = true;
+  }
+  state.cv.notify_all();
+}
+
+ServeFuture Server::submit(Tensor image, std::chrono::milliseconds deadline) {
+  Request request{normalize_single_image(std::move(image)),
+                  std::make_shared<detail::ResultState>(), Clock::now(),
+                  deadline_for(deadline, options_.default_deadline)};
+  ServeFuture future(request.state);
+  if (!queue_->push(std::move(request))) {
+    // Stopped: fail fast instead of leaving the future forever pending.
+    Request dead{Tensor(), future.state_, Clock::now(), Clock::time_point::max()};
+    complete(dead, {ServeStatus::kError, Tensor(), "server stopped"});
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void Server::submit_async(Tensor image, ServeCallback callback,
+                          std::chrono::milliseconds deadline) {
+  if (!callback) throw std::invalid_argument("Server::submit_async: null callback");
+  Request request{normalize_single_image(std::move(image)),
+                  std::make_shared<detail::ResultState>(), Clock::now(),
+                  deadline_for(deadline, options_.default_deadline)};
+  request.state->callback = std::move(callback);
+  if (!queue_->push(std::move(request))) {
+    Request dead{Tensor(), std::move(request.state), Clock::now(), Clock::time_point::max()};
+    complete(dead, {ServeStatus::kError, Tensor(), "server stopped"});
+    return;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Server::try_submit(Tensor image, ServeCallback callback,
+                        std::chrono::milliseconds deadline) {
+  if (!callback) throw std::invalid_argument("Server::try_submit: null callback");
+  Request request{normalize_single_image(std::move(image)),
+                  std::make_shared<detail::ResultState>(), Clock::now(),
+                  deadline_for(deadline, options_.default_deadline)};
+  request.state->callback = std::move(callback);
+  if (!queue_->try_push(std::move(request))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::warmup(const Shape& single_image_chw) {
+  auto* network = dynamic_cast<models::NetworkUpscaler*>(upscaler_.get());
+  if (network == nullptr) return;  // e.g. interpolation: nothing to precompile
+  if (single_image_chw.ndim() != 3)
+    throw std::invalid_argument("Server::warmup: expected a [C, H, W] shape, got " +
+                                single_image_chw.to_string());
+  // Every batch size a worker can dispatch is its own compiled shape; one
+  // pooled session per shape per worker covers the worst concurrent case.
+  for (int64_t batch = 1; batch <= options_.max_batch; ++batch)
+    network->warmup({batch, single_image_chw[0], single_image_chw[1], single_image_chw[2]},
+                    options_.workers);
+}
+
+void Server::worker_loop() {
+  std::vector<Request> batch;
+  std::vector<Request> live;
+  Tensor gather_staging;  // reused across dispatches (resized on shape change)
+  const auto same_shape = [](const Request& candidate, const Request& first) {
+    return candidate.input.shape() == first.input.shape();
+  };
+  for (;;) {
+    batch.clear();
+    if (!queue_->pop_batch(batch, options_.max_batch, same_shape, options_.batch_linger))
+      return;  // stopped and drained
+
+    // Deadline-based load shedding: answers nobody is waiting for anymore
+    // are dropped before they can waste a dispatch.
+    const Clock::time_point now = Clock::now();
+    live.clear();
+    for (Request& request : batch) {
+      if (request.deadline < now) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        complete(request, {ServeStatus::kShed, Tensor(), "deadline expired in queue"});
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    if (live.empty()) continue;
+    dispatch(live, gather_staging);
+  }
+}
+
+void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
+  const int64_t n = static_cast<int64_t>(batch.size());
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_images_.fetch_add(n, std::memory_order_relaxed);
+  batch_size_counts_[static_cast<size_t>(n)].fetch_add(1, std::memory_order_relaxed);
+  int64_t seen = max_batch_observed_.load(std::memory_order_relaxed);
+  while (n > seen &&
+         !max_batch_observed_.compare_exchange_weak(seen, n, std::memory_order_relaxed)) {
+  }
+
+  std::vector<Tensor> outputs(static_cast<size_t>(n));
+  const auto fail_batch = [&](const char* error) {
+    failed_.fetch_add(n, std::memory_order_relaxed);
+    for (Request& request : batch)
+      complete(request, {ServeStatus::kError, Tensor(), error});
+  };
+  try {
+    if (n == 1) {
+      // Nothing to coalesce: dispatch the request tensor directly.
+      outputs[0] = upscaler_->upscale(batch[0].input);
+    } else {
+      // Gather the coalesced [n, C, H, W] batch into the worker's staging
+      // tensor (every element is overwritten, so reuse is safe). Each
+      // normalized input is a contiguous [1, C, H, W] block: n flat copies.
+      const Shape& single = batch[0].input.shape();
+      const Shape batched{n, single[1], single[2], single[3]};
+      if (gather_staging.shape() != batched) gather_staging = Tensor(batched);
+      const int64_t stride = single.numel();
+      for (int64_t i = 0; i < n; ++i)
+        std::copy(batch[static_cast<size_t>(i)].input.data(),
+                  batch[static_cast<size_t>(i)].input.data() + stride,
+                  gather_staging.data() + i * stride);
+      upscaler_->upscale_batch(gather_staging, outputs);
+    }
+  } catch (const std::exception& e) {
+    fail_batch(e.what());
+    return;
+  } catch (...) {
+    // The upscaler is a virtual seam: even a non-std exception must become
+    // an error reply, not a std::terminate of the worker thread.
+    fail_batch("upscaler threw a non-standard exception");
+    return;
+  }
+
+  const Clock::time_point done = Clock::now();
+  for (int64_t i = 0; i < n; ++i) {
+    Request& request = batch[static_cast<size_t>(i)];
+    latency_.record_us(
+        std::chrono::duration_cast<std::chrono::microseconds>(done - request.enqueued).count());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    complete(request, {ServeStatus::kOk, std::move(outputs[static_cast<size_t>(i)]), ""});
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_images = batched_images_.load(std::memory_order_relaxed);
+  stats.mean_batch_size =
+      stats.batches > 0
+          ? static_cast<double>(stats.batched_images) / static_cast<double>(stats.batches)
+          : 0.0;
+  stats.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
+  stats.batch_size_counts.reserve(batch_size_counts_.size());
+  for (const std::atomic<int64_t>& count : batch_size_counts_)
+    stats.batch_size_counts.push_back(count.load(std::memory_order_relaxed));
+  stats.queue_depth = queue_->size();
+  stats.peak_queue_depth = queue_->peak_size();
+  stats.latency = latency_.snapshot();
+  return stats;
+}
+
+}  // namespace sesr::serve

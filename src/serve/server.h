@@ -1,0 +1,212 @@
+// Async batched serving engine over the compiled inference runtime.
+//
+// The paper's deployment story is a collapsed SESR network answering x2
+// upscale requests at scale; PRs 2-4 built the per-request machinery
+// (compiled plans, pooled sessions, int8 lowering, arena-planned memory) but
+// left a blocking one-image-per-call entry point. Server is the classic
+// serving layer on top:
+//
+//   submit / submit_async            workers (pool of threads)
+//        │                                │
+//        ▼                                ▼
+//   BoundedQueue ──► micro-batcher (pop_batch: same-shape coalescing,
+//   (backpressure,    bounded linger) ──► NetworkUpscaler::upscale_batch
+//    load shedding)                       (one batched NCHW dispatch over
+//                                          the plan cache / session pool)
+//                                              │
+//                                              ▼
+//                              per-request completion (future or callback)
+//
+// Admission control: the queue is bounded — submit() blocks (backpressure),
+// try_submit() refuses and counts a rejection. Load shedding: a request may
+// carry a deadline; a worker sheds expired requests at dispatch time instead
+// of wasting compute on answers nobody is waiting for. Batching: plans
+// compile per batched input shape, so coalescing k same-shape requests into
+// one [k, C, H, W] dispatch amortizes every per-dispatch cost (queue and
+// session-pool handoffs, per-op kernel launch and thread-pool fan-out)
+// across k images while keeping outputs bit-identical to k separate
+// upscale() calls — requests are only ever batched with identically-shaped
+// peers, never resampled or padded.
+//
+// Instrumentation: a lock-cheap latency histogram (p50/p95/p99), queue
+// depth, batch-size distribution, and shed/rejection counters, exposed as
+// ServerStats — the SLO surface bench_server_load records into
+// BENCH_server_load.json.
+//
+// Threading: submit paths and stats() are safe from any thread. Callbacks
+// run on worker threads and must not block for long or re-enter stop().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/upscaler.h"
+#include "serve/bounded_queue.h"
+#include "serve/latency_histogram.h"
+#include "tensor/tensor.h"
+
+namespace sesr::serve {
+
+enum class ServeStatus {
+  kOk,     ///< output holds the upscaled image
+  kShed,   ///< deadline expired before dispatch; never ran
+  kError,  ///< the upscaler threw, or the server was already stopped
+};
+
+[[nodiscard]] const char* serve_status_name(ServeStatus status);
+
+/// Completion of one request. `output` is [1, C, 2H, 2W] for kOk (identical
+/// bits to NetworkUpscaler::upscale on the same single image) and empty
+/// otherwise; `error` carries the shed/error detail.
+struct ServeReply {
+  ServeStatus status = ServeStatus::kError;
+  Tensor output;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return status == ServeStatus::kOk; }
+};
+
+namespace detail {
+struct ResultState;
+}  // namespace detail
+
+/// Completion handle returned by Server::submit. Copyable (handles share the
+/// result); get() blocks until the worker completes the request and moves
+/// the reply out (one-shot, like std::future).
+class ServeFuture {
+ public:
+  ServeFuture() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const;
+
+  /// Block until completion; true if the reply arrived within `timeout`.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// Block until completion and move the reply out (valid() becomes false).
+  ServeReply get();
+
+ private:
+  friend class Server;
+  explicit ServeFuture(std::shared_ptr<detail::ResultState> state) : state_(std::move(state)) {}
+  std::shared_ptr<detail::ResultState> state_;
+};
+
+using ServeCallback = std::function<void(ServeReply)>;
+
+/// Point-in-time view of the server's SLO metrics.
+struct ServerStats {
+  int64_t submitted = 0;   ///< admitted into the queue
+  int64_t completed = 0;   ///< answered with kOk
+  int64_t shed = 0;        ///< dropped at dispatch: deadline expired
+  int64_t rejected = 0;    ///< refused at the door: try_submit on a full queue
+  int64_t failed = 0;      ///< answered with kError (upscaler threw)
+
+  int64_t batches = 0;            ///< dispatches issued
+  int64_t batched_images = 0;     ///< images across all dispatches
+  double mean_batch_size = 0.0;
+  int64_t max_batch_observed = 0;
+  /// batch_size_counts[k] = dispatches that coalesced exactly k images
+  /// (index 0 unused).
+  std::vector<int64_t> batch_size_counts;
+
+  int64_t queue_depth = 0;       ///< at snapshot time
+  int64_t peak_queue_depth = 0;  ///< high-water mark since construction
+
+  /// Submit-to-completion latency of kOk requests.
+  LatencyHistogram::Snapshot latency;
+};
+
+class Server {
+ public:
+  struct Options {
+    /// Dispatch threads. Each checks a session out of the upscaler's pool
+    /// per batch, so peak session memory scales with this.
+    int workers = 1;
+    /// Max images coalesced into one dispatch (>= 1; 1 disables batching).
+    int64_t max_batch = 8;
+    /// Bounded queue capacity — the backpressure/shedding knob.
+    int64_t queue_capacity = 128;
+    /// How long a worker holding a short batch waits for more same-shape
+    /// arrivals. 0 = dispatch whatever is already queued (no added latency).
+    std::chrono::microseconds batch_linger{0};
+    /// Deadline applied by submit()/submit_async() when the caller passes
+    /// none. 0 = no deadline (never shed).
+    std::chrono::milliseconds default_deadline{0};
+  };
+
+  /// The upscaler is shared state: its plan cache / session pool / precision
+  /// knob serve this Server and any direct upscale() callers alike.
+  Server(std::shared_ptr<models::Upscaler> upscaler, const Options& options);
+  explicit Server(std::shared_ptr<models::Upscaler> upscaler)
+      : Server(std::move(upscaler), Options{}) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue a single image ([C, H, W] or [1, C, H, W]), blocking while the
+  /// queue is full (backpressure). deadline 0 = Options::default_deadline.
+  /// After stop() the future completes immediately with kError.
+  ServeFuture submit(Tensor image, std::chrono::milliseconds deadline = {});
+
+  /// Callback flavour of submit(): same admission, completion delivered on a
+  /// worker thread instead of through a future.
+  void submit_async(Tensor image, ServeCallback callback,
+                    std::chrono::milliseconds deadline = {});
+
+  /// Non-blocking admission: false (request dropped, rejection counted) when
+  /// the queue is full or the server is stopped.
+  bool try_submit(Tensor image, ServeCallback callback,
+                  std::chrono::milliseconds deadline = {});
+
+  /// Precompile plans and prefill session pools for every batch size
+  /// (1..max_batch) of the given single-image [C, H, W] shape, so no request
+  /// ever pays the first-dispatch compile spike. No-op for upscalers without
+  /// compiled inference.
+  void warmup(const Shape& single_image_chw);
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Stop admitting, drain every queued request, join the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Request;
+
+  void worker_loop();
+  void dispatch(std::vector<Request>& batch, Tensor& gather_staging);
+  static void complete(Request& request, ServeReply reply);
+
+  std::shared_ptr<models::Upscaler> upscaler_;
+  Options options_;
+
+  std::unique_ptr<BoundedQueue<Request>> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag stop_once_;
+
+  // SLO counters (relaxed atomics: monotonic counts, read via stats()).
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batched_images_{0};
+  std::atomic<int64_t> max_batch_observed_{0};
+  std::vector<std::atomic<int64_t>> batch_size_counts_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace sesr::serve

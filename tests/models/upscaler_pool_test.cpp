@@ -1,0 +1,209 @@
+// Session-pool robustness and warmup: the serving path must never leak
+// sessions — not under concurrency, not under injected kernel faults, not
+// under SESR_SESSION_CAP — and after warmup() it must never compile a plan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/models.h"
+#include "nn/nn.h"
+#include "runtime/runtime.h"
+
+namespace sesr::models {
+namespace {
+
+/// A compilable shape-preserving layer whose serving kernel throws on
+/// demand: every Nth infer_into call fails, exercising the checkout/return
+/// unwind paths the way a real kernel fault (bad_alloc, cancelled
+/// workspace) would. Compiles through Module's default path: one opaque
+/// layer step executed via infer_into.
+class FaultingAffine final : public nn::Module {
+ public:
+  Tensor forward(const Tensor& input) override {
+    Tensor out = input;
+    out.mul_scalar(0.5f).add_scalar(0.25f);
+    return out;
+  }
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("FaultingAffine: inference-only");
+  }
+  [[nodiscard]] std::string name() const override { return "faulting_affine"; }
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>*) const override {
+    if (input.ndim() != 4) throw std::invalid_argument("faulting_affine: NCHW only");
+    return input;
+  }
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  void infer_into(const Tensor& input, Tensor& output, Workspace&) const override {
+    if (fault_period > 0 && calls.fetch_add(1) % fault_period == fault_period - 1)
+      throw std::runtime_error("injected kernel fault");
+    std::copy(input.data(), input.data() + input.numel(), output.data());
+    output.mul_scalar(0.5f).add_scalar(0.25f);
+  }
+
+  mutable std::atomic<int64_t> calls{0};
+  int64_t fault_period = 0;  ///< 0 = never fault
+};
+
+/// Scoped environment override (the cap is read per session return).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(UpscalerPoolTest, ConcurrentFaultingServingNeverLeaksSessions) {
+  ScopedEnv cap("SESR_SESSION_CAP", "2");
+  auto layer = std::make_shared<FaultingAffine>();
+  layer->fault_period = 7;  // roughly one in seven runs throws
+  NetworkUpscaler upscaler("faulting", layer);
+  ASSERT_TRUE(layer->supports_compiled_inference());
+
+  const Shape shape{1, 3, 8, 8};
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 60;
+  std::atomic<int64_t> faults{0};
+  std::atomic<int64_t> served{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng thread_rng(static_cast<uint64_t>(100 + t));
+      const Tensor image = Tensor::rand(shape, thread_rng);
+      for (int i = 0; i < kIterations; ++i) {
+        try {
+          const Tensor out = upscaler.upscale(image);
+          ASSERT_TRUE(out.shape() == shape);  // shape-preserving layer
+          served.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          faults.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_GT(faults.load(), 0) << "fault injection never fired";
+  EXPECT_GT(served.load(), 0);
+  // Quiescent: every checkout was returned (faulted ones as nullptr) ...
+  EXPECT_EQ(upscaler.live_session_count(shape), 0);
+  // ... and idle retention respects SESR_SESSION_CAP even though eight
+  // threads were once in flight.
+  EXPECT_LE(upscaler.idle_session_count(shape), 2);
+}
+
+TEST(UpscalerPoolTest, FailedPlanCompilationUnwindsTheCheckout) {
+  auto layer = std::make_shared<FaultingAffine>();
+  NetworkUpscaler upscaler("faulting", layer);
+
+  // A rank-3 input cannot trace through the NCHW-only layer: compilation
+  // throws inside the checkout. The failed checkout must not strand a live
+  // count (which would permanently inflate the pool's retention high-water).
+  const Shape bad{5, 8, 8};
+  Rng in_rng(14);
+  const Tensor image = Tensor::rand(bad, in_rng);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_THROW(static_cast<void>(upscaler.upscale(image)), std::invalid_argument);
+  EXPECT_EQ(upscaler.live_session_count(bad), 0);
+  EXPECT_EQ(upscaler.idle_session_count(bad), 0);
+}
+
+TEST(UpscalerPoolTest, WarmupPrecompilesAndPrefills) {
+  auto network = std::make_shared<Sesr>(SesrConfig::m2(), Sesr::Form::kInference);
+  Rng rng(17);
+  network->init_weights(rng);
+  NetworkUpscaler upscaler("SESR-M2", network);
+
+  const Shape shape{2, 3, 8, 8};
+  upscaler.warmup(shape, 3);
+  EXPECT_EQ(upscaler.plan_compile_count(), 1);
+  EXPECT_EQ(upscaler.idle_session_count(shape), 3);
+  EXPECT_EQ(upscaler.live_session_count(shape), 0);
+  upscaler.warmup(shape, 3);  // idempotent: already warm
+  EXPECT_EQ(upscaler.plan_compile_count(), 1);
+  EXPECT_EQ(upscaler.idle_session_count(shape), 3);
+
+  // The serving path after warmup: concurrent upscales compile nothing.
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng thread_rng(static_cast<uint64_t>(40 + t));
+      const Tensor image = Tensor::rand(shape, thread_rng);
+      for (int i = 0; i < 10; ++i) {
+        const Tensor out = upscaler.upscale(image);
+        ASSERT_TRUE(out.shape() == Shape({2, 3, 16, 16}));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(upscaler.plan_compile_count(), 1);
+  EXPECT_EQ(upscaler.live_session_count(shape), 0);
+  EXPECT_LE(upscaler.idle_session_count(shape), 3);
+}
+
+TEST(UpscalerPoolTest, WarmupRespectsSessionCap) {
+  ScopedEnv cap("SESR_SESSION_CAP", "1");
+  auto network = std::make_shared<Sesr>(SesrConfig::m2(), Sesr::Form::kInference);
+  Rng rng(19);
+  network->init_weights(rng);
+  NetworkUpscaler upscaler("SESR-M2", network);
+  const Shape shape{1, 3, 8, 8};
+  upscaler.warmup(shape, 5);
+  EXPECT_EQ(upscaler.plan_compile_count(), 1);  // the plan still precompiles
+  EXPECT_LE(upscaler.idle_session_count(shape), 1);
+}
+
+TEST(UpscalerPoolTest, WarmupSurvivesPrecisionSwitch) {
+  auto network = std::make_shared<Sesr>(SesrConfig::m2(), Sesr::Form::kInference);
+  Rng rng(23);
+  network->init_weights(rng);
+  NetworkUpscaler upscaler("SESR-M2", network);
+  const Shape shape{1, 3, 8, 8};
+
+  std::vector<Tensor> calibration;
+  Rng cal_rng(24);
+  for (int i = 0; i < 2; ++i) calibration.push_back(Tensor::rand(shape, cal_rng));
+  upscaler.calibrate_int8(calibration);
+
+  upscaler.warmup(shape, 2);  // warms int8 plans now
+  const int64_t compiles_after_warmup = upscaler.plan_compile_count();
+  EXPECT_EQ(upscaler.idle_session_count(shape), 2);
+  Rng in_rng(25);
+  const Tensor image = Tensor::rand(shape, in_rng);
+  static_cast<void>(upscaler.upscale(image));
+  EXPECT_EQ(upscaler.plan_compile_count(), compiles_after_warmup);
+}
+
+TEST(UpscalerPoolTest, BatchDispatchMatchesPerImageUpscale) {
+  auto network = std::make_shared<Sesr>(SesrConfig::m2(), Sesr::Form::kInference);
+  Rng rng(29);
+  network->init_weights(rng);
+  NetworkUpscaler upscaler("SESR-M2", network);
+
+  constexpr int64_t kBatch = 5;
+  Rng in_rng(30);
+  const Tensor batch = Tensor::rand({kBatch, 3, 6, 6}, in_rng);
+  std::vector<Tensor> per_image(kBatch);
+  upscaler.upscale_batch(batch, per_image);
+  for (int64_t i = 0; i < kBatch; ++i) {
+    // Row i of the batch, upscaled alone through the blocking path.
+    Tensor single({1, 3, 6, 6});
+    std::copy(batch.data() + i * single.numel(), batch.data() + (i + 1) * single.numel(),
+              single.data());
+    const Tensor reference = upscaler.upscale(single);
+    ASSERT_TRUE(per_image[static_cast<size_t>(i)].shape() == reference.shape()) << i;
+    EXPECT_EQ(per_image[static_cast<size_t>(i)].max_abs_diff(reference), 0.0f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sesr::models

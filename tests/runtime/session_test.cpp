@@ -186,6 +186,41 @@ TEST(SessionTest, RunRejectsWrongInputShape) {
   EXPECT_THROW(static_cast<void>(session.run(Tensor({1, 3, 9, 9}))), std::invalid_argument);
 }
 
+TEST(SessionTest, RunScatterMatchesRunPerSample) {
+  models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
+  Rng rng(53);
+  sesr.init_weights(rng);
+  const Shape in_shape{3, 3, 8, 8};
+  const Tensor x = seeded_input(in_shape, 59);
+  const auto plan = Program::compile(sesr, in_shape);
+  Session session(plan);
+  const Tensor batched = session.run(x);
+
+  std::vector<Tensor> per_sample(3);
+  session.run_scatter(x, per_sample);
+  const Shape sample{1, batched.dim(1), batched.dim(2), batched.dim(3)};
+  const int64_t stride = sample.numel();
+  for (int64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(per_sample[static_cast<size_t>(i)].shape() == sample) << i;
+    const Tensor row =
+        Tensor::view(sample, const_cast<Tensor&>(batched).data() + i * stride);
+    EXPECT_EQ(per_sample[static_cast<size_t>(i)].max_abs_diff(row), 0.0f) << i;
+  }
+
+  // Second scatter reuses the staging buffer; results must be unchanged and
+  // the outputs must be owned copies, not aliases into the staging tensor.
+  std::vector<Tensor> again(3);
+  session.run_scatter(x, again);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NE(again[static_cast<size_t>(i)].data(), per_sample[static_cast<size_t>(i)].data());
+    EXPECT_EQ(again[static_cast<size_t>(i)].max_abs_diff(per_sample[static_cast<size_t>(i)]),
+              0.0f);
+  }
+
+  std::vector<Tensor> wrong(2);
+  EXPECT_THROW(session.run_scatter(x, wrong), std::invalid_argument);
+}
+
 TEST(SessionTest, ProgramReportsActivationFootprint) {
   models::Sesr sesr(models::SesrConfig::m2(), models::Sesr::Form::kInference);
   const auto plan = Program::compile(sesr, {1, 3, 16, 16});

@@ -1,0 +1,167 @@
+// The serving queue's contract: bounded FIFO admission under concurrency,
+// backpressure when full, shutdown-with-drain, and micro-batch popping that
+// coalesces only compatible contiguous prefixes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+
+namespace sesr::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueueTest, FifoOrderSingleThread) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(int{i}));
+  EXPECT_EQ(queue.size(), 5);
+  for (int i = 0; i < 5; ++i) {
+    const std::optional<int> item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_EQ(queue.peak_size(), 2);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // full: must block until the pop below
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());  // still blocked on backpressure
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEndsStream) {
+  BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // producers turned away immediately
+  EXPECT_EQ(queue.pop().value(), 1);  // consumers drain what was admitted
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // then end-of-stream
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.push(2)); });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop().has_value()); });
+  std::this_thread::sleep_for(10ms);
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PopBatchCoalescesCompatiblePrefix) {
+  BoundedQueue<int> queue(16);
+  for (const int v : {2, 4, 6, 7, 8}) ASSERT_TRUE(queue.push(int{v}));
+  const auto same_parity = [](int candidate, int first) {
+    return candidate % 2 == first % 2;
+  };
+  std::vector<int> batch;
+  // Takes 2, 4, 6; stops at 7 (incompatible head — never overtaken).
+  ASSERT_TRUE(queue.pop_batch(batch, 8, same_parity));
+  EXPECT_EQ(batch, (std::vector<int>{2, 4, 6}));
+  batch.clear();
+  ASSERT_TRUE(queue.pop_batch(batch, 8, same_parity));
+  EXPECT_EQ(batch, (std::vector<int>{7}));
+  batch.clear();
+  ASSERT_TRUE(queue.pop_batch(batch, 8, same_parity));
+  EXPECT_EQ(batch, (std::vector<int>{8}));
+}
+
+TEST(BoundedQueueTest, PopBatchHonorsMax) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(queue.push(int{i}));
+  std::vector<int> batch;
+  ASSERT_TRUE(queue.pop_batch(batch, 4, [](int, int) { return true; }));
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(queue.size(), 2);
+}
+
+TEST(BoundedQueueTest, PopBatchLingersForLateArrivals) {
+  BoundedQueue<int> queue(16);
+  ASSERT_TRUE(queue.push(1));
+  std::thread late([&] {
+    std::this_thread::sleep_for(15ms);
+    EXPECT_TRUE(queue.push(2));
+  });
+  std::vector<int> batch;
+  // The 500 ms linger budget comfortably covers the 15 ms late arrival.
+  ASSERT_TRUE(queue.pop_batch(batch, 2, [](int, int) { return true; }, 500ms));
+  late.join();
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueueTest, PopBatchWithoutLingerTakesOnlyWhatIsQueued) {
+  BoundedQueue<int> queue(16);
+  ASSERT_TRUE(queue.push(1));
+  std::vector<int> batch;
+  ASSERT_TRUE(queue.pop_batch(batch, 4, [](int, int) { return true; }));
+  EXPECT_EQ(batch, (std::vector<int>{1}));
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(16);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> batch;
+      while (queue.pop_batch(batch, 8, [](int, int) { return true; })) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        for (const int v : batch) EXPECT_TRUE(seen.insert(v).second) << v;
+        batch.clear();
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  queue.close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  EXPECT_LE(queue.peak_size(), queue.capacity());
+}
+
+TEST(BoundedQueueTest, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+  EXPECT_THROW(BoundedQueue<int>(-3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::serve

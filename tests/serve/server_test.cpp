@@ -1,0 +1,275 @@
+// The serving engine's contract: batched replies bit-identical to the
+// blocking upscale() path, admission control (backpressure + rejection),
+// deadline shedding, drain-on-stop, fault isolation, and warmup removing
+// plan compilation from the serving path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/models.h"
+#include "serve/serve.h"
+
+namespace sesr::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<models::NetworkUpscaler> make_upscaler(uint64_t seed = 5) {
+  auto network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                models::Sesr::Form::kInference);
+  Rng rng(seed);
+  network->init_weights(rng);
+  return std::make_shared<models::NetworkUpscaler>("SESR-M2", std::move(network));
+}
+
+Tensor tile(int64_t size, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand({1, 3, size, size}, rng);
+}
+
+/// Delegates to nearest-neighbour interpolation, throwing instead while
+/// armed — the fault-injection seam for worker error handling.
+class FlakyUpscaler final : public models::Upscaler {
+ public:
+  Tensor upscale(const Tensor& low_res) override {
+    if (armed.load()) throw std::runtime_error("injected upscaler fault");
+    if (armed_non_std.load()) throw 42;  // worst case: not a std::exception
+    return delegate_.upscale(low_res);
+  }
+  [[nodiscard]] std::string label() const override { return "Flaky"; }
+  [[nodiscard]] int64_t num_params() const override { return 0; }
+  [[nodiscard]] int64_t macs_for(const Shape&) const override { return 0; }
+
+  std::atomic<bool> armed{false};
+  std::atomic<bool> armed_non_std{false};
+
+ private:
+  models::InterpolationUpscaler delegate_{preprocess::InterpolationKind::kNearest};
+};
+
+TEST(ServerTest, BatchedRepliesBitIdenticalToUpscale) {
+  auto upscaler = make_upscaler();
+  constexpr int kRequests = 10;
+  std::vector<Tensor> tiles;
+  std::vector<Tensor> references;
+  for (int i = 0; i < kRequests; ++i) {
+    tiles.push_back(tile(6, 100 + static_cast<uint64_t>(i)));
+    references.push_back(upscaler->upscale(tiles.back()));
+  }
+
+  Server::Options options;
+  options.workers = 1;
+  options.max_batch = 4;
+  options.batch_linger = 5ms;  // hold short batches so coalescing happens
+  Server server(upscaler, options);
+  server.warmup({3, 6, 6});
+
+  std::vector<ServeFuture> futures;
+  for (const Tensor& image : tiles) futures.push_back(server.submit(image));
+  for (int i = 0; i < kRequests; ++i) {
+    ServeReply reply = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    ASSERT_TRUE(reply.output.shape() == references[static_cast<size_t>(i)].shape());
+    EXPECT_EQ(reply.output.max_abs_diff(references[static_cast<size_t>(i)]), 0.0f) << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_GE(stats.max_batch_observed, 2) << "micro-batcher never coalesced";
+}
+
+TEST(ServerTest, AcceptsRankThreeAndRankFourImages) {
+  auto upscaler = make_upscaler();
+  Server server(upscaler);
+  const Tensor image = tile(6, 7);
+  const Tensor reference = upscaler->upscale(image);
+
+  ServeFuture rank4 = server.submit(image);
+  Rng rng(7);
+  ServeFuture rank3 = server.submit(Tensor::rand({3, 6, 6}, rng));
+  ServeReply reply4 = rank4.get();
+  ServeReply reply3 = rank3.get();
+  ASSERT_TRUE(reply4.ok());
+  ASSERT_TRUE(reply3.ok());
+  // Same seed, same pixels: both ranks serve the same image.
+  EXPECT_EQ(reply4.output.max_abs_diff(reference), 0.0f);
+  EXPECT_EQ(reply3.output.max_abs_diff(reference), 0.0f);
+}
+
+TEST(ServerTest, RejectsNonImageShapes) {
+  Server server(make_upscaler());
+  Rng rng(3);
+  EXPECT_THROW(static_cast<void>(server.submit(Tensor::rand({6, 6}, rng))),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(server.submit(Tensor::rand({2, 3, 6, 6}, rng))),
+               std::invalid_argument);
+}
+
+TEST(ServerTest, CallbacksDeliverCompletions) {
+  Server server(make_upscaler());
+  constexpr int kRequests = 8;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kRequests; ++i)
+    server.submit_async(tile(6, static_cast<uint64_t>(i)), [&](ServeReply reply) {
+      if (reply.ok()) ok_count.fetch_add(1);
+    });
+  server.stop();  // drains every admitted request
+  EXPECT_EQ(ok_count.load(), kRequests);
+  EXPECT_EQ(server.stats().completed, kRequests);
+}
+
+TEST(ServerTest, DeadlineExpiredRequestsAreShed) {
+  auto upscaler = make_upscaler();
+  Server::Options options;
+  options.workers = 1;
+  Server server(upscaler, options);
+
+  // Occupy the single worker with a slow request (a 96x96 tile runs for
+  // many milliseconds on any host), so the dated requests behind it are
+  // guaranteed to expire in the queue.
+  ServeFuture slow = server.submit(tile(96, 1));
+  std::vector<ServeFuture> dated;
+  for (int i = 0; i < 3; ++i)
+    dated.push_back(server.submit(tile(6, 2), std::chrono::milliseconds{1}));
+  ServeFuture patient = server.submit(tile(6, 3));  // no deadline: must complete
+
+  EXPECT_TRUE(slow.get().ok());
+  for (ServeFuture& future : dated) {
+    const ServeReply reply = future.get();
+    EXPECT_EQ(reply.status, ServeStatus::kShed);
+    EXPECT_EQ(reply.output.numel(), 1);  // empty tensor, no stale pixels
+  }
+  EXPECT_TRUE(patient.get().ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 3);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(ServerTest, TrySubmitRejectsWhenQueueFull) {
+  auto upscaler = make_upscaler();
+  Server::Options options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  Server server(upscaler, options);
+
+  const auto ignore = [](ServeReply) {};
+  ServeFuture slow = server.submit(tile(96, 1));  // occupies the worker for ms
+  std::this_thread::sleep_for(2ms);               // let the worker claim it
+  // Fill the two queue slots, then overflow.
+  int admitted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 6; ++i)
+    (server.try_submit(tile(6, 2), ignore) ? admitted : rejected) += 1;
+  EXPECT_LE(admitted, 3);  // two slots + at most one freed by a racing pop
+  EXPECT_GE(rejected, 3);
+  EXPECT_TRUE(slow.get().ok());
+  server.stop();
+  EXPECT_EQ(server.stats().rejected, rejected);
+  EXPECT_EQ(server.stats().submitted, admitted + 1);
+}
+
+TEST(ServerTest, StopDrainsPendingAndFailsLateSubmissions) {
+  auto upscaler = make_upscaler();
+  Server::Options options;
+  options.workers = 2;
+  Server server(upscaler, options);
+  std::vector<ServeFuture> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.submit(tile(6, static_cast<uint64_t>(i))));
+  server.stop();
+  for (ServeFuture& future : futures) EXPECT_TRUE(future.get().ok());
+
+  ServeFuture late = server.submit(tile(6, 9));
+  const ServeReply reply = late.get();
+  EXPECT_EQ(reply.status, ServeStatus::kError);
+  EXPECT_EQ(reply.error, "server stopped");
+  bool callback_ran = false;
+  server.submit_async(tile(6, 9), [&](ServeReply r) {
+    callback_ran = true;
+    EXPECT_EQ(r.status, ServeStatus::kError);
+  });
+  EXPECT_TRUE(callback_ran);
+}
+
+TEST(ServerTest, UpscalerFaultBecomesErrorReplyAndServerSurvives) {
+  auto flaky = std::make_shared<FlakyUpscaler>();
+  Server server(flaky);
+
+  flaky->armed.store(true);
+  const ServeReply failed = server.submit(tile(6, 1)).get();
+  EXPECT_EQ(failed.status, ServeStatus::kError);
+  EXPECT_EQ(failed.error, "injected upscaler fault");
+
+  flaky->armed.store(false);
+  flaky->armed_non_std.store(true);
+  const ServeReply non_std = server.submit(tile(6, 3)).get();
+  EXPECT_EQ(non_std.status, ServeStatus::kError);
+  EXPECT_EQ(non_std.error, "upscaler threw a non-standard exception");
+
+  flaky->armed_non_std.store(false);
+  EXPECT_TRUE(server.submit(tile(6, 2)).get().ok());
+  EXPECT_EQ(server.stats().failed, 2);
+  EXPECT_EQ(server.stats().completed, 1);
+}
+
+TEST(ServerTest, WarmupTakesCompilationOffTheServingPath) {
+  auto upscaler = make_upscaler();
+  Server::Options options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.batch_linger = 2ms;
+  Server server(upscaler, options);
+
+  server.warmup({3, 6, 6});
+  // One plan per dispatchable batch size.
+  EXPECT_EQ(upscaler->plan_compile_count(), options.max_batch);
+  for (int64_t batch = 1; batch <= options.max_batch; ++batch)
+    EXPECT_GE(upscaler->idle_session_count({batch, 3, 6, 6}), 1) << batch;
+
+  std::vector<ServeFuture> futures;
+  for (int i = 0; i < 24; ++i) futures.push_back(server.submit(tile(6, static_cast<uint64_t>(i))));
+  for (ServeFuture& future : futures) EXPECT_TRUE(future.get().ok());
+  // Every dispatch the workers could have formed was precompiled: serving
+  // never compiled a plan.
+  EXPECT_EQ(upscaler->plan_compile_count(), options.max_batch);
+}
+
+TEST(ServerTest, StatsConserveRequests) {
+  auto upscaler = make_upscaler();
+  Server::Options options;
+  options.workers = 2;
+  options.max_batch = 3;
+  Server server(upscaler, options);
+  std::vector<ServeFuture> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(server.submit(tile(6, static_cast<uint64_t>(i))));
+  for (ServeFuture& future : futures) EXPECT_TRUE(future.get().ok());
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 10);
+  EXPECT_EQ(stats.completed + stats.shed + stats.failed, stats.submitted);
+  EXPECT_EQ(stats.batched_images, stats.completed);
+  EXPECT_GE(stats.batches, (stats.completed + options.max_batch - 1) / options.max_batch);
+  EXPECT_EQ(stats.latency.count, stats.completed);
+  EXPECT_GT(stats.latency.max_ms, 0.0);
+  EXPECT_LE(stats.max_batch_observed, options.max_batch);
+  int64_t dispatches = 0;
+  for (const int64_t count : stats.batch_size_counts) dispatches += count;
+  EXPECT_EQ(dispatches, stats.batches);
+  EXPECT_EQ(stats.queue_depth, 0);
+}
+
+TEST(ServerTest, RejectsInvalidOptions) {
+  EXPECT_THROW(Server(nullptr), std::invalid_argument);
+  Server::Options bad_workers;
+  bad_workers.workers = 0;
+  EXPECT_THROW(Server(make_upscaler(), bad_workers), std::invalid_argument);
+  Server::Options bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_THROW(Server(make_upscaler(), bad_batch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sesr::serve
