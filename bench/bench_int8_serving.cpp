@@ -61,8 +61,7 @@ int main() {
   // bench compares kernel arithmetic, not thread scaling.
   setenv("SESR_NUM_THREADS", "1", 1);
 
-  const char* fast_env = std::getenv("SESR_BENCH_FAST");
-  const bool fast = fast_env != nullptr && fast_env[0] == '1';
+  const bool fast = bench::fast_mode();
   const int64_t size = fast ? 32 : 64;
   const double seconds = fast ? 0.25 : 1.5;
 

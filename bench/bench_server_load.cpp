@@ -18,11 +18,17 @@
 //      around the measured capacity, every request under a deadline SLO.
 //      Records p50/p95/p99 latency, shed/rejected counts, queue depth and the
 //      batch-size distribution into BENCH_server_load.json.
+//   4. Hot-swap under load — a closed loop of submissions while the registry
+//      publishes fp32 <-> int8 siblings (RCU swap). Gates in every mode on
+//      zero dropped and zero failed requests across every swap; records the
+//      publish (build + warm + install) latency distribution.
 //
 // The kernel pool is pinned to SESR_NUM_THREADS=2 — the serving deployment
 // shape (a shared worker pool under the dispatch path); per-op pool fan-out
 // is exactly the per-dispatch overhead the micro-batcher amortizes, and
 // pinning keeps the measurement comparable across hosts.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -157,6 +163,80 @@ LoadResult open_loop(const std::shared_ptr<models::NetworkUpscaler>& upscaler, d
   return result;
 }
 
+struct SwapResult {
+  int64_t swaps = 0;
+  double publish_p50_ms = 0.0;
+  double publish_mean_ms = 0.0;
+  double publish_max_ms = 0.0;
+  int64_t submitted = 0;
+  int64_t replies = 0;
+  int64_t failed = 0;
+  int64_t final_version = 0;
+};
+
+/// Phase 4 helper: closed-loop submissions against a registry-backed server
+/// while the control plane republishes the model `swaps` times, alternating
+/// precision. Every submission must come back (zero drops) and none may fail
+/// — the RCU swap's contract — while each publish's latency is recorded.
+SwapResult hot_swap_under_load(const std::shared_ptr<models::Sesr>& network,
+                               const std::shared_ptr<const quant::QuantizedModel>& artifact,
+                               int64_t swaps) {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->register_model("m5", "SESR-M5", network);
+  serve::Server server(registry, server_options(kMaxBatch));
+  server.warmup("m5", {3, kTile, kTile});
+
+  SwapResult result;
+  std::atomic<int64_t> replies{0};
+  std::atomic<int64_t> failed{0};
+  std::atomic<int64_t> submitted{0};
+  std::atomic<bool> stop_load{false};
+  std::thread producer([&] {
+    Rng rng(55);
+    const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, rng);
+    const auto count_reply = [&](serve::ServeReply reply) {
+      replies.fetch_add(1, std::memory_order_relaxed);
+      if (!reply.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+    };
+    while (!stop_load.load(std::memory_order_relaxed)) {
+      server.submit_async(tile, serve::Server::SubmitOptions{.model = "m5"}, count_reply);
+      submitted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Warm the swapped-in sibling for the single-image and full-batch shapes
+  // before install, so the swap itself costs requests nothing; intermediate
+  // batch sizes compile on first dispatch like any cold shape.
+  const std::vector<Shape> warm_shapes = {{1, 3, kTile, kTile}, {kMaxBatch, 3, kTile, kTile}};
+  std::vector<double> publish_ms;
+  publish_ms.reserve(static_cast<size_t>(swaps));
+  for (int64_t s = 0; s < swaps; ++s) {
+    const Clock::time_point begin = Clock::now();
+    if (s % 2 == 0)
+      result.final_version = registry->publish_int8("m5", artifact, warm_shapes);
+    else
+      result.final_version = registry->publish_fp32("m5", warm_shapes);
+    publish_ms.push_back(std::chrono::duration<double, std::milli>(Clock::now() - begin).count());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // let load flow between swaps
+  }
+
+  stop_load.store(true, std::memory_order_relaxed);
+  producer.join();
+  server.stop();  // drains every admitted request
+
+  result.swaps = swaps;
+  std::sort(publish_ms.begin(), publish_ms.end());
+  result.publish_p50_ms = publish_ms[publish_ms.size() / 2];
+  result.publish_max_ms = publish_ms.back();
+  double sum = 0.0;
+  for (const double ms : publish_ms) sum += ms;
+  result.publish_mean_ms = sum / static_cast<double>(publish_ms.size());
+  result.submitted = submitted.load();
+  result.replies = replies.load();
+  result.failed = failed.load();
+  return result;
+}
+
 void record_load(bench::BenchJson& json, const std::string& prefix, const LoadResult& r) {
   json.set(prefix + ".offered_per_sec", r.offered_per_sec);
   json.set(prefix + ".submitted", static_cast<double>(r.stats.submitted));
@@ -176,8 +256,7 @@ int main() {
   // Pin the kernel pool to the serving shape *before* any parallel_for call.
   setenv("SESR_NUM_THREADS", "2", 1);
 
-  const char* fast_env = std::getenv("SESR_BENCH_FAST");
-  const bool fast = fast_env != nullptr && fast_env[0] == '1';
+  const bool fast = bench::fast_mode();
   const int64_t gate_total = fast ? 600 : 12000;
   const double load_seconds = fast ? 0.4 : 2.0;
 
@@ -255,11 +334,48 @@ int main() {
                 static_cast<long long>(r.stats.peak_queue_depth));
     record_load(json, "load_" + bench::fixed(fraction * 100, 0), r);
   }
+
+  // ---- phase 4: registry hot-swap under load ------------------------------
+  const int64_t swap_count = fast ? 10 : 100;
+  std::printf("\n[4] hot-swap under load: %lld fp32 <-> int8 publishes against a live server\n",
+              static_cast<long long>(swap_count));
+  std::shared_ptr<const quant::QuantizedModel> artifact;
+  {
+    std::vector<Tensor> calibration;
+    Rng cal_rng(9);
+    for (int i = 0; i < 4; ++i)
+      calibration.push_back(Tensor::rand({1, 3, kTile, kTile}, cal_rng));
+    artifact = std::make_shared<const quant::QuantizedModel>(
+        quant::QuantizedModel::calibrate(*m5, {1, 3, kTile, kTile}, calibration));
+  }
+  const SwapResult swap = hot_swap_under_load(m5, artifact, swap_count);
+  const int64_t dropped = swap.submitted - swap.replies;
+  const bool swap_ok = dropped == 0 && swap.failed == 0;
+  std::printf("  %lld swaps, publish latency p50 %.2f ms  mean %.2f ms  max %.2f ms\n",
+              static_cast<long long>(swap.swaps), swap.publish_p50_ms, swap.publish_mean_ms,
+              swap.publish_max_ms);
+  std::printf("  %lld submitted, %lld replies, %lld dropped, %lld failed [%s]\n",
+              static_cast<long long>(swap.submitted), static_cast<long long>(swap.replies),
+              static_cast<long long>(dropped), static_cast<long long>(swap.failed),
+              swap_ok ? "PASS" : "FAIL");
+  json.set("swap.count", static_cast<double>(swap.swaps));
+  json.set("swap.publish_p50_ms", swap.publish_p50_ms);
+  json.set("swap.publish_mean_ms", swap.publish_mean_ms);
+  json.set("swap.publish_max_ms", swap.publish_max_ms);
+  json.set("swap.submitted", static_cast<double>(swap.submitted));
+  json.set("swap.dropped", static_cast<double>(dropped));
+  json.set("swap.failed", static_cast<double>(swap.failed));
+  json.set("gate.swap_zero_drop", swap_ok ? 1.0 : 0.0);
   json.write();
 
   std::printf("\n-> batched replies bit-identical to upscale(): fp32 [%s], int8 [%s]\n",
               fp32_ok ? "PASS" : "FAIL", int8_ok ? "PASS" : "FAIL");
+  std::printf("-> zero requests dropped across %lld hot-swaps: [%s]\n",
+              static_cast<long long>(swap.swaps), swap_ok ? "PASS" : "FAIL");
   if (!fp32_ok || !int8_ok) return 1;
+  // The zero-drop swap gate is a correctness property, not a timing one: it
+  // holds in smoke mode too.
+  if (!swap_ok) return 1;
   // Smoke mode gates on correctness only: sub-second windows on shared CI
   // runners are too noisy for a hard throughput ratio.
   if (fast) return 0;

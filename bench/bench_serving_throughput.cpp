@@ -68,8 +68,7 @@ double measure_imgs_per_sec(int n_threads, double seconds,
 }  // namespace
 
 int main() {
-  const char* fast_env = std::getenv("SESR_BENCH_FAST");
-  const bool fast = fast_env != nullptr && fast_env[0] == '1';
+  const bool fast = bench::fast_mode();
   const int64_t size = fast ? 32 : 64;
   const double seconds = fast ? 0.3 : 1.5;
 

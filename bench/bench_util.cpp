@@ -9,12 +9,10 @@
 #include <stdexcept>
 
 namespace sesr::bench {
-namespace {
 
-bool fast_mode() {
-  const char* env = std::getenv("SESR_BENCH_FAST");
-  return env != nullptr && env[0] == '1';
-}
+bool fast_mode() { return core::config_bool("SESR_BENCH_FAST"); }
+
+namespace {
 
 // Cache keys encode everything that affects the trained weights, so stale
 // checkpoints can never be loaded into a differently-configured run.
@@ -257,9 +255,8 @@ void BenchJson::set(const std::string& metric, double value) {
 }
 
 std::string BenchJson::write() const {
-  const char* dir = std::getenv("SESR_BENCH_JSON_DIR");
   const std::string path =
-      std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+      core::config_string("SESR_BENCH_JSON_DIR") + "/BENCH_" + name_ + ".json";
   std::ofstream os(path);
   if (!os) throw std::runtime_error("BenchJson::write: cannot open " + path);
   os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {\n";

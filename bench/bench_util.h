@@ -44,6 +44,10 @@ struct BenchConfig {
   static BenchConfig from_env();
 };
 
+/// SESR_BENCH_FAST through the typed config layer: true = smoke-scale run
+/// (benches record throughput but only gate correctness).
+[[nodiscard]] bool fast_mode();
+
 /// Classifier trained on ShapesTex (checkpoint-cached). `label` must be one
 /// of the classifier_zoo labels.
 std::shared_ptr<models::Classifier> trained_classifier(const std::string& label,

@@ -1,16 +1,13 @@
 #include "core/checkpoint.h"
 
-#include <cstdlib>
 #include <filesystem>
 
+#include "core/config.h"
 #include "tensor/serialize.h"
 
 namespace sesr::core {
 
-std::string cache_dir() {
-  if (const char* env = std::getenv("SESR_CACHE_DIR")) return env;
-  return "sesr_cache";
-}
+std::string cache_dir() { return config_string("SESR_CACHE_DIR"); }
 
 namespace {
 

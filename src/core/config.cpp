@@ -1,0 +1,279 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace sesr::core {
+
+const char* config_type_name(ConfigType type) {
+  switch (type) {
+    case ConfigType::kInt64: return "int";
+    case ConfigType::kDouble: return "float";
+    case ConfigType::kBool: return "bool";
+    case ConfigType::kString: return "string";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int64_t kUnlimited = std::numeric_limits<int64_t>::max();
+
+ConfigSpec int_spec(std::string name, std::optional<int64_t> default_int, int64_t min_int,
+                    int64_t max_int, std::string default_text, std::string description) {
+  ConfigSpec spec;
+  spec.name = std::move(name);
+  spec.type = ConfigType::kInt64;
+  spec.default_int = default_int;
+  spec.min_int = min_int;
+  spec.max_int = max_int;
+  spec.default_text = std::move(default_text);
+  spec.description = std::move(description);
+  return spec;
+}
+
+ConfigSpec double_spec(std::string name, double default_double, double min_double,
+                       double max_double, std::string default_text, std::string description) {
+  ConfigSpec spec;
+  spec.name = std::move(name);
+  spec.type = ConfigType::kDouble;
+  spec.default_double = default_double;
+  spec.min_double = min_double;
+  spec.max_double = max_double;
+  spec.default_text = std::move(default_text);
+  spec.description = std::move(description);
+  return spec;
+}
+
+ConfigSpec bool_spec(std::string name, bool default_bool, std::string description) {
+  ConfigSpec spec;
+  spec.name = std::move(name);
+  spec.type = ConfigType::kBool;
+  spec.default_bool = default_bool;
+  spec.default_text = default_bool ? "true" : "false";
+  spec.description = std::move(description);
+  return spec;
+}
+
+ConfigSpec string_spec(std::string name, std::string default_string, std::string default_text,
+                       std::string description) {
+  ConfigSpec spec;
+  spec.name = std::move(name);
+  spec.type = ConfigType::kString;
+  spec.default_string = std::move(default_string);
+  spec.default_text = std::move(default_text);
+  spec.description = std::move(description);
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<ConfigSpec>& config_specs() {
+  static const std::vector<ConfigSpec> specs = {
+      int_spec("SESR_NUM_THREADS", std::nullopt, 1, 4096, "hardware concurrency",
+               "Worker threads for `parallel_for` (conv/GEMM/pipeline loops). Workers live "
+               "in a lazily-started persistent pool; callers help execute their own loops, "
+               "so concurrent serving threads share the pool without deadlock. Read once, "
+               "at pool start."),
+      int_spec("SESR_SESSION_CAP", kUnlimited, 0, kUnlimited, "unlimited",
+               "Hard cap on idle `runtime::Session`s retained per input shape by "
+               "`NetworkUpscaler`'s pool (sessions own full activation arenas). `0` "
+               "disables retention entirely (memory-constrained deployments); unset, "
+               "retention is bounded by the observed serving parallelism. Re-read per "
+               "session return."),
+      string_spec("SESR_CACHE_DIR", "sesr_cache", "`./sesr_cache`",
+                  "Where benches/examples cache trained weights. Delete it to force "
+                  "retraining."),
+      bool_spec("SESR_BENCH_FAST", false,
+                "Smoke-scale bench runs: smaller training sets and evaluation pools, "
+                "throughput gates recorded but not enforced. Qualitative shapes still "
+                "hold; absolute numbers shift."),
+      string_spec("SESR_BENCH_JSON_DIR", ".", "working directory",
+                  "Where benches write their machine-readable `BENCH_<name>.json` "
+                  "metrics."),
+      double_spec("SESR_SOAK_SECONDS", 1.5, 0.05, 86400.0, "1.5",
+                  "Wall-clock length of the fault-injection soak test's load phase "
+                  "(`ctest -L soak`). PR CI runs the smoke default; the nightly job "
+                  "scales it past two minutes."),
+      int_spec("SESR_SOAK_SEED", 20260809, 0, kUnlimited, "20260809",
+               "Seed for the soak test's load generators, fault schedule, and swap "
+               "cadence — one seed reproduces one soak run."),
+  };
+  return specs;
+}
+
+const ConfigSpec& config_spec(std::string_view name) {
+  for (const ConfigSpec& spec : config_specs())
+    if (spec.name == name) return spec;
+  throw std::invalid_argument("config_spec: unregistered knob " + std::string(name));
+}
+
+namespace {
+
+/// Binary suffix multiplier at `text[pos]`; advances `pos` past the suffix
+/// (and an optional trailing 'B'). 1 when there is no suffix.
+int64_t suffix_multiplier(std::string_view text, size_t& pos) {
+  if (pos >= text.size()) return 1;
+  int64_t multiplier = 1;
+  switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+    case 'K': multiplier = int64_t{1} << 10; break;
+    case 'M': multiplier = int64_t{1} << 20; break;
+    case 'G': multiplier = int64_t{1} << 30; break;
+    default: return 1;
+  }
+  ++pos;
+  if (pos < text.size() && std::toupper(static_cast<unsigned char>(text[pos])) == 'B') ++pos;
+  return multiplier;
+}
+
+std::string_view trimmed(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+}  // namespace
+
+std::optional<int64_t> parse_config_int64(std::string_view text) {
+  text = trimmed(text);
+  if (text.empty()) return std::nullopt;
+  const std::string owned(text);  // strtoll needs a terminator
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(owned.c_str(), &end, 10);
+  if (end == owned.c_str() || errno == ERANGE) return std::nullopt;
+  size_t pos = static_cast<size_t>(end - owned.c_str());
+  const int64_t multiplier = suffix_multiplier(owned, pos);
+  if (pos != owned.size()) return std::nullopt;  // trailing junk
+  // Overflow check on the suffix multiply ("99999999G" must reject, not wrap).
+  if (multiplier > 1) {
+    if (value > kUnlimited / multiplier || value < std::numeric_limits<int64_t>::min() / multiplier)
+      return std::nullopt;
+  }
+  return static_cast<int64_t>(value) * multiplier;
+}
+
+std::optional<double> parse_config_double(std::string_view text) {
+  text = trimmed(text);
+  if (text.empty()) return std::nullopt;
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || errno == ERANGE) return std::nullopt;
+  size_t pos = static_cast<size_t>(end - owned.c_str());
+  const double multiplier = static_cast<double>(suffix_multiplier(owned, pos));
+  if (pos != owned.size()) return std::nullopt;
+  const double scaled = value * multiplier;
+  if (!std::isfinite(scaled)) return std::nullopt;
+  return scaled;
+}
+
+std::optional<bool> parse_config_bool(std::string_view text) {
+  std::string lower(trimmed(text));
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "1" || lower == "true" || lower == "on" || lower == "yes") return true;
+  if (lower == "0" || lower == "false" || lower == "off" || lower == "no") return false;
+  return std::nullopt;
+}
+
+namespace {
+
+const char* env_value(const ConfigSpec& spec) { return std::getenv(spec.name.c_str()); }
+
+void require_type(const ConfigSpec& spec, ConfigType type) {
+  if (spec.type != type)
+    throw std::invalid_argument("config: " + spec.name + " is a " +
+                                config_type_name(spec.type) + " knob, read as " +
+                                config_type_name(type));
+}
+
+}  // namespace
+
+int64_t config_int64(std::string_view name, int64_t fallback) {
+  const ConfigSpec& spec = config_spec(name);
+  require_type(spec, ConfigType::kInt64);
+  if (const char* env = env_value(spec))
+    if (const std::optional<int64_t> parsed = parse_config_int64(env))
+      return std::clamp(*parsed, spec.min_int, spec.max_int);
+  return std::clamp(fallback, spec.min_int, spec.max_int);
+}
+
+int64_t config_int64(std::string_view name) {
+  const ConfigSpec& spec = config_spec(name);
+  require_type(spec, ConfigType::kInt64);
+  if (!spec.default_int.has_value())
+    throw std::invalid_argument("config: " + spec.name +
+                                " has a run-time default — pass a fallback");
+  return config_int64(name, *spec.default_int);
+}
+
+double config_double(std::string_view name) {
+  const ConfigSpec& spec = config_spec(name);
+  require_type(spec, ConfigType::kDouble);
+  if (const char* env = env_value(spec))
+    if (const std::optional<double> parsed = parse_config_double(env))
+      return std::clamp(*parsed, spec.min_double, spec.max_double);
+  return spec.default_double;
+}
+
+bool config_bool(std::string_view name) {
+  const ConfigSpec& spec = config_spec(name);
+  require_type(spec, ConfigType::kBool);
+  if (const char* env = env_value(spec))
+    if (const std::optional<bool> parsed = parse_config_bool(env)) return *parsed;
+  return spec.default_bool;
+}
+
+std::string config_string(std::string_view name) {
+  const ConfigSpec& spec = config_spec(name);
+  require_type(spec, ConfigType::kString);
+  if (const char* env = env_value(spec); env != nullptr && env[0] != '\0') return env;
+  return spec.default_string;
+}
+
+namespace {
+
+std::string range_text(const ConfigSpec& spec) {
+  const auto int_text = [](int64_t v) {
+    return v == kUnlimited ? std::string("unlimited") : std::to_string(v);
+  };
+  switch (spec.type) {
+    case ConfigType::kInt64:
+      return "[" + int_text(spec.min_int) + ", " + int_text(spec.max_int) + "]";
+    case ConfigType::kDouble: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "[%g, %g]", spec.min_double, spec.max_double);
+      return buffer;
+    }
+    case ConfigType::kBool:
+    case ConfigType::kString:
+      return "—";
+  }
+  return "—";
+}
+
+}  // namespace
+
+std::string config_markdown_table() {
+  std::string table =
+      "| Variable | Type | Range | Default | Effect |\n"
+      "|---|---|---|---|---|\n";
+  for (const ConfigSpec& spec : config_specs()) {
+    table += "| `" + spec.name + "` | " + config_type_name(spec.type) + " | " +
+             range_text(spec) + " | " + spec.default_text + " | " + spec.description +
+             " |\n";
+  }
+  return table;
+}
+
+}  // namespace sesr::core

@@ -1,0 +1,98 @@
+// Typed configuration layer over the SESR_* environment knobs.
+//
+// Every runtime knob the library or its benches read from the environment is
+// declared once in a registration table (config_specs), giving each knob a
+// type, a legal value range, a default, and a one-line description. Call
+// sites ask for a knob by name through the typed getters instead of calling
+// getenv and hand-rolling strtol:
+//
+//   - integer knobs accept K/M/G binary suffixes ("64K" = 65536, "1G" =
+//     2^30, optional trailing 'B'), so memory- and count-shaped knobs read
+//     naturally;
+//   - values that parse but fall outside the registered range are clamped
+//     onto it (a queue capacity of 10^12 becomes the documented maximum, not
+//     an allocation bomb);
+//   - values that do not parse at all are rejected: the knob falls back to
+//     its registered default instead of silently becoming 0 ("unlimited",
+//     "4x" and other typos never flip a semantic switch).
+//
+// Knobs are re-read from the environment on every getter call (none of them
+// sit on a per-element hot path; the two perf-adjacent ones are read once
+// per session return / pool construction), so tests and operators can flip
+// them at run time. The registration table is also the documentation source:
+// config_markdown_table() renders the README's knob table, so docs and code
+// cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sesr::core {
+
+enum class ConfigType { kInt64, kDouble, kBool, kString };
+
+[[nodiscard]] const char* config_type_name(ConfigType type);
+
+/// One registered knob. `min/max` bound int64 and double knobs (ignored for
+/// bool/string); `default_text` is the human-readable default shown in docs
+/// (e.g. "hardware concurrency" for dynamically-defaulted knobs).
+struct ConfigSpec {
+  std::string name;
+  ConfigType type = ConfigType::kString;
+  std::optional<int64_t> default_int;
+  double default_double = 0.0;
+  bool default_bool = false;
+  std::string default_string;
+  int64_t min_int = 0;
+  int64_t max_int = 0;
+  double min_double = 0.0;
+  double max_double = 0.0;
+  std::string default_text;
+  std::string description;
+};
+
+/// The registration table: every SESR_* knob the tree reads, in doc order.
+[[nodiscard]] const std::vector<ConfigSpec>& config_specs();
+
+/// Spec lookup by exact name; throws std::invalid_argument for a name that
+/// was never registered (a programming error, not an operator error).
+[[nodiscard]] const ConfigSpec& config_spec(std::string_view name);
+
+// ---- pure parsers (unit-tested directly) -----------------------------------
+
+/// Parse an integer with an optional binary suffix: "128", "64K", "2m",
+/// "1GB". K/M/G multiply by 2^10/2^20/2^30 (case-insensitive; optional
+/// trailing 'B'). Returns nullopt for anything else — trailing junk, empty
+/// strings, or values that overflow int64 after the multiply.
+[[nodiscard]] std::optional<int64_t> parse_config_int64(std::string_view text);
+
+/// Parse a double, accepting the same K/M/G suffixes. Rejects non-finite
+/// results and trailing junk.
+[[nodiscard]] std::optional<double> parse_config_double(std::string_view text);
+
+/// Parse a boolean: 1/true/on/yes vs 0/false/off/no (case-insensitive).
+[[nodiscard]] std::optional<bool> parse_config_bool(std::string_view text);
+
+// ---- typed getters ---------------------------------------------------------
+//
+// Each getter reads the named knob from the environment, parses it at the
+// registered type, clamps parsed values onto the registered range, and falls
+// back to the registered default (or the caller's `fallback` for knobs whose
+// default is computed at run time, e.g. hardware concurrency) when the
+// variable is unset or unparsable. The name must be registered.
+
+[[nodiscard]] int64_t config_int64(std::string_view name);
+[[nodiscard]] int64_t config_int64(std::string_view name, int64_t fallback);
+[[nodiscard]] double config_double(std::string_view name);
+[[nodiscard]] bool config_bool(std::string_view name);
+[[nodiscard]] std::string config_string(std::string_view name);
+
+/// GitHub-markdown table of every registered knob (name, type, range,
+/// default, description) — the README's "Runtime knobs" section is this
+/// function's output, and a unit test keeps the two in sync.
+[[nodiscard]] std::string config_markdown_table();
+
+}  // namespace sesr::core

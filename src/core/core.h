@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/checkpoint.h"
+#include "core/config.h"
 #include "core/defense.h"
 #include "core/evaluator.h"
 #include "core/trainer.h"

@@ -1,29 +1,21 @@
 #include "models/upscaler.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "core/config.h"
 
 namespace sesr::models {
 namespace {
 
 /// Hard ceiling on idle sessions retained per shape, from SESR_SESSION_CAP
 /// (sessions own full activation arenas, so memory-constrained deployments
-/// want a small cap; 0 disables retention entirely). Unset or unparsable:
-/// no extra cap — the observed serving parallelism bounds retention on its
-/// own. Read per call (once per session return) so the knob can change at
-/// run time.
-int64_t idle_session_cap() {
-  if (const char* env = std::getenv("SESR_SESSION_CAP")) {
-    char* end = nullptr;
-    const long long parsed = std::strtoll(env, &end, 10);
-    // A typo ("unlimited", "4k") must not silently become cap 0.
-    if (end != env && *end == '\0' && parsed >= 0) return static_cast<int64_t>(parsed);
-  }
-  return std::numeric_limits<int64_t>::max();
-}
+/// want a small cap; 0 disables retention entirely; unset or unparsable: no
+/// extra cap — the observed serving parallelism bounds retention on its
+/// own). Read through the typed config layer per call (once per session
+/// return) so the knob can change at run time.
+int64_t idle_session_cap() { return core::config_int64("SESR_SESSION_CAP"); }
 
 }  // namespace
 

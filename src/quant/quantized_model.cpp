@@ -281,6 +281,17 @@ QParams read_qparams(std::istream& is) {
   return qp;
 }
 
+/// A grid with a NaN, infinite, or non-positive scale turns every
+/// (de)quantise into garbage (or a divide-by-zero) at serving time; reject
+/// the artifact at load instead.
+QParams read_checked_qparams(std::istream& is, const std::string& path, const char* what) {
+  const QParams qp = read_qparams(is);
+  if (!std::isfinite(qp.scale) || qp.scale <= 0.0f)
+    throw std::runtime_error(std::string("QuantizedModel::load: invalid ") + what +
+                             " scale in " + path);
+  return qp;
+}
+
 }  // namespace
 
 void QuantizedModel::save(const std::string& path) const {
@@ -313,7 +324,7 @@ QuantizedModel QuantizedModel::load(const std::string& path) {
     throw std::runtime_error("QuantizedModel::load: unsupported version in " + path);
   QuantizedModel artifact;
   artifact.per_channel_ = read_pod<uint8_t>(is) != 0;
-  artifact.input_ = read_qparams(is);
+  artifact.input_ = read_checked_qparams(is, path, "input");
   const uint64_t count = read_pod<uint64_t>(is);
   if (count > (uint64_t{1} << 24))
     throw std::runtime_error("QuantizedModel::load: implausible step count");
@@ -329,13 +340,23 @@ QuantizedModel QuantizedModel::load(const std::string& path) {
     rec.name.resize(name_len);
     is.read(rec.name.data(), static_cast<std::streamsize>(name_len));
     if (!is) throw std::runtime_error("QuantizedModel::load: truncated name");
-    rec.in = read_qparams(is);
-    rec.out = read_qparams(is);
+    rec.in = read_checked_qparams(is, path, "step input");
+    rec.out = read_checked_qparams(is, path, "step output");
     rec.weights = read_vector<int8_t>(is);
     rec.bias = read_vector<int32_t>(is);
     rec.weight_scales = read_vector<float>(is);
+    for (const float scale : rec.weight_scales)
+      if (!std::isfinite(scale) || scale <= 0.0f)
+        throw std::runtime_error("QuantizedModel::load: invalid weight scale in " + path);
     artifact.steps_.push_back(std::move(rec));
   }
+  // The header's record count must account for the whole file: trailing
+  // bytes mean the count and the payload disagree (a corrupt or mis-spliced
+  // artifact), not a benign extension.
+  is.peek();
+  if (!is.eof())
+    throw std::runtime_error("QuantizedModel::load: record count mismatch in " + path +
+                             " (trailing bytes)");
   return artifact;
 }
 

@@ -1,0 +1,126 @@
+// Deterministic fault-injection schedule for the serving engine's
+// correctness harness.
+//
+// The soak test (tests/serve/soak_test.cpp) hammers the registry-backed
+// server with concurrent submits, hot-swaps, and injected faults; for a
+// failure to be debuggable the *schedule* of those faults must be a pure
+// function of a seed, not of thread timing. FaultPlan is that schedule: one
+// object, shared by every fault consumer, whose decisions depend only on
+// (options, index) — so concurrent consumers need no synchronisation beyond
+// the fired-counters, and one seed requests exactly the same fault sequence
+// on every run.
+//
+// Consumers and their seams:
+//   - kernel_fault(i)     — the i-th kernel dispatch of a fault-injecting
+//                           test module (tests/support/fault_injection.h's
+//                           FaultingAffine) throws mid-inference, exercising
+//                           the session-pool unwind and kError reply paths.
+//   - worker_stall(i)     — Server consults this before dispatching its i-th
+//                           batch (Options::fault_plan) and sleeps, modelling
+//                           a descheduled/pagefaulting worker so queues fill
+//                           and deadlines expire behind it.
+//   - overflow_burst(t)   — load generators consult this per tick and blast
+//                           try_submit bursts, exercising queue-full
+//                           rejection under otherwise-nominal load.
+//   - precision_flip(s)   — the hot-swap publisher consults this per swap
+//                           and flips the published artifact's precision
+//                           (fp32 <-> int8) mid-load.
+//
+// The phase of each period is scrambled per seam from the seed, so the four
+// fault kinds do not all land on the same indices.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace sesr::serve {
+
+class FaultPlan {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Every Nth kernel dispatch throws (0 = never).
+    int64_t kernel_fault_period = 0;
+    /// Every Nth batch dispatch stalls for `worker_stall_for` (0 = never).
+    int64_t worker_stall_period = 0;
+    std::chrono::microseconds worker_stall_for{500};
+    /// Every Nth generator tick submits an extra burst (0 = never).
+    int64_t overflow_burst_period = 0;
+    int64_t overflow_burst_size = 32;
+    /// Every Nth hot-swap flips the published precision (0 = never).
+    int64_t precision_flip_period = 0;
+  };
+
+  explicit FaultPlan(const Options& options) : options_(options) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// True when the `index`-th kernel dispatch should throw.
+  [[nodiscard]] bool kernel_fault(int64_t index) const {
+    const bool hit = fires(options_.kernel_fault_period, index, 0x6b65726eu);
+    if (hit) kernel_faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  /// Stall duration before dispatching the `index`-th batch (0 = none).
+  [[nodiscard]] std::chrono::microseconds worker_stall(int64_t index) const {
+    if (!fires(options_.worker_stall_period, index, 0x7374616cu))
+      return std::chrono::microseconds{0};
+    worker_stalls_fired_.fetch_add(1, std::memory_order_relaxed);
+    return options_.worker_stall_for;
+  }
+
+  /// Extra try_submit calls the load generator owes on tick `index`.
+  [[nodiscard]] int64_t overflow_burst(int64_t index) const {
+    if (!fires(options_.overflow_burst_period, index, 0x62727374u)) return 0;
+    overflow_bursts_fired_.fetch_add(1, std::memory_order_relaxed);
+    return options_.overflow_burst_size;
+  }
+
+  /// True when the `index`-th hot-swap should flip the serving precision.
+  [[nodiscard]] bool precision_flip(int64_t index) const {
+    const bool hit = fires(options_.precision_flip_period, index, 0x666c6970u);
+    if (hit) precision_flips_fired_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  // Fired-counters: a soak run must be able to assert its injections
+  // actually exercised the paths (a fault plan that never fires proves
+  // nothing).
+  [[nodiscard]] int64_t kernel_faults_fired() const {
+    return kernel_faults_fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t worker_stalls_fired() const {
+    return worker_stalls_fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t overflow_bursts_fired() const {
+    return overflow_bursts_fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t precision_flips_fired() const {
+    return precision_flips_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Period check with a seed- and seam-scrambled phase: deterministic for a
+  /// seed, but different seams fault on different indices.
+  [[nodiscard]] bool fires(int64_t period, int64_t index, uint32_t salt) const {
+    if (period <= 0 || index < 0) return false;
+    // splitmix64 of (seed ^ salt) — a cheap, well-mixed phase.
+    uint64_t z = options_.seed ^ salt;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const int64_t phase = static_cast<int64_t>(z % static_cast<uint64_t>(period));
+    return (index + phase) % period == 0;
+  }
+
+  Options options_;
+  mutable std::atomic<int64_t> kernel_faults_fired_{0};
+  mutable std::atomic<int64_t> worker_stalls_fired_{0};
+  mutable std::atomic<int64_t> overflow_bursts_fired_{0};
+  mutable std::atomic<int64_t> precision_flips_fired_{0};
+};
+
+}  // namespace sesr::serve

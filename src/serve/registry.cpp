@@ -1,0 +1,147 @@
+#include "serve/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sesr::serve {
+
+void ModelRegistry::register_model(const std::string& id, const std::string& label,
+                                   std::shared_ptr<nn::Module> network) {
+  if (!network) throw std::invalid_argument("ModelRegistry::register_model: null network");
+  auto upscaler = std::make_shared<models::NetworkUpscaler>(label, network);
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = id;
+  snapshot->precision = runtime::Precision::kFloat32;
+  snapshot->network = upscaler.get();
+  snapshot->upscaler = std::move(upscaler);
+
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  auto [it, inserted] = models_.emplace(id, std::make_unique<Entry>());
+  if (!inserted)
+    throw std::invalid_argument("ModelRegistry: model id already registered: " + id);
+  Entry& entry = *it->second;
+  entry.label = label;
+  entry.network = std::move(network);
+  install(entry, std::move(snapshot));
+}
+
+void ModelRegistry::register_upscaler(const std::string& id,
+                                      std::shared_ptr<models::Upscaler> upscaler) {
+  if (!upscaler) throw std::invalid_argument("ModelRegistry::register_upscaler: null upscaler");
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = id;
+  snapshot->network = dynamic_cast<models::NetworkUpscaler*>(upscaler.get());
+  if (snapshot->network != nullptr) snapshot->precision = snapshot->network->precision();
+  snapshot->upscaler = std::move(upscaler);
+
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  auto [it, inserted] = models_.emplace(id, std::make_unique<Entry>());
+  if (!inserted)
+    throw std::invalid_argument("ModelRegistry: model id already registered: " + id);
+  Entry& entry = *it->second;
+  entry.label = snapshot->upscaler->label();
+  install(entry, std::move(snapshot));
+}
+
+ModelRegistry::Entry& ModelRegistry::entry_for(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  const auto it = models_.find(id);
+  if (it == models_.end())
+    throw std::out_of_range("ModelRegistry: unknown model id: " + id);
+  return *it->second;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::acquire(const std::string& id) const {
+  Entry& entry = entry_for(id);
+  std::lock_guard<std::mutex> lock(entry.mutex);
+  return entry.current;
+}
+
+bool ModelRegistry::contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  return models_.count(id) > 0;
+}
+
+int64_t ModelRegistry::version(const std::string& id) const {
+  Entry& entry = entry_for(id);
+  std::lock_guard<std::mutex> lock(entry.mutex);
+  return entry.current->version;
+}
+
+int64_t ModelRegistry::install(Entry& entry, std::shared_ptr<ModelSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(entry.mutex);
+  snapshot->version = entry.next_version++;
+  const int64_t version = snapshot->version;
+  entry.current = std::move(snapshot);  // the old snapshot's refcount is now
+                                        // the grace period
+  return version;
+}
+
+int64_t ModelRegistry::publish_fp32(const std::string& id, const std::vector<Shape>& warm_shapes,
+                                    int warm_sessions) {
+  Entry& entry = entry_for(id);
+  if (!entry.network)
+    throw std::invalid_argument("ModelRegistry::publish_fp32: " + id +
+                                " is not network-backed; use publish()");
+  auto upscaler = std::make_shared<models::NetworkUpscaler>(entry.label, entry.network);
+  for (const Shape& shape : warm_shapes) upscaler->warmup(shape, warm_sessions);
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = id;
+  snapshot->precision = runtime::Precision::kFloat32;
+  snapshot->network = upscaler.get();
+  snapshot->upscaler = std::move(upscaler);
+  return install(entry, std::move(snapshot));
+}
+
+int64_t ModelRegistry::publish_int8(const std::string& id,
+                                    std::shared_ptr<const quant::QuantizedModel> artifact,
+                                    const std::vector<Shape>& warm_shapes, int warm_sessions) {
+  if (!artifact) throw std::invalid_argument("ModelRegistry::publish_int8: null artifact");
+  Entry& entry = entry_for(id);
+  if (!entry.network)
+    throw std::invalid_argument("ModelRegistry::publish_int8: " + id +
+                                " is not network-backed; use publish()");
+  auto upscaler = std::make_shared<models::NetworkUpscaler>(entry.label, entry.network);
+  upscaler->set_quantized_model(artifact);
+  for (const Shape& shape : warm_shapes) upscaler->warmup(shape, warm_sessions);
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = id;
+  snapshot->precision = runtime::Precision::kInt8;
+  snapshot->network = upscaler.get();
+  snapshot->upscaler = std::move(upscaler);
+  snapshot->artifact = std::move(artifact);
+  return install(entry, std::move(snapshot));
+}
+
+int64_t ModelRegistry::publish(const std::string& id,
+                               std::shared_ptr<models::Upscaler> upscaler) {
+  if (!upscaler) throw std::invalid_argument("ModelRegistry::publish: null upscaler");
+  Entry& entry = entry_for(id);
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->model = id;
+  snapshot->network = dynamic_cast<models::NetworkUpscaler*>(upscaler.get());
+  if (snapshot->network != nullptr) {
+    snapshot->precision = snapshot->network->precision();
+    snapshot->artifact = snapshot->network->quantized_model();
+  }
+  snapshot->upscaler = std::move(upscaler);
+  return install(entry, std::move(snapshot));
+}
+
+std::vector<std::string> ModelRegistry::model_ids() const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, entry] : models_) ids.push_back(id);
+  return ids;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  return models_.size();
+}
+
+}  // namespace sesr::serve

@@ -1,0 +1,140 @@
+// Multi-tenant model registry with RCU-style hot-swap.
+//
+// A serving deployment does not run one model forever: artifacts get
+// recalibrated (new int8 scales), precision gets flipped (fp32 canary, int8
+// steady-state), and several model ids share one box. The registry is the
+// control plane for that: a map from model id to a *versioned snapshot* —
+// upscaler + precision + quantized artifact — that the Server's data plane
+// resolves per batch dispatch.
+//
+// Swap semantics (the RCU part):
+//
+//        readers (worker dispatch)            writer (publish)
+//        ─────────────────────────            ────────────────
+//        acquire(id) ──► shared_ptr     build new upscaler (same
+//        to the current Snapshot;       underlying network module,
+//        dispatch runs on it with       fresh plan cache / session
+//        no further coordination        pool), warm it, then install
+//              │                        it as version v+1
+//              ▼                               │
+//        refcount keeps the old                ▼
+//        Snapshot (plans, pooled        old Snapshot stays valid for
+//        sessions) alive until the      in-flight dispatches; freed
+//        last in-flight dispatch        when the last reader drops it
+//        drops its reference
+//
+// The barrier guarantee the soak test asserts: publish() returns only after
+// the new snapshot is installed, so any request *submitted after publish()
+// returns* is answered by version >= the published one (dispatch acquires at
+// pop time, versions are monotonic per id). Requests already in flight
+// finish on whatever snapshot their dispatch acquired — never a torn mix,
+// never a dropped request.
+//
+// Why a fresh NetworkUpscaler per publish instead of mutating in place:
+// NetworkUpscaler::set_precision/set_quantized_model drop the plan cache and
+// session pools under the same lock every in-flight dispatch uses, so an
+// in-place swap stalls the data plane behind recompiles and briefly serves
+// version-ambiguous replies. Building the sibling off to the side keeps the
+// data plane lock-free with respect to publishing, and makes "which version
+// answered this request" exact — the Snapshot the dispatch held.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "models/upscaler.h"
+#include "quant/quantized_model.h"
+#include "runtime/program.h"
+#include "tensor/shape.h"
+
+namespace sesr::serve {
+
+/// Immutable view of one published model version. Snapshot lifetime is the
+/// RCU grace period: holders may dispatch on `upscaler` for as long as they
+/// keep the shared_ptr, regardless of later publishes.
+struct ModelSnapshot {
+  std::string model;    ///< registry id this snapshot belongs to
+  int64_t version = 0;  ///< monotonically increasing per id, starting at 1
+  runtime::Precision precision = runtime::Precision::kFloat32;
+
+  std::shared_ptr<models::Upscaler> upscaler;
+  /// Typed view of `upscaler` when it is network-backed (warmup, precision
+  /// introspection); nullptr for e.g. interpolation upscalers.
+  models::NetworkUpscaler* network = nullptr;
+  /// The int8 artifact this version serves with (nullptr for fp32).
+  std::shared_ptr<const quant::QuantizedModel> artifact;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Register a network-backed model id at version 1 (fp32). The module is
+  /// retained so later publishes can build sibling upscalers around the same
+  /// weights. Throws std::invalid_argument if `id` is already registered.
+  void register_model(const std::string& id, const std::string& label,
+                      std::shared_ptr<nn::Module> network);
+
+  /// Register an arbitrary upscaler (e.g. interpolation) at version 1. Such
+  /// ids serve forever at version 1 unless publish() installs a replacement;
+  /// publish_fp32/publish_int8 throw for them (no module to rebuild from).
+  void register_upscaler(const std::string& id, std::shared_ptr<models::Upscaler> upscaler);
+
+  /// RCU read side: the current snapshot for `id` (never nullptr). Throws
+  /// std::out_of_range for unregistered ids. O(log models) + one shared_ptr
+  /// copy; safe from any thread.
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> acquire(const std::string& id) const;
+
+  [[nodiscard]] bool contains(const std::string& id) const;
+
+  /// Current version of `id` (the swap barrier: submissions made after this
+  /// read are answered by version >= the returned value).
+  [[nodiscard]] int64_t version(const std::string& id) const;
+
+  /// Publish a rebuilt fp32 sibling of a network-backed id as the next
+  /// version. `warm_shapes` ([N, C, H, W], may be empty) are precompiled and
+  /// session-prefilled on the *new* upscaler before it is installed, so the
+  /// swap costs requests nothing. Returns the new version.
+  int64_t publish_fp32(const std::string& id, const std::vector<Shape>& warm_shapes = {},
+                       int warm_sessions = 1);
+
+  /// Publish an int8 sibling serving the given artifact as the next version.
+  int64_t publish_int8(const std::string& id,
+                       std::shared_ptr<const quant::QuantizedModel> artifact,
+                       const std::vector<Shape>& warm_shapes = {}, int warm_sessions = 1);
+
+  /// Publish a caller-prepared upscaler as the next version of `id` (the
+  /// escape hatch for custom swaps; precision/artifact recorded from the
+  /// upscaler when it is network-backed). Returns the new version.
+  int64_t publish(const std::string& id, std::shared_ptr<models::Upscaler> upscaler);
+
+  [[nodiscard]] std::vector<std::string> model_ids() const;
+  [[nodiscard]] size_t size() const;
+
+ private:
+  /// Registered model. Entries are never removed, so Entry pointers are
+  /// stable for the registry's lifetime. `current` is guarded by `mutex`;
+  /// readers copy the shared_ptr out (sub-microsecond) and dispatch outside
+  /// the lock — publish builds the replacement entirely before taking it.
+  struct Entry {
+    std::string label;
+    std::shared_ptr<nn::Module> network;  ///< null for register_upscaler ids
+    mutable std::mutex mutex;
+    std::shared_ptr<const ModelSnapshot> current;
+    int64_t next_version = 1;
+  };
+
+  Entry& entry_for(const std::string& id) const;
+  int64_t install(Entry& entry, std::shared_ptr<ModelSnapshot> snapshot);
+
+  mutable std::mutex models_mutex_;  ///< guards the map shape only
+  std::map<std::string, std::unique_ptr<Entry>> models_;
+};
+
+}  // namespace sesr::serve

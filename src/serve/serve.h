@@ -1,7 +1,10 @@
 // Umbrella header for the serving engine: bounded request queue,
-// micro-batcher + worker pool (Server), and the latency SLO metrics.
+// micro-batcher + worker pool (Server), multi-tenant model registry with
+// RCU hot-swap, deterministic fault injection, and the latency SLO metrics.
 #pragma once
 
 #include "serve/bounded_queue.h"     // IWYU pragma: export
+#include "serve/fault_plan.h"        // IWYU pragma: export
 #include "serve/latency_histogram.h" // IWYU pragma: export
+#include "serve/registry.h"          // IWYU pragma: export
 #include "serve/server.h"            // IWYU pragma: export

@@ -51,19 +51,37 @@ ServeReply ServeFuture::get() {
   return std::move(state->reply);
 }
 
+/// Mutable per-tenant admission state. Stable address for the server's
+/// lifetime (requests carry the pointer through the queue); counters are
+/// relaxed atomics read by stats().
+struct Server::TenantState {
+  TenantQuota quota;
+  std::atomic<int64_t> in_queue{0};
+  std::atomic<int64_t> peak_in_queue{0};
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> failed{0};
+};
+
 /// One admitted request, queued until a worker dispatches (or sheds) it.
+/// Carries the model *id*, not a snapshot: the worker resolves the id at
+/// dispatch time so hot-swaps apply to queued work immediately.
 struct Server::Request {
   Tensor input;  ///< normalized to [1, C, H, W]
+  std::string model;
+  TenantState* tenant = nullptr;
   std::shared_ptr<detail::ResultState> state;
   Clock::time_point enqueued;
   Clock::time_point deadline;  ///< time_point::max() = none
 };
 
-Server::Server(std::shared_ptr<models::Upscaler> upscaler, const Options& options)
-    : upscaler_(std::move(upscaler)),
+Server::Server(std::shared_ptr<ModelRegistry> registry, const Options& options)
+    : registry_(std::move(registry)),
       options_(options),
       batch_size_counts_(static_cast<size_t>(std::max<int64_t>(options.max_batch, 1)) + 1) {
-  if (!upscaler_) throw std::invalid_argument("Server: null upscaler");
+  if (!registry_) throw std::invalid_argument("Server: null registry");
   if (options_.workers < 1) throw std::invalid_argument("Server: workers must be >= 1");
   if (options_.max_batch < 1) throw std::invalid_argument("Server: max_batch must be >= 1");
   queue_ = std::make_unique<BoundedQueue<Request>>(options_.queue_capacity);
@@ -79,6 +97,20 @@ Server::Server(std::shared_ptr<models::Upscaler> upscaler, const Options& option
     throw;
   }
 }
+
+namespace {
+
+std::shared_ptr<ModelRegistry> wrap_in_registry(std::shared_ptr<models::Upscaler> upscaler) {
+  if (!upscaler) throw std::invalid_argument("Server: null upscaler");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->register_upscaler(kDefaultModel, std::move(upscaler));
+  return registry;
+}
+
+}  // namespace
+
+Server::Server(std::shared_ptr<models::Upscaler> upscaler, const Options& options)
+    : Server(wrap_in_registry(std::move(upscaler)), options) {}
 
 Server::~Server() { stop(); }
 
@@ -102,14 +134,57 @@ Tensor normalize_single_image(Tensor image) {
 }
 
 Clock::time_point deadline_for(std::chrono::milliseconds requested,
-                               std::chrono::milliseconds fallback) {
-  const std::chrono::milliseconds effective =
-      requested.count() > 0 ? requested : fallback;
+                               std::chrono::milliseconds tenant_fallback,
+                               std::chrono::milliseconds server_fallback) {
+  std::chrono::milliseconds effective = requested;
+  if (effective.count() <= 0) effective = tenant_fallback;
+  if (effective.count() <= 0) effective = server_fallback;
   if (effective.count() <= 0) return Clock::time_point::max();
   return Clock::now() + effective;
 }
 
 }  // namespace
+
+Server::TenantState& Server::tenant_for(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  auto [it, inserted] = tenants_.emplace(tenant, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<TenantState>();
+    const auto quota = options_.tenant_quotas.find(tenant);
+    if (quota != options_.tenant_quotas.end()) it->second->quota = quota->second;
+  }
+  return *it->second;
+}
+
+bool Server::charge_tenant(TenantState& tenant) {
+  const int64_t occupancy = tenant.in_queue.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tenant.quota.max_in_queue > 0 && occupancy > tenant.quota.max_in_queue) {
+    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  int64_t peak = tenant.peak_in_queue.load(std::memory_order_relaxed);
+  while (occupancy > peak &&
+         !tenant.peak_in_queue.compare_exchange_weak(peak, occupancy,
+                                                     std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+Server::Request Server::make_request(Tensor image, const SubmitOptions& submit_options) {
+  // Model ids are validated at the door (entries are never removed, so an id
+  // that resolves here still resolves at dispatch). An unknown id is a
+  // caller bug, not a load condition: throw, don't count a rejection.
+  if (!registry_->contains(submit_options.model))
+    throw std::invalid_argument("Server: unknown model id: " + submit_options.model);
+  TenantState& tenant = tenant_for(submit_options.tenant);
+  return Request{normalize_single_image(std::move(image)),
+                 submit_options.model,
+                 &tenant,
+                 std::make_shared<detail::ResultState>(),
+                 Clock::now(),
+                 deadline_for(submit_options.deadline, tenant.quota.default_deadline,
+                              options_.default_deadline)};
+}
 
 void Server::complete(Request& request, ServeReply reply) {
   detail::ResultState& state = *request.state;
@@ -132,74 +207,128 @@ void Server::complete(Request& request, ServeReply reply) {
 }
 
 ServeFuture Server::submit(Tensor image, std::chrono::milliseconds deadline) {
-  Request request{normalize_single_image(std::move(image)),
-                  std::make_shared<detail::ResultState>(), Clock::now(),
-                  deadline_for(deadline, options_.default_deadline)};
+  return submit(std::move(image), SubmitOptions{.deadline = deadline});
+}
+
+ServeFuture Server::submit(Tensor image, const SubmitOptions& submit_options) {
+  Request request = make_request(std::move(image), submit_options);
   ServeFuture future(request.state);
+  if (!charge_tenant(*request.tenant)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    request.tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+    complete(request, {ServeStatus::kError, Tensor(), "tenant over quota", 0});
+    return future;
+  }
+  TenantState& tenant = *request.tenant;
   if (!queue_->push(std::move(request))) {
     // Stopped: fail fast instead of leaving the future forever pending.
-    Request dead{Tensor(), future.state_, Clock::now(), Clock::time_point::max()};
-    complete(dead, {ServeStatus::kError, Tensor(), "server stopped"});
+    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
+    Request dead{Tensor(), "", nullptr, future.state_, Clock::now(), Clock::time_point::max()};
+    complete(dead, {ServeStatus::kError, Tensor(), "server stopped", 0});
     return future;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
 void Server::submit_async(Tensor image, ServeCallback callback,
                           std::chrono::milliseconds deadline) {
+  submit_async(std::move(image), SubmitOptions{.deadline = deadline}, std::move(callback));
+}
+
+void Server::submit_async(Tensor image, const SubmitOptions& submit_options,
+                          ServeCallback callback) {
   if (!callback) throw std::invalid_argument("Server::submit_async: null callback");
-  Request request{normalize_single_image(std::move(image)),
-                  std::make_shared<detail::ResultState>(), Clock::now(),
-                  deadline_for(deadline, options_.default_deadline)};
+  Request request = make_request(std::move(image), submit_options);
   request.state->callback = std::move(callback);
+  if (!charge_tenant(*request.tenant)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    request.tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+    complete(request, {ServeStatus::kError, Tensor(), "tenant over quota", 0});
+    return;
+  }
+  TenantState& tenant = *request.tenant;
+  auto state = request.state;
   if (!queue_->push(std::move(request))) {
-    Request dead{Tensor(), std::move(request.state), Clock::now(), Clock::time_point::max()};
-    complete(dead, {ServeStatus::kError, Tensor(), "server stopped"});
+    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
+    Request dead{Tensor(), "", nullptr, std::move(state), Clock::now(), Clock::time_point::max()};
+    complete(dead, {ServeStatus::kError, Tensor(), "server stopped", 0});
     return;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool Server::try_submit(Tensor image, ServeCallback callback,
                         std::chrono::milliseconds deadline) {
+  return try_submit(std::move(image), SubmitOptions{.deadline = deadline}, std::move(callback));
+}
+
+bool Server::try_submit(Tensor image, const SubmitOptions& submit_options,
+                        ServeCallback callback) {
   if (!callback) throw std::invalid_argument("Server::try_submit: null callback");
-  Request request{normalize_single_image(std::move(image)),
-                  std::make_shared<detail::ResultState>(), Clock::now(),
-                  deadline_for(deadline, options_.default_deadline)};
+  Request request = make_request(std::move(image), submit_options);
   request.state->callback = std::move(callback);
-  if (!queue_->try_push(std::move(request))) {
+  TenantState& tenant = *request.tenant;
+  if (!charge_tenant(tenant)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    tenant.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!queue_->try_push(std::move(request))) {
+    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    tenant.rejected.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void Server::warmup(const Shape& single_image_chw) {
-  auto* network = dynamic_cast<models::NetworkUpscaler*>(upscaler_.get());
-  if (network == nullptr) return;  // e.g. interpolation: nothing to precompile
+void Server::warmup(const Shape& single_image_chw) { warmup(kDefaultModel, single_image_chw); }
+
+void Server::warmup(const std::string& model, const Shape& single_image_chw) {
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->acquire(model);
+  if (snapshot->network == nullptr) return;  // e.g. interpolation: nothing to precompile
   if (single_image_chw.ndim() != 3)
     throw std::invalid_argument("Server::warmup: expected a [C, H, W] shape, got " +
                                 single_image_chw.to_string());
   // Every batch size a worker can dispatch is its own compiled shape; one
   // pooled session per shape per worker covers the worst concurrent case.
   for (int64_t batch = 1; batch <= options_.max_batch; ++batch)
-    network->warmup({batch, single_image_chw[0], single_image_chw[1], single_image_chw[2]},
-                    options_.workers);
+    snapshot->network->warmup(
+        {batch, single_image_chw[0], single_image_chw[1], single_image_chw[2]},
+        options_.workers);
 }
 
 void Server::worker_loop() {
   std::vector<Request> batch;
   std::vector<Request> live;
   Tensor gather_staging;  // reused across dispatches (resized on shape change)
-  const auto same_shape = [](const Request& candidate, const Request& first) {
-    return candidate.input.shape() == first.input.shape();
+  const auto compatible = [](const Request& candidate, const Request& first) {
+    // A batch is one model and one compiled shape: coalescing across either
+    // would need per-image routing inside a single dispatch.
+    return candidate.model == first.model && candidate.input.shape() == first.input.shape();
   };
   for (;;) {
     batch.clear();
-    if (!queue_->pop_batch(batch, options_.max_batch, same_shape, options_.batch_linger))
+    if (!queue_->pop_batch(batch, options_.max_batch, compatible, options_.batch_linger))
       return;  // stopped and drained
+
+    // Popping releases each request's tenant occupancy: the quota bounds
+    // queued work, and shed/failed outcomes must not leak charges.
+    for (const Request& request : batch)
+      request.tenant->in_queue.fetch_sub(1, std::memory_order_relaxed);
+
+    // Fault seam: a seeded schedule can stall this worker here, modelling a
+    // descheduled thread — queues fill and deadlines expire behind it.
+    if (options_.fault_plan) {
+      const std::chrono::microseconds stall = options_.fault_plan->worker_stall(
+          dispatch_index_.fetch_add(1, std::memory_order_relaxed));
+      if (stall.count() > 0) std::this_thread::sleep_for(stall);
+    }
 
     // Deadline-based load shedding: answers nobody is waiting for anymore
     // are dropped before they can waste a dispatch.
@@ -208,7 +337,8 @@ void Server::worker_loop() {
     for (Request& request : batch) {
       if (request.deadline < now) {
         shed_.fetch_add(1, std::memory_order_relaxed);
-        complete(request, {ServeStatus::kShed, Tensor(), "deadline expired in queue"});
+        request.tenant->shed.fetch_add(1, std::memory_order_relaxed);
+        complete(request, {ServeStatus::kShed, Tensor(), "deadline expired in queue", 0});
       } else {
         live.push_back(std::move(request));
       }
@@ -229,15 +359,24 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
   }
 
   std::vector<Tensor> outputs(static_cast<size_t>(n));
+  int64_t served_version = 0;
   const auto fail_batch = [&](const char* error) {
     failed_.fetch_add(n, std::memory_order_relaxed);
-    for (Request& request : batch)
-      complete(request, {ServeStatus::kError, Tensor(), error});
+    for (Request& request : batch) {
+      request.tenant->failed.fetch_add(1, std::memory_order_relaxed);
+      complete(request, {ServeStatus::kError, Tensor(), error, served_version});
+    }
   };
   try {
+    // RCU read side: resolve the batch's model id to the current snapshot.
+    // Holding the shared_ptr is the grace period — a concurrent publish()
+    // cannot invalidate this dispatch, and the version we stamp into the
+    // replies is exactly the artifact that computed them.
+    const std::shared_ptr<const ModelSnapshot> snapshot = registry_->acquire(batch[0].model);
+    served_version = snapshot->version;
     if (n == 1) {
       // Nothing to coalesce: dispatch the request tensor directly.
-      outputs[0] = upscaler_->upscale(batch[0].input);
+      outputs[0] = snapshot->upscaler->upscale(batch[0].input);
     } else {
       // Gather the coalesced [n, C, H, W] batch into the worker's staging
       // tensor (every element is overwritten, so reuse is safe). Each
@@ -250,7 +389,7 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
         std::copy(batch[static_cast<size_t>(i)].input.data(),
                   batch[static_cast<size_t>(i)].input.data() + stride,
                   gather_staging.data() + i * stride);
-      upscaler_->upscale_batch(gather_staging, outputs);
+      snapshot->upscaler->upscale_batch(gather_staging, outputs);
     }
   } catch (const std::exception& e) {
     fail_batch(e.what());
@@ -268,7 +407,9 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
     latency_.record_us(
         std::chrono::duration_cast<std::chrono::microseconds>(done - request.enqueued).count());
     completed_.fetch_add(1, std::memory_order_relaxed);
-    complete(request, {ServeStatus::kOk, std::move(outputs[static_cast<size_t>(i)]), ""});
+    request.tenant->completed.fetch_add(1, std::memory_order_relaxed);
+    complete(request,
+             {ServeStatus::kOk, std::move(outputs[static_cast<size_t>(i)]), "", served_version});
   }
 }
 
@@ -292,6 +433,19 @@ ServerStats Server::stats() const {
   stats.queue_depth = queue_->size();
   stats.peak_queue_depth = queue_->peak_size();
   stats.latency = latency_.snapshot();
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    for (const auto& [name, tenant] : tenants_) {
+      TenantStats& out = stats.tenants[name];
+      out.submitted = tenant->submitted.load(std::memory_order_relaxed);
+      out.completed = tenant->completed.load(std::memory_order_relaxed);
+      out.rejected = tenant->rejected.load(std::memory_order_relaxed);
+      out.shed = tenant->shed.load(std::memory_order_relaxed);
+      out.failed = tenant->failed.load(std::memory_order_relaxed);
+      out.in_queue = tenant->in_queue.load(std::memory_order_relaxed);
+      out.peak_in_queue = tenant->peak_in_queue.load(std::memory_order_relaxed);
+    }
+  }
   return stats;
 }
 

@@ -9,29 +9,43 @@
 //   submit / submit_async            workers (pool of threads)
 //        │                                │
 //        ▼                                ▼
-//   BoundedQueue ──► micro-batcher (pop_batch: same-shape coalescing,
-//   (backpressure,    bounded linger) ──► NetworkUpscaler::upscale_batch
-//    load shedding)                       (one batched NCHW dispatch over
-//                                          the plan cache / session pool)
+//   BoundedQueue ──► micro-batcher (pop_batch: same-model, same-shape
+//   (backpressure,    coalescing, bounded linger) ──► ModelRegistry::acquire
+//    load shedding,                                   (RCU snapshot) ──►
+//    tenant quotas)                                   upscale_batch
 //                                              │
 //                                              ▼
-//                              per-request completion (future or callback)
+//                              per-request completion (future or callback,
+//                              stamped with the served model version)
+//
+// Model routing: every request names a model id; the worker resolves the
+// id to the registry's *current* snapshot at dispatch time, so a
+// ModelRegistry::publish() hot-swap takes effect for queued work immediately
+// while in-flight dispatches finish on the snapshot they acquired (see
+// serve/registry.h for the swap barrier guarantee). Replies carry the
+// version that actually served them.
 //
 // Admission control: the queue is bounded — submit() blocks (backpressure),
-// try_submit() refuses and counts a rejection. Load shedding: a request may
-// carry a deadline; a worker sheds expired requests at dispatch time instead
-// of wasting compute on answers nobody is waiting for. Batching: plans
-// compile per batched input shape, so coalescing k same-shape requests into
-// one [k, C, H, W] dispatch amortizes every per-dispatch cost (queue and
-// session-pool handoffs, per-op kernel launch and thread-pool fan-out)
-// across k images while keeping outputs bit-identical to k separate
-// upscale() calls — requests are only ever batched with identically-shaped
-// peers, never resampled or padded.
+// try_submit() refuses and counts a rejection — and each tenant can carry a
+// quota: a cap on its queued-but-undispatched requests, enforced at the
+// door (over-quota submissions fail immediately rather than starving other
+// tenants of queue capacity). Load shedding: a request may carry a deadline;
+// a worker sheds expired requests at dispatch time instead of wasting
+// compute on answers nobody is waiting for. Batching: plans compile per
+// batched input shape, so coalescing k same-shape requests into one
+// [k, C, H, W] dispatch amortizes every per-dispatch cost across k images
+// while keeping outputs bit-identical to k separate upscale() calls —
+// requests are only ever batched with same-model, identically-shaped peers,
+// never resampled or padded.
 //
 // Instrumentation: a lock-cheap latency histogram (p50/p95/p99), queue
-// depth, batch-size distribution, and shed/rejection counters, exposed as
-// ServerStats — the SLO surface bench_server_load records into
-// BENCH_server_load.json.
+// depth, batch-size distribution, shed/rejection counters, and per-tenant
+// occupancy/outcome counters, exposed as ServerStats — the SLO surface
+// bench_server_load records into BENCH_server_load.json.
+//
+// Fault injection: Options::fault_plan (serve/fault_plan.h) lets the test
+// harness stall workers on a seeded schedule; production servers leave it
+// null and pay one branch per dispatch.
 //
 // Threading: submit paths and stats() are safe from any thread. Callbacks
 // run on worker threads and must not block for long or re-enter stop().
@@ -42,6 +56,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,26 +65,37 @@
 
 #include "models/upscaler.h"
 #include "serve/bounded_queue.h"
+#include "serve/fault_plan.h"
 #include "serve/latency_histogram.h"
+#include "serve/registry.h"
 #include "tensor/tensor.h"
 
 namespace sesr::serve {
 
+/// Model id used by the single-upscaler constructor and by submissions that
+/// do not name a model.
+inline constexpr const char* kDefaultModel = "default";
+/// Tenant id used by submissions that do not name a tenant.
+inline constexpr const char* kDefaultTenant = "default";
+
 enum class ServeStatus {
   kOk,     ///< output holds the upscaled image
   kShed,   ///< deadline expired before dispatch; never ran
-  kError,  ///< the upscaler threw, or the server was already stopped
+  kError,  ///< the upscaler threw, quota refused, or the server was stopped
 };
 
 [[nodiscard]] const char* serve_status_name(ServeStatus status);
 
 /// Completion of one request. `output` is [1, C, 2H, 2W] for kOk (identical
 /// bits to NetworkUpscaler::upscale on the same single image) and empty
-/// otherwise; `error` carries the shed/error detail.
+/// otherwise; `error` carries the shed/error detail. `model_version` is the
+/// registry version that served the request (0 when it never reached a
+/// model — shed, quota-refused, or stopped).
 struct ServeReply {
   ServeStatus status = ServeStatus::kError;
   Tensor output;
   std::string error;
+  int64_t model_version = 0;
 
   [[nodiscard]] bool ok() const { return status == ServeStatus::kOk; }
 };
@@ -102,12 +128,35 @@ class ServeFuture {
 
 using ServeCallback = std::function<void(ServeReply)>;
 
+/// Per-tenant admission policy (Options::tenant_quotas; tenants without an
+/// entry get the defaults — unlimited occupancy, server-default deadline).
+struct TenantQuota {
+  /// Max requests this tenant may have queued-but-undispatched at once.
+  /// 0 = unlimited. Enforced at submission: over-quota requests fail
+  /// immediately with kError (blocking submit) or are refused (try_submit).
+  int64_t max_in_queue = 0;
+  /// Deadline applied to this tenant's requests that carry none.
+  /// 0 = fall through to Options::default_deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Point-in-time per-tenant counters (ServerStats::tenants).
+struct TenantStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;  ///< queue-full try_submit refusals + quota refusals
+  int64_t shed = 0;
+  int64_t failed = 0;
+  int64_t in_queue = 0;       ///< queued-but-undispatched right now
+  int64_t peak_in_queue = 0;  ///< occupancy high-water mark
+};
+
 /// Point-in-time view of the server's SLO metrics.
 struct ServerStats {
   int64_t submitted = 0;   ///< admitted into the queue
   int64_t completed = 0;   ///< answered with kOk
   int64_t shed = 0;        ///< dropped at dispatch: deadline expired
-  int64_t rejected = 0;    ///< refused at the door: try_submit on a full queue
+  int64_t rejected = 0;    ///< refused at the door: queue full or over quota
   int64_t failed = 0;      ///< answered with kError (upscaler threw)
 
   int64_t batches = 0;            ///< dispatches issued
@@ -123,6 +172,9 @@ struct ServerStats {
 
   /// Submit-to-completion latency of kOk requests.
   LatencyHistogram::Snapshot latency;
+
+  /// Counters for every tenant that has ever submitted.
+  std::map<std::string, TenantStats> tenants;
 };
 
 class Server {
@@ -138,13 +190,33 @@ class Server {
     /// How long a worker holding a short batch waits for more same-shape
     /// arrivals. 0 = dispatch whatever is already queued (no added latency).
     std::chrono::microseconds batch_linger{0};
-    /// Deadline applied by submit()/submit_async() when the caller passes
-    /// none. 0 = no deadline (never shed).
+    /// Deadline applied by submit()/submit_async() when neither the caller
+    /// nor the tenant's quota supplies one. 0 = no deadline (never shed).
     std::chrono::milliseconds default_deadline{0};
+    /// Admission policy per tenant id; absent tenants get TenantQuota{}.
+    std::map<std::string, TenantQuota> tenant_quotas;
+    /// Deterministic fault schedule for the test harness (worker_stall seam
+    /// consulted per dispatch). Null in production.
+    std::shared_ptr<const FaultPlan> fault_plan;
   };
 
-  /// The upscaler is shared state: its plan cache / session pool / precision
-  /// knob serve this Server and any direct upscale() callers alike.
+  /// Routing fields of a submission. Defaults reproduce the single-model,
+  /// single-tenant behaviour of the deadline-only overloads.
+  struct SubmitOptions {
+    std::string model = kDefaultModel;
+    std::string tenant = kDefaultTenant;
+    /// 0 = tenant default deadline, then Options::default_deadline.
+    std::chrono::milliseconds deadline{0};
+  };
+
+  /// Serve every model published in `registry` (shared control plane: swaps
+  /// published there take effect here per the registry's barrier guarantee).
+  Server(std::shared_ptr<ModelRegistry> registry, const Options& options);
+
+  /// Single-model convenience: wraps `upscaler` in a private registry under
+  /// kDefaultModel. The upscaler is shared state: its plan cache / session
+  /// pool / precision knob serve this Server and direct upscale() callers
+  /// alike.
   Server(std::shared_ptr<models::Upscaler> upscaler, const Options& options);
   explicit Server(std::shared_ptr<models::Upscaler> upscaler)
       : Server(std::move(upscaler), Options{}) {}
@@ -153,26 +225,37 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Enqueue a single image ([C, H, W] or [1, C, H, W]), blocking while the
-  /// queue is full (backpressure). deadline 0 = Options::default_deadline.
-  /// After stop() the future completes immediately with kError.
+  /// Enqueue a single image ([C, H, W] or [1, C, H, W]) for kDefaultModel /
+  /// kDefaultTenant, blocking while the queue is full (backpressure).
+  /// deadline 0 = Options::default_deadline. After stop() the future
+  /// completes immediately with kError.
   ServeFuture submit(Tensor image, std::chrono::milliseconds deadline = {});
+
+  /// Routed flavour: submit for a specific model and tenant. Throws
+  /// std::invalid_argument for an unregistered model id; an over-quota
+  /// tenant gets an immediate kError reply (counted as rejected).
+  ServeFuture submit(Tensor image, const SubmitOptions& submit_options);
 
   /// Callback flavour of submit(): same admission, completion delivered on a
   /// worker thread instead of through a future.
   void submit_async(Tensor image, ServeCallback callback,
                     std::chrono::milliseconds deadline = {});
+  void submit_async(Tensor image, const SubmitOptions& submit_options, ServeCallback callback);
 
   /// Non-blocking admission: false (request dropped, rejection counted) when
-  /// the queue is full or the server is stopped.
+  /// the queue is full, the tenant is over quota, or the server is stopped.
   bool try_submit(Tensor image, ServeCallback callback,
                   std::chrono::milliseconds deadline = {});
+  bool try_submit(Tensor image, const SubmitOptions& submit_options, ServeCallback callback);
 
   /// Precompile plans and prefill session pools for every batch size
-  /// (1..max_batch) of the given single-image [C, H, W] shape, so no request
-  /// ever pays the first-dispatch compile spike. No-op for upscalers without
-  /// compiled inference.
+  /// (1..max_batch) of the given single-image [C, H, W] shape on the named
+  /// model's *current* snapshot, so no request pays the first-dispatch
+  /// compile spike. No-op for upscalers without compiled inference. (After a
+  /// publish(), warm the new snapshot through the registry's warm_shapes
+  /// parameter instead — it warms before the swap.)
   void warmup(const Shape& single_image_chw);
+  void warmup(const std::string& model, const Shape& single_image_chw);
 
   [[nodiscard]] ServerStats stats() const;
 
@@ -181,20 +264,32 @@ class Server {
   void stop();
 
   [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
 
  private:
   struct Request;
+  struct TenantState;
 
+  TenantState& tenant_for(const std::string& tenant);
+  Request make_request(Tensor image, const SubmitOptions& submit_options);
+  /// Quota gate: true admits (occupancy charged), false means the caller
+  /// must reject the request. On false nothing is charged.
+  bool charge_tenant(TenantState& tenant);
   void worker_loop();
   void dispatch(std::vector<Request>& batch, Tensor& gather_staging);
   static void complete(Request& request, ServeReply reply);
 
-  std::shared_ptr<models::Upscaler> upscaler_;
+  std::shared_ptr<ModelRegistry> registry_;
   Options options_;
 
   std::unique_ptr<BoundedQueue<Request>> queue_;
   std::vector<std::thread> workers_;
   std::once_flag stop_once_;
+
+  // Tenant states live behind stable pointers for the server's lifetime
+  // (requests hold raw pointers across the queue).
+  mutable std::mutex tenants_mutex_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
 
   // SLO counters (relaxed atomics: monotonic counts, read via stats()).
   std::atomic<int64_t> submitted_{0};
@@ -205,6 +300,7 @@ class Server {
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batched_images_{0};
   std::atomic<int64_t> max_batch_observed_{0};
+  std::atomic<int64_t> dispatch_index_{0};  ///< fault-plan worker_stall cursor
   std::vector<std::atomic<int64_t>> batch_size_counts_;
   LatencyHistogram latency_;
 };

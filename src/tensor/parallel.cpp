@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <condition_variable>
 #include <exception>
-#include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/config.h"
+
 namespace sesr {
 
 int num_threads() {
+  // SESR_NUM_THREADS through the typed config layer (range-clamped; invalid
+  // values fall back to hardware concurrency). Read once: the persistent
+  // pool below is sized by the first parallel_for and never resized.
   static const int n = [] {
-    if (const char* env = std::getenv("SESR_NUM_THREADS")) {
-      const int v = std::atoi(env);
-      if (v > 0) return v;
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    return static_cast<int>(core::config_int64("SESR_NUM_THREADS",
+                                               hw > 0 ? static_cast<int64_t>(hw) : 1));
   }();
   return n;
 }

@@ -1,0 +1,147 @@
+// The typed config layer's contract: one registration table, K/M/G suffix
+// parsing, range clamping onto the registered bounds, and invalid-value
+// rejection (typos fall back to the default instead of becoming 0).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "core/config.h"
+#include "tests/support/fault_injection.h"
+
+namespace sesr::core {
+namespace {
+
+using sesr::testsupport::ScopedEnv;
+
+TEST(ConfigParseTest, PlainIntegers) {
+  EXPECT_EQ(parse_config_int64("0"), 0);
+  EXPECT_EQ(parse_config_int64("128"), 128);
+  EXPECT_EQ(parse_config_int64("-7"), -7);
+  EXPECT_EQ(parse_config_int64("  42  "), 42);
+}
+
+TEST(ConfigParseTest, BinarySuffixes) {
+  EXPECT_EQ(parse_config_int64("4K"), int64_t{4} << 10);
+  EXPECT_EQ(parse_config_int64("4k"), int64_t{4} << 10);
+  EXPECT_EQ(parse_config_int64("64KB"), int64_t{64} << 10);
+  EXPECT_EQ(parse_config_int64("2M"), int64_t{2} << 20);
+  EXPECT_EQ(parse_config_int64("1G"), int64_t{1} << 30);
+  EXPECT_EQ(parse_config_int64("3gb"), int64_t{3} << 30);
+}
+
+TEST(ConfigParseTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_config_int64("").has_value());
+  EXPECT_FALSE(parse_config_int64("unlimited").has_value());
+  EXPECT_FALSE(parse_config_int64("4x").has_value());
+  EXPECT_FALSE(parse_config_int64("4K9").has_value());
+  EXPECT_FALSE(parse_config_int64("12 34").has_value());
+  EXPECT_FALSE(parse_config_int64("K").has_value());
+  // Suffix multiply must reject on overflow, not wrap.
+  EXPECT_FALSE(parse_config_int64("99999999999999999G").has_value());
+  EXPECT_FALSE(parse_config_int64("999999999999999999999999").has_value());
+}
+
+TEST(ConfigParseTest, Doubles) {
+  EXPECT_DOUBLE_EQ(parse_config_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_config_double("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_config_double("2K").value(), 2048.0);
+  EXPECT_FALSE(parse_config_double("fast").has_value());
+  EXPECT_FALSE(parse_config_double("1.5s").has_value());
+  EXPECT_FALSE(parse_config_double("inf").has_value());
+}
+
+TEST(ConfigParseTest, Bools) {
+  for (const char* text : {"1", "true", "TRUE", "on", "yes"})
+    EXPECT_EQ(parse_config_bool(text), true) << text;
+  for (const char* text : {"0", "false", "Off", "no"})
+    EXPECT_EQ(parse_config_bool(text), false) << text;
+  EXPECT_FALSE(parse_config_bool("2").has_value());
+  EXPECT_FALSE(parse_config_bool("yep").has_value());
+  EXPECT_FALSE(parse_config_bool("").has_value());
+}
+
+TEST(ConfigTest, EveryKnobIsRegisteredWithDocs) {
+  for (const ConfigSpec& spec : config_specs()) {
+    EXPECT_EQ(spec.name.rfind("SESR_", 0), 0u) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    EXPECT_FALSE(spec.default_text.empty()) << spec.name;
+  }
+  // The knobs the tree actually reads must all resolve.
+  for (const char* name :
+       {"SESR_NUM_THREADS", "SESR_SESSION_CAP", "SESR_CACHE_DIR", "SESR_BENCH_FAST",
+        "SESR_BENCH_JSON_DIR", "SESR_SOAK_SECONDS", "SESR_SOAK_SEED"})
+    EXPECT_NO_THROW(static_cast<void>(config_spec(name))) << name;
+}
+
+TEST(ConfigTest, UnregisteredNameThrows) {
+  EXPECT_THROW(static_cast<void>(config_spec("SESR_NO_SUCH_KNOB")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(config_int64("SESR_NO_SUCH_KNOB")), std::invalid_argument);
+}
+
+TEST(ConfigTest, TypeMismatchThrows) {
+  EXPECT_THROW(static_cast<void>(config_int64("SESR_CACHE_DIR")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(config_string("SESR_SESSION_CAP")), std::invalid_argument);
+}
+
+TEST(ConfigTest, UnsetFallsBackToDefault) {
+  ScopedEnv clear("SESR_SESSION_CAP", nullptr);
+  EXPECT_EQ(config_int64("SESR_SESSION_CAP"), std::numeric_limits<int64_t>::max());
+  ScopedEnv clear_dir("SESR_CACHE_DIR", nullptr);
+  EXPECT_EQ(config_string("SESR_CACHE_DIR"), "sesr_cache");
+  ScopedEnv clear_fast("SESR_BENCH_FAST", nullptr);
+  EXPECT_FALSE(config_bool("SESR_BENCH_FAST"));
+}
+
+TEST(ConfigTest, SuffixedValueReadsThroughGetter) {
+  ScopedEnv cap("SESR_SESSION_CAP", "2K");
+  EXPECT_EQ(config_int64("SESR_SESSION_CAP"), 2048);
+}
+
+TEST(ConfigTest, OutOfRangeValuesClampOntoTheRegisteredRange) {
+  {
+    ScopedEnv threads("SESR_NUM_THREADS", "0");
+    EXPECT_EQ(config_int64("SESR_NUM_THREADS", 8), 1);  // min is 1
+  }
+  {
+    ScopedEnv threads("SESR_NUM_THREADS", "1M");
+    EXPECT_EQ(config_int64("SESR_NUM_THREADS", 8), 4096);  // max is 4096
+  }
+  {
+    ScopedEnv cap("SESR_SESSION_CAP", "-3");
+    EXPECT_EQ(config_int64("SESR_SESSION_CAP"), 0);
+  }
+  {
+    ScopedEnv soak("SESR_SOAK_SECONDS", "0.0001");
+    EXPECT_DOUBLE_EQ(config_double("SESR_SOAK_SECONDS"), 0.05);
+  }
+}
+
+TEST(ConfigTest, InvalidValuesAreRejectedNotZeroed) {
+  ScopedEnv cap("SESR_SESSION_CAP", "unlimited");
+  EXPECT_EQ(config_int64("SESR_SESSION_CAP"), std::numeric_limits<int64_t>::max());
+  ScopedEnv threads("SESR_NUM_THREADS", "fast");
+  EXPECT_EQ(config_int64("SESR_NUM_THREADS", 8), 8);  // caller fallback survives
+  ScopedEnv fast("SESR_BENCH_FAST", "maybe");
+  EXPECT_FALSE(config_bool("SESR_BENCH_FAST"));
+}
+
+TEST(ConfigTest, DynamicDefaultKnobRequiresAFallback) {
+  EXPECT_THROW(static_cast<void>(config_int64("SESR_NUM_THREADS")), std::invalid_argument);
+  ScopedEnv clear("SESR_NUM_THREADS", nullptr);
+  EXPECT_EQ(config_int64("SESR_NUM_THREADS", 6), 6);
+}
+
+TEST(ConfigTest, MarkdownTableCoversEveryKnob) {
+  // The README's knob table is this function's output; at minimum every
+  // registered knob must appear with its type.
+  const std::string table = config_markdown_table();
+  for (const ConfigSpec& spec : config_specs()) {
+    EXPECT_NE(table.find("`" + spec.name + "`"), std::string::npos) << spec.name;
+    EXPECT_NE(table.find(spec.description), std::string::npos) << spec.name;
+  }
+  EXPECT_NE(table.find("| Variable | Type | Range | Default | Effect |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sesr::core

@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -13,53 +12,13 @@
 #include "models/models.h"
 #include "nn/nn.h"
 #include "runtime/runtime.h"
+#include "tests/support/fault_injection.h"
 
 namespace sesr::models {
 namespace {
 
-/// A compilable shape-preserving layer whose serving kernel throws on
-/// demand: every Nth infer_into call fails, exercising the checkout/return
-/// unwind paths the way a real kernel fault (bad_alloc, cancelled
-/// workspace) would. Compiles through Module's default path: one opaque
-/// layer step executed via infer_into.
-class FaultingAffine final : public nn::Module {
- public:
-  Tensor forward(const Tensor& input) override {
-    Tensor out = input;
-    out.mul_scalar(0.5f).add_scalar(0.25f);
-    return out;
-  }
-  Tensor backward(const Tensor&) override {
-    throw std::logic_error("FaultingAffine: inference-only");
-  }
-  [[nodiscard]] std::string name() const override { return "faulting_affine"; }
-  Shape trace(const Shape& input, std::vector<nn::LayerInfo>*) const override {
-    if (input.ndim() != 4) throw std::invalid_argument("faulting_affine: NCHW only");
-    return input;
-  }
-  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
-  void infer_into(const Tensor& input, Tensor& output, Workspace&) const override {
-    if (fault_period > 0 && calls.fetch_add(1) % fault_period == fault_period - 1)
-      throw std::runtime_error("injected kernel fault");
-    std::copy(input.data(), input.data() + input.numel(), output.data());
-    output.mul_scalar(0.5f).add_scalar(0.25f);
-  }
-
-  mutable std::atomic<int64_t> calls{0};
-  int64_t fault_period = 0;  ///< 0 = never fault
-};
-
-/// Scoped environment override (the cap is read per session return).
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const char* value) : name_(name) {
-    setenv(name, value, 1);
-  }
-  ~ScopedEnv() { unsetenv(name_); }
-
- private:
-  const char* name_;
-};
+using sesr::testsupport::FaultingAffine;
+using sesr::testsupport::ScopedEnv;
 
 TEST(UpscalerPoolTest, ConcurrentFaultingServingNeverLeaksSessions) {
   ScopedEnv cap("SESR_SESSION_CAP", "2");

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -160,6 +164,107 @@ TEST(QuantizedModelRoundTripTest, FullSrZooBitIdentical) {
     ++exercised;
   }
   EXPECT_GE(exercised, 4);  // the zoo's SESR/FSRCNN/EDSR families all round-trip
+}
+
+// Satellite: every way an artifact file can be malformed — truncation, wrong
+// magic, a record count that disagrees with the payload, a poisoned scale —
+// must fail the load with a typed, descriptive error, never yield a silently
+// corrupt model. Each case starts from one real saved artifact and corrupts
+// a specific region of its bytes.
+//
+// Header layout (see quantized_model.cpp): magic u32 | version u32 |
+// per_channel u8 | input scale f32 + zero_point i32 | step count u64 | ...
+constexpr size_t kInputScaleOffset = 9;
+constexpr size_t kStepCountOffset = 17;
+
+const std::vector<char>& valid_artifact_bytes() {
+  static const std::vector<char> bytes = [] {
+    auto net = small_net(11);
+    const Shape input{1, 3, 8, 8};
+    const auto artifact = QuantizedModel::calibrate(*net, input, batches(input, 2, 12));
+    const std::string path = testing::TempDir() + "/malformed_base.sesq";
+    artifact.save(path);
+    std::ifstream is(path, std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    return raw;
+  }();
+  return bytes;
+}
+
+/// Write `bytes` to a temp file, load it, and return the load error message
+/// ("" when the load unexpectedly succeeds). The file is always removed.
+std::string load_error(const std::vector<char>& bytes, const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::string message;
+  try {
+    static_cast<void>(QuantizedModel::load(path));
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  std::remove(path.c_str());
+  return message;
+}
+
+TEST(QuantizedModelMalformedTest, BaselineBytesActuallyLoad) {
+  // The corruption tests prove nothing if the uncorrupted bytes don't load.
+  EXPECT_EQ(load_error(valid_artifact_bytes(), "baseline.sesq"), "");
+}
+
+TEST(QuantizedModelMalformedTest, TruncatedFileIsRejected) {
+  std::vector<char> bytes = valid_artifact_bytes();
+  bytes.resize(bytes.size() / 2);
+  const std::string error = load_error(bytes, "truncated.sesq");
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(QuantizedModelMalformedTest, BadMagicIsRejected) {
+  std::vector<char> bytes = valid_artifact_bytes();
+  bytes[0] = static_cast<char>(bytes[0] ^ 0x5a);
+  const std::string error = load_error(bytes, "bad_magic.sesq");
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+TEST(QuantizedModelMalformedTest, OverstatedRecordCountIsRejected) {
+  // Header claims one more record than the payload holds: the reader must
+  // hit end-of-file mid-record, not fabricate a step.
+  std::vector<char> bytes = valid_artifact_bytes();
+  uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + kStepCountOffset, sizeof(count));
+  ++count;
+  std::memcpy(bytes.data() + kStepCountOffset, &count, sizeof(count));
+  const std::string error = load_error(bytes, "overstated_count.sesq");
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(QuantizedModelMalformedTest, TrailingBytesAreRejected) {
+  // Understated record count (equivalently: spliced-on junk) — the payload
+  // outlives the declared records.
+  std::vector<char> bytes = valid_artifact_bytes();
+  for (int i = 0; i < 8; ++i) bytes.push_back('\x7f');
+  const std::string error = load_error(bytes, "trailing.sesq");
+  EXPECT_NE(error.find("record count mismatch"), std::string::npos) << error;
+}
+
+TEST(QuantizedModelMalformedTest, NaNInputScaleIsRejected) {
+  std::vector<char> bytes = valid_artifact_bytes();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(bytes.data() + kInputScaleOffset, &nan, sizeof(nan));
+  const std::string error = load_error(bytes, "nan_scale.sesq");
+  EXPECT_NE(error.find("invalid input scale"), std::string::npos) << error;
+}
+
+TEST(QuantizedModelMalformedTest, NonPositiveInputScaleIsRejected) {
+  std::vector<char> bytes = valid_artifact_bytes();
+  const float zero = 0.0f;
+  std::memcpy(bytes.data() + kInputScaleOffset, &zero, sizeof(zero));
+  const std::string error = load_error(bytes, "zero_scale.sesq");
+  EXPECT_NE(error.find("invalid input scale"), std::string::npos) << error;
 }
 
 TEST(QuantizedModelTest, LoadRejectsGarbage) {

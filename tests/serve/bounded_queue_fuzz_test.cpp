@@ -1,0 +1,201 @@
+// Randomized schedules against a sequential reference model of BoundedQueue.
+//
+// The example-based suite (bounded_queue_test.cpp) checks each behaviour in
+// isolation; this one drives long seeded interleavings of every operation —
+// push / try_push / pop / pop_batch(compat, linger) / close — and checks the
+// queue against a plain std::deque executing the same operations, so
+// ordering, rejection accounting, and close-drains-then-ends hold across
+// operation *combinations* no example test enumerates. Failures reproduce
+// from the seed printed in the assertion message.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "tensor/rng.h"
+
+namespace sesr::serve {
+namespace {
+
+/// Payload: `key` is the batching-compatibility class (the serving engine's
+/// model+shape), `sequence` the global submission index (FIFO witness).
+struct Item {
+  int64_t key = 0;
+  int64_t sequence = 0;
+};
+
+/// Single-threaded: every randomized op sequence must behave exactly like
+/// the reference deque (bounded, FIFO, contiguous-prefix batching).
+TEST(BoundedQueueFuzzTest, SequentialOpsMatchTheReferenceModel) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const auto rand_below = [&](int64_t n) { return rng.randint(0, n - 1); };
+    const int64_t capacity = 1 + rand_below(6);
+    BoundedQueue<Item> queue(capacity);
+    std::deque<Item> model;
+    const auto compatible = [](const Item& candidate, const Item& first) {
+      return candidate.key == first.key;
+    };
+
+    int64_t next_sequence = 0;
+    bool closed = false;
+    for (int op_index = 0; op_index < 400; ++op_index) {
+      const int64_t op = rand_below(10);
+      if (op < 4) {  // try_push (non-blocking: safe single-threaded)
+        Item item{rand_below(3), next_sequence};
+        const bool pushed = queue.try_push(Item{item});
+        const bool expect =
+            !closed && static_cast<int64_t>(model.size()) < capacity;
+        ASSERT_EQ(pushed, expect) << "seed " << seed << " op " << op_index;
+        if (pushed) {
+          model.push_back(item);
+          ++next_sequence;
+        }
+      } else if (op < 7) {  // pop_batch with a random max; zero linger
+        if (model.empty() && !closed) continue;  // would block forever
+        std::vector<Item> batch;
+        const int64_t max = 1 + rand_below(4);
+        const bool got = queue.pop_batch(batch, max, compatible);
+        if (model.empty()) {
+          ASSERT_FALSE(got) << "seed " << seed;
+          ASSERT_TRUE(batch.empty());
+          continue;
+        }
+        ASSERT_TRUE(got) << "seed " << seed;
+        // Reference: the longest same-key prefix, capped at max.
+        std::vector<Item> expect;
+        while (!model.empty() && static_cast<int64_t>(expect.size()) < max &&
+               (expect.empty() || model.front().key == expect.front().key)) {
+          expect.push_back(model.front());
+          model.pop_front();
+        }
+        ASSERT_EQ(batch.size(), expect.size()) << "seed " << seed << " op " << op_index;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          ASSERT_EQ(batch[i].key, expect[i].key) << "seed " << seed;
+          ASSERT_EQ(batch[i].sequence, expect[i].sequence) << "seed " << seed;
+        }
+      } else if (op < 9) {  // pop
+        if (model.empty() && !closed) continue;
+        const std::optional<Item> item = queue.pop();
+        if (model.empty()) {
+          ASSERT_FALSE(item.has_value()) << "seed " << seed;
+        } else {
+          ASSERT_TRUE(item.has_value()) << "seed " << seed;
+          ASSERT_EQ(item->sequence, model.front().sequence) << "seed " << seed;
+          model.pop_front();
+        }
+      } else if (op == 9 && op_index > 300) {  // close late in the schedule
+        queue.close();
+        closed = true;
+      }
+      ASSERT_EQ(queue.size(), static_cast<int64_t>(model.size())) << "seed " << seed;
+      ASSERT_LE(queue.size(), capacity) << "seed " << seed;
+    }
+
+    // Drain: close-then-pop returns every remaining item in order, then ends.
+    queue.close();
+    while (!model.empty()) {
+      const std::optional<Item> item = queue.pop();
+      ASSERT_TRUE(item.has_value()) << "seed " << seed;
+      ASSERT_EQ(item->sequence, model.front().sequence) << "seed " << seed;
+      model.pop_front();
+    }
+    ASSERT_FALSE(queue.pop().has_value()) << "seed " << seed;
+  }
+}
+
+/// Multi-threaded: randomized producer/consumer schedules must lose nothing,
+/// duplicate nothing, keep per-producer FIFO order, and account every
+/// try_push refusal.
+TEST(BoundedQueueFuzzTest, ConcurrentSchedulesConserveItems) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int64_t kPerProducer = 300;
+    BoundedQueue<Item> queue(8);
+
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int64_t> refused{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Rng rng(seed * 1000 + static_cast<uint64_t>(p));
+        for (int64_t i = 0; i < kPerProducer; ++i) {
+          // sequence encodes (producer, index): consumers can check
+          // per-producer FIFO without cross-thread coordination.
+          Item item{rng.randint(0, 2), p * kPerProducer + i};
+          if (rng.bernoulli(0.5)) {
+            ASSERT_TRUE(queue.push(std::move(item)));  // blocking: always lands
+            accepted.fetch_add(1);
+          } else if (queue.try_push(std::move(item))) {
+            accepted.fetch_add(1);
+          } else {
+            refused.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    std::atomic<int64_t> consumed{0};
+    std::vector<std::vector<Item>> taken(kConsumers);
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&, c] {
+        Rng rng(seed * 2000 + static_cast<uint64_t>(c));
+        std::vector<Item> batch;
+        const auto compatible = [](const Item& candidate, const Item& first) {
+          return candidate.key == first.key;
+        };
+        for (;;) {
+          batch.clear();
+          const int64_t max = rng.randint(1, 4);
+          const auto linger = std::chrono::microseconds(rng.randint(0, 199));
+          if (!queue.pop_batch(batch, max, compatible, linger)) return;
+          for (const Item& item : batch) {
+            ASSERT_TRUE(batch.front().key == item.key);  // batch is one class
+            taken[static_cast<size_t>(c)].push_back(item);
+          }
+          consumed.fetch_add(static_cast<int64_t>(batch.size()));
+        }
+      });
+    }
+
+    for (std::thread& p : producers) p.join();
+    queue.close();
+    for (std::thread& c : consumers) c.join();
+
+    // Conservation: accepted + refused covers every submission; consumers
+    // drained exactly the accepted ones (close drains, never drops).
+    EXPECT_EQ(accepted.load() + refused.load(), kProducers * kPerProducer) << "seed " << seed;
+    EXPECT_EQ(consumed.load(), accepted.load()) << "seed " << seed;
+    EXPECT_EQ(queue.size(), 0) << "seed " << seed;
+
+    // No duplicates across consumers, and per-producer order within each
+    // consumer is increasing (FIFO is never violated by batching).
+    std::vector<int64_t> all;
+    for (int c = 0; c < kConsumers; ++c) {
+      std::vector<int64_t> last_per_producer(kProducers, -1);
+      for (const Item& item : taken[static_cast<size_t>(c)]) {
+        all.push_back(item.sequence);
+        const int64_t producer = item.sequence / kPerProducer;
+        // A later pop by the same consumer can't hold an earlier sequence of
+        // the same producer: batches are contiguous queue prefixes.
+        EXPECT_GT(item.sequence, last_per_producer[static_cast<size_t>(producer)])
+            << "seed " << seed;
+        last_per_producer[static_cast<size_t>(producer)] = item.sequence;
+      }
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+        << "seed " << seed << ": duplicate delivery";
+    EXPECT_EQ(static_cast<int64_t>(all.size()), accepted.load()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sesr::serve

@@ -2,6 +2,8 @@
 // the log-linear bucketing, and safe concurrent recording.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -64,6 +66,91 @@ TEST(LatencyHistogramTest, QuantilesAreMonotonic) {
     EXPECT_GE(value, previous) << "q=" << q;
     previous = value;
   }
+}
+
+// Satellite: sweep every octave boundary (2^k) and every sub-bucket edge
+// ((16+sub)<<octave) across the histogram's range, each with its ±1
+// neighbours. These are exactly the values where the log-linear index math
+// can misplace a sample (the LowerHalfOctave regression above was one such
+// edge); the read-back quantile for a repeated value must stay within the
+// documented one-sub-bucket error everywhere.
+TEST(LatencyHistogramTest, OctaveAndSubBucketBoundarySweepStaysWithinError) {
+  std::vector<int64_t> probes;
+  for (int octave = 4; octave <= 38; ++octave) {
+    const int64_t base = int64_t{1} << octave;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    // Sub-bucket edges inside this octave: (16 + sub) << (octave - 4).
+    if (octave >= 5) {
+      for (int64_t sub = 1; sub < 16; ++sub) {
+        const int64_t edge = (16 + sub) << (octave - 4);
+        probes.push_back(edge - 1);
+        probes.push_back(edge);
+        probes.push_back(edge + 1);
+      }
+    }
+  }
+  for (const int64_t us : probes) {
+    LatencyHistogram histogram;
+    histogram.record_us(us);
+    const double got_ms = histogram.quantile_ms(0.5);
+    const double want_ms = static_cast<double>(us) / 1000.0;
+    if (us < 16) {
+      EXPECT_DOUBLE_EQ(got_ms, want_ms) << "us=" << us;  // linear range is exact
+    } else {
+      // One sub-bucket of relative error: bucket width / bucket low edge is
+      // at most 1/16, and the geometric midpoint at most ~3.1% off either
+      // end; 9% is the documented (loose) bound.
+      EXPECT_NEAR(got_ms, want_ms, want_ms * 0.09) << "us=" << us;
+    }
+    EXPECT_EQ(histogram.count(), 1) << "us=" << us;
+  }
+}
+
+// Satellite (runs under TSan in CI): snapshot()/quantile_ms() while writers
+// are mid-record must be data-race-free and internally sane — count never
+// goes backwards between snapshots, quantiles stay ordered and never exceed
+// the running max.
+TEST(LatencyHistogramTest, SnapshotDuringConcurrentRecordingIsSane) {
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 50000;
+  LatencyHistogram histogram;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerWriter; ++i)
+        histogram.record_us(1 + (static_cast<int64_t>(t) * 7919 + i) % 100000);
+    });
+  }
+
+  std::thread reader([&] {
+    int64_t last_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const LatencyHistogram::Snapshot snap = histogram.snapshot();
+      // Race-safe invariants only: each quantile is computed over a slightly
+      // different in-flight state, so cross-quantile ordering is asserted on
+      // the quiescent snapshot below, not here.
+      EXPECT_GE(snap.count, last_count);  // count never goes backwards
+      last_count = snap.count;
+      for (const double value : {snap.p50_ms, snap.p95_ms, snap.p99_ms, snap.max_ms}) {
+        EXPECT_GE(value, 0.0);
+        EXPECT_LE(value, 100.0);  // nothing larger was ever recorded
+      }
+    }
+  });
+
+  for (std::thread& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const LatencyHistogram::Snapshot final_snap = histogram.snapshot();
+  EXPECT_EQ(final_snap.count, static_cast<int64_t>(kWriters) * kPerWriter);
+  EXPECT_LE(final_snap.p50_ms, final_snap.p95_ms);
+  EXPECT_LE(final_snap.p95_ms, final_snap.p99_ms);
+  EXPECT_LE(final_snap.p99_ms, final_snap.max_ms);
 }
 
 TEST(LatencyHistogramTest, NegativeClampsToZero) {

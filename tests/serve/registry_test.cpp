@@ -1,0 +1,359 @@
+// ModelRegistry contract: versioned snapshots, RCU hot-swap (in-flight work
+// finishes on the old snapshot, post-publish submissions see the new one),
+// and the Server's multi-tenant routing and quota enforcement on top.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/models.h"
+#include "serve/serve.h"
+#include "tests/support/fault_injection.h"
+
+namespace sesr::serve {
+namespace {
+
+using sesr::testsupport::FaultingAffine;
+
+std::shared_ptr<ModelRegistry> affine_registry(float scale = 0.5f, float offset = 0.25f) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->register_model("affine", "affine-v1",
+                           std::make_shared<FaultingAffine>(scale, offset));
+  return registry;
+}
+
+TEST(ModelRegistryTest, RegisterAndAcquire) {
+  auto registry = affine_registry();
+  EXPECT_TRUE(registry->contains("affine"));
+  EXPECT_FALSE(registry->contains("missing"));
+  EXPECT_EQ(registry->size(), 1u);
+  EXPECT_EQ(registry->model_ids(), std::vector<std::string>{"affine"});
+
+  const auto snapshot = registry->acquire("affine");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->model, "affine");
+  EXPECT_EQ(snapshot->version, 1);
+  EXPECT_EQ(snapshot->precision, runtime::Precision::kFloat32);
+  ASSERT_NE(snapshot->network, nullptr);
+  EXPECT_EQ(snapshot->artifact, nullptr);
+
+  EXPECT_THROW(static_cast<void>(registry->acquire("missing")), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(registry->version("missing")), std::out_of_range);
+  EXPECT_THROW(registry->register_model("affine", "dup", std::make_shared<FaultingAffine>()),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistryTest, PublishInstallsMonotonicVersions) {
+  auto registry = affine_registry();
+  EXPECT_EQ(registry->version("affine"), 1);
+  EXPECT_EQ(registry->publish_fp32("affine"), 2);
+  EXPECT_EQ(registry->publish_fp32("affine"), 3);
+  EXPECT_EQ(registry->version("affine"), 3);
+  EXPECT_EQ(registry->acquire("affine")->version, 3);
+}
+
+TEST(ModelRegistryTest, PublishGenericRecordsUpscalerPrecision) {
+  auto registry = affine_registry();
+  // A caller-prepared replacement with different coefficients.
+  const int64_t version =
+      registry->publish("affine", std::make_shared<models::NetworkUpscaler>(
+                                      "affine-v2", std::make_shared<FaultingAffine>(2.0f, 0.0f)));
+  EXPECT_EQ(version, 2);
+  const auto snapshot = registry->acquire("affine");
+  EXPECT_EQ(snapshot->precision, runtime::Precision::kFloat32);
+  ASSERT_NE(snapshot->network, nullptr);
+  EXPECT_EQ(snapshot->upscaler->label(), "affine-v2");
+}
+
+TEST(ModelRegistryTest, OldSnapshotSurvivesPublish) {
+  auto registry = affine_registry();
+  const auto old_snapshot = registry->acquire("affine");
+  registry->publish_fp32("affine");
+
+  // RCU grace period: the pre-swap snapshot still dispatches correctly even
+  // though the registry has moved on.
+  Rng rng(7);
+  const Tensor image = Tensor::rand({1, 3, 6, 6}, rng);
+  const Tensor out = old_snapshot->upscaler->upscale(image);
+  EXPECT_EQ(out.shape(), image.shape());
+  EXPECT_EQ(old_snapshot->version, 1);
+  EXPECT_EQ(registry->acquire("affine")->version, 2);
+}
+
+TEST(ModelRegistryTest, InterpolationUpscalerRegistersButCannotRepublish) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->register_upscaler("bilinear", std::make_shared<models::InterpolationUpscaler>(
+                                              preprocess::InterpolationKind::kBilinear));
+  const auto snapshot = registry->acquire("bilinear");
+  EXPECT_EQ(snapshot->version, 1);
+  EXPECT_EQ(snapshot->network, nullptr);
+  // No module retained: sibling rebuilds are impossible by construction.
+  EXPECT_THROW(static_cast<void>(registry->publish_fp32("bilinear")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(registry->publish_int8("bilinear", nullptr)),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistryTest, PublishInt8ServesTheArtifact) {
+  auto network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                models::Sesr::Form::kInference);
+  Rng rng(11);
+  network->init_weights(rng);
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->register_model("sesr", "SESR-M2", network);
+
+  const Shape input{1, 3, 8, 8};
+  std::vector<Tensor> batches;
+  Rng cal_rng(12);
+  for (int i = 0; i < 2; ++i) batches.push_back(Tensor::rand(input, cal_rng));
+  auto artifact = std::make_shared<const quant::QuantizedModel>(
+      quant::QuantizedModel::calibrate(*network, input, batches));
+
+  const int64_t version = registry->publish_int8("sesr", artifact, {input});
+  EXPECT_EQ(version, 2);
+  const auto snapshot = registry->acquire("sesr");
+  EXPECT_EQ(snapshot->precision, runtime::Precision::kInt8);
+  EXPECT_EQ(snapshot->artifact, artifact);
+  ASSERT_NE(snapshot->network, nullptr);
+  EXPECT_EQ(snapshot->network->precision(), runtime::Precision::kInt8);
+  // warm_shapes precompiled the plan before install: serving compiles nothing.
+  const int64_t compiles = snapshot->network->plan_compile_count();
+  Rng in_rng(13);
+  const Tensor out = snapshot->upscaler->upscale(Tensor::rand(input, in_rng));
+  EXPECT_EQ(out.shape(), Shape({1, 3, 16, 16}));
+  EXPECT_EQ(snapshot->network->plan_compile_count(), compiles);
+
+  // Flipping back republishes fp32 at the next version.
+  EXPECT_EQ(registry->publish_fp32("sesr", {input}), 3);
+  EXPECT_EQ(registry->acquire("sesr")->precision, runtime::Precision::kFloat32);
+}
+
+TEST(ServerRoutingTest, RepliesCarryTheServedVersionAcrossASwap) {
+  auto registry = affine_registry(0.5f, 0.0f);
+  Server::Options options;
+  options.workers = 2;
+  options.max_batch = 4;
+  Server server(registry, options);
+
+  Rng rng(17);
+  const Tensor image = Tensor::rand({3, 6, 6}, rng);
+  ServeReply reply = server.submit(image, Server::SubmitOptions{.model = "affine"}).get();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.model_version, 1);
+  // v1 output proves which coefficients served: out = in * 0.5.
+  Tensor expect_v1 = image;
+  expect_v1.mul_scalar(0.5f);
+  EXPECT_EQ(reply.output.reshaped({3, 6, 6}).max_abs_diff(expect_v1), 0.0f);
+
+  // Swap barrier: after publish() returns, a new submission must be served
+  // by the new version — and its output must prove it (out = in * 0.25).
+  registry->publish("affine", std::make_shared<models::NetworkUpscaler>(
+                                  "affine-v2", std::make_shared<FaultingAffine>(0.25f, 0.0f)));
+  reply = server.submit(image, Server::SubmitOptions{.model = "affine"}).get();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.model_version, 2);
+  Tensor expect_v2 = image;
+  expect_v2.mul_scalar(0.25f);
+  EXPECT_EQ(reply.output.reshaped({3, 6, 6}).max_abs_diff(expect_v2), 0.0f);
+}
+
+TEST(ServerRoutingTest, UnknownModelIdThrowsAtTheDoor) {
+  Server server(affine_registry(), {});
+  Rng rng(19);
+  const Tensor image = Tensor::rand({3, 4, 4}, rng);
+  EXPECT_THROW(static_cast<void>(
+                   server.submit(image, Server::SubmitOptions{.model = "missing"})),
+               std::invalid_argument);
+  // The default-model overloads need a registered kDefaultModel.
+  EXPECT_THROW(static_cast<void>(server.submit(image)), std::invalid_argument);
+}
+
+TEST(ServerRoutingTest, TwoModelsServeConcurrentlyWithoutCrossTalk) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->register_model("half", "half", std::make_shared<FaultingAffine>(0.5f, 0.0f));
+  registry->register_model("quarter", "quarter", std::make_shared<FaultingAffine>(0.25f, 0.0f));
+  Server::Options options;
+  options.workers = 2;
+  options.max_batch = 4;
+  Server server(registry, options);
+
+  Rng rng(23);
+  const Tensor image = Tensor::rand({3, 5, 5}, rng);
+  std::vector<std::pair<std::string, float>> routes = {{"half", 0.5f}, {"quarter", 0.25f}};
+  std::vector<ServeFuture> futures;
+  std::vector<float> scales;
+  for (int i = 0; i < 40; ++i) {
+    const auto& [model, scale] = routes[static_cast<size_t>(i) % routes.size()];
+    futures.push_back(server.submit(image, Server::SubmitOptions{.model = model}));
+    scales.push_back(scale);
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServeReply reply = futures[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    Tensor expected = image;
+    expected.mul_scalar(scales[i]);
+    EXPECT_EQ(reply.output.reshaped({3, 5, 5}).max_abs_diff(expected), 0.0f) << i;
+  }
+  // Batches never mix models, so every dispatch's images share a scale.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 40);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(ServerTenantTest, QuotaRefusesTheExcessNotTheTenant) {
+  auto registry = affine_registry();
+  Server::Options options;
+  options.workers = 1;
+  options.max_batch = 1;
+  options.queue_capacity = 64;
+  options.tenant_quotas["small"] = {.max_in_queue = 2};
+  // Stall every dispatch so a burst outpaces the worker and the tenant's
+  // occupancy actually hits its cap.
+  options.fault_plan = std::make_shared<FaultPlan>(FaultPlan::Options{
+      .seed = 5, .worker_stall_period = 1, .worker_stall_for = std::chrono::microseconds(2000)});
+  Server server(registry, options);
+
+  Rng rng(29);
+  const Tensor image = Tensor::rand({3, 4, 4}, rng);
+
+  // Serial submit-then-get keeps occupancy <= 1: the quota never bites.
+  for (int i = 0; i < 8; ++i) {
+    ServeReply reply =
+        server.submit(image, Server::SubmitOptions{.model = "affine", .tenant = "small"}).get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+  }
+
+  // Burst-submit without collecting: occupancy exceeds 2 behind the stalled
+  // worker, and the excess is refused immediately — not queued, not lost.
+  std::vector<ServeFuture> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(
+        server.submit(image, Server::SubmitOptions{.model = "affine", .tenant = "small"}));
+  int burst_ok = 0, burst_refused = 0;
+  for (ServeFuture& f : futures) {
+    ServeReply reply = f.get();
+    if (reply.ok())
+      ++burst_ok;
+    else if (reply.error == "tenant over quota")
+      ++burst_refused;
+  }
+  EXPECT_EQ(burst_ok + burst_refused, 16);  // exactly one reply per request
+  EXPECT_GT(burst_ok, 0);
+  EXPECT_GT(burst_refused, 0) << "occupancy never reached the quota";
+
+  const ServerStats stats = server.stats();
+  const auto tenant = stats.tenants.find("small");
+  ASSERT_NE(tenant, stats.tenants.end());
+  EXPECT_EQ(tenant->second.completed, 8 + burst_ok);
+  EXPECT_EQ(tenant->second.rejected, burst_refused);
+  EXPECT_LE(tenant->second.peak_in_queue, 2);
+  EXPECT_EQ(tenant->second.in_queue, 0);
+}
+
+TEST(ServerTenantTest, TenantDeadlineDefaultAppliesWhenCallerPassesNone) {
+  auto registry = affine_registry();
+  Server::Options options;
+  options.workers = 1;
+  // An effectively-instant tenant deadline with a stalled worker: everything
+  // from this tenant sheds, while the unconfigured tenant (no deadline) is
+  // always served.
+  options.tenant_quotas["impatient"] = {.default_deadline = std::chrono::milliseconds(1)};
+  auto plan = std::make_shared<FaultPlan>(FaultPlan::Options{
+      .seed = 3, .worker_stall_period = 1, .worker_stall_for = std::chrono::microseconds(3000)});
+  options.fault_plan = plan;
+  Server server(registry, options);
+
+  Rng rng(31);
+  const Tensor image = Tensor::rand({3, 4, 4}, rng);
+  int shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    ServeReply reply =
+        server
+            .submit(image, Server::SubmitOptions{.model = "affine", .tenant = "impatient"})
+            .get();
+    if (reply.status == ServeStatus::kShed) ++shed;
+  }
+  EXPECT_GT(shed, 0) << "1ms tenant deadline never expired behind a stalled worker";
+  EXPECT_GT(plan->worker_stalls_fired(), 0);
+
+  ServeReply patient =
+      server.submit(image, Server::SubmitOptions{.model = "affine", .tenant = "patient"})
+          .get();
+  EXPECT_TRUE(patient.ok()) << patient.error;
+
+  const ServerStats stats = server.stats();
+  ASSERT_TRUE(stats.tenants.count("impatient"));
+  EXPECT_EQ(stats.tenants.at("impatient").shed, shed);
+  EXPECT_EQ(stats.tenants.at("patient").shed, 0);
+}
+
+TEST(ServerRoutingTest, ConcurrentSwapsNeverDropOrMisrouteRequests) {
+  // A compact version of the soak invariant: hammer one model from several
+  // threads while another thread republishes it continuously. Every request
+  // gets exactly one reply; every kOk reply's content matches the version it
+  // claims (out = in * scale(version)); versions never run backwards past
+  // the submit-time floor.
+  auto registry = std::make_shared<ModelRegistry>();
+  // Scales stay below 1 so the upscaler's [0, 1] output clamp never fires
+  // and reply content remains an exact witness of the serving version.
+  const auto scale_for = [](int64_t version) {
+    return 1.0f / (1.0f + 0.25f * static_cast<float>(version));
+  };
+  registry->register_model("affine", "affine",
+                           std::make_shared<FaultingAffine>(scale_for(1), 0.0f));
+  Server::Options options;
+  options.workers = 3;
+  options.max_batch = 4;
+  Server server(registry, options);
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    int64_t next = 2;
+    while (!stop_swapping.load()) {
+      registry->publish("affine",
+                        std::make_shared<models::NetworkUpscaler>(
+                            "affine", std::make_shared<FaultingAffine>(scale_for(next), 0.0f)));
+      ++next;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 120;
+  std::atomic<int64_t> replies{0};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> stale{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(100 + t));
+      const Tensor image = Tensor::rand({1, 3, 4, 4}, rng);
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t floor = registry->version("affine");
+        ServeReply reply =
+            server.submit(image, Server::SubmitOptions{.model = "affine"}).get();
+        replies.fetch_add(1);
+        if (!reply.ok()) continue;  // this test injects no faults; count anyway
+        if (reply.model_version < floor) stale.fetch_add(1);
+        Tensor expected = image;
+        expected.mul_scalar(scale_for(reply.model_version));
+        if (reply.output.max_abs_diff(expected) != 0.0f) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  stop_swapping.store(true);
+  swapper.join();
+  server.stop();
+
+  EXPECT_EQ(replies.load(), kThreads * kPerThread);  // exactly one reply each
+  EXPECT_EQ(mismatches.load(), 0) << "a reply's content did not match its claimed version";
+  EXPECT_EQ(stale.load(), 0) << "a reply was served by a version older than its submit floor";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.failed + stats.shed, kThreads * kPerThread);
+  EXPECT_GT(registry->version("affine"), 1);
+}
+
+}  // namespace
+}  // namespace sesr::serve

@@ -1,0 +1,282 @@
+// Multi-tenant hot-swap soak: the registry-backed serving engine under
+// sustained concurrent load, continuous publishes, and seeded fault
+// injection (CTest label: soak).
+//
+// Three tenants with different quotas hammer two models — a real SESR
+// network whose publisher flips fp32 <-> int8 mid-load, and a FaultingAffine
+// whose per-version coefficients make every kOk reply a *content-level
+// witness* of the version that served it — while a serve::FaultPlan injects
+// kernel throws, worker stalls, and queue-overflow bursts on a seeded
+// schedule. Invariants asserted at the end:
+//
+//   - no lost completions: every admitted request gets exactly one reply
+//     (futures and callbacks alike), even across stop()'s drain;
+//   - swap barrier: no kOk reply is served by a version older than the
+//     version floor its producer read before submitting;
+//   - content integrity: affine replies match their claimed version's
+//     coefficients bit-exactly — a misrouted or torn swap cannot hide;
+//   - bounded occupancy: queue depth never exceeds capacity, quota'd
+//     tenants never exceed their occupancy caps;
+//   - quiescence: after stop(), current snapshots hold zero live sessions
+//     and counters conserve (submitted == completed + shed + failed).
+//
+// Scale knobs (typed config, see core/config.h): SESR_SOAK_SECONDS (default
+// 1.5 — the PR-gate smoke; nightly CI runs minutes) and SESR_SOAK_SEED. The
+// whole schedule is a function of the seed: a nightly failure reproduces
+// locally by exporting the same values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "models/models.h"
+#include "serve/serve.h"
+#include "tests/support/fault_injection.h"
+
+namespace sesr::serve {
+namespace {
+
+using sesr::testsupport::FaultingAffine;
+using Clock = std::chrono::steady_clock;
+
+/// Version-dependent affine scale, kept below 1 so the upscaler's [0, 1]
+/// output clamp never fires and outputs witness versions exactly.
+float scale_for(int64_t version) {
+  return 1.0f / (1.0f + 0.125f * static_cast<float>(version));
+}
+
+TEST(ServeSoakTest, MultiTenantHotSwapSoak) {
+  const double seconds = core::config_double("SESR_SOAK_SECONDS");
+  const auto seed = static_cast<uint64_t>(core::config_int64("SESR_SOAK_SEED"));
+  const auto duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+  // Swap cadence targets >= 100 swaps on runs of two minutes and up while
+  // keeping the smoke run's cadence fast enough to cross several versions.
+  const auto swap_interval = std::clamp(
+      std::chrono::duration_cast<std::chrono::milliseconds>(duration / 120),
+      std::chrono::milliseconds(20), std::chrono::milliseconds(1000));
+
+  // --- fault schedule (one seed, every seam) -------------------------------
+  FaultPlan::Options fault_options;
+  fault_options.seed = seed;
+  fault_options.kernel_fault_period = 60;   // affine kernel throws
+  fault_options.worker_stall_period = 50;   // dispatch stalls
+  fault_options.worker_stall_for = std::chrono::microseconds(300);
+  fault_options.overflow_burst_period = 16; // producer try_submit bursts
+  fault_options.overflow_burst_size = 24;
+  fault_options.precision_flip_period = 3;  // sesr swaps flip fp32 <-> int8
+  auto plan = std::make_shared<FaultPlan>(fault_options);
+
+  // --- models --------------------------------------------------------------
+  auto registry = std::make_shared<ModelRegistry>();
+
+  auto make_affine = [&](int64_t version) {
+    auto layer = std::make_shared<FaultingAffine>(scale_for(version), 0.0f);
+    layer->fault_plan = plan;
+    return layer;
+  };
+  registry->register_model("affine", "affine", make_affine(1));
+  // The registered module is version 1's coefficients, but register_model
+  // retains it for sibling rebuilds; affine publishes always go through
+  // publish() with a fresh per-version module instead.
+
+  auto sesr_network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                     models::Sesr::Form::kInference);
+  Rng weight_rng(seed + 1);
+  sesr_network->init_weights(weight_rng);
+  registry->register_model("sesr", "SESR-M2", sesr_network);
+  const Shape sesr_shape{1, 3, 8, 8};
+  const Shape affine_shape{1, 3, 6, 6};
+  std::vector<Tensor> calibration;
+  Rng cal_rng(seed + 2);
+  for (int i = 0; i < 2; ++i) calibration.push_back(Tensor::rand(sesr_shape, cal_rng));
+  auto artifact = std::make_shared<const quant::QuantizedModel>(
+      quant::QuantizedModel::calibrate(*sesr_network, sesr_shape, calibration));
+
+  // --- server --------------------------------------------------------------
+  Server::Options options;
+  options.workers = 3;
+  options.max_batch = 4;
+  options.queue_capacity = 64;
+  options.batch_linger = std::chrono::microseconds(100);
+  options.fault_plan = plan;
+  TenantQuota bursty_quota;
+  bursty_quota.max_in_queue = 8;
+  options.tenant_quotas["bursty"] = bursty_quota;
+  TenantQuota strict_quota;
+  strict_quota.max_in_queue = 4;
+  strict_quota.default_deadline = std::chrono::milliseconds(50);
+  options.tenant_quotas["strict"] = strict_quota;
+  Server server(registry, options);
+  server.warmup("sesr", {3, 8, 8});
+
+  // --- shared accounting ---------------------------------------------------
+  std::atomic<int64_t> expected_replies{0};  // admitted submissions
+  std::atomic<int64_t> replies{0};           // callbacks delivered
+  std::atomic<int64_t> ok_replies{0};
+  std::atomic<int64_t> kernel_fault_errors{0};
+  std::atomic<int64_t> stale_replies{0};     // version < submit-time floor
+  std::atomic<int64_t> content_mismatches{0};
+  std::atomic<int64_t> try_refused{0};
+
+  // --- publishers: continuous hot swaps ------------------------------------
+  const Clock::time_point end_time = Clock::now() + duration;
+  std::atomic<int64_t> affine_swaps{0};
+  std::atomic<int64_t> sesr_swaps{0};
+  std::thread affine_publisher([&] {
+    int64_t next_version = 2;
+    while (Clock::now() < end_time) {
+      const int64_t version = registry->publish(
+          "affine", std::make_shared<models::NetworkUpscaler>("affine",
+                                                              make_affine(next_version)));
+      // Single publisher per model: versions are exactly sequential, so
+      // scale_for(reply.model_version) is always the serving coefficients.
+      ASSERT_EQ(version, next_version);
+      ++next_version;
+      affine_swaps.fetch_add(1);
+      std::this_thread::sleep_for(swap_interval);
+    }
+  });
+  std::thread sesr_publisher([&] {
+    bool int8_serving = false;
+    int64_t swap_index = 0;
+    while (Clock::now() < end_time) {
+      if (plan->precision_flip(swap_index)) int8_serving = !int8_serving;
+      if (int8_serving)
+        registry->publish_int8("sesr", artifact);
+      else
+        registry->publish_fp32("sesr");
+      ++swap_index;
+      sesr_swaps.fetch_add(1);
+      std::this_thread::sleep_for(swap_interval);
+    }
+  });
+
+  // --- producers: three tenants, two models, seeded burst schedule ---------
+  const std::vector<std::string> tenants = {"free", "bursty", "strict"};
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    producers.emplace_back([&, t] {
+      const std::string tenant = tenants[t];
+      Rng rng(seed + 10 + t);
+      const Tensor affine_image = Tensor::rand(affine_shape, rng);
+      const Tensor sesr_image = Tensor::rand(sesr_shape, rng);
+      int64_t tick = 0;
+      while (Clock::now() < end_time) {
+        const bool to_affine = (tick + static_cast<int64_t>(t)) % 2 == 0;
+        const std::string model = to_affine ? "affine" : "sesr";
+        const Tensor& image = to_affine ? affine_image : sesr_image;
+        const int64_t floor = registry->version(model);
+
+        const auto check = [&, floor, to_affine, image](const ServeReply& reply) {
+          replies.fetch_add(1);
+          if (reply.ok()) {
+            ok_replies.fetch_add(1);
+            if (reply.model_version < floor) stale_replies.fetch_add(1);
+            if (to_affine) {
+              Tensor expected = image;
+              expected.mul_scalar(scale_for(reply.model_version));
+              if (reply.output.max_abs_diff(expected) != 0.0f) content_mismatches.fetch_add(1);
+            }
+          } else if (reply.error == "injected kernel fault") {
+            kernel_fault_errors.fetch_add(1);
+          }
+        };
+
+        server.submit_async(image, Server::SubmitOptions{.model = model, .tenant = tenant},
+                            check);
+        expected_replies.fetch_add(1);
+
+        // Overflow bursts: a hail of non-blocking submissions that must be
+        // either admitted (one reply) or refused (no reply) — never both,
+        // never neither.
+        const int64_t burst = plan->overflow_burst(tick);
+        for (int64_t b = 0; b < burst; ++b) {
+          if (server.try_submit(image, Server::SubmitOptions{.model = model, .tenant = tenant},
+                                check))
+            expected_replies.fetch_add(1);
+          else
+            try_refused.fetch_add(1);
+        }
+        ++tick;
+        // Pace the steady-state load so queues breathe between bursts.
+        std::this_thread::sleep_for(std::chrono::microseconds(rng.randint(50, 250)));
+      }
+    });
+  }
+
+  for (std::thread& producer : producers) producer.join();
+  affine_publisher.join();
+  sesr_publisher.join();
+  server.stop();  // drains every admitted request
+
+  // --- invariants ----------------------------------------------------------
+  const ServerStats stats = server.stats();
+
+  // No lost completions, no duplicates.
+  EXPECT_EQ(replies.load(), expected_replies.load());
+  EXPECT_EQ(stats.submitted, expected_replies.load() - (stats.rejected - try_refused.load()));
+  // Everything admitted was answered: conservation across outcomes.
+  EXPECT_EQ(stats.completed + stats.shed + stats.failed, stats.submitted);
+  EXPECT_EQ(stats.completed, ok_replies.load());
+  EXPECT_EQ(stats.queue_depth, 0);
+
+  // Swap barrier and content integrity.
+  EXPECT_EQ(stale_replies.load(), 0) << "a reply was older than its submit-time version floor";
+  EXPECT_EQ(content_mismatches.load(), 0)
+      << "an affine reply's bits did not match its claimed version";
+
+  // The soak actually soaked: swaps happened on both models, faults fired on
+  // every seam, and bursts exercised rejection.
+  EXPECT_GE(affine_swaps.load(), 2);
+  EXPECT_GE(sesr_swaps.load(), 2);
+  const auto min_expected_swaps =
+      static_cast<int64_t>(std::floor(seconds / (2.0 * swap_interval.count() / 1000.0)));
+  EXPECT_GE(affine_swaps.load(), std::max<int64_t>(min_expected_swaps, 2));
+  EXPECT_GT(plan->kernel_faults_fired(), 0) << "kernel-fault seam never fired";
+  EXPECT_GT(plan->worker_stalls_fired(), 0) << "worker-stall seam never fired";
+  EXPECT_GT(plan->overflow_bursts_fired(), 0) << "overflow-burst seam never fired";
+  EXPECT_GT(plan->precision_flips_fired(), 0) << "precision-flip seam never fired";
+  EXPECT_GT(kernel_fault_errors.load(), 0) << "injected kernel faults never surfaced as replies";
+  EXPECT_EQ(stats.failed, kernel_fault_errors.load())
+      << "failures beyond the injected kernel faults";
+
+  // Bounded occupancy.
+  EXPECT_LE(stats.peak_queue_depth, options.queue_capacity);
+  ASSERT_TRUE(stats.tenants.count("bursty"));
+  ASSERT_TRUE(stats.tenants.count("strict"));
+  EXPECT_LE(stats.tenants.at("bursty").peak_in_queue, 8);
+  EXPECT_LE(stats.tenants.at("strict").peak_in_queue, 4);
+  for (const auto& [name, tenant_stats] : stats.tenants) {
+    EXPECT_EQ(tenant_stats.in_queue, 0) << name;
+    EXPECT_EQ(tenant_stats.completed + tenant_stats.shed + tenant_stats.failed,
+              tenant_stats.submitted)
+        << name;
+  }
+
+  // Quiescence: the current snapshots hold no live sessions for any batch
+  // size a worker can dispatch (anything else is a session leak).
+  for (const std::string& model : {std::string("affine"), std::string("sesr")}) {
+    const auto snapshot = registry->acquire(model);
+    ASSERT_NE(snapshot->network, nullptr) << model;
+    const Shape& single = model == "affine" ? affine_shape : sesr_shape;
+    for (int64_t batch = 1; batch <= options.max_batch; ++batch) {
+      const Shape batched{batch, single[1], single[2], single[3]};
+      EXPECT_EQ(snapshot->network->live_session_count(batched), 0)
+          << model << " batch " << batch;
+    }
+  }
+
+  // The latency histogram recorded every completed request.
+  EXPECT_EQ(stats.latency.count, stats.completed);
+}
+
+}  // namespace
+}  // namespace sesr::serve

@@ -1,0 +1,108 @@
+// Shared fault-injection test support.
+//
+// FaultingAffine started life inside the upscaler pool suite; the serve
+// registry/soak suites need the same compilable, deliberately-unreliable
+// module, so it lives here now. ScopedEnv rides along because every suite
+// that pokes SESR_* knobs (read per call through core/config) needs scoped,
+// restoring overrides.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/nn.h"
+#include "serve/fault_plan.h"
+#include "tensor/tensor.h"
+
+namespace sesr::testsupport {
+
+/// A compilable shape-preserving layer whose serving kernel throws on
+/// demand: exercising the checkout/return unwind paths the way a real
+/// kernel fault (bad_alloc, cancelled workspace) would. Compiles through
+/// Module's default path: one opaque layer step executed via infer_into.
+///
+/// Faults fire from either source (both may be active):
+///   - `fault_period` — every Nth infer_into call throws (0 = never);
+///   - `fault_plan`   — a shared serve::FaultPlan consulted with this
+///                      module's own call index (kernel_fault seam), so the
+///                      soak harness drives faults from one seeded schedule.
+///
+/// The affine coefficients are configurable so a hot-swap test can publish
+/// two FaultingAffine versions and *prove from the output values* which
+/// version served a request (out = in * scale + offset).
+class FaultingAffine final : public nn::Module {
+ public:
+  FaultingAffine() = default;
+  FaultingAffine(float scale, float offset) : scale_(scale), offset_(offset) {}
+
+  Tensor forward(const Tensor& input) override {
+    Tensor out = input;
+    out.mul_scalar(scale_).add_scalar(offset_);
+    return out;
+  }
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("FaultingAffine: inference-only");
+  }
+  [[nodiscard]] std::string name() const override { return "faulting_affine"; }
+  Shape trace(const Shape& input, std::vector<nn::LayerInfo>*) const override {
+    if (input.ndim() != 4) throw std::invalid_argument("faulting_affine: NCHW only");
+    return input;
+  }
+  [[nodiscard]] bool supports_compiled_inference() const override { return true; }
+  void infer_into(const Tensor& input, Tensor& output, Workspace&) const override {
+    const int64_t index = calls.fetch_add(1);
+    const bool period_fault = fault_period > 0 && index % fault_period == fault_period - 1;
+    const bool plan_fault = fault_plan && fault_plan->kernel_fault(index);
+    if (period_fault || plan_fault) throw std::runtime_error("injected kernel fault");
+    std::copy(input.data(), input.data() + input.numel(), output.data());
+    output.mul_scalar(scale_).add_scalar(offset_);
+  }
+
+  [[nodiscard]] float scale() const { return scale_; }
+  [[nodiscard]] float offset() const { return offset_; }
+
+  mutable std::atomic<int64_t> calls{0};
+  int64_t fault_period = 0;  ///< 0 = never fault
+  std::shared_ptr<const serve::FaultPlan> fault_plan;
+
+ private:
+  float scale_ = 0.5f;
+  float offset_ = 0.25f;
+};
+
+/// Scoped environment override with restore: remembers the variable's prior
+/// value and puts it back on destruction (config knobs are read per call, so
+/// restoring mid-suite matters). A null `value` unsets the variable for the
+/// scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* prior = std::getenv(name);
+    had_prior_ = prior != nullptr;
+    if (had_prior_) prior_ = prior;
+    if (value != nullptr)
+      setenv(name, value, 1);
+    else
+      unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_prior_)
+      setenv(name_.c_str(), prior_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string prior_;
+  bool had_prior_ = false;
+};
+
+}  // namespace sesr::testsupport
