@@ -1,0 +1,292 @@
+// Distributed-tier load bench: multi-shard scaling, failover, and the
+// zero-loss gate.
+//
+// Drives dist::Frontend over spawned sesr_shard worker processes (collapsed
+// SESR-M5, edge tiles) in four phases:
+//
+//   1. Correctness — frontend replies (plain routing AND tile-split with
+//      halo exchange) must be bit-identical to a locally-built reference
+//      model — the same deterministic ModelSpec recipe the shards use.
+//      Gates in every mode.
+//   2. Scaling — closed-loop saturation throughput at 1, 2 and 4 shards.
+//      Full mode gates >= 3.2x at 4 shards vs 1 (near-linear scaling across
+//      processes: shards share nothing but the frontend socket); smoke mode
+//      records without gating — CI runners rarely have 4 spare cores, and a
+//      1-core host serializes the shards entirely.
+//   3. Open-loop Poisson arrivals through the shared bench/load_gen.h
+//      generator, every request under a deadline SLO, recording the
+//      frontend's completed/shed/rejected split.
+//   4. Kill-one-shard mid-run — SIGKILL a shard while a closed loop of
+//      submissions is in flight; the frontend must re-hash and work-steal
+//      so that *every admitted request gets a real answer*: zero dropped
+//      (gates in every mode — it is a correctness property of the failover
+//      path, not a timing one).
+//
+// Results land in BENCH_dist_load.json.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/load_gen.h"
+#include "dist/dist.h"
+#include "models/models.h"
+#include "serve/serve.h"
+
+using namespace sesr;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int64_t kTile = 6;  // LR tile edge; x2 output is 12x12
+constexpr const char* kModelSpec = "default=sesr_m5:seed=5";
+
+dist::LocalCluster::Options cluster_options(int shards) {
+  dist::LocalCluster::Options options;
+  options.shards = shards;
+  options.model_specs = {kModelSpec};
+  options.workers_per_shard = 1;
+  options.max_batch = 4;
+  options.shard_binary = dist::shard_binary_path();
+  return options;
+}
+
+/// Phase 1: frontend replies vs the in-process reference upscaler built from
+/// the same deterministic spec — plain routing and tile-split both must be
+/// bit-exact.
+bool bitexact_vs_reference(bench::BenchJson& json) {
+  const dist::ModelSpec spec = dist::parse_model_spec(kModelSpec);
+  auto reference =
+      std::make_shared<models::NetworkUpscaler>("SESR-M5", dist::build_network(spec));
+
+  dist::LocalCluster cluster(cluster_options(2));
+  dist::Frontend::Options frontend_options = cluster.frontend_options();
+  // Split anything at or above a 24x24 LR image across the shards.
+  frontend_options.tile_threshold_pixels = 24 * 24;
+  dist::Frontend frontend(frontend_options);
+
+  Rng rng(21);
+  float worst_plain = 0.0f;
+  for (int i = 0; i < 6; ++i) {
+    const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, rng);
+    serve::ServeReply reply = frontend.submit(tile).get();
+    if (!reply.ok()) {
+      std::printf("  plain request %d failed: %s\n", i, reply.error.c_str());
+      return false;
+    }
+    worst_plain = std::max(worst_plain, reply.output.max_abs_diff(reference->upscale(tile)));
+  }
+  std::printf("  plain routing: 6 requests, max |frontend - reference| = %.2e %s\n",
+              worst_plain, worst_plain == 0.0f ? "(OK)" : "(FAIL)");
+
+  float worst_tiled = 0.0f;
+  int64_t tiled_count = 0;
+  for (const int64_t height : {32, 37}) {
+    const Tensor image = Tensor::rand({1, 3, height, 40}, rng);
+    serve::ServeReply reply = frontend.submit(image).get();
+    if (!reply.ok()) {
+      std::printf("  tiled request (H=%lld) failed: %s\n", static_cast<long long>(height),
+                  reply.error.c_str());
+      return false;
+    }
+    worst_tiled = std::max(worst_tiled, reply.output.max_abs_diff(reference->upscale(image)));
+  }
+  tiled_count = frontend.stats().tiled;
+  std::printf("  tile-split:    2 requests (%lld split), max diff = %.2e %s\n",
+              static_cast<long long>(tiled_count), worst_tiled,
+              worst_tiled == 0.0f ? "(OK)" : "(FAIL)");
+
+  json.set("gate.bitexact_plain", worst_plain == 0.0f ? 1.0 : 0.0);
+  json.set("gate.bitexact_tiled", worst_tiled == 0.0f ? 1.0 : 0.0);
+  json.set("correctness.tiled_requests", static_cast<double>(tiled_count));
+  return worst_plain == 0.0f && worst_tiled == 0.0f && tiled_count == 2;
+}
+
+/// Phase 2 helper: closed-loop saturation throughput against `shards` worker
+/// processes. Blocking submits ride the per-shard window; stop() waits out
+/// the futures, so the window covers exactly `total` completed images.
+double saturation_imgs_per_sec(int shards, int64_t total, int64_t* completed_out) {
+  dist::LocalCluster cluster(cluster_options(shards));
+  dist::Frontend frontend(cluster.frontend_options());
+
+  Rng rng(33);
+  const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, rng);
+  std::atomic<int64_t> completed{0};
+
+  const Clock::time_point start = Clock::now();
+  {
+    // Several submitter threads keep every shard's window occupied; a single
+    // blocking submitter would serialize on one shard at a time.
+    const int submitters = std::max(2, shards);
+    std::vector<std::thread> threads;
+    std::atomic<int64_t> next{0};
+    for (int t = 0; t < submitters; ++t) {
+      threads.emplace_back([&] {
+        while (next.fetch_add(1, std::memory_order_relaxed) < total) {
+          serve::ServeReply reply = frontend.submit(tile).get();
+          if (reply.ok()) completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  if (completed_out != nullptr) *completed_out = completed.load();
+  return static_cast<double>(total) / elapsed;
+}
+
+struct KillResult {
+  int64_t submitted = 0;
+  int64_t answered = 0;   ///< ok + shed + error — every admitted got a reply
+  int64_t completed = 0;  ///< ok only
+  int64_t dropped = 0;    ///< submitted - answered: the gate is 0
+  int64_t resubmitted = 0;
+  int64_t shard_deaths = 0;
+};
+
+/// Phase 4: a closed loop of async submissions; mid-run, SIGKILL one shard.
+/// Every admitted request must still be answered (work-steal + re-hash).
+KillResult kill_one_shard_mid_run(int64_t total) {
+  dist::LocalCluster cluster(cluster_options(2));
+  dist::Frontend frontend(cluster.frontend_options());
+
+  Rng rng(44);
+  const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, rng);
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> completed{0};
+  const auto count_reply = [&](serve::ServeReply reply) {
+    answered.fetch_add(1, std::memory_order_relaxed);
+    if (reply.ok()) completed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  KillResult result;
+  for (int64_t i = 0; i < total; ++i) {
+    frontend.submit_async(tile, {}, count_reply);
+    ++result.submitted;
+    if (i == total / 3) cluster.kill_shard(0);  // SIGKILL mid-stream
+  }
+  // Drain: every admitted request completes (answered or stolen+answered).
+  const Clock::time_point deadline = Clock::now() + std::chrono::seconds(120);
+  while (answered.load() < result.submitted && Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  const dist::FrontendStats stats = frontend.stats();
+  result.answered = answered.load();
+  result.completed = completed.load();
+  result.dropped = result.submitted - result.answered;
+  result.resubmitted = stats.resubmitted;
+  result.shard_deaths = stats.shard_deaths;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  setenv("SESR_NUM_THREADS", "2", 1);
+
+  const bool fast = bench::fast_mode();
+  const int64_t gate_total = fast ? 300 : 6000;
+  const double load_seconds = fast ? 0.4 : 2.0;
+
+  std::printf("\n================================================================================\n");
+  std::printf("DIST LOAD: frontend -> consistent-hash ring -> shard processes (SESR-M5)\n");
+  std::printf("window backpressure, heartbeat failover, tile-split; %s windows\n",
+              fast ? "smoke-scale" : "full");
+  std::printf("================================================================================\n");
+
+  bench::BenchJson json("dist_load");
+
+  // ---- phase 1: bit-exact vs the single-process reference -----------------
+  std::printf("\n[1] correctness: frontend replies vs in-process reference\n");
+  const bool exact_ok = bitexact_vs_reference(json);
+
+  // ---- phase 2: shard scaling ---------------------------------------------
+  std::printf("\n[2] saturation throughput vs shard count, %lld requests per config\n",
+              static_cast<long long>(gate_total));
+  double rate1 = 0.0;
+  double rate4 = 0.0;
+  for (const int shards : {1, 2, 4}) {
+    int64_t completed = 0;
+    const double rate = saturation_imgs_per_sec(shards, gate_total, &completed);
+    std::printf("  %d shard%s: %8.0f img/s  (%lld/%lld ok)\n", shards, shards == 1 ? " " : "s",
+                rate, static_cast<long long>(completed), static_cast<long long>(gate_total));
+    json.set("scaling.shards_" + std::to_string(shards) + ".imgs_per_sec", rate);
+    if (shards == 1) rate1 = rate;
+    if (shards == 4) rate4 = rate;
+  }
+  const double scaling = rate1 > 0.0 ? rate4 / rate1 : 0.0;
+  std::printf("  4-shard-over-1-shard speedup: %.2fx (target >= 3.2x) [%s]\n", scaling,
+              scaling >= 3.2 ? "PASS" : fast ? "recorded, not gated in smoke mode" : "FAIL");
+  json.set("gate.scaling_4x", scaling);
+  json.set("gate.scaling_threshold", 3.2);
+
+  // ---- phase 3: open-loop Poisson arrivals --------------------------------
+  std::printf("\n[3] open-loop Poisson arrivals over 2 shards, deadline SLO 50 ms\n");
+  {
+    dist::LocalCluster cluster(cluster_options(2));
+    dist::Frontend frontend(cluster.frontend_options());
+    Rng rng(34);
+    const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, rng);
+    const auto ignore_reply = [](serve::ServeReply) {};
+
+    bench::OpenLoopOptions load;
+    load.rate_per_sec = std::max(50.0, 0.8 * rate1);
+    load.seconds = load_seconds;
+    load.deadline = std::chrono::milliseconds(50);
+    load.seed = 101;
+    const bench::OpenLoopResult offered =
+        bench::run_open_loop(load, [&](std::chrono::milliseconds slo) {
+          serve::Server::SubmitOptions options;
+          options.deadline = slo;
+          static_cast<void>(frontend.try_submit(tile, options, ignore_reply));
+        });
+    // Let in-flight work settle before reading the counters.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const dist::FrontendStats stats = frontend.stats();
+    std::printf("  offered %.0f/s: %lld completed, %lld shed, %lld failed, %lld rejected\n",
+                offered.offered_per_sec, static_cast<long long>(stats.completed),
+                static_cast<long long>(stats.shed), static_cast<long long>(stats.failed),
+                static_cast<long long>(stats.rejected));
+    json.set("open_loop.offered_per_sec", offered.offered_per_sec);
+    json.set("open_loop.completed", static_cast<double>(stats.completed));
+    json.set("open_loop.shed", static_cast<double>(stats.shed));
+    json.set("open_loop.failed", static_cast<double>(stats.failed));
+    json.set("open_loop.rejected", static_cast<double>(stats.rejected));
+  }
+
+  // ---- phase 4: kill a shard mid-run, zero admitted requests lost ---------
+  const int64_t kill_total = fast ? 200 : 2000;
+  std::printf("\n[4] SIGKILL one of 2 shards mid-run, %lld closed-loop requests\n",
+              static_cast<long long>(kill_total));
+  const KillResult kill = kill_one_shard_mid_run(kill_total);
+  const bool kill_ok = kill.dropped == 0 && kill.shard_deaths >= 1;
+  std::printf("  %lld submitted, %lld answered (%lld ok), %lld dropped, "
+              "%lld work-stolen, %lld deaths [%s]\n",
+              static_cast<long long>(kill.submitted), static_cast<long long>(kill.answered),
+              static_cast<long long>(kill.completed), static_cast<long long>(kill.dropped),
+              static_cast<long long>(kill.resubmitted),
+              static_cast<long long>(kill.shard_deaths), kill_ok ? "PASS" : "FAIL");
+  json.set("kill.submitted", static_cast<double>(kill.submitted));
+  json.set("kill.answered", static_cast<double>(kill.answered));
+  json.set("kill.dropped", static_cast<double>(kill.dropped));
+  json.set("kill.resubmitted", static_cast<double>(kill.resubmitted));
+  json.set("kill.shard_deaths", static_cast<double>(kill.shard_deaths));
+  json.set("gate.kill_zero_drop", kill_ok ? 1.0 : 0.0);
+  json.write();
+
+  std::printf("\n-> frontend bit-identical to single-process path: [%s]\n",
+              exact_ok ? "PASS" : "FAIL");
+  std::printf("-> zero admitted requests lost across a shard SIGKILL: [%s]\n",
+              kill_ok ? "PASS" : "FAIL");
+  if (!exact_ok) return 1;
+  // Zero-loss failover is a correctness property — it gates in smoke mode too.
+  if (!kill_ok) return 1;
+  // The scaling ratio needs 4+ real cores; smoke mode records it only.
+  if (fast) return 0;
+  return scaling >= 3.2 ? 0 : 1;
+}

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/load_gen.h"
 #include "models/models.h"
 #include "serve/serve.h"
 
@@ -127,9 +128,10 @@ struct LoadResult {
   serve::ServerStats stats;
 };
 
-/// Phase 3 helper: open-loop Poisson arrivals at `rate` requests/sec for
-/// `seconds`, each request under `deadline`. Overload is shed (expired in
-/// queue) or rejected (queue full) — never allowed to grow memory unbounded.
+/// Phase 3 helper: open-loop Poisson arrivals (bench/load_gen.h) at `rate`
+/// requests/sec for `seconds`, each request under `deadline`. Overload is
+/// shed (expired in queue) or rejected (queue full) — never allowed to grow
+/// memory unbounded.
 LoadResult open_loop(const std::shared_ptr<models::NetworkUpscaler>& upscaler, double rate,
                      double seconds, std::chrono::milliseconds deadline, uint64_t seed) {
   serve::Server::Options options = server_options(kMaxBatch);
@@ -142,23 +144,18 @@ LoadResult open_loop(const std::shared_ptr<models::NetworkUpscaler>& upscaler, d
   const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, rng);
   const auto ignore_reply = [](serve::ServeReply) {};
 
-  std::mt19937_64 arrivals(seed);
-  std::exponential_distribution<double> interarrival(rate);
-  int64_t offered = 0;
-  const Clock::time_point start = Clock::now();
-  const Clock::time_point end =
-      start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
-  Clock::time_point next = start;
-  while (next < end) {
-    std::this_thread::sleep_until(next);
-    static_cast<void>(server.try_submit(tile, ignore_reply, deadline));
-    ++offered;
-    next += std::chrono::microseconds(static_cast<int64_t>(interarrival(arrivals) * 1e6));
-  }
-  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  bench::OpenLoopOptions load;
+  load.rate_per_sec = rate;
+  load.seconds = seconds;
+  load.deadline = deadline;
+  load.seed = seed;
+  const bench::OpenLoopResult offered =
+      bench::run_open_loop(load, [&](std::chrono::milliseconds slo) {
+        static_cast<void>(server.try_submit(tile, ignore_reply, slo));
+      });
   server.stop();
   LoadResult result;
-  result.offered_per_sec = static_cast<double>(offered) / elapsed;
+  result.offered_per_sec = offered.offered_per_sec;
   result.stats = server.stats();
   return result;
 }

@@ -1,0 +1,32 @@
+#include "bench/load_gen.h"
+
+#include <random>
+#include <thread>
+
+namespace sesr::bench {
+
+OpenLoopResult run_open_loop(const OpenLoopOptions& options,
+                             const std::function<void(std::chrono::milliseconds)>& submit) {
+  using Clock = std::chrono::steady_clock;
+  std::mt19937_64 arrivals(options.seed);
+  std::exponential_distribution<double> interarrival(options.rate_per_sec);
+
+  OpenLoopResult result;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end =
+      start + std::chrono::microseconds(static_cast<int64_t>(options.seconds * 1e6));
+  Clock::time_point next = start;
+  while (next < end) {
+    std::this_thread::sleep_until(next);
+    submit(options.deadline);
+    ++result.offered;
+    next += std::chrono::microseconds(static_cast<int64_t>(interarrival(arrivals) * 1e6));
+  }
+  result.elapsed_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.offered_per_sec =
+      result.elapsed_seconds > 0.0 ? static_cast<double>(result.offered) / result.elapsed_seconds
+                                   : 0.0;
+  return result;
+}
+
+}  // namespace sesr::bench

@@ -1,0 +1,38 @@
+// Shared open-loop Poisson load generator for the serving benches.
+//
+// Open-loop means arrivals are scheduled by an external clock (exponential
+// inter-arrival gaps at the offered rate), not by the server's completions —
+// the generator never slows down because the server is slow, which is what
+// makes overload visible: a closed loop self-throttles and hides it. Both
+// bench_server_load (single-process engine) and bench_dist_load (distributed
+// tier) drive their SLO phases through this one generator, so their offered
+// streams are directly comparable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace sesr::bench {
+
+struct OpenLoopOptions {
+  double rate_per_sec = 100.0;  ///< offered arrival rate (Poisson)
+  double seconds = 1.0;         ///< wall-clock generation window
+  std::chrono::milliseconds deadline{50};  ///< SLO attached to every request
+  uint64_t seed = 1;            ///< arrival-process seed (reproducible runs)
+};
+
+struct OpenLoopResult {
+  int64_t offered = 0;  ///< requests handed to `submit`
+  double elapsed_seconds = 0.0;
+  double offered_per_sec = 0.0;  ///< achieved (not nominal) offered rate
+};
+
+/// Drive `submit` once per Poisson arrival until the window closes. The
+/// callback gets the configured deadline and is expected to be non-blocking
+/// (try_submit-style) so the arrival process stays open-loop; admission
+/// refusals are the server's stats to count, not the generator's.
+OpenLoopResult run_open_loop(const OpenLoopOptions& options,
+                             const std::function<void(std::chrono::milliseconds)>& submit);
+
+}  // namespace sesr::bench

@@ -104,6 +104,30 @@ const std::vector<ConfigSpec>& config_specs() {
       int_spec("SESR_SOAK_SEED", 20260809, 0, kUnlimited, "20260809",
                "Seed for the soak test's load generators, fault schedule, and swap "
                "cadence — one seed reproduces one soak run."),
+      int_spec("SESR_DIST_WINDOW", 64, 1, 65536, "64",
+               "Per-shard in-flight window of `dist::Frontend`: requests outstanding to "
+               "one shard before submit() blocks (backpressure) and try_submit() "
+               "refuses. Size it below each shard's queue capacity so shards never "
+               "refuse window'd work."),
+      int_spec("SESR_DIST_HEARTBEAT_MS", 100, 5, 60000, "100",
+               "Frontend heartbeat period in milliseconds. Each tick pings every live "
+               "shard; pongs carry the shard's ServerStats JSON."),
+      int_spec("SESR_DIST_HEARTBEAT_MISSES", 5, 1, 1000, "5",
+               "Consecutive unanswered heartbeats before the frontend declares a shard "
+               "dead, removes it from the ring, and re-routes its in-flight requests. "
+               "Detection latency ≈ misses x heartbeat period."),
+      int_spec("SESR_DIST_TILE_THRESHOLD", 0, 0, kUnlimited, "0 (off)",
+               "LR pixel count (H*W) at or above which the frontend splits a request "
+               "into row-band tiles with halo exchange and fans them out across "
+               "shards. 0 disables tile-split. Only models with a registered halo "
+               "are split."),
+      int_spec("SESR_DIST_TILE_MAX", 4, 1, 64, "4",
+               "Max tiles one request splits into (also capped by the live shard "
+               "count and the image height)."),
+      string_spec("SESR_SHARD_BIN", "", "build's `sesr_shard` target",
+                  "Path to the `sesr_shard` worker binary used when spawning local "
+                  "shard processes (tests, benches, `dist::LocalCluster`). Unset, the "
+                  "build-time target location is used."),
   };
   return specs;
 }
@@ -248,8 +272,17 @@ std::string range_text(const ConfigSpec& spec) {
     return v == kUnlimited ? std::string("unlimited") : std::to_string(v);
   };
   switch (spec.type) {
-    case ConfigType::kInt64:
-      return "[" + int_text(spec.min_int) + ", " + int_text(spec.max_int) + "]";
+    case ConfigType::kInt64: {
+      // Append-style on purpose: `"[" + std::string&&` chains trip GCC 12's
+      // -Wrestrict false positive (PR 105651) once inlined into the table
+      // loop below, and the library builds with -Werror in CI.
+      std::string text = "[";
+      text += int_text(spec.min_int);
+      text += ", ";
+      text += int_text(spec.max_int);
+      text += "]";
+      return text;
+    }
     case ConfigType::kDouble: {
       char buffer[64];
       std::snprintf(buffer, sizeof(buffer), "[%g, %g]", spec.min_double, spec.max_double);

@@ -1,0 +1,19 @@
+// Umbrella header for the distributed serving tier.
+//
+//   wire.h       framed, versioned wire format (SDW1)
+//   transport.h  unix-socket framed connections + listener
+//   ring.h       consistent-hash routing: (model, shape-bucket) -> shard
+//   tile.h       row-band tile-split with halo exchange (bit-exact stitch)
+//   shard.h      worker process: serve::Server behind a socket
+//   frontend.h   front-tier router: window backpressure, heartbeats,
+//                work-stealing failover, tile fan-out
+//   process.h    shard process spawning + LocalCluster test/bench harness
+#pragma once
+
+#include "dist/frontend.h"
+#include "dist/process.h"
+#include "dist/ring.h"
+#include "dist/shard.h"
+#include "dist/tile.h"
+#include "dist/transport.h"
+#include "dist/wire.h"

@@ -1,0 +1,561 @@
+#include "dist/frontend.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/config.h"
+#include "dist/wire.h"
+
+namespace sesr::dist {
+
+using serve::ServeReply;
+using serve::ServeStatus;
+
+namespace {
+
+constexpr auto kNoDeadlinePoint = std::chrono::steady_clock::time_point::max();
+
+Tensor as_batched_image(Tensor image) {
+  const Shape& shape = image.shape();
+  if (shape.ndim() == 4 && shape[0] == 1) return image;
+  if (shape.ndim() == 3)
+    return std::move(image).reshaped(Shape({1, shape[0], shape[1], shape[2]}));
+  throw std::invalid_argument("Frontend: expected [C, H, W] or [1, C, H, W], got " +
+                              shape.to_string());
+}
+
+}  // namespace
+
+// ---- internal state --------------------------------------------------------
+
+/// One tile-split request in flight: the stitch target plus completion
+/// bookkeeping shared by its per-tile Pending entries.
+struct Frontend::TileJob {
+  TilePlan plan;
+  Tensor output;  ///< [1, C, scale*H, scale*W], stitched under `mutex`
+  std::shared_ptr<serve::detail::ResultState> state;
+
+  std::mutex mutex;
+  int remaining = 0;
+  bool failed = false;
+  ServeStatus fail_status = ServeStatus::kError;
+  std::string error;
+  int64_t version = 0;
+};
+
+/// One request (or one tile of one) the frontend has admitted but not yet
+/// answered. The input tensor is retained here — that retention is what
+/// makes work-stealing off a dead shard possible.
+struct Frontend::Pending {
+  uint64_t id = 0;
+  std::string model;
+  std::string tenant;
+  std::chrono::steady_clock::time_point deadline = kNoDeadlinePoint;
+  Tensor image;  ///< [1, C, H, W]
+  /// Completion target for a plain request; null for a tile member.
+  std::shared_ptr<serve::detail::ResultState> state;
+  std::shared_ptr<TileJob> job;  ///< non-null for a tile member
+  size_t tile_index = 0;
+  /// Preferred ring node (tile fan-out); falls back to owner() when dead.
+  std::string pinned;
+  int attempts = 0;
+};
+
+struct Frontend::ShardState {
+  ShardAddress address;
+  std::shared_ptr<Connection> connection;
+  std::thread reader;
+  bool alive = true;
+  int unanswered_pings = 0;
+  int64_t reported_in_flight = 0;
+  std::string stats_json;
+  /// Requests sent to this shard, keyed by request id. Guarded by
+  /// Frontend::mutex_; map size is the in-flight window occupancy.
+  std::map<uint64_t, Pending> pending;
+};
+
+// ---- construction ----------------------------------------------------------
+
+Frontend::Frontend(const Options& options) : options_(options) {
+  if (options_.shards.empty()) throw std::invalid_argument("Frontend: no shards configured");
+  if (options_.window <= 0) options_.window = core::config_int64("SESR_DIST_WINDOW");
+  if (options_.heartbeat_interval.count() <= 0)
+    options_.heartbeat_interval =
+        std::chrono::milliseconds(core::config_int64("SESR_DIST_HEARTBEAT_MS"));
+  if (options_.heartbeat_misses <= 0)
+    options_.heartbeat_misses = static_cast<int>(core::config_int64("SESR_DIST_HEARTBEAT_MISSES"));
+  if (options_.tile_threshold_pixels < 0)
+    options_.tile_threshold_pixels = core::config_int64("SESR_DIST_TILE_THRESHOLD");
+  if (options_.tile_max <= 0)
+    options_.tile_max = static_cast<int>(core::config_int64("SESR_DIST_TILE_MAX"));
+  ring_ = HashRing(options_.vnodes);
+
+  const std::vector<ShardAddress> addresses = options_.shards;
+  for (const ShardAddress& address : addresses) add_shard(address);
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+}
+
+Frontend::~Frontend() { stop(); }
+
+void Frontend::add_shard(const ShardAddress& address) {
+  if (address.name.empty()) throw std::invalid_argument("add_shard: empty shard name");
+  std::shared_ptr<Connection> connection =
+      connect_unix(address.socket_path, options_.connect_timeout);
+  auto shard = std::make_shared<ShardState>();
+  shard->address = address;
+  shard->connection = std::move(connection);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("add_shard: frontend is stopped");
+    auto it = shards_.find(address.name);
+    if (it != shards_.end()) {
+      if (it->second->alive)
+        throw std::invalid_argument("add_shard: shard '" + address.name + "' is already live");
+      retired_.push_back(std::move(it->second));  // reader joined at stop()
+      it->second = shard;
+    } else {
+      shards_[address.name] = shard;
+    }
+    ring_.add_node(address.name);
+    shard->reader = std::thread([this, shard] { reader_loop(shard); });
+  }
+  window_cv_.notify_all();
+}
+
+// ---- submission ------------------------------------------------------------
+
+serve::ServeFuture Frontend::submit(Tensor image, const serve::Server::SubmitOptions& options) {
+  Tensor batched = as_batched_image(std::move(image));
+  auto state = std::make_shared<serve::detail::ResultState>();
+  serve::ServeFuture future = serve::detail_make_future(state);
+
+  int64_t halo = 0;
+  bool tiled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tiled = tile_eligible_locked(options, batched.shape(), &halo);
+  }
+  if (tiled) return submit_tiled(std::move(batched), options, std::move(state), halo);
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Pending pending;
+  pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.model = options.model;
+  pending.tenant = options.tenant;
+  if (options.deadline.count() > 0)
+    pending.deadline = std::chrono::steady_clock::now() + options.deadline;
+  pending.image = std::move(batched);
+  pending.state = std::move(state);
+  route_and_send(std::move(pending), /*blocking=*/true);
+  return future;
+}
+
+void Frontend::submit_async(Tensor image, const serve::Server::SubmitOptions& options,
+                            serve::ServeCallback callback) {
+  Tensor batched = as_batched_image(std::move(image));
+  auto state = std::make_shared<serve::detail::ResultState>();
+  state->callback = std::move(callback);
+
+  int64_t halo = 0;
+  bool tiled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tiled = tile_eligible_locked(options, batched.shape(), &halo);
+  }
+  if (tiled) {
+    submit_tiled(std::move(batched), options, std::move(state), halo);
+    return;
+  }
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Pending pending;
+  pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.model = options.model;
+  pending.tenant = options.tenant;
+  if (options.deadline.count() > 0)
+    pending.deadline = std::chrono::steady_clock::now() + options.deadline;
+  pending.image = std::move(batched);
+  pending.state = std::move(state);
+  route_and_send(std::move(pending), /*blocking=*/true);
+}
+
+bool Frontend::try_submit(Tensor image, const serve::Server::SubmitOptions& options,
+                          serve::ServeCallback callback) {
+  Tensor batched = as_batched_image(std::move(image));
+  auto state = std::make_shared<serve::detail::ResultState>();
+  state->callback = std::move(callback);
+
+  Pending pending;
+  pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.model = options.model;
+  pending.tenant = options.tenant;
+  if (options.deadline.count() > 0)
+    pending.deadline = std::chrono::steady_clock::now() + options.deadline;
+  pending.image = std::move(batched);
+  pending.state = std::move(state);
+  if (!route_and_send(std::move(pending), /*blocking=*/false)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Frontend::tile_eligible_locked(const serve::Server::SubmitOptions& options,
+                                    const Shape& shape, int64_t* halo_out) const {
+  if (options_.tile_threshold_pixels <= 0) return false;
+  if (shape[2] * shape[3] < options_.tile_threshold_pixels) return false;
+  const auto it = options_.model_halo.find(options.model);
+  if (it == options_.model_halo.end()) return false;
+  // One live shard gains nothing from splitting; a band still stitches
+  // correctly, but the fan-out is the point.
+  if (ring_.size() < 2) return false;
+  if (shape[2] < 2) return false;
+  *halo_out = it->second;
+  return true;
+}
+
+serve::ServeFuture Frontend::submit_tiled(Tensor image,
+                                          const serve::Server::SubmitOptions& options,
+                                          std::shared_ptr<serve::detail::ResultState> state,
+                                          int64_t halo) {
+  serve::ServeFuture future = serve::detail_make_future(state);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  tiled_.fetch_add(1, std::memory_order_relaxed);
+
+  const int64_t channels = image.shape()[1];
+  const int64_t height = image.shape()[2];
+  const int64_t width = image.shape()[3];
+
+  int tiles;
+  std::vector<std::string> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tiles = static_cast<int>(std::min<int64_t>(
+        {static_cast<int64_t>(options_.tile_max), static_cast<int64_t>(ring_.size()), height}));
+    if (tiles < 1) tiles = 1;
+    // Deterministic fan-out: the image's ring successors, one per tile. The
+    // first is the shard a non-split request would have hit (plan-cache
+    // affinity for the common path).
+    targets = ring_.owners(routing_key(options.model, image.shape()), tiles);
+  }
+
+  auto job = std::make_shared<TileJob>();
+  job->plan = plan_row_tiles(height, tiles, halo, /*scale=*/2);
+  job->output = Tensor(Shape({1, channels, height * job->plan.scale, width * job->plan.scale}));
+  job->state = std::move(state);
+  job->remaining = static_cast<int>(job->plan.tiles.size());
+
+  const auto deadline = options.deadline.count() > 0
+                            ? std::chrono::steady_clock::now() + options.deadline
+                            : kNoDeadlinePoint;
+  for (size_t i = 0; i < job->plan.tiles.size(); ++i) {
+    Pending pending;
+    pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    pending.model = options.model;
+    pending.tenant = options.tenant;
+    pending.deadline = deadline;
+    pending.image = extract_tile(image, job->plan.tiles[i]);
+    pending.job = job;
+    pending.tile_index = i;
+    if (!targets.empty()) pending.pinned = targets[i % targets.size()];
+    route_and_send(std::move(pending), /*blocking=*/true);
+  }
+  return future;
+}
+
+// ---- routing ---------------------------------------------------------------
+
+bool Frontend::route_and_send(Pending pending, bool blocking) {
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (pending.deadline != kNoDeadlinePoint && now >= pending.deadline) {
+      ServeReply reply;
+      reply.status = ServeStatus::kShed;
+      reply.error = "deadline expired before dispatch";
+      complete_pending(pending, std::move(reply));
+      return true;
+    }
+
+    const uint64_t id = pending.id;
+    std::shared_ptr<ShardState> target;
+    std::vector<uint8_t> body;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_ || ring_.empty()) {
+        const bool stopped = stopping_;
+        lock.unlock();
+        if (!blocking) return false;
+        ServeReply reply;
+        reply.status = ServeStatus::kError;
+        reply.error = stopped ? "frontend stopped" : "no live shards";
+        complete_pending(pending, std::move(reply));
+        return true;
+      }
+
+      const std::string node = (!pending.pinned.empty() && ring_.contains(pending.pinned))
+                                   ? pending.pinned
+                                   : ring_.owner(routing_key(pending.model, pending.image.shape()));
+      std::shared_ptr<ShardState> shard = shards_.at(node);
+
+      if (static_cast<int64_t>(shard->pending.size()) >= options_.window) {
+        if (!blocking) return false;
+        window_cv_.wait(lock, [&] {
+          return stopping_ || !shard->alive ||
+                 static_cast<int64_t>(shard->pending.size()) < options_.window;
+        });
+        continue;  // the world may have changed; re-route from scratch
+      }
+
+      // Retry budget: a request that bounced off more shards than exist has
+      // hit a correlated failure, not a transient one.
+      if (++pending.attempts > static_cast<int>(shards_.size()) + 2) {
+        lock.unlock();
+        ServeReply reply;
+        reply.status = ServeStatus::kError;
+        reply.error = "request re-routed off " + std::to_string(pending.attempts - 1) +
+                      " shards without an answer";
+        complete_pending(pending, std::move(reply));
+        return true;
+      }
+
+      // Encode with the *remaining* deadline budget; the tensor is moved
+      // through the message and back, never copied.
+      SubmitMessage message;
+      message.request_id = pending.id;
+      message.model = pending.model;
+      message.tenant = pending.tenant;
+      message.deadline_ms =
+          pending.deadline == kNoDeadlinePoint
+              ? SubmitMessage::kNoDeadline
+              : std::max<int64_t>(1, std::chrono::duration_cast<std::chrono::milliseconds>(
+                                         pending.deadline - now)
+                                         .count());
+      message.image = std::move(pending.image);
+      body = encode_submit(message);
+      pending.image = std::move(message.image);
+
+      target = std::move(shard);
+      target->pending.emplace(id, std::move(pending));
+      // `pending` is now owned by the shard's map: the reply path or the
+      // death path will pop it, exactly one of them.
+    }
+
+    // Send outside the frontend lock (the connection's own mutex serializes
+    // frames). A failed send means the peer is gone: the death path steals
+    // everything in its map — including the entry just inserted — and
+    // re-routes it, so this request is answered either way.
+    if (!target->connection->send(MessageType::kSubmit, id, body))
+      handle_shard_death(target->address.name);
+    return true;
+  }
+}
+
+// ---- replies ---------------------------------------------------------------
+
+void Frontend::reader_loop(std::shared_ptr<ShardState> shard) {
+  try {
+    while (std::optional<Frame> frame = shard->connection->recv()) {
+      if (frame->header.type == MessageType::kReply) {
+        handle_reply(shard, *frame);
+      } else if (frame->header.type == MessageType::kPong) {
+        PongMessage pong = decode_pong(frame->header.request_id, frame->body);
+        std::lock_guard<std::mutex> lock(mutex_);
+        shard->unanswered_pings = 0;
+        shard->reported_in_flight = pong.in_flight;
+        shard->stats_json = std::move(pong.stats_json);
+      }
+    }
+  } catch (const WireError&) {
+    // Protocol violation == broken peer; fall through to the death path.
+  }
+  handle_shard_death(shard->address.name);
+}
+
+void Frontend::handle_reply(const std::shared_ptr<ShardState>& shard, const Frame& frame) {
+  ReplyMessage message = decode_reply(frame.header.request_id, frame.body);
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = shard->pending.find(message.request_id);
+    if (it == shard->pending.end()) return;  // already stolen or unknown
+    pending = std::move(it->second);
+    shard->pending.erase(it);
+  }
+  window_cv_.notify_all();
+
+  ServeReply reply;
+  reply.status = message.status <= 2 ? static_cast<ServeStatus>(message.status)
+                                     : ServeStatus::kError;
+  reply.error = std::move(message.error);
+  reply.model_version = message.model_version;
+  if (reply.ok()) reply.output = std::move(message.output);
+  complete_pending(pending, std::move(reply));
+}
+
+void Frontend::complete_pending(Pending& pending, ServeReply reply) {
+  if (pending.job) {
+    finish_tile(pending, std::move(reply));
+    return;
+  }
+  switch (reply.status) {
+    case ServeStatus::kOk: completed_.fetch_add(1, std::memory_order_relaxed); break;
+    case ServeStatus::kShed: shed_.fetch_add(1, std::memory_order_relaxed); break;
+    case ServeStatus::kError: failed_.fetch_add(1, std::memory_order_relaxed); break;
+  }
+  serve::detail::complete_result(*pending.state, std::move(reply));
+}
+
+void Frontend::finish_tile(const Pending& pending, ServeReply reply) {
+  TileJob& job = *pending.job;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    if (reply.ok()) {
+      stitch_tile(reply.output, job.plan.tiles[pending.tile_index], job.plan, job.output);
+      job.version = std::max(job.version, reply.model_version);
+    } else if (!job.failed) {
+      job.failed = true;
+      job.fail_status = reply.status;
+      job.error = "tile " + std::to_string(pending.tile_index) + ": " + reply.error;
+    }
+    last = (--job.remaining == 0);
+  }
+  if (!last) return;
+
+  ServeReply out;
+  if (job.failed) {
+    out.status = job.fail_status;
+    out.error = std::move(job.error);
+    if (out.status == ServeStatus::kShed)
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    else
+      failed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    out.status = ServeStatus::kOk;
+    out.output = std::move(job.output);
+    out.model_version = job.version;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  serve::detail::complete_result(*job.state, std::move(out));
+}
+
+// ---- failure handling ------------------------------------------------------
+
+void Frontend::handle_shard_death(const std::string& name) {
+  std::vector<Pending> stolen;
+  std::shared_ptr<ShardState> shard;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = shards_.find(name);
+    if (it == shards_.end() || !it->second->alive) return;  // already handled
+    shard = it->second;
+    shard->alive = false;
+    ring_.remove_node(name);
+    stolen.reserve(shard->pending.size());
+    for (auto& [id, pending] : shard->pending) stolen.push_back(std::move(pending));
+    shard->pending.clear();
+    if (!stopping_) shard_deaths_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard->connection->shutdown();  // unblock its reader if death came from a failed send
+  window_cv_.notify_all();
+
+  // Work-steal: the frontend kept every input, so the dead shard's
+  // un-replied requests re-route to the survivors under the post-removal
+  // ring. Requests it already answered left the map first — no duplicates.
+  for (Pending& pending : stolen) {
+    resubmitted_.fetch_add(1, std::memory_order_relaxed);
+    route_and_send(std::move(pending), /*blocking=*/true);
+  }
+}
+
+void Frontend::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    window_cv_.wait_for(lock, options_.heartbeat_interval, [&] { return stopping_; });
+    if (stopping_) break;
+
+    const uint64_t seq = heartbeat_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::vector<std::pair<std::string, std::shared_ptr<Connection>>> targets;
+    std::vector<std::string> dead;
+    for (auto& [name, shard] : shards_) {
+      if (!shard->alive) continue;
+      if (++shard->unanswered_pings > options_.heartbeat_misses) {
+        // Missed too many pongs: hung (e.g. SIGSTOPped) but socket-alive —
+        // EOF will never come, so the heartbeat is what declares it dead.
+        dead.push_back(name);
+        continue;
+      }
+      targets.emplace_back(name, shard->connection);
+    }
+
+    lock.unlock();
+    for (auto& [name, connection] : targets)
+      if (!connection->send(MessageType::kPing, seq)) dead.push_back(name);
+    for (const std::string& name : dead) handle_shard_death(name);
+    lock.lock();
+  }
+}
+
+// ---- introspection / shutdown ----------------------------------------------
+
+FrontendStats Frontend::stats() const {
+  FrontendStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.tiled = tiled_.load(std::memory_order_relaxed);
+  out.resubmitted = resubmitted_.load(std::memory_order_relaxed);
+  out.shard_deaths = shard_deaths_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, shard] : shards_) {
+    ShardInfo info;
+    info.alive = shard->alive;
+    info.in_flight = static_cast<int64_t>(shard->pending.size());
+    info.reported_in_flight = shard->reported_in_flight;
+    info.stats_json = shard->stats_json;
+    out.shards[name] = info;
+  }
+  return out;
+}
+
+std::vector<std::string> Frontend::alive_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, shard] : shards_)
+    if (shard->alive) out.push_back(name);
+  return out;
+}
+
+void Frontend::stop() {
+  std::vector<std::shared_ptr<ShardState>> shards;
+  std::vector<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& [name, shard] : shards_) {
+      shards.push_back(shard);
+      for (auto& [id, pending] : shard->pending) orphans.push_back(std::move(pending));
+      shard->pending.clear();
+    }
+    for (auto& shard : retired_) shards.push_back(shard);
+    retired_.clear();
+  }
+  window_cv_.notify_all();
+  for (const auto& shard : shards) shard->connection->shutdown();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  for (const auto& shard : shards)
+    if (shard->reader.joinable()) shard->reader.join();
+  for (Pending& pending : orphans) {
+    ServeReply reply;
+    reply.status = ServeStatus::kError;
+    reply.error = "frontend stopped";
+    complete_pending(pending, std::move(reply));
+  }
+}
+
+}  // namespace sesr::dist

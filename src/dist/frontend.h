@@ -1,0 +1,197 @@
+// Front-tier router of the distributed serving tier.
+//
+// The Frontend is the process clients talk to. It speaks the same submit
+// surface as serve::Server — submit / submit_async / try_submit with
+// serve::Server::SubmitOptions — but instead of a local worker pool it owns
+// one framed connection per shard process and routes:
+//
+//     submit(image, {model, tenant, deadline})
+//        │
+//        ▼
+//     consistent-hash ring: owner(routing_key(model, shape-bucket))
+//        │                                  (dist/ring.h — stable ownership,
+//        ▼                                   minimal movement on death/join)
+//     per-shard bounded in-flight window ── full? submit blocks /
+//        │                                  try_submit refuses (backpressure
+//        ▼                                  propagates to the caller, work
+//     kSubmit frame ──► shard ──► kReply    is shed at the edge, never
+//                                           silently dropped)
+//
+// Fault tolerance: a heartbeat thread pings every live shard each tick;
+// a shard that misses `heartbeat_misses` consecutive pongs — or whose
+// connection EOFs (SIGKILL surfaces instantly on a unix socket) — is marked
+// dead, removed from the ring, and every request that was in flight to it is
+// *work-stolen*: the frontend retained each request's input tensor, so the
+// un-replied ones are resubmitted to the surviving shards under the new ring
+// assignment. A request admitted by submit() therefore completes with a real
+// answer unless every shard is gone — the zero-loss-on-shard-death property
+// bench_dist_load gates. add_shard() is the inverse path: a recovered shard
+// rejoins the ring and takes its arc back.
+//
+// Tile-split: a request whose LR pixel count reaches tile_threshold_pixels
+// (and whose model has a registered halo — see dist/tile.h for the halo
+// math) is cut into row-band tiles fanned out to distinct ring successors,
+// upscaled in parallel, and stitched bit-exactly into one reply. Tiles ride
+// the same pending/window/steal machinery as plain requests, so a mid-tile
+// shard death re-routes just the lost bands.
+//
+// Exactly-one-completion invariant: every admitted request lives in exactly
+// one shard's pending map; the reply path erases it under the frontend lock
+// before completing, the death path drains the whole map under the same
+// lock before resubmitting. A request can therefore be answered or stolen,
+// never both, and never neither.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/ring.h"
+#include "dist/tile.h"
+#include "dist/transport.h"
+#include "serve/server.h"
+
+namespace sesr::dist {
+
+/// Point-in-time view of one shard as the frontend sees it.
+struct ShardInfo {
+  bool alive = false;
+  int64_t in_flight = 0;           ///< frontend-side pending to this shard
+  int64_t reported_in_flight = 0;  ///< shard-side count from the last pong
+  std::string stats_json;          ///< shard ServerStats from the last pong
+};
+
+struct FrontendStats {
+  int64_t submitted = 0;    ///< admitted (a tiled request counts once)
+  int64_t completed = 0;    ///< answered kOk
+  int64_t shed = 0;         ///< answered kShed (deadline)
+  int64_t failed = 0;       ///< answered kError
+  int64_t rejected = 0;     ///< refused at the door (window full / stopped)
+  int64_t tiled = 0;        ///< requests that went down the tile-split path
+  int64_t resubmitted = 0;  ///< individual sends re-routed off a dead shard
+  int64_t shard_deaths = 0;
+  std::map<std::string, ShardInfo> shards;
+};
+
+class Frontend {
+ public:
+  struct ShardAddress {
+    std::string name;  ///< ring node id (stable across reconnects)
+    std::string socket_path;
+  };
+
+  struct Options {
+    std::vector<ShardAddress> shards;
+
+    /// Per-shard in-flight window (backpressure). Default: SESR_DIST_WINDOW.
+    int64_t window = 0;
+    /// Heartbeat period. Default: SESR_DIST_HEARTBEAT_MS.
+    std::chrono::milliseconds heartbeat_interval{0};
+    /// Consecutive missed pongs before a shard is declared dead.
+    /// Default: SESR_DIST_HEARTBEAT_MISSES.
+    int heartbeat_misses = 0;
+    /// Virtual nodes per shard on the ring.
+    int vnodes = 128;
+
+    /// LR pixel count (H*W) at which requests tile-split; 0 = never.
+    /// Default: SESR_DIST_TILE_THRESHOLD.
+    int64_t tile_threshold_pixels = -1;
+    /// Max tiles per request. Default: SESR_DIST_TILE_MAX.
+    int tile_max = 0;
+    /// model id -> halo rows (>= the model's receptive-field radius; see
+    /// receptive_field_radius). Models absent here are never tile-split.
+    std::map<std::string, int64_t> model_halo;
+
+    /// How long to retry connecting to each shard socket at startup.
+    std::chrono::milliseconds connect_timeout{5000};
+  };
+
+  /// Connects to every shard and starts the reader + heartbeat threads.
+  /// Throws std::runtime_error when a shard is unreachable within
+  /// connect_timeout, std::invalid_argument on an empty shard list.
+  explicit Frontend(const Options& options);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Route one image ([C, H, W] or [1, C, H, W]); blocks while the target
+  /// shard's window is full. The returned future completes with the shard's
+  /// reply, a locally-shed kShed, or kError after the retry budget.
+  serve::ServeFuture submit(Tensor image, const serve::Server::SubmitOptions& options = {});
+
+  /// Callback flavour; completion runs on a frontend reader thread.
+  void submit_async(Tensor image, const serve::Server::SubmitOptions& options,
+                    serve::ServeCallback callback);
+
+  /// Non-blocking: false when the owner shard's window is full or the
+  /// frontend is stopped (counted as rejected). Never tile-splits.
+  bool try_submit(Tensor image, const serve::Server::SubmitOptions& options,
+                  serve::ServeCallback callback);
+
+  /// Connect a (new or recovered) shard and add it to the ring. Replaces a
+  /// dead entry with the same name.
+  void add_shard(const ShardAddress& address);
+
+  [[nodiscard]] FrontendStats stats() const;
+  [[nodiscard]] std::vector<std::string> alive_shards() const;
+
+  /// Stop routing: reject new work, complete still-pending requests with
+  /// kError, join all threads. Does NOT shut the shard processes down (the
+  /// spawner owns their lifecycle). Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct TileJob;
+  struct Pending;
+  struct ShardState;
+
+  void reader_loop(std::shared_ptr<ShardState> shard);
+  void heartbeat_loop();
+  void handle_reply(const std::shared_ptr<ShardState>& shard, const Frame& frame);
+  void handle_shard_death(const std::string& name);
+  /// Route + send one pending request. `blocking` waits out a full window;
+  /// non-blocking returns false instead. On send failure the request is
+  /// re-routed via the death path (it never vanishes).
+  bool route_and_send(Pending pending, bool blocking);
+  void complete_pending(Pending& pending, serve::ServeReply reply);
+  void finish_tile(const Pending& pending, serve::ServeReply reply);
+  bool tile_eligible_locked(const serve::Server::SubmitOptions& options, const Shape& shape,
+                            int64_t* halo_out) const;
+  serve::ServeFuture submit_tiled(Tensor image, const serve::Server::SubmitOptions& options,
+                                  std::shared_ptr<serve::detail::ResultState> state,
+                                  int64_t halo);
+
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable window_cv_;  ///< signalled when window slots free up
+  HashRing ring_;
+  std::map<std::string, std::shared_ptr<ShardState>> shards_;
+  /// Dead shards replaced by add_shard; kept so stop() can join their
+  /// (long-exited) reader threads.
+  std::vector<std::shared_ptr<ShardState>> retired_;
+  bool stopping_ = false;
+
+  std::thread heartbeat_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> heartbeat_seq_{0};
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> tiled_{0};
+  std::atomic<int64_t> resubmitted_{0};
+  std::atomic<int64_t> shard_deaths_{0};
+};
+
+}  // namespace sesr::dist

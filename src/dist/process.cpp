@@ -1,0 +1,151 @@
+#include "dist/process.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "dist/shard.h"
+#include "dist/tile.h"
+
+namespace sesr::dist {
+
+// ---- ShardProcess ----------------------------------------------------------
+
+ShardProcess::ShardProcess(std::string binary, const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(binary.data());
+  for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  pid_ = ::fork();
+  if (pid_ < 0)
+    throw std::runtime_error(std::string("ShardProcess: fork(): ") + strerror(errno));
+  if (pid_ == 0) {
+    // Child: exec immediately (fork-then-exec keeps this safe under TSan —
+    // the child touches nothing but execv). Inherits the environment, so
+    // SESR_* knobs flow through to the shard.
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);
+  }
+}
+
+ShardProcess::~ShardProcess() { kill_hard(); }
+
+void ShardProcess::kill_hard() {
+  if (reaped_) return;
+  ::kill(pid_, SIGKILL);
+  wait();
+}
+
+void ShardProcess::sigstop() {
+  if (!reaped_) ::kill(pid_, SIGSTOP);
+}
+
+void ShardProcess::sigcont() {
+  if (!reaped_) ::kill(pid_, SIGCONT);
+}
+
+void ShardProcess::terminate() {
+  if (!reaped_) ::kill(pid_, SIGTERM);
+}
+
+int ShardProcess::wait() {
+  if (reaped_) return 0;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  reaped_ = true;
+  return status;
+}
+
+bool ShardProcess::running() {
+  if (reaped_) return false;
+  int status = 0;
+  const pid_t got = ::waitpid(pid_, &status, WNOHANG);
+  if (got == pid_) reaped_ = true;
+  return !reaped_;
+}
+
+// ---- LocalCluster ----------------------------------------------------------
+
+LocalCluster::LocalCluster(const Options& options) : options_(options) {
+  if (options_.shards < 1) throw std::invalid_argument("LocalCluster: shards must be >= 1");
+  binary_ = options_.shard_binary.empty() ? core::config_string("SESR_SHARD_BIN")
+                                          : options_.shard_binary;
+  if (binary_.empty())
+    throw std::runtime_error(
+        "LocalCluster: no sesr_shard binary — pass Options::shard_binary "
+        "(e.g. dist::shard_binary_path()) or set SESR_SHARD_BIN");
+  window_ = options_.window > 0 ? options_.window : core::config_int64("SESR_DIST_WINDOW");
+  queue_capacity_ = options_.queue_capacity > 0 ? options_.queue_capacity : 2 * window_;
+
+  // Halo per model id, from the spec'd architecture's receptive field — the
+  // frontend needs it before any shard answers, and the specs are the same
+  // deterministic recipe the shards build from.
+  for (const std::string& text : options_.model_specs) {
+    const ModelSpec spec = parse_model_spec(text);
+    model_halo_[spec.id] = receptive_field_radius(*build_network(spec), spec.calib);
+  }
+
+  char dir_template[] = "/tmp/sesr_dist_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr)
+    throw std::runtime_error(std::string("LocalCluster: mkdtemp(): ") + strerror(errno));
+  dir_ = dir_template;
+
+  processes_.resize(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) spawn(i);
+}
+
+LocalCluster::~LocalCluster() {
+  for (auto& process : processes_)
+    if (process) process->kill_hard();
+  // A SIGKILLed shard never unlinks its socket file; sweep the temp dir.
+  for (int i = 0; i < shards(); ++i) ::unlink(socket_path(i).c_str());
+  ::rmdir(dir_.c_str());
+}
+
+std::string LocalCluster::socket_path(int index) const {
+  return dir_ + "/shard" + std::to_string(index) + ".sock";
+}
+
+Frontend::ShardAddress LocalCluster::address(int index) const {
+  return {"shard" + std::to_string(index), socket_path(index)};
+}
+
+void LocalCluster::spawn(int index) {
+  std::vector<std::string> args = {"--socket", socket_path(index)};
+  for (const std::string& spec : options_.model_specs) {
+    args.push_back("--model");
+    args.push_back(spec);
+  }
+  args.push_back("--workers");
+  args.push_back(std::to_string(options_.workers_per_shard));
+  args.push_back("--max-batch");
+  args.push_back(std::to_string(options_.max_batch));
+  args.push_back("--queue");
+  args.push_back(std::to_string(queue_capacity_));
+  processes_[static_cast<size_t>(index)] = std::make_unique<ShardProcess>(binary_, args);
+}
+
+Frontend::ShardAddress LocalCluster::respawn_shard(int index) {
+  process(index).kill_hard();
+  ::unlink(socket_path(index).c_str());
+  spawn(index);
+  return address(index);
+}
+
+Frontend::Options LocalCluster::frontend_options() const {
+  Frontend::Options options;
+  for (int i = 0; i < shards(); ++i) options.shards.push_back(address(i));
+  options.window = window_;
+  options.model_halo = model_halo_;
+  return options;
+}
+
+}  // namespace sesr::dist

@@ -1,0 +1,130 @@
+// Shard process lifecycle: spawning, killing, and wiring up local clusters.
+//
+// The distributed tier's failure unit is an OS process — a shard that
+// segfaults, is OOM-killed, or SIGKILLed mid-batch must not take the
+// frontend or its sibling shards with it. ShardProcess wraps one spawned
+// `sesr_shard` worker (fork + exec, no shell); LocalCluster spawns N of them
+// on sockets under a private temp directory and hands the frontend a
+// matching Options — the standard harness for the dist tests and
+// bench_dist_load, including their kill-a-shard-mid-run scenarios.
+//
+// Fault injection surface: kill_hard (SIGKILL — instant EOF on the socket,
+// the crash case), sigstop/sigcont (a hung-but-connected shard — only the
+// heartbeat can catch this one), terminate (SIGTERM), and respawn_shard
+// (recovery: a fresh process on the same socket, handed back as the address
+// for Frontend::add_shard).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "dist/frontend.h"
+
+namespace sesr::dist {
+
+/// One spawned worker process. Destruction SIGKILLs and reaps it if still
+/// running — a test that forgets cleanup does not leak processes.
+class ShardProcess {
+ public:
+  /// fork + execv `binary` with `args` (argv[0] is derived from binary).
+  /// Throws std::runtime_error when the fork fails; an unrunnable binary
+  /// surfaces as exit code 127 from wait().
+  ShardProcess(std::string binary, const std::vector<std::string>& args);
+  ~ShardProcess();
+
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+  void kill_hard();  ///< SIGKILL + reap (idempotent)
+  void sigstop();    ///< freeze: simulates a hung shard (socket stays open)
+  void sigcont();
+  void terminate();  ///< SIGTERM (not reaped; follow with wait())
+
+  /// Reap (blocking) and return the raw waitpid status; 0 if already reaped.
+  int wait();
+
+  /// Still running? (non-blocking; reaps on exit)
+  [[nodiscard]] bool running();
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+};
+
+/// Build-time fallback location of the sesr_shard binary: test and bench
+/// targets compile with SESR_SHARD_BIN_DEFAULT pointing at the build tree;
+/// the SESR_SHARD_BIN knob overrides it (installed deployments, CI). Inline
+/// on purpose — the macro must expand in the *caller's* translation unit.
+inline std::string shard_binary_path() {
+  std::string configured = core::config_string("SESR_SHARD_BIN");
+  if (!configured.empty()) return configured;
+#ifdef SESR_SHARD_BIN_DEFAULT
+  return SESR_SHARD_BIN_DEFAULT;
+#else
+  return {};
+#endif
+}
+
+/// N shard processes + ready-made Frontend::Options, sockets in a private
+/// temp dir, everything torn down (SIGKILL + unlink) on destruction.
+class LocalCluster {
+ public:
+  struct Options {
+    int shards = 2;
+    /// Model specs every shard serves (see dist::parse_model_spec).
+    std::vector<std::string> model_specs = {"default=sesr_m5"};
+    int workers_per_shard = 1;
+    int64_t max_batch = 4;
+    /// 0 = twice the frontend window, so windowed load never gets a shard
+    /// queue-full refusal (the zero-drop invariant the benches gate).
+    int64_t queue_capacity = 0;
+    /// Frontend per-shard window; 0 = SESR_DIST_WINDOW.
+    int64_t window = 0;
+    /// Path to sesr_shard; empty = SESR_SHARD_BIN, then the caller's
+    /// build-time default via shard_binary_path().
+    std::string shard_binary;
+  };
+
+  explicit LocalCluster(const Options& options);
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Frontend options wired to every spawned shard: addresses, the cluster
+  /// window, and model_halo prefilled from each spec's receptive-field
+  /// radius (so tile-split works out of the box when thresholds enable it).
+  [[nodiscard]] Frontend::Options frontend_options() const;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(processes_.size()); }
+  [[nodiscard]] Frontend::ShardAddress address(int index) const;
+  [[nodiscard]] ShardProcess& process(int index) { return *processes_.at(index); }
+  [[nodiscard]] int64_t window() const { return window_; }
+
+  void kill_shard(int index) { process(index).kill_hard(); }
+
+  /// Kill (if needed) and relaunch shard `index` on its original socket;
+  /// returns the address to hand to Frontend::add_shard.
+  Frontend::ShardAddress respawn_shard(int index);
+
+ private:
+  void spawn(int index);
+  [[nodiscard]] std::string socket_path(int index) const;
+
+  Options options_;
+  std::string binary_;
+  std::string dir_;
+  int64_t window_ = 0;
+  int64_t queue_capacity_ = 0;
+  std::map<std::string, int64_t> model_halo_;
+  std::vector<std::unique_ptr<ShardProcess>> processes_;
+};
+
+}  // namespace sesr::dist

@@ -1,0 +1,91 @@
+#include "dist/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesr::dist {
+
+uint64_t stable_hash64(std::string_view bytes) {
+  // FNV-1a over the bytes...
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  // ...then a splitmix64 finalizer: FNV alone avalanches poorly in the high
+  // bits, and ring placement consumes the full 64-bit value.
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+namespace {
+
+int64_t next_pow2(int64_t value) {
+  int64_t out = 1;
+  while (out < value) out <<= 1;
+  return out;
+}
+
+}  // namespace
+
+std::string shape_bucket(const Shape& image) {
+  if (image.ndim() != 3 && image.ndim() != 4)
+    throw std::invalid_argument("shape_bucket: expected [C, H, W] or [1, C, H, W], got " +
+                                image.to_string());
+  const int offset = image.ndim() == 4 ? 1 : 0;
+  return std::to_string(image[offset]) + "x" + std::to_string(next_pow2(image[offset + 1])) +
+         "x" + std::to_string(next_pow2(image[offset + 2]));
+}
+
+std::string routing_key(const std::string& model, const Shape& image) {
+  return model + "|" + shape_bucket(image);
+}
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+  if (vnodes < 1) throw std::invalid_argument("HashRing: vnodes must be >= 1");
+}
+
+void HashRing::add_node(const std::string& node) {
+  if (node.empty()) throw std::invalid_argument("HashRing: empty node name");
+  if (!members_.insert(node).second) return;
+  points_.reserve(points_.size() + static_cast<size_t>(vnodes_));
+  for (int replica = 0; replica < vnodes_; ++replica)
+    points_.emplace_back(stable_hash64(node + "#" + std::to_string(replica)), node);
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::remove_node(const std::string& node) {
+  if (members_.erase(node) == 0) return;
+  std::erase_if(points_, [&](const auto& point) { return point.second == node; });
+}
+
+size_t HashRing::first_point_at_or_after(uint64_t hash) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const auto& point, uint64_t value) { return point.first < value; });
+  // Wrap: a key past the last point belongs to the first (the "ring" part).
+  return it == points_.end() ? 0 : static_cast<size_t>(it - points_.begin());
+}
+
+const std::string& HashRing::owner(std::string_view key) const {
+  if (points_.empty()) throw std::runtime_error("HashRing: no nodes");
+  return points_[first_point_at_or_after(stable_hash64(key))].second;
+}
+
+std::vector<std::string> HashRing::owners(std::string_view key, int count) const {
+  std::vector<std::string> out;
+  if (points_.empty()) return out;  // fan-out over nothing: empty, not a throw
+  const int wanted = std::min<int>(count, static_cast<int>(members_.size()));
+  size_t at = first_point_at_or_after(stable_hash64(key));
+  for (size_t step = 0; step < points_.size() && static_cast<int>(out.size()) < wanted; ++step) {
+    const std::string& node = points_[(at + step) % points_.size()].second;
+    if (std::find(out.begin(), out.end(), node) == out.end()) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace sesr::dist

@@ -1,0 +1,86 @@
+// Consistent-hash ring: (model, shape-bucket) -> shard routing.
+//
+// Why consistent hashing and not round-robin: a shard's value is its warm
+// state — compiled plans are per (model, batched input shape) and pooled
+// sessions own megabytes of arena each. Spraying a (model, shape) key across
+// all shards multiplies that state by the shard count and re-pays compile
+// spikes everywhere; hashing the key onto one stable owner keeps every
+// shard's plan cache and session pool hot for its arc of the key space.
+//
+// Why a *ring* and not `hash % N`: when a shard dies (or joins), modulo
+// reassigns nearly every key; the ring reassigns only the dead shard's arc
+// (≈ 1/N of the keys), so the surviving shards keep their warm state — the
+// minimal-movement property the ring tests pin.
+//
+// Mechanics: each node is hashed onto the ring at `vnodes` pseudo-random
+// points ("virtual nodes" — more points flatten the arc-length variance, the
+// classic Karger/dynamo construction); a key is owned by the first node
+// point clockwise from the key's hash. The hash (FNV-1a folded through a
+// splitmix64 finalizer) is a pure function of bytes — no process-local
+// seeding — so every frontend replica computes identical ownership, which
+// the determinism tests pin by rebuilding rings in shuffled insertion order.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace sesr::dist {
+
+/// Deterministic 64-bit hash of arbitrary bytes (FNV-1a + splitmix64
+/// finalizer for avalanche). Stable across processes, platforms and runs.
+[[nodiscard]] uint64_t stable_hash64(std::string_view bytes);
+
+/// Routing bucket of a single-image [C, H, W] (or [1, C, H, W]) shape:
+/// channels exact, H and W rounded up to the next power of two. Nearby
+/// resolutions (every tile size a video pipeline emits between 33 and 64)
+/// share a bucket and therefore a shard, concentrating plan-cache hits
+/// without pinning the whole workload to one worker.
+[[nodiscard]] std::string shape_bucket(const Shape& image);
+
+/// The ring key a request routes by.
+[[nodiscard]] std::string routing_key(const std::string& model, const Shape& image);
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 128);
+
+  /// Idempotent; `node` must be non-empty.
+  void add_node(const std::string& node);
+  /// Idempotent.
+  void remove_node(const std::string& node);
+
+  /// Owner of `key`: the first node point clockwise of stable_hash64(key).
+  /// Throws std::runtime_error on an empty ring.
+  [[nodiscard]] const std::string& owner(std::string_view key) const;
+
+  /// The first `count` *distinct* nodes clockwise of the key (fan-out
+  /// targets for tile-split; fewer when the ring holds fewer nodes).
+  [[nodiscard]] std::vector<std::string> owners(std::string_view key, int count) const;
+
+  [[nodiscard]] bool contains(const std::string& node) const {
+    return members_.count(node) > 0;
+  }
+  [[nodiscard]] size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] std::vector<std::string> nodes() const {
+    return {members_.begin(), members_.end()};
+  }
+  [[nodiscard]] int vnodes() const { return vnodes_; }
+
+ private:
+  size_t first_point_at_or_after(uint64_t hash) const;
+
+  int vnodes_;
+  std::set<std::string> members_;
+  /// Sorted ring points (hash -> owning node). Rebuilt-in-place on
+  /// membership change — membership changes are rare (deaths, joins), reads
+  /// are per-request, so a flat sorted vector beats a tree.
+  std::vector<std::pair<uint64_t, std::string>> points_;
+};
+
+}  // namespace sesr::dist

@@ -1,0 +1,235 @@
+#include "dist/shard.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/wire.h"
+#include "models/edsr.h"
+#include "models/sesr.h"
+#include "quant/quantized_model.h"
+#include "serve/stats_json.h"
+#include "tensor/rng.h"
+
+namespace sesr::dist {
+
+// ---- model specs -----------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t at = text.find(sep, start);
+    parts.push_back(text.substr(start, at == std::string::npos ? at : at - start));
+    if (at == std::string::npos) return parts;
+    start = at + 1;
+  }
+}
+
+int64_t parse_int(const std::string& text, const char* what) {
+  try {
+    size_t used = 0;
+    const int64_t value = std::stoll(text, &used);
+    if (used != text.size() || value < 0) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("model spec: bad ") + what + " '" + text + "'");
+  }
+}
+
+}  // namespace
+
+ModelSpec parse_model_spec(const std::string& text) {
+  const size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size())
+    throw std::invalid_argument("model spec '" + text +
+                                "': expected id=arch[:int8][:seed=N][:calib=CxHxW]");
+  ModelSpec spec;
+  spec.id = text.substr(0, eq);
+  const std::vector<std::string> parts = split(text.substr(eq + 1), ':');
+  spec.arch = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    if (part == "int8") {
+      spec.int8 = true;
+    } else if (part.rfind("seed=", 0) == 0) {
+      spec.seed = static_cast<uint64_t>(parse_int(part.substr(5), "seed"));
+    } else if (part.rfind("calib=", 0) == 0) {
+      const std::vector<std::string> dims = split(part.substr(6), 'x');
+      if (dims.size() != 3)
+        throw std::invalid_argument("model spec: calib wants CxHxW, got '" + part + "'");
+      spec.calib = Shape({parse_int(dims[0], "calib C"), parse_int(dims[1], "calib H"),
+                          parse_int(dims[2], "calib W")});
+    } else {
+      throw std::invalid_argument("model spec '" + text + "': unknown option '" + part + "'");
+    }
+  }
+  static_cast<void>(build_network(spec));  // validates the arch name eagerly
+  return spec;
+}
+
+std::shared_ptr<nn::Module> build_network(const ModelSpec& spec) {
+  std::shared_ptr<nn::Module> network;
+  if (spec.arch == "sesr_m2") {
+    network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                             models::Sesr::Form::kInference);
+  } else if (spec.arch == "sesr_m5") {
+    network = std::make_shared<models::Sesr>(models::SesrConfig::m5(),
+                                             models::Sesr::Form::kInference);
+  } else if (spec.arch == "sesr_xl") {
+    network = std::make_shared<models::Sesr>(models::SesrConfig::xl(),
+                                             models::Sesr::Form::kInference);
+  } else if (spec.arch == "edsr") {
+    network = std::make_shared<models::Edsr>(models::EdsrConfig::base_repo());
+  } else if (spec.arch == "edsr_full") {
+    network = std::make_shared<models::Edsr>(models::EdsrConfig::full_repo());
+  } else {
+    throw std::invalid_argument("model spec: unknown arch '" + spec.arch +
+                                "' (sesr_m2|sesr_m5|sesr_xl|edsr|edsr_full)");
+  }
+  // Seeded init: the whole determinism contract of the tier hangs on this
+  // line producing the same bits in every process given the same seed.
+  Rng rng(spec.seed);
+  network->init_weights(rng);
+  return network;
+}
+
+std::shared_ptr<serve::ModelRegistry> build_registry(const std::vector<ModelSpec>& specs) {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  for (const ModelSpec& spec : specs) {
+    std::shared_ptr<nn::Module> network = build_network(spec);
+    registry->register_model(spec.id, spec.id, network);
+    if (!spec.int8) continue;
+    // Deterministic calibration: batches drawn from seed + 1 at the spec'd
+    // shape. Int8 grids depend only on module structure + batches, so every
+    // process publishes a bit-identical artifact at version 2.
+    Rng calib_rng(spec.seed + 1);
+    const Shape batch_shape({2, spec.calib[0], spec.calib[1], spec.calib[2]});
+    std::vector<Tensor> batches;
+    for (int i = 0; i < 2; ++i)
+      batches.push_back(Tensor::rand(batch_shape, calib_rng, 0.0f, 1.0f));
+    auto artifact = std::make_shared<quant::QuantizedModel>(
+        quant::QuantizedModel::calibrate(*network, batch_shape, batches));
+    registry->publish_int8(spec.id, std::move(artifact));
+  }
+  return registry;
+}
+
+// ---- Shard -----------------------------------------------------------------
+
+Shard::Shard(const Options& options)
+    : registry_(build_registry(options.models)),
+      server_(std::make_unique<serve::Server>(registry_, options.server)),
+      listener_(std::make_unique<Listener>(options.socket_path)) {
+  if (options.models.empty()) throw std::invalid_argument("Shard: no models configured");
+}
+
+Shard::~Shard() { stop(); }
+
+void Shard::run() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::unique_ptr<Connection> accepted = listener_->accept();
+    if (!accepted) break;
+    std::shared_ptr<Connection> connection = std::move(accepted);
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(connection);
+    threads_.emplace_back([this, connection] { serve_connection(connection); });
+  }
+  // Drain before exit: every request already admitted gets its reply sent
+  // through the (still-open) connections by the server's completion
+  // callbacks — a clean shutdown loses nothing.
+  server_->stop();
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+    threads.swap(threads_);
+  }
+  for (const auto& connection : connections) connection->shutdown();
+  for (std::thread& thread : threads) thread.join();
+}
+
+void Shard::stop() {
+  running_.store(false, std::memory_order_release);
+  listener_->close();  // unblocks run()'s accept()
+}
+
+void Shard::serve_connection(const std::shared_ptr<Connection>& connection) {
+  try {
+    while (std::optional<Frame> frame = connection->recv()) {
+      switch (frame->header.type) {
+        case MessageType::kSubmit:
+          handle_submit(connection, *frame);
+          break;
+        case MessageType::kPing: {
+          PongMessage pong;
+          pong.seq = frame->header.request_id;
+          pong.in_flight = in_flight_.load(std::memory_order_relaxed);
+          pong.stats_json = serve::stats_to_json(server_->stats());
+          connection->send(MessageType::kPong, pong.seq, encode_pong(pong));
+          break;
+        }
+        case MessageType::kShutdown:
+          stop();
+          return;
+        default:
+          // kReply / kPong never arrive at a shard; a peer that sends them
+          // is confused but not fatal.
+          break;
+      }
+    }
+  } catch (const WireError& error) {
+    // Protocol violation: drop this connection, keep serving others.
+    std::fprintf(stderr, "shard(%s): %s\n", listener_->socket_path().c_str(), error.what());
+  }
+}
+
+void Shard::handle_submit(const std::shared_ptr<Connection>& connection, const Frame& frame) {
+  SubmitMessage message = decode_submit(frame.header.request_id, frame.body);
+  const uint64_t request_id = message.request_id;
+
+  auto send_reply = [connection, request_id](serve::ServeReply reply) {
+    ReplyMessage out;
+    out.request_id = request_id;
+    out.status = static_cast<uint8_t>(reply.status);
+    out.error = std::move(reply.error);
+    out.model_version = reply.model_version;
+    if (reply.ok()) out.output = std::move(reply.output);
+    connection->send(MessageType::kReply, request_id, encode_reply(out));
+  };
+
+  serve::Server::SubmitOptions options;
+  options.model = std::move(message.model);
+  options.tenant = std::move(message.tenant);
+  if (message.deadline_ms != SubmitMessage::kNoDeadline) {
+    // The wire carries *remaining* budget; an explicit 0 means "already due"
+    // and must still shed rather than fall through to the server default.
+    options.deadline = std::chrono::milliseconds(std::max<int64_t>(1, message.deadline_ms));
+  }
+
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  auto completion = [this, send_reply](serve::ServeReply reply) {
+    send_reply(std::move(reply));
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  bool accepted = false;
+  std::string refusal = "shard overloaded: queue full or tenant over quota";
+  try {
+    accepted = server_->try_submit(std::move(message.image), options, completion);
+  } catch (const std::exception& error) {
+    refusal = error.what();  // e.g. unregistered model id
+  }
+  if (!accepted) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    serve::ServeReply reply;
+    reply.status = serve::ServeStatus::kError;
+    reply.error = refusal;
+    send_reply(std::move(reply));
+  }
+}
+
+}  // namespace sesr::dist

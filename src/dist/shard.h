@@ -1,0 +1,116 @@
+// Worker shard of the distributed serving tier.
+//
+// A Shard is one OS process owning a full single-process serving stack — a
+// serve::ModelRegistry of deterministically-built models and a serve::Server
+// (bounded queue, micro-batcher, worker pool) — exposed over one listening
+// unix socket speaking the dist wire format. The frontend connects, streams
+// kSubmit frames at it, and receives kReply frames as the server's
+// completion callbacks fire; kPing is answered inline with kPong carrying
+// the shard's live ServerStats as JSON.
+//
+// Admission is strictly non-blocking: inbound submits go through
+// Server::try_submit, so the connection's reader thread never parks on a
+// full queue. That is the tier's anti-deadlock invariant — a shard that
+// blocked its reader on its own queue would stop draining the socket, the
+// frontend's sends would back up, and backpressure would become deadlock.
+// An over-capacity submit is answered immediately with a kError reply; the
+// frontend's bounded in-flight window makes such refusals rare by sizing
+// itself below the shard queue.
+//
+// Determinism contract: build_registry constructs every model purely from
+// its ModelSpec — architecture, seeded weight init, seeded int8 calibration
+// — with no ambient state. Two shard processes (or a shard and an in-process
+// reference) given the same spec produce bit-identical networks and
+// artifacts, which is what lets the frontend tile-split one image across
+// shards and stitch a result bit-equal to a single-process upscale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/transport.h"
+#include "serve/server.h"
+#include "tensor/shape.h"
+
+namespace sesr::dist {
+
+/// Deterministic recipe for one served model, parseable from the
+/// `id=arch[:int8][:seed=N][:calib=CxHxW]` command-line form.
+struct ModelSpec {
+  std::string id;    ///< registry id requests route by
+  std::string arch;  ///< sesr_m2 | sesr_m5 | sesr_xl | edsr | edsr_full
+  bool int8 = false;
+  /// Weight-init seed; calibration draws from seed + 1. Identical specs on
+  /// different processes yield bit-identical models.
+  uint64_t seed = 0x5e5;
+  /// Single-image [C, H, W] shape int8 calibration batches are drawn at.
+  Shape calib = Shape({3, 32, 32});
+};
+
+/// Parse the command-line form. Throws std::invalid_argument on a malformed
+/// spec or an unknown architecture name.
+[[nodiscard]] ModelSpec parse_model_spec(const std::string& text);
+
+/// Build the spec'd network with seeded deterministic weights.
+[[nodiscard]] std::shared_ptr<nn::Module> build_network(const ModelSpec& spec);
+
+/// Build a registry serving every spec: fp32 models at version 1; int8
+/// models additionally calibrated (seeded batches) and published at
+/// version 2. Pure function of the specs — see the determinism contract.
+[[nodiscard]] std::shared_ptr<serve::ModelRegistry> build_registry(
+    const std::vector<ModelSpec>& specs);
+
+class Shard {
+ public:
+  struct Options {
+    std::string socket_path;
+    std::vector<ModelSpec> models;
+    serve::Server::Options server;
+  };
+
+  /// Binds the socket and starts the inner server; run() must follow.
+  explicit Shard(const Options& options);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Accept loop: serves connections until stop() (or an inbound kShutdown)
+  /// closes the listener, then drains the inner server — every accepted
+  /// request is answered before run() returns — and joins the connection
+  /// threads.
+  void run();
+
+  /// Unblock run(). Safe from any thread, including connection threads
+  /// (which is how kShutdown triggers it). Idempotent.
+  void stop();
+
+  /// Requests accepted over the wire but not yet answered.
+  [[nodiscard]] int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] serve::Server& server() { return *server_; }
+  [[nodiscard]] const std::string& socket_path() const { return listener_->socket_path(); }
+
+ private:
+  void serve_connection(const std::shared_ptr<Connection>& connection);
+  void handle_submit(const std::shared_ptr<Connection>& connection, const Frame& frame);
+
+  std::shared_ptr<serve::ModelRegistry> registry_;
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<Listener> listener_;
+
+  std::atomic<bool> running_{true};
+  std::atomic<int64_t> in_flight_{0};
+
+  std::mutex mutex_;  ///< guards connections_ / threads_
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sesr::dist

@@ -1,0 +1,145 @@
+#include "dist/tile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace sesr::dist {
+
+TilePlan plan_row_tiles(int64_t height, int tiles, int64_t halo, int64_t scale) {
+  if (height < 1) throw std::invalid_argument("plan_row_tiles: height must be >= 1");
+  if (tiles < 1) throw std::invalid_argument("plan_row_tiles: tiles must be >= 1");
+  if (halo < 0) throw std::invalid_argument("plan_row_tiles: halo must be >= 0");
+  if (scale < 1) throw std::invalid_argument("plan_row_tiles: scale must be >= 1");
+
+  TilePlan plan;
+  plan.height = height;
+  plan.halo = halo;
+  plan.scale = scale;
+
+  // Every tile must own at least one core row.
+  const int64_t count = std::min<int64_t>(tiles, height);
+  const int64_t base = height / count;
+  const int64_t extra = height % count;  // first `extra` tiles take one more row
+  int64_t row = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    TileSpec spec;
+    spec.row_begin = row;
+    spec.row_end = row + base + (i < extra ? 1 : 0);
+    // Halos clamp at the image borders: edge tiles see the true edge, so the
+    // model's zero padding applies exactly where the whole-image run pads.
+    spec.halo_top = std::min(halo, spec.row_begin);
+    spec.halo_bottom = std::min(halo, height - spec.row_end);
+    row = spec.row_end;
+    plan.tiles.push_back(spec);
+  }
+  return plan;
+}
+
+namespace {
+
+struct ImageDims {
+  int64_t channels = 0;
+  int64_t height = 0;
+  int64_t width = 0;
+};
+
+ImageDims image_dims(const Tensor& image, const char* who) {
+  const Shape& shape = image.shape();
+  if (shape.ndim() == 3) return {shape[0], shape[1], shape[2]};
+  if (shape.ndim() == 4 && shape[0] == 1) return {shape[1], shape[2], shape[3]};
+  throw std::invalid_argument(std::string(who) + ": expected [C, H, W] or [1, C, H, W], got " +
+                              shape.to_string());
+}
+
+}  // namespace
+
+Tensor extract_tile(const Tensor& image, const TileSpec& spec) {
+  const ImageDims dims = image_dims(image, "extract_tile");
+  const int64_t first = spec.row_begin - spec.halo_top;
+  const int64_t last = spec.row_end + spec.halo_bottom;  // exclusive
+  if (first < 0 || last > dims.height || spec.row_begin >= spec.row_end)
+    throw std::invalid_argument("extract_tile: tile rows out of range");
+
+  const int64_t rows = last - first;
+  Tensor tile(Shape({1, dims.channels, rows, dims.width}));
+  const float* src = image.data();
+  float* dst = tile.data();
+  for (int64_t c = 0; c < dims.channels; ++c) {
+    std::memcpy(dst + c * rows * dims.width,
+                src + (c * dims.height + first) * dims.width,
+                static_cast<size_t>(rows * dims.width) * sizeof(float));
+  }
+  return tile;
+}
+
+void stitch_tile(const Tensor& upscaled_tile, const TileSpec& spec, const TilePlan& plan,
+                 Tensor& output) {
+  const ImageDims tile = image_dims(upscaled_tile, "stitch_tile(tile)");
+  const ImageDims out = image_dims(output, "stitch_tile(output)");
+  const int64_t scale = plan.scale;
+  if (tile.channels != out.channels)
+    throw std::invalid_argument("stitch_tile: channel mismatch");
+  if (tile.height != spec.tile_rows() * scale || tile.width != out.width)
+    throw std::invalid_argument("stitch_tile: upscaled tile shape does not match spec");
+  if (out.height != plan.height * scale)
+    throw std::invalid_argument("stitch_tile: output height does not match plan");
+
+  const int64_t skip = spec.halo_top * scale;           // upscaled halo rows to crop
+  const int64_t rows = spec.core_rows() * scale;        // upscaled core rows to keep
+  const int64_t dst_row = spec.row_begin * scale;
+  const float* src = upscaled_tile.data();
+  float* dst = output.data();
+  for (int64_t c = 0; c < tile.channels; ++c) {
+    std::memcpy(dst + (c * out.height + dst_row) * out.width,
+                src + (c * tile.height + skip) * tile.width,
+                static_cast<size_t>(rows * out.width) * sizeof(float));
+  }
+}
+
+int64_t receptive_field_radius(const nn::Module& module, const Shape& single_image_chw) {
+  if (single_image_chw.ndim() != 3)
+    throw std::invalid_argument("receptive_field_radius: expected [C, H, W], got " +
+                                single_image_chw.to_string());
+  const Shape input({1, single_image_chw[0], single_image_chw[1], single_image_chw[2]});
+  std::vector<nn::LayerInfo> layers;
+  module.trace(input, &layers);
+
+  // Sum every layer's kernel radius, expressed in *network-input* rows: a
+  // layer operating at k times the input resolution (after an upsampler)
+  // contributes ceil(radius / k). Summing over a flat trace over-counts
+  // parallel branches (concat/residual arms trace sequentially) — that only
+  // ever makes the bound larger, which is the safe direction for a halo.
+  const double base_height = static_cast<double>(input[2]);
+  int64_t radius = 0;
+  for (const nn::LayerInfo& layer : layers) {
+    const int64_t layer_height = layer.input.ndim() >= 3 ? layer.input[-2] : input[2];
+    const double resolution = std::max(1.0, static_cast<double>(layer_height) / base_height);
+    int64_t taps = std::max(layer.kernel_h, layer.kernel_w);
+    int64_t local = taps > 1 ? (taps - 1) / 2 : 0;
+    // Kernel-less resolution raisers: DepthToSpace is a pure pixel shuffle
+    // (radius 0), but an interpolating upsampler (bicubic and friends) reads
+    // a neighbourhood the trace records no kernel for — charge the bicubic
+    // support radius of 2.
+    if (local == 0 && layer.kind != nn::LayerKind::kDepthToSpace &&
+        layer.output.ndim() >= 3 && layer.input.ndim() >= 3 &&
+        layer.output[-2] > layer.input[-2])
+      local = 2;
+    radius += static_cast<int64_t>(std::ceil(static_cast<double>(local) / resolution));
+  }
+  return radius;
+}
+
+Tensor upscale_tiled(models::Upscaler& upscaler, const Tensor& image, int tiles, int64_t halo) {
+  const ImageDims dims = image_dims(image, "upscale_tiled");
+  const TilePlan plan = plan_row_tiles(dims.height, tiles, halo, /*scale=*/2);
+  Tensor output(Shape({1, dims.channels, dims.height * plan.scale, dims.width * plan.scale}));
+  for (const TileSpec& spec : plan.tiles) {
+    const Tensor upscaled = upscaler.upscale(extract_tile(image, spec));
+    stitch_tile(upscaled, spec, plan, output);
+  }
+  return output;
+}
+
+}  // namespace sesr::dist

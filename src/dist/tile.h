@@ -1,0 +1,98 @@
+// Tile-split with halo exchange: bit-exact divide-and-conquer upscaling.
+//
+// An EDSR-class request over a large frame is wall-clock-bound on one shard;
+// the frontend instead cuts the LR image into horizontal bands and fans them
+// out to different shards. Correctness hinges on the halo: every output
+// pixel of a convolutional SR net depends on input pixels within the net's
+// receptive-field radius R, so each band is extracted *with up to R extra
+// rows of its neighbours' data on each side* (the halo — neighbour data
+// exchanged into the tile at cut time), upscaled independently, and the
+// halo's upscaled rows (R * scale per side) cropped before stitching:
+//
+//        LR image rows          tile 1 sent      tile 1 kept (after crop)
+//   ┌──────────────────┐     ┌─────────────┐
+//   │ tile 0 core      │     │ halo (R)    │  ← neighbour rows, cropped
+//   ├──────────────────┤     ├─────────────┤
+//   │ tile 1 core      │     │ core        │  → rows [begin*s, end*s)
+//   ├──────────────────┤     ├─────────────┤       of the output
+//   │ tile 2 core      │     │ halo (R)    │  ← neighbour rows, cropped
+//   └──────────────────┘     └─────────────┘
+//
+// Interior core pixels then see exactly the same input neighbourhood as in
+// the whole-image run, and the per-pixel kernel arithmetic (im2col patch
+// accumulation, requantisation, activation LUTs) is position-independent —
+// so the stitched result is bit-identical to upscale() on the whole image,
+// in fp32 and int8 alike. Image borders keep the whole-image behaviour for
+// free: edge tiles take no halo past the border, so the kernels' zero
+// padding applies at true image edges only.
+//
+// The halo must be >= the true receptive-field radius; receptive_field_radius
+// computes a conservative (over- never under-estimating) bound from the
+// module's structural trace. Models whose output is NOT a local function of
+// the input neighbourhood (e.g. a global-bicubic-residual wrapper sampling
+// with border clamping) are not tile-splittable; the frontend only splits
+// models with a registered halo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/upscaler.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace sesr::dist {
+
+/// One horizontal band. Core rows [row_begin, row_end) in LR coordinates;
+/// the extracted tile additionally carries halo_top/halo_bottom neighbour
+/// rows (clamped at the image borders, so edge tiles keep true-edge
+/// zero-padding semantics).
+struct TileSpec {
+  int64_t row_begin = 0;
+  int64_t row_end = 0;
+  int64_t halo_top = 0;
+  int64_t halo_bottom = 0;
+
+  [[nodiscard]] int64_t core_rows() const { return row_end - row_begin; }
+  [[nodiscard]] int64_t tile_rows() const { return core_rows() + halo_top + halo_bottom; }
+};
+
+struct TilePlan {
+  int64_t height = 0;  ///< LR image height the plan covers
+  int64_t halo = 0;    ///< requested halo radius (per side, before clamping)
+  int64_t scale = 2;
+  std::vector<TileSpec> tiles;
+};
+
+/// Split `height` LR rows into at most `tiles` contiguous bands (fewer when
+/// height < tiles; rows distribute within ±1). Throws std::invalid_argument
+/// for height < 1, tiles < 1, halo < 0 or scale < 1.
+[[nodiscard]] TilePlan plan_row_tiles(int64_t height, int tiles, int64_t halo, int64_t scale);
+
+/// Copy one band (core + clamped halo) out of `image` ([C, H, W] or
+/// [1, C, H, W]) as a fresh [1, C, tile_rows, W] tensor.
+[[nodiscard]] Tensor extract_tile(const Tensor& image, const TileSpec& spec);
+
+/// Crop `upscaled_tile`'s halo rows and write its core rows into `output`
+/// ([1, C, scale*H, scale*W], preallocated).
+void stitch_tile(const Tensor& upscaled_tile, const TileSpec& spec, const TilePlan& plan,
+                 Tensor& output);
+
+/// Conservative receptive-field radius (in LR input rows) of `module` for a
+/// single [C, H, W] image: a structural-trace walk summing every layer's
+/// kernel radius at its operating resolution, with an interpolation guard
+/// for kernel-less upsamplers. Never under-estimates for feed-forward CNNs,
+/// so it is a safe tile halo. (Collapsed SESR-M5: 9 — two 5x5 plus five 3x3
+/// convs at LR scale.)
+[[nodiscard]] int64_t receptive_field_radius(const nn::Module& module,
+                                             const Shape& single_image_chw);
+
+/// Reference tiled path: plan, extract, upscale each tile through
+/// `upscaler`, stitch. Bit-identical to upscaler.upscale(image) when `halo`
+/// >= the model's receptive-field radius — the property the tile tests gate.
+/// The distributed frontend runs the same plan with the per-tile upscales
+/// fanned out over shards.
+[[nodiscard]] Tensor upscale_tiled(models::Upscaler& upscaler, const Tensor& image, int tiles,
+                                   int64_t halo);
+
+}  // namespace sesr::dist

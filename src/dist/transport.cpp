@@ -1,0 +1,160 @@
+#include "dist/transport.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace sesr::dist {
+
+namespace {
+
+/// Write all of `bytes` (handles short writes and EINTR). MSG_NOSIGNAL turns
+/// a dead peer into EPIPE instead of a process-killing SIGPIPE.
+bool send_all(int fd, const uint8_t* bytes, size_t count) {
+  while (count > 0) {
+    const ssize_t wrote = ::send(fd, bytes, count, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes += wrote;
+    count -= static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+/// Read exactly `count` bytes; false on EOF or a broken stream.
+bool recv_all(int fd, uint8_t* bytes, size_t count) {
+  while (count > 0) {
+    const ssize_t got = ::recv(fd, bytes, count, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // orderly EOF
+    bytes += got;
+    count -= static_cast<size_t>(got);
+  }
+  return true;
+}
+
+sockaddr_un make_address(const std::string& socket_path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(address.sun_path))
+    throw std::runtime_error("transport: socket path too long: " + socket_path);
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+// ---- Connection ------------------------------------------------------------
+
+Connection::Connection(int fd) : fd_(fd) {
+  if (fd_ < 0) throw std::invalid_argument("Connection: bad fd");
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::send(MessageType type, uint64_t request_id, const std::vector<uint8_t>& body) {
+  WireHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  header.body_bytes = body.size();
+  uint8_t header_bytes[kHeaderBytes];
+  encode_header(header, header_bytes);
+
+  // One frame must hit the stream contiguously: concurrent senders (submit
+  // threads, heartbeat, shard completion callbacks) would otherwise
+  // interleave header/body bytes.
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (!send_all(fd_, header_bytes, kHeaderBytes)) return false;
+  return body.empty() || send_all(fd_, body.data(), body.size());
+}
+
+std::optional<Frame> Connection::recv() {
+  uint8_t header_bytes[kHeaderBytes];
+  if (!recv_all(fd_, header_bytes, kHeaderBytes)) return std::nullopt;
+  Frame frame;
+  frame.header = decode_header(header_bytes);  // throws WireError on protocol mismatch
+  frame.body.resize(frame.header.body_bytes);
+  if (frame.header.body_bytes > 0 && !recv_all(fd_, frame.body.data(), frame.body.size()))
+    return std::nullopt;  // peer died mid-frame
+  return frame;
+}
+
+void Connection::shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+// ---- Listener --------------------------------------------------------------
+
+Listener::Listener(std::string socket_path) : socket_path_(std::move(socket_path)) {
+  const sockaddr_un address = make_address(socket_path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("Listener: socket(): " + std::string(strerror(errno)));
+  ::unlink(socket_path_.c_str());  // a stale predecessor's file must not block bind
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const std::string error = strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Listener: bind(" + socket_path_ + "): " + error);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string error = strerror(errno);
+    close();
+    throw std::runtime_error("Listener: listen(" + socket_path_ + "): " + error);
+  }
+}
+
+Listener::~Listener() { close(); }
+
+std::unique_ptr<Connection> Listener::accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return std::make_unique<Connection>(client);
+    if (errno == EINTR) continue;
+    return nullptr;  // close()d or the fd is gone
+  }
+}
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  // shutdown() unblocks a thread parked in accept() before the fd goes away.
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+// ---- connect ---------------------------------------------------------------
+
+std::unique_ptr<Connection> connect_unix(const std::string& socket_path,
+                                         std::chrono::milliseconds timeout) {
+  const sockaddr_un address = make_address(socket_path);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("connect_unix: socket(): " + std::string(strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) == 0)
+      return std::make_unique<Connection>(fd);
+    const int error = errno;
+    ::close(fd);
+    // ENOENT / ECONNREFUSED: the shard has not bound (or not listened) yet —
+    // the expected startup race. Anything else is a real failure.
+    if (error != ENOENT && error != ECONNREFUSED)
+      throw std::runtime_error("connect_unix(" + socket_path + "): " + strerror(error));
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("connect_unix(" + socket_path + "): timed out after " +
+                               std::to_string(timeout.count()) + " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace sesr::dist

@@ -1,0 +1,102 @@
+// Stream transport under the distributed tier's wire format.
+//
+// Unix-domain SOCK_STREAM sockets: the tier's processes share one host (the
+// deployment unit is "one box, N shard processes pinned to disjoint cores"),
+// so a filesystem-addressed byte stream with kernel-managed backpressure is
+// the right primitive — no TCP handshake latency, no port allocation, and a
+// SIGKILLed peer surfaces as an immediate EOF on the other end, which is
+// exactly the failure signal the frontend's re-hash path consumes.
+//
+// Connection is a framed endpoint over one connected fd:
+//   - send() writes header + body atomically with respect to other senders
+//     (an internal mutex serializes writers — the frontend's submit threads
+//     and heartbeat share one connection, a shard's worker callbacks too);
+//   - recv() reassembles exactly one frame, looping over short reads; it is
+//     meant for a single reader thread per connection.
+//
+// All operations degrade to clean failure rather than signals or exceptions
+// on the data path: SIGPIPE is suppressed (MSG_NOSIGNAL), send() returns
+// false once the peer is gone, recv() returns nullopt on EOF or a broken
+// stream. Malformed frames (bad magic/version/oversized) throw WireError —
+// that is a protocol bug or a hostile peer, not a liveness event.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+
+namespace sesr::dist {
+
+/// One received frame: validated header + raw body (decode_* parses it).
+struct Frame {
+  WireHeader header;
+  std::vector<uint8_t> body;
+};
+
+class Connection {
+ public:
+  /// Adopt a connected stream fd (closes it on destruction).
+  explicit Connection(int fd);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Write one frame. False when the peer is unreachable (connection reset,
+  /// closed, or shut down); the connection is dead afterwards.
+  bool send(MessageType type, uint64_t request_id, const std::vector<uint8_t>& body);
+
+  /// Header-only frame (ping / shutdown).
+  bool send(MessageType type, uint64_t request_id) { return send(type, request_id, {}); }
+
+  /// Read exactly one frame. nullopt on EOF / reset / after shutdown();
+  /// throws WireError when the peer speaks a different protocol.
+  std::optional<Frame> recv();
+
+  /// Unblock a reader parked in recv() (and fail future sends) without
+  /// closing the fd out from under it: shutdown(2) on both directions.
+  void shutdown();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::mutex send_mutex_;
+};
+
+/// Listening unix-domain socket. The path is unlinked on bind (stale socket
+/// files from a killed predecessor must not block restart) and on close.
+class Listener {
+ public:
+  explicit Listener(std::string socket_path);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Block for the next inbound connection; nullptr once close()d.
+  std::unique_ptr<Connection> accept();
+
+  /// Unblock accept() and stop listening. Idempotent.
+  void close();
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+};
+
+/// Connect to a shard's listening socket, retrying until `timeout` — the
+/// spawner races the shard's bind, so "not there yet" is expected for the
+/// first few milliseconds. Throws std::runtime_error when time runs out.
+std::unique_ptr<Connection> connect_unix(const std::string& socket_path,
+                                         std::chrono::milliseconds timeout);
+
+}  // namespace sesr::dist

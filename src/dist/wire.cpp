@@ -1,0 +1,207 @@
+#include "dist/wire.h"
+
+#include <cstring>
+
+namespace sesr::dist {
+
+namespace {
+
+void put_u16(std::vector<uint8_t>& out, uint16_t value) {
+  out.push_back(static_cast<uint8_t>(value));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<uint8_t>(value >> shift));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<uint8_t>(value >> shift));
+}
+
+uint64_t read_le(const uint8_t* bytes, int count) {
+  uint64_t value = 0;
+  for (int i = 0; i < count; ++i) value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  return value;
+}
+
+}  // namespace
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kSubmit: return "submit";
+    case MessageType::kReply: return "reply";
+    case MessageType::kPing: return "ping";
+    case MessageType::kPong: return "pong";
+    case MessageType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+void encode_header(const WireHeader& header, uint8_t out[kHeaderBytes]) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kHeaderBytes);
+  put_u32(bytes, header.magic);
+  put_u16(bytes, header.version);
+  put_u16(bytes, static_cast<uint16_t>(header.type));
+  put_u64(bytes, header.request_id);
+  put_u64(bytes, header.body_bytes);
+  std::memcpy(out, bytes.data(), kHeaderBytes);
+}
+
+WireHeader decode_header(const uint8_t bytes[kHeaderBytes]) {
+  WireHeader header;
+  header.magic = static_cast<uint32_t>(read_le(bytes, 4));
+  header.version = static_cast<uint16_t>(read_le(bytes + 4, 2));
+  const uint16_t type = static_cast<uint16_t>(read_le(bytes + 6, 2));
+  header.request_id = read_le(bytes + 8, 8);
+  header.body_bytes = read_le(bytes + 16, 8);
+
+  if (header.magic != kWireMagic)
+    throw WireError("bad magic 0x" + std::to_string(header.magic) + " (not a SDW1 peer)");
+  if (header.version != kWireVersion)
+    throw WireError("protocol version " + std::to_string(header.version) + " != supported " +
+                    std::to_string(kWireVersion));
+  if (type < static_cast<uint16_t>(MessageType::kSubmit) ||
+      type > static_cast<uint16_t>(MessageType::kShutdown))
+    throw WireError("unknown message type " + std::to_string(type));
+  header.type = static_cast<MessageType>(type);
+  if (header.body_bytes > kMaxBodyBytes)
+    throw WireError("body of " + std::to_string(header.body_bytes) + " bytes exceeds the " +
+                    std::to_string(kMaxBodyBytes) + "-byte frame cap");
+  return header;
+}
+
+// ---- WireWriter ------------------------------------------------------------
+
+void WireWriter::u8(uint8_t value) { bytes_.push_back(value); }
+void WireWriter::u32(uint32_t value) { put_u32(bytes_, value); }
+void WireWriter::i64(int64_t value) { put_u64(bytes_, static_cast<uint64_t>(value)); }
+
+void WireWriter::str(const std::string& value) {
+  u32(static_cast<uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void WireWriter::tensor(const Tensor& value) {
+  u32(static_cast<uint32_t>(value.ndim()));
+  for (const int64_t dim : value.shape().dims()) i64(dim);
+  // Raw little-endian float32 payload. The tier is same-architecture by
+  // construction (one host, N processes); a cross-endian deployment would
+  // bump kWireVersion.
+  const auto* data = reinterpret_cast<const uint8_t*>(value.data());
+  bytes_.insert(bytes_.end(), data, data + static_cast<size_t>(value.numel()) * 4);
+}
+
+// ---- WireReader ------------------------------------------------------------
+
+const uint8_t* WireReader::need(size_t count) {
+  if (bytes_.size() - pos_ < count)
+    throw WireError("truncated body: need " + std::to_string(count) + " bytes at offset " +
+                    std::to_string(pos_) + " of " + std::to_string(bytes_.size()));
+  const uint8_t* at = bytes_.data() + pos_;
+  pos_ += count;
+  return at;
+}
+
+uint8_t WireReader::u8() { return *need(1); }
+uint32_t WireReader::u32() { return static_cast<uint32_t>(read_le(need(4), 4)); }
+int64_t WireReader::i64() { return static_cast<int64_t>(read_le(need(8), 8)); }
+
+std::string WireReader::str() {
+  const uint32_t length = u32();
+  const uint8_t* at = need(length);
+  return std::string(reinterpret_cast<const char*>(at), length);
+}
+
+Tensor WireReader::tensor() {
+  const uint32_t ndim = u32();
+  if (ndim > 8) throw WireError("tensor rank " + std::to_string(ndim) + " out of range");
+  std::vector<int64_t> dims(ndim);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < ndim; ++i) {
+    dims[i] = i64();
+    if (dims[i] < 0 || (dims[i] > 0 && numel > static_cast<int64_t>(kMaxBodyBytes) / 4 / dims[i]))
+      throw WireError("tensor dimension " + std::to_string(dims[i]) + " out of range");
+    numel *= dims[i];
+  }
+  Shape shape(std::move(dims));
+  const uint8_t* payload = need(static_cast<size_t>(numel) * 4);
+  Tensor out{shape};
+  std::memcpy(out.data(), payload, static_cast<size_t>(numel) * 4);
+  return out;
+}
+
+// ---- messages --------------------------------------------------------------
+
+namespace {
+
+void check_exhausted(const WireReader& reader, const char* what) {
+  if (!reader.exhausted())
+    throw WireError(std::string(what) + ": trailing bytes after the message body");
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_submit(const SubmitMessage& message) {
+  WireWriter writer;
+  writer.str(message.model);
+  writer.str(message.tenant);
+  writer.i64(message.deadline_ms);
+  writer.tensor(message.image);
+  return writer.take();
+}
+
+SubmitMessage decode_submit(uint64_t request_id, const std::vector<uint8_t>& body) {
+  WireReader reader(body);
+  SubmitMessage message;
+  message.request_id = request_id;
+  message.model = reader.str();
+  message.tenant = reader.str();
+  message.deadline_ms = reader.i64();
+  message.image = reader.tensor();
+  check_exhausted(reader, "submit");
+  return message;
+}
+
+std::vector<uint8_t> encode_reply(const ReplyMessage& message) {
+  WireWriter writer;
+  writer.u8(message.status);
+  writer.str(message.error);
+  writer.i64(message.model_version);
+  writer.tensor(message.output);
+  return writer.take();
+}
+
+ReplyMessage decode_reply(uint64_t request_id, const std::vector<uint8_t>& body) {
+  WireReader reader(body);
+  ReplyMessage message;
+  message.request_id = request_id;
+  message.status = reader.u8();
+  message.error = reader.str();
+  message.model_version = reader.i64();
+  message.output = reader.tensor();
+  check_exhausted(reader, "reply");
+  return message;
+}
+
+std::vector<uint8_t> encode_pong(const PongMessage& message) {
+  WireWriter writer;
+  writer.i64(message.in_flight);
+  writer.str(message.stats_json);
+  return writer.take();
+}
+
+PongMessage decode_pong(uint64_t seq, const std::vector<uint8_t>& body) {
+  WireReader reader(body);
+  PongMessage message;
+  message.seq = seq;
+  message.in_flight = reader.i64();
+  message.stats_json = reader.str();
+  check_exhausted(reader, "pong");
+  return message;
+}
+
+}  // namespace sesr::dist

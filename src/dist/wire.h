@@ -1,0 +1,165 @@
+// Framed, versioned wire format of the distributed serving tier.
+//
+// Every message between a dist::Frontend and a dist::Shard is one frame:
+//
+//   ┌────────────┬──────────┬───────┬─────────────┬────────────┐
+//   │ magic u32  │ ver u16  │ type  │ request u64 │ body  u64  │  24-byte
+//   │ "SDW1"     │          │ u16   │ id          │ bytes      │  header
+//   ├────────────┴──────────┴───────┴─────────────┴────────────┤
+//   │ body (little-endian scalars, length-prefixed strings,    │
+//   │ tensors as ndim + dims + raw float32 payload)            │
+//   └──────────────────────────────────────────────────────────┘
+//
+// The magic catches a stray client on the socket; the version field makes
+// rolling upgrades explicit — a decoder rejects frames from a different
+// protocol version with a typed error instead of misparsing them. The
+// request id lives in the header so a router can correlate replies without
+// touching the body.
+//
+// Message types:
+//   kSubmit    frontend -> shard   one upscale request (model, tenant,
+//                                  remaining deadline, LR image)
+//   kReply     shard -> frontend   completion (status, error, version, image)
+//   kPing      frontend -> shard   heartbeat probe (header-only, id = seq)
+//   kPong      shard -> frontend   heartbeat answer + ServerStats JSON
+//   kShutdown  frontend -> shard   clean drain-and-exit (header-only)
+//
+// Encoding is deliberately explicit (no struct memcpy): every field is
+// written scalar-by-scalar in little-endian order, so the format is
+// byte-stable across compilers and the decoder can bounds-check each read
+// (a truncated or hostile body throws WireError, never reads past the
+// buffer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sesr::dist {
+
+inline constexpr uint32_t kWireMagic = 0x53445731;  // "SDW1"
+inline constexpr uint16_t kWireVersion = 1;
+/// Upper bound on one frame's body (64 MiB covers a [1, 3, 2048, 2048] fp32
+/// image four times over); a header announcing more is treated as corrupt
+/// rather than allocated.
+inline constexpr uint64_t kMaxBodyBytes = uint64_t{64} << 20;
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error("wire: " + what) {}
+};
+
+enum class MessageType : uint16_t {
+  kSubmit = 1,
+  kReply = 2,
+  kPing = 3,
+  kPong = 4,
+  kShutdown = 5,
+};
+
+[[nodiscard]] const char* message_type_name(MessageType type);
+
+struct WireHeader {
+  uint32_t magic = kWireMagic;
+  uint16_t version = kWireVersion;
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  uint64_t body_bytes = 0;
+};
+
+inline constexpr size_t kHeaderBytes = 24;
+
+/// Serialize `header` into exactly kHeaderBytes.
+void encode_header(const WireHeader& header, uint8_t out[kHeaderBytes]);
+
+/// Parse and validate a header. Throws WireError on bad magic, a version
+/// other than kWireVersion, an unknown type, or an oversized body.
+[[nodiscard]] WireHeader decode_header(const uint8_t bytes[kHeaderBytes]);
+
+// ---- body primitives -------------------------------------------------------
+
+/// Append-only little-endian body builder.
+class WireWriter {
+ public:
+  void u8(uint8_t value);
+  void u32(uint32_t value);
+  void i64(int64_t value);
+  void str(const std::string& value);   ///< u32 length + bytes
+  void tensor(const Tensor& value);     ///< u32 ndim + i64 dims + f32 payload
+
+  [[nodiscard]] std::vector<uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a received body; every accessor throws
+/// WireError instead of reading past the end.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] uint8_t u8();
+  [[nodiscard]] uint32_t u32();
+  [[nodiscard]] int64_t i64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Tensor tensor();
+
+  /// All bytes consumed? Decoders assert this to catch length drift.
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const uint8_t* need(size_t count);
+
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+// ---- messages --------------------------------------------------------------
+
+/// One routed upscale request. `deadline_ms` is the *remaining* budget in
+/// milliseconds at send time (relative, so frontend and shard need no shared
+/// clock); kNoDeadline = none.
+struct SubmitMessage {
+  static constexpr int64_t kNoDeadline = -1;
+
+  uint64_t request_id = 0;
+  std::string model;
+  std::string tenant;
+  int64_t deadline_ms = kNoDeadline;
+  Tensor image;  ///< [1, C, H, W] low-res input
+};
+
+/// Completion of one request (mirrors serve::ServeReply over the wire).
+struct ReplyMessage {
+  uint64_t request_id = 0;
+  uint8_t status = 2;  ///< serve::ServeStatus as u8 (0 ok, 1 shed, 2 error)
+  std::string error;
+  int64_t model_version = 0;
+  Tensor output;  ///< [1, C, 2H, 2W] when status == ok; empty otherwise
+};
+
+/// Heartbeat answer: echoes the ping's sequence number (in the header's
+/// request id) and carries the shard's point-in-time ServerStats as JSON
+/// plus its current in-flight count.
+struct PongMessage {
+  uint64_t seq = 0;
+  int64_t in_flight = 0;
+  std::string stats_json;
+};
+
+[[nodiscard]] std::vector<uint8_t> encode_submit(const SubmitMessage& message);
+[[nodiscard]] SubmitMessage decode_submit(uint64_t request_id, const std::vector<uint8_t>& body);
+
+[[nodiscard]] std::vector<uint8_t> encode_reply(const ReplyMessage& message);
+[[nodiscard]] ReplyMessage decode_reply(uint64_t request_id, const std::vector<uint8_t>& body);
+
+[[nodiscard]] std::vector<uint8_t> encode_pong(const PongMessage& message);
+[[nodiscard]] PongMessage decode_pong(uint64_t seq, const std::vector<uint8_t>& body);
+
+}  // namespace sesr::dist

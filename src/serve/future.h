@@ -1,0 +1,134 @@
+// Request completion plumbing shared by every serving tier.
+//
+// A submission — whether into a single-process serve::Server or through the
+// distributed dist::Frontend — resolves to one ServeReply, delivered either
+// through a ServeFuture (the caller blocks/polls) or a ServeCallback (the
+// engine invokes it on one of its threads). Both tiers complete requests
+// through detail::complete_result on a shared detail::ResultState, so the
+// future/callback semantics (one-shot, exactly one completion, callback
+// exceptions swallowed) are identical everywhere.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace sesr::serve {
+
+enum class ServeStatus {
+  kOk,     ///< output holds the upscaled image
+  kShed,   ///< deadline expired before dispatch; never ran
+  kError,  ///< the upscaler threw, quota refused, or the server was stopped
+};
+
+[[nodiscard]] inline const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+/// Completion of one request. `output` is [1, C, 2H, 2W] for kOk (identical
+/// bits to NetworkUpscaler::upscale on the same single image) and empty
+/// otherwise; `error` carries the shed/error detail. `model_version` is the
+/// registry version that served the request (0 when it never reached a
+/// model — shed, quota-refused, or stopped).
+struct ServeReply {
+  ServeStatus status = ServeStatus::kError;
+  Tensor output;
+  std::string error;
+  int64_t model_version = 0;
+
+  [[nodiscard]] bool ok() const { return status == ServeStatus::kOk; }
+};
+
+using ServeCallback = std::function<void(ServeReply)>;
+
+namespace detail {
+
+/// Shared state behind one submission: either a waiter parks on (mutex, cv)
+/// until `ready`, or `callback` was set at submission time and is invoked
+/// instead of storing the reply.
+struct ResultState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  ServeReply reply;
+  ServeCallback callback;  ///< set at submission; invoked instead of storing
+};
+
+/// Deliver `reply` to `state`: invoke the callback (on the calling thread)
+/// when one was registered, otherwise store the reply and wake waiters. A
+/// throwing callback must not take the serving engine down — the contract is
+/// "callbacks do not throw", and violations are swallowed.
+inline void complete_result(ResultState& state, ServeReply reply) {
+  if (state.callback) {
+    try {
+      state.callback(std::move(reply));
+    } catch (...) {
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.reply = std::move(reply);
+    state.ready = true;
+  }
+  state.cv.notify_all();
+}
+
+}  // namespace detail
+
+/// Completion handle returned by blocking-future submit paths. Copyable
+/// (handles share the result); get() blocks until the engine completes the
+/// request and moves the reply out (one-shot, like std::future).
+class ServeFuture {
+ public:
+  ServeFuture() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool ready() const {
+    if (!state_) return false;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->ready;
+  }
+
+  /// Block until completion; true if the reply arrived within `timeout`.
+  bool wait_for(std::chrono::milliseconds timeout) const {
+    if (!state_) return false;
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    return state_->cv.wait_for(lock, timeout, [&] { return state_->ready; });
+  }
+
+  /// Block until completion and move the reply out (valid() becomes false).
+  ServeReply get() {
+    if (!state_) throw std::logic_error("ServeFuture::get: empty future");
+    std::shared_ptr<detail::ResultState> state = std::move(state_);
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->ready; });
+    return std::move(state->reply);
+  }
+
+ private:
+  friend ServeFuture detail_make_future(std::shared_ptr<detail::ResultState> state);
+  explicit ServeFuture(std::shared_ptr<detail::ResultState> state) : state_(std::move(state)) {}
+  std::shared_ptr<detail::ResultState> state_;
+};
+
+/// Wrap a ResultState in a ServeFuture (serving-tier internals only).
+inline ServeFuture detail_make_future(std::shared_ptr<detail::ResultState> state) {
+  return ServeFuture(std::move(state));
+}
+
+}  // namespace sesr::serve

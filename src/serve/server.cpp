@@ -9,48 +9,6 @@ namespace sesr::serve {
 
 using Clock = std::chrono::steady_clock;
 
-const char* serve_status_name(ServeStatus status) {
-  switch (status) {
-    case ServeStatus::kOk: return "ok";
-    case ServeStatus::kShed: return "shed";
-    case ServeStatus::kError: return "error";
-  }
-  return "?";
-}
-
-namespace detail {
-
-/// Shared completion slot behind a ServeFuture or a callback submission.
-struct ResultState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool ready = false;
-  ServeReply reply;
-  ServeCallback callback;  ///< set at submission; invoked instead of storing
-};
-
-}  // namespace detail
-
-bool ServeFuture::ready() const {
-  if (!state_) return false;
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->ready;
-}
-
-bool ServeFuture::wait_for(std::chrono::milliseconds timeout) const {
-  if (!state_) return false;
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  return state_->cv.wait_for(lock, timeout, [&] { return state_->ready; });
-}
-
-ServeReply ServeFuture::get() {
-  if (!state_) throw std::logic_error("ServeFuture::get: empty future");
-  std::shared_ptr<detail::ResultState> state = std::move(state_);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&] { return state->ready; });
-  return std::move(state->reply);
-}
-
 /// Mutable per-tenant admission state. Stable address for the server's
 /// lifetime (requests carry the pointer through the queue); counters are
 /// relaxed atomics read by stats().
@@ -187,23 +145,7 @@ Server::Request Server::make_request(Tensor image, const SubmitOptions& submit_o
 }
 
 void Server::complete(Request& request, ServeReply reply) {
-  detail::ResultState& state = *request.state;
-  if (state.callback) {
-    // Callback submissions have no waiter; deliver on this worker thread.
-    // A throwing callback must not take the server down — swallow it (the
-    // contract is "callbacks do not throw").
-    try {
-      state.callback(std::move(reply));
-    } catch (...) {
-    }
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(state.mutex);
-    state.reply = std::move(reply);
-    state.ready = true;
-  }
-  state.cv.notify_all();
+  detail::complete_result(*request.state, std::move(reply));
 }
 
 ServeFuture Server::submit(Tensor image, std::chrono::milliseconds deadline) {
@@ -212,7 +154,8 @@ ServeFuture Server::submit(Tensor image, std::chrono::milliseconds deadline) {
 
 ServeFuture Server::submit(Tensor image, const SubmitOptions& submit_options) {
   Request request = make_request(std::move(image), submit_options);
-  ServeFuture future(request.state);
+  std::shared_ptr<detail::ResultState> state = request.state;
+  ServeFuture future = detail_make_future(state);
   if (!charge_tenant(*request.tenant)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     request.tenant->rejected.fetch_add(1, std::memory_order_relaxed);
@@ -223,7 +166,7 @@ ServeFuture Server::submit(Tensor image, const SubmitOptions& submit_options) {
   if (!queue_->push(std::move(request))) {
     // Stopped: fail fast instead of leaving the future forever pending.
     tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
-    Request dead{Tensor(), "", nullptr, future.state_, Clock::now(), Clock::time_point::max()};
+    Request dead{Tensor(), "", nullptr, std::move(state), Clock::now(), Clock::time_point::max()};
     complete(dead, {ServeStatus::kError, Tensor(), "server stopped", 0});
     return future;
   }

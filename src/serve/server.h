@@ -66,6 +66,7 @@
 #include "models/upscaler.h"
 #include "serve/bounded_queue.h"
 #include "serve/fault_plan.h"
+#include "serve/future.h"
 #include "serve/latency_histogram.h"
 #include "serve/registry.h"
 #include "tensor/tensor.h"
@@ -77,56 +78,6 @@ namespace sesr::serve {
 inline constexpr const char* kDefaultModel = "default";
 /// Tenant id used by submissions that do not name a tenant.
 inline constexpr const char* kDefaultTenant = "default";
-
-enum class ServeStatus {
-  kOk,     ///< output holds the upscaled image
-  kShed,   ///< deadline expired before dispatch; never ran
-  kError,  ///< the upscaler threw, quota refused, or the server was stopped
-};
-
-[[nodiscard]] const char* serve_status_name(ServeStatus status);
-
-/// Completion of one request. `output` is [1, C, 2H, 2W] for kOk (identical
-/// bits to NetworkUpscaler::upscale on the same single image) and empty
-/// otherwise; `error` carries the shed/error detail. `model_version` is the
-/// registry version that served the request (0 when it never reached a
-/// model — shed, quota-refused, or stopped).
-struct ServeReply {
-  ServeStatus status = ServeStatus::kError;
-  Tensor output;
-  std::string error;
-  int64_t model_version = 0;
-
-  [[nodiscard]] bool ok() const { return status == ServeStatus::kOk; }
-};
-
-namespace detail {
-struct ResultState;
-}  // namespace detail
-
-/// Completion handle returned by Server::submit. Copyable (handles share the
-/// result); get() blocks until the worker completes the request and moves
-/// the reply out (one-shot, like std::future).
-class ServeFuture {
- public:
-  ServeFuture() = default;
-
-  [[nodiscard]] bool valid() const { return state_ != nullptr; }
-  [[nodiscard]] bool ready() const;
-
-  /// Block until completion; true if the reply arrived within `timeout`.
-  bool wait_for(std::chrono::milliseconds timeout) const;
-
-  /// Block until completion and move the reply out (valid() becomes false).
-  ServeReply get();
-
- private:
-  friend class Server;
-  explicit ServeFuture(std::shared_ptr<detail::ResultState> state) : state_(std::move(state)) {}
-  std::shared_ptr<detail::ResultState> state_;
-};
-
-using ServeCallback = std::function<void(ServeReply)>;
 
 /// Per-tenant admission policy (Options::tenant_quotas; tenants without an
 /// entry get the defaults — unlimited occupancy, server-default deadline).

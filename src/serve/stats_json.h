@@ -1,0 +1,30 @@
+// ServerStats / TenantStats <-> JSON.
+//
+// The distributed tier's shards report their serving metrics to the frontend
+// over the wire (dist/wire.h kPong carries a stats JSON body), and ops
+// tooling scrapes the same document. The encoding is plain flat JSON —
+// every counter field by name, the latency snapshot as a nested object, the
+// batch-size distribution as an array, tenants as an object keyed by tenant
+// id — and round-trips exactly: stats_from_json(stats_to_json(s)) compares
+// equal field-for-field (doubles are emitted with round-trip precision).
+//
+// The parser accepts any field order, skips unknown fields (a newer shard
+// may report counters an older frontend does not know), and throws
+// std::runtime_error with a byte offset for malformed documents.
+#pragma once
+
+#include <string>
+
+#include "serve/server.h"
+
+namespace sesr::serve {
+
+[[nodiscard]] std::string stats_to_json(const ServerStats& stats);
+[[nodiscard]] std::string stats_to_json(const TenantStats& stats);
+
+/// Parse a document produced by stats_to_json (or a superset of it).
+/// Throws std::runtime_error on malformed JSON or wrongly-typed fields.
+[[nodiscard]] ServerStats server_stats_from_json(const std::string& json);
+[[nodiscard]] TenantStats tenant_stats_from_json(const std::string& json);
+
+}  // namespace sesr::serve

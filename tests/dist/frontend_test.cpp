@@ -1,0 +1,275 @@
+// End-to-end distributed tier: a real Frontend routing over unix sockets to
+// real spawned sesr_shard processes (LocalCluster). Covers routing and
+// bit-exactness vs an in-process reference, stats over the heartbeat wire,
+// backpressure, SIGKILL death + work-steal + recovery, SIGSTOP (hung shard)
+// heartbeat detection, and tile-split over the wire.
+#include "dist/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/process.h"
+#include "dist/shard.h"
+#include "models/upscaler.h"
+#include "serve/stats_json.h"
+#include "tensor/rng.h"
+
+namespace sesr::dist {
+namespace {
+
+using serve::ServeReply;
+using serve::ServeStatus;
+
+Tensor random_image(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand(shape, rng, 0.0f, 1.0f);
+}
+
+/// In-process reference identical (by the determinism contract) to what the
+/// shard processes serve for "default=sesr_m5".
+std::unique_ptr<models::NetworkUpscaler> reference_upscaler() {
+  return std::make_unique<models::NetworkUpscaler>("SESR-M5",
+                                                   build_network(parse_model_spec("default=sesr_m5")));
+}
+
+void expect_bit_exact(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+LocalCluster::Options small_cluster(int shards) {
+  LocalCluster::Options options;
+  options.shard_binary = shard_binary_path();  // build-tree sesr_shard
+  options.shards = shards;
+  options.workers_per_shard = 1;
+  options.max_batch = 2;
+  options.window = 8;
+  return options;
+}
+
+TEST(DistFrontend, RoutesCompletesAndMatchesReference) {
+  LocalCluster cluster(small_cluster(2));
+  Frontend frontend(cluster.frontend_options());
+  auto reference = reference_upscaler();
+
+  std::vector<Tensor> images;
+  std::vector<serve::ServeFuture> futures;
+  for (int i = 0; i < 6; ++i) {
+    // Varied shapes exercise different ring buckets (and both shards with
+    // overwhelming probability).
+    images.push_back(random_image(Shape({1, 3, 5 + i, 4 + 2 * i}), 100 + i));
+    futures.push_back(frontend.submit(images.back()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServeReply reply = futures[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.model_version, 1);
+    expect_bit_exact(reply.output, reference->upscale(images[i]),
+                     "request " + std::to_string(i));
+  }
+
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.submitted, 6);
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.shard_deaths, 0);
+  EXPECT_EQ(frontend.alive_shards().size(), 2u);
+  frontend.stop();
+}
+
+TEST(DistFrontend, UnknownModelAnswersErrorNotSilence) {
+  LocalCluster cluster(small_cluster(1));
+  Frontend frontend(cluster.frontend_options());
+  serve::Server::SubmitOptions options;
+  options.model = "no-such-model";
+  ServeReply reply = frontend.submit(random_image(Shape({3, 4, 4}), 1), options).get();
+  EXPECT_EQ(reply.status, ServeStatus::kError);
+  EXPECT_FALSE(reply.error.empty());
+}
+
+TEST(DistFrontend, HeartbeatCarriesParseableShardStats) {
+  LocalCluster::Options cluster_options = small_cluster(1);
+  LocalCluster cluster(cluster_options);
+  Frontend::Options options = cluster.frontend_options();
+  options.heartbeat_interval = std::chrono::milliseconds(20);
+  Frontend frontend(options);
+
+  ASSERT_TRUE(frontend.submit(random_image(Shape({3, 4, 4}), 2)).get().ok());
+
+  // Wait for a pong that has seen the completed request.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  serve::ServerStats shard_stats;
+  bool seen = false;
+  while (!seen && std::chrono::steady_clock::now() < deadline) {
+    const FrontendStats stats = frontend.stats();
+    for (const auto& [name, info] : stats.shards) {
+      if (info.stats_json.empty()) continue;
+      shard_stats = serve::server_stats_from_json(info.stats_json);
+      if (shard_stats.completed >= 1) seen = true;
+    }
+    if (!seen) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(seen) << "no pong with shard stats arrived";
+  EXPECT_GE(shard_stats.submitted, 1);
+  EXPECT_TRUE(shard_stats.tenants.count(serve::kDefaultTenant));
+  frontend.stop();
+}
+
+TEST(DistFrontend, TrySubmitRefusesWhenWindowIsFullAndNeverLosesAccepted) {
+  LocalCluster::Options cluster_options = small_cluster(1);
+  cluster_options.window = 2;  // tiny window so refusals actually happen
+  LocalCluster cluster(cluster_options);
+  Frontend frontend(cluster.frontend_options());
+
+  std::atomic<int> answered{0};
+  const Tensor image = random_image(Shape({3, 6, 6}), 3);
+  int accepted = 0;
+  const int attempts = 64;
+  for (int i = 0; i < attempts; ++i) {
+    if (frontend.try_submit(image, {}, [&](ServeReply reply) {
+          ASSERT_TRUE(reply.ok()) << reply.error;
+          answered.fetch_add(1);
+        })) {
+      ++accepted;
+    }
+  }
+  // Every accepted request gets exactly one answer; refusals are counted.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (answered.load() < accepted && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(answered.load(), accepted);
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.rejected, attempts - accepted);
+  EXPECT_GT(accepted, 0);
+  frontend.stop();
+  EXPECT_EQ(answered.load(), accepted) << "stop() must not invent or drop completions";
+}
+
+TEST(DistFrontend, SigkillWorkStealLosesNothingAndRecoveryRejoins) {
+  LocalCluster cluster(small_cluster(2));
+  Frontend frontend(cluster.frontend_options());
+
+  const int total = 40;
+  std::atomic<int> ok{0}, failed{0};
+  std::vector<Tensor> images;
+  for (int i = 0; i < total; ++i) images.push_back(random_image(Shape({3, 6, 6}), 200 + i));
+
+  for (int i = 0; i < total; ++i) {
+    frontend.submit_async(images[i], {}, [&](ServeReply reply) {
+      (reply.ok() ? ok : failed).fetch_add(1);
+    });
+    if (i == total / 3) cluster.kill_shard(0);  // mid-stream crash
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (ok.load() + failed.load() < total && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(ok.load() + failed.load(), total) << "a request was dropped on shard death";
+  // Zero loss: the survivor answers everything the dead shard had in flight.
+  EXPECT_EQ(ok.load(), total);
+  EXPECT_EQ(failed.load(), 0);
+
+  FrontendStats stats = frontend.stats();
+  EXPECT_GE(stats.shard_deaths, 1);
+  EXPECT_EQ(frontend.alive_shards().size(), 1u);
+
+  // Recovery: respawn on the same socket, rejoin the ring, serve again.
+  frontend.add_shard(cluster.respawn_shard(0));
+  EXPECT_EQ(frontend.alive_shards().size(), 2u);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(frontend.submit(random_image(Shape({3, 5 + i, 7}), 300 + i)).get().ok());
+  }
+  frontend.stop();
+}
+
+TEST(DistFrontend, SigstoppedShardIsCaughtByHeartbeatAndItsWorkIsStolen) {
+  LocalCluster cluster(small_cluster(2));
+  Frontend::Options options = cluster.frontend_options();
+  options.heartbeat_interval = std::chrono::milliseconds(25);
+  options.heartbeat_misses = 3;
+  Frontend frontend(options);
+
+  // Freeze shard 0: its socket stays open (EOF never fires) — only the
+  // heartbeat path can declare it dead.
+  cluster.process(0).sigstop();
+
+  const int total = 24;
+  std::atomic<int> ok{0}, answered{0};
+  for (int i = 0; i < total; ++i) {
+    // Varied buckets so a fair share routes at the frozen shard.
+    frontend.submit_async(random_image(Shape({3, 4 + i % 6, 6}), 400 + i), {},
+                          [&](ServeReply reply) {
+                            if (reply.ok()) ok.fetch_add(1);
+                            answered.fetch_add(1);
+                          });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (answered.load() < total && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  cluster.process(0).sigcont();  // unfreeze before teardown either way
+  ASSERT_EQ(answered.load(), total) << "hung shard held requests hostage";
+  EXPECT_EQ(ok.load(), total);
+  EXPECT_GE(frontend.stats().shard_deaths, 1);
+  frontend.stop();
+}
+
+TEST(DistFrontend, TileSplitOverTheWireIsBitExact) {
+  LocalCluster cluster(small_cluster(2));
+  Frontend::Options options = cluster.frontend_options();
+  options.tile_threshold_pixels = 16 * 16;  // everything >= 16x16 splits
+  options.tile_max = 2;
+  Frontend frontend(options);
+  auto reference = reference_upscaler();
+
+  // Non-divisible height; well over the threshold.
+  const Tensor large = random_image(Shape({1, 3, 33, 20}), 7);
+  ServeReply reply = frontend.submit(large).get();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  expect_bit_exact(reply.output, reference->upscale(large), "tiled 33x20");
+
+  // Below threshold: the plain path, same instance.
+  const Tensor small = random_image(Shape({1, 3, 8, 8}), 8);
+  ServeReply small_reply = frontend.submit(small).get();
+  ASSERT_TRUE(small_reply.ok()) << small_reply.error;
+  expect_bit_exact(small_reply.output, reference->upscale(small), "plain 8x8");
+
+  const FrontendStats stats = frontend.stats();
+  EXPECT_EQ(stats.tiled, 1);
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  frontend.stop();
+}
+
+TEST(DistFrontend, StopCompletesOutstandingWithError) {
+  LocalCluster cluster(small_cluster(1));
+  auto frontend = std::make_unique<Frontend>(cluster.frontend_options());
+  // Freeze the only shard so a request is pinned in flight, then stop.
+  std::atomic<bool> done{false};
+  ServeStatus status = ServeStatus::kOk;
+  cluster.process(0).sigstop();
+  frontend->submit_async(random_image(Shape({3, 4, 4}), 9), {}, [&](ServeReply reply) {
+    status = reply.status;
+    done.store(true);
+  });
+  frontend->stop();
+  cluster.process(0).sigcont();
+  EXPECT_TRUE(done.load()) << "stop() must complete outstanding requests";
+  EXPECT_EQ(status, ServeStatus::kError);
+}
+
+}  // namespace
+}  // namespace sesr::dist

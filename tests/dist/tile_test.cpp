@@ -1,0 +1,171 @@
+// Tile-split + halo exchange: the bit-exactness contract the distributed
+// frontend's fan-out path rests on. A stitched tiled upscale must equal
+// upscale() on the whole image to the last bit — fp32 and int8, edge tiles,
+// non-divisible heights.
+#include "dist/tile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/shard.h"
+#include "models/upscaler.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace sesr::dist {
+namespace {
+
+Tensor random_image(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand(shape, rng, 0.0f, 1.0f);
+}
+
+void expect_bit_exact(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+TEST(TilePlan, CoversEveryRowExactlyOnce) {
+  for (int64_t height : {1, 2, 3, 7, 16, 37, 64}) {
+    for (int tiles : {1, 2, 3, 4, 7}) {
+      const TilePlan plan = plan_row_tiles(height, tiles, /*halo=*/3, /*scale=*/2);
+      ASSERT_FALSE(plan.tiles.empty());
+      ASSERT_LE(static_cast<int64_t>(plan.tiles.size()), std::min<int64_t>(tiles, height));
+      int64_t next = 0;
+      for (const TileSpec& spec : plan.tiles) {
+        ASSERT_EQ(spec.row_begin, next) << "gap or overlap at h=" << height << " t=" << tiles;
+        ASSERT_GT(spec.core_rows(), 0);
+        // Halos are clamped at the borders and never exceed the request.
+        ASSERT_LE(spec.halo_top, std::min<int64_t>(3, spec.row_begin));
+        ASSERT_LE(spec.halo_bottom, std::min<int64_t>(3, height - spec.row_end));
+        next = spec.row_end;
+      }
+      ASSERT_EQ(next, height);
+      // Rows distribute within +-1.
+      int64_t lo = height, hi = 0;
+      for (const TileSpec& spec : plan.tiles) {
+        lo = std::min(lo, spec.core_rows());
+        hi = std::max(hi, spec.core_rows());
+      }
+      ASSERT_LE(hi - lo, 1);
+    }
+  }
+}
+
+TEST(TilePlan, RejectsDegenerateArguments) {
+  EXPECT_THROW(static_cast<void>(plan_row_tiles(0, 2, 1, 2)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(plan_row_tiles(8, 0, 1, 2)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(plan_row_tiles(8, 2, -1, 2)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(plan_row_tiles(8, 2, 1, 0)), std::invalid_argument);
+}
+
+TEST(TileExtractStitch, RoundTripsWithIdentityScale) {
+  // With scale=1 and a no-op "upscaler", extract+stitch must reassemble the
+  // original image exactly — catches off-by-ones independent of any model.
+  const Tensor image = random_image(Shape({1, 3, 13, 5}), 21);
+  const TilePlan plan = plan_row_tiles(13, 4, /*halo=*/2, /*scale=*/1);
+  Tensor out(Shape({1, 3, 13, 5}));
+  for (const TileSpec& spec : plan.tiles) {
+    const Tensor tile = extract_tile(image, spec);
+    ASSERT_EQ(tile.shape(), Shape({1, 3, spec.tile_rows(), 5}));
+    stitch_tile(tile, spec, plan, out);
+  }
+  expect_bit_exact(out, image, "identity reassembly");
+}
+
+TEST(ReceptiveField, ConservativeForKnownArchitectures) {
+  ModelSpec m5;
+  m5.id = "m5";
+  m5.arch = "sesr_m5";
+  // Collapsed SESR-M5 is two 5x5 plus five 3x3 convs at LR scale: radius 9.
+  EXPECT_GE(receptive_field_radius(*build_network(m5), Shape({3, 32, 32})), 9);
+
+  ModelSpec edsr;
+  edsr.id = "edsr";
+  edsr.arch = "edsr";
+  EXPECT_GE(receptive_field_radius(*build_network(edsr), Shape({3, 32, 32})), 9);
+}
+
+struct TiledCase {
+  std::string arch;
+  bool int8 = false;
+};
+
+class TiledBitExactTest : public ::testing::TestWithParam<TiledCase> {};
+
+TEST_P(TiledBitExactTest, MatchesWholeImageUpscale) {
+  const TiledCase& param = GetParam();
+  ModelSpec spec;
+  spec.id = "model";
+  spec.arch = param.arch;
+  spec.seed = 77;
+
+  models::NetworkUpscaler upscaler(param.arch, build_network(spec));
+  if (param.int8) {
+    Rng calib_rng(spec.seed + 1);
+    std::vector<Tensor> batches;
+    for (int i = 0; i < 2; ++i) batches.push_back(Tensor::rand({2, 3, 32, 32}, calib_rng));
+    upscaler.calibrate_int8(batches);
+  }
+  const int64_t halo = receptive_field_radius(upscaler.network(), Shape({3, 32, 32}));
+
+  // Non-divisible heights, a height smaller than the tile count, and an
+  // even split; edge tiles (clamped halo) occur in every plan.
+  struct ShapeCase {
+    int64_t height, width;
+    int tiles;
+  };
+  for (const ShapeCase& sc : {ShapeCase{37, 24, 3}, ShapeCase{32, 20, 4}, ShapeCase{3, 16, 8}}) {
+    const Tensor image = random_image(Shape({1, 3, sc.height, sc.width}), 91 + sc.height);
+    const Tensor whole = upscaler.upscale(image);
+    const Tensor tiled = upscale_tiled(upscaler, image, sc.tiles, halo);
+    expect_bit_exact(tiled, whole,
+                     param.arch + (param.int8 ? "/int8" : "/fp32") + " h=" +
+                         std::to_string(sc.height) + " tiles=" + std::to_string(sc.tiles));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TiledBitExactTest,
+                         ::testing::Values(TiledCase{"sesr_m5", false},
+                                           TiledCase{"sesr_m5", true},
+                                           TiledCase{"edsr", false}, TiledCase{"edsr", true}),
+                         [](const ::testing::TestParamInfo<TiledCase>& info) {
+                           return info.param.arch + (info.param.int8 ? "_int8" : "_fp32");
+                         });
+
+TEST(TiledUpscale, SingleTileIsTheWholeImagePath) {
+  ModelSpec spec;
+  spec.id = "m";
+  spec.arch = "sesr_m5";
+  models::NetworkUpscaler upscaler("SESR-M5", build_network(spec));
+  const Tensor image = random_image(Shape({1, 3, 12, 12}), 3);
+  expect_bit_exact(upscale_tiled(upscaler, image, 1, 9), upscaler.upscale(image), "1 tile");
+}
+
+TEST(TiledUpscale, InsufficientHaloActuallyDiverges) {
+  // Negative control: if halo < receptive field still matched bit-for-bit,
+  // the bit-exact tests above would be vacuous.
+  ModelSpec spec;
+  spec.id = "m";
+  spec.arch = "sesr_m5";
+  models::NetworkUpscaler upscaler("SESR-M5", build_network(spec));
+  const Tensor image = random_image(Shape({1, 3, 40, 16}), 13);
+  const Tensor whole = upscaler.upscale(image);
+  const Tensor tiled = upscale_tiled(upscaler, image, 4, /*halo=*/0);
+  ASSERT_EQ(tiled.shape(), whole.shape());
+  const float* pa = tiled.data();
+  const float* pb = whole.data();
+  bool any_diff = false;
+  for (int64_t i = 0; i < whole.numel() && !any_diff; ++i) any_diff = pa[i] != pb[i];
+  EXPECT_TRUE(any_diff) << "halo=0 matched the whole image; bit-exact gates are vacuous";
+}
+
+}  // namespace
+}  // namespace sesr::dist

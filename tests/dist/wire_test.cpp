@@ -1,0 +1,209 @@
+// Wire-format round trips and hostile-input rejection. Every frame a
+// frontend or shard ever parses goes through these codecs, so corruption
+// must surface as WireError, never as a silent misparse or overread.
+#include "dist/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace sesr::dist {
+namespace {
+
+Tensor random_image(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::rand(shape, rng, 0.0f, 1.0f);
+}
+
+void expect_tensor_eq(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(pa[i], pb[i]) << "element " << i;
+}
+
+TEST(WireHeader, RoundTrips) {
+  WireHeader header;
+  header.type = MessageType::kReply;
+  header.request_id = 0x0123456789abcdefULL;
+  header.body_bytes = 4096;
+
+  uint8_t bytes[kHeaderBytes];
+  encode_header(header, bytes);
+  const WireHeader back = decode_header(bytes);
+  EXPECT_EQ(back.magic, kWireMagic);
+  EXPECT_EQ(back.version, kWireVersion);
+  EXPECT_EQ(back.type, MessageType::kReply);
+  EXPECT_EQ(back.request_id, header.request_id);
+  EXPECT_EQ(back.body_bytes, header.body_bytes);
+}
+
+TEST(WireHeader, RejectsBadMagicVersionTypeAndOversizedBody) {
+  WireHeader header;
+  header.type = MessageType::kPing;
+  uint8_t good[kHeaderBytes];
+  encode_header(header, good);
+
+  {
+    uint8_t bytes[kHeaderBytes];
+    std::memcpy(bytes, good, kHeaderBytes);
+    bytes[0] ^= 0xff;  // stray client: wrong magic
+    EXPECT_THROW(static_cast<void>(decode_header(bytes)), WireError);
+  }
+  {
+    WireHeader wrong = header;
+    wrong.version = kWireVersion + 1;  // rolling-upgrade mismatch
+    uint8_t bytes[kHeaderBytes];
+    encode_header(wrong, bytes);
+    EXPECT_THROW(static_cast<void>(decode_header(bytes)), WireError);
+  }
+  {
+    WireHeader wrong = header;
+    wrong.type = static_cast<MessageType>(99);
+    uint8_t bytes[kHeaderBytes];
+    encode_header(wrong, bytes);
+    EXPECT_THROW(static_cast<void>(decode_header(bytes)), WireError);
+  }
+  {
+    WireHeader wrong = header;
+    wrong.body_bytes = kMaxBodyBytes + 1;  // corrupt length: never allocated
+    uint8_t bytes[kHeaderBytes];
+    encode_header(wrong, bytes);
+    EXPECT_THROW(static_cast<void>(decode_header(bytes)), WireError);
+  }
+}
+
+TEST(WireSubmit, RoundTripsAllFields) {
+  SubmitMessage message;
+  message.request_id = 42;
+  message.model = "sesr_m5";
+  message.tenant = "tenant \"A\"";
+  message.deadline_ms = 37;
+  message.image = random_image(Shape({1, 3, 9, 11}), 5);
+
+  const std::vector<uint8_t> body = encode_submit(message);
+  const SubmitMessage back = decode_submit(message.request_id, body);
+  EXPECT_EQ(back.request_id, 42u);
+  EXPECT_EQ(back.model, message.model);
+  EXPECT_EQ(back.tenant, message.tenant);
+  EXPECT_EQ(back.deadline_ms, 37);
+  expect_tensor_eq(back.image, message.image);
+}
+
+TEST(WireSubmit, NoDeadlineSurvives) {
+  SubmitMessage message;
+  message.image = random_image(Shape({1, 3, 2, 2}), 6);
+  ASSERT_EQ(message.deadline_ms, SubmitMessage::kNoDeadline);
+  const SubmitMessage back = decode_submit(1, encode_submit(message));
+  EXPECT_EQ(back.deadline_ms, SubmitMessage::kNoDeadline);
+}
+
+TEST(WireReply, RoundTripsOkAndError) {
+  {
+    ReplyMessage message;
+    message.request_id = 7;
+    message.status = 0;  // ok
+    message.model_version = 3;
+    message.output = random_image(Shape({1, 3, 8, 8}), 9);
+    const ReplyMessage back = decode_reply(7, encode_reply(message));
+    EXPECT_EQ(back.status, 0);
+    EXPECT_EQ(back.error, "");
+    EXPECT_EQ(back.model_version, 3);
+    expect_tensor_eq(back.output, message.output);
+  }
+  {
+    ReplyMessage message;
+    message.request_id = 8;
+    message.status = 2;  // error
+    message.error = "queue full";
+    const ReplyMessage back = decode_reply(8, encode_reply(message));
+    EXPECT_EQ(back.status, 2);
+    EXPECT_EQ(back.error, "queue full");
+  }
+}
+
+TEST(WirePong, RoundTrips) {
+  PongMessage message;
+  message.seq = 11;
+  message.in_flight = 4;
+  message.stats_json = R"({"submitted": 9})";
+  const PongMessage back = decode_pong(11, encode_pong(message));
+  EXPECT_EQ(back.seq, 11u);
+  EXPECT_EQ(back.in_flight, 4);
+  EXPECT_EQ(back.stats_json, message.stats_json);
+}
+
+TEST(WireReader, TruncationThrowsEverywhere) {
+  SubmitMessage message;
+  message.model = "sesr_m5";
+  message.tenant = "t";
+  message.image = random_image(Shape({1, 3, 4, 4}), 3);
+  const std::vector<uint8_t> body = encode_submit(message);
+
+  // Chop the body at every possible length; none may decode, none may read
+  // out of bounds (ASan/TSan jobs run this too).
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    std::vector<uint8_t> truncated(body.begin(), body.begin() + cut);
+    EXPECT_THROW(static_cast<void>(decode_submit(1, truncated)), WireError) << "cut " << cut;
+  }
+}
+
+TEST(WireReader, TrailingGarbageThrows) {
+  SubmitMessage message;
+  message.image = random_image(Shape({1, 3, 2, 2}), 4);
+  std::vector<uint8_t> body = encode_submit(message);
+  body.push_back(0xee);  // length drift must be caught, not ignored
+  EXPECT_THROW(static_cast<void>(decode_submit(1, body)), WireError);
+}
+
+TEST(WireReader, HostileStringAndTensorLengthsThrow) {
+  {
+    WireWriter writer;
+    writer.u32(0xffffffffu);  // string claims 4 GiB
+    const std::vector<uint8_t> body = writer.take();
+    WireReader reader(body);
+    EXPECT_THROW(static_cast<void>(reader.str()), WireError);
+  }
+  {
+    WireWriter writer;
+    writer.u32(2);        // tensor ndim = 2
+    writer.i64(1 << 20);  // dims claiming ~4 TiB of floats
+    writer.i64(1 << 20);
+    const std::vector<uint8_t> body = writer.take();
+    WireReader reader(body);
+    EXPECT_THROW(static_cast<void>(reader.tensor()), WireError);
+  }
+  {
+    // Rank-0 (the default Tensor error replies carry) is legal and is a
+    // one-element scalar on the wire.
+    WireWriter writer;
+    writer.tensor(Tensor());
+    const std::vector<uint8_t> body = writer.take();
+    WireReader reader(body);
+    const Tensor scalar = reader.tensor();
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(scalar.numel(), 1);
+    EXPECT_EQ(scalar.ndim(), 0);
+  }
+}
+
+TEST(WireWriter, LittleEndianByteStability) {
+  // The format is defined as little-endian bytes, not "whatever this
+  // compiler does" — pin the layout.
+  WireWriter writer;
+  writer.u32(0x04030201u);
+  writer.i64(0x0807060504030201LL);
+  writer.u8(0xaa);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  const uint8_t expected[] = {0x01, 0x02, 0x03, 0x04, 0x01, 0x02, 0x03,
+                              0x04, 0x05, 0x06, 0x07, 0x08, 0xaa};
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (size_t i = 0; i < sizeof(expected); ++i) ASSERT_EQ(bytes[i], expected[i]) << i;
+}
+
+}  // namespace
+}  // namespace sesr::dist

@@ -1,0 +1,157 @@
+// ServerStats/TenantStats JSON round-trip: the wire representation the
+// distributed tier's heartbeats carry (dist kPong) and ops tooling scrapes.
+#include "serve/stats_json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sesr::serve {
+namespace {
+
+TenantStats sample_tenant(int64_t base) {
+  TenantStats tenant;
+  tenant.submitted = base + 1;
+  tenant.completed = base + 2;
+  tenant.rejected = base + 3;
+  tenant.shed = base + 4;
+  tenant.failed = base + 5;
+  tenant.in_queue = base + 6;
+  tenant.peak_in_queue = base + 7;
+  return tenant;
+}
+
+ServerStats sample_stats() {
+  ServerStats stats;
+  stats.submitted = 1000;
+  stats.completed = 990;
+  stats.shed = 4;
+  stats.rejected = 5;
+  stats.failed = 1;
+  stats.batches = 300;
+  stats.batched_images = 990;
+  stats.mean_batch_size = 3.3;
+  stats.max_batch_observed = 8;
+  stats.batch_size_counts = {0, 100, 50, 25, 12, 6, 3, 2, 102};
+  stats.queue_depth = 7;
+  stats.peak_queue_depth = 64;
+  stats.latency.count = 990;
+  stats.latency.mean_ms = 12.345678901234567;
+  stats.latency.max_ms = 99.5;
+  stats.latency.p50_ms = 10.25;
+  stats.latency.p95_ms = 40.0;
+  stats.latency.p99_ms = 77.125;
+  stats.tenants["alpha"] = sample_tenant(10);
+  stats.tenants["beta \"quoted\"\n"] = sample_tenant(100);  // escaping exercised
+  return stats;
+}
+
+void expect_tenant_eq(const TenantStats& a, const TenantStats& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.in_queue, b.in_queue);
+  EXPECT_EQ(a.peak_in_queue, b.peak_in_queue);
+}
+
+TEST(StatsJson, ServerStatsRoundTripsExactly) {
+  const ServerStats stats = sample_stats();
+  const ServerStats back = server_stats_from_json(stats_to_json(stats));
+
+  EXPECT_EQ(back.submitted, stats.submitted);
+  EXPECT_EQ(back.completed, stats.completed);
+  EXPECT_EQ(back.shed, stats.shed);
+  EXPECT_EQ(back.rejected, stats.rejected);
+  EXPECT_EQ(back.failed, stats.failed);
+  EXPECT_EQ(back.batches, stats.batches);
+  EXPECT_EQ(back.batched_images, stats.batched_images);
+  EXPECT_EQ(back.mean_batch_size, stats.mean_batch_size);  // bit-exact: %.17g
+  EXPECT_EQ(back.max_batch_observed, stats.max_batch_observed);
+  EXPECT_EQ(back.batch_size_counts, stats.batch_size_counts);
+  EXPECT_EQ(back.queue_depth, stats.queue_depth);
+  EXPECT_EQ(back.peak_queue_depth, stats.peak_queue_depth);
+  EXPECT_EQ(back.latency.count, stats.latency.count);
+  EXPECT_EQ(back.latency.mean_ms, stats.latency.mean_ms);
+  EXPECT_EQ(back.latency.max_ms, stats.latency.max_ms);
+  EXPECT_EQ(back.latency.p50_ms, stats.latency.p50_ms);
+  EXPECT_EQ(back.latency.p95_ms, stats.latency.p95_ms);
+  EXPECT_EQ(back.latency.p99_ms, stats.latency.p99_ms);
+
+  ASSERT_EQ(back.tenants.size(), stats.tenants.size());
+  for (const auto& [id, tenant] : stats.tenants) {
+    ASSERT_TRUE(back.tenants.count(id)) << "tenant id lost in round trip: " << id;
+    expect_tenant_eq(back.tenants.at(id), tenant);
+  }
+}
+
+TEST(StatsJson, TenantStatsRoundTrips) {
+  const TenantStats tenant = sample_tenant(42);
+  const TenantStats back = tenant_stats_from_json(stats_to_json(tenant));
+  expect_tenant_eq(back, tenant);
+}
+
+TEST(StatsJson, DefaultConstructedRoundTrips) {
+  const ServerStats back = server_stats_from_json(stats_to_json(ServerStats{}));
+  EXPECT_EQ(back.submitted, 0);
+  EXPECT_EQ(back.batch_size_counts.size(), 0u);
+  EXPECT_EQ(back.tenants.size(), 0u);
+  EXPECT_EQ(back.latency.count, 0);
+}
+
+TEST(StatsJson, UnknownFieldsAreSkipped) {
+  // A newer shard may report counters this build does not know about.
+  const std::string json =
+      R"({"submitted": 7, "future_counter": 123, "future_obj": {"a": [1, 2, {"b": null}]},)"
+      R"( "completed": 5})";
+  const ServerStats back = server_stats_from_json(json);
+  EXPECT_EQ(back.submitted, 7);
+  EXPECT_EQ(back.completed, 5);
+}
+
+TEST(StatsJson, AbsentCountersReadZero) {
+  const ServerStats back = server_stats_from_json("{}");
+  EXPECT_EQ(back.submitted, 0);
+  EXPECT_EQ(back.completed, 0);
+  EXPECT_EQ(back.tenants.size(), 0u);
+}
+
+TEST(StatsJson, MalformedDocumentsThrow) {
+  EXPECT_THROW(static_cast<void>(server_stats_from_json("")), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(server_stats_from_json("{")), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(server_stats_from_json("[]")), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(server_stats_from_json(R"({"submitted": "no"})")),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(server_stats_from_json(R"({"submitted": 1} trailing)")),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(tenant_stats_from_json(R"({"submitted":)")),
+               std::runtime_error);
+}
+
+TEST(StatsJson, LiveServerStatsSurviveTheTrip) {
+  // Not hand-rolled samples: a real server's counters after real traffic.
+  auto upscaler = std::make_shared<models::InterpolationUpscaler>(
+      preprocess::InterpolationKind::kNearest);
+  Server::Options options;
+  options.workers = 1;
+  Server server(std::static_pointer_cast<models::Upscaler>(upscaler), options);
+  std::vector<ServeFuture> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(Tensor(Shape({3, 4, 4}))));
+  for (ServeFuture& future : futures) ASSERT_TRUE(future.get().ok());
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  const ServerStats back = server_stats_from_json(stats_to_json(stats));
+  EXPECT_EQ(back.submitted, stats.submitted);
+  EXPECT_EQ(back.completed, stats.completed);
+  EXPECT_EQ(back.batch_size_counts, stats.batch_size_counts);
+  EXPECT_EQ(back.latency.count, stats.latency.count);
+  EXPECT_EQ(back.latency.p99_ms, stats.latency.p99_ms);
+  ASSERT_TRUE(back.tenants.count(kDefaultTenant));
+  EXPECT_EQ(back.tenants.at(kDefaultTenant).completed,
+            stats.tenants.at(kDefaultTenant).completed);
+}
+
+}  // namespace
+}  // namespace sesr::serve

@@ -1,0 +1,85 @@
+// sesr_shard: one worker shard of the distributed serving tier.
+//
+// Usage:
+//   sesr_shard --socket /path/shard0.sock --model default=sesr_m5
+//              [--model big=edsr:int8] [--workers 1] [--max-batch 4]
+//              [--queue 128] [--linger-us 0]
+//
+// Binds the unix socket, builds every --model spec deterministically (see
+// dist::parse_model_spec), and serves dist wire-format frames until a
+// kShutdown frame or SIGTERM. Spawned by dist::LocalCluster in tests and
+// benches; runnable by hand for a manual multi-shard setup (see README).
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "dist/shard.h"
+
+namespace {
+
+sesr::dist::Shard* g_shard = nullptr;
+
+void handle_sigterm(int) {
+  // Shard::stop only flips an atomic and shutdown/close()s fds — safe enough
+  // here, and run() then drains every admitted request before exiting.
+  if (g_shard != nullptr) g_shard->stop();
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH --model id=arch[:int8][:seed=N][:calib=CxHxW] "
+               "[--model ...] [--workers N] [--max-batch N] [--queue N] [--linger-us N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sesr::dist::Shard::Options options;
+  options.server.workers = 1;
+  options.server.max_batch = 4;
+  options.server.queue_capacity = 128;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--socket") {
+        options.socket_path = value();
+      } else if (arg == "--model") {
+        options.models.push_back(sesr::dist::parse_model_spec(value()));
+      } else if (arg == "--workers") {
+        options.server.workers = std::stoi(value());
+      } else if (arg == "--max-batch") {
+        options.server.max_batch = std::stoll(value());
+      } else if (arg == "--queue") {
+        options.server.queue_capacity = std::stoll(value());
+      } else if (arg == "--linger-us") {
+        options.server.batch_linger = std::chrono::microseconds(std::stoll(value()));
+      } else {
+        usage(argv[0]);
+      }
+    }
+    if (options.socket_path.empty() || options.models.empty()) usage(argv[0]);
+
+    sesr::dist::Shard shard(options);
+    g_shard = &shard;
+    ::signal(SIGTERM, handle_sigterm);
+    shard.run();
+    g_shard = nullptr;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sesr_shard: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
