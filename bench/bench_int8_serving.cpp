@@ -10,8 +10,9 @@
 // thread (SESR_NUM_THREADS=1: kernel arithmetic is the variable, not the
 // pool).
 //
-// Full mode gates on the acceptance target: >= 1.5x int8-over-fp32
-// throughput for collapsed SESR-M5. SESR_BENCH_FAST=1 shrinks the image and
+// Full mode gates on the acceptance target: >= 1.8x int8-over-fp32
+// throughput for collapsed SESR-M5 (raised from 1.5x when the explicit
+// VNNI int8 kernels landed — the autovec floor). SESR_BENCH_FAST=1 shrinks the image and
 // the timing windows and gates on fidelity only (CI smoke). Emits
 // BENCH_int8_serving.json (images/sec, PSNR) either way.
 #include <chrono>
@@ -27,6 +28,7 @@
 #include "models/models.h"
 #include "quant/quant.h"
 #include "runtime/runtime.h"
+#include "tensor/simd/dispatch.h"
 
 using namespace sesr;
 using Clock = std::chrono::steady_clock;
@@ -75,7 +77,7 @@ int main() {
   struct Row {
     std::string label;
     std::unique_ptr<nn::Module> net;
-    bool gates = false;  ///< carries the full-mode >= 1.5x throughput gate
+    bool gates = false;  ///< carries the full-mode >= 1.8x throughput gate
   };
   std::vector<Row> rows;
   {
@@ -115,6 +117,8 @@ int main() {
   const Tensor probe = Tensor::rand(shape, probe_rng);
 
   bench::BenchJson json("int8_serving");
+  json.set_string("kernel_variant", simd::variant_name(simd::active_variant()));
+  json.set("kernel_variant_forced", simd::variant_forced() ? 1.0 : 0.0);
   std::printf("%-10s | %-14s %-14s %-9s | %-10s %-10s\n", "model", "fp32 img/s",
               "int8 img/s", "speedup", "PSNR (dB)", "ref (LSB)");
   std::printf("--------------------------------------------------------------------------------\n");
@@ -175,7 +179,7 @@ int main() {
   }
 
   json.set("gate.speedup_sesr_m5", gate_speedup);
-  json.set("gate.threshold", 1.5);
+  json.set("gate.threshold", 1.8);
   json.set("gate.arena_peak_le_sum", arena_ok ? 1.0 : 0.0);
   json.write();
 
@@ -183,11 +187,11 @@ int main() {
               fidelity_ok ? "PASS" : "FAIL");
   std::printf("-> arena peak <= sum-of-buffers for every program [%s]\n",
               arena_ok ? "PASS" : "FAIL");
-  std::printf("-> SESR-M5 int8-over-fp32 single-thread speedup: %.2fx (target >= 1.5x) [%s]\n",
-              gate_speedup, gate_speedup >= 1.5 ? "PASS" : "FAIL");
+  std::printf("-> SESR-M5 int8-over-fp32 single-thread speedup: %.2fx (target >= 1.8x) [%s]\n",
+              gate_speedup, gate_speedup >= 1.8 ? "PASS" : "FAIL");
   if (!fidelity_ok || !arena_ok) return 1;
   // Smoke mode gates on fidelity only: sub-second windows on shared CI
   // runners are too noisy for a hard throughput ratio.
   if (fast) return 0;
-  return gate_speedup >= 1.5 ? 0 : 1;
+  return gate_speedup >= 1.8 ? 0 : 1;
 }

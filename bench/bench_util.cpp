@@ -245,13 +245,25 @@ void set_latency_metrics(BenchJson& json, const std::string& prefix,
 BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
 
 void BenchJson::set(const std::string& metric, double value) {
-  for (auto& [name, stored] : metrics_) {
-    if (name == metric) {
-      stored = value;
+  for (Metric& m : metrics_) {
+    if (m.name == metric) {
+      m.number = value;
+      m.is_string = false;
       return;
     }
   }
-  metrics_.emplace_back(metric, value);
+  metrics_.push_back({metric, value, false, {}});
+}
+
+void BenchJson::set_string(const std::string& metric, const std::string& value) {
+  for (Metric& m : metrics_) {
+    if (m.name == metric) {
+      m.text = value;
+      m.is_string = true;
+      return;
+    }
+  }
+  metrics_.push_back({metric, 0.0, true, value});
 }
 
 std::string BenchJson::write() const {
@@ -261,10 +273,15 @@ std::string BenchJson::write() const {
   if (!os) throw std::runtime_error("BenchJson::write: cannot open " + path);
   os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {\n";
   for (size_t i = 0; i < metrics_.size(); ++i) {
-    char value[64];
-    std::snprintf(value, sizeof(value), "%.8g", metrics_[i].second);
-    os << "    \"" << metrics_[i].first << "\": " << value
-       << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    os << "    \"" << metrics_[i].name << "\": ";
+    if (metrics_[i].is_string) {
+      os << '"' << metrics_[i].text << '"';
+    } else {
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.8g", metrics_[i].number);
+      os << value;
+    }
+    os << (i + 1 < metrics_.size() ? ",\n" : "\n");
   }
   os << "  }\n}\n";
   if (!os) throw std::runtime_error("BenchJson::write: write failed for " + path);

@@ -92,13 +92,22 @@ class BenchJson {
   explicit BenchJson(std::string bench_name);
 
   void set(const std::string& metric, double value);
+  /// String-valued metric (e.g. "kernel_variant": "avx512vnni"). The value
+  /// is emitted as a JSON string; it must not contain quotes or backslashes.
+  void set_string(const std::string& metric, const std::string& value);
 
   /// Write BENCH_<name>.json (insertion order preserved); returns the path.
   std::string write() const;
 
  private:
+  struct Metric {
+    std::string name;
+    double number = 0.0;
+    bool is_string = false;
+    std::string text;
+  };
   std::string name_;
-  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Metric> metrics_;
 };
 
 /// Exact order statistics over a set of per-request latency samples. The

@@ -128,6 +128,12 @@ const std::vector<ConfigSpec>& config_specs() {
                   "Path to the `sesr_shard` worker binary used when spawning local "
                   "shard processes (tests, benches, `dist::LocalCluster`). Unset, the "
                   "build-time target location is used."),
+      string_spec("SESR_KERNEL_VARIANT", "", "`native` (strongest cpuid tier)",
+                  "Forces the SIMD kernel tier (`scalar`, `avx2`, `avx512vnni`; "
+                  "clamped to what the CPU supports). Read at `Program` compile time "
+                  "by the variant-selection pass — already-compiled programs keep "
+                  "their recorded tier. Int8 output is bit-exact across tiers; fp32 "
+                  "is bit-identical by the fixed lane-order contract."),
   };
   return specs;
 }

@@ -7,6 +7,7 @@
 
 #include "tensor/gemm.h"
 #include "tensor/parallel.h"
+#include "tensor/simd/dispatch.h"
 
 namespace sesr::nn {
 namespace {
@@ -144,24 +145,14 @@ Tensor Conv2d::forward(const Tensor& input) {
 namespace {
 
 constexpr int kRegBlock = 16;  // output columns per register-accumulated block
+constexpr int64_t kRowTile = 4;  // output channels per dispatch microkernel call
 
-// Output-stationary microkernel: dst[0..block) = sum_p w_row[p] * slab[p][0..block),
-// accumulating in registers. The per-element addition sequence — ascending p
-// from a 0.0f accumulator, zero weights skipped — is exactly the sequence
-// gemm_accumulate produces into a zeroed C, so results are bit-identical.
-template <int kBlock>
-inline void conv_out_block(const float* __restrict w_row, const float* __restrict slab,
-                           int64_t col_rows, int64_t slab_stride, float* __restrict dst) {
-  float acc[kBlock] = {};
-  for (int64_t p = 0; p < col_rows; ++p) {
-    const float wv = w_row[p];
-    if (wv == 0.0f) continue;  // matches gemm's zero-operand skip
-    const float* r = slab + p * slab_stride;
-    for (int b = 0; b < kBlock; ++b) acc[b] += wv * r[b];
-  }
-  for (int b = 0; b < kBlock; ++b) dst[b] = acc[b];
-}
-
+// Tail columns (out_w % 16): plain scalar, shared by every dispatch tier —
+// the vector tiers deliberately never read past a 16-column block, so the
+// tail cannot diverge across variants. The per-element addition sequence —
+// ascending p from a 0.0f accumulator, zero weights skipped — is exactly the
+// sequence gemm_accumulate produces into a zeroed C, so results are
+// bit-identical to the im2col + GEMM path.
 inline void conv_out_block_tail(const float* __restrict w_row, const float* __restrict slab,
                                 int64_t col_rows, int64_t slab_stride, int64_t block,
                                 float* __restrict dst) {
@@ -191,7 +182,10 @@ void Conv2d::infer_into(const Tensor& input, Tensor& output, Workspace& workspac
 }
 
 void Conv2d::infer_into_fused(const Tensor& input, Tensor& output, Workspace& workspace,
-                              const FusedActivation& act) const {
+                              const FusedActivation& act,
+                              const simd::KernelDispatch* dispatch) const {
+  const simd::KernelDispatch& kd =
+      dispatch != nullptr ? *dispatch : simd::active_dispatch();
   const int64_t n = input.dim(0), c_in = opts_.in_channels;
   const int64_t h = input.dim(2), w = input.dim(3);
   const int64_t c_out = opts_.out_channels, k = opts_.kernel, stride = opts_.stride;
@@ -247,19 +241,28 @@ void Conv2d::infer_into_fused(const Tensor& input, Tensor& output, Workspace& wo
           }
         }
       }
-      for (int64_t oc = 0; oc < c_out; ++oc) {
-        const float* w_row = weight_.value.data() + oc * col_rows;
-        float* out_row = out_ptr + oc * out_hw + oh * out_w;
+      // Register tile: up to 4 output channels per microkernel call share
+      // every slab vector load (dst rows stride out_hw apart).
+      for (int64_t oc0 = 0; oc0 < c_out; oc0 += kRowTile) {
+        const int rows = static_cast<int>(std::min(kRowTile, c_out - oc0));
+        const float* w_rows = weight_.value.data() + oc0 * col_rows;
+        float* out_rows = out_ptr + oc0 * out_hw + oh * out_w;
         int64_t ow = 0;
         for (; ow + kRegBlock <= out_w; ow += kRegBlock)
-          conv_out_block<kRegBlock>(w_row, slab + ow, col_rows, out_w, out_row + ow);
+          kd.conv_block16(w_rows, col_rows, rows, slab + ow, col_rows, out_w,
+                          out_rows + ow, out_hw);
         if (ow < out_w)
-          conv_out_block_tail(w_row, slab + ow, col_rows, out_w, out_w - ow, out_row + ow);
-        if (opts_.bias) {
-          const float b = bias_.value[oc];
-          for (int64_t j = 0; j < out_w; ++j) out_row[j] += b;
+          for (int r = 0; r < rows; ++r)
+            conv_out_block_tail(w_rows + r * col_rows, slab + ow, col_rows, out_w,
+                                out_w - ow, out_rows + r * out_hw + ow);
+        for (int r = 0; r < rows; ++r) {
+          float* out_row = out_rows + r * out_hw;
+          if (opts_.bias) {
+            const float b = bias_.value[oc0 + r];
+            for (int64_t j = 0; j < out_w; ++j) out_row[j] += b;
+          }
+          act.apply(out_row, out_w, oc0 + r);
         }
-        act.apply(out_row, out_w, oc);
       }
     }
   });

@@ -7,6 +7,10 @@
 #include "nn/fused_activation.h"
 #include "nn/module.h"
 
+namespace sesr::simd {
+struct KernelDispatch;
+}  // namespace sesr::simd
+
 namespace sesr::nn {
 
 /// Convolution hyper-parameters shared by Conv2d construction helpers.
@@ -35,9 +39,14 @@ class Conv2d final : public Module {
   void infer_into(const Tensor& input, Tensor& output, Workspace& workspace) const override;
   /// infer_into with a pointwise activation applied inside the write-back
   /// loop (the runtime's conv -> activation fusion). Bit-identical to
-  /// infer_into followed by the activation's own infer_into.
+  /// infer_into followed by the activation's own infer_into. `dispatch`
+  /// selects the SIMD kernel tier for the microkernel (null = the
+  /// process-active tier; compiled Programs pass their recorded variant) —
+  /// every tier produces bit-identical fp32 results for finite inputs, per
+  /// the contract in tensor/simd/dispatch.h.
   void infer_into_fused(const Tensor& input, Tensor& output, Workspace& workspace,
-                        const FusedActivation& act) const;
+                        const FusedActivation& act,
+                        const simd::KernelDispatch* dispatch = nullptr) const;
   [[nodiscard]] bool supports_compiled_inference() const override { return true; }
 
   [[nodiscard]] const Conv2dOptions& options() const { return opts_; }

@@ -189,6 +189,18 @@ class Int8Lowering {
                          QStepData& qd) const {
     pack_weights(rec, out_channels, qd);
     const int64_t row = static_cast<int64_t>(rec.weights.size()) / out_channels;
+    // Second packing for the stride-1 direct-conv block kernel: each kernel
+    // row padded to an even tap count with zeros (the pair dots read one
+    // column past odd kernels; the zero weight nulls it).
+    const int64_t k = qd.kernel;
+    const int64_t kceil = 2 * int8_kw_pairs(k);
+    const int64_t groups = qd.in_c * k;  // (ic, kh) kernel rows per filter
+    qd.weights_kw.assign(static_cast<size_t>(out_channels * groups * kceil), 0);
+    for (int64_t oc = 0; oc < out_channels; ++oc)
+      for (int64_t g = 0; g < groups; ++g)
+        for (int64_t kw = 0; kw < k; ++kw)
+          qd.weights_kw[static_cast<size_t>((oc * groups + g) * kceil + kw)] =
+              qd.weights[static_cast<size_t>(oc * row + g * k + kw)];
     const int64_t stride = int8_packed_stride(row);
     std::vector<int16_t> packed(static_cast<size_t>(out_channels * stride), 0);
     for (int64_t oc = 0; oc < out_channels; ++oc)
@@ -301,6 +313,9 @@ class Int8Lowering {
         qd.out = rec.out;
         qd.m_a = static_cast<double>(qd.in_a.scale) / rec.out.scale;
         qd.m_b = static_cast<double>(qd.in_b.scale) / rec.out.scale;
+        qd.add_lut.resize(256 * 256);
+        int8_add_build_lut(qd.in_a.zero_point, qd.m_a, qd.in_b.zero_point, qd.m_b,
+                           rec.out.zero_point, qd.add_lut.data());
         push(make_op(Op::Kind::kQAdd, int8_id(op.input), int8_id(op.output),
                      add_qdata(std::move(qd))));
         set_content(op.output, rec.out, /*int8_domain=*/true);

@@ -48,6 +48,13 @@ void eliminate_dead_ops(Program& program);
 /// input's live range ends at that op, merging the two buffers.
 void elect_in_place(Program& program);
 
+/// Stamp every dispatch-backed op with the SIMD kernel tier the process
+/// selects right now (cpuid best, or the SESR_KERNEL_VARIANT override) and
+/// record it on the program; resolves kLayer Conv2d downcasts while walking.
+/// Always runs, for every PassConfig — Session::execute routes each op
+/// through its recorded tier, so the stamp must exist even on raw programs.
+void select_kernel_variants(Program& program);
+
 /// Liveness-based greedy-by-size offset assignment: every surviving
 /// intermediate buffer gets a 64-byte-aligned offset into one contiguous
 /// slab such that no two buffers with overlapping live intervals share
@@ -69,6 +76,8 @@ struct ProgramEditor {
   [[nodiscard]] int64_t& arena_bytes() { return program.arena_bytes_; }
   [[nodiscard]] int64_t& sum_buffer_bytes() { return program.sum_buffer_bytes_; }
   [[nodiscard]] PassStats& stats() { return program.stats_; }
+  [[nodiscard]] simd::KernelVariant& kernel_variant() { return program.kernel_variant_; }
+  [[nodiscard]] bool& kernel_variant_forced() { return program.kernel_variant_forced_; }
 
   Program& program;
 };

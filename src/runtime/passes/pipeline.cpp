@@ -29,6 +29,9 @@ void run_passes(Program& program, const PassConfig& config) {
   if (config.fuse_activations) fuse_pointwise_activations(program);
   if (config.eliminate_dead_ops) eliminate_dead_ops(program);
   if (config.elect_in_place) elect_in_place(program);
+  // Like the planner, never optional: sessions execute each op through the
+  // kernel tier recorded here.
+  select_kernel_variants(program);
   plan_arena(program);
 }
 

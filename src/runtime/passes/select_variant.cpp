@@ -1,0 +1,57 @@
+// Kernel-variant selection: the Program pass that makes SIMD tier choice a
+// compile-time property of each program rather than an ambient global.
+//
+// The pass snapshots simd::active_variant() — cpuid best, or the
+// SESR_KERNEL_VARIANT override — once, stamps it on the program header and
+// on every op that consults the dispatch table, and resolves the Conv2d
+// downcast for kLayer ops so Session::execute can call the dispatch-aware
+// fused microkernel without per-run RTTI. Ops whose kernels have no
+// vectorised variant (elementwise fp32 adds, depthwise conv, quantize /
+// dequantize bridges, plain copies) stay at kScalar with dispatched = false;
+// they run identical code on every tier, so annotating them would only add
+// noise to dump().
+//
+// Because the stamp happens at compile time, flipping SESR_KERNEL_VARIANT
+// afterwards does not retarget an existing program — recompile to change
+// tiers. That is exactly the property the distributed tier relies on: every
+// shard compiles its own programs at startup under a fleet-wide forced
+// variant and stays on it for the program's lifetime.
+#include "nn/conv2d.h"
+#include "runtime/passes/passes.h"
+#include "tensor/simd/dispatch.h"
+
+namespace sesr::runtime {
+
+void select_kernel_variants(Program& program) {
+  ProgramEditor editor(program);
+  const simd::KernelVariant variant = simd::active_variant();
+  editor.kernel_variant() = variant;
+  editor.kernel_variant_forced() = simd::variant_forced();
+  for (Op& op : editor.ops()) {
+    op.variant = simd::KernelVariant::kScalar;
+    op.dispatched = false;
+    op.conv = nullptr;
+    switch (op.kind) {
+      case Op::Kind::kLayer:
+        if (const auto* conv = dynamic_cast<const nn::Conv2d*>(op.layer)) {
+          op.conv = conv;
+          op.variant = variant;
+          op.dispatched = true;
+        }
+        break;
+      case Op::Kind::kQConv:
+      case Op::Kind::kQLinear:
+      case Op::Kind::kQActivation:
+      case Op::Kind::kQScale:
+      case Op::Kind::kQConcat:
+      case Op::Kind::kQDepthToSpace:
+        op.variant = variant;
+        op.dispatched = true;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace sesr::runtime

@@ -224,6 +224,8 @@ std::string Program::dump() const {
           static_cast<long long>(stats_.fused_activations),
           static_cast<long long>(stats_.dead_ops_removed),
           static_cast<long long>(stats_.in_place_elected));
+  appendf(out, "kernels: %s (%s)\n", simd::variant_name(kernel_variant_),
+          kernel_variant_forced_ ? "forced via SESR_KERNEL_VARIANT" : "native");
   const int64_t sum = sum_buffer_bytes();
   appendf(out, "arena: peak %s of %s one-buffer-per-tensor (%.0f%% saved)\n",
           human_bytes(arena_bytes_).c_str(), human_bytes(sum).c_str(),
@@ -275,6 +277,7 @@ std::string Program::dump() const {
       if (!q.act_lut.empty()) appendf(out, "  + fused lut x%lld",
                                       static_cast<long long>(q.act_lut_channels));
     }
+    if (op.dispatched) appendf(out, "  [%s]", simd::variant_name(op.variant));
     out += "\n";
   }
   return out;

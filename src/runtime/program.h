@@ -42,9 +42,14 @@
 #include "nn/module.h"
 #include "quant/qparams.h"
 #include "tensor/int8_kernels.h"
+#include "tensor/simd/dispatch.h"
 
 namespace sesr::quant {
 class QuantizedModel;
+}
+
+namespace sesr::nn {
+class Conv2d;
 }
 
 namespace sesr::runtime {
@@ -89,6 +94,9 @@ struct QStepData {
 
   // kQConv / kQDepthwise / kQLinear: packed weights and requantisation.
   std::vector<int16_t> weights;
+  /// kQConv only: the kw-padded second packing the stride-1 direct-conv
+  /// block kernel reads (Int8ConvSpec::weights_kw). Empty for other kinds.
+  std::vector<int16_t> weights_kw;
   std::vector<int32_t> bias;
   std::vector<FixedPointMultiplier> requant;
   int64_t in_c = 0, out_c = 0, kernel = 1, stride = 1, pad = 0;
@@ -103,6 +111,11 @@ struct QStepData {
 
   // kQAdd (operand-to-output scale ratios) / kQScale (alpha * s_in / s_out).
   double m_a = 1.0, m_b = 1.0;
+
+  // kQAdd: the 256x256 int8_add table (int8_add_build_lut) the session
+  // streams instead of re-deriving the double math per element. Built at
+  // lowering time from the exact int8_add formula, so bit-identical.
+  std::vector<int8_t> add_lut;
 
   // kQConv with a fused activation: act_lut_channels 256-entry tables mapping
   // the conv's output grid onto the activation's (1 shared table, or out_c
@@ -155,6 +168,18 @@ struct Op {
   /// Float conv fusion: activation applied in the conv's write-back loop.
   nn::FusedActivation fused;
   const nn::Module* fused_layer = nullptr;  ///< the folded activation (diagnostics)
+
+  /// SIMD kernel tier this op executes on, stamped at compile time by the
+  /// select_kernel_variants pass (the active tier for dispatch-backed kinds;
+  /// kScalar for kinds with no vectorised kernel). `dispatched` marks ops
+  /// that actually consult the tier table — dump() annotates only those.
+  simd::KernelVariant variant = simd::KernelVariant::kScalar;
+  bool dispatched = false;
+
+  /// kLayer whose layer is a Conv2d: the downcast, resolved once by the
+  /// variant pass so Session::execute can route through the dispatch-aware
+  /// fused microkernel without a per-run dynamic_cast.
+  const nn::Conv2d* conv = nullptr;
 };
 
 /// Does this op kind read its output buffer before writing it
@@ -222,6 +247,14 @@ class Program {
   [[nodiscard]] const std::vector<QStepData>& qdata() const { return qdata_; }
   [[nodiscard]] const PassStats& stats() const { return stats_; }
 
+  /// The SIMD kernel tier this program's dispatch-backed ops were stamped
+  /// with at compile time (cpuid best, or the SESR_KERNEL_VARIANT override
+  /// in effect when compiling — environment flips after compilation do not
+  /// retarget an already-compiled program).
+  [[nodiscard]] simd::KernelVariant kernel_variant() const { return kernel_variant_; }
+  /// Whether SESR_KERNEL_VARIANT pinned the tier at compile time.
+  [[nodiscard]] bool kernel_variant_forced() const { return kernel_variant_forced_; }
+
   /// External buffers are bound to caller tensors at run time and never
   /// arena-planned: the program input (id 0) and the program output.
   [[nodiscard]] bool is_external(int id) const { return id == 0 || id == output_; }
@@ -254,6 +287,8 @@ class Program {
   int64_t arena_bytes_ = 0;
   int64_t sum_buffer_bytes_ = 0;
   int output_ = 0;
+  simd::KernelVariant kernel_variant_ = simd::KernelVariant::kScalar;
+  bool kernel_variant_forced_ = false;
 };
 
 }  // namespace sesr::runtime

@@ -107,16 +107,22 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
   for (const Op& op : program_->ops()) {
     ++op_index;
     const QStepData* q = op.qdata >= 0 ? &qdata[static_cast<size_t>(op.qdata)] : nullptr;
+    // Each op runs on the SIMD kernel tier recorded at compile time by the
+    // select_kernel_variants pass (flipping SESR_KERNEL_VARIANT after
+    // compilation does not retarget this program). dispatch_for is an array
+    // index — negligible against any kernel.
+    const simd::KernelDispatch& kd = simd::dispatch_for(op.variant);
     switch (op.kind) {
       case Op::Kind::kLayer: {
         workspace_.reset();
         const Tensor& in = *bound_[static_cast<size_t>(op.input)];
         Tensor& out = *bound_[static_cast<size_t>(op.output)];
-        if (op.fused.kind != nn::FusedActivation::Kind::kNone) {
-          const auto* conv = dynamic_cast<const nn::Conv2d*>(op.layer);
-          if (conv == nullptr)
-            throw std::logic_error("Session: fused activation on a non-Conv2d op");
-          conv->infer_into_fused(in, out, workspace_, op.fused);
+        if (op.conv != nullptr) {
+          // Fused or not, conv goes through the dispatch-aware microkernel
+          // (the downcast was resolved by the variant pass).
+          op.conv->infer_into_fused(in, out, workspace_, op.fused, &kd);
+        } else if (op.fused.kind != nn::FusedActivation::Kind::kNone) {
+          throw std::logic_error("Session: fused activation on a non-Conv2d op");
         } else {
           op.layer->infer_into(in, out, workspace_);
         }
@@ -173,12 +179,13 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.in_zero = q->in_a.zero_point;
         spec.out_zero = q->out.zero_point;
         spec.weights = q->weights.data();
+        spec.weights_kw = q->weights_kw.empty() ? nullptr : q->weights_kw.data();
         spec.bias = q->bias.empty() ? nullptr : q->bias.data();
         spec.requant = q->requant.data();
         spec.act_lut = q->act_lut.empty() ? nullptr : q->act_lut.data();
         spec.act_lut_channels = q->act_lut_channels;
         int8_conv2d_nchw(qbuf(op.input), in[0], in[2], in[3], out[2], out[3], spec,
-                         qbuf(op.output), workspace_);
+                         qbuf(op.output), workspace_, &kd);
         break;
       }
       case Op::Kind::kQDepthwise: {
@@ -208,7 +215,7 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.weights = q->weights.data();
         spec.bias = q->bias.empty() ? nullptr : q->bias.data();
         spec.requant = q->requant.data();
-        int8_linear(qbuf(op.input), in[0], spec, qbuf(op.output));
+        int8_linear(qbuf(op.input), in[0], spec, qbuf(op.output), &kd);
         break;
       }
       case Op::Kind::kQActivation: {
@@ -223,19 +230,24 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.out_cap = q->out_cap;
         const bool nchw = in.ndim() == 4;
         int8_activation_nchw(qbuf(op.input), nchw ? in[0] : 1, nchw ? in[1] : 1,
-                             nchw ? in[2] * in[3] : in.numel(), spec, qbuf(op.output));
+                             nchw ? in[2] * in[3] : in.numel(), spec, qbuf(op.output),
+                             &kd);
         break;
       }
       case Op::Kind::kQAdd: {
         const int64_t numel = shape_of(op.output).numel();
-        int8_add(qbuf(op.output), q->in_a.zero_point, q->m_a, qbuf(op.input),
-                 q->in_b.zero_point, q->m_b, q->out.zero_point, numel, qbuf(op.output));
+        if (!q->add_lut.empty())
+          int8_add_lut(qbuf(op.output), qbuf(op.input), q->add_lut.data(), numel,
+                       qbuf(op.output));
+        else
+          int8_add(qbuf(op.output), q->in_a.zero_point, q->m_a, qbuf(op.input),
+                   q->in_b.zero_point, q->m_b, q->out.zero_point, numel, qbuf(op.output));
         break;
       }
       case Op::Kind::kQScale: {
         const int64_t numel = shape_of(op.output).numel();
         int8_rescale(qbuf(op.output), q->in_a.zero_point, q->m_a, q->out.zero_point,
-                     numel, qbuf(op.output));
+                     numel, qbuf(op.output), &kd);
         break;
       }
       case Op::Kind::kQConcat: {
@@ -250,7 +262,7 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
             const quant::QParams& sp = q->src_qp[s];
             int8_rescale(qbuf(src) + i * c * hw, sp.zero_point,
                          static_cast<double>(sp.scale) / q->out.scale, q->out.zero_point,
-                         c * hw, qbuf(op.output) + (i * total_c + c_off) * hw);
+                         c * hw, qbuf(op.output) + (i * total_c + c_off) * hw, &kd);
             c_off += c;
           }
         }
@@ -259,7 +271,7 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
       case Op::Kind::kQDepthToSpace: {
         const Shape& in = shape_of(op.input);
         int8_depth_to_space(qbuf(op.input), in[0], in[1], in[2], in[3], q->block,
-                            qbuf(op.output));
+                            qbuf(op.output), &kd);
         break;
       }
       case Op::Kind::kQTileChannels: {

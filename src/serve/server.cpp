@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tensor/simd/dispatch.h"
+
 namespace sesr::serve {
 
 using Clock = std::chrono::steady_clock;
@@ -375,6 +377,7 @@ ServerStats Server::stats() const {
     stats.batch_size_counts.push_back(count.load(std::memory_order_relaxed));
   stats.queue_depth = queue_->size();
   stats.peak_queue_depth = queue_->peak_size();
+  stats.kernel_variant = simd::variant_name(simd::active_variant());
   stats.latency = latency_.snapshot();
   {
     std::lock_guard<std::mutex> lock(tenants_mutex_);

@@ -121,6 +121,11 @@ struct ServerStats {
   int64_t queue_depth = 0;       ///< at snapshot time
   int64_t peak_queue_depth = 0;  ///< high-water mark since construction
 
+  /// SIMD kernel tier newly compiled programs run on ("scalar", "avx2",
+  /// "avx512vnni") — simd::active_variant() at snapshot time. Lets the
+  /// frontend / ops tooling see which tier a shard serves with.
+  std::string kernel_variant;
+
   /// Submit-to-completion latency of kOk requests.
   LatencyHistogram::Snapshot latency;
 

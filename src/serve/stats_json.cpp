@@ -257,6 +257,13 @@ int64_t get_int(const JsonObject& object, const char* name) {
   return static_cast<int64_t>(get_number(object, name));
 }
 
+std::string get_string(const JsonObject& object, const char* name) {
+  const auto it = object.find(name);
+  if (it == object.end()) return {};  // absent strings read as empty
+  if (const auto* value = std::get_if<std::string>(&it->second.value)) return *value;
+  throw std::runtime_error(std::string("stats_json: field ") + name + " is not a string");
+}
+
 TenantStats tenant_from_object(const JsonObject& object) {
   TenantStats tenant;
   tenant.submitted = get_int(object, "submitted");
@@ -305,6 +312,7 @@ std::string stats_to_json(const ServerStats& stats) {
 
   out.field("queue_depth", stats.queue_depth);
   out.field("peak_queue_depth", stats.peak_queue_depth);
+  out.field("kernel_variant", quoted(stats.kernel_variant));
   out.field("latency", latency_to_json(stats.latency));
 
   std::string tenants = "{";
@@ -353,6 +361,7 @@ ServerStats server_stats_from_json(const std::string& json) {
 
   stats.queue_depth = get_int(object, "queue_depth");
   stats.peak_queue_depth = get_int(object, "peak_queue_depth");
+  stats.kernel_variant = get_string(object, "kernel_variant");
 
   if (const auto it = object.find("latency"); it != object.end()) {
     const JsonObject& latency = as_object(it->second, "latency");

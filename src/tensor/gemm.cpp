@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tensor/parallel.h"
+#include "tensor/simd/dispatch.h"
 
 namespace sesr {
 namespace {
@@ -13,24 +14,6 @@ constexpr int64_t kBlockM = 64;
 constexpr int64_t kBlockN = 256;
 constexpr int64_t kBlockK = 256;
 
-// C[mb, nb] += A[mb, kb] * B[kb, nb] on one row panel. The j-inner loop form
-// (saxpy over rows of B) auto-vectorises well and keeps B access contiguous.
-void micro_block(int64_t mb, int64_t nb, int64_t kb,
-                 const float* a, int64_t lda,
-                 const float* b, int64_t ldb,
-                 float* c, int64_t ldc) {
-  for (int64_t i = 0; i < mb; ++i) {
-    float* crow = c + i * ldc;
-    const float* arow = a + i * lda;
-    for (int64_t p = 0; p < kb; ++p) {
-      const float aval = arow[p];
-      if (aval == 0.0f) continue;
-      const float* brow = b + p * ldb;
-      for (int64_t j = 0; j < nb; ++j) crow[j] += aval * brow[j];
-    }
-  }
-}
-
 }  // namespace
 
 void gemm_accumulate(int64_t m, int64_t n, int64_t k,
@@ -38,6 +21,10 @@ void gemm_accumulate(int64_t m, int64_t n, int64_t k,
                      const float* b, int64_t ldb,
                      float* c, int64_t ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
+  // Standalone kernel: reads the active dispatch (cpuid best, or the
+  // SESR_KERNEL_VARIANT override) per call. Program-recorded variants only
+  // apply to compiled inference plans, which do not reach this path.
+  const simd::KernelDispatch& kd = simd::active_dispatch();
   parallel_for(0, (m + kBlockM - 1) / kBlockM, [&](int64_t blk_lo, int64_t blk_hi) {
     for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
       const int64_t i0 = blk * kBlockM;
@@ -46,10 +33,10 @@ void gemm_accumulate(int64_t m, int64_t n, int64_t k,
         const int64_t kb = std::min(kBlockK, k - p0);
         for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
           const int64_t nb = std::min(kBlockN, n - j0);
-          micro_block(mb, nb, kb,
-                      a + i0 * lda + p0, lda,
-                      b + p0 * ldb + j0, ldb,
-                      c + i0 * ldc + j0, ldc);
+          kd.gemm_block(mb, nb, kb,
+                        a + i0 * lda + p0, lda,
+                        b + p0 * ldb + j0, ldb,
+                        c + i0 * ldc + j0, ldc);
         }
       }
     }
@@ -61,6 +48,7 @@ void gemm_at_b_accumulate(int64_t m, int64_t n, int64_t k,
                           const float* b, int64_t ldb,
                           float* c, int64_t ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
+  const simd::KernelDispatch& kd = simd::active_dispatch();
   // A is [k, m] row-major; C[i, j] += sum_p A[p, i] * B[p, j].
   parallel_for(0, (m + kBlockM - 1) / kBlockM, [&](int64_t blk_lo, int64_t blk_hi) {
     for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
@@ -71,9 +59,11 @@ void gemm_at_b_accumulate(int64_t m, int64_t n, int64_t k,
         const float* brow = b + p * ldb;
         for (int64_t i = 0; i < mb; ++i) {
           const float aval = arow[i];
+          // Row-level skip shared by every tier (the saxpy kernels are only
+          // ever handed nonzero coefficients, so tiers cannot diverge on
+          // signed-zero products here).
           if (aval == 0.0f) continue;
-          float* crow = c + (i0 + i) * ldc;
-          for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+          kd.saxpy(aval, brow, n, c + (i0 + i) * ldc);
         }
       }
     }

@@ -1,9 +1,12 @@
 // Blocked single-precision matrix multiply.
 //
 // The convolution layers lower to GEMM via im2col, so this kernel dominates
-// training and inference runtime. The implementation is cache-blocked and
-// parallelised over row panels; it is deliberately plain C++ (compiler
-// auto-vectorisation only) to stay portable.
+// training runtime. The cache-blocking and row-panel parallelisation live
+// here; the micro-block inner loops route through the runtime CPU-dispatched
+// kernel tier in tensor/simd/ (scalar reference, AVX2, AVX-512), selected by
+// cpuid or forced via SESR_KERNEL_VARIANT. Every tier produces bit-identical
+// results for finite inputs — see the exactness contract in
+// tensor/simd/dispatch.h.
 #pragma once
 
 #include <cstdint>

@@ -5,8 +5,18 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/parallel.h"
+#include "tensor/simd/dispatch.h"
+
+namespace {
+
+inline const sesr::simd::KernelDispatch& resolve(const sesr::simd::KernelDispatch* d) {
+  return d != nullptr ? *d : sesr::simd::active_dispatch();
+}
+
+}  // namespace
 
 namespace sesr {
 
@@ -41,10 +51,14 @@ double FixedPointMultiplier::as_double() const {
 
 namespace {
 
-/// Patch slack: every patch row is over-allocated by this many int16 slots so
-/// group copies may write 8-byte chunks past a tap group's end. The slack is
-/// never read (dots run over col_rows exact), so its content is irrelevant.
-constexpr int64_t kPatchSlack = 4;
+/// Padded-row slack: every padded image row is over-allocated by this many
+/// int16 slots. Two consumers size it: the patch builder's 8-byte group
+/// copies may read up to 3 slots past a tap group's end, and the AVX-512
+/// direct-conv block kernel's 64-byte pair loads touch (but never use) up to
+/// 15 slots past the last kernel column of the rightmost output block. The
+/// slack is zero-filled by widen_padded_image, so over-wide reads stay
+/// in-bounds and the unused elements never reach an accumulator.
+constexpr int64_t kPatchSlack = 16;
 
 // Widen one image to a physically padded, zero-point-corrected int16 copy:
 // prow[ic][ih][x] = q_in(ic, ih, x - pad) - z_in, 0 in the padding. Padding
@@ -110,45 +124,18 @@ inline void build_row_slab(const int16_t* padded, int64_t in_c, int64_t h,
   }
 }
 
-// Contiguous int16 dot product — the shape GCC vectorises to 16x16->32
-// multiply-accumulate (pmaddwd on x86, smlal on Arm).
-inline int32_t dot_i16(const int16_t* __restrict a, const int16_t* __restrict b,
-                       int64_t count) {
-  int32_t acc = 0;
-  for (int64_t i = 0; i < count; ++i)
-    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
-  return acc;
-}
-
-// Four output channels share one patch stream: every vector load of the
-// patch feeds four multiply-accumulates against four weight rows, which
-// roughly doubles throughput over independent dots.
-inline void dot4_i16(const int16_t* __restrict w0, const int16_t* __restrict w1,
-                     const int16_t* __restrict w2, const int16_t* __restrict w3,
-                     const int16_t* __restrict patch, int64_t count,
-                     int32_t* __restrict acc) {
-  int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
-  for (int64_t i = 0; i < count; ++i) {
-    const int32_t v = patch[i];
-    a0 += static_cast<int32_t>(w0[i]) * v;
-    a1 += static_cast<int32_t>(w1[i]) * v;
-    a2 += static_cast<int32_t>(w2[i]) * v;
-    a3 += static_cast<int32_t>(w3[i]) * v;
-  }
-  acc[0] = a0;
-  acc[1] = a1;
-  acc[2] = a2;
-  acc[3] = a3;
-}
-
 // One parallel chunk of conv output rows. `spec` is taken by value and every
 // pointer is a local: stores through int8_t* alias anything under TBAA, so
 // reading the spec through a reference would force reloads of weights /
-// requant pointers after every output store.
-void conv_rows(const Int8ConvSpec spec, int64_t prow_w, int64_t h, int64_t out_h,
-               int64_t out_w, int64_t col_stride, int16_t* __restrict slab,
-               const int16_t* __restrict padded_img_base, int8_t* __restrict out_base,
-               int64_t lo, int64_t hi) {
+// requant pointers after every output store. The int16 dot products (the
+// pmaddwd / vpdpwssd inner loops) come from the dispatch tier — copied to
+// local function pointers for the same reload reason.
+void conv_rows(const Int8ConvSpec spec, const simd::KernelDispatch kd, int64_t prow_w,
+               int64_t h, int64_t out_h, int64_t out_w, int64_t col_stride,
+               int16_t* __restrict slab, const int16_t* __restrict padded_img_base,
+               int8_t* __restrict out_base, int64_t lo, int64_t hi) {
+  const auto dot4_i16 = kd.int8_dot4;
+  const auto dot_i16 = kd.int8_dot;
   const int64_t out_hw = out_h * out_w;
   const int16_t* const weights = spec.weights;
   const int32_t* const bias = spec.bias;
@@ -198,14 +185,73 @@ void conv_rows(const Int8ConvSpec spec, int64_t prow_w, int64_t h, int64_t out_h
   }
 }
 
+// One parallel chunk of output rows on the stride-1 direct path: no im2col
+// slab at all — the block kernel reads 16-column windows straight from the
+// padded image, and the write-back runs through the dispatch tier's
+// vectorised fixed-point requant. Same spec-by-value / local-pointer
+// discipline as conv_rows (TBAA reload avoidance).
+void conv_rows_direct(const Int8ConvSpec spec, const simd::KernelDispatch kd,
+                      int64_t prow_w, int64_t h, int64_t out_h, int64_t out_w,
+                      const int16_t* __restrict padded_img_base,
+                      int8_t* __restrict out_base, int64_t lo, int64_t hi) {
+  const auto cols16 = kd.int8_conv_cols16;
+  const auto requant_row = kd.int8_requant_row;
+  const int64_t out_hw = out_h * out_w;
+  const int64_t k = spec.kernel, pad = spec.pad;
+  const int64_t kw_pairs = int8_kw_pairs(k);
+  const int64_t kceil = 2 * kw_pairs;
+  const int64_t w_stride = spec.in_c * k * kceil;
+  const int64_t ic_stride = h * prow_w;
+  const int16_t* const wkw = spec.weights_kw;
+  const int32_t* const bias = spec.bias;
+  const FixedPointMultiplier* const requant = spec.requant;
+  const int32_t out_zero = spec.out_zero;
+  const int64_t out_c = spec.out_c;
+  const int8_t* const act_lut = spec.act_lut;
+  const int64_t lut_stride = spec.act_lut_channels > 1 ? 256 : 0;
+  for (int64_t idx = lo; idx < hi; ++idx) {
+    const int64_t i = idx / out_h, oh = idx % out_h;
+    // Vertically clip the kernel window once per output row; skipped rows
+    // would multiply the (non-physical) top/bottom padding, i.e. contribute
+    // exactly zero — dropping them is bit-exact and saves the work.
+    const int64_t kh_lo = std::max<int64_t>(0, pad - oh);
+    const int64_t kh_hi = std::min<int64_t>(k, h + pad - oh);
+    const int64_t kh_count = kh_hi - kh_lo;
+    const int16_t* img_row0 =
+        padded_img_base + i * spec.in_c * ic_stride + (oh - pad + kh_lo) * prow_w;
+    int8_t* out_row = out_base + i * out_c * out_hw + oh * out_w;
+    alignas(64) int32_t acc[4 * 16];
+    for (int64_t ob0 = 0; ob0 < out_w; ob0 += 16) {
+      // Tail blocks shift left to stay full-width; the overlapping columns
+      // are recomputed to identical values (pure function of the input).
+      const int64_t ob = std::min(ob0, out_w - 16);
+      const int16_t* img = img_row0 + ob;
+      for (int64_t oc = 0; oc < out_c; oc += 4) {
+        const int rows = static_cast<int>(std::min<int64_t>(4, out_c - oc));
+        cols16(wkw + oc * w_stride + kh_lo * kceil, w_stride, rows, img, ic_stride,
+               prow_w, spec.in_c, k, kh_count, kw_pairs, acc);
+        for (int r = 0; r < rows; ++r) {
+          const int64_t c = oc + r;
+          requant_row(acc + r * 16, 16, bias != nullptr ? bias[c] : 0,
+                      requant[c].multiplier, requant[c].shift, out_zero,
+                      act_lut == nullptr ? nullptr : act_lut + c * lut_stride,
+                      out_row + c * out_hw + ob);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
                       int64_t out_h, int64_t out_w, const Int8ConvSpec& spec,
-                      int8_t* out, Workspace& workspace) {
-  // Shared packed stride (16-byte aligned, slack for 8-byte group copies) for
-  // patches and weight rows — aligned vector loads in the dot kernels are
-  // worth ~1.7x throughput over split loads.
+                      int8_t* out, Workspace& workspace,
+                      const simd::KernelDispatch* dispatch) {
+  const simd::KernelDispatch& kd = resolve(dispatch);
+  // Shared packed stride (whole 32-byte groups, slack for 8-byte group
+  // copies) for patches and weight rows — the 256-bit dot kernels run
+  // tail-free over the full stride.
   const int64_t col_stride = int8_packed_stride(spec.in_c * spec.kernel * spec.kernel);
 
   // Padded, widened input copy shared (read-only) by every parallel chunk.
@@ -216,22 +262,38 @@ void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
     widen_padded_image(in + i * spec.in_c * h * w, spec.in_c, h, w, spec.pad,
                        spec.in_zero, prow_w, padded.data() + i * spec.in_c * h * prow_w);
 
+  // Stride-1 convs wide enough for a 16-column block take the direct path:
+  // no im2col slab, register-tiled pair dots straight off the padded image,
+  // vectorised requant write-back. Bit-exact against the slab path (integer
+  // sums in either order), so callers without the kw packing — and strided
+  // or narrow convs — simply fall through to it. The scalar tier keeps the
+  // slab path: its autovectorised contiguous dots beat the reference block
+  // kernel's strided walk, and pinning SESR_KERNEL_VARIANT=scalar then
+  // cross-checks the two structures' bit-identity for free.
+  if (spec.weights_kw != nullptr && spec.stride == 1 && out_w >= 16 &&
+      kd.variant != simd::KernelVariant::kScalar) {
+    parallel_for(0, n * out_h, [&](int64_t lo, int64_t hi) {
+      conv_rows_direct(spec, kd, prow_w, h, out_h, out_w, padded.data(), out, lo, hi);
+    });
+    return;
+  }
+
   // One patch-major slab (out_w patches of col_rows taps) per parallel chunk,
   // carved before the fan-out; same slot discipline as Conv2d::infer_into.
-  // Over-allocate by one stride so the base can be rounded up to 16 bytes
+  // Over-allocate by one stride so the base can be rounded up to 32 bytes
   // (the workspace only guarantees float alignment).
   const int64_t slab_elems = out_w * col_stride;
   const int64_t max_slots = std::min<int64_t>(num_threads(), std::max<int64_t>(1, n * out_h));
-  std::span<int16_t> slab_raw = workspace.scratch<int16_t>(max_slots * slab_elems + 8);
+  std::span<int16_t> slab_raw = workspace.scratch<int16_t>(max_slots * slab_elems + 16);
   int16_t* slab_base = slab_raw.data();
-  while (reinterpret_cast<uintptr_t>(slab_base) % 16 != 0) ++slab_base;
+  while (reinterpret_cast<uintptr_t>(slab_base) % 32 != 0) ++slab_base;
   std::atomic<int64_t> next_slot{0};
 
   parallel_for(0, n * out_h, [&](int64_t lo, int64_t hi) {
     const int64_t slot = next_slot.fetch_add(1);
     if (slot >= max_slots)
       throw std::logic_error("int8_conv2d_nchw: parallel_for issued more chunks than slabs");
-    conv_rows(spec, prow_w, h, out_h, out_w, col_stride,
+    conv_rows(spec, kd, prow_w, h, out_h, out_w, col_stride,
               slab_base + slot * slab_elems, padded.data(), out, lo, hi);
   });
 }
@@ -280,17 +342,34 @@ int64_t int8_depthwise_macs(const Int8DepthwiseSpec& spec, int64_t out_h, int64_
 
 // ---- fully connected -------------------------------------------------------
 
-void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, int8_t* out) {
+void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, int8_t* out,
+                 const simd::KernelDispatch* dispatch) {
+  const simd::KernelDispatch& kd = resolve(dispatch);
   const int64_t in_f = spec.in_features, out_f = spec.out_features;
+  // Widen each input row (zero-point subtracted) once so every output
+  // feature's dot runs through the tier's int16 kernels; the int32 sums are
+  // the ones the old fused loop produced, in any accumulation order.
+  std::vector<int16_t> wide(static_cast<size_t>(in_f));
   for (int64_t i = 0; i < batch; ++i) {
     const int8_t* row = in + i * in_f;
-    for (int64_t o = 0; o < out_f; ++o) {
-      int32_t acc = spec.bias != nullptr ? spec.bias[o] : 0;
+    for (int64_t j = 0; j < in_f; ++j)
+      wide[static_cast<size_t>(j)] =
+          static_cast<int16_t>(static_cast<int16_t>(row[j]) - spec.in_zero);
+    int64_t o = 0;
+    for (; o + 4 <= out_f; o += 4) {
       const int16_t* wrow = spec.weights + o * in_f;
-      for (int64_t j = 0; j < in_f; ++j)
-        acc += static_cast<int32_t>(wrow[j]) * (static_cast<int32_t>(row[j]) - spec.in_zero);
-      const int32_t q = spec.requant[o].apply(acc) + spec.out_zero;
-      out[i * out_f + o] = saturate_int8(q);
+      int32_t acc[4];
+      kd.int8_dot4(wrow, wrow + in_f, wrow + 2 * in_f, wrow + 3 * in_f, wide.data(),
+                   in_f, acc);
+      for (int64_t j = 0; j < 4; ++j) {
+        const int32_t a = acc[j] + (spec.bias != nullptr ? spec.bias[o + j] : 0);
+        out[i * out_f + o + j] = saturate_int8(spec.requant[o + j].apply(a) + spec.out_zero);
+      }
+    }
+    for (; o < out_f; ++o) {
+      int32_t acc = spec.bias != nullptr ? spec.bias[o] : 0;
+      acc += kd.int8_dot(spec.weights + o * in_f, wide.data(), in_f);
+      out[i * out_f + o] = saturate_int8(spec.requant[o].apply(acc) + spec.out_zero);
     }
   }
 }
@@ -310,12 +389,36 @@ void int8_add(const int8_t* a, int32_t za, double ma, const int8_t* b, int32_t z
   }
 }
 
-void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
+void int8_add_build_lut(int32_t za, double ma, int32_t zb, double mb, int32_t z_out,
+                        int8_t lut[256 * 256]) {
+  for (int32_t qa = -128; qa <= 127; ++qa) {
+    const double base = ma * (qa - za);
+    int8_t* row = lut + (qa + 128) * 256;
+    for (int32_t qb = -128; qb <= 127; ++qb)
+      row[qb + 128] = saturate_int8(round_half_up(base + mb * (qb - zb)) + z_out);
+  }
+}
+
+void int8_add_lut(const int8_t* a, const int8_t* b, const int8_t* lut, int64_t numel,
                   int8_t* out) {
   for (int64_t i = 0; i < numel; ++i) {
-    const double v = m * (static_cast<int32_t>(in[i]) - z_in);
-    out[i] = saturate_int8(round_half_up(v) + z_out);
+    const int32_t idx = ((static_cast<int32_t>(a[i]) + 128) << 8) +
+                        (static_cast<int32_t>(b[i]) + 128);
+    out[i] = lut[idx];
   }
+}
+
+void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
+                  int8_t* out, const simd::KernelDispatch* dispatch) {
+  // The map is a pure function of the input byte: build the 256-entry table
+  // (identical formula per value, so bit-exact against the old per-element
+  // loop) and stream it through the dispatch tier.
+  int8_t lut[256];
+  for (int32_t q = -128; q <= 127; ++q) {
+    const double v = m * (q - z_in);
+    lut[static_cast<size_t>(q + 128)] = saturate_int8(round_half_up(v) + z_out);
+  }
+  resolve(dispatch).lut_stream(in, lut, numel, out);
 }
 
 void int8_activation_build_lut(const Int8ActivationSpec& spec, double neg, int8_t lut[256]) {
@@ -330,11 +433,14 @@ void int8_activation_build_lut(const Int8ActivationSpec& spec, double neg, int8_
 }
 
 void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t plane,
-                          const Int8ActivationSpec& spec, int8_t* out) {
+                          const Int8ActivationSpec& spec, int8_t* out,
+                          const simd::KernelDispatch* dispatch) {
   // The map is pointwise int8 -> int8 with (at most per-channel) parameters:
-  // build the 256-entry table and stream lookups — the table amortises the
-  // double-precision requant over plane elements. With a scalar negative
-  // slope (ReLU/ReLU6/LeakyReLU) one table serves every channel.
+  // build the 256-entry table and stream lookups through the dispatch tier —
+  // the table amortises the double-precision requant over plane elements.
+  // With a scalar negative slope (ReLU/ReLU6/LeakyReLU) one table serves
+  // every channel.
+  const simd::KernelDispatch& kd = resolve(dispatch);
   int8_t lut[256];
   if (spec.neg_per_channel == nullptr) int8_activation_build_lut(spec, spec.neg, lut);
   for (int64_t c = 0; c < channels; ++c) {
@@ -343,8 +449,7 @@ void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t
     for (int64_t i = 0; i < n; ++i) {
       const int8_t* src = in + (i * channels + c) * plane;
       int8_t* dst = out + (i * channels + c) * plane;
-      for (int64_t j = 0; j < plane; ++j)
-        dst[j] = lut[static_cast<size_t>(static_cast<int32_t>(src[j]) + 128)];
+      kd.lut_stream(src, lut, plane, dst);
     }
   }
 }
@@ -352,8 +457,24 @@ void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t
 // ---- pixel ops -------------------------------------------------------------
 
 void int8_depth_to_space(const int8_t* in, int64_t n, int64_t c_in, int64_t h, int64_t w,
-                         int64_t block, int8_t* out) {
+                         int64_t block, int8_t* out,
+                         const simd::KernelDispatch* dispatch) {
   const int64_t r = block, c_out = c_in / (r * r);
+  if (r == 2) {
+    // For a fixed (image, out-channel, dy), output row y*2+dy is exactly the
+    // dx=0 and dx=1 source planes' row y interleaved byte-by-byte.
+    const simd::KernelDispatch& kd = resolve(dispatch);
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t c = 0; c < c_out; ++c)
+        for (int64_t dy = 0; dy < 2; ++dy) {
+          const int8_t* plane_a = in + ((i * c_in) + c * 4 + dy * 2) * h * w;
+          const int8_t* plane_b = plane_a + h * w;
+          for (int64_t y = 0; y < h; ++y)
+            kd.interleave2(plane_a + y * w, plane_b + y * w, w,
+                           out + ((i * c_out + c) * h * 2 + (y * 2 + dy)) * w * 2);
+        }
+    return;
+  }
   for (int64_t i = 0; i < n; ++i)
     for (int64_t c = 0; c < c_out; ++c)
       for (int64_t dy = 0; dy < r; ++dy)

@@ -25,6 +25,10 @@
 
 #include "tensor/workspace.h"
 
+namespace sesr::simd {
+struct KernelDispatch;
+}  // namespace sesr::simd
+
 namespace sesr {
 
 /// Rounding convention of the integer runtime: half up, i.e. floor(v + 0.5).
@@ -73,13 +77,19 @@ struct FixedPointMultiplier {
 // ---- convolution -----------------------------------------------------------
 
 /// Packed row stride, in int16 elements, shared by conv weight rows and the
-/// kernel's internal patch buffers: `taps` rounded up so every row starts
-/// 16-byte aligned and carries at least 4 slack slots for 8-byte group
-/// copies. Weight slack must be zero (patch slack may hold garbage — the
-/// zero weights null it out of the accumulation).
+/// kernel's internal patch buffers: `taps` rounded up so every row spans
+/// whole 32-byte groups — the 256-bit dot kernels in tensor/simd/ run
+/// tail-free over the full stride — and carries at least 4 slack slots for
+/// 8-byte group copies. Weight slack must be zero (patch slack may hold
+/// garbage — the zero weights null it out of the accumulation).
 [[nodiscard]] inline int64_t int8_packed_stride(int64_t taps) {
-  return (taps + 4 + 7) & ~int64_t{7};
+  return (taps + 4 + 15) & ~int64_t{15};
 }
+
+/// Weight-pair count per kernel row in the kw-padded layout below: kernel
+/// width rounded up to an even tap count so pmaddwd / vpdpwssd consume whole
+/// (kw, kw+1) pairs.
+[[nodiscard]] inline int64_t int8_kw_pairs(int64_t kernel) { return (kernel + 1) / 2; }
 
 struct Int8ConvSpec {
   int64_t in_c = 0, out_c = 0, kernel = 1, stride = 1, pad = 0;
@@ -87,6 +97,12 @@ struct Int8ConvSpec {
   /// [out_c][int8_packed_stride(in_c * k * k)]: widened int8 weight rows,
   /// zero-padded to the packed stride.
   const int16_t* weights = nullptr;
+  /// Optional second packing for the stride-1 direct-conv block kernel
+  /// (simd::KernelDispatch::int8_conv_cols16): kernel rows padded to an even
+  /// width, wkw[oc][(ic*k + kh) * 2*int8_kw_pairs(k) + kw] with zeros in the
+  /// padded kw slots. Null = use the im2col slab path (always taken for
+  /// strided convs and outputs narrower than one 16-column block).
+  const int16_t* weights_kw = nullptr;
   const int32_t* bias = nullptr;  ///< [out_c] on the accumulator grid; may be null
   const FixedPointMultiplier* requant = nullptr;  ///< [out_c]: s_in * s_w[oc] / s_out
   /// Fused pointwise activation applied in the write-back loop: per-channel
@@ -101,9 +117,13 @@ struct Int8ConvSpec {
 /// NCHW int8 convolution. Work fans out over (image, output row) pairs via
 /// parallel_for, with one patch-major int16 slab per parallel chunk carved
 /// from `workspace` (mirroring the float serving conv's slab discipline).
+/// `dispatch` selects the SIMD kernel tier (null = the process-active tier);
+/// every tier is bit-exact — integer accumulation is associative. Kernels
+/// below that take the same parameter follow the same convention.
 void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
                       int64_t out_h, int64_t out_w, const Int8ConvSpec& spec,
-                      int8_t* out, Workspace& workspace);
+                      int8_t* out, Workspace& workspace,
+                      const simd::KernelDispatch* dispatch = nullptr);
 
 /// Integer multiply-accumulates one invocation performs for a single sample
 /// (the number the hw cost model validates against).
@@ -136,7 +156,8 @@ struct Int8LinearSpec {
   const FixedPointMultiplier* requant = nullptr;  ///< [out_features]
 };
 
-void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, int8_t* out);
+void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, int8_t* out,
+                 const simd::KernelDispatch* dispatch = nullptr);
 
 [[nodiscard]] int64_t int8_linear_macs(const Int8LinearSpec& spec);
 
@@ -148,11 +169,26 @@ void int8_linear(const int8_t* in, int64_t batch, const Int8LinearSpec& spec, in
 void int8_add(const int8_t* a, int32_t za, double ma, const int8_t* b, int32_t zb,
               double mb, int32_t z_out, int64_t numel, int8_t* out);
 
+/// Tabulated form of int8_add. The add is a pure function of the two input
+/// bytes once the grids are fixed, so a 256x256 table enumerates it exactly:
+/// lut[(a + 128) * 256 + (b + 128)] = int8_add result for that byte pair.
+/// The runtime builds the table once at lowering time (int8_add_build_lut
+/// runs the int8_add formula per entry, so the stream is bit-identical to
+/// the double-math loop) and replays it per execute, swapping two multiplies
+/// and a rounding convert per element for one L2-resident byte load.
+void int8_add_build_lut(int32_t za, double ma, int32_t zb, double mb, int32_t z_out,
+                        int8_t lut[256 * 256]);
+
+void int8_add_lut(const int8_t* a, const int8_t* b, const int8_t* lut, int64_t numel,
+                  int8_t* out);
+
 /// Pure rescale onto another grid: out = sat(round(m * (in - z_in)) + z_out).
 /// Implements scale steps, concat source alignment and grid changes; `out`
-/// may alias `in`.
+/// may alias `in` (exactly — partial overlap is not supported). Internally a
+/// 256-entry LUT build plus a dispatch-tier stream: the map is a pure
+/// function of the input byte, so the table is bit-exact per construction.
 void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
-                  int8_t* out);
+                  int8_t* out, const simd::KernelDispatch* dispatch = nullptr);
 
 /// Pointwise activation on the integer grid. For q >= z_in the positive
 /// multiplier applies (s_in / s_out); below it the (optionally per-channel)
@@ -167,7 +203,8 @@ struct Int8ActivationSpec {
 };
 
 void int8_activation_nchw(const int8_t* in, int64_t n, int64_t channels, int64_t plane,
-                          const Int8ActivationSpec& spec, int8_t* out);
+                          const Int8ActivationSpec& spec, int8_t* out,
+                          const simd::KernelDispatch* dispatch = nullptr);
 
 /// Build the 256-entry int8 -> int8 table int8_activation_nchw streams, for
 /// negative-side multiplier `neg` (ignores spec.neg / spec.neg_per_channel).
@@ -178,8 +215,11 @@ void int8_activation_build_lut(const Int8ActivationSpec& spec, double neg, int8_
 // ---- pixel ops (pure data movement; grid unchanged) ------------------------
 
 /// NCHW depth-to-space, matching nn::DepthToSpace::infer_into element order.
+/// The SESR-common block == 2 case runs through the dispatch tier's byte
+/// interleave; other block sizes stay scalar.
 void int8_depth_to_space(const int8_t* in, int64_t n, int64_t c_in, int64_t h, int64_t w,
-                         int64_t block, int8_t* out);
+                         int64_t block, int8_t* out,
+                         const simd::KernelDispatch* dispatch = nullptr);
 
 /// Channel tiling, matching nn::TileChannels::infer_into element order.
 void int8_tile_channels(const int8_t* in, int64_t n, int64_t c, int64_t plane,

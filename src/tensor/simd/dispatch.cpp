@@ -1,0 +1,169 @@
+#include "tensor/simd/dispatch.h"
+
+#include <array>
+#include <string>
+
+#include "core/config.h"
+#include "tensor/simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define SESR_SIMD_X86 1
+#endif
+
+namespace sesr::simd {
+namespace {
+
+#ifdef SESR_SIMD_X86
+// xgetbv(0) — which register state the OS saves/restores. A CPU can report
+// AVX-512 in cpuid while the kernel has not enabled zmm state (XCR0), in
+// which case executing a zmm instruction faults; both checks are required.
+uint64_t read_xcr0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+CpuFeatures detect_features() {
+  CpuFeatures f;
+#ifdef SESR_SIMD_X86
+  uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  const bool osxsave = (ecx >> 27) & 1;
+  const bool avx = (ecx >> 28) & 1;
+  if (!osxsave || !avx) return f;
+
+  const uint64_t xcr0 = read_xcr0();
+  const bool os_ymm = (xcr0 & 0x6) == 0x6;     // XMM + YMM state
+  const bool os_zmm = (xcr0 & 0xe6) == 0xe6;   // + opmask, zmm0-15 hi, zmm16-31
+  if (!os_ymm) return f;
+
+  uint32_t ebx7 = 0, ecx7 = 0, edx7 = 0, eax7 = 0;
+  if (!__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) return f;
+  f.avx2 = (ebx7 >> 5) & 1;
+
+  if (!os_zmm) return f;
+  const bool f512 = (ebx7 >> 16) & 1;
+  const bool dq = (ebx7 >> 17) & 1;
+  const bool bw = (ebx7 >> 30) & 1;
+  const bool vl = (ebx7 >> 31) & 1;
+  f.avx512_core = f512 && dq && bw && vl;
+  if (f.avx512_core) {
+    f.avx512_vnni = (ecx7 >> 11) & 1;
+    f.avx512_vbmi = (ecx7 >> 1) & 1;
+  }
+#endif
+  return f;
+}
+
+// Overlay the non-null entries of `frag` onto `base` (which starts as the
+// complete scalar table, so every slot stays callable).
+KernelDispatch overlay(KernelDispatch base, const KernelDispatch* frag,
+                       KernelVariant tier) {
+  base.variant = tier;
+  if (frag == nullptr) return base;
+  if (frag->conv_block16) base.conv_block16 = frag->conv_block16;
+  if (frag->gemm_block) base.gemm_block = frag->gemm_block;
+  if (frag->saxpy) base.saxpy = frag->saxpy;
+  if (frag->int8_dot4) base.int8_dot4 = frag->int8_dot4;
+  if (frag->int8_dot) base.int8_dot = frag->int8_dot;
+  if (frag->int8_conv_cols16) base.int8_conv_cols16 = frag->int8_conv_cols16;
+  if (frag->int8_requant_row) base.int8_requant_row = frag->int8_requant_row;
+  if (frag->lut_stream) base.lut_stream = frag->lut_stream;
+  if (frag->interleave2) base.interleave2 = frag->interleave2;
+  return base;
+}
+
+struct DispatchTables {
+  std::array<KernelDispatch, kNumKernelVariants> table;
+  KernelVariant best = KernelVariant::kScalar;
+
+  DispatchTables() {
+    const CpuFeatures& cpu = cpu_features();
+    const KernelDispatch& scalar = *detail::scalar_ops();
+    table[0] = scalar;
+    table[0].variant = KernelVariant::kScalar;
+
+    // A tier is offered only when the CPU supports it AND the binary carries
+    // its code; otherwise the slot aliases the next-best tier so
+    // dispatch_for() on a clamped variant is still well-defined.
+    table[1] = table[0];
+    if (cpu.avx2 && detail::avx2_ops() != nullptr) {
+      table[1] = overlay(scalar, detail::avx2_ops(), KernelVariant::kAvx2);
+      best = KernelVariant::kAvx2;
+    }
+
+    table[2] = table[1];
+    if (cpu.avx512_core && cpu.avx512_vnni && detail::avx512_ops() != nullptr) {
+      table[2] = overlay(table[1], detail::avx512_ops(), KernelVariant::kAvx512Vnni);
+      if (cpu.avx512_vbmi && detail::vbmi_lut_stream() != nullptr)
+        table[2].lut_stream = detail::vbmi_lut_stream();
+      best = KernelVariant::kAvx512Vnni;
+    }
+  }
+};
+
+const DispatchTables& tables() {
+  static const DispatchTables t;
+  return t;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect_features();
+  return f;
+}
+
+const char* variant_name(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar: return "scalar";
+    case KernelVariant::kAvx2: return "avx2";
+    case KernelVariant::kAvx512Vnni: return "avx512vnni";
+  }
+  return "scalar";
+}
+
+std::optional<KernelVariant> parse_variant(std::string_view name) {
+  if (name == "scalar") return KernelVariant::kScalar;
+  if (name == "avx2") return KernelVariant::kAvx2;
+  if (name == "avx512vnni") return KernelVariant::kAvx512Vnni;
+  return std::nullopt;
+}
+
+KernelVariant best_supported() { return tables().best; }
+
+KernelVariant clamp_to_supported(KernelVariant v) {
+  // Tables alias downward, so the table at `v` names the strongest supported
+  // tier <= v.
+  return tables().table[static_cast<int>(v)].variant;
+}
+
+std::vector<KernelVariant> supported_variants() {
+  std::vector<KernelVariant> out;
+  out.push_back(KernelVariant::kScalar);
+  for (int i = 1; i < kNumKernelVariants; ++i) {
+    const KernelVariant v = static_cast<KernelVariant>(i);
+    if (clamp_to_supported(v) == v) out.push_back(v);
+  }
+  return out;
+}
+
+KernelVariant active_variant() {
+  const std::string knob = core::config_string("SESR_KERNEL_VARIANT");
+  if (const auto forced = parse_variant(knob)) return clamp_to_supported(*forced);
+  return best_supported();
+}
+
+bool variant_forced() {
+  return parse_variant(core::config_string("SESR_KERNEL_VARIANT")).has_value();
+}
+
+const KernelDispatch& dispatch_for(KernelVariant v) {
+  return tables().table[static_cast<int>(v)];
+}
+
+const KernelDispatch& active_dispatch() { return dispatch_for(active_variant()); }
+
+}  // namespace sesr::simd

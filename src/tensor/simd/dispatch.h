@@ -1,0 +1,168 @@
+// Runtime CPU-feature-dispatched kernel tier.
+//
+// The hot inner loops of the serving and training kernels — the fp32 conv /
+// GEMM microkernels, the int8 convolution dot products, the int8 LUT
+// streams, and the depth-to-space interleave — exist in explicit-intrinsic
+// variants selected once per process from cpuid (plus the xgetbv OS-support
+// check for AVX state): a portable scalar reference, an AVX2 tier, and an
+// AVX-512 tier using VNNI `vpdpwssd` for the int8 dots (and, where the CPU
+// has VBMI, in-register 256-entry byte-table lookups for the LUT streams).
+//
+// Exactness contract (every variant, both precisions):
+//  - int8 kernels accumulate the same int32 sums — integer addition is
+//    associative, so vector-lane splits and horizontal reductions are
+//    bit-exact against the scalar reference by construction;
+//  - fp32 kernels keep the scalar reference's per-output-element operation
+//    order: each output element is one vector lane accumulating taps in
+//    ascending order, products are rounded before accumulation (mul + add,
+//    never FMA-contracted — the SIMD TUs build with -ffp-contract=off), and
+//    no cross-lane reduction exists. Every fp32 variant is therefore
+//    bit-identical to scalar, which is what keeps the distributed tier's
+//    cross-process bit-identical invariant alive on heterogeneous fleets
+//    (and lets SESR_KERNEL_VARIANT=scalar pin any machine to the reference
+//    tier for A/B debugging rather than for correctness).
+//
+// Variant selection is a runtime::Program pass decision: compiled programs
+// record which variant each kernel-backed op runs (Program::dump() and the
+// bench JSON report it), and the SESR_KERNEL_VARIANT knob forces any tier
+// the CPU supports ("native" = best available). Standalone kernel calls
+// (training GEMMs, direct kernel invocations) read active_dispatch() per
+// call instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sesr::simd {
+
+/// CPU feature bits the kernel tiers care about, detected once per process.
+/// AVX bits are reported only when xgetbv says the OS actually saves the
+/// corresponding register state (XCR0 ymm / zmm+opmask bits).
+struct CpuFeatures {
+  bool avx2 = false;         ///< AVX2, with OS ymm state support
+  bool avx512_core = false;  ///< AVX-512 F+BW+VL+DQ, with OS zmm state support
+  bool avx512_vnni = false;  ///< AVX512_VNNI (vpdpwssd) on top of the core set
+  bool avx512_vbmi = false;  ///< AVX512_VBMI (vpermi2b byte tables)
+};
+
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+/// The dispatchable tiers, in strength order. kAvx512Vnni requires the
+/// AVX-512 core set plus VNNI (the int8 dots are the tier's reason to
+/// exist); VBMI is an opportunistic extra within that tier, never a
+/// selection criterion.
+enum class KernelVariant : uint8_t { kScalar = 0, kAvx2 = 1, kAvx512Vnni = 2 };
+inline constexpr int kNumKernelVariants = 3;
+
+/// "scalar" / "avx2" / "avx512vnni".
+[[nodiscard]] const char* variant_name(KernelVariant v);
+
+/// Inverse of variant_name (case-sensitive). nullopt for anything else —
+/// including "native", which callers treat as "no forced variant".
+[[nodiscard]] std::optional<KernelVariant> parse_variant(std::string_view name);
+
+/// The strongest tier this CPU (and OS) supports.
+[[nodiscard]] KernelVariant best_supported();
+
+/// The strongest supported tier that is <= `v` — forcing "avx512vnni" on an
+/// AVX2-only box yields kAvx2, never an illegal-instruction crash.
+[[nodiscard]] KernelVariant clamp_to_supported(KernelVariant v);
+
+/// Variants this CPU supports, ascending (always starts with kScalar).
+[[nodiscard]] std::vector<KernelVariant> supported_variants();
+
+/// The tier the process selects right now: SESR_KERNEL_VARIANT (one of
+/// "scalar" / "avx2" / "avx512vnni", clamped to CPU support) when set to a
+/// recognised value, else best_supported(). Re-read from the environment on
+/// every call; compiled programs snapshot it once, at plan-compile time.
+[[nodiscard]] KernelVariant active_variant();
+
+/// Whether SESR_KERNEL_VARIANT currently names a recognised tier (i.e. the
+/// active variant is pinned rather than auto-detected).
+[[nodiscard]] bool variant_forced();
+
+/// One tier's kernel entry points. Every pointer is non-null in the tables
+/// dispatch_for() returns; tiers fall back to the scalar implementation for
+/// any kernel they do not accelerate.
+struct KernelDispatch {
+  KernelVariant variant = KernelVariant::kScalar;
+
+  /// fp32 conv microkernel: for r in [0, rows) (rows in [1, 4]),
+  /// dst[r*dst_stride + b] = sum_p w[r*w_stride + p] * slab[p*slab_stride + b]
+  /// over b in [0, 16), accumulating each element in ascending-p order from
+  /// 0.0f. Overwrites dst (no accumulate).
+  void (*conv_block16)(const float* w, int64_t w_stride, int rows, const float* slab,
+                       int64_t col_rows, int64_t slab_stride, float* dst,
+                       int64_t dst_stride);
+
+  /// fp32 GEMM micro block: C[mb, nb] += A[mb, kb] * B[kb, nb], each C
+  /// element accumulating taps in ascending-p order.
+  void (*gemm_block)(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                     const float* b, int64_t ldb, float* c, int64_t ldc);
+
+  /// y[j] += a * x[j] (ascending j; the gemm_at_b inner loop).
+  void (*saxpy)(float a, const float* x, int64_t n, float* y);
+
+  /// acc[j] = sum_i w_j[i] * patch[i] (int32) for four weight rows sharing
+  /// one patch stream. Arbitrary count.
+  void (*int8_dot4)(const int16_t* w0, const int16_t* w1, const int16_t* w2,
+                    const int16_t* w3, const int16_t* patch, int64_t count,
+                    int32_t* acc);
+
+  /// sum_i w[i] * patch[i] (int32). Arbitrary count.
+  int32_t (*int8_dot)(const int16_t* w, const int16_t* patch, int64_t count);
+
+  /// Direct stride-1 int8 conv microkernel: 16 consecutive output columns
+  /// for `rows` (1..4) output channels, read straight from the widened,
+  /// horizontally padded int16 image (no im2col slab).
+  ///
+  ///   acc[r*16 + b] = sum_{ic, kh, p} w[r*w_stride + (ic*k + kh)*2*kw_pairs + 2p]
+  ///                                     * img[ic*ic_stride + kh*row_stride + b + 2p]
+  ///                 + w[... + 2p + 1]   * img[...              + b + 2p + 1]
+  ///
+  /// `img` points at (ic = 0, first valid kernel row, first output column of
+  /// the block); `kh_count` is the number of vertically in-bounds kernel
+  /// rows (the caller clips top/bottom padding — skipped rows contribute
+  /// exactly 0, so clipping is bit-exact). Weights use the kw-padded layout
+  /// (Int8ConvSpec::weights_kw): kernel rows padded to 2*kw_pairs taps with
+  /// zeros, so the pair reads at column b + 2p + 1 may touch one column past
+  /// the kernel width — in-bounds by the padded row's slack, nulled by the
+  /// zero weight. Overwrites acc (no bias). Every row must have at least 31
+  /// readable int16 past the block's first column (kPatchSlack guarantees
+  /// it); the AVX-512 variant's 64-byte loads only *use* elements the scalar
+  /// reference reads, but they *touch* the full window.
+  void (*int8_conv_cols16)(const int16_t* w, int64_t w_stride, int rows,
+                           const int16_t* img, int64_t ic_stride, int64_t row_stride,
+                           int64_t in_c, int64_t k, int64_t kh_count,
+                           int64_t kw_pairs, int32_t* acc);
+
+  /// Fixed-point requantisation of `n` int32 accumulators sharing one output
+  /// channel: out[i] = lut ? lut[q + 128] : q with
+  /// q = saturate_int8(round_half_up(m * (acc[i] + bias)) + out_zero) and
+  /// m = multiplier * 2^(shift - 31) applied exactly as
+  /// FixedPointMultiplier::apply (multiplier == 0 encodes m == 0). The
+  /// rounding shift is a pure function of each int32, so 64-bit vector lanes
+  /// reproduce the scalar result bit-for-bit.
+  void (*int8_requant_row)(const int32_t* acc, int64_t n, int32_t bias,
+                           int32_t multiplier, int shift, int32_t out_zero,
+                           const int8_t* lut, int8_t* out);
+
+  /// out[i] = lut[(int)in[i] + 128]. `out` may equal `in` (exact alias);
+  /// partial overlap is not supported.
+  void (*lut_stream)(const int8_t* in, const int8_t* lut, int64_t n, int8_t* out);
+
+  /// out[2i] = a[i], out[2i + 1] = b[i] — the depth-to-space block-2 row
+  /// interleave. `out` must not overlap the inputs.
+  void (*interleave2)(const int8_t* a, const int8_t* b, int64_t n, int8_t* out);
+};
+
+/// The (immutable, process-lifetime) kernel table for a tier; `v` is clamped
+/// to CPU support first.
+[[nodiscard]] const KernelDispatch& dispatch_for(KernelVariant v);
+
+/// dispatch_for(active_variant()).
+[[nodiscard]] const KernelDispatch& active_dispatch();
+
+}  // namespace sesr::simd

@@ -1,0 +1,32 @@
+// Internal seam between dispatch.cpp and the per-ISA kernel TUs.
+//
+// Each TU is compiled with exactly the -m flags its intrinsics need (set
+// per-file in CMakeLists.txt) and exposes one provider function returning a
+// KernelDispatch fragment: entries it accelerates are non-null, the rest are
+// null and dispatch.cpp fills them from the scalar table. On builds where
+// the TU's ISA macros are absent (non-x86 targets, or compilers without the
+// flags) the provider returns nullptr and the tier simply isn't offered —
+// runtime cpuid gating in dispatch.cpp independently keeps unsupported
+// tiers off the menu even when they were compiled in.
+#pragma once
+
+#include "tensor/simd/dispatch.h"
+
+namespace sesr::simd::detail {
+
+/// Complete table (every pointer non-null). Never returns nullptr.
+const KernelDispatch* scalar_ops();
+
+/// AVX2 fragment, or nullptr when this binary has no AVX2 code.
+const KernelDispatch* avx2_ops();
+
+/// AVX-512 F+BW+VL+DQ+VNNI fragment, or nullptr when not compiled in.
+const KernelDispatch* avx512_ops();
+
+/// AVX512_VBMI lut_stream, or nullptr. Kept out of avx512_ops() because VBMI
+/// is a separate cpuid bit (Skylake-SP era chips have VNNI-less cousins and
+/// vice versa) — dispatch.cpp splices it into the AVX-512 tier only when the
+/// CPU actually reports VBMI.
+void (*vbmi_lut_stream())(const int8_t*, const int8_t*, int64_t, int8_t*);
+
+}  // namespace sesr::simd::detail

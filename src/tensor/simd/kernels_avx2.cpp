@@ -1,0 +1,326 @@
+// AVX2 tier. Compiled with -mavx2 -ffp-contract=off and nothing more: the
+// fp32 kernels use separate VMULPS/VADDPS on purpose — FMA would change
+// rounding versus the scalar reference (see the exactness contract in
+// dispatch.h), so -mfma is deliberately absent and contraction is off.
+//
+// fp32 kernels vectorise across output columns only: each output element is
+// one lane accumulating taps in ascending order, so results are bit-identical
+// to the scalar tier for finite data. The vector loops do not replicate the
+// scalar tier's zero-weight skip — adding a +/-0.0 product to an accumulator
+// reached from +0.0 never changes its bits.
+//
+// int8 kernels use _mm256_madd_epi16 (pmaddwd): exact pairwise int32 sums,
+// so any lane split/reduction order is bit-exact by integer associativity.
+#include "tensor/simd/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "tensor/simd/ref_kernels.h"
+
+namespace sesr::simd::detail {
+namespace {
+
+template <int R>
+inline void conv_tile16(const float* w, int64_t w_stride, const float* slab,
+                        int64_t col_rows, int64_t slab_stride, float* dst,
+                        int64_t dst_stride) {
+  __m256 lo[R], hi[R];
+  for (int r = 0; r < R; ++r) {
+    lo[r] = _mm256_setzero_ps();
+    hi[r] = _mm256_setzero_ps();
+  }
+  for (int64_t p = 0; p < col_rows; ++p) {
+    const float* srow = slab + p * slab_stride;
+    const __m256 s0 = _mm256_loadu_ps(srow);
+    const __m256 s1 = _mm256_loadu_ps(srow + 8);
+    for (int r = 0; r < R; ++r) {
+      const __m256 wv = _mm256_set1_ps(w[r * w_stride + p]);
+      lo[r] = _mm256_add_ps(lo[r], _mm256_mul_ps(wv, s0));
+      hi[r] = _mm256_add_ps(hi[r], _mm256_mul_ps(wv, s1));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    _mm256_storeu_ps(dst + r * dst_stride, lo[r]);
+    _mm256_storeu_ps(dst + r * dst_stride + 8, hi[r]);
+  }
+}
+
+void conv_block16(const float* w, int64_t w_stride, int rows, const float* slab,
+                  int64_t col_rows, int64_t slab_stride, float* dst,
+                  int64_t dst_stride) {
+  switch (rows) {
+    case 4: conv_tile16<4>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+    case 3: conv_tile16<3>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+    case 2: conv_tile16<2>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+    default: conv_tile16<1>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+  }
+}
+
+// 2 C rows x 32 columns held in registers across the K sweep; B row loads are
+// shared by both A broadcasts (8 acc + 4 B + 1 broadcast = 13 live ymm).
+inline void gemm_tile_2x32(const float* a0, const float* a1, const float* b, int64_t ldb,
+                           int64_t kb, float* c0, float* c1) {
+  __m256 acc0[4], acc1[4];
+  for (int t = 0; t < 4; ++t) {
+    acc0[t] = _mm256_loadu_ps(c0 + 8 * t);
+    acc1[t] = _mm256_loadu_ps(c1 + 8 * t);
+  }
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* brow = b + p * ldb;
+    __m256 bv[4];
+    for (int t = 0; t < 4; ++t) bv[t] = _mm256_loadu_ps(brow + 8 * t);
+    const __m256 av0 = _mm256_set1_ps(a0[p]);
+    for (int t = 0; t < 4; ++t) acc0[t] = _mm256_add_ps(acc0[t], _mm256_mul_ps(av0, bv[t]));
+    const __m256 av1 = _mm256_set1_ps(a1[p]);
+    for (int t = 0; t < 4; ++t) acc1[t] = _mm256_add_ps(acc1[t], _mm256_mul_ps(av1, bv[t]));
+  }
+  for (int t = 0; t < 4; ++t) {
+    _mm256_storeu_ps(c0 + 8 * t, acc0[t]);
+    _mm256_storeu_ps(c1 + 8 * t, acc1[t]);
+  }
+}
+
+inline void gemm_tile_1x32(const float* a0, const float* b, int64_t ldb, int64_t kb,
+                           float* c0) {
+  __m256 acc0[4];
+  for (int t = 0; t < 4; ++t) acc0[t] = _mm256_loadu_ps(c0 + 8 * t);
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* brow = b + p * ldb;
+    const __m256 av0 = _mm256_set1_ps(a0[p]);
+    for (int t = 0; t < 4; ++t)
+      acc0[t] = _mm256_add_ps(acc0[t], _mm256_mul_ps(av0, _mm256_loadu_ps(brow + 8 * t)));
+  }
+  for (int t = 0; t < 4; ++t) _mm256_storeu_ps(c0 + 8 * t, acc0[t]);
+}
+
+void gemm_block(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc) {
+  const int64_t nb32 = nb & ~int64_t{31};
+  for (int64_t j0 = 0; j0 < nb32; j0 += 32) {
+    int64_t i = 0;
+    for (; i + 2 <= mb; i += 2)
+      gemm_tile_2x32(a + i * lda, a + (i + 1) * lda, b + j0, ldb, kb, c + i * ldc + j0,
+                     c + (i + 1) * ldc + j0);
+    if (i < mb) gemm_tile_1x32(a + i * lda, b + j0, ldb, kb, c + i * ldc + j0);
+  }
+  if (nb32 < nb)
+    ref::gemm_block(mb, nb - nb32, kb, a, lda, b + nb32, ldb, c + nb32, ldc);
+}
+
+void saxpy(float a, const float* x, int64_t n, float* y) {
+  const __m256 av = _mm256_set1_ps(a);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(y + j,
+                     _mm256_add_ps(_mm256_loadu_ps(y + j),
+                                   _mm256_mul_ps(av, _mm256_loadu_ps(x + j))));
+  ref::saxpy(a, x + j, n - j, y + j);
+}
+
+inline int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+int32_t int8_dot(const int16_t* w, const int16_t* patch, int64_t count) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m256i wv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    const __m256i pv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(patch + i));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, pv));
+  }
+  int32_t sum = hsum_epi32(acc);
+  if (i < count) sum += ref::int8_dot(w + i, patch + i, count - i);
+  return sum;
+}
+
+void int8_dot4(const int16_t* w0, const int16_t* w1, const int16_t* w2,
+               const int16_t* w3, const int16_t* patch, int64_t count, int32_t* acc) {
+  __m256i a0 = _mm256_setzero_si256(), a1 = a0, a2 = a0, a3 = a0;
+  int64_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m256i pv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(patch + i));
+    a0 = _mm256_add_epi32(
+        a0, _mm256_madd_epi16(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(w0 + i)), pv));
+    a1 = _mm256_add_epi32(
+        a1, _mm256_madd_epi16(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(w1 + i)), pv));
+    a2 = _mm256_add_epi32(
+        a2, _mm256_madd_epi16(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(w2 + i)), pv));
+    a3 = _mm256_add_epi32(
+        a3, _mm256_madd_epi16(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(w3 + i)), pv));
+  }
+  acc[0] = hsum_epi32(a0);
+  acc[1] = hsum_epi32(a1);
+  acc[2] = hsum_epi32(a2);
+  acc[3] = hsum_epi32(a3);
+  if (i < count) {
+    int32_t tail[4];
+    ref::int8_dot4(w0 + i, w1 + i, w2 + i, w3 + i, patch + i, count - i, tail);
+    for (int t = 0; t < 4; ++t) acc[t] += tail[t];
+  }
+}
+
+// Direct stride-1 conv block: the overlapping pair vectors
+// [x_b, x_{b+1}] per column b come from two unaligned loads + unpack +
+// cross-lane fixup, then pmaddwd against a broadcast weight pair accumulates
+// 2 taps x 16 columns per step. Integer sums — bit-exact vs scalar in any
+// order.
+template <int R>
+inline void conv_cols16_tile(const int16_t* w, int64_t w_stride, const int16_t* img,
+                             int64_t ic_stride, int64_t row_stride, int64_t in_c,
+                             int64_t k, int64_t kh_count, int64_t kw_pairs,
+                             int32_t* acc) {
+  const int64_t kceil = 2 * kw_pairs;
+  __m256i lo[R], hi[R];
+  for (int r = 0; r < R; ++r) {
+    lo[r] = _mm256_setzero_si256();
+    hi[r] = _mm256_setzero_si256();
+  }
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int64_t kh = 0; kh < kh_count; ++kh) {
+      const int16_t* row = img + ic * ic_stride + kh * row_stride;
+      const int16_t* wg = w + (ic * k + kh) * kceil;
+      for (int64_t p = 0; p < kw_pairs; ++p) {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + 2 * p));
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + 2 * p + 1));
+        const __m256i u0 = _mm256_unpacklo_epi16(a, b);  // pairs b=0..3 | 8..11
+        const __m256i u1 = _mm256_unpackhi_epi16(a, b);  // pairs b=4..7 | 12..15
+        const __m256i p_lo = _mm256_permute2x128_si256(u0, u1, 0x20);
+        const __m256i p_hi = _mm256_permute2x128_si256(u0, u1, 0x31);
+        for (int r = 0; r < R; ++r) {
+          int32_t wpair;
+          std::memcpy(&wpair, wg + r * w_stride + 2 * p, sizeof(wpair));
+          const __m256i wv = _mm256_set1_epi32(wpair);
+          lo[r] = _mm256_add_epi32(lo[r], _mm256_madd_epi16(p_lo, wv));
+          hi[r] = _mm256_add_epi32(hi[r], _mm256_madd_epi16(p_hi, wv));
+        }
+      }
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * 16), lo[r]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + r * 16 + 8), hi[r]);
+  }
+}
+
+void int8_conv_cols16(const int16_t* w, int64_t w_stride, int rows, const int16_t* img,
+                      int64_t ic_stride, int64_t row_stride, int64_t in_c, int64_t k,
+                      int64_t kh_count, int64_t kw_pairs, int32_t* acc) {
+  switch (rows) {
+    case 4: conv_cols16_tile<4>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+    case 3: conv_cols16_tile<3>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+    case 2: conv_cols16_tile<2>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+    default: conv_cols16_tile<1>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+  }
+}
+
+// (p + nudge) >> total on int64 lanes without AVX-512's 64-bit arithmetic
+// shift: bias into non-negative range, shift logically, un-bias. |p + nudge|
+// < 2^62, so p + nudge + 2^62 is in [0, 2^63) and its bit pattern is the
+// value — the logical shift then equals the arithmetic one after
+// subtracting the shifted bias. Exact for every total in [1, 62].
+inline __m256i rounding_shift_epi64(__m256i p, int64_t nudge, int total) {
+  const __m256i bias = _mm256_set1_epi64x(nudge + (int64_t{1} << 62));
+  const __m256i shifted = _mm256_srli_epi64(_mm256_add_epi64(p, bias), total);
+  return _mm256_sub_epi64(shifted, _mm256_set1_epi64x((int64_t{1} << 62) >> total));
+}
+
+void int8_requant_row(const int32_t* acc, int64_t n, int32_t bias, int32_t multiplier,
+                      int shift, int32_t out_zero, const int8_t* lut, int8_t* out) {
+  const int total = 31 - shift;
+  if (multiplier == 0 || total == 0 || total >= 63) {
+    // Degenerate encodings (m == 0, or a shift the trick cannot bias) are
+    // not worth vector code; the reference loop is exact by definition.
+    ref::int8_requant_row(acc, n, bias, multiplier, shift, out_zero, lut, out);
+    return;
+  }
+  const int64_t nudge = int64_t{1} << (total - 1);
+  const __m256i mul = _mm256_set1_epi64x(multiplier);  // even 32-bit lanes hold m
+  const __m256i biasv = _mm256_set1_epi32(bias);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a =
+        _mm256_add_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i)), biasv);
+    // Sign-extend to int64; the even 32-bit lane of each int64 is the value,
+    // which is exactly what the signed 32x32->64 multiply consumes.
+    const __m256i lo64 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(a));
+    const __m256i hi64 = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(a, 1));
+    const __m256i plo = rounding_shift_epi64(_mm256_mul_epi32(lo64, mul), nudge, total);
+    const __m256i phi = rounding_shift_epi64(_mm256_mul_epi32(hi64, mul), nudge, total);
+    // Results fit int32 (they saturate to int8 next); take the low 32 bits
+    // of each int64 lane and repack.
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        _mm256_blend_epi32(plo, _mm256_slli_si256(phi, 4), 0xAA),
+        _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7));
+    const __m256i q = _mm256_add_epi32(packed, _mm256_set1_epi32(out_zero));
+    const __m256i clamped = _mm256_max_epi32(_mm256_min_epi32(q, _mm256_set1_epi32(127)),
+                                             _mm256_set1_epi32(-128));
+    // 8 int32 -> 8 int8 (values already in range).
+    const __m256i shuf = _mm256_shuffle_epi8(
+        clamped, _mm256_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                                  -1, 0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                                  -1, -1));
+    alignas(16) int8_t bytes[8];
+    const int32_t lo8 = _mm_cvtsi128_si32(_mm256_castsi256_si128(shuf));
+    const int32_t hi8 = _mm_cvtsi128_si32(_mm256_extracti128_si256(shuf, 1));
+    std::memcpy(bytes, &lo8, 4);
+    std::memcpy(bytes + 4, &hi8, 4);
+    if (lut == nullptr) {
+      std::memcpy(out + i, bytes, 8);
+    } else {
+      for (int t = 0; t < 8; ++t) out[i + t] = lut[static_cast<int32_t>(bytes[t]) + 128];
+    }
+  }
+  if (i < n)
+    ref::int8_requant_row(acc + i, n - i, bias, multiplier, shift, out_zero, lut, out + i);
+}
+
+void interleave2(const int8_t* a, const int8_t* b, int64_t n, int8_t* out) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * i), _mm_unpacklo_epi8(va, vb));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * i + 16), _mm_unpackhi_epi8(va, vb));
+  }
+  ref::interleave2(a + i, b + i, n - i, out + 2 * i);
+}
+
+}  // namespace
+
+const KernelDispatch* avx2_ops() {
+  static const KernelDispatch ops = [] {
+    KernelDispatch d;
+    d.variant = KernelVariant::kAvx2;
+    d.conv_block16 = &conv_block16;
+    d.gemm_block = &gemm_block;
+    d.saxpy = &saxpy;
+    d.int8_dot4 = &int8_dot4;
+    d.int8_dot = &int8_dot;
+    d.int8_conv_cols16 = &int8_conv_cols16;
+    d.int8_requant_row = &int8_requant_row;
+    d.lut_stream = nullptr;  // no in-register byte gather before VBMI
+    d.interleave2 = &interleave2;
+    return d;
+  }();
+  return &ops;
+}
+
+}  // namespace sesr::simd::detail
+
+#else  // !__AVX2__
+
+namespace sesr::simd::detail {
+const KernelDispatch* avx2_ops() { return nullptr; }
+}  // namespace sesr::simd::detail
+
+#endif

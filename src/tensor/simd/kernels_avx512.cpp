@@ -1,0 +1,288 @@
+// AVX-512 tier (F+BW+VL+DQ+VNNI). Same exactness rules as the AVX2 TU:
+// fp32 is separate VMULPS/VADDPS on zmm (-ffp-contract=off, no -mfma-style
+// contraction), one output element per lane, taps ascending — bit-identical
+// to scalar. int8 dots use VNNI `vpdpwssd` (int16 pairwise multiply-add into
+// int32 accumulators, exact), not `vpdpbusd`: the conv feeds zero-point-
+// subtracted inputs in [-255, 255], which overflow vpdpbusd's u8/s8 operands,
+// so the int16 form is the widest exact instruction available here.
+//
+// Entries this TU leaves null (lut_stream, interleave2) inherit the AVX2
+// tier's implementations via the overlay in dispatch.cpp.
+#include "tensor/simd/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512DQ__) && defined(__AVX512VNNI__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "tensor/simd/ref_kernels.h"
+
+namespace sesr::simd::detail {
+namespace {
+
+template <int R>
+inline void conv_tile16(const float* w, int64_t w_stride, const float* slab,
+                        int64_t col_rows, int64_t slab_stride, float* dst,
+                        int64_t dst_stride) {
+  __m512 acc[R];
+  for (int r = 0; r < R; ++r) acc[r] = _mm512_setzero_ps();
+  for (int64_t p = 0; p < col_rows; ++p) {
+    const __m512 s = _mm512_loadu_ps(slab + p * slab_stride);
+    for (int r = 0; r < R; ++r) {
+      const __m512 wv = _mm512_set1_ps(w[r * w_stride + p]);
+      acc[r] = _mm512_add_ps(acc[r], _mm512_mul_ps(wv, s));
+    }
+  }
+  for (int r = 0; r < R; ++r) _mm512_storeu_ps(dst + r * dst_stride, acc[r]);
+}
+
+void conv_block16(const float* w, int64_t w_stride, int rows, const float* slab,
+                  int64_t col_rows, int64_t slab_stride, float* dst,
+                  int64_t dst_stride) {
+  switch (rows) {
+    case 4: conv_tile16<4>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+    case 3: conv_tile16<3>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+    case 2: conv_tile16<2>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+    default: conv_tile16<1>(w, w_stride, slab, col_rows, slab_stride, dst, dst_stride); break;
+  }
+}
+
+// R C-rows x 32 columns (2 zmm per row) held across the K sweep; each B row
+// pair is reused by all R broadcasts.
+template <int R>
+inline void gemm_tile_32(const float* a, int64_t lda, const float* b, int64_t ldb,
+                         int64_t kb, float* c, int64_t ldc) {
+  __m512 lo[R], hi[R];
+  for (int r = 0; r < R; ++r) {
+    lo[r] = _mm512_loadu_ps(c + r * ldc);
+    hi[r] = _mm512_loadu_ps(c + r * ldc + 16);
+  }
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* brow = b + p * ldb;
+    const __m512 b0 = _mm512_loadu_ps(brow);
+    const __m512 b1 = _mm512_loadu_ps(brow + 16);
+    for (int r = 0; r < R; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r * lda + p]);
+      lo[r] = _mm512_add_ps(lo[r], _mm512_mul_ps(av, b0));
+      hi[r] = _mm512_add_ps(hi[r], _mm512_mul_ps(av, b1));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    _mm512_storeu_ps(c + r * ldc, lo[r]);
+    _mm512_storeu_ps(c + r * ldc + 16, hi[r]);
+  }
+}
+
+void gemm_block(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc) {
+  const int64_t nb32 = nb & ~int64_t{31};
+  for (int64_t j0 = 0; j0 < nb32; j0 += 32) {
+    const float* bj = b + j0;
+    int64_t i = 0;
+    for (; i + 4 <= mb; i += 4)
+      gemm_tile_32<4>(a + i * lda, lda, bj, ldb, kb, c + i * ldc + j0, ldc);
+    switch (mb - i) {
+      case 3: gemm_tile_32<3>(a + i * lda, lda, bj, ldb, kb, c + i * ldc + j0, ldc); break;
+      case 2: gemm_tile_32<2>(a + i * lda, lda, bj, ldb, kb, c + i * ldc + j0, ldc); break;
+      case 1: gemm_tile_32<1>(a + i * lda, lda, bj, ldb, kb, c + i * ldc + j0, ldc); break;
+      default: break;
+    }
+  }
+  if (nb32 < nb)
+    ref::gemm_block(mb, nb - nb32, kb, a, lda, b + nb32, ldb, c + nb32, ldc);
+}
+
+void saxpy(float a, const float* x, int64_t n, float* y) {
+  const __m512 av = _mm512_set1_ps(a);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16)
+    _mm512_storeu_ps(y + j, _mm512_add_ps(_mm512_loadu_ps(y + j),
+                                          _mm512_mul_ps(av, _mm512_loadu_ps(x + j))));
+  ref::saxpy(a, x + j, n - j, y + j);
+}
+
+inline int32_t hsum_epi32_256(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Not _mm512_reduce_add_epi32: GCC 12's implementation goes through
+// _mm256_undefined_si256 and trips -Wuninitialized under -Werror (GCC
+// PR 105593). shuffle_i64x2 swaps the 256-bit halves without touching any
+// "undefined" intrinsic.
+inline int32_t hsum_epi32_512(__m512i v) {
+  const __m256i lo = _mm512_castsi512_si256(v);
+  const __m256i hi = _mm512_castsi512_si256(_mm512_shuffle_i64x2(v, v, _MM_SHUFFLE(0, 0, 3, 2)));
+  return hsum_epi32_256(_mm256_add_epi32(lo, hi));
+}
+
+int32_t int8_dot(const int16_t* w, const int16_t* patch, int64_t count) {
+  __m512i acc = _mm512_setzero_si512();
+  int64_t i = 0;
+  for (; i + 32 <= count; i += 32) {
+    const __m512i wv = _mm512_loadu_si512(w + i);
+    const __m512i pv = _mm512_loadu_si512(patch + i);
+    acc = _mm512_dpwssd_epi32(acc, wv, pv);
+  }
+  int32_t sum = hsum_epi32_512(acc);
+  if (i + 16 <= count) {
+    const __m256i wv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    const __m256i pv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(patch + i));
+    sum += hsum_epi32_256(_mm256_dpwssd_epi32(_mm256_setzero_si256(), wv, pv));
+    i += 16;
+  }
+  if (i < count) sum += ref::int8_dot(w + i, patch + i, count - i);
+  return sum;
+}
+
+void int8_dot4(const int16_t* w0, const int16_t* w1, const int16_t* w2,
+               const int16_t* w3, const int16_t* patch, int64_t count, int32_t* acc) {
+  __m512i a0 = _mm512_setzero_si512(), a1 = a0, a2 = a0, a3 = a0;
+  int64_t i = 0;
+  for (; i + 32 <= count; i += 32) {
+    const __m512i pv = _mm512_loadu_si512(patch + i);
+    a0 = _mm512_dpwssd_epi32(a0, _mm512_loadu_si512(w0 + i), pv);
+    a1 = _mm512_dpwssd_epi32(a1, _mm512_loadu_si512(w1 + i), pv);
+    a2 = _mm512_dpwssd_epi32(a2, _mm512_loadu_si512(w2 + i), pv);
+    a3 = _mm512_dpwssd_epi32(a3, _mm512_loadu_si512(w3 + i), pv);
+  }
+  acc[0] = hsum_epi32_512(a0);
+  acc[1] = hsum_epi32_512(a1);
+  acc[2] = hsum_epi32_512(a2);
+  acc[3] = hsum_epi32_512(a3);
+  if (i < count) {
+    int32_t tail[4];
+    ref::int8_dot4(w0 + i, w1 + i, w2 + i, w3 + i, patch + i, count - i, tail);
+    for (int t = 0; t < 4; ++t) acc[t] += tail[t];
+  }
+}
+
+// Pair-expansion index for the direct conv block: from a 32-element int16
+// load [x0..x31], build [x0,x1, x1,x2, ..., x15,x16] — the (col, col+1)
+// operand pairs vpdpwssd consumes. Only elements 0..16 are used, but the
+// 64-byte load touches the full window (kPatchSlack keeps it in-bounds).
+inline __m512i pair_index() {
+  alignas(64) static constexpr int16_t idx[32] = {
+      0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8,
+      8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16};
+  return _mm512_load_si512(idx);
+}
+
+template <int R>
+inline void conv_cols16_tile(const int16_t* w, int64_t w_stride, const int16_t* img,
+                             int64_t ic_stride, int64_t row_stride, int64_t in_c,
+                             int64_t k, int64_t kh_count, int64_t kw_pairs,
+                             int32_t* acc) {
+  const int64_t kceil = 2 * kw_pairs;
+  const __m512i idx = pair_index();
+  __m512i a[R];
+  for (int r = 0; r < R; ++r) a[r] = _mm512_setzero_si512();
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int64_t kh = 0; kh < kh_count; ++kh) {
+      const int16_t* row = img + ic * ic_stride + kh * row_stride;
+      const int16_t* wg = w + (ic * k + kh) * kceil;
+      for (int64_t p = 0; p < kw_pairs; ++p) {
+        const __m512i src = _mm512_loadu_si512(row + 2 * p);
+        const __m512i pairs = _mm512_permutexvar_epi16(idx, src);
+        for (int r = 0; r < R; ++r) {
+          int32_t wpair;
+          std::memcpy(&wpair, wg + r * w_stride + 2 * p, sizeof(wpair));
+          a[r] = _mm512_dpwssd_epi32(a[r], pairs, _mm512_set1_epi32(wpair));
+        }
+      }
+    }
+  }
+  for (int r = 0; r < R; ++r)
+    _mm512_storeu_si512(acc + r * 16, a[r]);
+}
+
+void int8_conv_cols16(const int16_t* w, int64_t w_stride, int rows, const int16_t* img,
+                      int64_t ic_stride, int64_t row_stride, int64_t in_c, int64_t k,
+                      int64_t kh_count, int64_t kw_pairs, int32_t* acc) {
+  switch (rows) {
+    case 4: conv_cols16_tile<4>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+    case 3: conv_cols16_tile<3>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+    case 2: conv_cols16_tile<2>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+    default: conv_cols16_tile<1>(w, w_stride, img, ic_stride, row_stride, in_c, k, kh_count, kw_pairs, acc); break;
+  }
+}
+
+void int8_requant_row(const int32_t* acc, int64_t n, int32_t bias, int32_t multiplier,
+                      int shift, int32_t out_zero, const int8_t* lut, int8_t* out) {
+  const int total = 31 - shift;
+  if (multiplier == 0 || total == 0) {
+    ref::int8_requant_row(acc, n, bias, multiplier, shift, out_zero, lut, out);
+    return;
+  }
+  // 64-bit lanes reproduce apply() exactly: p = x*m (|p| < 2^62), plus
+  // nudge, arithmetic shift right by total (VPSRAQ), then truncate to the
+  // low 32 bits — _mm512_cvtepi64_epi32 truncates exactly like the scalar
+  // static_cast<int32_t>, including on shifted values outside int32 range.
+  const __m512i nudge = _mm512_set1_epi64(int64_t{1} << (total - 1));
+  const __m512i mul = _mm512_set1_epi64(multiplier);
+  const __m128i count = _mm_cvtsi32_si128(total);
+  const __m512i zerov = _mm512_set1_epi32(out_zero);
+  const __m256i biasv = _mm256_set1_epi32(bias);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i a_lo = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i)), biasv);
+    const __m256i a_hi = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 8)), biasv);
+    const __m512i p_lo = _mm512_sra_epi64(
+        _mm512_add_epi64(_mm512_mullo_epi64(_mm512_cvtepi32_epi64(a_lo), mul), nudge),
+        count);
+    const __m512i p_hi = _mm512_sra_epi64(
+        _mm512_add_epi64(_mm512_mullo_epi64(_mm512_cvtepi32_epi64(a_hi), mul), nudge),
+        count);
+    const __m512i scaled = _mm512_inserti64x4(
+        _mm512_castsi256_si512(_mm512_cvtepi64_epi32(p_lo)), _mm512_cvtepi64_epi32(p_hi),
+        1);
+    const __m512i q = _mm512_add_epi32(scaled, zerov);
+    // Saturating int32 -> int8 narrow == saturate_int8 per element.
+    const __m128i bytes = _mm512_cvtsepi32_epi8(q);
+    if (lut == nullptr) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), bytes);
+    } else {
+      alignas(16) int8_t tmp[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(tmp), bytes);
+      for (int t = 0; t < 16; ++t) out[i + t] = lut[static_cast<int32_t>(tmp[t]) + 128];
+    }
+  }
+  if (i < n)
+    ref::int8_requant_row(acc + i, n - i, bias, multiplier, shift, out_zero, lut, out + i);
+}
+
+}  // namespace
+
+const KernelDispatch* avx512_ops() {
+  static const KernelDispatch ops = [] {
+    KernelDispatch d;
+    d.variant = KernelVariant::kAvx512Vnni;
+    d.conv_block16 = &conv_block16;
+    d.gemm_block = &gemm_block;
+    d.saxpy = &saxpy;
+    d.int8_dot4 = &int8_dot4;
+    d.int8_dot = &int8_dot;
+    d.int8_conv_cols16 = &int8_conv_cols16;
+    d.int8_requant_row = &int8_requant_row;
+    d.lut_stream = nullptr;    // VBMI TU, spliced in when the CPU has it
+    d.interleave2 = nullptr;   // inherits the AVX2 unpack path
+    return d;
+  }();
+  return &ops;
+}
+
+}  // namespace sesr::simd::detail
+
+#else  // missing AVX-512 core + VNNI macros
+
+namespace sesr::simd::detail {
+const KernelDispatch* avx512_ops() { return nullptr; }
+}  // namespace sesr::simd::detail
+
+#endif

@@ -1,0 +1,27 @@
+// Scalar tier: the reference implementations from ref_kernels.h, exported as
+// a complete dispatch table. Always available on every architecture; the
+// other tiers overlay it.
+#include "tensor/simd/kernels.h"
+#include "tensor/simd/ref_kernels.h"
+
+namespace sesr::simd::detail {
+
+const KernelDispatch* scalar_ops() {
+  static const KernelDispatch ops = [] {
+    KernelDispatch d;
+    d.variant = KernelVariant::kScalar;
+    d.conv_block16 = &ref::conv_block16;
+    d.gemm_block = &ref::gemm_block;
+    d.saxpy = &ref::saxpy;
+    d.int8_dot4 = &ref::int8_dot4;
+    d.int8_dot = &ref::int8_dot;
+    d.int8_conv_cols16 = &ref::int8_conv_cols16;
+    d.int8_requant_row = &ref::int8_requant_row;
+    d.lut_stream = &ref::lut_stream;
+    d.interleave2 = &ref::interleave2;
+    return d;
+  }();
+  return &ops;
+}
+
+}  // namespace sesr::simd::detail

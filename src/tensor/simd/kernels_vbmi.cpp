@@ -1,0 +1,61 @@
+// AVX512_VBMI lut_stream: the whole 256-entry int8->int8 table lives in four
+// zmm registers and `vpermi2b` resolves 64 lookups per instruction — the
+// requant/activation LUT streams become pure register traffic. Isolated in
+// its own TU with its own -m flags so VBMI instructions cannot leak (via
+// autovectorisation) into the plain AVX-512 tier, which must run on
+// VNNI-but-not-VBMI parts; dispatch.cpp installs this pointer only when
+// cpuid reports VBMI.
+#include "tensor/simd/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512VBMI__)
+
+#include <immintrin.h>
+
+namespace sesr::simd::detail {
+namespace {
+
+void lut_stream(const int8_t* in, const int8_t* lut, int64_t n, int8_t* out) {
+  // lut is indexed by (int)in[i] + 128, i.e. by the input byte xor 0x80.
+  // vpermi2b selects by the low 7 bits of the index; the high bit picks
+  // which half-table's result to keep.
+  const __m512i lo0 = _mm512_loadu_si512(lut);        // indices   0..63
+  const __m512i lo1 = _mm512_loadu_si512(lut + 64);   // indices  64..127
+  const __m512i hi0 = _mm512_loadu_si512(lut + 128);  // indices 128..191
+  const __m512i hi1 = _mm512_loadu_si512(lut + 192);  // indices 192..255
+  const __m512i flip = _mm512_set1_epi8(static_cast<char>(0x80));
+  int64_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i u = _mm512_xor_si512(_mm512_loadu_si512(in + i), flip);
+    const __m512i lo = _mm512_permutex2var_epi8(lo0, u, lo1);
+    const __m512i hi = _mm512_permutex2var_epi8(hi0, u, hi1);
+    const __mmask64 use_hi = _mm512_movepi8_mask(u);
+    _mm512_storeu_si512(out + i, _mm512_mask_blend_epi8(use_hi, lo, hi));
+  }
+  if (i < n) {
+    const __mmask64 tail = _cvtu64_mask64((~uint64_t{0}) >> (64 - (n - i)));
+    const __m512i u = _mm512_xor_si512(_mm512_maskz_loadu_epi8(tail, in + i), flip);
+    const __m512i lo = _mm512_permutex2var_epi8(lo0, u, lo1);
+    const __m512i hi = _mm512_permutex2var_epi8(hi0, u, hi1);
+    const __mmask64 use_hi = _mm512_movepi8_mask(u);
+    _mm512_mask_storeu_epi8(out + i, tail, _mm512_mask_blend_epi8(use_hi, lo, hi));
+  }
+}
+
+}  // namespace
+
+void (*vbmi_lut_stream())(const int8_t*, const int8_t*, int64_t, int8_t*) {
+  return &lut_stream;
+}
+
+}  // namespace sesr::simd::detail
+
+#else  // no VBMI in this build
+
+namespace sesr::simd::detail {
+void (*vbmi_lut_stream())(const int8_t*, const int8_t*, int64_t, int8_t*) {
+  return nullptr;
+}
+}  // namespace sesr::simd::detail
+
+#endif

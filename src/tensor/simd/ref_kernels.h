@@ -1,0 +1,142 @@
+// Inline scalar reference implementations of every dispatchable kernel.
+//
+// These are the ground truth for the exactness contract in dispatch.h: the
+// scalar tier exports them verbatim, and the vector TUs call them for tail
+// and fallback paths so a partially-vectorised kernel still replays the
+// reference per-element operation order exactly. Header-inline (rather than
+// functions in the scalar TU) so each vector TU's tails inline into its own
+// loops without cross-TU call overhead.
+//
+// fp32 rules the vector implementations must mirror:
+//  - each output element accumulates taps in ascending index order;
+//  - every product is rounded before it is added (mul + add, no FMA);
+//  - accumulators that start at +0.0f may skip zero weights or not — with
+//    finite inputs, adding a +/-0.0 product to a finite or +0.0 accumulator
+//    never changes its bits, so both choices produce identical results.
+#pragma once
+
+#include <cstdint>
+
+namespace sesr::simd::ref {
+
+inline void conv_block16(const float* w, int64_t w_stride, int rows, const float* slab,
+                         int64_t col_rows, int64_t slab_stride, float* dst,
+                         int64_t dst_stride) {
+  for (int r = 0; r < rows; ++r) {
+    const float* wrow = w + r * w_stride;
+    float acc[16] = {};
+    for (int64_t p = 0; p < col_rows; ++p) {
+      const float wv = wrow[p];
+      if (wv == 0.0f) continue;  // collapsed zero taps are common post-training
+      const float* srow = slab + p * slab_stride;
+      for (int b = 0; b < 16; ++b) acc[b] += wv * srow[b];
+    }
+    float* drow = dst + r * dst_stride;
+    for (int b = 0; b < 16; ++b) drow[b] = acc[b];
+  }
+}
+
+inline void gemm_block(int64_t mb, int64_t nb, int64_t kb, const float* a, int64_t lda,
+                       const float* b, int64_t ldb, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < mb; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int64_t p = 0; p < kb; ++p) {
+      const float aval = arow[p];
+      if (aval == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < nb; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+inline void saxpy(float a, const float* x, int64_t n, float* y) {
+  for (int64_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
+inline int32_t int8_dot(const int16_t* w, const int16_t* patch, int64_t count) {
+  int32_t acc = 0;
+  for (int64_t i = 0; i < count; ++i)
+    acc += static_cast<int32_t>(w[i]) * static_cast<int32_t>(patch[i]);
+  return acc;
+}
+
+inline void int8_dot4(const int16_t* w0, const int16_t* w1, const int16_t* w2,
+                      const int16_t* w3, const int16_t* patch, int64_t count,
+                      int32_t* acc) {
+  int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    const int32_t p = patch[i];
+    a0 += static_cast<int32_t>(w0[i]) * p;
+    a1 += static_cast<int32_t>(w1[i]) * p;
+    a2 += static_cast<int32_t>(w2[i]) * p;
+    a3 += static_cast<int32_t>(w3[i]) * p;
+  }
+  acc[0] = a0;
+  acc[1] = a1;
+  acc[2] = a2;
+  acc[3] = a3;
+}
+
+inline void int8_conv_cols16(const int16_t* w, int64_t w_stride, int rows,
+                             const int16_t* img, int64_t ic_stride, int64_t row_stride,
+                             int64_t in_c, int64_t k, int64_t kh_count,
+                             int64_t kw_pairs, int32_t* acc) {
+  // Taps outer, the 16 columns inner: each pair step streams one contiguous
+  // 17-element image window, which the vector tiers mirror exactly (integer
+  // sums — any accumulation order is bit-identical).
+  const int64_t kceil = 2 * kw_pairs;
+  for (int r = 0; r < rows; ++r) {
+    int32_t s[16] = {};
+    for (int64_t ic = 0; ic < in_c; ++ic) {
+      for (int64_t kh = 0; kh < kh_count; ++kh) {
+        const int16_t* row = img + ic * ic_stride + kh * row_stride;
+        const int16_t* wg = w + r * w_stride + (ic * k + kh) * kceil;
+        for (int64_t p = 0; p < kw_pairs; ++p) {
+          const int32_t w0 = wg[2 * p], w1 = wg[2 * p + 1];
+          const int16_t* x = row + 2 * p;
+          for (int64_t b = 0; b < 16; ++b) s[b] += w0 * x[b] + w1 * x[b + 1];
+        }
+      }
+    }
+    for (int64_t b = 0; b < 16; ++b) acc[r * 16 + b] = s[b];
+  }
+}
+
+/// One element of int8_requant_row — mirrors FixedPointMultiplier::apply
+/// (which this header cannot include without inverting the layering) plus
+/// the saturate-and-zero-point step every int8 kernel shares.
+inline int8_t requant_one(int32_t acc, int32_t multiplier, int shift, int32_t out_zero) {
+  int32_t scaled = 0;
+  if (multiplier != 0) {
+    const int total = 31 - shift;
+    const int64_t p = static_cast<int64_t>(acc) * multiplier;
+    scaled = total == 0
+                 ? static_cast<int32_t>(p)
+                 : static_cast<int32_t>((p + (int64_t{1} << (total - 1))) >> total);
+  }
+  const int32_t q = scaled + out_zero;
+  return static_cast<int8_t>(q < -128 ? -128 : (q > 127 ? 127 : q));
+}
+
+inline void int8_requant_row(const int32_t* acc, int64_t n, int32_t bias,
+                             int32_t multiplier, int shift, int32_t out_zero,
+                             const int8_t* lut, int8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const int8_t q = requant_one(acc[i] + bias, multiplier, shift, out_zero);
+    out[i] = lut == nullptr ? q : lut[static_cast<int32_t>(q) + 128];
+  }
+}
+
+inline void lut_stream(const int8_t* in, const int8_t* lut, int64_t n, int8_t* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = lut[static_cast<int>(in[i]) + 128];
+}
+
+inline void interleave2(const int8_t* a, const int8_t* b, int64_t n, int8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[2 * i] = a[i];
+    out[2 * i + 1] = b[i];
+  }
+}
+
+}  // namespace sesr::simd::ref

@@ -1,0 +1,143 @@
+// Whole-network cross-variant exactness: every SIMD tier this machine
+// supports produces bit-identical outputs for every zoo network, in both
+// precisions. Int8 is exact by integer associativity; fp32 by the fixed
+// lane-order / no-FMA contract (src/tensor/simd/dispatch.h) — the invariant
+// the distributed tier's cross-process bit-identity check stands on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "quant/quantized_model.h"
+#include "runtime/program.h"
+#include "runtime/session.h"
+#include "tensor/rng.h"
+#include "tensor/simd/dispatch.h"
+#include "tests/support/fault_injection.h"
+
+namespace sesr::runtime {
+namespace {
+
+using testsupport::ScopedEnv;
+
+std::vector<Tensor> calibration_batches(const Shape& shape, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> out;
+  for (int i = 0; i < count; ++i) out.push_back(Tensor::rand(shape, rng));
+  return out;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what << ": output bits diverge from the scalar tier";
+}
+
+/// Compile + run `net` once per supported tier (pinned via the env knob the
+/// variant-selection pass reads at compile time) and demand bitwise-equal
+/// outputs. `compile` abstracts fp32 vs int8 plan construction.
+template <typename Compile>
+void expect_all_tiers_bitwise_equal(const std::string& label, const Compile& compile,
+                                    const Tensor& probe) {
+  Tensor reference;
+  for (const simd::KernelVariant v : simd::supported_variants()) {
+    ScopedEnv pin("SESR_KERNEL_VARIANT", simd::variant_name(v));
+    const std::shared_ptr<const Program> plan = compile();
+    EXPECT_EQ(plan->kernel_variant(), v) << label;
+    EXPECT_TRUE(plan->kernel_variant_forced()) << label;
+    Session session(plan);
+    const Tensor out = session.run(probe);
+    if (v == simd::KernelVariant::kScalar)
+      reference = out;
+    else
+      expect_bitwise_equal(reference, out,
+                           label + " on " + simd::variant_name(v));
+  }
+}
+
+TEST(VariantExactness, Fp32ZooNetsAreBitIdenticalAcrossTiers) {
+  const Shape shape{1, 3, 16, 16};
+  Rng probe_rng(71);
+  const Tensor probe = Tensor::rand(shape, probe_rng);
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    SCOPED_TRACE(spec.label);
+    const auto net = spec.make_repo_scale();
+    Rng rng(72);
+    net->init_weights(rng);
+    expect_all_tiers_bitwise_equal(
+        spec.label, [&] { return Program::compile(*net, shape); }, probe);
+  }
+}
+
+TEST(VariantExactness, Int8ZooNetsAreBitIdenticalAcrossTiers) {
+  const Shape shape{1, 3, 16, 16};
+  Rng probe_rng(81);
+  const Tensor probe = Tensor::rand(shape, probe_rng);
+  const auto batches = calibration_batches(shape, 2, 82);
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    SCOPED_TRACE(spec.label);
+    const auto net = spec.make_repo_scale();
+    Rng rng(83);
+    net->init_weights(rng);
+    // One artifact serves every tier: quantisation parameters must not move
+    // with the kernel variant (they are calibrated on the fp32 fake-quant
+    // path, which the contract also holds bit-stable).
+    const auto artifact = quant::QuantizedModel::calibrate(*net, shape, batches);
+    expect_all_tiers_bitwise_equal(
+        spec.label, [&] { return Program::compile_int8(*net, shape, artifact); },
+        probe);
+  }
+}
+
+TEST(VariantExactness, CompiledProgramsKeepTheirRecordedTier) {
+  // The stamp is a compile-time snapshot: flipping the knob afterwards
+  // neither retargets the program nor changes what dump() reports.
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  Rng rng(91);
+  sesr.init_weights(rng);
+  std::shared_ptr<const Program> pinned;
+  {
+    ScopedEnv pin("SESR_KERNEL_VARIANT", "scalar");
+    pinned = Program::compile(sesr, {1, 3, 8, 8});
+  }
+  EXPECT_EQ(pinned->kernel_variant(), simd::KernelVariant::kScalar);
+  EXPECT_TRUE(pinned->kernel_variant_forced());
+  EXPECT_NE(pinned->dump().find("kernels: scalar (forced via SESR_KERNEL_VARIANT)"),
+            std::string::npos)
+      << pinned->dump();
+
+  // Clear the knob explicitly: CI runs this whole suite pinned to scalar,
+  // and "native" must mean "no pin" regardless of the ambient environment.
+  std::shared_ptr<const Program> native;
+  {
+    ScopedEnv unpin("SESR_KERNEL_VARIANT", nullptr);
+    native = Program::compile(sesr, {1, 3, 8, 8});
+  }
+  EXPECT_EQ(native->kernel_variant(), simd::best_supported());
+  EXPECT_FALSE(native->kernel_variant_forced());
+
+  // Both still run after the env changed — and still agree bitwise.
+  Rng probe_rng(92);
+  const Tensor probe = Tensor::rand({1, 3, 8, 8}, probe_rng);
+  Session a(pinned), b(native);
+  Tensor out_a = a.run(probe), out_b = b.run(probe);
+  expect_bitwise_equal(out_a, out_b, "pinned-scalar vs native SESR-M5");
+}
+
+TEST(VariantExactness, DumpAnnotatesDispatchedOps) {
+  models::Sesr sesr(models::SesrConfig::m5(), models::Sesr::Form::kInference);
+  Rng rng(93);
+  sesr.init_weights(rng);
+  const auto plan = Program::compile(sesr, {1, 3, 8, 8});
+  const std::string expected =
+      std::string("[") + simd::variant_name(plan->kernel_variant()) + "]";
+  EXPECT_NE(plan->dump().find(expected), std::string::npos) << plan->dump();
+}
+
+}  // namespace
+}  // namespace sesr::runtime

@@ -35,6 +35,7 @@ ServerStats sample_stats() {
   stats.batch_size_counts = {0, 100, 50, 25, 12, 6, 3, 2, 102};
   stats.queue_depth = 7;
   stats.peak_queue_depth = 64;
+  stats.kernel_variant = "avx512vnni";
   stats.latency.count = 990;
   stats.latency.mean_ms = 12.345678901234567;
   stats.latency.max_ms = 99.5;
@@ -72,6 +73,7 @@ TEST(StatsJson, ServerStatsRoundTripsExactly) {
   EXPECT_EQ(back.batch_size_counts, stats.batch_size_counts);
   EXPECT_EQ(back.queue_depth, stats.queue_depth);
   EXPECT_EQ(back.peak_queue_depth, stats.peak_queue_depth);
+  EXPECT_EQ(back.kernel_variant, stats.kernel_variant);
   EXPECT_EQ(back.latency.count, stats.latency.count);
   EXPECT_EQ(back.latency.mean_ms, stats.latency.mean_ms);
   EXPECT_EQ(back.latency.max_ms, stats.latency.max_ms);
@@ -114,6 +116,7 @@ TEST(StatsJson, AbsentCountersReadZero) {
   const ServerStats back = server_stats_from_json("{}");
   EXPECT_EQ(back.submitted, 0);
   EXPECT_EQ(back.completed, 0);
+  EXPECT_EQ(back.kernel_variant, "");
   EXPECT_EQ(back.tenants.size(), 0u);
 }
 
@@ -142,7 +145,9 @@ TEST(StatsJson, LiveServerStatsSurviveTheTrip) {
   server.stop();
 
   const ServerStats stats = server.stats();
+  EXPECT_FALSE(stats.kernel_variant.empty());  // stats() reports the live tier
   const ServerStats back = server_stats_from_json(stats_to_json(stats));
+  EXPECT_EQ(back.kernel_variant, stats.kernel_variant);
   EXPECT_EQ(back.submitted, stats.submitted);
   EXPECT_EQ(back.completed, stats.completed);
   EXPECT_EQ(back.batch_size_counts, stats.batch_size_counts);

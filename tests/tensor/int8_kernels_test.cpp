@@ -198,6 +198,40 @@ TEST(Int8AddTest, AliasingDestinationIsSafe) {
   EXPECT_EQ(a, (std::vector<int8_t>{11, 22, 33}));
 }
 
+TEST(Int8AddTest, LutFormReplaysDoubleMathExactly) {
+  // The tabulated path the compiled runtime takes: every (a, b) byte pair of
+  // the table must reproduce int8_add bit-for-bit, on grids with awkward
+  // zero points and irrational-ish scale ratios.
+  const struct {
+    int32_t za, zb, z_out;
+    double ma, mb;
+  } grids[] = {
+      {0, 0, 0, 1.0, 1.0},
+      {-7, 13, 5, 0.73125, 1.4141},
+      {100, -100, -128, 2.5, 0.0009765625},
+  };
+  std::vector<int8_t> lut(256 * 256);
+  for (const auto& g : grids) {
+    int8_add_build_lut(g.za, g.ma, g.zb, g.mb, g.z_out, lut.data());
+    // All 65536 pairs, streamed through the lut kernel in one call.
+    std::vector<int8_t> a(256 * 256), b(256 * 256);
+    for (int32_t i = 0; i < 256 * 256; ++i) {
+      a[static_cast<size_t>(i)] = static_cast<int8_t>(i / 256 - 128);
+      b[static_cast<size_t>(i)] = static_cast<int8_t>(i % 256 - 128);
+    }
+    std::vector<int8_t> want(a.size()), got(a.size());
+    int8_add(a.data(), g.za, g.ma, b.data(), g.zb, g.mb, g.z_out,
+             static_cast<int64_t>(a.size()), want.data());
+    int8_add_lut(a.data(), b.data(), lut.data(), static_cast<int64_t>(a.size()),
+                 got.data());
+    EXPECT_EQ(want, got);
+    // Aliasing out == a, as the session's in-place residual add does.
+    int8_add_lut(a.data(), b.data(), lut.data(), static_cast<int64_t>(a.size()),
+                 a.data());
+    EXPECT_EQ(want, a);
+  }
+}
+
 TEST(Int8RescaleTest, IdentityAndHalving) {
   const std::vector<int8_t> in = {-128, -3, 0, 5, 127};
   std::vector<int8_t> out(in.size());

@@ -1,0 +1,366 @@
+// The SIMD kernel tier's ground truth: cpuid detection is self-consistent,
+// SESR_KERNEL_VARIANT pins the tier it names, and every kernel of every
+// supported tier is bit-exact against the scalar reference — int32 sums for
+// the int8 kernels, float *bits* for the fp32 microkernels (the fixed
+// lane-order / no-FMA contract dispatch.h documents).
+#include "tensor/simd/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tests/support/fault_injection.h"
+
+namespace sesr::simd {
+namespace {
+
+using testsupport::ScopedEnv;
+
+TEST(SimdDispatch, DetectionIsSelfConsistent) {
+  const CpuFeatures& f = cpu_features();
+  // Feature implications: the VNNI tier requires the AVX-512 core set, and
+  // any AVX-512 machine this decade has AVX2.
+  if (f.avx512_vnni || f.avx512_vbmi) {
+    EXPECT_TRUE(f.avx512_core);
+  }
+  if (f.avx512_core) {
+    EXPECT_TRUE(f.avx2);
+  }
+
+  const KernelVariant best = best_supported();
+  EXPECT_EQ(best == KernelVariant::kAvx512Vnni, f.avx512_core && f.avx512_vnni);
+  if (best == KernelVariant::kAvx2) {
+    EXPECT_TRUE(f.avx2);
+  }
+
+  const std::vector<KernelVariant> supported = supported_variants();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_EQ(supported.front(), KernelVariant::kScalar);
+  EXPECT_EQ(supported.back(), best);
+  for (size_t i = 1; i < supported.size(); ++i)
+    EXPECT_LT(static_cast<int>(supported[i - 1]), static_cast<int>(supported[i]));
+}
+
+TEST(SimdDispatch, TablesAreCompleteAndClamped) {
+  for (int v = 0; v < kNumKernelVariants; ++v) {
+    const auto requested = static_cast<KernelVariant>(v);
+    const KernelDispatch& kd = dispatch_for(requested);
+    EXPECT_EQ(kd.variant, clamp_to_supported(requested));
+    EXPECT_NE(kd.conv_block16, nullptr);
+    EXPECT_NE(kd.gemm_block, nullptr);
+    EXPECT_NE(kd.saxpy, nullptr);
+    EXPECT_NE(kd.int8_dot4, nullptr);
+    EXPECT_NE(kd.int8_dot, nullptr);
+    EXPECT_NE(kd.int8_conv_cols16, nullptr);
+    EXPECT_NE(kd.int8_requant_row, nullptr);
+    EXPECT_NE(kd.lut_stream, nullptr);
+    EXPECT_NE(kd.interleave2, nullptr);
+  }
+  // Requesting beyond the CPU degrades to the strongest supported tier.
+  EXPECT_EQ(clamp_to_supported(KernelVariant::kAvx512Vnni), best_supported());
+  EXPECT_EQ(clamp_to_supported(KernelVariant::kScalar), KernelVariant::kScalar);
+}
+
+TEST(SimdDispatch, VariantNamesRoundTrip) {
+  for (int v = 0; v < kNumKernelVariants; ++v) {
+    const auto variant = static_cast<KernelVariant>(v);
+    const auto parsed = parse_variant(variant_name(variant));
+    ASSERT_TRUE(parsed.has_value()) << variant_name(variant);
+    EXPECT_EQ(*parsed, variant);
+  }
+  EXPECT_FALSE(parse_variant("native").has_value());
+  EXPECT_FALSE(parse_variant("AVX2").has_value());  // case-sensitive on purpose
+  EXPECT_FALSE(parse_variant("").has_value());
+}
+
+TEST(SimdDispatch, EnvKnobPinsScalar) {
+  ScopedEnv pin("SESR_KERNEL_VARIANT", "scalar");
+  EXPECT_EQ(active_variant(), KernelVariant::kScalar);
+  EXPECT_TRUE(variant_forced());
+  EXPECT_EQ(active_dispatch().variant, KernelVariant::kScalar);
+}
+
+TEST(SimdDispatch, EnvKnobNativeAndGarbageMeanAutoDetect) {
+  {
+    ScopedEnv native("SESR_KERNEL_VARIANT", "native");
+    EXPECT_EQ(active_variant(), best_supported());
+    EXPECT_FALSE(variant_forced());
+  }
+  {
+    ScopedEnv garbage("SESR_KERNEL_VARIANT", "sse9");
+    EXPECT_EQ(active_variant(), best_supported());
+    EXPECT_FALSE(variant_forced());
+  }
+  {
+    ScopedEnv unset("SESR_KERNEL_VARIANT", nullptr);
+    EXPECT_EQ(active_variant(), best_supported());
+    EXPECT_FALSE(variant_forced());
+  }
+}
+
+TEST(SimdDispatch, EnvKnobClampsToCpuSupport) {
+  // Forcing the strongest tier is always legal: on a lesser CPU it clamps
+  // instead of crashing on an illegal instruction.
+  ScopedEnv pin("SESR_KERNEL_VARIANT", "avx512vnni");
+  EXPECT_EQ(active_variant(), clamp_to_supported(KernelVariant::kAvx512Vnni));
+  EXPECT_TRUE(variant_forced());
+}
+
+// ---- per-kernel bit-exactness against the scalar reference -----------------
+
+const KernelDispatch& scalar_table() { return dispatch_for(KernelVariant::kScalar); }
+
+/// The non-scalar tiers actually available on this machine. Empty on a
+/// scalar-only box — each exactness test then trivially passes, which is the
+/// correct behaviour (there is nothing to diverge).
+std::vector<const KernelDispatch*> vector_tiers() {
+  std::vector<const KernelDispatch*> out;
+  for (KernelVariant v : supported_variants())
+    if (v != KernelVariant::kScalar) out.push_back(&dispatch_for(v));
+  return out;
+}
+
+std::vector<float> random_floats(Rng& rng, int64_t n) {
+  std::vector<float> out(static_cast<size_t>(n));
+  for (float& x : out) x = rng.uniform(-2.0f, 2.0f);
+  return out;
+}
+
+/// Sprinkle exact zeros: the scalar reference skips zero weights, the vector
+/// tiers do not — the contract says that can never change output bits.
+void add_zeros(Rng& rng, std::vector<float>& data) {
+  for (float& x : data)
+    if (rng.uniform(0.0f, 1.0f) < 0.2f) x = 0.0f;
+}
+
+std::vector<int16_t> random_i16(Rng& rng, int64_t n) {
+  // The int8 conv operands: zero-point-subtracted bytes, so [-255, 255].
+  std::vector<int16_t> out(static_cast<size_t>(n));
+  for (int16_t& x : out)
+    x = static_cast<int16_t>(rng.randint(-255, 255));
+  return out;
+}
+
+std::vector<int8_t> random_i8(Rng& rng, int64_t n) {
+  std::vector<int8_t> out(static_cast<size_t>(n));
+  for (int8_t& x : out)
+    x = static_cast<int8_t>(rng.randint(-128, 127));
+  return out;
+}
+
+void expect_bits_equal(const std::vector<float>& a, const std::vector<float>& b,
+                       const char* what, KernelVariant v) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << " diverges from scalar on tier " << variant_name(v);
+}
+
+TEST(SimdKernelExactness, ConvBlock16) {
+  Rng rng(101);
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (const int64_t taps : {int64_t{1}, int64_t{7}, int64_t{27}, int64_t{75}}) {
+      for (int rows = 1; rows <= 4; ++rows) {
+        const int64_t w_stride = taps + 3;   // padded strides exercised
+        const int64_t slab_stride = 16 + 5;
+        auto w = random_floats(rng, 4 * w_stride);
+        add_zeros(rng, w);
+        const auto slab = random_floats(rng, taps * slab_stride);
+        std::vector<float> want(4 * 20, -7.0f), got = want;
+        scalar_table().conv_block16(w.data(), w_stride, rows, slab.data(), taps,
+                                    slab_stride, want.data(), 20);
+        kd->conv_block16(w.data(), w_stride, rows, slab.data(), taps, slab_stride,
+                         got.data(), 20);
+        expect_bits_equal(want, got, "conv_block16", kd->variant);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelExactness, GemmBlock) {
+  Rng rng(102);
+  for (const KernelDispatch* kd : vector_tiers()) {
+    // Full tiles, ragged tails in every dimension, and the degenerate edges.
+    const int64_t sizes[][3] = {{1, 1, 1},   {4, 64, 32}, {5, 33, 7},
+                                {3, 16, 24}, {2, 95, 11}, {7, 8, 3}};
+    for (const auto& [mb, nb, kb] : sizes) {
+      auto a = random_floats(rng, mb * kb);
+      add_zeros(rng, a);
+      const auto b = random_floats(rng, kb * nb);
+      auto want = random_floats(rng, mb * nb);  // gemm_block accumulates into C
+      auto got = want;
+      scalar_table().gemm_block(mb, nb, kb, a.data(), kb, b.data(), nb, want.data(), nb);
+      kd->gemm_block(mb, nb, kb, a.data(), kb, b.data(), nb, got.data(), nb);
+      expect_bits_equal(want, got, "gemm_block", kd->variant);
+    }
+  }
+}
+
+TEST(SimdKernelExactness, Saxpy) {
+  Rng rng(103);
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (const int64_t n : {int64_t{1}, int64_t{8}, int64_t{15}, int64_t{64},
+                            int64_t{100}}) {
+      const auto x = random_floats(rng, n);
+      const float a = rng.uniform(-2.0f, 2.0f);
+      auto want = random_floats(rng, n);
+      auto got = want;
+      scalar_table().saxpy(a, x.data(), n, want.data());
+      kd->saxpy(a, x.data(), n, got.data());
+      expect_bits_equal(want, got, "saxpy", kd->variant);
+    }
+  }
+}
+
+TEST(SimdKernelExactness, Int8Dots) {
+  Rng rng(104);
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (int64_t count = 0; count <= 70; ++count) {
+      const auto w0 = random_i16(rng, count), w1 = random_i16(rng, count);
+      const auto w2 = random_i16(rng, count), w3 = random_i16(rng, count);
+      const auto patch = random_i16(rng, count);
+      EXPECT_EQ(kd->int8_dot(w0.data(), patch.data(), count),
+                scalar_table().int8_dot(w0.data(), patch.data(), count))
+          << "count " << count << " tier " << variant_name(kd->variant);
+      int32_t want[4], got[4];
+      scalar_table().int8_dot4(w0.data(), w1.data(), w2.data(), w3.data(),
+                               patch.data(), count, want);
+      kd->int8_dot4(w0.data(), w1.data(), w2.data(), w3.data(), patch.data(), count,
+                    got);
+      for (int j = 0; j < 4; ++j)
+        EXPECT_EQ(got[j], want[j])
+            << "dot4 lane " << j << " count " << count << " tier "
+            << variant_name(kd->variant);
+    }
+  }
+}
+
+TEST(SimdKernelExactness, LutStream) {
+  Rng rng(105);
+  const auto lut = random_i8(rng, 256);
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (const int64_t n : {int64_t{1}, int64_t{63}, int64_t{64}, int64_t{65},
+                            int64_t{200}, int64_t{1024}}) {
+      const auto in = random_i8(rng, n);
+      std::vector<int8_t> want(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+      scalar_table().lut_stream(in.data(), lut.data(), n, want.data());
+      kd->lut_stream(in.data(), lut.data(), n, got.data());
+      EXPECT_EQ(want, got) << "lut_stream n=" << n << " tier "
+                           << variant_name(kd->variant);
+      // Exact aliasing (out == in) is part of the contract.
+      got = in;
+      kd->lut_stream(got.data(), lut.data(), n, got.data());
+      EXPECT_EQ(want, got) << "aliased lut_stream n=" << n << " tier "
+                           << variant_name(kd->variant);
+    }
+  }
+}
+
+TEST(SimdKernelExactness, Int8ConvCols16) {
+  Rng rng(107);
+  // Row stride leaves the slack the AVX-512 pair loads need (they touch up to
+  // 15 elements past the last kernel column of the block — kPatchSlack's
+  // bound). Slack holds random data: every touched-but-unused lane must be
+  // discarded by the permute or nulled by a zero weight, so garbage there is
+  // exactly what the test wants.
+  constexpr int64_t kRowStride = 64;
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (const int64_t k : {int64_t{1}, int64_t{3}, int64_t{5}}) {
+      const int64_t kw_pairs = (k + 1) / 2, kceil = 2 * kw_pairs;
+      for (const int64_t in_c : {int64_t{1}, int64_t{3}, int64_t{16}}) {
+        for (int64_t kh_count = 1; kh_count <= k; ++kh_count) {
+          for (int rows = 1; rows <= 4; ++rows) {
+            const int64_t w_stride = in_c * k * kceil;
+            auto w = random_i16(rng, rows * w_stride);
+            // Null the padded kw slots — the layout contract.
+            if (k % 2 != 0)
+              for (int r = 0; r < rows; ++r)
+                for (int64_t g = 0; g < in_c * k; ++g)
+                  w[static_cast<size_t>(r * w_stride + g * kceil + k)] = 0;
+            const int64_t ic_stride = k * kRowStride;
+            const auto img = random_i16(rng, in_c * ic_stride);
+            // Clipped rows enter via the weight-group offset, exactly as
+            // int8_conv2d_nchw's direct path calls the kernel.
+            const int64_t kh_lo = k - kh_count;
+            std::vector<int32_t> want(static_cast<size_t>(rows * 16), -1);
+            std::vector<int32_t> got(static_cast<size_t>(rows * 16), -2);
+            scalar_table().int8_conv_cols16(w.data() + kh_lo * kceil, w_stride, rows,
+                                            img.data() + kh_lo * kRowStride, ic_stride,
+                                            kRowStride, in_c, k, kh_count, kw_pairs,
+                                            want.data());
+            kd->int8_conv_cols16(w.data() + kh_lo * kceil, w_stride, rows,
+                                 img.data() + kh_lo * kRowStride, ic_stride,
+                                 kRowStride, in_c, k, kh_count, kw_pairs, got.data());
+            EXPECT_EQ(want, got)
+                << "k=" << k << " in_c=" << in_c << " kh_count=" << kh_count
+                << " rows=" << rows << " tier " << variant_name(kd->variant);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelExactness, Int8RequantRow) {
+  Rng rng(108);
+  const auto lut = random_i8(rng, 256);
+  // (multiplier, shift) pairs spanning total = 31 - shift of 0 (pure
+  // truncating convert), 1, mid, and large, plus the m == 0 encoding.
+  const std::pair<int32_t, int> scales[] = {
+      {0, 0},                   // m == 0: every output is out_zero (clamped)
+      {1 << 30, 31},            // total == 0
+      {(1 << 30) + 12345, 30},  // total == 1
+      {2147000000, 15},         // total == 16
+      {1073741824 + 7, -10},    // total == 41: heavy downscale
+  };
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (const auto& [multiplier, shift] : scales) {
+      for (const int64_t n :
+           {int64_t{1}, int64_t{7}, int64_t{8}, int64_t{9}, int64_t{16}, int64_t{100}}) {
+        std::vector<int32_t> acc(static_cast<size_t>(n));
+        // Wide range incl. saturation territory; keep |acc + bias| < 2^28 so
+        // acc + bias never overflows int32.
+        for (int32_t& x : acc) x = rng.randint(-(1 << 27), 1 << 27);
+        if (n >= 3) {
+          acc[0] = (1 << 27) - 1;
+          acc[1] = -(1 << 27);
+          acc[2] = 0;
+        }
+        const int32_t bias = rng.randint(-4096, 4096);
+        const int32_t out_zero = rng.randint(-32, 32);
+        for (const int8_t* table : {static_cast<const int8_t*>(nullptr), lut.data()}) {
+          std::vector<int8_t> want(static_cast<size_t>(n), int8_t{-1});
+          std::vector<int8_t> got(static_cast<size_t>(n), int8_t{-2});
+          scalar_table().int8_requant_row(acc.data(), n, bias, multiplier, shift,
+                                          out_zero, table, want.data());
+          kd->int8_requant_row(acc.data(), n, bias, multiplier, shift, out_zero, table,
+                               got.data());
+          EXPECT_EQ(want, got)
+              << "multiplier=" << multiplier << " shift=" << shift << " n=" << n
+              << " lut=" << (table != nullptr) << " tier " << variant_name(kd->variant);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelExactness, Interleave2) {
+  Rng rng(106);
+  for (const KernelDispatch* kd : vector_tiers()) {
+    for (const int64_t n : {int64_t{1}, int64_t{15}, int64_t{16}, int64_t{17},
+                            int64_t{300}}) {
+      const auto a = random_i8(rng, n), b = random_i8(rng, n);
+      std::vector<int8_t> want(static_cast<size_t>(2 * n));
+      std::vector<int8_t> got(static_cast<size_t>(2 * n));
+      scalar_table().interleave2(a.data(), b.data(), n, want.data());
+      kd->interleave2(a.data(), b.data(), n, got.data());
+      EXPECT_EQ(want, got) << "interleave2 n=" << n << " tier "
+                           << variant_name(kd->variant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sesr::simd
