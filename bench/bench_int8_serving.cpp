@@ -10,9 +10,17 @@
 // thread (SESR_NUM_THREADS=1: kernel arithmetic is the variable, not the
 // pool).
 //
-// Full mode gates on the acceptance target: >= 1.8x int8-over-fp32
+// Since the copy-and-patch tier landed, each net also compiles a third plan
+// under SESR_KERNEL_VARIANT=jit (when the JIT is available in-process) and
+// reports its throughput plus the compile-side counters (jit_ops,
+// jit_compile_ms, jit_code_bytes); jit outputs are bit-exact vs the int8
+// plan by construction, enforced here as a hard check.
+//
+// Full mode gates on the acceptance targets: >= 1.8x int8-over-fp32
 // throughput for collapsed SESR-M5 (raised from 1.5x when the explicit
-// VNNI int8 kernels landed — the autovec floor). SESR_BENCH_FAST=1 shrinks the image and
+// VNNI int8 kernels landed — the autovec floor), and a jit-over-int8
+// single-thread latency win (> 1.0x) on the same net when the JIT tier is
+// available. SESR_BENCH_FAST=1 shrinks the image and
 // the timing windows and gates on fidelity only (CI smoke). Emits
 // BENCH_int8_serving.json (images/sec, PSNR) either way.
 #include <chrono>
@@ -27,6 +35,7 @@
 #include "data/metrics.h"
 #include "models/models.h"
 #include "quant/quant.h"
+#include "runtime/jit/jit.h"
 #include "runtime/runtime.h"
 #include "tensor/simd/dispatch.h"
 
@@ -116,21 +125,41 @@ int main() {
   Rng probe_rng(10);
   const Tensor probe = Tensor::rand(shape, probe_rng);
 
+  const bool jit = runtime::jit::available();
   bench::BenchJson json("int8_serving");
   json.set_string("kernel_variant", simd::variant_name(simd::active_variant()));
   json.set("kernel_variant_forced", simd::variant_forced() ? 1.0 : 0.0);
-  std::printf("%-10s | %-14s %-14s %-9s | %-10s %-10s\n", "model", "fp32 img/s",
-              "int8 img/s", "speedup", "PSNR (dB)", "ref (LSB)");
+  json.set("jit_available", jit ? 1.0 : 0.0);
+  std::printf("%-10s | %-14s %-14s %-9s | %-14s %-7s | %-10s %-10s\n", "model",
+              "fp32 img/s", "int8 img/s", "speedup", "jit img/s", "jit x",
+              "PSNR (dB)", "ref (LSB)");
   std::printf("--------------------------------------------------------------------------------\n");
 
   bool fidelity_ok = true;
   bool arena_ok = true;
+  bool jit_exact_ok = true;
   double gate_speedup = 0.0;
+  double gate_jit_speedup = 0.0;
   for (Row& row : rows) {
     const auto artifact = quant::QuantizedModel::calibrate(*row.net, shape, calibration);
     const auto fp32_plan = runtime::Program::compile(*row.net, shape);
     const auto int8_plan = runtime::Program::compile_int8(*row.net, shape, artifact);
     runtime::Session fp32_session(fp32_plan), int8_session(int8_plan);
+
+    // Third plan: the same module compiled under the copy-and-patch tier.
+    // Flip the knob only around the compile — tier choice is a compile-time
+    // property of the plan, so the int8 row above keeps its own stamp.
+    std::shared_ptr<const runtime::Program> jit_plan;
+    if (jit) {
+      const char* prev = getenv("SESR_KERNEL_VARIANT");
+      const std::string saved = prev ? prev : "";
+      setenv("SESR_KERNEL_VARIANT", "jit", 1);
+      jit_plan = runtime::Program::compile_int8(*row.net, shape, artifact);
+      if (prev)
+        setenv("SESR_KERNEL_VARIANT", saved.c_str(), 1);
+      else
+        unsetenv("SESR_KERNEL_VARIANT");
+    }
 
     const Tensor fp32_out = fp32_session.run(probe);
     const Tensor int8_out = int8_session.run(probe);
@@ -151,8 +180,33 @@ int main() {
     const double speedup = int8_rate / fp32_rate;
     if (row.gates) gate_speedup = speedup;
 
-    std::printf("%-10s | %-14.1f %-14.1f %-9s | %-10.2f %-10.2f\n", row.label.c_str(),
-                fp32_rate, int8_rate, (bench::fixed(speedup) + "x").c_str(), psnr, lsb);
+    double jit_rate = 0.0, jit_speedup = 0.0;
+    if (jit_plan != nullptr) {
+      runtime::Session jit_session(jit_plan);
+      // Hard fidelity check: the jit plan must be bit-exact vs the int8 plan
+      // (per-op fallback and edge rows share the base tier's arithmetic).
+      if (jit_session.run(probe).max_abs_diff(int8_out) != 0.0f) jit_exact_ok = false;
+      Tensor jit_dst(jit_plan->output_shape());
+      std::vector<double> jit_latencies;
+      jit_rate = measure_imgs_per_sec(
+          seconds, [&] { jit_session.run_into(probe, jit_dst); }, jit_latencies);
+      jit_speedup = jit_rate / int8_rate;
+      if (row.gates) gate_jit_speedup = jit_speedup;
+      const std::string key = bench::json_key(row.label);
+      json.set(key + ".int8_jit_imgs_per_sec", jit_rate);
+      json.set(key + ".jit_speedup_vs_int8", jit_speedup);
+      json.set(key + ".jit_ops", static_cast<double>(jit_plan->jit_ops()));
+      json.set(key + ".jit_compile_ms", jit_plan->jit_compile_ms());
+      json.set(key + ".jit_code_bytes", static_cast<double>(jit_plan->jit_code_bytes()));
+      bench::set_latency_metrics(json, key + ".int8_jit",
+                                 bench::summarize_latency(jit_latencies));
+    }
+
+    std::printf("%-10s | %-14.1f %-14.1f %-9s | %-14.1f %-7s | %-10.2f %-10.2f\n",
+                row.label.c_str(), fp32_rate, int8_rate,
+                (bench::fixed(speedup) + "x").c_str(), jit_rate,
+                jit_plan != nullptr ? (bench::fixed(jit_speedup) + "x").c_str() : "n/a",
+                psnr, lsb);
     std::fflush(stdout);
 
     const std::string key = bench::json_key(row.label);
@@ -181,6 +235,8 @@ int main() {
   json.set("gate.speedup_sesr_m5", gate_speedup);
   json.set("gate.threshold", 1.8);
   json.set("gate.arena_peak_le_sum", arena_ok ? 1.0 : 0.0);
+  json.set("gate.jit_speedup_sesr_m5", gate_jit_speedup);
+  json.set("gate.jit_exact", jit_exact_ok ? 1.0 : 0.0);
   json.write();
 
   std::printf("\n-> fidelity: every net within 1 LSB of the fake-quant gold model [%s]\n",
@@ -189,9 +245,17 @@ int main() {
               arena_ok ? "PASS" : "FAIL");
   std::printf("-> SESR-M5 int8-over-fp32 single-thread speedup: %.2fx (target >= 1.8x) [%s]\n",
               gate_speedup, gate_speedup >= 1.8 ? "PASS" : "FAIL");
-  if (!fidelity_ok || !arena_ok) return 1;
+  if (jit) {
+    std::printf("-> jit plans bit-exact vs int8 plans for every net [%s]\n",
+                jit_exact_ok ? "PASS" : "FAIL");
+    std::printf("-> SESR-M5 jit-over-int8 single-thread latency win: %.2fx (target > 1.0x) [%s]\n",
+                gate_jit_speedup, gate_jit_speedup > 1.0 ? "PASS" : "FAIL");
+  }
+  if (!fidelity_ok || !arena_ok || !jit_exact_ok) return 1;
   // Smoke mode gates on fidelity only: sub-second windows on shared CI
   // runners are too noisy for a hard throughput ratio.
   if (fast) return 0;
-  return gate_speedup >= 1.8 ? 0 : 1;
+  if (gate_speedup < 1.8) return 1;
+  // The jit latency gate binds only where the tier exists in-process.
+  return !jit || gate_jit_speedup > 1.0 ? 0 : 1;
 }

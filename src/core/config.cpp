@@ -129,11 +129,25 @@ const std::vector<ConfigSpec>& config_specs() {
                   "shard processes (tests, benches, `dist::LocalCluster`). Unset, the "
                   "build-time target location is used."),
       string_spec("SESR_KERNEL_VARIANT", "", "`native` (strongest cpuid tier)",
-                  "Forces the SIMD kernel tier (`scalar`, `avx2`, `avx512vnni`; "
-                  "clamped to what the CPU supports). Read at `Program` compile time "
-                  "by the variant-selection pass — already-compiled programs keep "
-                  "their recorded tier. Int8 output is bit-exact across tiers; fp32 "
-                  "is bit-identical by the fixed lane-order contract."),
+                  "Forces the kernel tier (`scalar`, `avx2`, `avx512vnni`, `jit`; "
+                  "clamped to what the CPU and build support). Read at `Program` "
+                  "compile time by the variant-selection pass — already-compiled "
+                  "programs keep their recorded tier. `jit` layers plan-compile-time "
+                  "copy-and-patch stencils on the strongest SIMD tier, falling back "
+                  "per op when no stencil fits. Int8 output is bit-exact across "
+                  "tiers; fp32 is bit-identical by the fixed lane-order contract."),
+      int_spec("SESR_JIT_ARENA_BYTES", int64_t{16} << 20, int64_t{64} << 10,
+               int64_t{1} << 30, "16M",
+               "Ceiling on one compiled program's JIT code arena (patched stencil "
+               "code + baked LUT blobs). A program whose specialized kernels would "
+               "exceed it JIT-compiles what fits and falls back to the base SIMD "
+               "tier for the rest."),
+      string_spec("SESR_JIT_DISABLE_STENCILS", "", "empty (all stencils usable)",
+                  "Comma-separated stencil deny-list for the JIT tier, matched "
+                  "against bare stencil names (`conv16_k3_r4_a1`), "
+                  "flavor-qualified names (`vnni:conv16_k3_r4_a1`), or `all`. "
+                  "Denied stencils are treated as missing, exercising the per-op "
+                  "fallback ladder — a test/debug seam, not an operator knob."),
   };
   return specs;
 }

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/config.h"
+#include "runtime/passes/passes.h"
+#include "tensor/simd/dispatch.h"
 
 namespace sesr::models {
 namespace {
@@ -16,6 +18,17 @@ namespace {
 /// own). Read through the typed config layer per call (once per session
 /// return) so the knob can change at run time.
 int64_t idle_session_cap() { return core::config_int64("SESR_SESSION_CAP"); }
+
+/// Plan/session-pool cache key: shape AND the kernel tier a plan compiled
+/// right now would be stamped with. Programs snapshot their tier at compile
+/// time, so a shape-only key would keep serving a stale tier after
+/// SESR_KERNEL_VARIANT changes (or the jit tier flips availability) —
+/// per-tier keys make an environment flip compile fresh plans while old
+/// checkouts drain against their own entries.
+std::string plan_key(const Shape& input) {
+  return input.to_string() + "|" +
+         simd::variant_name(runtime::resolved_kernel_variant());
+}
 
 }  // namespace
 
@@ -52,7 +65,7 @@ int64_t NetworkUpscaler::macs_for(const Shape& single_image_chw) const {
 
 std::shared_ptr<const runtime::Program> NetworkUpscaler::plan_for(const Shape& input) {
   if (!compilable_) return nullptr;
-  const std::string key = input.to_string();
+  const std::string key = plan_key(input);
   // Compiling under the lock serialises only each shape's first-ever call
   // (steady-state lookups are a map find); correctness first, and plans for
   // repeated shapes are exactly what the cache is for.
@@ -123,13 +136,13 @@ std::shared_ptr<const quant::QuantizedModel> NetworkUpscaler::quantized_model() 
 
 int64_t NetworkUpscaler::idle_session_count(const Shape& input) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = session_pools_.find(input.to_string());
+  const auto it = session_pools_.find(plan_key(input));
   return it == session_pools_.end() ? 0 : static_cast<int64_t>(it->second.idle.size());
 }
 
 int64_t NetworkUpscaler::live_session_count(const Shape& input) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = session_pools_.find(input.to_string());
+  const auto it = session_pools_.find(plan_key(input));
   return it == session_pools_.end() ? 0 : it->second.live;
 }
 
@@ -137,7 +150,7 @@ void NetworkUpscaler::warmup(const Shape& input, int sessions) {
   if (!compilable_) return;
   const auto plan = plan_for(input);  // compiles (and caches) at most once
   const int64_t target = std::min<int64_t>(std::max(sessions, 0), idle_session_cap());
-  const std::string key = input.to_string();
+  const std::string key = plan_key(input);
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -169,7 +182,7 @@ void NetworkUpscaler::warmup(const Shape& input, int sessions) {
 std::unique_ptr<runtime::Session> NetworkUpscaler::checkout_session(const Shape& input) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    SessionPool& pool = session_pools_[input.to_string()];
+    SessionPool& pool = session_pools_[plan_key(input)];
     ++pool.live;
     pool.peak = std::max(pool.peak, pool.live);
     if (!pool.idle.empty()) {
@@ -201,7 +214,7 @@ void NetworkUpscaler::return_session(const Shape& input,
   // shape (the serving state was reset — precision switch or artifact swap —
   // while it was checked out) is likewise dropped: precision alone cannot
   // tell a stale int8 artifact's session from the current one.
-  const std::string key = input.to_string();
+  const std::string key = plan_key(input);
   std::lock_guard<std::mutex> lock(mutex_);
   SessionPool& pool = session_pools_[key];
   --pool.live;

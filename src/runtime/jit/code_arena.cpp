@@ -1,0 +1,89 @@
+#include "runtime/jit/code_arena.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define SESR_JIT_HAVE_MMAP 1
+#endif
+
+namespace sesr::runtime::jit {
+
+namespace {
+
+size_t page_size() {
+#ifdef SESR_JIT_HAVE_MMAP
+  static const size_t ps = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+#else
+  return 4096;
+#endif
+}
+
+size_t round_up(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+CodeArena::~CodeArena() {
+#ifdef SESR_JIT_HAVE_MMAP
+  if (base_ != nullptr) munmap(base_, map_size_);
+#endif
+}
+
+bool CodeArena::reserve(size_t code_bytes, size_t data_bytes) {
+#ifdef SESR_JIT_HAVE_MMAP
+  if (base_ != nullptr || code_bytes == 0) return false;
+  const size_t ps = page_size();
+  code_cap_ = round_up(code_bytes, ps);
+  data_cap_ = round_up(data_bytes, ps);
+  map_size_ = code_cap_ + data_cap_;
+  void* mem = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    base_ = nullptr;
+    map_size_ = code_cap_ = data_cap_ = 0;
+    return false;
+  }
+  base_ = static_cast<unsigned char*>(mem);
+  return true;
+#else
+  (void)code_bytes;
+  (void)data_bytes;
+  return false;
+#endif
+}
+
+unsigned char* CodeArena::alloc_code(size_t size, size_t align) {
+  if (base_ == nullptr || finalized_ || size == 0) return nullptr;
+  const size_t at = round_up(code_used_, align);
+  if (at + size > code_cap_) return nullptr;
+  code_used_ = at + size;
+  return base_ + at;
+}
+
+unsigned char* CodeArena::alloc_data(size_t size, size_t align) {
+  if (base_ == nullptr || finalized_ || size == 0) return nullptr;
+  const size_t at = round_up(data_used_, align);
+  if (at + size > data_cap_) return nullptr;
+  data_used_ = at + size;
+  return base_ + code_cap_ + at;
+}
+
+bool CodeArena::finalize() {
+#ifdef SESR_JIT_HAVE_MMAP
+  if (base_ == nullptr || finalized_) return false;
+  if (mprotect(base_, code_cap_, PROT_READ | PROT_EXEC) != 0) return false;
+  if (data_cap_ != 0 && mprotect(base_ + code_cap_, data_cap_, PROT_READ) != 0)
+    return false;
+  finalized_ = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CodeArena::contains_code(const void* p) const {
+  const unsigned char* b = static_cast<const unsigned char*>(p);
+  return base_ != nullptr && b >= base_ && b < base_ + code_cap_;
+}
+
+}  // namespace sesr::runtime::jit

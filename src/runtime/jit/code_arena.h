@@ -1,0 +1,67 @@
+// W^X executable code arena for the copy-and-patch JIT tier.
+//
+// One arena per compiled Program, owned by the program's JitModule exactly
+// like the plan arena is owned by the plan: built once at plan-compile time,
+// immutable afterwards, shared read-only by every Session executing the
+// program. The lifecycle is strictly two-phase —
+//
+//   reserve(code, data)      mmap one RW region sized up front
+//   alloc_code / alloc_data  bump-allocate, memcpy stencils, patch holes
+//   finalize()               mprotect code pages RX, data pages R
+//
+// — so writable and executable are never simultaneously true (W^X), and
+// after finalize() the mapping can never be written again: alloc_* refuse,
+// and there is no way back to PROT_WRITE. Patching failures surface as
+// `false`/nullptr returns, never as partial executable state — callers fall
+// back to the base SIMD tier per op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sesr::runtime::jit {
+
+class CodeArena {
+ public:
+  CodeArena() = default;
+  ~CodeArena();
+  CodeArena(const CodeArena&) = delete;
+  CodeArena& operator=(const CodeArena&) = delete;
+
+  /// Map one RW region with room for `code_bytes` of code and `data_bytes`
+  /// of baked constant data (both rounded up to whole pages; the data region
+  /// starts on its own page so the two can take different final protections).
+  /// False when mmap refuses or the arena is already reserved.
+  [[nodiscard]] bool reserve(size_t code_bytes, size_t data_bytes);
+
+  /// Bump-allocate from the code / data region (align must be a power of
+  /// two). Null when out of space, not yet reserved, or already finalized.
+  [[nodiscard]] unsigned char* alloc_code(size_t size, size_t align = 64);
+  [[nodiscard]] unsigned char* alloc_data(size_t size, size_t align = 64);
+
+  /// Flip the code region to R+X and the data region to R. After this the
+  /// arena is immutable — alloc_* return null forever. False when mprotect
+  /// fails (the arena is then unusable and executable code is never exposed).
+  [[nodiscard]] bool finalize();
+
+  [[nodiscard]] bool reserved() const { return base_ != nullptr; }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] size_t code_bytes_used() const { return code_used_; }
+  [[nodiscard]] size_t data_bytes_used() const { return data_used_; }
+  [[nodiscard]] size_t bytes_mapped() const { return map_size_; }
+
+  /// Whether `p` points into the (finalized) code region — test hook for
+  /// asserting where patched entry points actually live.
+  [[nodiscard]] bool contains_code(const void* p) const;
+
+ private:
+  unsigned char* base_ = nullptr;  ///< whole mapping; code region first
+  size_t map_size_ = 0;
+  size_t code_cap_ = 0;  ///< page-rounded code region size
+  size_t data_cap_ = 0;
+  size_t code_used_ = 0;
+  size_t data_used_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sesr::runtime::jit

@@ -1,0 +1,478 @@
+#include "runtime/jit/jit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "core/config.h"
+#include "runtime/passes/passes.h"
+#include "runtime/program.h"
+#include "tensor/int8_kernels.h"
+#include "tensor/parallel.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/workspace.h"
+
+namespace sesr::runtime::jit {
+
+namespace {
+
+size_t round64(size_t v) { return (v + 63) & ~size_t{63}; }
+
+/// The stencil a conv op's oc block wants from the `cols`-wide family (16 or
+/// 32 output columns per call): the IC-unrolled specialization for the zoo's
+/// hot (k, in_c) combinations on full 4-row blocks, the IC-generic grid
+/// otherwise.
+std::string conv_stencil_name(int cols, int64_t k, int64_t in_c, int rows, bool act) {
+  const char a = act ? '1' : '0';
+  const std::string fam = "conv" + std::to_string(cols) + "_k" + std::to_string(k);
+  if (rows == 4 && (k == 3 || k == 5) && (in_c == 3 || in_c == 16))
+    return fam + "ic" + std::to_string(in_c) + "_r4_a" + a;
+  return fam + "_r" + std::to_string(rows) + "_a" + a;
+}
+
+/// Resolve every oc block's stencil from one family; false (and cleared
+/// outputs) when any block misses — families are all-or-nothing per op so
+/// the driver steps a single column width.
+bool find_conv_family(int cols, int64_t k, int64_t in_c, int64_t out_c, bool act,
+                      std::vector<const StencilDesc*>& stencils,
+                      std::vector<const StencilSetDef*>& sets) {
+  stencils.clear();
+  sets.clear();
+  for (int64_t oc = 0; oc < out_c; oc += 4) {
+    const int rows = static_cast<int>(std::min<int64_t>(4, out_c - oc));
+    const std::string name = conv_stencil_name(cols, k, in_c, rows, act);
+    const StencilSetDef* set = nullptr;
+    const StencilDesc* desc = find_stencil(name.c_str(), &set);
+    if (desc == nullptr) {
+      stencils.clear();
+      sets.clear();
+      return false;
+    }
+    stencils.push_back(desc);
+    sets.push_back(set);
+  }
+  return true;
+}
+
+/// The widest family the op's geometry and the built stencil set can serve:
+/// 32 when every block resolves in the wide family, else 16, else 0.
+int pick_conv_family(int64_t k, int64_t in_c, int64_t out_c, int64_t out_w, bool act,
+                     std::vector<const StencilDesc*>& stencils,
+                     std::vector<const StencilSetDef*>& sets) {
+  if (out_w >= 32 && find_conv_family(32, k, in_c, out_c, act, stencils, sets))
+    return 32;
+  if (find_conv_family(16, k, in_c, out_c, act, stencils, sets)) return 16;
+  return 0;
+}
+
+/// One op's compile plan, gathered before the arena is sized so the whole
+/// module is allocated in a single reservation.
+struct OpPlan {
+  size_t op_index = 0;
+  JitOp::Kind kind = JitOp::Kind::kConv;
+  // conv: one (stencil, set) per oc block; lut/add: exactly one.
+  std::vector<const StencilDesc*> stencils;
+  std::vector<const StencilSetDef*> sets;
+  size_t code_bytes = 0;
+  size_t data_bytes = 0;  ///< arena-baked tables (lut256)
+};
+
+bool plan_conv(const Program& program, const Op& op, OpPlan& plan) {
+  const QStepData& q = program.qdata()[static_cast<size_t>(op.qdata)];
+  const Shape& out_shape = program.buffers()[static_cast<size_t>(op.output)].shape;
+  const int64_t k = q.kernel;
+  if (q.weights_kw.empty() || q.stride != 1 || out_shape[3] < 16) return false;
+  if (k != 1 && k != 3 && k != 5) return false;
+  const bool act = !q.act_lut.empty();
+  if (pick_conv_family(k, q.in_c, q.out_c, out_shape[3], act, plan.stencils,
+                       plan.sets) == 0)
+    return false;  // missing / denied / corrupt
+  for (const StencilDesc* desc : plan.stencils) plan.code_bytes += round64(desc->size);
+  plan.kind = JitOp::Kind::kConv;
+  return true;
+}
+
+bool plan_lut(OpPlan& plan, JitOp::Kind kind, const char* stencil_name,
+              size_t data_bytes) {
+  const StencilSetDef* set = nullptr;
+  const StencilDesc* desc = find_stencil(stencil_name, &set);
+  if (desc == nullptr) return false;
+  plan.stencils.push_back(desc);
+  plan.sets.push_back(set);
+  plan.code_bytes = round64(desc->size);
+  plan.data_bytes = data_bytes;
+  plan.kind = kind;
+  return true;
+}
+
+}  // namespace
+
+unsigned char* patch_stencil(CodeArena& arena, const StencilDesc& stencil,
+                             const StencilSetDef& set,
+                             const int64_t hole_values[kNumHoles]) {
+  if (!validate_stencil(stencil, set)) return nullptr;
+  unsigned char* code = arena.alloc_code(stencil.size);
+  if (code == nullptr) return nullptr;
+  std::memcpy(code, stencil.code, stencil.size);
+  for (uint32_t i = 0; i < stencil.hole_count; ++i) {
+    const StencilHole& h = stencil.holes[i];
+    const int64_t value = hole_values[h.hole] + h.addend;
+    std::memcpy(code + h.code_offset, &value, sizeof(value));
+  }
+  for (uint32_t i = 0; i < stencil.rodata_count; ++i) {
+    const StencilRodataRef& r = stencil.rodata[i];
+    const uint64_t value = reinterpret_cast<uint64_t>(set.blobs[r.blob].data) +
+                           static_cast<uint64_t>(r.addend);
+    std::memcpy(code + r.code_offset, &value, sizeof(value));
+  }
+  return code;
+}
+
+bool patch_conv(CodeArena& arena, const Int8ConvSpec& spec, int64_t h, int64_t w,
+                int64_t out_h, int64_t out_w, JitConvOp& out) {
+  out.blocks.clear();
+  const int64_t k = spec.kernel;
+  if (spec.weights_kw == nullptr || spec.requant == nullptr || spec.stride != 1 ||
+      out_w < 16)
+    return false;
+  if (k != 1 && k != 3 && k != 5) return false;
+  const int64_t kceil = 2 * int8_kw_pairs(k);
+  const int64_t w_stride = spec.in_c * k * kceil;
+  const int64_t prow_w = w + 2 * spec.pad + kInt8ConvPatchSlack;
+  const int64_t lut_stride = spec.act_lut_channels > 1 ? 256 : 0;
+  const bool act = spec.act_lut != nullptr;
+  std::vector<const StencilDesc*> stencils;
+  std::vector<const StencilSetDef*> sets;
+  out.cols = pick_conv_family(k, spec.in_c, spec.out_c, out_w, act, stencils, sets);
+  if (out.cols == 0) {
+    out.cols = 16;
+    return false;
+  }
+  for (int64_t oc0 = 0; oc0 < spec.out_c; oc0 += 4) {
+    const size_t b = static_cast<size_t>(oc0 / 4);
+    const int rows = static_cast<int>(std::min<int64_t>(4, spec.out_c - oc0));
+    const StencilDesc* desc = stencils[b];
+    const StencilSetDef* set = sets[b];
+    int64_t holes[kNumHoles] = {};
+    for (int r = 0; r < rows; ++r) {
+      const int64_t c = oc0 + r;
+      holes[kHoleConvW0 + r] = reinterpret_cast<int64_t>(spec.weights_kw + c * w_stride);
+      holes[kHoleConvBias0 + r] = spec.bias == nullptr ? 0 : spec.bias[c];
+      const FixedPointMultiplier& fp = spec.requant[c];
+      // The uniform requant formula (see stencils_tu.cpp) encodes the
+      // degenerate cases by patched constants: m == 0 -> mult 0 and total 0
+      // (product and nudge both 0); total == 0 -> nudge 0 and a 0-bit shift
+      // (exact truncation) — bit-identical to FixedPointMultiplier::apply in
+      // every case.
+      const int total = fp.multiplier == 0 ? 0 : 31 - fp.shift;
+      holes[kHoleConvMult0 + r] = fp.multiplier;
+      holes[kHoleConvTotal0 + r] = total;
+      holes[kHoleConvNudge0 + r] = total > 0 ? int64_t{1} << (total - 1) : 0;
+      if (act)
+        holes[kHoleConvActLut0 + r] =
+            reinterpret_cast<int64_t>(spec.act_lut + c * lut_stride);
+    }
+    holes[kHoleConvIcStride] = h * prow_w;
+    holes[kHoleConvRowStride] = prow_w;
+    holes[kHoleConvInC] = spec.in_c;
+    holes[kHoleConvOutStride] = out_h * out_w;
+    holes[kHoleConvOutZero] = spec.out_zero;
+    unsigned char* code = patch_stencil(arena, *desc, *set, holes);
+    if (code == nullptr) {
+      out.blocks.clear();
+      return false;
+    }
+    out.blocks.push_back(reinterpret_cast<ConvBlockFn>(code));
+    out.stencil = desc->name;
+  }
+  return !out.blocks.empty();
+}
+
+bool available() {
+  // One probe per process: patch the scalar lut256 stencil with an identity
+  // table and execute it. Proves the whole chain — stencils compiled in,
+  // RW->RX mprotect permitted, patched code actually runs. Deliberately
+  // ignores the deny-list (a denied stencil is a routing decision, not an
+  // unavailable JIT).
+  static const bool ok = [] {
+    size_t n = 0;
+    const StencilSetDef* sets = stencil_sets(&n);
+    if (sets == nullptr || n == 0) return false;
+    const StencilSetDef* set = nullptr;
+    const StencilDesc* desc = nullptr;
+    for (size_t s = 0; s < n && desc == nullptr; ++s) {
+      if (std::string_view(sets[s].name) != "scalar") continue;
+      for (size_t i = 0; i < sets[s].stencil_count; ++i)
+        if (std::strcmp(sets[s].stencils[i].name, "lut256") == 0) {
+          set = &sets[s];
+          desc = &sets[s].stencils[i];
+          break;
+        }
+    }
+    if (desc == nullptr) return false;
+    CodeArena arena;
+    if (!arena.reserve(desc->size, 256)) return false;
+    unsigned char* table = arena.alloc_data(256);
+    if (table == nullptr) return false;
+    for (int i = 0; i < 256; ++i) table[i] = static_cast<unsigned char>(i - 128);
+    int64_t holes[kNumHoles] = {};
+    holes[kHoleLutTable] = reinterpret_cast<int64_t>(table);
+    holes[kHoleLutCount] = 16;
+    unsigned char* code = patch_stencil(arena, *desc, *set, holes);
+    if (code == nullptr || !arena.finalize()) return false;
+    int8_t in[16], out[16];
+    for (int i = 0; i < 16; ++i) {
+      in[i] = static_cast<int8_t>(i * 17 - 101);
+      out[i] = 0;
+    }
+    reinterpret_cast<LutStreamFn>(code)(in, out);
+    return std::memcmp(in, out, sizeof(in)) == 0;  // identity table round-trip
+  }();
+  return ok;
+}
+
+std::shared_ptr<const JitModule> detail_compile(Program& program);
+
+void compile_jit(Program& program) { detail_compile(program); }
+
+std::shared_ptr<const JitModule> detail_compile(Program& program) {
+  ProgramEditor editor(program);
+  if (editor.kernel_variant() != simd::KernelVariant::kJit) return nullptr;
+  const auto t0 = std::chrono::steady_clock::now();
+  const simd::KernelVariant base = simd::clamp_to_supported(simd::KernelVariant::kJit);
+
+  // Demote every dispatched op to the base tier up front; ops that compile
+  // below are promoted back to kJit. Ops the dispatch table never serves
+  // stay kScalar — exactly as under any other tier.
+  for (Op& op : editor.ops()) {
+    op.jit = -1;
+    if (op.dispatched) op.variant = base;
+  }
+
+  auto finish = [&](std::shared_ptr<JitModule> module) {
+    editor.jit_compile_ms() =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    editor.jit_ops() = module ? module->num_ops() : 0;
+    editor.jit_code_bytes() =
+        module ? static_cast<int64_t>(module->code_bytes()) : 0;
+    if (module) module->compile_ms_ = editor.jit_compile_ms();
+    editor.jit_module() = std::move(module);
+    return editor.jit_module();
+  };
+
+  if (!available()) return finish(nullptr);
+
+  // Pass 1: plan — which ops have stencils, and how much arena they need.
+  // The SESR_JIT_ARENA_BYTES budget is enforced here, in op order: an op
+  // that does not fit falls back, later smaller ops may still compile.
+  const size_t budget = static_cast<size_t>(core::config_int64("SESR_JIT_ARENA_BYTES"));
+  std::vector<OpPlan> plans;
+  size_t code_total = 0, data_total = 0;
+  const auto& ops = editor.ops();
+  for (size_t k = 0; k < ops.size(); ++k) {
+    const Op& op = ops[k];
+    if (op.qdata < 0) continue;
+    const QStepData& q = program.qdata()[static_cast<size_t>(op.qdata)];
+    OpPlan plan;
+    plan.op_index = k;
+    bool planned = false;
+    switch (op.kind) {
+      case Op::Kind::kQConv:
+        planned = plan_conv(program, op, plan);
+        break;
+      case Op::Kind::kQScale:
+        planned = plan_lut(plan, JitOp::Kind::kLut, "lut256", 256);
+        break;
+      case Op::Kind::kQActivation:
+        // Per-channel negative slopes need out_c tables with a per-plane
+        // driver — not a single patched stream; those stay on the base tier.
+        if (q.neg_per_channel.empty())
+          planned = plan_lut(plan, JitOp::Kind::kLut, "lut256", 256);
+        break;
+      case Op::Kind::kQAdd:
+        if (!q.add_lut.empty())
+          planned = plan_lut(plan, JitOp::Kind::kAdd, "add_lut", 0);
+        break;
+      default:
+        break;
+    }
+    if (!planned) continue;
+    if (code_total + plan.code_bytes + data_total + plan.data_bytes > budget) continue;
+    code_total += plan.code_bytes;
+    data_total += plan.data_bytes;
+    plans.push_back(std::move(plan));
+  }
+  if (plans.empty()) return finish(nullptr);
+
+  // Pass 2: reserve once, patch everything, then seal the arena W^X.
+  auto module = std::shared_ptr<JitModule>(new JitModule());
+  if (!module->arena_.reserve(code_total, data_total)) return finish(nullptr);
+
+  for (OpPlan& plan : plans) {
+    Op& op = editor.ops()[plan.op_index];
+    const QStepData& q = program.qdata()[static_cast<size_t>(op.qdata)];
+    const Shape& out_shape = program.buffers()[static_cast<size_t>(op.output)].shape;
+    const int64_t numel = out_shape.numel();
+    JitOp jop;
+    jop.kind = plan.kind;
+    bool ok = true;
+
+    switch (plan.kind) {
+      case JitOp::Kind::kConv: {
+        const Shape& in_shape = program.buffers()[static_cast<size_t>(op.input)].shape;
+        Int8ConvSpec spec;
+        spec.in_c = q.in_c;
+        spec.out_c = q.out_c;
+        spec.kernel = q.kernel;
+        spec.stride = q.stride;
+        spec.pad = q.pad;
+        spec.out_zero = q.out.zero_point;
+        spec.weights_kw = q.weights_kw.data();
+        spec.bias = q.bias.empty() ? nullptr : q.bias.data();
+        spec.requant = q.requant.data();
+        spec.act_lut = q.act_lut.empty() ? nullptr : q.act_lut.data();
+        spec.act_lut_channels = q.act_lut_channels;
+        ok = patch_conv(module->arena_, spec, in_shape[2], in_shape[3], out_shape[2],
+                        out_shape[3], jop.conv);
+        break;
+      }
+      case JitOp::Kind::kLut: {
+        unsigned char* table = module->arena_.alloc_data(256);
+        if (table == nullptr) {
+          ok = false;
+          break;
+        }
+        int8_t* lut = reinterpret_cast<int8_t*>(table);
+        if (op.kind == Op::Kind::kQScale) {
+          int8_rescale_build_lut(q.in_a.zero_point, q.m_a, q.out.zero_point, lut);
+        } else {
+          Int8ActivationSpec spec;
+          spec.in_zero = q.in_a.zero_point;
+          spec.out_zero = q.out.zero_point;
+          spec.pos = q.pos;
+          spec.neg = q.neg;
+          spec.out_cap = q.out_cap;
+          int8_activation_build_lut(spec, q.neg, lut);
+        }
+        int64_t holes[kNumHoles] = {};
+        holes[kHoleLutTable] = reinterpret_cast<int64_t>(table);
+        holes[kHoleLutCount] = numel;
+        unsigned char* code =
+            patch_stencil(module->arena_, *plan.stencils[0], *plan.sets[0], holes);
+        ok = code != nullptr;
+        if (ok) {
+          jop.lut = reinterpret_cast<LutStreamFn>(code);
+          jop.stencil = plan.stencils[0]->name;
+        }
+        break;
+      }
+      case JitOp::Kind::kAdd: {
+        // The 256x256 table already lives in the program's QStepData
+        // (immutable for the program's lifetime) — bake its address.
+        int64_t holes[kNumHoles] = {};
+        holes[kHoleAddTable] = reinterpret_cast<int64_t>(q.add_lut.data());
+        holes[kHoleAddCount] = numel;
+        unsigned char* code =
+            patch_stencil(module->arena_, *plan.stencils[0], *plan.sets[0], holes);
+        ok = code != nullptr;
+        if (ok) {
+          jop.add = reinterpret_cast<AddLutFn>(code);
+          jop.stencil = plan.stencils[0]->name;
+        }
+        break;
+      }
+    }
+
+    if (!ok) continue;  // op stays on the base tier; arena space is skipped
+    op.jit = module->num_ops();
+    op.variant = simd::KernelVariant::kJit;
+    module->ops_.push_back(std::move(jop));
+  }
+
+  // Seal W^X. If the flip fails nothing executable exists — drop the module
+  // and run the whole program on the base tier.
+  if (module->ops_.empty() || !module->arena_.finalize()) {
+    for (Op& op : editor.ops()) {
+      op.jit = -1;
+      if (op.dispatched) op.variant = base;
+    }
+    return finish(nullptr);
+  }
+  return finish(std::move(module));
+}
+
+void run_conv(const JitOp& jop, const Int8ConvSpec& spec, const int8_t* in, int64_t n,
+              int64_t h, int64_t w, int64_t out_h, int64_t out_w, int8_t* out,
+              Workspace& workspace, const simd::KernelDispatch& kd) {
+  // Identical padded-image layout to int8_conv2d_nchw — the stencils were
+  // patched against these exact strides.
+  const int64_t prow_w = w + 2 * spec.pad + kInt8ConvPatchSlack;
+  std::span<int16_t> padded = workspace.scratch<int16_t>(n * spec.in_c * h * prow_w);
+  for (int64_t i = 0; i < n; ++i)
+    int8_widen_padded_image(in + i * spec.in_c * h * w, spec.in_c, h, w, spec.pad,
+                            spec.in_zero, prow_w,
+                            padded.data() + i * spec.in_c * h * prow_w);
+
+  const int64_t out_hw = out_h * out_w;
+  const int64_t k = spec.kernel, pad = spec.pad;
+  const int64_t kw_pairs = int8_kw_pairs(k);
+  const int64_t kceil = 2 * kw_pairs;
+  const int64_t w_stride = spec.in_c * k * kceil;
+  const int64_t ic_stride = h * prow_w;
+  const int64_t lut_stride = spec.act_lut_channels > 1 ? 256 : 0;
+  const ConvBlockFn* const blocks = jop.conv.blocks.data();
+  const int64_t num_blocks = static_cast<int64_t>(jop.conv.blocks.size());
+  const int64_t cols = jop.conv.cols;
+
+  parallel_for(0, n * out_h, [&](int64_t lo, int64_t hi) {
+    alignas(64) int32_t acc[4 * 16];
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      const int64_t i = idx / out_h, oh = idx % out_h;
+      const int64_t kh_lo = std::max<int64_t>(0, pad - oh);
+      const int64_t kh_hi = std::min<int64_t>(k, h + pad - oh);
+      const int16_t* img_row0 =
+          padded.data() + i * spec.in_c * ic_stride + (oh - pad + kh_lo) * prow_w;
+      int8_t* out_row = out + i * spec.out_c * out_hw + oh * out_w;
+      if (kh_lo == 0 && kh_hi == k) {
+        // Interior row: every kernel row in bounds — the patched stencils'
+        // fixed-K loop nest applies as-is. `cols` is the patched family's
+        // block width; the tail shift recomputes overlapped columns, which
+        // is bit-exact (each output column is a pure function of the image).
+        for (int64_t ob0 = 0; ob0 < out_w; ob0 += cols) {
+          const int64_t ob = std::min(ob0, out_w - cols);
+          const int16_t* img = img_row0 + ob;
+          for (int64_t b = 0; b < num_blocks; ++b)
+            blocks[b](img, out_row + b * 4 * out_hw + ob);
+        }
+      } else {
+        // Vertically clipped edge row: the base tier's clipping-aware block
+        // kernel + requant — exactly int8_conv2d_nchw's direct path, so the
+        // row is bit-identical to the non-JIT result.
+        const int64_t kh_count = kh_hi - kh_lo;
+        for (int64_t ob0 = 0; ob0 < out_w; ob0 += 16) {
+          const int64_t ob = std::min(ob0, out_w - 16);
+          const int16_t* img = img_row0 + ob;
+          for (int64_t oc = 0; oc < spec.out_c; oc += 4) {
+            const int rows = static_cast<int>(std::min<int64_t>(4, spec.out_c - oc));
+            kd.int8_conv_cols16(spec.weights_kw + oc * w_stride + kh_lo * kceil,
+                                w_stride, rows, img, ic_stride, prow_w, spec.in_c, k,
+                                kh_count, kw_pairs, acc);
+            for (int r = 0; r < rows; ++r) {
+              const int64_t c = oc + r;
+              kd.int8_requant_row(
+                  acc + r * 16, 16, spec.bias != nullptr ? spec.bias[c] : 0,
+                  spec.requant[c].multiplier, spec.requant[c].shift, spec.out_zero,
+                  spec.act_lut == nullptr ? nullptr : spec.act_lut + c * lut_stride,
+                  out_row + c * out_hw + ob);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace sesr::runtime::jit

@@ -1,0 +1,141 @@
+// The copy-and-patch JIT tier over the Program IR.
+//
+// At plan-compile time — when every shape, stride, channel count, and quant
+// grid of a program is a constant — compile_jit() walks the op list and, for
+// each hot int8 op it has a stencil for, copies a pre-compiled
+// position-independent kernel into the program's executable code arena and
+// patches the constants straight into the instruction stream:
+//
+//   kQConv        conv16 stencils — one straight-line kernel per 4-channel
+//                 output block with strides, trip counts, weight pointers,
+//                 per-channel fixed-point requant constants, and the fused
+//                 activation table baked in. Interior output rows run the
+//                 patched code; vertically-clipped edge rows run the base
+//                 SIMD tier (bit-exact either way).
+//   kQScale /     lut256 stencils — the 256-entry rescale / activation table
+//   kQActivation  is built once at compile time, copied into the arena's
+//                 read-only data region, and its address + trip count baked.
+//   kQAdd         add_lut stencil — the program's 256x256 residual-add table
+//                 pointer and trip count baked.
+//
+// The resulting JitModule is owned by the Program exactly like the arena
+// plan: compiled once, immutable afterwards (W^X — the code pages are never
+// writable again), shared by every Session executing the program. Any op the
+// compiler cannot JIT — no stencil for its shape, deny-listed, arena budget
+// exhausted, patching failed — keeps running the base SIMD tier: the
+// interpreter path is the always-correct reference and the fallback ladder
+// (jit -> base SIMD tier -> scalar) is per-op, never per-program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/jit/code_arena.h"
+#include "runtime/jit/stencil.h"
+
+namespace sesr {
+struct Int8ConvSpec;
+class Workspace;
+namespace simd {
+struct KernelDispatch;
+}
+}  // namespace sesr
+
+namespace sesr::runtime {
+class Program;
+}
+
+namespace sesr::runtime::jit {
+
+/// Whether the JIT tier can work in this process: stencils compiled into the
+/// binary AND a W^X code arena actually executes (probed once by patching and
+/// running a trivial stencil — mmap restrictions, noexec mounts, or a
+/// rejected stencil table all report false). SESR_KERNEL_VARIANT=jit on a
+/// machine where this is false silently runs the base tier.
+[[nodiscard]] bool available();
+
+/// One kQConv's compiled artifact: the interior-row kernel per 4-channel
+/// output block, plus the geometry the driver needs to route interior vs
+/// edge rows.
+struct JitConvOp {
+  std::vector<ConvBlockFn> blocks;  ///< ceil(out_c / 4) patched entry points
+  /// Output columns each block covers per call: 32 when the wide AVX-512
+  /// family served the op (out_w >= 32 and every block found a conv32
+  /// stencil), else 16. The driver steps `ob` by this and tail-shifts.
+  int cols = 16;
+  const char* stencil = nullptr;  ///< stencil name (diagnostics / dump)
+};
+
+/// One compiled op. kind mirrors the op kind it accelerates.
+struct JitOp {
+  enum class Kind : uint8_t { kConv, kLut, kAdd };
+  Kind kind = Kind::kConv;
+  JitConvOp conv;                 ///< kConv
+  LutStreamFn lut = nullptr;      ///< kLut (kQScale / kQActivation)
+  AddLutFn add = nullptr;         ///< kAdd (kQAdd with a built add table)
+  const char* stencil = nullptr;  ///< stencil name (kLut / kAdd)
+};
+
+/// The program-owned compiled artifact: patched entry points + the arena
+/// that holds their code and baked tables. Immutable after compile;
+/// destroying the module unmaps the code (the program keeps it alive for
+/// every session's lifetime by construction).
+class JitModule {
+ public:
+  [[nodiscard]] const JitOp& op(int idx) const { return ops_[static_cast<size_t>(idx)]; }
+  [[nodiscard]] int num_ops() const { return static_cast<int>(ops_.size()); }
+  [[nodiscard]] size_t code_bytes() const { return arena_.code_bytes_used(); }
+  [[nodiscard]] size_t data_bytes() const { return arena_.data_bytes_used(); }
+  [[nodiscard]] double compile_ms() const { return compile_ms_; }
+  /// Test hook: whether `p` is a patched entry point inside this module's
+  /// executable region.
+  [[nodiscard]] bool owns_code(const void* p) const { return arena_.contains_code(p); }
+
+ private:
+  friend std::shared_ptr<const JitModule> detail_compile(Program& program);
+  JitModule() = default;
+
+  std::vector<JitOp> ops_;
+  CodeArena arena_;
+  double compile_ms_ = 0.0;
+};
+
+/// The pass pipeline's JIT stage, run after variant selection: no-op unless
+/// the program was stamped KernelVariant::kJit. Compiles every eligible op
+/// into a JitModule the program owns, stamps Op::jit with the module index,
+/// and re-stamps ops it could NOT compile with the base SIMD tier so
+/// Program::dump() reports the tier each op actually runs.
+void compile_jit(Program& program);
+
+/// Patch one stencil into `arena`: validate, copy the code bytes, write
+/// every hole's value (+addend) and every rodata site's blob address into
+/// the imm64 slots. Returns the entry point, or null when validation fails
+/// or the arena is out of space — callers fall back. (Public for the unit
+/// tests' corrupted-stencil and W^X coverage; compile_jit is the real
+/// consumer.)
+[[nodiscard]] unsigned char* patch_stencil(CodeArena& arena, const StencilDesc& stencil,
+                                           const StencilSetDef& set,
+                                           const int64_t hole_values[kNumHoles]);
+
+/// Plan and patch the interior-row kernels for one conv described by `spec`
+/// (weights_kw/bias/requant/act_lut already packed, exactly as the int8 plan
+/// lowering emits them) into `arena`: one stencil per 4-channel output block,
+/// every hole baked from the spec and the h x w -> out_h x out_w geometry.
+/// Returns false — leaving `out` empty — when any block has no stencil or
+/// patching fails; the caller still owns finalize(). This is detail_compile's
+/// kQConv case, exposed so the microkernel bench can time the patched conv
+/// (and its patch cost) against the dispatch tiers on identical buffers.
+[[nodiscard]] bool patch_conv(CodeArena& arena, const Int8ConvSpec& spec, int64_t h,
+                              int64_t w, int64_t out_h, int64_t out_w, JitConvOp& out);
+
+/// The JIT conv driver Session::execute routes kQConv ops with Op::jit >= 0
+/// through: widens the input exactly like int8_conv2d_nchw, runs interior
+/// output rows through the op's patched blocks, and vertically-clipped edge
+/// rows through `kd`'s base kernels (bit-exact by the shared accumulation
+/// order). `spec` is the same spec the non-JIT path would use.
+void run_conv(const JitOp& jop, const Int8ConvSpec& spec, const int8_t* in, int64_t n,
+              int64_t h, int64_t w, int64_t out_h, int64_t out_w, int8_t* out,
+              Workspace& workspace, const simd::KernelDispatch& kd);
+
+}  // namespace sesr::runtime::jit

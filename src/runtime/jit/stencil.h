@@ -1,0 +1,135 @@
+// Copy-and-patch stencil ABI: the contract between the stencil translation
+// unit (stencils_tu.cpp, compiled out-of-band into relocatable objects), the
+// build-time generator (tools/stencilgen.cpp, which parses those objects and
+// emits the descriptor tables below as .inc files), and the runtime patcher
+// (jit.cpp, which copies stencil bytes into an executable arena and writes
+// concrete values into the holes).
+//
+// A stencil is one straight-line specialized kernel compiled with
+// -fno-pic -mcmodel=large, so every reference to an `sesr_jit_hole_<n>`
+// extern symbol becomes a movabs imm64 carrying an R_X86_64_64 relocation —
+// an 8-byte literal the patcher overwrites with a concrete pointer, stride,
+// trip count, or quant constant. References to local constant data (e.g. the
+// AVX-512 pair-expansion index) become R_X86_64_64 relocations against
+// .rodata section symbols; the generator embeds those sections as blobs and
+// the patcher resolves the sites to the blobs' link-time addresses. Any
+// other relocation (calls, jump tables, GOT) disqualifies the stencil at
+// generation time — it is simply absent from the table and the runtime falls
+// back to the base SIMD tier for that op.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sesr::runtime::jit {
+
+// ---- hole assignments ------------------------------------------------------
+// Shared by the stencil TU (which reads holes as opaque extern addresses) and
+// the patcher (which writes the concrete values). All values travel as the
+// 8-byte imm64 of a movabs; narrower integers are sign-extended on patch and
+// truncated by the stencil.
+
+// conv16 stencils: one 16-output-column block of a stride-1 int8 conv for R
+// consecutive output channels, accumulation fused with fixed-point requant
+// (and optionally the activation LUT tail) entirely in registers.
+inline constexpr int kHoleConvW0 = 0;        ///< +r (r < 4): weight row base, oc = block base + r
+inline constexpr int kHoleConvIcStride = 4;  ///< padded-image channel stride (int16 elems)
+inline constexpr int kHoleConvRowStride = 5; ///< padded-image row stride (int16 elems)
+inline constexpr int kHoleConvInC = 6;       ///< ic trip count (IC-generic stencils only)
+inline constexpr int kHoleConvOutStride = 7; ///< output channel stride (int8 elems)
+inline constexpr int kHoleConvBias0 = 8;     ///< +r: int32 bias on the accumulator grid
+inline constexpr int kHoleConvMult0 = 12;    ///< +r: FixedPointMultiplier::multiplier
+inline constexpr int kHoleConvNudge0 = 16;   ///< +r: 1 << (total - 1), 0 when total == 0
+inline constexpr int kHoleConvTotal0 = 20;   ///< +r: 31 - shift, in [0, 62]
+inline constexpr int kHoleConvOutZero = 24;  ///< output zero point
+inline constexpr int kHoleConvActLut0 = 25;  ///< +r: per-channel 256-entry act table
+
+// lut256 stencil: out[i] = lut[in[i] + 128] with the table pointer and trip
+// count baked (kQScale / kQActivation with a compile-time-built table).
+inline constexpr int kHoleLutTable = 0;
+inline constexpr int kHoleLutCount = 1;
+
+// add_lut stencil: out[i] = lut[(a[i] + 128) * 256 + (b[i] + 128)] with the
+// 256x256 residual-add table and trip count baked.
+inline constexpr int kHoleAddTable = 0;
+inline constexpr int kHoleAddCount = 1;
+
+inline constexpr int kNumHoles = 32;
+
+// ---- patched-function signatures -------------------------------------------
+// Everything per-instance is baked; only per-run buffer pointers remain.
+
+/// conv16: `img` = padded int16 image at (ic 0, kernel row 0 of this output
+/// row, first output column of the block); `out` = output at (channel block
+/// base, this output row, first column of the block).
+using ConvBlockFn = void (*)(const int16_t* img, int8_t* out);
+
+/// lut256: exact aliasing allowed (out == in).
+using LutStreamFn = void (*)(const int8_t* in, int8_t* out);
+
+/// add_lut: out may alias a (the accumulating operand).
+using AddLutFn = void (*)(const int8_t* a, const int8_t* b, int8_t* out);
+
+// ---- generated descriptor tables -------------------------------------------
+
+/// One movabs imm64 site to patch with a caller-supplied hole value.
+struct StencilHole {
+  uint32_t code_offset = 0;  ///< byte offset of the imm64 within the stencil
+  uint16_t hole = 0;         ///< hole id (index into the patch-value array)
+  int64_t addend = 0;        ///< relocation addend (value + addend is written)
+};
+
+/// One movabs imm64 site referring into an embedded constant blob.
+struct StencilRodataRef {
+  uint32_t code_offset = 0;
+  uint16_t blob = 0;    ///< index into the set's blob table
+  int64_t addend = 0;   ///< offset within the blob (sym value + addend)
+};
+
+/// One embedded read-only data section (already correctly aligned at link
+/// time via alignas on the generated array).
+struct StencilBlob {
+  const unsigned char* data = nullptr;
+  uint32_t size = 0;
+};
+
+struct StencilDesc {
+  const char* name = nullptr;  ///< e.g. "conv16_k3_r4_a0" (flavor suffix stripped)
+  const unsigned char* code = nullptr;
+  uint32_t size = 0;
+  const StencilHole* holes = nullptr;
+  uint32_t hole_count = 0;
+  const StencilRodataRef* rodata = nullptr;
+  uint32_t rodata_count = 0;
+};
+
+/// One generated flavor ("scalar", "avx2", "vnni", "vbmi"): every stencil the
+/// generator accepted from that object file, plus the constant blobs their
+/// code references.
+struct StencilSetDef {
+  const char* name = nullptr;
+  const StencilDesc* stencils = nullptr;
+  size_t stencil_count = 0;
+  const StencilBlob* blobs = nullptr;
+  size_t blob_count = 0;
+  size_t rejected_count = 0;  ///< stencils the generator had to drop
+};
+
+/// The flavors compiled into this binary, weakest-first. Empty when the
+/// build carries no stencils (non-x86-64, non-ELF, or SESR_JIT_STENCILS=OFF).
+[[nodiscard]] const StencilSetDef* stencil_sets(size_t* count);
+
+/// Find `name` in the strongest flavor this CPU can execute, honouring the
+/// SESR_JIT_DISABLE_STENCILS deny-list (a comma-separated test seam). Null
+/// when absent — the caller falls back to the base tier. When found and
+/// `set_out` is non-null, `*set_out` receives the owning flavor (whose blob
+/// table the patcher resolves rodata references against).
+[[nodiscard]] const StencilDesc* find_stencil(const char* name,
+                                              const StencilSetDef** set_out = nullptr);
+
+/// Structural validation run before any patching: non-empty code, hole ids in
+/// range, every patch site 8 bytes in-bounds, rodata refs within the blob
+/// table. A corrupted descriptor is reported (false) rather than patched.
+[[nodiscard]] bool validate_stencil(const StencilDesc& s, const StencilSetDef& set);
+
+}  // namespace sesr::runtime::jit

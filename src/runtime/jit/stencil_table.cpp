@@ -1,0 +1,115 @@
+// The compiled-in stencil tables and their lookup policy.
+//
+// When the build generates stencils (SESR_JIT_STENCILS — x86-64 ELF with a
+// GNU-compatible compiler), this TU includes the stencilgen-emitted .inc
+// fragment for each ISA flavor and exposes them weakest-first. Lookup walks
+// strongest-first among the flavors this CPU can execute, so one stencil name
+// resolves to the best available implementation — mirroring how the base
+// dispatch tables overlay tiers, but at per-stencil granularity (the vbmi
+// flavor only carries the LUT stream, the avx2/vnni flavors only the convs).
+#include "runtime/jit/stencil.h"
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "core/config.h"
+#include "tensor/simd/dispatch.h"
+
+namespace sesr::runtime::jit {
+namespace {
+
+#ifdef SESR_JIT_STENCILS
+#include "stencils_scalar.inc"  // NOLINT(bugprone-suspicious-include)
+#include "stencils_avx2.inc"    // NOLINT(bugprone-suspicious-include)
+#include "stencils_vnni.inc"    // NOLINT(bugprone-suspicious-include)
+#include "stencils_vbmi.inc"    // NOLINT(bugprone-suspicious-include)
+
+const StencilSetDef kSets[] = {k_scalar_set, k_avx2_set, k_vnni_set, k_vbmi_set};
+constexpr size_t kNumSets = sizeof(kSets) / sizeof(kSets[0]);
+#else
+const StencilSetDef* kSets = nullptr;
+constexpr size_t kNumSets = 0;
+#endif
+
+/// Whether this CPU can execute flavor `set` (build-time presence is already
+/// settled by kSets membership).
+bool cpu_can_run(const StencilSetDef& set) {
+  const simd::CpuFeatures& cpu = simd::cpu_features();
+  const std::string_view name = set.name;
+  if (name == "scalar") return true;
+  if (name == "avx2") return cpu.avx2;
+  if (name == "vnni") return cpu.avx512_core && cpu.avx512_vnni;
+  if (name == "vbmi") return cpu.avx512_core && cpu.avx512_vbmi;
+  return false;
+}
+
+/// SESR_JIT_DISABLE_STENCILS match: bare name, "flavor:name", or "all".
+bool denied(std::string_view deny_list, std::string_view flavor,
+            std::string_view name) {
+  size_t pos = 0;
+  while (pos <= deny_list.size()) {
+    const size_t comma = deny_list.find(',', pos);
+    std::string_view item = deny_list.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (!item.empty()) {
+      if (item == "all" || item == name) return true;
+      const size_t colon = item.find(':');
+      if (colon != std::string_view::npos && item.substr(0, colon) == flavor &&
+          item.substr(colon + 1) == name)
+        return true;
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const StencilSetDef* stencil_sets(size_t* count) {
+  *count = kNumSets;
+  return kNumSets ? kSets : nullptr;
+}
+
+const StencilDesc* find_stencil(const char* name, const StencilSetDef** set_out) {
+  const std::string deny = core::config_string("SESR_JIT_DISABLE_STENCILS");
+  for (size_t s = kNumSets; s-- > 0;) {
+    const StencilSetDef& set = kSets[s];
+    if (!cpu_can_run(set)) continue;
+    if (denied(deny, set.name, name)) continue;
+    for (size_t i = 0; i < set.stencil_count; ++i) {
+      const StencilDesc& d = set.stencils[i];
+      if (std::strcmp(d.name, name) == 0) {
+        if (!validate_stencil(d, set)) return nullptr;  // corrupt — fall back
+        if (set_out != nullptr) *set_out = &set;
+        return &d;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool validate_stencil(const StencilDesc& s, const StencilSetDef& set) {
+  if (s.name == nullptr || s.code == nullptr || s.size == 0) return false;
+  if (s.hole_count > 0 && s.holes == nullptr) return false;
+  if (s.rodata_count > 0 && s.rodata == nullptr) return false;
+  for (uint32_t i = 0; i < s.hole_count; ++i) {
+    const StencilHole& h = s.holes[i];
+    if (h.hole >= kNumHoles) return false;
+    if (h.code_offset + 8 > s.size || h.code_offset + 8 < h.code_offset) return false;
+  }
+  for (uint32_t i = 0; i < s.rodata_count; ++i) {
+    const StencilRodataRef& r = s.rodata[i];
+    if (r.code_offset + 8 > s.size || r.code_offset + 8 < r.code_offset) return false;
+    if (r.blob >= set.blob_count) return false;
+    const StencilBlob& b = set.blobs[r.blob];
+    if (b.data == nullptr) return false;
+    if (r.addend < 0 || static_cast<uint64_t>(r.addend) >= b.size) return false;
+  }
+  return true;
+}
+
+}  // namespace sesr::runtime::jit

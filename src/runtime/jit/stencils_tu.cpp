@@ -1,0 +1,619 @@
+// Stencil translation unit — NOT part of the library build.
+//
+// CMake compiles this file out-of-band, once per ISA flavor, with
+//   -fno-pic -fno-pie -mcmodel=large -ffunction-sections -fdata-sections
+//   -fno-jump-tables -fno-stack-protector -fno-asynchronous-unwind-tables
+//   -fomit-frame-pointer -fno-exceptions -fno-rtti
+// plus the flavor's -m ISA flags, then runs tools/stencilgen over the
+// resulting .o to extract every sesr_jit_stencil_* function's bytes and
+// R_X86_64_64 relocation sites into a generated .inc table
+// (src/runtime/jit/stencil.h documents the whole contract).
+//
+// Rules this file must obey so the extracted code is position-independent
+// and self-contained:
+//  - no calls: every helper is force-inlined; no memset-able aggregate
+//    initialisation, no std:: functions except fixed-size __builtin_memcpy
+//    (which lowers to a register move);
+//  - no exceptions, no RTTI, no thread-locals, no switch tables;
+//  - constants are fine (they become .rodata section relocations the
+//    generator embeds), but keep them small;
+//  - runtime inputs arrive via the two pointer parameters; everything else
+//    is read through SESR_HOLE_* — an opaque extern-symbol address the
+//    patcher overwrites with the concrete value.
+//
+// Exactness: the int8 conv stencils accumulate the same int32 sums as the
+// scalar reference (integer addition is associative), and the fused requant
+// reproduces FixedPointMultiplier::apply exactly — the vnni flavor with
+// 64-bit arithmetic shifts (as tensor/simd/kernels_avx512.cpp), the avx2
+// flavor with the bias-to-non-negative logical-shift trick (as
+// kernels_avx2.cpp), the scalar flavor with the int64 formula itself.
+
+#include <cstdint>
+
+#if defined(SESR_STENCIL_ISA_AVX2) || defined(SESR_STENCIL_ISA_VNNI) || \
+    defined(SESR_STENCIL_ISA_VBMI)
+#include <immintrin.h>
+#endif
+
+#ifndef SESR_STENCIL_SUFFIX
+#error "compile with -DSESR_STENCIL_SUFFIX=_<flavor>"
+#endif
+
+// ---- hole plumbing ---------------------------------------------------------
+
+extern "C" {
+extern const char sesr_jit_hole_0[];
+extern const char sesr_jit_hole_1[];
+extern const char sesr_jit_hole_2[];
+extern const char sesr_jit_hole_3[];
+extern const char sesr_jit_hole_4[];
+extern const char sesr_jit_hole_5[];
+extern const char sesr_jit_hole_6[];
+extern const char sesr_jit_hole_7[];
+extern const char sesr_jit_hole_8[];
+extern const char sesr_jit_hole_9[];
+extern const char sesr_jit_hole_10[];
+extern const char sesr_jit_hole_11[];
+extern const char sesr_jit_hole_12[];
+extern const char sesr_jit_hole_13[];
+extern const char sesr_jit_hole_14[];
+extern const char sesr_jit_hole_15[];
+extern const char sesr_jit_hole_16[];
+extern const char sesr_jit_hole_17[];
+extern const char sesr_jit_hole_18[];
+extern const char sesr_jit_hole_19[];
+extern const char sesr_jit_hole_20[];
+extern const char sesr_jit_hole_21[];
+extern const char sesr_jit_hole_22[];
+extern const char sesr_jit_hole_23[];
+extern const char sesr_jit_hole_24[];
+extern const char sesr_jit_hole_25[];
+extern const char sesr_jit_hole_26[];
+extern const char sesr_jit_hole_27[];
+extern const char sesr_jit_hole_28[];
+}
+
+#define SESR_HOLE_ADDR(n) (sesr_jit_hole_##n)
+#define SESR_HOLE_PTR(T, n) reinterpret_cast<const T*>(SESR_HOLE_ADDR(n))
+#define SESR_HOLE_U64(n) reinterpret_cast<uint64_t>(SESR_HOLE_ADDR(n))
+#define SESR_HOLE_I64(n) static_cast<int64_t>(SESR_HOLE_U64(n))
+#define SESR_HOLE_I32(n) static_cast<int32_t>(SESR_HOLE_I64(n))
+
+#define SESR_CAT2(a, b) a##b
+#define SESR_CAT(a, b) SESR_CAT2(a, b)
+#define SESR_STENCIL(base) \
+  SESR_CAT(SESR_CAT(sesr_jit_stencil_, base), SESR_STENCIL_SUFFIX)
+
+#define SESR_INLINE [[gnu::always_inline]] inline
+
+namespace {
+
+// Per-row hole accessors (hole ids must be literal tokens, so constexpr-r
+// indexing goes through these dispatch templates — fully folded at -O3).
+template <int r>
+SESR_INLINE const int16_t* conv_w_hole() {
+  if constexpr (r == 0) return SESR_HOLE_PTR(int16_t, 0);
+  else if constexpr (r == 1) return SESR_HOLE_PTR(int16_t, 1);
+  else if constexpr (r == 2) return SESR_HOLE_PTR(int16_t, 2);
+  else return SESR_HOLE_PTR(int16_t, 3);
+}
+template <int r>
+SESR_INLINE int32_t conv_bias_hole() {
+  if constexpr (r == 0) return SESR_HOLE_I32(8);
+  else if constexpr (r == 1) return SESR_HOLE_I32(9);
+  else if constexpr (r == 2) return SESR_HOLE_I32(10);
+  else return SESR_HOLE_I32(11);
+}
+template <int r>
+SESR_INLINE int64_t conv_mult_hole() {
+  if constexpr (r == 0) return SESR_HOLE_I64(12);
+  else if constexpr (r == 1) return SESR_HOLE_I64(13);
+  else if constexpr (r == 2) return SESR_HOLE_I64(14);
+  else return SESR_HOLE_I64(15);
+}
+template <int r>
+SESR_INLINE int64_t conv_nudge_hole() {
+  if constexpr (r == 0) return SESR_HOLE_I64(16);
+  else if constexpr (r == 1) return SESR_HOLE_I64(17);
+  else if constexpr (r == 2) return SESR_HOLE_I64(18);
+  else return SESR_HOLE_I64(19);
+}
+template <int r>
+SESR_INLINE int conv_total_hole() {
+  if constexpr (r == 0) return static_cast<int>(SESR_HOLE_I64(20));
+  else if constexpr (r == 1) return static_cast<int>(SESR_HOLE_I64(21));
+  else if constexpr (r == 2) return static_cast<int>(SESR_HOLE_I64(22));
+  else return static_cast<int>(SESR_HOLE_I64(23));
+}
+template <int r>
+SESR_INLINE const int8_t* conv_act_hole() {
+  if constexpr (r == 0) return SESR_HOLE_PTR(int8_t, 25);
+  else if constexpr (r == 1) return SESR_HOLE_PTR(int8_t, 26);
+  else if constexpr (r == 2) return SESR_HOLE_PTR(int8_t, 27);
+  else return SESR_HOLE_PTR(int8_t, 28);
+}
+
+SESR_INLINE int64_t conv_ic_stride() { return SESR_HOLE_I64(4); }
+SESR_INLINE int64_t conv_row_stride() { return SESR_HOLE_I64(5); }
+SESR_INLINE int64_t conv_in_c() { return SESR_HOLE_I64(6); }
+SESR_INLINE int64_t conv_out_stride() { return SESR_HOLE_I64(7); }
+SESR_INLINE int32_t conv_out_zero() { return SESR_HOLE_I32(24); }
+
+SESR_INLINE int8_t sat8(int32_t v) {
+  return static_cast<int8_t>(v < -128 ? -128 : (v > 127 ? 127 : v));
+}
+
+// ============================ scalar flavor =================================
+#if defined(SESR_STENCIL_ISA_SCALAR)
+
+template <int K, int IC, int R, bool kAct>
+SESR_INLINE void conv16_body(const int16_t* img, int8_t* out) {
+  constexpr int kPairs = (K + 1) / 2;
+  constexpr int kCeil = 2 * kPairs;
+  const int64_t ic_stride = conv_ic_stride();
+  const int64_t row_stride = conv_row_stride();
+  const int64_t in_c = IC > 0 ? IC : conv_in_c();
+  const int64_t out_stride = conv_out_stride();
+  const int32_t out_zero = conv_out_zero();
+
+  int32_t acc[R][16];
+  for (int r = 0; r < R; ++r)
+    for (int b = 0; b < 16; ++b) acc[r][b] = 0;
+  const int16_t* w[R];
+  if constexpr (R > 0) w[0] = conv_w_hole<0>();
+  if constexpr (R > 1) w[1] = conv_w_hole<1>();
+  if constexpr (R > 2) w[2] = conv_w_hole<2>();
+  if constexpr (R > 3) w[3] = conv_w_hole<3>();
+
+  const int16_t* base = img;
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int kh = 0; kh < K; ++kh) {
+      const int16_t* row = base + kh * row_stride;
+      for (int p = 0; p < kPairs; ++p) {
+        for (int r = 0; r < R; ++r) {
+          const int32_t w0 = w[r][kh * kCeil + 2 * p];
+          const int32_t w1 = w[r][kh * kCeil + 2 * p + 1];
+          for (int b = 0; b < 16; ++b)
+            acc[r][b] += w0 * row[b + 2 * p] + w1 * row[b + 2 * p + 1];
+        }
+      }
+    }
+    base += ic_stride;
+    for (int r = 0; r < R; ++r) w[r] += K * kCeil;
+  }
+
+  auto requant_row = [&]<int r>() {
+    const int32_t bias = conv_bias_hole<r>();
+    const int64_t mult = conv_mult_hole<r>();
+    const int64_t nudge = conv_nudge_hole<r>();
+    const int total = conv_total_hole<r>();
+    const int8_t* lut = kAct ? conv_act_hole<r>() : nullptr;
+    int8_t* o = out + r * out_stride;
+    for (int b = 0; b < 16; ++b) {
+      const int32_t a = acc[r][b] + bias;
+      const int64_t p = static_cast<int64_t>(a) * mult;
+      const int32_t scaled = static_cast<int32_t>((p + nudge) >> total);
+      const int8_t q = sat8(scaled + out_zero);
+      o[b] = kAct ? lut[static_cast<int32_t>(q) + 128] : q;
+    }
+  };
+  if constexpr (R > 0) requant_row.template operator()<0>();
+  if constexpr (R > 1) requant_row.template operator()<1>();
+  if constexpr (R > 2) requant_row.template operator()<2>();
+  if constexpr (R > 3) requant_row.template operator()<3>();
+}
+
+extern "C" void SESR_STENCIL(lut256)(const int8_t* in, int8_t* out) {
+  const int8_t* lut = SESR_HOLE_PTR(int8_t, 0);
+  const int64_t n = SESR_HOLE_I64(1);
+  for (int64_t i = 0; i < n; ++i) out[i] = lut[static_cast<int32_t>(in[i]) + 128];
+}
+
+extern "C" void SESR_STENCIL(add_lut)(const int8_t* a, const int8_t* b,
+                                      int8_t* out) {
+  const int8_t* lut = SESR_HOLE_PTR(int8_t, 0);
+  const int64_t n = SESR_HOLE_I64(1);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t row = (static_cast<int32_t>(a[i]) + 128) * 256;
+    out[i] = lut[row + static_cast<int32_t>(b[i]) + 128];
+  }
+}
+
+#endif  // SESR_STENCIL_ISA_SCALAR
+
+// ============================ avx2 flavor ===================================
+#if defined(SESR_STENCIL_ISA_AVX2)
+
+// Requant 8 int32 accumulators (one __m256i) to 8 int16 (saturated), exactly
+// as kernels_avx2.cpp: sign-extend to int64, 32x32->64 multiply, bias the
+// rounded shift into non-negative range so the logical shift equals the
+// arithmetic one, truncate, add zero point, saturating pack.
+SESR_INLINE __m128i requant8_avx2(__m256i acc, int32_t bias, int64_t mult,
+                                  int64_t nudge, int total, int32_t out_zero) {
+  const __m256i a = _mm256_add_epi32(acc, _mm256_set1_epi32(bias));
+  const __m256i lo64 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(a));
+  const __m256i hi64 = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(a, 1));
+  const __m256i mul = _mm256_set1_epi64x(mult);
+  const __m256i biasc = _mm256_set1_epi64x(nudge + (int64_t{1} << 62));
+  const __m256i sub = _mm256_set1_epi64x((int64_t{1} << 62) >> total);
+  const __m128i cnt = _mm_cvtsi32_si128(total);
+  const __m256i plo = _mm256_sub_epi64(
+      _mm256_srl_epi64(_mm256_add_epi64(_mm256_mul_epi32(lo64, mul), biasc), cnt), sub);
+  const __m256i phi = _mm256_sub_epi64(
+      _mm256_srl_epi64(_mm256_add_epi64(_mm256_mul_epi32(hi64, mul), biasc), cnt), sub);
+  // Low 32 bits of each int64 lane, in element order.
+  __m256i v = _mm256_castps_si256(
+      _mm256_shuffle_ps(_mm256_castsi256_ps(plo), _mm256_castsi256_ps(phi), 0x88));
+  v = _mm256_permute4x64_epi64(v, 0xD8);
+  const __m256i q = _mm256_add_epi32(v, _mm256_set1_epi32(out_zero));
+  return _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
+}
+
+template <int K, int IC, int R, bool kAct>
+SESR_INLINE void conv16_body(const int16_t* img, int8_t* out) {
+  constexpr int kPairs = (K + 1) / 2;
+  constexpr int kCeil = 2 * kPairs;
+  const int64_t ic_stride = conv_ic_stride();
+  const int64_t row_stride = conv_row_stride();
+  const int64_t in_c = IC > 0 ? IC : conv_in_c();
+  const int64_t out_stride = conv_out_stride();
+  const int32_t out_zero = conv_out_zero();
+
+  __m256i lo[R], hi[R];
+  for (int r = 0; r < R; ++r) {
+    lo[r] = _mm256_setzero_si256();
+    hi[r] = _mm256_setzero_si256();
+  }
+  const int16_t* w[R];
+  if constexpr (R > 0) w[0] = conv_w_hole<0>();
+  if constexpr (R > 1) w[1] = conv_w_hole<1>();
+  if constexpr (R > 2) w[2] = conv_w_hole<2>();
+  if constexpr (R > 3) w[3] = conv_w_hole<3>();
+
+  const int16_t* base = img;
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int kh = 0; kh < K; ++kh) {
+      const int16_t* row = base + kh * row_stride;
+      for (int p = 0; p < kPairs; ++p) {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + 2 * p));
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + 2 * p + 1));
+        const __m256i u0 = _mm256_unpacklo_epi16(a, b);
+        const __m256i u1 = _mm256_unpackhi_epi16(a, b);
+        const __m256i p_lo = _mm256_permute2x128_si256(u0, u1, 0x20);
+        const __m256i p_hi = _mm256_permute2x128_si256(u0, u1, 0x31);
+        for (int r = 0; r < R; ++r) {
+          int32_t wpair;
+          __builtin_memcpy(&wpair, w[r] + kh * kCeil + 2 * p, sizeof(wpair));
+          const __m256i wv = _mm256_set1_epi32(wpair);
+          lo[r] = _mm256_add_epi32(lo[r], _mm256_madd_epi16(p_lo, wv));
+          hi[r] = _mm256_add_epi32(hi[r], _mm256_madd_epi16(p_hi, wv));
+        }
+      }
+    }
+    base += ic_stride;
+    for (int r = 0; r < R; ++r) w[r] += K * kCeil;
+  }
+
+  auto requant_row = [&]<int r>() {
+    const int32_t bias = conv_bias_hole<r>();
+    const int64_t mult = conv_mult_hole<r>();
+    const int64_t nudge = conv_nudge_hole<r>();
+    const int total = conv_total_hole<r>();
+    const __m128i b0 = requant8_avx2(lo[r], bias, mult, nudge, total, out_zero);
+    const __m128i b1 = requant8_avx2(hi[r], bias, mult, nudge, total, out_zero);
+    const __m128i bytes = _mm_packs_epi16(b0, b1);
+    int8_t* o = out + r * out_stride;
+    if constexpr (kAct) {
+      alignas(16) int8_t tmp[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(tmp), bytes);
+      const int8_t* lut = conv_act_hole<r>();
+      for (int t = 0; t < 16; ++t)
+        o[t] = lut[static_cast<int32_t>(tmp[t]) + 128];
+    } else {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(o), bytes);
+    }
+  };
+  if constexpr (R > 0) requant_row.template operator()<0>();
+  if constexpr (R > 1) requant_row.template operator()<1>();
+  if constexpr (R > 2) requant_row.template operator()<2>();
+  if constexpr (R > 3) requant_row.template operator()<3>();
+}
+
+#endif  // SESR_STENCIL_ISA_AVX2
+
+// ============================ vnni flavor ===================================
+#if defined(SESR_STENCIL_ISA_VNNI)
+
+SESR_INLINE __m512i pair_index() {
+  alignas(64) static constexpr int16_t idx[32] = {
+      0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8,
+      8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16};
+  return _mm512_load_si512(idx);
+}
+
+template <int K, int IC, int R, bool kAct>
+SESR_INLINE void conv16_body(const int16_t* img, int8_t* out) {
+  constexpr int kPairs = (K + 1) / 2;
+  constexpr int kCeil = 2 * kPairs;
+  const int64_t ic_stride = conv_ic_stride();
+  const int64_t row_stride = conv_row_stride();
+  const int64_t in_c = IC > 0 ? IC : conv_in_c();
+  const int64_t out_stride = conv_out_stride();
+  const int32_t out_zero = conv_out_zero();
+
+  const __m512i idx = pair_index();
+  __m512i a[R];
+  for (int r = 0; r < R; ++r) a[r] = _mm512_setzero_si512();
+  const int16_t* w[R];
+  if constexpr (R > 0) w[0] = conv_w_hole<0>();
+  if constexpr (R > 1) w[1] = conv_w_hole<1>();
+  if constexpr (R > 2) w[2] = conv_w_hole<2>();
+  if constexpr (R > 3) w[3] = conv_w_hole<3>();
+
+  const int16_t* base = img;
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int kh = 0; kh < K; ++kh) {
+      const int16_t* row = base + kh * row_stride;
+      for (int p = 0; p < kPairs; ++p) {
+        const __m512i pairs =
+            _mm512_permutexvar_epi16(idx, _mm512_loadu_si512(row + 2 * p));
+        for (int r = 0; r < R; ++r) {
+          int32_t wpair;
+          __builtin_memcpy(&wpair, w[r] + kh * kCeil + 2 * p, sizeof(wpair));
+          a[r] = _mm512_dpwssd_epi32(a[r], pairs, _mm512_set1_epi32(wpair));
+        }
+      }
+    }
+    base += ic_stride;
+    for (int r = 0; r < R; ++r) w[r] += K * kCeil;
+  }
+
+  auto requant_row = [&]<int r>() {
+    // Exactly kernels_avx512.cpp's int8_requant_row, on the live accumulator:
+    // 64-bit lanes, arithmetic shift, truncating narrow. The uniform formula
+    // also covers the degenerate encodings (multiplier == 0 patches p to 0
+    // and the nudge shifts to 0; total == 0 patches nudge to 0 and shifts by
+    // 0), so no fallback branch exists inside the stencil.
+    const __m512i q32 = _mm512_add_epi32(a[r], _mm512_set1_epi32(conv_bias_hole<r>()));
+    const __m512i mul = _mm512_set1_epi64(conv_mult_hole<r>());
+    const __m512i nud = _mm512_set1_epi64(conv_nudge_hole<r>());
+    const __m128i cnt = _mm_cvtsi32_si128(conv_total_hole<r>());
+    const __m256i lo32 = _mm512_castsi512_si256(q32);
+    const __m256i hi32 = _mm512_extracti64x4_epi64(q32, 1);
+    const __m512i plo = _mm512_sra_epi64(
+        _mm512_add_epi64(_mm512_mullo_epi64(_mm512_cvtepi32_epi64(lo32), mul), nud),
+        cnt);
+    const __m512i phi = _mm512_sra_epi64(
+        _mm512_add_epi64(_mm512_mullo_epi64(_mm512_cvtepi32_epi64(hi32), mul), nud),
+        cnt);
+    const __m512i scaled = _mm512_inserti64x4(
+        _mm512_castsi256_si512(_mm512_cvtepi64_epi32(plo)),
+        _mm512_cvtepi64_epi32(phi), 1);
+    const __m512i q = _mm512_add_epi32(scaled, _mm512_set1_epi32(out_zero));
+    const __m128i bytes = _mm512_cvtsepi32_epi8(q);
+    int8_t* o = out + r * out_stride;
+    if constexpr (kAct) {
+      alignas(16) int8_t tmp[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(tmp), bytes);
+      const int8_t* lut = conv_act_hole<r>();
+      for (int t = 0; t < 16; ++t)
+        o[t] = lut[static_cast<int32_t>(tmp[t]) + 128];
+    } else {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(o), bytes);
+    }
+  };
+  if constexpr (R > 0) requant_row.template operator()<0>();
+  if constexpr (R > 1) requant_row.template operator()<1>();
+  if constexpr (R > 2) requant_row.template operator()<2>();
+  if constexpr (R > 3) requant_row.template operator()<3>();
+}
+
+// 32-column variant: two adjacent 16-column accumulator groups driven by one
+// weight broadcast — halves the weight-load traffic per MAC and doubles the
+// dpwssd in flight per accumulator chain, which is where the 16-column shape
+// leaves the FMA ports idle. Needs 2R live accumulators (8 zmm at R = 4), so
+// this family exists only in the 32-register AVX-512 flavor; column group j
+// reads img + 16j and writes out + 16j, holes identical to conv16.
+template <int K, int IC, int R, bool kAct>
+SESR_INLINE void conv32_body(const int16_t* img, int8_t* out) {
+  constexpr int kPairs = (K + 1) / 2;
+  constexpr int kCeil = 2 * kPairs;
+  const int64_t ic_stride = conv_ic_stride();
+  const int64_t row_stride = conv_row_stride();
+  const int64_t in_c = IC > 0 ? IC : conv_in_c();
+  const int64_t out_stride = conv_out_stride();
+  const int32_t out_zero = conv_out_zero();
+
+  const __m512i idx = pair_index();
+  __m512i a0[R], a1[R];
+  for (int r = 0; r < R; ++r) {
+    a0[r] = _mm512_setzero_si512();
+    a1[r] = _mm512_setzero_si512();
+  }
+  const int16_t* w[R];
+  if constexpr (R > 0) w[0] = conv_w_hole<0>();
+  if constexpr (R > 1) w[1] = conv_w_hole<1>();
+  if constexpr (R > 2) w[2] = conv_w_hole<2>();
+  if constexpr (R > 3) w[3] = conv_w_hole<3>();
+
+  const int16_t* base = img;
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int kh = 0; kh < K; ++kh) {
+      const int16_t* row = base + kh * row_stride;
+      for (int p = 0; p < kPairs; ++p) {
+        const __m512i pairs0 =
+            _mm512_permutexvar_epi16(idx, _mm512_loadu_si512(row + 2 * p));
+        const __m512i pairs1 =
+            _mm512_permutexvar_epi16(idx, _mm512_loadu_si512(row + 16 + 2 * p));
+        for (int r = 0; r < R; ++r) {
+          int32_t wpair;
+          __builtin_memcpy(&wpair, w[r] + kh * kCeil + 2 * p, sizeof(wpair));
+          const __m512i wv = _mm512_set1_epi32(wpair);
+          a0[r] = _mm512_dpwssd_epi32(a0[r], pairs0, wv);
+          a1[r] = _mm512_dpwssd_epi32(a1[r], pairs1, wv);
+        }
+      }
+    }
+    base += ic_stride;
+    for (int r = 0; r < R; ++r) w[r] += K * kCeil;
+  }
+
+  auto requant_row = [&]<int r>() {
+    const int32_t bias = conv_bias_hole<r>();
+    const int64_t mult = conv_mult_hole<r>();
+    const int64_t nudge = conv_nudge_hole<r>();
+    const int total = conv_total_hole<r>();
+    const __m128i cnt = _mm_cvtsi32_si128(total);
+    const __m512i mul = _mm512_set1_epi64(mult);
+    const __m512i nud = _mm512_set1_epi64(nudge);
+    int8_t* o = out + r * out_stride;
+    for (int j = 0; j < 2; ++j) {
+      const __m512i q32 =
+          _mm512_add_epi32(j == 0 ? a0[r] : a1[r], _mm512_set1_epi32(bias));
+      const __m256i lo32 = _mm512_castsi512_si256(q32);
+      const __m256i hi32 = _mm512_extracti64x4_epi64(q32, 1);
+      const __m512i plo = _mm512_sra_epi64(
+          _mm512_add_epi64(_mm512_mullo_epi64(_mm512_cvtepi32_epi64(lo32), mul), nud),
+          cnt);
+      const __m512i phi = _mm512_sra_epi64(
+          _mm512_add_epi64(_mm512_mullo_epi64(_mm512_cvtepi32_epi64(hi32), mul), nud),
+          cnt);
+      const __m512i scaled = _mm512_inserti64x4(
+          _mm512_castsi256_si512(_mm512_cvtepi64_epi32(plo)),
+          _mm512_cvtepi64_epi32(phi), 1);
+      const __m512i q = _mm512_add_epi32(scaled, _mm512_set1_epi32(out_zero));
+      const __m128i bytes = _mm512_cvtsepi32_epi8(q);
+      if constexpr (kAct) {
+        alignas(16) int8_t tmp[16];
+        _mm_store_si128(reinterpret_cast<__m128i*>(tmp), bytes);
+        const int8_t* lut = conv_act_hole<r>();
+        for (int t = 0; t < 16; ++t)
+          o[16 * j + t] = lut[static_cast<int32_t>(tmp[t]) + 128];
+      } else {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(o + 16 * j), bytes);
+      }
+    }
+  };
+  if constexpr (R > 0) requant_row.template operator()<0>();
+  if constexpr (R > 1) requant_row.template operator()<1>();
+  if constexpr (R > 2) requant_row.template operator()<2>();
+  if constexpr (R > 3) requant_row.template operator()<3>();
+}
+
+#endif  // SESR_STENCIL_ISA_VNNI
+
+// ============================ vbmi flavor ===================================
+#if defined(SESR_STENCIL_ISA_VBMI)
+
+// Baked-table lut_stream, mirroring tensor/simd/kernels_vbmi.cpp: the whole
+// 256-entry table lives in four zmm registers, vpermi2b resolves 64 lookups
+// per instruction.
+extern "C" void SESR_STENCIL(lut256)(const int8_t* in, int8_t* out) {
+  const int8_t* lut = SESR_HOLE_PTR(int8_t, 0);
+  const int64_t n = SESR_HOLE_I64(1);
+  const __m512i lo0 = _mm512_loadu_si512(lut);
+  const __m512i lo1 = _mm512_loadu_si512(lut + 64);
+  const __m512i hi0 = _mm512_loadu_si512(lut + 128);
+  const __m512i hi1 = _mm512_loadu_si512(lut + 192);
+  const __m512i flip = _mm512_set1_epi8(static_cast<char>(0x80));
+  int64_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i u = _mm512_xor_si512(_mm512_loadu_si512(in + i), flip);
+    const __m512i lo = _mm512_permutex2var_epi8(lo0, u, lo1);
+    const __m512i hi = _mm512_permutex2var_epi8(hi0, u, hi1);
+    const __mmask64 use_hi = _mm512_movepi8_mask(u);
+    _mm512_storeu_si512(out + i, _mm512_mask_blend_epi8(use_hi, lo, hi));
+  }
+  if (i < n) {
+    const __mmask64 tail = _cvtu64_mask64((~uint64_t{0}) >> (64 - (n - i)));
+    const __m512i u = _mm512_xor_si512(_mm512_maskz_loadu_epi8(tail, in + i), flip);
+    const __m512i lo = _mm512_permutex2var_epi8(lo0, u, lo1);
+    const __m512i hi = _mm512_permutex2var_epi8(hi0, u, hi1);
+    const __mmask64 use_hi = _mm512_movepi8_mask(u);
+    _mm512_mask_storeu_epi8(out + i, tail, _mm512_mask_blend_epi8(use_hi, lo, hi));
+  }
+}
+
+#endif  // SESR_STENCIL_ISA_VBMI
+
+}  // namespace
+
+// ---- conv16 instantiations -------------------------------------------------
+// Shared by the scalar / avx2 / vnni flavors (each defines its own
+// conv16_body). IC-generic stencils read the trip count from a hole;
+// the hot (K, IC) combinations additionally get fully specialized bodies
+// the compiler can unroll and schedule without a loop counter.
+
+#if defined(SESR_STENCIL_ISA_SCALAR) || defined(SESR_STENCIL_ISA_AVX2) || \
+    defined(SESR_STENCIL_ISA_VNNI)
+
+#define SESR_CONV16(name, K, IC, R, A)                                     \
+  extern "C" void SESR_STENCIL(name)(const int16_t* img, int8_t* out) {    \
+    conv16_body<K, IC, R, A>(img, out);                                    \
+  }
+
+#define SESR_CONV16_K(K)                    \
+  SESR_CONV16(conv16_k##K##_r1_a0, K, 0, 1, false) \
+  SESR_CONV16(conv16_k##K##_r2_a0, K, 0, 2, false) \
+  SESR_CONV16(conv16_k##K##_r3_a0, K, 0, 3, false) \
+  SESR_CONV16(conv16_k##K##_r4_a0, K, 0, 4, false) \
+  SESR_CONV16(conv16_k##K##_r1_a1, K, 0, 1, true)  \
+  SESR_CONV16(conv16_k##K##_r2_a1, K, 0, 2, true)  \
+  SESR_CONV16(conv16_k##K##_r3_a1, K, 0, 3, true)  \
+  SESR_CONV16(conv16_k##K##_r4_a1, K, 0, 4, true)
+
+SESR_CONV16_K(1)
+SESR_CONV16_K(3)
+SESR_CONV16_K(5)
+
+// IC-specialized hot combinations (SESR/EDSR feature convs: 16-channel 3x3
+// and 5x5; the 3-channel stems).
+SESR_CONV16(conv16_k3ic16_r4_a0, 3, 16, 4, false)
+SESR_CONV16(conv16_k3ic16_r4_a1, 3, 16, 4, true)
+SESR_CONV16(conv16_k5ic16_r4_a0, 5, 16, 4, false)
+SESR_CONV16(conv16_k5ic16_r4_a1, 5, 16, 4, true)
+SESR_CONV16(conv16_k3ic3_r4_a0, 3, 3, 4, false)
+SESR_CONV16(conv16_k3ic3_r4_a1, 3, 3, 4, true)
+SESR_CONV16(conv16_k5ic3_r4_a0, 5, 3, 4, false)
+SESR_CONV16(conv16_k5ic3_r4_a1, 5, 3, 4, true)
+
+#endif
+
+// ---- conv32 instantiations (AVX-512 flavor only) ---------------------------
+// The planner prefers these whenever out_w >= 32; on flavors without them
+// (scalar, avx2 — not enough registers for 2R accumulator groups)
+// find_stencil misses and the conv16 family serves the op instead.
+
+#if defined(SESR_STENCIL_ISA_VNNI)
+
+#define SESR_CONV32(name, K, IC, R, A)                                  \
+  extern "C" void SESR_STENCIL(name)(const int16_t* img, int8_t* out) { \
+    conv32_body<K, IC, R, A>(img, out);                                 \
+  }
+
+#define SESR_CONV32_K(K)                           \
+  SESR_CONV32(conv32_k##K##_r1_a0, K, 0, 1, false) \
+  SESR_CONV32(conv32_k##K##_r2_a0, K, 0, 2, false) \
+  SESR_CONV32(conv32_k##K##_r3_a0, K, 0, 3, false) \
+  SESR_CONV32(conv32_k##K##_r4_a0, K, 0, 4, false) \
+  SESR_CONV32(conv32_k##K##_r1_a1, K, 0, 1, true)  \
+  SESR_CONV32(conv32_k##K##_r2_a1, K, 0, 2, true)  \
+  SESR_CONV32(conv32_k##K##_r3_a1, K, 0, 3, true)  \
+  SESR_CONV32(conv32_k##K##_r4_a1, K, 0, 4, true)
+
+SESR_CONV32_K(1)
+SESR_CONV32_K(3)
+SESR_CONV32_K(5)
+
+SESR_CONV32(conv32_k3ic16_r4_a0, 3, 16, 4, false)
+SESR_CONV32(conv32_k3ic16_r4_a1, 3, 16, 4, true)
+SESR_CONV32(conv32_k5ic16_r4_a0, 5, 16, 4, false)
+SESR_CONV32(conv32_k5ic16_r4_a1, 5, 16, 4, true)
+SESR_CONV32(conv32_k3ic3_r4_a0, 3, 3, 4, false)
+SESR_CONV32(conv32_k3ic3_r4_a1, 3, 3, 4, true)
+SESR_CONV32(conv32_k5ic3_r4_a0, 5, 3, 4, false)
+SESR_CONV32(conv32_k5ic3_r4_a1, 5, 3, 4, true)
+
+#endif

@@ -48,9 +48,15 @@ void eliminate_dead_ops(Program& program);
 /// input's live range ends at that op, merging the two buffers.
 void elect_in_place(Program& program);
 
-/// Stamp every dispatch-backed op with the SIMD kernel tier the process
-/// selects right now (cpuid best, or the SESR_KERNEL_VARIANT override) and
-/// record it on the program; resolves kLayer Conv2d downcasts while walking.
+/// The kernel tier a program compiled right now would be stamped with:
+/// kJit when SESR_KERNEL_VARIANT=jit and the JIT tier is actually available
+/// in this process, else simd::active_variant(). Exposed so plan caches
+/// (models::NetworkUpscaler) can key on the resolved tier — a cached plan
+/// must never be served across an environment flip it was not compiled for.
+[[nodiscard]] simd::KernelVariant resolved_kernel_variant();
+
+/// Stamp every dispatch-backed op with resolved_kernel_variant() and record
+/// it on the program; resolves kLayer Conv2d downcasts while walking.
 /// Always runs, for every PassConfig — Session::execute routes each op
 /// through its recorded tier, so the stamp must exist even on raw programs.
 void select_kernel_variants(Program& program);
@@ -78,6 +84,10 @@ struct ProgramEditor {
   [[nodiscard]] PassStats& stats() { return program.stats_; }
   [[nodiscard]] simd::KernelVariant& kernel_variant() { return program.kernel_variant_; }
   [[nodiscard]] bool& kernel_variant_forced() { return program.kernel_variant_forced_; }
+  [[nodiscard]] std::shared_ptr<const jit::JitModule>& jit_module() { return program.jit_; }
+  [[nodiscard]] int64_t& jit_ops() { return program.jit_ops_; }
+  [[nodiscard]] double& jit_compile_ms() { return program.jit_compile_ms_; }
+  [[nodiscard]] int64_t& jit_code_bytes() { return program.jit_code_bytes_; }
 
   Program& program;
 };

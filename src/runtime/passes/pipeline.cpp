@@ -1,3 +1,4 @@
+#include "runtime/jit/jit.h"
 #include "runtime/passes/passes.h"
 
 namespace sesr::runtime {
@@ -33,6 +34,9 @@ void run_passes(Program& program, const PassConfig& config) {
   // kernel tier recorded here.
   select_kernel_variants(program);
   plan_arena(program);
+  // Last: the op list and every shape/grid are final, so the copy-and-patch
+  // compiler can bake them into straight-line code. No-op off the jit tier.
+  jit::compile_jit(program);
 }
 
 }  // namespace sesr::runtime

@@ -16,15 +16,31 @@
 // tiers. That is exactly the property the distributed tier relies on: every
 // shard compiles its own programs at startup under a fleet-wide forced
 // variant and stays on it for the program's lifetime.
+#include "core/config.h"
 #include "nn/conv2d.h"
+#include "runtime/jit/jit.h"
 #include "runtime/passes/passes.h"
 #include "tensor/simd/dispatch.h"
 
 namespace sesr::runtime {
 
+simd::KernelVariant resolved_kernel_variant() {
+  // SESR_KERNEL_VARIANT=jit selects the copy-and-patch tier — but only when
+  // the process can actually JIT (stencils built, W^X arena executes);
+  // otherwise it degrades to the base active tier, exactly like forcing
+  // "avx512vnni" on an AVX2 box. active_variant() itself clamps kJit to the
+  // base tier (the dispatch table has no jit kernels), so the knob is
+  // re-parsed here where the program-level decision lives.
+  const bool want_jit =
+      simd::parse_variant(core::config_string("SESR_KERNEL_VARIANT")) ==
+      simd::KernelVariant::kJit;
+  return want_jit && jit::available() ? simd::KernelVariant::kJit
+                                      : simd::active_variant();
+}
+
 void select_kernel_variants(Program& program) {
   ProgramEditor editor(program);
-  const simd::KernelVariant variant = simd::active_variant();
+  const simd::KernelVariant variant = resolved_kernel_variant();
   editor.kernel_variant() = variant;
   editor.kernel_variant_forced() = simd::variant_forced();
   for (Op& op : editor.ops()) {

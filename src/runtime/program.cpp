@@ -226,6 +226,10 @@ std::string Program::dump() const {
           static_cast<long long>(stats_.in_place_elected));
   appendf(out, "kernels: %s (%s)\n", simd::variant_name(kernel_variant_),
           kernel_variant_forced_ ? "forced via SESR_KERNEL_VARIANT" : "native");
+  if (kernel_variant_ == simd::KernelVariant::kJit)
+    appendf(out, "jit: %lld ops patched, %s code, compiled in %.2f ms\n",
+            static_cast<long long>(jit_ops_), human_bytes(jit_code_bytes_).c_str(),
+            jit_compile_ms_);
   const int64_t sum = sum_buffer_bytes();
   appendf(out, "arena: peak %s of %s one-buffer-per-tensor (%.0f%% saved)\n",
           human_bytes(arena_bytes_).c_str(), human_bytes(sum).c_str(),
@@ -277,7 +281,10 @@ std::string Program::dump() const {
       if (!q.act_lut.empty()) appendf(out, "  + fused lut x%lld",
                                       static_cast<long long>(q.act_lut_channels));
     }
-    if (op.dispatched) appendf(out, "  [%s]", simd::variant_name(op.variant));
+    // jit-compiled ops include kinds (kQAdd) the dispatch table never serves;
+    // annotate those too so the per-op tier report is complete.
+    if (op.dispatched || op.jit >= 0)
+      appendf(out, "  [%s]", simd::variant_name(op.variant));
     out += "\n";
   }
   return out;

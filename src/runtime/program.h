@@ -54,6 +54,10 @@ class Conv2d;
 
 namespace sesr::runtime {
 
+namespace jit {
+class JitModule;
+}
+
 enum class Precision {
   kFloat32,
   kInt8,
@@ -180,6 +184,12 @@ struct Op {
   /// variant pass so Session::execute can route through the dispatch-aware
   /// fused microkernel without a per-run dynamic_cast.
   const nn::Conv2d* conv = nullptr;
+
+  /// Index into the program's JIT module (compile_jit pass), or -1 when this
+  /// op has no patched kernel. Only ops stamped KernelVariant::kJit carry a
+  /// valid index; Session::execute routes them through the module's patched
+  /// entry points and everything else through the dispatch table.
+  int jit = -1;
 };
 
 /// Does this op kind read its output buffer before writing it
@@ -255,6 +265,20 @@ class Program {
   /// Whether SESR_KERNEL_VARIANT pinned the tier at compile time.
   [[nodiscard]] bool kernel_variant_forced() const { return kernel_variant_forced_; }
 
+  /// The copy-and-patch module the compile_jit pass built (null unless the
+  /// program was compiled under the jit tier and at least one op JIT'd).
+  /// Owned by the program like the arena plan: immutable, shared read-only
+  /// by every Session.
+  [[nodiscard]] const std::shared_ptr<const jit::JitModule>& jit_module() const {
+    return jit_;
+  }
+  /// How many ops run patched JIT kernels / the one-time compile cost /
+  /// bytes of patched code (0 when the jit tier was not selected or nothing
+  /// was eligible — serving stats and bench JSON report these).
+  [[nodiscard]] int64_t jit_ops() const { return jit_ops_; }
+  [[nodiscard]] double jit_compile_ms() const { return jit_compile_ms_; }
+  [[nodiscard]] int64_t jit_code_bytes() const { return jit_code_bytes_; }
+
   /// External buffers are bound to caller tensors at run time and never
   /// arena-planned: the program input (id 0) and the program output.
   [[nodiscard]] bool is_external(int id) const { return id == 0 || id == output_; }
@@ -289,6 +313,10 @@ class Program {
   int output_ = 0;
   simd::KernelVariant kernel_variant_ = simd::KernelVariant::kScalar;
   bool kernel_variant_forced_ = false;
+  std::shared_ptr<const jit::JitModule> jit_;
+  int64_t jit_ops_ = 0;
+  double jit_compile_ms_ = 0.0;
+  int64_t jit_code_bytes_ = 0;
 };
 
 }  // namespace sesr::runtime

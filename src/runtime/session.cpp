@@ -6,6 +6,7 @@
 
 #include "nn/conv2d.h"
 #include "quant/qparams.h"
+#include "runtime/jit/jit.h"
 #include "tensor/int8_kernels.h"
 
 namespace sesr::runtime {
@@ -102,6 +103,10 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
     return buffers[static_cast<size_t>(id)].shape;
   };
   const auto qbuf = [&](int id) -> int8_t* { return int8_[static_cast<size_t>(id)]; };
+  // The program-owned copy-and-patch module (null unless compiled under the
+  // jit tier). Ops with op.jit >= 0 route through its patched entry points;
+  // the module is immutable and shared read-only across sessions.
+  const jit::JitModule* const jm = program_->jit_module().get();
 
   int op_index = -1;
   for (const Op& op : program_->ops()) {
@@ -184,8 +189,12 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.requant = q->requant.data();
         spec.act_lut = q->act_lut.empty() ? nullptr : q->act_lut.data();
         spec.act_lut_channels = q->act_lut_channels;
-        int8_conv2d_nchw(qbuf(op.input), in[0], in[2], in[3], out[2], out[3], spec,
-                         qbuf(op.output), workspace_, &kd);
+        if (op.jit >= 0)
+          jit::run_conv(jm->op(op.jit), spec, qbuf(op.input), in[0], in[2], in[3],
+                        out[2], out[3], qbuf(op.output), workspace_, kd);
+        else
+          int8_conv2d_nchw(qbuf(op.input), in[0], in[2], in[3], out[2], out[3], spec,
+                           qbuf(op.output), workspace_, &kd);
         break;
       }
       case Op::Kind::kQDepthwise: {
@@ -228,6 +237,12 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         spec.neg_per_channel =
             q->neg_per_channel.empty() ? nullptr : q->neg_per_channel.data();
         spec.out_cap = q->out_cap;
+        if (op.jit >= 0) {
+          // The patched stream bakes the shared 256-entry table and numel;
+          // per-channel slopes never compile (compile_jit skips them).
+          jm->op(op.jit).lut(qbuf(op.input), qbuf(op.output));
+          break;
+        }
         const bool nchw = in.ndim() == 4;
         int8_activation_nchw(qbuf(op.input), nchw ? in[0] : 1, nchw ? in[1] : 1,
                              nchw ? in[2] * in[3] : in.numel(), spec, qbuf(op.output),
@@ -236,7 +251,9 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
       }
       case Op::Kind::kQAdd: {
         const int64_t numel = shape_of(op.output).numel();
-        if (!q->add_lut.empty())
+        if (op.jit >= 0)
+          jm->op(op.jit).add(qbuf(op.output), qbuf(op.input), qbuf(op.output));
+        else if (!q->add_lut.empty())
           int8_add_lut(qbuf(op.output), qbuf(op.input), q->add_lut.data(), numel,
                        qbuf(op.output));
         else
@@ -246,8 +263,11 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
       }
       case Op::Kind::kQScale: {
         const int64_t numel = shape_of(op.output).numel();
-        int8_rescale(qbuf(op.output), q->in_a.zero_point, q->m_a, q->out.zero_point,
-                     numel, qbuf(op.output), &kd);
+        if (op.jit >= 0)
+          jm->op(op.jit).lut(qbuf(op.output), qbuf(op.output));
+        else
+          int8_rescale(qbuf(op.output), q->in_a.zero_point, q->m_a, q->out.zero_point,
+                       numel, qbuf(op.output), &kd);
         break;
       }
       case Op::Kind::kQConcat: {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/passes/passes.h"
 #include "tensor/simd/dispatch.h"
 
 namespace sesr::serve {
@@ -377,7 +378,10 @@ ServerStats Server::stats() const {
     stats.batch_size_counts.push_back(count.load(std::memory_order_relaxed));
   stats.queue_depth = queue_->size();
   stats.peak_queue_depth = queue_->peak_size();
-  stats.kernel_variant = simd::variant_name(simd::active_variant());
+  // The tier plans compiled now are stamped with — "jit" when the
+  // copy-and-patch tier is selected and available, not the base tier
+  // active_variant() would clamp it to.
+  stats.kernel_variant = simd::variant_name(runtime::resolved_kernel_variant());
   stats.latency = latency_.snapshot();
   {
     std::lock_guard<std::mutex> lock(tenants_mutex_);

@@ -51,34 +51,9 @@ double FixedPointMultiplier::as_double() const {
 
 namespace {
 
-/// Padded-row slack: every padded image row is over-allocated by this many
-/// int16 slots. Two consumers size it: the patch builder's 8-byte group
-/// copies may read up to 3 slots past a tap group's end, and the AVX-512
-/// direct-conv block kernel's 64-byte pair loads touch (but never use) up to
-/// 15 slots past the last kernel column of the rightmost output block. The
-/// slack is zero-filled by widen_padded_image, so over-wide reads stay
-/// in-bounds and the unused elements never reach an accumulator.
-constexpr int64_t kPatchSlack = 16;
-
-// Widen one image to a physically padded, zero-point-corrected int16 copy:
-// prow[ic][ih][x] = q_in(ic, ih, x - pad) - z_in, 0 in the padding. Padding
-// taps thereby contribute literal 0 to the accumulation, and the patch
-// builder below needs no bounds checks at all — its 8-byte group reads stay
-// inside [0, prow_w) for every (ow, tap) combination.
-inline void widen_padded_image(const int8_t* in_img, int64_t in_c, int64_t h, int64_t w,
-                               int64_t pad, int32_t in_zero, int64_t prow_w,
-                               int16_t* padded) {
-  for (int64_t ic = 0; ic < in_c; ++ic) {
-    for (int64_t ih = 0; ih < h; ++ih) {
-      const int8_t* src = in_img + (ic * h + ih) * w;
-      int16_t* dst = padded + (ic * h + ih) * prow_w;
-      for (int64_t x = 0; x < pad; ++x) dst[x] = 0;
-      for (int64_t x = 0; x < w; ++x)
-        dst[pad + x] = static_cast<int16_t>(static_cast<int16_t>(src[x]) - in_zero);
-      for (int64_t x = pad + w; x < prow_w; ++x) dst[x] = 0;
-    }
-  }
-}
+/// Padded-row slack (see kInt8ConvPatchSlack in the header — the public name
+/// the JIT tier's conv driver shares; this alias keeps the hot TU short).
+constexpr int64_t kPatchSlack = kInt8ConvPatchSlack;
 
 // Patch-major row slab over the padded image: slab[ow][(ic, kh, kw)] =
 // padded(ic, ih, ow * stride + kw). Tap groups are copied four int16 at a
@@ -244,6 +219,26 @@ void conv_rows_direct(const Int8ConvSpec spec, const simd::KernelDispatch kd,
 
 }  // namespace
 
+// Widen one image to a physically padded, zero-point-corrected int16 copy:
+// prow[ic][ih][x] = q_in(ic, ih, x - pad) - z_in, 0 in the padding. Padding
+// taps thereby contribute literal 0 to the accumulation, and the patch
+// builder above needs no bounds checks at all — its 8-byte group reads stay
+// inside [0, prow_w) for every (ow, tap) combination.
+void int8_widen_padded_image(const int8_t* in_img, int64_t in_c, int64_t h, int64_t w,
+                             int64_t pad, int32_t in_zero, int64_t prow_w,
+                             int16_t* padded) {
+  for (int64_t ic = 0; ic < in_c; ++ic) {
+    for (int64_t ih = 0; ih < h; ++ih) {
+      const int8_t* src = in_img + (ic * h + ih) * w;
+      int16_t* dst = padded + (ic * h + ih) * prow_w;
+      for (int64_t x = 0; x < pad; ++x) dst[x] = 0;
+      for (int64_t x = 0; x < w; ++x)
+        dst[pad + x] = static_cast<int16_t>(static_cast<int16_t>(src[x]) - in_zero);
+      for (int64_t x = pad + w; x < prow_w; ++x) dst[x] = 0;
+    }
+  }
+}
+
 void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
                       int64_t out_h, int64_t out_w, const Int8ConvSpec& spec,
                       int8_t* out, Workspace& workspace,
@@ -259,7 +254,7 @@ void int8_conv2d_nchw(const int8_t* in, int64_t n, int64_t h, int64_t w,
   std::span<int16_t> padded =
       workspace.scratch<int16_t>(n * spec.in_c * h * prow_w);
   for (int64_t i = 0; i < n; ++i)
-    widen_padded_image(in + i * spec.in_c * h * w, spec.in_c, h, w, spec.pad,
+    int8_widen_padded_image(in + i * spec.in_c * h * w, spec.in_c, h, w, spec.pad,
                        spec.in_zero, prow_w, padded.data() + i * spec.in_c * h * prow_w);
 
   // Stride-1 convs wide enough for a 16-column block take the direct path:
@@ -408,16 +403,20 @@ void int8_add_lut(const int8_t* a, const int8_t* b, const int8_t* lut, int64_t n
   }
 }
 
+void int8_rescale_build_lut(int32_t z_in, double m, int32_t z_out, int8_t lut[256]) {
+  for (int32_t q = -128; q <= 127; ++q) {
+    const double v = m * (q - z_in);
+    lut[static_cast<size_t>(q + 128)] = saturate_int8(round_half_up(v) + z_out);
+  }
+}
+
 void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
                   int8_t* out, const simd::KernelDispatch* dispatch) {
   // The map is a pure function of the input byte: build the 256-entry table
   // (identical formula per value, so bit-exact against the old per-element
   // loop) and stream it through the dispatch tier.
   int8_t lut[256];
-  for (int32_t q = -128; q <= 127; ++q) {
-    const double v = m * (q - z_in);
-    lut[static_cast<size_t>(q + 128)] = saturate_int8(round_half_up(v) + z_out);
-  }
+  int8_rescale_build_lut(z_in, m, z_out, lut);
   resolve(dispatch).lut_stream(in, lut, numel, out);
 }
 

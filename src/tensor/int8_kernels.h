@@ -91,6 +91,23 @@ struct FixedPointMultiplier {
 /// (kw, kw+1) pairs.
 [[nodiscard]] inline int64_t int8_kw_pairs(int64_t kernel) { return (kernel + 1) / 2; }
 
+/// Padded-row slack of the widened image below, in int16 slots: sized for the
+/// patch builder's 8-byte group overhang AND the widest block-kernel load (the
+/// AVX-512 / JIT 64-byte pair loads touch up to 15 slots past the last kernel
+/// column of the rightmost output block). Every padded row is
+/// `w + 2 * pad + kInt8ConvPatchSlack` int16 wide, slack zero-filled.
+inline constexpr int64_t kInt8ConvPatchSlack = 16;
+
+/// Widen one NCHW int8 image to the physically padded, zero-point-corrected
+/// int16 copy the direct conv kernels read: prow[ic][ih][x] =
+/// q_in(ic, ih, x - pad) - z_in, 0 in the horizontal padding and slack.
+/// `prow_w` must be w + 2 * pad + kInt8ConvPatchSlack; `padded` holds
+/// in_c * h * prow_w elements. (Exported for the JIT tier's conv driver,
+/// which shares this exact layout with int8_conv2d_nchw.)
+void int8_widen_padded_image(const int8_t* in_img, int64_t in_c, int64_t h, int64_t w,
+                             int64_t pad, int32_t in_zero, int64_t prow_w,
+                             int16_t* padded);
+
 struct Int8ConvSpec {
   int64_t in_c = 0, out_c = 0, kernel = 1, stride = 1, pad = 0;
   int32_t in_zero = 0, out_zero = 0;
@@ -189,6 +206,11 @@ void int8_add_lut(const int8_t* a, const int8_t* b, const int8_t* lut, int64_t n
 /// function of the input byte, so the table is bit-exact per construction.
 void int8_rescale(const int8_t* in, int32_t z_in, double m, int32_t z_out, int64_t numel,
                   int8_t* out, const simd::KernelDispatch* dispatch = nullptr);
+
+/// The 256-entry table int8_rescale streams, exposed so callers that replay
+/// the rescale many times (the JIT tier bakes it into a patched stencil) can
+/// build it once with the identical formula.
+void int8_rescale_build_lut(int32_t z_in, double m, int32_t z_out, int8_t lut[256]);
 
 /// Pointwise activation on the integer grid. For q >= z_in the positive
 /// multiplier applies (s_in / s_out); below it the (optionally per-channel)

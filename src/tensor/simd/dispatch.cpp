@@ -58,20 +58,17 @@ CpuFeatures detect_features() {
 }
 
 // Overlay the non-null entries of `frag` onto `base` (which starts as the
-// complete scalar table, so every slot stays callable).
+// complete scalar table, so every slot stays callable). The slot walk is
+// generated from SESR_KERNEL_DISPATCH_SLOTS so every per-ISA overlay — and
+// any future tier — shares this one merge.
 KernelDispatch overlay(KernelDispatch base, const KernelDispatch* frag,
                        KernelVariant tier) {
   base.variant = tier;
   if (frag == nullptr) return base;
-  if (frag->conv_block16) base.conv_block16 = frag->conv_block16;
-  if (frag->gemm_block) base.gemm_block = frag->gemm_block;
-  if (frag->saxpy) base.saxpy = frag->saxpy;
-  if (frag->int8_dot4) base.int8_dot4 = frag->int8_dot4;
-  if (frag->int8_dot) base.int8_dot = frag->int8_dot;
-  if (frag->int8_conv_cols16) base.int8_conv_cols16 = frag->int8_conv_cols16;
-  if (frag->int8_requant_row) base.int8_requant_row = frag->int8_requant_row;
-  if (frag->lut_stream) base.lut_stream = frag->lut_stream;
-  if (frag->interleave2) base.interleave2 = frag->interleave2;
+#define SESR_MERGE_SLOT(name) \
+  if (frag->name) base.name = frag->name;
+  SESR_KERNEL_DISPATCH_SLOTS(SESR_MERGE_SLOT)
+#undef SESR_MERGE_SLOT
   return base;
 }
 
@@ -101,6 +98,13 @@ struct DispatchTables {
         table[2].lut_stream = detail::vbmi_lut_stream();
       best = KernelVariant::kAvx512Vnni;
     }
+
+    // kJit carries no kernel table of its own: jit'd ops live inside compiled
+    // Programs (runtime/jit patches them at plan-compile time), and everything
+    // else under the jit tier — non-jit'd ops, standalone kernel calls — runs
+    // the best base tier. Aliasing also makes clamp_to_supported(kJit) name
+    // that base tier, which is exactly the fallback ladder's bottom rung.
+    table[3] = table[2];
   }
 };
 
@@ -121,6 +125,7 @@ const char* variant_name(KernelVariant v) {
     case KernelVariant::kScalar: return "scalar";
     case KernelVariant::kAvx2: return "avx2";
     case KernelVariant::kAvx512Vnni: return "avx512vnni";
+    case KernelVariant::kJit: return "jit";
   }
   return "scalar";
 }
@@ -129,6 +134,7 @@ std::optional<KernelVariant> parse_variant(std::string_view name) {
   if (name == "scalar") return KernelVariant::kScalar;
   if (name == "avx2") return KernelVariant::kAvx2;
   if (name == "avx512vnni") return KernelVariant::kAvx512Vnni;
+  if (name == "jit") return KernelVariant::kJit;
   return std::nullopt;
 }
 

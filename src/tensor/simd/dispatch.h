@@ -52,11 +52,23 @@ struct CpuFeatures {
 /// The dispatchable tiers, in strength order. kAvx512Vnni requires the
 /// AVX-512 core set plus VNNI (the int8 dots are the tier's reason to
 /// exist); VBMI is an opportunistic extra within that tier, never a
-/// selection criterion.
-enum class KernelVariant : uint8_t { kScalar = 0, kAvx2 = 1, kAvx512Vnni = 2 };
-inline constexpr int kNumKernelVariants = 3;
+/// selection criterion. kJit is the plan-compile-time copy-and-patch tier
+/// (src/runtime/jit/): it layers shape-specialized patched stencils on top
+/// of the best base tier, so at this level its dispatch table aliases that
+/// base tier — ops a program could not JIT-compile, and standalone kernel
+/// calls under SESR_KERNEL_VARIANT=jit, run the base kernels. Whether jit
+/// is actually available (stencils built, W^X mmap usable) is decided by
+/// runtime/jit, not here; clamp_to_supported(kJit) therefore names the base
+/// tier, and supported_variants() never lists kJit.
+enum class KernelVariant : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512Vnni = 2,
+  kJit = 3,
+};
+inline constexpr int kNumKernelVariants = 4;
 
-/// "scalar" / "avx2" / "avx512vnni".
+/// "scalar" / "avx2" / "avx512vnni" / "jit".
 [[nodiscard]] const char* variant_name(KernelVariant v);
 
 /// Inverse of variant_name (case-sensitive). nullopt for anything else —
@@ -157,6 +169,20 @@ struct KernelDispatch {
   /// interleave. `out` must not overlap the inputs.
   void (*interleave2)(const int8_t* a, const int8_t* b, int64_t n, int8_t* out);
 };
+
+/// Every kernel slot of KernelDispatch, for table-merge code that must stay
+/// in sync with the struct (X is applied to each member name). Adding a
+/// kernel means adding it to the struct AND to this list.
+#define SESR_KERNEL_DISPATCH_SLOTS(X)                                       \
+  X(conv_block16)                                                           \
+  X(gemm_block)                                                             \
+  X(saxpy)                                                                  \
+  X(int8_dot4)                                                              \
+  X(int8_dot)                                                               \
+  X(int8_conv_cols16)                                                       \
+  X(int8_requant_row)                                                       \
+  X(lut_stream)                                                             \
+  X(interleave2)
 
 /// The (immutable, process-lifetime) kernel table for a tier; `v` is clamped
 /// to CPU support first.

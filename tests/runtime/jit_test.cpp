@@ -1,0 +1,309 @@
+// Unit coverage of the copy-and-patch JIT tier (src/runtime/jit/):
+// the W^X code-arena lifecycle, stencil patching against the generated
+// tables, structural validation of (deliberately corrupted) descriptors,
+// the per-op fallback ladder under the deny-list and arena-budget knobs,
+// and concurrent sessions sharing one immutable JitModule — the TSan job
+// runs this suite to prove the shared arena is race-free.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "models/sesr.h"
+#include "quant/quantized_model.h"
+#include "runtime/jit/code_arena.h"
+#include "runtime/jit/jit.h"
+#include "runtime/jit/stencil.h"
+#include "runtime/program.h"
+#include "runtime/session.h"
+#include "tensor/rng.h"
+#include "tensor/simd/dispatch.h"
+#include "tests/support/fault_injection.h"
+
+namespace sesr::runtime::jit {
+namespace {
+
+using testsupport::ScopedEnv;
+
+TEST(CodeArena, TwoPhaseLifecycleEnforcesWriteXorExecute) {
+  CodeArena arena;
+  EXPECT_FALSE(arena.reserved());
+  EXPECT_EQ(arena.alloc_code(16), nullptr);  // not reserved yet
+
+  ASSERT_TRUE(arena.reserve(4096, 256));
+  EXPECT_TRUE(arena.reserved());
+  EXPECT_FALSE(arena.reserve(4096, 0));  // double-reserve refused
+
+  unsigned char* code = arena.alloc_code(100);
+  ASSERT_NE(code, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(code) % 64, 0u);
+  unsigned char* data = arena.alloc_data(256);
+  ASSERT_NE(data, nullptr);
+  std::memset(code, 0xC3, 100);  // ret — executable garbage is fine, never run
+  std::memset(data, 0, 256);
+
+  // Second code alloc is bumped past the first, still aligned.
+  unsigned char* code2 = arena.alloc_code(64);
+  ASSERT_NE(code2, nullptr);
+  EXPECT_GE(code2, code + 100);
+  EXPECT_EQ(arena.alloc_code(1 << 20), nullptr);  // beyond the reservation
+
+  ASSERT_TRUE(arena.finalize());
+  EXPECT_TRUE(arena.finalized());
+  // Immutable from here: no further allocation, no way back to writable.
+  EXPECT_EQ(arena.alloc_code(16), nullptr);
+  EXPECT_EQ(arena.alloc_data(16), nullptr);
+  EXPECT_TRUE(arena.contains_code(code));
+  EXPECT_TRUE(arena.contains_code(code2));
+  EXPECT_FALSE(arena.contains_code(data));
+  EXPECT_FALSE(arena.contains_code(&arena));
+}
+
+/// The scalar lut256 stencil straight from the generated tables, bypassing
+/// the deny-list (mirrors what available() probes).
+const StencilDesc* scalar_lut256(const StencilSetDef** set_out) {
+  size_t n = 0;
+  const StencilSetDef* sets = stencil_sets(&n);
+  for (size_t s = 0; s < n; ++s) {
+    if (std::string(sets[s].name) != "scalar") continue;
+    for (size_t i = 0; i < sets[s].stencil_count; ++i)
+      if (std::strcmp(sets[s].stencils[i].name, "lut256") == 0) {
+        *set_out = &sets[s];
+        return &sets[s].stencils[i];
+      }
+  }
+  return nullptr;
+}
+
+TEST(PatchStencil, PatchedLut256MatchesDirectTableLookup) {
+  if (!available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const StencilSetDef* set = nullptr;
+  const StencilDesc* desc = scalar_lut256(&set);
+  ASSERT_NE(desc, nullptr);
+
+  CodeArena arena;
+  ASSERT_TRUE(arena.reserve(desc->size, 256));
+  unsigned char* table = arena.alloc_data(256);
+  ASSERT_NE(table, nullptr);
+  for (int i = 0; i < 256; ++i)
+    table[i] = static_cast<unsigned char>((i * 7 + 3) % 256);
+
+  constexpr int64_t kCount = 300;  // not a multiple of any vector width
+  int64_t holes[kNumHoles] = {};
+  holes[kHoleLutTable] = reinterpret_cast<int64_t>(table);
+  holes[kHoleLutCount] = kCount;
+  unsigned char* code = patch_stencil(arena, *desc, *set, holes);
+  ASSERT_NE(code, nullptr);
+  EXPECT_TRUE(arena.contains_code(code));
+  ASSERT_TRUE(arena.finalize());
+
+  std::vector<int8_t> in(kCount), out(kCount, 0), want(kCount);
+  for (int64_t i = 0; i < kCount; ++i) {
+    in[i] = static_cast<int8_t>(i * 13 - 97);
+    want[i] = static_cast<int8_t>(table[static_cast<int>(in[i]) + 128]);
+  }
+  reinterpret_cast<LutStreamFn>(code)(in.data(), out.data());
+  EXPECT_EQ(std::memcmp(out.data(), want.data(), static_cast<size_t>(kCount)), 0);
+}
+
+TEST(PatchStencil, CorruptedDescriptorsAreRejectedNotPatched) {
+  if (!available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const StencilSetDef* set = nullptr;
+  const StencilDesc* real = scalar_lut256(&set);
+  ASSERT_NE(real, nullptr);
+  ASSERT_TRUE(validate_stencil(*real, *set));
+
+  CodeArena arena;
+  ASSERT_TRUE(arena.reserve(4096, 0));
+  int64_t holes[kNumHoles] = {};
+
+  {  // hole id out of range
+    StencilDesc bad = *real;
+    std::vector<StencilHole> sites(bad.holes, bad.holes + bad.hole_count);
+    ASSERT_FALSE(sites.empty());
+    sites[0].hole = kNumHoles;
+    bad.holes = sites.data();
+    EXPECT_FALSE(validate_stencil(bad, *set));
+    EXPECT_EQ(patch_stencil(arena, bad, *set, holes), nullptr);
+  }
+  {  // patch site past the end of the code bytes
+    StencilDesc bad = *real;
+    std::vector<StencilHole> sites(bad.holes, bad.holes + bad.hole_count);
+    sites[0].code_offset = bad.size - 4;
+    bad.holes = sites.data();
+    EXPECT_FALSE(validate_stencil(bad, *set));
+    EXPECT_EQ(patch_stencil(arena, bad, *set, holes), nullptr);
+  }
+  {  // truncated code blob
+    StencilDesc bad = *real;
+    bad.code = nullptr;
+    EXPECT_FALSE(validate_stencil(bad, *set));
+    EXPECT_EQ(patch_stencil(arena, bad, *set, holes), nullptr);
+  }
+  {  // rodata reference pointing past the blob table
+    StencilDesc bad = *real;
+    StencilRodataRef ref;
+    ref.code_offset = 0;
+    ref.blob = static_cast<uint16_t>(set->blob_count);
+    bad.rodata = &ref;
+    bad.rodata_count = 1;
+    EXPECT_FALSE(validate_stencil(bad, *set));
+    EXPECT_EQ(patch_stencil(arena, bad, *set, holes), nullptr);
+  }
+  // The arena is still usable after every rejection — nothing was consumed
+  // beyond the rejected attempts' bump allocations, and nothing crashed.
+  EXPECT_NE(arena.alloc_code(64), nullptr);
+}
+
+/// An int8 SESR-M5 plan plus a native-tier reference output for `probe`.
+struct Int8Fixture {
+  std::shared_ptr<models::Sesr> net;
+  std::shared_ptr<const quant::QuantizedModel> artifact;
+  Shape shape{1, 3, 16, 16};
+  Tensor probe;
+  Tensor reference;
+
+  Int8Fixture() {
+    net = std::make_shared<models::Sesr>(models::SesrConfig::m5(),
+                                         models::Sesr::Form::kInference);
+    Rng rng(211);
+    net->init_weights(rng);
+    Rng probe_rng(212);
+    probe = Tensor::rand(shape, probe_rng);
+    std::vector<Tensor> batches;
+    Rng cal_rng(213);
+    batches.push_back(Tensor::rand(shape, cal_rng));
+    artifact = std::make_shared<quant::QuantizedModel>(
+        quant::QuantizedModel::calibrate(*net, shape, batches));
+    ScopedEnv unpin("SESR_KERNEL_VARIANT", nullptr);
+    Session session(Program::compile_int8(*net, shape, *artifact));
+    reference = session.run(probe);
+  }
+
+  [[nodiscard]] std::shared_ptr<const Program> compile_jit_plan() const {
+    return Program::compile_int8(*net, shape, *artifact);
+  }
+
+  void expect_matches_reference(const Tensor& out, const std::string& what) const {
+    ASSERT_EQ(out.shape(), reference.shape()) << what;
+    EXPECT_EQ(std::memcmp(out.data(), reference.data(),
+                          static_cast<size_t>(out.numel()) * sizeof(float)),
+              0)
+        << what << ": diverges from the native tier";
+  }
+};
+
+TEST(JitFallback, DenyListDropsStencilsPerOpWithoutLosingExactness) {
+  if (!available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const Int8Fixture fx;
+  ScopedEnv pin("SESR_KERNEL_VARIANT", "jit");
+
+  int64_t full_ops = 0;
+  {
+    const auto plan = fx.compile_jit_plan();
+    EXPECT_EQ(plan->kernel_variant(), simd::KernelVariant::kJit);
+    full_ops = plan->jit_ops();
+    EXPECT_GT(full_ops, 0) << plan->dump();
+    EXPECT_NE(plan->dump().find("[jit]"), std::string::npos) << plan->dump();
+    Session session(plan);
+    fx.expect_matches_reference(session.run(fx.probe), "jit, all stencils");
+  }
+  {
+    // Denying every stencil must not fail compilation — every op falls back
+    // to the base tier and the dump stops claiming jit'd ops.
+    ScopedEnv deny("SESR_JIT_DISABLE_STENCILS", "all");
+    const auto plan = fx.compile_jit_plan();
+    EXPECT_EQ(plan->kernel_variant(), simd::KernelVariant::kJit);
+    EXPECT_EQ(plan->jit_ops(), 0) << plan->dump();
+    EXPECT_EQ(plan->jit_module(), nullptr);
+    EXPECT_NE(plan->dump().find("jit: 0 ops patched"), std::string::npos);
+    Session session(plan);
+    fx.expect_matches_reference(session.run(fx.probe), "jit, deny all");
+  }
+  {
+    // Partial deny: the lut256 stream falls back, the convs stay patched.
+    ScopedEnv deny("SESR_JIT_DISABLE_STENCILS", "lut256");
+    const auto plan = fx.compile_jit_plan();
+    EXPECT_GT(plan->jit_ops(), 0) << plan->dump();
+    EXPECT_LE(plan->jit_ops(), full_ops);
+    Session session(plan);
+    fx.expect_matches_reference(session.run(fx.probe), "jit, deny lut256");
+  }
+}
+
+TEST(JitFallback, ArenaBudgetCapsCompiledOpsNotCorrectness) {
+  if (!available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const Int8Fixture fx;
+  ScopedEnv pin("SESR_KERNEL_VARIANT", "jit");
+  // The floor of the knob (64 KiB) holds only a few conv blocks; whatever
+  // fits runs patched, the rest falls back, the output cannot change.
+  ScopedEnv cap("SESR_JIT_ARENA_BYTES", "65536");
+  const auto plan = fx.compile_jit_plan();
+  EXPECT_EQ(plan->kernel_variant(), simd::KernelVariant::kJit);
+  EXPECT_LE(plan->jit_code_bytes(), 65536) << plan->dump();
+  Session session(plan);
+  fx.expect_matches_reference(session.run(fx.probe), "jit, 64K arena budget");
+}
+
+TEST(JitModuleSharing, ConcurrentSessionsShareOneImmutableModule) {
+  if (!available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const Int8Fixture fx;
+  ScopedEnv pin("SESR_KERNEL_VARIANT", "jit");
+  const auto plan = fx.compile_jit_plan();
+  ASSERT_NE(plan->jit_module(), nullptr);
+  ASSERT_GT(plan->jit_ops(), 0);
+
+  // Several sessions, one JitModule: the arena is RX-immutable, so parallel
+  // execution through the same patched entry points must be race-free (the
+  // TSan CI job runs exactly this) and bit-exact.
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 3;
+  std::vector<Tensor> outs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Session session(plan);
+      for (int r = 0; r < kRunsPerThread; ++r) outs[static_cast<size_t>(t)] =
+          session.run(fx.probe);
+    });
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    fx.expect_matches_reference(outs[static_cast<size_t>(t)],
+                                "concurrent session " + std::to_string(t));
+}
+
+TEST(JitModule, EntryPointsLiveInTheModulesCodeRegion) {
+  if (!available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const Int8Fixture fx;
+  ScopedEnv pin("SESR_KERNEL_VARIANT", "jit");
+  const auto plan = fx.compile_jit_plan();
+  const auto& module = plan->jit_module();
+  ASSERT_NE(module, nullptr);
+  EXPECT_GT(module->code_bytes(), 0u);
+  EXPECT_EQ(module->num_ops(), plan->jit_ops());
+  EXPECT_DOUBLE_EQ(module->compile_ms(), plan->jit_compile_ms());
+  for (int i = 0; i < module->num_ops(); ++i) {
+    const JitOp& op = module->op(i);
+    switch (op.kind) {
+      case JitOp::Kind::kConv:
+        ASSERT_FALSE(op.conv.blocks.empty());
+        for (ConvBlockFn fn : op.conv.blocks)
+          EXPECT_TRUE(module->owns_code(reinterpret_cast<const void*>(fn)));
+        break;
+      case JitOp::Kind::kLut:
+        EXPECT_TRUE(module->owns_code(reinterpret_cast<const void*>(op.lut)));
+        break;
+      case JitOp::Kind::kAdd:
+        EXPECT_TRUE(module->owns_code(reinterpret_cast<const void*>(op.add)));
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sesr::runtime::jit

@@ -12,6 +12,7 @@
 
 #include "models/model_zoo.h"
 #include "quant/quantized_model.h"
+#include "runtime/jit/jit.h"
 #include "runtime/program.h"
 #include "runtime/session.h"
 #include "tensor/rng.h"
@@ -94,6 +95,52 @@ TEST(VariantExactness, Int8ZooNetsAreBitIdenticalAcrossTiers) {
   }
 }
 
+TEST(VariantExactness, JitTierIsBitExactAcrossZoo) {
+  // The copy-and-patch tier bakes shapes, strides, and quant constants into
+  // patched machine code; its contract is the same as every other tier —
+  // bit-identical whole-net outputs, fp32 and int8, for every zoo network.
+  if (!jit::available()) GTEST_SKIP() << "jit tier unavailable in this build";
+  const Shape shape{1, 3, 16, 16};
+  Rng probe_rng(101);
+  const Tensor probe = Tensor::rand(shape, probe_rng);
+  const auto batches = calibration_batches(shape, 2, 102);
+  for (const models::SrModelSpec& spec : models::sr_model_zoo()) {
+    SCOPED_TRACE(spec.label);
+    const auto net = spec.make_repo_scale();
+    Rng rng(103);
+    net->init_weights(rng);
+    const auto artifact = quant::QuantizedModel::calibrate(*net, shape, batches);
+    for (const bool int8 : {false, true}) {
+      SCOPED_TRACE(int8 ? "int8" : "fp32");
+      const auto compile = [&]() -> std::shared_ptr<const Program> {
+        if (int8) return Program::compile_int8(*net, shape, artifact);
+        return Program::compile(*net, shape);
+      };
+      Tensor reference;
+      {
+        ScopedEnv unpin("SESR_KERNEL_VARIANT", nullptr);
+        Session session(compile());
+        reference = session.run(probe);
+      }
+      ScopedEnv pin("SESR_KERNEL_VARIANT", "jit");
+      const std::shared_ptr<const Program> plan = compile();
+      EXPECT_EQ(plan->kernel_variant(), simd::KernelVariant::kJit);
+      EXPECT_TRUE(plan->kernel_variant_forced());
+      // Every int8 zoo net has at least one patchable op (a stride-1 conv 16+
+      // columns wide, a rescale, or a residual add); fp32 programs have none
+      // and must still compile and run under the tier (all ops fall back).
+      if (int8)
+        EXPECT_GT(plan->jit_ops(), 0) << plan->dump();
+      else
+        EXPECT_EQ(plan->jit_ops(), 0);
+      Session session(plan);
+      const Tensor out = session.run(probe);
+      expect_bitwise_equal(reference, out,
+                           std::string(spec.label) + " jit vs native");
+    }
+  }
+}
+
 TEST(VariantExactness, CompiledProgramsKeepTheirRecordedTier) {
   // The stamp is a compile-time snapshot: flipping the knob afterwards
   // neither retargets the program nor changes what dump() reports.
@@ -134,8 +181,12 @@ TEST(VariantExactness, DumpAnnotatesDispatchedOps) {
   Rng rng(93);
   sesr.init_weights(rng);
   const auto plan = Program::compile(sesr, {1, 3, 8, 8});
+  // Per-op annotations report the tier each op actually runs: under the jit
+  // tier an op the compiler could not patch (every op of this fp32 program)
+  // is re-stamped with the base tier, which clamp_to_supported names.
   const std::string expected =
-      std::string("[") + simd::variant_name(plan->kernel_variant()) + "]";
+      std::string("[") +
+      simd::variant_name(simd::clamp_to_supported(plan->kernel_variant())) + "]";
   EXPECT_NE(plan->dump().find(expected), std::string::npos) << plan->dump();
 }
 

@@ -1,0 +1,382 @@
+// stencilgen — build-time extractor for the copy-and-patch JIT tier.
+//
+// Reads ONE relocatable ELF64 x86-64 object (a flavor of
+// src/runtime/jit/stencils_tu.cpp, compiled with -fno-pic -mcmodel=large
+// -ffunction-sections) and emits a C++ .inc fragment defining the flavor's
+// StencilSetDef (see src/runtime/jit/stencil.h): raw code bytes per stencil,
+// the R_X86_64_64 patch sites against sesr_jit_hole_<n> symbols, embedded
+// .rodata* sections the code references, and the sites that point into them.
+//
+// A stencil that contains anything the runtime patcher cannot resolve — a
+// call, a GOT/PLT relocation, a reference to an undefined non-hole symbol, a
+// non-64-bit relocation — is rejected with a warning and left out of the
+// table; the runtime then falls back to the base SIMD tier for shapes that
+// wanted it. Rejection is never a build failure: the fallback ladder is the
+// correctness story, the stencils are only the fast path.
+//
+// Usage: stencilgen --set <flavor> --suffix _<flavor> --out <file.inc> <obj>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- ELF64 structures (self-contained; <elf.h> is Linux-only) --------------
+
+struct Elf64_Ehdr {
+  unsigned char e_ident[16];
+  uint16_t e_type;
+  uint16_t e_machine;
+  uint32_t e_version;
+  uint64_t e_entry;
+  uint64_t e_phoff;
+  uint64_t e_shoff;
+  uint32_t e_flags;
+  uint16_t e_ehsize;
+  uint16_t e_phentsize;
+  uint16_t e_phnum;
+  uint16_t e_shentsize;
+  uint16_t e_shnum;
+  uint16_t e_shstrndx;
+};
+
+struct Elf64_Shdr {
+  uint32_t sh_name;
+  uint32_t sh_type;
+  uint64_t sh_flags;
+  uint64_t sh_addr;
+  uint64_t sh_offset;
+  uint64_t sh_size;
+  uint32_t sh_link;
+  uint32_t sh_info;
+  uint64_t sh_addralign;
+  uint64_t sh_entsize;
+};
+
+struct Elf64_Sym {
+  uint32_t st_name;
+  unsigned char st_info;
+  unsigned char st_other;
+  uint16_t st_shndx;
+  uint64_t st_value;
+  uint64_t st_size;
+};
+
+struct Elf64_Rela {
+  uint64_t r_offset;
+  uint64_t r_info;
+  int64_t r_addend;
+};
+
+constexpr uint16_t kEtRel = 1;
+constexpr uint16_t kEmX8664 = 62;
+constexpr uint32_t kShtSymtab = 2;
+constexpr uint32_t kShtRela = 4;
+constexpr uint32_t kRX8664_64 = 1;  // R_X86_64_64
+constexpr unsigned char kSttFunc = 2;
+constexpr unsigned char kSttSection = 3;
+
+struct Object {
+  std::vector<char> bytes;
+  const Elf64_Ehdr* eh = nullptr;
+  std::vector<Elf64_Shdr> sections;
+  std::vector<Elf64_Sym> symbols;
+  const char* shstr = nullptr;
+  const char* symstr = nullptr;
+
+  const char* section_name(uint32_t idx) const {
+    return shstr + sections[idx].sh_name;
+  }
+  const char* sym_name(const Elf64_Sym& s) const { return symstr + s.st_name; }
+  const char* section_data(uint32_t idx) const {
+    return bytes.data() + sections[idx].sh_offset;
+  }
+};
+
+bool load_object(const std::string& path, Object& o) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "stencilgen: cannot open %s\n", path.c_str());
+    return false;
+  }
+  o.bytes.assign(std::istreambuf_iterator<char>(f), {});
+  if (o.bytes.size() < sizeof(Elf64_Ehdr)) return false;
+  o.eh = reinterpret_cast<const Elf64_Ehdr*>(o.bytes.data());
+  const unsigned char* id = o.eh->e_ident;
+  if (id[0] != 0x7f || id[1] != 'E' || id[2] != 'L' || id[3] != 'F' ||
+      id[4] != 2 /*ELFCLASS64*/ || id[5] != 1 /*little-endian*/ ||
+      o.eh->e_type != kEtRel || o.eh->e_machine != kEmX8664) {
+    std::fprintf(stderr, "stencilgen: %s is not a relocatable ELF64 x86-64 object\n",
+                 path.c_str());
+    return false;
+  }
+  o.sections.resize(o.eh->e_shnum);
+  for (uint16_t i = 0; i < o.eh->e_shnum; ++i)
+    std::memcpy(&o.sections[i], o.bytes.data() + o.eh->e_shoff + i * o.eh->e_shentsize,
+                sizeof(Elf64_Shdr));
+  o.shstr = o.bytes.data() + o.sections[o.eh->e_shstrndx].sh_offset;
+  for (uint16_t i = 0; i < o.eh->e_shnum; ++i) {
+    if (o.sections[i].sh_type != kShtSymtab) continue;
+    const Elf64_Shdr& st = o.sections[i];
+    const size_t n = st.sh_size / sizeof(Elf64_Sym);
+    o.symbols.resize(n);
+    std::memcpy(o.symbols.data(), o.bytes.data() + st.sh_offset, n * sizeof(Elf64_Sym));
+    o.symstr = o.bytes.data() + o.sections[st.sh_link].sh_offset;
+  }
+  return o.symstr != nullptr;
+}
+
+// ---- extraction ------------------------------------------------------------
+
+struct HoleSite {
+  uint32_t offset;
+  uint16_t hole;
+  int64_t addend;
+};
+struct RodataSite {
+  uint32_t offset;
+  uint32_t section;  // ELF section index; mapped to a blob index at emit time
+  int64_t addend;    // symbol value + rela addend
+};
+struct Stencil {
+  std::string name;  // suffix stripped
+  uint32_t section;
+  std::vector<HoleSite> holes;
+  std::vector<RodataSite> rodata;
+};
+
+std::optional<int> parse_hole(const char* name) {
+  static const char kPrefix[] = "sesr_jit_hole_";
+  if (std::strncmp(name, kPrefix, sizeof(kPrefix) - 1) != 0) return std::nullopt;
+  const char* num = name + sizeof(kPrefix) - 1;
+  if (*num == '\0') return std::nullopt;
+  int v = 0;
+  for (const char* p = num; *p; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    v = v * 10 + (*p - '0');
+  }
+  return v;
+}
+
+bool starts_with(const char* s, const char* prefix) {
+  return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
+}
+
+void emit_bytes(std::FILE* out, const char* data, uint64_t size) {
+  for (uint64_t i = 0; i < size; ++i) {
+    if (i % 16 == 0) std::fprintf(out, "\n   ");
+    std::fprintf(out, " 0x%02x,", static_cast<unsigned char>(data[i]));
+  }
+  std::fprintf(out, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string set_name, suffix, out_path, obj_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--set" && i + 1 < argc) set_name = argv[++i];
+    else if (a == "--suffix" && i + 1 < argc) suffix = argv[++i];
+    else if (a == "--out" && i + 1 < argc) out_path = argv[++i];
+    else obj_path = a;
+  }
+  if (set_name.empty() || suffix.empty() || out_path.empty() || obj_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: stencilgen --set <flavor> --suffix _<flavor> --out <inc> <obj>\n");
+    return 2;
+  }
+
+  Object o;
+  if (!load_object(obj_path, o)) return 1;
+
+  // Map of relocation sections keyed by the text section they apply to.
+  std::map<uint32_t, uint32_t> rela_for_section;
+  for (uint32_t i = 0; i < o.sections.size(); ++i)
+    if (o.sections[i].sh_type == kShtRela)
+      rela_for_section[o.sections[i].sh_info] = i;
+
+  const std::string fn_prefix = "sesr_jit_stencil_";
+  std::vector<Stencil> accepted;
+  size_t rejected = 0;
+
+  for (const Elf64_Sym& sym : o.symbols) {
+    if ((sym.st_info & 0xf) != kSttFunc) continue;
+    const char* nm = o.sym_name(sym);
+    if (!starts_with(nm, fn_prefix.c_str())) continue;
+    std::string base = nm + fn_prefix.size();
+    if (base.size() < suffix.size() ||
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      std::fprintf(stderr, "stencilgen[%s]: reject %s (suffix mismatch)\n",
+                   set_name.c_str(), nm);
+      ++rejected;
+      continue;
+    }
+    base.resize(base.size() - suffix.size());
+
+    Stencil st;
+    st.name = base;
+    st.section = sym.st_shndx;
+    bool ok = true;
+    // -ffunction-sections puts each stencil alone in .text.<fn>; the whole
+    // section is the stencil and relocation offsets are code offsets.
+    if (sym.st_value != 0 || sym.st_size != o.sections[st.section].sh_size) {
+      std::fprintf(stderr, "stencilgen[%s]: reject %s (not alone in its section)\n",
+                   set_name.c_str(), nm);
+      ++rejected;
+      continue;
+    }
+
+    const auto rit = rela_for_section.find(st.section);
+    if (rit != rela_for_section.end()) {
+      const Elf64_Shdr& rs = o.sections[rit->second];
+      const size_t n = rs.sh_size / sizeof(Elf64_Rela);
+      for (size_t i = 0; i < n && ok; ++i) {
+        Elf64_Rela rel;
+        std::memcpy(&rel, o.bytes.data() + rs.sh_offset + i * sizeof(Elf64_Rela),
+                    sizeof(rel));
+        const uint32_t type = static_cast<uint32_t>(rel.r_info & 0xffffffff);
+        const uint32_t symidx = static_cast<uint32_t>(rel.r_info >> 32);
+        const Elf64_Sym& rsym = o.symbols[symidx];
+        const char* rnm = o.sym_name(rsym);
+        if (type != kRX8664_64) {
+          std::fprintf(stderr,
+                       "stencilgen[%s]: reject %s (reloc type %u vs %s — call or "
+                       "PC-relative reference survived)\n",
+                       set_name.c_str(), nm, type, rnm);
+          ok = false;
+          break;
+        }
+        if (rel.r_offset + 8 > sym.st_size) {
+          std::fprintf(stderr, "stencilgen[%s]: reject %s (reloc out of bounds)\n",
+                       set_name.c_str(), nm);
+          ok = false;
+          break;
+        }
+        if (const auto hole = parse_hole(rnm)) {
+          st.holes.push_back({static_cast<uint32_t>(rel.r_offset),
+                              static_cast<uint16_t>(*hole), rel.r_addend});
+          continue;
+        }
+        // Defined data symbol (or section symbol) in a read-only section:
+        // embed the section as a blob and record the site.
+        const bool is_section = (rsym.st_info & 0xf) == kSttSection;
+        if (rsym.st_shndx != 0 && rsym.st_shndx < o.sections.size() &&
+            starts_with(o.section_name(rsym.st_shndx), ".rodata")) {
+          st.rodata.push_back({static_cast<uint32_t>(rel.r_offset), rsym.st_shndx,
+                               static_cast<int64_t>(rsym.st_value) + rel.r_addend});
+          continue;
+        }
+        std::fprintf(stderr,
+                     "stencilgen[%s]: reject %s (unresolvable symbol %s%s)\n",
+                     set_name.c_str(), nm, rnm[0] ? rnm : "<section>",
+                     is_section ? " [section]" : "");
+        ok = false;
+      }
+    }
+    if (!ok) {
+      ++rejected;
+      continue;
+    }
+    accepted.push_back(std::move(st));
+  }
+
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Stencil& a, const Stencil& b) { return a.name < b.name; });
+
+  // Assign blob indices to every referenced rodata section, in section order.
+  std::map<uint32_t, uint32_t> blob_index;
+  for (const Stencil& st : accepted)
+    for (const RodataSite& r : st.rodata)
+      blob_index.emplace(r.section, 0);
+  {
+    uint32_t next = 0;
+    for (auto& [sec, idx] : blob_index) idx = next++;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "stencilgen: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "// Generated by stencilgen from %s — do not edit.\n"
+               "// Flavor \"%s\": %zu stencils, %zu rejected, %zu rodata blobs.\n",
+               obj_path.c_str(), set_name.c_str(), accepted.size(), rejected,
+               blob_index.size());
+
+  for (const auto& [sec, idx] : blob_index) {
+    const Elf64_Shdr& sh = o.sections[sec];
+    const uint64_t align = sh.sh_addralign > 1 ? sh.sh_addralign : 1;
+    std::fprintf(out,
+                 "alignas(%llu) static const unsigned char k_%s_blob_%u[] = {",
+                 static_cast<unsigned long long>(align), set_name.c_str(), idx);
+    emit_bytes(out, o.section_data(sec), sh.sh_size);
+    std::fprintf(out, "};\n");
+  }
+  std::fprintf(out, "static const StencilBlob k_%s_blobs[] = {\n", set_name.c_str());
+  for (const auto& [sec, idx] : blob_index)
+    std::fprintf(out, "    {k_%s_blob_%u, %llu},\n", set_name.c_str(), idx,
+                 static_cast<unsigned long long>(o.sections[sec].sh_size));
+  std::fprintf(out, "    {nullptr, 0},\n};\n");
+
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    const Stencil& st = accepted[i];
+    const Elf64_Shdr& sh = o.sections[st.section];
+    std::fprintf(out, "static const unsigned char k_%s_code_%zu[] = {",
+                 set_name.c_str(), i);
+    emit_bytes(out, o.section_data(st.section), sh.sh_size);
+    std::fprintf(out, "};\n");
+    if (!st.holes.empty()) {
+      std::fprintf(out, "static const StencilHole k_%s_holes_%zu[] = {\n",
+                   set_name.c_str(), i);
+      for (const HoleSite& h : st.holes)
+        std::fprintf(out, "    {%uu, %uu, %lldll},\n", h.offset, h.hole,
+                     static_cast<long long>(h.addend));
+      std::fprintf(out, "};\n");
+    }
+    if (!st.rodata.empty()) {
+      std::fprintf(out, "static const StencilRodataRef k_%s_rodata_%zu[] = {\n",
+                   set_name.c_str(), i);
+      for (const RodataSite& r : st.rodata)
+        std::fprintf(out, "    {%uu, %uu, %lldll},\n", r.offset,
+                     blob_index.at(r.section), static_cast<long long>(r.addend));
+      std::fprintf(out, "};\n");
+    }
+  }
+
+  std::fprintf(out, "static const StencilDesc k_%s_stencils[] = {\n", set_name.c_str());
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    const Stencil& st = accepted[i];
+    const Elf64_Shdr& sh = o.sections[st.section];
+    std::fprintf(out, "    {\"%s\", k_%s_code_%zu, %lluu, %s, %zuu, %s, %zuu},\n",
+                 st.name.c_str(), set_name.c_str(), i,
+                 static_cast<unsigned long long>(sh.sh_size),
+                 st.holes.empty()
+                     ? "nullptr"
+                     : ("k_" + set_name + "_holes_" + std::to_string(i)).c_str(),
+                 st.holes.size(),
+                 st.rodata.empty()
+                     ? "nullptr"
+                     : ("k_" + set_name + "_rodata_" + std::to_string(i)).c_str(),
+                 st.rodata.size());
+  }
+  std::fprintf(out, "};\n");
+  std::fprintf(out,
+               "static const StencilSetDef k_%s_set = {\"%s\", k_%s_stencils, %zu, "
+               "k_%s_blobs, %zu, %zu};\n",
+               set_name.c_str(), set_name.c_str(), set_name.c_str(), accepted.size(),
+               set_name.c_str(), blob_index.size(), rejected);
+
+  std::fclose(out);
+  std::fprintf(stderr, "stencilgen[%s]: %zu stencils, %zu rejected\n",
+               set_name.c_str(), accepted.size(), rejected);
+  return 0;
+}
