@@ -32,6 +32,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <random>
 #include <string>
@@ -41,6 +42,8 @@
 #include "bench/bench_util.h"
 #include "bench/load_gen.h"
 #include "models/models.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "serve/serve.h"
 
 using namespace sesr;
@@ -363,16 +366,96 @@ int main() {
   json.set("swap.dropped", static_cast<double>(dropped));
   json.set("swap.failed", static_cast<double>(swap.failed));
   json.set("gate.swap_zero_drop", swap_ok ? 1.0 : 0.0);
+
+  // ---- phase 5: obs layer cost when disabled ------------------------------
+  // The observability layer is compiled into every call site; disabled it
+  // must be a branch-predictable no-op. Measure saturation throughput with
+  // tracing + per-op profiling fully on, then again with both off (the
+  // shipped default), and gate that the disabled run keeps >= 0.98x of the
+  // enabled run — if the "disabled" branches ever start doing work, the two
+  // converge and the recorded ratio trends to 1.0; the cross-commit
+  // trajectory lives in BENCH_server_load.json.
+  const int64_t obs_total = fast ? 400 : 6000;
+  std::printf("\n[5] obs overhead: %lld requests, tracing+profiling on vs off\n",
+              static_cast<long long>(obs_total));
+  setenv("SESR_TRACE", "1", 1);
+  setenv("SESR_PROFILE_OPS", "1", 1);
+  setenv("SESR_PROFILE_SAMPLE", "8", 1);
+  obs::refresh_trace_config();
+  obs::refresh_profile_config();
+  const double enabled_rate = saturation_imgs_per_sec(upscaler, kMaxBatch, obs_total, nullptr);
+  setenv("SESR_TRACE", "0", 1);
+  setenv("SESR_PROFILE_OPS", "0", 1);
+  obs::refresh_trace_config();
+  obs::refresh_profile_config();
+  const double disabled_rate = saturation_imgs_per_sec(upscaler, kMaxBatch, obs_total, nullptr);
+  const double obs_ratio = disabled_rate / enabled_rate;
+  const bool obs_ok = obs_ratio >= 0.98;
+  std::printf("  enabled:  %8.0f img/s\n  disabled: %8.0f img/s\n", enabled_rate, disabled_rate);
+  std::printf("  disabled-over-enabled ratio: %.3fx (target >= 0.98x) [%s]\n", obs_ratio,
+              obs_ok ? "PASS" : "FAIL");
+  json.set("obs.enabled_imgs_per_sec", enabled_rate);
+  json.set("obs.disabled_imgs_per_sec", disabled_rate);
+  json.set("gate.obs_disabled_ratio", obs_ratio);
+
+  // ---- phase 6: traced smoke -> Chrome trace artifact ---------------------
+  // A short traced run must yield a parseable Chrome trace whose spans nest
+  // (queue_wait / batch_form / session_run / reply inside each request
+  // root). CI uploads TRACE_server_load.json and loads it in Perfetto.
+  std::printf("\n[6] traced smoke: Chrome trace structure from a traced run\n");
+  obs::clear_trace_buffers();
+  setenv("SESR_TRACE", "1", 1);
+  obs::refresh_trace_config();
+  {
+    serve::Server server(upscaler, server_options(4));
+    server.warmup({3, kTile, kTile});
+    Rng trace_rng(77);
+    const Tensor tile = Tensor::rand({1, 3, kTile, kTile}, trace_rng);
+    std::vector<serve::ServeFuture> futures;
+    for (int i = 0; i < 16; ++i) futures.push_back(server.submit(tile));
+    for (serve::ServeFuture& future : futures) static_cast<void>(future.get());
+    server.stop();
+  }
+  setenv("SESR_TRACE", "0", 1);
+  obs::refresh_trace_config();
+  const std::string trace_json = obs::drain_chrome_trace();
+  bool trace_ok = false;
+  size_t span_count = 0;
+  try {
+    const std::vector<obs::SpanRecord> spans = obs::parse_chrome_trace(trace_json);
+    span_count = spans.size();
+    const std::vector<std::string> violations = obs::validate_span_nesting(spans);
+    for (const std::string& violation : violations)
+      std::printf("  nesting violation: %s\n", violation.c_str());
+    trace_ok = !spans.empty() && violations.empty();
+  } catch (const std::exception& error) {
+    std::printf("  trace parse failed: %s\n", error.what());
+  }
+  {
+    std::ofstream out("TRACE_server_load.json", std::ios::binary);
+    out << trace_json << '\n';
+  }
+  std::printf("  %zu spans round-tripped, wrote TRACE_server_load.json [%s]\n", span_count,
+              trace_ok ? "PASS" : "FAIL");
+  json.set("obs.trace_spans", static_cast<double>(span_count));
+  json.set("gate.trace_valid", trace_ok ? 1.0 : 0.0);
   json.write();
 
   std::printf("\n-> batched replies bit-identical to upscale(): fp32 [%s], int8 [%s]\n",
               fp32_ok ? "PASS" : "FAIL", int8_ok ? "PASS" : "FAIL");
   std::printf("-> zero requests dropped across %lld hot-swaps: [%s]\n",
               static_cast<long long>(swap.swaps), swap_ok ? "PASS" : "FAIL");
+  std::printf("-> obs disabled-over-enabled ratio %.3fx: [%s]\n", obs_ratio,
+              obs_ok ? "PASS" : "FAIL");
+  std::printf("-> traced smoke parses and nests: [%s]\n", trace_ok ? "PASS" : "FAIL");
   if (!fp32_ok || !int8_ok) return 1;
   // The zero-drop swap gate is a correctness property, not a timing one: it
   // holds in smoke mode too.
   if (!swap_ok) return 1;
+  // The obs gates hold in every mode: trace structure is pure correctness,
+  // and the overhead ratio compares two same-binary runs taken back to back.
+  if (!trace_ok) return 1;
+  if (!obs_ok) return 1;
   // Smoke mode gates on correctness only: sub-second windows on shared CI
   // runners are too noisy for a hard throughput ratio.
   if (fast) return 0;

@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
 namespace sesr::bench {
 
 bool fast_mode() { return core::config_bool("SESR_BENCH_FAST"); }
@@ -283,7 +286,21 @@ std::string BenchJson::write() const {
     }
     os << (i + 1 < metrics_.size() ? ",\n" : "\n");
   }
-  os << "  }\n}\n";
+  os << "  },\n";
+  // Observability tail: the process-wide registry snapshot (profiler gauges
+  // included) plus the top hot ops, so a bench artifact carries its own
+  // runtime profile alongside the headline metrics.
+  obs::profile_export(obs::default_registry());
+  os << "  \"registry\": " << obs::default_registry().snapshot().to_json() << ",\n";
+  os << "  \"hot_ops\": [";
+  const std::vector<obs::OpProfileRow> rows = obs::profile_aggregate();
+  const size_t top = std::min<size_t>(rows.size(), 10);
+  for (size_t i = 0; i < top; ++i) {
+    os << (i == 0 ? "" : ", ") << "{\"op\": \"" << rows[i].name << "\", \"tier\": \""
+       << rows[i].tier << "\", \"calls\": " << rows[i].calls << ", \"ns\": " << rows[i].ns
+       << "}";
+  }
+  os << "]\n}\n";
   if (!os) throw std::runtime_error("BenchJson::write: write failed for " + path);
   std::printf("[bench-json] wrote %s\n", path.c_str());
   return path;

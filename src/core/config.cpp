@@ -148,6 +148,29 @@ const std::vector<ConfigSpec>& config_specs() {
                   "flavor-qualified names (`vnni:conv16_k3_r4_a1`), or `all`. "
                   "Denied stencils are treated as missing, exercising the per-op "
                   "fallback ladder — a test/debug seam, not an operator knob."),
+      bool_spec("SESR_TRACE", false,
+                "Request-scoped tracing: mints a trace id at the serving edge, "
+                "propagates it over the shard wire, and records queue/batch/"
+                "session/reply spans into per-thread flight-recorder rings, "
+                "drained on demand to Chrome trace JSON (Perfetto-loadable). "
+                "Cached after first read; `obs::refresh_trace_config()` re-reads."),
+      int_spec("SESR_TRACE_RING_BYTES", int64_t{1} << 20, int64_t{4} << 10,
+               int64_t{64} << 20, "1M",
+               "Span ring-buffer bytes per recording thread (64 bytes/span, "
+               "overwrite-oldest). Fixed memory: tracing never allocates on the "
+               "serving path. Read when a thread records its first span."),
+      string_spec("SESR_TRACE_DIR", "", "empty (no files written)",
+                  "Directory where `obs::write_trace_file()` dumps each process's "
+                  "spans as `trace_<pid>.json` (Chrome trace format). Shard workers "
+                  "dump on clean shutdown; merge files with `sesr_tracecat`."),
+      bool_spec("SESR_PROFILE_OPS", false,
+                "Sampled per-op runtime profiling: timed Program runs accumulate "
+                "per-op/per-kernel-tier nanoseconds and call counts, surfaced in "
+                "`Program::dump()`, the metrics registry, and bench JSON. Cached "
+                "after first read; `obs::refresh_profile_config()` re-reads."),
+      int_spec("SESR_PROFILE_SAMPLE", 8, 1, int64_t{1} << 20, "8",
+               "Profile every Nth session run when SESR_PROFILE_OPS is on. 1 times "
+               "every run; larger values shrink overhead on hot serving paths."),
   };
   return specs;
 }

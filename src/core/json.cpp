@@ -1,0 +1,226 @@
+#include "core/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sesr::core {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return {parse_string()};
+      case 't':
+        if (consume_word("true")) return {true};
+        fail("bad literal");
+      case 'f':
+        if (consume_word("false")) return {false};
+        fail("bad literal");
+      case 'n':
+        if (consume_word("null")) return {nullptr};
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject object;
+    if (consume('}')) return {std::move(object)};
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      if (consume('}')) break;
+      expect(',');
+    }
+    return {std::move(object)};
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray array;
+    if (consume(']')) return {std::move(array)};
+    while (true) {
+      array.push_back(parse_value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return {std::move(array)};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) fail("bad \\u escape");
+          // Our encoders only emit \u00xx control characters; decode those
+          // and reject anything outside one byte (never produced by us).
+          if (code < 0 || code > 0xFF) fail("unsupported \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_space();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected a value");
+    if (!std::isfinite(value)) fail("non-finite number");
+    pos_ += static_cast<size_t>(end - begin);
+    return {value};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) { return JsonParser(text).parse_document(); }
+
+std::string json_number(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_number(int64_t value) { return std::to_string(value); }
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const JsonObject& json_as_object(const JsonValue& value, const std::string& where) {
+  if (const auto* object = std::get_if<JsonObject>(&value.value)) return *object;
+  throw std::runtime_error("json: " + where + " is not an object");
+}
+
+const JsonArray& json_as_array(const JsonValue& value, const std::string& where) {
+  if (const auto* array = std::get_if<JsonArray>(&value.value)) return *array;
+  throw std::runtime_error("json: " + where + " is not an array");
+}
+
+double json_as_number(const JsonValue& value, const std::string& where) {
+  if (const auto* number = std::get_if<double>(&value.value)) return *number;
+  throw std::runtime_error("json: " + where + " is not a number");
+}
+
+double json_get_number(const JsonObject& object, const char* name) {
+  const auto it = object.find(name);
+  if (it == object.end()) return 0.0;  // absent counters read as zero
+  if (const auto* value = std::get_if<double>(&it->second.value)) return *value;
+  throw std::runtime_error(std::string("json: field ") + name + " is not a number");
+}
+
+int64_t json_get_int(const JsonObject& object, const char* name) {
+  return static_cast<int64_t>(json_get_number(object, name));
+}
+
+std::string json_get_string(const JsonObject& object, const char* name) {
+  const auto it = object.find(name);
+  if (it == object.end()) return {};  // absent strings read as empty
+  if (const auto* value = std::get_if<std::string>(&it->second.value)) return *value;
+  throw std::runtime_error(std::string("json: field ") + name + " is not a string");
+}
+
+}  // namespace sesr::core

@@ -1,0 +1,80 @@
+// Minimal JSON reader/writer shared by the serving and observability layers.
+//
+// The serving stack exchanges small machine-generated documents (shard stats
+// over heartbeat pongs, metrics registry snapshots, Chrome trace events), so
+// this deliberately covers exactly what our encoders emit — objects, arrays,
+// strings, finite numbers, bools, null — rather than the whole of RFC 8259.
+// Numbers are emitted with %.17g so every finite double round-trips
+// bit-exactly through strtod; strings escape the JSON specials plus \u00xx
+// control characters.
+//
+// The parser accepts any field order, tolerates unknown fields (callers pick
+// the fields they know), and throws std::runtime_error with a byte offset for
+// malformed documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace sesr::core {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value;
+};
+
+/// Parse one complete JSON document. Throws std::runtime_error ("json: ...
+/// at byte N") on malformed input or trailing content.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+// ---- emitting --------------------------------------------------------------
+
+/// %.17g round-trips every finite double bit-exactly through strtod.
+[[nodiscard]] std::string json_number(double value);
+[[nodiscard]] std::string json_number(int64_t value);
+
+/// Quote + escape an arbitrary string (specials, \u00xx for controls).
+[[nodiscard]] std::string json_quote(const std::string& text);
+
+/// Incremental object writer: field(...) appends `"name": value` with commas.
+/// The string overload takes pre-rendered JSON (use json_quote for strings).
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter() : out_("{") {}
+
+  void field(const char* name, const std::string& raw_value) {
+    if (!first_) out_ += ", ";
+    first_ = false;
+    out_ += json_quote(name) + ": " + raw_value;
+  }
+  void field(const char* name, int64_t value) { field(name, json_number(value)); }
+  void field(const char* name, double value) { field(name, json_number(value)); }
+
+  [[nodiscard]] std::string close() { return out_ + "}"; }
+
+ private:
+  std::string out_;
+  bool first_ = true;
+};
+
+// ---- typed extraction ------------------------------------------------------
+//
+// Absent numeric/string fields read as zero/empty (a newer writer may emit
+// fields an older reader does not know, and vice versa); present fields of
+// the wrong type throw.
+
+[[nodiscard]] const JsonObject& json_as_object(const JsonValue& value, const std::string& where);
+[[nodiscard]] const JsonArray& json_as_array(const JsonValue& value, const std::string& where);
+[[nodiscard]] double json_as_number(const JsonValue& value, const std::string& where);
+[[nodiscard]] double json_get_number(const JsonObject& object, const char* name);
+[[nodiscard]] int64_t json_get_int(const JsonObject& object, const char* name);
+[[nodiscard]] std::string json_get_string(const JsonObject& object, const char* name);
+
+}  // namespace sesr::core

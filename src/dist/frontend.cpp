@@ -6,6 +6,7 @@
 
 #include "core/config.h"
 #include "dist/wire.h"
+#include "obs/trace.h"
 
 namespace sesr::dist {
 
@@ -42,6 +43,12 @@ struct Frontend::TileJob {
   ServeStatus fail_status = ServeStatus::kError;
   std::string error;
   int64_t version = 0;
+
+  /// Trace identity of the whole tiled request: trace.span_id is the job's
+  /// "request" root span, recorded when the last tile lands.
+  obs::TraceContext trace;
+  uint64_t parent_span = 0;
+  int64_t accepted_ns = 0;
 };
 
 /// One request (or one tile of one) the frontend has admitted but not yet
@@ -60,6 +67,16 @@ struct Frontend::Pending {
   /// Preferred ring node (tile fan-out); falls back to owner() when dead.
   std::string pinned;
   int attempts = 0;
+  /// Trace identity: trace.span_id is this request's (or tile's) root span,
+  /// parent_span what it nests under — the caller's span for a plain
+  /// request, the TileJob root for a tile. rpc_span/sent_ns describe the
+  /// current send attempt; the "rpc" span is recorded when the reply lands
+  /// (a stolen attempt's span id is simply never recorded).
+  obs::TraceContext trace;
+  uint64_t parent_span = 0;
+  uint64_t rpc_span = 0;
+  int64_t accepted_ns = 0;
+  int64_t sent_ns = 0;
 };
 
 struct Frontend::ShardState {
@@ -70,6 +87,7 @@ struct Frontend::ShardState {
   int unanswered_pings = 0;
   int64_t reported_in_flight = 0;
   std::string stats_json;
+  std::string metrics_json;  ///< RegistrySnapshot JSON from the last pong
   /// Requests sent to this shard, keyed by request id. Guarded by
   /// Frontend::mutex_; map size is the in-flight window occupancy.
   std::map<uint64_t, Pending> pending;
@@ -130,15 +148,20 @@ serve::ServeFuture Frontend::submit(Tensor image, const serve::Server::SubmitOpt
   auto state = std::make_shared<serve::detail::ResultState>();
   serve::ServeFuture future = serve::detail_make_future(state);
 
+  // The frontend is the trace edge: adopt the caller's context or mint a
+  // fresh root here, before routing decides between plain and tiled paths.
+  obs::TraceContext trace = options.trace;
+  if (!trace && obs::trace_enabled()) trace = obs::start_trace();
+
   int64_t halo = 0;
   bool tiled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tiled = tile_eligible_locked(options, batched.shape(), &halo);
   }
-  if (tiled) return submit_tiled(std::move(batched), options, std::move(state), halo);
+  if (tiled) return submit_tiled(std::move(batched), options, std::move(state), halo, trace);
 
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
   Pending pending;
   pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   pending.model = options.model;
@@ -147,6 +170,11 @@ serve::ServeFuture Frontend::submit(Tensor image, const serve::Server::SubmitOpt
     pending.deadline = std::chrono::steady_clock::now() + options.deadline;
   pending.image = std::move(batched);
   pending.state = std::move(state);
+  if (trace) {
+    pending.parent_span = trace.span_id;
+    pending.trace = {trace.trace_id, obs::next_span_id()};
+    pending.accepted_ns = obs::trace_now_ns();
+  }
   route_and_send(std::move(pending), /*blocking=*/true);
   return future;
 }
@@ -157,6 +185,9 @@ void Frontend::submit_async(Tensor image, const serve::Server::SubmitOptions& op
   auto state = std::make_shared<serve::detail::ResultState>();
   state->callback = std::move(callback);
 
+  obs::TraceContext trace = options.trace;
+  if (!trace && obs::trace_enabled()) trace = obs::start_trace();
+
   int64_t halo = 0;
   bool tiled;
   {
@@ -164,11 +195,11 @@ void Frontend::submit_async(Tensor image, const serve::Server::SubmitOptions& op
     tiled = tile_eligible_locked(options, batched.shape(), &halo);
   }
   if (tiled) {
-    submit_tiled(std::move(batched), options, std::move(state), halo);
+    submit_tiled(std::move(batched), options, std::move(state), halo, trace);
     return;
   }
 
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
   Pending pending;
   pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   pending.model = options.model;
@@ -177,6 +208,11 @@ void Frontend::submit_async(Tensor image, const serve::Server::SubmitOptions& op
     pending.deadline = std::chrono::steady_clock::now() + options.deadline;
   pending.image = std::move(batched);
   pending.state = std::move(state);
+  if (trace) {
+    pending.parent_span = trace.span_id;
+    pending.trace = {trace.trace_id, obs::next_span_id()};
+    pending.accepted_ns = obs::trace_now_ns();
+  }
   route_and_send(std::move(pending), /*blocking=*/true);
 }
 
@@ -194,11 +230,18 @@ bool Frontend::try_submit(Tensor image, const serve::Server::SubmitOptions& opti
     pending.deadline = std::chrono::steady_clock::now() + options.deadline;
   pending.image = std::move(batched);
   pending.state = std::move(state);
+  obs::TraceContext trace = options.trace;
+  if (!trace && obs::trace_enabled()) trace = obs::start_trace();
+  if (trace) {
+    pending.parent_span = trace.span_id;
+    pending.trace = {trace.trace_id, obs::next_span_id()};
+    pending.accepted_ns = obs::trace_now_ns();
+  }
   if (!route_and_send(std::move(pending), /*blocking=*/false)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
     return false;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
   return true;
 }
 
@@ -219,10 +262,10 @@ bool Frontend::tile_eligible_locked(const serve::Server::SubmitOptions& options,
 serve::ServeFuture Frontend::submit_tiled(Tensor image,
                                           const serve::Server::SubmitOptions& options,
                                           std::shared_ptr<serve::detail::ResultState> state,
-                                          int64_t halo) {
+                                          int64_t halo, obs::TraceContext trace) {
   serve::ServeFuture future = serve::detail_make_future(state);
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  tiled_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
+  tiled_.inc();
 
   const int64_t channels = image.shape()[1];
   const int64_t height = image.shape()[2];
@@ -246,10 +289,16 @@ serve::ServeFuture Frontend::submit_tiled(Tensor image,
   job->output = Tensor(Shape({1, channels, height * job->plan.scale, width * job->plan.scale}));
   job->state = std::move(state);
   job->remaining = static_cast<int>(job->plan.tiles.size());
+  if (trace) {
+    job->parent_span = trace.span_id;
+    job->trace = {trace.trace_id, obs::next_span_id()};
+    job->accepted_ns = obs::trace_now_ns();
+  }
 
   const auto deadline = options.deadline.count() > 0
                             ? std::chrono::steady_clock::now() + options.deadline
                             : kNoDeadlinePoint;
+  const int64_t fanout_start_ns = job->trace ? obs::trace_now_ns() : 0;
   for (size_t i = 0; i < job->plan.tiles.size(); ++i) {
     Pending pending;
     pending.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -260,8 +309,17 @@ serve::ServeFuture Frontend::submit_tiled(Tensor image,
     pending.job = job;
     pending.tile_index = i;
     if (!targets.empty()) pending.pinned = targets[i % targets.size()];
+    if (job->trace) {
+      // Each tile gets its own root nested under the job's request span.
+      pending.parent_span = job->trace.span_id;
+      pending.trace = {job->trace.trace_id, obs::next_span_id()};
+      pending.accepted_ns = obs::trace_now_ns();
+    }
     route_and_send(std::move(pending), /*blocking=*/true);
   }
+  if (job->trace)
+    obs::record_span(job->trace.trace_id, obs::next_span_id(), job->trace.span_id, "tile_fanout",
+                     fanout_start_ns, obs::trace_now_ns());
   return future;
 }
 
@@ -326,6 +384,14 @@ bool Frontend::route_and_send(Pending pending, bool blocking) {
       message.request_id = pending.id;
       message.model = pending.model;
       message.tenant = pending.tenant;
+      if (pending.trace) {
+        // Fresh rpc span per attempt: the shard parents its server_request
+        // under it. A stolen attempt's id is simply never recorded.
+        pending.rpc_span = obs::next_span_id();
+        pending.sent_ns = obs::trace_now_ns();
+        message.trace_id = pending.trace.trace_id;
+        message.parent_span = pending.rpc_span;
+      }
       message.deadline_ms =
           pending.deadline == kNoDeadlinePoint
               ? SubmitMessage::kNoDeadline
@@ -365,6 +431,7 @@ void Frontend::reader_loop(std::shared_ptr<ShardState> shard) {
         shard->unanswered_pings = 0;
         shard->reported_in_flight = pong.in_flight;
         shard->stats_json = std::move(pong.stats_json);
+        if (!pong.metrics_json.empty()) shard->metrics_json = std::move(pong.metrics_json);
       }
     }
   } catch (const WireError&) {
@@ -385,6 +452,12 @@ void Frontend::handle_reply(const std::shared_ptr<ShardState>& shard, const Fram
   }
   window_cv_.notify_all();
 
+  // The rpc span covers send → reply receipt; the shard's server_request
+  // root nests inside it (one host, shared CLOCK_MONOTONIC).
+  if (pending.trace && pending.rpc_span != 0)
+    obs::record_span(pending.trace.trace_id, pending.rpc_span, pending.trace.span_id, "rpc",
+                     pending.sent_ns, obs::trace_now_ns());
+
   ServeReply reply;
   reply.status = message.status <= 2 ? static_cast<ServeStatus>(message.status)
                                      : ServeStatus::kError;
@@ -400,10 +473,13 @@ void Frontend::complete_pending(Pending& pending, ServeReply reply) {
     return;
   }
   switch (reply.status) {
-    case ServeStatus::kOk: completed_.fetch_add(1, std::memory_order_relaxed); break;
-    case ServeStatus::kShed: shed_.fetch_add(1, std::memory_order_relaxed); break;
-    case ServeStatus::kError: failed_.fetch_add(1, std::memory_order_relaxed); break;
+    case ServeStatus::kOk: completed_.inc(); break;
+    case ServeStatus::kShed: shed_.inc(); break;
+    case ServeStatus::kError: failed_.inc(); break;
   }
+  if (pending.trace)
+    obs::record_span(pending.trace.trace_id, pending.trace.span_id, pending.parent_span, "request",
+                     pending.accepted_ns, obs::trace_now_ns());
   serve::detail::complete_result(*pending.state, std::move(reply));
 }
 
@@ -413,7 +489,11 @@ void Frontend::finish_tile(const Pending& pending, ServeReply reply) {
   {
     std::lock_guard<std::mutex> lock(job.mutex);
     if (reply.ok()) {
+      const int64_t stitch_start_ns = pending.trace ? obs::trace_now_ns() : 0;
       stitch_tile(reply.output, job.plan.tiles[pending.tile_index], job.plan, job.output);
+      if (pending.trace)
+        obs::record_span(pending.trace.trace_id, obs::next_span_id(), pending.trace.span_id,
+                         "halo_stitch", stitch_start_ns, obs::trace_now_ns());
       job.version = std::max(job.version, reply.model_version);
     } else if (!job.failed) {
       job.failed = true;
@@ -422,6 +502,11 @@ void Frontend::finish_tile(const Pending& pending, ServeReply reply) {
     }
     last = (--job.remaining == 0);
   }
+  // The tile's own root closes after its stitch; the job root closes after
+  // the last tile, so every tile span nests inside the job window.
+  if (pending.trace)
+    obs::record_span(pending.trace.trace_id, pending.trace.span_id, pending.parent_span, "tile",
+                     pending.accepted_ns, obs::trace_now_ns());
   if (!last) return;
 
   ServeReply out;
@@ -429,15 +514,18 @@ void Frontend::finish_tile(const Pending& pending, ServeReply reply) {
     out.status = job.fail_status;
     out.error = std::move(job.error);
     if (out.status == ServeStatus::kShed)
-      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_.inc();
     else
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_.inc();
   } else {
     out.status = ServeStatus::kOk;
     out.output = std::move(job.output);
     out.model_version = job.version;
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.inc();
   }
+  if (job.trace)
+    obs::record_span(job.trace.trace_id, job.trace.span_id, job.parent_span, "request",
+                     job.accepted_ns, obs::trace_now_ns());
   serve::detail::complete_result(*job.state, std::move(out));
 }
 
@@ -456,7 +544,7 @@ void Frontend::handle_shard_death(const std::string& name) {
     stolen.reserve(shard->pending.size());
     for (auto& [id, pending] : shard->pending) stolen.push_back(std::move(pending));
     shard->pending.clear();
-    if (!stopping_) shard_deaths_.fetch_add(1, std::memory_order_relaxed);
+    if (!stopping_) shard_deaths_.inc();
   }
   shard->connection->shutdown();  // unblock its reader if death came from a failed send
   window_cv_.notify_all();
@@ -465,7 +553,7 @@ void Frontend::handle_shard_death(const std::string& name) {
   // un-replied requests re-route to the survivors under the post-removal
   // ring. Requests it already answered left the map first — no duplicates.
   for (Pending& pending : stolen) {
-    resubmitted_.fetch_add(1, std::memory_order_relaxed);
+    resubmitted_.inc();
     route_and_send(std::move(pending), /*blocking=*/true);
   }
 }
@@ -502,14 +590,14 @@ void Frontend::heartbeat_loop() {
 
 FrontendStats Frontend::stats() const {
   FrontendStats out;
-  out.submitted = submitted_.load(std::memory_order_relaxed);
-  out.completed = completed_.load(std::memory_order_relaxed);
-  out.shed = shed_.load(std::memory_order_relaxed);
-  out.failed = failed_.load(std::memory_order_relaxed);
-  out.rejected = rejected_.load(std::memory_order_relaxed);
-  out.tiled = tiled_.load(std::memory_order_relaxed);
-  out.resubmitted = resubmitted_.load(std::memory_order_relaxed);
-  out.shard_deaths = shard_deaths_.load(std::memory_order_relaxed);
+  out.submitted = submitted_.value();
+  out.completed = completed_.value();
+  out.shed = shed_.value();
+  out.failed = failed_.value();
+  out.rejected = rejected_.value();
+  out.tiled = tiled_.value();
+  out.resubmitted = resubmitted_.value();
+  out.shard_deaths = shard_deaths_.value();
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, shard] : shards_) {
     ShardInfo info;
@@ -517,9 +605,34 @@ FrontendStats Frontend::stats() const {
     info.in_flight = static_cast<int64_t>(shard->pending.size());
     info.reported_in_flight = shard->reported_in_flight;
     info.stats_json = shard->stats_json;
+    info.metrics_json = shard->metrics_json;
     out.shards[name] = info;
   }
   return out;
+}
+
+obs::RegistrySnapshot Frontend::fleet_metrics() const {
+  std::vector<std::string> shard_snapshots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, shard] : shards_) {
+      // Refresh per-shard gauges on demand; counters are always live.
+      metrics_.gauge("frontend.in_flight|shard=" + name)
+          .set(static_cast<int64_t>(shard->pending.size()));
+      metrics_.gauge("frontend.shard_alive|shard=" + name).set(shard->alive ? 1 : 0);
+      if (!shard->metrics_json.empty()) shard_snapshots.push_back(shard->metrics_json);
+    }
+  }
+  obs::RegistrySnapshot out = metrics_.snapshot();
+  for (const std::string& json : shard_snapshots)
+    out.merge(obs::RegistrySnapshot::from_json(json));
+  return out;
+}
+
+std::string Frontend::fleet_metrics_json() const { return fleet_metrics().to_json(); }
+
+std::string Frontend::fleet_metrics_prometheus() const {
+  return fleet_metrics().to_prometheus();
 }
 
 std::vector<std::string> Frontend::alive_shards() const {

@@ -56,6 +56,7 @@
 #include "dist/ring.h"
 #include "dist/tile.h"
 #include "dist/transport.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace sesr::dist {
@@ -66,6 +67,7 @@ struct ShardInfo {
   int64_t in_flight = 0;           ///< frontend-side pending to this shard
   int64_t reported_in_flight = 0;  ///< shard-side count from the last pong
   std::string stats_json;          ///< shard ServerStats from the last pong
+  std::string metrics_json;        ///< shard RegistrySnapshot from the last pong
 };
 
 struct FrontendStats {
@@ -143,6 +145,14 @@ class Frontend {
   [[nodiscard]] FrontendStats stats() const;
   [[nodiscard]] std::vector<std::string> alive_shards() const;
 
+  /// Fleet-wide metrics: the frontend's own instruments merged with the
+  /// registry snapshot every shard reported on its last pong. Counter merge
+  /// is exact (int64 sums), so the fleet view equals the per-shard
+  /// registries bit-for-bit.
+  [[nodiscard]] obs::RegistrySnapshot fleet_metrics() const;
+  [[nodiscard]] std::string fleet_metrics_json() const;
+  [[nodiscard]] std::string fleet_metrics_prometheus() const;
+
   /// Stop routing: reject new work, complete still-pending requests with
   /// kError, join all threads. Does NOT shut the shard processes down (the
   /// spawner owns their lifecycle). Idempotent; the destructor calls it.
@@ -167,7 +177,7 @@ class Frontend {
                             int64_t* halo_out) const;
   serve::ServeFuture submit_tiled(Tensor image, const serve::Server::SubmitOptions& options,
                                   std::shared_ptr<serve::detail::ResultState> state,
-                                  int64_t halo);
+                                  int64_t halo, obs::TraceContext trace);
 
   Options options_;
 
@@ -184,14 +194,17 @@ class Frontend {
   std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> heartbeat_seq_{0};
 
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> shed_{0};
-  std::atomic<int64_t> failed_{0};
-  std::atomic<int64_t> rejected_{0};
-  std::atomic<int64_t> tiled_{0};
-  std::atomic<int64_t> resubmitted_{0};
-  std::atomic<int64_t> shard_deaths_{0};
+  // Frontend counters as registry instruments (declared after metrics_ so
+  // the references bind): the frontend's contribution to fleet_metrics().
+  mutable obs::Registry metrics_;
+  obs::Counter& submitted_ = metrics_.counter("frontend.submitted");
+  obs::Counter& completed_ = metrics_.counter("frontend.completed");
+  obs::Counter& shed_ = metrics_.counter("frontend.shed");
+  obs::Counter& failed_ = metrics_.counter("frontend.failed");
+  obs::Counter& rejected_ = metrics_.counter("frontend.rejected");
+  obs::Counter& tiled_ = metrics_.counter("frontend.tiled");
+  obs::Counter& resubmitted_ = metrics_.counter("frontend.resubmitted");
+  obs::Counter& shard_deaths_ = metrics_.counter("frontend.shard_deaths");
 };
 
 }  // namespace sesr::dist

@@ -169,6 +169,7 @@ void Shard::serve_connection(const std::shared_ptr<Connection>& connection) {
           pong.seq = frame->header.request_id;
           pong.in_flight = in_flight_.load(std::memory_order_relaxed);
           pong.stats_json = serve::stats_to_json(server_->stats());
+          pong.metrics_json = server_->metrics_json();
           connection->send(MessageType::kPong, pong.seq, encode_pong(pong));
           break;
         }
@@ -209,6 +210,10 @@ void Shard::handle_submit(const std::shared_ptr<Connection>& connection, const F
     // and must still shed rather than fall through to the server default.
     options.deadline = std::chrono::milliseconds(std::max<int64_t>(1, message.deadline_ms));
   }
+  // The wire's trace extension continues the frontend's trace: the shard's
+  // server_request root parents to the frontend's rpc span, and because both
+  // processes share CLOCK_MONOTONIC the spans align on one timeline.
+  options.trace = {message.trace_id, message.parent_span};
 
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   auto completion = [this, send_reply](serve::ServeReply reply) {

@@ -151,6 +151,12 @@ std::vector<uint8_t> encode_submit(const SubmitMessage& message) {
   writer.str(message.tenant);
   writer.i64(message.deadline_ms);
   writer.tensor(message.image);
+  // Trailing trace extension: only on traced requests, so untraced traffic
+  // is byte-identical to the pre-extension encoding.
+  if (message.trace_id != 0) {
+    writer.i64(static_cast<int64_t>(message.trace_id));
+    writer.i64(static_cast<int64_t>(message.parent_span));
+  }
   return writer.take();
 }
 
@@ -162,6 +168,10 @@ SubmitMessage decode_submit(uint64_t request_id, const std::vector<uint8_t>& bod
   message.tenant = reader.str();
   message.deadline_ms = reader.i64();
   message.image = reader.tensor();
+  if (!reader.exhausted()) {
+    message.trace_id = static_cast<uint64_t>(reader.i64());
+    message.parent_span = static_cast<uint64_t>(reader.i64());
+  }
   check_exhausted(reader, "submit");
   return message;
 }
@@ -191,6 +201,9 @@ std::vector<uint8_t> encode_pong(const PongMessage& message) {
   WireWriter writer;
   writer.i64(message.in_flight);
   writer.str(message.stats_json);
+  // Trailing metrics extension: absent when the shard has nothing to report,
+  // keeping the pre-extension encoding byte-identical.
+  if (!message.metrics_json.empty()) writer.str(message.metrics_json);
   return writer.take();
 }
 
@@ -200,6 +213,7 @@ PongMessage decode_pong(uint64_t seq, const std::vector<uint8_t>& body) {
   message.seq = seq;
   message.in_flight = reader.i64();
   message.stats_json = reader.str();
+  if (!reader.exhausted()) message.metrics_json = reader.str();
   check_exhausted(reader, "pong");
   return message;
 }

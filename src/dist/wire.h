@@ -133,6 +133,12 @@ struct SubmitMessage {
   std::string tenant;
   int64_t deadline_ms = kNoDeadline;
   Tensor image;  ///< [1, C, H, W] low-res input
+  /// Optional trace extension (trailing, still protocol version 1): the
+  /// frontend's trace id and the span the shard's work should parent to.
+  /// Encoded only when trace_id != 0; a decoder that stops at the image —
+  /// an older shard — simply serves the request untraced.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 /// Completion of one request (mirrors serve::ServeReply over the wire).
@@ -151,6 +157,11 @@ struct PongMessage {
   uint64_t seq = 0;
   int64_t in_flight = 0;
   std::string stats_json;
+  /// Optional metrics extension (trailing): the shard's
+  /// obs::RegistrySnapshot as JSON, the exact-merge unit behind the
+  /// frontend's fleet view. Encoded only when non-empty; absent on the wire
+  /// reads back as "".
+  std::string metrics_json;
 };
 
 [[nodiscard]] std::vector<uint8_t> encode_submit(const SubmitMessage& message);

@@ -77,8 +77,19 @@ std::shared_ptr<const runtime::Program> NetworkUpscaler::plan_for(const Shape& i
                     : runtime::Program::compile(*network_, input);
     plan_compiles_.fetch_add(1, std::memory_order_relaxed);
     it = plans_.emplace(key, std::move(plan)).first;
+  } else {
+    plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
+}
+
+std::vector<NetworkUpscaler::PoolOccupancy> NetworkUpscaler::pool_occupancy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PoolOccupancy> out;
+  out.reserve(session_pools_.size());
+  for (const auto& [key, pool] : session_pools_)
+    out.push_back({key, static_cast<int64_t>(pool.idle.size()), pool.live, pool.peak});
+  return out;
 }
 
 void NetworkUpscaler::reset_serving_state_locked() {

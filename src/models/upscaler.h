@@ -137,6 +137,23 @@ class NetworkUpscaler final : public Upscaler {
     return plan_compiles_.load(std::memory_order_relaxed);
   }
 
+  /// plan_for() calls answered from the plan cache (the miss count is
+  /// plan_compile_count()). A warmed serving path is all hits.
+  [[nodiscard]] int64_t plan_cache_hit_count() const {
+    return plan_cache_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time occupancy of one shape's session pool.
+  struct PoolOccupancy {
+    std::string plan_key;  ///< shape + kernel-tier key the pool is cached under
+    int64_t idle = 0;
+    int64_t live = 0;
+    int64_t peak = 0;  ///< high-water of concurrent checkouts
+  };
+
+  /// Snapshot of every session pool (ops/metrics introspection).
+  [[nodiscard]] std::vector<PoolOccupancy> pool_occupancy() const;
+
  private:
   /// Per-shape session pool. `live` counts checked-out sessions; `peak` is
   /// the high-water of concurrent checkouts — the observed serving
@@ -159,6 +176,7 @@ class NetworkUpscaler final : public Upscaler {
 
   mutable std::mutex mutex_;  // guards precision/artifact and the two maps
   std::atomic<int64_t> plan_compiles_{0};
+  std::atomic<int64_t> plan_cache_hits_{0};
   runtime::Precision precision_ = runtime::Precision::kFloat32;
   std::shared_ptr<const quant::QuantizedModel> artifact_;
   std::map<std::string, std::shared_ptr<const runtime::Program>> plans_;

@@ -1,0 +1,126 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace sesr::obs {
+
+int Histogram::bucket_index(int64_t us) {
+  if (us < kSubBuckets) return static_cast<int>(us);  // exact linear range
+  // Octave = position of the highest set bit past the linear range; the
+  // kSubBucketBits bits below that bit select the linear sub-bucket, so a
+  // bucket at (octave, sub) spans [(kSubBuckets + sub) << octave,
+  // (kSubBuckets + sub + 1) << octave) — matching bucket_value_us exactly.
+  const int highest = 63 - std::countl_zero(static_cast<uint64_t>(us));
+  const int octave = std::min(highest - kSubBucketBits, kOctaves - 1);
+  const int64_t sub = (us >> octave) & (kSubBuckets - 1);
+  return static_cast<int>((octave + 1) * kSubBuckets + sub);
+}
+
+double Histogram::bucket_value_us(int index) {
+  const int64_t octave_block = index / kSubBuckets;
+  const int64_t sub = index % kSubBuckets;
+  if (octave_block == 0) return static_cast<double>(sub);
+  const int shift = static_cast<int>(octave_block) - 1;
+  const double lo = std::ldexp(static_cast<double>(kSubBuckets + sub), shift);
+  const double hi = std::ldexp(static_cast<double>(kSubBuckets + sub + 1), shift);
+  return std::sqrt(lo * hi);  // geometric midpoint of the bucket's span
+}
+
+void Histogram::record_us(int64_t us) {
+  us = std::max<int64_t>(us, 0);
+  buckets_[static_cast<size_t>(bucket_index(us))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  int64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen && !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile_ms(double q) const {
+  const int64_t total = count_.load(std::memory_order_relaxed);
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile (1-based), nearest-rank convention.
+  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  // A bucket's geometric midpoint can overshoot the true extreme; clamp so
+  // a reported quantile never exceeds the recorded maximum.
+  const double max_us = static_cast<double>(max_us_.load(std::memory_order_relaxed));
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= rank) return std::min(bucket_value_us(i), max_us) / 1000.0;
+  }
+  // Samples recorded between the count_ read and the walk: report the max.
+  return static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1000.0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  snap.max_us = max_us_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    const int64_t n = buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (n != 0) snap.buckets.emplace_back(i, n);
+  }
+  snap.finalize();
+  return snap;
+}
+
+double Histogram::Snapshot::quantile_ms(double q) const {
+  // Snapshot-side mirror of Histogram::quantile_ms over the sparse buckets.
+  // Rank against the bucket total (not `count`) so a merged/parsed snapshot
+  // whose buckets and count disagree still walks consistently.
+  int64_t total = 0;
+  for (const auto& [index, n] : buckets) total += n;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  const double max = static_cast<double>(max_us);
+  int64_t seen = 0;
+  for (const auto& [index, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return std::min(Histogram::bucket_value_us(index), max) / 1000.0;
+  }
+  return max / 1000.0;
+}
+
+void Histogram::Snapshot::finalize() {
+  if (count <= 0) {
+    mean_ms = max_ms = p50_ms = p95_ms = p99_ms = 0.0;
+    return;
+  }
+  mean_ms = static_cast<double>(sum_us) / static_cast<double>(count) / 1000.0;
+  max_ms = static_cast<double>(max_us) / 1000.0;
+  p50_ms = quantile_ms(0.50);
+  p95_ms = quantile_ms(0.95);
+  p99_ms = quantile_ms(0.99);
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+  // Merge two ascending sparse bucket lists, summing shared indices.
+  std::vector<std::pair<int32_t, int64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() || (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() || other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first, buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+  finalize();
+}
+
+}  // namespace sesr::obs

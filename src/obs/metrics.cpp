@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/json.h"
+
+namespace sesr::obs {
+
+namespace {
+
+using core::JsonArray;
+using core::JsonObject;
+using core::JsonValue;
+
+std::string histogram_to_json(const Histogram::Snapshot& snap) {
+  core::JsonObjectWriter out;
+  out.field("count", snap.count);
+  out.field("sum_us", snap.sum_us);
+  out.field("max_us", snap.max_us);
+  std::string buckets = "[";
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (i > 0) buckets += ", ";
+    buckets += '[';
+    buckets += core::json_number(static_cast<int64_t>(snap.buckets[i].first));
+    buckets += ", ";
+    buckets += core::json_number(snap.buckets[i].second);
+    buckets += ']';
+  }
+  buckets += "]";
+  out.field("buckets", buckets);
+  // Derived summary, for human readers of the JSON; the parser recomputes
+  // these from the raw fields, so they never drift from the buckets.
+  out.field("mean_ms", snap.mean_ms);
+  out.field("max_ms", snap.max_ms);
+  out.field("p50_ms", snap.p50_ms);
+  out.field("p95_ms", snap.p95_ms);
+  out.field("p99_ms", snap.p99_ms);
+  return out.close();
+}
+
+Histogram::Snapshot histogram_from_json(const JsonObject& object) {
+  Histogram::Snapshot snap;
+  snap.count = core::json_get_int(object, "count");
+  snap.sum_us = core::json_get_int(object, "sum_us");
+  snap.max_us = core::json_get_int(object, "max_us");
+  if (const auto it = object.find("buckets"); it != object.end()) {
+    for (const JsonValue& entry : core::json_as_array(it->second, "histogram buckets")) {
+      const JsonArray& pair = core::json_as_array(entry, "histogram bucket entry");
+      if (pair.size() != 2) throw std::runtime_error("json: histogram bucket entry is not a pair");
+      const auto* index = std::get_if<double>(&pair[0].value);
+      const auto* count = std::get_if<double>(&pair[1].value);
+      if (index == nullptr || count == nullptr)
+        throw std::runtime_error("json: histogram bucket entry is not numeric");
+      snap.buckets.emplace_back(static_cast<int32_t>(*index), static_cast<int64_t>(*count));
+    }
+  }
+  snap.finalize();
+  return snap;
+}
+
+// ---- Prometheus text exposition --------------------------------------------
+
+/// "serve.latency_us|tenant=acme,model=m5" -> {"sesr_serve_latency_us",
+/// "tenant=\"acme\",model=\"m5\""}. Dots (and anything else outside the
+/// Prometheus name alphabet) become underscores.
+struct PromName {
+  std::string family;
+  std::string labels;  // rendered `k="v",...`, empty when unlabeled
+};
+
+std::string sanitize_name(const std::string& raw) {
+  std::string out = "sesr_";
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+PromName prom_name(const std::string& instrument) {
+  const size_t bar = instrument.find('|');
+  PromName name;
+  name.family = sanitize_name(instrument.substr(0, bar));
+  if (bar == std::string::npos) return name;
+  std::string rest = instrument.substr(bar + 1);
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string pair = rest.substr(pos, comma - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      if (!name.labels.empty()) name.labels += ',';
+      name.labels += sanitize_name(pair.substr(0, eq)).substr(5);  // no sesr_ prefix on label keys
+      name.labels += "=\"" + escape_label_value(pair.substr(eq + 1)) + "\"";
+    }
+    pos = comma + 1;
+  }
+  return name;
+}
+
+void append_type_line(std::string& out, std::string& last_family, const std::string& family,
+                      const char* type) {
+  if (family == last_family) return;
+  last_family = family;
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+std::string prom_sample(const PromName& name, const std::string& extra_labels, double value) {
+  std::string labels = name.labels;
+  if (!extra_labels.empty()) {
+    if (!labels.empty()) labels += ',';
+    labels += extra_labels;
+  }
+  std::string out = name.family;
+  if (!labels.empty()) out += "{" + labels + "}";
+  out += ' ';
+  out += core::json_number(value);
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+// ---- Registry --------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : gauges_) snap.gauges.emplace(name, gauge->value());
+  for (const auto& [name, histogram] : histograms_) snap.histograms.emplace(name, histogram->snapshot());
+  return snap;
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+// ---- RegistrySnapshot ------------------------------------------------------
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, snap] : other.histograms) {
+    const auto [it, inserted] = histograms.emplace(name, snap);
+    if (!inserted) it->second.merge(snap);
+  }
+}
+
+std::string RegistrySnapshot::to_json() const {
+  core::JsonObjectWriter out;
+
+  core::JsonObjectWriter counter_obj;
+  for (const auto& [name, value] : counters) counter_obj.field(name.c_str(), value);
+  out.field("counters", counter_obj.close());
+
+  core::JsonObjectWriter gauge_obj;
+  for (const auto& [name, value] : gauges) gauge_obj.field(name.c_str(), value);
+  out.field("gauges", gauge_obj.close());
+
+  core::JsonObjectWriter histogram_obj;
+  for (const auto& [name, snap] : histograms) histogram_obj.field(name.c_str(), histogram_to_json(snap));
+  out.field("histograms", histogram_obj.close());
+
+  return out.close();
+}
+
+RegistrySnapshot RegistrySnapshot::from_json(const std::string& json) {
+  const JsonValue document = core::json_parse(json);
+  const JsonObject& object = core::json_as_object(document, "registry snapshot");
+
+  RegistrySnapshot snap;
+  if (const auto it = object.find("counters"); it != object.end()) {
+    for (const auto& [name, value] : core::json_as_object(it->second, "counters")) {
+      const auto* number = std::get_if<double>(&value.value);
+      if (number == nullptr) throw std::runtime_error("json: counter " + name + " is not a number");
+      snap.counters.emplace(name, static_cast<int64_t>(*number));
+    }
+  }
+  if (const auto it = object.find("gauges"); it != object.end()) {
+    for (const auto& [name, value] : core::json_as_object(it->second, "gauges")) {
+      const auto* number = std::get_if<double>(&value.value);
+      if (number == nullptr) throw std::runtime_error("json: gauge " + name + " is not a number");
+      snap.gauges.emplace(name, static_cast<int64_t>(*number));
+    }
+  }
+  if (const auto it = object.find("histograms"); it != object.end()) {
+    for (const auto& [name, value] : core::json_as_object(it->second, "histograms"))
+      snap.histograms.emplace(name, histogram_from_json(core::json_as_object(value, "histogram " + name)));
+  }
+  return snap;
+}
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::string out;
+  std::string last_family;
+
+  // std::map iteration is sorted, and "name" < "name|k=v" lexicographically,
+  // so every label variant of a family is adjacent: one TYPE line per family.
+  for (const auto& [name, value] : counters) {
+    const PromName prom = prom_name(name);
+    const PromName family{prom.family + "_total", prom.labels};
+    append_type_line(out, last_family, family.family, "counter");
+    out += prom_sample(family, "", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    const PromName prom = prom_name(name);
+    append_type_line(out, last_family, prom.family, "gauge");
+    out += prom_sample(prom, "", static_cast<double>(value));
+  }
+  for (const auto& [name, snap] : histograms) {
+    const PromName prom = prom_name(name);
+    append_type_line(out, last_family, prom.family, "summary");
+    // Quantile values are reported in this metric's native unit (the _us
+    // naming convention), converted from the snapshot's milliseconds.
+    out += prom_sample(prom, "quantile=\"0.5\"", snap.p50_ms * 1000.0);
+    out += prom_sample(prom, "quantile=\"0.95\"", snap.p95_ms * 1000.0);
+    out += prom_sample(prom, "quantile=\"0.99\"", snap.p99_ms * 1000.0);
+    out += prom_sample({prom.family + "_sum", prom.labels}, "", static_cast<double>(snap.sum_us));
+    out += prom_sample({prom.family + "_count", prom.labels}, "", static_cast<double>(snap.count));
+  }
+  return out;
+}
+
+}  // namespace sesr::obs

@@ -1,0 +1,99 @@
+// Unified metrics registry: counters, gauges, and histograms registered by
+// name, snapshotted to a mergeable value bag, and exported as JSON or
+// Prometheus text exposition.
+//
+// Instruments are cheap (relaxed atomics) and have stable addresses for the
+// registry's lifetime — callers resolve them once (Counter& submitted =
+// registry.counter("serve.submitted")) and hit a lock only at registration.
+// Labels are encoded into the instrument name after a '|' as comma-separated
+// key=value pairs ("serve.tenant.submitted|tenant=acme"); JSON keys carry the
+// full string, the Prometheus emitter renders them as real labels.
+//
+// RegistrySnapshot::merge is exact on counters and histogram buckets (int64
+// sums), which is what makes the frontend's fleet view equal the per-shard
+// registries bit-for-bit; gauges sum too (fleet totals of levels like queue
+// depth or pool occupancy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace sesr::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  [[nodiscard]] int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, pool occupancy, high-water marks).
+class Gauge {
+ public:
+  void set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  /// Returns the post-add reading (occupancy gates want the new level).
+  int64_t add(int64_t delta) { return value_.fetch_add(delta, std::memory_order_relaxed) + delta; }
+  /// Raise to `value` if it exceeds the current reading (high-water mark).
+  void set_max(int64_t value) {
+    int64_t seen = value_.load(std::memory_order_relaxed);
+    while (value > seen && !value_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a registry's instruments, keyed by full instrument
+/// name. Serializable both ways; merge folds another snapshot in (sums for
+/// counters/gauges/histogram buckets, max-of-max for histogram maxima).
+struct RegistrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  void merge(const RegistrySnapshot& other);
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static RegistrySnapshot from_json(const std::string& json);
+
+  /// Prometheus text exposition: counters as `<name>_total`, gauges as
+  /// gauges, histograms as summaries (quantile series + _sum/_count).
+  /// Names are prefixed `sesr_`, dots become underscores, `|k=v,...`
+  /// suffixes become label sets.
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+class Registry {
+ public:
+  /// Find or create; the returned reference stays valid for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide registry for instruments that are not owned by one component
+/// (per-op profiler aggregates, process-level counters).
+Registry& default_registry();
+
+}  // namespace sesr::obs

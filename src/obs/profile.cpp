@@ -1,0 +1,115 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "obs/metrics.h"
+
+namespace sesr::obs {
+
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 = config not read yet
+std::atomic<int64_t> g_sample_every{8};
+
+std::mutex& profiles_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<ProgramProfile*>& profiles() {
+  static auto* live = new std::vector<ProgramProfile*>();
+  return *live;
+}
+
+}  // namespace
+
+bool profile_enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    refresh_profile_config();
+    state = g_enabled.load(std::memory_order_relaxed);
+  }
+  return state > 0;
+}
+
+int64_t profile_sample_every() { return g_sample_every.load(std::memory_order_relaxed); }
+
+void refresh_profile_config() {
+  g_sample_every.store(std::max<int64_t>(core::config_int64("SESR_PROFILE_SAMPLE"), 1),
+                       std::memory_order_relaxed);
+  g_enabled.store(core::config_bool("SESR_PROFILE_OPS") ? 1 : 0, std::memory_order_relaxed);
+}
+
+int64_t profile_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ProgramProfile::ProgramProfile(std::vector<OpProfileInfo> ops)
+    : info_(std::move(ops)), cells_(new Cell[std::max<size_t>(info_.size(), 1)]) {
+  std::lock_guard<std::mutex> lock(profiles_mutex());
+  profiles().push_back(this);
+}
+
+ProgramProfile::~ProgramProfile() {
+  std::lock_guard<std::mutex> lock(profiles_mutex());
+  auto& live = profiles();
+  live.erase(std::remove(live.begin(), live.end(), this), live.end());
+}
+
+bool ProgramProfile::sample_this_run() {
+  const int64_t run = runs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (run % profile_sample_every() != 0) return false;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+OpProfileRow ProgramProfile::row(size_t op) const {
+  OpProfileRow row;
+  row.name = info_[op].name;
+  row.tier = info_[op].tier;
+  row.calls = cells_[op].calls.load(std::memory_order_relaxed);
+  row.ns = cells_[op].ns.load(std::memory_order_relaxed);
+  return row;
+}
+
+std::vector<OpProfileRow> profile_aggregate() {
+  std::map<std::pair<std::string, std::string>, OpProfileRow> merged;
+  {
+    std::lock_guard<std::mutex> lock(profiles_mutex());
+    for (const ProgramProfile* profile : profiles()) {
+      for (size_t op = 0; op < profile->size(); ++op) {
+        OpProfileRow row = profile->row(op);
+        if (row.calls == 0) continue;
+        auto& slot = merged[{row.name, row.tier}];
+        slot.name = row.name;
+        slot.tier = row.tier;
+        slot.calls += row.calls;
+        slot.ns += row.ns;
+      }
+    }
+  }
+  std::vector<OpProfileRow> rows;
+  rows.reserve(merged.size());
+  for (auto& [key, row] : merged) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const OpProfileRow& a, const OpProfileRow& b) { return a.ns > b.ns; });
+  return rows;
+}
+
+void profile_export(Registry& registry) {
+  for (const OpProfileRow& row : profile_aggregate()) {
+    const std::string labels = "|op=" + row.name + ",tier=" + row.tier;
+    registry.gauge("profile.op_ns" + labels).set(row.ns);
+    registry.gauge("profile.op_calls" + labels).set(row.calls);
+  }
+}
+
+}  // namespace sesr::obs

@@ -1,0 +1,93 @@
+// Sampled per-op runtime profiler for Program execution.
+//
+// Each Program lazily owns one ProgramProfile: a fixed array of per-op cells
+// (relaxed atomic call count + accumulated nanoseconds) labeled with the
+// op's kind and kernel tier (scalar/avx2/vnni/jit). Session::execute asks
+// sample_this_run() once per run — every Nth run is timed (SESR_PROFILE_SAMPLE)
+// when SESR_PROFILE_OPS is on — and records one interval per op on sampled
+// runs. When profiling is off the whole hook is a single always-false branch
+// per run plus one null check per op.
+//
+// Live profiles self-register in a process-wide list so profile_aggregate()
+// can merge rows across every program/session into the hot-op view that
+// Program::dump(), the metrics registry, and the bench harness surface.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sesr::obs {
+
+class Registry;
+
+/// Cached read of SESR_PROFILE_OPS (refresh_profile_config re-reads).
+[[nodiscard]] bool profile_enabled();
+
+/// Cached read of SESR_PROFILE_SAMPLE, clamped to >= 1.
+[[nodiscard]] int64_t profile_sample_every();
+
+/// Re-read the SESR_PROFILE_* knobs from the environment.
+void refresh_profile_config();
+
+/// Monotonic nanoseconds for timing op intervals.
+[[nodiscard]] int64_t profile_now_ns();
+
+/// Immutable per-op labels, fixed at profile construction.
+struct OpProfileInfo {
+  std::string name;  ///< op kind, e.g. "qconv2d"
+  std::string tier;  ///< kernel tier serving it, e.g. "avx2", "jit"
+};
+
+/// One aggregated row: totals for an (op name, tier) pair or a single op.
+struct OpProfileRow {
+  std::string name;
+  std::string tier;
+  int64_t calls = 0;
+  int64_t ns = 0;
+};
+
+class ProgramProfile {
+ public:
+  explicit ProgramProfile(std::vector<OpProfileInfo> ops);
+  ~ProgramProfile();
+  ProgramProfile(const ProgramProfile&) = delete;
+  ProgramProfile& operator=(const ProgramProfile&) = delete;
+
+  /// Count a run; true when this run should be timed (every Nth while
+  /// SESR_PROFILE_OPS is on).
+  [[nodiscard]] bool sample_this_run();
+
+  void record(size_t op, int64_t ns) {
+    cells_[op].calls.fetch_add(1, std::memory_order_relaxed);
+    cells_[op].ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] size_t size() const { return info_.size(); }
+  [[nodiscard]] OpProfileRow row(size_t op) const;
+  [[nodiscard]] int64_t runs_sampled() const { return sampled_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Cell {
+    std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> ns{0};
+  };
+
+  std::vector<OpProfileInfo> info_;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<int64_t> runs_{0};
+  std::atomic<int64_t> sampled_{0};
+};
+
+/// Merge every live profile's rows by (name, tier), sorted by total ns
+/// descending.
+[[nodiscard]] std::vector<OpProfileRow> profile_aggregate();
+
+/// Publish the aggregate into `registry` as gauges
+/// `profile.op_ns|op=<name>,tier=<tier>` / `profile.op_calls|...` (set, not
+/// added, so repeated exports stay idempotent).
+void profile_export(Registry& registry);
+
+}  // namespace sesr::obs

@@ -1,0 +1,282 @@
+#include "obs/trace.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/config.h"
+#include "core/json.h"
+
+namespace sesr::obs {
+
+namespace {
+
+// ---- per-thread rings ------------------------------------------------------
+
+// One span = one 64-byte slot of relaxed atomic words. The owning thread is
+// the only writer (including of `head`), so stores are plain relaxed with a
+// release on the head bump; drains acquire the head and copy whatever is
+// there. A record overwritten mid-copy yields a torn slot whose fields
+// mix two spans — acceptable for a flight recorder, and slots whose span id
+// reads 0 are dropped outright.
+struct Slot {
+  std::atomic<uint64_t> words[8];
+};
+
+constexpr size_t kNameWords = 3;  // words 5..7: 24 name bytes
+constexpr size_t kNameBytes = kNameWords * sizeof(uint64_t);
+
+struct Ring {
+  explicit Ring(size_t capacity, uint32_t tid_in) : slots(capacity), tid(tid_in) {}
+  std::vector<Slot> slots;
+  std::atomic<uint64_t> head{0};
+  uint32_t tid;
+};
+
+std::mutex& rings_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<std::shared_ptr<Ring>>& rings() {
+  // Shared ownership: the registry keeps rings alive past thread exit so a
+  // drain still sees spans recorded by finished worker threads.
+  static auto* all = new std::vector<std::shared_ptr<Ring>>();
+  return *all;
+}
+
+std::atomic<int> g_enabled{-1};  // -1 = config not read yet
+std::atomic<int64_t> g_ring_bytes{int64_t{1} << 20};
+std::atomic<uint32_t> g_next_id{0};
+
+uint64_t id_bits(uint32_t counter) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(::getpid())) << 32) | counter;
+}
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    const int64_t bytes = std::max<int64_t>(g_ring_bytes.load(std::memory_order_relaxed),
+                                            static_cast<int64_t>(sizeof(Slot)));
+    const size_t capacity = static_cast<size_t>(bytes) / sizeof(Slot);
+    std::lock_guard<std::mutex> lock(rings_mutex());
+    auto created = std::make_shared<Ring>(capacity, static_cast<uint32_t>(rings().size() + 1));
+    rings().push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+std::string span_name(const SpanRecord& record) { return record.name; }
+
+}  // namespace
+
+bool trace_enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    refresh_trace_config();
+    state = g_enabled.load(std::memory_order_relaxed);
+  }
+  return state > 0;
+}
+
+void refresh_trace_config() {
+  g_ring_bytes.store(core::config_int64("SESR_TRACE_RING_BYTES"), std::memory_order_relaxed);
+  g_enabled.store(core::config_bool("SESR_TRACE") ? 1 : 0, std::memory_order_relaxed);
+}
+
+int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceContext start_trace() {
+  if (!trace_enabled()) return {};
+  return {id_bits(g_next_id.fetch_add(1, std::memory_order_relaxed) + 1), 0};
+}
+
+uint64_t next_span_id() { return id_bits(g_next_id.fetch_add(1, std::memory_order_relaxed) + 1); }
+
+void record_span(uint64_t trace_id, uint64_t span_id, uint64_t parent_span, const char* name,
+                 int64_t start_ns, int64_t end_ns) {
+  if (trace_id == 0) return;
+  Ring& ring = local_ring();
+  const uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[head % ring.slots.size()];
+  slot.words[0].store(trace_id, std::memory_order_relaxed);
+  slot.words[1].store(span_id, std::memory_order_relaxed);
+  slot.words[2].store(parent_span, std::memory_order_relaxed);
+  slot.words[3].store(static_cast<uint64_t>(start_ns), std::memory_order_relaxed);
+  slot.words[4].store(static_cast<uint64_t>(std::max<int64_t>(end_ns - start_ns, 0)),
+                      std::memory_order_relaxed);
+  char packed[kNameBytes] = {};
+  std::strncpy(packed, name, kNameBytes - 1);
+  for (size_t w = 0; w < kNameWords; ++w) {
+    uint64_t word = 0;
+    std::memcpy(&word, packed + w * sizeof(uint64_t), sizeof(uint64_t));
+    slot.words[5 + w].store(word, std::memory_order_relaxed);
+  }
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+Span::Span(const TraceContext& parent, const char* name) {
+  if (!parent) return;
+  ctx_ = {parent.trace_id, next_span_id()};
+  parent_span_ = parent.span_id;
+  name_ = name;
+  start_ns_ = trace_now_ns();
+}
+
+void Span::end() {
+  if (!ctx_) return;
+  record_span(ctx_.trace_id, ctx_.span_id, parent_span_, name_, start_ns_, trace_now_ns());
+  ctx_ = {};
+}
+
+std::vector<SpanRecord> drain_spans() {
+  std::vector<SpanRecord> out;
+  const int32_t pid = static_cast<int32_t>(::getpid());
+  std::lock_guard<std::mutex> lock(rings_mutex());
+  for (const auto& ring : rings()) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t capacity = ring->slots.size();
+    const uint64_t first = head > capacity ? head - capacity : 0;
+    for (uint64_t i = first; i < head; ++i) {
+      const Slot& slot = ring->slots[i % capacity];
+      SpanRecord record;
+      record.trace_id = slot.words[0].load(std::memory_order_relaxed);
+      record.span_id = slot.words[1].load(std::memory_order_relaxed);
+      record.parent_span = slot.words[2].load(std::memory_order_relaxed);
+      record.start_ns = static_cast<int64_t>(slot.words[3].load(std::memory_order_relaxed));
+      record.dur_ns = static_cast<int64_t>(slot.words[4].load(std::memory_order_relaxed));
+      record.tid = ring->tid;
+      record.pid = pid;
+      if (record.trace_id == 0 || record.span_id == 0) continue;  // blank or torn
+      char packed[kNameBytes + 1] = {};
+      for (size_t w = 0; w < kNameWords; ++w) {
+        const uint64_t word = slot.words[5 + w].load(std::memory_order_relaxed);
+        std::memcpy(packed + w * sizeof(uint64_t), &word, sizeof(uint64_t));
+      }
+      record.name = packed;
+      out.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  // "X" complete events; ts/dur are microseconds (Chrome's unit), the exact
+  // ids and nanosecond times ride in args as strings so a parse round-trips
+  // without double precision loss.
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    core::JsonObjectWriter event;
+    event.field("name", core::json_quote(span_name(span)));
+    event.field("ph", core::json_quote("X"));
+    event.field("pid", static_cast<int64_t>(span.pid));
+    event.field("tid", static_cast<int64_t>(span.tid));
+    event.field("ts", static_cast<double>(span.start_ns) / 1000.0);
+    event.field("dur", static_cast<double>(span.dur_ns) / 1000.0);
+    core::JsonObjectWriter args;
+    args.field("trace", core::json_quote(std::to_string(span.trace_id)));
+    args.field("span", core::json_quote(std::to_string(span.span_id)));
+    args.field("parent", core::json_quote(std::to_string(span.parent_span)));
+    args.field("start_ns", core::json_quote(std::to_string(span.start_ns)));
+    args.field("dur_ns", core::json_quote(std::to_string(span.dur_ns)));
+    event.field("args", args.close());
+    out += event.close();
+  }
+  out += "]}";
+  return out;
+}
+
+std::string drain_chrome_trace() { return chrome_trace_json(drain_spans()); }
+
+std::vector<SpanRecord> parse_chrome_trace(const std::string& json) {
+  const core::JsonValue document = core::json_parse(json);
+  const core::JsonObject& object = core::json_as_object(document, "trace document");
+  const auto it = object.find("traceEvents");
+  if (it == object.end()) throw std::runtime_error("json: trace document has no traceEvents");
+
+  std::vector<SpanRecord> out;
+  for (const core::JsonValue& entry : core::json_as_array(it->second, "traceEvents")) {
+    const core::JsonObject& event = core::json_as_object(entry, "trace event");
+    SpanRecord record;
+    record.name = core::json_get_string(event, "name");
+    record.pid = static_cast<int32_t>(core::json_get_int(event, "pid"));
+    record.tid = static_cast<uint32_t>(core::json_get_int(event, "tid"));
+    const auto args_it = event.find("args");
+    if (args_it == event.end()) continue;  // not one of our span events
+    const core::JsonObject& args = core::json_as_object(args_it->second, "trace event args");
+    record.trace_id = std::strtoull(core::json_get_string(args, "trace").c_str(), nullptr, 10);
+    record.span_id = std::strtoull(core::json_get_string(args, "span").c_str(), nullptr, 10);
+    record.parent_span = std::strtoull(core::json_get_string(args, "parent").c_str(), nullptr, 10);
+    record.start_ns = static_cast<int64_t>(
+        std::strtoull(core::json_get_string(args, "start_ns").c_str(), nullptr, 10));
+    record.dur_ns = static_cast<int64_t>(
+        std::strtoull(core::json_get_string(args, "dur_ns").c_str(), nullptr, 10));
+    if (record.trace_id == 0 || record.span_id == 0) continue;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::vector<std::string> validate_span_nesting(const std::vector<SpanRecord>& spans) {
+  std::map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) by_id.emplace(span.span_id, &span);
+
+  std::vector<std::string> violations;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_span == 0) continue;
+    const auto it = by_id.find(span.parent_span);
+    if (it == by_id.end()) continue;  // parent not captured (e.g. other host)
+    const SpanRecord& parent = *it->second;
+    if (parent.trace_id != span.trace_id) {
+      violations.push_back("span '" + span.name + "' and parent '" + parent.name +
+                           "' disagree on trace id");
+      continue;
+    }
+    if (span.start_ns < parent.start_ns || span.start_ns + span.dur_ns > parent.start_ns + parent.dur_ns) {
+      violations.push_back("span '" + span.name + "' [" + std::to_string(span.start_ns) + ", " +
+                           std::to_string(span.start_ns + span.dur_ns) + "] escapes parent '" +
+                           parent.name + "' [" + std::to_string(parent.start_ns) + ", " +
+                           std::to_string(parent.start_ns + parent.dur_ns) + "]");
+    }
+  }
+  return violations;
+}
+
+std::string write_trace_file() {
+  const std::string dir = core::config_string("SESR_TRACE_DIR");
+  if (dir.empty()) return {};
+  ::mkdir(dir.c_str(), 0777);  // best-effort; existing directory is fine
+  const std::string path = dir + "/trace_" + std::to_string(::getpid()) + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return {};
+  const std::string json = drain_chrome_trace();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return path;
+}
+
+void clear_trace_buffers() {
+  std::lock_guard<std::mutex> lock(rings_mutex());
+  for (const auto& ring : rings()) {
+    for (Slot& slot : ring->slots)
+      for (std::atomic<uint64_t>& word : slot.words) word.store(0, std::memory_order_relaxed);
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sesr::obs

@@ -1,0 +1,128 @@
+// Request-scoped distributed tracing with flight-recorder span storage.
+//
+// A TraceContext (trace id + parent span id) is minted at the edge
+// (Frontend::submit / Server::submit), carried through SubmitOptions,
+// propagated over the SDW1 wire as an optional trailing extension, and used
+// to stamp spans at every stage of a request's life: queue wait, batch
+// formation, tile fan-out / halo stitch, session run, reply. Span ids embed
+// the pid, and timestamps come from CLOCK_MONOTONIC — the same clock across
+// every process on a host — so frontend and shard spans of one trace align
+// on a shared timeline without any clock-sync protocol.
+//
+// Storage is flight-recorder style: each recording thread owns a lock-free
+// ring of fixed-size slots (64 bytes each, SESR_TRACE_RING_BYTES per
+// thread), overwriting oldest on wrap. Recording is a handful of relaxed
+// atomic stores; no allocation, no locks, no syscalls. drain_spans() copies
+// every thread's ring out under a registration mutex; the resulting records
+// render to Chrome trace-event JSON ("X" complete events) loadable directly
+// in Perfetto / chrome://tracing. With SESR_TRACE unset the whole layer is a
+// single predictable branch per call site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sesr::obs {
+
+/// Identity of one request's trace: the trace id plus the span id the next
+/// child span should be parented to. {0, 0} means "not traced" and makes
+/// every downstream recording call a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  [[nodiscard]] explicit operator bool() const { return trace_id != 0; }
+};
+
+/// Cached read of SESR_TRACE. The first call (and every
+/// refresh_trace_config()) re-reads the typed config; afterwards it is one
+/// relaxed atomic load.
+[[nodiscard]] bool trace_enabled();
+
+/// Re-read SESR_TRACE / SESR_TRACE_RING_BYTES from the environment. Rings
+/// already allocated keep their old capacity; new threads pick up the new
+/// size.
+void refresh_trace_config();
+
+/// Monotonic nanoseconds (CLOCK_MONOTONIC) — comparable across processes on
+/// one host, which is what makes cross-process span nesting line up.
+[[nodiscard]] int64_t trace_now_ns();
+
+/// Mint a fresh trace root context ({new id, span 0}); {0, 0} when tracing
+/// is disabled. Ids embed the pid so concurrent processes never collide.
+[[nodiscard]] TraceContext start_trace();
+
+/// Mint a process-unique span id (nonzero).
+[[nodiscard]] uint64_t next_span_id();
+
+/// Record one completed span into this thread's ring. No-op when trace_id
+/// is 0. `name` is truncated to 24 bytes (ring slots are fixed-size).
+void record_span(uint64_t trace_id, uint64_t span_id, uint64_t parent_span, const char* name,
+                 int64_t start_ns, int64_t end_ns);
+
+/// RAII span: started at construction (minting a span id under `parent`),
+/// recorded at destruction or end(). Inert when parent is untraced.
+class Span {
+ public:
+  Span() = default;
+  Span(const TraceContext& parent, const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void end();
+
+  /// Context for children of this span: {trace id, this span's id}.
+  [[nodiscard]] const TraceContext& context() const { return ctx_; }
+
+ private:
+  TraceContext ctx_;
+  uint64_t parent_span_ = 0;
+  int64_t start_ns_ = 0;
+  const char* name_ = nullptr;
+};
+
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;  ///< recorder thread (ring registration order, 1-based)
+  int32_t pid = 0;
+  std::string name;
+};
+
+/// Copy every thread's ring out, oldest-first per thread. Does not clear the
+/// rings (a flight recorder keeps flying); records with a torn/blank slot
+/// are skipped.
+[[nodiscard]] std::vector<SpanRecord> drain_spans();
+
+/// Render records as a Chrome trace-event JSON document ({"traceEvents":
+/// [...]}) — "X" complete events with microsecond ts/dur, exact ids carried
+/// in args as strings.
+[[nodiscard]] std::string chrome_trace_json(const std::vector<SpanRecord>& spans);
+
+/// drain_spans() + chrome_trace_json().
+[[nodiscard]] std::string drain_chrome_trace();
+
+/// Parse a chrome_trace_json document (or a merge of several) back into
+/// records. Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<SpanRecord> parse_chrome_trace(const std::string& json);
+
+/// Structural nesting check: every span whose parent is present must share
+/// its trace id and lie within the parent's [start, end] window. Returns
+/// human-readable violations (empty = well-nested).
+[[nodiscard]] std::vector<std::string> validate_span_nesting(const std::vector<SpanRecord>& spans);
+
+/// Write this process's spans as Chrome JSON to
+/// $SESR_TRACE_DIR/trace_<pid>.json (directory created best-effort).
+/// Returns the path written, or "" when SESR_TRACE_DIR is unset.
+std::string write_trace_file();
+
+/// Test seam: zero every registered ring (records only; rings and their
+/// thread registrations survive).
+void clear_trace_buffers();
+
+}  // namespace sesr::obs

@@ -1,5 +1,6 @@
 #include "runtime/program.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include <unordered_set>
 
 #include "nn/inference.h"
+#include "obs/profile.h"
 #include "runtime/passes/passes.h"
 
 namespace sesr::runtime {
@@ -286,6 +288,66 @@ std::string Program::dump() const {
     if (op.dispatched || op.jit >= 0)
       appendf(out, "  [%s]", simd::variant_name(op.variant));
     out += "\n";
+  }
+  out += profile_summary();
+  return out;
+}
+
+// ---- per-op profiling ------------------------------------------------------
+
+obs::ProgramProfile& Program::profile() const {
+  std::lock_guard<std::mutex> lock(profile_mutex_);
+  if (!profile_) {
+    std::vector<obs::OpProfileInfo> info;
+    info.reserve(ops_.size());
+    for (const Op& op : ops_) {
+      obs::OpProfileInfo entry;
+      entry.name = op_kind_name(op.kind);
+      entry.tier = op.jit >= 0 ? "jit" : simd::variant_name(op.variant);
+      info.push_back(std::move(entry));
+    }
+    profile_ = std::make_shared<obs::ProgramProfile>(std::move(info));
+  }
+  return *profile_;
+}
+
+obs::ProgramProfile* Program::existing_profile() const {
+  std::lock_guard<std::mutex> lock(profile_mutex_);
+  return profile_.get();
+}
+
+std::string Program::profile_summary() const {
+  const obs::ProgramProfile* profile = existing_profile();
+  if (profile == nullptr) return {};
+
+  struct HotOp {
+    size_t index;
+    obs::OpProfileRow row;
+  };
+  std::vector<HotOp> hot;
+  int64_t total_ns = 0;
+  for (size_t op = 0; op < profile->size(); ++op) {
+    obs::OpProfileRow row = profile->row(op);
+    if (row.calls == 0) continue;
+    total_ns += row.ns;
+    hot.push_back({op, std::move(row)});
+  }
+  if (hot.empty()) return {};
+  std::sort(hot.begin(), hot.end(),
+            [](const HotOp& a, const HotOp& b) { return a.row.ns > b.row.ns; });
+
+  std::string out;
+  appendf(out, "profile: %lld sampled runs, %.2f ms total, hottest ops:\n",
+          static_cast<long long>(profile->runs_sampled()), static_cast<double>(total_ns) / 1e6);
+  const size_t shown = std::min<size_t>(hot.size(), 10);
+  for (size_t i = 0; i < shown; ++i) {
+    const HotOp& entry = hot[i];
+    appendf(out, "  %3zu: %-12s [%-10s] %8lld calls  %10.2f us total  %8.2f us/call  %5.1f%%\n",
+            entry.index, entry.row.name.c_str(), entry.row.tier.c_str(),
+            static_cast<long long>(entry.row.calls), static_cast<double>(entry.row.ns) / 1e3,
+            static_cast<double>(entry.row.ns) / 1e3 / static_cast<double>(entry.row.calls),
+            total_ns > 0 ? 100.0 * static_cast<double>(entry.row.ns) / static_cast<double>(total_ns)
+                         : 0.0);
   }
   return out;
 }

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,10 @@
 
 namespace sesr::quant {
 class QuantizedModel;
+}
+
+namespace sesr::obs {
+class ProgramProfile;
 }
 
 namespace sesr::nn {
@@ -294,10 +299,24 @@ class Program {
   [[nodiscard]] int64_t sum_buffer_bytes() const { return sum_buffer_bytes_; }
 
   /// One debug printer for both precisions: pass stats, the buffer table
-  /// with grids and arena offsets, the arena summary, and the op list.
+  /// with grids and arena offsets, the arena summary, the op list, and —
+  /// when per-op profiling has collected samples — a hot-op table.
   [[nodiscard]] std::string dump() const;
 
+  /// This program's per-op profile, created on first use (ops labeled by
+  /// kind and kernel tier). Sessions record into it on sampled runs when
+  /// SESR_PROFILE_OPS is enabled; stable address for the program's lifetime.
+  [[nodiscard]] obs::ProgramProfile& profile() const;
+
+  /// Hot-op rows for this program (empty until a sampled run has landed),
+  /// sorted by accumulated time descending.
+  [[nodiscard]] std::string profile_summary() const;
+
  private:
+  /// The profile if one was ever created, else null — dump() peeks without
+  /// instantiating.
+  [[nodiscard]] obs::ProgramProfile* existing_profile() const;
+
   friend class ProgramBuilder;
   friend class Int8Lowering;
   friend struct ProgramEditor;
@@ -317,6 +336,12 @@ class Program {
   int64_t jit_ops_ = 0;
   double jit_compile_ms_ = 0.0;
   int64_t jit_code_bytes_ = 0;
+
+  // Lazily-created per-op profile (obs/profile.h). Mutable because profiling
+  // an immutable, shared program is an observer concern, not a mutation of
+  // the compiled artifact.
+  mutable std::mutex profile_mutex_;
+  mutable std::shared_ptr<obs::ProgramProfile> profile_;
 };
 
 }  // namespace sesr::runtime

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/conv2d.h"
+#include "obs/profile.h"
 #include "quant/qparams.h"
 #include "runtime/jit/jit.h"
 #include "tensor/int8_kernels.h"
@@ -108,9 +109,20 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
   // the module is immutable and shared read-only across sessions.
   const jit::JitModule* const jm = program_->jit_module().get();
 
+  // Per-op profiling (SESR_PROFILE_OPS): resolved once per run — disabled,
+  // the whole hook is this one false branch plus a null check per op; on
+  // sampled runs each op's wall time lands in the program's profile.
+  obs::ProgramProfile* prof = nullptr;
+  if (obs::profile_enabled()) {
+    obs::ProgramProfile& profile = program_->profile();
+    if (profile.sample_this_run()) prof = &profile;
+  }
+
+  int64_t op_start_ns = 0;
   int op_index = -1;
   for (const Op& op : program_->ops()) {
     ++op_index;
+    if (prof != nullptr) op_start_ns = obs::profile_now_ns();
     const QStepData* q = op.qdata >= 0 ? &qdata[static_cast<size_t>(op.qdata)] : nullptr;
     // Each op runs on the SIMD kernel tier recorded at compile time by the
     // select_kernel_variants pass (flipping SESR_KERNEL_VARIANT after
@@ -301,6 +313,8 @@ void Session::execute(const Tensor& input, Tensor& output, const StepHook* hook)
         break;
       }
     }
+    if (prof != nullptr)
+      prof->record(static_cast<size_t>(op_index), obs::profile_now_ns() - op_start_ns);
     if (hook != nullptr && op.output >= 0)
       (*hook)(op_index, *bound_[static_cast<size_t>(op.output)]);
   }

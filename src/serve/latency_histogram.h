@@ -1,61 +1,14 @@
-// Lock-cheap latency histogram for the serving engine's SLO metrics.
-//
-// record() is a single relaxed atomic increment into a log-linear bucket
-// (HdrHistogram-style: one octave per power of two, kSubBuckets linear
-// sub-buckets per octave), so serving threads pay a handful of nanoseconds
-// and never contend a lock. Quantile queries walk the bucket array and
-// return the geometric midpoint of the bucket holding the requested rank —
-// values are exact below kSubBuckets microseconds and within one sub-bucket
-// (< ~9% relative error) above, which is plenty for p50/p95/p99 SLO
-// reporting. snapshot() under concurrent record() is a consistent-enough
-// view: counters are read individually, so a snapshot races only with the
-// requests landing during the walk.
+// The serving engine's latency histogram is the shared observability
+// histogram (obs::Histogram): same log-linear buckets and lock-free
+// record_us as before, plus a mergeable snapshot so per-shard latency
+// distributions combine into a fleet view. This alias keeps the historical
+// serve-layer spelling.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstdint>
+#include "obs/histogram.h"
 
 namespace sesr::serve {
 
-class LatencyHistogram {
- public:
-  /// Aggregate view of everything recorded so far (times in milliseconds).
-  struct Snapshot {
-    int64_t count = 0;
-    double mean_ms = 0.0;
-    double max_ms = 0.0;
-    double p50_ms = 0.0;
-    double p95_ms = 0.0;
-    double p99_ms = 0.0;
-  };
-
-  /// Record one latency sample. Negative values clamp to 0.
-  void record_us(int64_t us);
-
-  [[nodiscard]] Snapshot snapshot() const;
-
-  [[nodiscard]] int64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  /// Quantile in milliseconds (q in [0, 1]); 0 when nothing was recorded.
-  [[nodiscard]] double quantile_ms(double q) const;
-
- private:
-  static constexpr int kSubBucketBits = 4;  // 16 linear sub-buckets per octave
-  static constexpr int64_t kSubBuckets = int64_t{1} << kSubBucketBits;
-  // Octaves above the linear range; covers values up to 2^40 us (~13 days).
-  static constexpr int kOctaves = 40 - kSubBucketBits;
-  static constexpr int kBuckets = static_cast<int>(kSubBuckets) * (kOctaves + 1);
-
-  [[nodiscard]] static int bucket_index(int64_t us);
-  /// Representative latency (us) of a bucket: exact in the linear range,
-  /// geometric midpoint of the bucket's value span above it.
-  [[nodiscard]] static double bucket_value_us(int index);
-
-  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
-  std::atomic<int64_t> count_{0};
-  std::atomic<int64_t> sum_us_{0};
-  std::atomic<int64_t> max_us_{0};
-};
+using LatencyHistogram = obs::Histogram;
 
 }  // namespace sesr::serve

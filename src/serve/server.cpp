@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profile.h"
 #include "runtime/passes/passes.h"
 #include "tensor/simd/dispatch.h"
 
@@ -13,17 +14,27 @@ namespace sesr::serve {
 using Clock = std::chrono::steady_clock;
 
 /// Mutable per-tenant admission state. Stable address for the server's
-/// lifetime (requests carry the pointer through the queue); counters are
-/// relaxed atomics read by stats().
+/// lifetime (requests carry the pointer through the queue); every counter is
+/// a labeled registry instrument, so per-tenant numbers ride along in
+/// metrics()/fleet merges for free.
 struct Server::TenantState {
   TenantQuota quota;
-  std::atomic<int64_t> in_queue{0};
-  std::atomic<int64_t> peak_in_queue{0};
-  std::atomic<int64_t> submitted{0};
-  std::atomic<int64_t> completed{0};
-  std::atomic<int64_t> rejected{0};
-  std::atomic<int64_t> shed{0};
-  std::atomic<int64_t> failed{0};
+  obs::Gauge& in_queue;
+  obs::Gauge& peak_in_queue;
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& rejected;
+  obs::Counter& shed;
+  obs::Counter& failed;
+
+  TenantState(obs::Registry& metrics, const std::string& id)
+      : in_queue(metrics.gauge("serve.tenant.in_queue|tenant=" + id)),
+        peak_in_queue(metrics.gauge("serve.tenant.peak_in_queue|tenant=" + id)),
+        submitted(metrics.counter("serve.tenant.submitted|tenant=" + id)),
+        completed(metrics.counter("serve.tenant.completed|tenant=" + id)),
+        rejected(metrics.counter("serve.tenant.rejected|tenant=" + id)),
+        shed(metrics.counter("serve.tenant.shed|tenant=" + id)),
+        failed(metrics.counter("serve.tenant.failed|tenant=" + id)) {}
 };
 
 /// One admitted request, queued until a worker dispatches (or sheds) it.
@@ -36,15 +47,22 @@ struct Server::Request {
   std::shared_ptr<detail::ResultState> state;
   Clock::time_point enqueued;
   Clock::time_point deadline;  ///< time_point::max() = none
+  /// Trace identity: trace.span_id is this request's root span ("server_
+  /// request", recorded when the reply lands), parent_span the caller's span
+  /// it nests under. trace_id 0 = untraced, and every span call short-circuits.
+  obs::TraceContext trace;
+  uint64_t parent_span = 0;
+  int64_t accepted_ns = 0;  ///< trace clock at admission (root span start)
 };
 
 Server::Server(std::shared_ptr<ModelRegistry> registry, const Options& options)
-    : registry_(std::move(registry)),
-      options_(options),
-      batch_size_counts_(static_cast<size_t>(std::max<int64_t>(options.max_batch, 1)) + 1) {
+    : registry_(std::move(registry)), options_(options) {
   if (!registry_) throw std::invalid_argument("Server: null registry");
   if (options_.workers < 1) throw std::invalid_argument("Server: workers must be >= 1");
   if (options_.max_batch < 1) throw std::invalid_argument("Server: max_batch must be >= 1");
+  batch_size_counts_.reserve(static_cast<size_t>(options_.max_batch) + 1);
+  for (int64_t k = 0; k <= options_.max_batch; ++k)
+    batch_size_counts_.push_back(&metrics_.counter("serve.batch_size|n=" + std::to_string(k)));
   queue_ = std::make_unique<BoundedQueue<Request>>(options_.queue_capacity);
   workers_.reserve(static_cast<size_t>(options_.workers));
   try {
@@ -104,13 +122,31 @@ Clock::time_point deadline_for(std::chrono::milliseconds requested,
   return Clock::now() + effective;
 }
 
+/// Plan keys ("[8, 3, 64, 64]|avx2") become metric label values, but commas
+/// separate label pairs and '|' separates the name from its labels — fold
+/// the punctuation to a compact "8x3x64x64@avx2" form.
+std::string pool_label(const std::string& plan_key) {
+  std::string out;
+  out.reserve(plan_key.size());
+  for (const char c : plan_key) {
+    if (c == '[' || c == ']' || c == ' ') continue;
+    if (c == ',')
+      out += 'x';
+    else if (c == '|')
+      out += '@';
+    else
+      out += c;
+  }
+  return out;
+}
+
 }  // namespace
 
 Server::TenantState& Server::tenant_for(const std::string& tenant) {
   std::lock_guard<std::mutex> lock(tenants_mutex_);
   auto [it, inserted] = tenants_.emplace(tenant, nullptr);
   if (inserted) {
-    it->second = std::make_unique<TenantState>();
+    it->second = std::make_unique<TenantState>(metrics_, tenant);
     const auto quota = options_.tenant_quotas.find(tenant);
     if (quota != options_.tenant_quotas.end()) it->second->quota = quota->second;
   }
@@ -118,16 +154,12 @@ Server::TenantState& Server::tenant_for(const std::string& tenant) {
 }
 
 bool Server::charge_tenant(TenantState& tenant) {
-  const int64_t occupancy = tenant.in_queue.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int64_t occupancy = tenant.in_queue.add(1);
   if (tenant.quota.max_in_queue > 0 && occupancy > tenant.quota.max_in_queue) {
-    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
+    tenant.in_queue.add(-1);
     return false;
   }
-  int64_t peak = tenant.peak_in_queue.load(std::memory_order_relaxed);
-  while (occupancy > peak &&
-         !tenant.peak_in_queue.compare_exchange_weak(peak, occupancy,
-                                                     std::memory_order_relaxed)) {
-  }
+  tenant.peak_in_queue.set_max(occupancy);
   return true;
 }
 
@@ -138,13 +170,26 @@ Server::Request Server::make_request(Tensor image, const SubmitOptions& submit_o
   if (!registry_->contains(submit_options.model))
     throw std::invalid_argument("Server: unknown model id: " + submit_options.model);
   TenantState& tenant = tenant_for(submit_options.tenant);
-  return Request{normalize_single_image(std::move(image)),
-                 submit_options.model,
-                 &tenant,
-                 std::make_shared<detail::ResultState>(),
-                 Clock::now(),
-                 deadline_for(submit_options.deadline, tenant.quota.default_deadline,
-                              options_.default_deadline)};
+  Request request{normalize_single_image(std::move(image)),
+                  submit_options.model,
+                  &tenant,
+                  std::make_shared<detail::ResultState>(),
+                  Clock::now(),
+                  deadline_for(submit_options.deadline, tenant.quota.default_deadline,
+                               options_.default_deadline),
+                  submit_options.trace,
+                  0,
+                  0};
+  // Adopt the caller's trace (e.g. decoded off the shard wire) or mint a
+  // fresh root when tracing is on; either way this request's own root span id
+  // is allocated now so queue/batch spans can parent to it immediately.
+  if (!request.trace && obs::trace_enabled()) request.trace = obs::start_trace();
+  if (request.trace) {
+    request.parent_span = request.trace.span_id;
+    request.trace.span_id = obs::next_span_id();
+    request.accepted_ns = obs::trace_now_ns();
+  }
+  return request;
 }
 
 void Server::complete(Request& request, ServeReply reply) {
@@ -160,21 +205,22 @@ ServeFuture Server::submit(Tensor image, const SubmitOptions& submit_options) {
   std::shared_ptr<detail::ResultState> state = request.state;
   ServeFuture future = detail_make_future(state);
   if (!charge_tenant(*request.tenant)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    request.tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    request.tenant->rejected.inc();
     complete(request, {ServeStatus::kError, Tensor(), "tenant over quota", 0});
     return future;
   }
   TenantState& tenant = *request.tenant;
   if (!queue_->push(std::move(request))) {
     // Stopped: fail fast instead of leaving the future forever pending.
-    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
-    Request dead{Tensor(), "", nullptr, std::move(state), Clock::now(), Clock::time_point::max()};
+    tenant.in_queue.add(-1);
+    Request dead{Tensor(), "", nullptr, std::move(state), Clock::now(), Clock::time_point::max(),
+                 {},       0,  0};
     complete(dead, {ServeStatus::kError, Tensor(), "server stopped", 0});
     return future;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
+  tenant.submitted.inc();
   return future;
 }
 
@@ -189,21 +235,22 @@ void Server::submit_async(Tensor image, const SubmitOptions& submit_options,
   Request request = make_request(std::move(image), submit_options);
   request.state->callback = std::move(callback);
   if (!charge_tenant(*request.tenant)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    request.tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    request.tenant->rejected.inc();
     complete(request, {ServeStatus::kError, Tensor(), "tenant over quota", 0});
     return;
   }
   TenantState& tenant = *request.tenant;
   auto state = request.state;
   if (!queue_->push(std::move(request))) {
-    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
-    Request dead{Tensor(), "", nullptr, std::move(state), Clock::now(), Clock::time_point::max()};
+    tenant.in_queue.add(-1);
+    Request dead{Tensor(), "", nullptr, std::move(state), Clock::now(), Clock::time_point::max(),
+                 {},       0,  0};
     complete(dead, {ServeStatus::kError, Tensor(), "server stopped", 0});
     return;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
+  tenant.submitted.inc();
 }
 
 bool Server::try_submit(Tensor image, ServeCallback callback,
@@ -218,18 +265,18 @@ bool Server::try_submit(Tensor image, const SubmitOptions& submit_options,
   request.state->callback = std::move(callback);
   TenantState& tenant = *request.tenant;
   if (!charge_tenant(tenant)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    tenant.rejected.fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
+    tenant.rejected.inc();
     return false;
   }
   if (!queue_->try_push(std::move(request))) {
-    tenant.in_queue.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    tenant.rejected.fetch_add(1, std::memory_order_relaxed);
+    tenant.in_queue.add(-1);
+    rejected_.inc();
+    tenant.rejected.inc();
     return false;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+  submitted_.inc();
+  tenant.submitted.inc();
   return true;
 }
 
@@ -264,9 +311,14 @@ void Server::worker_loop() {
       return;  // stopped and drained
 
     // Popping releases each request's tenant occupancy: the quota bounds
-    // queued work, and shed/failed outcomes must not leak charges.
-    for (const Request& request : batch)
-      request.tenant->in_queue.fetch_sub(1, std::memory_order_relaxed);
+    // queued work, and shed/failed outcomes must not leak charges. A traced
+    // request's time-in-queue becomes its first child span.
+    for (const Request& request : batch) {
+      request.tenant->in_queue.add(-1);
+      if (request.trace)
+        obs::record_span(request.trace.trace_id, obs::next_span_id(), request.trace.span_id,
+                         "queue_wait", request.accepted_ns, obs::trace_now_ns());
+    }
 
     // Fault seam: a seeded schedule can stall this worker here, modelling a
     // descheduled thread — queues fill and deadlines expire behind it.
@@ -277,13 +329,19 @@ void Server::worker_loop() {
     }
 
     // Deadline-based load shedding: answers nobody is waiting for anymore
-    // are dropped before they can waste a dispatch.
+    // are dropped before they can waste a dispatch. A shed traced request
+    // still closes its root span — the trace shows the drop, not a hole.
     const Clock::time_point now = Clock::now();
     live.clear();
     for (Request& request : batch) {
       if (request.deadline < now) {
-        shed_.fetch_add(1, std::memory_order_relaxed);
-        request.tenant->shed.fetch_add(1, std::memory_order_relaxed);
+        shed_.inc();
+        request.tenant->shed.inc();
+        // Root span first, reply second: complete() is the wire write on a
+        // shard, and the caller's rpc span must outlive this window.
+        if (request.trace)
+          obs::record_span(request.trace.trace_id, request.trace.span_id, request.parent_span,
+                           "server_request", request.accepted_ns, obs::trace_now_ns());
         complete(request, {ServeStatus::kShed, Tensor(), "deadline expired in queue", 0});
       } else {
         live.push_back(std::move(request));
@@ -296,20 +354,37 @@ void Server::worker_loop() {
 
 void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
   const int64_t n = static_cast<int64_t>(batch.size());
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_images_.fetch_add(n, std::memory_order_relaxed);
-  batch_size_counts_[static_cast<size_t>(n)].fetch_add(1, std::memory_order_relaxed);
-  int64_t seen = max_batch_observed_.load(std::memory_order_relaxed);
-  while (n > seen &&
-         !max_batch_observed_.compare_exchange_weak(seen, n, std::memory_order_relaxed)) {
-  }
+  batches_.inc();
+  batched_images_.add(n);
+  batch_size_counts_[static_cast<size_t>(n)]->inc();
+  max_batch_observed_.set_max(n);
+
+  // Batch-level spans (formation, the compiled run, reply delivery) parent
+  // to the first traced request's root; a batch with no traced member pays
+  // one pointer scan and records nothing.
+  const Request* traced = nullptr;
+  for (const Request& request : batch)
+    if (request.trace) {
+      traced = &request;
+      break;
+    }
+  const uint64_t batch_trace = traced != nullptr ? traced->trace.trace_id : 0;
+  const uint64_t batch_parent = traced != nullptr ? traced->trace.span_id : 0;
+  const int64_t t_form = batch_trace != 0 ? obs::trace_now_ns() : 0;
 
   std::vector<Tensor> outputs(static_cast<size_t>(n));
   int64_t served_version = 0;
   const auto fail_batch = [&](const char* error) {
-    failed_.fetch_add(n, std::memory_order_relaxed);
+    failed_.add(n);
+    const int64_t t_end = batch_trace != 0 ? obs::trace_now_ns() : 0;
     for (Request& request : batch) {
-      request.tenant->failed.fetch_add(1, std::memory_order_relaxed);
+      request.tenant->failed.inc();
+      // Root closes before the reply leaves: on a shard, complete() is the
+      // wire write, and the frontend's rpc span must still be open when this
+      // window ends for cross-process nesting to hold.
+      if (request.trace)
+        obs::record_span(request.trace.trace_id, request.trace.span_id, request.parent_span,
+                         "server_request", request.accepted_ns, t_end);
       complete(request, {ServeStatus::kError, Tensor(), error, served_version});
     }
   };
@@ -320,8 +395,10 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
     // replies is exactly the artifact that computed them.
     const std::shared_ptr<const ModelSnapshot> snapshot = registry_->acquire(batch[0].model);
     served_version = snapshot->version;
+    int64_t t_run = 0;
     if (n == 1) {
       // Nothing to coalesce: dispatch the request tensor directly.
+      t_run = batch_trace != 0 ? obs::trace_now_ns() : 0;
       outputs[0] = snapshot->upscaler->upscale(batch[0].input);
     } else {
       // Gather the coalesced [n, C, H, W] batch into the worker's staging
@@ -335,7 +412,14 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
         std::copy(batch[static_cast<size_t>(i)].input.data(),
                   batch[static_cast<size_t>(i)].input.data() + stride,
                   gather_staging.data() + i * stride);
+      t_run = batch_trace != 0 ? obs::trace_now_ns() : 0;
       snapshot->upscaler->upscale_batch(gather_staging, outputs);
+    }
+    if (batch_trace != 0) {
+      obs::record_span(batch_trace, obs::next_span_id(), batch_parent, "batch_form", t_form,
+                       t_run);
+      obs::record_span(batch_trace, obs::next_span_id(), batch_parent, "session_run", t_run,
+                       obs::trace_now_ns());
     }
   } catch (const std::exception& e) {
     fail_batch(e.what());
@@ -347,13 +431,28 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
     return;
   }
 
+  const int64_t t_reply = batch_trace != 0 ? obs::trace_now_ns() : 0;
   const Clock::time_point done = Clock::now();
+  if (batch_trace != 0) {
+    // Every traced root ends at the same instant, *before* the replies are
+    // delivered: on a shard, complete() below is the wire write, and the
+    // frontend closes its rpc span the moment those bytes arrive — these
+    // windows must already be shut for cross-process nesting to hold. The
+    // "reply" child covers reply assembly; the delivery itself is timed by
+    // the caller's rpc span.
+    const int64_t t_end = obs::trace_now_ns();
+    obs::record_span(batch_trace, obs::next_span_id(), batch_parent, "reply", t_reply, t_end);
+    for (const Request& request : batch)
+      if (request.trace)
+        obs::record_span(request.trace.trace_id, request.trace.span_id, request.parent_span,
+                         "server_request", request.accepted_ns, t_end);
+  }
   for (int64_t i = 0; i < n; ++i) {
     Request& request = batch[static_cast<size_t>(i)];
     latency_.record_us(
         std::chrono::duration_cast<std::chrono::microseconds>(done - request.enqueued).count());
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    request.tenant->completed.fetch_add(1, std::memory_order_relaxed);
+    completed_.inc();
+    request.tenant->completed.inc();
     complete(request,
              {ServeStatus::kOk, std::move(outputs[static_cast<size_t>(i)]), "", served_version});
   }
@@ -361,21 +460,21 @@ void Server::dispatch(std::vector<Request>& batch, Tensor& gather_staging) {
 
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  stats.batched_images = batched_images_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_.value();
+  stats.completed = completed_.value();
+  stats.shed = shed_.value();
+  stats.rejected = rejected_.value();
+  stats.failed = failed_.value();
+  stats.batches = batches_.value();
+  stats.batched_images = batched_images_.value();
   stats.mean_batch_size =
       stats.batches > 0
           ? static_cast<double>(stats.batched_images) / static_cast<double>(stats.batches)
           : 0.0;
-  stats.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
+  stats.max_batch_observed = max_batch_observed_.value();
   stats.batch_size_counts.reserve(batch_size_counts_.size());
-  for (const std::atomic<int64_t>& count : batch_size_counts_)
-    stats.batch_size_counts.push_back(count.load(std::memory_order_relaxed));
+  for (const obs::Counter* count : batch_size_counts_)
+    stats.batch_size_counts.push_back(count->value());
   stats.queue_depth = queue_->size();
   stats.peak_queue_depth = queue_->peak_size();
   // The tier plans compiled now are stamped with — "jit" when the
@@ -387,16 +486,60 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> lock(tenants_mutex_);
     for (const auto& [name, tenant] : tenants_) {
       TenantStats& out = stats.tenants[name];
-      out.submitted = tenant->submitted.load(std::memory_order_relaxed);
-      out.completed = tenant->completed.load(std::memory_order_relaxed);
-      out.rejected = tenant->rejected.load(std::memory_order_relaxed);
-      out.shed = tenant->shed.load(std::memory_order_relaxed);
-      out.failed = tenant->failed.load(std::memory_order_relaxed);
-      out.in_queue = tenant->in_queue.load(std::memory_order_relaxed);
-      out.peak_in_queue = tenant->peak_in_queue.load(std::memory_order_relaxed);
+      out.submitted = tenant->submitted.value();
+      out.completed = tenant->completed.value();
+      out.rejected = tenant->rejected.value();
+      out.shed = tenant->shed.value();
+      out.failed = tenant->failed.value();
+      out.in_queue = tenant->in_queue.value();
+      out.peak_in_queue = tenant->peak_in_queue.value();
     }
+  }
+  for (const std::string& id : registry_->model_ids()) {
+    const std::shared_ptr<const ModelSnapshot> snapshot = registry_->acquire(id);
+    ModelStats& out = stats.models[id];
+    out.version = snapshot->version;
+    if (snapshot->network == nullptr) continue;  // interpolation: no plans, no pools
+    out.plan_compiles = snapshot->network->plan_compile_count();
+    out.plan_cache_hits = snapshot->network->plan_cache_hit_count();
+    for (const models::NetworkUpscaler::PoolOccupancy& pool : snapshot->network->pool_occupancy())
+      out.session_pools.push_back({pool.plan_key, pool.idle, pool.live, pool.peak});
   }
   return stats;
 }
+
+obs::RegistrySnapshot Server::metrics() const {
+  // Point-in-time levels the instruments cannot track incrementally are
+  // refreshed (set, not added — snapshotting twice must be idempotent) just
+  // before the copy-out.
+  metrics_.gauge("serve.queue_depth").set(queue_->size());
+  metrics_.gauge("serve.peak_queue_depth").set(queue_->peak_size());
+  for (const std::string& id : registry_->model_ids()) {
+    const std::shared_ptr<const ModelSnapshot> snapshot = registry_->acquire(id);
+    metrics_.gauge("model.version|model=" + id).set(snapshot->version);
+    if (snapshot->network == nullptr) continue;
+    metrics_.gauge("model.plan_compiles|model=" + id)
+        .set(snapshot->network->plan_compile_count());
+    metrics_.gauge("model.plan_cache_hits|model=" + id)
+        .set(snapshot->network->plan_cache_hit_count());
+    for (const models::NetworkUpscaler::PoolOccupancy& pool :
+         snapshot->network->pool_occupancy()) {
+      const std::string labels = "|model=" + id + ",pool=" + pool_label(pool.plan_key);
+      metrics_.gauge("model.pool_idle" + labels).set(pool.idle);
+      metrics_.gauge("model.pool_live" + labels).set(pool.live);
+      metrics_.gauge("model.pool_peak" + labels).set(pool.peak);
+    }
+  }
+  // Fold in the process-global registry: per-op profiler aggregates and any
+  // process-level instruments other components registered.
+  obs::profile_export(obs::default_registry());
+  obs::RegistrySnapshot snapshot = metrics_.snapshot();
+  snapshot.merge(obs::default_registry().snapshot());
+  return snapshot;
+}
+
+std::string Server::metrics_json() const { return metrics().to_json(); }
+
+std::string Server::metrics_prometheus() const { return metrics().to_prometheus(); }
 
 }  // namespace sesr::serve

@@ -38,10 +38,15 @@
 // requests are only ever batched with same-model, identically-shaped peers,
 // never resampled or padded.
 //
-// Instrumentation: a lock-cheap latency histogram (p50/p95/p99), queue
-// depth, batch-size distribution, shed/rejection counters, and per-tenant
-// occupancy/outcome counters, exposed as ServerStats — the SLO surface
-// bench_server_load records into BENCH_server_load.json.
+// Instrumentation: every counter, gauge, and the latency histogram is a
+// registered instrument in a per-server obs::Registry — readable as the
+// classic ServerStats view (stats()), as a mergeable RegistrySnapshot
+// (metrics(), the fleet-merge unit the distributed tier's pongs carry), and
+// as JSON / Prometheus text exposition (metrics_json() /
+// metrics_prometheus()). Requests may carry an obs::TraceContext
+// (SubmitOptions::trace, or minted at the door when SESR_TRACE is on):
+// traced requests emit queue-wait / batch-form / session-run / reply spans
+// into the flight-recorder rings (obs/trace.h).
 //
 // Fault injection: Options::fault_plan (serve/fault_plan.h) lets the test
 // harness stall workers on a seeded schedule; production servers leave it
@@ -64,6 +69,8 @@
 #include <vector>
 
 #include "models/upscaler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/bounded_queue.h"
 #include "serve/fault_plan.h"
 #include "serve/future.h"
@@ -102,6 +109,25 @@ struct TenantStats {
   int64_t peak_in_queue = 0;  ///< occupancy high-water mark
 };
 
+/// Point-in-time occupancy of one compiled-shape session pool
+/// (ServerStats::models). `plan_key` is the upscaler's cache key: the
+/// batched input shape plus the kernel tier it compiled under.
+struct PoolStats {
+  std::string plan_key;
+  int64_t idle = 0;
+  int64_t live = 0;
+  int64_t peak = 0;  ///< high-water of concurrent checkouts
+};
+
+/// Per-model serving-path counters (plan cache and session pools) from the
+/// model's NetworkUpscaler. Interpolation-backed models report zeros.
+struct ModelStats {
+  int64_t version = 0;          ///< registry version currently serving
+  int64_t plan_compiles = 0;    ///< plan-cache misses (compiles)
+  int64_t plan_cache_hits = 0;  ///< plan-cache hits
+  std::vector<PoolStats> session_pools;
+};
+
 /// Point-in-time view of the server's SLO metrics.
 struct ServerStats {
   int64_t submitted = 0;   ///< admitted into the queue
@@ -131,6 +157,9 @@ struct ServerStats {
 
   /// Counters for every tenant that has ever submitted.
   std::map<std::string, TenantStats> tenants;
+
+  /// Plan-cache and session-pool state for every registered model.
+  std::map<std::string, ModelStats> models;
 };
 
 class Server {
@@ -163,6 +192,10 @@ class Server {
     std::string tenant = kDefaultTenant;
     /// 0 = tenant default deadline, then Options::default_deadline.
     std::chrono::milliseconds deadline{0};
+    /// Incoming trace linkage ({trace id, parent span}), e.g. decoded off
+    /// the shard wire. Default-none: the server mints its own root trace
+    /// when SESR_TRACE is enabled.
+    obs::TraceContext trace{};
   };
 
   /// Serve every model published in `registry` (shared control plane: swaps
@@ -215,6 +248,15 @@ class Server {
 
   [[nodiscard]] ServerStats stats() const;
 
+  /// Unified metrics view: this server's registered instruments (the same
+  /// values stats() reports) plus the process-global default registry
+  /// (per-op profiler aggregates), with point-in-time gauges — queue depth,
+  /// per-model plan/pool state — refreshed at snapshot time. Mergeable
+  /// across servers/shards; counters merge exactly (int64 sums).
+  [[nodiscard]] obs::RegistrySnapshot metrics() const;
+  [[nodiscard]] std::string metrics_json() const;
+  [[nodiscard]] std::string metrics_prometheus() const;
+
   /// Stop admitting, drain every queued request, join the workers.
   /// Idempotent; the destructor calls it.
   void stop();
@@ -247,18 +289,23 @@ class Server {
   mutable std::mutex tenants_mutex_;
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;
 
-  // SLO counters (relaxed atomics: monotonic counts, read via stats()).
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> shed_{0};
-  std::atomic<int64_t> rejected_{0};
-  std::atomic<int64_t> failed_{0};
-  std::atomic<int64_t> batches_{0};
-  std::atomic<int64_t> batched_images_{0};
-  std::atomic<int64_t> max_batch_observed_{0};
-  std::atomic<int64_t> dispatch_index_{0};  ///< fault-plan worker_stall cursor
-  std::vector<std::atomic<int64_t>> batch_size_counts_;
-  LatencyHistogram latency_;
+  // Every SLO counter, gauge, and the latency histogram lives in metrics_
+  // (declared first: the instrument references below bind to it). stats()
+  // and metrics() read the same instruments, so the two views cannot drift.
+  mutable obs::Registry metrics_;
+  obs::Counter& submitted_ = metrics_.counter("serve.submitted");
+  obs::Counter& completed_ = metrics_.counter("serve.completed");
+  obs::Counter& shed_ = metrics_.counter("serve.shed");
+  obs::Counter& rejected_ = metrics_.counter("serve.rejected");
+  obs::Counter& failed_ = metrics_.counter("serve.failed");
+  obs::Counter& batches_ = metrics_.counter("serve.batches");
+  obs::Counter& batched_images_ = metrics_.counter("serve.batched_images");
+  obs::Gauge& max_batch_observed_ = metrics_.gauge("serve.max_batch_observed");
+  obs::Histogram& latency_ = metrics_.histogram("serve.latency_us");
+  /// batch_size_counts_[k] -> instrument "serve.batch_size|n=k" (index 0
+  /// registered but never incremented, mirroring the historical vector).
+  std::vector<obs::Counter*> batch_size_counts_;
+  std::atomic<int64_t> dispatch_index_{0};  ///< fault-plan cursor, not a metric
 };
 
 }  // namespace sesr::serve

@@ -1,77 +1,39 @@
 #include "serve/stats_json.h"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <map>
 #include <stdexcept>
-#include <string_view>
 #include <variant>
-#include <vector>
+
+#include "core/json.h"
 
 namespace sesr::serve {
 
 namespace {
 
-// ---- emitting --------------------------------------------------------------
-
-/// %.17g round-trips every finite double bit-exactly through strtod.
-std::string number(double value) {
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-std::string number(int64_t value) { return std::to_string(value); }
-
-/// Tenant/model ids are operator-chosen strings; escape the JSON specials.
-std::string quoted(const std::string& text) {
-  std::string out = "\"";
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-/// Incremental object writer: field(...) appends `"name": value` with commas.
-class ObjectWriter {
- public:
-  ObjectWriter() : out_("{") {}
-
-  void field(const char* name, const std::string& raw_value) {
-    if (!first_) out_ += ", ";
-    first_ = false;
-    out_ += quoted(name) + ": " + raw_value;
-  }
-  void field(const char* name, int64_t value) { field(name, number(value)); }
-  void field(const char* name, double value) { field(name, number(value)); }
-
-  [[nodiscard]] std::string close() { return out_ + "}"; }
-
- private:
-  std::string out_;
-  bool first_ = true;
-};
+using core::JsonArray;
+using core::JsonObject;
+using core::JsonValue;
 
 std::string latency_to_json(const LatencyHistogram::Snapshot& latency) {
-  ObjectWriter out;
+  core::JsonObjectWriter out;
   out.field("count", latency.count);
+  // Raw mergeable fields: a frontend rebuilds the histogram from these and
+  // merges shards exactly (obs::Histogram::Snapshot::merge) instead of
+  // averaging derived quantiles, which has no exact combination rule.
+  out.field("sum_us", latency.sum_us);
+  out.field("max_us", latency.max_us);
+  std::string buckets = "[";
+  for (size_t i = 0; i < latency.buckets.size(); ++i) {
+    if (i > 0) buckets += ", ";
+    buckets += '[';
+    buckets += core::json_number(static_cast<int64_t>(latency.buckets[i].first));
+    buckets += ", ";
+    buckets += core::json_number(latency.buckets[i].second);
+    buckets += ']';
+  }
+  buckets += "]";
+  out.field("buckets", buckets);
+  // Derived summary (recomputed from the raw fields on parse — kept in the
+  // document for human readers and pre-buckets consumers).
   out.field("mean_ms", latency.mean_ms);
   out.field("max_ms", latency.max_ms);
   out.field("p50_ms", latency.p50_ms);
@@ -80,206 +42,85 @@ std::string latency_to_json(const LatencyHistogram::Snapshot& latency) {
   return out.close();
 }
 
-// ---- parsing ---------------------------------------------------------------
-//
-// Minimal recursive-descent JSON reader covering exactly what the encoder
-// emits (objects, arrays, strings, numbers, bools, null). Values land in a
-// JsonValue variant; the typed extractors below validate field types.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse_document() {
-    JsonValue value = parse_value();
-    skip_space();
-    if (pos_ != text_.size()) fail("trailing content after document");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("stats_json: " + what + " at byte " + std::to_string(pos_));
-  }
-
-  void skip_space() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-  }
-
-  char peek() {
-    skip_space();
-    if (pos_ >= text_.size()) fail("unexpected end of document");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
+LatencyHistogram::Snapshot latency_from_object(const JsonObject& object) {
+  LatencyHistogram::Snapshot latency;
+  latency.count = core::json_get_int(object, "count");
+  if (const auto it = object.find("buckets"); it != object.end()) {
+    latency.sum_us = core::json_get_int(object, "sum_us");
+    latency.max_us = core::json_get_int(object, "max_us");
+    for (const JsonValue& entry : core::json_as_array(it->second, "latency buckets")) {
+      const JsonArray& pair = core::json_as_array(entry, "latency bucket entry");
+      if (pair.size() != 2)
+        throw std::runtime_error("stats_json: latency bucket entry is not a pair");
+      latency.buckets.emplace_back(static_cast<int32_t>(core::json_as_number(pair[0], "bucket index")),
+                                   static_cast<int64_t>(core::json_as_number(pair[1], "bucket count")));
     }
-    return false;
+    latency.finalize();
+  } else {
+    // Pre-buckets document (older shard): only the derived summary exists.
+    latency.mean_ms = core::json_get_number(object, "mean_ms");
+    latency.max_ms = core::json_get_number(object, "max_ms");
+    latency.p50_ms = core::json_get_number(object, "p50_ms");
+    latency.p95_ms = core::json_get_number(object, "p95_ms");
+    latency.p99_ms = core::json_get_number(object, "p99_ms");
   }
-
-  bool consume_word(std::string_view word) {
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return {parse_string()};
-      case 't':
-        if (consume_word("true")) return {true};
-        fail("bad literal");
-      case 'f':
-        if (consume_word("false")) return {false};
-        fail("bad literal");
-      case 'n':
-        if (consume_word("null")) return {nullptr};
-        fail("bad literal");
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonObject object;
-    if (consume('}')) return {std::move(object)};
-    while (true) {
-      std::string key = parse_string();
-      expect(':');
-      object.emplace(std::move(key), parse_value());
-      if (consume('}')) break;
-      expect(',');
-    }
-    return {std::move(object)};
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonArray array;
-    if (consume(']')) return {std::move(array)};
-    while (true) {
-      array.push_back(parse_value());
-      if (consume(']')) break;
-      expect(',');
-    }
-    return {std::move(array)};
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          const std::string hex(text_.substr(pos_, 4));
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4) fail("bad \\u escape");
-          // The encoder only emits \u00xx control characters; decode those
-          // and reject anything outside one byte (never produced by us).
-          if (code < 0 || code > 0xFF) fail("unsupported \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    skip_space();
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(begin, &end);
-    if (end == begin) fail("expected a value");
-    if (!std::isfinite(value)) fail("non-finite number");
-    pos_ += static_cast<size_t>(end - begin);
-    return {value};
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-// ---- typed extraction ------------------------------------------------------
-
-const JsonObject& as_object(const JsonValue& value, const std::string& where) {
-  if (const auto* object = std::get_if<JsonObject>(&value.value)) return *object;
-  throw std::runtime_error("stats_json: " + where + " is not an object");
+  return latency;
 }
 
-double get_number(const JsonObject& object, const char* name) {
-  const auto it = object.find(name);
-  if (it == object.end()) return 0.0;  // absent counters read as zero
-  if (const auto* value = std::get_if<double>(&it->second.value)) return *value;
-  throw std::runtime_error(std::string("stats_json: field ") + name + " is not a number");
+std::string model_to_json(const ModelStats& model) {
+  core::JsonObjectWriter out;
+  out.field("version", model.version);
+  out.field("plan_compiles", model.plan_compiles);
+  out.field("plan_cache_hits", model.plan_cache_hits);
+  std::string pools = "[";
+  for (size_t i = 0; i < model.session_pools.size(); ++i) {
+    const PoolStats& pool = model.session_pools[i];
+    if (i > 0) pools += ", ";
+    core::JsonObjectWriter pool_obj;
+    pool_obj.field("plan_key", core::json_quote(pool.plan_key));
+    pool_obj.field("idle", pool.idle);
+    pool_obj.field("live", pool.live);
+    pool_obj.field("peak", pool.peak);
+    pools += pool_obj.close();
+  }
+  pools += "]";
+  out.field("session_pools", pools);
+  return out.close();
 }
 
-int64_t get_int(const JsonObject& object, const char* name) {
-  return static_cast<int64_t>(get_number(object, name));
-}
-
-std::string get_string(const JsonObject& object, const char* name) {
-  const auto it = object.find(name);
-  if (it == object.end()) return {};  // absent strings read as empty
-  if (const auto* value = std::get_if<std::string>(&it->second.value)) return *value;
-  throw std::runtime_error(std::string("stats_json: field ") + name + " is not a string");
+ModelStats model_from_object(const JsonObject& object) {
+  ModelStats model;
+  model.version = core::json_get_int(object, "version");
+  model.plan_compiles = core::json_get_int(object, "plan_compiles");
+  model.plan_cache_hits = core::json_get_int(object, "plan_cache_hits");
+  if (const auto it = object.find("session_pools"); it != object.end()) {
+    for (const JsonValue& entry : core::json_as_array(it->second, "session_pools")) {
+      const JsonObject& pool = core::json_as_object(entry, "session pool");
+      model.session_pools.push_back({core::json_get_string(pool, "plan_key"),
+                                     core::json_get_int(pool, "idle"),
+                                     core::json_get_int(pool, "live"),
+                                     core::json_get_int(pool, "peak")});
+    }
+  }
+  return model;
 }
 
 TenantStats tenant_from_object(const JsonObject& object) {
   TenantStats tenant;
-  tenant.submitted = get_int(object, "submitted");
-  tenant.completed = get_int(object, "completed");
-  tenant.rejected = get_int(object, "rejected");
-  tenant.shed = get_int(object, "shed");
-  tenant.failed = get_int(object, "failed");
-  tenant.in_queue = get_int(object, "in_queue");
-  tenant.peak_in_queue = get_int(object, "peak_in_queue");
+  tenant.submitted = core::json_get_int(object, "submitted");
+  tenant.completed = core::json_get_int(object, "completed");
+  tenant.rejected = core::json_get_int(object, "rejected");
+  tenant.shed = core::json_get_int(object, "shed");
+  tenant.failed = core::json_get_int(object, "failed");
+  tenant.in_queue = core::json_get_int(object, "in_queue");
+  tenant.peak_in_queue = core::json_get_int(object, "peak_in_queue");
   return tenant;
 }
 
 }  // namespace
 
 std::string stats_to_json(const TenantStats& stats) {
-  ObjectWriter out;
+  core::JsonObjectWriter out;
   out.field("submitted", stats.submitted);
   out.field("completed", stats.completed);
   out.field("rejected", stats.rejected);
@@ -291,7 +132,7 @@ std::string stats_to_json(const TenantStats& stats) {
 }
 
 std::string stats_to_json(const ServerStats& stats) {
-  ObjectWriter out;
+  core::JsonObjectWriter out;
   out.field("submitted", stats.submitted);
   out.field("completed", stats.completed);
   out.field("shed", stats.shed);
@@ -305,14 +146,14 @@ std::string stats_to_json(const ServerStats& stats) {
   std::string counts = "[";
   for (size_t i = 0; i < stats.batch_size_counts.size(); ++i) {
     if (i > 0) counts += ", ";
-    counts += number(stats.batch_size_counts[i]);
+    counts += core::json_number(stats.batch_size_counts[i]);
   }
   counts += "]";
   out.field("batch_size_counts", counts);
 
   out.field("queue_depth", stats.queue_depth);
   out.field("peak_queue_depth", stats.peak_queue_depth);
-  out.field("kernel_variant", quoted(stats.kernel_variant));
+  out.field("kernel_variant", core::json_quote(stats.kernel_variant));
   out.field("latency", latency_to_json(stats.latency));
 
   std::string tenants = "{";
@@ -320,63 +161,64 @@ std::string stats_to_json(const ServerStats& stats) {
   for (const auto& [id, tenant] : stats.tenants) {
     if (!first) tenants += ", ";
     first = false;
-    tenants += quoted(id) + ": " + stats_to_json(tenant);
+    tenants += core::json_quote(id) + ": " + stats_to_json(tenant);
   }
   tenants += "}";
   out.field("tenants", tenants);
+
+  std::string models = "{";
+  first = true;
+  for (const auto& [id, model] : stats.models) {
+    if (!first) models += ", ";
+    first = false;
+    models += core::json_quote(id) + ": " + model_to_json(model);
+  }
+  models += "}";
+  out.field("models", models);
   return out.close();
 }
 
 TenantStats tenant_stats_from_json(const std::string& json) {
-  const JsonValue document = JsonParser(json).parse_document();
-  return tenant_from_object(as_object(document, "document"));
+  const JsonValue document = core::json_parse(json);
+  return tenant_from_object(core::json_as_object(document, "document"));
 }
 
 ServerStats server_stats_from_json(const std::string& json) {
-  const JsonValue document = JsonParser(json).parse_document();
-  const JsonObject& object = as_object(document, "document");
+  const JsonValue document = core::json_parse(json);
+  const JsonObject& object = core::json_as_object(document, "document");
 
   ServerStats stats;
-  stats.submitted = get_int(object, "submitted");
-  stats.completed = get_int(object, "completed");
-  stats.shed = get_int(object, "shed");
-  stats.rejected = get_int(object, "rejected");
-  stats.failed = get_int(object, "failed");
-  stats.batches = get_int(object, "batches");
-  stats.batched_images = get_int(object, "batched_images");
-  stats.mean_batch_size = get_number(object, "mean_batch_size");
-  stats.max_batch_observed = get_int(object, "max_batch_observed");
+  stats.submitted = core::json_get_int(object, "submitted");
+  stats.completed = core::json_get_int(object, "completed");
+  stats.shed = core::json_get_int(object, "shed");
+  stats.rejected = core::json_get_int(object, "rejected");
+  stats.failed = core::json_get_int(object, "failed");
+  stats.batches = core::json_get_int(object, "batches");
+  stats.batched_images = core::json_get_int(object, "batched_images");
+  stats.mean_batch_size = core::json_get_number(object, "mean_batch_size");
+  stats.max_batch_observed = core::json_get_int(object, "max_batch_observed");
 
   if (const auto it = object.find("batch_size_counts"); it != object.end()) {
-    const auto* array = std::get_if<JsonArray>(&it->second.value);
-    if (array == nullptr)
-      throw std::runtime_error("stats_json: batch_size_counts is not an array");
-    for (const JsonValue& entry : *array) {
-      const auto* value = std::get_if<double>(&entry.value);
-      if (value == nullptr)
-        throw std::runtime_error("stats_json: batch_size_counts entry is not a number");
-      stats.batch_size_counts.push_back(static_cast<int64_t>(*value));
-    }
+    for (const JsonValue& entry : core::json_as_array(it->second, "batch_size_counts"))
+      stats.batch_size_counts.push_back(
+          static_cast<int64_t>(core::json_as_number(entry, "batch_size_counts entry")));
   }
 
-  stats.queue_depth = get_int(object, "queue_depth");
-  stats.peak_queue_depth = get_int(object, "peak_queue_depth");
-  stats.kernel_variant = get_string(object, "kernel_variant");
+  stats.queue_depth = core::json_get_int(object, "queue_depth");
+  stats.peak_queue_depth = core::json_get_int(object, "peak_queue_depth");
+  stats.kernel_variant = core::json_get_string(object, "kernel_variant");
 
-  if (const auto it = object.find("latency"); it != object.end()) {
-    const JsonObject& latency = as_object(it->second, "latency");
-    stats.latency.count = get_int(latency, "count");
-    stats.latency.mean_ms = get_number(latency, "mean_ms");
-    stats.latency.max_ms = get_number(latency, "max_ms");
-    stats.latency.p50_ms = get_number(latency, "p50_ms");
-    stats.latency.p95_ms = get_number(latency, "p95_ms");
-    stats.latency.p99_ms = get_number(latency, "p99_ms");
-  }
+  if (const auto it = object.find("latency"); it != object.end())
+    stats.latency = latency_from_object(core::json_as_object(it->second, "latency"));
 
   if (const auto it = object.find("tenants"); it != object.end()) {
-    const JsonObject& tenants = as_object(it->second, "tenants");
-    for (const auto& [id, tenant] : tenants)
-      stats.tenants.emplace(id, tenant_from_object(as_object(tenant, "tenant " + id)));
+    for (const auto& [id, tenant] : core::json_as_object(it->second, "tenants"))
+      stats.tenants.emplace(id, tenant_from_object(core::json_as_object(tenant, "tenant " + id)));
+  }
+
+  if (const auto it = object.find("models"); it != object.end()) {
+    for (const auto& [id, model] : core::json_as_object(it->second, "models"))
+      stats.models.emplace(id, model_from_object(core::json_as_object(model, "model " + id)));
   }
   return stats;
 }

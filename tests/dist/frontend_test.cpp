@@ -9,7 +9,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +23,8 @@
 #include "dist/process.h"
 #include "dist/shard.h"
 #include "models/upscaler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/stats_json.h"
 #include "tensor/rng.h"
 
@@ -251,6 +259,146 @@ TEST(DistFrontend, TileSplitOverTheWireIsBitExact) {
   EXPECT_EQ(stats.tiled, 1);
   EXPECT_EQ(stats.submitted, 2);
   EXPECT_EQ(stats.completed, 2);
+  frontend.stop();
+}
+
+TEST(DistFrontend, TracedClusterEmitsOneNestedTraceAcrossProcesses) {
+  // End-to-end tracing acceptance: one trace id travels frontend -> wire ->
+  // shard -> session, and merging the frontend's in-memory spans with the
+  // trace files the shard processes wrote yields a well-nested tree.
+  char trace_dir[] = "/tmp/sesr_trace_XXXXXX";
+  ASSERT_NE(mkdtemp(trace_dir), nullptr);
+  setenv("SESR_TRACE", "1", 1);
+  setenv("SESR_TRACE_DIR", trace_dir, 1);  // shards inherit both
+  obs::refresh_trace_config();
+  obs::clear_trace_buffers();
+
+  constexpr int kRequests = 4;
+  {
+    LocalCluster cluster(small_cluster(2));
+    Frontend frontend(cluster.frontend_options());
+    for (int i = 0; i < kRequests; ++i) {
+      // Varied shapes land on different ring buckets (and usually both shards).
+      ASSERT_TRUE(frontend.submit(random_image(Shape({1, 3, 5 + i, 4 + 2 * i}), 500 + i)).get().ok());
+    }
+    frontend.stop();
+    // Graceful shutdown (the destructor SIGKILLs): each shard drains and
+    // flushes its trace_<pid>.json on the way out.
+    for (int i = 0; i < cluster.shards(); ++i) cluster.process(i).terminate();
+    for (int i = 0; i < cluster.shards(); ++i) cluster.process(i).wait();
+  }
+  setenv("SESR_TRACE", "0", 1);
+  obs::refresh_trace_config();
+
+  std::vector<obs::SpanRecord> spans = obs::drain_spans();  // frontend side
+  int shard_files = 0;
+  size_t shard_span_count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(trace_dir)) {
+    std::ifstream in(entry.path());
+    std::ostringstream content;
+    content << in.rdbuf();
+    // A shard that happened to serve nothing writes a valid empty document.
+    const std::vector<obs::SpanRecord> shard_spans = obs::parse_chrome_trace(content.str());
+    shard_span_count += shard_spans.size();
+    spans.insert(spans.end(), shard_spans.begin(), shard_spans.end());
+    ++shard_files;
+  }
+  EXPECT_EQ(shard_files, 2) << "every shard process writes its trace file";
+  EXPECT_GT(shard_span_count, 0u);
+  std::filesystem::remove_all(trace_dir);
+
+  for (const std::string& violation : obs::validate_span_nesting(spans)) {
+    ADD_FAILURE() << violation;
+  }
+
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> by_trace;
+  for (const obs::SpanRecord& span : spans) by_trace[span.trace_id].push_back(&span);
+  int request_traces = 0;
+  for (const auto& [trace_id, trace_spans] : by_trace) {
+    std::set<std::string> names;
+    std::set<int32_t> pids;
+    std::set<uint64_t> span_ids;
+    for (const obs::SpanRecord* span : trace_spans) {
+      names.insert(span->name);
+      pids.insert(span->pid);
+      span_ids.insert(span->span_id);
+    }
+    if (!names.count("request")) continue;  // not a frontend-rooted trace
+    ++request_traces;
+    // The same trace id crossed the process boundary ...
+    EXPECT_GE(pids.size(), 2u) << "trace " << trace_id << " never left the frontend";
+    EXPECT_TRUE(names.count("rpc")) << trace_id;
+    EXPECT_TRUE(names.count("server_request")) << trace_id;
+    EXPECT_TRUE(names.count("queue_wait")) << trace_id;
+    // ... and the shard's root hangs off the frontend's rpc span.
+    for (const obs::SpanRecord* span : trace_spans) {
+      if (span->name == "server_request") {
+        EXPECT_TRUE(span_ids.count(span->parent_span))
+            << "server_request in trace " << trace_id << " is not stitched to the frontend";
+      }
+    }
+  }
+  EXPECT_EQ(request_traces, kRequests);
+  // Batch-machinery spans (parented to the first traced request per batch)
+  // showed up somewhere in the run.
+  std::set<std::string> all_names;
+  for (const obs::SpanRecord& span : spans) all_names.insert(span.name);
+  EXPECT_TRUE(all_names.count("session_run"));
+  EXPECT_TRUE(all_names.count("reply"));
+}
+
+TEST(DistFrontend, FleetMetricsAreExactMergeOfShardRegistries) {
+  LocalCluster cluster(small_cluster(2));
+  Frontend::Options options = cluster.frontend_options();
+  options.heartbeat_interval = std::chrono::milliseconds(20);
+  Frontend frontend(options);
+
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(frontend.submit(random_image(Shape({1, 3, 4 + i, 6}), 600 + i)).get().ok());
+  }
+
+  // Wait until both shards' heartbeats carry post-completion registry
+  // snapshots: the fleet view then accounts for every request.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  obs::RegistrySnapshot fleet;
+  while (std::chrono::steady_clock::now() < deadline) {
+    fleet = frontend.fleet_metrics();
+    const auto it = fleet.counters.find("serve.completed");
+    if (it != fleet.counters.end() && it->second >= kRequests) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Bit-for-bit on counters: the fleet view of every shard-originated
+  // counter equals the sum across the per-shard registry snapshots. Traffic
+  // is quiescent, so the shard counters are stable between the two reads.
+  std::map<std::string, int64_t> expected;
+  int shards_reporting = 0;
+  for (const auto& [name, info] : frontend.stats().shards) {
+    if (info.metrics_json.empty()) continue;
+    ++shards_reporting;
+    const obs::RegistrySnapshot shard = obs::RegistrySnapshot::from_json(info.metrics_json);
+    for (const auto& [counter, value] : shard.counters) expected[counter] += value;
+  }
+  EXPECT_EQ(shards_reporting, 2);
+  fleet = frontend.fleet_metrics();
+  for (const auto& [counter, value] : expected) {
+    ASSERT_TRUE(fleet.counters.count(counter)) << counter;
+    EXPECT_EQ(fleet.counters.at(counter), value) << counter;
+  }
+  EXPECT_EQ(expected.at("serve.completed"), kRequests);
+
+  // The frontend's own counters ride in the same view ...
+  EXPECT_EQ(fleet.counters.at("frontend.submitted"), kRequests);
+  EXPECT_EQ(fleet.counters.at("frontend.completed"), kRequests);
+  // ... and the shard latency histograms merged exactly.
+  ASSERT_TRUE(fleet.histograms.count("serve.latency_us"));
+  EXPECT_EQ(fleet.histograms.at("serve.latency_us").count, kRequests);
+
+  // Both frontend export formats render the fleet view.
+  EXPECT_NE(frontend.fleet_metrics_json().find("frontend.submitted"), std::string::npos);
+  EXPECT_NE(frontend.fleet_metrics_prometheus().find("sesr_serve_completed_total"),
+            std::string::npos);
   frontend.stop();
 }
 

@@ -102,6 +102,44 @@ TEST(WireSubmit, NoDeadlineSurvives) {
   EXPECT_EQ(back.deadline_ms, SubmitMessage::kNoDeadline);
 }
 
+TEST(WireSubmit, TraceExtensionRoundTrips) {
+  SubmitMessage message;
+  message.request_id = 9;
+  message.model = "sesr_m2";
+  message.image = random_image(Shape({1, 3, 4, 4}), 7);
+  message.trace_id = 0xfeedfacecafebeefULL;
+  message.parent_span = 0x0000000100000007ULL;
+
+  const SubmitMessage back = decode_submit(9, encode_submit(message));
+  EXPECT_EQ(back.trace_id, message.trace_id);
+  EXPECT_EQ(back.parent_span, message.parent_span);
+  expect_tensor_eq(back.image, message.image);
+}
+
+TEST(WireSubmit, UntracedStaysOldForm) {
+  // The trace fields are a *trailing* extension: an untraced message must
+  // encode to exactly the pre-extension body (a pre-trace decoder keeps
+  // working), and decoding that old-form body reads the fields back as zero.
+  SubmitMessage untraced;
+  untraced.model = "sesr_m2";
+  untraced.image = random_image(Shape({1, 3, 4, 4}), 7);
+  const std::vector<uint8_t> old_form = encode_submit(untraced);
+
+  SubmitMessage traced = untraced;
+  traced.trace_id = 1;
+  traced.parent_span = 2;
+  const std::vector<uint8_t> extended = encode_submit(traced);
+
+  // Extension is exactly two trailing u64s over the old form — byte-for-byte
+  // identical prefix.
+  ASSERT_EQ(extended.size(), old_form.size() + 16);
+  for (size_t i = 0; i < old_form.size(); ++i) ASSERT_EQ(extended[i], old_form[i]) << i;
+
+  const SubmitMessage back = decode_submit(1, old_form);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.parent_span, 0u);
+}
+
 TEST(WireReply, RoundTripsOkAndError) {
   {
     ReplyMessage message;
@@ -135,6 +173,27 @@ TEST(WirePong, RoundTrips) {
   EXPECT_EQ(back.seq, 11u);
   EXPECT_EQ(back.in_flight, 4);
   EXPECT_EQ(back.stats_json, message.stats_json);
+  EXPECT_EQ(back.metrics_json, "");  // absent extension reads back empty
+}
+
+TEST(WirePong, MetricsExtensionRoundTrips) {
+  PongMessage message;
+  message.seq = 12;
+  message.in_flight = 1;
+  message.stats_json = R"({"submitted": 9})";
+  message.metrics_json = R"({"counters": {"serve.submitted": 9}})";
+  const PongMessage back = decode_pong(12, encode_pong(message));
+  EXPECT_EQ(back.stats_json, message.stats_json);
+  EXPECT_EQ(back.metrics_json, message.metrics_json);
+
+  // Empty metrics stays old-form on the wire: the extended body is strictly
+  // the old body plus the trailing string.
+  PongMessage bare = message;
+  bare.metrics_json.clear();
+  const std::vector<uint8_t> old_form = encode_pong(bare);
+  const std::vector<uint8_t> extended = encode_pong(message);
+  ASSERT_GT(extended.size(), old_form.size());
+  for (size_t i = 0; i < old_form.size(); ++i) ASSERT_EQ(extended[i], old_form[i]) << i;
 }
 
 TEST(WireReader, TruncationThrowsEverywhere) {

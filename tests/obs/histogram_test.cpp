@@ -1,0 +1,152 @@
+// Mergeability contract of the observability histogram: a merge across any
+// partition of the samples must land in exactly the buckets a single
+// histogram over all samples would have — the property that makes the
+// frontend's fleet latency view trustworthy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace sesr::obs {
+namespace {
+
+std::vector<int64_t> sample_set(size_t count, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Mix of regimes: sub-bucket-exact small values, mid octaves, and a heavy
+  // tail, so the merge test exercises linear and geometric buckets alike.
+  std::uniform_int_distribution<int64_t> small(0, 15);
+  std::uniform_int_distribution<int64_t> mid(16, 50'000);
+  std::uniform_int_distribution<int64_t> tail(50'001, 40'000'000);
+  std::vector<int64_t> samples;
+  samples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t pick = rng() % 10;
+    if (pick < 4)
+      samples.push_back(small(rng));
+    else if (pick < 9)
+      samples.push_back(mid(rng));
+    else
+      samples.push_back(tail(rng));
+  }
+  return samples;
+}
+
+void expect_snapshots_identical(const Histogram::Snapshot& a, const Histogram::Snapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum_us, b.sum_us);
+  EXPECT_EQ(a.max_us, b.max_us);
+  ASSERT_EQ(a.buckets.size(), b.buckets.size());
+  for (size_t i = 0; i < a.buckets.size(); ++i) {
+    EXPECT_EQ(a.buckets[i].first, b.buckets[i].first) << "bucket " << i;
+    EXPECT_EQ(a.buckets[i].second, b.buckets[i].second) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_DOUBLE_EQ(a.max_ms, b.max_ms);
+  EXPECT_DOUBLE_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+}
+
+TEST(ObsHistogramTest, MergeAcrossRandomShardSplitsMatchesGroundTruth) {
+  const std::vector<int64_t> samples = sample_set(4000, 7);
+  Histogram all;
+  for (const int64_t us : samples) all.record_us(us);
+  const Histogram::Snapshot truth = all.snapshot();
+
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t shards = 2 + rng() % 6;
+    std::vector<Histogram> parts(shards);
+    for (const int64_t us : samples) parts[rng() % shards].record_us(us);
+
+    // Merge the shard snapshots in a random order (commutativity) ...
+    std::vector<size_t> order(shards);
+    for (size_t i = 0; i < shards; ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    Histogram::Snapshot merged = parts[order[0]].snapshot();
+    for (size_t i = 1; i < shards; ++i) merged.merge(parts[order[i]].snapshot());
+    expect_snapshots_identical(truth, merged);
+
+    // ... and via a different grouping (associativity): fold the first half
+    // and second half separately, then combine.
+    const size_t half = shards / 2;
+    if (half >= 1 && shards - half >= 1) {
+      Histogram::Snapshot left = parts[0].snapshot();
+      for (size_t i = 1; i < half; ++i) left.merge(parts[i].snapshot());
+      Histogram::Snapshot right = parts[half].snapshot();
+      for (size_t i = half + 1; i < shards; ++i) right.merge(parts[i].snapshot());
+      left.merge(right);
+      expect_snapshots_identical(truth, left);
+    }
+  }
+}
+
+TEST(ObsHistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram h;
+  for (const int64_t us : sample_set(256, 3)) h.record_us(us);
+  const Histogram::Snapshot truth = h.snapshot();
+
+  Histogram::Snapshot merged = truth;
+  merged.merge(Histogram().snapshot());
+  expect_snapshots_identical(truth, merged);
+
+  Histogram::Snapshot from_empty = Histogram().snapshot();
+  from_empty.merge(truth);
+  expect_snapshots_identical(truth, from_empty);
+}
+
+TEST(ObsHistogramTest, QuantilesMatchHistogramAfterFinalize) {
+  Histogram h;
+  for (const int64_t us : sample_set(1000, 21)) h.record_us(us);
+  Histogram::Snapshot snap = h.snapshot();
+  snap.finalize();
+  EXPECT_DOUBLE_EQ(snap.p50_ms, h.quantile_ms(0.50));
+  EXPECT_DOUBLE_EQ(snap.p95_ms, h.quantile_ms(0.95));
+  EXPECT_DOUBLE_EQ(snap.p99_ms, h.quantile_ms(0.99));
+}
+
+// TSan seam: concurrent record_us while another thread snapshots and merges.
+// The contract is freedom from data races and a sane (monotone, bounded)
+// count in every observed snapshot — not a point-in-time-exact view.
+TEST(ObsHistogramTest, ConcurrentRecordDuringMergeIsRaceFree) {
+  Histogram live;
+  Histogram other;
+  for (const int64_t us : sample_set(512, 5)) other.record_us(us);
+  const Histogram::Snapshot other_snap = other.snapshot();
+
+  constexpr int64_t kPerThread = 20'000;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&live, &start, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      std::mt19937_64 rng(static_cast<uint64_t>(t) + 99);
+      for (int64_t i = 0; i < kPerThread; ++i)
+        live.record_us(static_cast<int64_t>(rng() % 1'000'000));
+    });
+  }
+  start.store(true, std::memory_order_release);
+
+  int64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    Histogram::Snapshot snap = live.snapshot();
+    snap.merge(other_snap);
+    EXPECT_GE(snap.count, last_count + other_snap.count);
+    EXPECT_LE(snap.count, 3 * kPerThread + other_snap.count);
+    last_count = snap.count - other_snap.count;
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  Histogram::Snapshot final_snap = live.snapshot();
+  final_snap.merge(other_snap);
+  EXPECT_EQ(final_snap.count, 3 * kPerThread + other_snap.count);
+}
+
+}  // namespace
+}  // namespace sesr::obs

@@ -1,0 +1,230 @@
+// Unified metrics registry: instrument semantics, snapshot merge exactness
+// (the fleet-view contract), JSON round-trip, and Prometheus text exposition
+// that a scraper can actually parse.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "models/models.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "serve/serve.h"
+
+namespace sesr::obs {
+namespace {
+
+TEST(ObsMetricsTest, InstrumentsHaveStableAddressesAndSemantics) {
+  Registry registry;
+  Counter& counter = registry.counter("test.count");
+  counter.inc();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+  EXPECT_EQ(&registry.counter("test.count"), &counter);
+
+  Gauge& gauge = registry.gauge("test.level");
+  gauge.set(10);
+  EXPECT_EQ(gauge.add(5), 15);  // add returns the post-add reading
+  EXPECT_EQ(gauge.add(-3), 12);
+  gauge.set_max(7);
+  EXPECT_EQ(gauge.value(), 12);  // set_max never lowers
+  gauge.set_max(99);
+  EXPECT_EQ(gauge.value(), 99);
+
+  Histogram& histogram = registry.histogram("test.latency_us");
+  histogram.record_us(1000);
+  EXPECT_EQ(histogram.count(), 1);
+}
+
+TEST(ObsMetricsTest, SnapshotMergeIsExactOnCounters) {
+  Registry a;
+  a.counter("serve.submitted").add(100);
+  a.counter("serve.completed").add(90);
+  a.counter("only.in.a").add(7);
+  a.gauge("queue.depth").set(5);
+  a.histogram("latency_us").record_us(500);
+
+  Registry b;
+  b.counter("serve.submitted").add(23);
+  b.counter("serve.completed").add(20);
+  b.counter("only.in.b").add(3);
+  b.gauge("queue.depth").set(2);
+  b.histogram("latency_us").record_us(1500);
+
+  RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("serve.submitted"), 123);
+  EXPECT_EQ(merged.counters.at("serve.completed"), 110);
+  EXPECT_EQ(merged.counters.at("only.in.a"), 7);
+  EXPECT_EQ(merged.counters.at("only.in.b"), 3);
+  EXPECT_EQ(merged.gauges.at("queue.depth"), 7);  // gauges sum: fleet total level
+  EXPECT_EQ(merged.histograms.at("latency_us").count, 2);
+  EXPECT_EQ(merged.histograms.at("latency_us").sum_us, 2000);
+  EXPECT_EQ(merged.histograms.at("latency_us").max_us, 1500);
+}
+
+TEST(ObsMetricsTest, JsonRoundTripIsBitExact) {
+  Registry registry;
+  registry.counter("serve.submitted|tenant=acme").add(17);
+  registry.counter("serve.submitted|tenant=bravo").add(5);
+  registry.gauge("pool.idle|model=m5,pool=1x3x6x6@scalar").set(3);
+  Histogram& h = registry.histogram("serve.latency_us");
+  for (int i = 1; i <= 300; ++i) h.record_us(i * 37);
+
+  const RegistrySnapshot before = registry.snapshot();
+  const RegistrySnapshot after = RegistrySnapshot::from_json(before.to_json());
+
+  EXPECT_EQ(before.counters, after.counters);
+  EXPECT_EQ(before.gauges, after.gauges);
+  ASSERT_EQ(after.histograms.count("serve.latency_us"), 1u);
+  const Histogram::Snapshot& ha = before.histograms.at("serve.latency_us");
+  const Histogram::Snapshot& hb = after.histograms.at("serve.latency_us");
+  EXPECT_EQ(ha.count, hb.count);
+  EXPECT_EQ(ha.sum_us, hb.sum_us);
+  EXPECT_EQ(ha.max_us, hb.max_us);
+  EXPECT_EQ(ha.buckets, hb.buckets);
+  EXPECT_DOUBLE_EQ(ha.p99_ms, hb.p99_ms);
+}
+
+/// Minimal Prometheus text-format scrape: every line must be a comment or
+/// `name{labels} value` with a parseable float value and balanced braces.
+void scrape_parse(const std::string& exposition, int* samples_out) {
+  int samples = 0;
+  size_t pos = 0;
+  while (pos < exposition.size()) {
+    size_t eol = exposition.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated line";
+    const std::string line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    // name[{labels}] value
+    size_t cursor = 0;
+    while (cursor < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[cursor])) || line[cursor] == '_' ||
+            line[cursor] == ':'))
+      ++cursor;
+    ASSERT_GT(cursor, 0u) << line;
+    if (cursor < line.size() && line[cursor] == '{') {
+      const size_t close = line.find('}', cursor);
+      ASSERT_NE(close, std::string::npos) << line;
+      const std::string labels = line.substr(cursor + 1, close - cursor - 1);
+      EXPECT_NE(labels.find('='), std::string::npos) << line;
+      cursor = close + 1;
+    }
+    ASSERT_LT(cursor, line.size()) << line;
+    ASSERT_EQ(line[cursor], ' ') << line;
+    char* end = nullptr;
+    const std::string value = line.substr(cursor + 1);
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    ++samples;
+  }
+  *samples_out = samples;
+}
+
+TEST(ObsMetricsTest, PrometheusExpositionScrapeParses) {
+  Registry registry;
+  registry.counter("serve.submitted").add(11);
+  registry.counter("serve.tenant.submitted|tenant=acme").add(4);
+  registry.counter("serve.tenant.submitted|tenant=bravo").add(7);
+  registry.gauge("serve.queue_depth").set(3);
+  registry.gauge("model.pool_idle|model=m5,pool=1x3x6x6@avx2").set(2);
+  Histogram& h = registry.histogram("serve.latency_us");
+  h.record_us(120);
+  h.record_us(4500);
+
+  const std::string exposition = registry.snapshot().to_prometheus();
+  int samples = 0;
+  scrape_parse(exposition, &samples);
+  // 3 counters + 2 gauges + 5 summary series (3 quantiles, _sum, _count).
+  EXPECT_EQ(samples, 10);
+
+  EXPECT_NE(exposition.find("# TYPE sesr_serve_submitted_total counter"), std::string::npos);
+  EXPECT_NE(exposition.find("sesr_serve_tenant_submitted_total{tenant=\"acme\"} 4"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sesr_model_pool_idle{model=\"m5\",pool=\"1x3x6x6@avx2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE sesr_serve_latency_us summary"), std::string::npos);
+  EXPECT_NE(exposition.find("sesr_serve_latency_us_count 2"), std::string::npos);
+  // One TYPE line per family even with several label variants.
+  size_t first = exposition.find("# TYPE sesr_serve_tenant_submitted_total");
+  size_t second = exposition.find("# TYPE sesr_serve_tenant_submitted_total", first + 1);
+  EXPECT_EQ(second, std::string::npos);
+}
+
+TEST(ObsMetricsTest, ServerMetricsExportCoversStatsAndPools) {
+  auto network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                models::Sesr::Form::kInference);
+  Rng rng(5);
+  network->init_weights(rng);
+  auto upscaler = std::make_shared<models::NetworkUpscaler>("SESR-M2", std::move(network));
+
+  serve::Server::Options options;
+  options.workers = 1;
+  options.max_batch = 2;
+  serve::Server server(upscaler, options);
+  server.warmup({3, 6, 6});
+  Rng tile_rng(8);
+  const Tensor tile = Tensor::rand({1, 3, 6, 6}, tile_rng);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(server.submit(tile).get().ok());
+
+  const RegistrySnapshot snap = server.metrics();
+  EXPECT_EQ(snap.counters.at("serve.submitted"), 4);
+  EXPECT_EQ(snap.counters.at("serve.completed"), 4);
+  EXPECT_EQ(snap.histograms.at("serve.latency_us").count, 4);
+  // Plan-cache + session-pool instruments flow through from the upscaler.
+  bool saw_pool_gauge = false;
+  bool saw_compiles = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("model.pool_idle|", 0) == 0 && value >= 1) saw_pool_gauge = true;
+    if (name.rfind("model.plan_compiles|", 0) == 0 && value >= 1) saw_compiles = true;
+  }
+  EXPECT_TRUE(saw_pool_gauge);
+  EXPECT_TRUE(saw_compiles);
+
+  // Both export formats produce non-trivial documents.
+  EXPECT_NE(server.metrics_json().find("serve.submitted"), std::string::npos);
+  int samples = 0;
+  scrape_parse(server.metrics_prometheus(), &samples);
+  EXPECT_GT(samples, 5);
+}
+
+TEST(ObsMetricsTest, ProfileExportPublishesHotOpGauges) {
+  setenv("SESR_PROFILE_OPS", "1", 1);
+  setenv("SESR_PROFILE_SAMPLE", "1", 1);
+  refresh_profile_config();
+
+  auto network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                models::Sesr::Form::kInference);
+  Rng rng(5);
+  network->init_weights(rng);
+  models::NetworkUpscaler upscaler("SESR-M2", std::move(network));
+  Rng tile_rng(8);
+  for (int i = 0; i < 3; ++i)
+    static_cast<void>(upscaler.upscale(Tensor::rand({1, 3, 6, 6}, tile_rng)));
+
+  setenv("SESR_PROFILE_OPS", "0", 1);
+  refresh_profile_config();
+
+  const std::vector<OpProfileRow> rows = profile_aggregate();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_GT(rows.front().calls, 0);
+  EXPECT_GT(rows.front().ns, 0);
+  for (size_t i = 1; i < rows.size(); ++i) EXPECT_GE(rows[i - 1].ns, rows[i].ns);
+
+  Registry registry;
+  profile_export(registry);
+  const RegistrySnapshot snap = registry.snapshot();
+  bool saw_ns = false;
+  for (const auto& [name, value] : snap.gauges)
+    if (name.rfind("profile.op_ns|op=", 0) == 0 && value > 0) saw_ns = true;
+  EXPECT_TRUE(saw_ns);
+}
+
+}  // namespace
+}  // namespace sesr::obs

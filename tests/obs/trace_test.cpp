@@ -1,0 +1,188 @@
+// Trace layer contract: flight-recorder rings (overwrite-oldest, fixed
+// memory), Chrome trace JSON round-trip, structural span nesting, and the
+// end-to-end span taxonomy a traced serve::Server emits.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/models.h"
+#include "obs/trace.h"
+#include "serve/serve.h"
+
+namespace sesr::obs {
+namespace {
+
+void enable_tracing() {
+  setenv("SESR_TRACE", "1", 1);
+  refresh_trace_config();
+}
+
+void disable_tracing() {
+  setenv("SESR_TRACE", "0", 1);
+  refresh_trace_config();
+}
+
+TEST(ObsTraceTest, DisabledByDefaultMintsNothing) {
+  disable_tracing();
+  EXPECT_FALSE(trace_enabled());
+  const TraceContext context = start_trace();
+  EXPECT_FALSE(static_cast<bool>(context));
+  EXPECT_EQ(context.trace_id, 0u);
+  // record_span with a zero trace id is the disabled no-op path.
+  record_span(0, 1, 0, "ignored", 0, 10);
+  for (const SpanRecord& span : drain_spans()) EXPECT_NE(span.name, "ignored");
+}
+
+TEST(ObsTraceTest, RecordDrainRoundTripsThroughChromeJson) {
+  enable_tracing();
+  clear_trace_buffers();
+  const TraceContext trace = start_trace();
+  ASSERT_TRUE(static_cast<bool>(trace));
+  const uint64_t root = next_span_id();
+  const uint64_t child = next_span_id();
+  record_span(trace.trace_id, child, root, "child_stage", 1100, 1900);
+  record_span(trace.trace_id, root, 0, "request", 1000, 2000);
+  disable_tracing();
+
+  const std::vector<SpanRecord> drained = drain_spans();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].name, "child_stage");
+  EXPECT_EQ(drained[0].span_id, child);
+  EXPECT_EQ(drained[0].parent_span, root);
+  EXPECT_EQ(drained[0].start_ns, 1100);
+  EXPECT_EQ(drained[0].dur_ns, 800);
+
+  const std::vector<SpanRecord> parsed = parse_chrome_trace(chrome_trace_json(drained));
+  ASSERT_EQ(parsed.size(), 2u);
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].trace_id, drained[i].trace_id);
+    EXPECT_EQ(parsed[i].span_id, drained[i].span_id);
+    EXPECT_EQ(parsed[i].parent_span, drained[i].parent_span);
+    EXPECT_EQ(parsed[i].start_ns, drained[i].start_ns);
+    EXPECT_EQ(parsed[i].dur_ns, drained[i].dur_ns);
+    EXPECT_EQ(parsed[i].name, drained[i].name);
+    EXPECT_EQ(parsed[i].pid, drained[i].pid);
+    EXPECT_EQ(parsed[i].tid, drained[i].tid);
+  }
+  EXPECT_TRUE(validate_span_nesting(parsed).empty());
+}
+
+TEST(ObsTraceTest, RingOverwritesOldestAtFixedMemory) {
+  // 4096 bytes (the config floor) = 64 slots of 64 bytes; the ring size is
+  // read at first record on a thread, so use a fresh thread to get a ring of
+  // exactly this capacity.
+  setenv("SESR_TRACE_RING_BYTES", "4096", 1);
+  enable_tracing();
+  clear_trace_buffers();
+  std::thread recorder([] {
+    const TraceContext trace = start_trace();
+    for (uint64_t i = 1; i <= 100; ++i)
+      record_span(trace.trace_id, i, 0, "wrap", static_cast<int64_t>(i), static_cast<int64_t>(i + 1));
+  });
+  recorder.join();
+  setenv("SESR_TRACE_RING_BYTES", "1048576", 1);
+  disable_tracing();
+
+  std::vector<uint64_t> wrap_spans;
+  for (const SpanRecord& span : drain_spans())
+    if (span.name == "wrap") wrap_spans.push_back(span.span_id);
+  ASSERT_EQ(wrap_spans.size(), 64u);  // capacity, not 100
+  // Overwrite-oldest: exactly the newest 64, oldest-first.
+  for (size_t i = 0; i < wrap_spans.size(); ++i) EXPECT_EQ(wrap_spans[i], 37 + i);
+}
+
+TEST(ObsTraceTest, NestingValidatorFlagsEscapesAndTraceMismatches) {
+  std::vector<SpanRecord> spans(3);
+  spans[0] = {.trace_id = 7, .span_id = 1, .parent_span = 0, .start_ns = 1000, .dur_ns = 1000,
+              .tid = 1, .pid = 1, .name = "request"};
+  spans[1] = {.trace_id = 7, .span_id = 2, .parent_span = 1, .start_ns = 1500, .dur_ns = 1000,
+              .tid = 1, .pid = 1, .name = "escapes"};
+  spans[2] = {.trace_id = 8, .span_id = 3, .parent_span = 1, .start_ns = 1100, .dur_ns = 100,
+              .tid = 1, .pid = 1, .name = "wrong_trace"};
+  // Violations come back in span order: the window escape first, then the
+  // trace-id mismatch.
+  const std::vector<std::string> violations = validate_span_nesting(spans);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].find("escapes"), std::string::npos);
+  EXPECT_NE(violations[1].find("wrong_trace"), std::string::npos);
+
+  // A span whose parent is absent (other process, not captured) is skipped.
+  std::vector<SpanRecord> orphan(1);
+  orphan[0] = {.trace_id = 9, .span_id = 4, .parent_span = 99, .start_ns = 0, .dur_ns = 1,
+               .tid = 1, .pid = 1, .name = "orphan"};
+  EXPECT_TRUE(validate_span_nesting(orphan).empty());
+}
+
+TEST(ObsTraceTest, TracedServerEmitsNestedSpanTaxonomy) {
+  enable_tracing();
+  clear_trace_buffers();
+
+  auto network = std::make_shared<models::Sesr>(models::SesrConfig::m2(),
+                                                models::Sesr::Form::kInference);
+  Rng rng(5);
+  network->init_weights(rng);
+  auto upscaler = std::make_shared<models::NetworkUpscaler>("SESR-M2", std::move(network));
+  serve::Server::Options options;
+  options.workers = 1;
+  options.max_batch = 4;
+  options.batch_linger = std::chrono::microseconds{2000};
+  {
+    serve::Server server(upscaler, options);
+    server.warmup({3, 6, 6});
+    Rng tile_rng(8);
+    const Tensor tile = Tensor::rand({1, 3, 6, 6}, tile_rng);
+    std::vector<serve::ServeFuture> futures;
+    constexpr int kRequests = 6;
+    for (int i = 0; i < kRequests; ++i) futures.push_back(server.submit(tile));
+    for (serve::ServeFuture& future : futures) ASSERT_TRUE(future.get().ok());
+    server.stop();
+  }
+  disable_tracing();
+
+  const std::vector<SpanRecord> spans = drain_spans();
+  const std::vector<std::string> violations = validate_span_nesting(spans);
+  for (const std::string& violation : violations) ADD_FAILURE() << violation;
+
+  // Every request minted its own trace; each trace has one server_request
+  // root carrying queue_wait plus the batch-stage spans.
+  std::map<uint64_t, std::set<std::string>> names_by_trace;
+  std::map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) {
+    names_by_trace[span.trace_id].insert(span.name);
+    by_id.emplace(span.span_id, &span);
+  }
+  EXPECT_EQ(names_by_trace.size(), 6u);
+  int roots = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "server_request") {
+      ++roots;
+      EXPECT_EQ(span.parent_span, 0u) << "submit() requests root at the server";
+    } else {
+      // Every non-root span's parent is present and shares its trace.
+      const auto it = by_id.find(span.parent_span);
+      ASSERT_NE(it, by_id.end()) << span.name;
+      EXPECT_EQ(it->second->trace_id, span.trace_id) << span.name;
+    }
+  }
+  EXPECT_EQ(roots, 6);
+  for (const auto& [trace_id, names] : names_by_trace) {
+    EXPECT_TRUE(names.count("server_request")) << trace_id;
+    EXPECT_TRUE(names.count("queue_wait")) << trace_id;
+  }
+  // Batch-stage spans exist somewhere in the run (parented to the first
+  // traced request of each batch).
+  std::set<std::string> all_names;
+  for (const SpanRecord& span : spans) all_names.insert(span.name);
+  EXPECT_TRUE(all_names.count("batch_form"));
+  EXPECT_TRUE(all_names.count("session_run"));
+  EXPECT_TRUE(all_names.count("reply"));
+}
+
+}  // namespace
+}  // namespace sesr::obs

@@ -36,14 +36,20 @@ ServerStats sample_stats() {
   stats.queue_depth = 7;
   stats.peak_queue_depth = 64;
   stats.kernel_variant = "avx512vnni";
-  stats.latency.count = 990;
-  stats.latency.mean_ms = 12.345678901234567;
-  stats.latency.max_ms = 99.5;
-  stats.latency.p50_ms = 10.25;
-  stats.latency.p95_ms = 40.0;
-  stats.latency.p99_ms = 77.125;
+  // A real histogram, not hand-set summary fields: the document carries the
+  // raw buckets and the parser recomputes the derived quantiles from them.
+  LatencyHistogram latency;
+  for (int i = 0; i < 990; ++i) latency.record_us(137 * (i % 311) + i);
+  stats.latency = latency.snapshot();
   stats.tenants["alpha"] = sample_tenant(10);
   stats.tenants["beta \"quoted\"\n"] = sample_tenant(100);  // escaping exercised
+  ModelStats model;
+  model.version = 3;
+  model.plan_compiles = 2;
+  model.plan_cache_hits = 988;
+  model.session_pools.push_back({"1x3x6x6@avx2", 2, 0, 4});
+  model.session_pools.push_back({"4x3x6x6@avx2", 1, 1, 2});
+  stats.models["SESR-M2"] = model;
   return stats;
 }
 
@@ -75,6 +81,9 @@ TEST(StatsJson, ServerStatsRoundTripsExactly) {
   EXPECT_EQ(back.peak_queue_depth, stats.peak_queue_depth);
   EXPECT_EQ(back.kernel_variant, stats.kernel_variant);
   EXPECT_EQ(back.latency.count, stats.latency.count);
+  EXPECT_EQ(back.latency.sum_us, stats.latency.sum_us);
+  EXPECT_EQ(back.latency.max_us, stats.latency.max_us);
+  EXPECT_EQ(back.latency.buckets, stats.latency.buckets);  // raw, mergeable
   EXPECT_EQ(back.latency.mean_ms, stats.latency.mean_ms);
   EXPECT_EQ(back.latency.max_ms, stats.latency.max_ms);
   EXPECT_EQ(back.latency.p50_ms, stats.latency.p50_ms);
@@ -86,6 +95,68 @@ TEST(StatsJson, ServerStatsRoundTripsExactly) {
     ASSERT_TRUE(back.tenants.count(id)) << "tenant id lost in round trip: " << id;
     expect_tenant_eq(back.tenants.at(id), tenant);
   }
+
+  ASSERT_EQ(back.models.size(), stats.models.size());
+  for (const auto& [id, model] : stats.models) {
+    ASSERT_TRUE(back.models.count(id)) << "model id lost in round trip: " << id;
+    const ModelStats& got = back.models.at(id);
+    EXPECT_EQ(got.version, model.version);
+    EXPECT_EQ(got.plan_compiles, model.plan_compiles);
+    EXPECT_EQ(got.plan_cache_hits, model.plan_cache_hits);
+    ASSERT_EQ(got.session_pools.size(), model.session_pools.size());
+    for (size_t i = 0; i < model.session_pools.size(); ++i) {
+      EXPECT_EQ(got.session_pools[i].plan_key, model.session_pools[i].plan_key);
+      EXPECT_EQ(got.session_pools[i].idle, model.session_pools[i].idle);
+      EXPECT_EQ(got.session_pools[i].live, model.session_pools[i].live);
+      EXPECT_EQ(got.session_pools[i].peak, model.session_pools[i].peak);
+    }
+  }
+}
+
+TEST(StatsJson, LatencyBucketsMergeAcrossParsedDocuments) {
+  // The reason buckets ride in the document at all: a frontend can merge
+  // parsed shard latencies exactly, landing on the histogram a single shard
+  // seeing all traffic would report.
+  LatencyHistogram all;
+  ServerStats shard_a;
+  ServerStats shard_b;
+  {
+    LatencyHistogram a;
+    LatencyHistogram b;
+    for (int i = 0; i < 700; ++i) {
+      const int64_t us = 91 * (i % 257) + 3 * i;
+      all.record_us(us);
+      (i % 3 == 0 ? a : b).record_us(us);
+    }
+    shard_a.latency = a.snapshot();
+    shard_b.latency = b.snapshot();
+  }
+
+  const ServerStats back_a = server_stats_from_json(stats_to_json(shard_a));
+  const ServerStats back_b = server_stats_from_json(stats_to_json(shard_b));
+  LatencyHistogram::Snapshot merged = back_a.latency;
+  merged.merge(back_b.latency);
+
+  const LatencyHistogram::Snapshot truth = all.snapshot();
+  EXPECT_EQ(merged.count, truth.count);
+  EXPECT_EQ(merged.sum_us, truth.sum_us);
+  EXPECT_EQ(merged.max_us, truth.max_us);
+  EXPECT_EQ(merged.buckets, truth.buckets);
+  EXPECT_DOUBLE_EQ(merged.p50_ms, truth.p50_ms);
+  EXPECT_DOUBLE_EQ(merged.p99_ms, truth.p99_ms);
+}
+
+TEST(StatsJson, PreBucketsLatencyDocumentsStillParse) {
+  // A pong from a pre-buckets shard carries only the derived summary; the
+  // parser must keep those numbers instead of recomputing from nothing.
+  const std::string json =
+      R"({"submitted": 12, "latency": {"count": 12, "mean_ms": 4.5, "max_ms": 9.0,)"
+      R"( "p50_ms": 4.0, "p95_ms": 8.0, "p99_ms": 8.5}})";
+  const ServerStats back = server_stats_from_json(json);
+  EXPECT_EQ(back.latency.count, 12);
+  EXPECT_TRUE(back.latency.buckets.empty());
+  EXPECT_DOUBLE_EQ(back.latency.mean_ms, 4.5);
+  EXPECT_DOUBLE_EQ(back.latency.p99_ms, 8.5);
 }
 
 TEST(StatsJson, TenantStatsRoundTrips) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dist/shard.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -77,6 +78,9 @@ int main(int argc, char** argv) {
     ::signal(SIGTERM, handle_sigterm);
     shard.run();
     g_shard = nullptr;
+    // With SESR_TRACE_DIR set, flush this process's flight-recorder rings as
+    // build-dir Chrome JSON; sesr_tracecat merges the per-process files.
+    sesr::obs::write_trace_file();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sesr_shard: %s\n", error.what());
     return 1;

@@ -1,0 +1,90 @@
+// sesr_tracecat: merge per-process Chrome trace files into one document.
+//
+// Usage:
+//   sesr_tracecat [-o merged.json] [--check] trace_1234.json trace_5678.json
+//
+// Every traced sesr process writes $SESR_TRACE_DIR/trace_<pid>.json on exit
+// (obs::write_trace_file). Span timestamps come from CLOCK_MONOTONIC, shared
+// by all processes on a host, so concatenating the records yields one
+// coherent timeline: load the merged file in Perfetto / chrome://tracing and
+// frontend rpc spans visually contain the shard spans they caused.
+//
+// --check additionally runs the structural nesting validator and exits 1
+// when any child span escapes its parent's window (CI uses this as a gate).
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [-o OUT.json] [--check] TRACE.json...\n", argv0);
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool check = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) usage(argv[0]);
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) usage(argv[0]);
+
+  try {
+    std::vector<sesr::obs::SpanRecord> all;
+    for (const std::string& path : inputs) {
+      std::vector<sesr::obs::SpanRecord> spans = sesr::obs::parse_chrome_trace(read_file(path));
+      all.insert(all.end(), spans.begin(), spans.end());
+    }
+    const std::string merged = sesr::obs::chrome_trace_json(all);
+
+    if (out_path.empty()) {
+      std::fwrite(merged.data(), 1, merged.size(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write '" + out_path + "'");
+      out << merged << '\n';
+    }
+    std::fprintf(stderr, "sesr_tracecat: %zu spans from %zu files\n", all.size(),
+                 inputs.size());
+
+    if (check) {
+      const std::vector<std::string> violations = sesr::obs::validate_span_nesting(all);
+      for (const std::string& violation : violations)
+        std::fprintf(stderr, "sesr_tracecat: nesting violation: %s\n", violation.c_str());
+      if (!violations.empty()) return 1;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sesr_tracecat: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
